@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: accumulator depth.  Section 2 explains the 4096-entry
+ * choice: "operations per byte ... to reach peak performance is
+ * ~1350, so we rounded that up to 2048 and then duplicated it so that
+ * the compiler could use double buffering".  This bench sweeps the
+ * depth: below ~2x2048 the compute-bound CNNs refetch weights per
+ * accumulator group and the memory-bound apps lose activation/matmul
+ * overlap; above 4096 nothing improves.
+ */
+
+#include <iostream>
+
+#include "arch/tpu_chip.hh"
+#include "compiler/codegen.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    Table t("Ablation: accumulator entries (production value 4096 = "
+            "2 x 2048 for double buffering)");
+    t.setHeader({"Entries", "MLP0 ms", "CNN0 ms", "CNN0 wstall",
+                 "CNN1 ms"});
+    for (std::int64_t entries :
+         {512, 1024, 2048, 4096, 8192, 16384}) {
+        arch::TpuConfig cfg = arch::TpuConfig::production();
+        cfg.accumulatorEntries = entries;
+        auto run = [&](workloads::AppId id) {
+            nn::Network net = workloads::build(id);
+            arch::TpuChip chip(cfg, false);
+            compiler::Compiler cc(cfg);
+            compiler::CompiledModel m = cc.compile(
+                net, &chip.weightMemory(),
+                compiler::CompileOptions{});
+            return chip.run(m.program);
+        };
+        arch::RunResult mlp0 = run(workloads::AppId::MLP0);
+        arch::RunResult cnn0 = run(workloads::AppId::CNN0);
+        arch::RunResult cnn1 = run(workloads::AppId::CNN1);
+        t.addRow({std::to_string(entries),
+                  Table::num(mlp0.seconds * 1e3, 3),
+                  Table::num(cnn0.seconds * 1e3, 3),
+                  Table::pct(cnn0.counters.weightStallFraction()),
+                  Table::num(cnn1.seconds * 1e3, 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}

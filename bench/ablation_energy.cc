@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: the systolic dataflow's energy advantage.  Section 2:
+ * "as reading a large SRAM uses much more power than arithmetic, the
+ * matrix unit uses systolic execution to save energy by reducing
+ * reads and writes of the Unified Buffer."  This bench prices each
+ * workload's run with the event-based energy model, then re-prices a
+ * strawman in which every MAC fetches its activation operand from
+ * the Unified Buffer.
+ */
+
+#include <iostream>
+
+#include "analysis/experiments.hh"
+#include "power/energy.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+
+int
+main()
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    const power::EnergyModel model;
+
+    Table t("Ablation: energy with vs without systolic operand "
+            "reuse (per batch)");
+    t.setHeader({"App", "avg W (systolic)", "UB mJ", "DRAM mJ",
+                 "MAC mJ", "strawman avg W", "penalty"});
+    for (workloads::AppId id : workloads::allApps()) {
+        analysis::AppRun run = analysis::runTpuApp(id, cfg);
+        power::EnergyBreakdown with =
+            model.estimate(run.result.counters, run.deviceSeconds);
+        power::EnergyBreakdown without =
+            model.estimateWithoutSystolicReuse(run.result.counters,
+                                               run.deviceSeconds);
+        t.addRow({workloads::toString(id),
+                  Table::num(with.averageWatts(run.deviceSeconds), 1),
+                  Table::num(with.unifiedBufferJ * 1e3, 2),
+                  Table::num(with.dramJ * 1e3, 2),
+                  Table::num(with.macJ * 1e3, 2),
+                  Table::num(without.averageWatts(run.deviceSeconds),
+                             1),
+                  Table::num(without.totalJ() / with.totalJ(), 2) +
+                      "x"});
+    }
+    t.print(std::cout);
+    std::cout << "\nTable 2 context: the production die measures "
+                 "28 W idle / 40 W busy.\n";
+    return 0;
+}

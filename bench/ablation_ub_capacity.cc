@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: Unified Buffer capacity.  Section 7: "higher memory
+ * bandwidth reduces pressure on the Unified Buffer, so reducing the
+ * Unified Buffer to 14 MiB could gain back 10% in area" and Table 8
+ * shows 14 MiB suffices.  This bench reports each app's intrinsic
+ * requirement (improved-allocator high water) against candidate
+ * capacities.
+ */
+
+#include <iostream>
+
+#include "arch/tpu_chip.hh"
+#include "compiler/codegen.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+#include "sim/units.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    // Compile once with the full 24 MiB to learn the requirement.
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Table t("Ablation: Unified Buffer capacity (paper: 24 MiB built, "
+            "14 MiB sufficient)");
+    t.setHeader({"App", "needs MiB", "fits 4", "fits 8", "fits 14",
+                 "fits 24"});
+    const double candidates[] = {4.0, 8.0, 14.0, 24.0};
+    for (workloads::AppId id : workloads::allApps()) {
+        nn::Network net = workloads::build(id);
+        arch::TpuChip chip(cfg, false);
+        compiler::Compiler cc(cfg);
+        compiler::CompiledModel m = cc.compile(
+            net, &chip.weightMemory(), compiler::CompileOptions{});
+        const double need =
+            static_cast<double>(m.ubHighWaterBytes) /
+            static_cast<double>(mib(1));
+        std::vector<std::string> row = {workloads::toString(id),
+                                        Table::num(need, 1)};
+        for (double c : candidates)
+            row.push_back(need <= c ? "yes" : "NO");
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: Weight FIFO depth.  The paper fixes it at four tiles
+ * ("the weight FIFO is four tiles deep") without showing the
+ * sensitivity; this bench sweeps the depth and shows the knee --
+ * depth 1 serializes fetch behind shift, depth >= 2 restores the
+ * decoupled-access/execute overlap, and beyond ~4 nothing changes
+ * because the DRAM channel, not FIFO space, is the bottleneck.
+ */
+
+#include <iostream>
+
+#include "analysis/experiments.hh"
+#include "arch/tpu_chip.hh"
+#include "compiler/codegen.hh"
+#include "sim/logging.hh"
+#include "sim/table.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    Table t("Ablation: Weight FIFO depth (production TPU, "
+            "paper value = 4 tiles)");
+    t.setHeader({"FIFO tiles", "MLP0 ms/batch", "MLP0 wstall",
+                 "CNN1 ms/batch", "CNN1 wstall"});
+    for (std::int64_t depth : {1, 2, 4, 8, 16}) {
+        arch::TpuConfig cfg = arch::TpuConfig::production();
+        cfg.weightFifoTiles = depth;
+        auto run = [&](workloads::AppId id) {
+            nn::Network net = workloads::build(id);
+            arch::TpuChip chip(cfg, false);
+            compiler::Compiler cc(cfg);
+            compiler::CompiledModel m = cc.compile(
+                net, &chip.weightMemory(),
+                compiler::CompileOptions{});
+            return chip.run(m.program);
+        };
+        arch::RunResult mlp0 = run(workloads::AppId::MLP0);
+        arch::RunResult cnn1 = run(workloads::AppId::CNN1);
+        t.addRow({std::to_string(depth),
+                  Table::num(mlp0.seconds * 1e3, 3),
+                  Table::pct(
+                      mlp0.counters.weightStallFraction()),
+                  Table::num(cnn1.seconds * 1e3, 3),
+                  Table::pct(
+                      cnn1.counters.weightStallFraction())});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Bench harness: regenerates Figure 8 (combined rooflines) of the paper.
+ * Prints the simulated values (and the published ones where the
+ * analysis layer embeds them) as an aligned text table.
+ */
+
+#include <iostream>
+
+#include "analysis/experiments.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    tpu::setQuiet(true);
+    tpu::Table t = tpu::analysis::fig8Combined(tpu::arch::TpuConfig::production());
+    t.print(std::cout);
+    return 0;
+}

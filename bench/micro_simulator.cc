@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator itself: the
+ * PE-level systolic step, the fast tile path, event queue throughput,
+ * the queueing simulator, and full workload compile+simulate runs.
+ * These time the *simulator*, not the simulated TPU.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/systolic_array.hh"
+#include "arch/tpu_chip.hh"
+#include "compiler/codegen.hh"
+#include "latency/queueing.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+tpu::nn::Int32Tensor
+randomTensor(std::int64_t r, std::int64_t c, tpu::Rng &rng)
+{
+    tpu::nn::Int32Tensor t({r, c});
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<std::int32_t>(rng.uniformInt(-127, 127));
+    return t;
+}
+
+/** PE-level wavefront cycles/second at several array sizes. */
+void
+BM_SystolicStep(benchmark::State &state)
+{
+    const auto dim = static_cast<std::int64_t>(state.range(0));
+    tpu::Rng rng(1);
+    tpu::arch::SystolicArray arr(dim);
+    arr.loadTile(randomTensor(dim, dim, rng));
+    tpu::nn::Int32Tensor x = randomTensor(64, dim, rng);
+    for (auto _ : state) {
+        arr.beginStream(x);
+        arr.drain();
+        benchmark::DoNotOptimize(arr.results());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (64 + 2 * dim - 2) * dim * dim);
+}
+BENCHMARK(BM_SystolicStep)->Arg(16)->Arg(32)->Arg(64);
+
+/** Fast-path tile GEMM MACs/second. */
+void
+BM_ComputeTile(benchmark::State &state)
+{
+    const auto dim = static_cast<std::int64_t>(state.range(0));
+    tpu::Rng rng(2);
+    tpu::nn::Int32Tensor w = randomTensor(dim, dim, rng);
+    tpu::nn::Int32Tensor x = randomTensor(128, dim, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tpu::arch::SystolicArray::computeTile(x, w));
+    }
+    state.SetItemsProcessed(state.iterations() * 128 * dim * dim);
+}
+BENCHMARK(BM_ComputeTile)->Arg(64)->Arg(256);
+
+/** Event queue schedule+service throughput. */
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        tpu::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(static_cast<tpu::Tick>(i * 7 % 997),
+                       [&sink]() { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+/** Batched queueing simulation (the Table 4 engine). */
+void
+BM_QueueingSim(benchmark::State &state)
+{
+    tpu::latency::ServiceModel svc{1.3e-3, 55.5e-6};
+    tpu::latency::BatchQueueSim sim(svc, 16, 42);
+    for (auto _ : state) {
+        auto stats = sim.run(5000.0, 20000);
+        benchmark::DoNotOptimize(stats.p99Response);
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_QueueingSim);
+
+/** Full compile + Tier-B simulation of one workload. */
+void
+BM_SimulateApp(benchmark::State &state)
+{
+    const auto id = static_cast<tpu::workloads::AppId>(state.range(0));
+    const tpu::arch::TpuConfig cfg =
+        tpu::arch::TpuConfig::production();
+    tpu::nn::Network net = tpu::workloads::build(id);
+    for (auto _ : state) {
+        tpu::arch::TpuChip chip(cfg, false);
+        tpu::compiler::Compiler cc(cfg);
+        tpu::compiler::CompiledModel m = cc.compile(
+            net, &chip.weightMemory(), tpu::compiler::CompileOptions{});
+        tpu::arch::RunResult r = chip.run(m.program);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_SimulateApp)
+    ->Arg(static_cast<int>(tpu::workloads::AppId::MLP0))
+    ->Arg(static_cast<int>(tpu::workloads::AppId::LSTM1))
+    ->Arg(static_cast<int>(tpu::workloads::AppId::CNN0));
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tpu::setQuiet(true);
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

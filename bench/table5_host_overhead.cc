@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Bench harness: regenerates Table 5 (host interaction time) of the paper.
+ * Prints the simulated values (and the published ones where the
+ * analysis layer embeds them) as an aligned text table.
+ */
+
+#include <iostream>
+
+#include "analysis/experiments.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    tpu::setQuiet(true);
+    tpu::Table t = tpu::analysis::table5HostOverhead(tpu::arch::TpuConfig::production());
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Vision CNN on the matrix unit, two ways:
+ *
+ *  1. functionally -- an im2col-lowered convolution streamed through
+ *    the PE-level systolic array, validated against the NHWC
+ *    reference convolution (how the TPU "can perform either a matrix
+ *    multiply or a convolution");
+ *  2. at scale -- the CNN0 production workload through the Tier-B
+ *    cycle simulator, showing the compute-bound profile of Table 3
+ *    (~78% array active, no weight stalls).
+ */
+
+#include <cstdio>
+
+#include "arch/systolic_array.hh"
+#include "arch/tpu_chip.hh"
+#include "compiler/codegen.hh"
+#include "nn/reference.hh"
+#include "sim/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+/** im2col: gather 3x3 patches so conv becomes [rows x 9C] x [9C x M]. */
+tpu::nn::Int32Tensor
+im2col(const tpu::nn::FloatTensor &input, std::int64_t kh,
+       std::int64_t kw)
+{
+    const std::int64_t n = input.dim(0), h = input.dim(1);
+    const std::int64_t w = input.dim(2), c = input.dim(3);
+    const std::int64_t pad_top = (kh - 1) / 2;
+    const std::int64_t pad_left = (kw - 1) / 2;
+    tpu::nn::Int32Tensor out({n * h * w, kh * kw * c});
+    std::int64_t row = 0;
+    for (std::int64_t in = 0; in < n; ++in)
+    for (std::int64_t y = 0; y < h; ++y)
+    for (std::int64_t x = 0; x < w; ++x, ++row) {
+        std::int64_t col = 0;
+        for (std::int64_t ky = 0; ky < kh; ++ky)
+        for (std::int64_t kx = 0; kx < kw; ++kx)
+        for (std::int64_t ic = 0; ic < c; ++ic, ++col) {
+            const std::int64_t sy = y + ky - pad_top;
+            const std::int64_t sx = x + kx - pad_left;
+            out.at(row, col) =
+                (sy >= 0 && sy < h && sx >= 0 && sx < w)
+                    ? static_cast<std::int32_t>(
+                          input.at(in, sy, sx, ic))
+                    : 0;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    // ---- Part 1: functional convolution on the systolic array ----
+    // A 6x6 image, 4 input channels, 8 filters of 3x3, dim-36 array
+    // (9*4 contraction fits one tile).
+    Rng rng(7);
+    const std::int64_t h = 6, w = 6, c = 4, m = 8, k = 3;
+    nn::FloatTensor image({1, h, w, c});
+    for (std::int64_t i = 0; i < image.size(); ++i)
+        image[i] = static_cast<float>(rng.uniformInt(-5, 5));
+    nn::FloatTensor kernel({k, k, c, m});
+    for (std::int64_t i = 0; i < kernel.size(); ++i)
+        kernel[i] = static_cast<float>(rng.uniformInt(-3, 3));
+
+    const std::int64_t dim = k * k * c; // 36
+    arch::SystolicArray array(dim);
+    nn::Int32Tensor wt({dim, dim});
+    for (std::int64_t ky = 0; ky < k; ++ky)
+        for (std::int64_t kx = 0; kx < k; ++kx)
+            for (std::int64_t ic = 0; ic < c; ++ic)
+                for (std::int64_t oc = 0; oc < m; ++oc)
+                    wt.at((ky * k + kx) * c + ic, oc) =
+                        static_cast<std::int32_t>(
+                            kernel.at(ky, kx, ic, oc));
+    array.loadTile(wt);
+    array.beginStream(im2col(image, k, k));
+    const Cycle cycles = array.drain();
+
+    nn::FloatTensor ref = nn::conv2dSame(image, kernel, 1);
+    std::int64_t mismatches = 0;
+    for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x)
+            for (std::int64_t oc = 0; oc < m; ++oc)
+                if (array.results().at(y * w + x, oc) !=
+                    static_cast<std::int32_t>(ref.at(0, y, x, oc)))
+                    ++mismatches;
+    std::printf("im2col conv on the systolic array: %lld outputs, "
+                "%lld mismatches vs reference, %llu cycles\n",
+                static_cast<long long>(h * w * m),
+                static_cast<long long>(mismatches),
+                static_cast<unsigned long long>(cycles));
+
+    // ---- Part 2: CNN0 at production scale (timing) ----
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    nn::Network cnn0 = workloads::build(workloads::AppId::CNN0);
+    arch::TpuChip chip(cfg, false);
+    compiler::Compiler cc(cfg);
+    compiler::CompiledModel model =
+        cc.compile(cnn0, &chip.weightMemory(),
+                   compiler::CompileOptions{});
+    arch::RunResult r = chip.run(model.program);
+    std::printf("\nCNN0 (16 conv layers, batch 8) on the production "
+                "TPU:\n");
+    std::printf("  %.2f ms per batch, %.1f TOPS of %.1f peak\n",
+                r.seconds * 1e3, r.teraOps, cfg.peakTops());
+    std::printf("  array active %.1f%%, weight stalls %.1f%% "
+                "(compute bound, as in Table 3)\n",
+                100.0 * r.counters.arrayActiveFraction(),
+                100.0 * r.counters.weightStallFraction());
+    return mismatches == 0 ? 0 : 1;
+}

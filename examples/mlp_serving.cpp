@@ -1,0 +1,90 @@
+/**
+ * @file
+ * MLP serving under a 99th-percentile latency SLA -- the scenario
+ * behind Table 4 and the paper's central claim that "inference
+ * prefers latency over throughput".
+ *
+ * Sweeps batch sizes on the production TPU, derives batch service
+ * times from the cycle simulator, then runs the queueing simulator to
+ * find the largest throughput whose p99 stays inside 7 ms, printing
+ * the throughput/latency frontier for TPU, CPU, and GPU.
+ */
+
+#include <cstdio>
+
+#include "arch/tpu_chip.hh"
+#include "baselines/platform.hh"
+#include "compiler/codegen.hh"
+#include "latency/queueing.hh"
+#include "sim/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+/** TPU MLP0 batch service time from the cycle simulator. */
+double
+tpuServiceSeconds(std::int64_t batch)
+{
+    using namespace tpu;
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    nn::Network net = workloads::build(workloads::AppId::MLP0, batch);
+    arch::TpuChip chip(cfg, false);
+    compiler::Compiler cc(cfg);
+    compiler::CompiledModel m =
+        cc.compile(net, &chip.weightMemory(),
+                   compiler::CompileOptions{});
+    const double host = baselines::hostInteractionFraction(
+        workloads::AppId::MLP0);
+    return chip.run(m.program).seconds * (1.0 + host);
+}
+
+void
+sweep(const char *name, const tpu::latency::ServiceModel &svc,
+      const std::vector<std::int64_t> &batches, double sla)
+{
+    std::printf("\n%s (s(B) = %.3f ms + %.2f us * B):\n", name,
+                svc.baseSeconds * 1e3, svc.perItemSeconds * 1e6);
+    std::printf("  %6s  %12s  %12s  %10s\n", "batch", "max IPS",
+                "IPS@7ms p99", "% of max");
+    double best = 0;
+    for (std::int64_t b : batches)
+        best = std::max(best, svc.maxThroughput(b));
+    for (std::int64_t b : batches) {
+        tpu::latency::BatchQueueSim sim(svc, b, 42);
+        auto s = sim.maxThroughputUnderSla(sla, 120000);
+        std::printf("  %6lld  %12.0f  %12.0f  %9.0f%%\n",
+                    static_cast<long long>(b), svc.maxThroughput(b),
+                    s.throughputIps, 100.0 * s.throughputIps / best);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tpu;
+    setQuiet(true);
+    constexpr double sla = 7e-3;
+
+    std::printf("MLP0 serving under a 7 ms p99 SLA "
+                "(Table 4 scenario)\n");
+
+    // TPU: service model fitted from two cycle-simulated points.
+    const double s200 = tpuServiceSeconds(200);
+    const double s250 = tpuServiceSeconds(250);
+    latency::ServiceModel tpu_svc;
+    tpu_svc.perItemSeconds = std::max(1e-9, (s250 - s200) / 50.0);
+    tpu_svc.baseSeconds = s200 - 200.0 * tpu_svc.perItemSeconds;
+
+    sweep("TPU", tpu_svc, {50, 100, 200, 250}, sla);
+    sweep("Haswell CPU", baselines::makeCpuModel().mlp0Service(),
+          {8, 16, 32, 64}, sla);
+    sweep("K80 GPU", baselines::makeGpuModel().mlp0Service(),
+          {8, 16, 32, 64}, sla);
+
+    std::printf("\nThe TPU serves its largest efficient batch inside "
+                "the SLA; CPU and GPU\nmust shrink their batches (and "
+                "throughput) to make the deadline.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Datacenter view: a rack slice of accelerator servers running the
+ * paper's deployment mix (61% MLP, 29% LSTM, 5% CNN) through the
+ * user-space driver, with server-level throughput, power, and
+ * perf/Watt — Section 5's cost-performance story as running code.
+ */
+
+#include <cstdio>
+
+#include "baselines/platform.hh"
+#include "power/power_model.hh"
+#include "runtime/driver.hh"
+#include "sim/logging.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    runtime::UserSpaceDriver driver(cfg);
+
+    // Load all six production models once ("the second and following
+    // evaluations run at full speed").
+    struct Loaded
+    {
+        workloads::AppId id;
+        runtime::ModelHandle handle;
+        std::int64_t batch;
+    };
+    std::vector<Loaded> models;
+    for (workloads::AppId id : workloads::allApps()) {
+        nn::Network net = workloads::build(id);
+        models.push_back(
+            {id, driver.loadModel(net), net.batchSize()});
+    }
+
+    // Serve a mixed minute of traffic: invocations proportional to
+    // the deployment mix.
+    std::printf("serving the Table 1 deployment mix through one TPU "
+                "die:\n\n");
+    std::printf("  %-6s %6s %12s %14s %12s\n", "app", "invkd",
+                "ms/batch", "inferences", "IPS (die)");
+    double total_inferences = 0;
+    double total_seconds = 0;
+    for (const Loaded &m : models) {
+        const int invocations = std::max(
+            1, static_cast<int>(100.0 * workloads::mixWeight(m.id)));
+        runtime::InvokeStats last;
+        for (int i = 0; i < invocations; ++i)
+            last = driver.invoke(m.handle, {},
+                                 baselines::hostInteractionFraction(
+                                     m.id));
+        const double inferences =
+            static_cast<double>(invocations) *
+            static_cast<double>(m.batch);
+        const double seconds =
+            static_cast<double>(invocations) * last.totalSeconds;
+        total_inferences += inferences;
+        total_seconds += seconds;
+        std::printf("  %-6s %6d %12.3f %14.0f %12.0f\n",
+                    workloads::toString(m.id), invocations,
+                    last.totalSeconds * 1e3, inferences,
+                    inferences / seconds);
+    }
+
+    const double die_ips = total_inferences / total_seconds;
+    std::printf("\nmix throughput: %.0f inferences/s per die\n",
+                die_ips);
+
+    // Server level: 4 TPUs + host (Table 2), vs the CPU server.
+    const power::ServerPower tpu_srv = power::tpuServer();
+    const power::ServerPower cpu_srv = power::haswellServer();
+    const double server_ips = die_ips * tpu_srv.dies;
+    std::printf("TPU server (4 dies): %.0f inferences/s at %.0f W "
+                "TDP -> %.1f inf/s/W\n", server_ips,
+                tpu_srv.serverTdpWatts,
+                server_ips / tpu_srv.serverTdpWatts);
+
+    const baselines::BaselineModel cpu = baselines::makeCpuModel();
+    double cpu_mix_ips = 0;
+    for (workloads::AppId id : workloads::allApps())
+        cpu_mix_ips += workloads::mixWeight(id) *
+                       cpu.inferencesPerSec(id);
+    const double cpu_server_ips = cpu_mix_ips * cpu_srv.dies;
+    std::printf("CPU server (2 dies): %.0f inferences/s at %.0f W "
+                "TDP -> %.1f inf/s/W\n", cpu_server_ips,
+                cpu_srv.serverTdpWatts,
+                cpu_server_ips / cpu_srv.serverTdpWatts);
+    std::printf("\nperf/W advantage of the TPU server on this mix: "
+                "%.0fx\n",
+                (server_ips / tpu_srv.serverTdpWatts) /
+                (cpu_server_ips / cpu_srv.serverTdpWatts));
+
+    std::printf("\ndriver stats: %llu invocations, %.1f ms of device "
+                "time, %llu interrupts\n",
+                static_cast<unsigned long long>(driver.invocations()),
+                driver.totalDeviceSeconds() * 1e3,
+                static_cast<unsigned long long>(
+                    driver.kernelDriver().interrupts()));
+    return 0;
+}

@@ -1,0 +1,754 @@
+#include "analysis/experiments.hh"
+
+#include <cmath>
+
+#include "analysis/means.hh"
+#include "arch/tpu_chip.hh"
+#include "baselines/platform.hh"
+#include "compiler/codegen.hh"
+#include "latency/queueing.hh"
+#include "model/design_space.hh"
+#include "model/perf_model.hh"
+#include "power/power_model.hh"
+#include "roofline/roofline.hh"
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace analysis {
+
+using workloads::AppId;
+using workloads::allApps;
+
+namespace paper {
+
+const std::array<double, 6> tpuTeraOps = {12.3, 9.7, 3.7, 2.8,
+                                          86.0, 14.1};
+const std::array<double, 6> arrayActive = {0.127, 0.106, 0.082, 0.105,
+                                           0.782, 0.462};
+const std::array<double, 6> weightStall = {0.539, 0.442, 0.581, 0.621,
+                                           0.0, 0.281};
+const std::array<double, 6> weightShift = {0.159, 0.134, 0.158, 0.171,
+                                           0.0, 0.070};
+const std::array<double, 6> nonMatrix = {0.175, 0.319, 0.179, 0.103,
+                                         0.218, 0.187};
+const std::array<double, 6> gpuRelative = {2.5, 0.3, 0.4, 1.2,
+                                           1.6, 2.7};
+const std::array<double, 6> tpuRelative = {41.0, 18.5, 3.5, 1.2,
+                                           40.3, 71.0};
+const std::array<double, 6> modelError = {0.068, 0.109, 0.077, 0.054,
+                                          0.082, 0.112};
+const std::array<double, 6> ubUsageMib = {11.0, 2.3, 4.8, 4.5,
+                                          1.5, 13.9};
+
+} // namespace paper
+
+AppRun
+runTpuApp(AppId id, const arch::TpuConfig &cfg)
+{
+    nn::Network net = workloads::build(id);
+    arch::TpuChip chip(cfg, /*functional=*/false);
+    compiler::Compiler cc(cfg);
+    compiler::CompileOptions opts;
+    compiler::CompiledModel m = cc.compile(net, &chip.weightMemory(),
+                                           opts);
+    AppRun run;
+    run.id = id;
+    run.result = chip.run(m.program);
+    run.deviceSeconds = run.result.seconds;
+    run.hostFraction = baselines::hostInteractionFraction(id);
+    run.totalSeconds = run.deviceSeconds * (1.0 + run.hostFraction);
+    run.teraOps = run.result.teraOps;
+    run.ipsPerDie = static_cast<double>(net.batchSize()) /
+                    run.totalSeconds;
+    run.instructions = run.result.counters.totalInstructions;
+    return run;
+}
+
+std::array<AppRun, 6>
+runAllTpu(const arch::TpuConfig &cfg)
+{
+    std::array<AppRun, 6> out;
+    std::size_t i = 0;
+    for (AppId id : allApps())
+        out[i++] = runTpuApp(id, cfg);
+    return out;
+}
+
+namespace {
+
+std::vector<double>
+mixWeights()
+{
+    std::vector<double> w;
+    for (AppId id : allApps())
+        w.push_back(workloads::mixWeight(id));
+    return w;
+}
+
+/** Per-die relative performance of GPU and TPU vs CPU (Table 6). */
+struct RelativePerf
+{
+    std::array<double, 6> gpu;
+    std::array<double, 6> tpu;
+    double gpuGm, gpuWm, tpuGm, tpuWm;
+};
+
+RelativePerf
+relativePerf(const arch::TpuConfig &cfg)
+{
+    const baselines::BaselineModel cpu = baselines::makeCpuModel();
+    const baselines::BaselineModel gpu = baselines::makeGpuModel();
+    const std::array<AppRun, 6> tpu_runs = runAllTpu(cfg);
+
+    RelativePerf rp{};
+    std::vector<double> gvals, tvals;
+    std::size_t i = 0;
+    for (AppId id : allApps()) {
+        const double cpu_ips = cpu.inferencesPerSec(id);
+        const double gpu_ips = gpu.inferencesPerSec(id);
+        rp.gpu[i] = gpu_ips / cpu_ips;
+        rp.tpu[i] = tpu_runs[i].ipsPerDie / cpu_ips;
+        gvals.push_back(rp.gpu[i]);
+        tvals.push_back(rp.tpu[i]);
+        ++i;
+    }
+    const std::vector<double> w = mixWeights();
+    rp.gpuGm = geometricMean(gvals);
+    rp.gpuWm = weightedMean(gvals, w);
+    rp.tpuGm = geometricMean(tvals);
+    rp.tpuWm = weightedMean(tvals, w);
+    return rp;
+}
+
+std::vector<std::string>
+appHeader(const char *first)
+{
+    std::vector<std::string> h = {first};
+    for (AppId id : allApps())
+        h.emplace_back(workloads::toString(id));
+    return h;
+}
+
+} // namespace
+
+Table
+table1Workloads()
+{
+    Table t("Table 1: six NN applications (95% of the TPU workload)");
+    t.setHeader({"Name", "LOC", "FC", "Conv", "Vector", "Pool",
+                 "Total", "Nonlinear fn", "Weights", "Ops/Byte",
+                 "Ops/Byte(paper)", "Batch", "% Deployed"});
+    for (AppId id : allApps()) {
+        const workloads::AppInfo &ai = workloads::info(id);
+        nn::Network net = workloads::build(id);
+        t.addRow({
+            ai.name,
+            std::to_string(ai.linesOfCode),
+            std::to_string(net.numLayers(
+                nn::Layer::Kind::FullyConnected)),
+            std::to_string(net.numLayers(nn::Layer::Kind::Conv2D)),
+            std::to_string(net.numLayers(nn::Layer::Kind::Vector)),
+            std::to_string(net.numLayers(nn::Layer::Kind::Pool)),
+            std::to_string(net.numLayers()),
+            ai.nonlinearities,
+            Table::num(static_cast<double>(net.totalWeights()) / 1e6,
+                       1) + "M",
+            Table::num(net.opsPerWeightByte(), 0),
+            Table::num(ai.paperOpsPerByte, 0),
+            std::to_string(ai.batchSize),
+            Table::pct(ai.deploymentShare * 0.95, 1),
+        });
+    }
+    return t;
+}
+
+Table
+table2Platforms()
+{
+    Table t("Table 2: benchmarked servers (per die and per server)");
+    t.setHeader({"Model", "nm", "MHz", "TDP/die", "Idle W", "Busy W",
+                 "TOPS 8b", "TOPS FP", "GB/s", "On-chip MiB",
+                 "Dies/server", "Server TDP", "Server idle",
+                 "Server busy"});
+    const baselines::PlatformSpec cpu =
+        baselines::PlatformSpec::haswell();
+    const baselines::PlatformSpec gpu = baselines::PlatformSpec::k80();
+    const arch::TpuConfig tpu_cfg = arch::TpuConfig::production();
+    t.addRow({"Haswell E5-2699 v3", "22", "2300",
+              Table::num(cpu.dieTdpWatts, 0),
+              Table::num(cpu.dieIdleWatts, 0),
+              Table::num(cpu.dieBusyWatts, 0), "2.6",
+              Table::num(cpu.peakOpsPerSec / tera, 1),
+              Table::num(cpu.memBytesPerSec / giga, 0), "51",
+              std::to_string(cpu.diesPerServer),
+              Table::num(cpu.serverTdpWatts, 0),
+              Table::num(cpu.serverIdleWatts, 0),
+              Table::num(cpu.serverBusyWatts, 0)});
+    t.addRow({"NVIDIA K80", "28", "560",
+              Table::num(gpu.dieTdpWatts, 0),
+              Table::num(gpu.dieIdleWatts, 0),
+              Table::num(gpu.dieBusyWatts, 0), "--",
+              Table::num(gpu.peakOpsPerSec / tera, 1),
+              Table::num(gpu.memBytesPerSec / giga, 0), "8",
+              std::to_string(gpu.diesPerServer),
+              Table::num(gpu.serverTdpWatts, 0),
+              Table::num(gpu.serverIdleWatts, 0),
+              Table::num(gpu.serverBusyWatts, 0)});
+    t.addRow({"TPU", "28",
+              Table::num(tpu_cfg.clockHz / mega, 0),
+              Table::num(tpu_cfg.tdpWatts, 0),
+              Table::num(tpu_cfg.idleWatts, 0),
+              Table::num(tpu_cfg.busyWatts, 0),
+              Table::num(tpu_cfg.peakTops(), 0), "--",
+              Table::num(tpu_cfg.weightMemoryBytesPerSec / giga, 0),
+              "28", std::to_string(tpu_cfg.diesPerServer), "861",
+              "290", "384"});
+
+    // Section 8 "Boost mode" fallacy: the measured trade.
+    const baselines::PlatformSpec boost =
+        baselines::PlatformSpec::k80Boost();
+    t.addRow({"K80 (Boost fallacy)", "28", "875", "--", "--",
+              Table::num(boost.dieBusyWatts, 0), "--",
+              Table::num(boost.peakOpsPerSec / tera, 1),
+              Table::num(boost.memBytesPerSec / giga, 0), "8", "8",
+              "--", "--",
+              Table::num(boost.serverBusyWatts, 0)});
+    return t;
+}
+
+Table
+table3Counters(const arch::TpuConfig &cfg)
+{
+    const std::array<AppRun, 6> runs = runAllTpu(cfg);
+    Table t("Table 3: factors limiting TPU performance "
+            "(sim vs paper)");
+    t.setHeader(appHeader("Metric"));
+
+    auto add_metric = [&](const std::string &name, auto getter,
+                          const std::array<double, 6> *ref) {
+        std::vector<std::string> row = {name + " (sim)"};
+        for (const AppRun &r : runs)
+            row.push_back(Table::pct(getter(r.result.counters)));
+        t.addRow(std::move(row));
+        if (ref) {
+            std::vector<std::string> prow = {name + " (paper)"};
+            for (double v : *ref)
+                prow.push_back(Table::pct(v));
+            t.addRow(std::move(prow));
+        }
+    };
+
+    add_metric("Array active",
+               [](const arch::PerfCounters &c) {
+                   return c.arrayActiveFraction();
+               }, &paper::arrayActive);
+    add_metric("  Useful MACs (% peak)",
+               [](const arch::PerfCounters &c) {
+                   return c.usefulMacFraction();
+               }, nullptr);
+    add_metric("  Unused MACs",
+               [](const arch::PerfCounters &c) {
+                   return c.unusedMacFraction();
+               }, nullptr);
+    add_metric("Weight stall",
+               [](const arch::PerfCounters &c) {
+                   return c.weightStallFraction();
+               }, &paper::weightStall);
+    add_metric("Weight shift",
+               [](const arch::PerfCounters &c) {
+                   return c.weightShiftFraction();
+               }, &paper::weightShift);
+    add_metric("Non-matrix",
+               [](const arch::PerfCounters &c) {
+                   return c.nonMatrixFraction();
+               }, &paper::nonMatrix);
+    add_metric("RAW stalls",
+               [](const arch::PerfCounters &c) {
+                   return c.rawStallFraction();
+               }, nullptr);
+    add_metric("Input data stalls",
+               [](const arch::PerfCounters &c) {
+                   return c.inputStallFraction();
+               }, nullptr);
+
+    std::vector<std::string> tops_row = {"TeraOps/s (sim)"};
+    for (const AppRun &r : runs)
+        tops_row.push_back(Table::num(r.teraOps, 1));
+    t.addRow(std::move(tops_row));
+    std::vector<std::string> ptops = {"TeraOps/s (paper)"};
+    for (double v : paper::tpuTeraOps)
+        ptops.push_back(Table::num(v, 1));
+    t.addRow(std::move(ptops));
+
+    std::vector<std::string> cpi_row = {"CPI"};
+    for (const AppRun &r : runs)
+        cpi_row.push_back(Table::num(r.result.counters.cpi(), 1));
+    t.addRow(std::move(cpi_row));
+    return t;
+}
+
+Table
+table4Latency(const arch::TpuConfig &cfg)
+{
+    constexpr double sla = 7e-3;
+    Table t("Table 4: MLP0 99th%-ile response time and per-die "
+            "throughput vs batch size (7 ms limit)");
+    t.setHeader({"Type", "Batch", "p99 (ms)", "IPS", "% max IPS",
+                 "paper p99", "paper IPS", "paper %"});
+
+    struct Row
+    {
+        const char *type;
+        std::int64_t batch;
+        latency::ServiceModel service;
+        bool saturated; ///< report the no-SLA saturation point
+        const char *pp99;
+        const char *pips;
+        const char *ppct;
+    };
+
+    const latency::ServiceModel cpu_svc =
+        baselines::makeCpuModel().mlp0Service();
+    const latency::ServiceModel gpu_svc =
+        baselines::makeGpuModel().mlp0Service();
+
+    // The TPU's MLP0 service time comes from the cycle simulator at
+    // two batch sizes (host-interaction time included).
+    auto tpu_seconds = [&](std::int64_t batch) {
+        nn::Network net = workloads::build(AppId::MLP0, batch);
+        arch::TpuChip chip(cfg, false);
+        compiler::Compiler cc(cfg);
+        compiler::CompiledModel m = cc.compile(
+            net, &chip.weightMemory(), compiler::CompileOptions{});
+        return chip.run(m.program).seconds *
+               (1.0 + baselines::hostInteractionFraction(AppId::MLP0));
+    };
+    const double s200 = tpu_seconds(200);
+    const double s250 = tpu_seconds(250);
+    latency::ServiceModel tpu_svc;
+    tpu_svc.perItemSeconds = std::max(1e-9, (s250 - s200) / 50.0);
+    tpu_svc.baseSeconds = s200 - 200.0 * tpu_svc.perItemSeconds;
+
+    const Row rows[] = {
+        {"CPU", 16, cpu_svc, false, "7.2", "5,482", "42%"},
+        {"CPU", 64, cpu_svc, true, "21.3", "13,194", "100%"},
+        {"GPU", 16, gpu_svc, false, "6.7", "13,461", "37%"},
+        {"GPU", 64, gpu_svc, true, "8.3", "36,465", "100%"},
+        {"TPU", 200, tpu_svc, false, "7.0", "225,000", "80%"},
+        {"TPU", 250, tpu_svc, true, "10.0", "280,000", "100%"},
+    };
+
+    for (const Row &r : rows) {
+        latency::BatchQueueSim sim(r.service, r.batch, 42);
+        const double max_ips = r.service.maxThroughput(
+            r.type == std::string("TPU") ? 250 : 64);
+        latency::QueueStats s;
+        if (r.saturated)
+            s = sim.run(0.97 * r.service.maxThroughput(r.batch),
+                        200000);
+        else
+            s = sim.maxThroughputUnderSla(sla, 200000);
+        t.addRow({r.type, std::to_string(r.batch),
+                  Table::num(s.p99Response * 1e3, 1),
+                  Table::num(s.throughputIps, 0),
+                  Table::pct(s.throughputIps / max_ips, 0),
+                  r.pp99, r.pips, r.ppct});
+    }
+    return t;
+}
+
+Table
+table5HostOverhead(const arch::TpuConfig &cfg)
+{
+    const std::array<AppRun, 6> runs = runAllTpu(cfg);
+    Table t("Table 5: host interaction time as % of TPU time");
+    t.setHeader(appHeader("Source"));
+
+    std::vector<std::string> wire = {"PCIe wire time (sim)"};
+    for (const AppRun &r : runs) {
+        const double wire_cycles =
+            static_cast<double>(r.result.counters.pcieBytesIn +
+                                r.result.counters.pcieBytesOut) /
+            bytesPerCycle(cfg.pcieBytesPerSec, cfg.clockHz);
+        wire.push_back(Table::pct(
+            wire_cycles /
+            static_cast<double>(r.result.counters.totalCycles)));
+    }
+    t.addRow(std::move(wire));
+
+    std::vector<std::string> adopted = {"Host model (paper Table 5)"};
+    for (AppId id : allApps())
+        adopted.push_back(Table::pct(
+            baselines::hostInteractionFraction(id)));
+    t.addRow(std::move(adopted));
+    return t;
+}
+
+Table
+table6RelativePerf(const arch::TpuConfig &cfg)
+{
+    const RelativePerf rp = relativePerf(cfg);
+    Table t("Table 6: K80 and TPU performance relative to CPU per "
+            "die (incl. host overhead)");
+    std::vector<std::string> h = appHeader("Type");
+    h.push_back("GM");
+    h.push_back("WM");
+    t.setHeader(std::move(h));
+
+    auto add = [&](const char *name, const std::array<double, 6> &v,
+                   double gm, double wm) {
+        std::vector<std::string> row = {name};
+        for (double x : v)
+            row.push_back(Table::num(x, 1));
+        row.push_back(Table::num(gm, 1));
+        row.push_back(Table::num(wm, 1));
+        t.addRow(std::move(row));
+    };
+    add("GPU (sim)", rp.gpu, rp.gpuGm, rp.gpuWm);
+    add("GPU (paper)", paper::gpuRelative, 1.1, 1.9);
+    add("TPU (sim)", rp.tpu, rp.tpuGm, rp.tpuWm);
+    add("TPU (paper)", paper::tpuRelative, 14.5, 29.2);
+
+    std::vector<std::string> ratio = {"TPU/GPU (sim)"};
+    for (std::size_t i = 0; i < 6; ++i)
+        ratio.push_back(Table::num(rp.tpu[i] / rp.gpu[i], 1));
+    ratio.push_back(Table::num(rp.tpuGm / rp.gpuGm, 1));
+    ratio.push_back(Table::num(rp.tpuWm / rp.gpuWm, 1));
+    t.addRow(std::move(ratio));
+    return t;
+}
+
+Table
+table7ModelError(const arch::TpuConfig &cfg)
+{
+    const model::AnalyticModel analytic(cfg);
+    Table t("Table 7: analytic performance model vs cycle simulator "
+            "(clock-cycle difference)");
+    t.setHeader(appHeader("Source"));
+
+    std::vector<std::string> row = {"Model vs sim (ours)"};
+    double sum = 0;
+    for (AppId id : allApps()) {
+        nn::Network net = workloads::build(id);
+        AppRun run = runTpuApp(id, cfg);
+        const double sim_cycles =
+            static_cast<double>(run.result.cycles);
+        const double model_cycles =
+            static_cast<double>(analytic.estimateCycles(net));
+        const double err =
+            std::fabs(model_cycles - sim_cycles) / sim_cycles;
+        sum += err;
+        row.push_back(Table::pct(err));
+    }
+    t.addRow(std::move(row));
+
+    std::vector<std::string> prow = {"Model vs counters (paper)"};
+    for (double v : paper::modelError)
+        prow.push_back(Table::pct(v));
+    t.addRow(std::move(prow));
+    t.addRow({"Mean (ours)", Table::pct(sum / 6.0)});
+    t.addRow({"Mean (paper)", Table::pct(0.08)});
+    return t;
+}
+
+Table
+table8UbUsage(const arch::TpuConfig &cfg)
+{
+    Table t("Table 8: Unified Buffer MiB used per app");
+    t.setHeader(appHeader("Allocator"));
+
+    auto usage = [&](bool reuse, bool sizing_batch,
+                     const char *label) {
+        std::vector<std::string> row = {label};
+        for (AppId id : allApps()) {
+            // Section 7: the 24 MiB UB "was initially sized to allow
+            // MLPs to run at batch sizes up to 2048" -- the sizing
+            // row compiles the MLPs at that batch.
+            std::int64_t batch = workloads::info(id).batchSize;
+            if (sizing_batch &&
+                (id == AppId::MLP0 || id == AppId::MLP1))
+                batch = 2048;
+            nn::Network net = workloads::build(id, batch);
+            compiler::Compiler cc(cfg);
+            compiler::CompileOptions opts;
+            opts.reuseAllocator = reuse;
+            arch::TpuChip chip(cfg, false);
+            compiler::CompiledModel m =
+                cc.compile(net, &chip.weightMemory(), opts);
+            row.push_back(Table::num(
+                static_cast<double>(m.ubHighWaterBytes) /
+                static_cast<double>(mib(1)), 1));
+        }
+        return row;
+    };
+    t.addRow(usage(false, true,
+                   "Original allocator, MLPs @2048 (sim)"));
+    t.addRow(usage(false, false, "Original allocator (sim)"));
+    t.addRow(usage(true, false, "Improved allocator (sim)"));
+
+    std::vector<std::string> prow = {"Improved allocator (paper)"};
+    for (double v : paper::ubUsageMib)
+        prow.push_back(Table::num(v, 1));
+    t.addRow(std::move(prow));
+    return t;
+}
+
+namespace {
+
+Table
+rooflineTable(const std::string &title, const roofline::Roofline &rl,
+              const std::array<double, 6> &intensities,
+              const std::array<double, 6> &achieved_tops)
+{
+    Table t(title);
+    t.setHeader({"App", "Ops/weight-byte", "Achieved TOPS",
+                 "Roof TOPS", "% of roof", "Bound"});
+    std::size_t i = 0;
+    for (AppId id : allApps()) {
+        const double x = intensities[i];
+        const double roof = rl.attainable(x) / tera;
+        t.addRow({workloads::toString(id), Table::num(x, 0),
+                  Table::num(achieved_tops[i], 2),
+                  Table::num(roof, 2),
+                  Table::pct(achieved_tops[i] / roof),
+                  rl.memoryBound(x) ? "memory" : "compute"});
+        ++i;
+    }
+    t.addRow({"(ridge point)", Table::num(rl.ridge(), 0), "",
+              Table::num(rl.peakOpsPerSec() / tera, 1), "", ""});
+    return t;
+}
+
+std::array<double, 6>
+paperIntensities()
+{
+    std::array<double, 6> x{};
+    std::size_t i = 0;
+    for (AppId id : allApps())
+        x[i++] = workloads::info(id).paperOpsPerByte;
+    return x;
+}
+
+} // namespace
+
+Table
+fig5TpuRoofline(const arch::TpuConfig &cfg)
+{
+    const roofline::Roofline rl("TPU", cfg.peakOpsPerSec(),
+                                cfg.weightMemoryBytesPerSec);
+    const std::array<AppRun, 6> runs = runAllTpu(cfg);
+    std::array<double, 6> tops{};
+    for (std::size_t i = 0; i < 6; ++i)
+        tops[i] = runs[i].teraOps;
+    return rooflineTable(
+        "Figure 5: TPU die roofline (ridge ~1350 ops/weight-byte)",
+        rl, paperIntensities(), tops);
+}
+
+Table
+fig6CpuRoofline()
+{
+    const baselines::BaselineModel cpu = baselines::makeCpuModel();
+    const roofline::Roofline rl("Haswell",
+                                cpu.spec().peakOpsPerSec,
+                                cpu.spec().memBytesPerSec);
+    std::array<double, 6> x{}, tops{};
+    std::size_t i = 0;
+    for (AppId id : allApps()) {
+        x[i] = cpu.intensityAtSla(id);
+        tops[i] = cpu.opsPerSec(id) / tera;
+        ++i;
+    }
+    return rooflineTable(
+        "Figure 6: Haswell die roofline (ridge ~13 ops/byte)", rl, x,
+        tops);
+}
+
+Table
+fig7GpuRoofline()
+{
+    const baselines::BaselineModel gpu = baselines::makeGpuModel();
+    const roofline::Roofline rl("K80", gpu.spec().peakOpsPerSec,
+                                gpu.spec().memBytesPerSec);
+    std::array<double, 6> x{}, tops{};
+    std::size_t i = 0;
+    for (AppId id : allApps()) {
+        x[i] = gpu.intensityAtSla(id);
+        tops[i] = gpu.opsPerSec(id) / tera;
+        ++i;
+    }
+    return rooflineTable(
+        "Figure 7: K80 die roofline (ridge ~9 ops/byte)", rl, x,
+        tops);
+}
+
+Table
+fig8Combined(const arch::TpuConfig &cfg)
+{
+    Table t("Figure 8: combined log-log rooflines (stars=TPU, "
+            "triangles=K80, circles=Haswell)");
+    t.setHeader({"App", "Platform", "Ops/weight-byte",
+                 "Achieved TOPS"});
+    const std::array<AppRun, 6> runs = runAllTpu(cfg);
+    const baselines::BaselineModel cpu = baselines::makeCpuModel();
+    const baselines::BaselineModel gpu = baselines::makeGpuModel();
+    std::size_t i = 0;
+    for (AppId id : allApps()) {
+        const char *name = workloads::toString(id);
+        t.addRow({name, "TPU",
+                  Table::num(workloads::info(id).paperOpsPerByte, 0),
+                  Table::num(runs[i].teraOps, 2)});
+        t.addRow({name, "K80", Table::num(gpu.intensityAtSla(id), 0),
+                  Table::num(gpu.opsPerSec(id) / tera, 2)});
+        t.addRow({name, "Haswell",
+                  Table::num(cpu.intensityAtSla(id), 0),
+                  Table::num(cpu.opsPerSec(id) / tera, 2)});
+        ++i;
+    }
+    return t;
+}
+
+Table
+fig9PerfPerWatt(const arch::TpuConfig &cfg)
+{
+    const RelativePerf rp = relativePerf(cfg);
+    const power::ServerPower cpu = power::haswellServer();
+    const power::ServerPower gpu = power::k80Server();
+    const power::ServerPower tpu_srv = power::tpuServer();
+    const power::ServerPower tpu_prime_srv = power::tpuPrimeServer();
+
+    // TPU': GDDR5 Weight Memory evaluated through the cycle sim with
+    // host time held constant (Section 7).
+    const model::DesignSpaceExplorer dse(cfg);
+    const model::ScalePoint prime =
+        dse.evaluateConfig(arch::TpuConfig::prime(), true);
+    const double prime_gm = rp.tpuGm * prime.geometricMean;
+    const double prime_wm = rp.tpuWm * prime.weightedMean;
+
+    Table t("Figure 9: relative performance/Watt (server TDP)");
+    t.setHeader({"Comparison", "GM total", "WM total",
+                 "GM incremental", "WM incremental", "paper range"});
+
+    auto rel = [&](double perf_gm, double perf_wm,
+                   const power::ServerPower &x, const char *name,
+                   const power::ServerPower &ref,
+                   const char *paper_range) {
+        auto v = [&](double perf, bool inc) {
+            const double x_val = power::relativePerfPerWatt(
+                perf, x.dies, x.serverTdpWatts, cpu.dies,
+                cpu.serverTdpWatts, inc, cpu.serverTdpWatts);
+            if (&ref == &cpu)
+                return x_val;
+            // Ratio against another accelerator: divide the two
+            // CPU-relative numbers.
+            double ref_perf = (&ref == &gpu)
+                ? (perf == perf_gm ? rp.gpuGm : rp.gpuWm) : 1.0;
+            const double r_val = power::relativePerfPerWatt(
+                ref_perf, ref.dies, ref.serverTdpWatts, cpu.dies,
+                cpu.serverTdpWatts, inc, cpu.serverTdpWatts);
+            return x_val / r_val;
+        };
+        t.addRow({name, Table::num(v(perf_gm, false), 1),
+                  Table::num(v(perf_wm, false), 1),
+                  Table::num(v(perf_gm, true), 1),
+                  Table::num(v(perf_wm, true), 1), paper_range});
+    };
+
+    rel(rp.gpuGm, rp.gpuWm, gpu, "GPU/CPU", cpu,
+        "1.2-2.1 total, 1.7-2.9 inc");
+    rel(rp.tpuGm, rp.tpuWm, tpu_srv, "TPU/CPU", cpu,
+        "17-34 total, 41-83 inc");
+    rel(prime_gm, prime_wm, tpu_prime_srv, "TPU'/CPU", cpu,
+        "31-86 total, 69-196 inc");
+    rel(rp.tpuGm, rp.tpuWm, tpu_srv, "TPU/GPU", gpu,
+        "14-16 total, 25-29 inc");
+    rel(prime_gm, prime_wm, tpu_prime_srv, "TPU'/GPU", gpu,
+        "25-41 total, 42-68 inc");
+    return t;
+}
+
+Table
+fig10EnergyProportionality()
+{
+    const power::ServerPower cpu = power::haswellServer();
+    const power::ServerPower gpu = power::k80Server();
+    const power::ServerPower tpu_srv = power::tpuServer();
+
+    // Host-server power when hosting accelerators at full device
+    // load: "the CPU server uses 52% of full power for the GPU and
+    // 69% for the TPU" (Section 6).
+    const power::PowerCurve host_for_gpu =
+        power::PowerCurve::fitTenPercent(
+            cpu.serverIdleWatts, 0.52 * cpu.serverBusyWatts, 0.75);
+    const power::PowerCurve host_for_tpu =
+        power::PowerCurve::fitTenPercent(
+            cpu.serverIdleWatts, 0.69 * cpu.serverBusyWatts, 0.70);
+
+    Table t("Figure 10: watts/die for CNN0 vs target platform "
+            "utilization");
+    t.setHeader({"Load %", "Haswell (total)", "K80 (incr)",
+                 "K80+host/8 (total)", "TPU (incr)",
+                 "TPU+host/4 (total)"});
+    for (int pct = 0; pct <= 100; pct += 10) {
+        const double u = pct / 100.0;
+        const double cpu_w = cpu.dieCurve.at(u);
+        const double gpu_w = gpu.dieCurve.at(u);
+        const double tpu_w = tpu_srv.dieCurve.at(u);
+        t.addRow({std::to_string(pct), Table::num(cpu_w, 1),
+                  Table::num(gpu_w, 1),
+                  Table::num(gpu_w + host_for_gpu.at(u) / gpu.dies,
+                             1),
+                  Table::num(tpu_w, 1),
+                  Table::num(tpu_w +
+                             host_for_tpu.at(u) / tpu_srv.dies, 1)});
+    }
+    return t;
+}
+
+Table
+fig11DesignSpace(const arch::TpuConfig &cfg)
+{
+    const model::DesignSpaceExplorer dse(cfg);
+    Table t("Figure 11: weighted-mean TPU speedup as parameters "
+            "scale 0.25x-4x");
+    t.setHeader({"Scale", "memory", "clock+", "clock", "matrix+",
+                 "matrix"});
+
+    static const double factors[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+    static const model::ScaleKind kinds[] = {
+        model::ScaleKind::Memory, model::ScaleKind::ClockPlusAcc,
+        model::ScaleKind::Clock, model::ScaleKind::MatrixPlusAcc,
+        model::ScaleKind::Matrix,
+    };
+    for (double f : factors) {
+        std::vector<std::string> row = {Table::num(f, 2) + "x"};
+        for (model::ScaleKind k : kinds) {
+            const model::ScalePoint p = dse.evaluate(k, f);
+            row.push_back(Table::num(p.weightedMean, 2));
+        }
+        t.addRow(std::move(row));
+    }
+
+    // The Section 7 TPU' endpoints.
+    const model::ScalePoint prime_dev =
+        dse.evaluateConfig(arch::TpuConfig::prime(), false);
+    const model::ScalePoint prime_host =
+        dse.evaluateConfig(arch::TpuConfig::prime(), true);
+    const model::ScalePoint prime_clk =
+        dse.evaluateConfig(arch::TpuConfig::primeWithFastClock(),
+                           false);
+    t.addRow({"TPU' (GDDR5)", Table::num(prime_dev.weightedMean, 2),
+              "GM " + Table::num(prime_dev.geometricMean, 2),
+              "paper: WM 3.9 GM 2.6", "", ""});
+    t.addRow({"TPU' + host time",
+              Table::num(prime_host.weightedMean, 2),
+              "GM " + Table::num(prime_host.geometricMean, 2),
+              "paper: WM 3.2 GM 1.9", "", ""});
+    t.addRow({"TPU' @1050MHz", Table::num(prime_clk.weightedMean, 2),
+              "GM " + Table::num(prime_clk.geometricMean, 2),
+              "paper: GM 2.9, WM unchanged", "", ""});
+    return t;
+}
+
+} // namespace analysis
+} // namespace tpu

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Experiment drivers: run the six workloads through the cycle
+ * simulator and the baseline models, and assemble every table and
+ * figure of the paper's evaluation as a printable Table.  Each bench
+ * binary in bench/ is a thin wrapper over one function here, so the
+ * full evaluation is also scriptable as a library.
+ *
+ * The `paper` namespace embeds the published values so every bench
+ * prints paper-vs-measured side by side (EXPERIMENTS.md records the
+ * comparison).
+ */
+
+#ifndef TPUSIM_ANALYSIS_EXPERIMENTS_HH
+#define TPUSIM_ANALYSIS_EXPERIMENTS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "arch/config.hh"
+#include "arch/tpu_core.hh"
+#include "sim/table.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace analysis {
+
+/** One workload's simulated performance on one TPU configuration. */
+struct AppRun
+{
+    workloads::AppId id;
+    arch::RunResult result;
+    double deviceSeconds = 0;    ///< per batch, TPU only
+    double hostFraction = 0;     ///< Table 5 host-interaction model
+    double totalSeconds = 0;     ///< device + host interaction
+    double teraOps = 0;          ///< achieved, device time only
+    double ipsPerDie = 0;        ///< batch / totalSeconds
+    std::uint64_t instructions = 0;
+};
+
+/** Compile and run @p id on @p cfg (timing mode, Table 1 batch). */
+AppRun runTpuApp(workloads::AppId id, const arch::TpuConfig &cfg);
+
+/** Run all six apps on @p cfg. */
+std::array<AppRun, 6> runAllTpu(const arch::TpuConfig &cfg);
+
+/** Published values for side-by-side printing. */
+namespace paper {
+
+/** Table 3 row 9: achieved TeraOps/s on the TPU. */
+extern const std::array<double, 6> tpuTeraOps;
+/** Table 3 row 1: array active cycles. */
+extern const std::array<double, 6> arrayActive;
+/** Table 3 row 4: weight stall cycles. */
+extern const std::array<double, 6> weightStall;
+/** Table 3 row 5: weight shift cycles. */
+extern const std::array<double, 6> weightShift;
+/** Table 3 row 6: non-matrix cycles. */
+extern const std::array<double, 6> nonMatrix;
+/** Table 6: K80 and TPU performance relative to CPU. */
+extern const std::array<double, 6> gpuRelative;
+extern const std::array<double, 6> tpuRelative;
+/** Table 7: model-vs-counters difference. */
+extern const std::array<double, 6> modelError;
+/** Table 8: MiB of Unified Buffer used. */
+extern const std::array<double, 6> ubUsageMib;
+
+} // namespace paper
+
+/** Table 1: the six applications' characteristics. */
+Table table1Workloads();
+
+/** Table 2: the three benchmarked platforms. */
+Table table2Platforms();
+
+/** Table 3: TPU perf-counter breakdown, ours vs paper. */
+Table table3Counters(const arch::TpuConfig &cfg);
+
+/** Table 4: MLP0 p99 latency / throughput vs batch size. */
+Table table4Latency(const arch::TpuConfig &cfg);
+
+/** Table 5: host interaction time (wire estimate vs adopted). */
+Table table5HostOverhead(const arch::TpuConfig &cfg);
+
+/** Table 6: relative inference performance per die. */
+Table table6RelativePerf(const arch::TpuConfig &cfg);
+
+/** Table 7: analytic model vs cycle simulator. */
+Table table7ModelError(const arch::TpuConfig &cfg);
+
+/** Table 8: Unified Buffer usage per app. */
+Table table8UbUsage(const arch::TpuConfig &cfg);
+
+/** Figure 5/6/7: per-platform rooflines with app operating points. */
+Table fig5TpuRoofline(const arch::TpuConfig &cfg);
+Table fig6CpuRoofline();
+Table fig7GpuRoofline();
+/** Figure 8: the three rooflines on one log-log grid. */
+Table fig8Combined(const arch::TpuConfig &cfg);
+
+/** Figure 9: relative performance/Watt, total and incremental. */
+Table fig9PerfPerWatt(const arch::TpuConfig &cfg);
+
+/** Figure 10: watts/die vs utilization for CNN0. */
+Table fig10EnergyProportionality();
+
+/** Figure 11: weighted-mean speedup as parameters scale 0.25x-4x. */
+Table fig11DesignSpace(const arch::TpuConfig &cfg);
+
+} // namespace analysis
+} // namespace tpu
+
+#endif // TPUSIM_ANALYSIS_EXPERIMENTS_HH

@@ -1,0 +1,56 @@
+#include "analysis/means.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace analysis {
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    fatal_if(values.empty(), "geometric mean of nothing");
+    double log_sum = 0;
+    for (double v : values) {
+        fatal_if(v <= 0, "geometric mean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+weightedMean(const std::vector<double> &values,
+             const std::vector<double> &weights)
+{
+    fatal_if(values.empty() || values.size() != weights.size(),
+             "weighted mean size mismatch");
+    double sum = 0, wsum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        fatal_if(weights[i] < 0, "negative weight");
+        sum += values[i] * weights[i];
+        wsum += weights[i];
+    }
+    fatal_if(wsum <= 0, "weights sum to zero");
+    return sum / wsum;
+}
+
+double
+weightedGeometricMean(const std::vector<double> &values,
+                      const std::vector<double> &weights)
+{
+    fatal_if(values.empty() || values.size() != weights.size(),
+             "weighted geometric mean size mismatch");
+    double log_sum = 0, wsum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        fatal_if(values[i] <= 0, "needs positive values");
+        fatal_if(weights[i] < 0, "negative weight");
+        log_sum += weights[i] * std::log(values[i]);
+        wsum += weights[i];
+    }
+    fatal_if(wsum <= 0, "weights sum to zero");
+    return std::exp(log_sum / wsum);
+}
+
+} // namespace analysis
+} // namespace tpu

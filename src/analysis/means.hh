@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Mean helpers used throughout the evaluation: "architects use the
+ * geometric mean when they don't know the actual mix of programs that
+ * will be run ... for this study, however, we *do* know the mix
+ * (Table 1)", hence the weighted mean columns in Tables 6+ and
+ * Figures 9/11.
+ */
+
+#ifndef TPUSIM_ANALYSIS_MEANS_HH
+#define TPUSIM_ANALYSIS_MEANS_HH
+
+#include <vector>
+
+namespace tpu {
+namespace analysis {
+
+/** Geometric mean of positive values. */
+double geometricMean(const std::vector<double> &values);
+
+/** Weighted arithmetic mean; weights need not be normalized. */
+double weightedMean(const std::vector<double> &values,
+                    const std::vector<double> &weights);
+
+/** Weighted geometric mean; weights need not be normalized. */
+double weightedGeometricMean(const std::vector<double> &values,
+                             const std::vector<double> &weights);
+
+} // namespace analysis
+} // namespace tpu
+
+#endif // TPUSIM_ANALYSIS_MEANS_HH

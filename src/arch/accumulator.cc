@@ -1,0 +1,60 @@
+#include "arch/accumulator.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace arch {
+
+AccumulatorFile::AccumulatorFile(std::int64_t entries, std::int64_t width)
+    : _entries(entries), _width(width),
+      _rows(static_cast<std::size_t>(entries),
+            std::vector<std::int32_t>(static_cast<std::size_t>(width), 0))
+{
+    fatal_if(entries <= 0 || width <= 0,
+             "accumulator file needs positive dimensions");
+}
+
+void
+AccumulatorFile::deposit(std::int64_t entry,
+                         const std::vector<std::int32_t> &row,
+                         bool accumulate)
+{
+    panic_if(entry < 0 || entry >= _entries,
+             "accumulator entry %lld out of %lld",
+             static_cast<long long>(entry),
+             static_cast<long long>(_entries));
+    panic_if(static_cast<std::int64_t>(row.size()) != _width,
+             "accumulator row width %zu != %lld", row.size(),
+             static_cast<long long>(_width));
+    auto &dst = _rows[static_cast<std::size_t>(entry)];
+    if (accumulate) {
+        for (std::int64_t i = 0; i < _width; ++i) {
+            auto sum = static_cast<std::int64_t>(dst[i]) +
+                       static_cast<std::int64_t>(row[i]);
+            dst[static_cast<std::size_t>(i)] =
+                static_cast<std::int32_t>(sum);
+        }
+    } else {
+        dst = row;
+    }
+}
+
+const std::vector<std::int32_t> &
+AccumulatorFile::row(std::int64_t entry) const
+{
+    panic_if(entry < 0 || entry >= _entries,
+             "accumulator entry %lld out of %lld",
+             static_cast<long long>(entry),
+             static_cast<long long>(_entries));
+    return _rows[static_cast<std::size_t>(entry)];
+}
+
+void
+AccumulatorFile::clear()
+{
+    for (auto &r : _rows)
+        std::fill(r.begin(), r.end(), 0);
+}
+
+} // namespace arch
+} // namespace tpu

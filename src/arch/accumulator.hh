@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The accumulator file below the matrix unit: "the 16-bit products are
+ * collected in the 4 MiB of 32-bit Accumulators ... 4096, 256-element,
+ * 32-bit accumulators.  The matrix unit produces one 256-element
+ * partial sum per clock cycle" (Section 2).
+ *
+ * 4096 entries were chosen as ~2x the roofline knee (1350) "so that the
+ * compiler could use double buffering while running at peak" -- the
+ * Tier-B core models exactly that double-buffer behaviour.
+ */
+
+#ifndef TPUSIM_ARCH_ACCUMULATOR_HH
+#define TPUSIM_ARCH_ACCUMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tpu {
+namespace arch {
+
+/** [entries x width] file of 32-bit accumulators. */
+class AccumulatorFile
+{
+  public:
+    AccumulatorFile(std::int64_t entries, std::int64_t width);
+
+    std::int64_t entries() const { return _entries; }
+    std::int64_t width() const { return _width; }
+    std::uint64_t
+    capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(_entries) *
+               static_cast<std::uint64_t>(_width) * 4;
+    }
+
+    /**
+     * Deposit one partial-sum row at @p entry.  With @p accumulate the
+     * row adds into the existing contents (chained contraction tiles);
+     * otherwise it overwrites (first tile of a chain).
+     */
+    void deposit(std::int64_t entry,
+                 const std::vector<std::int32_t> &row, bool accumulate);
+
+    /** Read a row back (the Activate path). */
+    const std::vector<std::int32_t> &row(std::int64_t entry) const;
+
+    void clear();
+
+  private:
+    std::int64_t _entries;
+    std::int64_t _width;
+    std::vector<std::vector<std::int32_t>> _rows;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_ACCUMULATOR_HH

@@ -1,0 +1,121 @@
+#include "arch/activation_unit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/quantize.hh"
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace arch {
+
+ActivationUnit::ActivationUnit()
+{
+    for (int i = 0; i < lutSize; ++i) {
+        double x = -lutRange +
+            (2.0 * lutRange) * (static_cast<double>(i) + 0.5) /
+            static_cast<double>(lutSize);
+        double sg = 1.0 / (1.0 + std::exp(-x));
+        double th = std::tanh(x);
+        _sigmoid[static_cast<std::size_t>(i)] =
+            static_cast<std::int8_t>(std::lround(sg * 127.0));
+        _tanh[static_cast<std::size_t>(i)] =
+            static_cast<std::int8_t>(std::lround(th * 127.0));
+    }
+}
+
+int
+ActivationUnit::_lutIndex(double x)
+{
+    double t = (x + lutRange) / (2.0 * lutRange) *
+               static_cast<double>(lutSize);
+    auto idx = static_cast<long>(std::floor(t));
+    return static_cast<int>(std::clamp<long>(idx, 0, lutSize - 1));
+}
+
+std::int8_t
+ActivationUnit::lutSigmoid(double x) const
+{
+    return _sigmoid[static_cast<std::size_t>(_lutIndex(x))];
+}
+
+std::int8_t
+ActivationUnit::lutTanh(double x) const
+{
+    return _tanh[static_cast<std::size_t>(_lutIndex(x))];
+}
+
+std::vector<std::int8_t>
+ActivationUnit::activate(const std::vector<std::int32_t> &acc,
+                         double scale, nn::Nonlinearity f) const
+{
+    std::vector<std::int8_t> out(acc.size());
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        switch (f) {
+          case nn::Nonlinearity::None: {
+            auto q = static_cast<std::int64_t>(
+                std::llround(static_cast<double>(acc[i]) * scale));
+            out[i] = nn::saturateToInt8(static_cast<std::int32_t>(
+                std::clamp<std::int64_t>(q, INT32_MIN, INT32_MAX)));
+            break;
+          }
+          case nn::Nonlinearity::Relu: {
+            std::int32_t v = std::max(acc[i], 0);
+            auto q = static_cast<std::int64_t>(
+                std::llround(static_cast<double>(v) * scale));
+            out[i] = nn::saturateToInt8(static_cast<std::int32_t>(
+                std::clamp<std::int64_t>(q, INT32_MIN, INT32_MAX)));
+            break;
+          }
+          case nn::Nonlinearity::Sigmoid:
+            // Scale converts the accumulator to the real-valued
+            // pre-activation; the LUT output occupies [0, 127].
+            out[i] = lutSigmoid(static_cast<double>(acc[i]) * scale);
+            break;
+          case nn::Nonlinearity::Tanh:
+            out[i] = lutTanh(static_cast<double>(acc[i]) * scale);
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::int8_t>
+ActivationUnit::maxPoolRows(
+    const std::vector<std::vector<std::int8_t>> &rows)
+{
+    panic_if(rows.empty(), "maxPoolRows on empty input");
+    std::vector<std::int8_t> out = rows[0];
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+        panic_if(rows[r].size() != out.size(),
+                 "pool row width mismatch");
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = std::max(out[i], rows[r][i]);
+    }
+    return out;
+}
+
+std::vector<std::int8_t>
+ActivationUnit::avgPoolRows(
+    const std::vector<std::vector<std::int8_t>> &rows)
+{
+    panic_if(rows.empty(), "avgPoolRows on empty input");
+    std::vector<std::int32_t> sum(rows[0].size(), 0);
+    for (const auto &r : rows) {
+        panic_if(r.size() != sum.size(), "pool row width mismatch");
+        for (std::size_t i = 0; i < sum.size(); ++i)
+            sum[i] += r[i];
+    }
+    std::vector<std::int8_t> out(sum.size());
+    auto n = static_cast<std::int32_t>(rows.size());
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+        // Round to nearest, ties away from zero (hardware divider).
+        std::int32_t v = sum[i];
+        std::int32_t q = (v >= 0) ? (v + n / 2) / n : -((-v + n / 2) / n);
+        out[i] = nn::saturateToInt8(q);
+    }
+    return out;
+}
+
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The Activation Unit: "Activate performs the nonlinear function of
+ * the artificial neuron, with options for ReLU, Sigmoid, and so on.
+ * Its inputs are the Accumulators, and its output is the Unified
+ * Buffer.  It can also perform the pooling operations needed for
+ * convolutions" (Section 2).
+ *
+ * Nonlinearities on the real die are hardware lookup tables; the model
+ * builds the sigmoid/tanh LUTs over a fixed-point input domain so the
+ * functional path is bit-reproducible run to run.
+ */
+
+#ifndef TPUSIM_ARCH_ACTIVATION_UNIT_HH
+#define TPUSIM_ARCH_ACTIVATION_UNIT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace tpu {
+namespace arch {
+
+/** Accumulator-to-UB datapath: requantize + nonlinearity + pooling. */
+class ActivationUnit
+{
+  public:
+    ActivationUnit();
+
+    /**
+     * Apply @p f to a row of int32 accumulator values and requantize
+     * to int8 activations.
+     *
+     * @param acc      accumulator row
+     * @param scale    real value represented by one accumulator LSB
+     *                 divided by the output activation scale; i.e. the
+     *                 combined requantization multiplier
+     * @param f        nonlinearity to apply
+     */
+    std::vector<std::int8_t> activate(
+        const std::vector<std::int32_t> &acc, double scale,
+        nn::Nonlinearity f) const;
+
+    /** Max-pool int8 rows elementwise across @p rows inputs. */
+    static std::vector<std::int8_t> maxPoolRows(
+        const std::vector<std::vector<std::int8_t>> &rows);
+
+    /** Average-pool int8 rows elementwise across @p rows inputs. */
+    static std::vector<std::int8_t> avgPoolRows(
+        const std::vector<std::vector<std::int8_t>> &rows);
+
+    /**
+     * The LUT index quantization for sigmoid/tanh: input domain
+     * [-lutRange, lutRange) mapped onto lutSize entries.
+     */
+    static constexpr int lutSize = 2048;
+    static constexpr double lutRange = 8.0;
+
+    /** Raw LUT lookup used by activate(); exposed for tests. */
+    std::int8_t lutSigmoid(double x) const;
+    std::int8_t lutTanh(double x) const;
+
+  private:
+    static int _lutIndex(double x);
+
+    /** int8 output tables: sigmoid maps to [0,127], tanh [-127,127]. */
+    std::array<std::int8_t, lutSize> _sigmoid;
+    std::array<std::int8_t, lutSize> _tanh;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_ACTIVATION_UNIT_HH

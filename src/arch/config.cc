@@ -1,0 +1,38 @@
+#include "arch/config.hh"
+
+namespace tpu {
+namespace arch {
+
+TpuConfig
+TpuConfig::production()
+{
+    return TpuConfig{};
+}
+
+TpuConfig
+TpuConfig::prime()
+{
+    TpuConfig c;
+    c.name = "TPU'";
+    // Ridge target of 250 MAC-ops/byte at 700 MHz and a 256x256 array:
+    // bytes/cycle = 65536 / 250 = 262.1 -> 183.5 GB/s, "more than a
+    // factor of five" over the 34 GB/s DDR3 (Section 7).
+    c.weightMemoryBytesPerSec = 183.5 * giga;
+    // GDDR5 raises the system budget by ~10 W per die (Section 7).
+    c.tdpWatts = 75.0 + 10.0;
+    c.busyWatts = 40.0 + 10.0;
+    c.idleWatts = 28.0 + 10.0;
+    return c;
+}
+
+TpuConfig
+TpuConfig::primeWithFastClock()
+{
+    TpuConfig c = prime();
+    c.name = "TPU'+clk";
+    c.clockHz = 1050.0 * mega; // +50% from better synthesis (Section 7)
+    return c;
+}
+
+} // namespace arch
+} // namespace tpu

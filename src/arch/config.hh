@@ -1,0 +1,128 @@
+/**
+ * @file
+ * TPU configuration: every microarchitectural parameter the paper
+ * quotes or scales.  Section 2 and Table 2 give the production values;
+ * Section 7 scales memory bandwidth, clock rate, accumulator count and
+ * matrix dimension, and defines the hypothetical TPU'.
+ */
+
+#ifndef TPUSIM_ARCH_CONFIG_HH
+#define TPUSIM_ARCH_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+
+/** Parameters of a TPU die. */
+struct TpuConfig
+{
+    std::string name = "TPU";
+
+    /** Core clock (700 MHz in production). */
+    double clockHz = 700.0 * mega;
+
+    /** Matrix unit dimension (256 -> 65,536 MACs). */
+    std::int64_t matrixDim = 256;
+
+    /** 32-bit accumulator entries (4096 x matrixDim values = 4 MiB). */
+    std::int64_t accumulatorEntries = 4096;
+
+    /** Unified Buffer capacity (24 MiB). */
+    std::uint64_t unifiedBufferBytes = mib(24);
+
+    /** Off-chip Weight Memory capacity (8 GiB DDR3). */
+    std::uint64_t weightMemoryBytes = gib(8);
+
+    /** Weight Memory bandwidth (34 GB/s DDR3 in production). */
+    double weightMemoryBytesPerSec = 34.0 * giga;
+
+    /** Weight FIFO depth in tiles ("four tiles deep"). */
+    std::int64_t weightFifoTiles = 4;
+
+    /** Host link: PCIe Gen3 x16 effective bandwidth. */
+    double pcieBytesPerSec = 12.5 * giga;
+
+    /** Thermal design power / measured busy / idle, per die (Table 2). */
+    double tdpWatts = 75.0;
+    double busyWatts = 40.0;
+    double idleWatts = 28.0;
+
+    /** Dies per benchmarked server (Table 2). */
+    int diesPerServer = 4;
+
+    /** Bytes in one weight tile (matrixDim^2 int8 weights = 64 KiB). */
+    std::uint64_t
+    tileBytes() const
+    {
+        return static_cast<std::uint64_t>(matrixDim) *
+               static_cast<std::uint64_t>(matrixDim);
+    }
+
+    /** Peak 8-bit ops/second counting multiply and add separately. */
+    double
+    peakOpsPerSec() const
+    {
+        return 2.0 * static_cast<double>(matrixDim) *
+               static_cast<double>(matrixDim) * clockHz;
+    }
+
+    /** Peak TeraOps/s (92 for the production part). */
+    double peakTops() const { return peakOpsPerSec() / tera; }
+
+    /** Weight-memory bytes deliverable per core cycle (~48.6). */
+    double
+    weightBytesPerCycle() const
+    {
+        return weightMemoryBytesPerSec / clockHz;
+    }
+
+    /**
+     * Roofline ridge point in MAC-ops per weight byte: the operational
+     * intensity needed to keep the array busy (~1350 in production).
+     */
+    double
+    ridgeOpsPerByte() const
+    {
+        return static_cast<double>(matrixDim) *
+               static_cast<double>(matrixDim) / weightBytesPerCycle();
+    }
+
+    /** Cycles to stream one weight tile from Weight Memory (~1349). */
+    Cycle
+    tileFetchCycles() const
+    {
+        return transferCycles(tileBytes(), weightMemoryBytesPerSec,
+                              clockHz);
+    }
+
+    /** Cycles to shift a tile from the FIFO into the array (= dim). */
+    Cycle
+    tileShiftCycles() const
+    {
+        return static_cast<Cycle>(matrixDim);
+    }
+
+    /** The production TPU of the paper (Table 2). */
+    static TpuConfig production();
+
+    /**
+     * The Section 7 hypothetical TPU': GDDR5 Weight Memory moving the
+     * roofline ridge from 1350 to 250 ops/byte (>5x bandwidth); the
+     * clock stays at 700 MHz (the paper found raising it to 1050 MHz
+     * with GDDR5 did not help the weighted mean).  Power grows by
+     * ~10 W per die (861 W -> ~900 W per 4-TPU server).
+     */
+    static TpuConfig prime();
+
+    /** TPU' variant with the 50%-faster clock also applied (1050 MHz).*/
+    static TpuConfig primeWithFastClock();
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_CONFIG_HH

@@ -1,0 +1,199 @@
+#include "arch/isa.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace arch {
+
+const char *
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::ReadHostMemory: return "read_host_memory";
+      case Opcode::ReadHostMemoryAlt: return "read_host_memory_alt";
+      case Opcode::ReadWeights: return "read_weights";
+      case Opcode::MatrixMultiply: return "matrix_multiply";
+      case Opcode::Convolve: return "convolve";
+      case Opcode::Activate: return "activate";
+      case Opcode::WriteHostMemory: return "write_host_memory";
+      case Opcode::WriteHostMemoryAlt: return "write_host_memory_alt";
+      case Opcode::SetConfig: return "set_config";
+      case Opcode::Sync: return "sync";
+      case Opcode::SyncHost: return "sync_host";
+      case Opcode::InterruptHost: return "interrupt_host";
+      case Opcode::DebugTag: return "debug_tag";
+      case Opcode::Halt: return "halt";
+      case Opcode::NumOpcodes: break;
+    }
+    return "?";
+}
+
+std::array<std::uint8_t, Instruction::encodedSize>
+Instruction::encode() const
+{
+    panic_if(arg1 > 0xFFFFFF, "arg1 %u exceeds 24-bit encoding", arg1);
+    std::array<std::uint8_t, encodedSize> b{};
+    b[0] = static_cast<std::uint8_t>(op);
+    b[1] = flags;
+    b[2] = repeat;
+    b[3] = static_cast<std::uint8_t>(arg0 & 0xFF);
+    b[4] = static_cast<std::uint8_t>(arg0 >> 8);
+    b[5] = static_cast<std::uint8_t>(arg1 & 0xFF);
+    b[6] = static_cast<std::uint8_t>((arg1 >> 8) & 0xFF);
+    b[7] = static_cast<std::uint8_t>((arg1 >> 16) & 0xFF);
+    b[8] = static_cast<std::uint8_t>(arg2 & 0xFF);
+    b[9] = static_cast<std::uint8_t>((arg2 >> 8) & 0xFF);
+    b[10] = static_cast<std::uint8_t>((arg2 >> 16) & 0xFF);
+    b[11] = static_cast<std::uint8_t>((arg2 >> 24) & 0xFF);
+    return b;
+}
+
+Instruction
+Instruction::decode(const std::array<std::uint8_t, encodedSize> &b)
+{
+    fatal_if(b[0] >= static_cast<std::uint8_t>(Opcode::NumOpcodes),
+             "bad opcode byte 0x%02x", b[0]);
+    Instruction i;
+    i.op = static_cast<Opcode>(b[0]);
+    i.flags = b[1];
+    i.repeat = b[2];
+    i.arg0 = static_cast<std::uint16_t>(b[3] | (b[4] << 8));
+    i.arg1 = static_cast<std::uint32_t>(b[5]) |
+             (static_cast<std::uint32_t>(b[6]) << 8) |
+             (static_cast<std::uint32_t>(b[7]) << 16);
+    i.arg2 = static_cast<std::uint32_t>(b[8]) |
+             (static_cast<std::uint32_t>(b[9]) << 8) |
+             (static_cast<std::uint32_t>(b[10]) << 16) |
+             (static_cast<std::uint32_t>(b[11]) << 24);
+    return i;
+}
+
+std::string
+Instruction::toString() const
+{
+    return csprintf("%s flags=0x%02x rep=%u a0=%u a1=%u a2=%u",
+                    arch::toString(op), flags, repeat, arg0, arg1, arg2);
+}
+
+std::uint64_t
+encodedBytes(const Program &program)
+{
+    return program.size() * Instruction::encodedSize;
+}
+
+Instruction
+makeMatrixMultiply(std::uint16_t acc_addr, std::uint32_t ub_row,
+                   std::uint32_t rows, bool accumulate_flag)
+{
+    Instruction i;
+    i.op = Opcode::MatrixMultiply;
+    i.arg0 = acc_addr;
+    i.arg1 = ub_row;
+    i.arg2 = rows;
+    if (accumulate_flag)
+        i.flags |= flags::accumulate;
+    return i;
+}
+
+Instruction
+makeReadWeights(std::uint32_t tile_index, std::uint16_t useful_rows,
+                std::uint16_t useful_cols)
+{
+    Instruction i;
+    i.op = Opcode::ReadWeights;
+    i.arg1 = tile_index;
+    i.arg2 = 1; // one tile per instruction in this compiler
+    i.arg0 = useful_rows;
+    i.flags = static_cast<std::uint8_t>(useful_cols & 0xFF);
+    i.repeat = static_cast<std::uint8_t>(useful_cols >> 8);
+    return i;
+}
+
+std::uint16_t
+readWeightsUsefulRows(const Instruction &inst)
+{
+    return inst.arg0;
+}
+
+std::uint16_t
+readWeightsUsefulCols(const Instruction &inst)
+{
+    return static_cast<std::uint16_t>(inst.flags |
+                                      (inst.repeat << 8));
+}
+
+Instruction
+makeVectorOp(std::uint32_t ub_row, std::uint32_t rows,
+             std::uint8_t func_flags)
+{
+    Instruction i;
+    i.op = Opcode::Activate;
+    i.arg0 = vectorOpAccSentinel;
+    i.arg1 = ub_row;
+    i.arg2 = rows;
+    i.flags = func_flags;
+    return i;
+}
+
+Instruction
+makeActivate(std::uint16_t acc_addr, std::uint32_t ub_row,
+             std::uint32_t rows, std::uint8_t func_flags)
+{
+    Instruction i;
+    i.op = Opcode::Activate;
+    i.arg0 = acc_addr;
+    i.arg1 = ub_row;
+    i.arg2 = rows;
+    i.flags = func_flags;
+    return i;
+}
+
+Instruction
+makeReadHostMemory(std::uint32_t ub_row, std::uint32_t rows)
+{
+    Instruction i;
+    i.op = Opcode::ReadHostMemory;
+    i.arg1 = ub_row;
+    i.arg2 = rows;
+    return i;
+}
+
+Instruction
+makeWriteHostMemory(std::uint32_t ub_row, std::uint32_t rows)
+{
+    Instruction i;
+    i.op = Opcode::WriteHostMemory;
+    i.arg1 = ub_row;
+    i.arg2 = rows;
+    return i;
+}
+
+Instruction
+makeSetConfig(ConfigReg reg, std::uint32_t value)
+{
+    Instruction i;
+    i.op = Opcode::SetConfig;
+    i.arg0 = static_cast<std::uint16_t>(reg);
+    i.arg2 = value;
+    return i;
+}
+
+Instruction
+makeSync()
+{
+    Instruction i;
+    i.op = Opcode::Sync;
+    return i;
+}
+
+Instruction
+makeHalt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    return i;
+}
+
+} // namespace arch
+} // namespace tpu

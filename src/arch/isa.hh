@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The TPU's CISC instruction set (Section 2 of the paper).
+ *
+ * "It has about a dozen instructions overall, but these five are the
+ * key ones": Read_Host_Memory, Read_Weights, MatrixMultiply/Convolve,
+ * Activate, Write_Host_Memory.  The others are alternate host memory
+ * read/write, set configuration, two versions of synchronization,
+ * interrupt host, debug-tag, nop, and halt.
+ *
+ * Instructions are encoded in 12 bytes, matching the paper's
+ * description of MatrixMultiply: "12 bytes, of which 3 are Unified
+ * Buffer address; 2 are accumulator address; 4 are length ...; and the
+ * rest are opcode and flags."
+ */
+
+#ifndef TPUSIM_ARCH_ISA_HH
+#define TPUSIM_ARCH_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpu {
+namespace arch {
+
+/** TPU opcodes (about a dozen, per the paper). */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    ReadHostMemory,     ///< host memory -> Unified Buffer (DMA)
+    ReadHostMemoryAlt,  ///< alternate host read path
+    ReadWeights,        ///< Weight Memory -> Weight FIFO (decoupled)
+    MatrixMultiply,     ///< UB x weights -> accumulators
+    Convolve,           ///< convolution flavour of MatrixMultiply
+    Activate,           ///< accumulators -> nonlinearity/pool -> UB
+    WriteHostMemory,    ///< Unified Buffer -> host memory (DMA)
+    WriteHostMemoryAlt, ///< alternate host write path
+    SetConfig,          ///< write an internal configuration register
+    Sync,               ///< pipeline barrier (the "delay slot" case)
+    SyncHost,           ///< barrier that also fences host DMA
+    InterruptHost,      ///< raise a host interrupt
+    DebugTag,           ///< tag the trace for debugging
+    Halt,               ///< end of program
+    NumOpcodes,
+};
+
+const char *toString(Opcode op);
+
+/** Flag bits carried by instructions. */
+namespace flags {
+/** Bits 0-1: activation function select (Activate). */
+constexpr std::uint8_t funcNone = 0x0;
+constexpr std::uint8_t funcRelu = 0x1;
+constexpr std::uint8_t funcSigmoid = 0x2;
+constexpr std::uint8_t funcTanh = 0x3;
+constexpr std::uint8_t funcMask = 0x3;
+/** Bit 2: accumulate into accumulators instead of overwriting. */
+constexpr std::uint8_t accumulate = 0x4;
+/** Bit 3: enable pooling in the activation path. */
+constexpr std::uint8_t pool = 0x8;
+/** Bit 4: weights are 16-bit (half/quarter speed, Section 2). */
+constexpr std::uint8_t wide_weights = 0x10;
+/** Bit 5: activations are 16-bit. */
+constexpr std::uint8_t wide_activations = 0x20;
+/**
+ * Bit 6: reuse the weight tile already in the array instead of
+ * consuming a freshly staged one (weight-stationary streaming of a
+ * second accumulator chunk through the same tile).
+ */
+constexpr std::uint8_t reuse_weights = 0x40;
+} // namespace flags
+
+/** Configuration register ids for SetConfig. */
+enum class ConfigReg : std::uint16_t
+{
+    HostReadBase = 0,  ///< base host address for ReadHostMemory
+    HostWriteBase,     ///< base host address for WriteHostMemory
+    WeightBase,        ///< base Weight Memory address for ReadWeights
+    RequantShift,      ///< activation requantization scale (fixed point)
+    NumRegs,
+};
+
+/**
+ * One decoded TPU instruction.
+ *
+ * Field usage by opcode:
+ *  - MatrixMultiply/Convolve: arg0 = accumulator address, arg1 = UB row
+ *    address of the activations, arg2 = number of activation rows (B).
+ *  - ReadWeights: arg1 = tile index offset from the WeightBase
+ *    register; arg0 = useful (unpadded) rows in the tile and
+ *    flags|repeat<<8 = useful columns -- the performance counters use
+ *    these to attribute useful vs unused MACs (Table 3 rows 2-3).
+ *  - Activate: arg0 = accumulator address (0xFFFF = UB-to-UB vector
+ *    op with no accumulator dependence), arg1 = destination UB row,
+ *    arg2 = number of rows; flags select function/pooling.
+ *  - Read/WriteHostMemory: arg1 = UB row address, arg2 = row count;
+ *    host offset is relative to HostRead/WriteBase.
+ *  - SetConfig: arg0 = ConfigReg id, arg2 = value.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t flags = 0;
+    std::uint8_t repeat = 0;
+    std::uint16_t arg0 = 0;
+    std::uint32_t arg1 = 0; ///< 24-bit field when encoded
+    std::uint32_t arg2 = 0;
+
+    /** Encoded instruction size on the PCIe link (12 bytes). */
+    static constexpr std::size_t encodedSize = 12;
+
+    /** Encode to the 12-byte wire format (little-endian fields). */
+    std::array<std::uint8_t, encodedSize> encode() const;
+
+    /** Decode from the 12-byte wire format. */
+    static Instruction decode(
+        const std::array<std::uint8_t, encodedSize> &bytes);
+
+    /** Human-readable disassembly. */
+    std::string toString() const;
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** A TPU program: the instruction stream the host sends over PCIe. */
+using Program = std::vector<Instruction>;
+
+/** Total encoded bytes of a program (for PCIe accounting). */
+std::uint64_t encodedBytes(const Program &program);
+
+/** Convenience builders. */
+Instruction makeMatrixMultiply(std::uint16_t acc_addr,
+                               std::uint32_t ub_row, std::uint32_t rows,
+                               bool accumulate_flag);
+Instruction makeReadWeights(std::uint32_t tile_index,
+                            std::uint16_t useful_rows,
+                            std::uint16_t useful_cols);
+Instruction makeActivate(std::uint16_t acc_addr, std::uint32_t ub_row,
+                         std::uint32_t rows, std::uint8_t func_flags);
+/** UB-to-UB vector/pool work on the activation unit (acc = 0xFFFF). */
+Instruction makeVectorOp(std::uint32_t ub_row, std::uint32_t rows,
+                         std::uint8_t func_flags);
+
+/** Useful-rows/cols accessors for ReadWeights instructions. */
+std::uint16_t readWeightsUsefulRows(const Instruction &inst);
+std::uint16_t readWeightsUsefulCols(const Instruction &inst);
+
+/** Sentinel accumulator address marking a UB-to-UB vector op. */
+constexpr std::uint16_t vectorOpAccSentinel = 0xFFFF;
+Instruction makeReadHostMemory(std::uint32_t ub_row,
+                               std::uint32_t rows);
+Instruction makeWriteHostMemory(std::uint32_t ub_row,
+                                std::uint32_t rows);
+Instruction makeSetConfig(ConfigReg reg, std::uint32_t value);
+Instruction makeSync();
+Instruction makeHalt();
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_ISA_HH

@@ -1,0 +1,51 @@
+#include "arch/pcie.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace arch {
+
+PcieLink::PcieLink(double bytes_per_second, double clock_hz,
+                   Cycle latency_cycles)
+    : _bytesPerSecond(bytes_per_second), _clockHz(clock_hz),
+      _latency(latency_cycles)
+{
+    fatal_if(bytes_per_second <= 0 || clock_hz <= 0,
+             "PCIe link needs positive bandwidth and clock");
+}
+
+Cycle
+PcieLink::transferIn(Cycle earliest, std::uint64_t bytes)
+{
+    Cycle start = std::max(earliest, _inFreeAt);
+    Cycle cost = _latency + transferCycles(bytes, _bytesPerSecond,
+                                           _clockHz);
+    _inFreeAt = start + cost;
+    _bytesIn += bytes;
+    return _inFreeAt;
+}
+
+Cycle
+PcieLink::transferOut(Cycle earliest, std::uint64_t bytes)
+{
+    Cycle start = std::max(earliest, _outFreeAt);
+    Cycle cost = _latency + transferCycles(bytes, _bytesPerSecond,
+                                           _clockHz);
+    _outFreeAt = start + cost;
+    _bytesOut += bytes;
+    return _outFreeAt;
+}
+
+void
+PcieLink::resetTiming()
+{
+    _inFreeAt = 0;
+    _outFreeAt = 0;
+    _bytesIn = 0;
+    _bytesOut = 0;
+}
+
+} // namespace arch
+} // namespace tpu

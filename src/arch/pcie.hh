@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The PCIe Gen3 x16 host link: instructions and activations arrive
+ * over it, results return over it.  "The TPU was designed to be a
+ * coprocessor on the PCIe I/O bus" (Section 2).
+ *
+ * Modelled as a full-duplex pair of bandwidth servers (one per
+ * direction) with a fixed per-transfer latency.
+ */
+
+#ifndef TPUSIM_ARCH_PCIE_HH
+#define TPUSIM_ARCH_PCIE_HH
+
+#include <cstdint>
+
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+
+/** Full-duplex bandwidth-and-latency model of the host link. */
+class PcieLink
+{
+  public:
+    /**
+     * @param bytes_per_second per-direction effective bandwidth
+     * @param clock_hz         core clock for cycle conversion
+     * @param latency_cycles   fixed startup latency per transfer
+     */
+    PcieLink(double bytes_per_second, double clock_hz,
+             Cycle latency_cycles = 700);
+
+    double bytesPerSecond() const { return _bytesPerSecond; }
+
+    /** Host -> TPU transfer; returns completion cycle. */
+    Cycle transferIn(Cycle earliest, std::uint64_t bytes);
+
+    /** TPU -> host transfer; returns completion cycle. */
+    Cycle transferOut(Cycle earliest, std::uint64_t bytes);
+
+    std::uint64_t bytesIn() const { return _bytesIn; }
+    std::uint64_t bytesOut() const { return _bytesOut; }
+
+    void resetTiming();
+
+  private:
+    double _bytesPerSecond;
+    double _clockHz;
+    Cycle _latency;
+    Cycle _inFreeAt = 0;
+    Cycle _outFreeAt = 0;
+    std::uint64_t _bytesIn = 0;
+    std::uint64_t _bytesOut = 0;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_PCIE_HH

@@ -1,0 +1,129 @@
+#include "arch/perf_counters.hh"
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+
+namespace {
+double
+frac(Cycle part, Cycle whole)
+{
+    return whole ? static_cast<double>(part) /
+                   static_cast<double>(whole) : 0.0;
+}
+} // namespace
+
+double
+PerfCounters::arrayActiveFraction() const
+{
+    return frac(arrayActiveCycles, totalCycles);
+}
+
+double
+PerfCounters::weightStallFraction() const
+{
+    return frac(weightStallCycles, totalCycles);
+}
+
+double
+PerfCounters::weightShiftFraction() const
+{
+    return frac(weightShiftCycles, totalCycles);
+}
+
+double
+PerfCounters::nonMatrixFraction() const
+{
+    return frac(nonMatrixCycles, totalCycles);
+}
+
+double
+PerfCounters::rawStallFraction() const
+{
+    return frac(rawStallCycles, totalCycles);
+}
+
+double
+PerfCounters::inputStallFraction() const
+{
+    return frac(inputStallCycles, totalCycles);
+}
+
+double
+PerfCounters::usefulMacFraction() const
+{
+    // Expressed against all cycles (like Table 3 row 2: "% peak").
+    if (totalCycles == 0 || totalMacSlots == 0)
+        return 0.0;
+    double slots_per_cycle =
+        static_cast<double>(totalMacSlots) /
+        static_cast<double>(arrayActiveCycles ? arrayActiveCycles : 1);
+    double peak_slots =
+        slots_per_cycle * static_cast<double>(totalCycles);
+    return static_cast<double>(usefulMacs) / peak_slots;
+}
+
+double
+PerfCounters::unusedMacFraction() const
+{
+    return arrayActiveFraction() - usefulMacFraction();
+}
+
+double
+PerfCounters::teraOpsPerSecond(double clock_hz) const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    double seconds = cyclesToSeconds(totalCycles, clock_hz);
+    return 2.0 * static_cast<double>(usefulMacs) / seconds / tera;
+}
+
+double
+PerfCounters::cpi() const
+{
+    return totalInstructions ?
+        static_cast<double>(totalCycles) /
+        static_cast<double>(totalInstructions) : 0.0;
+}
+
+void
+PerfCounters::merge(const PerfCounters &other)
+{
+    totalCycles += other.totalCycles;
+    arrayActiveCycles += other.arrayActiveCycles;
+    weightStallCycles += other.weightStallCycles;
+    weightShiftCycles += other.weightShiftCycles;
+    nonMatrixCycles += other.nonMatrixCycles;
+    rawStallCycles += other.rawStallCycles;
+    inputStallCycles += other.inputStallCycles;
+    usefulMacs += other.usefulMacs;
+    totalMacSlots += other.totalMacSlots;
+    weightBytesRead += other.weightBytesRead;
+    pcieBytesIn += other.pcieBytesIn;
+    pcieBytesOut += other.pcieBytesOut;
+    ubBytesRead += other.ubBytesRead;
+    ubBytesWritten += other.ubBytesWritten;
+    accBytesWritten += other.accBytesWritten;
+    matmulInstructions += other.matmulInstructions;
+    activateInstructions += other.activateInstructions;
+    readWeightInstructions += other.readWeightInstructions;
+    dmaInstructions += other.dmaInstructions;
+    totalInstructions += other.totalInstructions;
+}
+
+std::string
+PerfCounters::summary() const
+{
+    return csprintf(
+        "cycles=%llu active=%.1f%% wstall=%.1f%% wshift=%.1f%% "
+        "nonmatrix=%.1f%% raw=%.1f%% input=%.1f%%",
+        static_cast<unsigned long long>(totalCycles),
+        100.0 * arrayActiveFraction(), 100.0 * weightStallFraction(),
+        100.0 * weightShiftFraction(), 100.0 * nonMatrixFraction(),
+        100.0 * rawStallFraction(), 100.0 * inputStallFraction());
+}
+
+} // namespace arch
+} // namespace tpu

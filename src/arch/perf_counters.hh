@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TPU performance counters.  "The TPU has 106 performance counters"
+ * (Section 8); this model implements the ones the paper reports in
+ * Table 3, with the same accounting identities:
+ *
+ *   array active + weight stall + weight shift + non-matrix = 100%
+ *   array active = useful-MAC fraction + unused-MAC fraction
+ *
+ * plus the independently counted RAW-stall and PCIe-input-stall
+ * cycles (rows 7 and 8, which overlap the four primary buckets).
+ */
+
+#ifndef TPUSIM_ARCH_PERF_COUNTERS_HH
+#define TPUSIM_ARCH_PERF_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+
+/** Raw cycle/op counts accumulated by the Tier-B core. */
+struct PerfCounters
+{
+    Cycle totalCycles = 0;
+
+    /** Cycles the matrix unit is streaming activation rows. */
+    Cycle arrayActiveCycles = 0;
+    /** Cycles the array waits for a tile fetch from Weight Memory. */
+    Cycle weightStallCycles = 0;
+    /** Cycles the array is busy only shifting a tile in. */
+    Cycle weightShiftCycles = 0;
+    /** Everything else (activation-only, DMA, sync, idle). */
+    Cycle nonMatrixCycles = 0;
+
+    /** Independent overlap counters (Table 3 rows 7-8). */
+    Cycle rawStallCycles = 0;
+    Cycle inputStallCycles = 0;
+
+    /** MAC slots: dim^2 per active cycle; useful = unpadded portion. */
+    std::uint64_t usefulMacs = 0;
+    std::uint64_t totalMacSlots = 0;
+
+    /** Traffic. */
+    std::uint64_t weightBytesRead = 0;
+    std::uint64_t pcieBytesIn = 0;
+    std::uint64_t pcieBytesOut = 0;
+    std::uint64_t ubBytesRead = 0;    ///< Unified Buffer reads
+    std::uint64_t ubBytesWritten = 0; ///< Unified Buffer writes
+    std::uint64_t accBytesWritten = 0;///< accumulator deposits
+
+    /** Instruction mix. */
+    std::uint64_t matmulInstructions = 0;
+    std::uint64_t activateInstructions = 0;
+    std::uint64_t readWeightInstructions = 0;
+    std::uint64_t dmaInstructions = 0;
+    std::uint64_t totalInstructions = 0;
+
+    /** Derived fractions (of totalCycles). */
+    double arrayActiveFraction() const;
+    double weightStallFraction() const;
+    double weightShiftFraction() const;
+    double nonMatrixFraction() const;
+    double rawStallFraction() const;
+    double inputStallFraction() const;
+
+    /** Fraction of all MAC slots on active cycles holding useful
+     *  weights ("Useful MACs in 64K matrix (% peak)", row 2). */
+    double usefulMacFraction() const;
+    /** Row 3: active MAC slots wasted on padding. */
+    double unusedMacFraction() const;
+
+    /** Achieved TeraOps/s (2 ops per useful MAC) at @p clock_hz. */
+    double teraOpsPerSecond(double clock_hz) const;
+
+    /** Average clocks per instruction (the paper quotes 10-20). */
+    double cpi() const;
+
+    void merge(const PerfCounters &other);
+    std::string summary() const;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_PERF_COUNTERS_HH

@@ -1,0 +1,201 @@
+#include "arch/systolic_array.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace arch {
+
+int
+cycleMultiplier(OperandMode mode)
+{
+    switch (mode) {
+      case OperandMode::Int8xInt8: return 1;
+      case OperandMode::Int8xInt16: return 2;
+      case OperandMode::Int16xInt16: return 4;
+    }
+    panic("unknown operand mode");
+}
+
+SystolicArray::SystolicArray(std::int64_t dim)
+    : _dim(dim),
+      _weights(static_cast<std::size_t>(dim * dim), 0),
+      _shadow(static_cast<std::size_t>(dim * dim), 0),
+      _aReg(static_cast<std::size_t>(dim * dim), 0),
+      _psumReg(static_cast<std::size_t>(dim * dim), 0)
+{
+    fatal_if(dim <= 0, "systolic array dimension must be positive");
+}
+
+void
+SystolicArray::shiftWeightRow(const std::vector<std::int32_t> &row)
+{
+    panic_if(static_cast<std::int64_t>(row.size()) != _dim,
+             "weight row size %zu != dim %lld", row.size(),
+             static_cast<long long>(_dim));
+    // Rows enter at the top and push earlier rows down.
+    for (std::int64_t r = _dim - 1; r > 0; --r)
+        for (std::int64_t c = 0; c < _dim; ++c)
+            _shadow[_idx(r, c)] = _shadow[_idx(r - 1, c)];
+    for (std::int64_t c = 0; c < _dim; ++c)
+        _shadow[_idx(0, c)] = row[static_cast<std::size_t>(c)];
+    if (_shadowRowsLoaded < _dim)
+        ++_shadowRowsLoaded;
+}
+
+void
+SystolicArray::swapWeightPlanes()
+{
+    _weights.swap(_shadow);
+    _shadowRowsLoaded = 0;
+}
+
+void
+SystolicArray::loadTile(const nn::Int32Tensor &tile)
+{
+    panic_if(tile.rank() != 2 || tile.dim(0) != _dim ||
+             tile.dim(1) != _dim, "tile shape %s != [%lld x %lld]",
+             nn::shapeToString(tile.shape()).c_str(),
+             static_cast<long long>(_dim),
+             static_cast<long long>(_dim));
+    // Push rows in reverse so W[0] finishes at the top of the plane.
+    std::vector<std::int32_t> row(static_cast<std::size_t>(_dim));
+    for (std::int64_t r = _dim - 1; r >= 0; --r) {
+        for (std::int64_t c = 0; c < _dim; ++c)
+            row[static_cast<std::size_t>(c)] = tile.at(r, c);
+        shiftWeightRow(row);
+    }
+    swapWeightPlanes();
+}
+
+std::int32_t
+SystolicArray::weightAt(std::int64_t r, std::int64_t c) const
+{
+    panic_if(r < 0 || r >= _dim || c < 0 || c >= _dim,
+             "weightAt(%lld,%lld) out of range",
+             static_cast<long long>(r), static_cast<long long>(c));
+    return _weights[_idx(r, c)];
+}
+
+void
+SystolicArray::beginStream(const nn::Int32Tensor &rows)
+{
+    panic_if(_streaming, "beginStream while a stream is in flight");
+    panic_if(rows.rank() != 2 || rows.dim(1) != _dim,
+             "stream shape %s incompatible with dim %lld",
+             nn::shapeToString(rows.shape()).c_str(),
+             static_cast<long long>(_dim));
+    _stream = rows;
+    _streamRows = rows.dim(0);
+    _results = nn::Int32Tensor({_streamRows, _dim});
+    _streamCycle = 0;
+    _resultsSeen = 0;
+    _streaming = _streamRows > 0;
+    // A new block starts from clean pipeline registers; the hardware
+    // reaches the same state by letting bubbles flush the wavefront.
+    std::fill(_aReg.begin(), _aReg.end(), 0);
+    std::fill(_psumReg.begin(), _psumReg.end(), 0);
+}
+
+bool
+SystolicArray::streaming() const
+{
+    return _streaming;
+}
+
+void
+SystolicArray::step()
+{
+    ++_cycle;
+    if (!_streaming)
+        return;
+
+    const std::int64_t t = _streamCycle;
+
+    // Update PEs in descending (r, c) order so each reads its upper and
+    // left neighbours' pre-update (previous cycle) register values --
+    // exactly the registered systolic transfer.
+    for (std::int64_t r = _dim - 1; r >= 0; --r) {
+        // Left-edge injection for this row: stream row b = t - r.
+        const std::int64_t b = t - r;
+        const std::int64_t inj =
+            (b >= 0 && b < _streamRows) ? _stream.at(b, r) : 0;
+        for (std::int64_t c = _dim - 1; c >= 0; --c) {
+            const std::int64_t a_in =
+                (c == 0) ? inj : _aReg[_idx(r, c - 1)];
+            const std::int64_t psum_in =
+                (r == 0) ? 0 : _psumReg[_idx(r - 1, c)];
+            _psumReg[_idx(r, c)] =
+                psum_in + static_cast<std::int64_t>(_weights[_idx(r, c)])
+                          * a_in;
+            _aReg[_idx(r, c)] = a_in;
+        }
+    }
+
+    // Bottom-row results: PE(dim-1, c) finished stream row
+    // b = t - (dim-1) - c this cycle.
+    for (std::int64_t c = 0; c < _dim; ++c) {
+        const std::int64_t b = t - (_dim - 1) - c;
+        if (b >= 0 && b < _streamRows) {
+            _results.at(b, c) = static_cast<std::int32_t>(
+                _psumReg[_idx(_dim - 1, c)]);
+            ++_resultsSeen;
+        }
+    }
+
+    ++_streamCycle;
+    if (_resultsSeen == _streamRows * _dim)
+        _streaming = false;
+}
+
+Cycle
+SystolicArray::drain()
+{
+    Cycle n = 0;
+    while (_streaming) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+nn::Int32Tensor
+SystolicArray::computeTile(const nn::Int32Tensor &rows) const
+{
+    nn::Int32Tensor w({_dim, _dim});
+    for (std::int64_t r = 0; r < _dim; ++r)
+        for (std::int64_t c = 0; c < _dim; ++c)
+            w.at(r, c) = _weights[_idx(r, c)];
+    return computeTile(rows, w);
+}
+
+nn::Int32Tensor
+SystolicArray::computeTile(const nn::Int32Tensor &rows,
+                           const nn::Int32Tensor &weights)
+{
+    panic_if(rows.rank() != 2 || weights.rank() != 2 ||
+             rows.dim(1) != weights.dim(0),
+             "computeTile shape mismatch %s x %s",
+             nn::shapeToString(rows.shape()).c_str(),
+             nn::shapeToString(weights.shape()).c_str());
+    const std::int64_t b_rows = rows.dim(0);
+    const std::int64_t inner = rows.dim(1);
+    const std::int64_t cols = weights.dim(1);
+    nn::Int32Tensor out({b_rows, cols});
+    for (std::int64_t b = 0; b < b_rows; ++b) {
+        for (std::int64_t k = 0; k < inner; ++k) {
+            const std::int64_t a = rows.at(b, k);
+            if (a == 0)
+                continue;
+            for (std::int64_t c = 0; c < cols; ++c) {
+                const std::int64_t prod =
+                    a * static_cast<std::int64_t>(weights.at(k, c));
+                out.at(b, c) = static_cast<std::int32_t>(
+                    static_cast<std::int64_t>(out.at(b, c)) + prod);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The weight-stationary systolic Matrix Multiply Unit (Figure 4 of the
+ * paper): "data flows in from the left, and the weights are loaded from
+ * the top.  A given 256-element multiply-accumulate operation moves
+ * through the matrix as a diagonal wavefront."
+ *
+ * Two execution paths share one functional contract:
+ *
+ *  - The detailed path steps every processing element every cycle,
+ *    modelling the register-to-register dataflow exactly (activations
+ *    shift right, partial sums shift down, one input row injected per
+ *    cycle with a per-row skew).  Used by tests and small examples.
+ *
+ *  - The fast path (computeTile) evaluates the same tile multiply in
+ *    one call.  Used by the Tier-B performance simulator's functional
+ *    mode.  The test suite proves both paths produce identical results.
+ *
+ * Weights are double buffered: a shadow plane is shifted in one row per
+ * cycle (matrixDim cycles per tile, "the 256 cycles it takes to shift a
+ * tile in") while the active plane keeps computing, then swapped.
+ */
+
+#ifndef TPUSIM_ARCH_SYSTOLIC_ARRAY_HH
+#define TPUSIM_ARCH_SYSTOLIC_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+
+/** Operand widths; mixed or wide operands slow the array (Section 2). */
+enum class OperandMode
+{
+    Int8xInt8,   ///< full speed
+    Int8xInt16,  ///< half speed (either operand 16-bit)
+    Int16xInt16, ///< quarter speed
+};
+
+/** Cycle multiplier for an operand mode (1, 2, or 4). */
+int cycleMultiplier(OperandMode mode);
+
+/** Cycle-stepped weight-stationary systolic array. */
+class SystolicArray
+{
+  public:
+    explicit SystolicArray(std::int64_t dim);
+
+    std::int64_t dim() const { return _dim; }
+
+    /**
+     * Shift one weight row into the shadow plane from the top edge;
+     * previously shifted rows move down one position.  Loading a full
+     * tile therefore takes dim() calls, pushing W's rows in reverse
+     * order (row dim-1 first) so W[0] ends at the top.
+     */
+    void shiftWeightRow(const std::vector<std::int32_t> &row);
+
+    /** Swap shadow and active weight planes (double-buffer commit). */
+    void swapWeightPlanes();
+
+    /** Convenience: shift a whole [dim x dim] tile then swap. */
+    void loadTile(const nn::Int32Tensor &tile);
+
+    /** Active-plane weight at (row, col) -- for tests. */
+    std::int32_t weightAt(std::int64_t r, std::int64_t c) const;
+
+    /**
+     * Begin streaming @p rows activation rows (each of dim() values)
+     * through the array.  Rows enter the left edge with the systolic
+     * skew (row b element r is injected at relative cycle b + r).
+     */
+    void beginStream(const nn::Int32Tensor &rows);
+
+    /** True while the current stream still has work in flight. */
+    bool streaming() const;
+
+    /** Advance one clock; returns outputs completed this cycle. */
+    void step();
+
+    /** Step until the current stream fully drains; returns cycles. */
+    Cycle drain();
+
+    /**
+     * Results of the finished stream: [rows x dim] of int32 partial
+     * sums (what the array hands to the accumulators).
+     */
+    const nn::Int32Tensor &results() const { return _results; }
+
+    /** Cycles stepped since construction. */
+    Cycle cyclesElapsed() const { return _cycle; }
+
+    /**
+     * Fast path: compute activations [rows x dim] x active weights
+     * [dim x dim] in one call.  Identical results to streaming the
+     * same rows through the detailed path.
+     */
+    nn::Int32Tensor computeTile(const nn::Int32Tensor &rows) const;
+
+    /** Static helper: tile multiply against an explicit weight tile. */
+    static nn::Int32Tensor computeTile(const nn::Int32Tensor &rows,
+                                       const nn::Int32Tensor &weights);
+
+  private:
+    std::size_t
+    _idx(std::int64_t r, std::int64_t c) const
+    {
+        return static_cast<std::size_t>(r * _dim + c);
+    }
+
+    std::int64_t _dim;
+    Cycle _cycle = 0;
+
+    /** Active and shadow weight planes, row-major [dim x dim]. */
+    std::vector<std::int32_t> _weights;
+    std::vector<std::int32_t> _shadow;
+    std::int64_t _shadowRowsLoaded = 0;
+
+    /** Activation registers (value moving right) per PE. */
+    std::vector<std::int64_t> _aReg;
+    /** Partial-sum registers (value moving down) per PE. */
+    std::vector<std::int64_t> _psumReg;
+
+    /** Current stream. */
+    nn::Int32Tensor _stream;  ///< [B x dim] input rows
+    nn::Int32Tensor _results; ///< [B x dim] collected outputs
+    std::int64_t _streamRows = 0;
+    std::int64_t _streamCycle = 0; ///< cycles since beginStream
+    std::int64_t _resultsSeen = 0;
+    bool _streaming = false;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_SYSTOLIC_ARRAY_HH

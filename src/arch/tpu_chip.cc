@@ -1,0 +1,30 @@
+#include "arch/tpu_chip.hh"
+
+namespace tpu {
+namespace arch {
+
+TpuChip::TpuChip(TpuConfig config, bool functional)
+    : _config(std::move(config)),
+      _wm(std::make_unique<WeightMemory>(
+          _config.weightMemoryBytes, _config.weightMemoryBytesPerSec,
+          _config.clockHz)),
+      _ub(std::make_unique<UnifiedBuffer>(_config.unifiedBufferBytes,
+                                          _config.matrixDim)),
+      _acc(std::make_unique<AccumulatorFile>(
+          _config.accumulatorEntries, _config.matrixDim)),
+      _act(std::make_unique<ActivationUnit>()),
+      _pcie(std::make_unique<PcieLink>(_config.pcieBytesPerSec,
+                                       _config.clockHz)),
+      _core(std::make_unique<TpuCore>(_config, *_wm, *_ub, *_acc, *_act,
+                                      *_pcie, functional))
+{}
+
+RunResult
+TpuChip::run(const Program &program,
+             const std::vector<std::int8_t> &host_input)
+{
+    return _core->execute(program, host_input);
+}
+
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The assembled TPU chip: ties the config, Weight Memory, Unified
+ * Buffer, accumulators, activation unit and PCIe link to the core.
+ * This is the object user code (compiler, benches, examples) runs
+ * programs on.
+ */
+
+#ifndef TPUSIM_ARCH_TPU_CHIP_HH
+#define TPUSIM_ARCH_TPU_CHIP_HH
+
+#include <memory>
+
+#include "arch/accumulator.hh"
+#include "arch/activation_unit.hh"
+#include "arch/config.hh"
+#include "arch/pcie.hh"
+#include "arch/tpu_core.hh"
+#include "arch/unified_buffer.hh"
+#include "arch/weight_memory.hh"
+
+namespace tpu {
+namespace arch {
+
+/** A complete TPU die, ready to execute programs. */
+class TpuChip
+{
+  public:
+    /**
+     * @param config     chip parameters (TpuConfig::production() etc.)
+     * @param functional execute the datapath, not just the clock
+     */
+    explicit TpuChip(TpuConfig config, bool functional = false);
+
+    const TpuConfig &config() const { return _config; }
+
+    WeightMemory &weightMemory() { return *_wm; }
+    UnifiedBuffer &unifiedBuffer() { return *_ub; }
+    AccumulatorFile &accumulators() { return *_acc; }
+    ActivationUnit &activationUnit() { return *_act; }
+    PcieLink &pcie() { return *_pcie; }
+
+    /** Execute one program (one batch of inference). */
+    RunResult run(const Program &program,
+                  const std::vector<std::int8_t> &host_input = {});
+
+  private:
+    TpuConfig _config;
+    std::unique_ptr<WeightMemory> _wm;
+    std::unique_ptr<UnifiedBuffer> _ub;
+    std::unique_ptr<AccumulatorFile> _acc;
+    std::unique_ptr<ActivationUnit> _act;
+    std::unique_ptr<PcieLink> _pcie;
+    std::unique_ptr<TpuCore> _core;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_TPU_CHIP_HH

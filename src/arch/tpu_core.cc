@@ -1,0 +1,483 @@
+#include "arch/tpu_core.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "arch/systolic_array.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace tpu {
+namespace arch {
+
+/** Debug flags for trace-based debugging (sim/trace.hh). */
+trace::DebugFlag traceMatrixUnit("MatrixUnit",
+                                 "matrix unit issue/retire events");
+trace::DebugFlag traceActivation("Activation",
+                                 "activation unit events");
+trace::DebugFlag traceDma("Dma", "host DMA events");
+
+namespace {
+
+/** Writer tags for the UB scoreboard. */
+constexpr std::uint8_t writerNone = 0;
+constexpr std::uint8_t writerActivate = 1;
+constexpr std::uint8_t writerDma = 2;
+
+OperandMode
+modeFromFlags(std::uint8_t f)
+{
+    bool ww = f & flags::wide_weights;
+    bool wa = f & flags::wide_activations;
+    if (ww && wa)
+        return OperandMode::Int16xInt16;
+    if (ww || wa)
+        return OperandMode::Int8xInt16;
+    return OperandMode::Int8xInt8;
+}
+
+nn::Nonlinearity
+funcFromFlags(std::uint8_t f)
+{
+    switch (f & flags::funcMask) {
+      case flags::funcRelu: return nn::Nonlinearity::Relu;
+      case flags::funcSigmoid: return nn::Nonlinearity::Sigmoid;
+      case flags::funcTanh: return nn::Nonlinearity::Tanh;
+      default: return nn::Nonlinearity::None;
+    }
+}
+
+} // namespace
+
+TpuCore::TpuCore(const TpuConfig &config, WeightMemory &wm,
+                 UnifiedBuffer &ub, AccumulatorFile &acc,
+                 ActivationUnit &act, PcieLink &pcie, bool functional)
+    : _cfg(config), _wm(wm), _ub(ub), _acc(acc), _act(act), _pcie(pcie),
+      _functional(functional),
+      _configRegs(static_cast<std::size_t>(ConfigReg::NumRegs), 0)
+{}
+
+void
+TpuCore::_reset()
+{
+    _ctr = PerfCounters{};
+    std::fill(_configRegs.begin(), _configRegs.end(), 0u);
+    _matmulPrevStart = 0;
+    _matmulPrevEnd = 0;
+    _activateFreeAt = 0;
+    _shiftStart.clear();
+    _shiftDone.clear();
+    _pendingTiles.clear();
+    _nextTile = 0;
+    _haveActiveTile = false;
+    _activeTile = PendingTile{};
+    _ubReady.assign(static_cast<std::size_t>(_ub.numRows()), 0);
+    _ubWriter.assign(static_cast<std::size_t>(_ub.numRows()),
+                     writerNone);
+    _accDataReady.assign(static_cast<std::size_t>(_acc.entries()), 0);
+    _accFree.assign(static_cast<std::size_t>(_acc.entries()), 0);
+    _syncFloor = 0;
+    _wm.resetTiming();
+    _pcie.resetTiming();
+}
+
+Cycle
+TpuCore::_maxUbReady(std::uint32_t row, std::uint32_t rows) const
+{
+    Cycle m = 0;
+    for (std::uint32_t r = row; r < row + rows; ++r) {
+        panic_if(r >= _ubReady.size(), "UB row %u beyond capacity", r);
+        m = std::max(m, _ubReady[r]);
+    }
+    return m;
+}
+
+void
+TpuCore::_setUbReady(std::uint32_t row, std::uint32_t rows, Cycle when,
+                     std::uint8_t writer)
+{
+    for (std::uint32_t r = row; r < row + rows; ++r) {
+        panic_if(r >= _ubReady.size(), "UB row %u beyond capacity", r);
+        _ubReady[r] = when;
+        _ubWriter[r] = writer;
+    }
+}
+
+bool
+TpuCore::_ubWrittenByDma(std::uint32_t row, std::uint32_t rows) const
+{
+    for (std::uint32_t r = row; r < row + rows; ++r)
+        if (_ubWriter[r] == writerDma)
+            return true;
+    return false;
+}
+
+void
+TpuCore::_execReadWeights(const Instruction &inst)
+{
+    // Decoupled access/execute: the fetch begins as soon as the DRAM
+    // channel and a FIFO slot are free; the instruction itself retires
+    // immediately (Section 2: it "can complete after sending its
+    // address but before the weight is fetched").
+    const std::size_t k = _pendingTiles.size();
+    Cycle slot_free = 0;
+    const auto fifo = static_cast<std::size_t>(_cfg.weightFifoTiles);
+    if (k >= fifo) {
+        // The FIFO slot frees when the tile occupying it starts
+        // shifting into the array.
+        const std::size_t evict = k - fifo;
+        slot_free = evict < _shiftStart.size() ? _shiftStart[evict] : 0;
+    }
+    Cycle done = _wm.fetch(slot_free, _cfg.tileBytes());
+    _pendingTiles.push_back(PendingTile{
+        inst.arg1, done, readWeightsUsefulRows(inst),
+        readWeightsUsefulCols(inst)});
+    ++_ctr.readWeightInstructions;
+}
+
+TpuCore::MatmulTiming
+TpuCore::_execMatmul(const Instruction &inst)
+{
+    const bool reuse = inst.flags & flags::reuse_weights;
+    PendingTile tile;
+    Cycle fetch_done;
+    Cycle shift_done;
+    if (reuse) {
+        // Stream another chunk through the tile already resident in
+        // the array: no fetch, no shift.
+        panic_if(!_haveActiveTile,
+                 "reuse_weights with no tile in the array");
+        tile = _activeTile;
+        fetch_done = 0;
+        shift_done = 0;
+    } else {
+        panic_if(_nextTile >= _pendingTiles.size(),
+                 "MatrixMultiply with no staged weight tile");
+        tile = _pendingTiles[_nextTile];
+        ++_nextTile;
+        fetch_done = tile.fetchDone;
+    }
+
+    const std::uint32_t rows = inst.arg2;
+    const std::uint32_t ub_row = inst.arg1;
+    const std::uint32_t acc_base = inst.arg0;
+    const bool accumulate = inst.flags & flags::accumulate;
+    const int mult = cycleMultiplier(modeFromFlags(inst.flags));
+
+    panic_if(acc_base + rows >
+             static_cast<std::uint64_t>(_acc.entries()),
+             "matmul accumulator range [%u, %u) out of %lld entries",
+             acc_base, acc_base + rows,
+             static_cast<long long>(_acc.entries()));
+
+    if (!reuse) {
+        // Shift into the shadow plane: after the fetch arrives and
+        // after the previous tile vacated the shadow plane (it
+        // swapped to the active plane when the previous fresh matmul
+        // began).
+        const Cycle shift_start =
+            std::max(fetch_done, _matmulPrevStart);
+        shift_done = shift_start + _cfg.tileShiftCycles();
+        _shiftStart.push_back(shift_start);
+        _shiftDone.push_back(shift_done);
+        _activeTile = tile;
+        _haveActiveTile = true;
+    }
+    const Cycle shift_start =
+        reuse ? 0 : _shiftStart.back();
+
+    const Cycle ub_ready = _maxUbReady(ub_row, rows);
+    Cycle acc_free = 0;
+    for (std::uint32_t i = acc_base; i < acc_base + rows; ++i)
+        acc_free = std::max(acc_free, _accFree[i]);
+
+    const Cycle t0 = _matmulPrevEnd;
+    const Cycle start = std::max({t0, shift_done, ub_ready, acc_free,
+                                  _syncFloor});
+    const Cycle duration = static_cast<Cycle>(rows) *
+                           static_cast<Cycle>(mult);
+    const Cycle end = start + duration;
+
+    // ---- Table 3 attribution of the idle window [t0, start) ----
+    // Weight-load stall: waiting for the DRAM fetch.
+    const Cycle stall_hi = std::min(start, std::max(t0, fetch_done));
+    if (stall_hi > t0)
+        _ctr.weightStallCycles += stall_hi - t0;
+    // Exposed weight shift (shift overlapped with compute is free).
+    const Cycle shift_lo = std::max(t0, shift_start);
+    const Cycle shift_hi = std::min(start, shift_done);
+    if (shift_hi > shift_lo)
+        _ctr.weightShiftCycles += shift_hi - shift_lo;
+    // Remaining wait is non-matrix; classify RAW vs PCIe-input.
+    const Cycle non_weight_lo = std::max(t0, shift_done);
+    if (start > non_weight_lo) {
+        const Cycle gap = start - non_weight_lo;
+        const Cycle dep = std::max(ub_ready, acc_free);
+        if (dep > non_weight_lo) {
+            const Cycle hazard = std::min(gap, dep - non_weight_lo);
+            if (ub_ready >= acc_free &&
+                _ubWrittenByDma(ub_row, rows)) {
+                _ctr.inputStallCycles += hazard;
+            } else {
+                _ctr.rawStallCycles += hazard;
+            }
+        }
+    }
+
+    _ctr.arrayActiveCycles += duration;
+    _ctr.totalMacSlots +=
+        static_cast<std::uint64_t>(_cfg.matrixDim) *
+        static_cast<std::uint64_t>(_cfg.matrixDim) * duration;
+    _ctr.usefulMacs += static_cast<std::uint64_t>(tile.usefulRows) *
+                       static_cast<std::uint64_t>(tile.usefulCols) *
+                       rows;
+    // Systolic execution reads each 256-byte input row ONCE from the
+    // Unified Buffer no matter how many MACs consume it (Section 2's
+    // energy argument), and deposits one 32-bit row per cycle.
+    _ctr.ubBytesRead += static_cast<std::uint64_t>(rows) *
+                        static_cast<std::uint64_t>(_cfg.matrixDim);
+    _ctr.accBytesWritten += static_cast<std::uint64_t>(rows) *
+                            static_cast<std::uint64_t>(
+                                _cfg.matrixDim) * 4;
+    ++_ctr.matmulInstructions;
+
+    // Results drain through the wavefront before Activate can read.
+    const Cycle data_ready =
+        end + 2 * static_cast<Cycle>(_cfg.matrixDim);
+    for (std::uint32_t i = acc_base; i < acc_base + rows; ++i)
+        _accDataReady[i] = data_ready;
+
+    if (_functional) {
+        const std::int64_t dim = _cfg.matrixDim;
+        nn::Int32Tensor acts({static_cast<std::int64_t>(rows), dim});
+        std::vector<std::int8_t> buf(static_cast<std::size_t>(dim));
+        for (std::uint32_t b = 0; b < rows; ++b) {
+            _ub.readRow(static_cast<std::int64_t>(ub_row + b),
+                        buf.data(), dim);
+            for (std::int64_t c = 0; c < dim; ++c)
+                acts.at(b, c) = buf[static_cast<std::size_t>(c)];
+        }
+        const nn::Int8Tensor &wt = _wm.tile(tile.index);
+        nn::Int32Tensor w32({dim, dim});
+        for (std::int64_t r = 0; r < dim; ++r)
+            for (std::int64_t c = 0; c < dim; ++c)
+                w32.at(r, c) = wt.at(r, c);
+        nn::Int32Tensor out = SystolicArray::computeTile(acts, w32);
+        std::vector<std::int32_t> row(static_cast<std::size_t>(dim));
+        for (std::uint32_t b = 0; b < rows; ++b) {
+            for (std::int64_t c = 0; c < dim; ++c)
+                row[static_cast<std::size_t>(c)] = out.at(b, c);
+            _acc.deposit(acc_base + b, row, accumulate);
+        }
+    }
+
+    DTRACE(traceMatrixUnit, start,
+           "matmul rows=%u acc=%u ub=%u reuse=%d end=%llu", rows,
+           acc_base, ub_row, reuse ? 1 : 0,
+           static_cast<unsigned long long>(end));
+
+    _matmulPrevStart = start;
+    _matmulPrevEnd = end;
+    return MatmulTiming{start, end};
+}
+
+void
+TpuCore::_execActivate(const Instruction &inst)
+{
+    const std::uint32_t rows = inst.arg2;
+    const std::uint32_t ub_row = inst.arg1;
+    const nn::Nonlinearity f = funcFromFlags(inst.flags);
+
+    Cycle start;
+    if (inst.arg0 == vectorOpAccSentinel) {
+        // UB-to-UB vector/pool work: depends on its UB inputs only.
+        start = std::max({_activateFreeAt,
+                          _maxUbReady(ub_row, rows), _syncFloor});
+    } else {
+        Cycle acc_ready = 0;
+        for (std::uint32_t i = inst.arg0; i < inst.arg0 + rows; ++i)
+            acc_ready = std::max(acc_ready, _accDataReady[i]);
+        start = std::max({_activateFreeAt, acc_ready, _syncFloor});
+    }
+    const Cycle end = start + rows; // one 256-wide row per cycle
+
+    if (inst.arg0 != vectorOpAccSentinel) {
+        for (std::uint32_t i = inst.arg0; i < inst.arg0 + rows; ++i)
+            _accFree[i] = end;
+        if (_functional) {
+            const float scale = std::bit_cast<float>(
+                _configRegs[static_cast<std::size_t>(
+                    ConfigReg::RequantShift)]);
+            for (std::uint32_t b = 0; b < rows; ++b) {
+                auto out = _act.activate(_acc.row(inst.arg0 + b),
+                                         scale, f);
+                _ub.writeRow(static_cast<std::int64_t>(ub_row + b),
+                             out.data(),
+                             static_cast<std::int64_t>(out.size()));
+            }
+        }
+    }
+    if (inst.arg0 == vectorOpAccSentinel) {
+        // UB-to-UB elementwise work: read + write each row.
+        _ctr.ubBytesRead += static_cast<std::uint64_t>(rows) *
+                            static_cast<std::uint64_t>(
+                                _cfg.matrixDim);
+    }
+    _ctr.ubBytesWritten += static_cast<std::uint64_t>(rows) *
+                           static_cast<std::uint64_t>(_cfg.matrixDim);
+    DTRACE(traceActivation, start, "activate rows=%u dst=%u end=%llu",
+           rows, ub_row, static_cast<unsigned long long>(end));
+    _setUbReady(ub_row, rows, end, writerActivate);
+    _activateFreeAt = end;
+    ++_ctr.activateInstructions;
+}
+
+void
+TpuCore::_execReadHost(const Instruction &inst,
+                       const std::vector<std::int8_t> &host_input,
+                       std::uint64_t &host_cursor)
+{
+    const std::uint32_t rows = inst.arg2;
+    const std::uint32_t ub_row = inst.arg1;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(rows) *
+        static_cast<std::uint64_t>(_ub.rowBytes());
+    const Cycle done = _pcie.transferIn(_syncFloor, bytes);
+    if (_functional) {
+        fatal_if(host_cursor + bytes > host_input.size(),
+                 "host input underrun: need %llu bytes, have %zu",
+                 static_cast<unsigned long long>(host_cursor + bytes),
+                 host_input.size());
+        const std::int64_t row_bytes = _ub.rowBytes();
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            _ub.writeRow(static_cast<std::int64_t>(ub_row + r),
+                         host_input.data() + host_cursor +
+                         static_cast<std::uint64_t>(r) *
+                         static_cast<std::uint64_t>(row_bytes),
+                         row_bytes);
+        }
+    }
+    host_cursor += bytes;
+    _ctr.ubBytesWritten += bytes;
+    DTRACE(traceDma, done, "read_host rows=%u ub=%u bytes=%llu", rows,
+           ub_row, static_cast<unsigned long long>(bytes));
+    _setUbReady(ub_row, rows, done, writerDma);
+    ++_ctr.dmaInstructions;
+}
+
+void
+TpuCore::_execWriteHost(const Instruction &inst,
+                        std::vector<std::int8_t> &host_output)
+{
+    const std::uint32_t rows = inst.arg2;
+    const std::uint32_t ub_row = inst.arg1;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(rows) *
+        static_cast<std::uint64_t>(_ub.rowBytes());
+    const Cycle ready = std::max(_maxUbReady(ub_row, rows), _syncFloor);
+    _pcie.transferOut(ready, bytes);
+    _ctr.ubBytesRead += bytes;
+    if (_functional) {
+        const std::int64_t row_bytes = _ub.rowBytes();
+        std::vector<std::int8_t> buf(
+            static_cast<std::size_t>(row_bytes));
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            _ub.readRow(static_cast<std::int64_t>(ub_row + r),
+                        buf.data(), row_bytes);
+            host_output.insert(host_output.end(), buf.begin(),
+                               buf.end());
+        }
+    }
+    ++_ctr.dmaInstructions;
+}
+
+RunResult
+TpuCore::execute(const Program &program,
+                 const std::vector<std::int8_t> &host_input)
+{
+    _reset();
+    RunResult result;
+    std::uint64_t host_cursor = 0;
+    Cycle last_dma_done = 0;
+
+    for (const Instruction &inst : program) {
+        ++_ctr.totalInstructions;
+        switch (inst.op) {
+          case Opcode::ReadWeights:
+            _execReadWeights(inst);
+            break;
+          case Opcode::MatrixMultiply:
+          case Opcode::Convolve:
+            _execMatmul(inst);
+            break;
+          case Opcode::Activate:
+            _execActivate(inst);
+            break;
+          case Opcode::ReadHostMemory:
+          case Opcode::ReadHostMemoryAlt: {
+            _execReadHost(inst, host_input, host_cursor);
+            const std::uint64_t bytes =
+                static_cast<std::uint64_t>(inst.arg2) *
+                static_cast<std::uint64_t>(_ub.rowBytes());
+            last_dma_done = std::max(last_dma_done,
+                _maxUbReady(inst.arg1, inst.arg2));
+            (void)bytes;
+            break;
+          }
+          case Opcode::WriteHostMemory:
+          case Opcode::WriteHostMemoryAlt:
+            _execWriteHost(inst, result.hostOutput);
+            break;
+          case Opcode::SetConfig:
+            fatal_if(inst.arg0 >= static_cast<std::uint16_t>(
+                         ConfigReg::NumRegs),
+                     "SetConfig: bad register %u", inst.arg0);
+            _configRegs[inst.arg0] = inst.arg2;
+            break;
+          case Opcode::Sync:
+          case Opcode::SyncHost:
+            _syncFloor = std::max({_syncFloor, _matmulPrevEnd,
+                                   _activateFreeAt});
+            break;
+          case Opcode::Nop:
+          case Opcode::DebugTag:
+          case Opcode::InterruptHost:
+            break;
+          case Opcode::Halt:
+            break;
+          case Opcode::NumOpcodes:
+            panic("invalid opcode in program");
+        }
+        if (inst.op == Opcode::Halt)
+            break;
+    }
+
+    // Program completion: every engine drained.  Output DMA time is
+    // folded in through the PCIe busy horizon below.
+    Cycle end = std::max({_matmulPrevEnd, _activateFreeAt,
+                          last_dma_done, _syncFloor});
+    // The out-DMA horizon: approximate with the activation horizon
+    // plus the cycles the final transfer occupies.
+    const Cycle out_cycles = transferCycles(_pcie.bytesOut(),
+                                            _pcie.bytesPerSecond(),
+                                            _cfg.clockHz);
+    end = std::max(end, _activateFreeAt + out_cycles);
+
+    _ctr.totalCycles = end;
+    const Cycle busy = _ctr.arrayActiveCycles + _ctr.weightStallCycles +
+                       _ctr.weightShiftCycles;
+    _ctr.nonMatrixCycles = end > busy ? end - busy : 0;
+    _ctr.weightBytesRead = _wm.bytesFetched();
+    _ctr.pcieBytesIn = _pcie.bytesIn() + encodedBytes(program);
+    _ctr.pcieBytesOut = _pcie.bytesOut();
+
+    result.cycles = end;
+    result.counters = _ctr;
+    result.seconds = cyclesToSeconds(end, _cfg.clockHz);
+    result.teraOps = _ctr.teraOpsPerSecond(_cfg.clockHz);
+    return result;
+}
+
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The Tier-B TPU core: interprets a CISC instruction stream with
+ * cycle-accurate tile-epoch accounting and (optionally) functional
+ * execution of the datapath.
+ *
+ * Microarchitectural contract (Section 2 of the paper):
+ *  - 4-stage CISC pipeline; instructions overlap, and the philosophy
+ *    is "keep the matrix unit busy";
+ *  - Read_Weights is decoupled access/execute: it retires after
+ *    posting its address; the matrix unit stalls only when it needs a
+ *    tile that has not finished fetching/shifting;
+ *  - weight tiles stream from Weight Memory through the 4-deep Weight
+ *    FIFO, then shift into the array's shadow plane (256 cycles),
+ *    which swaps with the active plane between matmuls (double
+ *    buffering);
+ *  - a MatrixMultiply of B rows occupies the array for B pipelined
+ *    cycles (x2 for one 16-bit operand, x4 for two);
+ *  - the Activation Unit drains accumulators at one 256-value row per
+ *    cycle, overlapped with matrix work; layer-boundary RAW hazards
+ *    create the "delay slot" waits the paper describes;
+ *  - DMA over PCIe runs concurrently in both directions.
+ *
+ * Every idle matrix-unit cycle is attributed to exactly one Table 3
+ * bucket (weight-load stall, weight shift, non-matrix), and RAW/PCIe
+ * input stalls are counted independently, mirroring the paper's
+ * counter semantics.
+ */
+
+#ifndef TPUSIM_ARCH_TPU_CORE_HH
+#define TPUSIM_ARCH_TPU_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/accumulator.hh"
+#include "arch/activation_unit.hh"
+#include "arch/config.hh"
+#include "arch/isa.hh"
+#include "arch/pcie.hh"
+#include "arch/perf_counters.hh"
+#include "arch/unified_buffer.hh"
+#include "arch/weight_memory.hh"
+#include "sim/trace.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+
+/** Trace flags for the execution engines (enable via DebugFlag). */
+extern trace::DebugFlag traceMatrixUnit;
+extern trace::DebugFlag traceActivation;
+extern trace::DebugFlag traceDma;
+
+/** Result of executing one program. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    PerfCounters counters;
+    std::vector<std::int8_t> hostOutput;
+    double seconds = 0.0;
+    double teraOps = 0.0;
+};
+
+/** Instruction-stream interpreter with Table 3 cycle attribution. */
+class TpuCore
+{
+  public:
+    /**
+     * @param config     chip parameters
+     * @param wm         weight DRAM (timing + optional tile images)
+     * @param ub         unified buffer (functional storage)
+     * @param acc        accumulator file (functional storage)
+     * @param act        activation unit (functional datapath)
+     * @param pcie       host link model
+     * @param functional execute the datapath (not just the clock)
+     */
+    TpuCore(const TpuConfig &config, WeightMemory &wm, UnifiedBuffer &ub,
+            AccumulatorFile &acc, ActivationUnit &act, PcieLink &pcie,
+            bool functional);
+
+    /**
+     * Execute @p program.  @p host_input supplies the bytes consumed
+     * by ReadHostMemory instructions (in program order).
+     */
+    RunResult execute(const Program &program,
+                      const std::vector<std::int8_t> &host_input = {});
+
+  private:
+    struct MatmulTiming
+    {
+        Cycle start = 0;
+        Cycle end = 0;
+    };
+
+    /** Per-run mutable state, reset by execute(). */
+    void _reset();
+
+    Cycle _maxUbReady(std::uint32_t row, std::uint32_t rows) const;
+    void _setUbReady(std::uint32_t row, std::uint32_t rows, Cycle when,
+                     std::uint8_t writer);
+    bool _ubWrittenByDma(std::uint32_t row, std::uint32_t rows) const;
+
+    void _execReadWeights(const Instruction &inst);
+    MatmulTiming _execMatmul(const Instruction &inst);
+    void _execActivate(const Instruction &inst);
+    void _execReadHost(const Instruction &inst,
+                       const std::vector<std::int8_t> &host_input,
+                       std::uint64_t &host_cursor);
+    void _execWriteHost(const Instruction &inst,
+                        std::vector<std::int8_t> &host_output);
+
+    const TpuConfig &_cfg;
+    WeightMemory &_wm;
+    UnifiedBuffer &_ub;
+    AccumulatorFile &_acc;
+    ActivationUnit &_act;
+    PcieLink &_pcie;
+    bool _functional;
+
+    PerfCounters _ctr;
+
+    /** Config registers written by SetConfig. */
+    std::vector<std::uint32_t> _configRegs;
+
+    /** Matrix unit timeline. */
+    Cycle _matmulPrevStart = 0;
+    Cycle _matmulPrevEnd = 0;
+
+    /** Activation engine timeline. */
+    Cycle _activateFreeAt = 0;
+
+    /** Pending (fetched/shifting) tile bookkeeping, in stream order. */
+    std::vector<Cycle> _shiftStart;
+    std::vector<Cycle> _shiftDone;
+    struct PendingTile
+    {
+        std::uint64_t index;
+        Cycle fetchDone;
+        std::uint16_t usefulRows;
+        std::uint16_t usefulCols;
+    };
+    std::vector<PendingTile> _pendingTiles;
+    std::size_t _nextTile = 0; ///< next pending tile to be consumed
+    PendingTile _activeTile;   ///< tile currently in the array
+    bool _haveActiveTile = false;
+
+    /** Scoreboards. */
+    std::vector<Cycle> _ubReady;
+    std::vector<std::uint8_t> _ubWriter; ///< 0 none, 1 activate, 2 DMA
+    std::vector<Cycle> _accDataReady;
+    std::vector<Cycle> _accFree;
+
+    /** Barrier floor established by Sync instructions. */
+    Cycle _syncFloor = 0;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_TPU_CORE_HH

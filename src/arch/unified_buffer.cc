@@ -1,0 +1,58 @@
+#include "arch/unified_buffer.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace arch {
+
+UnifiedBuffer::UnifiedBuffer(std::uint64_t capacity_bytes,
+                             std::int64_t row_bytes)
+    : _bytes(capacity_bytes, 0), _rowBytes(row_bytes)
+{
+    fatal_if(row_bytes <= 0, "UB row bytes must be positive");
+    fatal_if(capacity_bytes % static_cast<std::uint64_t>(row_bytes) != 0,
+             "UB capacity %llu not a multiple of row size %lld",
+             static_cast<unsigned long long>(capacity_bytes),
+             static_cast<long long>(row_bytes));
+}
+
+void
+UnifiedBuffer::writeRow(std::int64_t row, const std::int8_t *data,
+                        std::int64_t len)
+{
+    panic_if(row < 0 || len < 0, "UB write bad row/len");
+    std::uint64_t off = static_cast<std::uint64_t>(row) *
+                        static_cast<std::uint64_t>(_rowBytes);
+    panic_if(off + static_cast<std::uint64_t>(len) > capacityBytes(),
+             "UB write overflows capacity (row %lld len %lld)",
+             static_cast<long long>(row), static_cast<long long>(len));
+    std::memcpy(_bytes.data() + off, data, static_cast<size_t>(len));
+    _highWater = std::max(_highWater,
+                          off + static_cast<std::uint64_t>(len));
+}
+
+void
+UnifiedBuffer::readRow(std::int64_t row, std::int8_t *out,
+                       std::int64_t len) const
+{
+    panic_if(row < 0 || len < 0, "UB read bad row/len");
+    std::uint64_t off = static_cast<std::uint64_t>(row) *
+                        static_cast<std::uint64_t>(_rowBytes);
+    panic_if(off + static_cast<std::uint64_t>(len) > capacityBytes(),
+             "UB read overflows capacity (row %lld len %lld)",
+             static_cast<long long>(row), static_cast<long long>(len));
+    std::memcpy(out, _bytes.data() + off, static_cast<size_t>(len));
+}
+
+std::int8_t
+UnifiedBuffer::byteAt(std::uint64_t offset) const
+{
+    panic_if(offset >= capacityBytes(), "UB byteAt out of range");
+    return _bytes[offset];
+}
+
+} // namespace arch
+} // namespace tpu

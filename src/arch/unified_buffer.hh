@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The 24 MiB software-managed Unified Buffer: "intermediate results are
+ * held in the 24 MiB on-chip Unified Buffer, which can serve as inputs
+ * to the Matrix Unit" (Section 2).
+ *
+ * The buffer is addressed in 256-byte rows (the TPU's internal paths
+ * are 256 bytes wide); it is plain SRAM -- no caching, no hardware
+ * management.  The model stores real bytes for functional simulation
+ * and tracks a high-water mark for the Table 8 experiment.
+ */
+
+#ifndef TPUSIM_ARCH_UNIFIED_BUFFER_HH
+#define TPUSIM_ARCH_UNIFIED_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tpu {
+namespace arch {
+
+/** Software-managed on-chip SRAM, addressed in rows of rowBytes. */
+class UnifiedBuffer
+{
+  public:
+    UnifiedBuffer(std::uint64_t capacity_bytes, std::int64_t row_bytes);
+
+    std::uint64_t capacityBytes() const { return _bytes.size(); }
+    std::int64_t rowBytes() const { return _rowBytes; }
+    std::int64_t numRows() const
+    {
+        return static_cast<std::int64_t>(capacityBytes()) / _rowBytes;
+    }
+
+    /** Write @p data starting at row @p row (length in bytes). */
+    void writeRow(std::int64_t row, const std::int8_t *data,
+                  std::int64_t len);
+
+    /** Read @p len bytes starting at row @p row into @p out. */
+    void readRow(std::int64_t row, std::int8_t *out,
+                 std::int64_t len) const;
+
+    std::int8_t byteAt(std::uint64_t offset) const;
+
+    /** Highest byte offset ever written + 1 (Table 8 usage metric). */
+    std::uint64_t highWaterBytes() const { return _highWater; }
+    void resetHighWater() { _highWater = 0; }
+
+  private:
+    std::vector<std::int8_t> _bytes;
+    std::int64_t _rowBytes;
+    std::uint64_t _highWater = 0;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_UNIFIED_BUFFER_HH

@@ -1,0 +1,146 @@
+#include "arch/validate.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace arch {
+
+std::vector<ValidationIssue>
+validateProgram(const Program &program, const TpuConfig &config)
+{
+    std::vector<ValidationIssue> issues;
+    auto report = [&](std::size_t idx, std::string msg) {
+        issues.push_back(ValidationIssue{idx, std::move(msg)});
+    };
+
+    const std::int64_t ub_rows =
+        static_cast<std::int64_t>(config.unifiedBufferBytes) /
+        config.matrixDim;
+    const std::int64_t acc_entries = config.accumulatorEntries;
+
+    std::int64_t staged_tiles = 0;
+    bool tile_in_array = false;
+    bool halted = false;
+    std::vector<bool> ub_written(static_cast<std::size_t>(ub_rows),
+                                 false);
+
+    auto check_ub_range = [&](std::size_t idx, std::uint32_t row,
+                              std::uint32_t rows, const char *what) {
+        if (static_cast<std::int64_t>(row) +
+            static_cast<std::int64_t>(rows) > ub_rows) {
+            report(idx, csprintf("%s UB range [%u, %u) exceeds %lld "
+                                 "rows", what, row, row + rows,
+                                 static_cast<long long>(ub_rows)));
+            return false;
+        }
+        return true;
+    };
+    auto mark_ub_written = [&](std::uint32_t row, std::uint32_t rows) {
+        for (std::uint32_t r = row;
+             r < row + rows &&
+             r < static_cast<std::uint32_t>(ub_rows); ++r)
+            ub_written[r] = true;
+    };
+
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const Instruction &inst = program[i];
+        if (halted) {
+            report(i, "instruction after Halt");
+            break;
+        }
+        if (static_cast<std::uint8_t>(inst.op) >=
+            static_cast<std::uint8_t>(Opcode::NumOpcodes)) {
+            report(i, "invalid opcode");
+            continue;
+        }
+        switch (inst.op) {
+          case Opcode::ReadWeights:
+            if (readWeightsUsefulRows(inst) >
+                static_cast<std::uint16_t>(config.matrixDim) ||
+                readWeightsUsefulCols(inst) >
+                static_cast<std::uint16_t>(config.matrixDim)) {
+                report(i, "useful rows/cols exceed the matrix "
+                          "dimension");
+            }
+            ++staged_tiles;
+            break;
+          case Opcode::MatrixMultiply:
+          case Opcode::Convolve: {
+            const bool reuse = inst.flags & flags::reuse_weights;
+            if (reuse) {
+                if (!tile_in_array)
+                    report(i, "reuse_weights with no tile in the "
+                              "array");
+            } else if (staged_tiles <= 0) {
+                report(i, "MatrixMultiply with no staged weight "
+                          "tile");
+            } else {
+                --staged_tiles;
+                tile_in_array = true;
+            }
+            if (static_cast<std::int64_t>(inst.arg0) +
+                static_cast<std::int64_t>(inst.arg2) > acc_entries) {
+                report(i, csprintf("accumulator range [%u, %u) "
+                                   "exceeds %lld entries", inst.arg0,
+                                   inst.arg0 + inst.arg2,
+                                   static_cast<long long>(
+                                       acc_entries)));
+            }
+            if (check_ub_range(i, inst.arg1, inst.arg2, "matmul")) {
+                for (std::uint32_t r = inst.arg1;
+                     r < inst.arg1 + inst.arg2; ++r) {
+                    if (!ub_written[r]) {
+                        report(i, csprintf("matmul reads UB row %u "
+                                           "never written", r));
+                        break;
+                    }
+                }
+            }
+            if (inst.arg2 == 0)
+                report(i, "matmul with zero rows");
+            break;
+          }
+          case Opcode::Activate:
+            if (inst.arg0 != vectorOpAccSentinel &&
+                static_cast<std::int64_t>(inst.arg0) +
+                static_cast<std::int64_t>(inst.arg2) > acc_entries) {
+                report(i, "Activate accumulator range out of "
+                          "bounds");
+            }
+            if (check_ub_range(i, inst.arg1, inst.arg2, "activate"))
+                mark_ub_written(inst.arg1, inst.arg2);
+            break;
+          case Opcode::ReadHostMemory:
+          case Opcode::ReadHostMemoryAlt:
+            if (check_ub_range(i, inst.arg1, inst.arg2, "host read"))
+                mark_ub_written(inst.arg1, inst.arg2);
+            break;
+          case Opcode::WriteHostMemory:
+          case Opcode::WriteHostMemoryAlt:
+            check_ub_range(i, inst.arg1, inst.arg2, "host write");
+            break;
+          case Opcode::SetConfig:
+            if (inst.arg0 >=
+                static_cast<std::uint16_t>(ConfigReg::NumRegs))
+                report(i, "SetConfig: invalid register id");
+            break;
+          case Opcode::Halt:
+            halted = true;
+            break;
+          default:
+            break;
+        }
+    }
+    return issues;
+}
+
+bool
+programIsValid(const Program &program, const TpuConfig &config)
+{
+    return validateProgram(program, config).empty();
+}
+
+} // namespace arch
+} // namespace tpu

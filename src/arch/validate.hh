@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Static validation of TPU programs: the checks the real hardware's
+ * instruction decoder and the driver's debug builds would perform.
+ * The compiler's output is validated in tests; user-assembled
+ * programs (examples, fuzzing) can be checked before execution.
+ */
+
+#ifndef TPUSIM_ARCH_VALIDATE_HH
+#define TPUSIM_ARCH_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/isa.hh"
+
+namespace tpu {
+namespace arch {
+
+/** One validation finding. */
+struct ValidationIssue
+{
+    std::size_t instructionIndex = 0;
+    std::string message;
+};
+
+/**
+ * Check @p program against @p config.  Verified properties:
+ *  - opcodes are in range and Halt (if present) is last;
+ *  - every MatrixMultiply/Convolve has a staged tile available
+ *    (ReadWeights issued earlier and not yet consumed), or carries
+ *    the reuse_weights flag with a tile already in the array;
+ *  - accumulator ranges fit the accumulator file;
+ *  - UB row ranges fit the Unified Buffer;
+ *  - Activate reads accumulator ranges in bounds (vector ops exempt);
+ *  - SetConfig register ids are valid;
+ *  - matmuls read UB rows that some earlier instruction wrote.
+ *
+ * @return all issues found (empty means the program is well formed).
+ */
+std::vector<ValidationIssue> validateProgram(const Program &program,
+                                             const TpuConfig &config);
+
+/** Convenience: true if validateProgram returns no issues. */
+bool programIsValid(const Program &program, const TpuConfig &config);
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_VALIDATE_HH

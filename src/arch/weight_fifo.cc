@@ -1,0 +1,39 @@
+#include "arch/weight_fifo.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace arch {
+
+WeightFifo::WeightFifo(std::int64_t capacity_tiles)
+    : _capacity(capacity_tiles)
+{
+    fatal_if(capacity_tiles <= 0, "weight FIFO capacity must be > 0");
+}
+
+void
+WeightFifo::push(StagedTile tile)
+{
+    panic_if(full(), "weight FIFO overflow (capacity %lld)",
+             static_cast<long long>(_capacity));
+    _tiles.push_back(std::move(tile));
+}
+
+const StagedTile &
+WeightFifo::front() const
+{
+    panic_if(_tiles.empty(), "weight FIFO underflow");
+    return _tiles.front();
+}
+
+StagedTile
+WeightFifo::pop()
+{
+    panic_if(_tiles.empty(), "weight FIFO underflow");
+    StagedTile t = std::move(_tiles.front());
+    _tiles.pop_front();
+    return t;
+}
+
+} // namespace arch
+} // namespace tpu

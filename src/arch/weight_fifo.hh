@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The on-chip Weight FIFO: "the weights for the matrix unit are staged
+ * through an on-chip Weight FIFO that reads from ... Weight Memory.
+ * The weight FIFO is four tiles deep" (Section 2).
+ *
+ * Entries carry the fetched tile plus the cycle at which the fetch
+ * completes, implementing the decoupled-access/execute behaviour of
+ * Read_Weights: the instruction retires after posting its address, and
+ * the matrix unit stalls only if it needs a tile that has not arrived.
+ */
+
+#ifndef TPUSIM_ARCH_WEIGHT_FIFO_HH
+#define TPUSIM_ARCH_WEIGHT_FIFO_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "nn/tensor.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+
+/** A staged weight tile and when its fetch completes. */
+struct StagedTile
+{
+    std::uint64_t tileIndex = 0; ///< index in Weight Memory
+    Cycle readyAt = 0;           ///< fetch completion cycle
+    nn::Int8Tensor data;         ///< tile contents (functional mode)
+    bool hasData = false;
+};
+
+/** Bounded FIFO of staged weight tiles. */
+class WeightFifo
+{
+  public:
+    explicit WeightFifo(std::int64_t capacity_tiles);
+
+    std::int64_t capacity() const { return _capacity; }
+    std::size_t size() const { return _tiles.size(); }
+    bool empty() const { return _tiles.empty(); }
+    bool full() const
+    {
+        return static_cast<std::int64_t>(_tiles.size()) >= _capacity;
+    }
+
+    /** Stage a fetched tile; pushing when full is a simulator bug. */
+    void push(StagedTile tile);
+
+    /** The tile at the head (next to shift into the array). */
+    const StagedTile &front() const;
+
+    /** Remove the head tile (it has been shifted into the array). */
+    StagedTile pop();
+
+    void clear() { _tiles.clear(); }
+
+  private:
+    std::int64_t _capacity;
+    std::deque<StagedTile> _tiles;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_WEIGHT_FIFO_HH

@@ -1,0 +1,67 @@
+#include "arch/weight_memory.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace arch {
+
+WeightMemory::WeightMemory(std::uint64_t capacity_bytes,
+                           double bytes_per_second, double clock_hz)
+    : _capacity(capacity_bytes), _bytesPerSecond(bytes_per_second),
+      _clockHz(clock_hz)
+{
+    fatal_if(bytes_per_second <= 0 || clock_hz <= 0,
+             "weight memory needs positive bandwidth and clock");
+}
+
+void
+WeightMemory::storeTile(std::uint64_t tile_index, nn::Int8Tensor tile)
+{
+    auto bytes = static_cast<std::uint64_t>(tile.size());
+    auto it = _tiles.find(tile_index);
+    if (it != _tiles.end())
+        _bytesStored -= static_cast<std::uint64_t>(it->second.size());
+    _bytesStored += bytes;
+    fatal_if(_bytesStored > _capacity,
+             "weight memory capacity exceeded (%llu > %llu bytes)",
+             static_cast<unsigned long long>(_bytesStored),
+             static_cast<unsigned long long>(_capacity));
+    _tiles[tile_index] = std::move(tile);
+}
+
+bool
+WeightMemory::hasTile(std::uint64_t tile_index) const
+{
+    return _tiles.count(tile_index) != 0;
+}
+
+const nn::Int8Tensor &
+WeightMemory::tile(std::uint64_t tile_index) const
+{
+    auto it = _tiles.find(tile_index);
+    panic_if(it == _tiles.end(), "missing weight tile %llu",
+             static_cast<unsigned long long>(tile_index));
+    return it->second;
+}
+
+Cycle
+WeightMemory::fetch(Cycle earliest, std::uint64_t bytes)
+{
+    Cycle start = std::max(earliest, _channelFreeAt);
+    Cycle cost = transferCycles(bytes, _bytesPerSecond, _clockHz);
+    _channelFreeAt = start + cost;
+    _bytesFetched += bytes;
+    return _channelFreeAt;
+}
+
+void
+WeightMemory::resetTiming()
+{
+    _channelFreeAt = 0;
+    _bytesFetched = 0;
+}
+
+} // namespace arch
+} // namespace tpu

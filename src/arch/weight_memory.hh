@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Off-chip Weight Memory: "an off-chip 8 GiB DRAM ... for inference,
+ * weights are read-only; 8 GiB supports many simultaneously active
+ * models" (Section 2).  DDR3 at 34 GB/s in production; GDDR5 at ~183
+ * GB/s in the Section 7 TPU'.
+ *
+ * Functional side: a tile store indexed by tile number (the compiler
+ * writes the weight image at model-load time, mirroring the User Space
+ * driver "writing the weight image into the TPU's weight memory").
+ * Timing side: a single-channel bandwidth server -- fetches are
+ * serialized and each occupies the channel for bytes/bandwidth cycles.
+ */
+
+#ifndef TPUSIM_ARCH_WEIGHT_MEMORY_HH
+#define TPUSIM_ARCH_WEIGHT_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "nn/tensor.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+
+/** Bandwidth-modelled, tile-addressed weight DRAM. */
+class WeightMemory
+{
+  public:
+    /**
+     * @param capacity_bytes     total DRAM capacity (8 GiB)
+     * @param bytes_per_second   sustained bandwidth (34e9 for DDR3)
+     * @param clock_hz           core clock used for cycle conversion
+     */
+    WeightMemory(std::uint64_t capacity_bytes, double bytes_per_second,
+                 double clock_hz);
+
+    std::uint64_t capacityBytes() const { return _capacity; }
+    double bytesPerSecond() const { return _bytesPerSecond; }
+
+    /** Store a tile image at @p tile_index (model-load time). */
+    void storeTile(std::uint64_t tile_index, nn::Int8Tensor tile);
+
+    /** True if a tile image exists at @p tile_index. */
+    bool hasTile(std::uint64_t tile_index) const;
+
+    /** Fetch a tile image (functional path). */
+    const nn::Int8Tensor &tile(std::uint64_t tile_index) const;
+
+    /** Total bytes currently stored (for capacity accounting). */
+    std::uint64_t bytesStored() const { return _bytesStored; }
+
+    /**
+     * Timing: serialize a fetch of @p bytes starting no earlier than
+     * @p earliest; returns the completion cycle and advances the
+     * channel-busy horizon.
+     */
+    Cycle fetch(Cycle earliest, std::uint64_t bytes);
+
+    /** Cycle at which the channel next becomes free. */
+    Cycle channelFreeAt() const { return _channelFreeAt; }
+
+    /** Total bytes streamed through the timing model. */
+    std::uint64_t bytesFetched() const { return _bytesFetched; }
+
+    void resetTiming();
+
+  private:
+    std::uint64_t _capacity;
+    double _bytesPerSecond;
+    double _clockHz;
+    std::unordered_map<std::uint64_t, nn::Int8Tensor> _tiles;
+    std::uint64_t _bytesStored = 0;
+    Cycle _channelFreeAt = 0;
+    std::uint64_t _bytesFetched = 0;
+};
+
+} // namespace arch
+} // namespace tpu
+
+#endif // TPUSIM_ARCH_WEIGHT_MEMORY_HH

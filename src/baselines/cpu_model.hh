@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Calibration constants for the Haswell baseline (see platform.hh for
+ * the modelling approach).
+ */
+
+#ifndef TPUSIM_BASELINES_CPU_MODEL_HH
+#define TPUSIM_BASELINES_CPU_MODEL_HH
+
+#include "baselines/platform.hh"
+
+#endif // TPUSIM_BASELINES_CPU_MODEL_HH

@@ -1,0 +1,32 @@
+#include "baselines/gpu_model.hh"
+
+namespace tpu {
+namespace baselines {
+
+BaselineModel
+makeGpuModel(bool boost)
+{
+    // Achieved fraction of the roofline cap per app, fitted to the
+    // paper's Table 6.  The throughput-oriented K80 is crippled by the
+    // response-time bound on MLPs ("the K80 is underutilized for
+    // inference, and is just a little faster than a Haswell CPU") but
+    // does well on the big-batch LSTM1 and the compute-dense CNN0.
+    std::array<double, 6> achieved = {
+        0.22,  // MLP0
+        0.032, // MLP1
+        0.136, // LSTM0
+        0.83,  // LSTM1
+        0.61,  // CNN0
+        0.168, // CNN1
+    };
+    std::array<std::int64_t, 6> sla_batch = {16, 16, 64, 64, 32, 32};
+    // MLP0 batch service: s(64) = 1.755 ms reproduces Table 4's
+    // 36,465 IPS saturation at batch 64.
+    latency::ServiceModel service{0.90e-3, 13.4e-6};
+    return BaselineModel(boost ? PlatformSpec::k80Boost()
+                               : PlatformSpec::k80(),
+                         achieved, sla_batch, service);
+}
+
+} // namespace baselines
+} // namespace tpu

@@ -1,0 +1,138 @@
+#include "baselines/platform.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace baselines {
+
+PlatformSpec
+PlatformSpec::haswell()
+{
+    PlatformSpec s;
+    s.name = "Haswell";
+    s.peakOpsPerSec = 1.3 * tera; // FP (Table 2)
+    s.memBytesPerSec = 51.0 * giga;
+    s.clockHz = 2300.0 * mega;
+    s.dieTdpWatts = 145.0;
+    s.dieBusyWatts = 145.0;
+    s.dieIdleWatts = 41.0;
+    s.diesPerServer = 2;
+    s.serverTdpWatts = 504.0;
+    s.serverBusyWatts = 455.0;
+    s.serverIdleWatts = 159.0;
+    return s;
+}
+
+PlatformSpec
+PlatformSpec::k80()
+{
+    PlatformSpec s;
+    s.name = "K80";
+    s.peakOpsPerSec = 2.8 * tera; // FP, no Boost (Table 2)
+    s.memBytesPerSec = 160.0 * giga; // SECDED, no Boost (Table 2)
+    s.clockHz = 560.0 * mega;
+    s.dieTdpWatts = 150.0;
+    s.dieBusyWatts = 98.0;
+    s.dieIdleWatts = 25.0;
+    s.diesPerServer = 8;
+    s.serverTdpWatts = 1838.0;
+    s.serverBusyWatts = 991.0;
+    s.serverIdleWatts = 357.0;
+    return s;
+}
+
+PlatformSpec
+PlatformSpec::k80Boost()
+{
+    // Section 8: Boost raised the clock up to 875 MHz; measured on
+    // LSTM1 it bought 1.4x performance for 1.3x power.
+    PlatformSpec s = k80();
+    s.name = "K80+Boost";
+    s.clockHz = 875.0 * mega;
+    s.peakOpsPerSec *= 1.4;
+    s.memBytesPerSec = 240.0 * giga;
+    s.dieBusyWatts *= 1.3;
+    s.serverBusyWatts = 357.0 + (991.0 - 357.0) * 1.3;
+    return s;
+}
+
+BaselineModel::BaselineModel(PlatformSpec spec,
+                             std::array<double, 6> achieved_fraction,
+                             std::array<std::int64_t, 6> sla_batch,
+                             latency::ServiceModel mlp0_service)
+    : _spec(std::move(spec)), _achievedFraction(achieved_fraction),
+      _slaBatch(sla_batch), _mlp0Service(mlp0_service)
+{
+    for (double f : _achievedFraction)
+        fatal_if(f <= 0.0 || f > 1.0,
+                 "achieved fraction %f out of (0, 1]", f);
+    for (std::int64_t b : _slaBatch)
+        fatal_if(b <= 0, "SLA batch must be positive");
+}
+
+std::size_t
+BaselineModel::_index(workloads::AppId id) const
+{
+    return static_cast<std::size_t>(id);
+}
+
+std::int64_t
+BaselineModel::slaBatch(workloads::AppId id) const
+{
+    return _slaBatch[_index(id)];
+}
+
+double
+BaselineModel::intensityAtSla(workloads::AppId id) const
+{
+    // Operational intensity scales linearly with batch (each weight
+    // byte read once per batch).
+    const workloads::AppInfo &ai = workloads::info(id);
+    return ai.paperOpsPerByte * static_cast<double>(slaBatch(id)) /
+           static_cast<double>(ai.batchSize);
+}
+
+double
+BaselineModel::rooflineOpsPerSec(workloads::AppId id) const
+{
+    const double intensity = intensityAtSla(id);
+    return std::min(_spec.peakOpsPerSec,
+                    2.0 * _spec.memBytesPerSec * intensity);
+}
+
+double
+BaselineModel::opsPerSec(workloads::AppId id) const
+{
+    return rooflineOpsPerSec(id) * _achievedFraction[_index(id)];
+}
+
+double
+BaselineModel::inferencesPerSec(workloads::AppId id) const
+{
+    nn::Network net = workloads::build(id);
+    const double ops_per_inference =
+        2.0 * static_cast<double>(net.macsPerExample());
+    return opsPerSec(id) / ops_per_inference;
+}
+
+double
+hostInteractionFraction(workloads::AppId id)
+{
+    // Table 5 of the paper: measured host/TPU PCIe interaction time
+    // as a percentage of TPU execution time.
+    switch (id) {
+      case workloads::AppId::MLP0: return 0.21;
+      case workloads::AppId::MLP1: return 0.76;
+      case workloads::AppId::LSTM0: return 0.11;
+      case workloads::AppId::LSTM1: return 0.20;
+      case workloads::AppId::CNN0: return 0.51;
+      case workloads::AppId::CNN1: return 0.14;
+    }
+    panic("unknown app id");
+}
+
+} // namespace baselines
+} // namespace tpu

@@ -1,0 +1,114 @@
+#include "compiler/allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace compiler {
+
+std::int64_t
+BumpAllocator::alloc(std::int64_t rows)
+{
+    fatal_if(rows <= 0, "alloc of %lld rows",
+             static_cast<long long>(rows));
+    fatal_if(_next + rows > _capacityRows,
+             "Unified Buffer exhausted: need %lld rows at %lld of "
+             "%lld (bump allocator)", static_cast<long long>(rows),
+             static_cast<long long>(_next),
+             static_cast<long long>(_capacityRows));
+    std::int64_t base = _next;
+    _next += rows;
+    noteUse(base, rows);
+    return base;
+}
+
+void
+BumpAllocator::free(std::int64_t, std::int64_t)
+{
+    // The bump primitive never reuses storage.
+}
+
+std::int64_t
+SizeClassAllocator::alloc(std::int64_t rows)
+{
+    fatal_if(rows <= 0, "alloc of %lld rows",
+             static_cast<long long>(rows));
+    auto it = _pool.find(rows);
+    if (it != _pool.end() && !it->second.empty()) {
+        std::int64_t base = it->second.back();
+        it->second.pop_back();
+        noteUse(base, rows);
+        return base;
+    }
+    fatal_if(_next + rows > _capacityRows,
+             "Unified Buffer exhausted: need %lld rows at %lld of "
+             "%lld (original allocator)", static_cast<long long>(rows),
+             static_cast<long long>(_next),
+             static_cast<long long>(_capacityRows));
+    std::int64_t base = _next;
+    _next += rows;
+    noteUse(base, rows);
+    return base;
+}
+
+void
+SizeClassAllocator::free(std::int64_t base, std::int64_t rows)
+{
+    panic_if(rows <= 0 || base < 0, "bad free(%lld, %lld)",
+             static_cast<long long>(base),
+             static_cast<long long>(rows));
+    _pool[rows].push_back(base);
+}
+
+ReuseAllocator::ReuseAllocator(std::int64_t capacity_rows)
+    : UbAllocator(capacity_rows)
+{
+    _free[0] = capacity_rows;
+}
+
+std::int64_t
+ReuseAllocator::alloc(std::int64_t rows)
+{
+    fatal_if(rows <= 0, "alloc of %lld rows",
+             static_cast<long long>(rows));
+    for (auto it = _free.begin(); it != _free.end(); ++it) {
+        if (it->second >= rows) {
+            std::int64_t base = it->first;
+            std::int64_t len = it->second;
+            _free.erase(it);
+            if (len > rows)
+                _free[base + rows] = len - rows;
+            noteUse(base, rows);
+            return base;
+        }
+    }
+    fatal("Unified Buffer exhausted: no free region of %lld rows "
+          "(reuse allocator)", static_cast<long long>(rows));
+}
+
+void
+ReuseAllocator::free(std::int64_t base, std::int64_t rows)
+{
+    panic_if(rows <= 0 || base < 0, "bad free(%lld, %lld)",
+             static_cast<long long>(base),
+             static_cast<long long>(rows));
+    auto [it, inserted] = _free.emplace(base, rows);
+    panic_if(!inserted, "double free at row %lld",
+             static_cast<long long>(base));
+    // Coalesce with successor.
+    auto next = std::next(it);
+    if (next != _free.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        _free.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (it != _free.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            _free.erase(it);
+        }
+    }
+}
+
+} // namespace compiler
+} // namespace tpu

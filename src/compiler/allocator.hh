@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unified Buffer storage allocators (Section 7 / Table 8 of the
+ * paper): "we recently improved the storage allocator for the Unified
+ * Buffer, which reduces the memory needed for the largest of the six
+ * applications to 14 MiB.  For the first 18 months of deployment, the
+ * TPU used its full capacity while the new allocator was being
+ * developed."
+ *
+ * Two allocators mirror that history:
+ *  - BumpAllocator: the original scheme -- every tensor gets a fresh
+ *    region and nothing is ever reused;
+ *  - ReuseAllocator: the improved scheme -- regions are freed when
+ *    their last reader retires and storage is recycled first-fit with
+ *    coalescing.
+ */
+
+#ifndef TPUSIM_COMPILER_ALLOCATOR_HH
+#define TPUSIM_COMPILER_ALLOCATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tpu {
+namespace compiler {
+
+/** Row-granular allocator interface for the Unified Buffer. */
+class UbAllocator
+{
+  public:
+    explicit UbAllocator(std::int64_t capacity_rows)
+        : _capacityRows(capacity_rows)
+    {}
+    virtual ~UbAllocator() = default;
+
+    /** Reserve @p rows rows; returns the base row. */
+    virtual std::int64_t alloc(std::int64_t rows) = 0;
+
+    /** Release a prior allocation (base row returned by alloc). */
+    virtual void free(std::int64_t base, std::int64_t rows) = 0;
+
+    std::int64_t capacityRows() const { return _capacityRows; }
+
+    /** Highest row ever allocated + 1 (Table 8 usage metric). */
+    std::int64_t highWaterRows() const { return _highWater; }
+
+  protected:
+    void
+    noteUse(std::int64_t base, std::int64_t rows)
+    {
+        if (base + rows > _highWater)
+            _highWater = base + rows;
+    }
+
+    std::int64_t _capacityRows;
+    std::int64_t _highWater = 0;
+};
+
+/** Monotone bump pointer, no reuse at all (a testing primitive). */
+class BumpAllocator : public UbAllocator
+{
+  public:
+    using UbAllocator::UbAllocator;
+
+    std::int64_t alloc(std::int64_t rows) override;
+    void free(std::int64_t base, std::int64_t rows) override;
+
+  private:
+    std::int64_t _next = 0;
+};
+
+/**
+ * The model of the TPU's original allocator: freed regions are
+ * recycled only for requests of the *exact same size* -- no
+ * splitting, no coalescing.  Wasteful (the TPU "used its full
+ * capacity" for 18 months) but bounded, unlike a pure bump pointer.
+ */
+class SizeClassAllocator : public UbAllocator
+{
+  public:
+    using UbAllocator::UbAllocator;
+
+    std::int64_t alloc(std::int64_t rows) override;
+    void free(std::int64_t base, std::int64_t rows) override;
+
+  private:
+    std::int64_t _next = 0;
+    /** size -> stack of recycled bases of exactly that size. */
+    std::map<std::int64_t, std::vector<std::int64_t>> _pool;
+};
+
+/** The improved allocator: first-fit free list with coalescing. */
+class ReuseAllocator : public UbAllocator
+{
+  public:
+    explicit ReuseAllocator(std::int64_t capacity_rows);
+
+    std::int64_t alloc(std::int64_t rows) override;
+    void free(std::int64_t base, std::int64_t rows) override;
+
+    /** Number of free-list fragments (for tests). */
+    std::size_t fragments() const { return _free.size(); }
+
+  private:
+    /** base -> length, disjoint and coalesced. */
+    std::map<std::int64_t, std::int64_t> _free;
+};
+
+} // namespace compiler
+} // namespace tpu
+
+#endif // TPUSIM_COMPILER_ALLOCATOR_HH

@@ -1,0 +1,361 @@
+#include "compiler/codegen.hh"
+
+#include <bit>
+#include <memory>
+
+#include "compiler/tiling.hh"
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace compiler {
+
+namespace {
+
+std::uint8_t
+funcFlag(nn::Nonlinearity f)
+{
+    switch (f) {
+      case nn::Nonlinearity::None: return arch::flags::funcNone;
+      case nn::Nonlinearity::Relu: return arch::flags::funcRelu;
+      case nn::Nonlinearity::Sigmoid: return arch::flags::funcSigmoid;
+      case nn::Nonlinearity::Tanh: return arch::flags::funcTanh;
+    }
+    return arch::flags::funcNone;
+}
+
+/** Elementwise work size of a non-matrix layer, in values. */
+std::int64_t
+vectorElements(const nn::Layer &layer)
+{
+    switch (layer.kind()) {
+      case nn::Layer::Kind::Vector:
+        return static_cast<const nn::Vector &>(layer).elements();
+      case nn::Layer::Kind::Pool:
+        return static_cast<const nn::Pool &>(layer).elements();
+      default:
+        panic("vectorElements on matrix layer %s",
+              layer.name().c_str());
+    }
+}
+
+} // namespace
+
+Compiler::Compiler(arch::TpuConfig config) : _cfg(std::move(config)) {}
+
+CompiledModel
+Compiler::compile(const nn::Network &net, arch::WeightMemory *wm,
+                  const CompileOptions &options) const
+{
+    const std::int64_t dim = _cfg.matrixDim;
+    const std::int64_t acc_half = _cfg.accumulatorEntries / 2;
+    const std::int64_t ub_rows =
+        static_cast<std::int64_t>(_cfg.unifiedBufferBytes) / dim;
+
+    if (options.functional) {
+        fatal_if(!wm, "functional compilation needs a WeightMemory");
+        fatal_if(!options.quantWeights || !options.requantScales,
+                 "functional compilation needs weights and scales");
+    }
+
+    std::unique_ptr<UbAllocator> alloc;
+    if (options.reuseAllocator)
+        alloc = std::make_unique<ReuseAllocator>(ub_rows);
+    else
+        alloc = std::make_unique<SizeClassAllocator>(ub_rows);
+
+    CompiledModel out;
+    arch::Program &prog = out.program;
+
+    std::uint64_t tile_counter = 0;
+    std::int64_t cur_base = -1;
+    std::int64_t cur_rows = 0;
+    std::size_t matrix_layer_idx = 0;
+    std::int64_t global_stripe = 0;
+
+    for (const auto &layer_ptr : net.layers()) {
+        const nn::Layer &layer = *layer_ptr;
+        auto mapping = layer.matrixMapping();
+
+        if (!mapping) {
+            // Vector/pool work on the activation unit, in place.
+            if (cur_rows > 0) {
+                std::int64_t want = ceilDiv(
+                    vectorElements(layer) * net.batchSize(), dim);
+                std::int64_t rows =
+                    std::max<std::int64_t>(1,
+                                           std::min(want, cur_rows));
+                prog.push_back(arch::makeVectorOp(
+                    static_cast<std::uint32_t>(cur_base),
+                    static_cast<std::uint32_t>(rows),
+                    funcFlag(layer.nonlinearity())));
+            }
+            continue;
+        }
+
+        const nn::MatrixMapping m = *mapping;
+        const std::int64_t btot = net.batchSize() * m.rowsPerExample;
+        const TileGrid grid(m.rows, m.cols, dim);
+        const std::int64_t req_in_rows = grid.rowTiles() * btot;
+        const std::int64_t out_rows = grid.colTiles() * btot;
+        const bool is_conv = layer.kind() == nn::Layer::Kind::Conv2D;
+
+        // ---- Input region ----
+        std::int64_t in_base;
+        std::int64_t in_rows_owned = req_in_rows;
+        if (cur_base < 0) {
+            in_base = alloc->alloc(req_in_rows);
+            prog.push_back(arch::makeSetConfig(
+                arch::ConfigReg::HostReadBase, 0));
+            prog.push_back(arch::makeReadHostMemory(
+                static_cast<std::uint32_t>(in_base),
+                static_cast<std::uint32_t>(req_in_rows)));
+            out.inputBytes = static_cast<std::uint64_t>(req_in_rows) *
+                             static_cast<std::uint64_t>(dim);
+        } else if (cur_rows == req_in_rows) {
+            in_base = cur_base;
+        } else {
+            // Layout change (e.g. conv -> FC): reformat through the
+            // activation unit.  The first op reads the old region; the
+            // second stamps the new one; the engine serializes them,
+            // carrying the dependence.
+            prog.push_back(arch::makeVectorOp(
+                static_cast<std::uint32_t>(cur_base),
+                static_cast<std::uint32_t>(cur_rows),
+                arch::flags::funcNone));
+            in_base = alloc->alloc(req_in_rows);
+            prog.push_back(arch::makeVectorOp(
+                static_cast<std::uint32_t>(in_base),
+                static_cast<std::uint32_t>(req_in_rows),
+                arch::flags::funcNone));
+            alloc->free(cur_base, cur_rows);
+        }
+        cur_base = -1;
+
+        // ---- Output region ----
+        const std::int64_t out_base = alloc->alloc(out_rows);
+
+        // ---- Weight image ----
+        const std::uint64_t layer_tile_base = tile_counter;
+        const std::int64_t layer_tiles = m.passes * grid.totalTiles();
+        tile_counter += static_cast<std::uint64_t>(layer_tiles);
+        out.weightTiles += layer_tiles;
+
+        if (options.functional) {
+            fatal_if(m.passes != 1,
+                     "functional compilation supports FC/LSTM layers "
+                     "only (layer %s is a convolution)",
+                     layer.name().c_str());
+            const nn::Int8Tensor &w =
+                (*options.quantWeights)[matrix_layer_idx];
+            fatal_if(w.dim(0) != m.rows || w.dim(1) != m.cols,
+                     "weights for %s have shape %s, expected "
+                     "[%lld x %lld]", layer.name().c_str(),
+                     nn::shapeToString(w.shape()).c_str(),
+                     static_cast<long long>(m.rows),
+                     static_cast<long long>(m.cols));
+            for (std::int64_t tr = 0; tr < grid.rowTiles(); ++tr) {
+                for (std::int64_t tc = 0; tc < grid.colTiles(); ++tc) {
+                    nn::Int8Tensor tile({dim, dim});
+                    for (std::int64_t r = 0; r < grid.usefulRows(tr);
+                         ++r) {
+                        for (std::int64_t c = 0;
+                             c < grid.usefulCols(tc); ++c) {
+                            tile.at(r, c) =
+                                w.at(tr * dim + r, tc * dim + c);
+                        }
+                    }
+                    wm->storeTile(layer_tile_base + static_cast<
+                                  std::uint64_t>(tr * grid.colTiles() +
+                                                 tc), std::move(tile));
+                }
+            }
+            prog.push_back(arch::makeSetConfig(
+                arch::ConfigReg::RequantShift,
+                std::bit_cast<std::uint32_t>(
+                    (*options.requantScales)[matrix_layer_idx])));
+        }
+
+        // ---- Stripe / pass / tile loops ----
+        // Batches larger than one accumulator half stream through
+        // the resident weight tile in pairs of chunks (one per
+        // accumulator half); only batches beyond the *whole*
+        // accumulator file force a weight refetch.  With a single
+        // chunk, successive stripes alternate halves so the
+        // activation unit drains one half while the matrix unit
+        // fills the other (Section 2's double-buffering rationale).
+        const std::int64_t group_rows = 2 * acc_half;
+        for (std::int64_t exec = 0; exec < m.executions; ++exec) {
+            for (std::int64_t group = 0; group < btot;
+                 group += group_rows) {
+                struct Chunk
+                {
+                    std::int64_t start;
+                    std::int64_t rows;
+                    std::int64_t accBase;
+                };
+                std::vector<Chunk> chunks;
+                for (std::int64_t c = group;
+                     c < std::min(group + group_rows, btot);
+                     c += acc_half) {
+                    chunks.push_back(Chunk{
+                        c, std::min(acc_half, btot - c),
+                        static_cast<std::int64_t>(chunks.size()) *
+                            acc_half});
+                }
+                for (std::int64_t tc = 0; tc < grid.colTiles();
+                     ++tc) {
+                    if (chunks.size() == 1)
+                        chunks[0].accBase =
+                            (global_stripe % 2) * acc_half;
+                    ++global_stripe;
+                    for (std::int64_t pass = 0; pass < m.passes;
+                         ++pass) {
+                        for (std::int64_t tr = 0;
+                             tr < grid.rowTiles(); ++tr) {
+                            const std::uint64_t tile_idx =
+                                layer_tile_base + static_cast<
+                                std::uint64_t>(
+                                    (pass * grid.rowTiles() + tr) *
+                                    grid.colTiles() + tc);
+                            prog.push_back(arch::makeReadWeights(
+                                static_cast<std::uint32_t>(tile_idx),
+                                static_cast<std::uint16_t>(
+                                    grid.usefulRows(tr)),
+                                static_cast<std::uint16_t>(
+                                    grid.usefulCols(tc))));
+                            for (std::size_t ci = 0;
+                                 ci < chunks.size(); ++ci) {
+                                const Chunk &ch = chunks[ci];
+                                arch::Instruction mm =
+                                    arch::makeMatrixMultiply(
+                                        static_cast<std::uint16_t>(
+                                            ch.accBase),
+                                        static_cast<std::uint32_t>(
+                                            in_base + tr * btot +
+                                            ch.start),
+                                        static_cast<std::uint32_t>(
+                                            ch.rows),
+                                        pass > 0 || tr > 0);
+                                if (ci > 0)
+                                    mm.flags |=
+                                        arch::flags::reuse_weights;
+                                if (is_conv)
+                                    mm.op = arch::Opcode::Convolve;
+                                prog.push_back(mm);
+                            }
+                        }
+                    }
+                    for (const Chunk &ch : chunks) {
+                        prog.push_back(arch::makeActivate(
+                            static_cast<std::uint16_t>(ch.accBase),
+                            static_cast<std::uint32_t>(
+                                out_base + tc * btot + ch.start),
+                            static_cast<std::uint32_t>(ch.rows),
+                            funcFlag(layer.nonlinearity())));
+                    }
+                }
+            }
+        }
+
+        alloc->free(in_base, in_rows_owned);
+        cur_base = out_base;
+        cur_rows = out_rows;
+        ++matrix_layer_idx;
+    }
+
+    if (cur_base >= 0) {
+        prog.push_back(arch::makeWriteHostMemory(
+            static_cast<std::uint32_t>(cur_base),
+            static_cast<std::uint32_t>(cur_rows)));
+        out.outputBytes = static_cast<std::uint64_t>(cur_rows) *
+                          static_cast<std::uint64_t>(dim);
+        out.outputRows = cur_rows;
+        out.outputBase = cur_base;
+    }
+    prog.push_back(arch::makeHalt());
+    out.ubHighWaterBytes =
+        static_cast<std::uint64_t>(alloc->highWaterRows()) *
+        static_cast<std::uint64_t>(dim);
+    return out;
+}
+
+CompiledModel
+Compiler::compilePipelined(const nn::Network &net,
+                           arch::WeightMemory *wm,
+                           const CompileOptions &options,
+                           int batches) const
+{
+    fatal_if(batches <= 0, "need a positive batch count");
+    fatal_if(options.functional,
+             "pipelined compilation is timing-only: back-to-back "
+             "batches share Unified Buffer regions");
+
+    CompiledModel one = compile(net, wm, options);
+    fatal_if(one.program.empty(), "empty program");
+    panic_if(one.program.back().op != arch::Opcode::Halt,
+             "compiled program must end in Halt");
+
+    CompiledModel out = one;
+    out.program.pop_back(); // drop the Halt between batches
+    for (int b = 1; b < batches; ++b) {
+        out.program.insert(out.program.end(), one.program.begin(),
+                           one.program.end() - 1);
+    }
+    out.program.push_back(arch::makeHalt());
+    out.inputBytes = one.inputBytes * static_cast<std::uint64_t>(
+        batches);
+    out.outputBytes = one.outputBytes * static_cast<std::uint64_t>(
+        batches);
+    return out;
+}
+
+std::vector<std::int8_t>
+Compiler::layoutInput(const nn::Int8Tensor &input) const
+{
+    panic_if(input.rank() != 2, "layoutInput wants [batch x features]");
+    const std::int64_t dim = _cfg.matrixDim;
+    const std::int64_t batch = input.dim(0);
+    const std::int64_t features = input.dim(1);
+    const std::int64_t slices = ceilDiv(features, dim);
+    std::vector<std::int8_t> bytes(
+        static_cast<std::size_t>(slices * batch * dim), 0);
+    std::size_t pos = 0;
+    for (std::int64_t tr = 0; tr < slices; ++tr) {
+        for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t j = 0; j < dim; ++j) {
+                const std::int64_t f = tr * dim + j;
+                bytes[pos++] = f < features ? input.at(b, f) : 0;
+            }
+        }
+    }
+    return bytes;
+}
+
+nn::Int8Tensor
+Compiler::parseOutput(const std::vector<std::int8_t> &bytes,
+                      std::int64_t batch, std::int64_t features) const
+{
+    const std::int64_t dim = _cfg.matrixDim;
+    const std::int64_t slices = ceilDiv(features, dim);
+    panic_if(static_cast<std::int64_t>(bytes.size()) <
+             slices * batch * dim,
+             "output image too small: %zu bytes for %lld rows",
+             bytes.size(),
+             static_cast<long long>(slices * batch));
+    nn::Int8Tensor out({batch, features});
+    std::size_t pos = 0;
+    for (std::int64_t tc = 0; tc < slices; ++tc) {
+        for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t j = 0; j < dim; ++j) {
+                const std::int64_t f = tc * dim + j;
+                if (f < features)
+                    out.at(b, f) = bytes[pos];
+                ++pos;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace compiler
+} // namespace tpu

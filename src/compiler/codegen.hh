@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The "User Space driver" of the paper's software stack: it
+ * "compiles a model the first time it is evaluated, caching the
+ * program image and writing the weight image into the TPU's weight
+ * memory" (Section 2).
+ *
+ * The compiler lowers an nn::Network into a TPU instruction stream:
+ *  - weight matrices are tiled (TileGrid) and the tile images written
+ *    to Weight Memory (functional mode);
+ *  - activations are laid out in the Unified Buffer feature-slice
+ *    major: the activation row for example b, contraction tile tr of a
+ *    layer lives at UB row  base + tr*B + b;
+ *  - each output stripe accumulates over contraction tiles (and conv
+ *    kernel passes), then an Activate drains it to the UB;
+ *  - accumulator halves alternate per stripe so the activation unit
+ *    drains one half while the matrix unit fills the other (the
+ *    double-buffering rationale for 4096 entries in Section 2);
+ *  - batches larger than an accumulator half are split into chunks,
+ *    refetching weights per chunk (this is why CNN0's effective
+ *    operational intensity halves on the TPU);
+ *  - Read_Weights instructions precede their MatrixMultiply so the
+ *    decoupled fetch engine can run ahead through the Weight FIFO.
+ */
+
+#ifndef TPUSIM_COMPILER_CODEGEN_HH
+#define TPUSIM_COMPILER_CODEGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/isa.hh"
+#include "arch/weight_memory.hh"
+#include "compiler/allocator.hh"
+#include "nn/network.hh"
+#include "nn/tensor.hh"
+
+namespace tpu {
+namespace compiler {
+
+/** Compilation knobs. */
+struct CompileOptions
+{
+    /** Emit a functionally executable program (needs weights). */
+    bool functional = false;
+    /** Use the improved (reuse) UB allocator; Table 8 compares. */
+    bool reuseAllocator = true;
+    /**
+     * Per-matrix-layer quantized weight matrices [rows x cols]
+     * (functional mode only; FC/LSTM layers).
+     */
+    const std::vector<nn::Int8Tensor> *quantWeights = nullptr;
+    /** Per-matrix-layer requantization multipliers (functional). */
+    const std::vector<float> *requantScales = nullptr;
+};
+
+/** Result of compiling one network. */
+struct CompiledModel
+{
+    arch::Program program;
+    /** Unified Buffer high-water mark. */
+    std::uint64_t ubHighWaterBytes = 0;
+    /** Distinct weight tiles in the weight image. */
+    std::int64_t weightTiles = 0;
+    /** Host bytes consumed by the input DMA. */
+    std::uint64_t inputBytes = 0;
+    /** Host bytes produced by the output DMA. */
+    std::uint64_t outputBytes = 0;
+    /** UB rows of the network's final output region. */
+    std::int64_t outputRows = 0;
+    std::int64_t outputBase = 0;
+};
+
+/** Lowers networks to TPU programs. */
+class Compiler
+{
+  public:
+    explicit Compiler(arch::TpuConfig config);
+
+    /**
+     * Compile @p net.  In functional mode, tile images are written
+     * into @p wm (must be non-null).
+     */
+    CompiledModel compile(const nn::Network &net,
+                          arch::WeightMemory *wm,
+                          const CompileOptions &options) const;
+
+    /**
+     * Compile @p batches back-to-back invocations into one program
+     * (timing mode only).  The host streams each batch's input DMA as
+     * early as the PCIe link allows, so transfers and first-layer
+     * waits of batch k+1 overlap the compute of batch k -- the
+     * "overlapped execution ... to hide most non-critical-path
+     * operations" of Section 2 applied across invocations.
+     */
+    CompiledModel compilePipelined(const nn::Network &net,
+                                   arch::WeightMemory *wm,
+                                   const CompileOptions &options,
+                                   int batches) const;
+
+    /**
+     * Lay out a quantized [batch x features] activation matrix as the
+     * host-side DMA image the compiled program's input layout expects
+     * (feature-slice major, one UB row per (slice, example)).
+     */
+    std::vector<std::int8_t> layoutInput(
+        const nn::Int8Tensor &input) const;
+
+    /**
+     * Inverse of layoutInput for the program's output DMA image:
+     * recover a [batch x features] int8 tensor.
+     */
+    nn::Int8Tensor parseOutput(const std::vector<std::int8_t> &bytes,
+                               std::int64_t batch,
+                               std::int64_t features) const;
+
+  private:
+    arch::TpuConfig _cfg;
+};
+
+} // namespace compiler
+} // namespace tpu
+
+#endif // TPUSIM_COMPILER_CODEGEN_HH

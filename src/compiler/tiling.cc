@@ -1,0 +1,58 @@
+#include "compiler/tiling.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace compiler {
+
+TileGrid::TileGrid(std::int64_t rows, std::int64_t cols,
+                   std::int64_t dim)
+    : _rows(rows), _cols(cols), _dim(dim),
+      _rowTiles(ceilDiv(rows, dim)), _colTiles(ceilDiv(cols, dim))
+{
+    fatal_if(rows <= 0 || cols <= 0 || dim <= 0,
+             "TileGrid needs positive dimensions (%lld x %lld, dim "
+             "%lld)", static_cast<long long>(rows),
+             static_cast<long long>(cols),
+             static_cast<long long>(dim));
+}
+
+std::int64_t
+TileGrid::usefulRows(std::int64_t tr) const
+{
+    panic_if(tr < 0 || tr >= _rowTiles, "row tile %lld out of %lld",
+             static_cast<long long>(tr),
+             static_cast<long long>(_rowTiles));
+    if (tr == _rowTiles - 1) {
+        std::int64_t rem = _rows - tr * _dim;
+        return rem;
+    }
+    return _dim;
+}
+
+std::int64_t
+TileGrid::usefulCols(std::int64_t tc) const
+{
+    panic_if(tc < 0 || tc >= _colTiles, "col tile %lld out of %lld",
+             static_cast<long long>(tc),
+             static_cast<long long>(_colTiles));
+    if (tc == _colTiles - 1) {
+        std::int64_t rem = _cols - tc * _dim;
+        return rem;
+    }
+    return _dim;
+}
+
+double
+TileGrid::usefulFraction() const
+{
+    double useful = static_cast<double>(_rows) *
+                    static_cast<double>(_cols);
+    double slots = static_cast<double>(totalTiles()) *
+                   static_cast<double>(_dim) *
+                   static_cast<double>(_dim);
+    return useful / slots;
+}
+
+} // namespace compiler
+} // namespace tpu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Weight-matrix tiling: how a [rows x cols] weight matrix is cut into
+ * matrixDim x matrixDim tiles.  Edge tiles are zero-padded; the padded
+ * MAC slots are the "unused MACs" of Table 3 row 3 (the paper: "only
+ * about half of the 65,536 MACs hold useful weights because some
+ * layers in CNN1 have shallow feature depths").
+ */
+
+#ifndef TPUSIM_COMPILER_TILING_HH
+#define TPUSIM_COMPILER_TILING_HH
+
+#include <cstdint>
+
+namespace tpu {
+namespace compiler {
+
+/** Tile decomposition of a [rows x cols] weight matrix. */
+class TileGrid
+{
+  public:
+    TileGrid(std::int64_t rows, std::int64_t cols, std::int64_t dim);
+
+    std::int64_t rows() const { return _rows; }
+    std::int64_t cols() const { return _cols; }
+    std::int64_t dim() const { return _dim; }
+
+    /** Tiles along the contraction (row) dimension. */
+    std::int64_t rowTiles() const { return _rowTiles; }
+    /** Tiles along the output (column) dimension. */
+    std::int64_t colTiles() const { return _colTiles; }
+    std::int64_t totalTiles() const { return _rowTiles * _colTiles; }
+
+    /** Useful (unpadded) rows in row-tile @p tr. */
+    std::int64_t usefulRows(std::int64_t tr) const;
+    /** Useful (unpadded) columns in column-tile @p tc. */
+    std::int64_t usefulCols(std::int64_t tc) const;
+
+    /** Useful weights / total MAC slots across the whole grid. */
+    double usefulFraction() const;
+
+  private:
+    std::int64_t _rows;
+    std::int64_t _cols;
+    std::int64_t _dim;
+    std::int64_t _rowTiles;
+    std::int64_t _colTiles;
+};
+
+/** ceil(a / b) for positive integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace compiler
+} // namespace tpu
+
+#endif // TPUSIM_COMPILER_TILING_HH

@@ -1,0 +1,90 @@
+#include "future/sparsity.hh"
+
+#include <algorithm>
+
+#include "compiler/tiling.hh"
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace future {
+
+SparsityEstimator::SparsityEstimator(arch::TpuConfig config)
+    : _cfg(std::move(config))
+{}
+
+SparsityEstimate
+SparsityEstimator::_estimate(const nn::Network &net,
+                             double compute_scale,
+                             double bytes_scale) const
+{
+    fatal_if(compute_scale <= 0.0 || compute_scale > 1.0,
+             "compute scale %f out of (0, 1]", compute_scale);
+    fatal_if(bytes_scale <= 0.0, "bytes scale must be positive");
+
+    const std::int64_t dim = _cfg.matrixDim;
+    const std::int64_t acc_half = _cfg.accumulatorEntries / 2;
+    const double bytes_per_cycle = _cfg.weightBytesPerCycle();
+
+    SparsityEstimate est;
+    double compute_bound_cycles = 0;
+    for (const auto &layer : net.layers()) {
+        auto mapping = layer->matrixMapping();
+        if (!mapping)
+            continue;
+        const nn::MatrixMapping m = *mapping;
+        const std::int64_t btot = net.batchSize() * m.rowsPerExample;
+        const compiler::TileGrid grid(m.rows, m.cols, dim);
+        const std::int64_t groups =
+            compiler::ceilDiv(btot, 2 * acc_half);
+        const double instances = static_cast<double>(
+            m.executions * groups * m.passes * grid.rowTiles() *
+            grid.colTiles());
+        const double group_rows =
+            static_cast<double>(btot) / static_cast<double>(groups);
+        const double fetch = static_cast<double>(_cfg.tileBytes()) /
+                             bytes_per_cycle;
+
+        const double base_per_tile = std::max(fetch, group_rows);
+        const double sparse_per_tile =
+            std::max(fetch * bytes_scale,
+                     group_rows * compute_scale);
+        est.baselineCycles += instances * base_per_tile;
+        est.sparseCycles += instances * sparse_per_tile;
+        if (group_rows >= fetch)
+            compute_bound_cycles += instances * base_per_tile;
+    }
+    if (est.baselineCycles > 0) {
+        est.speedup = est.baselineCycles / est.sparseCycles;
+        est.computeBoundShare =
+            compute_bound_cycles / est.baselineCycles;
+    }
+    return est;
+}
+
+SparsityEstimate
+SparsityEstimator::zeroSkip(const nn::Network &net,
+                            double zero_fraction) const
+{
+    fatal_if(zero_fraction < 0.0 || zero_fraction >= 1.0,
+             "zero fraction %f out of [0, 1)", zero_fraction);
+    // Skipping zero activations compresses the streamed rows; the
+    // weight image still crosses the DRAM channel in full.
+    return _estimate(net, 1.0 - zero_fraction, 1.0);
+}
+
+SparsityEstimate
+SparsityEstimator::prune(const nn::Network &net,
+                         double pruned_fraction,
+                         double index_overhead) const
+{
+    fatal_if(pruned_fraction < 0.0 || pruned_fraction >= 1.0,
+             "pruned fraction %f out of [0, 1)", pruned_fraction);
+    fatal_if(index_overhead < 0.0, "negative index overhead");
+    const double surviving = 1.0 - pruned_fraction;
+    // Sparse weights carry index metadata per surviving entry.
+    const double bytes = surviving * (1.0 + index_overhead);
+    return _estimate(net, surviving, bytes);
+}
+
+} // namespace future
+} // namespace tpu

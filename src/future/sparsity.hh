@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sparsity exploration -- the paper's declared future work:
+ * "Sparse architectural support was omitted for time-to-deploy
+ * reasons.  Sparsity will have high priority in future designs"
+ * (Section 2), and the related-work discussion of Cnvlutin, which
+ * "avoids multiplications when an activation input is zero -- which
+ * it is 44% of the time, presumably in part due to ReLU".
+ *
+ * Two estimators bound what sparsity support could buy a TPU-like
+ * design:
+ *  - activation zero skipping (Cnvlutin-style): active matrix cycles
+ *    shrink by the activation zero fraction; weight traffic is
+ *    unchanged, so memory-bound layers gain nothing;
+ *  - weight pruning (EIE-style, [Han15]'s ~10x parameter reduction):
+ *    weight bytes shrink by the pruned fraction, lifting the
+ *    memory-bound layers; compute shrinks equally.
+ */
+
+#ifndef TPUSIM_FUTURE_SPARSITY_HH
+#define TPUSIM_FUTURE_SPARSITY_HH
+
+#include <array>
+
+#include "arch/config.hh"
+#include "nn/network.hh"
+
+namespace tpu {
+namespace future {
+
+/** Per-network estimate of sparsity-support upside. */
+struct SparsityEstimate
+{
+    double baselineCycles = 0;
+    double sparseCycles = 0;
+    double speedup = 1.0;
+    /** Fraction of layers (by cycles) that were compute bound. */
+    double computeBoundShare = 0.0;
+};
+
+/** What-if estimator on top of the closed-form layer model. */
+class SparsityEstimator
+{
+  public:
+    explicit SparsityEstimator(arch::TpuConfig config);
+
+    /**
+     * Cnvlutin-style zero skipping: active cycles scale by
+     * (1 - zero_fraction); fetch cycles unchanged.
+     */
+    SparsityEstimate zeroSkip(const nn::Network &net,
+                              double zero_fraction) const;
+
+    /**
+     * EIE-style weight pruning: both weight bytes and MACs scale by
+     * (1 - pruned_fraction); the encoded-index overhead is modelled
+     * as @p index_overhead extra bytes per surviving weight byte.
+     */
+    SparsityEstimate prune(const nn::Network &net,
+                           double pruned_fraction,
+                           double index_overhead = 0.25) const;
+
+  private:
+    SparsityEstimate _estimate(const nn::Network &net,
+                               double compute_scale,
+                               double bytes_scale) const;
+
+    arch::TpuConfig _cfg;
+};
+
+} // namespace future
+} // namespace tpu
+
+#endif // TPUSIM_FUTURE_SPARSITY_HH

@@ -1,0 +1,131 @@
+#include "latency/queueing.hh"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace latency {
+
+BatchQueueSim::BatchQueueSim(ServiceModel service, std::int64_t max_batch,
+                             std::uint64_t seed)
+    : _service(service), _maxBatch(max_batch), _seed(seed)
+{
+    fatal_if(max_batch <= 0, "batch size must be positive");
+    fatal_if(service.seconds(1) <= 0, "service time must be positive");
+}
+
+QueueStats
+BatchQueueSim::run(double arrival_rate, std::uint64_t requests) const
+{
+    fatal_if(arrival_rate <= 0, "arrival rate must be positive");
+    fatal_if(requests == 0, "no requests to simulate");
+
+    Rng rng(_seed);
+
+    // Pre-draw arrival times.
+    std::vector<double> arrival(requests);
+    double t = 0;
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        t += rng.exponential(arrival_rate);
+        arrival[i] = t;
+    }
+
+    std::vector<double> response;
+    response.reserve(requests);
+
+    std::uint64_t next = 0;        // next arrival index
+    double server_free = 0;        // server becomes free at this time
+    double busy_time = 0;
+    double total_batches = 0;
+    double total_batched = 0;
+
+    std::deque<double> queue; // arrival times of waiting requests
+    while (next < requests || !queue.empty()) {
+        if (queue.empty()) {
+            if (next >= requests)
+                break;
+            // Server idle with an empty queue: wait for an arrival.
+            if (arrival[next] > server_free)
+                server_free = arrival[next];
+        }
+        // Admit everything that arrived while the server was busy.
+        while (next < requests && arrival[next] <= server_free) {
+            queue.push_back(arrival[next]);
+            ++next;
+        }
+        // Form a batch of whatever is queued, up to the max.
+        const std::int64_t b = std::min<std::int64_t>(
+            _maxBatch, static_cast<std::int64_t>(queue.size()));
+        const double start = server_free;
+        const double svc = _service.seconds(b);
+        const double done = start + svc;
+        busy_time += svc;
+        total_batches += 1;
+        total_batched += static_cast<double>(b);
+        for (std::int64_t i = 0; i < b; ++i) {
+            response.push_back(done - queue.front());
+            queue.pop_front();
+        }
+        server_free = done;
+    }
+
+    QueueStats stats;
+    stats.completed = response.size();
+    if (response.empty())
+        return stats;
+
+    double sum = 0;
+    for (double r : response)
+        sum += r;
+    stats.meanResponse = sum / static_cast<double>(response.size());
+
+    std::vector<double> sorted = response;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        0.99 * static_cast<double>(sorted.size() - 1));
+    stats.p99Response = sorted[idx];
+
+    const double horizon = server_free;
+    stats.throughputIps =
+        static_cast<double>(stats.completed) / horizon;
+    stats.utilization = busy_time / horizon;
+    stats.meanBatch =
+        total_batches > 0 ? total_batched / total_batches : 0;
+    return stats;
+}
+
+QueueStats
+BatchQueueSim::maxThroughputUnderSla(double sla_seconds,
+                                     std::uint64_t requests) const
+{
+    fatal_if(sla_seconds <= 0, "SLA must be positive");
+    // The largest conceivable rate is the saturation throughput.
+    double hi = _service.maxThroughput(_maxBatch);
+    double lo = hi / 200.0;
+
+    QueueStats best;
+    // If even a trickle violates the SLA, report that trickle.
+    QueueStats trickle = run(lo, requests / 10 + 1000);
+    if (trickle.p99Response > sla_seconds)
+        return trickle;
+    best = trickle;
+
+    for (int iter = 0; iter < 18; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        QueueStats s = run(mid, requests);
+        if (s.p99Response <= sla_seconds) {
+            best = s;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return best;
+}
+
+} // namespace latency
+} // namespace tpu

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event batch-queueing simulator for the 99th-percentile
+ * response-time experiments (Table 4 and Section 8's first Fallacy).
+ *
+ * Requests arrive Poisson; a single server collects up to B queued
+ * requests into a batch and serves them together with a batch-size
+ * dependent service time s(b) = base + perItem * b.  Response time of
+ * a request = completion of its batch - its arrival.  This captures
+ * the paper's trade-off: "larger batch sizes increase throughput, but
+ * ... their longer response times exceed the limit, so CPUs and GPUs
+ * must use less-efficient, smaller batch sizes".
+ */
+
+#ifndef TPUSIM_LATENCY_QUEUEING_HH
+#define TPUSIM_LATENCY_QUEUEING_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace tpu {
+namespace latency {
+
+/** Affine batch service-time model: seconds to serve b requests. */
+struct ServiceModel
+{
+    double baseSeconds = 0;    ///< fixed per-batch cost
+    double perItemSeconds = 0; ///< marginal cost per request
+
+    double
+    seconds(std::int64_t b) const
+    {
+        return baseSeconds + perItemSeconds * static_cast<double>(b);
+    }
+
+    /** Saturation throughput at batch size @p b (requests/sec). */
+    double
+    maxThroughput(std::int64_t b) const
+    {
+        return static_cast<double>(b) / seconds(b);
+    }
+};
+
+/** Result of one queueing simulation. */
+struct QueueStats
+{
+    double throughputIps = 0;   ///< completed requests / sim seconds
+    double meanResponse = 0;    ///< seconds
+    double p99Response = 0;     ///< seconds
+    double meanBatch = 0;       ///< average served batch size
+    double utilization = 0;     ///< server busy fraction
+    std::uint64_t completed = 0;
+};
+
+/** Single-server batched-service queueing simulator. */
+class BatchQueueSim
+{
+  public:
+    /**
+     * @param service   batch service-time model
+     * @param max_batch largest batch the server will form
+     * @param seed      RNG seed (Poisson arrivals)
+     */
+    BatchQueueSim(ServiceModel service, std::int64_t max_batch,
+                  std::uint64_t seed = 1);
+
+    /**
+     * Simulate @p requests Poisson arrivals at @p arrival_rate per
+     * second and return the response-time statistics.
+     */
+    QueueStats run(double arrival_rate, std::uint64_t requests) const;
+
+    /**
+     * Largest sustainable throughput whose 99th-percentile response
+     * time stays within @p sla_seconds (bisection over the arrival
+     * rate; the Table 4 "% of max IPS" experiment).
+     */
+    QueueStats maxThroughputUnderSla(double sla_seconds,
+                                     std::uint64_t requests = 200000)
+        const;
+
+  private:
+    ServiceModel _service;
+    std::int64_t _maxBatch;
+    std::uint64_t _seed;
+};
+
+} // namespace latency
+} // namespace tpu
+
+#endif // TPUSIM_LATENCY_QUEUEING_HH

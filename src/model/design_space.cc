@@ -1,0 +1,159 @@
+#include "model/design_space.hh"
+
+#include <cmath>
+
+#include "arch/tpu_chip.hh"
+#include "baselines/platform.hh"
+#include "compiler/codegen.hh"
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace model {
+
+const char *
+toString(ScaleKind kind)
+{
+    switch (kind) {
+      case ScaleKind::Memory: return "memory";
+      case ScaleKind::ClockPlusAcc: return "clock+";
+      case ScaleKind::Clock: return "clock";
+      case ScaleKind::MatrixPlusAcc: return "matrix+";
+      case ScaleKind::Matrix: return "matrix";
+    }
+    return "?";
+}
+
+DesignSpaceExplorer::DesignSpaceExplorer(arch::TpuConfig base)
+    : _base(std::move(base))
+{}
+
+arch::TpuConfig
+DesignSpaceExplorer::scaledConfig(ScaleKind kind, double factor) const
+{
+    fatal_if(factor <= 0, "scale factor must be positive");
+    arch::TpuConfig cfg = _base;
+    switch (kind) {
+      case ScaleKind::Memory:
+        cfg.weightMemoryBytesPerSec *= factor;
+        break;
+      case ScaleKind::ClockPlusAcc:
+        cfg.clockHz *= factor;
+        cfg.accumulatorEntries = std::max<std::int64_t>(
+            2, static_cast<std::int64_t>(
+                std::llround(cfg.accumulatorEntries * factor)));
+        break;
+      case ScaleKind::Clock:
+        cfg.clockHz *= factor;
+        break;
+      case ScaleKind::MatrixPlusAcc:
+        cfg.matrixDim = std::max<std::int64_t>(
+            8, static_cast<std::int64_t>(
+                std::llround(cfg.matrixDim * factor)));
+        cfg.accumulatorEntries = std::max<std::int64_t>(
+            2, static_cast<std::int64_t>(
+                std::llround(cfg.accumulatorEntries * factor *
+                             factor)));
+        break;
+      case ScaleKind::Matrix:
+        cfg.matrixDim = std::max<std::int64_t>(
+            8, static_cast<std::int64_t>(
+                std::llround(cfg.matrixDim * factor)));
+        break;
+    }
+    cfg.name = _base.name + "." + toString(kind) + "x" +
+               std::to_string(factor);
+    return cfg;
+}
+
+std::array<double, 6>
+DesignSpaceExplorer::appSeconds(const arch::TpuConfig &cfg) const
+{
+    std::array<double, 6> seconds{};
+    const compiler::Compiler cc(cfg);
+    compiler::CompileOptions opts;
+    opts.functional = false;
+    std::size_t i = 0;
+    for (workloads::AppId id : workloads::allApps()) {
+        nn::Network net = workloads::build(id);
+        arch::TpuChip chip(cfg, /*functional=*/false);
+        compiler::CompiledModel m =
+            cc.compile(net, &chip.weightMemory(), opts);
+        arch::RunResult r = chip.run(m.program);
+        seconds[i++] = r.seconds;
+    }
+    return seconds;
+}
+
+const std::array<double, 6> &
+DesignSpaceExplorer::_baselineSeconds() const
+{
+    if (!_baseSecondsValid) {
+        _baseSeconds = appSeconds(_base);
+        _baseSecondsValid = true;
+    }
+    return _baseSeconds;
+}
+
+ScalePoint
+DesignSpaceExplorer::evaluate(ScaleKind kind, double factor) const
+{
+    arch::TpuConfig cfg = scaledConfig(kind, factor);
+    ScalePoint p = evaluateConfig(cfg, /*include_host_time=*/false);
+    p.kind = kind;
+    p.factor = factor;
+    return p;
+}
+
+ScalePoint
+DesignSpaceExplorer::evaluateConfig(const arch::TpuConfig &cfg,
+                                    bool include_host_time) const
+{
+    const std::array<double, 6> &base = _baselineSeconds();
+    const std::array<double, 6> scaled = appSeconds(cfg);
+
+    ScalePoint p;
+    double log_sum = 0;
+    double wsum = 0;
+    double wtotal = 0;
+    std::size_t i = 0;
+    for (workloads::AppId id : workloads::allApps()) {
+        double t_base = base[i];
+        double t_new = scaled[i];
+        if (include_host_time) {
+            // Host-interaction time is a property of the host and
+            // stays constant as the device speeds up (Section 7).
+            const double host =
+                baselines::hostInteractionFraction(id) * base[i];
+            t_base += host;
+            t_new += host;
+        }
+        const double speedup = t_base / t_new;
+        p.perAppSpeedup[i] = speedup;
+        log_sum += std::log(speedup);
+        const double w = workloads::mixWeight(id);
+        wsum += w * speedup;
+        wtotal += w;
+        ++i;
+    }
+    p.geometricMean = std::exp(log_sum / 6.0);
+    p.weightedMean = wsum / wtotal;
+    return p;
+}
+
+std::vector<ScalePoint>
+DesignSpaceExplorer::sweep() const
+{
+    static const double factors[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+    static const ScaleKind kinds[] = {
+        ScaleKind::Memory, ScaleKind::ClockPlusAcc, ScaleKind::Clock,
+        ScaleKind::MatrixPlusAcc, ScaleKind::Matrix,
+    };
+    std::vector<ScalePoint> out;
+    for (ScaleKind k : kinds)
+        for (double f : factors)
+            out.push_back(evaluate(k, f));
+    return out;
+}
+
+} // namespace model
+} // namespace tpu

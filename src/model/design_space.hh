@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Section 7 design-space exploration (Figure 11): "we then
+ * modeled performance as we varied the memory bandwidth, the clock
+ * rate and number of accumulators, and the matrix multiply unit size
+ * ... over the range 0.25x to 4x."
+ *
+ * Each scaled design is evaluated by compiling all six workloads
+ * under the scaled TpuConfig and running the Tier-B cycle simulator,
+ * so the Figure 11 effects emerge from the microarchitecture:
+ *  - more memory bandwidth lifts the MLPs/LSTMs directly;
+ *  - clock scaling helps only the compute-bound CNNs;
+ *  - scaling accumulators with the clock ("clock+") lets the compiler
+ *    keep larger batches in flight (bigger accumulator chunks);
+ *  - growing the matrix unit makes things *worse* for small matrices
+ *    -- LSTM1's 600x600 gates tile as 9 x (256x256) steps but only
+ *    4 x (512x512) steps that each cost 4x, the two-dimensional
+ *    internal-fragmentation argument of Section 7.
+ */
+
+#ifndef TPUSIM_MODEL_DESIGN_SPACE_HH
+#define TPUSIM_MODEL_DESIGN_SPACE_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace model {
+
+/** The five scaling axes of Figure 11. */
+enum class ScaleKind
+{
+    Memory,        ///< weight-memory bandwidth
+    ClockPlusAcc,  ///< clock rate and accumulators together
+    Clock,         ///< clock rate alone
+    MatrixPlusAcc, ///< matrix dim, accumulators scaled by its square
+    Matrix,        ///< matrix dim alone
+};
+
+const char *toString(ScaleKind kind);
+
+/** Speedups of one scaled design relative to the production TPU. */
+struct ScalePoint
+{
+    ScaleKind kind;
+    double factor = 1.0;
+    std::array<double, 6> perAppSpeedup{};
+    double geometricMean = 1.0;
+    double weightedMean = 1.0;
+};
+
+/** Runs the six workloads through the cycle sim per scaled config. */
+class DesignSpaceExplorer
+{
+  public:
+    explicit DesignSpaceExplorer(arch::TpuConfig base);
+
+    const arch::TpuConfig &baseConfig() const { return _base; }
+
+    /** The scaled configuration for (kind, factor). */
+    arch::TpuConfig scaledConfig(ScaleKind kind, double factor) const;
+
+    /** Device seconds per batch for every app under @p cfg. */
+    std::array<double, 6> appSeconds(const arch::TpuConfig &cfg) const;
+
+    /** Evaluate one (kind, factor) point against the base design. */
+    ScalePoint evaluate(ScaleKind kind, double factor) const;
+
+    /** The full Figure 11 sweep: factors 0.25, 0.5, 1, 2, 4. */
+    std::vector<ScalePoint> sweep() const;
+
+    /**
+     * Evaluate an arbitrary alternative config (e.g. TPU'), returning
+     * per-app speedups and means; with @p include_host_time the
+     * Table 5 host-interaction time is held constant while device
+     * time shrinks, as in Section 7's "adding that same extra time
+     * drops TPU' means from 2.6 to 1.9 and 3.9 to 3.2".
+     */
+    ScalePoint evaluateConfig(const arch::TpuConfig &cfg,
+                              bool include_host_time) const;
+
+  private:
+    arch::TpuConfig _base;
+    mutable std::array<double, 6> _baseSeconds{};
+    mutable bool _baseSecondsValid = false;
+
+    const std::array<double, 6> &_baselineSeconds() const;
+};
+
+} // namespace model
+} // namespace tpu
+
+#endif // TPUSIM_MODEL_DESIGN_SPACE_HH

@@ -1,0 +1,163 @@
+#include "model/perf_model.hh"
+
+#include <algorithm>
+
+#include "compiler/tiling.hh"
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace model {
+
+AnalyticModel::AnalyticModel(arch::TpuConfig config)
+    : _cfg(std::move(config))
+{}
+
+Cycle
+AnalyticModel::_layerCycles(const nn::Network &net,
+                            const nn::Layer &layer,
+                            std::uint64_t *bytes_out,
+                            bool *memory_bound) const
+{
+    auto mapping = layer.matrixMapping();
+    if (!mapping) {
+        // Vector/pool layers overlap matrix work almost entirely;
+        // their cost shows up at layer boundaries as RAW "delay
+        // slots" and is folded into the tails below.
+        if (bytes_out)
+            *bytes_out = 0;
+        if (memory_bound)
+            *memory_bound = false;
+        return 0;
+    }
+    const std::int64_t dim = _cfg.matrixDim;
+    const std::int64_t acc_half = _cfg.accumulatorEntries / 2;
+    const Cycle tile_fetch = _cfg.tileFetchCycles();
+    const Cycle tile_shift = _cfg.tileShiftCycles();
+
+    const nn::MatrixMapping m = *mapping;
+    const std::int64_t btot = net.batchSize() * m.rowsPerExample;
+    const compiler::TileGrid grid(m.rows, m.cols, dim);
+    // The compiler streams up to two accumulator halves through a
+    // resident tile; only batches beyond the whole accumulator file
+    // refetch weights (one "group" per 2*acc_half rows).
+    const std::int64_t groups = compiler::ceilDiv(btot, 2 * acc_half);
+    const std::int64_t group_rows = compiler::ceilDiv(btot, groups);
+    const std::int64_t instances =
+        m.executions * groups * m.passes * grid.rowTiles() *
+        grid.colTiles();
+
+    // Steady-state per-tile period: the fetch pipe, the shift, or
+    // the compute -- whichever dominates (shift of tile k+1 overlaps
+    // compute of tile k; fetch overlaps both).
+    const Cycle per_tile = std::max<Cycle>(
+        {tile_fetch, tile_shift, static_cast<Cycle>(group_rows)});
+    Cycle layer_cycles = static_cast<Cycle>(instances) * per_tile;
+
+    // Tail: the last stripe drains through the array and the
+    // activation unit before the next layer may read it.
+    layer_cycles += 2 * static_cast<Cycle>(dim) +
+                    static_cast<Cycle>(group_rows);
+
+    if (bytes_out)
+        *bytes_out = static_cast<std::uint64_t>(instances) *
+                     _cfg.tileBytes();
+    if (memory_bound)
+        *memory_bound = tile_fetch >= static_cast<Cycle>(group_rows);
+    return layer_cycles;
+}
+
+Cycle
+AnalyticModel::estimateCycles(const nn::Network &net) const
+{
+    const std::int64_t dim = _cfg.matrixDim;
+    Cycle total = 0;
+    for (const auto &layer : net.layers())
+        total += _layerCycles(net, *layer);
+
+    // Exposed host I/O: the input DMA for the first layer overlaps
+    // the first weight fetches, but the final output transfer does
+    // not overlap anything downstream.
+    std::int64_t out_features = 0;
+    for (auto it = net.layers().rbegin(); it != net.layers().rend();
+         ++it) {
+        if (auto m = (*it)->matrixMapping()) {
+            out_features = compiler::ceilDiv(m->cols, dim) * dim *
+                           net.batchSize() * m->rowsPerExample /
+                           std::max<std::int64_t>(1, net.batchSize());
+            out_features = compiler::ceilDiv(m->cols, dim) * dim;
+            break;
+        }
+    }
+    if (out_features > 0) {
+        const std::uint64_t out_bytes =
+            static_cast<std::uint64_t>(out_features) *
+            static_cast<std::uint64_t>(net.batchSize());
+        total += transferCycles(out_bytes, _cfg.pcieBytesPerSec,
+                                _cfg.clockHz);
+    }
+    return total;
+}
+
+double
+AnalyticModel::estimateSeconds(const nn::Network &net) const
+{
+    return cyclesToSeconds(estimateCycles(net), _cfg.clockHz);
+}
+
+double
+AnalyticModel::estimateTeraOps(const nn::Network &net) const
+{
+    const double ops = 2.0 *
+        static_cast<double>(net.macsPerExample()) *
+        static_cast<double>(net.batchSize());
+    return ops / estimateSeconds(net) / tera;
+}
+
+std::vector<LayerProfile>
+AnalyticModel::profile(const nn::Network &net) const
+{
+    std::vector<LayerProfile> out;
+    Cycle total = 0;
+    for (const auto &layer : net.layers()) {
+        LayerProfile p;
+        p.name = layer->name();
+        p.kind = layer->kind();
+        p.cycles = _layerCycles(net, *layer, &p.weightBytesFetched,
+                                &p.memoryBound);
+        p.macs = static_cast<std::uint64_t>(layer->macsPerExample()) *
+                 static_cast<std::uint64_t>(net.batchSize());
+        total += p.cycles;
+        out.push_back(std::move(p));
+    }
+    for (LayerProfile &p : out) {
+        p.shareOfTotal =
+            total ? static_cast<double>(p.cycles) /
+                    static_cast<double>(total) : 0.0;
+    }
+    return out;
+}
+
+Table
+AnalyticModel::profileTable(const nn::Network &net,
+                            const std::vector<LayerProfile> &prof)
+{
+    Table t("Layer profile: " + net.name());
+    t.setHeader({"Layer", "Cycles", "Share", "Bound", "Weight MiB",
+                 "GMACs"});
+    for (const LayerProfile &p : prof) {
+        if (p.cycles == 0)
+            continue; // activation-unit layers fold into tails
+        t.addRow({p.name,
+                  std::to_string(p.cycles),
+                  Table::pct(p.shareOfTotal),
+                  p.memoryBound ? "memory" : "compute",
+                  Table::num(static_cast<double>(
+                                 p.weightBytesFetched) /
+                                 static_cast<double>(mib(1)), 2),
+                  Table::num(static_cast<double>(p.macs) / 1e9, 2)});
+    }
+    return t;
+}
+
+} // namespace model
+} // namespace tpu

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The Section 7 analytical TPU performance model: "like an FPU, the
+ * TPU coprocessor has a relatively easy microarchitecture to evaluate,
+ * so we created a performance model for our six applications.  Table 7
+ * shows the differences between the model results and the hardware
+ * performance counters, which average below 10%."
+ *
+ * Here the role of "hardware" is played by the Tier-B cycle simulator;
+ * this closed-form model is validated against it in the Table 7 bench
+ * and reused for quick what-if arithmetic.
+ */
+
+#ifndef TPUSIM_MODEL_PERF_MODEL_HH
+#define TPUSIM_MODEL_PERF_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "nn/network.hh"
+#include "sim/table.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace model {
+
+/** Per-layer performance profile entry. */
+struct LayerProfile
+{
+    std::string name;
+    nn::Layer::Kind kind;
+    Cycle cycles = 0;          ///< estimated layer cycles
+    bool memoryBound = false;  ///< fetch-limited vs compute-limited
+    std::uint64_t weightBytesFetched = 0;
+    std::uint64_t macs = 0;    ///< per batch
+    double shareOfTotal = 0;   ///< fraction of network cycles
+};
+
+/** Closed-form per-layer max(fetch, compute) performance model. */
+class AnalyticModel
+{
+  public:
+    explicit AnalyticModel(arch::TpuConfig config);
+
+    const arch::TpuConfig &config() const { return _cfg; }
+
+    /** Estimated cycles for one batch inference of @p net. */
+    Cycle estimateCycles(const nn::Network &net) const;
+
+    /** Estimated wall-clock seconds for one batch inference. */
+    double estimateSeconds(const nn::Network &net) const;
+
+    /** Estimated achieved TeraOps/s (2 ops per MAC). */
+    double estimateTeraOps(const nn::Network &net) const;
+
+    /**
+     * Per-layer breakdown: where the cycles go and which layers are
+     * memory vs compute bound -- the per-layer view behind Table 3's
+     * whole-app counters (e.g. CNN1's four FC layers at intensity 32
+     * stand out as the weight-stall source).
+     */
+    std::vector<LayerProfile> profile(const nn::Network &net) const;
+
+    /** Render a profile as a printable table. */
+    static Table profileTable(const nn::Network &net,
+                              const std::vector<LayerProfile> &prof);
+
+  private:
+    /** Closed-form cycles for one matrix layer (nullopt mapping: 0).*/
+    Cycle _layerCycles(const nn::Network &net,
+                       const nn::Layer &layer,
+                       std::uint64_t *bytes_out = nullptr,
+                       bool *memory_bound = nullptr) const;
+
+    arch::TpuConfig _cfg;
+};
+
+} // namespace model
+} // namespace tpu
+
+#endif // TPUSIM_MODEL_PERF_MODEL_HH

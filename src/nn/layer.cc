@@ -1,0 +1,115 @@
+#include "nn/layer.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace nn {
+
+const char *
+toString(Nonlinearity f)
+{
+    switch (f) {
+      case Nonlinearity::None: return "none";
+      case Nonlinearity::Relu: return "ReLU";
+      case Nonlinearity::Sigmoid: return "sigmoid";
+      case Nonlinearity::Tanh: return "tanh";
+    }
+    return "?";
+}
+
+FullyConnected::FullyConnected(std::string name, std::int64_t in,
+                               std::int64_t out, Nonlinearity f,
+                               std::int64_t executions)
+    : Layer(Kind::FullyConnected, std::move(name)), _in(in), _out(out),
+      _f(f), _executions(executions)
+{
+    fatal_if(in <= 0 || out <= 0, "FC layer %s: bad dims %lld x %lld",
+             this->name().c_str(), static_cast<long long>(in),
+             static_cast<long long>(out));
+    fatal_if(executions <= 0, "FC layer %s: bad executions %lld",
+             this->name().c_str(), static_cast<long long>(executions));
+}
+
+std::optional<MatrixMapping>
+FullyConnected::matrixMapping() const
+{
+    MatrixMapping m;
+    m.rows = _in;
+    m.cols = _out;
+    m.passes = 1;
+    m.rowsPerExample = 1;
+    m.executions = _executions;
+    return m;
+}
+
+Conv2D::Conv2D(std::string name, std::int64_t in_channels,
+               std::int64_t out_channels, std::int64_t kernel_h,
+               std::int64_t kernel_w, std::int64_t in_h,
+               std::int64_t in_w, std::int64_t stride, Nonlinearity f)
+    : Layer(Kind::Conv2D, std::move(name)), _inC(in_channels),
+      _outC(out_channels), _kh(kernel_h), _kw(kernel_w), _inH(in_h),
+      _inW(in_w), _stride(stride), _f(f)
+{
+    fatal_if(in_channels <= 0 || out_channels <= 0,
+             "conv %s: bad channels", this->name().c_str());
+    fatal_if(kernel_h <= 0 || kernel_w <= 0 || in_h <= 0 || in_w <= 0 ||
+             stride <= 0, "conv %s: bad geometry", this->name().c_str());
+}
+
+std::optional<MatrixMapping>
+Conv2D::matrixMapping() const
+{
+    // Section 9 of the paper, in Eyeriss terminology: "a TPU
+    // convolutional layer maps C and M to the rows and columns of the
+    // matrix unit, taking HWN cycles to perform one pass [and] RS passes
+    // to process the layer".
+    MatrixMapping m;
+    m.rows = _inC;
+    m.cols = _outC;
+    m.passes = _kh * _kw;
+    m.rowsPerExample = outH() * outW();
+    m.executions = 1;
+    return m;
+}
+
+LstmCell::LstmCell(std::string name, std::int64_t input_size,
+                   std::int64_t hidden_size, std::int64_t time_steps)
+    : Layer(Kind::LstmCell, std::move(name)), _input(input_size),
+      _hidden(hidden_size), _steps(time_steps)
+{
+    fatal_if(input_size <= 0 || hidden_size <= 0 || time_steps <= 0,
+             "lstm %s: bad sizes", this->name().c_str());
+}
+
+std::optional<MatrixMapping>
+LstmCell::matrixMapping() const
+{
+    MatrixMapping m;
+    m.rows = _input + _hidden;
+    m.cols = 4 * _hidden;
+    m.passes = 1;
+    m.rowsPerExample = 1;
+    m.executions = _steps;
+    return m;
+}
+
+Pool::Pool(std::string name, Mode mode, std::int64_t window,
+           std::int64_t elements)
+    : Layer(Kind::Pool, std::move(name)), _mode(mode), _window(window),
+      _elements(elements)
+{
+    fatal_if(window <= 0 || elements <= 0, "pool %s: bad geometry",
+             this->name().c_str());
+}
+
+Vector::Vector(std::string name, Nonlinearity f, std::int64_t elements,
+               std::int64_t executions)
+    : Layer(Kind::Vector, std::move(name)), _f(f), _elements(elements),
+      _executions(executions)
+{
+    fatal_if(elements <= 0 || executions <= 0, "vector %s: bad sizes",
+             this->name().c_str());
+}
+
+} // namespace nn
+} // namespace tpu

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Layer zoo for the NN substrate.
+ *
+ * A layer knows its parameter (weight) count, its multiply-accumulate
+ * work per example, and -- for layers that run on the TPU matrix unit --
+ * how it maps onto a weight-stationary matrix multiply:
+ *
+ *   - fully connected: a [in x out] weight matrix, one pass, one matrix
+ *     row of activations per example;
+ *   - convolution: the Eyeriss-terminology mapping of Section 9 of the
+ *     paper: input channels C map to matrix rows, output channels M to
+ *     matrix columns, R*S kernel positions become passes, and each pass
+ *     streams H*W*N activation rows;
+ *   - LSTM cell: the four gate matrices fused into one
+ *     [(input+hidden) x 4*hidden] matrix, executed once per time step.
+ *
+ * Vector/pooling/activation layers run on the TPU's activation unit and
+ * carry no weights.
+ */
+
+#ifndef TPUSIM_NN_LAYER_HH
+#define TPUSIM_NN_LAYER_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace tpu {
+namespace nn {
+
+/** Nonlinearities supported by the activation unit. */
+enum class Nonlinearity
+{
+    None,
+    Relu,
+    Sigmoid,
+    Tanh,
+};
+
+const char *toString(Nonlinearity f);
+
+/**
+ * How a layer maps onto the weight-stationary matrix unit.
+ *
+ * One "pass" loads weight tiles covering a [rows x cols] weight matrix
+ * and streams (rowsPerExample * batch) activation rows through them.
+ */
+struct MatrixMapping
+{
+    /** Weight matrix rows (contraction dimension fed from the left). */
+    std::int64_t rows = 0;
+    /** Weight matrix columns (output features). */
+    std::int64_t cols = 0;
+    /** Number of weight-matrix passes (R*S for convolutions, else 1). */
+    std::int64_t passes = 1;
+    /** Activation rows streamed per example per pass (H*W for conv). */
+    std::int64_t rowsPerExample = 1;
+    /** Times the whole mapping executes per inference (LSTM steps). */
+    std::int64_t executions = 1;
+};
+
+/** Abstract NN layer. */
+class Layer
+{
+  public:
+    enum class Kind
+    {
+        FullyConnected,
+        Conv2D,
+        LstmCell,
+        Pool,
+        Vector, ///< Elementwise / activation work ("Vector" in Table 1).
+    };
+
+    Layer(Kind kind, std::string name)
+        : _kind(kind), _name(std::move(name))
+    {}
+    virtual ~Layer() = default;
+
+    Kind kind() const { return _kind; }
+    const std::string &name() const { return _name; }
+
+    /** Unique trainable weights (one byte each once quantized). */
+    virtual std::int64_t weightCount() const = 0;
+
+    /** Multiply-accumulate operations for one example (one inference). */
+    virtual std::int64_t macsPerExample() const = 0;
+
+    /** Weight bytes streamed from Weight Memory for one whole batch. */
+    virtual std::int64_t
+    weightBytesFetched() const
+    {
+        return weightCount();
+    }
+
+    /** Matrix-unit mapping; nullopt for activation-unit-only layers. */
+    virtual std::optional<MatrixMapping>
+    matrixMapping() const
+    {
+        return std::nullopt;
+    }
+
+    /** Nonlinearity applied to this layer's output. */
+    virtual Nonlinearity
+    nonlinearity() const
+    {
+        return Nonlinearity::None;
+    }
+
+    /** True if the layer executes on the matrix unit. */
+    bool
+    onMatrixUnit() const
+    {
+        return matrixMapping().has_value();
+    }
+
+  private:
+    Kind _kind;
+    std::string _name;
+};
+
+/** Fully connected layer: out = f(x * W), W is [in x out]. */
+class FullyConnected : public Layer
+{
+  public:
+    FullyConnected(std::string name, std::int64_t in, std::int64_t out,
+                   Nonlinearity f = Nonlinearity::Relu,
+                   std::int64_t executions = 1);
+
+    std::int64_t in() const { return _in; }
+    std::int64_t out() const { return _out; }
+
+    std::int64_t weightCount() const override { return _in * _out; }
+    std::int64_t macsPerExample() const override
+    {
+        return _in * _out * _executions;
+    }
+    std::int64_t weightBytesFetched() const override
+    {
+        return weightCount() * _executions;
+    }
+    std::optional<MatrixMapping> matrixMapping() const override;
+    Nonlinearity nonlinearity() const override { return _f; }
+
+  private:
+    std::int64_t _in;
+    std::int64_t _out;
+    Nonlinearity _f;
+    std::int64_t _executions;
+};
+
+/** 2-D convolution, NHWC, "same" padding, unit stride by default. */
+class Conv2D : public Layer
+{
+  public:
+    Conv2D(std::string name, std::int64_t in_channels,
+           std::int64_t out_channels, std::int64_t kernel_h,
+           std::int64_t kernel_w, std::int64_t in_h, std::int64_t in_w,
+           std::int64_t stride = 1,
+           Nonlinearity f = Nonlinearity::Relu);
+
+    std::int64_t inChannels() const { return _inC; }
+    std::int64_t outChannels() const { return _outC; }
+    std::int64_t kernelH() const { return _kh; }
+    std::int64_t kernelW() const { return _kw; }
+    std::int64_t inH() const { return _inH; }
+    std::int64_t inW() const { return _inW; }
+    std::int64_t outH() const { return (_inH + _stride - 1) / _stride; }
+    std::int64_t outW() const { return (_inW + _stride - 1) / _stride; }
+    std::int64_t stride() const { return _stride; }
+
+    std::int64_t weightCount() const override
+    {
+        return _kh * _kw * _inC * _outC;
+    }
+    std::int64_t macsPerExample() const override
+    {
+        return outH() * outW() * _kh * _kw * _inC * _outC;
+    }
+    std::optional<MatrixMapping> matrixMapping() const override;
+    Nonlinearity nonlinearity() const override { return _f; }
+
+  private:
+    std::int64_t _inC;
+    std::int64_t _outC;
+    std::int64_t _kh;
+    std::int64_t _kw;
+    std::int64_t _inH;
+    std::int64_t _inW;
+    std::int64_t _stride;
+    Nonlinearity _f;
+};
+
+/**
+ * LSTM cell: the four gate matmuls fused into one
+ * [(input+hidden) x 4*hidden] weight matrix, run @p time_steps times.
+ */
+class LstmCell : public Layer
+{
+  public:
+    LstmCell(std::string name, std::int64_t input_size,
+             std::int64_t hidden_size, std::int64_t time_steps = 1);
+
+    std::int64_t inputSize() const { return _input; }
+    std::int64_t hiddenSize() const { return _hidden; }
+    std::int64_t timeSteps() const { return _steps; }
+
+    std::int64_t weightCount() const override
+    {
+        return (_input + _hidden) * 4 * _hidden;
+    }
+    std::int64_t macsPerExample() const override
+    {
+        return weightCount() * _steps;
+    }
+    std::int64_t weightBytesFetched() const override
+    {
+        return weightCount() * _steps;
+    }
+    std::optional<MatrixMapping> matrixMapping() const override;
+    Nonlinearity nonlinearity() const override
+    {
+        return Nonlinearity::Tanh;
+    }
+
+  private:
+    std::int64_t _input;
+    std::int64_t _hidden;
+    std::int64_t _steps;
+};
+
+/** Max or average pooling; runs on the activation unit. */
+class Pool : public Layer
+{
+  public:
+    enum class Mode { Max, Avg };
+
+    Pool(std::string name, Mode mode, std::int64_t window,
+         std::int64_t elements);
+
+    Mode mode() const { return _mode; }
+    std::int64_t window() const { return _window; }
+    std::int64_t elements() const { return _elements; }
+
+    std::int64_t weightCount() const override { return 0; }
+    std::int64_t macsPerExample() const override { return 0; }
+
+  private:
+    Mode _mode;
+    std::int64_t _window;
+    std::int64_t _elements;
+};
+
+/** Elementwise vector work (sigmoid/tanh/mul/add in LSTM plumbing). */
+class Vector : public Layer
+{
+  public:
+    Vector(std::string name, Nonlinearity f, std::int64_t elements,
+           std::int64_t executions = 1);
+
+    std::int64_t elements() const { return _elements; }
+    std::int64_t executions() const { return _executions; }
+
+    std::int64_t weightCount() const override { return 0; }
+    std::int64_t macsPerExample() const override { return 0; }
+    Nonlinearity nonlinearity() const override { return _f; }
+
+  private:
+    Nonlinearity _f;
+    std::int64_t _elements;
+    std::int64_t _executions;
+};
+
+} // namespace nn
+} // namespace tpu
+
+#endif // TPUSIM_NN_LAYER_HH

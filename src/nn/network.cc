@@ -1,0 +1,123 @@
+#include "nn/network.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace nn {
+
+Layer &
+Network::addLayer(std::unique_ptr<Layer> layer)
+{
+    panic_if(!layer, "adding null layer to %s", _name.c_str());
+    _layers.push_back(std::move(layer));
+    return *_layers.back();
+}
+
+FullyConnected &
+Network::addFullyConnected(std::int64_t in, std::int64_t out,
+                           Nonlinearity f, std::int64_t executions)
+{
+    auto name = _name + ".fc" + std::to_string(_layers.size());
+    addLayer(std::make_unique<FullyConnected>(name, in, out, f,
+                                              executions));
+    return static_cast<FullyConnected &>(*_layers.back());
+}
+
+Conv2D &
+Network::addConv2D(std::int64_t in_channels, std::int64_t out_channels,
+                   std::int64_t kernel, std::int64_t in_h,
+                   std::int64_t in_w, std::int64_t stride,
+                   Nonlinearity f)
+{
+    auto name = _name + ".conv" + std::to_string(_layers.size());
+    addLayer(std::make_unique<Conv2D>(name, in_channels, out_channels,
+                                      kernel, kernel, in_h, in_w, stride,
+                                      f));
+    return static_cast<Conv2D &>(*_layers.back());
+}
+
+LstmCell &
+Network::addLstmCell(std::int64_t input_size, std::int64_t hidden_size,
+                     std::int64_t time_steps)
+{
+    auto name = _name + ".lstm" + std::to_string(_layers.size());
+    addLayer(std::make_unique<LstmCell>(name, input_size, hidden_size,
+                                        time_steps));
+    return static_cast<LstmCell &>(*_layers.back());
+}
+
+Pool &
+Network::addPool(Pool::Mode mode, std::int64_t window,
+                 std::int64_t elements)
+{
+    auto name = _name + ".pool" + std::to_string(_layers.size());
+    addLayer(std::make_unique<Pool>(name, mode, window, elements));
+    return static_cast<Pool &>(*_layers.back());
+}
+
+Vector &
+Network::addVector(Nonlinearity f, std::int64_t elements,
+                   std::int64_t executions)
+{
+    auto name = _name + ".vec" + std::to_string(_layers.size());
+    addLayer(std::make_unique<Vector>(name, f, elements, executions));
+    return static_cast<Vector &>(*_layers.back());
+}
+
+std::size_t
+Network::numLayers(Layer::Kind kind) const
+{
+    std::size_t n = 0;
+    for (const auto &l : _layers)
+        if (l->kind() == kind)
+            ++n;
+    return n;
+}
+
+const Layer &
+Network::layer(std::size_t i) const
+{
+    panic_if(i >= _layers.size(), "layer index %zu out of %zu in %s", i,
+             _layers.size(), _name.c_str());
+    return *_layers[i];
+}
+
+std::int64_t
+Network::totalWeights() const
+{
+    std::int64_t n = 0;
+    for (const auto &l : _layers)
+        n += l->weightCount();
+    return n;
+}
+
+std::int64_t
+Network::weightBytesFetched() const
+{
+    std::int64_t n = 0;
+    for (const auto &l : _layers)
+        n += l->weightBytesFetched();
+    return n;
+}
+
+std::int64_t
+Network::macsPerExample() const
+{
+    std::int64_t n = 0;
+    for (const auto &l : _layers)
+        n += l->macsPerExample();
+    return n;
+}
+
+double
+Network::opsPerWeightByte(std::int64_t batch) const
+{
+    std::int64_t bytes = weightBytesFetched();
+    if (bytes == 0)
+        return 0.0;
+    return static_cast<double>(macsPerExample()) *
+           static_cast<double>(batch) / static_cast<double>(bytes);
+}
+
+} // namespace nn
+} // namespace tpu

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A network is an ordered list of layers plus the workload metadata the
+ * paper reports in Table 1: batch size, weights, and operational
+ * intensity (MAC operations per byte of weights read, the X axis of the
+ * paper's rooflines).
+ */
+
+#ifndef TPUSIM_NN_NETWORK_HH
+#define TPUSIM_NN_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace tpu {
+namespace nn {
+
+/** An inference network: ordered layers + batch configuration. */
+class Network
+{
+  public:
+    explicit Network(std::string name, std::int64_t batch_size = 1)
+        : _name(std::move(name)), _batchSize(batch_size)
+    {}
+
+    const std::string &name() const { return _name; }
+
+    std::int64_t batchSize() const { return _batchSize; }
+    void setBatchSize(std::int64_t b) { _batchSize = b; }
+
+    /** Append a layer; returns a reference to the added layer. */
+    Layer &addLayer(std::unique_ptr<Layer> layer);
+
+    /** Typed convenience builders. */
+    FullyConnected &
+    addFullyConnected(std::int64_t in, std::int64_t out,
+                      Nonlinearity f = Nonlinearity::Relu,
+                      std::int64_t executions = 1);
+    Conv2D &
+    addConv2D(std::int64_t in_channels, std::int64_t out_channels,
+              std::int64_t kernel, std::int64_t in_h, std::int64_t in_w,
+              std::int64_t stride = 1,
+              Nonlinearity f = Nonlinearity::Relu);
+    LstmCell &
+    addLstmCell(std::int64_t input_size, std::int64_t hidden_size,
+                std::int64_t time_steps = 1);
+    Pool &
+    addPool(Pool::Mode mode, std::int64_t window, std::int64_t elements);
+    Vector &
+    addVector(Nonlinearity f, std::int64_t elements,
+              std::int64_t executions = 1);
+
+    std::size_t numLayers() const { return _layers.size(); }
+    std::size_t numLayers(Layer::Kind kind) const;
+    const Layer &layer(std::size_t i) const;
+    const std::vector<std::unique_ptr<Layer>> &layers() const
+    {
+        return _layers;
+    }
+
+    /** Total unique weights across all layers (Table 1 column). */
+    std::int64_t totalWeights() const;
+
+    /** Weight bytes streamed from Weight Memory for one whole batch. */
+    std::int64_t weightBytesFetched() const;
+
+    /** Total MACs for a single example. */
+    std::int64_t macsPerExample() const;
+
+    /**
+     * Operational intensity: MAC ops per byte of weights read for a
+     * batch of @p batch examples (Table 1's "TPU Ops / Weight Byte").
+     */
+    double opsPerWeightByte(std::int64_t batch) const;
+    double opsPerWeightByte() const
+    {
+        return opsPerWeightByte(_batchSize);
+    }
+
+  private:
+    std::string _name;
+    std::int64_t _batchSize;
+    std::vector<std::unique_ptr<Layer>> _layers;
+};
+
+} // namespace nn
+} // namespace tpu
+
+#endif // TPUSIM_NN_NETWORK_HH

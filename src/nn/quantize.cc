@@ -1,0 +1,72 @@
+#include "nn/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace nn {
+
+QuantParams
+QuantParams::fromAbsMax(float max_abs)
+{
+    QuantParams p;
+    p.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    return p;
+}
+
+float
+absMax(const FloatTensor &x)
+{
+    float m = 0.0f;
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        m = std::max(m, std::fabs(x[i]));
+    return m;
+}
+
+std::int8_t
+saturateToInt8(std::int32_t v)
+{
+    return static_cast<std::int8_t>(std::clamp(v, -127, 127));
+}
+
+Int8Tensor
+quantize(const FloatTensor &x, const QuantParams &params)
+{
+    panic_if(params.scale <= 0.0f, "non-positive quant scale");
+    Int8Tensor out(x.shape());
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        auto q = static_cast<std::int32_t>(
+            std::lround(x[i] / params.scale));
+        out[i] = saturateToInt8(q);
+    }
+    return out;
+}
+
+FloatTensor
+dequantize(const Int8Tensor &x, const QuantParams &params)
+{
+    FloatTensor out(x.shape());
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        out[i] = static_cast<float>(x[i]) * params.scale;
+    return out;
+}
+
+Int8Tensor
+requantize(const Int32Tensor &acc, float in_scale, float w_scale,
+           float out_scale)
+{
+    panic_if(out_scale <= 0.0f, "non-positive requant output scale");
+    float multiplier = in_scale * w_scale / out_scale;
+    Int8Tensor out(acc.shape());
+    for (std::int64_t i = 0; i < acc.size(); ++i) {
+        auto q = static_cast<std::int32_t>(std::lround(
+            static_cast<double>(acc[i]) * multiplier));
+        out[i] = saturateToInt8(q);
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace tpu

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quantization utilities: the "step called quantization [that]
+ * transforms floating-point numbers into narrow integers -- often just
+ * 8 bits" (Section 1 of the paper).
+ *
+ * Symmetric linear quantization: q = clamp(round(x / scale), -127, 127).
+ * Requantization maps int32 accumulator values back to int8 activations
+ * with a combined scale, saturating at the int8 range.
+ */
+
+#ifndef TPUSIM_NN_QUANTIZE_HH
+#define TPUSIM_NN_QUANTIZE_HH
+
+#include <cstdint>
+
+#include "nn/tensor.hh"
+
+namespace tpu {
+namespace nn {
+
+/** Parameters of a symmetric int8 quantization. */
+struct QuantParams
+{
+    float scale = 1.0f; ///< real_value = scale * quantized_value
+
+    /** Scale chosen so that |maxAbs| maps to 127. */
+    static QuantParams fromAbsMax(float max_abs);
+};
+
+/** Largest absolute value in a tensor (for calibration). */
+float absMax(const FloatTensor &x);
+
+/** Quantize a float tensor to int8 with the given params. */
+Int8Tensor quantize(const FloatTensor &x, const QuantParams &params);
+
+/** Dequantize int8 back to float. */
+FloatTensor dequantize(const Int8Tensor &x, const QuantParams &params);
+
+/** Saturating int32 -> int8 cast. */
+std::int8_t saturateToInt8(std::int32_t v);
+
+/**
+ * Requantize an int32 accumulator tensor to int8 given the product of
+ * input scales and the desired output scale:
+ *   out_q = sat(round(acc * (in_scale * w_scale / out_scale)))
+ */
+Int8Tensor requantize(const Int32Tensor &acc, float in_scale,
+                      float w_scale, float out_scale);
+
+} // namespace nn
+} // namespace tpu
+
+#endif // TPUSIM_NN_QUANTIZE_HH

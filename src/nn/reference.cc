@@ -1,0 +1,203 @@
+#include "nn/reference.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace nn {
+
+FloatTensor
+matmul(const FloatTensor &a, const FloatTensor &b)
+{
+    panic_if(a.rank() != 2 || b.rank() != 2, "matmul wants rank-2");
+    panic_if(a.dim(1) != b.dim(0), "matmul inner dim mismatch %s vs %s",
+             shapeToString(a.shape()).c_str(),
+             shapeToString(b.shape()).c_str());
+    std::int64_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(1);
+    FloatTensor c({rows, cols});
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t k = 0; k < inner; ++k) {
+            float av = a.at(i, k);
+            if (av == 0.0f)
+                continue;
+            for (std::int64_t j = 0; j < cols; ++j)
+                c.at(i, j) += av * b.at(k, j);
+        }
+    }
+    return c;
+}
+
+Int32Tensor
+matmulInt8(const Int8Tensor &a, const Int8Tensor &b)
+{
+    panic_if(a.rank() != 2 || b.rank() != 2, "matmulInt8 wants rank-2");
+    panic_if(a.dim(1) != b.dim(0), "matmulInt8 inner dim mismatch");
+    std::int64_t rows = a.dim(0), inner = a.dim(1), cols = b.dim(1);
+    Int32Tensor c({rows, cols});
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t k = 0; k < inner; ++k) {
+            std::int32_t av = a.at(i, k);
+            if (av == 0)
+                continue;
+            for (std::int64_t j = 0; j < cols; ++j)
+                c.at(i, j) += av * static_cast<std::int32_t>(b.at(k, j));
+        }
+    }
+    return c;
+}
+
+float
+activate(float x, Nonlinearity f)
+{
+    switch (f) {
+      case Nonlinearity::None:
+        return x;
+      case Nonlinearity::Relu:
+        return x > 0.0f ? x : 0.0f;
+      case Nonlinearity::Sigmoid:
+        return 1.0f / (1.0f + std::exp(-x));
+      case Nonlinearity::Tanh:
+        return std::tanh(x);
+    }
+    panic("unknown nonlinearity");
+}
+
+FloatTensor
+apply(const FloatTensor &x, Nonlinearity f)
+{
+    FloatTensor out(x.shape());
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        out[i] = activate(x[i], f);
+    return out;
+}
+
+FloatTensor
+conv2dSame(const FloatTensor &input, const FloatTensor &kernel,
+           std::int64_t stride)
+{
+    panic_if(input.rank() != 4, "conv input must be NHWC");
+    panic_if(kernel.rank() != 4, "conv kernel must be [KH,KW,C,M]");
+    panic_if(input.dim(3) != kernel.dim(2),
+             "conv channel mismatch: input C=%lld kernel C=%lld",
+             static_cast<long long>(input.dim(3)),
+             static_cast<long long>(kernel.dim(2)));
+    std::int64_t n = input.dim(0), h = input.dim(1), w = input.dim(2);
+    std::int64_t c = input.dim(3);
+    std::int64_t kh = kernel.dim(0), kw = kernel.dim(1);
+    std::int64_t m = kernel.dim(3);
+    std::int64_t oh = (h + stride - 1) / stride;
+    std::int64_t ow = (w + stride - 1) / stride;
+    // "Same" padding: center the kernel; pad_top = (kh-1)/2 etc.
+    std::int64_t pad_top = (kh - 1) / 2;
+    std::int64_t pad_left = (kw - 1) / 2;
+
+    FloatTensor out({n, oh, ow, m});
+    for (std::int64_t in = 0; in < n; ++in)
+    for (std::int64_t y = 0; y < oh; ++y)
+    for (std::int64_t x = 0; x < ow; ++x)
+    for (std::int64_t ky = 0; ky < kh; ++ky) {
+        std::int64_t sy = y * stride + ky - pad_top;
+        if (sy < 0 || sy >= h)
+            continue;
+        for (std::int64_t kx = 0; kx < kw; ++kx) {
+            std::int64_t sx = x * stride + kx - pad_left;
+            if (sx < 0 || sx >= w)
+                continue;
+            for (std::int64_t ic = 0; ic < c; ++ic) {
+                float av = input.at(in, sy, sx, ic);
+                if (av == 0.0f)
+                    continue;
+                for (std::int64_t oc = 0; oc < m; ++oc) {
+                    out.at(in, y, x, oc) +=
+                        av * kernel.at(ky, kx, ic, oc);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+LstmState
+lstmStep(const FloatTensor &x, const LstmState &prev,
+         const FloatTensor &weights)
+{
+    panic_if(x.rank() != 2 || prev.h.rank() != 2 || prev.c.rank() != 2,
+             "lstmStep wants rank-2 tensors");
+    std::int64_t batch = x.dim(0);
+    std::int64_t in = x.dim(1);
+    std::int64_t hidden = prev.h.dim(1);
+    panic_if(weights.dim(0) != in + hidden ||
+             weights.dim(1) != 4 * hidden,
+             "lstm weights must be [(in+hidden) x 4*hidden]");
+    panic_if(prev.h.dim(0) != batch || prev.c.dim(0) != batch,
+             "lstm state batch mismatch");
+
+    // Concatenate [x, h] and run the fused gate matmul.
+    FloatTensor xh({batch, in + hidden});
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t i = 0; i < in; ++i)
+            xh.at(b, i) = x.at(b, i);
+        for (std::int64_t i = 0; i < hidden; ++i)
+            xh.at(b, in + i) = prev.h.at(b, i);
+    }
+    FloatTensor gates = matmul(xh, weights);
+
+    LstmState next{FloatTensor({batch, hidden}),
+                   FloatTensor({batch, hidden})};
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t j = 0; j < hidden; ++j) {
+            float gi = activate(gates.at(b, j), Nonlinearity::Sigmoid);
+            float gf = activate(gates.at(b, hidden + j),
+                                Nonlinearity::Sigmoid);
+            float gg = activate(gates.at(b, 2 * hidden + j),
+                                Nonlinearity::Tanh);
+            float go = activate(gates.at(b, 3 * hidden + j),
+                                Nonlinearity::Sigmoid);
+            float c2 = gf * prev.c.at(b, j) + gi * gg;
+            next.c.at(b, j) = c2;
+            next.h.at(b, j) = go * std::tanh(c2);
+        }
+    }
+    return next;
+}
+
+FloatTensor
+maxPool1d(const FloatTensor &x, std::int64_t window)
+{
+    panic_if(window <= 0, "bad pool window");
+    std::int64_t n = x.size();
+    std::int64_t out_n = (n + window - 1) / window;
+    FloatTensor out({out_n});
+    for (std::int64_t o = 0; o < out_n; ++o) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (std::int64_t i = o * window;
+             i < std::min(n, (o + 1) * window); ++i)
+            best = std::max(best, x[i]);
+        out[o] = best;
+    }
+    return out;
+}
+
+FloatTensor
+avgPool1d(const FloatTensor &x, std::int64_t window)
+{
+    panic_if(window <= 0, "bad pool window");
+    std::int64_t n = x.size();
+    std::int64_t out_n = (n + window - 1) / window;
+    FloatTensor out({out_n});
+    for (std::int64_t o = 0; o < out_n; ++o) {
+        double sum = 0;
+        std::int64_t cnt = 0;
+        for (std::int64_t i = o * window;
+             i < std::min(n, (o + 1) * window); ++i) {
+            sum += x[i];
+            ++cnt;
+        }
+        out[o] = cnt ? static_cast<float>(sum / cnt) : 0.0f;
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace tpu

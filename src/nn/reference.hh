@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reference (golden-model) executors for the NN substrate.
+ *
+ * Two flavours:
+ *  - float: straightforward FP32 math, the "training-time" semantics;
+ *  - int8: the TPU's quantized inference semantics -- int8 x int8
+ *    multiplies accumulated into int32, requantized back to int8 with a
+ *    power-of-two-free affine scale, saturating.
+ *
+ * The TPU functional datapath (systolic array + activation unit) is
+ * validated against these executors in the test suite.
+ */
+
+#ifndef TPUSIM_NN_REFERENCE_HH
+#define TPUSIM_NN_REFERENCE_HH
+
+#include <cstdint>
+
+#include "nn/layer.hh"
+#include "nn/tensor.hh"
+
+namespace tpu {
+namespace nn {
+
+/** C[b,n] = sum_k A[b,k] * B[k,n]; shapes [B,K] x [K,N] -> [B,N]. */
+FloatTensor matmul(const FloatTensor &a, const FloatTensor &b);
+
+/** Integer GEMM with int32 accumulation (the matrix unit's contract). */
+Int32Tensor matmulInt8(const Int8Tensor &a, const Int8Tensor &b);
+
+/** Elementwise nonlinearity on a float tensor. */
+FloatTensor apply(const FloatTensor &x, Nonlinearity f);
+
+/** Scalar versions used by both executors and LUT construction. */
+float activate(float x, Nonlinearity f);
+
+/**
+ * NHWC 2-D convolution with "same" zero padding.
+ * @param input  [N, H, W, C]
+ * @param kernel [KH, KW, C, M]
+ * @param stride spatial stride (same in both dimensions)
+ * @return       [N, ceil(H/stride), ceil(W/stride), M]
+ */
+FloatTensor conv2dSame(const FloatTensor &input,
+                       const FloatTensor &kernel, std::int64_t stride);
+
+/**
+ * One LSTM step over a batch.
+ *
+ * Gate layout follows the fused [(in+hidden) x 4*hidden] weight matrix
+ * used by LstmCell: columns [0,h) input gate i, [h,2h) forget gate f,
+ * [2h,3h) cell candidate g, [3h,4h) output gate o:
+ *   i,f,o = sigmoid(.), g = tanh(.)
+ *   c' = f*c + i*g ;  h' = o * tanh(c')
+ */
+struct LstmState
+{
+    FloatTensor h; ///< [B, hidden]
+    FloatTensor c; ///< [B, hidden]
+};
+
+LstmState lstmStep(const FloatTensor &x, const LstmState &prev,
+                   const FloatTensor &weights);
+
+/** Max pooling over flat windows of @p window elements. */
+FloatTensor maxPool1d(const FloatTensor &x, std::int64_t window);
+
+/** Average pooling over flat windows of @p window elements. */
+FloatTensor avgPool1d(const FloatTensor &x, std::int64_t window);
+
+} // namespace nn
+} // namespace tpu
+
+#endif // TPUSIM_NN_REFERENCE_HH

@@ -1,0 +1,32 @@
+#include "nn/tensor.hh"
+
+namespace tpu {
+namespace nn {
+
+std::int64_t
+numElements(const Shape &shape)
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : shape) {
+        panic_if(d < 0, "negative dimension %lld",
+                 static_cast<long long>(d));
+        n *= d;
+    }
+    return shape.empty() ? 0 : n;
+}
+
+std::string
+shapeToString(const Shape &shape)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(shape[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace nn
+} // namespace tpu

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Dense tensors used by the functional NN executors and the TPU's
+ * functional datapath.  Row-major storage; shapes are small vectors of
+ * dimensions.  Element types in this project: float (reference),
+ * int8_t (quantized activations/weights), int32_t (accumulators).
+ */
+
+#ifndef TPUSIM_NN_TENSOR_HH
+#define TPUSIM_NN_TENSOR_HH
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace nn {
+
+/** Shape of a tensor: a list of dimension sizes. */
+using Shape = std::vector<std::int64_t>;
+
+/** Number of elements implied by a shape. */
+std::int64_t numElements(const Shape &shape);
+
+/** "[2, 3, 4]" style rendering for messages. */
+std::string shapeToString(const Shape &shape);
+
+/** Row-major dense tensor of element type T. */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    explicit Tensor(Shape shape)
+        : _shape(std::move(shape)),
+          _data(static_cast<std::size_t>(numElements(_shape)), T{})
+    {}
+
+    Tensor(Shape shape, std::vector<T> data)
+        : _shape(std::move(shape)), _data(std::move(data))
+    {
+        panic_if(static_cast<std::int64_t>(_data.size()) !=
+                 numElements(_shape),
+                 "tensor data size %zu != shape volume %lld",
+                 _data.size(),
+                 static_cast<long long>(numElements(_shape)));
+    }
+
+    const Shape &shape() const { return _shape; }
+    std::int64_t dim(std::size_t i) const
+    {
+        panic_if(i >= _shape.size(), "dim index %zu out of rank %zu",
+                 i, _shape.size());
+        return _shape[i];
+    }
+    std::size_t rank() const { return _shape.size(); }
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(_data.size());
+    }
+
+    T *data() { return _data.data(); }
+    const T *data() const { return _data.data(); }
+
+    T &operator[](std::int64_t i) { return _data[_checkFlat(i)]; }
+    const T &operator[](std::int64_t i) const
+    {
+        return _data[_checkFlat(i)];
+    }
+
+    /** 2-D accessor (matrix [rows, cols]). */
+    T &
+    at(std::int64_t r, std::int64_t c)
+    {
+        return _data[_index2(r, c)];
+    }
+    const T &
+    at(std::int64_t r, std::int64_t c) const
+    {
+        return _data[_index2(r, c)];
+    }
+
+    /** 4-D accessor (NHWC activations). */
+    T &
+    at(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c)
+    {
+        return _data[_index4(n, h, w, c)];
+    }
+    const T &
+    at(std::int64_t n, std::int64_t h, std::int64_t w,
+       std::int64_t c) const
+    {
+        return _data[_index4(n, h, w, c)];
+    }
+
+    void fill(T v) { std::fill(_data.begin(), _data.end(), v); }
+
+    bool
+    operator==(const Tensor &other) const
+    {
+        return _shape == other._shape && _data == other._data;
+    }
+
+  private:
+    std::size_t
+    _checkFlat(std::int64_t i) const
+    {
+        panic_if(i < 0 || i >= size(), "flat index %lld out of %lld",
+                 static_cast<long long>(i),
+                 static_cast<long long>(size()));
+        return static_cast<std::size_t>(i);
+    }
+
+    std::size_t
+    _index2(std::int64_t r, std::int64_t c) const
+    {
+        panic_if(_shape.size() != 2, "2-D access on rank-%zu tensor",
+                 _shape.size());
+        panic_if(r < 0 || r >= _shape[0] || c < 0 || c >= _shape[1],
+                 "index (%lld,%lld) out of shape %s",
+                 static_cast<long long>(r), static_cast<long long>(c),
+                 shapeToString(_shape).c_str());
+        return static_cast<std::size_t>(r * _shape[1] + c);
+    }
+
+    std::size_t
+    _index4(std::int64_t n, std::int64_t h, std::int64_t w,
+            std::int64_t c) const
+    {
+        panic_if(_shape.size() != 4, "4-D access on rank-%zu tensor",
+                 _shape.size());
+        panic_if(n < 0 || n >= _shape[0] || h < 0 || h >= _shape[1] ||
+                 w < 0 || w >= _shape[2] || c < 0 || c >= _shape[3],
+                 "index (%lld,%lld,%lld,%lld) out of shape %s",
+                 static_cast<long long>(n), static_cast<long long>(h),
+                 static_cast<long long>(w), static_cast<long long>(c),
+                 shapeToString(_shape).c_str());
+        return static_cast<std::size_t>(
+            ((n * _shape[1] + h) * _shape[2] + w) * _shape[3] + c);
+    }
+
+    Shape _shape;
+    std::vector<T> _data;
+};
+
+using FloatTensor = Tensor<float>;
+using Int8Tensor = Tensor<std::int8_t>;
+using Int32Tensor = Tensor<std::int32_t>;
+
+} // namespace nn
+} // namespace tpu
+
+#endif // TPUSIM_NN_TENSOR_HH

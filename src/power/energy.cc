@@ -1,0 +1,59 @@
+#include "power/energy.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace power {
+
+namespace {
+constexpr double pico = 1e-12;
+} // namespace
+
+EnergyParams
+EnergyParams::tpu28nm()
+{
+    return EnergyParams{};
+}
+
+EnergyModel::EnergyModel(EnergyParams params) : _params(params) {}
+
+EnergyBreakdown
+EnergyModel::estimate(const arch::PerfCounters &counters,
+                      double seconds) const
+{
+    fatal_if(seconds < 0, "negative run time");
+    EnergyBreakdown e;
+    e.macJ = static_cast<double>(counters.usefulMacs) *
+             _params.pjPerMac8 * pico;
+    e.unifiedBufferJ =
+        static_cast<double>(counters.ubBytesRead +
+                            counters.ubBytesWritten) *
+        _params.pjPerUbByte * pico;
+    e.accumulatorJ = static_cast<double>(counters.accBytesWritten) *
+                     _params.pjPerAccByte * pico;
+    e.dramJ = static_cast<double>(counters.weightBytesRead) *
+              _params.pjPerDramByte * pico;
+    e.pcieJ = static_cast<double>(counters.pcieBytesIn +
+                                  counters.pcieBytesOut) *
+              _params.pjPerPcieByte * pico;
+    e.staticJ = _params.staticWatts * seconds;
+    return e;
+}
+
+EnergyBreakdown
+EnergyModel::estimateWithoutSystolicReuse(
+    const arch::PerfCounters &counters, double seconds) const
+{
+    EnergyBreakdown e = estimate(counters, seconds);
+    // Strawman: every useful MAC fetches its activation operand from
+    // the Unified Buffer (1 byte per MAC) instead of shifting it
+    // through the array -- the dataflow the systolic design avoids.
+    e.unifiedBufferJ =
+        (static_cast<double>(counters.usefulMacs) +
+         static_cast<double>(counters.ubBytesWritten)) *
+        _params.pjPerUbByte * pico;
+    return e;
+}
+
+} // namespace power
+} // namespace tpu

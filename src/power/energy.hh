@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Event-based energy model for the TPU die.
+ *
+ * Grounded in the paper's energy arguments: "Eight-bit integer
+ * multiplies can be 6X less energy ... than IEEE 754 16-bit
+ * floating-point multiplies" [Dal16], and "as reading a large SRAM
+ * uses much more power than arithmetic, the matrix unit uses systolic
+ * execution to save energy by reducing reads and writes of the
+ * Unified Buffer" (Section 2).
+ *
+ * Per-event energies are 28 nm-class estimates (documented per field);
+ * the model's purpose is ranking design choices -- e.g. quantifying
+ * how much the systolic dataflow saves versus an SRAM-operand-fetch
+ * strawman -- not matching the authors' unpublished power rails.
+ */
+
+#ifndef TPUSIM_POWER_ENERGY_HH
+#define TPUSIM_POWER_ENERGY_HH
+
+#include "arch/perf_counters.hh"
+
+namespace tpu {
+namespace power {
+
+/** Per-event energy coefficients (picojoules). */
+struct EnergyParams
+{
+    double pjPerMac8 = 0.2;        ///< int8 MAC @28 nm
+    double pjPerUbByte = 1.2;      ///< 24 MiB SRAM access per byte
+    double pjPerAccByte = 0.4;     ///< small accumulator SRAM
+    double pjPerDramByte = 20.0;   ///< DDR3 interface per byte
+    double pjPerPcieByte = 10.0;   ///< host link per byte
+    double staticWatts = 26.0;     ///< leakage + clock tree + misc
+
+    /** Default 28 nm-class parameter set. */
+    static EnergyParams tpu28nm();
+};
+
+/** Energy breakdown of one run, in joules. */
+struct EnergyBreakdown
+{
+    double macJ = 0;
+    double unifiedBufferJ = 0;
+    double accumulatorJ = 0;
+    double dramJ = 0;
+    double pcieJ = 0;
+    double staticJ = 0;
+
+    double
+    totalJ() const
+    {
+        return macJ + unifiedBufferJ + accumulatorJ + dramJ + pcieJ +
+               staticJ;
+    }
+
+    /** Average power over @p seconds of execution. */
+    double
+    averageWatts(double seconds) const
+    {
+        return seconds > 0 ? totalJ() / seconds : 0.0;
+    }
+};
+
+/** Computes energy from perf counters. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams params = EnergyParams::tpu28nm());
+
+    const EnergyParams &params() const { return _params; }
+
+    /**
+     * Energy of a run described by @p counters lasting @p seconds.
+     */
+    EnergyBreakdown estimate(const arch::PerfCounters &counters,
+                             double seconds) const;
+
+    /**
+     * The Section 2 counterfactual: energy if every MAC's activation
+     * operand were fetched from the Unified Buffer instead of riding
+     * the systolic wave (UB read per MAC rather than per input row).
+     */
+    EnergyBreakdown estimateWithoutSystolicReuse(
+        const arch::PerfCounters &counters, double seconds) const;
+
+  private:
+    EnergyParams _params;
+};
+
+} // namespace power
+} // namespace tpu
+
+#endif // TPUSIM_POWER_ENERGY_HH

@@ -1,0 +1,112 @@
+#include "power/power_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace power {
+
+PowerCurve::PowerCurve(double idle_watts, double busy_watts,
+                       double alpha)
+    : _idle(idle_watts), _busy(busy_watts), _alpha(alpha)
+{
+    fatal_if(idle_watts < 0 || busy_watts < idle_watts,
+             "power curve needs 0 <= idle <= busy");
+    fatal_if(alpha <= 0, "power curve needs alpha > 0");
+}
+
+PowerCurve
+PowerCurve::fitTenPercent(double idle_watts, double busy_watts,
+                          double frac_at_10pct)
+{
+    fatal_if(busy_watts <= idle_watts, "cannot fit flat curve");
+    const double target = frac_at_10pct * busy_watts;
+    fatal_if(target <= idle_watts || target >= busy_watts,
+             "10%%-load point %.1f W outside (idle, busy) = "
+             "(%.1f, %.1f)", target, idle_watts, busy_watts);
+    const double ratio =
+        (target - idle_watts) / (busy_watts - idle_watts);
+    const double alpha = std::log(ratio) / std::log(0.1);
+    return PowerCurve(idle_watts, busy_watts, alpha);
+}
+
+double
+PowerCurve::at(double u) const
+{
+    panic_if(u < 0.0 || u > 1.0, "utilization %f out of [0,1]", u);
+    if (u == 0.0)
+        return _idle;
+    return _idle + (_busy - _idle) * std::pow(u, _alpha);
+}
+
+std::vector<double>
+PowerCurve::series() const
+{
+    std::vector<double> out;
+    out.reserve(11);
+    for (int i = 0; i <= 10; ++i)
+        out.push_back(at(static_cast<double>(i) / 10.0));
+    return out;
+}
+
+ServerPower
+haswellServer()
+{
+    // Table 2: 2 dies, 504 W TDP, 159 W idle / 455 W busy measured;
+    // Section 6: 56% of full power at 10% load.
+    return ServerPower{
+        "Haswell", 2, 504.0, 455.0, 159.0,
+        PowerCurve::fitTenPercent(41.0, 145.0, 0.56)};
+}
+
+ServerPower
+k80Server()
+{
+    // Table 2: 8 dies, 1838 W TDP, 357 W idle / 991 W busy measured;
+    // Section 6: 66% of full power at 10% load.
+    return ServerPower{
+        "K80", 8, 1838.0, 991.0, 357.0,
+        PowerCurve::fitTenPercent(25.0, 98.0, 0.66)};
+}
+
+ServerPower
+tpuServer()
+{
+    // Table 2: 4 dies, 861 W TDP, 290 W idle / 384 W busy measured;
+    // Section 6: 88% of full power at 10% load.
+    return ServerPower{
+        "TPU", 4, 861.0, 384.0, 290.0,
+        PowerCurve::fitTenPercent(28.0, 40.0, 0.88)};
+}
+
+ServerPower
+tpuPrimeServer()
+{
+    // Section 7: "GDDR5 would also increase the TPU system power
+    // budget from 861 Watts to about 900 Watts".
+    ServerPower p = tpuServer();
+    p.name = "TPU'";
+    p.serverTdpWatts = 900.0;
+    p.serverBusyWatts = 384.0 + 4 * 10.0;
+    p.serverIdleWatts = 290.0 + 4 * 10.0;
+    p.dieCurve = PowerCurve::fitTenPercent(38.0, 50.0, 0.88);
+    return p;
+}
+
+double
+relativePerfPerWatt(double rel_perf_per_die, int dies_x,
+                    double watts_x, int dies_ref, double watts_ref,
+                    bool incremental, double host_watts)
+{
+    fatal_if(dies_x <= 0 || dies_ref <= 0, "dies must be positive");
+    double watts = incremental ? watts_x - host_watts : watts_x;
+    fatal_if(watts <= 0, "non-positive accelerator watts");
+    const double x = rel_perf_per_die * static_cast<double>(dies_x) /
+                     watts;
+    const double ref = static_cast<double>(dies_ref) / watts_ref;
+    return x / ref;
+}
+
+} // namespace power
+} // namespace tpu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Power and energy-proportionality models (Sections 5 and 6,
+ * Figures 9 and 10).
+ *
+ * Per-die power follows  P(u) = idle + (busy - idle) * u^alpha , a
+ * standard concave energy-proportionality curve.  The exponent alpha
+ * is fitted from the paper's measured 10%-load points: "at 10% load,
+ * the TPU uses 88% of the power it uses at 100% ... Haswell uses 56%
+ * ... the K80 ... 66%".
+ *
+ * Performance/Watt follows the paper's Section 5 methodology: server
+ * TDP as the power proxy, with "total" including the host server and
+ * "incremental" subtracting it.
+ */
+
+#ifndef TPUSIM_POWER_POWER_MODEL_HH
+#define TPUSIM_POWER_POWER_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace tpu {
+namespace power {
+
+/** Concave utilization->watts curve for one die. */
+class PowerCurve
+{
+  public:
+    PowerCurve(double idle_watts, double busy_watts, double alpha);
+
+    /**
+     * Fit alpha so that P(0.1) = frac_at_10pct * busy_watts
+     * (how the paper reports Figure 10's proportionality).
+     */
+    static PowerCurve fitTenPercent(double idle_watts,
+                                    double busy_watts,
+                                    double frac_at_10pct);
+
+    double idleWatts() const { return _idle; }
+    double busyWatts() const { return _busy; }
+    double alpha() const { return _alpha; }
+
+    /** Power at utilization u in [0, 1]. */
+    double at(double u) const;
+
+    /** The Figure 10 series: watts at 0%, 10%, ..., 100% load. */
+    std::vector<double> series() const;
+
+  private:
+    double _idle;
+    double _busy;
+    double _alpha;
+};
+
+/** Server-level power description used by the Figure 9 math. */
+struct ServerPower
+{
+    std::string name;
+    int dies = 1;
+    double serverTdpWatts = 0;   ///< Table 2 "Benchmarked Server TDP"
+    double serverBusyWatts = 0;  ///< Table 2 measured busy
+    double serverIdleWatts = 0;  ///< Table 2 measured idle
+    PowerCurve dieCurve;         ///< per-die proportionality
+};
+
+/** Table 2 server power entries. */
+ServerPower haswellServer();
+ServerPower k80Server();
+ServerPower tpuServer();
+ServerPower tpuPrimeServer(); ///< ~900 W with GDDR5 (Section 7)
+
+/**
+ * Relative performance/Watt versus a reference server, the Figure 9
+ * quantity:
+ *   (perf_x / watts_x) / (perf_ref / watts_ref)
+ * where perf is per-server relative throughput and watts is server
+ * TDP.  @p incremental subtracts the host server's watts from x
+ * (meaningless for the reference CPU itself).
+ */
+double relativePerfPerWatt(double rel_perf_per_die, int dies_x,
+                           double watts_x, int dies_ref,
+                           double watts_ref, bool incremental,
+                           double host_watts);
+
+} // namespace power
+} // namespace tpu
+
+#endif // TPUSIM_POWER_POWER_MODEL_HH

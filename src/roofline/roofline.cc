@@ -1,0 +1,63 @@
+#include "roofline/roofline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace roofline {
+
+Roofline::Roofline(std::string name, double peak_ops_per_sec,
+                   double bytes_per_sec)
+    : _name(std::move(name)), _peak(peak_ops_per_sec),
+      _bytes(bytes_per_sec)
+{
+    fatal_if(peak_ops_per_sec <= 0 || bytes_per_sec <= 0,
+             "roofline %s needs positive peak and bandwidth",
+             _name.c_str());
+}
+
+double
+Roofline::attainable(double intensity) const
+{
+    panic_if(intensity < 0, "negative intensity");
+    return std::min(_peak, 2.0 * _bytes * intensity);
+}
+
+double
+Roofline::ridge() const
+{
+    return _peak / (2.0 * _bytes);
+}
+
+bool
+Roofline::memoryBound(double intensity) const
+{
+    return intensity < ridge();
+}
+
+double
+Roofline::roofFraction(double intensity, double achieved_ops) const
+{
+    double roof = attainable(intensity);
+    return roof > 0 ? achieved_ops / roof : 0.0;
+}
+
+std::vector<std::pair<double, double>>
+Roofline::series(double lo, double hi, int points) const
+{
+    fatal_if(lo <= 0 || hi <= lo || points < 2,
+             "bad roofline series request");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(static_cast<std::size_t>(points));
+    const double step = std::log(hi / lo) / (points - 1);
+    for (int i = 0; i < points; ++i) {
+        double x = lo * std::exp(step * i);
+        out.emplace_back(x, attainable(x));
+    }
+    return out;
+}
+
+} // namespace roofline
+} // namespace tpu

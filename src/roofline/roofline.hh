@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The Roofline performance model (Section 4, Figures 5-8), adapted as
+ * the paper does: "we first replace floating-point operations with
+ * integer operations ... the second change is to redefine operational
+ * intensity to be integer operations per byte of weights read".
+ *
+ * Conventions (consistent across all three platforms and with the
+ * paper's ridge points of 1350 / 13 / 9):
+ *  - X axis: operational intensity in MAC-operations per byte of
+ *    weights read (Table 1's "TPU Ops / Weight Byte");
+ *  - Y axis: ops/second counting multiply and add separately, so the
+ *    attainable slanted roof is  2 x bandwidth x intensity .
+ */
+
+#ifndef TPUSIM_ROOFLINE_ROOFLINE_HH
+#define TPUSIM_ROOFLINE_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+namespace tpu {
+namespace roofline {
+
+/** An application's operating point on a roofline plot. */
+struct OperatingPoint
+{
+    std::string name;
+    double intensity = 0;  ///< MAC ops per weight byte
+    double opsPerSec = 0;  ///< achieved ops/s (2 per MAC)
+};
+
+/** One platform's roofline. */
+class Roofline
+{
+  public:
+    /**
+     * @param name             platform label
+     * @param peak_ops_per_sec compute roof (ops/s, 2 per MAC)
+     * @param bytes_per_sec    weight-memory bandwidth
+     */
+    Roofline(std::string name, double peak_ops_per_sec,
+             double bytes_per_sec);
+
+    const std::string &name() const { return _name; }
+    double peakOpsPerSec() const { return _peak; }
+    double bytesPerSec() const { return _bytes; }
+
+    /** Attainable ops/s at @p intensity (MACs per weight byte). */
+    double attainable(double intensity) const;
+
+    /** Ridge point: the intensity where the roofs meet. */
+    double ridge() const;
+
+    /** True if an app at @p intensity is bandwidth-bound. */
+    bool memoryBound(double intensity) const;
+
+    /**
+     * Fraction of the roof achieved by @p achieved_ops at
+     * @p intensity (the "gap below the ceiling" of Section 4).
+     */
+    double roofFraction(double intensity, double achieved_ops) const;
+
+    /**
+     * Sample the roofline at logarithmically spaced intensities in
+     * [lo, hi]; used by the figure benches to print the series.
+     */
+    std::vector<std::pair<double, double>> series(
+        double lo, double hi, int points) const;
+
+  private:
+    std::string _name;
+    double _peak;
+    double _bytes;
+};
+
+} // namespace roofline
+} // namespace tpu
+
+#endif // TPUSIM_ROOFLINE_ROOFLINE_HH

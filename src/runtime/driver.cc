@@ -1,0 +1,120 @@
+#include "runtime/driver.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace runtime {
+
+std::uint64_t
+KernelDriver::allocPinned(std::uint64_t bytes)
+{
+    fatal_if(bytes == 0, "pinning zero bytes");
+    const std::uint64_t id = _nextId++;
+    _buffers[id] = bytes;
+    _pinnedBytes += bytes;
+    return id;
+}
+
+void
+KernelDriver::freePinned(std::uint64_t id)
+{
+    auto it = _buffers.find(id);
+    panic_if(it == _buffers.end(), "freeing unknown pinned buffer "
+             "%llu", static_cast<unsigned long long>(id));
+    _pinnedBytes -= it->second;
+    _buffers.erase(it);
+}
+
+UserSpaceDriver::UserSpaceDriver(arch::TpuConfig config,
+                                 bool functional)
+    : _config(std::move(config)),
+      _chip(std::make_unique<arch::TpuChip>(_config, functional)),
+      _compiler(_config),
+      _stats("user_space_driver"),
+      _invocations("invocations", "completed invoke() calls"),
+      _compilations("compilations", "models compiled"),
+      _deviceCycles("device_cycles", "total TPU cycles"),
+      _deviceSeconds("device_seconds", "total TPU busy seconds"),
+      _hostSeconds("host_seconds", "modelled host runtime seconds"),
+      _pcieBytes("pcie_bytes", "host link traffic, both directions")
+{
+    _stats.regStat(&_invocations);
+    _stats.regStat(&_compilations);
+    _stats.regStat(&_deviceCycles);
+    _stats.regStat(&_deviceSeconds);
+    _stats.regStat(&_hostSeconds);
+    _stats.regStat(&_pcieBytes);
+}
+
+ModelHandle
+UserSpaceDriver::loadModel(const nn::Network &net,
+                           const compiler::CompileOptions &options)
+{
+    auto it = _byName.find(net.name());
+    if (it != _byName.end())
+        return it->second; // cached program image
+
+    LoadedModel lm;
+    lm.name = net.name();
+    lm.compiled =
+        _compiler.compile(net, &_chip->weightMemory(), options);
+    if (lm.compiled.inputBytes > 0)
+        lm.inputBuffer = _kernel.allocPinned(lm.compiled.inputBytes);
+    if (lm.compiled.outputBytes > 0)
+        lm.outputBuffer =
+            _kernel.allocPinned(lm.compiled.outputBytes);
+    _compilations += 1;
+
+    const ModelHandle handle = _nextHandle++;
+    _models.emplace(handle, std::move(lm));
+    _byName[net.name()] = handle;
+    return handle;
+}
+
+const compiler::CompiledModel &
+UserSpaceDriver::model(ModelHandle handle) const
+{
+    auto it = _models.find(handle);
+    fatal_if(it == _models.end(), "unknown model handle %llu",
+             static_cast<unsigned long long>(handle));
+    return it->second.compiled;
+}
+
+InvokeStats
+UserSpaceDriver::invoke(ModelHandle handle,
+                        const std::vector<std::int8_t> &host_input,
+                        double host_fraction)
+{
+    auto it = _models.find(handle);
+    fatal_if(it == _models.end(), "unknown model handle %llu",
+             static_cast<unsigned long long>(handle));
+    fatal_if(host_fraction < 0.0, "negative host fraction");
+
+    InvokeStats out;
+    // The first evaluation carries the compile; the image is cached
+    // at loadModel time in this runtime, so only stats reflect it.
+    out.compiledThisCall =
+        static_cast<std::uint64_t>(_invocations.value()) == 0;
+
+    arch::RunResult r =
+        _chip->run(it->second.compiled.program, host_input);
+    out.deviceCycles = r.cycles;
+    out.deviceSeconds = r.seconds;
+    out.hostSeconds = r.seconds * host_fraction;
+    out.totalSeconds = out.deviceSeconds + out.hostSeconds;
+    out.counters = r.counters;
+    out.output = std::move(r.hostOutput);
+
+    _kernel.raiseInterrupt(); // completion interrupt to the host
+
+    _invocations += 1;
+    _deviceCycles += static_cast<double>(r.cycles);
+    _deviceSeconds += r.seconds;
+    _hostSeconds += out.hostSeconds;
+    _pcieBytes += static_cast<double>(r.counters.pcieBytesIn +
+                                      r.counters.pcieBytesOut);
+    return out;
+}
+
+} // namespace runtime
+} // namespace tpu

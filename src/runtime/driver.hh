@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The TPU software stack of Section 2: "like GPUs, the TPU stack is
+ * split into a User Space Driver and a Kernel Driver.  The Kernel
+ * Driver is lightweight and handles only memory management and
+ * interrupts ... The User Space driver ... sets up and controls TPU
+ * execution, reformats data into TPU order, translates API calls into
+ * TPU instructions ... compiles a model the first time it is
+ * evaluated, caching the program image and writing the weight image
+ * into the TPU's weight memory; the second and following evaluations
+ * run at full speed."
+ */
+
+#ifndef TPUSIM_RUNTIME_DRIVER_HH
+#define TPUSIM_RUNTIME_DRIVER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/tpu_chip.hh"
+#include "compiler/codegen.hh"
+#include "nn/network.hh"
+#include "sim/stats.hh"
+
+namespace tpu {
+namespace runtime {
+
+/**
+ * Kernel driver model: pinned host buffers and interrupt counting.
+ * "Designed for long-term stability" -- the interface is tiny.
+ */
+class KernelDriver
+{
+  public:
+    /** Pin @p bytes of host memory for DMA; returns a buffer id. */
+    std::uint64_t allocPinned(std::uint64_t bytes);
+
+    /** Release a pinned buffer. */
+    void freePinned(std::uint64_t id);
+
+    /** Raise a completion interrupt (called by the runtime). */
+    void raiseInterrupt() { ++_interrupts; }
+
+    std::uint64_t pinnedBytes() const { return _pinnedBytes; }
+    std::uint64_t interrupts() const { return _interrupts; }
+    std::size_t liveBuffers() const { return _buffers.size(); }
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> _buffers;
+    std::uint64_t _nextId = 1;
+    std::uint64_t _pinnedBytes = 0;
+    std::uint64_t _interrupts = 0;
+};
+
+/** Opaque handle to a loaded (compiled + cached) model. */
+using ModelHandle = std::uint64_t;
+
+/** Per-invocation result. */
+struct InvokeStats
+{
+    Cycle deviceCycles = 0;
+    double deviceSeconds = 0;
+    double hostSeconds = 0;  ///< driver/runtime share (host model)
+    double totalSeconds = 0;
+    bool compiledThisCall = false;
+    double compileSeconds = 0; ///< simulated compile cost
+    arch::PerfCounters counters;
+    std::vector<std::int8_t> output;
+};
+
+/**
+ * User-space driver: model cache + invocation path, with a stats
+ * group covering the whole runtime.
+ */
+class UserSpaceDriver
+{
+  public:
+    /**
+     * @param config     TPU to drive
+     * @param functional execute the datapath (needs weights at load)
+     */
+    explicit UserSpaceDriver(arch::TpuConfig config,
+                             bool functional = false);
+
+    /**
+     * Load (compile and cache) a model.  The weight image is written
+     * to the chip's Weight Memory.  Repeated loads of the same model
+     * name return the cached handle.
+     */
+    ModelHandle loadModel(const nn::Network &net,
+                          const compiler::CompileOptions &options =
+                              compiler::CompileOptions{});
+
+    /**
+     * Evaluate one batch.  @p host_fraction models the host-side
+     * runtime share as a fraction of device time (Table 5); pass the
+     * per-app constant from baselines::hostInteractionFraction.
+     */
+    InvokeStats invoke(ModelHandle handle,
+                       const std::vector<std::int8_t> &host_input = {},
+                       double host_fraction = 0.0);
+
+    /** The compiled image (for inspection / validation). */
+    const compiler::CompiledModel &model(ModelHandle handle) const;
+
+    arch::TpuChip &chip() { return *_chip; }
+    KernelDriver &kernelDriver() { return _kernel; }
+
+    /** Runtime-wide statistics (invocations, cycles, bytes, ...). */
+    const stats::StatGroup &statGroup() const { return _stats; }
+    double totalDeviceSeconds() const { return _deviceSeconds.value(); }
+    std::uint64_t invocations() const
+    {
+        return static_cast<std::uint64_t>(_invocations.value());
+    }
+
+  private:
+    arch::TpuConfig _config;
+    std::unique_ptr<arch::TpuChip> _chip;
+    compiler::Compiler _compiler;
+    KernelDriver _kernel;
+
+    struct LoadedModel
+    {
+        std::string name;
+        compiler::CompiledModel compiled;
+        std::uint64_t inputBuffer = 0;
+        std::uint64_t outputBuffer = 0;
+    };
+    std::map<ModelHandle, LoadedModel> _models;
+    std::map<std::string, ModelHandle> _byName;
+    ModelHandle _nextHandle = 1;
+
+    stats::StatGroup _stats;
+    stats::Scalar _invocations;
+    stats::Scalar _compilations;
+    stats::Scalar _deviceCycles;
+    stats::Scalar _deviceSeconds;
+    stats::Scalar _hostSeconds;
+    stats::Scalar _pcieBytes;
+};
+
+} // namespace runtime
+} // namespace tpu
+
+#endif // TPUSIM_RUNTIME_DRIVER_HH

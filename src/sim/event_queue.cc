@@ -1,0 +1,47 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    panic_if(when < _now,
+             "scheduling event in the past (when=%llu, now=%llu)",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(_now));
+    _queue.push(Entry{when, priority, _nextSequence++, std::move(cb)});
+}
+
+bool
+EventQueue::serviceOne()
+{
+    if (_queue.empty())
+        return false;
+    Entry e = _queue.top();
+    _queue.pop();
+    _now = e.when;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && serviceOne())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (!_queue.empty() && _queue.top().when <= until && serviceOne())
+        ++n;
+    return n;
+}
+
+} // namespace tpu

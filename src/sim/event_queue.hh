@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Discrete event simulation core: a time-ordered queue of callbacks.
+ *
+ * Used by the latency/queueing simulator and available to any model that
+ * needs event-driven behaviour.  Ties are broken by (priority, insertion
+ * order) so simulation results are deterministic.
+ */
+
+#ifndef TPUSIM_SIM_EVENT_QUEUE_HH
+#define TPUSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace tpu {
+
+/** Simulated time in arbitrary ticks (callers pick the resolution). */
+using Tick = std::uint64_t;
+
+/** A time-ordered queue of callbacks; the heart of event-driven models. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Default priority for scheduled events. */
+    static constexpr int defaultPriority = 0;
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * Scheduling in the past is a simulator bug.
+     * Lower @p priority runs first among same-tick events.
+     */
+    void schedule(Tick when, Callback cb, int priority = defaultPriority);
+
+    /** Schedule @p cb @p delta ticks after now. */
+    void
+    scheduleIn(Tick delta, Callback cb, int priority = defaultPriority)
+    {
+        schedule(_now + delta, std::move(cb), priority);
+    }
+
+    /** Run the earliest event; returns false if the queue was empty. */
+    bool serviceOne();
+
+    /** Run events until the queue is empty or @p max_events processed. */
+    std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+    /** Run events with timestamp <= @p until (inclusive). */
+    std::uint64_t runUntil(Tick until);
+
+    Tick now() const { return _now; }
+    bool empty() const { return _queue.empty(); }
+    std::size_t size() const { return _queue.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _queue;
+    Tick _now = 0;
+    std::uint64_t _nextSequence = 0;
+};
+
+} // namespace tpu
+
+#endif // TPUSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Status / error reporting helpers in the gem5 tradition.
+ *
+ * panic()  -- a simulator bug: a condition that should never happen
+ *             regardless of user input.  Aborts (core-dumpable).
+ * fatal()  -- a user error (bad configuration, invalid arguments).
+ *             Exits with status 1.
+ * warn()/inform() -- non-fatal status messages on stderr.
+ */
+
+#ifndef TPUSIM_SIM_LOGGING_HH
+#define TPUSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tpu {
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vcsprintf(const char *fmt, va_list args);
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace tpu
+
+#define panic(...) ::tpu::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::tpu::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::tpu::warnImpl(__VA_ARGS__)
+#define inform(...) ::tpu::informImpl(__VA_ARGS__)
+
+/** Assert-like check active in all build types; reports as a panic. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            ::tpu::panicImpl(__FILE__, __LINE__, __VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            ::tpu::fatalImpl(__FILE__, __LINE__, __VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+#endif // TPUSIM_SIM_LOGGING_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic random number generation for simulations and tests.
+ *
+ * A thin wrapper over std::mt19937_64 with the distributions the project
+ * needs (uniform ints/reals, exponential inter-arrival times, normals).
+ * Every simulator component takes an explicit seed so runs reproduce.
+ */
+
+#ifndef TPUSIM_SIM_RNG_HH
+#define TPUSIM_SIM_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace tpu {
+
+/** Deterministic, seedable RNG facade. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : _engine(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(_engine);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(_engine);
+    }
+
+    /** Exponential with rate @p lambda (mean 1/lambda). */
+    double
+    exponential(double lambda)
+    {
+        return std::exponential_distribution<double>(lambda)(_engine);
+    }
+
+    /** Normal with given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(_engine);
+    }
+
+    std::mt19937_64 &engine() { return _engine; }
+
+  private:
+    std::mt19937_64 _engine;
+};
+
+} // namespace tpu
+
+#endif // TPUSIM_SIM_RNG_HH

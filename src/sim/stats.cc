@@ -1,0 +1,119 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace stats {
+
+Distribution::Distribution(std::string name, std::string desc, double lo,
+                           double hi, std::size_t buckets)
+    : Stat(std::move(name), std::move(desc)), _lo(lo), _hi(hi),
+      _bucketWidth((hi - lo) / static_cast<double>(buckets)),
+      _buckets(buckets, 0)
+{
+    panic_if(hi <= lo, "Distribution %s: hi (%f) <= lo (%f)",
+             this->name().c_str(), hi, lo);
+    panic_if(buckets == 0, "Distribution %s: zero buckets",
+             this->name().c_str());
+}
+
+void
+Distribution::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+    if (v < _lo) {
+        ++_underflow;
+    } else if (v >= _hi) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
+        idx = std::min(idx, _buckets.size() - 1);
+        ++_buckets[idx];
+    }
+}
+
+double
+Distribution::percentile(double fraction) const
+{
+    panic_if(fraction < 0.0 || fraction > 1.0,
+             "percentile fraction %f out of [0,1]", fraction);
+    if (_count == 0)
+        return 0.0;
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(fraction * static_cast<double>(_count)));
+    std::uint64_t seen = _underflow;
+    if (seen >= target)
+        return _lo;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (seen >= target)
+            return _lo + _bucketWidth * static_cast<double>(i + 1);
+    }
+    return _max;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+    _sum = 0;
+    _count = 0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+}
+
+void
+StatGroup::regStat(Stat *stat)
+{
+    panic_if(!stat, "registering null stat in group %s", _name.c_str());
+    _stats.push_back(stat);
+}
+
+void
+StatGroup::regGroup(StatGroup *child)
+{
+    panic_if(!child, "registering null group in group %s", _name.c_str());
+    _children.push_back(child);
+}
+
+Stat *
+StatGroup::find(const std::string &stat_name) const
+{
+    for (Stat *s : _stats) {
+        if (s->name() == stat_name)
+            return s;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::resetStats()
+{
+    for (Stat *s : _stats)
+        s->reset();
+    for (StatGroup *g : _children)
+        g->resetStats();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? _name : prefix + "." + _name;
+    for (const Stat *s : _stats) {
+        os << full << "." << s->name() << "  " << s->result() << "  # "
+           << s->desc() << "\n";
+    }
+    for (const StatGroup *g : _children)
+        g->dump(os, full);
+}
+
+} // namespace stats
+} // namespace tpu

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A small statistics package in the gem5 spirit: named, described stats
+ * registered with a StatGroup, dumpable as text.
+ *
+ * Supported kinds: Scalar (a counter), Average (mean of samples),
+ * Distribution (fixed-bucket histogram with min/max/mean), and Formula
+ * (a lazily evaluated function of other stats).
+ */
+
+#ifndef TPUSIM_SIM_STATS_HH
+#define TPUSIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tpu {
+namespace stats {
+
+/** Base class for all statistics: a name and a description. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Current scalar result of this stat (mean for distributions). */
+    virtual double result() const = 0;
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Monotonically accumulated counter. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator++() { _value += 1; return *this; }
+    void set(double v) { _value = v; }
+
+    double value() const { return _value; }
+    double result() const override { return _value; }
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Mean of a stream of samples. */
+class Average : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v) { _sum += v; ++_count; }
+
+    std::uint64_t count() const { return _count; }
+    double result() const override
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
+    void reset() override { _sum = 0; _count = 0; }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) plus under/overflow buckets. */
+class Distribution : public Stat
+{
+  public:
+    Distribution(std::string name, std::string desc, double lo, double hi,
+                 std::size_t buckets);
+
+    void sample(double v);
+
+    double min() const { return _min; }
+    double max() const { return _max; }
+    std::uint64_t count() const { return _count; }
+    double mean() const
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
+    /** Value below which @p fraction of samples fall (bucket resolution).*/
+    double percentile(double fraction) const;
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    double result() const override { return mean(); }
+    void reset() override;
+
+  private:
+    double _lo;
+    double _hi;
+    double _bucketWidth;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    double _sum = 0;
+    std::uint64_t _count = 0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Lazily evaluated function of other stats. */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(std::move(name), std::move(desc)), _fn(std::move(fn))
+    {}
+
+    double result() const override { return _fn ? _fn() : 0.0; }
+    void reset() override {}
+
+  private:
+    std::function<double()> _fn;
+};
+
+/**
+ * A registry of stats owned elsewhere; groups support hierarchical names
+ * and a text dump.  Registration stores non-owning pointers, so the stats
+ * must outlive the group (the usual member-of-the-same-object pattern).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    void regStat(Stat *stat);
+    void regGroup(StatGroup *child);
+
+    const std::string &name() const { return _name; }
+    const std::vector<Stat *> &statList() const { return _stats; }
+
+    /** Find a stat by (unqualified) name within this group; or nullptr. */
+    Stat *find(const std::string &stat_name) const;
+
+    void resetStats();
+    /** Dump "group.stat  value  # desc" lines, recursing into children. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::string _name;
+    std::vector<Stat *> _stats;
+    std::vector<StatGroup *> _children;
+};
+
+} // namespace stats
+} // namespace tpu
+
+#endif // TPUSIM_SIM_STATS_HH

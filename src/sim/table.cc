@@ -1,0 +1,98 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    _rows.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    return csprintf("%.*f", precision, v);
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return csprintf("%.*f%%", precision, fraction * 100.0);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::size_t ncols = _header.size();
+    for (const auto &r : _rows)
+        ncols = std::max(ncols, r.size());
+    if (ncols == 0)
+        return;
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    measure(_header);
+    for (const auto &r : _rows)
+        measure(r);
+
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+
+    if (!_title.empty()) {
+        os << _title << "\n";
+        os << std::string(std::max(total, _title.size()), '-') << "\n";
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            os << cell << std::string(width[i] - cell.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : _rows)
+        emit(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            const std::string &cell = row[i];
+            bool needs_quote = cell.find(',') != std::string::npos;
+            if (i)
+                os << ",";
+            if (needs_quote)
+                os << '"' << cell << '"';
+            else
+                os << cell;
+        }
+        os << "\n";
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &r : _rows)
+        emit(r);
+}
+
+} // namespace tpu

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Text table / CSV formatting used by every bench binary to print the
+ * paper's tables and figure series in a uniform way.
+ */
+
+#ifndef TPUSIM_SIM_TABLE_HH
+#define TPUSIM_SIM_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tpu {
+
+/** A simple column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : _title(std::move(title)) {}
+
+    /** Set the header row (clears any previous header). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; ragged rows are padded when printed. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+    /** Convenience: format a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    std::size_t rows() const { return _rows.size(); }
+    const std::vector<std::string> &header() const { return _header; }
+    const std::vector<std::vector<std::string>> &data() const
+    {
+        return _rows;
+    }
+
+    /** Column-aligned pretty print. */
+    void print(std::ostream &os) const;
+    /** Comma-separated dump (quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace tpu
+
+#endif // TPUSIM_SIM_TABLE_HH

@@ -1,0 +1,84 @@
+#include "sim/trace.hh"
+
+#include <cstdarg>
+#include <iostream>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace trace {
+
+namespace {
+
+std::vector<DebugFlag *> &
+registry()
+{
+    static std::vector<DebugFlag *> flags;
+    return flags;
+}
+
+std::ostream *sink = &std::cerr;
+
+} // namespace
+
+DebugFlag::DebugFlag(std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    registry().push_back(this);
+}
+
+const std::vector<DebugFlag *> &
+DebugFlag::all()
+{
+    return registry();
+}
+
+DebugFlag *
+DebugFlag::find(const std::string &name)
+{
+    for (DebugFlag *f : registry())
+        if (f->name() == name)
+            return f;
+    return nullptr;
+}
+
+bool
+DebugFlag::setEnabled(const std::string &name, bool on)
+{
+    DebugFlag *f = find(name);
+    if (!f)
+        return false;
+    if (on)
+        f->enable();
+    else
+        f->disable();
+    return true;
+}
+
+std::ostream *
+setOutput(std::ostream *os)
+{
+    panic_if(!os, "null trace sink");
+    std::ostream *prev = sink;
+    sink = os;
+    return prev;
+}
+
+std::ostream &
+output()
+{
+    return *sink;
+}
+
+void
+emit(const DebugFlag &flag, std::uint64_t cycle, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    *sink << cycle << ": " << flag.name() << ": " << msg << "\n";
+}
+
+} // namespace trace
+} // namespace tpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace-based debugging in the gem5 tradition: named debug flags,
+ * enabled at runtime, emitting cycle-stamped lines to a configurable
+ * stream.  Zero cost when the flag is disabled (a boolean test).
+ *
+ *   DTRACE(MatrixUnit, cycle, "matmul rows=%u start=%llu", ...);
+ */
+
+#ifndef TPUSIM_SIM_TRACE_HH
+#define TPUSIM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tpu {
+namespace trace {
+
+/** A named debug flag; construct as a static object per subsystem. */
+class DebugFlag
+{
+  public:
+    explicit DebugFlag(std::string name, std::string desc = "");
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    bool enabled() const { return _enabled; }
+    void enable() { _enabled = true; }
+    void disable() { _enabled = false; }
+
+    /** All registered flags (for --debug-flags style listing). */
+    static const std::vector<DebugFlag *> &all();
+
+    /** Find by name; nullptr if absent. */
+    static DebugFlag *find(const std::string &name);
+
+    /** Enable/disable by name; returns false if unknown. */
+    static bool setEnabled(const std::string &name, bool on);
+
+  private:
+    std::string _name;
+    std::string _desc;
+    bool _enabled = false;
+};
+
+/** Trace sink (defaults to std::cerr); returns the previous sink. */
+std::ostream *setOutput(std::ostream *os);
+std::ostream &output();
+
+/** Emit one cycle-stamped trace line (used by the DTRACE macro). */
+void emit(const DebugFlag &flag, std::uint64_t cycle,
+          const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace trace
+} // namespace tpu
+
+/** Trace if @p flag is enabled; no-op (one branch) otherwise. */
+#define DTRACE(flag, cycle, ...)                                        \
+    do {                                                                \
+        if ((flag).enabled())                                           \
+            ::tpu::trace::emit((flag), (cycle), __VA_ARGS__);           \
+    } while (0)
+
+#endif // TPUSIM_SIM_TRACE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit helpers shared across the simulator: byte sizes, frequencies,
+ * bandwidths, and cycle/seconds conversions.
+ *
+ * Cycles are plain uint64_t (as in most cycle-level simulators) but the
+ * conversion helpers below keep the Hz/seconds arithmetic in one place.
+ */
+
+#ifndef TPUSIM_SIM_UNITS_HH
+#define TPUSIM_SIM_UNITS_HH
+
+#include <cstdint>
+
+namespace tpu {
+
+/** Simulator cycle count. */
+using Cycle = std::uint64_t;
+
+/** Byte-size literals. */
+constexpr std::uint64_t
+kib(std::uint64_t n)
+{
+    return n << 10;
+}
+
+constexpr std::uint64_t
+mib(std::uint64_t n)
+{
+    return n << 20;
+}
+
+constexpr std::uint64_t
+gib(std::uint64_t n)
+{
+    return n << 30;
+}
+
+/** Decimal giga (used for GB/s bandwidths and Hz). */
+constexpr double giga = 1e9;
+constexpr double mega = 1e6;
+constexpr double kilo = 1e3;
+constexpr double tera = 1e12;
+
+/** Convert a cycle count at frequency @p hz into seconds. */
+constexpr double
+cyclesToSeconds(Cycle cycles, double hz)
+{
+    return static_cast<double>(cycles) / hz;
+}
+
+/** Convert seconds at frequency @p hz into (rounded-up) cycles. */
+constexpr Cycle
+secondsToCycles(double seconds, double hz)
+{
+    double c = seconds * hz;
+    auto whole = static_cast<Cycle>(c);
+    return (c > static_cast<double>(whole)) ? whole + 1 : whole;
+}
+
+/** Bytes transferable per cycle given a bandwidth in bytes/second. */
+constexpr double
+bytesPerCycle(double bytes_per_second, double hz)
+{
+    return bytes_per_second / hz;
+}
+
+/**
+ * Cycles to transfer @p bytes at @p bytes_per_second when the clock runs
+ * at @p hz; rounds up and never returns 0 for a non-zero transfer.
+ */
+constexpr Cycle
+transferCycles(std::uint64_t bytes, double bytes_per_second, double hz)
+{
+    if (bytes == 0)
+        return 0;
+    double cycles = static_cast<double>(bytes) / bytesPerCycle(
+        bytes_per_second, hz);
+    Cycle whole = static_cast<Cycle>(cycles);
+    Cycle up = (cycles > static_cast<double>(whole)) ? whole + 1 : whole;
+    return up == 0 ? 1 : up;
+}
+
+} // namespace tpu
+
+#endif // TPUSIM_SIM_UNITS_HH

@@ -1,0 +1,213 @@
+#include "workloads/workloads.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace workloads {
+
+const std::array<AppId, 6> &
+allApps()
+{
+    static const std::array<AppId, 6> apps = {
+        AppId::MLP0, AppId::MLP1, AppId::LSTM0,
+        AppId::LSTM1, AppId::CNN0, AppId::CNN1,
+    };
+    return apps;
+}
+
+const char *
+toString(AppId id)
+{
+    switch (id) {
+      case AppId::MLP0: return "MLP0";
+      case AppId::MLP1: return "MLP1";
+      case AppId::LSTM0: return "LSTM0";
+      case AppId::LSTM1: return "LSTM1";
+      case AppId::CNN0: return "CNN0";
+      case AppId::CNN1: return "CNN1";
+    }
+    return "?";
+}
+
+namespace {
+
+// Normalized deployment mix: the six apps cover 95% of TPU use;
+// 61% MLP, 29% LSTM, 5% CNN, split evenly within each pair.
+constexpr double mlpShare = 0.61 / 0.95 / 2.0;
+constexpr double lstmShare = 0.29 / 0.95 / 2.0;
+constexpr double cnnShare = 0.05 / 0.95 / 2.0;
+
+const std::array<AppInfo, 6> appInfos = {{
+    {AppId::MLP0, "MLP0", 100, 5, 0, 0, 0, 5, "ReLU",
+     20e6, 200.0, 200, mlpShare},
+    {AppId::MLP1, "MLP1", 1000, 4, 0, 0, 0, 4, "ReLU",
+     5e6, 168.0, 168, mlpShare},
+    {AppId::LSTM0, "LSTM0", 1000, 24, 0, 34, 0, 58, "sigmoid, tanh",
+     52e6, 64.0, 64, lstmShare},
+    {AppId::LSTM1, "LSTM1", 1500, 37, 0, 19, 0, 56, "sigmoid, tanh",
+     34e6, 96.0, 96, lstmShare},
+    {AppId::CNN0, "CNN0", 1000, 0, 16, 0, 0, 16, "ReLU",
+     8e6, 2888.0, 8, cnnShare},
+    {AppId::CNN1, "CNN1", 1000, 4, 72, 13, 0, 89, "ReLU",
+     100e6, 1750.0, 32, cnnShare},
+}};
+
+nn::Network
+buildMlp0(std::int64_t batch)
+{
+    // 5 fully connected layers, 2000x2000 each: 5 x 4.0M = 20M weights.
+    nn::Network net("MLP0", batch);
+    for (int i = 0; i < 5; ++i)
+        net.addFullyConnected(2000, 2000, nn::Nonlinearity::Relu);
+    return net;
+}
+
+nn::Network
+buildMlp1(std::int64_t batch)
+{
+    // 4 fully connected layers, 1120x1120: 4 x 1.254M = 5.02M weights.
+    nn::Network net("MLP1", batch);
+    for (int i = 0; i < 4; ++i)
+        net.addFullyConnected(1120, 1120, nn::Nonlinearity::Relu);
+    return net;
+}
+
+nn::Network
+buildLstm0(std::int64_t batch)
+{
+    // 6 LSTM cells unrolled as 4 gate matmuls each (24 FC layers of
+    // 1472x1472 = 52.0M weights) plus 34 vector layers of gate
+    // plumbing (sigmoid/tanh/elementwise).
+    nn::Network net("LSTM0", batch);
+    constexpr std::int64_t h = 1472;
+    for (int cell = 0; cell < 6; ++cell) {
+        net.addFullyConnected(h, h, nn::Nonlinearity::Sigmoid); // i
+        net.addFullyConnected(h, h, nn::Nonlinearity::Sigmoid); // f
+        net.addFullyConnected(h, h, nn::Nonlinearity::Tanh);    // g
+        net.addFullyConnected(h, h, nn::Nonlinearity::Sigmoid); // o
+        // Gate plumbing: 6 vector ops for four cells, 5 for two,
+        // totalling 34 (Table 1's Vector column).
+        const int nvec = (cell < 4) ? 6 : 5;
+        const nn::Nonlinearity plumbing[6] = {
+            nn::Nonlinearity::Sigmoid, nn::Nonlinearity::Tanh,
+            nn::Nonlinearity::None, nn::Nonlinearity::None,
+            nn::Nonlinearity::Tanh, nn::Nonlinearity::None,
+        };
+        for (int v = 0; v < nvec; ++v)
+            net.addVector(plumbing[v], h);
+    }
+    return net;
+}
+
+nn::Network
+buildLstm1(std::int64_t batch)
+{
+    // 37 gate matrices: 24 of 600x600 (the Section 7 fragmentation
+    // example) and 13 of 1396x1396; 8.64M + 25.3M = 34.0M weights.
+    // 19 vector layers of plumbing.
+    nn::Network net("LSTM1", batch);
+    int vec_budget = 19;
+    for (int i = 0; i < 24; ++i) {
+        net.addFullyConnected(600, 600,
+                              (i % 2) ? nn::Nonlinearity::Tanh
+                                      : nn::Nonlinearity::Sigmoid);
+        if (i % 2 == 1 && vec_budget > 0) {
+            net.addVector(nn::Nonlinearity::None, 600);
+            --vec_budget;
+        }
+    }
+    for (int i = 0; i < 13; ++i) {
+        net.addFullyConnected(1396, 1396,
+                              (i % 2) ? nn::Nonlinearity::Tanh
+                                      : nn::Nonlinearity::Sigmoid);
+        if (vec_budget > 0) {
+            net.addVector(nn::Nonlinearity::None, 1396);
+            --vec_budget;
+        }
+    }
+    while (vec_budget-- > 0)
+        net.addVector(nn::Nonlinearity::None, 1396);
+    return net;
+}
+
+nn::Network
+buildCnn0(std::int64_t batch)
+{
+    // 16 3x3 convolutions, 236 channels in and out, on 19x19 feature
+    // maps: 16 x 501,264 = 8.02M weights.  With batch 8, each weight
+    // byte is reused 8 x 361 = 2888 times -- Table 1's intensity.
+    nn::Network net("CNN0", batch);
+    for (int i = 0; i < 16; ++i)
+        net.addConv2D(236, 236, 3, 19, 19, 1, nn::Nonlinearity::Relu);
+    return net;
+}
+
+nn::Network
+buildCnn1(std::int64_t batch)
+{
+    // 72 3x3 convolutions on 10x10 maps alternating deep (384
+    // channels) and shallow (64 channels -- only 6.25% of the matrix
+    // unit holds useful weights), 13 vector layers, then 4 large FC
+    // layers (3564x3564 = 12.7M weights each) that run at operational
+    // intensity equal to the batch size, 32.
+    // Totals: 47.8M + 1.3M + 50.8M = 99.9M weights.
+    nn::Network net("CNN1", batch);
+    int vec_budget = 13;
+    for (int i = 0; i < 72; ++i) {
+        if (i % 2 == 0)
+            net.addConv2D(384, 384, 3, 10, 10, 1,
+                          nn::Nonlinearity::Relu);
+        else
+            net.addConv2D(64, 64, 3, 10, 10, 1,
+                          nn::Nonlinearity::Relu);
+        if (i % 6 == 5 && vec_budget > 0) {
+            net.addVector(nn::Nonlinearity::Relu, 6400);
+            --vec_budget;
+        }
+    }
+    for (int i = 0; i < 4; ++i)
+        net.addFullyConnected(3564, 3564, nn::Nonlinearity::Relu);
+    while (vec_budget-- > 0)
+        net.addVector(nn::Nonlinearity::Relu, 3564);
+    return net;
+}
+
+} // namespace
+
+const AppInfo &
+info(AppId id)
+{
+    for (const AppInfo &ai : appInfos)
+        if (ai.id == id)
+            return ai;
+    panic("unknown app id");
+}
+
+nn::Network
+build(AppId id)
+{
+    return build(id, info(id).batchSize);
+}
+
+nn::Network
+build(AppId id, std::int64_t batch_size)
+{
+    switch (id) {
+      case AppId::MLP0: return buildMlp0(batch_size);
+      case AppId::MLP1: return buildMlp1(batch_size);
+      case AppId::LSTM0: return buildLstm0(batch_size);
+      case AppId::LSTM1: return buildLstm1(batch_size);
+      case AppId::CNN0: return buildCnn0(batch_size);
+      case AppId::CNN1: return buildCnn1(batch_size);
+    }
+    panic("unknown app id");
+}
+
+double
+mixWeight(AppId id)
+{
+    return info(id).deploymentShare;
+}
+
+} // namespace workloads
+} // namespace tpu

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The six production NN inference applications of Table 1 -- two MLPs,
+ * two LSTMs, two CNNs -- "which represent 95% of NN inference workload
+ * in our datacenters".
+ *
+ * We do not have RankBrain, the GNM Translate subset, Inception, or
+ * the AlphaGo network; layer shapes here are synthetic but engineered
+ * so every Table 1 characteristic matches: layer type and count, total
+ * weights, TPU ops/weight-byte (operational intensity), and batch
+ * size.  TPU performance depends on those shape parameters, not on the
+ * trained weight values, so the substitution preserves the behaviour
+ * the paper measures (see DESIGN.md).
+ *
+ * Notable encodings:
+ *  - CNN0's intensity of exactly 2888 = batch 8 x 361 spatial
+ *    positions (19x19 feature maps);
+ *  - CNN1 mixes deep (384-channel) and shallow (64-channel) 3x3
+ *    convolutions -- the shallow ones pad the 256x256 matrix unit and
+ *    recreate the "unused MACs" of Table 3 -- plus 4 large fully
+ *    connected layers that run at operational intensity 32 (the
+ *    paper's "fully connected layers that run at an operational
+ *    intensity of just 32");
+ *  - LSTM1 is built from 600x600 gate matrices, the exact shape the
+ *    Section 7 matrix-size fragmentation example uses.
+ */
+
+#ifndef TPUSIM_WORKLOADS_WORKLOADS_HH
+#define TPUSIM_WORKLOADS_WORKLOADS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace tpu {
+namespace workloads {
+
+/** The six benchmark applications. */
+enum class AppId
+{
+    MLP0,
+    MLP1,
+    LSTM0,
+    LSTM1,
+    CNN0,
+    CNN1,
+};
+
+/** All six apps in Table 1 order. */
+const std::array<AppId, 6> &allApps();
+
+const char *toString(AppId id);
+
+/** Table 1 reference data for one application. */
+struct AppInfo
+{
+    AppId id;
+    const char *name;
+    int linesOfCode;
+    int fcLayers;
+    int convLayers;
+    int vectorLayers;
+    int poolLayers;
+    int totalLayers;
+    const char *nonlinearities;
+    double paperWeights;      ///< Table 1 "Weights"
+    double paperOpsPerByte;   ///< Table 1 "TPU Ops / Weight Byte"
+    std::int64_t batchSize;   ///< Table 1 "TPU Batch Size"
+    double deploymentShare;   ///< normalized fraction of TPU use
+};
+
+/** Table 1 metadata for @p id. */
+const AppInfo &info(AppId id);
+
+/** Build the synthetic network for @p id at its Table 1 batch size. */
+nn::Network build(AppId id);
+
+/** Build with an overridden batch size (Table 4 sweeps). */
+nn::Network build(AppId id, std::int64_t batch_size);
+
+/**
+ * Deployment-mix weight for weighted means: Table 1 gives MLPs 61%,
+ * LSTMs 29%, CNNs 5% of deployed TPUs (of the 95% these apps cover);
+ * each pair splits its share evenly.
+ */
+double mixWeight(AppId id);
+
+} // namespace workloads
+} // namespace tpu
+
+#endif // TPUSIM_WORKLOADS_WORKLOADS_HH

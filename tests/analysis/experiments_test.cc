@@ -1,0 +1,129 @@
+/** @file Structural tests for the experiment drivers. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hh"
+
+namespace tpu {
+namespace analysis {
+namespace {
+
+class ExperimentsFixture : public ::testing::Test
+{
+  protected:
+    arch::TpuConfig cfg = arch::TpuConfig::production();
+};
+
+TEST_F(ExperimentsFixture, AppRunPopulatesEverything)
+{
+    AppRun run = runTpuApp(workloads::AppId::MLP0, cfg);
+    EXPECT_GT(run.result.cycles, 0u);
+    EXPECT_GT(run.deviceSeconds, 0.0);
+    EXPECT_GT(run.totalSeconds, run.deviceSeconds);
+    EXPECT_GT(run.teraOps, 0.0);
+    EXPECT_GT(run.ipsPerDie, 0.0);
+    EXPECT_GT(run.instructions, 0u);
+}
+
+TEST_F(ExperimentsFixture, Table1HasSixAppRows)
+{
+    Table t = table1Workloads();
+    EXPECT_EQ(t.rows(), 6u);
+    EXPECT_EQ(t.data()[0][0], "MLP0");
+    EXPECT_EQ(t.data()[5][0], "CNN1");
+}
+
+TEST_F(ExperimentsFixture, Table2ListsThePlatforms)
+{
+    Table t = table2Platforms();
+    EXPECT_GE(t.rows(), 3u);
+    EXPECT_NE(t.data()[0][0].find("Haswell"), std::string::npos);
+    EXPECT_NE(t.data()[2][0].find("TPU"), std::string::npos);
+}
+
+TEST_F(ExperimentsFixture, Table3BucketsSumToHundredPercent)
+{
+    const std::array<AppRun, 6> runs = runAllTpu(cfg);
+    for (const AppRun &r : runs) {
+        const auto &c = r.result.counters;
+        EXPECT_NEAR(c.arrayActiveFraction() +
+                    c.weightStallFraction() +
+                    c.weightShiftFraction() + c.nonMatrixFraction(),
+                    1.0, 1e-9)
+            << workloads::toString(r.id);
+    }
+}
+
+TEST_F(ExperimentsFixture, Table3TableHasPaperRows)
+{
+    Table t = table3Counters(cfg);
+    bool has_paper = false;
+    for (const auto &row : t.data())
+        if (row[0].find("paper") != std::string::npos)
+            has_paper = true;
+    EXPECT_TRUE(has_paper);
+    EXPECT_EQ(t.header().size(), 7u); // Metric + six apps
+}
+
+TEST_F(ExperimentsFixture, Table6TpuBeatsGpuOnMeans)
+{
+    Table t = table6RelativePerf(cfg);
+    // Rows: GPU sim, GPU paper, TPU sim, TPU paper, ratio.
+    ASSERT_GE(t.rows(), 5u);
+    const auto &gpu_sim = t.data()[0];
+    const auto &tpu_sim = t.data()[2];
+    const double gpu_gm = std::stod(gpu_sim[7]);
+    const double tpu_gm = std::stod(tpu_sim[7]);
+    EXPECT_GT(tpu_gm, gpu_gm * 5.0);
+}
+
+TEST_F(ExperimentsFixture, Table8ImprovedBelowOriginal)
+{
+    Table t = table8UbUsage(cfg);
+    ASSERT_GE(t.rows(), 4u);
+    for (std::size_t col = 1; col <= 6; ++col) {
+        const double sizing = std::stod(t.data()[0][col]);
+        const double original = std::stod(t.data()[1][col]);
+        const double improved = std::stod(t.data()[2][col]);
+        EXPECT_LE(improved, original) << "col " << col;
+        EXPECT_LE(original, sizing) << "col " << col;
+        // Everything must fit in the 24 MiB Unified Buffer.
+        EXPECT_LE(sizing, 24.0);
+    }
+}
+
+TEST_F(ExperimentsFixture, RooflineTablesHaveRidgeRows)
+{
+    Table t5 = fig5TpuRoofline(cfg);
+    EXPECT_EQ(t5.rows(), 7u); // six apps + ridge
+    Table t6 = fig6CpuRoofline();
+    EXPECT_EQ(t6.rows(), 7u);
+    Table t7 = fig7GpuRoofline();
+    EXPECT_EQ(t7.rows(), 7u);
+}
+
+TEST_F(ExperimentsFixture, Fig8HasEighteenPoints)
+{
+    Table t = fig8Combined(cfg);
+    EXPECT_EQ(t.rows(), 18u); // 6 apps x 3 platforms
+}
+
+TEST_F(ExperimentsFixture, Fig10PowerOrderedByLoad)
+{
+    Table t = fig10EnergyProportionality();
+    EXPECT_EQ(t.rows(), 11u); // 0%..100%
+    // TPU total power per die ~118 W at full load (Section 6).
+    const double tpu_total_full = std::stod(t.data()[10][5]);
+    EXPECT_NEAR(tpu_total_full, 118.0, 8.0);
+}
+
+TEST_F(ExperimentsFixture, PaperConstantsSpotCheck)
+{
+    EXPECT_DOUBLE_EQ(paper::tpuTeraOps[4], 86.0);
+    EXPECT_DOUBLE_EQ(paper::tpuRelative[5], 71.0);
+    EXPECT_DOUBLE_EQ(paper::ubUsageMib[5], 13.9);
+}
+
+} // namespace
+} // namespace analysis
+} // namespace tpu

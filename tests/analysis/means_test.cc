@@ -1,0 +1,64 @@
+/** @file Tests for the mean helpers. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/means.hh"
+
+namespace tpu {
+namespace analysis {
+namespace {
+
+TEST(GeometricMean, KnownValues)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({5.0}), 5.0, 1e-12);
+}
+
+TEST(GeometricMean, ReproducesTable6Gm)
+{
+    // Paper Table 6 GPU row: GM of the six ratios is ~1.1.
+    EXPECT_NEAR(geometricMean({2.5, 0.3, 0.4, 1.2, 1.6, 2.7}), 1.08,
+                0.01);
+    // TPU row: GM ~14.5.
+    EXPECT_NEAR(geometricMean({41.0, 18.5, 3.5, 1.2, 40.3, 71.0}),
+                14.6, 0.3);
+}
+
+TEST(WeightedMean, UnequalWeights)
+{
+    EXPECT_NEAR(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5, 1e-12);
+}
+
+TEST(WeightedMean, EqualWeightsIsArithmetic)
+{
+    EXPECT_NEAR(weightedMean({1.0, 2.0, 3.0}, {1.0, 1.0, 1.0}), 2.0,
+                1e-12);
+}
+
+TEST(WeightedGeometricMean, ReducesToGeometric)
+{
+    EXPECT_NEAR(weightedGeometricMean({2.0, 8.0}, {1.0, 1.0}), 4.0,
+                1e-12);
+}
+
+TEST(WeightedGeometricMean, WeightsSkewTowardHeavyValue)
+{
+    double wm = weightedGeometricMean({1.0, 16.0}, {3.0, 1.0});
+    EXPECT_NEAR(wm, 2.0, 1e-12); // 16^(1/4)
+}
+
+TEST(MeansDeath, BadInputs)
+{
+    EXPECT_EXIT(geometricMean({}), ::testing::ExitedWithCode(1),
+                "nothing");
+    EXPECT_EXIT(geometricMean({-1.0}), ::testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT(weightedMean({1.0}, {1.0, 2.0}),
+                ::testing::ExitedWithCode(1), "mismatch");
+    EXPECT_EXIT(weightedMean({1.0}, {0.0}),
+                ::testing::ExitedWithCode(1), "zero");
+}
+
+} // namespace
+} // namespace analysis
+} // namespace tpu

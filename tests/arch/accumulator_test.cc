@@ -1,0 +1,68 @@
+/** @file Tests for the accumulator file. */
+
+#include <gtest/gtest.h>
+
+#include "arch/accumulator.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+TEST(AccumulatorFile, ProductionCapacity)
+{
+    AccumulatorFile acc(4096, 256);
+    EXPECT_EQ(acc.capacityBytes(), 4u * 1024u * 1024u);
+}
+
+TEST(AccumulatorFile, OverwriteDeposit)
+{
+    AccumulatorFile acc(8, 4);
+    acc.deposit(2, {1, 2, 3, 4}, false);
+    EXPECT_EQ(acc.row(2), (std::vector<std::int32_t>{1, 2, 3, 4}));
+    acc.deposit(2, {9, 9, 9, 9}, false);
+    EXPECT_EQ(acc.row(2), (std::vector<std::int32_t>{9, 9, 9, 9}));
+}
+
+TEST(AccumulatorFile, AccumulateDeposit)
+{
+    // Chained contraction tiles accumulate partial sums (the
+    // accumulate flag of MatrixMultiply).
+    AccumulatorFile acc(8, 4);
+    acc.deposit(0, {1, 2, 3, 4}, false);
+    acc.deposit(0, {10, 20, 30, 40}, true);
+    EXPECT_EQ(acc.row(0),
+              (std::vector<std::int32_t>{11, 22, 33, 44}));
+}
+
+TEST(AccumulatorFile, AccumulateWrapsAtInt32)
+{
+    AccumulatorFile acc(1, 1);
+    acc.deposit(0, {INT32_MAX}, false);
+    acc.deposit(0, {1}, true);
+    EXPECT_EQ(acc.row(0)[0], INT32_MIN); // 32-bit wraparound
+}
+
+TEST(AccumulatorFile, ClearZeroes)
+{
+    AccumulatorFile acc(2, 2);
+    acc.deposit(1, {5, 6}, false);
+    acc.clear();
+    EXPECT_EQ(acc.row(1), (std::vector<std::int32_t>{0, 0}));
+}
+
+TEST(AccumulatorFileDeath, EntryOutOfRange)
+{
+    AccumulatorFile acc(4, 2);
+    EXPECT_DEATH(acc.deposit(4, {1, 2}, false), "out of");
+    EXPECT_DEATH(acc.row(-1), "out of");
+}
+
+TEST(AccumulatorFileDeath, WidthMismatch)
+{
+    AccumulatorFile acc(4, 2);
+    EXPECT_DEATH(acc.deposit(0, {1, 2, 3}, false), "width");
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

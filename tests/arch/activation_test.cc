@@ -1,0 +1,116 @@
+/** @file Tests for the activation unit (LUTs, requantization, pools). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/activation_unit.hh"
+#include "nn/reference.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+TEST(ActivationUnit, ReluPassesPositivesClampsNegatives)
+{
+    ActivationUnit au;
+    auto out = au.activate({100, -100, 0}, 1.0,
+                           nn::Nonlinearity::Relu);
+    EXPECT_EQ(out[0], 100);
+    EXPECT_EQ(out[1], 0);
+    EXPECT_EQ(out[2], 0);
+}
+
+TEST(ActivationUnit, ReluAppliesScaleThenSaturates)
+{
+    ActivationUnit au;
+    auto out = au.activate({1000}, 0.05, nn::Nonlinearity::Relu);
+    EXPECT_EQ(out[0], 50);
+    out = au.activate({100000}, 1.0, nn::Nonlinearity::Relu);
+    EXPECT_EQ(out[0], 127);
+}
+
+TEST(ActivationUnit, NoneIsPureRequantize)
+{
+    ActivationUnit au;
+    auto out = au.activate({-1000, 1000}, 0.1,
+                           nn::Nonlinearity::None);
+    EXPECT_EQ(out[0], -100);
+    EXPECT_EQ(out[1], 100);
+}
+
+TEST(ActivationUnit, SigmoidLutTracksReference)
+{
+    ActivationUnit au;
+    for (double x = -7.5; x <= 7.5; x += 0.37) {
+        const double want =
+            nn::activate(static_cast<float>(x),
+                         nn::Nonlinearity::Sigmoid) * 127.0;
+        EXPECT_NEAR(au.lutSigmoid(x), want, 1.5) << "x=" << x;
+    }
+}
+
+TEST(ActivationUnit, TanhLutTracksReference)
+{
+    ActivationUnit au;
+    for (double x = -7.5; x <= 7.5; x += 0.41) {
+        const double want =
+            nn::activate(static_cast<float>(x),
+                         nn::Nonlinearity::Tanh) * 127.0;
+        EXPECT_NEAR(au.lutTanh(x), want, 1.5) << "x=" << x;
+    }
+}
+
+TEST(ActivationUnit, LutSaturatesOutsideDomain)
+{
+    ActivationUnit au;
+    EXPECT_EQ(au.lutSigmoid(100.0), 127);
+    EXPECT_EQ(au.lutSigmoid(-100.0), 0);
+    EXPECT_EQ(au.lutTanh(100.0), 127);
+    EXPECT_EQ(au.lutTanh(-100.0), -127);
+}
+
+TEST(ActivationUnit, SigmoidPathUsesScaledInput)
+{
+    ActivationUnit au;
+    // acc=2000 with scale 1e-3 => sigmoid(2.0) ~ 0.881 * 127 ~ 112.
+    auto out = au.activate({2000}, 1e-3, nn::Nonlinearity::Sigmoid);
+    EXPECT_NEAR(out[0], 112, 2);
+}
+
+TEST(ActivationUnit, MaxPoolRowsElementwise)
+{
+    auto out = ActivationUnit::maxPoolRows(
+        {{1, 9, -5}, {4, 2, -7}, {3, 3, -6}});
+    EXPECT_EQ(out, (std::vector<std::int8_t>{4, 9, -5}));
+}
+
+TEST(ActivationUnit, AvgPoolRowsRounds)
+{
+    auto out = ActivationUnit::avgPoolRows({{1, 2}, {2, 3}});
+    // (1+2)/2 = 1.5 -> 2 (round half away), (2+3)/2 = 2.5 -> 3.
+    EXPECT_EQ(out[0], 2);
+    EXPECT_EQ(out[1], 3);
+}
+
+TEST(ActivationUnit, AvgPoolNegativeRounding)
+{
+    auto out = ActivationUnit::avgPoolRows({{-1, -2}, {-2, -3}});
+    EXPECT_EQ(out[0], -2);
+    EXPECT_EQ(out[1], -3);
+}
+
+TEST(ActivationUnitDeath, EmptyPool)
+{
+    EXPECT_DEATH(ActivationUnit::maxPoolRows({}), "empty");
+}
+
+TEST(ActivationUnitDeath, RaggedPoolRows)
+{
+    EXPECT_DEATH(ActivationUnit::maxPoolRows({{1, 2}, {1}}),
+                 "mismatch");
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,94 @@
+/** @file Tests for TpuConfig's derived parameters. */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+TEST(TpuConfig, ProductionPeaksAt92Tops)
+{
+    // 65,536 MACs x 2 ops x 700 MHz = 91.75 TOPS (Section 2).
+    TpuConfig c = TpuConfig::production();
+    EXPECT_NEAR(c.peakTops(), 91.75, 0.01);
+}
+
+TEST(TpuConfig, TileIs64KiB)
+{
+    TpuConfig c = TpuConfig::production();
+    EXPECT_EQ(c.tileBytes(), 65536u);
+}
+
+TEST(TpuConfig, RidgeNear1350)
+{
+    // "Its ridge point is far to the right at 1350 operations per
+    // byte of weight memory fetched" (Figure 5).
+    TpuConfig c = TpuConfig::production();
+    EXPECT_NEAR(c.ridgeOpsPerByte(), 1350.0, 5.0);
+}
+
+TEST(TpuConfig, TileFetchNear1349Cycles)
+{
+    TpuConfig c = TpuConfig::production();
+    EXPECT_NEAR(static_cast<double>(c.tileFetchCycles()), 1349.0,
+                2.0);
+}
+
+TEST(TpuConfig, ShiftTakesMatrixDimCycles)
+{
+    // "the 256 cycles it takes to shift a tile in" (Section 2).
+    TpuConfig c = TpuConfig::production();
+    EXPECT_EQ(c.tileShiftCycles(), 256u);
+}
+
+TEST(TpuConfig, WeightBytesPerCycle)
+{
+    TpuConfig c = TpuConfig::production();
+    EXPECT_NEAR(c.weightBytesPerCycle(), 48.6, 0.1);
+}
+
+TEST(TpuConfig, PrimeMovesRidgeTo250)
+{
+    // Section 7: GDDR5 shifts "its roofline ridge point from 1350 to
+    // 250".
+    TpuConfig p = TpuConfig::prime();
+    EXPECT_NEAR(p.ridgeOpsPerByte(), 250.0, 5.0);
+    EXPECT_GT(p.weightMemoryBytesPerSec,
+              5.0 * TpuConfig::production().weightMemoryBytesPerSec);
+}
+
+TEST(TpuConfig, PrimeAddsTenWattsPerDie)
+{
+    TpuConfig base = TpuConfig::production();
+    TpuConfig p = TpuConfig::prime();
+    EXPECT_NEAR(p.busyWatts - base.busyWatts, 10.0, 0.01);
+}
+
+TEST(TpuConfig, PrimeFastClockIs1050)
+{
+    TpuConfig p = TpuConfig::primeWithFastClock();
+    EXPECT_NEAR(p.clockHz, 1050e6, 1.0);
+}
+
+TEST(TpuConfig, AccumulatorCapacityIs4MiB)
+{
+    // 4096 x 256 x 32-bit = 4 MiB (Section 2).
+    TpuConfig c = TpuConfig::production();
+    EXPECT_EQ(static_cast<std::uint64_t>(c.accumulatorEntries) *
+              static_cast<std::uint64_t>(c.matrixDim) * 4,
+              mib(4));
+}
+
+TEST(TpuConfig, OnChipMemoryIs28MiB)
+{
+    // 24 MiB Unified Buffer + 4 MiB accumulators = the paper's
+    // "28 MiB software-managed on-chip memory".
+    TpuConfig c = TpuConfig::production();
+    EXPECT_EQ(c.unifiedBufferBytes + mib(4), mib(28));
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,121 @@
+/** @file Tests for the CISC instruction set encoding. */
+
+#include <gtest/gtest.h>
+
+#include "arch/isa.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+TEST(Isa, EncodedSizeIsTwelveBytes)
+{
+    // "The CISC MatrixMultiply instruction is 12 bytes" (Section 2).
+    EXPECT_EQ(Instruction::encodedSize, 12u);
+    Instruction i = makeMatrixMultiply(5, 100, 200, true);
+    EXPECT_EQ(i.encode().size(), 12u);
+}
+
+TEST(Isa, MatrixMultiplyFields)
+{
+    Instruction i = makeMatrixMultiply(1234, 0x00ABCDEF, 4096, true);
+    EXPECT_EQ(i.op, Opcode::MatrixMultiply);
+    EXPECT_EQ(i.arg0, 1234);
+    EXPECT_EQ(i.arg1, 0x00ABCDEFu);
+    EXPECT_EQ(i.arg2, 4096u);
+    EXPECT_TRUE(i.flags & flags::accumulate);
+}
+
+TEST(Isa, ReadWeightsPacksUsefulDims)
+{
+    Instruction i = makeReadWeights(777, 511, 300);
+    EXPECT_EQ(readWeightsUsefulRows(i), 511);
+    EXPECT_EQ(readWeightsUsefulCols(i), 300);
+    EXPECT_EQ(i.arg1, 777u);
+}
+
+TEST(Isa, VectorOpUsesSentinel)
+{
+    Instruction i = makeVectorOp(10, 20, flags::funcTanh);
+    EXPECT_EQ(i.op, Opcode::Activate);
+    EXPECT_EQ(i.arg0, vectorOpAccSentinel);
+    EXPECT_EQ(i.flags & flags::funcMask, flags::funcTanh);
+}
+
+TEST(Isa, SetConfigCarriesRegAndValue)
+{
+    Instruction i = makeSetConfig(ConfigReg::RequantShift, 0xDEADBEEF);
+    EXPECT_EQ(i.arg0,
+              static_cast<std::uint16_t>(ConfigReg::RequantShift));
+    EXPECT_EQ(i.arg2, 0xDEADBEEFu);
+}
+
+TEST(Isa, EncodedBytesCountsProgram)
+{
+    Program p = {makeSync(), makeHalt(), Instruction{}};
+    EXPECT_EQ(encodedBytes(p), 3u * 12u);
+}
+
+Instruction
+makeNopHelper()
+{
+    return Instruction{};
+}
+
+TEST(Isa, DefaultInstructionIsNop)
+{
+    EXPECT_EQ(makeNopHelper().op, Opcode::Nop);
+}
+
+TEST(Isa, DisassemblyMentionsOpcode)
+{
+    Instruction i = makeActivate(3, 40, 5, flags::funcRelu);
+    EXPECT_NE(i.toString().find("activate"), std::string::npos);
+}
+
+TEST(Isa, OpcodeNamesDistinct)
+{
+    EXPECT_STREQ(toString(Opcode::ReadWeights), "read_weights");
+    EXPECT_STREQ(toString(Opcode::MatrixMultiply), "matrix_multiply");
+    EXPECT_STREQ(toString(Opcode::Convolve), "convolve");
+    EXPECT_STREQ(toString(Opcode::Halt), "halt");
+}
+
+TEST(IsaDeath, Arg1Exceeds24Bits)
+{
+    Instruction i;
+    i.arg1 = 0x01000000;
+    EXPECT_DEATH(i.encode(), "24-bit");
+}
+
+TEST(IsaDeath, DecodeBadOpcodeExits)
+{
+    std::array<std::uint8_t, Instruction::encodedSize> b{};
+    b[0] = 0xFF;
+    EXPECT_EXIT(Instruction::decode(b), ::testing::ExitedWithCode(1),
+                "bad opcode");
+}
+
+/** Round-trip property over every opcode. */
+class IsaRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(IsaRoundTrip, EncodeDecodeIdentity)
+{
+    Instruction i;
+    i.op = static_cast<Opcode>(GetParam());
+    i.flags = 0x2B;
+    i.repeat = 3;
+    i.arg0 = 0xBEEF;
+    i.arg1 = 0x00123456;
+    i.arg2 = 0x89ABCDEF;
+    EXPECT_EQ(Instruction::decode(i.encode()), i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, IsaRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::NumOpcodes)));
+
+} // namespace
+} // namespace arch
+} // namespace tpu

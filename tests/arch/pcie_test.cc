@@ -1,0 +1,57 @@
+/** @file Tests for the PCIe host link model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/pcie.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+TEST(PcieLink, TransferIncludesLatencyAndBandwidth)
+{
+    PcieLink link(12.5e9, 700e6, 700);
+    // 12.5e9 / 700e6 = ~17.86 bytes/cycle; 178571 bytes ~ 10000 cyc.
+    Cycle done = link.transferIn(0, 178571);
+    EXPECT_NEAR(static_cast<double>(done), 700.0 + 10000.0, 5.0);
+}
+
+TEST(PcieLink, DirectionsAreIndependent)
+{
+    PcieLink link(12.5e9, 700e6, 0);
+    Cycle in = link.transferIn(0, 1000000);
+    Cycle out = link.transferOut(0, 1000000);
+    // Full duplex: both complete at the same horizon.
+    EXPECT_EQ(in, out);
+}
+
+TEST(PcieLink, SameDirectionSerializes)
+{
+    PcieLink link(12.5e9, 700e6, 0);
+    Cycle a = link.transferIn(0, 1000000);
+    Cycle b = link.transferIn(0, 1000000);
+    EXPECT_NEAR(static_cast<double>(b),
+                2.0 * static_cast<double>(a), 3.0);
+}
+
+TEST(PcieLink, CountsBytesPerDirection)
+{
+    PcieLink link(12.5e9, 700e6);
+    link.transferIn(0, 100);
+    link.transferOut(0, 250);
+    EXPECT_EQ(link.bytesIn(), 100u);
+    EXPECT_EQ(link.bytesOut(), 250u);
+    link.resetTiming();
+    EXPECT_EQ(link.bytesIn(), 0u);
+}
+
+TEST(PcieLink, EarliestDefersStart)
+{
+    PcieLink link(12.5e9, 700e6, 0);
+    Cycle done = link.transferIn(5000, 17857);
+    EXPECT_GE(done, 5000u + 999u);
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

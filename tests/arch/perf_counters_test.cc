@@ -1,0 +1,91 @@
+/** @file Tests for the perf-counter arithmetic (Table 3 semantics). */
+
+#include <gtest/gtest.h>
+
+#include "arch/perf_counters.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+PerfCounters
+sample()
+{
+    PerfCounters c;
+    c.totalCycles = 1000;
+    c.arrayActiveCycles = 150;
+    c.weightStallCycles = 500;
+    c.weightShiftCycles = 150;
+    c.nonMatrixCycles = 200;
+    c.rawStallCycles = 90;
+    c.inputStallCycles = 30;
+    c.usefulMacs = 150ull * 65536ull / 2; // half the slots useful
+    c.totalMacSlots = 150ull * 65536ull;
+    c.totalInstructions = 80;
+    return c;
+}
+
+TEST(PerfCounters, PrimaryBucketsSumToOne)
+{
+    PerfCounters c = sample();
+    const double total =
+        c.arrayActiveFraction() + c.weightStallFraction() +
+        c.weightShiftFraction() + c.nonMatrixFraction();
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PerfCounters, UsefulPlusUnusedEqualsActive)
+{
+    PerfCounters c = sample();
+    EXPECT_NEAR(c.usefulMacFraction() + c.unusedMacFraction(),
+                c.arrayActiveFraction(), 1e-12);
+    EXPECT_NEAR(c.usefulMacFraction(), 0.075, 1e-9);
+}
+
+TEST(PerfCounters, TeraOpsCountsTwoOpsPerMac)
+{
+    PerfCounters c;
+    c.totalCycles = 700'000'000; // one second at 700 MHz
+    c.arrayActiveCycles = 700'000'000;
+    c.usefulMacs = 46'000'000'000'000ull / 1000; // 46 GMACs... scale
+    c.usefulMacs = 46'000'000'000ull;
+    c.totalMacSlots = c.usefulMacs;
+    EXPECT_NEAR(c.teraOpsPerSecond(700e6), 0.092, 1e-6);
+}
+
+TEST(PerfCounters, CpiTypicallyTenToTwenty)
+{
+    PerfCounters c = sample();
+    EXPECT_NEAR(c.cpi(), 12.5, 1e-9);
+}
+
+TEST(PerfCounters, ZeroTotalsGiveZeroFractions)
+{
+    PerfCounters c;
+    EXPECT_EQ(c.arrayActiveFraction(), 0.0);
+    EXPECT_EQ(c.usefulMacFraction(), 0.0);
+    EXPECT_EQ(c.teraOpsPerSecond(700e6), 0.0);
+    EXPECT_EQ(c.cpi(), 0.0);
+}
+
+TEST(PerfCounters, MergeAddsEverything)
+{
+    PerfCounters a = sample();
+    PerfCounters b = sample();
+    a.merge(b);
+    EXPECT_EQ(a.totalCycles, 2000u);
+    EXPECT_EQ(a.weightStallCycles, 1000u);
+    EXPECT_EQ(a.totalInstructions, 160u);
+}
+
+TEST(PerfCounters, SummaryMentionsKeyNumbers)
+{
+    PerfCounters c = sample();
+    std::string s = c.summary();
+    EXPECT_NE(s.find("active=15.0%"), std::string::npos);
+    EXPECT_NE(s.find("wstall=50.0%"), std::string::npos);
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

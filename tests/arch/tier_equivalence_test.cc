@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tier equivalence: the chip-level functional datapath (Tier B,
+ * computeTile fast path + activation unit) produces exactly the same
+ * numbers as the PE-level wavefront array (Tier A) and the nn
+ * reference executors, end to end through a real program.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "arch/systolic_array.hh"
+#include "arch/tpu_chip.hh"
+#include "nn/quantize.hh"
+#include "nn/reference.hh"
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+TpuConfig
+tinyConfig()
+{
+    TpuConfig c;
+    c.name = "tiny";
+    c.clockHz = 1e9;
+    c.matrixDim = 8;
+    c.accumulatorEntries = 32;
+    c.unifiedBufferBytes = 8192;
+    c.weightMemoryBytes = 1 << 20;
+    c.weightMemoryBytesPerSec = 8e9;
+    c.pcieBytesPerSec = 8e9;
+    return c;
+}
+
+nn::Int8Tensor
+randomInt8(std::int64_t r, std::int64_t c, Rng &rng)
+{
+    nn::Int8Tensor t({r, c});
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<std::int8_t>(rng.uniformInt(-20, 20));
+    return t;
+}
+
+/** Run one tile matmul + ReLU activate through the functional chip. */
+std::vector<std::int8_t>
+runChip(const TpuConfig &cfg, const nn::Int8Tensor &x,
+        const nn::Int8Tensor &w, float scale)
+{
+    TpuChip chip(cfg, /*functional=*/true);
+    chip.weightMemory().storeTile(0, w);
+
+    const auto rows = static_cast<std::uint32_t>(x.dim(0));
+    Program p = {
+        makeSetConfig(ConfigReg::RequantShift,
+                      std::bit_cast<std::uint32_t>(scale)),
+        makeReadHostMemory(0, rows),
+        makeReadWeights(0, static_cast<std::uint16_t>(cfg.matrixDim),
+                        static_cast<std::uint16_t>(cfg.matrixDim)),
+        makeMatrixMultiply(0, 0, rows, false),
+        makeActivate(0, 100, rows, flags::funcRelu),
+        makeWriteHostMemory(100, rows),
+        makeHalt(),
+    };
+
+    std::vector<std::int8_t> host_in;
+    for (std::int64_t r = 0; r < x.dim(0); ++r)
+        for (std::int64_t c = 0; c < x.dim(1); ++c)
+            host_in.push_back(x.at(r, c));
+
+    RunResult result = chip.run(p, host_in);
+    return result.hostOutput;
+}
+
+TEST(TierEquivalence, ChipMatchesWavefrontAndReference)
+{
+    const TpuConfig cfg = tinyConfig();
+    Rng rng(21);
+    const std::int64_t rows = 5;
+    nn::Int8Tensor x = randomInt8(rows, cfg.matrixDim, rng);
+    nn::Int8Tensor w = randomInt8(cfg.matrixDim, cfg.matrixDim, rng);
+    const float scale = 0.05f;
+
+    // Tier B: through the chip.
+    std::vector<std::int8_t> chip_out = runChip(cfg, x, w, scale);
+    ASSERT_EQ(chip_out.size(),
+              static_cast<std::size_t>(rows * cfg.matrixDim));
+
+    // Tier A: PE-level wavefront.
+    SystolicArray arr(cfg.matrixDim);
+    nn::Int32Tensor w32({cfg.matrixDim, cfg.matrixDim});
+    for (std::int64_t i = 0; i < w.size(); ++i)
+        w32[i] = w[i];
+    arr.loadTile(w32);
+    nn::Int32Tensor x32({rows, cfg.matrixDim});
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        x32[i] = x[i];
+    arr.beginStream(x32);
+    arr.drain();
+
+    // Reference: int8 GEMM.
+    nn::Int32Tensor ref = nn::matmulInt8(x, w);
+
+    ActivationUnit au;
+    for (std::int64_t r = 0; r < rows; ++r) {
+        std::vector<std::int32_t> wave_row(
+            static_cast<std::size_t>(cfg.matrixDim));
+        std::vector<std::int32_t> ref_row(
+            static_cast<std::size_t>(cfg.matrixDim));
+        for (std::int64_t c = 0; c < cfg.matrixDim; ++c) {
+            wave_row[static_cast<std::size_t>(c)] =
+                arr.results().at(r, c);
+            ref_row[static_cast<std::size_t>(c)] = ref.at(r, c);
+        }
+        EXPECT_EQ(wave_row, ref_row) << "row " << r;
+        auto expect = au.activate(ref_row, scale,
+                                  nn::Nonlinearity::Relu);
+        for (std::int64_t c = 0; c < cfg.matrixDim; ++c) {
+            EXPECT_EQ(chip_out[static_cast<std::size_t>(
+                          r * cfg.matrixDim + c)],
+                      expect[static_cast<std::size_t>(c)])
+                << "(" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(TierEquivalence, AccumulationAcrossTilesMatchesWideGemm)
+{
+    // Two contraction tiles accumulated into one accumulator region
+    // == one wide GEMM: the accumulate flag semantics.
+    const TpuConfig cfg = tinyConfig();
+    Rng rng(33);
+    const std::int64_t rows = 4;
+    const std::int64_t d = cfg.matrixDim;
+    nn::Int8Tensor x = randomInt8(rows, 2 * d, rng);
+    nn::Int8Tensor w = randomInt8(2 * d, d, rng);
+
+    // Split into two tiles along the contraction dimension.
+    nn::Int8Tensor w0({d, d}), w1({d, d});
+    for (std::int64_t r = 0; r < d; ++r) {
+        for (std::int64_t c = 0; c < d; ++c) {
+            w0.at(r, c) = w.at(r, c);
+            w1.at(r, c) = w.at(d + r, c);
+        }
+    }
+
+    TpuChip chip(cfg, true);
+    chip.weightMemory().storeTile(0, w0);
+    chip.weightMemory().storeTile(1, w1);
+
+    // UB layout: slice 0 rows [0, rows), slice 1 rows [rows, 2*rows).
+    std::vector<std::int8_t> host_in;
+    for (std::int64_t s = 0; s < 2; ++s)
+        for (std::int64_t r = 0; r < rows; ++r)
+            for (std::int64_t c = 0; c < d; ++c)
+                host_in.push_back(x.at(r, s * d + c));
+
+    const float scale = 1.0f;
+    Program p = {
+        makeSetConfig(ConfigReg::RequantShift,
+                      std::bit_cast<std::uint32_t>(scale)),
+        makeReadHostMemory(0, 2 * rows),
+        makeReadWeights(0, 8, 8),
+        makeMatrixMultiply(0, 0, rows, false),
+        makeReadWeights(1, 8, 8),
+        makeMatrixMultiply(0, static_cast<std::uint32_t>(rows), rows,
+                           true), // accumulate
+        makeActivate(0, 100, rows, flags::funcNone),
+        makeWriteHostMemory(100, rows),
+        makeHalt(),
+    };
+    RunResult result = chip.run(p, host_in);
+
+    nn::Int32Tensor ref = nn::matmulInt8(x, w);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t c = 0; c < d; ++c) {
+            const std::int32_t clamped =
+                std::clamp(ref.at(r, c), -127, 127);
+            EXPECT_EQ(result.hostOutput[static_cast<std::size_t>(
+                          r * d + c)], clamped)
+                << "(" << r << "," << c << ")";
+        }
+    }
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property sweeps over the Tier-B core: invariants that must hold for
+ * every workload on every sensible configuration -- the cycle
+ * accounting identity, bandwidth/clock monotonicity, batch scaling,
+ * and conservation of useful MACs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/tpu_chip.hh"
+#include "compiler/codegen.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+using workloads::AppId;
+
+RunResult
+simulate(AppId id, const TpuConfig &cfg, std::int64_t batch = -1)
+{
+    nn::Network net = batch > 0 ? workloads::build(id, batch)
+                                : workloads::build(id);
+    TpuChip chip(cfg, false);
+    compiler::Compiler cc(cfg);
+    compiler::CompiledModel m =
+        cc.compile(net, &chip.weightMemory(),
+                   compiler::CompileOptions{});
+    return chip.run(m.program);
+}
+
+class PerAppProperty : public ::testing::TestWithParam<AppId>
+{};
+
+TEST_P(PerAppProperty, AccountingIdentityOnScaledConfigs)
+{
+    // active + weight stall + shift + non-matrix == total, on the
+    // production config and on stressed variants.
+    for (double bw_scale : {0.5, 1.0, 4.0}) {
+        TpuConfig cfg = TpuConfig::production();
+        cfg.weightMemoryBytesPerSec *= bw_scale;
+        RunResult r = simulate(GetParam(), cfg);
+        EXPECT_EQ(r.counters.arrayActiveCycles +
+                  r.counters.weightStallCycles +
+                  r.counters.weightShiftCycles +
+                  r.counters.nonMatrixCycles,
+                  r.counters.totalCycles)
+            << "bw x" << bw_scale;
+    }
+}
+
+TEST_P(PerAppProperty, MoreBandwidthNeverMoreCycles)
+{
+    TpuConfig slow = TpuConfig::production();
+    TpuConfig fast = slow;
+    fast.weightMemoryBytesPerSec *= 2.0;
+    EXPECT_GE(simulate(GetParam(), slow).cycles,
+              simulate(GetParam(), fast).cycles);
+}
+
+TEST_P(PerAppProperty, FasterClockNeverSlowerWallClock)
+{
+    TpuConfig base = TpuConfig::production();
+    TpuConfig fast = base;
+    fast.clockHz *= 2.0;
+    EXPECT_GE(simulate(GetParam(), base).seconds,
+              simulate(GetParam(), fast).seconds * 0.999);
+}
+
+TEST_P(PerAppProperty, UsefulMacsInvariantUnderTiming)
+{
+    // Useful MACs depend only on the workload, never on timing
+    // parameters.
+    TpuConfig a = TpuConfig::production();
+    TpuConfig b = a;
+    b.weightMemoryBytesPerSec *= 3.0;
+    b.clockHz *= 2.0;
+    EXPECT_EQ(simulate(GetParam(), a).counters.usefulMacs,
+              simulate(GetParam(), b).counters.usefulMacs);
+}
+
+TEST_P(PerAppProperty, AchievedNeverExceedsPeak)
+{
+    TpuConfig cfg = TpuConfig::production();
+    RunResult r = simulate(GetParam(), cfg);
+    EXPECT_LE(r.teraOps, cfg.peakTops() * 1.0001);
+}
+
+TEST_P(PerAppProperty, WeightTrafficIsTileMultiple)
+{
+    TpuConfig cfg = TpuConfig::production();
+    RunResult r = simulate(GetParam(), cfg);
+    EXPECT_EQ(r.counters.weightBytesRead % cfg.tileBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, PerAppProperty,
+    ::testing::ValuesIn(workloads::allApps()));
+
+class BatchScaling
+    : public ::testing::TestWithParam<std::tuple<AppId, int>>
+{};
+
+TEST_P(BatchScaling, LargerBatchNeverLowersThroughput)
+{
+    // For the weight-bound apps each extra example amortizes the
+    // same weight stream, so IPS is non-decreasing in batch (until
+    // the accumulator refetch boundary, which these sizes avoid).
+    const auto [id, batch] = GetParam();
+    TpuConfig cfg = TpuConfig::production();
+    RunResult small = simulate(id, cfg, batch);
+    RunResult big = simulate(id, cfg, batch * 2);
+    const double ips_small =
+        batch / small.seconds;
+    const double ips_big = 2.0 * batch / big.seconds;
+    EXPECT_GE(ips_big, ips_small * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MemoryBoundApps, BatchScaling,
+    ::testing::Combine(::testing::Values(AppId::MLP0, AppId::MLP1,
+                                         AppId::LSTM0,
+                                         AppId::LSTM1),
+                       ::testing::Values(16, 64, 200)));
+
+class MatrixDimSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MatrixDimSweep, AccountingIdentityAcrossArraySizes)
+{
+    TpuConfig cfg = TpuConfig::production();
+    cfg.matrixDim = GetParam();
+    RunResult r = simulate(AppId::LSTM1, cfg);
+    EXPECT_EQ(r.counters.arrayActiveCycles +
+              r.counters.weightStallCycles +
+              r.counters.weightShiftCycles +
+              r.counters.nonMatrixCycles,
+              r.counters.totalCycles);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MatrixDimSweep,
+                         ::testing::Values(64, 128, 256, 512));
+
+} // namespace
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,80 @@
+/** @file Tests for the Unified Buffer SRAM model. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/unified_buffer.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+TEST(UnifiedBuffer, GeometryOfProductionPart)
+{
+    UnifiedBuffer ub(mib(24), 256);
+    EXPECT_EQ(ub.capacityBytes(), mib(24));
+    EXPECT_EQ(ub.rowBytes(), 256);
+    EXPECT_EQ(ub.numRows(), 98304);
+}
+
+TEST(UnifiedBuffer, WriteReadRoundTrip)
+{
+    UnifiedBuffer ub(1024, 64);
+    std::vector<std::int8_t> data(64);
+    for (int i = 0; i < 64; ++i)
+        data[static_cast<std::size_t>(i)] =
+            static_cast<std::int8_t>(i - 32);
+    ub.writeRow(3, data.data(), 64);
+    std::vector<std::int8_t> out(64);
+    ub.readRow(3, out.data(), 64);
+    EXPECT_EQ(out, data);
+}
+
+TEST(UnifiedBuffer, PartialRowWrite)
+{
+    UnifiedBuffer ub(1024, 64);
+    std::int8_t v[4] = {1, 2, 3, 4};
+    ub.writeRow(0, v, 4);
+    EXPECT_EQ(ub.byteAt(0), 1);
+    EXPECT_EQ(ub.byteAt(3), 4);
+    EXPECT_EQ(ub.byteAt(4), 0);
+}
+
+TEST(UnifiedBuffer, HighWaterTracksWrites)
+{
+    UnifiedBuffer ub(1024, 64);
+    EXPECT_EQ(ub.highWaterBytes(), 0u);
+    std::int8_t v[8] = {};
+    ub.writeRow(2, v, 8);
+    EXPECT_EQ(ub.highWaterBytes(), 2u * 64u + 8u);
+    ub.writeRow(0, v, 8); // lower write leaves high water alone
+    EXPECT_EQ(ub.highWaterBytes(), 2u * 64u + 8u);
+    ub.resetHighWater();
+    EXPECT_EQ(ub.highWaterBytes(), 0u);
+}
+
+TEST(UnifiedBufferDeath, OverflowingWrite)
+{
+    UnifiedBuffer ub(256, 64);
+    std::int8_t v[65] = {};
+    EXPECT_DEATH(ub.writeRow(3, v, 65), "overflows");
+}
+
+TEST(UnifiedBufferDeath, OverflowingRead)
+{
+    UnifiedBuffer ub(256, 64);
+    std::int8_t v[64];
+    EXPECT_DEATH(ub.readRow(4, v, 64), "overflows");
+}
+
+TEST(UnifiedBufferDeath, CapacityNotMultipleOfRow)
+{
+    EXPECT_EXIT(UnifiedBuffer(100, 64), ::testing::ExitedWithCode(1),
+                "multiple");
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,165 @@
+/** @file Tests for the static program validator. */
+
+#include <gtest/gtest.h>
+
+#include "arch/validate.hh"
+#include "compiler/codegen.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+TpuConfig
+smallConfig()
+{
+    TpuConfig c;
+    c.matrixDim = 8;
+    c.accumulatorEntries = 32;
+    c.unifiedBufferBytes = 8192; // 1024 rows
+    c.clockHz = 1e9;
+    c.weightMemoryBytesPerSec = 8e9;
+    c.pcieBytesPerSec = 8e9;
+    return c;
+}
+
+Program
+validProgram()
+{
+    return {
+        makeReadHostMemory(0, 4),
+        makeReadWeights(0, 8, 8),
+        makeMatrixMultiply(0, 0, 4, false),
+        makeActivate(0, 100, 4, flags::funcRelu),
+        makeWriteHostMemory(100, 4),
+        makeHalt(),
+    };
+}
+
+TEST(Validate, AcceptsWellFormedProgram)
+{
+    EXPECT_TRUE(programIsValid(validProgram(), smallConfig()));
+}
+
+TEST(Validate, RejectsMatmulWithoutStagedTile)
+{
+    Program p = {makeReadHostMemory(0, 4),
+                 makeMatrixMultiply(0, 0, 4, false), makeHalt()};
+    auto issues = validateProgram(p, smallConfig());
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("no staged"), std::string::npos);
+    EXPECT_EQ(issues[0].instructionIndex, 1u);
+}
+
+TEST(Validate, RejectsReuseWithEmptyArray)
+{
+    Instruction mm = makeMatrixMultiply(0, 0, 4, false);
+    mm.flags |= flags::reuse_weights;
+    Program p = {makeReadHostMemory(0, 4), mm, makeHalt()};
+    auto issues = validateProgram(p, smallConfig());
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("no tile in the array"),
+              std::string::npos);
+}
+
+TEST(Validate, AcceptsReuseAfterFreshMatmul)
+{
+    Instruction mm2 = makeMatrixMultiply(8, 0, 4, false);
+    mm2.flags |= flags::reuse_weights;
+    Program p = {makeReadHostMemory(0, 4), makeReadWeights(0, 8, 8),
+                 makeMatrixMultiply(0, 0, 4, false), mm2,
+                 makeHalt()};
+    EXPECT_TRUE(programIsValid(p, smallConfig()));
+}
+
+TEST(Validate, RejectsAccumulatorOverflow)
+{
+    Program p = {makeReadHostMemory(0, 30),
+                 makeReadWeights(0, 8, 8),
+                 makeMatrixMultiply(16, 0, 30, false), makeHalt()};
+    auto issues = validateProgram(p, smallConfig());
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("accumulator"),
+              std::string::npos);
+}
+
+TEST(Validate, RejectsUbOverflow)
+{
+    Program p = {makeReadHostMemory(1020, 8), makeHalt()};
+    auto issues = validateProgram(p, smallConfig());
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("UB range"), std::string::npos);
+}
+
+TEST(Validate, RejectsReadOfUnwrittenUb)
+{
+    Program p = {makeReadWeights(0, 8, 8),
+                 makeMatrixMultiply(0, 500, 4, false), makeHalt()};
+    auto issues = validateProgram(p, smallConfig());
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("never written"),
+              std::string::npos);
+}
+
+TEST(Validate, RejectsInstructionsAfterHalt)
+{
+    Program p = {makeHalt(), makeSync()};
+    auto issues = validateProgram(p, smallConfig());
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("after Halt"),
+              std::string::npos);
+}
+
+TEST(Validate, RejectsBadConfigRegister)
+{
+    Instruction bad = makeSetConfig(ConfigReg::NumRegs, 0);
+    Program p = {bad, makeHalt()};
+    auto issues = validateProgram(p, smallConfig());
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("register"), std::string::npos);
+}
+
+TEST(Validate, RejectsOversizedUsefulDims)
+{
+    Program p = {makeReadHostMemory(0, 4),
+                 makeReadWeights(0, 9, 8), // 9 > dim 8
+                 makeMatrixMultiply(0, 0, 4, false), makeHalt()};
+    auto issues = validateProgram(p, smallConfig());
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("matrix"), std::string::npos);
+}
+
+TEST(Validate, RejectsZeroRowMatmul)
+{
+    Program p = {makeReadHostMemory(0, 4), makeReadWeights(0, 8, 8),
+                 makeMatrixMultiply(0, 0, 0, false), makeHalt()};
+    auto issues = validateProgram(p, smallConfig());
+    bool found = false;
+    for (const auto &i : issues)
+        if (i.message.find("zero rows") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, CompilerOutputIsAlwaysValid)
+{
+    // Every Table 1 workload's compiled program passes validation on
+    // the production configuration.
+    const TpuConfig cfg = TpuConfig::production();
+    for (workloads::AppId id : workloads::allApps()) {
+        nn::Network net = workloads::build(id);
+        compiler::Compiler cc(cfg);
+        WeightMemory wm(cfg.weightMemoryBytes,
+                        cfg.weightMemoryBytesPerSec, cfg.clockHz);
+        compiler::CompiledModel m =
+            cc.compile(net, &wm, compiler::CompileOptions{});
+        auto issues = validateProgram(m.program, cfg);
+        EXPECT_TRUE(issues.empty())
+            << workloads::toString(id) << ": "
+            << (issues.empty() ? "" : issues[0].message);
+    }
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,75 @@
+/** @file Tests for the 4-deep Weight FIFO. */
+
+#include <gtest/gtest.h>
+
+#include "arch/weight_fifo.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+StagedTile
+tile(std::uint64_t idx, Cycle ready)
+{
+    StagedTile t;
+    t.tileIndex = idx;
+    t.readyAt = ready;
+    return t;
+}
+
+TEST(WeightFifo, PaperDepthIsFourTiles)
+{
+    WeightFifo f(4);
+    EXPECT_EQ(f.capacity(), 4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        f.push(tile(i, i * 100));
+    EXPECT_TRUE(f.full());
+}
+
+TEST(WeightFifo, FifoOrderPreserved)
+{
+    WeightFifo f(4);
+    f.push(tile(7, 10));
+    f.push(tile(8, 20));
+    EXPECT_EQ(f.front().tileIndex, 7u);
+    EXPECT_EQ(f.pop().tileIndex, 7u);
+    EXPECT_EQ(f.pop().tileIndex, 8u);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(WeightFifo, ReadyTimesRideAlong)
+{
+    WeightFifo f(2);
+    f.push(tile(1, 1349));
+    EXPECT_EQ(f.front().readyAt, 1349u);
+}
+
+TEST(WeightFifo, SizeTracksPushesAndPops)
+{
+    WeightFifo f(3);
+    f.push(tile(0, 0));
+    f.push(tile(1, 0));
+    EXPECT_EQ(f.size(), 2u);
+    f.pop();
+    EXPECT_EQ(f.size(), 1u);
+    f.clear();
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(WeightFifoDeath, Overflow)
+{
+    WeightFifo f(1);
+    f.push(tile(0, 0));
+    EXPECT_DEATH(f.push(tile(1, 0)), "overflow");
+}
+
+TEST(WeightFifoDeath, Underflow)
+{
+    WeightFifo f(1);
+    EXPECT_DEATH(f.pop(), "underflow");
+    EXPECT_DEATH(f.front(), "underflow");
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

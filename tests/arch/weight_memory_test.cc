@@ -1,0 +1,88 @@
+/** @file Tests for the Weight Memory DRAM model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/weight_memory.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace arch {
+namespace {
+
+TEST(WeightMemory, StoreAndFetchTiles)
+{
+    WeightMemory wm(mib(1), 34e9, 700e6);
+    nn::Int8Tensor t({4, 4});
+    t.at(1, 2) = 42;
+    wm.storeTile(7, t);
+    EXPECT_TRUE(wm.hasTile(7));
+    EXPECT_FALSE(wm.hasTile(8));
+    EXPECT_EQ(wm.tile(7).at(1, 2), 42);
+    EXPECT_EQ(wm.bytesStored(), 16u);
+}
+
+TEST(WeightMemory, RestoreSameIndexReplaces)
+{
+    WeightMemory wm(mib(1), 34e9, 700e6);
+    wm.storeTile(0, nn::Int8Tensor({4, 4}));
+    wm.storeTile(0, nn::Int8Tensor({8, 8}));
+    EXPECT_EQ(wm.bytesStored(), 64u);
+}
+
+TEST(WeightMemory, FetchSerializesOnChannel)
+{
+    // Two fetches issued at time 0 complete back to back: the single
+    // DDR channel is a bandwidth server.
+    WeightMemory wm(gib(8), 34e9, 700e6);
+    Cycle first = wm.fetch(0, 65536);
+    Cycle second = wm.fetch(0, 65536);
+    EXPECT_NEAR(static_cast<double>(first), 1350.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(second),
+                2.0 * static_cast<double>(first), 3.0);
+}
+
+TEST(WeightMemory, FetchHonoursEarliest)
+{
+    WeightMemory wm(gib(8), 34e9, 700e6);
+    Cycle done = wm.fetch(10000, 65536);
+    EXPECT_GE(done, 10000u + 1349u);
+    EXPECT_EQ(wm.channelFreeAt(), done);
+}
+
+TEST(WeightMemory, TracksBytesFetched)
+{
+    WeightMemory wm(gib(8), 34e9, 700e6);
+    wm.fetch(0, 100);
+    wm.fetch(0, 200);
+    EXPECT_EQ(wm.bytesFetched(), 300u);
+    wm.resetTiming();
+    EXPECT_EQ(wm.bytesFetched(), 0u);
+    EXPECT_EQ(wm.channelFreeAt(), 0u);
+}
+
+TEST(WeightMemory, PrimeBandwidthIsFiveTimesFaster)
+{
+    WeightMemory ddr3(gib(8), 34e9, 700e6);
+    WeightMemory gddr5(gib(8), 183.5e9, 700e6);
+    Cycle slow = ddr3.fetch(0, 65536);
+    Cycle fast = gddr5.fetch(0, 65536);
+    EXPECT_GT(static_cast<double>(slow),
+              5.0 * static_cast<double>(fast));
+}
+
+TEST(WeightMemoryDeath, MissingTile)
+{
+    WeightMemory wm(mib(1), 34e9, 700e6);
+    EXPECT_DEATH(wm.tile(3), "missing");
+}
+
+TEST(WeightMemoryDeath, CapacityExceeded)
+{
+    WeightMemory wm(16, 34e9, 700e6);
+    EXPECT_EXIT(wm.storeTile(0, nn::Int8Tensor({8, 8})),
+                ::testing::ExitedWithCode(1), "capacity");
+}
+
+} // namespace
+} // namespace arch
+} // namespace tpu

@@ -1,0 +1,107 @@
+/** @file Tests for the CPU/GPU baseline models. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/platform.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace baselines {
+namespace {
+
+using workloads::AppId;
+
+TEST(PlatformSpec, Table2Values)
+{
+    PlatformSpec cpu = PlatformSpec::haswell();
+    EXPECT_NEAR(cpu.peakOpsPerSec / tera, 1.3, 1e-9);
+    EXPECT_NEAR(cpu.memBytesPerSec / giga, 51.0, 1e-9);
+    EXPECT_EQ(cpu.diesPerServer, 2);
+    EXPECT_NEAR(cpu.serverTdpWatts, 504.0, 1e-9);
+
+    PlatformSpec gpu = PlatformSpec::k80();
+    EXPECT_NEAR(gpu.peakOpsPerSec / tera, 2.8, 1e-9);
+    EXPECT_NEAR(gpu.memBytesPerSec / giga, 160.0, 1e-9);
+    EXPECT_EQ(gpu.diesPerServer, 8);
+}
+
+TEST(PlatformSpec, BoostTradesPowerForPerformance)
+{
+    // Section 8: +40% performance for +30% power => only ~1.1x
+    // performance/Watt -- "a minor impact on our energy-speed
+    // analysis".
+    PlatformSpec base = PlatformSpec::k80();
+    PlatformSpec boost = PlatformSpec::k80Boost();
+    const double perf_ratio = boost.peakOpsPerSec / base.peakOpsPerSec;
+    const double power_ratio = boost.dieBusyWatts / base.dieBusyWatts;
+    EXPECT_NEAR(perf_ratio, 1.4, 1e-9);
+    EXPECT_NEAR(power_ratio, 1.3, 1e-9);
+    EXPECT_NEAR(perf_ratio / power_ratio, 1.08, 0.02);
+}
+
+TEST(BaselineModel, IntensityScalesWithSlaBatch)
+{
+    BaselineModel cpu = makeCpuModel();
+    // MLP0 at batch 16 has intensity 16 (vs 200 at the TPU's batch).
+    EXPECT_NEAR(cpu.intensityAtSla(AppId::MLP0), 16.0, 1e-9);
+}
+
+TEST(BaselineModel, RooflineCapsAchievedPerf)
+{
+    BaselineModel cpu = makeCpuModel();
+    BaselineModel gpu = makeGpuModel();
+    for (AppId id : workloads::allApps()) {
+        EXPECT_LE(cpu.opsPerSec(id), cpu.spec().peakOpsPerSec);
+        EXPECT_LE(gpu.opsPerSec(id), gpu.spec().peakOpsPerSec);
+        EXPECT_GT(cpu.opsPerSec(id), 0.0);
+    }
+}
+
+TEST(BaselineModel, GpuBeatsCpuWhereThePaperSaysSo)
+{
+    // Table 6 GPU/CPU: > 1 for MLP0, LSTM1, CNN0, CNN1; < 1 for
+    // MLP1 and LSTM0.
+    BaselineModel cpu = makeCpuModel();
+    BaselineModel gpu = makeGpuModel();
+    auto rel = [&](AppId id) {
+        return gpu.inferencesPerSec(id) / cpu.inferencesPerSec(id);
+    };
+    EXPECT_GT(rel(AppId::MLP0), 1.0);
+    EXPECT_LT(rel(AppId::MLP1), 1.0);
+    EXPECT_LT(rel(AppId::LSTM0), 1.0);
+    EXPECT_GT(rel(AppId::LSTM1), 1.0);
+    EXPECT_GT(rel(AppId::CNN0), 1.0);
+    EXPECT_GT(rel(AppId::CNN1), 1.0);
+}
+
+TEST(BaselineModel, CpuLatencyServiceMatchesTable4Saturation)
+{
+    // s(64) must reproduce the 13,194 IPS saturation point.
+    BaselineModel cpu = makeCpuModel();
+    EXPECT_NEAR(cpu.mlp0Service().maxThroughput(64), 13194.0, 150.0);
+}
+
+TEST(BaselineModel, GpuLatencyServiceMatchesTable4Saturation)
+{
+    BaselineModel gpu = makeGpuModel();
+    EXPECT_NEAR(gpu.mlp0Service().maxThroughput(64), 36465.0, 400.0);
+}
+
+TEST(BaselineModel, HostInteractionFractionsAreTable5)
+{
+    EXPECT_NEAR(hostInteractionFraction(AppId::MLP0), 0.21, 1e-9);
+    EXPECT_NEAR(hostInteractionFraction(AppId::MLP1), 0.76, 1e-9);
+    EXPECT_NEAR(hostInteractionFraction(AppId::CNN0), 0.51, 1e-9);
+}
+
+TEST(BaselineModel, BoostRaisesGpuThroughput)
+{
+    BaselineModel base = makeGpuModel(false);
+    BaselineModel boost = makeGpuModel(true);
+    EXPECT_GT(boost.opsPerSec(AppId::LSTM1),
+              base.opsPerSec(AppId::LSTM1));
+}
+
+} // namespace
+} // namespace baselines
+} // namespace tpu

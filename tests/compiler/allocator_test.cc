@@ -1,0 +1,146 @@
+/** @file Tests for the Unified Buffer allocators (Table 8 machinery). */
+
+#include <gtest/gtest.h>
+
+#include "compiler/allocator.hh"
+
+namespace tpu {
+namespace compiler {
+namespace {
+
+TEST(BumpAllocator, MonotoneAndNeverReuses)
+{
+    BumpAllocator a(100);
+    EXPECT_EQ(a.alloc(10), 0);
+    EXPECT_EQ(a.alloc(10), 10);
+    a.free(0, 10); // no-op for the original allocator
+    EXPECT_EQ(a.alloc(10), 20);
+    EXPECT_EQ(a.highWaterRows(), 30);
+}
+
+TEST(BumpAllocator, ExhaustionIsFatal)
+{
+    BumpAllocator a(16);
+    a.alloc(16);
+    EXPECT_EXIT(a.alloc(1), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST(ReuseAllocator, RecyclesFreedStorage)
+{
+    ReuseAllocator a(100);
+    std::int64_t r0 = a.alloc(40);
+    a.free(r0, 40);
+    std::int64_t r1 = a.alloc(40);
+    EXPECT_EQ(r1, r0);
+    EXPECT_EQ(a.highWaterRows(), 40);
+}
+
+TEST(ReuseAllocator, FirstFitSkipsSmallHoles)
+{
+    ReuseAllocator a(100);
+    std::int64_t r0 = a.alloc(10);
+    std::int64_t r1 = a.alloc(10);
+    a.alloc(10);
+    a.free(r0, 10);
+    a.free(r1, 10); // coalesces into [0, 20)
+    EXPECT_EQ(a.alloc(15), 0);
+}
+
+TEST(ReuseAllocator, CoalescesBothNeighbours)
+{
+    ReuseAllocator a(100);
+    std::int64_t r0 = a.alloc(10);
+    std::int64_t r1 = a.alloc(10);
+    std::int64_t r2 = a.alloc(10);
+    a.free(r0, 10);
+    a.free(r2, 10); // r2 coalesces with the tail: [0,10) + [20,100)
+    EXPECT_EQ(a.fragments(), 2u);
+    a.free(r1, 10); // merges everything back into one region
+    EXPECT_EQ(a.fragments(), 1u);
+    EXPECT_EQ(a.alloc(100), 0);
+}
+
+TEST(ReuseAllocator, HighWaterSurvivesFrees)
+{
+    ReuseAllocator a(100);
+    std::int64_t r = a.alloc(60);
+    a.free(r, 60);
+    a.alloc(5);
+    EXPECT_EQ(a.highWaterRows(), 60);
+}
+
+TEST(ReuseAllocator, ExhaustionIsFatal)
+{
+    ReuseAllocator a(16);
+    a.alloc(10);
+    EXPECT_EXIT(a.alloc(10), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST(ReuseAllocatorDeath, DoubleFree)
+{
+    ReuseAllocator a(32);
+    std::int64_t r = a.alloc(8);
+    a.free(r, 8);
+    EXPECT_DEATH(a.free(r, 8), "double free");
+}
+
+TEST(SizeClassAllocator, RecyclesExactSizesOnly)
+{
+    SizeClassAllocator a(100);
+    std::int64_t r0 = a.alloc(20);
+    a.free(r0, 20);
+    // A same-size request reuses the region...
+    EXPECT_EQ(a.alloc(20), r0);
+    a.free(r0, 20);
+    // ...but a smaller one does not (no splitting).
+    EXPECT_EQ(a.alloc(10), 20);
+    EXPECT_EQ(a.highWaterRows(), 30);
+}
+
+TEST(SizeClassAllocator, BoundedForRepeatedLayerShapes)
+{
+    // A deep pipeline of same-shaped layers stays at two regions --
+    // how CNN1 fit the 24 MiB UB even before the improved allocator.
+    SizeClassAllocator a(1000);
+    std::int64_t prev = a.alloc(50);
+    for (int layer = 0; layer < 20; ++layer) {
+        std::int64_t next = a.alloc(50);
+        a.free(prev, 50);
+        prev = next;
+    }
+    EXPECT_LE(a.highWaterRows(), 150);
+}
+
+TEST(SizeClassAllocator, ExhaustionIsFatal)
+{
+    SizeClassAllocator a(16);
+    a.alloc(10);
+    EXPECT_EXIT(a.alloc(10), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST(Allocators, ReuseNeedsLessThanBumpForPipelines)
+{
+    // A layer pipeline alloc/free pattern: reuse stays at the peak of
+    // two live regions while bump grows without bound.
+    BumpAllocator bump(1000);
+    ReuseAllocator reuse(1000);
+    std::int64_t prev_b = bump.alloc(50);
+    std::int64_t prev_r = reuse.alloc(50);
+    for (int layer = 0; layer < 8; ++layer) {
+        std::int64_t nb = bump.alloc(50);
+        std::int64_t nr = reuse.alloc(50);
+        bump.free(prev_b, 50);
+        reuse.free(prev_r, 50);
+        prev_b = nb;
+        prev_r = nr;
+    }
+    EXPECT_EQ(bump.highWaterRows(), 450);
+    EXPECT_LE(reuse.highWaterRows(), 150);
+}
+
+} // namespace
+} // namespace compiler
+} // namespace tpu

@@ -1,0 +1,228 @@
+/** @file Tests for the User-Space-driver compiler. */
+
+#include <gtest/gtest.h>
+
+#include "arch/tpu_chip.hh"
+#include "compiler/codegen.hh"
+#include "compiler/tiling.hh"
+
+namespace tpu {
+namespace compiler {
+namespace {
+
+arch::TpuConfig
+testConfig()
+{
+    arch::TpuConfig c;
+    c.name = "cgtest";
+    c.clockHz = 1e9;
+    c.matrixDim = 8;
+    c.accumulatorEntries = 32; // half = 16
+    c.unifiedBufferBytes = 64 * 1024;
+    c.weightMemoryBytes = 1 << 22;
+    c.weightMemoryBytesPerSec = 8e9;
+    c.pcieBytesPerSec = 8e9;
+    return c;
+}
+
+std::size_t
+countOps(const arch::Program &p, arch::Opcode op)
+{
+    std::size_t n = 0;
+    for (const auto &i : p)
+        if (i.op == op)
+            ++n;
+    return n;
+}
+
+TEST(Codegen, FcLayerEmitsTilePerMatmul)
+{
+    // 20x24 FC on dim 8: 3 row tiles x 3 col tiles = 9 tiles.
+    nn::Network net("n", 4);
+    net.addFullyConnected(20, 24);
+    arch::TpuChip chip(testConfig(), false);
+    Compiler cc(testConfig());
+    CompiledModel m = cc.compile(net, &chip.weightMemory(),
+                                 CompileOptions{});
+    EXPECT_EQ(countOps(m.program, arch::Opcode::ReadWeights), 9u);
+    EXPECT_EQ(countOps(m.program, arch::Opcode::MatrixMultiply), 9u);
+    // One Activate per column stripe.
+    EXPECT_EQ(countOps(m.program, arch::Opcode::Activate), 3u);
+    EXPECT_EQ(m.weightTiles, 9);
+    EXPECT_EQ(countOps(m.program, arch::Opcode::Halt), 1u);
+}
+
+TEST(Codegen, ReadWeightsPrecedesItsMatmul)
+{
+    nn::Network net("n", 2);
+    net.addFullyConnected(16, 16);
+    arch::TpuChip chip(testConfig(), false);
+    Compiler cc(testConfig());
+    CompiledModel m = cc.compile(net, &chip.weightMemory(),
+                                 CompileOptions{});
+    int staged = 0;
+    for (const auto &inst : m.program) {
+        if (inst.op == arch::Opcode::ReadWeights)
+            ++staged;
+        if (inst.op == arch::Opcode::MatrixMultiply) {
+            EXPECT_GT(staged, 0);
+            --staged;
+        }
+    }
+}
+
+TEST(Codegen, BatchBeyondAccumulatorHalfSplitsChunks)
+{
+    // Batch 40 > acc half 16: chunks of 16+16 stream through the
+    // resident tile (weight-stationary), then the 8-row remainder
+    // group refetches it: 2 ReadWeights, 3 matmuls, 3 activates.
+    nn::Network net("n", 40);
+    net.addFullyConnected(8, 8);
+    arch::TpuChip chip(testConfig(), false);
+    Compiler cc(testConfig());
+    CompiledModel m = cc.compile(net, &chip.weightMemory(),
+                                 CompileOptions{});
+    EXPECT_EQ(countOps(m.program, arch::Opcode::MatrixMultiply), 3u);
+    EXPECT_EQ(countOps(m.program, arch::Opcode::ReadWeights), 2u);
+    EXPECT_EQ(countOps(m.program, arch::Opcode::Activate), 3u);
+    // The second chunk of the first group reuses the loaded tile.
+    std::size_t reused = 0;
+    for (const auto &inst : m.program)
+        if (inst.op == arch::Opcode::MatrixMultiply &&
+            (inst.flags & arch::flags::reuse_weights))
+            ++reused;
+    EXPECT_EQ(reused, 1u);
+}
+
+TEST(Codegen, ConvLayerEmitsPassesTimesTiles)
+{
+    // 3x3 conv, C=M=8 on dim 8: 9 passes x 1 tile, batch 2 on 4x4
+    // maps: 32 activation rows per pass.
+    nn::Network net("n", 2);
+    net.addConv2D(8, 8, 3, 4, 4);
+    arch::TpuChip chip(testConfig(), false);
+    Compiler cc(testConfig());
+    CompiledModel m = cc.compile(net, &chip.weightMemory(),
+                                 CompileOptions{});
+    // Btot = 2*16 = 32 rows > acc half 16 -> 2 chunks of 16.
+    EXPECT_EQ(countOps(m.program, arch::Opcode::Convolve), 9u * 2u);
+    EXPECT_EQ(m.weightTiles, 9);
+}
+
+TEST(Codegen, FirstLayerGetsInputDma)
+{
+    nn::Network net("n", 4);
+    net.addFullyConnected(16, 8);
+    arch::TpuChip chip(testConfig(), false);
+    Compiler cc(testConfig());
+    CompiledModel m = cc.compile(net, &chip.weightMemory(),
+                                 CompileOptions{});
+    EXPECT_EQ(countOps(m.program, arch::Opcode::ReadHostMemory), 1u);
+    EXPECT_EQ(countOps(m.program, arch::Opcode::WriteHostMemory), 1u);
+    // Input: 2 slices x 4 examples x 8 bytes.
+    EXPECT_EQ(m.inputBytes, 2u * 4u * 8u);
+    EXPECT_EQ(m.outputBytes, 1u * 4u * 8u);
+}
+
+TEST(Codegen, ReuseAllocatorLowersHighWater)
+{
+    // Varying layer widths defeat the original allocator's
+    // exact-size recycling; the improved allocator recycles freed
+    // rows regardless of shape (the Table 8 effect).
+    nn::Network net("deep", 8);
+    for (int i = 0; i < 6; ++i)
+        net.addFullyConnected(64 + 16 * i, 64 + 16 * (i + 1));
+    Compiler cc(testConfig());
+
+    arch::TpuChip chip1(testConfig(), false);
+    CompileOptions bump;
+    bump.reuseAllocator = false;
+    CompiledModel m_bump = cc.compile(net, &chip1.weightMemory(),
+                                      bump);
+
+    arch::TpuChip chip2(testConfig(), false);
+    CompileOptions reuse;
+    reuse.reuseAllocator = true;
+    CompiledModel m_reuse = cc.compile(net, &chip2.weightMemory(),
+                                       reuse);
+
+    EXPECT_LT(m_reuse.ubHighWaterBytes, m_bump.ubHighWaterBytes);
+}
+
+TEST(Codegen, VectorLayersBecomeVectorOps)
+{
+    nn::Network net("n", 4);
+    net.addFullyConnected(8, 8);
+    net.addVector(nn::Nonlinearity::Tanh, 8);
+    net.addVector(nn::Nonlinearity::Sigmoid, 8);
+    arch::TpuChip chip(testConfig(), false);
+    Compiler cc(testConfig());
+    CompiledModel m = cc.compile(net, &chip.weightMemory(),
+                                 CompileOptions{});
+    std::size_t vector_ops = 0;
+    for (const auto &inst : m.program)
+        if (inst.op == arch::Opcode::Activate &&
+            inst.arg0 == arch::vectorOpAccSentinel)
+            ++vector_ops;
+    EXPECT_EQ(vector_ops, 2u);
+}
+
+TEST(Codegen, LstmExecutionsRepeatTheLayer)
+{
+    nn::Network net("n", 2);
+    net.addLstmCell(8, 8, 3); // 3 time steps
+    arch::TpuChip chip(testConfig(), false);
+    Compiler cc(testConfig());
+    CompiledModel m = cc.compile(net, &chip.weightMemory(),
+                                 CompileOptions{});
+    // Gate matrix [16 x 32] on dim 8: 2x4 = 8 tiles, repeated 3x.
+    EXPECT_EQ(countOps(m.program, arch::Opcode::MatrixMultiply),
+              8u * 3u);
+    // Weights are refetched every step but stored once.
+    EXPECT_EQ(m.weightTiles, 8);
+}
+
+TEST(Codegen, LayoutInputRoundTripsThroughParseOutput)
+{
+    Compiler cc(testConfig());
+    nn::Int8Tensor x({3, 20});
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<std::int8_t>(i % 117 - 50);
+    auto bytes = cc.layoutInput(x);
+    // 20 features on dim 8 -> 3 slices x 3 examples x 8 bytes.
+    EXPECT_EQ(bytes.size(), 3u * 3u * 8u);
+    nn::Int8Tensor back = cc.parseOutput(bytes, 3, 20);
+    EXPECT_EQ(back, x);
+}
+
+TEST(CodegenDeath, FunctionalNeedsWeights)
+{
+    nn::Network net("n", 2);
+    net.addFullyConnected(8, 8);
+    arch::TpuChip chip(testConfig(), true);
+    Compiler cc(testConfig());
+    CompileOptions opts;
+    opts.functional = true;
+    EXPECT_EXIT(cc.compile(net, &chip.weightMemory(), opts),
+                ::testing::ExitedWithCode(1), "weights");
+}
+
+TEST(CodegenDeath, FunctionalConvUnsupported)
+{
+    nn::Network net("n", 2);
+    net.addConv2D(8, 8, 3, 4, 4);
+    arch::TpuChip chip(testConfig(), true);
+    Compiler cc(testConfig());
+    CompileOptions opts;
+    opts.functional = true;
+    std::vector<nn::Int8Tensor> w{nn::Int8Tensor({72, 8})};
+    std::vector<float> scales{1.0f};
+    opts.quantWeights = &w;
+    opts.requantScales = &scales;
+    EXPECT_EXIT(cc.compile(net, &chip.weightMemory(), opts),
+                ::testing::ExitedWithCode(1), "convolution");
+}
+
+} // namespace
+} // namespace compiler
+} // namespace tpu

@@ -1,0 +1,111 @@
+/** @file Tests for multi-batch pipelined compilation. */
+
+#include <gtest/gtest.h>
+
+#include "arch/tpu_chip.hh"
+#include "arch/validate.hh"
+#include "compiler/codegen.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace compiler {
+namespace {
+
+TEST(Pipelined, ProgramConcatenatesBatches)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Compiler cc(cfg);
+    nn::Network net = workloads::build(workloads::AppId::MLP1);
+    arch::TpuChip chip(cfg, false);
+    CompiledModel one =
+        cc.compile(net, &chip.weightMemory(), CompileOptions{});
+    CompiledModel four = cc.compilePipelined(
+        net, &chip.weightMemory(), CompileOptions{}, 4);
+    // 4 copies minus 3 intermediate Halts.
+    EXPECT_EQ(four.program.size(), 4 * one.program.size() - 3);
+    EXPECT_EQ(four.inputBytes, 4 * one.inputBytes);
+    EXPECT_EQ(four.program.back().op, arch::Opcode::Halt);
+}
+
+TEST(Pipelined, ProgramStaysValid)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Compiler cc(cfg);
+    nn::Network net = workloads::build(workloads::AppId::MLP1);
+    arch::TpuChip chip(cfg, false);
+    CompiledModel four = cc.compilePipelined(
+        net, &chip.weightMemory(), CompileOptions{}, 4);
+    EXPECT_TRUE(arch::programIsValid(four.program, cfg));
+}
+
+TEST(Pipelined, ThroughputAtLeastSingleShot)
+{
+    // Back-to-back batches overlap DMA and first-layer waits, so
+    // per-batch time must not regress (and usually improves).
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Compiler cc(cfg);
+    for (workloads::AppId id : {workloads::AppId::MLP0,
+                                workloads::AppId::LSTM1}) {
+        nn::Network net = workloads::build(id);
+        arch::TpuChip chip1(cfg, false);
+        CompiledModel one =
+            cc.compile(net, &chip1.weightMemory(),
+                       CompileOptions{});
+        const double t1 = chip1.run(one.program).seconds;
+
+        arch::TpuChip chip4(cfg, false);
+        CompiledModel four = cc.compilePipelined(
+            net, &chip4.weightMemory(), CompileOptions{}, 4);
+        const double t4 = chip4.run(four.program).seconds;
+
+        EXPECT_LE(t4 / 4.0, t1 * 1.001) << workloads::toString(id);
+    }
+}
+
+TEST(Pipelined, CountersScaleWithBatches)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Compiler cc(cfg);
+    nn::Network net = workloads::build(workloads::AppId::MLP1);
+    arch::TpuChip chip1(cfg, false);
+    CompiledModel one =
+        cc.compile(net, &chip1.weightMemory(), CompileOptions{});
+    arch::RunResult r1 = chip1.run(one.program);
+
+    arch::TpuChip chip3(cfg, false);
+    CompiledModel three = cc.compilePipelined(
+        net, &chip3.weightMemory(), CompileOptions{}, 3);
+    arch::RunResult r3 = chip3.run(three.program);
+
+    EXPECT_EQ(r3.counters.usefulMacs, 3 * r1.counters.usefulMacs);
+    EXPECT_EQ(r3.counters.weightBytesRead,
+              3 * r1.counters.weightBytesRead);
+}
+
+TEST(PipelinedDeath, FunctionalModeRejected)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Compiler cc(cfg);
+    nn::Network net = workloads::build(workloads::AppId::MLP1);
+    arch::TpuChip chip(cfg, true);
+    CompileOptions opts;
+    opts.functional = true;
+    EXPECT_EXIT(cc.compilePipelined(net, &chip.weightMemory(), opts,
+                                    2),
+                ::testing::ExitedWithCode(1), "timing-only");
+}
+
+TEST(PipelinedDeath, ZeroBatches)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Compiler cc(cfg);
+    nn::Network net = workloads::build(workloads::AppId::MLP1);
+    arch::TpuChip chip(cfg, false);
+    EXPECT_EXIT(cc.compilePipelined(net, &chip.weightMemory(),
+                                    CompileOptions{}, 0),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace compiler
+} // namespace tpu

@@ -1,0 +1,99 @@
+/** @file Tests for weight-matrix tiling. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "compiler/tiling.hh"
+
+namespace tpu {
+namespace compiler {
+namespace {
+
+TEST(TileGrid, Section7FragmentationExample)
+{
+    // "With a 256x256 matrix unit, it takes 9 steps to tile 600x600
+    // ... the larger 512x512 unit requires only four steps, but each
+    // step takes four times longer" (Section 7).
+    TileGrid g256(600, 600, 256);
+    EXPECT_EQ(g256.rowTiles(), 3);
+    EXPECT_EQ(g256.colTiles(), 3);
+    EXPECT_EQ(g256.totalTiles(), 9);
+
+    TileGrid g512(600, 600, 512);
+    EXPECT_EQ(g512.totalTiles(), 4);
+    // Each 512x512 step carries 4x the weight bytes of a 256x256
+    // step: 4 steps x 4x = 16 units vs 9 -- the slowdown.
+    EXPECT_GT(4 * 512 * 512, 9 * 256 * 256);
+}
+
+TEST(TileGrid, ExactFitHasNoPadding)
+{
+    TileGrid g(512, 1024, 256);
+    EXPECT_EQ(g.rowTiles(), 2);
+    EXPECT_EQ(g.colTiles(), 4);
+    EXPECT_DOUBLE_EQ(g.usefulFraction(), 1.0);
+    EXPECT_EQ(g.usefulRows(1), 256);
+    EXPECT_EQ(g.usefulCols(3), 256);
+}
+
+TEST(TileGrid, EdgeTilesPartiallyUseful)
+{
+    TileGrid g(300, 270, 256);
+    EXPECT_EQ(g.rowTiles(), 2);
+    EXPECT_EQ(g.colTiles(), 2);
+    EXPECT_EQ(g.usefulRows(0), 256);
+    EXPECT_EQ(g.usefulRows(1), 44);
+    EXPECT_EQ(g.usefulCols(1), 14);
+    EXPECT_NEAR(g.usefulFraction(),
+                (300.0 * 270.0) / (4 * 65536.0), 1e-12);
+}
+
+TEST(TileGrid, ShallowLayersWasteTheArray)
+{
+    // CNN1's shallow 64-channel layers: 6.25% useful on a 256 array.
+    TileGrid g(64, 64, 256);
+    EXPECT_EQ(g.totalTiles(), 1);
+    EXPECT_NEAR(g.usefulFraction(), 64.0 * 64.0 / 65536.0, 1e-12);
+}
+
+TEST(TileGrid, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(600, 256), 3);
+    EXPECT_EQ(ceilDiv(512, 256), 2);
+    EXPECT_EQ(ceilDiv(1, 256), 1);
+    EXPECT_EQ(ceilDiv(257, 256), 2);
+}
+
+TEST(TileGridDeath, BadDimensions)
+{
+    EXPECT_EXIT(TileGrid(0, 5, 256), ::testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_DEATH(TileGrid(10, 10, 4).usefulRows(9), "out of");
+}
+
+/** Property sweep: padding accounting is exact for random shapes. */
+class TileGridProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(TileGridProperty, UsefulAreaSumsToMatrixSize)
+{
+    const auto [rows, cols, dim] = GetParam();
+    TileGrid g(rows, cols, dim);
+    std::int64_t useful = 0;
+    for (std::int64_t tr = 0; tr < g.rowTiles(); ++tr)
+        for (std::int64_t tc = 0; tc < g.colTiles(); ++tc)
+            useful += g.usefulRows(tr) * g.usefulCols(tc);
+    EXPECT_EQ(useful, static_cast<std::int64_t>(rows) * cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TileGridProperty,
+    ::testing::Combine(::testing::Values(1, 63, 64, 100, 600, 2000),
+                       ::testing::Values(1, 64, 236, 600, 1472),
+                       ::testing::Values(64, 256, 512)));
+
+} // namespace
+} // namespace compiler
+} // namespace tpu

@@ -1,0 +1,93 @@
+/** @file Tests for the sparsity what-if estimators. */
+
+#include <gtest/gtest.h>
+
+#include "future/sparsity.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace future {
+namespace {
+
+using workloads::AppId;
+
+class SparsityFixture : public ::testing::Test
+{
+  protected:
+    SparsityFixture() : est(arch::TpuConfig::production()) {}
+    SparsityEstimator est;
+};
+
+TEST_F(SparsityFixture, ZeroFractionZeroIsIdentity)
+{
+    for (AppId id : workloads::allApps()) {
+        nn::Network net = workloads::build(id);
+        SparsityEstimate e = est.zeroSkip(net, 0.0);
+        EXPECT_NEAR(e.speedup, 1.0, 1e-12)
+            << workloads::toString(id);
+    }
+}
+
+TEST_F(SparsityFixture, ZeroSkipHelpsOnlyComputeBoundApps)
+{
+    // The paper's Cnvlutin discussion: 44% zero activations.  The
+    // weight stream is untouched, so memory-bound MLPs/LSTMs cannot
+    // gain; compute-bound CNN0 gains roughly 1/(1-0.44) ~ 1.7x upper
+    // bound on matrix cycles.
+    nn::Network mlp0 = workloads::build(AppId::MLP0);
+    nn::Network cnn0 = workloads::build(AppId::CNN0);
+    SparsityEstimate m = est.zeroSkip(mlp0, 0.44);
+    SparsityEstimate c = est.zeroSkip(cnn0, 0.44);
+    EXPECT_NEAR(m.speedup, 1.0, 0.02);
+    EXPECT_GT(c.speedup, 1.3);
+    EXPECT_LE(c.speedup, 1.0 / (1.0 - 0.44) + 0.01);
+}
+
+TEST_F(SparsityFixture, PruningHelpsMemoryBoundApps)
+{
+    // EIE-style 90% pruning attacks the weight stream: memory-bound
+    // apps approach the bandwidth-scaling limit.
+    nn::Network mlp0 = workloads::build(AppId::MLP0);
+    SparsityEstimate e = est.prune(mlp0, 0.90);
+    EXPECT_GT(e.speedup, 3.0);
+}
+
+TEST_F(SparsityFixture, PruneIndexOverheadReducesGain)
+{
+    nn::Network mlp0 = workloads::build(AppId::MLP0);
+    SparsityEstimate lean = est.prune(mlp0, 0.50, 0.0);
+    SparsityEstimate indexed = est.prune(mlp0, 0.50, 0.5);
+    EXPECT_GT(lean.speedup, indexed.speedup);
+}
+
+TEST_F(SparsityFixture, ComputeBoundShareMatchesTable3)
+{
+    nn::Network mlp0 = workloads::build(AppId::MLP0);
+    nn::Network cnn0 = workloads::build(AppId::CNN0);
+    EXPECT_LT(est.zeroSkip(mlp0, 0.1).computeBoundShare, 0.05);
+    EXPECT_GT(est.zeroSkip(cnn0, 0.1).computeBoundShare, 0.90);
+}
+
+TEST_F(SparsityFixture, SpeedupMonotoneInZeroFraction)
+{
+    nn::Network cnn0 = workloads::build(AppId::CNN0);
+    double prev = 0.0;
+    for (double z : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+        double s = est.zeroSkip(cnn0, z).speedup;
+        EXPECT_GE(s, prev);
+        prev = s;
+    }
+}
+
+TEST_F(SparsityFixture, InvalidFractionsAreFatal)
+{
+    nn::Network mlp0 = workloads::build(AppId::MLP0);
+    EXPECT_EXIT(est.zeroSkip(mlp0, 1.0),
+                ::testing::ExitedWithCode(1), "zero fraction");
+    EXPECT_EXIT(est.prune(mlp0, -0.1),
+                ::testing::ExitedWithCode(1), "pruned fraction");
+}
+
+} // namespace
+} // namespace future
+} // namespace tpu

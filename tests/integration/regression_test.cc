@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Golden regression pins: the Tier-B simulator is deterministic, so
+ * the exact cycle counts of the six production workloads on the
+ * production configuration are locked here.  Any change to the
+ * timing model, compiler schedule, or workload definitions that
+ * moves these numbers must be intentional -- update the constants
+ * and EXPERIMENTS.md together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hh"
+
+namespace tpu {
+namespace {
+
+struct Golden
+{
+    workloads::AppId id;
+    Cycle totalCycles;
+    Cycle arrayActiveCycles;
+    std::uint64_t usefulMacs;
+};
+
+const Golden goldens[] = {
+    {workloads::AppId::MLP0, 472994, 64000, 4000000000ull},
+    {workloads::AppId::MLP1, 154140, 16800, 842956800ull},
+    {workloads::AppId::LSTM0, 1174642, 55296, 3328180224ull},
+    {workloads::AppId::LSTM1, 932618, 65664, 3261562368ull},
+    {workloads::AppId::CNN0, 527738, 415872, 23162406912ull},
+    {workloads::AppId::CNN1, 7265658, 5209088, 158754981888ull},
+};
+
+class GoldenRegression
+    : public ::testing::TestWithParam<Golden>
+{};
+
+TEST_P(GoldenRegression, CycleCountsPinned)
+{
+    const Golden &g = GetParam();
+    analysis::AppRun run =
+        analysis::runTpuApp(g.id, arch::TpuConfig::production());
+    EXPECT_EQ(run.result.cycles, g.totalCycles)
+        << workloads::toString(g.id);
+    EXPECT_EQ(run.result.counters.arrayActiveCycles,
+              g.arrayActiveCycles)
+        << workloads::toString(g.id);
+    EXPECT_EQ(run.result.counters.usefulMacs, g.usefulMacs)
+        << workloads::toString(g.id);
+}
+
+TEST_P(GoldenRegression, UsefulMacsMatchNetworkArithmetic)
+{
+    // usefulMacs must equal macsPerExample * batch exactly: the
+    // simulator retires every real MAC exactly once per batch.
+    const Golden &g = GetParam();
+    nn::Network net = workloads::build(g.id);
+    EXPECT_EQ(g.usefulMacs,
+              static_cast<std::uint64_t>(net.macsPerExample()) *
+              static_cast<std::uint64_t>(net.batchSize()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, GoldenRegression,
+                         ::testing::ValuesIn(goldens));
+
+TEST(GoldenRegression, RunsAreDeterministic)
+{
+    analysis::AppRun a = analysis::runTpuApp(
+        workloads::AppId::LSTM1, arch::TpuConfig::production());
+    analysis::AppRun b = analysis::runTpuApp(
+        workloads::AppId::LSTM1, arch::TpuConfig::production());
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.counters.weightStallCycles,
+              b.result.counters.weightStallCycles);
+}
+
+} // namespace
+} // namespace tpu

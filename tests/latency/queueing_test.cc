@@ -1,0 +1,115 @@
+/** @file Tests for the batch-queueing latency simulator (Table 4). */
+
+#include <gtest/gtest.h>
+
+#include "latency/queueing.hh"
+
+namespace tpu {
+namespace latency {
+namespace {
+
+TEST(ServiceModel, AffineArithmetic)
+{
+    ServiceModel s{1e-3, 50e-6};
+    EXPECT_DOUBLE_EQ(s.seconds(20), 2e-3);
+    EXPECT_DOUBLE_EQ(s.maxThroughput(20), 10000.0);
+}
+
+TEST(ServiceModel, BiggerBatchesAreMoreEfficient)
+{
+    ServiceModel s{1e-3, 50e-6};
+    EXPECT_GT(s.maxThroughput(64), s.maxThroughput(16));
+}
+
+TEST(BatchQueueSim, LightLoadResponseNearService)
+{
+    // At 1% load requests are served nearly alone: response ~ s(1).
+    ServiceModel s{1e-3, 10e-6};
+    BatchQueueSim sim(s, 16, 1);
+    QueueStats st = sim.run(10.0, 20000);
+    EXPECT_NEAR(st.meanResponse, s.seconds(1), 0.3e-3);
+    EXPECT_LT(st.meanBatch, 1.2);
+}
+
+TEST(BatchQueueSim, HeavyLoadFillsBatches)
+{
+    ServiceModel s{1e-3, 10e-6};
+    BatchQueueSim sim(s, 16, 1);
+    const double near_max = 0.95 * s.maxThroughput(16);
+    QueueStats st = sim.run(near_max, 50000);
+    EXPECT_GT(st.meanBatch, 8.0);
+    EXPECT_GT(st.utilization, 0.85);
+}
+
+TEST(BatchQueueSim, P99GrowsWithLoad)
+{
+    ServiceModel s{1e-3, 10e-6};
+    BatchQueueSim sim(s, 16, 1);
+    QueueStats low = sim.run(0.3 * s.maxThroughput(16), 50000);
+    QueueStats high = sim.run(0.9 * s.maxThroughput(16), 50000);
+    EXPECT_GT(high.p99Response, low.p99Response);
+}
+
+TEST(BatchQueueSim, P99AtLeastMean)
+{
+    ServiceModel s{1e-3, 10e-6};
+    BatchQueueSim sim(s, 8, 3);
+    QueueStats st = sim.run(2000.0, 30000);
+    EXPECT_GE(st.p99Response, st.meanResponse);
+}
+
+TEST(BatchQueueSim, DeterministicForFixedSeed)
+{
+    ServiceModel s{1e-3, 10e-6};
+    BatchQueueSim a(s, 16, 7), b(s, 16, 7);
+    QueueStats sa = a.run(5000.0, 20000);
+    QueueStats sb = b.run(5000.0, 20000);
+    EXPECT_DOUBLE_EQ(sa.p99Response, sb.p99Response);
+    EXPECT_EQ(sa.completed, sb.completed);
+}
+
+TEST(BatchQueueSim, SlaSearchRespectsTheBound)
+{
+    ServiceModel s{1.3e-3, 55.5e-6}; // the CPU MLP0 calibration
+    BatchQueueSim sim(s, 16, 42);
+    QueueStats st = sim.maxThroughputUnderSla(7e-3, 100000);
+    EXPECT_LE(st.p99Response, 7e-3 * 1.02);
+    EXPECT_GT(st.throughputIps, 1000.0);
+    // Throughput under the SLA is a strict fraction of batch-64
+    // saturation (the Table 4 "% max IPS" effect).
+    EXPECT_LT(st.throughputIps, s.maxThroughput(64));
+}
+
+TEST(BatchQueueSim, LargerBatchHigherThroughputLongerTail)
+{
+    ServiceModel s{1.3e-3, 55.5e-6};
+    BatchQueueSim b16(s, 16, 42), b64(s, 64, 42);
+    QueueStats s16 = b16.run(0.95 * s.maxThroughput(16), 100000);
+    QueueStats s64 = b64.run(0.95 * s.maxThroughput(64), 100000);
+    EXPECT_GT(s64.throughputIps, s16.throughputIps);
+    EXPECT_GT(s64.p99Response, 7e-3); // batch 64 blows the budget
+}
+
+TEST(BatchQueueSim, TrickleViolationReturnsEarly)
+{
+    // If even light traffic misses the SLA, the search reports it
+    // rather than looping.
+    ServiceModel s{20e-3, 1e-6}; // base service alone exceeds 7 ms
+    BatchQueueSim sim(s, 4, 1);
+    QueueStats st = sim.maxThroughputUnderSla(7e-3, 20000);
+    EXPECT_GT(st.p99Response, 7e-3);
+}
+
+TEST(BatchQueueSimDeath, BadParameters)
+{
+    ServiceModel s{1e-3, 1e-6};
+    EXPECT_EXIT(BatchQueueSim(s, 0), ::testing::ExitedWithCode(1),
+                "positive");
+    BatchQueueSim sim(s, 4);
+    EXPECT_EXIT(sim.run(-1.0, 10), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace latency
+} // namespace tpu

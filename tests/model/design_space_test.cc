@@ -1,0 +1,118 @@
+/** @file Tests for the Figure 11 design-space explorer. */
+
+#include <gtest/gtest.h>
+
+#include "model/design_space.hh"
+
+namespace tpu {
+namespace model {
+namespace {
+
+class DesignSpaceFixture : public ::testing::Test
+{
+  protected:
+    DesignSpaceFixture()
+        : dse(arch::TpuConfig::production())
+    {}
+
+    DesignSpaceExplorer dse;
+};
+
+TEST_F(DesignSpaceFixture, ScaledConfigsApplyTheRightKnob)
+{
+    arch::TpuConfig mem = dse.scaledConfig(ScaleKind::Memory, 4.0);
+    EXPECT_NEAR(mem.weightMemoryBytesPerSec, 4 * 34e9, 1.0);
+    EXPECT_EQ(mem.matrixDim, 256);
+
+    arch::TpuConfig clk = dse.scaledConfig(ScaleKind::Clock, 2.0);
+    EXPECT_NEAR(clk.clockHz, 1400e6, 1.0);
+    EXPECT_EQ(clk.accumulatorEntries, 4096);
+
+    arch::TpuConfig clk_acc =
+        dse.scaledConfig(ScaleKind::ClockPlusAcc, 2.0);
+    EXPECT_EQ(clk_acc.accumulatorEntries, 8192);
+
+    arch::TpuConfig mat =
+        dse.scaledConfig(ScaleKind::Matrix, 2.0);
+    EXPECT_EQ(mat.matrixDim, 512);
+    EXPECT_EQ(mat.accumulatorEntries, 4096);
+
+    arch::TpuConfig mat_acc =
+        dse.scaledConfig(ScaleKind::MatrixPlusAcc, 0.5);
+    EXPECT_EQ(mat_acc.matrixDim, 128);
+    EXPECT_EQ(mat_acc.accumulatorEntries, 1024);
+}
+
+TEST_F(DesignSpaceFixture, UnitFactorIsIdentity)
+{
+    ScalePoint p = dse.evaluate(ScaleKind::Memory, 1.0);
+    for (double s : p.perAppSpeedup)
+        EXPECT_NEAR(s, 1.0, 1e-9);
+    EXPECT_NEAR(p.weightedMean, 1.0, 1e-9);
+}
+
+TEST_F(DesignSpaceFixture, MemoryBandwidthLiftsMemoryBoundApps)
+{
+    // "MLPs and LSTMs improve 3X with 4X memory bandwidth"
+    // (Figure 11 caption).
+    ScalePoint p = dse.evaluate(ScaleKind::Memory, 4.0);
+    EXPECT_GT(p.perAppSpeedup[0], 2.2); // MLP0
+    EXPECT_GT(p.perAppSpeedup[2], 2.2); // LSTM0
+    EXPECT_GT(p.weightedMean, 2.0);
+    // CNN0 is compute bound: little gain.
+    EXPECT_LT(p.perAppSpeedup[4], 1.5);
+}
+
+TEST_F(DesignSpaceFixture, ClockOnlyHelpsComputeBoundApps)
+{
+    // "increasing the clock rate by 4X has almost no impact on MLPs
+    // and LSTMs but improves performance of CNNs by about 2X".
+    ScalePoint p = dse.evaluate(ScaleKind::Clock, 4.0);
+    EXPECT_LT(p.perAppSpeedup[0], 1.3);  // MLP0 barely moves
+    EXPECT_GT(p.perAppSpeedup[4], 1.8);  // CNN0 gains
+    EXPECT_LT(p.weightedMean, 1.6);      // the mean barely moves
+}
+
+TEST_F(DesignSpaceFixture, BiggerMatrixDoesNotHelp)
+{
+    // "the average performance slightly degrades when the matrix
+    // unit expands from 256x256 to 512x512" -- LSTM1's 600x600
+    // fragmentation.
+    ScalePoint p = dse.evaluate(ScaleKind::Matrix, 2.0);
+    EXPECT_LE(p.weightedMean, 1.05);
+    EXPECT_LT(p.perAppSpeedup[3], 1.0); // LSTM1 strictly worse
+}
+
+TEST_F(DesignSpaceFixture, QuarterBandwidthHurtsBadly)
+{
+    ScalePoint p = dse.evaluate(ScaleKind::Memory, 0.25);
+    EXPECT_LT(p.weightedMean, 0.6);
+}
+
+TEST_F(DesignSpaceFixture, TpuPrimeTriplesThroughput)
+{
+    // Section 7: GDDR5 alone lifts the weighted mean to ~3.9 and the
+    // geometric mean to ~2.6 (device time only).
+    ScalePoint p =
+        dse.evaluateConfig(arch::TpuConfig::prime(), false);
+    EXPECT_GT(p.weightedMean, 2.5);
+    EXPECT_GT(p.geometricMean, 1.8);
+    // Host time held constant shrinks both means (2.6->1.9, 3.9->3.2
+    // in the paper).
+    ScalePoint ph =
+        dse.evaluateConfig(arch::TpuConfig::prime(), true);
+    EXPECT_LT(ph.weightedMean, p.weightedMean);
+    EXPECT_LT(ph.geometricMean, p.geometricMean);
+    EXPECT_GT(ph.weightedMean, 1.5);
+}
+
+TEST_F(DesignSpaceFixture, ScaleKindNames)
+{
+    EXPECT_STREQ(toString(ScaleKind::Memory), "memory");
+    EXPECT_STREQ(toString(ScaleKind::ClockPlusAcc), "clock+");
+    EXPECT_STREQ(toString(ScaleKind::MatrixPlusAcc), "matrix+");
+}
+
+} // namespace
+} // namespace model
+} // namespace tpu

@@ -1,0 +1,84 @@
+/** @file Tests for the Section 7 analytic performance model. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.hh"
+#include "model/perf_model.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace model {
+namespace {
+
+using workloads::AppId;
+
+TEST(AnalyticModel, MemoryBoundLayerCostIsFetchTime)
+{
+    // One 2000x2000 FC at batch 200 on the production TPU: the
+    // 4M-byte weight matrix at ~48.6 B/cycle dominates.
+    arch::TpuConfig cfg = arch::TpuConfig::production();
+    AnalyticModel m(cfg);
+    nn::Network net("one", 200);
+    net.addFullyConnected(2000, 2000);
+    const double fetch_cycles = 4096e3 / cfg.weightBytesPerCycle();
+    const double est = static_cast<double>(m.estimateCycles(net));
+    EXPECT_GT(est, fetch_cycles);
+    EXPECT_LT(est, fetch_cycles * 1.4);
+}
+
+TEST(AnalyticModel, ComputeBoundLayerCostIsRowTime)
+{
+    // CNN0-like conv: intensity >> ridge, so active rows dominate.
+    arch::TpuConfig cfg = arch::TpuConfig::production();
+    AnalyticModel m(cfg);
+    nn::Network net("conv", 8);
+    net.addConv2D(236, 236, 3, 19, 19);
+    // 9 passes x 1x1 tiles x (8*361 rows, 2 chunks of <=2048).
+    const double active = 9.0 * 2888.0;
+    const double est = static_cast<double>(m.estimateCycles(net));
+    EXPECT_GT(est, active);
+    EXPECT_LT(est, active * 1.6);
+}
+
+TEST(AnalyticModel, MoreBandwidthNeverSlowsAnApp)
+{
+    arch::TpuConfig slow = arch::TpuConfig::production();
+    arch::TpuConfig fast = slow;
+    fast.weightMemoryBytesPerSec *= 4.0;
+    for (AppId id : workloads::allApps()) {
+        nn::Network net = workloads::build(id);
+        EXPECT_LE(AnalyticModel(fast).estimateCycles(net),
+                  AnalyticModel(slow).estimateCycles(net))
+            << workloads::toString(id);
+    }
+}
+
+TEST(AnalyticModel, TableSevenAgreementWithCycleSim)
+{
+    // The paper's model-vs-counters gap averages 8%; ours must stay
+    // within 25% per app against the Tier-B simulator.
+    arch::TpuConfig cfg = arch::TpuConfig::production();
+    AnalyticModel m(cfg);
+    for (AppId id : workloads::allApps()) {
+        nn::Network net = workloads::build(id);
+        analysis::AppRun run = analysis::runTpuApp(id, cfg);
+        const double sim = static_cast<double>(run.result.cycles);
+        const double est = static_cast<double>(m.estimateCycles(net));
+        EXPECT_NEAR(est / sim, 1.0, 0.25) << workloads::toString(id);
+    }
+}
+
+TEST(AnalyticModel, TeraOpsBelowPeak)
+{
+    arch::TpuConfig cfg = arch::TpuConfig::production();
+    AnalyticModel m(cfg);
+    for (AppId id : workloads::allApps()) {
+        nn::Network net = workloads::build(id);
+        EXPECT_LE(m.estimateTeraOps(net), cfg.peakTops() * 1.001)
+            << workloads::toString(id);
+    }
+}
+
+} // namespace
+} // namespace model
+} // namespace tpu

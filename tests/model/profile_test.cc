@@ -1,0 +1,97 @@
+/** @file Tests for the per-layer profiler. */
+
+#include <gtest/gtest.h>
+
+#include "model/perf_model.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace model {
+namespace {
+
+using workloads::AppId;
+
+TEST(LayerProfile, SharesSumToOne)
+{
+    AnalyticModel m(arch::TpuConfig::production());
+    for (AppId id : workloads::allApps()) {
+        nn::Network net = workloads::build(id);
+        auto prof = m.profile(net);
+        double sum = 0;
+        for (const auto &p : prof)
+            sum += p.shareOfTotal;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << workloads::toString(id);
+    }
+}
+
+TEST(LayerProfile, CyclesSumToEstimate)
+{
+    AnalyticModel m(arch::TpuConfig::production());
+    nn::Network net = workloads::build(AppId::CNN1);
+    auto prof = m.profile(net);
+    Cycle sum = 0;
+    for (const auto &p : prof)
+        sum += p.cycles;
+    // estimateCycles adds only the output-DMA tail beyond the layers.
+    EXPECT_LE(sum, m.estimateCycles(net));
+    EXPECT_GE(static_cast<double>(sum),
+              0.95 * static_cast<double>(m.estimateCycles(net)));
+}
+
+TEST(LayerProfile, BoundClassificationMatchesTable3)
+{
+    AnalyticModel m(arch::TpuConfig::production());
+    // Every MLP0 layer is memory bound; every CNN0 layer compute
+    // bound.
+    for (const auto &p : m.profile(workloads::build(AppId::MLP0)))
+        if (p.kind == nn::Layer::Kind::FullyConnected)
+            EXPECT_TRUE(p.memoryBound) << p.name;
+    for (const auto &p : m.profile(workloads::build(AppId::CNN0)))
+        if (p.kind == nn::Layer::Kind::Conv2D)
+            EXPECT_FALSE(p.memoryBound) << p.name;
+}
+
+TEST(LayerProfile, Cnn1FcLayersAreTheMemoryBoundTail)
+{
+    // The paper: CNN1's four FC layers "run at an operational
+    // intensity of just 32" and drive its weight stalls.  The
+    // profiler should show exactly the FC layers as memory bound.
+    AnalyticModel m(arch::TpuConfig::production());
+    nn::Network net = workloads::build(AppId::CNN1);
+    int fc_memory_bound = 0;
+    double fc_share = 0;
+    for (const auto &p : m.profile(net)) {
+        if (p.kind == nn::Layer::Kind::FullyConnected) {
+            EXPECT_TRUE(p.memoryBound) << p.name;
+            ++fc_memory_bound;
+            fc_share += p.shareOfTotal;
+        } else if (p.kind == nn::Layer::Kind::Conv2D) {
+            EXPECT_FALSE(p.memoryBound) << p.name;
+        }
+    }
+    EXPECT_EQ(fc_memory_bound, 4);
+    EXPECT_GT(fc_share, 0.10); // a visible fraction of the runtime
+}
+
+TEST(LayerProfile, VectorLayersCarryZeroCycles)
+{
+    AnalyticModel m(arch::TpuConfig::production());
+    for (const auto &p : m.profile(workloads::build(AppId::LSTM0))) {
+        if (p.kind == nn::Layer::Kind::Vector)
+            EXPECT_EQ(p.cycles, 0u) << p.name;
+    }
+}
+
+TEST(LayerProfile, TableRendersMatrixLayersOnly)
+{
+    AnalyticModel m(arch::TpuConfig::production());
+    nn::Network net = workloads::build(AppId::LSTM0);
+    auto prof = m.profile(net);
+    Table t = AnalyticModel::profileTable(net, prof);
+    EXPECT_EQ(t.rows(),
+              net.numLayers(nn::Layer::Kind::FullyConnected));
+}
+
+} // namespace
+} // namespace model
+} // namespace tpu

@@ -1,0 +1,117 @@
+/** @file Tests for the layer zoo's accounting and matrix mappings. */
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.hh"
+
+namespace tpu {
+namespace nn {
+namespace {
+
+TEST(FullyConnected, WeightsAndMacs)
+{
+    FullyConnected fc("fc", 1000, 500);
+    EXPECT_EQ(fc.weightCount(), 500000);
+    EXPECT_EQ(fc.macsPerExample(), 500000);
+    EXPECT_EQ(fc.weightBytesFetched(), 500000);
+}
+
+TEST(FullyConnected, MatrixMappingShape)
+{
+    FullyConnected fc("fc", 1000, 500);
+    auto m = fc.matrixMapping();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->rows, 1000);
+    EXPECT_EQ(m->cols, 500);
+    EXPECT_EQ(m->passes, 1);
+    EXPECT_EQ(m->rowsPerExample, 1);
+}
+
+TEST(FullyConnected, ExecutionsMultiplyWork)
+{
+    FullyConnected fc("fc", 100, 100, Nonlinearity::Relu, 5);
+    EXPECT_EQ(fc.weightCount(), 10000);
+    EXPECT_EQ(fc.macsPerExample(), 50000);
+    EXPECT_EQ(fc.weightBytesFetched(), 50000);
+}
+
+TEST(Conv2D, WeightsAndMacs)
+{
+    Conv2D conv("c", 64, 128, 3, 3, 19, 19, 1);
+    EXPECT_EQ(conv.weightCount(), 3 * 3 * 64 * 128);
+    EXPECT_EQ(conv.outH(), 19);
+    EXPECT_EQ(conv.outW(), 19);
+    EXPECT_EQ(conv.macsPerExample(),
+              19 * 19 * 3 * 3 * 64 * 128);
+}
+
+TEST(Conv2D, StrideShrinksOutput)
+{
+    Conv2D conv("c", 8, 8, 3, 3, 20, 20, 2);
+    EXPECT_EQ(conv.outH(), 10);
+    EXPECT_EQ(conv.outW(), 10);
+}
+
+TEST(Conv2D, EyerissStyleMapping)
+{
+    // Section 9: C and M map to rows and columns; R*S passes; HWN
+    // activation rows per pass.
+    Conv2D conv("c", 64, 128, 3, 3, 19, 19, 1);
+    auto m = conv.matrixMapping();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->rows, 64);
+    EXPECT_EQ(m->cols, 128);
+    EXPECT_EQ(m->passes, 9);
+    EXPECT_EQ(m->rowsPerExample, 19 * 19);
+}
+
+TEST(LstmCell, FusedGateMatrix)
+{
+    LstmCell cell("l", 256, 512, 10);
+    EXPECT_EQ(cell.weightCount(), (256 + 512) * 4 * 512);
+    EXPECT_EQ(cell.macsPerExample(), cell.weightCount() * 10);
+    auto m = cell.matrixMapping();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->rows, 256 + 512);
+    EXPECT_EQ(m->cols, 4 * 512);
+    EXPECT_EQ(m->executions, 10);
+}
+
+TEST(Pool, NoWeightsNoMacs)
+{
+    Pool p("p", Pool::Mode::Max, 4, 1024);
+    EXPECT_EQ(p.weightCount(), 0);
+    EXPECT_EQ(p.macsPerExample(), 0);
+    EXPECT_FALSE(p.matrixMapping().has_value());
+    EXPECT_FALSE(p.onMatrixUnit());
+}
+
+TEST(Vector, CarriesNonlinearity)
+{
+    Vector v("v", Nonlinearity::Sigmoid, 100);
+    EXPECT_EQ(v.nonlinearity(), Nonlinearity::Sigmoid);
+    EXPECT_FALSE(v.onMatrixUnit());
+    EXPECT_EQ(v.weightCount(), 0);
+}
+
+TEST(Nonlinearity, Names)
+{
+    EXPECT_STREQ(toString(Nonlinearity::Relu), "ReLU");
+    EXPECT_STREQ(toString(Nonlinearity::Sigmoid), "sigmoid");
+    EXPECT_STREQ(toString(Nonlinearity::Tanh), "tanh");
+    EXPECT_STREQ(toString(Nonlinearity::None), "none");
+}
+
+TEST(LayerDeath, BadDimensions)
+{
+    EXPECT_EXIT(FullyConnected("bad", 0, 10),
+                ::testing::ExitedWithCode(1), "bad dims");
+    EXPECT_EXIT(Conv2D("bad", 3, 3, 0, 3, 8, 8),
+                ::testing::ExitedWithCode(1), "geometry");
+    EXPECT_EXIT(LstmCell("bad", 4, -1),
+                ::testing::ExitedWithCode(1), "sizes");
+}
+
+} // namespace
+} // namespace nn
+} // namespace tpu

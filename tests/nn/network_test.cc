@@ -1,0 +1,95 @@
+/** @file Tests for the network container and Table 1 accounting. */
+
+#include <gtest/gtest.h>
+
+#include "nn/network.hh"
+
+namespace tpu {
+namespace nn {
+namespace {
+
+TEST(Network, BuildersAppendInOrder)
+{
+    Network net("n", 4);
+    net.addFullyConnected(10, 20);
+    net.addVector(Nonlinearity::Relu, 20);
+    net.addConv2D(3, 8, 3, 16, 16);
+    EXPECT_EQ(net.numLayers(), 3u);
+    EXPECT_EQ(net.layer(0).kind(), Layer::Kind::FullyConnected);
+    EXPECT_EQ(net.layer(1).kind(), Layer::Kind::Vector);
+    EXPECT_EQ(net.layer(2).kind(), Layer::Kind::Conv2D);
+}
+
+TEST(Network, CountsByKind)
+{
+    Network net("n", 1);
+    net.addFullyConnected(8, 8);
+    net.addFullyConnected(8, 8);
+    net.addVector(Nonlinearity::Tanh, 8);
+    EXPECT_EQ(net.numLayers(Layer::Kind::FullyConnected), 2u);
+    EXPECT_EQ(net.numLayers(Layer::Kind::Vector), 1u);
+    EXPECT_EQ(net.numLayers(Layer::Kind::Conv2D), 0u);
+}
+
+TEST(Network, TotalWeightsSums)
+{
+    Network net("n", 1);
+    net.addFullyConnected(10, 10); // 100
+    net.addFullyConnected(10, 5);  // 50
+    EXPECT_EQ(net.totalWeights(), 150);
+}
+
+TEST(Network, MacsPerExampleSums)
+{
+    Network net("n", 1);
+    net.addFullyConnected(10, 10);
+    net.addVector(Nonlinearity::Relu, 10); // no MACs
+    EXPECT_EQ(net.macsPerExample(), 100);
+}
+
+TEST(Network, OpsPerWeightByteEqualsBatchForFcNets)
+{
+    // Each weight byte is read once per batch and used in one MAC per
+    // example, so intensity == batch size -- the Table 1 pattern for
+    // MLPs and LSTMs.
+    Network net("n", 128);
+    net.addFullyConnected(100, 100);
+    net.addFullyConnected(100, 100);
+    EXPECT_DOUBLE_EQ(net.opsPerWeightByte(), 128.0);
+    EXPECT_DOUBLE_EQ(net.opsPerWeightByte(32), 32.0);
+}
+
+TEST(Network, ConvIntensityMultipliesBySpatialReuse)
+{
+    // A conv weight is reused at every output position: intensity =
+    // batch * H*W (CNN0's 8 x 361 = 2888).
+    Network net("n", 8);
+    net.addConv2D(16, 16, 3, 19, 19);
+    EXPECT_DOUBLE_EQ(net.opsPerWeightByte(), 8.0 * 361.0);
+}
+
+TEST(Network, BatchSizeMutable)
+{
+    Network net("n", 10);
+    EXPECT_EQ(net.batchSize(), 10);
+    net.setBatchSize(99);
+    EXPECT_EQ(net.batchSize(), 99);
+}
+
+TEST(Network, EmptyNetworkZeroes)
+{
+    Network net("empty", 1);
+    EXPECT_EQ(net.totalWeights(), 0);
+    EXPECT_EQ(net.macsPerExample(), 0);
+    EXPECT_DOUBLE_EQ(net.opsPerWeightByte(), 0.0);
+}
+
+TEST(NetworkDeath, LayerIndexOutOfRange)
+{
+    Network net("n", 1);
+    EXPECT_DEATH(net.layer(0), "out of");
+}
+
+} // namespace
+} // namespace nn
+} // namespace tpu

@@ -1,0 +1,111 @@
+/** @file Tests for quantization, including property-style sweeps. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/quantize.hh"
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace nn {
+namespace {
+
+TEST(QuantParams, FromAbsMaxMapsTo127)
+{
+    QuantParams p = QuantParams::fromAbsMax(12.7f);
+    EXPECT_NEAR(p.scale, 0.1f, 1e-6);
+}
+
+TEST(QuantParams, ZeroMaxFallsBackToUnit)
+{
+    QuantParams p = QuantParams::fromAbsMax(0.0f);
+    EXPECT_FLOAT_EQ(p.scale, 1.0f);
+}
+
+TEST(AbsMax, FindsLargestMagnitude)
+{
+    FloatTensor t({4}, {1.0f, -7.5f, 3.0f, 2.0f});
+    EXPECT_FLOAT_EQ(absMax(t), 7.5f);
+}
+
+TEST(Saturate, ClampsToInt8Range)
+{
+    EXPECT_EQ(saturateToInt8(300), 127);
+    EXPECT_EQ(saturateToInt8(-300), -127);
+    EXPECT_EQ(saturateToInt8(50), 50);
+}
+
+TEST(Quantize, RoundTripWithinHalfStep)
+{
+    FloatTensor x({5}, {-1.0f, -0.25f, 0.0f, 0.5f, 1.0f});
+    QuantParams p = QuantParams::fromAbsMax(absMax(x));
+    Int8Tensor q = quantize(x, p);
+    FloatTensor y = dequantize(q, p);
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], p.scale / 2.0f + 1e-7);
+}
+
+TEST(Quantize, SaturatesBeyondCalibration)
+{
+    QuantParams p{0.01f};
+    FloatTensor x({2}, {100.0f, -100.0f});
+    Int8Tensor q = quantize(x, p);
+    EXPECT_EQ(q[0], 127);
+    EXPECT_EQ(q[1], -127);
+}
+
+TEST(Requantize, ScalesAccumulatorToInt8)
+{
+    Int32Tensor acc({3}, {1000, -500, 0});
+    // in_scale * w_scale / out_scale = 0.1 -> 100, -50, 0.
+    Int8Tensor q = requantize(acc, 0.5f, 0.4f, 2.0f);
+    EXPECT_EQ(q[0], 100);
+    EXPECT_EQ(q[1], -50);
+    EXPECT_EQ(q[2], 0);
+}
+
+TEST(Requantize, SaturatesLargeAccumulators)
+{
+    Int32Tensor acc({1}, {1 << 20});
+    Int8Tensor q = requantize(acc, 1.0f, 1.0f, 1.0f);
+    EXPECT_EQ(q[0], 127);
+}
+
+/** Property sweep: quantization error bounded by scale/2 per value. */
+class QuantizeProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(QuantizeProperty, ErrorBoundedByHalfStep)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    FloatTensor x({64});
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniformReal(-4.0, 4.0));
+    QuantParams p = QuantParams::fromAbsMax(absMax(x));
+    Int8Tensor q = quantize(x, p);
+    FloatTensor y = dequantize(q, p);
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        EXPECT_LE(std::fabs(y[i] - x[i]), p.scale / 2.0f + 1e-6f);
+}
+
+TEST_P(QuantizeProperty, DequantizePreservesSign)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+    FloatTensor x({32});
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniformReal(-2.0, 2.0));
+    QuantParams p = QuantParams::fromAbsMax(absMax(x));
+    Int8Tensor q = quantize(x, p);
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        if (std::fabs(x[i]) > p.scale)
+            EXPECT_EQ(q[i] > 0, x[i] > 0) << "at " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizeProperty,
+                         ::testing::Range(1, 11));
+
+} // namespace
+} // namespace nn
+} // namespace tpu

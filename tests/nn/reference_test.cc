@@ -1,0 +1,203 @@
+/** @file Tests for the golden-model executors. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/reference.hh"
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace nn {
+namespace {
+
+TEST(Matmul, SmallKnownResult)
+{
+    FloatTensor a({2, 2}, {1, 2, 3, 4});
+    FloatTensor b({2, 2}, {5, 6, 7, 8});
+    FloatTensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matmul, IdentityIsNoop)
+{
+    FloatTensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+    FloatTensor eye({3, 3});
+    for (int i = 0; i < 3; ++i)
+        eye.at(i, i) = 1.0f;
+    EXPECT_EQ(matmul(a, eye), a);
+}
+
+TEST(MatmulInt8, MatchesFloatForSmallValues)
+{
+    Rng rng(11);
+    Int8Tensor a({4, 5}), b({5, 3});
+    for (std::int64_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<std::int8_t>(rng.uniformInt(-10, 10));
+    for (std::int64_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<std::int8_t>(rng.uniformInt(-10, 10));
+    Int32Tensor c = matmulInt8(a, b);
+    for (std::int64_t r = 0; r < 4; ++r) {
+        for (std::int64_t col = 0; col < 3; ++col) {
+            std::int32_t want = 0;
+            for (std::int64_t k = 0; k < 5; ++k)
+                want += static_cast<std::int32_t>(a.at(r, k)) *
+                        static_cast<std::int32_t>(b.at(k, col));
+            EXPECT_EQ(c.at(r, col), want);
+        }
+    }
+}
+
+TEST(Activate, ReluClampsNegatives)
+{
+    EXPECT_EQ(activate(-3.0f, Nonlinearity::Relu), 0.0f);
+    EXPECT_EQ(activate(3.0f, Nonlinearity::Relu), 3.0f);
+    EXPECT_EQ(activate(0.0f, Nonlinearity::Relu), 0.0f);
+}
+
+TEST(Activate, SigmoidProperties)
+{
+    EXPECT_NEAR(activate(0.0f, Nonlinearity::Sigmoid), 0.5f, 1e-6);
+    EXPECT_GT(activate(10.0f, Nonlinearity::Sigmoid), 0.999f);
+    EXPECT_LT(activate(-10.0f, Nonlinearity::Sigmoid), 0.001f);
+}
+
+TEST(Activate, TanhOddSymmetry)
+{
+    for (float x : {0.1f, 0.7f, 2.0f})
+        EXPECT_NEAR(activate(-x, Nonlinearity::Tanh),
+                    -activate(x, Nonlinearity::Tanh), 1e-6);
+}
+
+TEST(Apply, ElementwiseOverTensor)
+{
+    FloatTensor x({3}, {-1.0f, 0.0f, 2.0f});
+    FloatTensor y = apply(x, Nonlinearity::Relu);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(Conv2dSame, OneByOneKernelIsChannelMix)
+{
+    // 1x1 conv == per-pixel matmul over channels.
+    FloatTensor input({1, 2, 2, 2});
+    input.at(0, 0, 0, 0) = 1;
+    input.at(0, 0, 0, 1) = 2;
+    input.at(0, 1, 1, 0) = 3;
+    input.at(0, 1, 1, 1) = 4;
+    FloatTensor kernel({1, 1, 2, 1});
+    kernel.at(0, 0, 0, 0) = 10;
+    kernel.at(0, 0, 1, 0) = 100;
+    FloatTensor out = conv2dSame(input, kernel, 1);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 210);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1, 0), 430);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 0), 0);
+}
+
+TEST(Conv2dSame, ThreeByThreeSumKernel)
+{
+    // All-ones 3x3 kernel on all-ones input counts the unpadded
+    // neighbourhood size: 4 in corners, 6 on edges, 9 inside.
+    FloatTensor input({1, 3, 3, 1});
+    input.fill(1.0f);
+    FloatTensor kernel({3, 3, 1, 1});
+    kernel.fill(1.0f);
+    FloatTensor out = conv2dSame(input, kernel, 1);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 4);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 0), 6);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1, 0), 9);
+}
+
+TEST(Conv2dSame, StrideTwoHalvesOutput)
+{
+    FloatTensor input({1, 4, 4, 1});
+    input.fill(1.0f);
+    FloatTensor kernel({1, 1, 1, 1});
+    kernel.fill(2.0f);
+    FloatTensor out = conv2dSame(input, kernel, 2);
+    EXPECT_EQ(out.dim(1), 2);
+    EXPECT_EQ(out.dim(2), 2);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 2.0f);
+}
+
+TEST(LstmStep, GatesSquashState)
+{
+    const std::int64_t in = 2, hidden = 3, batch = 2;
+    FloatTensor x({batch, in});
+    x.fill(0.5f);
+    LstmState st{FloatTensor({batch, hidden}),
+                 FloatTensor({batch, hidden})};
+    FloatTensor w({in + hidden, 4 * hidden});
+    w.fill(0.1f);
+    LstmState next = lstmStep(x, st, w);
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t j = 0; j < hidden; ++j) {
+            EXPECT_GT(next.h.at(b, j), -1.0f);
+            EXPECT_LT(next.h.at(b, j), 1.0f);
+        }
+    }
+}
+
+TEST(LstmStep, ZeroWeightsKeepZeroState)
+{
+    const std::int64_t in = 2, hidden = 2, batch = 1;
+    FloatTensor x({batch, in});
+    x.fill(1.0f);
+    LstmState st{FloatTensor({batch, hidden}),
+                 FloatTensor({batch, hidden})};
+    FloatTensor w({in + hidden, 4 * hidden}); // all zeros
+    LstmState next = lstmStep(x, st, w);
+    // Gates are sigmoid(0)=0.5, g=tanh(0)=0 => c'=0, h'=0.
+    EXPECT_FLOAT_EQ(next.c.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(next.h.at(0, 0), 0.0f);
+}
+
+TEST(LstmStep, ForgetGateRetainsCell)
+{
+    // Strong positive forget-gate bias via inputs: c' ~= c when i*g
+    // contributes nothing (zero candidate weights).
+    const std::int64_t in = 1, hidden = 1, batch = 1;
+    FloatTensor x({batch, in});
+    x.fill(100.0f);
+    LstmState st{FloatTensor({batch, hidden}),
+                 FloatTensor({batch, hidden})};
+    st.c.at(0, 0) = 0.7f;
+    FloatTensor w({in + hidden, 4 * hidden});
+    w.at(0, 1) = 1.0f; // forget gate driven to sigmoid(100) ~ 1
+    LstmState next = lstmStep(x, st, w);
+    EXPECT_NEAR(next.c.at(0, 0), 0.7f, 1e-4);
+}
+
+TEST(Pooling, MaxAndAvgWindows)
+{
+    FloatTensor x({6}, {1, 5, 2, 8, 3, 3});
+    FloatTensor mx = maxPool1d(x, 2);
+    EXPECT_FLOAT_EQ(mx[0], 5);
+    EXPECT_FLOAT_EQ(mx[1], 8);
+    EXPECT_FLOAT_EQ(mx[2], 3);
+    FloatTensor av = avgPool1d(x, 3);
+    EXPECT_NEAR(av[0], (1 + 5 + 2) / 3.0f, 1e-6);
+    EXPECT_NEAR(av[1], (8 + 3 + 3) / 3.0f, 1e-6);
+}
+
+TEST(Pooling, RaggedTailHandled)
+{
+    FloatTensor x({5}, {1, 2, 3, 4, 9});
+    FloatTensor mx = maxPool1d(x, 2);
+    EXPECT_EQ(mx.size(), 3);
+    EXPECT_FLOAT_EQ(mx[2], 9);
+}
+
+TEST(MatmulDeath, InnerDimMismatch)
+{
+    FloatTensor a({2, 3}), b({4, 2});
+    EXPECT_DEATH(matmul(a, b), "mismatch");
+}
+
+} // namespace
+} // namespace nn
+} // namespace tpu

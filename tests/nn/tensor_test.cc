@@ -1,0 +1,103 @@
+/** @file Tests for the tensor substrate. */
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hh"
+
+namespace tpu {
+namespace nn {
+namespace {
+
+TEST(Shape, NumElements)
+{
+    EXPECT_EQ(numElements({2, 3, 4}), 24);
+    EXPECT_EQ(numElements({7}), 7);
+    EXPECT_EQ(numElements({}), 0);
+    EXPECT_EQ(numElements({5, 0}), 0);
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(shapeToString({2, 3}), "[2, 3]");
+    EXPECT_EQ(shapeToString({}), "[]");
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    FloatTensor t({3, 3});
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, TwoDAccessorRowMajor)
+{
+    Int32Tensor t({2, 3});
+    t.at(0, 0) = 1;
+    t.at(0, 2) = 3;
+    t.at(1, 0) = 4;
+    EXPECT_EQ(t[0], 1);
+    EXPECT_EQ(t[2], 3);
+    EXPECT_EQ(t[3], 4);
+}
+
+TEST(Tensor, FourDAccessorNhwc)
+{
+    FloatTensor t({2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 42.0f;
+    EXPECT_EQ(t[t.size() - 1], 42.0f);
+    t.at(0, 0, 0, 0) = 7.0f;
+    EXPECT_EQ(t[0], 7.0f);
+}
+
+TEST(Tensor, ConstructFromData)
+{
+    Int8Tensor t({2, 2}, {1, 2, 3, 4});
+    EXPECT_EQ(t.at(1, 1), 4);
+}
+
+TEST(Tensor, EqualityComparesShapeAndData)
+{
+    Int8Tensor a({2, 2}, {1, 2, 3, 4});
+    Int8Tensor b({2, 2}, {1, 2, 3, 4});
+    Int8Tensor c({4}, {1, 2, 3, 4});
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Tensor, FillSetsAll)
+{
+    FloatTensor t({5});
+    t.fill(2.5f);
+    for (std::int64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DimAccessor)
+{
+    FloatTensor t({3, 7});
+    EXPECT_EQ(t.dim(0), 3);
+    EXPECT_EQ(t.dim(1), 7);
+    EXPECT_EQ(t.rank(), 2u);
+}
+
+TEST(TensorDeath, OutOfBounds2D)
+{
+    Int32Tensor t({2, 2});
+    EXPECT_DEATH(t.at(2, 0), "out of shape");
+    EXPECT_DEATH(t.at(0, -1), "out of shape");
+}
+
+TEST(TensorDeath, WrongRankAccess)
+{
+    Int32Tensor t({4});
+    EXPECT_DEATH(t.at(0, 0), "rank");
+}
+
+TEST(TensorDeath, DataSizeMismatch)
+{
+    EXPECT_DEATH(Int8Tensor({2, 2}, {1, 2, 3}), "size");
+}
+
+} // namespace
+} // namespace nn
+} // namespace tpu

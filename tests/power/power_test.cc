@@ -1,0 +1,103 @@
+/** @file Tests for the power / energy-proportionality models. */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace tpu {
+namespace power {
+namespace {
+
+TEST(PowerCurve, EndpointsAreIdleAndBusy)
+{
+    PowerCurve c(28.0, 40.0, 0.3);
+    EXPECT_DOUBLE_EQ(c.at(0.0), 28.0);
+    EXPECT_DOUBLE_EQ(c.at(1.0), 40.0);
+}
+
+TEST(PowerCurve, FitReproducesTenPercentPoint)
+{
+    // TPU: 88% of full power at 10% load (Section 6).
+    PowerCurve c = PowerCurve::fitTenPercent(28.0, 40.0, 0.88);
+    EXPECT_NEAR(c.at(0.1), 0.88 * 40.0, 0.01);
+}
+
+TEST(PowerCurve, PaperProportionalityOrdering)
+{
+    // Haswell is the most energy proportional, the TPU the least.
+    PowerCurve cpu = PowerCurve::fitTenPercent(41.0, 145.0, 0.56);
+    PowerCurve gpu = PowerCurve::fitTenPercent(25.0, 98.0, 0.66);
+    PowerCurve tpu = PowerCurve::fitTenPercent(28.0, 40.0, 0.88);
+    const double u = 0.1;
+    EXPECT_LT(cpu.at(u) / cpu.at(1.0), gpu.at(u) / gpu.at(1.0));
+    EXPECT_LT(gpu.at(u) / gpu.at(1.0), tpu.at(u) / tpu.at(1.0));
+}
+
+TEST(PowerCurve, SeriesMonotone)
+{
+    PowerCurve c = PowerCurve::fitTenPercent(25.0, 98.0, 0.66);
+    auto s = c.series();
+    ASSERT_EQ(s.size(), 11u);
+    for (std::size_t i = 1; i < s.size(); ++i)
+        EXPECT_GE(s[i], s[i - 1]);
+    EXPECT_DOUBLE_EQ(s.front(), 25.0);
+    EXPECT_DOUBLE_EQ(s.back(), 98.0);
+}
+
+TEST(ServerPower, Table2Entries)
+{
+    EXPECT_DOUBLE_EQ(haswellServer().serverTdpWatts, 504.0);
+    EXPECT_DOUBLE_EQ(k80Server().serverTdpWatts, 1838.0);
+    EXPECT_DOUBLE_EQ(tpuServer().serverTdpWatts, 861.0);
+    EXPECT_DOUBLE_EQ(tpuPrimeServer().serverTdpWatts, 900.0);
+    EXPECT_EQ(tpuServer().dies, 4);
+}
+
+TEST(RelativePerfPerWatt, ReproducesFigure9FromPaperInputs)
+{
+    // With the paper's Table 6 GM (14.5) and WM (29.2) and the
+    // Table 2 server TDPs, Figure 9's TPU/CPU bars follow: total
+    // 17/34, incremental 41/83.
+    const double host = 504.0;
+    EXPECT_NEAR(relativePerfPerWatt(14.5, 4, 861.0, 2, 504.0, false,
+                                    host), 17.0, 0.3);
+    EXPECT_NEAR(relativePerfPerWatt(29.2, 4, 861.0, 2, 504.0, false,
+                                    host), 34.2, 0.4);
+    EXPECT_NEAR(relativePerfPerWatt(14.5, 4, 861.0, 2, 504.0, true,
+                                    host), 41.0, 0.5);
+    EXPECT_NEAR(relativePerfPerWatt(29.2, 4, 861.0, 2, 504.0, true,
+                                    host), 82.5, 1.0);
+}
+
+TEST(RelativePerfPerWatt, GpuBarsMatchPaperToo)
+{
+    const double host = 504.0;
+    // K80 GM 1.1 / WM 1.9: total 1.2/2.1, incremental 1.7/2.9.
+    EXPECT_NEAR(relativePerfPerWatt(1.1, 8, 1838.0, 2, 504.0, false,
+                                    host), 1.2, 0.05);
+    EXPECT_NEAR(relativePerfPerWatt(1.9, 8, 1838.0, 2, 504.0, false,
+                                    host), 2.1, 0.05);
+    EXPECT_NEAR(relativePerfPerWatt(1.1, 8, 1838.0, 2, 504.0, true,
+                                    host), 1.66, 0.05);
+    EXPECT_NEAR(relativePerfPerWatt(1.9, 8, 1838.0, 2, 504.0, true,
+                                    host), 2.87, 0.05);
+}
+
+TEST(PowerCurveDeath, BadFit)
+{
+    EXPECT_EXIT(PowerCurve::fitTenPercent(40.0, 40.0, 0.9),
+                ::testing::ExitedWithCode(1), "flat");
+    // 10% point below idle is impossible.
+    EXPECT_EXIT(PowerCurve::fitTenPercent(39.0, 40.0, 0.5),
+                ::testing::ExitedWithCode(1), "outside");
+}
+
+TEST(PowerCurveDeath, UtilizationOutOfRange)
+{
+    PowerCurve c(10.0, 20.0, 0.5);
+    EXPECT_DEATH(c.at(1.5), "out of");
+}
+
+} // namespace
+} // namespace power
+} // namespace tpu

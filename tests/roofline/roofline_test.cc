@@ -1,0 +1,84 @@
+/** @file Tests for the roofline model (Figures 5-8 machinery). */
+
+#include <gtest/gtest.h>
+
+#include "roofline/roofline.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace roofline {
+namespace {
+
+TEST(Roofline, TpuRidgeNear1350)
+{
+    Roofline rl("TPU", 92e12, 34e9);
+    EXPECT_NEAR(rl.ridge(), 1352.9, 1.0);
+}
+
+TEST(Roofline, HaswellRidgeNear13)
+{
+    // Figure 6: "ridge point at 13 operations/byte".
+    Roofline rl("Haswell", 1.3e12, 51e9);
+    EXPECT_NEAR(rl.ridge(), 12.7, 0.1);
+}
+
+TEST(Roofline, K80RidgeNear9)
+{
+    // Figure 7: "ridge point to 9 operations per weight byte".
+    Roofline rl("K80", 2.8e12, 160e9);
+    EXPECT_NEAR(rl.ridge(), 8.75, 0.05);
+}
+
+TEST(Roofline, SlantedRegionIsBandwidthTimesTwo)
+{
+    Roofline rl("TPU", 92e12, 34e9);
+    // MLP0 at intensity 200: 2 * 34 GB/s * 200 = 13.6 TOPS.
+    EXPECT_NEAR(rl.attainable(200.0) / tera, 13.6, 0.01);
+    EXPECT_TRUE(rl.memoryBound(200.0));
+}
+
+TEST(Roofline, FlatRegionIsPeak)
+{
+    Roofline rl("TPU", 92e12, 34e9);
+    EXPECT_DOUBLE_EQ(rl.attainable(2888.0), 92e12);
+    EXPECT_FALSE(rl.memoryBound(2888.0));
+}
+
+TEST(Roofline, AttainableContinuousAtRidge)
+{
+    Roofline rl("X", 10e12, 100e9);
+    const double r = rl.ridge();
+    EXPECT_NEAR(rl.attainable(r * 0.999), rl.attainable(r * 1.001),
+                0.01 * rl.peakOpsPerSec());
+}
+
+TEST(Roofline, RoofFraction)
+{
+    Roofline rl("TPU", 92e12, 34e9);
+    // MLP0 achieving 12.3 TOPS at intensity 200: 90% of the slant.
+    EXPECT_NEAR(rl.roofFraction(200.0, 12.3e12), 0.904, 0.005);
+}
+
+TEST(Roofline, SeriesIsMonotoneNondecreasing)
+{
+    Roofline rl("TPU", 92e12, 34e9);
+    auto pts = rl.series(1.0, 10000.0, 50);
+    ASSERT_EQ(pts.size(), 50u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GT(pts[i].first, pts[i - 1].first);
+        EXPECT_GE(pts[i].second, pts[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(pts.back().second, 92e12);
+}
+
+TEST(RoolineDeath, BadParameters)
+{
+    EXPECT_EXIT(Roofline("bad", 0, 1), ::testing::ExitedWithCode(1),
+                "positive");
+    Roofline rl("X", 1e12, 1e9);
+    EXPECT_DEATH(rl.attainable(-1.0), "negative");
+}
+
+} // namespace
+} // namespace roofline
+} // namespace tpu

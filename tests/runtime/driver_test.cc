@@ -1,0 +1,151 @@
+/** @file Tests for the user-space / kernel driver runtime. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/platform.hh"
+#include "runtime/driver.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace runtime {
+namespace {
+
+arch::TpuConfig
+testConfig()
+{
+    arch::TpuConfig c;
+    c.matrixDim = 16;
+    c.accumulatorEntries = 64;
+    c.unifiedBufferBytes = 64 * 1024;
+    c.clockHz = 1e9;
+    c.weightMemoryBytesPerSec = 16e9;
+    c.pcieBytesPerSec = 16e9;
+    return c;
+}
+
+nn::Network
+smallNet(const char *name = "small")
+{
+    nn::Network net(name, 4);
+    net.addFullyConnected(32, 32);
+    net.addFullyConnected(32, 16);
+    return net;
+}
+
+TEST(KernelDriver, PinsAndFreesBuffers)
+{
+    KernelDriver kd;
+    std::uint64_t a = kd.allocPinned(1024);
+    std::uint64_t b = kd.allocPinned(2048);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(kd.pinnedBytes(), 3072u);
+    EXPECT_EQ(kd.liveBuffers(), 2u);
+    kd.freePinned(a);
+    EXPECT_EQ(kd.pinnedBytes(), 2048u);
+}
+
+TEST(KernelDriver, CountsInterrupts)
+{
+    KernelDriver kd;
+    kd.raiseInterrupt();
+    kd.raiseInterrupt();
+    EXPECT_EQ(kd.interrupts(), 2u);
+}
+
+TEST(KernelDriverDeath, DoubleFree)
+{
+    KernelDriver kd;
+    std::uint64_t a = kd.allocPinned(64);
+    kd.freePinned(a);
+    EXPECT_DEATH(kd.freePinned(a), "unknown");
+}
+
+TEST(UserSpaceDriver, LoadCompilesOncePerModelName)
+{
+    // "Compiles a model the first time it is evaluated, caching the
+    // program image" (Section 2).
+    UserSpaceDriver drv(testConfig());
+    nn::Network net = smallNet();
+    ModelHandle h1 = drv.loadModel(net);
+    ModelHandle h2 = drv.loadModel(net);
+    EXPECT_EQ(h1, h2);
+    EXPECT_DOUBLE_EQ(
+        drv.statGroup().find("compilations")->result(), 1.0);
+}
+
+TEST(UserSpaceDriver, DistinctModelsGetDistinctHandles)
+{
+    UserSpaceDriver drv(testConfig());
+    ModelHandle a = drv.loadModel(smallNet("a"));
+    ModelHandle b = drv.loadModel(smallNet("b"));
+    EXPECT_NE(a, b);
+}
+
+TEST(UserSpaceDriver, LoadPinsIoBuffers)
+{
+    UserSpaceDriver drv(testConfig());
+    drv.loadModel(smallNet());
+    EXPECT_GE(drv.kernelDriver().liveBuffers(), 2u);
+    EXPECT_GT(drv.kernelDriver().pinnedBytes(), 0u);
+}
+
+TEST(UserSpaceDriver, InvokeRunsAndAccumulatesStats)
+{
+    UserSpaceDriver drv(testConfig());
+    ModelHandle h = drv.loadModel(smallNet());
+    InvokeStats first = drv.invoke(h, {}, 0.21);
+    InvokeStats second = drv.invoke(h, {}, 0.21);
+    EXPECT_TRUE(first.compiledThisCall);
+    EXPECT_FALSE(second.compiledThisCall);
+    EXPECT_GT(first.deviceCycles, 0u);
+    EXPECT_NEAR(first.hostSeconds, 0.21 * first.deviceSeconds,
+                1e-12);
+    EXPECT_EQ(drv.invocations(), 2u);
+    EXPECT_EQ(drv.kernelDriver().interrupts(), 2u);
+    EXPECT_GT(drv.totalDeviceSeconds(), 0.0);
+}
+
+TEST(UserSpaceDriver, StatsGroupDumpable)
+{
+    UserSpaceDriver drv(testConfig());
+    ModelHandle h = drv.loadModel(smallNet());
+    drv.invoke(h);
+    std::ostringstream os;
+    drv.statGroup().dump(os);
+    EXPECT_NE(os.str().find("user_space_driver.invocations  1"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("device_cycles"), std::string::npos);
+}
+
+TEST(UserSpaceDriver, ModelAccessorExposesProgram)
+{
+    UserSpaceDriver drv(testConfig());
+    ModelHandle h = drv.loadModel(smallNet());
+    EXPECT_FALSE(drv.model(h).program.empty());
+    EXPECT_GT(drv.model(h).weightTiles, 0);
+}
+
+TEST(UserSpaceDriver, ProductionWorkloadThroughDriver)
+{
+    UserSpaceDriver drv(arch::TpuConfig::production());
+    nn::Network net = workloads::build(workloads::AppId::MLP0);
+    ModelHandle h = drv.loadModel(net);
+    InvokeStats s = drv.invoke(
+        h, {}, baselines::hostInteractionFraction(
+                   workloads::AppId::MLP0));
+    // The MLP0 batch should complete in under a millisecond of
+    // device time (the Table 4 regime).
+    EXPECT_LT(s.deviceSeconds, 1.5e-3);
+    EXPECT_GT(s.totalSeconds, s.deviceSeconds);
+}
+
+TEST(UserSpaceDriverDeath, UnknownHandle)
+{
+    UserSpaceDriver drv(testConfig());
+    EXPECT_EXIT(drv.invoke(42), ::testing::ExitedWithCode(1),
+                "unknown model");
+}
+
+} // namespace
+} // namespace runtime
+} // namespace tpu

@@ -1,0 +1,98 @@
+/** @file Tests for the discrete event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace tpu {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickUsesPriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&]() { order.push_back(1); }, 1);
+    q.schedule(5, [&]() { order.push_back(0); }, 0);
+    q.schedule(5, [&]() { order.push_back(2); }, 1);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&]() {
+        q.scheduleIn(5, [&]() { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 5)
+            q.scheduleIn(1, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 4u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&]() { ++fired; });
+    q.schedule(20, [&]() { ++fired; });
+    q.schedule(21, [&]() { ++fired; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, MaxEventsLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(static_cast<Tick>(i), [&]() { ++fired; });
+    EXPECT_EQ(q.run(3), 3u);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ServiceOneOnEmptyReturnsFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.serviceOne());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SchedulingInThePastDies)
+{
+    EventQueue q;
+    q.schedule(10, []() {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, []() {}), "past");
+}
+
+} // namespace
+} // namespace tpu

@@ -1,0 +1,57 @@
+/** @file Tests for the logging/formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace {
+
+TEST(Csprintf, FormatsIntegers)
+{
+    EXPECT_EQ(csprintf("%d + %d = %d", 2, 3, 5), "2 + 3 = 5");
+}
+
+TEST(Csprintf, FormatsStringsAndFloats)
+{
+    EXPECT_EQ(csprintf("%s=%.2f", "pi", 3.14159), "pi=3.14");
+}
+
+TEST(Csprintf, EmptyFormat)
+{
+    EXPECT_EQ(csprintf("%s", ""), "");
+}
+
+TEST(Csprintf, LongOutput)
+{
+    std::string big(5000, 'x');
+    EXPECT_EQ(csprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Quiet, TogglesGlobally)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}
+
+TEST(PanicIf, FalseConditionDoesNothing)
+{
+    panic_if(false, "should not fire");
+    SUCCEED();
+}
+
+TEST(PanicIf, TrueConditionAborts)
+{
+    EXPECT_DEATH(panic_if(true, "boom %d", 42), "boom 42");
+}
+
+TEST(FatalIf, TrueConditionExits)
+{
+    EXPECT_EXIT(fatal_if(true, "bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace tpu

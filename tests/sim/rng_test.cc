@@ -1,0 +1,75 @@
+/** @file Tests for the deterministic RNG facade. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000))
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformRealInRange)
+{
+    Rng r(4);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniformReal(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng r(5);
+    const double lambda = 4.0;
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(lambda);
+    EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(6);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+} // namespace
+} // namespace tpu

@@ -1,0 +1,141 @@
+/** @file Tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace tpu {
+namespace stats {
+namespace {
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Scalar s("count", "a counter");
+    s += 3;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.result(), 4.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.result(), 0.0);
+}
+
+TEST(Scalar, SetOverrides)
+{
+    Scalar s("gauge", "a gauge");
+    s.set(7.5);
+    EXPECT_DOUBLE_EQ(s.value(), 7.5);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a("avg", "an average");
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.result(), 4.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a("avg", "empty");
+    EXPECT_DOUBLE_EQ(a.result(), 0.0);
+}
+
+TEST(Distribution, BasicMoments)
+{
+    Distribution d("dist", "test", 0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        d.sample(i + 0.5);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.5);
+    EXPECT_DOUBLE_EQ(d.max(), 9.5);
+    EXPECT_EQ(d.count(), 10u);
+}
+
+TEST(Distribution, PercentileWithinBucketResolution)
+{
+    Distribution d("dist", "test", 0.0, 100.0, 100);
+    for (int i = 1; i <= 100; ++i)
+        d.sample(static_cast<double>(i) - 0.5);
+    EXPECT_NEAR(d.percentile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(d.percentile(0.99), 99.0, 1.0);
+    EXPECT_NEAR(d.percentile(1.00), 100.0, 1.0);
+}
+
+TEST(Distribution, UnderAndOverflowCounted)
+{
+    Distribution d("dist", "test", 0.0, 1.0, 4);
+    d.sample(-5.0);
+    d.sample(5.0);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_DOUBLE_EQ(d.min(), -5.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+}
+
+TEST(Distribution, ResetClearsEverything)
+{
+    Distribution d("dist", "test", 0.0, 1.0, 4);
+    d.sample(0.5);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    Scalar a("a", ""), b("b", "");
+    Formula f("ratio", "a/b", [&]() {
+        return b.value() != 0 ? a.value() / b.value() : 0.0;
+    });
+    a += 10;
+    b += 4;
+    EXPECT_DOUBLE_EQ(f.result(), 2.5);
+    b += 1;
+    EXPECT_DOUBLE_EQ(f.result(), 2.0);
+}
+
+TEST(StatGroup, FindAndDump)
+{
+    StatGroup g("core");
+    Scalar s1("cycles", "total cycles");
+    Scalar s2("instructions", "total instructions");
+    g.regStat(&s1);
+    g.regStat(&s2);
+    s1 += 100;
+    s2 += 10;
+    EXPECT_EQ(g.find("cycles"), &s1);
+    EXPECT_EQ(g.find("missing"), nullptr);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("core.cycles  100"), std::string::npos);
+}
+
+TEST(StatGroup, HierarchicalDumpAndReset)
+{
+    StatGroup parent("tpu");
+    StatGroup child("matrix");
+    Scalar s("active", "active cycles");
+    child.regStat(&s);
+    parent.regGroup(&child);
+    s += 5;
+
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_NE(os.str().find("tpu.matrix.active"), std::string::npos);
+
+    parent.resetStats();
+    EXPECT_DOUBLE_EQ(s.result(), 0.0);
+}
+
+TEST(Distribution, BadConstructionDies)
+{
+    EXPECT_DEATH(Distribution("d", "", 1.0, 0.0, 4), "hi");
+    EXPECT_DEATH(Distribution("d", "", 0.0, 1.0, 0), "buckets");
+}
+
+} // namespace
+} // namespace stats
+} // namespace tpu

@@ -1,0 +1,78 @@
+/** @file Tests for the table formatter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/table.hh"
+
+namespace tpu {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(Table, RaggedRowsArePadded)
+{
+    Table t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(10.0, 0), "10");
+}
+
+TEST(Table, PctFormatsFractions)
+{
+    EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, CsvQuotesCommas)
+{
+    Table t;
+    t.setHeader({"k", "v"});
+    t.addRow({"a,b", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, AccessorsReflectContent)
+{
+    Table t;
+    t.setHeader({"h"});
+    t.addRow({"r1"});
+    t.addRow({"r2"});
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.header().size(), 1u);
+    EXPECT_EQ(t.data()[1][0], "r2");
+}
+
+TEST(Table, EmptyTablePrintsNothing)
+{
+    Table t;
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+} // namespace
+} // namespace tpu

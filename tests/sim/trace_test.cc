@@ -1,0 +1,81 @@
+/** @file Tests for the trace/debug-flag subsystem. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/tpu_chip.hh"
+#include "sim/trace.hh"
+
+namespace tpu {
+namespace trace {
+namespace {
+
+TEST(DebugFlag, RegistersAndFindsByName)
+{
+    static DebugFlag flag("TestFlagA", "a test flag");
+    EXPECT_EQ(DebugFlag::find("TestFlagA"), &flag);
+    EXPECT_EQ(DebugFlag::find("NoSuchFlag"), nullptr);
+    EXPECT_FALSE(flag.enabled());
+}
+
+TEST(DebugFlag, SetEnabledByName)
+{
+    static DebugFlag flag("TestFlagB");
+    EXPECT_TRUE(DebugFlag::setEnabled("TestFlagB", true));
+    EXPECT_TRUE(flag.enabled());
+    EXPECT_TRUE(DebugFlag::setEnabled("TestFlagB", false));
+    EXPECT_FALSE(flag.enabled());
+    EXPECT_FALSE(DebugFlag::setEnabled("NoSuchFlag", true));
+}
+
+TEST(DebugFlag, AllListsRegisteredFlags)
+{
+    bool found = false;
+    for (const DebugFlag *f : DebugFlag::all())
+        if (f->name() == "MatrixUnit")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Trace, EmitFormatsCycleStampedLines)
+{
+    static DebugFlag flag("TestFlagC");
+    std::ostringstream os;
+    std::ostream *prev = setOutput(&os);
+    flag.enable();
+    DTRACE(flag, 42, "value=%d", 7);
+    flag.disable();
+    DTRACE(flag, 43, "should not appear");
+    setOutput(prev);
+    EXPECT_EQ(os.str(), "42: TestFlagC: value=7\n");
+}
+
+TEST(Trace, CoreEmitsMatrixUnitEvents)
+{
+    std::ostringstream os;
+    std::ostream *prev = setOutput(&os);
+    arch::traceMatrixUnit.enable();
+
+    arch::TpuConfig cfg;
+    cfg.matrixDim = 4;
+    cfg.accumulatorEntries = 16;
+    cfg.unifiedBufferBytes = 4096;
+    cfg.clockHz = 1e9;
+    cfg.weightMemoryBytesPerSec = 4e9;
+    cfg.pcieBytesPerSec = 4e9;
+    arch::TpuChip chip(cfg, false);
+    arch::Program p = {arch::makeReadWeights(0, 4, 4),
+                       arch::makeMatrixMultiply(0, 0, 4, false),
+                       arch::makeHalt()};
+    chip.run(p);
+
+    arch::traceMatrixUnit.disable();
+    setOutput(prev);
+    EXPECT_NE(os.str().find("MatrixUnit: matmul rows=4"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace trace
+} // namespace tpu

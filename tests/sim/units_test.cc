@@ -1,0 +1,56 @@
+/** @file Tests for unit conversions. */
+
+#include <gtest/gtest.h>
+
+#include "sim/units.hh"
+
+namespace tpu {
+namespace {
+
+TEST(Units, ByteSizes)
+{
+    EXPECT_EQ(kib(1), 1024u);
+    EXPECT_EQ(mib(1), 1024u * 1024u);
+    EXPECT_EQ(gib(8), 8ull << 30);
+    EXPECT_EQ(mib(24), 24u * 1024u * 1024u);
+}
+
+TEST(Units, CyclesToSeconds)
+{
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(700'000'000, 700e6), 1.0);
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(0, 700e6), 0.0);
+}
+
+TEST(Units, SecondsToCyclesRoundsUp)
+{
+    EXPECT_EQ(secondsToCycles(1.0, 700e6), 700'000'000u);
+    EXPECT_EQ(secondsToCycles(1e-9, 700e6), 1u);
+}
+
+TEST(Units, BytesPerCycle)
+{
+    // The TPU's famous ~48.6 weight bytes per cycle.
+    EXPECT_NEAR(bytesPerCycle(34e9, 700e6), 48.57, 0.01);
+}
+
+TEST(Units, TransferCyclesRoundsUpAndNeverZero)
+{
+    EXPECT_EQ(transferCycles(0, 34e9, 700e6), 0u);
+    EXPECT_EQ(transferCycles(1, 34e9, 700e6), 1u);
+    // One 64 KiB weight tile at 34 GB/s and 700 MHz: ~1349 cycles --
+    // the paper's roofline ridge in cycle form.
+    Cycle tile = transferCycles(65536, 34e9, 700e6);
+    EXPECT_GE(tile, 1349u);
+    EXPECT_LE(tile, 1350u);
+}
+
+TEST(Units, TransferCyclesScalesLinearly)
+{
+    Cycle one = transferCycles(1'000'000, 10e9, 1e9);
+    Cycle two = transferCycles(2'000'000, 10e9, 1e9);
+    EXPECT_NEAR(static_cast<double>(two),
+                2.0 * static_cast<double>(one), 2.0);
+}
+
+} // namespace
+} // namespace tpu

@@ -1,0 +1,141 @@
+/** @file Table 1 conformance tests for the six workload networks. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace workloads {
+namespace {
+
+class WorkloadConformance : public ::testing::TestWithParam<AppId>
+{};
+
+TEST_P(WorkloadConformance, LayerCountsMatchTable1)
+{
+    const AppId id = GetParam();
+    const AppInfo &ai = info(id);
+    nn::Network net = build(id);
+    EXPECT_EQ(net.numLayers(nn::Layer::Kind::FullyConnected),
+              static_cast<std::size_t>(ai.fcLayers));
+    EXPECT_EQ(net.numLayers(nn::Layer::Kind::Conv2D),
+              static_cast<std::size_t>(ai.convLayers));
+    EXPECT_EQ(net.numLayers(nn::Layer::Kind::Vector),
+              static_cast<std::size_t>(ai.vectorLayers));
+    EXPECT_EQ(net.numLayers(nn::Layer::Kind::Pool),
+              static_cast<std::size_t>(ai.poolLayers));
+    EXPECT_EQ(net.numLayers(),
+              static_cast<std::size_t>(ai.totalLayers));
+}
+
+TEST_P(WorkloadConformance, WeightsWithinTwoPercentOfTable1)
+{
+    const AppId id = GetParam();
+    const AppInfo &ai = info(id);
+    nn::Network net = build(id);
+    const double weights = static_cast<double>(net.totalWeights());
+    EXPECT_NEAR(weights / ai.paperWeights, 1.0, 0.02)
+        << toString(id) << " has " << weights << " weights";
+}
+
+TEST_P(WorkloadConformance, BatchSizeMatchesTable1)
+{
+    const AppId id = GetParam();
+    EXPECT_EQ(build(id).batchSize(), info(id).batchSize);
+}
+
+TEST_P(WorkloadConformance, IntensityNearTable1)
+{
+    // CNN1's synthetic stand-in lands within ~10%; everything else
+    // should be essentially exact (intensity == batch for FC nets).
+    const AppId id = GetParam();
+    const AppInfo &ai = info(id);
+    nn::Network net = build(id);
+    const double rel = net.opsPerWeightByte() / ai.paperOpsPerByte;
+    EXPECT_NEAR(rel, 1.0, id == AppId::CNN1 ? 0.12 : 0.01)
+        << toString(id) << " intensity "
+        << net.opsPerWeightByte();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadConformance,
+                         ::testing::ValuesIn(allApps()));
+
+TEST(Workloads, MixWeightsSumToOne)
+{
+    double sum = 0;
+    for (AppId id : allApps())
+        sum += mixWeight(id);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Workloads, MlpsDominateTheMix)
+{
+    // 61% MLP, 29% LSTM, 5% CNN (of the 95% covered).
+    EXPECT_GT(mixWeight(AppId::MLP0), mixWeight(AppId::LSTM0));
+    EXPECT_GT(mixWeight(AppId::LSTM0), mixWeight(AppId::CNN0));
+    EXPECT_NEAR(2.0 * mixWeight(AppId::CNN0), 0.05 / 0.95, 1e-12);
+}
+
+TEST(Workloads, BatchOverrideRescalesIntensity)
+{
+    nn::Network small = build(AppId::MLP0, 16);
+    EXPECT_EQ(small.batchSize(), 16);
+    EXPECT_DOUBLE_EQ(small.opsPerWeightByte(), 16.0);
+}
+
+TEST(Workloads, Cnn0IntensityIsExactly2888)
+{
+    // 8 examples x 19x19 positions = 2888 MACs per weight byte.
+    nn::Network net = build(AppId::CNN0);
+    EXPECT_DOUBLE_EQ(net.opsPerWeightByte(), 2888.0);
+}
+
+TEST(Workloads, Lstm1Uses600SquareGates)
+{
+    // The Section 7 fragmentation example requires 600x600 matrices.
+    nn::Network net = build(AppId::LSTM1);
+    bool found = false;
+    for (const auto &l : net.layers()) {
+        if (auto m = l->matrixMapping()) {
+            if (m->rows == 600 && m->cols == 600)
+                found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Workloads, Cnn1HasShallowAndDeepConvs)
+{
+    nn::Network net = build(AppId::CNN1);
+    bool shallow = false, deep = false, big_fc = false;
+    for (const auto &l : net.layers()) {
+        if (l->kind() == nn::Layer::Kind::Conv2D) {
+            const auto &c = static_cast<const nn::Conv2D &>(*l);
+            if (c.inChannels() <= 64)
+                shallow = true;
+            if (c.inChannels() >= 256)
+                deep = true;
+        }
+        if (l->kind() == nn::Layer::Kind::FullyConnected) {
+            const auto &f =
+                static_cast<const nn::FullyConnected &>(*l);
+            if (f.weightCount() > 10'000'000)
+                big_fc = true;
+        }
+    }
+    EXPECT_TRUE(shallow);
+    EXPECT_TRUE(deep);
+    EXPECT_TRUE(big_fc);
+}
+
+TEST(Workloads, NamesRoundTrip)
+{
+    for (AppId id : allApps())
+        EXPECT_EQ(info(id).name, std::string(toString(id)));
+}
+
+} // namespace
+} // namespace workloads
+} // namespace tpu
