@@ -4,39 +4,23 @@
  * behind Table 4 and the paper's central claim that "inference
  * prefers latency over throughput".
  *
- * Sweeps batch sizes on the production TPU, derives batch service
- * times from the cycle simulator, then runs the queueing simulator to
- * find the largest throughput whose p99 stays inside 7 ms, printing
- * the throughput/latency frontier for TPU, CPU, and GPU.
+ * Sweeps batch sizes on the production TPU, calibrates batch service
+ * times from the analytic hardware model (ServiceModel::fromModel),
+ * then runs the queueing simulator to find the largest throughput
+ * whose p99 stays inside 7 ms, printing the throughput/latency
+ * frontier for TPU, CPU, and GPU.  For the end-to-end serving path
+ * (real chips behind a dynamic batcher), see server_farm.cpp.
  */
 
 #include <cstdio>
 
-#include "arch/tpu_chip.hh"
+#include "arch/config.hh"
 #include "baselines/platform.hh"
-#include "compiler/codegen.hh"
 #include "latency/queueing.hh"
 #include "sim/logging.hh"
 #include "workloads/workloads.hh"
 
 namespace {
-
-/** TPU MLP0 batch service time from the cycle simulator. */
-double
-tpuServiceSeconds(std::int64_t batch)
-{
-    using namespace tpu;
-    const arch::TpuConfig cfg = arch::TpuConfig::production();
-    nn::Network net = workloads::build(workloads::AppId::MLP0, batch);
-    arch::TpuChip chip(cfg, false);
-    compiler::Compiler cc(cfg);
-    compiler::CompiledModel m =
-        cc.compile(net, &chip.weightMemory(),
-                   compiler::CompileOptions{});
-    const double host = baselines::hostInteractionFraction(
-        workloads::AppId::MLP0);
-    return chip.run(m.program).seconds * (1.0 + host);
-}
 
 void
 sweep(const char *name, const tpu::latency::ServiceModel &svc,
@@ -70,12 +54,14 @@ main()
     std::printf("MLP0 serving under a 7 ms p99 SLA "
                 "(Table 4 scenario)\n");
 
-    // TPU: service model fitted from two cycle-simulated points.
-    const double s200 = tpuServiceSeconds(200);
-    const double s250 = tpuServiceSeconds(250);
-    latency::ServiceModel tpu_svc;
-    tpu_svc.perItemSeconds = std::max(1e-9, (s250 - s200) / 50.0);
-    tpu_svc.baseSeconds = s200 - 200.0 * tpu_svc.perItemSeconds;
+    // TPU: service model calibrated from the analytic hardware model
+    // (weight-fetch base + compute marginal, host share included).
+    const latency::ServiceModel tpu_svc =
+        latency::ServiceModel::fromModel(
+            arch::TpuConfig::production(),
+            workloads::build(workloads::AppId::MLP0, 200),
+            baselines::hostInteractionFraction(
+                workloads::AppId::MLP0));
 
     sweep("TPU", tpu_svc, {50, 100, 200, 250}, sla);
     sweep("Haswell CPU", baselines::makeCpuModel().mlp0Service(),

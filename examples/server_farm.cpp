@@ -1,17 +1,23 @@
 /**
  * @file
- * Datacenter view: a rack slice of accelerator servers running the
- * paper's deployment mix (61% MLP, 29% LSTM, 5% CNN) through the
- * user-space driver, with server-level throughput, power, and
- * perf/Watt — Section 5's cost-performance story as running code.
+ * Datacenter view, request-level: a 4-die TPU server (Table 2)
+ * serving the paper's deployment mix (61% MLP, 29% LSTM, 5% CNN,
+ * Table 1) as tens of thousands of INDIVIDUAL requests through
+ * serve::Session -- Poisson arrivals, per-model dynamic batching
+ * under the 7 ms p99 SLO (Table 4), and a round-robin ChipPool of
+ * cycle-simulated chips.  Every number printed at the end comes from
+ * the session's StatGroup counters; no hand-fed service constants
+ * anywhere in this path.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "baselines/platform.hh"
 #include "power/power_model.hh"
-#include "runtime/driver.hh"
+#include "serve/session.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -21,85 +27,159 @@ main()
     setQuiet(true);
 
     const arch::TpuConfig cfg = arch::TpuConfig::production();
-    runtime::UserSpaceDriver driver(cfg);
+    constexpr int kChips = 4;           // Table 2: 4 dies per server
+    constexpr double kSlo = 7e-3;       // Table 4: the 7 ms limit
+    constexpr std::uint64_t kRequests = 12000;
 
-    // Load all six production models once ("the second and following
-    // evaluations run at full speed").
-    struct Loaded
+    serve::Session session(cfg, serve::SessionOptions{kChips});
+
+    // Load the six production models.  maxBatch is the Table 1
+    // deployment batch; maxDelay trades queueing delay for batch
+    // fill.  The MLPs carry the paper's 7 ms p99 limit; the LSTM and
+    // CNN limits are derived from their own (longer) full-batch
+    // service estimates, since Table 4 only publishes MLP0's bound.
+    struct Served
     {
         workloads::AppId id;
-        runtime::ModelHandle handle;
-        std::int64_t batch;
+        serve::ModelHandle handle;
+        double share; // of the request stream
+        double perItemSeconds;
+        double sloSeconds;
     };
-    std::vector<Loaded> models;
+    std::vector<Served> apps;
     for (workloads::AppId id : workloads::allApps()) {
-        nn::Network net = workloads::build(id);
-        models.push_back(
-            {id, driver.loadModel(net), net.batchSize()});
+        const std::int64_t max_batch = workloads::info(id).batchSize;
+        const double host =
+            baselines::hostInteractionFraction(id);
+        const latency::ServiceModel svc =
+            latency::ServiceModel::fromModel(
+                cfg, workloads::build(id, max_batch), host);
+
+        serve::BatcherPolicy policy;
+        policy.maxBatch = max_batch;
+        policy.maxDelaySeconds = 1e-3;
+        policy.sloSeconds =
+            std::max(kSlo, 2.5 * svc.seconds(max_batch));
+        serve::ModelHandle h = session.load(
+            workloads::toString(id),
+            [id](std::int64_t batch) {
+                return workloads::build(id, batch);
+            },
+            policy, host);
+        apps.push_back({id, h, workloads::mixWeight(id),
+                        svc.seconds(max_batch) /
+                            static_cast<double>(max_batch),
+                        policy.sloSeconds});
     }
 
-    // Serve a mixed minute of traffic: invocations proportional to
-    // the deployment mix.
-    std::printf("serving the Table 1 deployment mix through one TPU "
-                "die:\n\n");
-    std::printf("  %-6s %6s %12s %14s %12s\n", "app", "invkd",
-                "ms/batch", "inferences", "IPS (die)");
-    double total_inferences = 0;
-    double total_seconds = 0;
-    for (const Loaded &m : models) {
-        const int invocations = std::max(
-            1, static_cast<int>(100.0 * workloads::mixWeight(m.id)));
-        runtime::InvokeStats last;
-        for (int i = 0; i < invocations; ++i)
-            last = driver.invoke(m.handle, {},
-                                 baselines::hostInteractionFraction(
-                                     m.id));
-        const double inferences =
-            static_cast<double>(invocations) *
-            static_cast<double>(m.batch);
-        const double seconds =
-            static_cast<double>(invocations) * last.totalSeconds;
-        total_inferences += inferences;
-        total_seconds += seconds;
-        std::printf("  %-6s %6d %12.3f %14.0f %12.0f\n",
-                    workloads::toString(m.id), invocations,
-                    last.totalSeconds * 1e3, inferences,
-                    inferences / seconds);
+    // Offered load: Poisson arrivals at ~60% of the pool's
+    // batch-efficient capacity, derived from the calibrated service
+    // models (the pool's mean per-request cost over the mix).
+    double mean_request_seconds = 0;
+    for (const Served &a : apps)
+        mean_request_seconds += a.share * a.perItemSeconds;
+    const double capacity_ips =
+        static_cast<double>(kChips) / mean_request_seconds;
+    const double offered_ips = 0.60 * capacity_ips;
+
+    std::printf("serving %llu requests of the Table 1 mix through a "
+                "%d-chip pool\n(offered %.0f requests/s, ~60%% of "
+                "the %.0f IPS batch-efficient capacity)\n\n",
+                static_cast<unsigned long long>(kRequests), kChips,
+                offered_ips, capacity_ips);
+
+    // One merged Poisson stream, split by deployment share.
+    Rng arrivals(42), mix(7);
+    double t = 0;
+    for (std::uint64_t i = 0; i < kRequests; ++i) {
+        t += arrivals.exponential(offered_ips);
+        double u = mix.uniformReal();
+        const Served *pick = &apps.back();
+        for (const Served &a : apps) {
+            if (u < a.share) {
+                pick = &a;
+                break;
+            }
+            u -= a.share;
+        }
+        session.submitAt(t, pick->handle);
+    }
+    session.run();
+
+    // Everything below is read back from StatGroup counters.
+    std::printf("  %-6s %9s %9s %6s %10s %9s %9s %8s\n", "app",
+                "requests", "served", "shed", "mean batch",
+                "p50 (ms)", "p99 (ms)", "SLO");
+    for (const Served &a : apps) {
+        const serve::ModelServingStats &st =
+            session.modelStats(a.handle);
+        const bool slo_ok = st.p99() <= a.sloSeconds;
+        std::printf("  %-6s %9.0f %9.0f %6.0f %10.1f %9.2f %9.2f "
+                    "%8s\n",
+                    workloads::toString(a.id), st.submitted.value(),
+                    st.completed.value(), st.shed.value(),
+                    st.batchSize.result(), st.p50() * 1e3,
+                    st.p99() * 1e3, slo_ok ? "ok" : "MISS");
     }
 
-    const double die_ips = total_inferences / total_seconds;
-    std::printf("\nmix throughput: %.0f inferences/s per die\n",
-                die_ips);
+    const serve::ModelServingStats &mlp0 =
+        session.modelStats(apps.front().handle);
+    std::printf("\nMLP0 p99 response: %.2f ms against the %.1f ms "
+                "limit -> %s\n", mlp0.p99() * 1e3, kSlo * 1e3,
+                mlp0.p99() <= kSlo ? "within SLO" : "SLO MISS");
 
-    // Server level: 4 TPUs + host (Table 2), vs the CPU server.
+    const stats::StatGroup &sg = session.statGroup();
+    const double pool_ips = sg.find("ips")->result();
+    std::printf("\npool: %.0f completed requests, %.0f shed, %.0f "
+                "batches, %.0f IPS over %.1f ms simulated\n",
+                sg.find("completed")->result(),
+                sg.find("shed")->result(),
+                sg.find("batches")->result(), pool_ips,
+                session.now() * 1e3);
+    for (int c = 0; c < session.pool().size(); ++c)
+        std::printf("  chip%d: %4llu batches, %6.1f ms busy, "
+                    "%4.0f%% utilized\n", c,
+                    static_cast<unsigned long long>(
+                        session.pool().batches(c)),
+                    session.pool().busySeconds(c) * 1e3,
+                    100.0 * session.pool().busySeconds(c) /
+                        session.now());
+
+    const arch::PerfCounters &ctr = session.pool().mergedCounters();
+    std::printf("  pool device counters: %.1f G cycles, %.1f GB "
+                "weights streamed, %llu instructions\n",
+                static_cast<double>(ctr.totalCycles) / 1e9,
+                static_cast<double>(ctr.weightBytesRead) / 1e9,
+                static_cast<unsigned long long>(
+                    ctr.totalInstructions));
+
+    // Server-level cost-performance, as in Section 5.  For a
+    // like-for-like comparison with the CPU model's full-capacity
+    // IPS, project the pool's measured busy-time throughput to 100%
+    // utilization (the at-load number above is throttled by the 60%
+    // offered rate, not by the hardware).
+    double total_busy = 0;
+    for (int c = 0; c < session.pool().size(); ++c)
+        total_busy += session.pool().busySeconds(c);
+    const double busy_ips =
+        sg.find("completed")->result() /
+        (total_busy / session.pool().size());
     const power::ServerPower tpu_srv = power::tpuServer();
     const power::ServerPower cpu_srv = power::haswellServer();
-    const double server_ips = die_ips * tpu_srv.dies;
-    std::printf("TPU server (4 dies): %.0f inferences/s at %.0f W "
-                "TDP -> %.1f inf/s/W\n", server_ips,
-                tpu_srv.serverTdpWatts,
-                server_ips / tpu_srv.serverTdpWatts);
-
     const baselines::BaselineModel cpu = baselines::makeCpuModel();
     double cpu_mix_ips = 0;
     for (workloads::AppId id : workloads::allApps())
         cpu_mix_ips += workloads::mixWeight(id) *
                        cpu.inferencesPerSec(id);
     const double cpu_server_ips = cpu_mix_ips * cpu_srv.dies;
-    std::printf("CPU server (2 dies): %.0f inferences/s at %.0f W "
-                "TDP -> %.1f inf/s/W\n", cpu_server_ips,
+    std::printf("\nTPU server (measured, busy-time): %.0f IPS at "
+                "%.0f W TDP -> %.1f inf/s/W\n", busy_ips,
+                tpu_srv.serverTdpWatts,
+                busy_ips / tpu_srv.serverTdpWatts);
+    std::printf("CPU server (model, full load):    %.0f IPS at "
+                "%.0f W TDP -> %.1f inf/s/W\n", cpu_server_ips,
                 cpu_srv.serverTdpWatts,
                 cpu_server_ips / cpu_srv.serverTdpWatts);
-    std::printf("\nperf/W advantage of the TPU server on this mix: "
-                "%.0fx\n",
-                (server_ips / tpu_srv.serverTdpWatts) /
-                (cpu_server_ips / cpu_srv.serverTdpWatts));
 
-    std::printf("\ndriver stats: %llu invocations, %.1f ms of device "
-                "time, %llu interrupts\n",
-                static_cast<unsigned long long>(driver.invocations()),
-                driver.totalDeviceSeconds() * 1e3,
-                static_cast<unsigned long long>(
-                    driver.kernelDriver().interrupts()));
-    return 0;
+    return mlp0.p99() <= kSlo ? 0 : 1;
 }

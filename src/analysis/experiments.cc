@@ -312,22 +312,13 @@ table4Latency(const arch::TpuConfig &cfg)
     const latency::ServiceModel gpu_svc =
         baselines::makeGpuModel().mlp0Service();
 
-    // The TPU's MLP0 service time comes from the cycle simulator at
-    // two batch sizes (host-interaction time included).
-    auto tpu_seconds = [&](std::int64_t batch) {
-        nn::Network net = workloads::build(AppId::MLP0, batch);
-        arch::TpuChip chip(cfg, false);
-        compiler::Compiler cc(cfg);
-        compiler::CompiledModel m = cc.compile(
-            net, &chip.weightMemory(), compiler::CompileOptions{});
-        return chip.run(m.program).seconds *
-               (1.0 + baselines::hostInteractionFraction(AppId::MLP0));
-    };
-    const double s200 = tpu_seconds(200);
-    const double s250 = tpu_seconds(250);
-    latency::ServiceModel tpu_svc;
-    tpu_svc.perItemSeconds = std::max(1e-9, (s250 - s200) / 50.0);
-    tpu_svc.baseSeconds = s200 - 200.0 * tpu_svc.perItemSeconds;
+    // The TPU's MLP0 service model is calibrated from the analytic
+    // hardware model (weight-fetch base + compute marginal), with
+    // the Table 5 host-interaction share on top.
+    const latency::ServiceModel tpu_svc =
+        latency::ServiceModel::fromModel(
+            cfg, workloads::build(AppId::MLP0, 200),
+            baselines::hostInteractionFraction(AppId::MLP0));
 
     const Row rows[] = {
         {"CPU", 16, cpu_svc, false, "7.2", "5,482", "42%"},

@@ -113,6 +113,35 @@ PerfCounters::merge(const PerfCounters &other)
     totalInstructions += other.totalInstructions;
 }
 
+PerfCounters
+PerfCounters::averagedOver(std::uint64_t requests) const
+{
+    if (requests <= 1)
+        return *this;
+    PerfCounters out = *this;
+    out.totalCycles /= requests;
+    out.arrayActiveCycles /= requests;
+    out.weightStallCycles /= requests;
+    out.weightShiftCycles /= requests;
+    out.nonMatrixCycles /= requests;
+    out.rawStallCycles /= requests;
+    out.inputStallCycles /= requests;
+    out.usefulMacs /= requests;
+    out.totalMacSlots /= requests;
+    out.weightBytesRead /= requests;
+    out.pcieBytesIn /= requests;
+    out.pcieBytesOut /= requests;
+    out.ubBytesRead /= requests;
+    out.ubBytesWritten /= requests;
+    out.accBytesWritten /= requests;
+    out.matmulInstructions /= requests;
+    out.activateInstructions /= requests;
+    out.readWeightInstructions /= requests;
+    out.dmaInstructions /= requests;
+    out.totalInstructions /= requests;
+    return out;
+}
+
 std::string
 PerfCounters::summary() const
 {

@@ -80,6 +80,15 @@ struct PerfCounters
     double cpi() const;
 
     void merge(const PerfCounters &other);
+
+    /**
+     * One request's share of a batch run: every count divided by
+     * @p requests (rounded down; fractions of a cycle are not
+     * observable).  The serving runtime attaches this view to each
+     * Reply so per-request cost is visible without per-request runs.
+     */
+    PerfCounters averagedOver(std::uint64_t requests) const;
+
     std::string summary() const;
 };
 

@@ -4,11 +4,30 @@
 #include <deque>
 #include <vector>
 
+#include "model/perf_model.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "sim/units.hh"
 
 namespace tpu {
 namespace latency {
+
+ServiceModel
+ServiceModel::fromModel(const arch::TpuConfig &config,
+                        const nn::Network &net, double host_fraction)
+{
+    fatal_if(host_fraction < 0.0, "negative host fraction");
+    const model::ServiceSplit split =
+        model::AnalyticModel(config).serviceSplit(net);
+    const double scale = (1.0 + host_fraction) / config.clockHz;
+    ServiceModel s;
+    s.baseSeconds = static_cast<double>(split.baseCycles) * scale;
+    s.perItemSeconds = split.perItemCycles * scale;
+    fatal_if(s.seconds(1) <= 0,
+             "service model calibration produced a non-positive "
+             "service time (network with no matrix layers?)");
+    return s;
+}
 
 BatchQueueSim::BatchQueueSim(ServiceModel service, std::int64_t max_batch,
                              std::uint64_t seed)

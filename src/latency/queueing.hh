@@ -1,15 +1,23 @@
 /**
  * @file
  * Discrete-event batch-queueing simulator for the 99th-percentile
- * response-time experiments (Table 4 and Section 8's first Fallacy).
+ * response-time experiments (Table 4 and Section 8's first Fallacy:
+ * "NN workloads would keep throughput-oriented server architectures
+ * relevant" -- they do not, because "larger batch sizes increase
+ * throughput, but their longer response times exceed the limit").
  *
  * Requests arrive Poisson; a single server collects up to B queued
  * requests into a batch and serves them together with a batch-size
  * dependent service time s(b) = base + perItem * b.  Response time of
- * a request = completion of its batch - its arrival.  This captures
- * the paper's trade-off: "larger batch sizes increase throughput, but
- * ... their longer response times exceed the limit, so CPUs and GPUs
- * must use less-efficient, smaller batch sizes".
+ * a request = completion of its batch - its arrival.  The paper's
+ * application limit is 7 ms at the 99th percentile (Table 4); the
+ * TPU's service model is derived from the simulated hardware via
+ * ServiceModel::fromModel, not from hand-fed constants.
+ *
+ * This analytic path answers "what arrival rate can a service model
+ * sustain under the SLO"; the serve::Session subsystem (src/serve/)
+ * answers the same question end to end, with individual requests
+ * flowing through a dynamic batcher onto real simulated chips.
  */
 
 #ifndef TPUSIM_LATENCY_QUEUEING_HH
@@ -19,6 +27,14 @@
 #include <functional>
 
 namespace tpu {
+
+namespace arch {
+struct TpuConfig;
+} // namespace arch
+namespace nn {
+class Network;
+} // namespace nn
+
 namespace latency {
 
 /** Affine batch service-time model: seconds to serve b requests. */
@@ -39,6 +55,19 @@ struct ServiceModel
     {
         return static_cast<double>(b) / seconds(b);
     }
+
+    /**
+     * Calibrate the affine model from the analytic hardware model
+     * (model::AnalyticModel::serviceSplit): base = the weight-fetch
+     * floor of streaming @p net's tiles once, perItem = the marginal
+     * compute/DMA cost of one more example.  @p host_fraction adds
+     * the Table 5 host-interaction share on top of device time.
+     * This is how the Table 4 TPU rows flow from the simulated
+     * hardware instead of fitted constants.
+     */
+    static ServiceModel fromModel(const arch::TpuConfig &config,
+                                  const nn::Network &net,
+                                  double host_fraction = 0.0);
 };
 
 /** Result of one queueing simulation. */

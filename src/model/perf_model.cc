@@ -98,6 +98,47 @@ AnalyticModel::estimateCycles(const nn::Network &net) const
     return total;
 }
 
+ServiceSplit
+AnalyticModel::serviceSplit(const nn::Network &net) const
+{
+    const std::int64_t dim = _cfg.matrixDim;
+    // Steady state, one resident tile: the fetch pipe or the shift,
+    // whichever is longer, bounds the batch-independent tile period.
+    const Cycle fixed_tile = std::max(_cfg.tileFetchCycles(),
+                                      _cfg.tileShiftCycles());
+
+    ServiceSplit s;
+    std::int64_t out_features = 0;
+    for (const auto &layer : net.layers()) {
+        auto mapping = layer->matrixMapping();
+        if (!mapping)
+            continue; // vector/pool layers overlap matrix work
+        const nn::MatrixMapping m = *mapping;
+        const compiler::TileGrid grid(m.rows, m.cols, dim);
+        const std::int64_t tiles =
+            m.executions * m.passes * grid.rowTiles() *
+            grid.colTiles();
+        // Weight-fetch floor: stream every tile once per batch.
+        s.baseCycles += static_cast<Cycle>(tiles) * fixed_tile;
+        // Compute marginal: the array holds each tile for one cycle
+        // per activation row, rowsPerExample rows per example.
+        s.perItemCycles += static_cast<double>(tiles) *
+                           static_cast<double>(m.rowsPerExample);
+        // Layer tail: array + activation drain (fixed), and the last
+        // stripe's row stream (per example).
+        s.baseCycles += 2 * static_cast<Cycle>(dim);
+        s.perItemCycles += static_cast<double>(m.rowsPerExample);
+        out_features = grid.colTiles() * dim;
+    }
+    // The final output DMA does not overlap downstream work; its cost
+    // scales with the batch.
+    if (out_features > 0)
+        s.perItemCycles += static_cast<double>(out_features) /
+                           bytesPerCycle(_cfg.pcieBytesPerSec,
+                                         _cfg.clockHz);
+    return s;
+}
+
 double
 AnalyticModel::estimateSeconds(const nn::Network &net) const
 {

@@ -37,6 +37,20 @@ struct LayerProfile
     double shareOfTotal = 0;   ///< fraction of network cycles
 };
 
+/**
+ * Affine decomposition of a network's batch service time, the form the
+ * latency::ServiceModel consumes:  cycles(b) ~ base + perItem * b.
+ * The base is the batch-independent weight-fetch floor (streaming every
+ * tile through the Weight FIFO once, plus fixed pipeline tails); the
+ * per-item term is the marginal compute cost of one more example
+ * (array occupancy rows plus its share of the output DMA).
+ */
+struct ServiceSplit
+{
+    Cycle baseCycles = 0;     ///< weight-fetch-bound, batch-independent
+    double perItemCycles = 0; ///< compute marginal per example
+};
+
 /** Closed-form per-layer max(fetch, compute) performance model. */
 class AnalyticModel
 {
@@ -47,6 +61,16 @@ class AnalyticModel
 
     /** Estimated cycles for one batch inference of @p net. */
     Cycle estimateCycles(const nn::Network &net) const;
+
+    /**
+     * Affine base/per-item decomposition of @p net's service time,
+     * used to calibrate latency::ServiceModel (Table 4) and the
+     * serve::Batcher's SLO admission estimates from the modelled
+     * hardware instead of hand-fed constants.  Valid while the batch
+     * fits the accumulator file (no weight refetch groups), which
+     * holds for every Table 1 deployment batch.
+     */
+    ServiceSplit serviceSplit(const nn::Network &net) const;
 
     /** Estimated wall-clock seconds for one batch inference. */
     double estimateSeconds(const nn::Network &net) const;

@@ -28,6 +28,7 @@ class Network
     {}
 
     const std::string &name() const { return _name; }
+    void setName(std::string name) { _name = std::move(name); }
 
     std::int64_t batchSize() const { return _batchSize; }
     void setBatchSize(std::int64_t b) { _batchSize = b; }

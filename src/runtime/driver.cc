@@ -19,8 +19,17 @@ void
 KernelDriver::freePinned(std::uint64_t id)
 {
     auto it = _buffers.find(id);
-    panic_if(it == _buffers.end(), "freeing unknown pinned buffer "
-             "%llu", static_cast<unsigned long long>(id));
+    if (it == _buffers.end()) {
+        // Ids are allocated monotonically, so a missing id below the
+        // high-water mark can only have been freed already.
+        panic_if(id > 0 && id < _nextId, "double free of pinned "
+                 "buffer %llu", static_cast<unsigned long long>(id));
+        panic("freeing unknown pinned buffer %llu",
+              static_cast<unsigned long long>(id));
+    }
+    panic_if(it->second > _pinnedBytes,
+             "pinned-byte accounting underflow freeing buffer %llu",
+             static_cast<unsigned long long>(id));
     _pinnedBytes -= it->second;
     _buffers.erase(it);
 }

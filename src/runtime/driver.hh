@@ -38,7 +38,11 @@ class KernelDriver
     /** Pin @p bytes of host memory for DMA; returns a buffer id. */
     std::uint64_t allocPinned(std::uint64_t bytes);
 
-    /** Release a pinned buffer. */
+    /**
+     * Release a pinned buffer, returning its bytes to the pool.
+     * Freeing an id twice or freeing an id that was never allocated
+     * is rejected as a driver-client bug (distinct diagnostics).
+     */
     void freePinned(std::uint64_t id);
 
     /** Raise a completion interrupt (called by the runtime). */
@@ -98,6 +102,12 @@ class UserSpaceDriver
      * Evaluate one batch.  @p host_fraction models the host-side
      * runtime share as a fraction of device time (Table 5); pass the
      * per-app constant from baselines::hostInteractionFraction.
+     *
+     * @deprecated Direct synchronous invocation of a pre-formed
+     * batch is the legacy request path.  New serving code should go
+     * through serve::Session, which batches individual requests
+     * under the 7 ms SLO and schedules across a ChipPool; this
+     * driver remains the per-chip backend behind that API.
      */
     InvokeStats invoke(ModelHandle handle,
                        const std::vector<std::int8_t> &host_input = {},

@@ -1,0 +1,112 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace serve {
+
+Batcher::Batcher(BatcherPolicy policy, latency::ServiceModel estimate)
+    : _policy(policy), _estimate(estimate)
+{
+    fatal_if(_policy.maxBatch <= 0, "maxBatch must be positive");
+    fatal_if(_policy.maxDelaySeconds < 0, "negative maxDelay");
+    fatal_if(_policy.sloSeconds <= 0, "SLO must be positive");
+    fatal_if(_policy.batchBuckets <= 0,
+             "need at least one batch bucket");
+}
+
+void
+Batcher::admit(PendingRequest req)
+{
+    panic_if(!_queue.empty() &&
+             req.arrivalSeconds < _queue.back().arrivalSeconds,
+             "request admitted out of arrival order");
+    _queue.push_back(std::move(req));
+}
+
+double
+Batcher::oldestArrival() const
+{
+    fatal_if(_queue.empty(), "no queued requests");
+    return _queue.front().arrivalSeconds;
+}
+
+double
+Batcher::nextDeadline() const
+{
+    return oldestArrival() + _policy.maxDelaySeconds;
+}
+
+bool
+Batcher::batchReady(double now) const
+{
+    if (_queue.empty())
+        return false;
+    if (static_cast<std::int64_t>(_queue.size()) >= _policy.maxBatch)
+        return true;
+    // Small epsilon so a deadline timer firing exactly on time counts.
+    return now + 1e-12 >= nextDeadline();
+}
+
+std::int64_t
+Batcher::bucketFor(std::int64_t batch) const
+{
+    fatal_if(batch <= 0 || batch > _policy.maxBatch,
+             "batch %lld outside (0, maxBatch]",
+             static_cast<long long>(batch));
+    for (int k = 1; k <= _policy.batchBuckets; ++k) {
+        const std::int64_t bucket =
+            (_policy.maxBatch * k + _policy.batchBuckets - 1) /
+            _policy.batchBuckets;
+        if (bucket >= batch)
+            return bucket;
+    }
+    return _policy.maxBatch;
+}
+
+FormedBatch
+Batcher::form(double now)
+{
+    FormedBatch out;
+    if (_policy.enforceSlo) {
+        // Shed hopeless requests: even in the smallest batch that
+        // can actually run (the padded minimum bucket) they would
+        // miss their response-time limit.
+        const double min_service = _estimate.seconds(bucketFor(1));
+        while (!_queue.empty()) {
+            const double waited =
+                now - _queue.front().arrivalSeconds;
+            if (waited + min_service <= _policy.sloSeconds)
+                break;
+            out.shed.push_back(std::move(_queue.front()));
+            _queue.pop_front();
+        }
+    }
+    std::int64_t b = std::min<std::int64_t>(
+        _policy.maxBatch, static_cast<std::int64_t>(_queue.size()));
+    if (b <= 0)
+        return out;
+    if (_policy.enforceSlo) {
+        // Shrink: a big batch serves everyone more efficiently, but
+        // its longer service time counts against the oldest member's
+        // deadline.  The estimate uses the padded (compiled) size,
+        // which is what will actually run.
+        const double waited = now - _queue.front().arrivalSeconds;
+        while (b > 1 &&
+               waited + _estimate.seconds(bucketFor(b)) >
+                   _policy.sloSeconds)
+            --b;
+    }
+    out.requests.reserve(static_cast<std::size_t>(b));
+    for (std::int64_t i = 0; i < b; ++i) {
+        out.requests.push_back(std::move(_queue.front()));
+        _queue.pop_front();
+    }
+    out.paddedBatch = bucketFor(b);
+    return out;
+}
+
+} // namespace serve
+} // namespace tpu

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-model admission queue with a dynamic batcher.
+ *
+ * The policy is batch-or-deadline: collect queued requests until
+ * either maxBatch of them are waiting or the oldest has waited
+ * maxDelay, whichever comes first.  This is the serving-side answer
+ * to Table 4 and Section 8's first Fallacy -- "larger batch sizes
+ * increase throughput, but their longer response times exceed the
+ * limit" -- so the batcher also enforces the paper's 99th-percentile
+ * response-time SLO (7 ms for MLP0) at formation time: requests that
+ * can no longer make the deadline even served alone are shed, and a
+ * batch whose estimated completion would breach the SLO of its oldest
+ * member is shrunk until it fits.  The estimate comes from
+ * latency::ServiceModel::fromModel, i.e. from the modelled hardware,
+ * not hand constants; ground-truth timing still comes from running
+ * the formed batch on a real simulated chip.
+ */
+
+#ifndef TPUSIM_SERVE_BATCHER_HH
+#define TPUSIM_SERVE_BATCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "latency/queueing.hh"
+#include "serve/request.hh"
+
+namespace tpu {
+namespace serve {
+
+/** Dynamic-batching and SLO knobs for one loaded model. */
+struct BatcherPolicy
+{
+    /** Largest batch the server will form (Table 1 batch size). */
+    std::int64_t maxBatch = 64;
+
+    /** Longest the oldest queued request may wait for company. */
+    double maxDelaySeconds = 1e-3;
+
+    /** 99th-percentile response-time limit (Table 4: 7 ms). */
+    double sloSeconds = 7e-3;
+
+    /** Shed/shrink against sloSeconds at batch-formation time. */
+    bool enforceSlo = true;
+
+    /**
+     * Number of compiled batch-size buckets.  Formed batches are
+     * padded up to ceil(maxBatch * k / batchBuckets) so the per-chip
+     * program cache stays small; padding wastes array rows exactly
+     * the way a real fixed-shape compiled program would.
+     */
+    int batchBuckets = 4;
+};
+
+/** One request waiting in (or leaving) the admission queue. */
+struct PendingRequest
+{
+    RequestId id = 0;
+    double arrivalSeconds = 0;
+    std::vector<std::int8_t> input;
+    std::shared_ptr<detail::FutureState> state;
+};
+
+/** Result of one batch formation. */
+struct FormedBatch
+{
+    std::vector<PendingRequest> requests; ///< to run on a chip
+    std::vector<PendingRequest> shed;     ///< rejected by the SLO
+    std::int64_t paddedBatch = 0;         ///< compiled batch size
+};
+
+/** Per-model admission queue + batch-or-deadline former. */
+class Batcher
+{
+  public:
+    Batcher(BatcherPolicy policy, latency::ServiceModel estimate);
+
+    void admit(PendingRequest req);
+
+    bool empty() const { return _queue.empty(); }
+    std::size_t depth() const { return _queue.size(); }
+
+    /** Arrival time of the oldest queued request (fatal if empty). */
+    double oldestArrival() const;
+
+    /** When the oldest queued request's patience runs out. */
+    double nextDeadline() const;
+
+    /** A batch should be dispatched now (maxBatch or deadline). */
+    bool batchReady(double now) const;
+
+    /**
+     * Pop the next batch, applying SLO shedding/shrinking at @p now.
+     * May return an empty requests vector if everything queued was
+     * shed; callers must resolve the shed list either way.
+     */
+    FormedBatch form(double now);
+
+    /** Smallest compiled bucket that can carry @p batch requests. */
+    std::int64_t bucketFor(std::int64_t batch) const;
+
+    const BatcherPolicy &policy() const { return _policy; }
+    const latency::ServiceModel &estimate() const { return _estimate; }
+
+  private:
+    BatcherPolicy _policy;
+    latency::ServiceModel _estimate;
+    std::deque<PendingRequest> _queue;
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_BATCHER_HH

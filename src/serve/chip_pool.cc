@@ -1,0 +1,115 @@
+#include "serve/chip_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace serve {
+
+ChipPool::Chip::Chip(const arch::TpuConfig &config, int index,
+                     std::function<double()> now_fn)
+    : driver(std::make_unique<runtime::UserSpaceDriver>(config)),
+      group("chip" + std::to_string(index)),
+      batches("batches", "formed batches served by this chip"),
+      busySeconds("busy_seconds", "simulated seconds serving batches"),
+      utilization("utilization", "busy fraction of simulated time",
+                  [this, now_fn = std::move(now_fn)]() {
+                      const double horizon = now_fn ? now_fn() : 0.0;
+                      return horizon > 0
+                                 ? busySeconds.value() / horizon
+                                 : 0.0;
+                  })
+{
+    group.regStat(&batches);
+    group.regStat(&busySeconds);
+    group.regStat(&utilization);
+}
+
+ChipPool::ChipPool(const arch::TpuConfig &config, int chips,
+                   std::function<double()> now_fn)
+    : _now(std::move(now_fn)), _stats("chip_pool")
+{
+    fatal_if(chips <= 0, "chip pool needs at least one chip");
+    _chips.reserve(static_cast<std::size_t>(chips));
+    for (int i = 0; i < chips; ++i) {
+        _chips.push_back(std::make_unique<Chip>(config, i, _now));
+        _stats.regGroup(&_chips.back()->group);
+    }
+}
+
+int
+ChipPool::acquireFree()
+{
+    const int n = size();
+    for (int step = 1; step <= n; ++step) {
+        const int c = (_lastGrant + step) % n;
+        if (!_chips[c]->busy) {
+            _chips[c]->busy = true;
+            _lastGrant = c;
+            return c;
+        }
+    }
+    return -1;
+}
+
+void
+ChipPool::release(int chip)
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    panic_if(!_chips[chip]->busy, "releasing an idle chip %d", chip);
+    _chips[chip]->busy = false;
+}
+
+bool
+ChipPool::anyFree() const
+{
+    for (const auto &c : _chips)
+        if (!c->busy)
+            return true;
+    return false;
+}
+
+bool
+ChipPool::busy(int chip) const
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    return _chips[chip]->busy;
+}
+
+runtime::UserSpaceDriver &
+ChipPool::driver(int chip)
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    return *_chips[chip]->driver;
+}
+
+runtime::InvokeStats
+ChipPool::invoke(int chip, runtime::ModelHandle handle,
+                 double host_fraction)
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    panic_if(!_chips[chip]->busy,
+             "invoking on chip %d without holding it", chip);
+    runtime::InvokeStats stats =
+        _chips[chip]->driver->invoke(handle, {}, host_fraction);
+    _chips[chip]->batches += 1;
+    _chips[chip]->busySeconds += stats.totalSeconds;
+    _merged.merge(stats.counters);
+    return stats;
+}
+
+double
+ChipPool::busySeconds(int chip) const
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    return _chips[chip]->busySeconds.value();
+}
+
+std::uint64_t
+ChipPool::batches(int chip) const
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    return static_cast<std::uint64_t>(_chips[chip]->batches.value());
+}
+
+} // namespace serve
+} // namespace tpu

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A pool of N simulated TPU chips behind one serving Session.
+ *
+ * Each pool member is a full runtime::UserSpaceDriver (compiler,
+ * model cache, kernel driver, stats) fronting its own arch::TpuChip
+ * -- the paper's deployment unit is "4 TPU dies per server"
+ * (Table 2), and the Session schedules formed batches across the
+ * pool.  Chip selection is round-robin over the free chips so a
+ * bursty model cannot camp on chip 0 while the rest idle.
+ *
+ * Invocations run the real cycle simulator; the pool accumulates
+ * per-chip busy seconds and batch counts into a StatGroup, and
+ * merges device perf counters across the pool so utilization and
+ * IPS reported upstream come from counters, not estimates.
+ */
+
+#ifndef TPUSIM_SERVE_CHIP_POOL_HH
+#define TPUSIM_SERVE_CHIP_POOL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/config.hh"
+#include "runtime/driver.hh"
+#include "sim/stats.hh"
+
+namespace tpu {
+namespace serve {
+
+/** Round-robin pool of UserSpaceDriver-backed chips. */
+class ChipPool
+{
+  public:
+    /**
+     * @param config  per-chip configuration (all members identical)
+     * @param chips   pool size (>= 1)
+     * @param now_fn  simulated-clock source for utilization formulas
+     */
+    ChipPool(const arch::TpuConfig &config, int chips,
+             std::function<double()> now_fn);
+
+    int size() const { return static_cast<int>(_chips.size()); }
+
+    /**
+     * Claim a free chip (round-robin from the last grant); -1 when
+     * every chip is busy.  The caller owns the claim until release().
+     */
+    int acquireFree();
+    void release(int chip);
+    bool anyFree() const;
+    bool busy(int chip) const;
+
+    runtime::UserSpaceDriver &driver(int chip);
+
+    /**
+     * Run one formed batch (a driver-cached model) on @p chip and
+     * account the busy time; the chip must be held via acquireFree().
+     */
+    runtime::InvokeStats invoke(int chip, runtime::ModelHandle handle,
+                                double host_fraction);
+
+    double busySeconds(int chip) const;
+    std::uint64_t batches(int chip) const;
+
+    /** Device counters merged across every batch on every chip. */
+    const arch::PerfCounters &mergedCounters() const
+    {
+        return _merged;
+    }
+
+    const stats::StatGroup &statGroup() const { return _stats; }
+    stats::StatGroup &statGroupMutable() { return _stats; }
+
+  private:
+    struct Chip
+    {
+        explicit Chip(const arch::TpuConfig &config, int index,
+                      std::function<double()> now_fn);
+
+        std::unique_ptr<runtime::UserSpaceDriver> driver;
+        bool busy = false;
+        stats::StatGroup group;
+        stats::Scalar batches;
+        stats::Scalar busySeconds;
+        stats::Formula utilization;
+    };
+
+    std::vector<std::unique_ptr<Chip>> _chips;
+    std::function<double()> _now;
+    int _lastGrant = -1;
+    arch::PerfCounters _merged;
+    stats::StatGroup _stats;
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_CHIP_POOL_HH

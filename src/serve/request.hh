@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Request-level serving types: the unit of work in serve::Session is
+ * one inference request, not a pre-formed batch.  Following the
+ * session/run split of the TensorFlow system paper, submission is
+ * asynchronous: submit() returns a Future immediately, and the Reply
+ * materializes when the simulated batch carrying the request
+ * completes (or when SLO admission control sheds it).
+ *
+ * The 7 ms limit the Replies are judged against is the paper's
+ * Table 4 99th-percentile response-time bound; see
+ * latency/queueing.hh and serve/batcher.hh for the policy.
+ */
+
+#ifndef TPUSIM_SERVE_REQUEST_HH
+#define TPUSIM_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/perf_counters.hh"
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace serve {
+
+/** Identifies one submitted request within a Session. */
+using RequestId = std::uint64_t;
+
+/** Opaque handle to a model loaded into a Session. */
+using ModelHandle = std::uint64_t;
+
+/** Final disposition of one request. */
+struct Reply
+{
+    RequestId id = 0;
+
+    /** Dropped by SLO admission control instead of served. */
+    bool shed = false;
+
+    /** Simulated-time trajectory (seconds). */
+    double submitSeconds = 0;     ///< arrival at the admission queue
+    double dispatchSeconds = 0;   ///< batch formation / chip issue
+    double completionSeconds = 0; ///< batch completion (or shed time)
+    double responseSeconds = 0;   ///< completion - submit (the SLO metric)
+    double queueSeconds = 0;      ///< dispatch - submit
+
+    /** The dynamic batch this request rode in. */
+    std::int64_t batchSize = 0;   ///< requests actually carried
+    std::int64_t paddedBatch = 0; ///< compiled (bucket-padded) batch
+    int chip = -1;                ///< pool member that served it
+
+    /**
+     * This request's share of its batch's device performance
+     * counters (arch::PerfCounters::averagedOver).
+     */
+    arch::PerfCounters counters;
+};
+
+namespace detail {
+
+/** Shared resolution slot between a Future and the Session. */
+struct FutureState
+{
+    bool ready = false;
+    Reply reply;
+};
+
+} // namespace detail
+
+/**
+ * Handle to a pending Reply.  Resolution happens inside
+ * Session::run() (simulated time), so there is no blocking wait:
+ * check ready() after run() returns or between runUntil() steps.
+ */
+class Future
+{
+  public:
+    Future() = default;
+
+    bool valid() const { return static_cast<bool>(_state); }
+    bool ready() const { return _state && _state->ready; }
+
+    const Reply &
+    reply() const
+    {
+        fatal_if(!ready(), "reading a serve::Future before the "
+                 "session resolved it (run the session first)");
+        return _state->reply;
+    }
+
+  private:
+    friend class Session;
+    explicit Future(std::shared_ptr<detail::FutureState> state)
+        : _state(std::move(state))
+    {}
+
+    std::shared_ptr<detail::FutureState> _state;
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_REQUEST_HH

@@ -1,0 +1,350 @@
+#include "serve/session.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace serve {
+
+ModelServingStats::ModelServingStats(const std::string &name,
+                                     double slo_seconds)
+    : group(name),
+      submitted("submitted", "requests admitted for this model"),
+      completed("completed", "requests served to completion"),
+      shed("shed", "requests dropped by SLO admission control"),
+      batches("batches", "dynamic batches formed"),
+      batchSize("achieved_batch", "mean formed batch size"),
+      queueSeconds("queue_seconds", "mean admission-queue wait"),
+      deviceSeconds("device_seconds", "TPU busy seconds for this "
+                    "model"),
+      // Histogram sized to resolve the p99 around the SLO: 8x the
+      // limit at ~SLO/512 resolution.
+      response("response_seconds", "request response time",
+               0.0, std::max(8.0 * slo_seconds, 1e-3), 4096)
+{
+    group.regStat(&submitted);
+    group.regStat(&completed);
+    group.regStat(&shed);
+    group.regStat(&batches);
+    group.regStat(&batchSize);
+    group.regStat(&queueSeconds);
+    group.regStat(&deviceSeconds);
+    group.regStat(&response);
+}
+
+Session::Model::Model(std::string model_name,
+                      NetworkBuilder net_builder, BatcherPolicy policy,
+                      latency::ServiceModel estimate, double host_frac)
+    : name(std::move(model_name)), builder(std::move(net_builder)),
+      hostFraction(host_frac), batcher(policy, estimate),
+      stats(name, policy.sloSeconds)
+{}
+
+Session::Session(arch::TpuConfig config, SessionOptions options)
+    : _config(std::move(config)),
+      _pool(_config, options.chips, [this]() { return now(); }),
+      _stats("serve_session"),
+      _submitted("submitted", "requests submitted"),
+      _completed("completed", "requests served to completion"),
+      _shed("shed", "requests dropped by SLO admission control"),
+      _batches("batches", "dynamic batches dispatched"),
+      _ips("ips", "completed inferences per simulated second",
+           [this]() {
+               const double horizon = now();
+               return horizon > 0 ? _completed.value() / horizon
+                                  : 0.0;
+           })
+{
+    _stats.regStat(&_submitted);
+    _stats.regStat(&_completed);
+    _stats.regStat(&_shed);
+    _stats.regStat(&_batches);
+    _stats.regStat(&_ips);
+    _stats.regGroup(&_pool.statGroupMutable());
+}
+
+ModelHandle
+Session::load(const std::string &name, NetworkBuilder builder,
+              BatcherPolicy policy, double host_fraction)
+{
+    fatal_if(!builder, "model builder must be callable");
+    fatal_if(host_fraction < 0.0, "negative host fraction");
+    // Calibrate the batcher's SLO estimate from the analytic
+    // hardware model; the network's own batch size is irrelevant to
+    // the affine decomposition, only the layer shapes matter.
+    const latency::ServiceModel estimate =
+        latency::ServiceModel::fromModel(
+            _config, builder(policy.maxBatch), host_fraction);
+    const ModelHandle handle = _nextModel++;
+    auto model = std::make_unique<Model>(name, std::move(builder),
+                                         policy, estimate,
+                                         host_fraction);
+    _stats.regGroup(&model->stats.group);
+    _models.emplace(handle, std::move(model));
+    return handle;
+}
+
+Session::Model &
+Session::_model(ModelHandle handle)
+{
+    auto it = _models.find(handle);
+    fatal_if(it == _models.end(), "unknown serve model handle %llu",
+             static_cast<unsigned long long>(handle));
+    return *it->second;
+}
+
+const Session::Model &
+Session::_model(ModelHandle handle) const
+{
+    auto it = _models.find(handle);
+    fatal_if(it == _models.end(), "unknown serve model handle %llu",
+             static_cast<unsigned long long>(handle));
+    return *it->second;
+}
+
+const ModelServingStats &
+Session::modelStats(ModelHandle handle) const
+{
+    return _model(handle).stats;
+}
+
+Future
+Session::submit(ModelHandle handle, std::vector<std::int8_t> input)
+{
+    return submitAt(now(), handle, std::move(input));
+}
+
+Future
+Session::submitAt(double when_seconds, ModelHandle handle,
+                  std::vector<std::int8_t> input)
+{
+    _model(handle); // validate early, at submission time
+    fatal_if(when_seconds < now(),
+             "submitting a request in the simulated past");
+    auto state = std::make_shared<detail::FutureState>();
+    PendingRequest req;
+    req.id = _nextRequest++;
+    req.arrivalSeconds = when_seconds;
+    req.input = std::move(input);
+    req.state = state;
+    _scheduleAt(when_seconds, 0,
+                [this, handle, req = std::move(req)]() mutable {
+                    _arrive(handle, std::move(req));
+                });
+    return Future(std::move(state));
+}
+
+void
+Session::run()
+{
+    _events.run();
+}
+
+void
+Session::runUntil(double seconds)
+{
+    _events.runUntil(_toTick(seconds));
+}
+
+double
+Session::achievedIps() const
+{
+    return _ips.result();
+}
+
+void
+Session::_scheduleAt(double when, int priority,
+                     EventQueue::Callback cb)
+{
+    _events.schedule(std::max(_events.now(), _toTick(when)),
+                     std::move(cb), priority);
+}
+
+void
+Session::_arrive(ModelHandle handle, PendingRequest req)
+{
+    Model &m = _model(handle);
+    _submitted += 1;
+    m.stats.submitted += 1;
+    m.batcher.admit(std::move(req));
+    if (m.batcher.batchReady(now()))
+        _drain();
+    if (!m.batcher.empty())
+        _armTimer(handle);
+}
+
+void
+Session::_armTimer(ModelHandle handle)
+{
+    Model &m = _model(handle);
+    if (m.timerArmed || m.batcher.empty())
+        return;
+    const double deadline = m.batcher.nextDeadline();
+    // A head already past its deadline is dispatchable now; it waits
+    // only for a chip, and every chip completion re-drains, so no
+    // timer is needed (re-arming one at "now" would spin).
+    if (deadline <= now()) {
+        if (m.batcher.batchReady(now()))
+            _drain();
+        return;
+    }
+    m.timerArmed = true;
+    _scheduleAt(deadline, 0, [this, handle]() {
+        Model &model = _model(handle);
+        model.timerArmed = false;
+        if (model.batcher.batchReady(now()))
+            _drain();
+        if (!model.batcher.empty())
+            _armTimer(handle);
+    });
+}
+
+void
+Session::_drain()
+{
+    while (_pool.anyFree()) {
+        // Global FIFO fairness: among models with a dispatchable
+        // batch, serve the one whose head request has waited longest.
+        ModelHandle pick = 0;
+        double oldest = std::numeric_limits<double>::infinity();
+        for (const auto &entry : _models) {
+            const Model &m = *entry.second;
+            if (!m.batcher.batchReady(now()))
+                continue;
+            if (m.batcher.oldestArrival() < oldest) {
+                oldest = m.batcher.oldestArrival();
+                pick = entry.first;
+            }
+        }
+        if (pick == 0)
+            break;
+        const int chip = _pool.acquireFree();
+        panic_if(chip < 0, "anyFree() promised a free chip");
+        _dispatch(pick, chip);
+    }
+}
+
+void
+Session::_resolveShed(Model &m, std::vector<PendingRequest> &shed)
+{
+    for (PendingRequest &req : shed) {
+        _shed += 1;
+        m.stats.shed += 1;
+        Reply &rep = req.state->reply;
+        rep.id = req.id;
+        rep.shed = true;
+        rep.submitSeconds = req.arrivalSeconds;
+        rep.dispatchSeconds = now();
+        rep.completionSeconds = now();
+        rep.responseSeconds = now() - req.arrivalSeconds;
+        rep.queueSeconds = rep.responseSeconds;
+        req.state->ready = true;
+    }
+    shed.clear();
+}
+
+void
+Session::_dispatch(ModelHandle handle, int chip)
+{
+    Model &m = _model(handle);
+    const double start = now();
+    FormedBatch batch = m.batcher.form(start);
+    _resolveShed(m, batch.shed);
+    if (batch.requests.empty()) {
+        _pool.release(chip);
+        return;
+    }
+
+    const auto formed =
+        static_cast<std::int64_t>(batch.requests.size());
+    runtime::ModelHandle backend =
+        _backendHandle(m, batch.paddedBatch, chip);
+    runtime::InvokeStats inv =
+        _pool.invoke(chip, backend, m.hostFraction);
+
+    _batches += 1;
+    m.stats.batches += 1;
+    m.stats.batchSize.sample(static_cast<double>(formed));
+    m.stats.deviceSeconds += inv.deviceSeconds;
+
+    const double done = start + inv.totalSeconds;
+    // Completions run before same-tick arrivals/timers (priority -1)
+    // so a freed chip is visible to them.
+    _scheduleAt(done, -1,
+                [this, handle, chip, batch = std::move(batch),
+                 inv = std::move(inv), start]() mutable {
+                    _complete(handle, chip, std::move(batch),
+                              std::move(inv), start);
+                });
+}
+
+void
+Session::_complete(ModelHandle handle, int chip, FormedBatch batch,
+                   runtime::InvokeStats inv, double dispatch_time)
+{
+    Model &m = _model(handle);
+    const double done = now();
+    const auto formed =
+        static_cast<std::int64_t>(batch.requests.size());
+    const arch::PerfCounters share = inv.counters.averagedOver(
+        static_cast<std::uint64_t>(formed));
+    for (PendingRequest &req : batch.requests) {
+        _completed += 1;
+        m.stats.completed += 1;
+        Reply &rep = req.state->reply;
+        rep.id = req.id;
+        rep.shed = false;
+        rep.submitSeconds = req.arrivalSeconds;
+        rep.dispatchSeconds = dispatch_time;
+        rep.completionSeconds = done;
+        rep.responseSeconds = done - req.arrivalSeconds;
+        rep.queueSeconds = dispatch_time - req.arrivalSeconds;
+        rep.batchSize = formed;
+        rep.paddedBatch = batch.paddedBatch;
+        rep.chip = chip;
+        rep.counters = share;
+        req.state->ready = true;
+        m.stats.response.sample(rep.responseSeconds);
+        m.stats.queueSeconds.sample(rep.queueSeconds);
+    }
+    _pool.release(chip);
+    if (!m.batcher.empty())
+        _armTimer(handle);
+    _drain();
+}
+
+runtime::ModelHandle
+Session::_backendHandle(Model &m, std::int64_t bucket, int chip)
+{
+    const auto key = std::make_pair(bucket, chip);
+    auto it = m.backendHandles.find(key);
+    if (it != m.backendHandles.end())
+        return it->second;
+    nn::Network net = m.builder(bucket);
+    net.setBatchSize(bucket);
+    // Distinct cache name per bucket: the driver caches programs by
+    // network name, and each bucket is a different compiled shape.
+    net.setName(m.name + "@b" + std::to_string(bucket));
+    const runtime::ModelHandle handle =
+        _pool.driver(chip).loadModel(net);
+    m.backendHandles.emplace(key, handle);
+    return handle;
+}
+
+runtime::InvokeStats
+Session::invokeSync(ModelHandle handle, std::int64_t batch)
+{
+    fatal_if(batch <= 0, "batch must be positive");
+    Model &m = _model(handle);
+    // Legacy path: exact batch, chip 0, no admission control, no
+    // serving stats -- only the backend driver's own StatGroup sees
+    // this call.
+    const runtime::ModelHandle backend =
+        _backendHandle(m, batch, 0);
+    return _pool.driver(0).invoke(backend, {}, m.hostFraction);
+}
+
+} // namespace serve
+} // namespace tpu

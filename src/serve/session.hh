@@ -1,0 +1,218 @@
+/**
+ * @file
+ * serve::Session -- the request-level serving API.
+ *
+ * The paper's serving story (Table 4, Section 8 Fallacy 1) is a
+ * tension between batch efficiency and the 7 ms 99th-percentile
+ * response-time limit.  The Session owns that tension end to end:
+ *
+ *   - load() registers a model (a network builder, so the Session can
+ *     compile bucket-padded batch sizes on demand) with a
+ *     BatcherPolicy: maxBatch, maxDelay, and the SLO;
+ *   - submit()/submitAt() enqueue ONE request and return a Future --
+ *     the session/run split of the TensorFlow system paper applied
+ *     to inference serving;
+ *   - a per-model Batcher forms dynamic batches (maxBatch or
+ *     maxDelay, whichever first) and sheds/shrinks against the SLO
+ *     using a ServiceModel calibrated from the analytic hardware
+ *     model;
+ *   - a ChipPool of runtime::UserSpaceDriver-backed chips runs each
+ *     formed batch on the cycle simulator, scheduled over the shared
+ *     sim::EventQueue (1 tick = 1 ns);
+ *   - run() drives simulated time until every event has fired, after
+ *     which all Futures are resolved and the StatGroup holds
+ *     p50/p99 response times, achieved batch sizes, shed counts,
+ *     per-chip utilization and pool IPS -- all measured, not
+ *     hand-fed.
+ *
+ * Everything is single-threaded and deterministic: "async" means
+ * asynchronous in simulated time, which is what a discrete-event
+ * serving model needs to reproduce Table 4 faithfully.
+ */
+
+#ifndef TPUSIM_SERVE_SESSION_HH
+#define TPUSIM_SERVE_SESSION_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "nn/network.hh"
+#include "serve/batcher.hh"
+#include "serve/chip_pool.hh"
+#include "serve/request.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace tpu {
+namespace serve {
+
+/** Session construction knobs. */
+struct SessionOptions
+{
+    /** Pool size; Table 2's TPU server hosts 4 dies. */
+    int chips = 4;
+};
+
+/** Measured serving statistics for one loaded model. */
+class ModelServingStats
+{
+  public:
+    ModelServingStats(const std::string &name, double slo_seconds);
+
+    stats::StatGroup group;
+    stats::Scalar submitted;
+    stats::Scalar completed;
+    stats::Scalar shed;
+    stats::Scalar batches;
+    stats::Average batchSize;     ///< achieved (formed) batch size
+    stats::Average queueSeconds;
+    stats::Scalar deviceSeconds;
+    stats::Distribution response; ///< response-time histogram (s)
+
+    double p50() const { return response.percentile(0.50); }
+    double p99() const { return response.percentile(0.99); }
+};
+
+/** Request-level serving session over a multi-chip pool. */
+class Session
+{
+  public:
+    /** Rebuilds the model's network at a given batch size. */
+    using NetworkBuilder =
+        std::function<nn::Network(std::int64_t batch)>;
+
+    explicit Session(arch::TpuConfig config,
+                     SessionOptions options = SessionOptions{});
+
+    /**
+     * Register a model for serving.  @p builder is invoked per
+     * compiled batch bucket; the returned network's batch size is
+     * overridden to the bucket.  @p host_fraction is the Table 5
+     * host-interaction share added to device time.
+     */
+    ModelHandle load(const std::string &name, NetworkBuilder builder,
+                     BatcherPolicy policy, double host_fraction = 0.0);
+
+    /** Submit one request at the current simulated time. */
+    Future submit(ModelHandle handle,
+                  std::vector<std::int8_t> input = {});
+
+    /** Submit one request arriving at @p when_seconds (>= now). */
+    Future submitAt(double when_seconds, ModelHandle handle,
+                    std::vector<std::int8_t> input = {});
+
+    /** Drive simulated time until every pending event has fired. */
+    void run();
+
+    /** Drive simulated time up to @p seconds. */
+    void runUntil(double seconds);
+
+    /** Current simulated time in seconds. */
+    double now() const { return _toSeconds(_events.now()); }
+
+    const stats::StatGroup &statGroup() const { return _stats; }
+    const ModelServingStats &modelStats(ModelHandle handle) const;
+    ChipPool &pool() { return _pool; }
+    const ChipPool &pool() const { return _pool; }
+
+    std::uint64_t submitted() const
+    {
+        return static_cast<std::uint64_t>(_submitted.value());
+    }
+    std::uint64_t completed() const
+    {
+        return static_cast<std::uint64_t>(_completed.value());
+    }
+    std::uint64_t shedCount() const
+    {
+        return static_cast<std::uint64_t>(_shed.value());
+    }
+
+    /** Completed requests per simulated second across the pool. */
+    double achievedIps() const;
+
+    /**
+     * @deprecated Compatibility shim for pre-serve call sites that
+     * ran one pre-formed batch synchronously: bypasses admission,
+     * batching and the SLO, and runs @p batch inferences on chip 0
+     * immediately.  New code should submit() individual requests.
+     */
+    runtime::InvokeStats invokeSync(ModelHandle handle,
+                                    std::int64_t batch);
+
+  private:
+    struct Model
+    {
+        Model(std::string model_name, NetworkBuilder net_builder,
+              BatcherPolicy policy, latency::ServiceModel estimate,
+              double host_frac);
+
+        std::string name;
+        NetworkBuilder builder;
+        double hostFraction;
+        Batcher batcher;
+        ModelServingStats stats;
+        bool timerArmed = false;
+        /** (bucket, chip) -> backend model handle. */
+        std::map<std::pair<std::int64_t, int>,
+                 runtime::ModelHandle> backendHandles;
+    };
+
+    Model &_model(ModelHandle handle);
+    const Model &_model(ModelHandle handle) const;
+
+    void _arrive(ModelHandle handle, PendingRequest req);
+    void _armTimer(ModelHandle handle);
+    void _drain();
+    void _dispatch(ModelHandle handle, int chip);
+    void _complete(ModelHandle handle, int chip, FormedBatch batch,
+                   runtime::InvokeStats inv, double dispatch_time);
+    void _resolveShed(Model &m, std::vector<PendingRequest> &shed);
+    runtime::ModelHandle _backendHandle(Model &m, std::int64_t bucket,
+                                        int chip);
+    void _scheduleAt(double when, int priority,
+                     EventQueue::Callback cb);
+
+    /**
+     * Seconds -> ticks, rounding UP: an event scheduled for time T
+     * must never fire at a tick strictly before T, or a deadline
+     * timer could observe its own deadline as "not yet reached" and
+     * re-arm itself at the same tick forever.
+     */
+    static Tick
+    _toTick(double seconds)
+    {
+        return static_cast<Tick>(std::ceil(seconds * 1e9));
+    }
+    static double
+    _toSeconds(Tick tick)
+    {
+        return static_cast<double>(tick) * 1e-9;
+    }
+
+    arch::TpuConfig _config;
+    EventQueue _events;
+    ChipPool _pool;
+
+    std::map<ModelHandle, std::unique_ptr<Model>> _models;
+    ModelHandle _nextModel = 1;
+    RequestId _nextRequest = 1;
+
+    stats::StatGroup _stats;
+    stats::Scalar _submitted;
+    stats::Scalar _completed;
+    stats::Scalar _shed;
+    stats::Scalar _batches;
+    stats::Formula _ips;
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_SESSION_HH

@@ -2,11 +2,46 @@
 
 #include <gtest/gtest.h>
 
+#include "arch/tpu_chip.hh"
+#include "compiler/codegen.hh"
 #include "latency/queueing.hh"
+#include "workloads/workloads.hh"
 
 namespace tpu {
 namespace latency {
 namespace {
+
+TEST(ServiceModelFromModel, CalibratesFromTheHardwareModel)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    nn::Network net = workloads::build(workloads::AppId::MLP0, 200);
+    const ServiceModel s = ServiceModel::fromModel(cfg, net);
+    EXPECT_GT(s.baseSeconds, 0.0);
+    EXPECT_GT(s.perItemSeconds, 0.0);
+    // MLP0 is weight-fetch bound at deployment batch sizes: the
+    // fixed base dominates the marginal term (the Table 4 regime).
+    EXPECT_GT(s.baseSeconds, s.perItemSeconds * 200.0);
+    // Host-interaction time scales the whole service time.
+    const ServiceModel h = ServiceModel::fromModel(cfg, net, 0.21);
+    EXPECT_NEAR(h.seconds(200), 1.21 * s.seconds(200), 1e-12);
+}
+
+TEST(ServiceModelFromModel, TracksTheCycleSimulator)
+{
+    // The affine calibration must stay close to the cycle simulator
+    // it abstracts (the Table 7 validation, applied to serving).
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    nn::Network net = workloads::build(workloads::AppId::MLP0, 200);
+    const ServiceModel s = ServiceModel::fromModel(cfg, net);
+
+    arch::TpuChip chip(cfg, false);
+    compiler::Compiler cc(cfg);
+    compiler::CompiledModel m = cc.compile(
+        net, &chip.weightMemory(), compiler::CompileOptions{});
+    const double sim = chip.run(m.program).seconds;
+    EXPECT_GT(s.seconds(200), 0.6 * sim);
+    EXPECT_LT(s.seconds(200), 1.6 * sim);
+}
 
 TEST(ServiceModel, AffineArithmetic)
 {

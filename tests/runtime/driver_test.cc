@@ -52,12 +52,37 @@ TEST(KernelDriver, CountsInterrupts)
     EXPECT_EQ(kd.interrupts(), 2u);
 }
 
+TEST(KernelDriver, FreeReducesPinnedBytesToZero)
+{
+    // The pinned-byte pool must drain exactly: free every buffer and
+    // the accounting returns to zero, ready for reuse.
+    KernelDriver kd;
+    std::uint64_t a = kd.allocPinned(4096);
+    std::uint64_t b = kd.allocPinned(512);
+    kd.freePinned(b);
+    EXPECT_EQ(kd.pinnedBytes(), 4096u);
+    kd.freePinned(a);
+    EXPECT_EQ(kd.pinnedBytes(), 0u);
+    EXPECT_EQ(kd.liveBuffers(), 0u);
+    // The pool is usable again after a full drain.
+    std::uint64_t c = kd.allocPinned(128);
+    EXPECT_NE(c, a);
+    EXPECT_EQ(kd.pinnedBytes(), 128u);
+}
+
 TEST(KernelDriverDeath, DoubleFree)
 {
     KernelDriver kd;
     std::uint64_t a = kd.allocPinned(64);
     kd.freePinned(a);
-    EXPECT_DEATH(kd.freePinned(a), "unknown");
+    EXPECT_DEATH(kd.freePinned(a), "double free");
+}
+
+TEST(KernelDriverDeath, FreeingNeverAllocatedId)
+{
+    KernelDriver kd;
+    kd.allocPinned(64);
+    EXPECT_DEATH(kd.freePinned(12345), "unknown");
 }
 
 TEST(UserSpaceDriver, LoadCompilesOncePerModelName)

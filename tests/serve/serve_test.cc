@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Tests for the request-level serving API (src/serve/): dynamic
+ * batch formation at maxBatch and at maxDelay, SLO shedding and
+ * shrinking (Table 4's 7 ms limit), ChipPool round-robin, and a
+ * deterministic-seed p99 regression on the production MLP0.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/platform.hh"
+#include "serve/batcher.hh"
+#include "serve/session.hh"
+#include "sim/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace serve {
+namespace {
+
+arch::TpuConfig
+testConfig()
+{
+    arch::TpuConfig c;
+    c.matrixDim = 16;
+    c.accumulatorEntries = 64;
+    c.unifiedBufferBytes = 64 * 1024;
+    c.clockHz = 1e9;
+    c.weightMemoryBytesPerSec = 16e9;
+    c.pcieBytesPerSec = 16e9;
+    return c;
+}
+
+Session::NetworkBuilder
+smallBuilder(const char *name = "small")
+{
+    return [name](std::int64_t batch) {
+        nn::Network net(name, batch);
+        net.addFullyConnected(32, 32);
+        net.addFullyConnected(32, 16);
+        return net;
+    };
+}
+
+PendingRequest
+pending(RequestId id, double arrival)
+{
+    PendingRequest r;
+    r.id = id;
+    r.arrivalSeconds = arrival;
+    r.state = std::make_shared<detail::FutureState>();
+    return r;
+}
+
+// ----------------------------------------------------- Batcher unit
+
+TEST(Batcher, BucketsCoverTheBatchRange)
+{
+    BatcherPolicy p;
+    p.maxBatch = 200;
+    p.batchBuckets = 4;
+    Batcher b(p, latency::ServiceModel{1e-3, 1e-6});
+    EXPECT_EQ(b.bucketFor(1), 50);
+    EXPECT_EQ(b.bucketFor(50), 50);
+    EXPECT_EQ(b.bucketFor(51), 100);
+    EXPECT_EQ(b.bucketFor(151), 200);
+    EXPECT_EQ(b.bucketFor(200), 200);
+}
+
+TEST(Batcher, FormsFullBatchInsideTheSlo)
+{
+    BatcherPolicy p;
+    p.maxBatch = 64;
+    p.sloSeconds = 7e-3;
+    Batcher b(p, latency::ServiceModel{2e-3, 50e-6});
+    for (int i = 0; i < 64; ++i)
+        b.admit(pending(i, 0.0));
+    // At t=0 nothing has waited: s(64) = 5.2 ms fits inside 7 ms.
+    FormedBatch fb = b.form(0.0);
+    EXPECT_EQ(fb.requests.size(), 64u);
+    EXPECT_EQ(fb.shed.size(), 0u);
+    EXPECT_EQ(fb.paddedBatch, 64);
+}
+
+TEST(Batcher, ShrinksBatchAgainstTheDeadline)
+{
+    // The paper's trade-off at formation time: after the head has
+    // waited 4 ms, a full batch (5.2 ms service) would finish at
+    // 9.2 ms > 7 ms, so the batcher trades efficiency for the
+    // deadline and shrinks to the largest bucket that fits (16:
+    // 4 ms + 2.8 ms = 6.8 ms).
+    BatcherPolicy p;
+    p.maxBatch = 64;
+    p.sloSeconds = 7e-3;
+    p.batchBuckets = 4;
+    Batcher b(p, latency::ServiceModel{2e-3, 50e-6});
+    for (int i = 0; i < 64; ++i)
+        b.admit(pending(i, 0.0));
+    FormedBatch fb = b.form(4e-3);
+    EXPECT_EQ(fb.requests.size(), 16u);
+    EXPECT_EQ(fb.paddedBatch, 16);
+    EXPECT_EQ(fb.shed.size(), 0u);
+    EXPECT_EQ(b.depth(), 48u);
+}
+
+TEST(Batcher, ShedsHopelessRequests)
+{
+    // A request that cannot make the SLO even served alone is shed.
+    BatcherPolicy p;
+    p.maxBatch = 64;
+    p.sloSeconds = 7e-3;
+    Batcher b(p, latency::ServiceModel{2e-3, 50e-6});
+    b.admit(pending(0, 0.0));    // will have waited 5.5 ms: hopeless
+    b.admit(pending(1, 4e-3));   // waited 1.5 ms: fine
+    FormedBatch fb = b.form(5.5e-3);
+    ASSERT_EQ(fb.shed.size(), 1u);
+    EXPECT_EQ(fb.shed[0].id, 0u);
+    ASSERT_EQ(fb.requests.size(), 1u);
+    EXPECT_EQ(fb.requests[0].id, 1u);
+}
+
+TEST(Batcher, BatchReadyAtMaxBatchOrDeadline)
+{
+    BatcherPolicy p;
+    p.maxBatch = 4;
+    p.maxDelaySeconds = 1e-3;
+    Batcher b(p, latency::ServiceModel{1e-4, 1e-6});
+    EXPECT_FALSE(b.batchReady(0.0));
+    b.admit(pending(0, 0.0));
+    EXPECT_FALSE(b.batchReady(0.5e-3));  // not full, not aged
+    EXPECT_TRUE(b.batchReady(1e-3));     // deadline reached
+    for (int i = 1; i < 4; ++i)
+        b.admit(pending(i, 0.1e-3));
+    EXPECT_TRUE(b.batchReady(0.2e-3));   // full before the deadline
+}
+
+// ------------------------------------------------ Session end-to-end
+
+TEST(Session, FormsBatchesAtMaxBatch)
+{
+    Session s(testConfig(), SessionOptions{1});
+    BatcherPolicy p;
+    p.maxBatch = 8;
+    p.maxDelaySeconds = 1.0; // batches form by size, not deadline
+    ModelHandle h = s.load("small", smallBuilder(), p);
+
+    std::vector<Future> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(s.submitAt(0.0, h));
+    s.run();
+
+    for (const Future &f : futures) {
+        ASSERT_TRUE(f.ready());
+        EXPECT_FALSE(f.reply().shed);
+        EXPECT_EQ(f.reply().batchSize, 8);
+    }
+    EXPECT_EQ(s.completed(), 16u);
+    EXPECT_DOUBLE_EQ(s.modelStats(h).batchSize.result(), 8.0);
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  s.modelStats(h).batches.value()), 2u);
+}
+
+TEST(Session, FormsBatchesAtMaxDelay)
+{
+    Session s(testConfig(), SessionOptions{1});
+    BatcherPolicy p;
+    p.maxBatch = 8;
+    p.maxDelaySeconds = 5e-6;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+
+    std::vector<Future> futures;
+    for (int i = 0; i < 3; ++i)
+        futures.push_back(s.submitAt(0.0, h));
+    s.run();
+
+    for (const Future &f : futures) {
+        ASSERT_TRUE(f.ready());
+        EXPECT_EQ(f.reply().batchSize, 3);
+        // Dispatched when the oldest request's patience ran out, not
+        // earlier and no more than a tick later.
+        EXPECT_GE(f.reply().dispatchSeconds, 5e-6);
+        EXPECT_LT(f.reply().dispatchSeconds, 5e-6 + 2e-9);
+    }
+}
+
+TEST(Session, RoundRobinKeepsAllChipsBusy)
+{
+    const int chips = 4;
+    Session s(testConfig(), SessionOptions{chips});
+    BatcherPolicy p;
+    p.maxBatch = 8;
+    p.maxDelaySeconds = 0.0; // dispatch every request immediately
+    ModelHandle h = s.load("small", smallBuilder(), p);
+
+    for (int i = 0; i < 32; ++i)
+        s.submitAt(0.0, h);
+    s.run();
+
+    EXPECT_EQ(s.completed(), 32u);
+    for (int c = 0; c < chips; ++c) {
+        EXPECT_GT(s.pool().batches(c), 0u)
+            << "chip " << c << " never served a batch";
+        EXPECT_GT(s.pool().busySeconds(c), 0.0);
+    }
+    // Round-robin spreads an even burst evenly.
+    EXPECT_EQ(s.pool().batches(0), s.pool().batches(chips - 1));
+}
+
+TEST(Session, ShedsUnderOverload)
+{
+    // One tiny chip, an SLO barely above the single-request service
+    // time, and a flood: admission control must shed rather than let
+    // the queue grow without bound.
+    const arch::TpuConfig cfg = testConfig();
+    const latency::ServiceModel svc = latency::ServiceModel::fromModel(
+        cfg, smallBuilder()(1));
+    Session s(cfg, SessionOptions{1});
+    BatcherPolicy p;
+    p.maxBatch = 4;
+    p.maxDelaySeconds = 0.0;
+    p.sloSeconds = 3.0 * svc.seconds(1);
+    ModelHandle h = s.load("small", smallBuilder(), p);
+
+    const int n = 400;
+    std::vector<Future> futures;
+    for (int i = 0; i < n; ++i)
+        futures.push_back(s.submitAt(0.0, h));
+    s.run();
+
+    EXPECT_EQ(s.submitted(), static_cast<std::uint64_t>(n));
+    EXPECT_GT(s.shedCount(), 0u);
+    EXPECT_EQ(s.completed() + s.shedCount(),
+              static_cast<std::uint64_t>(n));
+    for (const Future &f : futures) {
+        ASSERT_TRUE(f.ready());
+        if (f.reply().shed)
+            EXPECT_GT(f.reply().responseSeconds, 0.0);
+    }
+}
+
+TEST(Session, RepliesCarryPerRequestCounters)
+{
+    Session s(testConfig(), SessionOptions{2});
+    BatcherPolicy p;
+    p.maxBatch = 4;
+    p.maxDelaySeconds = 1e-6;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+
+    Future f = s.submitAt(0.0, h);
+    for (int i = 0; i < 3; ++i)
+        s.submitAt(0.0, h);
+    s.run();
+
+    ASSERT_TRUE(f.ready());
+    const Reply &r = f.reply();
+    EXPECT_FALSE(r.shed);
+    EXPECT_GT(r.counters.totalCycles, 0u);
+    EXPECT_GT(r.counters.totalInstructions, 0u);
+    EXPECT_GE(r.chip, 0);
+    EXPECT_LT(r.chip, 2);
+    EXPECT_GE(r.paddedBatch, r.batchSize);
+    EXPECT_GT(r.responseSeconds, 0.0);
+    EXPECT_GE(r.responseSeconds, r.queueSeconds);
+    // The batch's merged counters were split evenly: 4 requests in
+    // one batch see the same share.
+    EXPECT_EQ(r.batchSize, 4);
+}
+
+TEST(Session, DeterministicSeedP99Regression)
+{
+    // Production MLP0 through one chip at 70% of the calibrated
+    // saturation rate: p99 must stay inside the paper's 7 ms limit,
+    // and a fixed seed must reproduce it bit-for-bit.
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    const double host = baselines::hostInteractionFraction(
+        workloads::AppId::MLP0);
+    const latency::ServiceModel svc = latency::ServiceModel::fromModel(
+        cfg, workloads::build(workloads::AppId::MLP0, 200), host);
+
+    auto run_once = [&]() {
+        Session s(cfg, SessionOptions{1});
+        BatcherPolicy p;
+        p.maxBatch = 200;
+        p.maxDelaySeconds = 2e-3;
+        ModelHandle h = s.load(
+            "MLP0",
+            [](std::int64_t b) {
+                return workloads::build(workloads::AppId::MLP0, b);
+            },
+            p, host);
+        Rng rng(1234);
+        const double rate = 0.7 * svc.maxThroughput(200);
+        double t = 0;
+        for (int i = 0; i < 5000; ++i) {
+            t += rng.exponential(rate);
+            s.submitAt(t, h);
+        }
+        s.run();
+        return std::make_pair(s.modelStats(h).p99(),
+                              s.achievedIps());
+    };
+
+    const auto [p99_a, ips_a] = run_once();
+    const auto [p99_b, ips_b] = run_once();
+    EXPECT_DOUBLE_EQ(p99_a, p99_b);
+    EXPECT_DOUBLE_EQ(ips_a, ips_b);
+    EXPECT_GT(p99_a, 0.0);
+    EXPECT_LE(p99_a, 7e-3);
+    EXPECT_GT(ips_a, 0.5 * 0.7 * svc.maxThroughput(200));
+}
+
+TEST(Session, InvokeSyncShimBypassesAdmission)
+{
+    Session s(testConfig(), SessionOptions{1});
+    BatcherPolicy p;
+    p.maxBatch = 8;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+
+    runtime::InvokeStats stats = s.invokeSync(h, 8);
+    EXPECT_GT(stats.deviceCycles, 0u);
+    EXPECT_GT(stats.totalSeconds, 0.0);
+    // The legacy path does not touch serving statistics.
+    EXPECT_EQ(s.submitted(), 0u);
+    EXPECT_EQ(s.completed(), 0u);
+}
+
+TEST(Session, StatGroupIsDumpableAndConsistent)
+{
+    Session s(testConfig(), SessionOptions{2});
+    BatcherPolicy p;
+    p.maxBatch = 4;
+    p.maxDelaySeconds = 1e-6;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+    for (int i = 0; i < 12; ++i)
+        s.submitAt(0.0, h);
+    s.run();
+
+    std::ostringstream os;
+    s.statGroup().dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("serve_session.submitted"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_session.small.achieved_batch"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_session.chip_pool.chip0.utilization"),
+              std::string::npos);
+    EXPECT_DOUBLE_EQ(s.statGroup().find("completed")->result(), 12.0);
+    EXPECT_GT(s.achievedIps(), 0.0);
+}
+
+TEST(SessionDeath, ReadingAnUnresolvedFuture)
+{
+    Session s(testConfig(), SessionOptions{1});
+    BatcherPolicy p;
+    p.maxBatch = 8;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+    Future f = s.submitAt(0.0, h);
+    EXPECT_EXIT(f.reply(), ::testing::ExitedWithCode(1),
+                "before the session resolved");
+}
+
+TEST(SessionDeath, SubmittingToUnknownModel)
+{
+    Session s(testConfig(), SessionOptions{1});
+    EXPECT_EXIT(s.submit(42), ::testing::ExitedWithCode(1),
+                "unknown serve model");
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu
