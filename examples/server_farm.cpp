@@ -2,26 +2,35 @@
  * @file
  * Datacenter view, request-level: a 4-die TPU server (Table 2)
  * serving the paper's deployment mix (61% MLP, 29% LSTM, 5% CNN,
- * Table 1) as tens of thousands of INDIVIDUAL requests through
- * serve::Session -- Poisson arrivals, per-model dynamic batching
- * under the 7 ms p99 SLO (Table 4), and a round-robin ChipPool of
- * cycle-simulated chips.  Every number printed at the end comes from
- * the session's StatGroup counters; no hand-fed service constants
- * anywhere in this path.
+ * Table 1) as INDIVIDUAL requests through serve::Session -- Poisson
+ * arrivals, per-model dynamic batching under the 7 ms p99 SLO
+ * (Table 4), and a round-robin ChipPool.  The traffic itself comes
+ * from analysis::loadTable1Mix/driveTable1Mix (shared with
+ * bench_serve_throughput); every number printed at the end comes
+ * from the session's StatGroup counters.
+ *
+ * By default this drives ONE MILLION requests on the Replay tier:
+ * the first batch of each (model, bucket) runs the cycle-accurate
+ * simulator, its deterministic timing is memoized, and every later
+ * batch replays it in O(1) -- the Section 2 "second and following
+ * evaluations run at full speed" story applied to the simulator
+ * itself.  The shared program cache compiles each (model, bucket)
+ * once for the whole pool, independent of pool size.
+ *
+ *   usage: example_server_farm [requests] [cyclesim|replay|analytic]
  */
 
+#include <chrono>
 #include <cstdio>
-#include <vector>
+#include <cstdlib>
 
+#include "analysis/serve_mix.hh"
 #include "baselines/platform.hh"
 #include "power/power_model.hh"
-#include "serve/session.hh"
 #include "sim/logging.hh"
-#include "sim/rng.hh"
-#include "workloads/workloads.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tpu;
     setQuiet(true);
@@ -29,88 +38,42 @@ main()
     const arch::TpuConfig cfg = arch::TpuConfig::production();
     constexpr int kChips = 4;           // Table 2: 4 dies per server
     constexpr double kSlo = 7e-3;       // Table 4: the 7 ms limit
-    constexpr std::uint64_t kRequests = 12000;
 
-    serve::Session session(cfg, serve::SessionOptions{kChips});
+    std::uint64_t requests = 1000000;
+    runtime::TierPolicy tier{runtime::ExecutionTier::Replay};
+    if (argc > 1)
+        requests = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2)
+        tier.tier = runtime::tierFromString(argv[2]);
+    fatal_if(requests == 0, "need a positive request count");
 
-    // Load the six production models.  maxBatch is the Table 1
-    // deployment batch; maxDelay trades queueing delay for batch
-    // fill.  The MLPs carry the paper's 7 ms p99 limit; the LSTM and
-    // CNN limits are derived from their own (longer) full-batch
-    // service estimates, since Table 4 only publishes MLP0's bound.
-    struct Served
-    {
-        workloads::AppId id;
-        serve::ModelHandle handle;
-        double share; // of the request stream
-        double perItemSeconds;
-        double sloSeconds;
-    };
-    std::vector<Served> apps;
-    for (workloads::AppId id : workloads::allApps()) {
-        const std::int64_t max_batch = workloads::info(id).batchSize;
-        const double host =
-            baselines::hostInteractionFraction(id);
-        const latency::ServiceModel svc =
-            latency::ServiceModel::fromModel(
-                cfg, workloads::build(id, max_batch), host);
+    serve::SessionOptions options;
+    options.chips = kChips;
+    options.tier = tier;
+    serve::Session session(cfg, options);
 
-        serve::BatcherPolicy policy;
-        policy.maxBatch = max_batch;
-        policy.maxDelaySeconds = 1e-3;
-        policy.sloSeconds =
-            std::max(kSlo, 2.5 * svc.seconds(max_batch));
-        serve::ModelHandle h = session.load(
-            workloads::toString(id),
-            [id](std::int64_t batch) {
-                return workloads::build(id, batch);
-            },
-            policy, host);
-        apps.push_back({id, h, workloads::mixWeight(id),
-                        svc.seconds(max_batch) /
-                            static_cast<double>(max_batch),
-                        policy.sloSeconds});
-    }
-
-    // Offered load: Poisson arrivals at ~60% of the pool's
-    // batch-efficient capacity, derived from the calibrated service
-    // models (the pool's mean per-request cost over the mix).
-    double mean_request_seconds = 0;
-    for (const Served &a : apps)
-        mean_request_seconds += a.share * a.perItemSeconds;
-    const double capacity_ips =
-        static_cast<double>(kChips) / mean_request_seconds;
-    const double offered_ips = 0.60 * capacity_ips;
+    const analysis::Table1Mix mix =
+        analysis::loadTable1Mix(session, cfg, 0.60, kSlo);
 
     std::printf("serving %llu requests of the Table 1 mix through a "
-                "%d-chip pool\n(offered %.0f requests/s, ~60%% of "
-                "the %.0f IPS batch-efficient capacity)\n\n",
-                static_cast<unsigned long long>(kRequests), kChips,
-                offered_ips, capacity_ips);
+                "%d-chip pool\non the %s tier (offered %.0f "
+                "requests/s, ~60%% of the %.0f IPS\nbatch-efficient "
+                "capacity)\n\n",
+                static_cast<unsigned long long>(requests), kChips,
+                runtime::toString(session.pool().tier()),
+                mix.offeredIps, mix.capacityIps);
 
-    // One merged Poisson stream, split by deployment share.
-    Rng arrivals(42), mix(7);
-    double t = 0;
-    for (std::uint64_t i = 0; i < kRequests; ++i) {
-        t += arrivals.exponential(offered_ips);
-        double u = mix.uniformReal();
-        const Served *pick = &apps.back();
-        for (const Served &a : apps) {
-            if (u < a.share) {
-                pick = &a;
-                break;
-            }
-            u -= a.share;
-        }
-        session.submitAt(t, pick->handle);
-    }
-    session.run();
+    const auto wall_start = std::chrono::steady_clock::now();
+    analysis::driveTable1Mix(session, mix, requests);
+    const double wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start).count();
 
     // Everything below is read back from StatGroup counters.
     std::printf("  %-6s %9s %9s %6s %10s %9s %9s %8s\n", "app",
                 "requests", "served", "shed", "mean batch",
                 "p50 (ms)", "p99 (ms)", "SLO");
-    for (const Served &a : apps) {
+    for (const analysis::MixApp &a : mix.apps) {
         const serve::ModelServingStats &st =
             session.modelStats(a.handle);
         const bool slo_ok = st.p99() <= a.sloSeconds;
@@ -123,7 +86,7 @@ main()
     }
 
     const serve::ModelServingStats &mlp0 =
-        session.modelStats(apps.front().handle);
+        session.modelStats(mix.apps.front().handle);
     std::printf("\nMLP0 p99 response: %.2f ms against the %.1f ms "
                 "limit -> %s\n", mlp0.p99() * 1e3, kSlo * 1e3,
                 mlp0.p99() <= kSlo ? "within SLO" : "SLO MISS");
@@ -131,19 +94,30 @@ main()
     const stats::StatGroup &sg = session.statGroup();
     const double pool_ips = sg.find("ips")->result();
     std::printf("\npool: %.0f completed requests, %.0f shed, %.0f "
-                "batches, %.0f IPS over %.1f ms simulated\n",
+                "batches, %.0f IPS over %.1f s simulated\n",
                 sg.find("completed")->result(),
                 sg.find("shed")->result(),
                 sg.find("batches")->result(), pool_ips,
-                session.now() * 1e3);
+                session.now());
     for (int c = 0; c < session.pool().size(); ++c)
-        std::printf("  chip%d: %4llu batches, %6.1f ms busy, "
+        std::printf("  chip%d: %7llu batches, %8.1f ms busy, "
                     "%4.0f%% utilized\n", c,
                     static_cast<unsigned long long>(
                         session.pool().batches(c)),
                     session.pool().busySeconds(c) * 1e3,
                     100.0 * session.pool().busySeconds(c) /
                         session.now());
+
+    // The shared program cache compiles each (model, bucket) once
+    // for the whole pool -- the count is bucket-driven, not
+    // chip-driven.
+    std::printf("  shared program cache: %llu compilations for %d "
+                "chips (%llu cache hits)\n",
+                static_cast<unsigned long long>(
+                    session.pool().compilations()),
+                session.pool().size(),
+                static_cast<unsigned long long>(
+                    session.pool().programCache().hits()));
 
     const arch::PerfCounters &ctr = session.pool().mergedCounters();
     std::printf("  pool device counters: %.1f G cycles, %.1f GB "
@@ -152,6 +126,12 @@ main()
                 static_cast<double>(ctr.weightBytesRead) / 1e9,
                 static_cast<unsigned long long>(
                     ctr.totalInstructions));
+
+    std::printf("\nwall clock: %.2f s to simulate %.1f s of traffic "
+                "(%.0f requests/s of\nsimulation throughput on the "
+                "%s tier)\n", wall_seconds, session.now(),
+                static_cast<double>(requests) / wall_seconds,
+                runtime::toString(session.pool().tier()));
 
     // Server-level cost-performance, as in Section 5.  For a
     // like-for-like comparison with the CPU model's full-capacity

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared request-level driver for the Table 1 deployment mix: load
+ * the six production apps into a serve::Session with the paper's
+ * policies (Table 1 deployment batches, the 7 ms MLP SLO of Table 4,
+ * service-estimate-derived limits for the longer apps) and drive a
+ * share-weighted Poisson request stream through it with fixed seeds.
+ *
+ * Both examples/server_farm.cpp and bench/serve_throughput.cc sit on
+ * top of this, so the example's narrative and the bench's
+ * determinism/speedup gates are guaranteed to measure the SAME
+ * traffic -- one definition of the mix, not two drifting copies.
+ */
+
+#ifndef TPUSIM_ANALYSIS_SERVE_MIX_HH
+#define TPUSIM_ANALYSIS_SERVE_MIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "serve/session.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace analysis {
+
+/** One Table 1 app as loaded into a serving session. */
+struct MixApp
+{
+    workloads::AppId id;
+    serve::ModelHandle handle = 0;
+    double share = 0;          ///< of the request stream (Table 1)
+    double perItemSeconds = 0; ///< calibrated marginal cost
+    double sloSeconds = 0;     ///< this app's p99 limit
+};
+
+/** The loaded mix plus the offered-load arithmetic. */
+struct Table1Mix
+{
+    std::vector<MixApp> apps;
+    double capacityIps = 0; ///< pool batch-efficient capacity
+    double offeredIps = 0;  ///< Poisson arrival rate used
+};
+
+/**
+ * Load the six production models into @p session (policies as
+ * described above) and size the offered Poisson rate at
+ * @p load_fraction of the pool's batch-efficient capacity.
+ */
+Table1Mix loadTable1Mix(serve::Session &session,
+                        const arch::TpuConfig &cfg,
+                        double load_fraction = 0.60,
+                        double slo_seconds = 7e-3);
+
+/**
+ * Submit @p requests share-weighted Poisson arrivals (fixed seeds,
+ * detached -- aggregate stats only), draining in blocks so pending
+ * arrivals never pile up, then run the session to completion.
+ */
+void driveTable1Mix(serve::Session &session, const Table1Mix &mix,
+                    std::uint64_t requests);
+
+} // namespace analysis
+} // namespace tpu
+
+#endif // TPUSIM_ANALYSIS_SERVE_MIX_HH

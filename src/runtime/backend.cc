@@ -1,0 +1,210 @@
+#include "runtime/backend.hh"
+
+#include "runtime/program_cache.hh"
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace runtime {
+
+const char *
+toString(ExecutionTier tier)
+{
+    switch (tier) {
+      case ExecutionTier::CycleSim: return "cyclesim";
+      case ExecutionTier::Replay: return "replay";
+      case ExecutionTier::Analytic: return "analytic";
+    }
+    return "?";
+}
+
+ExecutionTier
+tierFromString(const std::string &name)
+{
+    if (name == "cyclesim")
+        return ExecutionTier::CycleSim;
+    if (name == "replay")
+        return ExecutionTier::Replay;
+    if (name == "analytic")
+        return ExecutionTier::Analytic;
+    fatal("unknown execution tier '%s' (expected cyclesim, replay "
+          "or analytic)", name.c_str());
+}
+
+namespace {
+
+void
+checkContext(const ExecutionContext &ctx, bool needs_chip)
+{
+    fatal_if(!ctx.compiled, "backend executed without a model");
+    fatal_if(!ctx.key, "backend executed without a memo key");
+    fatal_if(!ctx.hostInput, "backend executed without an input span");
+    fatal_if(needs_chip && !ctx.chip,
+             "backend tier needs a chip to run on");
+}
+
+} // namespace
+
+arch::RunResult
+CycleSimBackend::execute(const ExecutionContext &ctx)
+{
+    checkContext(ctx, /*needs_chip=*/true);
+    return ctx.chip->run(ctx.compiled->program, *ctx.hostInput);
+}
+
+void
+ReplayBackend::prepare(const nn::Network &net,
+                       const compiler::CompiledModel &compiled,
+                       const std::string &key)
+{
+    // Shape fingerprint plus compiled-image dimensions: models that
+    // could produce a different program must not share a memo key.
+    std::uint64_t fp = SharedProgramCache::shapeFingerprint(net);
+    fp = (fp ^ compiled.program.size()) * 1099511628211ull;
+    fp = (fp ^ static_cast<std::uint64_t>(compiled.weightTiles)) *
+         1099511628211ull;
+    fp = (fp ^ compiled.inputBytes) * 1099511628211ull;
+    fp = (fp ^ compiled.outputBytes) * 1099511628211ull;
+    auto [it, inserted] = _fingerprints.emplace(key, fp);
+    fatal_if(!inserted && it->second != fp,
+             "replay memo key '%s' reused for a different "
+             "architecture; replaying would return the wrong "
+             "model's timing", key.c_str());
+}
+
+arch::RunResult
+ReplayBackend::execute(const ExecutionContext &ctx)
+{
+    checkContext(ctx, /*needs_chip=*/true);
+    // A non-empty host input means a functional run whose output
+    // depends on the data; memoized timing would be right but the
+    // memoized output would not, so run it live.
+    if (!ctx.hostInput->empty()) {
+        ++_liveRuns;
+        return ctx.chip->run(ctx.compiled->program, *ctx.hostInput);
+    }
+    auto it = _memo.find(*ctx.key);
+    if (it != _memo.end()) {
+        ++_replays;
+        return it->second;
+    }
+    ++_liveRuns;
+    arch::RunResult r =
+        ctx.chip->run(ctx.compiled->program, *ctx.hostInput);
+    return _memo.emplace(*ctx.key, std::move(r)).first->second;
+}
+
+AnalyticBackend::AnalyticBackend(arch::TpuConfig config)
+    : _model(std::move(config))
+{}
+
+void
+AnalyticBackend::prepare(const nn::Network &net,
+                         const compiler::CompiledModel &compiled,
+                         const std::string &key)
+{
+    // Same aliasing guard as the replay memo: one key, one
+    // architecture, or the cached estimate would be silently wrong.
+    const std::uint64_t fp =
+        SharedProgramCache::shapeFingerprint(net);
+    auto [fit, inserted] = _fingerprints.emplace(key, fp);
+    fatal_if(!inserted && fit->second != fp,
+             "analytic estimate key '%s' reused for a different "
+             "architecture", key.c_str());
+    if (_estimates.count(key))
+        return;
+
+    const arch::TpuConfig &cfg = _model.config();
+    arch::RunResult r;
+    r.cycles = _model.estimateCycles(net);
+    r.seconds = cyclesToSeconds(r.cycles, cfg.clockHz);
+
+    arch::PerfCounters &c = r.counters;
+    c.totalCycles = r.cycles;
+
+    // MACs and weight traffic from the per-layer closed form; the
+    // memory-bound cycle share weights the stall attribution.
+    Cycle bound_cycles = 0, layer_cycles = 0;
+    for (const model::LayerProfile &p : _model.profile(net)) {
+        c.usefulMacs += p.macs;
+        c.weightBytesRead += p.weightBytesFetched;
+        layer_cycles += p.cycles;
+        if (p.memoryBound)
+            bound_cycles += p.cycles;
+    }
+    const std::uint64_t slots_per_cycle = static_cast<std::uint64_t>(
+        cfg.matrixDim * cfg.matrixDim);
+    Cycle active = static_cast<Cycle>(
+        (c.usefulMacs + slots_per_cycle - 1) / slots_per_cycle);
+    active = std::min(active, c.totalCycles);
+    c.arrayActiveCycles = active;
+    c.totalMacSlots = active * slots_per_cycle;
+    const Cycle idle = c.totalCycles - active;
+    const double bound_share =
+        layer_cycles ? static_cast<double>(bound_cycles) /
+                       static_cast<double>(layer_cycles) : 0.0;
+    c.weightStallCycles =
+        static_cast<Cycle>(static_cast<double>(idle) * bound_share);
+    c.nonMatrixCycles = idle - c.weightStallCycles;
+    c.pcieBytesIn = compiled.inputBytes;
+    c.pcieBytesOut = compiled.outputBytes;
+
+    // Instruction mix is exact: it comes from the compiled image.
+    for (const arch::Instruction &ins : compiled.program) {
+        switch (ins.op) {
+          case arch::Opcode::MatrixMultiply:
+          case arch::Opcode::Convolve:
+            ++c.matmulInstructions;
+            break;
+          case arch::Opcode::Activate:
+            ++c.activateInstructions;
+            break;
+          case arch::Opcode::ReadWeights:
+            ++c.readWeightInstructions;
+            break;
+          case arch::Opcode::ReadHostMemory:
+          case arch::Opcode::ReadHostMemoryAlt:
+          case arch::Opcode::WriteHostMemory:
+          case arch::Opcode::WriteHostMemoryAlt:
+            ++c.dmaInstructions;
+            break;
+          default:
+            break;
+        }
+        ++c.totalInstructions;
+    }
+
+    r.teraOps = c.teraOpsPerSecond(cfg.clockHz);
+    _estimates.emplace(key, std::move(r));
+}
+
+arch::RunResult
+AnalyticBackend::execute(const ExecutionContext &ctx)
+{
+    checkContext(ctx, /*needs_chip=*/false);
+    fatal_if(!ctx.hostInput->empty(),
+             "the analytic tier cannot execute functional inputs; "
+             "use cyclesim or replay");
+    auto it = _estimates.find(*ctx.key);
+    fatal_if(it == _estimates.end(),
+             "analytic tier executed before prepare() for model "
+             "'%s'", ctx.key->c_str());
+    return it->second;
+}
+
+std::shared_ptr<ExecutionBackend>
+makeBackend(const TierPolicy &policy, const arch::TpuConfig &config)
+{
+    switch (policy.tier) {
+      case ExecutionTier::CycleSim:
+        return std::make_shared<CycleSimBackend>();
+      case ExecutionTier::Replay:
+        return std::make_shared<ReplayBackend>();
+      case ExecutionTier::Analytic:
+        return std::make_shared<AnalyticBackend>(config);
+    }
+    fatal("bad execution tier");
+}
+
+} // namespace runtime
+} // namespace tpu

@@ -34,14 +34,21 @@ KernelDriver::freePinned(std::uint64_t id)
     _buffers.erase(it);
 }
 
-UserSpaceDriver::UserSpaceDriver(arch::TpuConfig config,
-                                 bool functional)
+UserSpaceDriver::UserSpaceDriver(
+    arch::TpuConfig config, bool functional,
+    std::shared_ptr<ExecutionBackend> backend,
+    std::shared_ptr<SharedProgramCache> cache)
     : _config(std::move(config)),
       _chip(std::make_unique<arch::TpuChip>(_config, functional)),
-      _compiler(_config),
+      _backend(backend ? std::move(backend)
+                       : std::make_shared<CycleSimBackend>()),
+      _cache(cache ? std::move(cache)
+                   : std::make_shared<SharedProgramCache>(_config)),
       _stats("user_space_driver"),
       _invocations("invocations", "completed invoke() calls"),
-      _compilations("compilations", "models compiled"),
+      _compilations("compilations", "models compiled by this driver"),
+      _compileSeconds("compile_seconds",
+                      "modelled compile time paid by this driver"),
       _deviceCycles("device_cycles", "total TPU cycles"),
       _deviceSeconds("device_seconds", "total TPU busy seconds"),
       _hostSeconds("host_seconds", "modelled host runtime seconds"),
@@ -49,6 +56,7 @@ UserSpaceDriver::UserSpaceDriver(arch::TpuConfig config,
 {
     _stats.regStat(&_invocations);
     _stats.regStat(&_compilations);
+    _stats.regStat(&_compileSeconds);
     _stats.regStat(&_deviceCycles);
     _stats.regStat(&_deviceSeconds);
     _stats.regStat(&_hostSeconds);
@@ -60,24 +68,72 @@ UserSpaceDriver::loadModel(const nn::Network &net,
                            const compiler::CompileOptions &options)
 {
     auto it = _byName.find(net.name());
-    if (it != _byName.end())
+    if (it != _byName.end()) {
+        // The name-dedup fast path must apply the same aliasing
+        // guard as the shared cache, or a same-driver name reuse
+        // would silently return the wrong model's handle.
+        fatal_if(_models.at(it->second).fingerprint !=
+                     SharedProgramCache::shapeFingerprint(net),
+                 "model name '%s' reused for a different "
+                 "architecture", net.name().c_str());
         return it->second; // cached program image
+    }
 
     LoadedModel lm;
     lm.name = net.name();
-    lm.compiled =
-        _compiler.compile(net, &_chip->weightMemory(), options);
-    if (lm.compiled.inputBytes > 0)
-        lm.inputBuffer = _kernel.allocPinned(lm.compiled.inputBytes);
-    if (lm.compiled.outputBytes > 0)
+    lm.fingerprint = SharedProgramCache::shapeFingerprint(net);
+    bool compiled_now = false;
+    if (options.functional) {
+        // Chip-local weight image: this driver owns the entry, so
+        // unloadModel releases it along with the buffers.
+        lm.ownedEntry = std::make_unique<SharedProgramCache::Entry>(
+            _cache->compileFunctional(net, &_chip->weightMemory(),
+                                      options));
+        lm.compiled = &lm.ownedEntry->compiled;
+        lm.compileSeconds = lm.ownedEntry->compileSeconds;
+        compiled_now = true;
+    } else {
+        const SharedProgramCache::Entry &entry = _cache->load(
+            net, &_chip->weightMemory(), options, &compiled_now);
+        lm.compiled = &entry.compiled;
+        lm.compileSeconds = entry.compileSeconds;
+    }
+    _backend->prepare(net, *lm.compiled, net.name());
+
+    lm.compiledHere = compiled_now;
+    if (lm.compiled->inputBytes > 0)
+        lm.inputBuffer =
+            _kernel.allocPinned(lm.compiled->inputBytes);
+    if (lm.compiled->outputBytes > 0)
         lm.outputBuffer =
-            _kernel.allocPinned(lm.compiled.outputBytes);
-    _compilations += 1;
+            _kernel.allocPinned(lm.compiled->outputBytes);
+    if (compiled_now) {
+        _compilations += 1;
+        _compileSeconds += lm.compileSeconds;
+    }
 
     const ModelHandle handle = _nextHandle++;
     _models.emplace(handle, std::move(lm));
     _byName[net.name()] = handle;
     return handle;
+}
+
+void
+UserSpaceDriver::unloadModel(ModelHandle handle)
+{
+    auto it = _models.find(handle);
+    fatal_if(it == _models.end(), "unknown model handle %llu",
+             static_cast<unsigned long long>(handle));
+    LoadedModel &lm = it->second;
+    // Release the pinned kernel I/O buffers; a stale or repeated id
+    // trips the KernelDriver's double-free diagnostics, which is the
+    // point of routing the release through it.
+    if (lm.inputBuffer != 0)
+        _kernel.freePinned(lm.inputBuffer);
+    if (lm.outputBuffer != 0)
+        _kernel.freePinned(lm.outputBuffer);
+    _byName.erase(lm.name);
+    _models.erase(it);
 }
 
 const compiler::CompiledModel &
@@ -86,7 +142,7 @@ UserSpaceDriver::model(ModelHandle handle) const
     auto it = _models.find(handle);
     fatal_if(it == _models.end(), "unknown model handle %llu",
              static_cast<unsigned long long>(handle));
-    return it->second.compiled;
+    return *it->second.compiled;
 }
 
 InvokeStats
@@ -98,15 +154,23 @@ UserSpaceDriver::invoke(ModelHandle handle,
     fatal_if(it == _models.end(), "unknown model handle %llu",
              static_cast<unsigned long long>(handle));
     fatal_if(host_fraction < 0.0, "negative host fraction");
+    LoadedModel &lm = it->second;
 
     InvokeStats out;
-    // The first evaluation carries the compile; the image is cached
-    // at loadModel time in this runtime, so only stats reflect it.
-    out.compiledThisCall =
-        static_cast<std::uint64_t>(_invocations.value()) == 0;
+    // The paper's first evaluation carries the compile; the image is
+    // cached at loadModel time in this runtime, so the first invoke
+    // of each model THIS driver compiled reports it.
+    out.compiledThisCall = lm.invocations == 0 && lm.compiledHere;
+    if (out.compiledThisCall)
+        out.compileSeconds = lm.compileSeconds;
 
-    arch::RunResult r =
-        _chip->run(it->second.compiled.program, host_input);
+    ExecutionContext ctx;
+    ctx.compiled = lm.compiled;
+    ctx.key = &lm.name;
+    ctx.chip = _chip.get();
+    ctx.hostInput = &host_input;
+    arch::RunResult r = _backend->execute(ctx);
+
     out.deviceCycles = r.cycles;
     out.deviceSeconds = r.seconds;
     out.hostSeconds = r.seconds * host_fraction;
@@ -116,6 +180,7 @@ UserSpaceDriver::invoke(ModelHandle handle,
 
     _kernel.raiseInterrupt(); // completion interrupt to the host
 
+    ++lm.invocations;
     _invocations += 1;
     _deviceCycles += static_cast<double>(r.cycles);
     _deviceSeconds += r.seconds;

@@ -9,6 +9,13 @@
  * evaluated, caching the program image and writing the weight image
  * into the TPU's weight memory; the second and following evaluations
  * run at full speed."
+ *
+ * Compilation goes through a SharedProgramCache (one compile per
+ * model name, shareable across every chip of a pool) and execution
+ * goes through an ExecutionBackend (CycleSim, Replay or Analytic --
+ * see runtime/backend.hh); a driver constructed without either gets
+ * a private cache and the cycle-accurate tier, which is the exact
+ * pre-refactor behaviour.
  */
 
 #ifndef TPUSIM_RUNTIME_DRIVER_HH
@@ -23,6 +30,8 @@
 #include "arch/tpu_chip.hh"
 #include "compiler/codegen.hh"
 #include "nn/network.hh"
+#include "runtime/backend.hh"
+#include "runtime/program_cache.hh"
 #include "sim/stats.hh"
 
 namespace tpu {
@@ -69,8 +78,15 @@ struct InvokeStats
     double deviceSeconds = 0;
     double hostSeconds = 0;  ///< driver/runtime share (host model)
     double totalSeconds = 0;
+    /**
+     * True on the first invoke of a model WHOSE LOAD actually
+     * compiled (a load served from a shared cache hit never carried
+     * a compile).  Tracked per model, so loading a second model does
+     * not clear the first model's pending flag.
+     */
     bool compiledThisCall = false;
-    double compileSeconds = 0; ///< simulated compile cost
+    /** Modelled compile cost, reported with compiledThisCall. */
+    double compileSeconds = 0;
     arch::PerfCounters counters;
     std::vector<std::int8_t> output;
 };
@@ -85,9 +101,17 @@ class UserSpaceDriver
     /**
      * @param config     TPU to drive
      * @param functional execute the datapath (needs weights at load)
+     * @param backend    execution tier (null: private CycleSim)
+     * @param cache      program cache (null: private cache)
+     *
+     * Passing the same backend/cache to several drivers shares the
+     * replay memo and the compiled images across them -- the
+     * ChipPool construction.
      */
-    explicit UserSpaceDriver(arch::TpuConfig config,
-                             bool functional = false);
+    explicit UserSpaceDriver(
+        arch::TpuConfig config, bool functional = false,
+        std::shared_ptr<ExecutionBackend> backend = nullptr,
+        std::shared_ptr<SharedProgramCache> cache = nullptr);
 
     /**
      * Load (compile and cache) a model.  The weight image is written
@@ -97,6 +121,16 @@ class UserSpaceDriver
     ModelHandle loadModel(const nn::Network &net,
                           const compiler::CompileOptions &options =
                               compiler::CompileOptions{});
+
+    /**
+     * Unload a model: release its pinned kernel I/O buffers and
+     * evict the name-cache entry, so a later load of the same name
+     * compiles (or re-fetches) and pins afresh.  The shared program
+     * image stays cached -- other chips may be serving it -- and the
+     * weight image stays in Weight Memory, as on the real device.
+     * Unloading an unknown handle is fatal.
+     */
+    void unloadModel(ModelHandle handle);
 
     /**
      * Evaluate one batch.  @p host_fraction models the host-side
@@ -118,6 +152,11 @@ class UserSpaceDriver
 
     arch::TpuChip &chip() { return *_chip; }
     KernelDriver &kernelDriver() { return _kernel; }
+    ExecutionBackend &backend() { return *_backend; }
+    SharedProgramCache &programCache() { return *_cache; }
+
+    /** Loaded (not yet unloaded) models. */
+    std::size_t loadedModels() const { return _models.size(); }
 
     /** Runtime-wide statistics (invocations, cycles, bytes, ...). */
     const stats::StatGroup &statGroup() const { return _stats; }
@@ -130,15 +169,28 @@ class UserSpaceDriver
   private:
     arch::TpuConfig _config;
     std::unique_ptr<arch::TpuChip> _chip;
-    compiler::Compiler _compiler;
+    std::shared_ptr<ExecutionBackend> _backend;
+    std::shared_ptr<SharedProgramCache> _cache;
     KernelDriver _kernel;
 
     struct LoadedModel
     {
         std::string name;
-        compiler::CompiledModel compiled;
+        /**
+         * Points into the shared program cache (stable for the
+         * cache's lifetime) -- or into ownedEntry for functional
+         * images, whose chip-local weight data dies with the model.
+         */
+        const compiler::CompiledModel *compiled = nullptr;
+        std::unique_ptr<SharedProgramCache::Entry> ownedEntry;
         std::uint64_t inputBuffer = 0;
         std::uint64_t outputBuffer = 0;
+        /** This driver's load paid the compile (no cache hit). */
+        bool compiledHere = false;
+        double compileSeconds = 0;
+        std::uint64_t invocations = 0;
+        /** Shape fingerprint guarding repeated loads of the name. */
+        std::uint64_t fingerprint = 0;
     };
     std::map<ModelHandle, LoadedModel> _models;
     std::map<std::string, ModelHandle> _byName;
@@ -147,6 +199,7 @@ class UserSpaceDriver
     stats::StatGroup _stats;
     stats::Scalar _invocations;
     stats::Scalar _compilations;
+    stats::Scalar _compileSeconds;
     stats::Scalar _deviceCycles;
     stats::Scalar _deviceSeconds;
     stats::Scalar _hostSeconds;

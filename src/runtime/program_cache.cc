@@ -1,0 +1,103 @@
+#include "runtime/program_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace runtime {
+
+SharedProgramCache::SharedProgramCache(arch::TpuConfig config)
+    : _compiler(std::move(config))
+{}
+
+double
+SharedProgramCache::simulatedCompileSeconds(
+    const compiler::CompiledModel &compiled)
+{
+    // 1 ms front-end (graph import, layout decisions), 200 ns per
+    // emitted instruction of lowering, 50 ns per weight tile of
+    // layout/format work.  The constants are a model, not a
+    // measurement; what matters downstream is that the cost is
+    // deterministic, scales with the image, and is paid exactly once
+    // per compile.
+    return 1e-3 +
+           2e-7 * static_cast<double>(compiled.program.size()) +
+           5e-8 * static_cast<double>(compiled.weightTiles);
+}
+
+std::uint64_t
+SharedProgramCache::shapeFingerprint(const nn::Network &net)
+{
+    // FNV-1a over the shape-determining fields: batch size and, per
+    // layer, the kind plus the full matrix mapping (or the element
+    // count for vector/pool layers).  Two architectures that differ
+    // anywhere a compiled program could differ hash apart.
+    std::uint64_t h = 1469598103934665603ull;
+    auto fold = [&h](std::uint64_t v) {
+        h = (h ^ v) * 1099511628211ull;
+    };
+    fold(static_cast<std::uint64_t>(net.batchSize()));
+    for (const auto &layer : net.layers()) {
+        fold(static_cast<std::uint64_t>(layer->kind()));
+        if (auto m = layer->matrixMapping()) {
+            fold(static_cast<std::uint64_t>(m->rows));
+            fold(static_cast<std::uint64_t>(m->cols));
+            fold(static_cast<std::uint64_t>(m->passes));
+            fold(static_cast<std::uint64_t>(m->rowsPerExample));
+            fold(static_cast<std::uint64_t>(m->executions));
+        } else {
+            fold(static_cast<std::uint64_t>(
+                layer->macsPerExample()));
+        }
+    }
+    return h;
+}
+
+const SharedProgramCache::Entry &
+SharedProgramCache::load(const nn::Network &net,
+                         arch::WeightMemory *wm,
+                         const compiler::CompileOptions &options,
+                         bool *compiled_now)
+{
+    fatal_if(options.functional,
+             "functional images are chip-local; use "
+             "compileFunctional()");
+    auto it = _entries.find(net.name());
+    if (it != _entries.end()) {
+        fatal_if(_fingerprints.at(net.name()) !=
+                     shapeFingerprint(net),
+                 "model name '%s' reused for a different "
+                 "architecture; a shared program cache would alias "
+                 "two models onto one image", net.name().c_str());
+        ++_hits;
+        if (compiled_now)
+            *compiled_now = false;
+        return it->second;
+    }
+
+    Entry e;
+    e.compiled = _compiler.compile(net, wm, options);
+    e.compileSeconds = simulatedCompileSeconds(e.compiled);
+    ++_compilations;
+    if (compiled_now)
+        *compiled_now = true;
+    _fingerprints.emplace(net.name(), shapeFingerprint(net));
+    return _entries.emplace(net.name(), std::move(e)).first->second;
+}
+
+SharedProgramCache::Entry
+SharedProgramCache::compileFunctional(
+    const nn::Network &net, arch::WeightMemory *wm,
+    const compiler::CompileOptions &options)
+{
+    fatal_if(!options.functional,
+             "compileFunctional() is for functional images; use "
+             "load()");
+    Entry e;
+    e.compiled = _compiler.compile(net, wm, options);
+    e.compileSeconds = simulatedCompileSeconds(e.compiled);
+    ++_compilations;
+    return e;
+}
+
+} // namespace runtime
+} // namespace tpu

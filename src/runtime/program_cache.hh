@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SharedProgramCache: one compiled program image per model name,
+ * shared by every chip that serves the model.
+ *
+ * Section 2: the User Space driver "compiles a model the first time
+ * it is evaluated, caching the program image and writing the weight
+ * image into the TPU's weight memory".  Before this cache each
+ * UserSpaceDriver in a ChipPool recompiled every (model, batch
+ * bucket) privately -- N chips, N identical compiles.  Timing-mode
+ * programs never touch a chip's Weight Memory (tile indices are
+ * virtual), so the image is chip-independent and one compile serves
+ * the whole pool; each chip still pins its own I/O buffers and, in
+ * functional mode, still writes its own weight image (functional
+ * compiles are therefore never shared -- see load()).
+ *
+ * The cache also carries the simulated compile cost that the paper's
+ * first-evaluation story implies, so InvokeStats::compileSeconds is
+ * a modelled number instead of a dead field.
+ */
+
+#ifndef TPUSIM_RUNTIME_PROGRAM_CACHE_HH
+#define TPUSIM_RUNTIME_PROGRAM_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "arch/weight_memory.hh"
+#include "compiler/codegen.hh"
+#include "nn/network.hh"
+
+namespace tpu {
+namespace runtime {
+
+/** Name-keyed cache of compiled program images. */
+class SharedProgramCache
+{
+  public:
+    explicit SharedProgramCache(arch::TpuConfig config);
+
+    /** A cached compile: the image plus its modelled compile cost. */
+    struct Entry
+    {
+        compiler::CompiledModel compiled;
+        double compileSeconds = 0; ///< simulated compile cost
+    };
+
+    /**
+     * Return the image for @p net (keyed by name), compiling on a
+     * miss.  @p compiled_now reports whether THIS call paid the
+     * compile.  Timing-mode only: functional compiles write a
+     * chip-local weight image and must go through
+     * compileFunctional().  Reusing a cached name for a network with
+     * a different shape is fatal -- a shared cache must not let two
+     * models alias one image.
+     */
+    const Entry &load(const nn::Network &net, arch::WeightMemory *wm,
+                      const compiler::CompileOptions &options,
+                      bool *compiled_now = nullptr);
+
+    /**
+     * Compile a functional image: tile data is written into @p wm,
+     * so the result belongs to that chip alone.  Ownership moves to
+     * the caller (the driver's loaded-model entry), so unloading the
+     * model releases the image; nothing is retained here beyond the
+     * compilation count.
+     */
+    Entry compileFunctional(const nn::Network &net,
+                            arch::WeightMemory *wm,
+                            const compiler::CompileOptions &options);
+
+    /** Models actually compiled (pool-wide, not per chip). */
+    std::uint64_t compilations() const { return _compilations; }
+    /** Loads served from the cache without compiling. */
+    std::uint64_t hits() const { return _hits; }
+    /** Distinct shared (timing-mode) entries. */
+    std::size_t size() const { return _entries.size(); }
+
+    /**
+     * Modelled compile cost for an image: a fixed front-end pass
+     * plus per-instruction lowering and per-tile weight layout.
+     * Deterministic, and large enough to matter only on the first
+     * evaluation -- the Section 2 story the Table 5 host-overhead
+     * accounting surfaces.
+     */
+    static double simulatedCompileSeconds(
+        const compiler::CompiledModel &compiled);
+
+    /**
+     * Shape fingerprint of a network: batch size plus every layer's
+     * kind and matrix/vector dimensions, FNV-folded to 64 bits.
+     * Used to reject reusing one model name for a different
+     * architecture (see load); also the guard the ReplayBackend
+     * applies to its name-keyed memo.
+     */
+    static std::uint64_t shapeFingerprint(const nn::Network &net);
+
+  private:
+    compiler::Compiler _compiler;
+    std::map<std::string, Entry> _entries;
+    std::map<std::string, std::uint64_t> _fingerprints;
+    std::uint64_t _compilations = 0;
+    std::uint64_t _hits = 0;
+};
+
+} // namespace runtime
+} // namespace tpu
+
+#endif // TPUSIM_RUNTIME_PROGRAM_CACHE_HH

@@ -5,9 +5,14 @@
 namespace tpu {
 namespace serve {
 
-ChipPool::Chip::Chip(const arch::TpuConfig &config, int index,
-                     std::function<double()> now_fn)
-    : driver(std::make_unique<runtime::UserSpaceDriver>(config)),
+ChipPool::Chip::Chip(
+    const arch::TpuConfig &config, int index,
+    std::function<double()> now_fn,
+    std::shared_ptr<runtime::ExecutionBackend> backend,
+    std::shared_ptr<runtime::SharedProgramCache> cache)
+    : driver(std::make_unique<runtime::UserSpaceDriver>(
+          config, /*functional=*/false, std::move(backend),
+          std::move(cache))),
       group("chip" + std::to_string(index)),
       batches("batches", "formed batches served by this chip"),
       busySeconds("busy_seconds", "simulated seconds serving batches"),
@@ -25,13 +30,25 @@ ChipPool::Chip::Chip(const arch::TpuConfig &config, int index,
 }
 
 ChipPool::ChipPool(const arch::TpuConfig &config, int chips,
-                   std::function<double()> now_fn)
-    : _now(std::move(now_fn)), _stats("chip_pool")
+                   std::function<double()> now_fn,
+                   runtime::TierPolicy tier)
+    : _cache(std::make_shared<runtime::SharedProgramCache>(config)),
+      _backend(runtime::makeBackend(tier, config)),
+      _now(std::move(now_fn)), _stats("chip_pool"),
+      _compilations("compilations",
+                    "distinct (model, bucket) images compiled "
+                    "pool-wide",
+                    [this]() {
+                        return static_cast<double>(
+                            _cache->compilations());
+                    })
 {
     fatal_if(chips <= 0, "chip pool needs at least one chip");
+    _stats.regStat(&_compilations);
     _chips.reserve(static_cast<std::size_t>(chips));
     for (int i = 0; i < chips; ++i) {
-        _chips.push_back(std::make_unique<Chip>(config, i, _now));
+        _chips.push_back(std::make_unique<Chip>(config, i, _now,
+                                                _backend, _cache));
         _stats.regGroup(&_chips.back()->group);
     }
 }

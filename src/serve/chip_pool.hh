@@ -2,17 +2,28 @@
  * @file
  * A pool of N simulated TPU chips behind one serving Session.
  *
- * Each pool member is a full runtime::UserSpaceDriver (compiler,
- * model cache, kernel driver, stats) fronting its own arch::TpuChip
- * -- the paper's deployment unit is "4 TPU dies per server"
- * (Table 2), and the Session schedules formed batches across the
- * pool.  Chip selection is round-robin over the free chips so a
- * bursty model cannot camp on chip 0 while the rest idle.
+ * Each pool member is a full runtime::UserSpaceDriver (model cache,
+ * kernel driver, stats) fronting its own arch::TpuChip -- the
+ * paper's deployment unit is "4 TPU dies per server" (Table 2), and
+ * the Session schedules formed batches across the pool.  Chip
+ * selection is round-robin over the free chips so a bursty model
+ * cannot camp on chip 0 while the rest idle.
  *
- * Invocations run the real cycle simulator; the pool accumulates
- * per-chip busy seconds and batch counts into a StatGroup, and
- * merges device perf counters across the pool so utilization and
- * IPS reported upstream come from counters, not estimates.
+ * Two things are deliberately shared across the whole pool:
+ *
+ *  - a runtime::SharedProgramCache, so each (model, batch bucket) is
+ *    compiled exactly ONCE no matter how many chips serve it (each
+ *    chip still pins its own I/O buffers and owns its own weight
+ *    image) -- the Section 2 "caching the program image" story at
+ *    pool scope;
+ *  - a runtime::ExecutionBackend picked by TierPolicy, so a Replay
+ *    pool pays one live cycle-sim run per compiled model pool-wide
+ *    and replays everywhere else.
+ *
+ * The pool accumulates per-chip busy seconds and batch counts into a
+ * StatGroup, and merges device perf counters across the pool so
+ * utilization and IPS reported upstream come from counters, not
+ * estimates.
  */
 
 #ifndef TPUSIM_SERVE_CHIP_POOL_HH
@@ -23,7 +34,9 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "runtime/backend.hh"
 #include "runtime/driver.hh"
+#include "runtime/program_cache.hh"
 #include "sim/stats.hh"
 
 namespace tpu {
@@ -37,11 +50,14 @@ class ChipPool
      * @param config  per-chip configuration (all members identical)
      * @param chips   pool size (>= 1)
      * @param now_fn  simulated-clock source for utilization formulas
+     * @param tier    execution tier for every chip in the pool
      */
     ChipPool(const arch::TpuConfig &config, int chips,
-             std::function<double()> now_fn);
+             std::function<double()> now_fn,
+             runtime::TierPolicy tier = runtime::TierPolicy{});
 
     int size() const { return static_cast<int>(_chips.size()); }
+    runtime::ExecutionTier tier() const { return _backend->tier(); }
 
     /**
      * Claim a free chip (round-robin from the last grant); -1 when
@@ -64,6 +80,21 @@ class ChipPool
     double busySeconds(int chip) const;
     std::uint64_t batches(int chip) const;
 
+    /**
+     * Pool-wide compilations: distinct (model, bucket) images
+     * actually compiled, independent of pool size.
+     */
+    std::uint64_t compilations() const
+    {
+        return _cache->compilations();
+    }
+
+    const runtime::SharedProgramCache &programCache() const
+    {
+        return *_cache;
+    }
+    runtime::ExecutionBackend &backend() { return *_backend; }
+
     /** Device counters merged across every batch on every chip. */
     const arch::PerfCounters &mergedCounters() const
     {
@@ -76,8 +107,10 @@ class ChipPool
   private:
     struct Chip
     {
-        explicit Chip(const arch::TpuConfig &config, int index,
-                      std::function<double()> now_fn);
+        Chip(const arch::TpuConfig &config, int index,
+             std::function<double()> now_fn,
+             std::shared_ptr<runtime::ExecutionBackend> backend,
+             std::shared_ptr<runtime::SharedProgramCache> cache);
 
         std::unique_ptr<runtime::UserSpaceDriver> driver;
         bool busy = false;
@@ -87,11 +120,14 @@ class ChipPool
         stats::Formula utilization;
     };
 
+    std::shared_ptr<runtime::SharedProgramCache> _cache;
+    std::shared_ptr<runtime::ExecutionBackend> _backend;
     std::vector<std::unique_ptr<Chip>> _chips;
     std::function<double()> _now;
     int _lastGrant = -1;
     arch::PerfCounters _merged;
     stats::StatGroup _stats;
+    stats::Formula _compilations;
 };
 
 } // namespace serve

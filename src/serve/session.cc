@@ -44,7 +44,8 @@ Session::Model::Model(std::string model_name,
 
 Session::Session(arch::TpuConfig config, SessionOptions options)
     : _config(std::move(config)),
-      _pool(_config, options.chips, [this]() { return now(); }),
+      _pool(_config, options.chips, [this]() { return now(); },
+            options.tier),
       _stats("serve_session"),
       _submitted("submitted", "requests submitted"),
       _completed("completed", "requests served to completion"),
@@ -134,6 +135,49 @@ Session::submitAt(double when_seconds, ModelHandle handle,
                     _arrive(handle, std::move(req));
                 });
     return Future(std::move(state));
+}
+
+void
+Session::submitDetached(double when_seconds, ModelHandle handle)
+{
+    _model(handle); // validate early, at submission time
+    fatal_if(when_seconds < now(),
+             "submitting a request in the simulated past");
+    fatal_if(!_arrivalStream.empty() &&
+             when_seconds < _arrivalStream.back().when,
+             "detached arrivals must be submitted in time order");
+    _arrivalStream.push_back({when_seconds, handle});
+    _armPump();
+}
+
+void
+Session::_armPump()
+{
+    if (_pumpArmed || _arrivalStream.empty())
+        return;
+    _pumpArmed = true;
+    // [this] fits std::function's small-buffer storage: arming the
+    // pump never allocates, no matter how deep the stream is.
+    _scheduleAt(_arrivalStream.front().when, 0, [this]() {
+        _pumpArmed = false;
+        _pumpArrivals();
+    });
+}
+
+void
+Session::_pumpArrivals()
+{
+    while (!_arrivalStream.empty() &&
+           _arrivalStream.front().when <= now()) {
+        const StreamArrival a = _arrivalStream.front();
+        _arrivalStream.pop_front();
+        PendingRequest req;
+        req.id = _nextRequest++;
+        req.arrivalSeconds = a.when;
+        // req.state stays null: no Future, no Reply materialization.
+        _arrive(a.handle, std::move(req));
+    }
+    _armPump();
 }
 
 void
@@ -232,6 +276,8 @@ Session::_resolveShed(Model &m, std::vector<PendingRequest> &shed)
     for (PendingRequest &req : shed) {
         _shed += 1;
         m.stats.shed += 1;
+        if (!req.state)
+            continue; // detached: aggregate stats only
         Reply &rep = req.state->reply;
         rep.id = req.id;
         rep.shed = true;
@@ -288,26 +334,38 @@ Session::_complete(ModelHandle handle, int chip, FormedBatch batch,
     const double done = now();
     const auto formed =
         static_cast<std::int64_t>(batch.requests.size());
-    const arch::PerfCounters share = inv.counters.averagedOver(
-        static_cast<std::uint64_t>(formed));
+    // The per-request counter share is only materialized if some
+    // request in the batch still holds a Future; a fully detached
+    // batch skips the division entirely.
+    arch::PerfCounters share;
+    bool share_ready = false;
     for (PendingRequest &req : batch.requests) {
         _completed += 1;
         m.stats.completed += 1;
+        const double response = done - req.arrivalSeconds;
+        const double queued = dispatch_time - req.arrivalSeconds;
+        m.stats.response.sample(response);
+        m.stats.queueSeconds.sample(queued);
+        if (!req.state)
+            continue; // detached: aggregate stats only
+        if (!share_ready) {
+            share = inv.counters.averagedOver(
+                static_cast<std::uint64_t>(formed));
+            share_ready = true;
+        }
         Reply &rep = req.state->reply;
         rep.id = req.id;
         rep.shed = false;
         rep.submitSeconds = req.arrivalSeconds;
         rep.dispatchSeconds = dispatch_time;
         rep.completionSeconds = done;
-        rep.responseSeconds = done - req.arrivalSeconds;
-        rep.queueSeconds = dispatch_time - req.arrivalSeconds;
+        rep.responseSeconds = response;
+        rep.queueSeconds = queued;
         rep.batchSize = formed;
         rep.paddedBatch = batch.paddedBatch;
         rep.chip = chip;
         rep.counters = share;
         req.state->ready = true;
-        m.stats.response.sample(rep.responseSeconds);
-        m.stats.queueSeconds.sample(rep.queueSeconds);
     }
     _pool.release(chip);
     if (!m.batcher.empty())

@@ -35,6 +35,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -57,6 +58,13 @@ struct SessionOptions
 {
     /** Pool size; Table 2's TPU server hosts 4 dies. */
     int chips = 4;
+
+    /**
+     * Execution tier for the pool (runtime/backend.hh): CycleSim for
+     * counter-exact ground truth, Replay for bit-identical timing at
+     * serving scale, Analytic for Table 7-accuracy sweeps.
+     */
+    runtime::TierPolicy tier = runtime::TierPolicy{};
 };
 
 /** Measured serving statistics for one loaded model. */
@@ -106,6 +114,17 @@ class Session
     /** Submit one request arriving at @p when_seconds (>= now). */
     Future submitAt(double when_seconds, ModelHandle handle,
                     std::vector<std::int8_t> input = {});
+
+    /**
+     * Fire-and-forget submission: identical admission, batching,
+     * SLO and statistics behaviour to submitAt(), but no Future is
+     * created, so nothing is allocated per reply.  This is the
+     * million-request path: when a farm driver only reads the
+     * aggregate StatGroup percentiles, per-request Reply plumbing is
+     * pure overhead.  Detached requests carry no payload (serving
+     * chips run in timing mode; request inputs only size the DMA).
+     */
+    void submitDetached(double when_seconds, ModelHandle handle);
 
     /** Drive simulated time until every pending event has fired. */
     void run();
@@ -167,6 +186,21 @@ class Session
     Model &_model(ModelHandle handle);
     const Model &_model(ModelHandle handle) const;
 
+    /**
+     * Detached arrivals wait here instead of in the event queue: one
+     * self-rescheduling pump event delivers them in order, so a
+     * million pending arrivals cost one queue slot and no per-request
+     * closure allocation -- the difference between O(log pending) and
+     * O(log in-flight) per event at farm scale.
+     */
+    struct StreamArrival
+    {
+        double when;
+        ModelHandle handle;
+    };
+    void _armPump();
+    void _pumpArrivals();
+
     void _arrive(ModelHandle handle, PendingRequest req);
     void _armTimer(ModelHandle handle);
     void _drain();
@@ -203,6 +237,9 @@ class Session
     std::map<ModelHandle, std::unique_ptr<Model>> _models;
     ModelHandle _nextModel = 1;
     RequestId _nextRequest = 1;
+
+    std::deque<StreamArrival> _arrivalStream;
+    bool _pumpArmed = false;
 
     stats::StatGroup _stats;
     stats::Scalar _submitted;

@@ -78,6 +78,36 @@ TEST(PerfCounters, MergeAddsEverything)
     EXPECT_EQ(a.totalInstructions, 160u);
 }
 
+TEST(PerfCounters, MergeOfAveragedSharesRoundTrips)
+{
+    // averagedOver splits a batch's counters into per-request
+    // shares; merging the shares back must reproduce the batch
+    // total exactly when the counts divide evenly (sample()'s
+    // counts are all even), which is what lets a pool report
+    // identical merged counters whether its batches ran live or
+    // were replayed.
+    const PerfCounters batch = sample();
+    const std::uint64_t requests = 2;
+    const PerfCounters share = batch.averagedOver(requests);
+    PerfCounters merged;
+    for (std::uint64_t i = 0; i < requests; ++i)
+        merged.merge(share);
+    EXPECT_EQ(merged.totalCycles, batch.totalCycles);
+    EXPECT_EQ(merged.arrayActiveCycles, batch.arrayActiveCycles);
+    EXPECT_EQ(merged.weightStallCycles, batch.weightStallCycles);
+    EXPECT_EQ(merged.usefulMacs, batch.usefulMacs);
+    EXPECT_EQ(merged.totalMacSlots, batch.totalMacSlots);
+    EXPECT_EQ(merged.totalInstructions, batch.totalInstructions);
+}
+
+TEST(PerfCounters, AveragedOverSingleRequestIsIdentity)
+{
+    const PerfCounters batch = sample();
+    const PerfCounters one = batch.averagedOver(1);
+    EXPECT_EQ(one.totalCycles, batch.totalCycles);
+    EXPECT_EQ(one.totalInstructions, batch.totalInstructions);
+}
+
 TEST(PerfCounters, SummaryMentionsKeyNumbers)
 {
     PerfCounters c = sample();

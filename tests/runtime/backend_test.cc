@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the tiered execution backends (runtime/backend.hh) and
+ * the SharedProgramCache: Replay reproduces CycleSim bit for bit
+ * (per-invoke and end to end through serve::Session, including the
+ * pool's merged counters), the Analytic tier honours the counter
+ * identities, and a shared cache compiles each model once no matter
+ * how many drivers (chips) load it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "runtime/backend.hh"
+#include "runtime/driver.hh"
+#include "runtime/program_cache.hh"
+#include "serve/session.hh"
+#include "sim/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace runtime {
+namespace {
+
+arch::TpuConfig
+testConfig()
+{
+    arch::TpuConfig c;
+    c.matrixDim = 16;
+    c.accumulatorEntries = 64;
+    c.unifiedBufferBytes = 64 * 1024;
+    c.clockHz = 1e9;
+    c.weightMemoryBytesPerSec = 16e9;
+    c.pcieBytesPerSec = 16e9;
+    return c;
+}
+
+nn::Network
+smallNet(const char *name = "small", std::int64_t batch = 4)
+{
+    nn::Network net(name, batch);
+    net.addFullyConnected(32, 32);
+    net.addFullyConnected(32, 16);
+    return net;
+}
+
+void
+expectCountersEqual(const arch::PerfCounters &a,
+                    const arch::PerfCounters &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.arrayActiveCycles, b.arrayActiveCycles);
+    EXPECT_EQ(a.weightStallCycles, b.weightStallCycles);
+    EXPECT_EQ(a.weightShiftCycles, b.weightShiftCycles);
+    EXPECT_EQ(a.nonMatrixCycles, b.nonMatrixCycles);
+    EXPECT_EQ(a.rawStallCycles, b.rawStallCycles);
+    EXPECT_EQ(a.inputStallCycles, b.inputStallCycles);
+    EXPECT_EQ(a.usefulMacs, b.usefulMacs);
+    EXPECT_EQ(a.totalMacSlots, b.totalMacSlots);
+    EXPECT_EQ(a.weightBytesRead, b.weightBytesRead);
+    EXPECT_EQ(a.pcieBytesIn, b.pcieBytesIn);
+    EXPECT_EQ(a.pcieBytesOut, b.pcieBytesOut);
+    EXPECT_EQ(a.ubBytesRead, b.ubBytesRead);
+    EXPECT_EQ(a.ubBytesWritten, b.ubBytesWritten);
+    EXPECT_EQ(a.accBytesWritten, b.accBytesWritten);
+    EXPECT_EQ(a.matmulInstructions, b.matmulInstructions);
+    EXPECT_EQ(a.activateInstructions, b.activateInstructions);
+    EXPECT_EQ(a.readWeightInstructions, b.readWeightInstructions);
+    EXPECT_EQ(a.dmaInstructions, b.dmaInstructions);
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions);
+}
+
+TEST(TierNames, RoundTrip)
+{
+    EXPECT_STREQ(toString(ExecutionTier::CycleSim), "cyclesim");
+    EXPECT_STREQ(toString(ExecutionTier::Replay), "replay");
+    EXPECT_STREQ(toString(ExecutionTier::Analytic), "analytic");
+    EXPECT_EQ(tierFromString("replay"), ExecutionTier::Replay);
+    EXPECT_EQ(tierFromString("cyclesim"), ExecutionTier::CycleSim);
+    EXPECT_EQ(tierFromString("analytic"), ExecutionTier::Analytic);
+}
+
+TEST(TierNamesDeath, UnknownTier)
+{
+    EXPECT_EXIT(tierFromString("quantum"),
+                ::testing::ExitedWithCode(1), "unknown execution");
+}
+
+TEST(ReplayBackend, FirstInvokeLiveThenMemoized)
+{
+    auto backend = std::make_shared<ReplayBackend>();
+    UserSpaceDriver drv(testConfig(), false, backend);
+    ModelHandle h = drv.loadModel(smallNet());
+
+    InvokeStats first = drv.invoke(h);
+    EXPECT_EQ(backend->liveRuns(), 1u);
+    EXPECT_EQ(backend->replays(), 0u);
+
+    InvokeStats again = drv.invoke(h);
+    EXPECT_EQ(backend->liveRuns(), 1u);
+    EXPECT_EQ(backend->replays(), 1u);
+
+    // Replay is bit-identical to the live run it memoized.
+    EXPECT_EQ(first.deviceCycles, again.deviceCycles);
+    EXPECT_DOUBLE_EQ(first.deviceSeconds, again.deviceSeconds);
+    expectCountersEqual(first.counters, again.counters);
+}
+
+TEST(ReplayBackend, MatchesCycleSimExactly)
+{
+    // The same model through a CycleSim driver and a Replay driver:
+    // every invoke must agree on every counter.
+    UserSpaceDriver cyc(testConfig(), false,
+                        std::make_shared<CycleSimBackend>());
+    UserSpaceDriver rep(testConfig(), false,
+                        std::make_shared<ReplayBackend>());
+    ModelHandle hc = cyc.loadModel(smallNet());
+    ModelHandle hr = rep.loadModel(smallNet());
+    for (int i = 0; i < 3; ++i) {
+        InvokeStats a = cyc.invoke(hc, {}, 0.1);
+        InvokeStats b = rep.invoke(hr, {}, 0.1);
+        EXPECT_EQ(a.deviceCycles, b.deviceCycles) << "invoke " << i;
+        EXPECT_DOUBLE_EQ(a.totalSeconds, b.totalSeconds);
+        expectCountersEqual(a.counters, b.counters);
+    }
+}
+
+TEST(ReplayBackend, SharedAcrossDriversRunsLiveOnce)
+{
+    // The pool construction: two chips share one backend and one
+    // cache, so the cycle simulator runs once POOL-wide per model.
+    auto backend = std::make_shared<ReplayBackend>();
+    auto cache = std::make_shared<SharedProgramCache>(testConfig());
+    UserSpaceDriver a(testConfig(), false, backend, cache);
+    UserSpaceDriver b(testConfig(), false, backend, cache);
+    ModelHandle ha = a.loadModel(smallNet());
+    ModelHandle hb = b.loadModel(smallNet());
+
+    InvokeStats ia = a.invoke(ha);
+    InvokeStats ib = b.invoke(hb);
+    EXPECT_EQ(backend->liveRuns(), 1u);
+    EXPECT_EQ(backend->replays(), 1u);
+    EXPECT_EQ(ia.deviceCycles, ib.deviceCycles);
+    expectCountersEqual(ia.counters, ib.counters);
+}
+
+TEST(UserSpaceDriverDeath, SameDriverNameReuseAcrossArchitectures)
+{
+    // The driver's own name-dedup fast path applies the aliasing
+    // guard too: reloading a name with a different architecture
+    // dies instead of returning the wrong model's handle.
+    UserSpaceDriver drv(testConfig());
+    drv.loadModel(smallNet("shared"));
+    nn::Network other("shared", 4);
+    other.addFullyConnected(64, 64);
+    EXPECT_EXIT(drv.loadModel(other), ::testing::ExitedWithCode(1),
+                "different architecture");
+}
+
+TEST(AnalyticBackendDeath, EstimateKeyReuseAcrossArchitectures)
+{
+    auto backend =
+        std::make_shared<AnalyticBackend>(testConfig());
+    UserSpaceDriver a(testConfig(), false, backend);
+    UserSpaceDriver b(testConfig(), false, backend);
+    a.loadModel(smallNet("shared"));
+    nn::Network other("shared", 4);
+    other.addFullyConnected(64, 64);
+    EXPECT_EXIT(b.loadModel(other), ::testing::ExitedWithCode(1),
+                "different architecture");
+}
+
+TEST(ReplayBackendDeath, MemoKeyReuseAcrossArchitectures)
+{
+    // Drivers that share a backend but keep PRIVATE program caches
+    // bypass the cache's name-reuse guard; the replay memo carries
+    // its own, so a name collision dies instead of replaying the
+    // wrong model's timing.
+    auto backend = std::make_shared<ReplayBackend>();
+    UserSpaceDriver a(testConfig(), false, backend);
+    UserSpaceDriver b(testConfig(), false, backend);
+    a.loadModel(smallNet("shared"));
+    nn::Network other("shared", 4);
+    other.addFullyConnected(64, 64);
+    EXPECT_EXIT(b.loadModel(other), ::testing::ExitedWithCode(1),
+                "replay memo key");
+}
+
+TEST(AnalyticBackend, HonoursCounterIdentities)
+{
+    UserSpaceDriver drv(testConfig(), false,
+                        std::make_shared<AnalyticBackend>(
+                            testConfig()));
+    ModelHandle h = drv.loadModel(smallNet());
+    InvokeStats s = drv.invoke(h);
+
+    const arch::PerfCounters &c = s.counters;
+    EXPECT_GT(s.deviceCycles, 0u);
+    EXPECT_GT(s.deviceSeconds, 0.0);
+    // Table 3's primary buckets partition all cycles.
+    EXPECT_EQ(c.arrayActiveCycles + c.weightStallCycles +
+                  c.weightShiftCycles + c.nonMatrixCycles,
+              c.totalCycles);
+    EXPECT_GT(c.usefulMacs, 0u);
+    EXPECT_GE(c.totalMacSlots, c.usefulMacs);
+    EXPECT_GT(c.totalInstructions, 0u);
+    EXPECT_GT(c.matmulInstructions, 0u);
+    // Estimates are deterministic.
+    InvokeStats again = drv.invoke(h);
+    EXPECT_EQ(s.deviceCycles, again.deviceCycles);
+    expectCountersEqual(s.counters, again.counters);
+}
+
+TEST(AnalyticBackend, TracksCycleSimWithinModelErrorBounds)
+{
+    // Section 7 / Table 7: the closed form averages below 10% error
+    // against the counters.  The model is calibrated for
+    // production-scale shapes, so validate on the production config
+    // and a Table 1 workload, with a loose per-app bound.
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    UserSpaceDriver cyc(cfg, false,
+                        std::make_shared<CycleSimBackend>());
+    UserSpaceDriver ana(cfg, false,
+                        std::make_shared<AnalyticBackend>(cfg));
+    nn::Network net = workloads::build(workloads::AppId::MLP0);
+    InvokeStats truth = cyc.invoke(cyc.loadModel(net));
+    InvokeStats model = ana.invoke(ana.loadModel(net));
+    const double err =
+        std::abs(static_cast<double>(model.deviceCycles) -
+                 static_cast<double>(truth.deviceCycles)) /
+        static_cast<double>(truth.deviceCycles);
+    EXPECT_LT(err, 0.25) << "analytic " << model.deviceCycles
+                         << " vs cyclesim " << truth.deviceCycles;
+}
+
+TEST(SharedProgramCache, CompilesOncePerName)
+{
+    auto cache = std::make_shared<SharedProgramCache>(testConfig());
+    UserSpaceDriver a(testConfig(), false, nullptr, cache);
+    UserSpaceDriver b(testConfig(), false, nullptr, cache);
+
+    a.loadModel(smallNet());
+    EXPECT_EQ(cache->compilations(), 1u);
+    EXPECT_EQ(cache->hits(), 0u);
+
+    b.loadModel(smallNet());
+    EXPECT_EQ(cache->compilations(), 1u);
+    EXPECT_EQ(cache->hits(), 1u);
+
+    b.loadModel(smallNet("other"));
+    EXPECT_EQ(cache->compilations(), 2u);
+
+    // Only the compiling driver reports the compile.
+    EXPECT_DOUBLE_EQ(
+        a.statGroup().find("compilations")->result(), 1.0);
+    EXPECT_DOUBLE_EQ(
+        b.statGroup().find("compilations")->result(), 1.0);
+}
+
+TEST(SharedProgramCacheDeath, NameReuseAcrossArchitectures)
+{
+    // Two different models under one name would alias one compiled
+    // image pool-wide; the cache refuses.
+    auto cache = std::make_shared<SharedProgramCache>(testConfig());
+    UserSpaceDriver a(testConfig(), false, nullptr, cache);
+    UserSpaceDriver b(testConfig(), false, nullptr, cache);
+    a.loadModel(smallNet("shared"));
+    nn::Network other("shared", 4);
+    other.addFullyConnected(64, 64);
+    EXPECT_EXIT(b.loadModel(other), ::testing::ExitedWithCode(1),
+                "different architecture");
+}
+
+TEST(SharedProgramCache, FunctionalImagesAreOwnedByTheModel)
+{
+    // Functional compiles carry a chip-local weight image: they are
+    // never shared, and unloading the model releases the image
+    // instead of parking it in the cache forever.
+    auto cache = std::make_shared<SharedProgramCache>(testConfig());
+    UserSpaceDriver drv(testConfig(), /*functional=*/true, nullptr,
+                        cache);
+
+    std::vector<nn::Int8Tensor> weights;
+    weights.emplace_back(nn::Shape{32, 32});
+    weights.emplace_back(nn::Shape{32, 16});
+    std::vector<float> scales{1.0f, 1.0f};
+    compiler::CompileOptions options;
+    options.functional = true;
+    options.quantWeights = &weights;
+    options.requantScales = &scales;
+
+    ModelHandle h = drv.loadModel(smallNet(), options);
+    EXPECT_EQ(cache->compilations(), 1u);
+    EXPECT_EQ(cache->size(), 0u); // nothing retained in the cache
+    const std::vector<std::int8_t> input(
+        drv.model(h).inputBytes, 0);
+    InvokeStats s = drv.invoke(h, input);
+    EXPECT_GT(s.deviceCycles, 0u);
+    EXPECT_TRUE(s.compiledThisCall);
+
+    drv.unloadModel(h);
+    EXPECT_EQ(drv.kernelDriver().liveBuffers(), 0u);
+    EXPECT_EQ(drv.loadedModels(), 0u);
+}
+
+TEST(SharedProgramCache, ModelsCompileCost)
+{
+    SharedProgramCache cache(testConfig());
+    bool compiled = false;
+    const SharedProgramCache::Entry &e = cache.load(
+        smallNet(), nullptr, compiler::CompileOptions{}, &compiled);
+    EXPECT_TRUE(compiled);
+    EXPECT_GT(e.compileSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(e.compileSeconds,
+                     SharedProgramCache::simulatedCompileSeconds(
+                         e.compiled));
+
+    // A hit pays nothing and reports so.
+    cache.load(smallNet(), nullptr, compiler::CompileOptions{},
+               &compiled);
+    EXPECT_FALSE(compiled);
+}
+
+// ------------------------------- end to end through serve::Session
+
+struct FarmStats
+{
+    double p50 = 0, p99 = 0, ips = 0;
+    std::uint64_t completed = 0, shed = 0, compilations = 0;
+    arch::PerfCounters merged;
+};
+
+FarmStats
+runFarm(ExecutionTier tier, int chips, std::uint64_t requests)
+{
+    serve::SessionOptions options;
+    options.chips = chips;
+    options.tier = TierPolicy{tier};
+    serve::Session s(testConfig(), options);
+
+    serve::BatcherPolicy p;
+    p.maxBatch = 8;
+    p.maxDelaySeconds = 5e-6;
+    serve::ModelHandle h = s.load(
+        "small",
+        [](std::int64_t batch) { return smallNet("small", batch); },
+        p);
+    serve::ModelHandle h2 = s.load(
+        "wide",
+        [](std::int64_t batch) {
+            nn::Network net("wide", batch);
+            net.addFullyConnected(64, 48);
+            return net;
+        },
+        p);
+
+    Rng arrivals(99), pickrng(7);
+    double t = 0;
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        t += arrivals.exponential(150000.0);
+        s.submitDetached(std::max(t, s.now()),
+                         pickrng.uniformReal() < 0.7 ? h : h2);
+    }
+    s.run();
+
+    FarmStats f;
+    f.p50 = s.modelStats(h).p50();
+    f.p99 = s.modelStats(h).p99();
+    f.ips = s.achievedIps();
+    f.completed = s.completed();
+    f.shed = s.shedCount();
+    f.compilations = s.pool().compilations();
+    f.merged = s.pool().mergedCounters();
+    return f;
+}
+
+TEST(TieredServing, ReplayReproducesCycleSimExactly)
+{
+    // The ISSUE's determinism gate: identical fixed-seed traffic on
+    // the CycleSim and Replay tiers must agree on p50, p99, IPS and
+    // the pool's merged counters EXACTLY -- replayed batches are
+    // indistinguishable from live ones in every reported number.
+    const FarmStats cyc = runFarm(ExecutionTier::CycleSim, 2, 600);
+    const FarmStats rep = runFarm(ExecutionTier::Replay, 2, 600);
+
+    EXPECT_DOUBLE_EQ(cyc.p50, rep.p50);
+    EXPECT_DOUBLE_EQ(cyc.p99, rep.p99);
+    EXPECT_DOUBLE_EQ(cyc.ips, rep.ips);
+    EXPECT_EQ(cyc.completed, rep.completed);
+    EXPECT_EQ(cyc.shed, rep.shed);
+    expectCountersEqual(cyc.merged, rep.merged);
+    EXPECT_GT(rep.completed, 0u);
+    EXPECT_GT(rep.merged.totalCycles, 0u);
+}
+
+TEST(TieredServing, PoolCompilesEachBucketOnceRegardlessOfSize)
+{
+    // The shared cache makes compilations a property of the model
+    // mix, not the pool: 1 chip and 4 chips compile the same images.
+    const FarmStats one = runFarm(ExecutionTier::Replay, 1, 400);
+    const FarmStats four = runFarm(ExecutionTier::Replay, 4, 400);
+    EXPECT_GT(one.compilations, 0u);
+    EXPECT_EQ(one.compilations, four.compilations);
+}
+
+TEST(TieredServing, MergedCountersSurviveAveragedOverRoundTrip)
+{
+    // Per-request counter shares (averagedOver) merged back over a
+    // batch reproduce the batch total to rounding: the serving
+    // runtime's per-request attribution conserves the counters.
+    UserSpaceDriver drv(testConfig(), false,
+                        std::make_shared<ReplayBackend>());
+    ModelHandle h = drv.loadModel(smallNet("rt", 8));
+    InvokeStats batch = drv.invoke(h);
+
+    const std::uint64_t requests = 8;
+    const arch::PerfCounters share =
+        batch.counters.averagedOver(requests);
+    arch::PerfCounters merged;
+    for (std::uint64_t i = 0; i < requests; ++i)
+        merged.merge(share);
+    // Division floors, so the merged total can fall short by at most
+    // one unit per request on every field.
+    EXPECT_LE(batch.counters.totalCycles - merged.totalCycles,
+              requests);
+    EXPECT_LE(batch.counters.usefulMacs - merged.usefulMacs,
+              requests);
+    EXPECT_LE(batch.counters.totalInstructions -
+                  merged.totalInstructions, requests);
+    EXPECT_GE(batch.counters.totalCycles, merged.totalCycles);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace tpu

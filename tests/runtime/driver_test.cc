@@ -164,6 +164,94 @@ TEST(UserSpaceDriver, ProductionWorkloadThroughDriver)
     EXPECT_GT(s.totalSeconds, s.deviceSeconds);
 }
 
+TEST(UserSpaceDriver, CompiledThisCallIsTrackedPerModel)
+{
+    // Regression: this used to be derived from the DRIVER-wide
+    // invocation count, so loading a second model made its first
+    // invoke claim the compile had already happened.
+    UserSpaceDriver drv(testConfig());
+    ModelHandle a = drv.loadModel(smallNet("a"));
+    ModelHandle b = drv.loadModel(smallNet("b"));
+
+    InvokeStats a1 = drv.invoke(a);
+    EXPECT_TRUE(a1.compiledThisCall);
+    EXPECT_GT(a1.compileSeconds, 0.0);
+
+    // Model b's first invoke carries ITS compile, even though the
+    // driver has already served an invocation.
+    InvokeStats b1 = drv.invoke(b);
+    EXPECT_TRUE(b1.compiledThisCall);
+    EXPECT_GT(b1.compileSeconds, 0.0);
+
+    EXPECT_FALSE(drv.invoke(a).compiledThisCall);
+    EXPECT_FALSE(drv.invoke(b).compiledThisCall);
+    EXPECT_DOUBLE_EQ(drv.invoke(b).compileSeconds, 0.0);
+
+    // The modelled compile cost is surfaced in the stats group for
+    // the Table 5 host-overhead accounting.
+    EXPECT_DOUBLE_EQ(
+        drv.statGroup().find("compile_seconds")->result(),
+        a1.compileSeconds + b1.compileSeconds);
+}
+
+TEST(UserSpaceDriver, UnloadReleasesPinnedBuffersAndNameCache)
+{
+    UserSpaceDriver drv(testConfig());
+    ModelHandle h = drv.loadModel(smallNet());
+    drv.invoke(h);
+    EXPECT_EQ(drv.loadedModels(), 1u);
+    EXPECT_GT(drv.kernelDriver().pinnedBytes(), 0u);
+
+    drv.unloadModel(h);
+    EXPECT_EQ(drv.loadedModels(), 0u);
+    EXPECT_EQ(drv.kernelDriver().liveBuffers(), 0u);
+    EXPECT_EQ(drv.kernelDriver().pinnedBytes(), 0u);
+
+    // The name-cache entry is evicted: reloading yields a fresh
+    // handle and re-pins buffers, while the program CACHE still
+    // holds the image (the paper caches compiled programs for the
+    // driver's lifetime), so no second compile happens.
+    ModelHandle h2 = drv.loadModel(smallNet());
+    EXPECT_NE(h2, h);
+    EXPECT_DOUBLE_EQ(
+        drv.statGroup().find("compilations")->result(), 1.0);
+    EXPECT_EQ(drv.programCache().hits(), 1u);
+    EXPECT_GT(drv.kernelDriver().pinnedBytes(), 0u);
+    drv.invoke(h2);
+}
+
+TEST(UserSpaceDriverDeath, InvokeAfterUnload)
+{
+    UserSpaceDriver drv(testConfig());
+    ModelHandle h = drv.loadModel(smallNet());
+    drv.unloadModel(h);
+    EXPECT_EXIT(drv.invoke(h), ::testing::ExitedWithCode(1),
+                "unknown model");
+}
+
+TEST(UserSpaceDriverDeath, DoubleUnload)
+{
+    UserSpaceDriver drv(testConfig());
+    ModelHandle h = drv.loadModel(smallNet());
+    drv.unloadModel(h);
+    EXPECT_EXIT(drv.unloadModel(h), ::testing::ExitedWithCode(1),
+                "unknown model");
+}
+
+TEST(UserSpaceDriverDeath, StaleBufferFreeAfterUnloadIsDiagnosed)
+{
+    // unloadModel released the model's pinned buffers through the
+    // KernelDriver, so a client holding a stale id trips the
+    // double-free diagnostic rather than corrupting the pool.
+    UserSpaceDriver drv(testConfig());
+    ModelHandle h = drv.loadModel(smallNet());
+    ASSERT_EQ(drv.kernelDriver().liveBuffers(), 2u);
+    drv.unloadModel(h);
+    // Buffer ids are allocated monotonically from 1; the model's
+    // input buffer was id 1.
+    EXPECT_DEATH(drv.kernelDriver().freePinned(1), "double free");
+}
+
 TEST(UserSpaceDriverDeath, UnknownHandle)
 {
     UserSpaceDriver drv(testConfig());

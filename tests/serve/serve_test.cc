@@ -309,6 +309,63 @@ TEST(Session, DeterministicSeedP99Regression)
     EXPECT_GT(ips_a, 0.5 * 0.7 * svc.maxThroughput(200));
 }
 
+TEST(Session, DetachedSubmissionMatchesFutureStats)
+{
+    // submitDetached is fire-and-forget: no Future, but identical
+    // admission/batching/stats behaviour -- the same fixed traffic
+    // submitted both ways produces the same aggregate numbers.
+    auto run_once = [](bool detached) {
+        Session s(testConfig(), SessionOptions{2});
+        BatcherPolicy p;
+        p.maxBatch = 8;
+        p.maxDelaySeconds = 1e-5;
+        ModelHandle h = s.load("small", smallBuilder(), p);
+        Rng rng(5);
+        double t = 0;
+        for (int i = 0; i < 200; ++i) {
+            t += rng.exponential(50000.0);
+            if (detached)
+                s.submitDetached(t, h);
+            else
+                s.submitAt(t, h);
+        }
+        s.run();
+        return std::make_tuple(s.modelStats(h).p50(),
+                               s.modelStats(h).p99(),
+                               s.achievedIps(), s.completed());
+    };
+    EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(Session, DetachedAndFutureRequestsShareABatch)
+{
+    Session s(testConfig(), SessionOptions{1});
+    BatcherPolicy p;
+    p.maxBatch = 4;
+    p.maxDelaySeconds = 1e-6;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+
+    Future f = s.submitAt(0.0, h);
+    for (int i = 0; i < 3; ++i)
+        s.submitDetached(0.0, h);
+    s.run();
+
+    ASSERT_TRUE(f.ready());
+    EXPECT_FALSE(f.reply().shed);
+    EXPECT_EQ(f.reply().batchSize, 4); // rode with the detached ones
+    EXPECT_EQ(s.completed(), 4u);
+}
+
+TEST(SessionDeath, DetachedArrivalsOutOfOrder)
+{
+    Session s(testConfig(), SessionOptions{1});
+    BatcherPolicy p;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+    s.submitDetached(1e-3, h);
+    EXPECT_EXIT(s.submitDetached(0.5e-3, h),
+                ::testing::ExitedWithCode(1), "time order");
+}
+
 TEST(Session, InvokeSyncShimBypassesAdmission)
 {
     Session s(testConfig(), SessionOptions{1});
