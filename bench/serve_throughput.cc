@@ -40,6 +40,8 @@ struct MixResult
     std::uint64_t completed = 0;
     std::uint64_t shed = 0;
     std::uint64_t compilations = 0;
+    /** Batches per platform, {tpu, cpu, gpu} (0 when absent). */
+    std::array<std::uint64_t, 3> platformBatches{};
     arch::PerfCounters merged;
 };
 
@@ -47,13 +49,15 @@ struct MixResult
  * Run @p requests of the Table 1 mix on @p tier -- the SAME traffic
  * example_server_farm drives (analysis::driveTable1Mix, fixed
  * seeds), so the gates here certify the example's workload.
+ * @p fleet empty means the classic 4-TPU pool.
  */
 MixResult
 runMix(const arch::TpuConfig &cfg, runtime::ExecutionTier tier,
-       std::uint64_t requests)
+       std::uint64_t requests, serve::FleetSpec fleet = {})
 {
     serve::SessionOptions options;
     options.chips = 4;
+    options.fleet = std::move(fleet);
     options.tier = runtime::TierPolicy{tier};
     serve::Session session(cfg, options);
     const analysis::Table1Mix mix =
@@ -73,6 +77,10 @@ runMix(const arch::TpuConfig &cfg, runtime::ExecutionTier tier,
     r.completed = session.completed();
     r.shed = session.shedCount();
     r.compilations = session.pool().compilations();
+    r.platformBatches = {
+        session.pool().platformBatches(runtime::PlatformKind::Tpu),
+        session.pool().platformBatches(runtime::PlatformKind::Cpu),
+        session.pool().platformBatches(runtime::PlatformKind::Gpu)};
     r.merged = session.pool().mergedCounters();
     return r;
 }
@@ -168,5 +176,53 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(scaled_n),
                 100.0 * ips_err);
 
-    return identical && speedup >= 50.0 ? 0 : 1;
+    // ---- mixed-fleet regression leg --------------------------------
+    // The heterogeneous pool (2 TPU + 1 CPU + 1 GPU, headroom-routed)
+    // must (a) reproduce itself exactly run to run -- per-model
+    // round-robin cursors make dispatch independent of cross-model
+    // interleaving -- and (b) stay healthy: every platform serves
+    // batches, MLP0 holds its SLO, and shedding stays marginal.
+    const std::uint64_t mixed_n = scaled_n / 4;
+    const MixResult mixed_a = runMix(
+        cfg, runtime::ExecutionTier::Replay, mixed_n,
+        serve::mixedFleet());
+    const MixResult mixed_b = runMix(
+        cfg, runtime::ExecutionTier::Replay, mixed_n,
+        serve::mixedFleet());
+    const bool mixed_identical =
+        mixed_a.p50 == mixed_b.p50 && mixed_a.p99 == mixed_b.p99 &&
+        mixed_a.ips == mixed_b.ips &&
+        mixed_a.completed == mixed_b.completed &&
+        mixed_a.shed == mixed_b.shed &&
+        mixed_a.merged.totalCycles == mixed_b.merged.totalCycles;
+    const double mixed_shed_pct = 100.0 *
+        static_cast<double>(mixed_a.shed) /
+        static_cast<double>(mixed_n);
+    const bool mixed_healthy =
+        mixed_a.platformBatches[0] > 0 &&
+        mixed_a.platformBatches[1] > 0 &&
+        mixed_a.platformBatches[2] > 0 &&
+        mixed_a.p99 <= 7e-3 && mixed_shed_pct <= 5.0;
+    row("mixed", mixed_n, mixed_a);
+    std::printf("\nmixed fleet (2tpu+1cpu+1gpu) at %llu requests: "
+                "batches tpu %llu / cpu %llu / gpu %llu, shed "
+                "%.2f%%\n",
+                static_cast<unsigned long long>(mixed_n),
+                static_cast<unsigned long long>(
+                    mixed_a.platformBatches[0]),
+                static_cast<unsigned long long>(
+                    mixed_a.platformBatches[1]),
+                static_cast<unsigned long long>(
+                    mixed_a.platformBatches[2]),
+                mixed_shed_pct);
+    std::printf("mixed fleet determinism across two runs: %s; "
+                "health (all platforms busy, MLP0 p99 %.2f ms <= "
+                "7 ms, shed <= 5%%): %s\n",
+                mixed_identical ? "EXACT" : "MISMATCH",
+                mixed_a.p99 * 1e3, mixed_healthy ? "ok" : "FAIL");
+
+    return identical && speedup >= 50.0 && mixed_identical &&
+                   mixed_healthy
+               ? 0
+               : 1;
 }

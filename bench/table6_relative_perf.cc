@@ -1,20 +1,94 @@
 /**
  * @file
- * Bench harness: regenerates Table 6 (relative performance per die) of the paper.
- * Prints the simulated values (and the published ones where the
- * analysis layer embeds them) as an aligned text table.
+ * Bench harness: regenerates Table 6 (relative performance per die)
+ * of the paper, twice over.
+ *
+ * First the static table: baseline-model IPS for the Haswell CPU and
+ * K80 GPU against cycle-simulated TPU runs, with the published
+ * values printed side by side.
+ *
+ * Then the LIVE cross-check: the same comparison measured through
+ * the serving stack -- each Table 1 app served near saturation
+ * through single-platform serve::Session fleets (TPU on the Replay
+ * tier; CPU/GPU on their runtime::PlatformBackend adapters), with
+ * busy-time per-die throughput read back from StatGroup counters.
+ * The TPU/CPU and TPU/GPU ratios measured live must reproduce the
+ * static Table 6 ratios within 10% per app (the exit code gates it),
+ * and the TPU fleet must hold MLP0's p99 inside the 7 ms SLO.
  */
 
+#include <cmath>
+#include <cstdio>
 #include <iostream>
 
 #include "analysis/experiments.hh"
+#include "analysis/serve_mix.hh"
+#include "baselines/platform.hh"
 #include "sim/logging.hh"
 
 int
 main()
 {
-    tpu::setQuiet(true);
-    tpu::Table t = tpu::analysis::table6RelativePerf(tpu::arch::TpuConfig::production());
+    using namespace tpu;
+    setQuiet(true);
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+
+    Table t = analysis::table6RelativePerf(cfg);
     t.print(std::cout);
-    return 0;
+
+    // ---- live farm cross-check ------------------------------------
+    constexpr std::uint64_t kRequestsPerApp = 30000;
+    constexpr double kTolerance = 0.10;
+    const runtime::TierPolicy replay{runtime::ExecutionTier::Replay};
+    const analysis::LivePlatformPerf tpu_live =
+        analysis::liveRelativePerf(cfg, runtime::PlatformKind::Tpu,
+                                   replay, 1, kRequestsPerApp);
+    const analysis::LivePlatformPerf cpu_live =
+        analysis::liveRelativePerf(cfg, runtime::PlatformKind::Cpu,
+                                   {}, 1, kRequestsPerApp);
+    const analysis::LivePlatformPerf gpu_live =
+        analysis::liveRelativePerf(cfg, runtime::PlatformKind::Gpu,
+                                   {}, 1, kRequestsPerApp);
+
+    const baselines::BaselineModel cpu = baselines::makeCpuModel();
+    const baselines::BaselineModel gpu = baselines::makeGpuModel();
+
+    std::printf("\nlive serving cross-check (%llu requests/app, "
+                "busy-time IPS per die, single-die fleets):\n",
+                static_cast<unsigned long long>(kRequestsPerApp));
+    std::printf("  %-6s %13s %13s %8s %13s %13s %8s\n", "app",
+                "TPU/CPU live", "TPU/CPU tbl6", "err",
+                "TPU/GPU live", "TPU/GPU tbl6", "err");
+
+    bool within = true;
+    std::size_t i = 0;
+    for (workloads::AppId id : workloads::allApps()) {
+        const analysis::AppRun run = analysis::runTpuApp(id, cfg);
+        const double static_tc =
+            run.ipsPerDie / cpu.inferencesPerSec(id);
+        const double static_tg =
+            run.ipsPerDie / gpu.inferencesPerSec(id);
+        const double live_tc =
+            tpu_live.busyIpsPerDie[i] / cpu_live.busyIpsPerDie[i];
+        const double live_tg =
+            tpu_live.busyIpsPerDie[i] / gpu_live.busyIpsPerDie[i];
+        const double err_tc = live_tc / static_tc - 1.0;
+        const double err_tg = live_tg / static_tg - 1.0;
+        within = within && std::fabs(err_tc) <= kTolerance &&
+                 std::fabs(err_tg) <= kTolerance;
+        std::printf("  %-6s %13.1f %13.1f %7.1f%% %13.1f %13.1f "
+                    "%7.1f%%\n", workloads::toString(id), live_tc,
+                    static_tc, 100.0 * err_tc, live_tg, static_tg,
+                    100.0 * err_tg);
+        ++i;
+    }
+
+    const bool slo_ok = tpu_live.mlp0P99 <= 7e-3;
+    std::printf("\nTPU fleet MLP0 p99: %.2f ms against the 7 ms "
+                "limit -> %s\n", tpu_live.mlp0P99 * 1e3,
+                slo_ok ? "within SLO" : "SLO MISS");
+    std::printf("live ratios within %.0f%% of the static Table 6 "
+                "comparison: %s\n", 100.0 * kTolerance,
+                within ? "yes" : "NO");
+    return within && slo_ok ? 0 : 1;
 }

@@ -1,33 +1,126 @@
 /**
  * @file
- * Datacenter view, request-level: a 4-die TPU server (Table 2)
- * serving the paper's deployment mix (61% MLP, 29% LSTM, 5% CNN,
- * Table 1) as INDIVIDUAL requests through serve::Session -- Poisson
- * arrivals, per-model dynamic batching under the 7 ms p99 SLO
- * (Table 4), and a round-robin ChipPool.  The traffic itself comes
- * from analysis::loadTable1Mix/driveTable1Mix (shared with
+ * Datacenter view, request-level: one server of Table 2 serving the
+ * paper's deployment mix (61% MLP, 29% LSTM, 5% CNN, Table 1) as
+ * INDIVIDUAL requests through serve::Session -- Poisson arrivals,
+ * per-model dynamic batching under the 7 ms p99 SLO (Table 4), and a
+ * platform-aware ChipPool.  The traffic comes from
+ * analysis::loadTable1Mix/driveTable1Mix (shared with
  * bench_serve_throughput); every number printed at the end comes
  * from the session's StatGroup counters.
  *
- * By default this drives ONE MILLION requests on the Replay tier:
- * the first batch of each (model, bucket) runs the cycle-accurate
- * simulator, its deterministic timing is memoized, and every later
- * batch replays it in O(1) -- the Section 2 "second and following
- * evaluations run at full speed" story applied to the simulator
- * itself.  The shared program cache compiles each (model, bucket)
+ * The fleet argument picks WHICH server: the paper's 4-die TPU
+ * server (default), a 2-die Haswell or 8-die K80 server running the
+ * same traffic on the Table 6-calibrated platform backends, or a
+ * mixed 2 TPU + 1 CPU + 1 GPU fleet where a headroom-aware
+ * dispatcher routes each formed batch to the platform that can still
+ * make its SLO.  With no fleet argument the main TPU narrative is
+ * followed by a compact four-fleet comparison on the same mix.
+ *
+ * TPU members default to the Replay tier: the first batch of each
+ * (model, bucket) runs the cycle-accurate simulator, its
+ * deterministic timing is memoized, and every later batch replays it
+ * in O(1) -- which is what lets this example default to ONE MILLION
+ * requests.  The shared program cache compiles each (model, bucket)
  * once for the whole pool, independent of pool size.
  *
+ * The scenario argument swaps the arrival process (serve/scenario.hh)
+ * under the same mean rate: open-loop Poisson (default), a diurnal
+ * ramp swinging +/-60% over a simulated "day", or MMPP bursts -- the
+ * farm's behaviour under traffic the fixed-rate pump cannot express.
+ *
  *   usage: example_server_farm [requests] [cyclesim|replay|analytic]
+ *                              [tpu|cpu|gpu|mixed]
+ *                              [poisson|diurnal|bursty]
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "analysis/serve_mix.hh"
 #include "baselines/platform.hh"
 #include "power/power_model.hh"
+#include "serve/scenario.hh"
 #include "sim/logging.hh"
+
+namespace {
+
+using namespace tpu;
+
+serve::FleetSpec
+fleetFor(const std::string &name)
+{
+    if (name == "mixed")
+        return serve::mixedFleet();
+    const runtime::PlatformKind kind =
+        runtime::platformFromString(name);
+    switch (kind) {
+      case runtime::PlatformKind::Tpu:
+        return serve::tpuFleet(4);                      // Table 2
+      case runtime::PlatformKind::Cpu:
+        return {serve::FleetGroup{kind, 2}};            // Table 2
+      case runtime::PlatformKind::Gpu:
+        return {serve::FleetGroup{kind, 8}};            // Table 2
+    }
+    fatal("bad fleet '%s'", name.c_str());
+}
+
+std::string
+fleetLabel(const serve::FleetSpec &fleet)
+{
+    std::string label;
+    for (const serve::FleetGroup &fg : fleet) {
+        if (!label.empty())
+            label += "+";
+        label += std::to_string(fg.chips);
+        label += runtime::toString(fg.platform);
+    }
+    return label;
+}
+
+struct FarmRun
+{
+    double ips = 0;
+    double mlp0P99 = 0;
+    double mlp0Slo = 0;
+    double shedPct = 0;
+    double watts = 0;
+    double wallSeconds = 0;
+};
+
+/** One fleet serving @p requests of the mix; summary numbers only. */
+FarmRun
+runCompact(const arch::TpuConfig &cfg, const serve::FleetSpec &fleet,
+           runtime::TierPolicy tier, std::uint64_t requests)
+{
+    serve::SessionOptions options;
+    options.fleet = fleet;
+    options.tier = tier;
+    serve::Session session(cfg, options);
+    const analysis::Table1Mix mix =
+        analysis::loadTable1Mix(session, cfg, 0.60, 7e-3);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    analysis::driveTable1Mix(session, mix, requests);
+
+    FarmRun r;
+    r.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
+    r.ips = session.achievedIps();
+    r.mlp0P99 = session.modelStats(mix.apps.front().handle).p99();
+    r.mlp0Slo = mix.apps.front().sloSeconds;
+    r.shedPct = session.submitted() > 0
+        ? 100.0 * static_cast<double>(session.shedCount()) /
+              static_cast<double>(session.submitted())
+        : 0.0;
+    for (const serve::FleetGroup &fg : fleet)
+        r.watts += session.pool().platformWatts(fg.platform);
+    return r;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -36,60 +129,87 @@ main(int argc, char **argv)
     setQuiet(true);
 
     const arch::TpuConfig cfg = arch::TpuConfig::production();
-    constexpr int kChips = 4;           // Table 2: 4 dies per server
     constexpr double kSlo = 7e-3;       // Table 4: the 7 ms limit
 
     std::uint64_t requests = 1000000;
     runtime::TierPolicy tier{runtime::ExecutionTier::Replay};
+    std::string fleet_arg;
+    serve::ArrivalKind arrival = serve::ArrivalKind::Poisson;
     if (argc > 1)
         requests = std::strtoull(argv[1], nullptr, 10);
     if (argc > 2)
         tier.tier = runtime::tierFromString(argv[2]);
+    if (argc > 3)
+        fleet_arg = argv[3];
+    if (argc > 4)
+        arrival = serve::arrivalKindFromString(argv[4]);
     fatal_if(requests == 0, "need a positive request count");
 
+    const serve::FleetSpec fleet =
+        fleetFor(fleet_arg.empty() ? "tpu" : fleet_arg);
+
     serve::SessionOptions options;
-    options.chips = kChips;
+    options.fleet = fleet;
     options.tier = tier;
     serve::Session session(cfg, options);
 
     const analysis::Table1Mix mix =
         analysis::loadTable1Mix(session, cfg, 0.60, kSlo);
 
+    // Same mean rate under every scenario, so capacity arithmetic
+    // stays comparable; the shapes differ (serve/scenario.hh).
+    serve::ScenarioConfig scenario =
+        serve::ScenarioConfig::poisson(mix.offeredIps);
+    if (arrival == serve::ArrivalKind::Diurnal)
+        scenario = serve::ScenarioConfig::diurnal(
+            mix.offeredIps, /*period=*/2.0, /*amplitude=*/0.6);
+    else if (arrival == serve::ArrivalKind::Bursty)
+        scenario = serve::ScenarioConfig::bursty(
+            mix.offeredIps, /*multiplier=*/4.0, /*fraction=*/0.1,
+            /*dwell=*/0.05);
+
     std::printf("serving %llu requests of the Table 1 mix through a "
-                "%d-chip pool\non the %s tier (offered %.0f "
-                "requests/s, ~60%% of the %.0f IPS\nbatch-efficient "
-                "capacity)\n\n",
-                static_cast<unsigned long long>(requests), kChips,
+                "%s fleet\n(TPU members on the %s tier; %s arrivals "
+                "at %.0f requests/s mean,\n~60%% of the %.0f IPS "
+                "batch-efficient capacity)\n\n",
+                static_cast<unsigned long long>(requests),
+                fleetLabel(fleet).c_str(),
                 runtime::toString(session.pool().tier()),
-                mix.offeredIps, mix.capacityIps);
+                serve::toString(arrival), mix.offeredIps,
+                mix.capacityIps);
 
     const auto wall_start = std::chrono::steady_clock::now();
-    analysis::driveTable1Mix(session, mix, requests);
+    analysis::driveTable1Mix(session, mix, requests, scenario);
     const double wall_seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - wall_start).count();
 
-    // Everything below is read back from StatGroup counters.
-    std::printf("  %-6s %9s %9s %6s %10s %9s %9s %8s\n", "app",
-                "requests", "served", "shed", "mean batch",
+    // Everything below is read back from StatGroup counters.  The
+    // "batch" column is the primary platform's serving batch: Table
+    // 1's deployment batch on a TPU fleet, the latency-permitted SLA
+    // batch on a CPU/GPU fleet (Table 4's regime).
+    std::printf("  %-6s %9s %9s %6s %6s %10s %9s %9s %8s\n", "app",
+                "requests", "served", "shed", "batch", "mean batch",
                 "p50 (ms)", "p99 (ms)", "SLO");
     for (const analysis::MixApp &a : mix.apps) {
         const serve::ModelServingStats &st =
             session.modelStats(a.handle);
         const bool slo_ok = st.p99() <= a.sloSeconds;
-        std::printf("  %-6s %9.0f %9.0f %6.0f %10.1f %9.2f %9.2f "
-                    "%8s\n",
+        std::printf("  %-6s %9.0f %9.0f %6.0f %6lld %10.1f %9.2f "
+                    "%9.2f %8s\n",
                     workloads::toString(a.id), st.submitted.value(),
                     st.completed.value(), st.shed.value(),
+                    static_cast<long long>(a.maxBatch),
                     st.batchSize.result(), st.p50() * 1e3,
                     st.p99() * 1e3, slo_ok ? "ok" : "MISS");
     }
 
     const serve::ModelServingStats &mlp0 =
         session.modelStats(mix.apps.front().handle);
+    const double mlp0_slo = mix.apps.front().sloSeconds;
     std::printf("\nMLP0 p99 response: %.2f ms against the %.1f ms "
-                "limit -> %s\n", mlp0.p99() * 1e3, kSlo * 1e3,
-                mlp0.p99() <= kSlo ? "within SLO" : "SLO MISS");
+                "limit -> %s\n", mlp0.p99() * 1e3, mlp0_slo * 1e3,
+                mlp0.p99() <= mlp0_slo ? "within SLO" : "SLO MISS");
 
     const stats::StatGroup &sg = session.statGroup();
     const double pool_ips = sg.find("ips")->result();
@@ -100,13 +220,29 @@ main(int argc, char **argv)
                 sg.find("batches")->result(), pool_ips,
                 session.now());
     for (int c = 0; c < session.pool().size(); ++c)
-        std::printf("  chip%d: %7llu batches, %8.1f ms busy, "
+        std::printf("  chip%d (%s): %7llu batches, %8.1f ms busy, "
                     "%4.0f%% utilized\n", c,
+                    runtime::toString(session.pool().platform(c)),
                     static_cast<unsigned long long>(
                         session.pool().batches(c)),
                     session.pool().busySeconds(c) * 1e3,
                     100.0 * session.pool().busySeconds(c) /
                         session.now());
+
+    // Per-platform slice: who served what, at what latency, for how
+    // many watts (the Section 5/6 die curves at measured load).
+    for (const serve::FleetGroup &fg : fleet) {
+        const serve::PlatformServingStats &ps =
+            session.platformStats(fg.platform);
+        std::printf("  %s x%d: %8.0f served, %6llu batches, p99 "
+                    "%6.2f ms, %5.1f W\n",
+                    runtime::toString(fg.platform), fg.chips,
+                    ps.completed.value(),
+                    static_cast<unsigned long long>(
+                        session.pool().platformBatches(fg.platform)),
+                    ps.p99() * 1e3,
+                    session.pool().platformWatts(fg.platform));
+    }
 
     // The shared program cache compiles each (model, bucket) once
     // for the whole pool -- the count is bucket-driven, not
@@ -128,38 +264,32 @@ main(int argc, char **argv)
                     ctr.totalInstructions));
 
     std::printf("\nwall clock: %.2f s to simulate %.1f s of traffic "
-                "(%.0f requests/s of\nsimulation throughput on the "
-                "%s tier)\n", wall_seconds, session.now(),
-                static_cast<double>(requests) / wall_seconds,
-                runtime::toString(session.pool().tier()));
+                "(%.0f requests/s of\nsimulation throughput)\n",
+                wall_seconds, session.now(),
+                static_cast<double>(requests) / wall_seconds);
 
-    // Server-level cost-performance, as in Section 5.  For a
-    // like-for-like comparison with the CPU model's full-capacity
-    // IPS, project the pool's measured busy-time throughput to 100%
-    // utilization (the at-load number above is throttled by the 60%
-    // offered rate, not by the hardware).
-    double total_busy = 0;
-    for (int c = 0; c < session.pool().size(); ++c)
-        total_busy += session.pool().busySeconds(c);
-    const double busy_ips =
-        sg.find("completed")->result() /
-        (total_busy / session.pool().size());
-    const power::ServerPower tpu_srv = power::tpuServer();
-    const power::ServerPower cpu_srv = power::haswellServer();
-    const baselines::BaselineModel cpu = baselines::makeCpuModel();
-    double cpu_mix_ips = 0;
-    for (workloads::AppId id : workloads::allApps())
-        cpu_mix_ips += workloads::mixWeight(id) *
-                       cpu.inferencesPerSec(id);
-    const double cpu_server_ips = cpu_mix_ips * cpu_srv.dies;
-    std::printf("\nTPU server (measured, busy-time): %.0f IPS at "
-                "%.0f W TDP -> %.1f inf/s/W\n", busy_ips,
-                tpu_srv.serverTdpWatts,
-                busy_ips / tpu_srv.serverTdpWatts);
-    std::printf("CPU server (model, full load):    %.0f IPS at "
-                "%.0f W TDP -> %.1f inf/s/W\n", cpu_server_ips,
-                cpu_srv.serverTdpWatts,
-                cpu_server_ips / cpu_srv.serverTdpWatts);
+    // With no explicit fleet, close with the in-datacenter
+    // comparison: the SAME mix through all four fleets.
+    if (fleet_arg.empty()) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(requests, 200000);
+        std::printf("\nfour fleets, same Table 1 mix at 60%% of each "
+                    "fleet's own capacity (%llu requests):\n",
+                    static_cast<unsigned long long>(n));
+        std::printf("  %-14s %9s %12s %7s %8s %10s %7s\n", "fleet",
+                    "mix IPS", "MLP0 p99", "SLO", "shed", "watts",
+                    "wall s");
+        for (const char *name : {"tpu", "cpu", "gpu", "mixed"}) {
+            const FarmRun r =
+                runCompact(cfg, fleetFor(name), tier, n);
+            std::printf("  %-14s %9.0f %9.2f ms %7s %7.2f%% %9.1f W "
+                        "%7.2f\n",
+                        fleetLabel(fleetFor(name)).c_str(), r.ips,
+                        r.mlp0P99 * 1e3,
+                        r.mlp0P99 <= r.mlp0Slo ? "ok" : "MISS",
+                        r.shedPct, r.watts, r.wallSeconds);
+        }
+    }
 
-    return mlp0.p99() <= kSlo ? 0 : 1;
+    return mlp0.p99() <= mlp0_slo ? 0 : 1;
 }

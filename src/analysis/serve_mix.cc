@@ -3,33 +3,85 @@
 #include <algorithm>
 
 #include "baselines/platform.hh"
+#include "runtime/platform_backend.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
 namespace tpu {
 namespace analysis {
 
+namespace {
+
+/** The calibrated baseline behind a non-TPU platform. */
+baselines::BaselineModel
+baselineFor(runtime::PlatformKind kind)
+{
+    switch (kind) {
+      case runtime::PlatformKind::Cpu:
+        return baselines::makeCpuModel();
+      case runtime::PlatformKind::Gpu:
+        return baselines::makeGpuModel();
+      case runtime::PlatformKind::Tpu:
+        break;
+    }
+    fatal("no baseline model for platform '%s'",
+          runtime::toString(kind));
+}
+
+/** Serving batch size for @p id on @p kind (Table 1 vs SLA batch). */
+std::int64_t
+servingBatch(runtime::PlatformKind kind, workloads::AppId id)
+{
+    if (kind == runtime::PlatformKind::Tpu)
+        return workloads::info(id).batchSize;
+    return baselineFor(kind).slaBatch(id);
+}
+
+/** Batch service model for @p id on @p kind at @p batch. */
+latency::ServiceModel
+serviceFor(runtime::PlatformKind kind, workloads::AppId id,
+           std::int64_t batch, const arch::TpuConfig &cfg)
+{
+    if (kind == runtime::PlatformKind::Tpu) {
+        const double host = baselines::hostInteractionFraction(id);
+        return latency::ServiceModel::fromModel(
+            cfg, workloads::build(id, batch), host);
+    }
+    return runtime::platformServiceModel(baselineFor(kind),
+                                         workloads::build(id, batch));
+}
+
+} // namespace
+
 Table1Mix
 loadTable1Mix(serve::Session &session, const arch::TpuConfig &cfg,
-              double load_fraction, double slo_seconds)
+              double load_fraction, double slo_seconds,
+              bool enforce_slo)
 {
     fatal_if(load_fraction <= 0, "need a positive load fraction");
+    const serve::FleetSpec &fleet = session.pool().fleet();
+    const runtime::PlatformKind primary = fleet.front().platform;
+
     Table1Mix mix;
     for (workloads::AppId id : workloads::allApps()) {
-        const std::int64_t max_batch = workloads::info(id).batchSize;
-        const double host = baselines::hostInteractionFraction(id);
+        // Policy from the fleet's primary platform: Table 1 batches
+        // on a TPU fleet, the platform's latency-permitted batch on
+        // a CPU/GPU fleet.
+        const std::int64_t max_batch = servingBatch(primary, id);
         const latency::ServiceModel svc =
-            latency::ServiceModel::fromModel(
-                cfg, workloads::build(id, max_batch), host);
+            serviceFor(primary, id, max_batch, cfg);
+        const double host = baselines::hostInteractionFraction(id);
 
-        // The MLPs carry the paper's published limit; the LSTM and
-        // CNN limits derive from their own (longer) full-batch
-        // service estimates, since Table 4 only publishes MLP0's.
+        // The MLPs carry the paper's published limit; apps whose
+        // full-batch service exceeds it (the LSTMs/CNNs, and most
+        // things on a CPU fleet) derive a limit from their own
+        // service estimate, since Table 4 only publishes MLP0's.
         serve::BatcherPolicy policy;
         policy.maxBatch = max_batch;
         policy.maxDelaySeconds = 1e-3;
         policy.sloSeconds =
             std::max(slo_seconds, 2.5 * svc.seconds(max_batch));
+        policy.enforceSlo = enforce_slo;
 
         MixApp app;
         app.id = id;
@@ -43,14 +95,28 @@ loadTable1Mix(serve::Session &session, const arch::TpuConfig &cfg,
         app.perItemSeconds = svc.seconds(max_batch) /
                              static_cast<double>(max_batch);
         app.sloSeconds = policy.sloSeconds;
+        app.maxBatch = max_batch;
         mix.apps.push_back(app);
     }
 
-    double mean_request_seconds = 0;
-    for (const MixApp &a : mix.apps)
-        mean_request_seconds += a.share * a.perItemSeconds;
-    mix.capacityIps = static_cast<double>(session.pool().size()) /
-                      mean_request_seconds;
+    // Fleet capacity: every die contributes at ITS platform's
+    // calibrated per-item cost, so a mixed fleet's "60% load" offers
+    // what the fleet -- not 4 hypothetical TPUs -- can absorb.
+    double capacity = 0;
+    for (const serve::FleetGroup &fg : fleet) {
+        double mean_request_seconds = 0;
+        for (const MixApp &a : mix.apps) {
+            const std::int64_t batch = servingBatch(fg.platform, a.id);
+            const latency::ServiceModel svc =
+                serviceFor(fg.platform, a.id, batch, cfg);
+            mean_request_seconds +=
+                a.share * svc.seconds(batch) /
+                static_cast<double>(batch);
+        }
+        capacity += static_cast<double>(fg.chips) /
+                    mean_request_seconds;
+    }
+    mix.capacityIps = capacity;
     mix.offeredIps = load_fraction * mix.capacityIps;
     return mix;
 }
@@ -59,14 +125,24 @@ void
 driveTable1Mix(serve::Session &session, const Table1Mix &mix,
                std::uint64_t requests)
 {
+    driveTable1Mix(session, mix, requests,
+                   serve::ScenarioConfig::poisson(mix.offeredIps));
+}
+
+void
+driveTable1Mix(serve::Session &session, const Table1Mix &mix,
+               std::uint64_t requests,
+               const serve::ScenarioConfig &scenario)
+{
     fatal_if(mix.apps.empty(), "mix has no loaded apps");
-    // One merged Poisson stream, split by deployment share.  Blocks
+    // One merged arrival stream, split by deployment share.  Blocks
     // keep the arrival backlog bounded at farm scale.
     constexpr std::uint64_t kBlock = 65536;
-    Rng arrivals(42), pick_rng(7);
+    serve::ArrivalProcess arrivals(scenario);
+    Rng pick_rng(7);
     double t = 0;
     for (std::uint64_t i = 0; i < requests; ++i) {
-        t += arrivals.exponential(mix.offeredIps);
+        t = arrivals.next();
         double u = pick_rng.uniformReal();
         const MixApp *pick = &mix.apps.back();
         for (const MixApp &a : mix.apps) {
@@ -84,6 +160,64 @@ driveTable1Mix(serve::Session &session, const Table1Mix &mix,
             session.runUntil(t);
     }
     session.run();
+}
+
+LivePlatformPerf
+liveRelativePerf(const arch::TpuConfig &cfg,
+                 runtime::PlatformKind platform,
+                 runtime::TierPolicy tier, int dies,
+                 std::uint64_t requests_per_app)
+{
+    LivePlatformPerf out;
+    out.platform = platform;
+    std::size_t index = 0;
+    for (workloads::AppId id : workloads::allApps()) {
+        serve::SessionOptions options;
+        options.fleet = {serve::FleetGroup{platform, dies}};
+        options.tier = tier;
+        serve::Session session(cfg, options);
+
+        const std::int64_t batch = servingBatch(platform, id);
+        const latency::ServiceModel svc =
+            serviceFor(platform, id, batch, cfg);
+        const double rate = 0.95 * static_cast<double>(dies) *
+                            svc.maxThroughput(batch);
+
+        serve::BatcherPolicy policy;
+        policy.maxBatch = batch;
+        policy.sloSeconds =
+            std::max(7e-3, 2.5 * svc.seconds(batch));
+        // Deadline sized to gather a full batch (with margin) at the
+        // offered rate, inside the SLO: the live analogue of the
+        // static comparison's "per-die IPS at the serving batch".
+        policy.maxDelaySeconds = std::clamp(
+            1.2 * static_cast<double>(batch) / rate, 0.5e-3,
+            0.8 * policy.sloSeconds);
+        const serve::ModelHandle handle = session.load(
+            workloads::toString(id),
+            [id](std::int64_t b) { return workloads::build(id, b); },
+            policy, baselines::hostInteractionFraction(id));
+
+        serve::ArrivalProcess arrivals(serve::ScenarioConfig::poisson(
+            rate, 1000 + static_cast<std::uint64_t>(index)));
+        constexpr std::uint64_t kBlock = 65536;
+        double t = 0;
+        for (std::uint64_t i = 0; i < requests_per_app; ++i) {
+            t = arrivals.next();
+            session.submitDetached(std::max(t, session.now()),
+                                   handle);
+            if ((i + 1) % kBlock == 0)
+                session.runUntil(t);
+        }
+        session.run();
+
+        out.busyIpsPerDie[index] =
+            session.modelStats(handle).busyIps();
+        if (id == workloads::AppId::MLP0)
+            out.mlp0P99 = session.modelStats(handle).p99();
+        ++index;
+    }
+    return out;
 }
 
 } // namespace analysis

@@ -2,23 +2,41 @@
  * @file
  * Shared request-level driver for the Table 1 deployment mix: load
  * the six production apps into a serve::Session with the paper's
- * policies (Table 1 deployment batches, the 7 ms MLP SLO of Table 4,
- * service-estimate-derived limits for the longer apps) and drive a
- * share-weighted Poisson request stream through it with fixed seeds.
+ * policies and drive a share-weighted request stream through it with
+ * fixed seeds.
  *
  * Both examples/server_farm.cpp and bench/serve_throughput.cc sit on
  * top of this, so the example's narrative and the bench's
- * determinism/speedup gates are guaranteed to measure the SAME
+ * determinism/regression gates are guaranteed to measure the SAME
  * traffic -- one definition of the mix, not two drifting copies.
+ *
+ * The loader is platform-aware: the session pool's PRIMARY platform
+ * (its first FleetGroup) decides each app's serving policy.  A TPU
+ * fleet gets the Table 1 deployment batches and the 7 ms MLP SLO of
+ * Table 4 (service-estimate-derived limits for the longer apps); a
+ * CPU or GPU fleet gets that platform's latency-permitted batch
+ * sizes (BaselineModel::slaBatch -- Table 4's "the K80 is
+ * underutilized for inference" regime) and SLOs derived from its own
+ * service model.  Offered load is sized against the ACTUAL fleet:
+ * each die contributes capacity at its platform's calibrated
+ * per-item cost, so "60% load" means the same thing on a 4-TPU
+ * server and a 2-CPU one.
+ *
+ * liveRelativePerf() is the live twin of the static Table 6
+ * computation: it serves each app through single-platform fleets and
+ * reports busy-time per-die throughput, which the table6 bench
+ * cross-checks against the static model within tolerance.
  */
 
 #ifndef TPUSIM_ANALYSIS_SERVE_MIX_HH
 #define TPUSIM_ANALYSIS_SERVE_MIX_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "arch/config.hh"
+#include "serve/scenario.hh"
 #include "serve/session.hh"
 #include "workloads/workloads.hh"
 
@@ -31,27 +49,33 @@ struct MixApp
     workloads::AppId id;
     serve::ModelHandle handle = 0;
     double share = 0;          ///< of the request stream (Table 1)
-    double perItemSeconds = 0; ///< calibrated marginal cost
+    double perItemSeconds = 0; ///< primary platform's marginal cost
     double sloSeconds = 0;     ///< this app's p99 limit
+    std::int64_t maxBatch = 0; ///< primary platform's serving batch
 };
 
 /** The loaded mix plus the offered-load arithmetic. */
 struct Table1Mix
 {
     std::vector<MixApp> apps;
-    double capacityIps = 0; ///< pool batch-efficient capacity
-    double offeredIps = 0;  ///< Poisson arrival rate used
+    double capacityIps = 0; ///< fleet batch-efficient capacity
+    double offeredIps = 0;  ///< arrival rate used
 };
 
 /**
  * Load the six production models into @p session (policies as
- * described above) and size the offered Poisson rate at
- * @p load_fraction of the pool's batch-efficient capacity.
+ * described above) and size the offered rate at @p load_fraction of
+ * the fleet's batch-efficient capacity.  @p enforce_slo false keeps
+ * the per-app limits as reporting thresholds but disables
+ * shed/shrink -- the "throughput at any latency" regime of Section
+ * 8's first Fallacy, which is how a CPU/GPU fleet must be driven to
+ * reach its nominal throughput at all.
  */
 Table1Mix loadTable1Mix(serve::Session &session,
                         const arch::TpuConfig &cfg,
                         double load_fraction = 0.60,
-                        double slo_seconds = 7e-3);
+                        double slo_seconds = 7e-3,
+                        bool enforce_slo = true);
 
 /**
  * Submit @p requests share-weighted Poisson arrivals (fixed seeds,
@@ -60,6 +84,40 @@ Table1Mix loadTable1Mix(serve::Session &session,
  */
 void driveTable1Mix(serve::Session &session, const Table1Mix &mix,
                     std::uint64_t requests);
+
+/**
+ * Scenario-driven variant: arrivals come from @p scenario (Poisson,
+ * diurnal ramp or MMPP bursts -- serve/scenario.hh) instead of the
+ * fixed-rate pump; the app split stays share-weighted with the same
+ * fixed seed.  driveTable1Mix(session, mix, n) is exactly this with
+ * ScenarioConfig::poisson(mix.offeredIps).
+ */
+void driveTable1Mix(serve::Session &session, const Table1Mix &mix,
+                    std::uint64_t requests,
+                    const serve::ScenarioConfig &scenario);
+
+/** Live per-app busy-time throughput of one single-platform fleet. */
+struct LivePlatformPerf
+{
+    runtime::PlatformKind platform;
+    /** Completed requests per die busy-second, Table 1 app order. */
+    std::array<double, 6> busyIpsPerDie{};
+    /** MLP0 p99 response (s) -- the SLO sanity check. */
+    double mlp0P99 = 0;
+};
+
+/**
+ * Serve each Table 1 app through a dedicated @p dies-die fleet of
+ * @p platform near saturation (high load, deadline sized to fill
+ * batches) and measure busy-time per-die throughput -- the live
+ * analogue of the per-die IPS behind Table 6.  TPU fleets run on
+ * @p tier (Replay for speed, bit-identical to CycleSim).
+ */
+LivePlatformPerf liveRelativePerf(const arch::TpuConfig &cfg,
+                                  runtime::PlatformKind platform,
+                                  runtime::TierPolicy tier,
+                                  int dies,
+                                  std::uint64_t requests_per_app);
 
 } // namespace analysis
 } // namespace tpu

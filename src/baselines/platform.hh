@@ -41,6 +41,14 @@ struct PlatformSpec
     double serverTdpWatts = 0;
     double serverBusyWatts = 0;
     double serverIdleWatts = 0;
+    /**
+     * Fixed per-batch cost when the platform serves live traffic
+     * (kernel launch, thread wake-up, batch marshalling) -- the base
+     * term of the platform's affine service model.  Kept small
+     * relative to per-item cost at the SLA batch so it does not
+     * distort the Table 6-calibrated saturation throughput.
+     */
+    double batchOverheadSeconds = 0;
 
     /** Haswell E5-2699 v3: 1.3 TFLOP/s, 51 GB/s (Table 2). */
     static PlatformSpec haswell();

@@ -14,6 +14,7 @@ toString(ExecutionTier tier)
       case ExecutionTier::CycleSim: return "cyclesim";
       case ExecutionTier::Replay: return "replay";
       case ExecutionTier::Analytic: return "analytic";
+      case ExecutionTier::Platform: return "platform";
     }
     return "?";
 }
@@ -202,6 +203,9 @@ makeBackend(const TierPolicy &policy, const arch::TpuConfig &config)
         return std::make_shared<ReplayBackend>();
       case ExecutionTier::Analytic:
         return std::make_shared<AnalyticBackend>(config);
+      case ExecutionTier::Platform:
+        fatal("the platform tier is built per PlatformKind; use "
+              "makePlatformBackend (runtime/platform_backend.hh)");
     }
     fatal("bad execution tier");
 }

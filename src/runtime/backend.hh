@@ -46,12 +46,13 @@
 namespace tpu {
 namespace runtime {
 
-/** The three execution tiers, cheapest-to-run last. */
+/** The execution tiers; the three TPU tiers cheapest-to-run last. */
 enum class ExecutionTier
 {
     CycleSim, ///< cycle-accurate TpuCore interpretation, every batch
     Replay,   ///< first batch cycle-simulated, then memoized replay
     Analytic, ///< Section 7 closed-form model (Table 7 error bounds)
+    Platform, ///< modelled CPU/GPU die (runtime/platform_backend.hh)
 };
 
 const char *toString(ExecutionTier tier);
@@ -84,7 +85,9 @@ class ExecutionBackend
   public:
     virtual ~ExecutionBackend() = default;
 
+    /** Which tier this backend implements. */
     virtual ExecutionTier tier() const = 0;
+    /** Human-readable tier name ("cyclesim", "replay", ...). */
     const char *name() const { return toString(tier()); }
 
     /**

@@ -57,8 +57,11 @@ class KernelDriver
     /** Raise a completion interrupt (called by the runtime). */
     void raiseInterrupt() { ++_interrupts; }
 
+    /** Bytes currently pinned across live buffers. */
     std::uint64_t pinnedBytes() const { return _pinnedBytes; }
+    /** Completion interrupts raised so far. */
     std::uint64_t interrupts() const { return _interrupts; }
+    /** Buffers allocated and not yet freed. */
     std::size_t liveBuffers() const { return _buffers.size(); }
 
   private:
@@ -150,9 +153,13 @@ class UserSpaceDriver
     /** The compiled image (for inspection / validation). */
     const compiler::CompiledModel &model(ModelHandle handle) const;
 
+    /** The simulated chip this driver fronts. */
     arch::TpuChip &chip() { return *_chip; }
+    /** The kernel-driver model (pinned memory, interrupts). */
     KernelDriver &kernelDriver() { return _kernel; }
+    /** The execution tier behind invoke(). */
     ExecutionBackend &backend() { return *_backend; }
+    /** The (possibly shared) compile cache behind loadModel(). */
     SharedProgramCache &programCache() { return *_cache; }
 
     /** Loaded (not yet unloaded) models. */
@@ -160,7 +167,9 @@ class UserSpaceDriver
 
     /** Runtime-wide statistics (invocations, cycles, bytes, ...). */
     const stats::StatGroup &statGroup() const { return _stats; }
+    /** Accumulated device busy seconds across every invoke. */
     double totalDeviceSeconds() const { return _deviceSeconds.value(); }
+    /** Completed invoke() calls. */
     std::uint64_t invocations() const
     {
         return static_cast<std::uint64_t>(_invocations.value());

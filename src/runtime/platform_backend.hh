@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Platform execution backends: serve a batch on a MODELLED Haswell
+ * CPU or K80 GPU instead of the simulated TPU.
+ *
+ * The paper's headline results (Table 6, Figure 9) compare the TPU
+ * against "contemporaries deployed in the same datacenters" under the
+ * same 99th-percentile response-time limit.  The baselines::
+ * BaselineModel layer already knows what those platforms achieve per
+ * die (roofline cap x Table 6-calibrated achieved fraction, at the
+ * latency-permitted batch size); this file adapts that knowledge into
+ * the runtime::ExecutionBackend seam, so a serve::ChipPool member can
+ * be a CPU or GPU die and the WHOLE serving stack -- admission,
+ * dynamic batching, SLO shedding, dispatch, StatGroup accounting --
+ * runs unchanged on top of it.
+ *
+ * A platform "execution" is closed-form: batch b of a prepared model
+ * costs  s(b) = launchOverhead + b / inferencesPerSec , where
+ * inferencesPerSec is the baseline model's calibrated per-die
+ * throughput (host overhead included -- the Table 6 fits are
+ * "incl. host overhead", so serving code passes host_fraction 0 for
+ * platform chips).  The linear term dominating means a platform die's
+ * busy-time throughput is nearly batch-independent, which is exactly
+ * how the Table 6 per-die numbers are defined; the launch overhead
+ * term keeps small batches honest (GPU kernel launches cost real
+ * time) without distorting the calibrated saturation throughput.
+ */
+
+#ifndef TPUSIM_RUNTIME_PLATFORM_BACKEND_HH
+#define TPUSIM_RUNTIME_PLATFORM_BACKEND_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/platform.hh"
+#include "latency/queueing.hh"
+#include "runtime/backend.hh"
+
+namespace tpu {
+namespace runtime {
+
+/** Which hardware a pool member models (Table 2's three rows). */
+enum class PlatformKind
+{
+    Tpu, ///< the simulated TPU die (CycleSim/Replay/Analytic tiers)
+    Cpu, ///< modelled Haswell E5-2699 v3 die (baselines::makeCpuModel)
+    Gpu, ///< modelled NVIDIA K80 die (baselines::makeGpuModel)
+};
+
+/** "tpu" / "cpu" / "gpu". */
+const char *toString(PlatformKind kind);
+
+/** Parse "tpu" / "cpu" / "gpu" (fatal on anything else). */
+PlatformKind platformFromString(const std::string &name);
+
+/**
+ * Affine batch service-time model for @p net on platform @p model:
+ * base = the platform's per-batch launch overhead, perItem = the
+ * calibrated per-die inference cost.  Apps are recognized by network
+ * name (the Table 1 name, with any "@b<bucket>" suffix stripped);
+ * unrecognized networks fall back to a roofline estimate at the
+ * network's own operational intensity with a conservative achieved
+ * fraction, so tests and custom models still get a sane number.
+ */
+latency::ServiceModel
+platformServiceModel(const baselines::BaselineModel &model,
+                     const nn::Network &net);
+
+/**
+ * Execution tier that answers from a baselines::BaselineModel
+ * instead of running the TPU simulator.  prepare() memoizes, per
+ * model key, the batch size and the closed-form service time plus a
+ * counter template (cycles at the platform clock, useful MACs,
+ * weight traffic); execute() returns it in O(1).  Shareable across
+ * every same-platform chip of a pool, like the TPU tiers.
+ */
+class PlatformBackend : public ExecutionBackend
+{
+  public:
+    /** @p kind must be Cpu or Gpu (the TPU runs the real tiers). */
+    PlatformBackend(PlatformKind kind, baselines::BaselineModel model);
+
+    /** Always ExecutionTier::Platform; see kind() for which one. */
+    ExecutionTier tier() const override
+    {
+        return ExecutionTier::Platform;
+    }
+
+    /** Cpu or Gpu. */
+    PlatformKind kind() const { return _kind; }
+
+    /** The calibrated baseline this backend answers from. */
+    const baselines::BaselineModel &model() const { return _model; }
+
+    /**
+     * Memoize the closed-form result for @p key.  Applies the same
+     * name-aliasing fingerprint guard as the Replay/Analytic tiers:
+     * one key, one architecture.
+     */
+    void prepare(const nn::Network &net,
+                 const compiler::CompiledModel &compiled,
+                 const std::string &key) override;
+
+    /** O(1): the memoized closed-form result (fatal if unprepared). */
+    arch::RunResult execute(const ExecutionContext &ctx) override;
+
+    /** Distinct model keys prepared. */
+    std::size_t preparedModels() const { return _results.size(); }
+    /** Completed execute() calls. */
+    std::uint64_t executions() const { return _executions; }
+
+  private:
+    PlatformKind _kind;
+    baselines::BaselineModel _model;
+    std::map<std::string, arch::RunResult> _results;
+    std::map<std::string, std::uint64_t> _fingerprints;
+    std::uint64_t _executions = 0;
+};
+
+/**
+ * Construct the shared backend for a Cpu or Gpu pool member (fatal
+ * for Tpu -- TPU chips execute on a tier from makeBackend()).
+ */
+std::shared_ptr<PlatformBackend> makePlatformBackend(PlatformKind kind);
+
+} // namespace runtime
+} // namespace tpu
+
+#endif // TPUSIM_RUNTIME_PLATFORM_BACKEND_HH

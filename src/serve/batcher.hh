@@ -75,11 +75,15 @@ struct FormedBatch
 class Batcher
 {
   public:
+    /** @p estimate prices batches for the SLO shed/shrink decisions. */
     Batcher(BatcherPolicy policy, latency::ServiceModel estimate);
 
+    /** Enqueue one request (arrival time from the request itself). */
     void admit(PendingRequest req);
 
+    /** Nothing queued? */
     bool empty() const { return _queue.empty(); }
+    /** Requests currently waiting in the admission queue. */
     std::size_t depth() const { return _queue.size(); }
 
     /** Arrival time of the oldest queued request (fatal if empty). */
@@ -101,7 +105,9 @@ class Batcher
     /** Smallest compiled bucket that can carry @p batch requests. */
     std::int64_t bucketFor(std::int64_t batch) const;
 
+    /** The policy this batcher was constructed with. */
     const BatcherPolicy &policy() const { return _policy; }
+    /** The service-time model behind the SLO decisions. */
     const latency::ServiceModel &estimate() const { return _estimate; }
 
   private:

@@ -1,18 +1,108 @@
 #include "serve/chip_pool.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace tpu {
 namespace serve {
 
+namespace {
+
+/**
+ * Section 5/6 per-die power proportionality: P(u) = idle +
+ * (busy - idle) * u^alpha, alpha fitted from the paper's measured
+ * 10%-load points (TPU 88%, Haswell 56%, K80 66% of full power).
+ * One source of truth: the same curves the Figure 9/10 math uses.
+ */
+power::PowerCurve
+dieCurveFor(runtime::PlatformKind kind)
+{
+    switch (kind) {
+      case runtime::PlatformKind::Tpu:
+        return power::tpuServer().dieCurve;
+      case runtime::PlatformKind::Cpu:
+        return power::haswellServer().dieCurve;
+      case runtime::PlatformKind::Gpu:
+        return power::k80Server().dieCurve;
+    }
+    panic("unknown platform kind");
+}
+
+std::shared_ptr<runtime::ExecutionBackend>
+makeFleetBackend(runtime::PlatformKind kind,
+                 const runtime::TierPolicy &tier,
+           const arch::TpuConfig &config)
+{
+    if (kind == runtime::PlatformKind::Tpu)
+        return runtime::makeBackend(tier, config);
+    return runtime::makePlatformBackend(kind);
+}
+
+} // namespace
+
+FleetSpec
+tpuFleet(int chips)
+{
+    return {FleetGroup{runtime::PlatformKind::Tpu, chips}};
+}
+
+FleetSpec
+mixedFleet()
+{
+    return {FleetGroup{runtime::PlatformKind::Tpu, 2},
+            FleetGroup{runtime::PlatformKind::Cpu, 1},
+            FleetGroup{runtime::PlatformKind::Gpu, 1}};
+}
+
+ChipPool::PlatformGroup::PlatformGroup(
+    runtime::PlatformKind group_kind,
+    std::shared_ptr<runtime::ExecutionBackend> be,
+    power::PowerCurve curve, const ChipPool *pool)
+    : kind(group_kind), backend(std::move(be)),
+      dieCurve(std::move(curve)),
+      group(std::string("platform_") + runtime::toString(group_kind)),
+      batches("batches", "formed batches served by this platform"),
+      busySeconds("busy_seconds",
+                  "simulated busy seconds across the platform's dies"),
+      utilization("utilization",
+                  "mean busy fraction of the platform's dies",
+                  [this, pool]() {
+                      const double horizon = pool->_now
+                                                 ? pool->_now() : 0.0;
+                      const double denom = horizon *
+                          static_cast<double>(members.size());
+                      return denom > 0 ? busySeconds.value() / denom
+                                       : 0.0;
+                  }),
+      watts("watts",
+            "modelled platform power draw (die curve at utilization)",
+            [this, pool]() {
+                const double horizon = pool->_now ? pool->_now() : 0.0;
+                double total = 0;
+                for (int c : members) {
+                    const double u = horizon > 0
+                        ? pool->busySeconds(c) / horizon : 0.0;
+                    total += dieCurve.at(std::min(u, 1.0));
+                }
+                return total;
+            })
+{
+    group.regStat(&batches);
+    group.regStat(&busySeconds);
+    group.regStat(&utilization);
+    group.regStat(&watts);
+}
+
 ChipPool::Chip::Chip(
     const arch::TpuConfig &config, int index,
-    std::function<double()> now_fn,
+    runtime::PlatformKind kind, std::function<double()> now_fn,
     std::shared_ptr<runtime::ExecutionBackend> backend,
     std::shared_ptr<runtime::SharedProgramCache> cache)
     : driver(std::make_unique<runtime::UserSpaceDriver>(
           config, /*functional=*/false, std::move(backend),
           std::move(cache))),
+      platform(kind),
       group("chip" + std::to_string(index)),
       batches("batches", "formed batches served by this chip"),
       busySeconds("busy_seconds", "simulated seconds serving batches"),
@@ -32,9 +122,15 @@ ChipPool::Chip::Chip(
 ChipPool::ChipPool(const arch::TpuConfig &config, int chips,
                    std::function<double()> now_fn,
                    runtime::TierPolicy tier)
+    : ChipPool(config, tpuFleet(chips), std::move(now_fn), tier)
+{}
+
+ChipPool::ChipPool(const arch::TpuConfig &config, FleetSpec fleet,
+                   std::function<double()> now_fn,
+                   runtime::TierPolicy tier)
     : _cache(std::make_shared<runtime::SharedProgramCache>(config)),
-      _backend(runtime::makeBackend(tier, config)),
-      _now(std::move(now_fn)), _stats("chip_pool"),
+      _tier(tier), _fleet(std::move(fleet)), _now(std::move(now_fn)),
+      _stats("chip_pool"),
       _compilations("compilations",
                     "distinct (model, bucket) images compiled "
                     "pool-wide",
@@ -43,14 +139,61 @@ ChipPool::ChipPool(const arch::TpuConfig &config, int chips,
                             _cache->compilations());
                     })
 {
-    fatal_if(chips <= 0, "chip pool needs at least one chip");
+    fatal_if(_fleet.empty(), "chip pool needs a non-empty fleet");
     _stats.regStat(&_compilations);
-    _chips.reserve(static_cast<std::size_t>(chips));
-    for (int i = 0; i < chips; ++i) {
-        _chips.push_back(std::make_unique<Chip>(config, i, _now,
-                                                _backend, _cache));
-        _stats.regGroup(&_chips.back()->group);
+    for (const FleetGroup &fg : _fleet) {
+        fatal_if(fg.chips <= 0,
+                 "fleet group '%s' needs at least one chip",
+                 runtime::toString(fg.platform));
+        fatal_if(_groupFor(fg.platform) != nullptr,
+                 "platform '%s' listed twice in the fleet",
+                 runtime::toString(fg.platform));
+        auto group = std::make_unique<PlatformGroup>(
+            fg.platform, makeFleetBackend(fg.platform, _tier, config),
+            dieCurveFor(fg.platform), this);
+        for (int i = 0; i < fg.chips; ++i) {
+            const int index = size();
+            _chips.push_back(std::make_unique<Chip>(
+                config, index, fg.platform, _now, group->backend,
+                _cache));
+            group->members.push_back(index);
+            _stats.regGroup(&_chips.back()->group);
+        }
+        _stats.regGroup(&group->group);
+        _groups.push_back(std::move(group));
     }
+}
+
+ChipPool::PlatformGroup *
+ChipPool::_groupFor(runtime::PlatformKind kind)
+{
+    for (auto &g : _groups)
+        if (g->kind == kind)
+            return g.get();
+    return nullptr;
+}
+
+const ChipPool::PlatformGroup *
+ChipPool::_groupFor(runtime::PlatformKind kind) const
+{
+    for (const auto &g : _groups)
+        if (g->kind == kind)
+            return g.get();
+    return nullptr;
+}
+
+runtime::PlatformKind
+ChipPool::platform(int chip) const
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    return _chips[chip]->platform;
+}
+
+int
+ChipPool::countOf(runtime::PlatformKind kind) const
+{
+    const PlatformGroup *g = _groupFor(kind);
+    return g ? static_cast<int>(g->members.size()) : 0;
 }
 
 int
@@ -62,6 +205,26 @@ ChipPool::acquireFree()
         if (!_chips[c]->busy) {
             _chips[c]->busy = true;
             _lastGrant = c;
+            return c;
+        }
+    }
+    return -1;
+}
+
+int
+ChipPool::acquireFree(runtime::PlatformKind kind, int *cursor)
+{
+    panic_if(!cursor, "per-caller acquire needs a cursor");
+    const PlatformGroup *g = _groupFor(kind);
+    panic_if(!g, "platform '%s' is not in this fleet",
+             runtime::toString(kind));
+    const int n = static_cast<int>(g->members.size());
+    for (int step = 1; step <= n; ++step) {
+        const int slot = ((*cursor) + step) % n;
+        const int c = g->members[static_cast<std::size_t>(slot)];
+        if (!_chips[c]->busy) {
+            _chips[c]->busy = true;
+            *cursor = slot;
             return c;
         }
     }
@@ -86,6 +249,18 @@ ChipPool::anyFree() const
 }
 
 bool
+ChipPool::anyFree(runtime::PlatformKind kind) const
+{
+    const PlatformGroup *g = _groupFor(kind);
+    if (!g)
+        return false;
+    for (int c : g->members)
+        if (!_chips[c]->busy)
+            return true;
+    return false;
+}
+
+bool
 ChipPool::busy(int chip) const
 {
     panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
@@ -99,6 +274,15 @@ ChipPool::driver(int chip)
     return *_chips[chip]->driver;
 }
 
+runtime::ExecutionBackend &
+ChipPool::backendFor(runtime::PlatformKind kind)
+{
+    PlatformGroup *g = _groupFor(kind);
+    panic_if(!g, "platform '%s' is not in this fleet",
+             runtime::toString(kind));
+    return *g->backend;
+}
+
 runtime::InvokeStats
 ChipPool::invoke(int chip, runtime::ModelHandle handle,
                  double host_fraction)
@@ -110,6 +294,9 @@ ChipPool::invoke(int chip, runtime::ModelHandle handle,
         _chips[chip]->driver->invoke(handle, {}, host_fraction);
     _chips[chip]->batches += 1;
     _chips[chip]->busySeconds += stats.totalSeconds;
+    PlatformGroup *g = _groupFor(_chips[chip]->platform);
+    g->batches += 1;
+    g->busySeconds += stats.totalSeconds;
     _merged.merge(stats.counters);
     return stats;
 }
@@ -126,6 +313,27 @@ ChipPool::batches(int chip) const
 {
     panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
     return static_cast<std::uint64_t>(_chips[chip]->batches.value());
+}
+
+double
+ChipPool::platformBusySeconds(runtime::PlatformKind kind) const
+{
+    const PlatformGroup *g = _groupFor(kind);
+    return g ? g->busySeconds.value() : 0.0;
+}
+
+std::uint64_t
+ChipPool::platformBatches(runtime::PlatformKind kind) const
+{
+    const PlatformGroup *g = _groupFor(kind);
+    return g ? static_cast<std::uint64_t>(g->batches.value()) : 0u;
+}
+
+double
+ChipPool::platformWatts(runtime::PlatformKind kind) const
+{
+    const PlatformGroup *g = _groupFor(kind);
+    return g ? g->watts.result() : 0.0;
 }
 
 } // namespace serve

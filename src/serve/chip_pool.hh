@@ -1,29 +1,36 @@
 /**
  * @file
- * A pool of N simulated TPU chips behind one serving Session.
+ * A pool of N simulated dies behind one serving Session -- and since
+ * the heterogeneous-fleet refactor, not necessarily TPU dies.
  *
  * Each pool member is a full runtime::UserSpaceDriver (model cache,
- * kernel driver, stats) fronting its own arch::TpuChip -- the
- * paper's deployment unit is "4 TPU dies per server" (Table 2), and
- * the Session schedules formed batches across the pool.  Chip
- * selection is round-robin over the free chips so a bursty model
- * cannot camp on chip 0 while the rest idle.
+ * kernel driver, stats) fronting its own device model.  A FleetSpec
+ * names the platforms: TPU members drive an arch::TpuChip through a
+ * TierPolicy-selected execution tier (the paper's deployment unit is
+ * "4 TPU dies per server", Table 2); CPU/GPU members execute on a
+ * runtime::PlatformBackend, the Table 2/6 Haswell and K80 analytical
+ * models, so one pool can stage the paper's in-datacenter comparison
+ * as live traffic.  Chip selection is per-CALLER round-robin inside a
+ * platform (the caller passes its own cursor), so each model's
+ * dispatch order is deterministic regardless of what other models'
+ * traffic interleaves with it.
  *
- * Two things are deliberately shared across the whole pool:
+ * Things deliberately shared across the whole pool:
  *
  *  - a runtime::SharedProgramCache, so each (model, batch bucket) is
  *    compiled exactly ONCE no matter how many chips serve it (each
  *    chip still pins its own I/O buffers and owns its own weight
  *    image) -- the Section 2 "caching the program image" story at
  *    pool scope;
- *  - a runtime::ExecutionBackend picked by TierPolicy, so a Replay
- *    pool pays one live cycle-sim run per compiled model pool-wide
- *    and replays everywhere else.
+ *  - ONE backend per platform: a Replay pool pays one live cycle-sim
+ *    run per compiled model pool-wide, and all CPU members answer
+ *    from the same closed-form memo.
  *
- * The pool accumulates per-chip busy seconds and batch counts into a
- * StatGroup, and merges device perf counters across the pool so
- * utilization and IPS reported upstream come from counters, not
- * estimates.
+ * The pool accumulates per-chip and per-platform busy seconds, batch
+ * counts, utilization and modelled watts (Section 5 die power curves)
+ * into a StatGroup, and merges device perf counters across the pool,
+ * so utilization, IPS and perf/W reported upstream come from
+ * counters, not estimates.
  */
 
 #ifndef TPUSIM_SERVE_CHIP_POOL_HH
@@ -34,19 +41,43 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "power/power_model.hh"
 #include "runtime/backend.hh"
 #include "runtime/driver.hh"
+#include "runtime/platform_backend.hh"
 #include "runtime/program_cache.hh"
 #include "sim/stats.hh"
 
 namespace tpu {
 namespace serve {
 
-/** Round-robin pool of UserSpaceDriver-backed chips. */
+/** One homogeneous slice of a fleet: @p chips dies of @p platform. */
+struct FleetGroup
+{
+    runtime::PlatformKind platform = runtime::PlatformKind::Tpu;
+    int chips = 0;
+};
+
+/**
+ * A pool's composition, in dispatch-preference order.  The FIRST
+ * group is the fleet's primary platform: serving policy derived at
+ * model-load time (batcher service estimate, SLO relaxation for
+ * long-running apps) comes from it.
+ */
+using FleetSpec = std::vector<FleetGroup>;
+
+/** {tpu: chips} -- the classic homogeneous Table 2 server. */
+FleetSpec tpuFleet(int chips);
+/** The ISSUE-3 reference mixed fleet: 2 TPU + 1 CPU + 1 GPU dies. */
+FleetSpec mixedFleet();
+
+/** Pool of UserSpaceDriver-backed dies, possibly heterogeneous. */
 class ChipPool
 {
   public:
     /**
+     * Homogeneous TPU pool (pre-fleet API, still the common case).
+     *
      * @param config  per-chip configuration (all members identical)
      * @param chips   pool size (>= 1)
      * @param now_fn  simulated-clock source for utilization formulas
@@ -56,18 +87,59 @@ class ChipPool
              std::function<double()> now_fn,
              runtime::TierPolicy tier = runtime::TierPolicy{});
 
+    /**
+     * Heterogeneous pool.  @p fleet lists each platform once, in
+     * dispatch-preference order; @p tier applies to the TPU members
+     * (platform members always run their closed-form backend).
+     */
+    ChipPool(const arch::TpuConfig &config, FleetSpec fleet,
+             std::function<double()> now_fn,
+             runtime::TierPolicy tier = runtime::TierPolicy{});
+
+    /** Total dies across every platform. */
     int size() const { return static_cast<int>(_chips.size()); }
-    runtime::ExecutionTier tier() const { return _backend->tier(); }
+
+    /** Execution tier of the pool's TPU members. */
+    runtime::ExecutionTier tier() const { return _tier.tier; }
+
+    /** The pool's composition, as constructed. */
+    const FleetSpec &fleet() const { return _fleet; }
+
+    /** Platform of one pool member. */
+    runtime::PlatformKind platform(int chip) const;
+
+    /** Dies of @p kind in the pool (0 if the platform is absent). */
+    int countOf(runtime::PlatformKind kind) const;
 
     /**
-     * Claim a free chip (round-robin from the last grant); -1 when
-     * every chip is busy.  The caller owns the claim until release().
+     * Claim a free chip (round-robin from the last POOL-WIDE grant);
+     * -1 when every chip is busy.  The caller owns the claim until
+     * release().  Prefer the per-caller-cursor overload below: this
+     * one's cursor is shared by every caller, so one model's grants
+     * shift another's.
      */
     int acquireFree();
+
+    /**
+     * Claim a free chip of @p kind, round-robin from the caller's
+     * own @p cursor (updated on success); -1 when every chip of the
+     * platform is busy.  Per-caller cursors make each model's
+     * dispatch order a pure function of its own history, so
+     * mixed-fleet per-chip stats reproduce run to run regardless of
+     * how models interleave.
+     */
+    int acquireFree(runtime::PlatformKind kind, int *cursor);
+
+    /** Release a chip claimed by either acquireFree overload. */
     void release(int chip);
+    /** Any chip free, pool-wide? */
     bool anyFree() const;
+    /** Any chip of @p kind free? */
+    bool anyFree(runtime::PlatformKind kind) const;
+    /** Is @p chip currently claimed? */
     bool busy(int chip) const;
 
+    /** The driver fronting one pool member. */
     runtime::UserSpaceDriver &driver(int chip);
 
     /**
@@ -77,8 +149,21 @@ class ChipPool
     runtime::InvokeStats invoke(int chip, runtime::ModelHandle handle,
                                 double host_fraction);
 
+    /** Simulated seconds @p chip spent serving batches. */
     double busySeconds(int chip) const;
+    /** Formed batches served by @p chip. */
     std::uint64_t batches(int chip) const;
+
+    /** Busy seconds summed over every die of @p kind. */
+    double platformBusySeconds(runtime::PlatformKind kind) const;
+    /** Batches summed over every die of @p kind. */
+    std::uint64_t platformBatches(runtime::PlatformKind kind) const;
+    /**
+     * Modelled power draw of the platform's dies right now: the
+     * Section 5/6 concave utilization->watts curve evaluated at each
+     * die's measured utilization, summed over the platform.
+     */
+    double platformWatts(runtime::PlatformKind kind) const;
 
     /**
      * Pool-wide compilations: distinct (model, bucket) images
@@ -89,11 +174,20 @@ class ChipPool
         return _cache->compilations();
     }
 
+    /** The pool-shared compile cache. */
     const runtime::SharedProgramCache &programCache() const
     {
         return *_cache;
     }
-    runtime::ExecutionBackend &backend() { return *_backend; }
+
+    /** Shared backend of the pool's primary platform. */
+    runtime::ExecutionBackend &backend()
+    {
+        return *_groups.front()->backend;
+    }
+
+    /** Shared backend serving every die of @p kind. */
+    runtime::ExecutionBackend &backendFor(runtime::PlatformKind kind);
 
     /** Device counters merged across every batch on every chip. */
     const arch::PerfCounters &mergedCounters() const
@@ -101,18 +195,39 @@ class ChipPool
         return _merged;
     }
 
+    /** The pool's stats tree (per-chip and per-platform groups). */
     const stats::StatGroup &statGroup() const { return _stats; }
+    /** Mutable access, for registering into a parent group. */
     stats::StatGroup &statGroupMutable() { return _stats; }
 
   private:
+    struct PlatformGroup
+    {
+        PlatformGroup(runtime::PlatformKind kind,
+                      std::shared_ptr<runtime::ExecutionBackend> be,
+                      power::PowerCurve curve, const ChipPool *pool);
+
+        runtime::PlatformKind kind;
+        std::shared_ptr<runtime::ExecutionBackend> backend;
+        power::PowerCurve dieCurve;
+        std::vector<int> members; ///< pool chip indices
+        stats::StatGroup group;
+        stats::Scalar batches;
+        stats::Scalar busySeconds;
+        stats::Formula utilization;
+        stats::Formula watts;
+    };
+
     struct Chip
     {
         Chip(const arch::TpuConfig &config, int index,
+             runtime::PlatformKind kind,
              std::function<double()> now_fn,
              std::shared_ptr<runtime::ExecutionBackend> backend,
              std::shared_ptr<runtime::SharedProgramCache> cache);
 
         std::unique_ptr<runtime::UserSpaceDriver> driver;
+        runtime::PlatformKind platform;
         bool busy = false;
         stats::StatGroup group;
         stats::Scalar batches;
@@ -120,8 +235,13 @@ class ChipPool
         stats::Formula utilization;
     };
 
+    PlatformGroup *_groupFor(runtime::PlatformKind kind);
+    const PlatformGroup *_groupFor(runtime::PlatformKind kind) const;
+
     std::shared_ptr<runtime::SharedProgramCache> _cache;
-    std::shared_ptr<runtime::ExecutionBackend> _backend;
+    runtime::TierPolicy _tier;
+    FleetSpec _fleet;
+    std::vector<std::unique_ptr<PlatformGroup>> _groups;
     std::vector<std::unique_ptr<Chip>> _chips;
     std::function<double()> _now;
     int _lastGrant = -1;

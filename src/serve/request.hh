@@ -79,7 +79,9 @@ class Future
   public:
     Future() = default;
 
+    /** Bound to a submission (default-constructed Futures are not). */
     bool valid() const { return static_cast<bool>(_state); }
+    /** Reply materialized (the carrying batch completed or shed)? */
     bool ready() const { return _state && _state->ready; }
 
     const Reply &

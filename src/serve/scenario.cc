@@ -1,0 +1,183 @@
+#include "serve/scenario.hh"
+
+#include <cmath>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace serve {
+
+const char *
+toString(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Diurnal: return "diurnal";
+      case ArrivalKind::Bursty: return "bursty";
+    }
+    return "?";
+}
+
+ArrivalKind
+arrivalKindFromString(const std::string &name)
+{
+    if (name == "poisson")
+        return ArrivalKind::Poisson;
+    if (name == "diurnal")
+        return ArrivalKind::Diurnal;
+    if (name == "bursty")
+        return ArrivalKind::Bursty;
+    fatal("unknown arrival kind '%s' (expected poisson, diurnal or "
+          "bursty)", name.c_str());
+}
+
+ScenarioConfig
+ScenarioConfig::poisson(double rate, std::uint64_t seed)
+{
+    ScenarioConfig c;
+    c.kind = ArrivalKind::Poisson;
+    c.rateIps = rate;
+    c.seed = seed;
+    return c;
+}
+
+ScenarioConfig
+ScenarioConfig::diurnal(double rate, double period, double amplitude,
+                        std::uint64_t seed)
+{
+    ScenarioConfig c;
+    c.kind = ArrivalKind::Diurnal;
+    c.rateIps = rate;
+    c.periodSeconds = period;
+    c.amplitude = amplitude;
+    c.seed = seed;
+    return c;
+}
+
+ScenarioConfig
+ScenarioConfig::bursty(double rate, double multiplier, double fraction,
+                       double dwell, std::uint64_t seed)
+{
+    ScenarioConfig c;
+    c.kind = ArrivalKind::Bursty;
+    c.rateIps = rate;
+    c.burstMultiplier = multiplier;
+    c.burstFraction = fraction;
+    c.burstDwellSeconds = dwell;
+    c.seed = seed;
+    return c;
+}
+
+ArrivalProcess::ArrivalProcess(ScenarioConfig config)
+    : _config(config), _rng(config.seed)
+{
+    fatal_if(_config.rateIps <= 0, "scenario needs a positive rate");
+    switch (_config.kind) {
+      case ArrivalKind::Poisson:
+        break;
+      case ArrivalKind::Diurnal:
+        fatal_if(_config.periodSeconds <= 0,
+                 "diurnal period must be positive");
+        fatal_if(_config.amplitude < 0 || _config.amplitude >= 1,
+                 "diurnal amplitude must be in [0, 1)");
+        break;
+      case ArrivalKind::Bursty: {
+        fatal_if(_config.burstMultiplier <= 1,
+                 "burst rate must exceed the quiet rate");
+        fatal_if(_config.burstFraction <= 0 ||
+                 _config.burstFraction >= 1,
+                 "burst fraction must be in (0, 1)");
+        fatal_if(_config.burstDwellSeconds <= 0,
+                 "burst dwell must be positive");
+        // Solve the two state rates so the long-run mean equals
+        // rateIps:  f * burst + (1 - f) * quiet = mean, with
+        // burst = multiplier * quiet.
+        const double f = _config.burstFraction;
+        _quietRate = _config.rateIps /
+                     (f * _config.burstMultiplier + (1.0 - f));
+        _burstRate = _config.burstMultiplier * _quietRate;
+        // Mean quiet dwell follows from the time split.
+        _quietDwell =
+            _config.burstDwellSeconds * (1.0 - f) / f;
+        _inBurst = false;
+        _stateEnd = _rng.exponential(1.0 / _quietDwell);
+        break;
+      }
+    }
+}
+
+double
+ArrivalProcess::rate(double t) const
+{
+    switch (_config.kind) {
+      case ArrivalKind::Poisson:
+        return _config.rateIps;
+      case ArrivalKind::Diurnal:
+        return _config.rateIps *
+               (1.0 + _config.amplitude *
+                          std::sin(2.0 * M_PI * t /
+                                   _config.periodSeconds));
+      case ArrivalKind::Bursty:
+        // Instantaneous rate depends on the hidden state; report
+        // the long-run mean, which is what capacity math wants.
+        return _config.rateIps;
+    }
+    panic("unknown arrival kind");
+}
+
+double
+ArrivalProcess::next()
+{
+    switch (_config.kind) {
+      case ArrivalKind::Poisson: return _nextPoisson();
+      case ArrivalKind::Diurnal: return _nextDiurnal();
+      case ArrivalKind::Bursty: return _nextBursty();
+    }
+    panic("unknown arrival kind");
+}
+
+double
+ArrivalProcess::_nextPoisson()
+{
+    _t += _rng.exponential(_config.rateIps);
+    return _t;
+}
+
+double
+ArrivalProcess::_nextDiurnal()
+{
+    // Exact sampling of an inhomogeneous Poisson process by
+    // thinning: draw candidates at the peak rate, accept each with
+    // probability rate(t)/peak.
+    const double peak = _config.rateIps * (1.0 + _config.amplitude);
+    for (;;) {
+        _t += _rng.exponential(peak);
+        if (_rng.uniformReal() * peak <= rate(_t))
+            return _t;
+    }
+}
+
+double
+ArrivalProcess::_nextBursty()
+{
+    // MMPP: arrivals are Poisson at the current state's rate; state
+    // dwells are exponential, and the exponential's memorylessness
+    // lets us re-draw the arrival candidate after a state switch.
+    for (;;) {
+        const double r = _inBurst ? _burstRate : _quietRate;
+        const double candidate = _t + _rng.exponential(r);
+        if (candidate <= _stateEnd) {
+            _t = candidate;
+            return _t;
+        }
+        _t = _stateEnd;
+        _inBurst = !_inBurst;
+        const double dwell =
+            _inBurst ? _config.burstDwellSeconds : _quietDwell;
+        _stateEnd = _t + _rng.exponential(1.0 / dwell);
+    }
+}
+
+} // namespace serve
+} // namespace tpu

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Scenario-driven arrival processes for the serving farm.
+ *
+ * The paper's serving analysis fixes one operating point ("applications
+ * ... limit latency at 99th-percentile ... as they must be used in
+ * end-user-facing services"); a farm simulator should also answer what
+ * happens AROUND that point: datacenter traffic ramps with the day,
+ * and end-user front ends produce correlated bursts, not memoryless
+ * streams.  This file replaces the single fixed-rate Poisson pump
+ * with three open-loop arrival processes, all deterministic under a
+ * seed and all normalized so the TIME-AVERAGED rate equals the
+ * configured rate (so capacity arithmetic stays comparable across
+ * scenarios):
+ *
+ *  - Poisson: constant-rate memoryless arrivals, the classic
+ *    open-loop serving assumption and the Table 4 regime;
+ *  - Diurnal: a sinusoidal rate swing around the mean
+ *    (rate(t) = mean * (1 + A sin(2 pi t / T))), sampled exactly by
+ *    thinning against the peak rate;
+ *  - Bursty: a 2-state Markov-modulated Poisson process (MMPP):
+ *    exponentially-dwelling quiet/burst states whose two rates are
+ *    solved from the burst multiplier and the fraction of time spent
+ *    bursting.
+ */
+
+#ifndef TPUSIM_SERVE_SCENARIO_HH
+#define TPUSIM_SERVE_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace serve {
+
+/** The supported arrival processes. */
+enum class ArrivalKind
+{
+    Poisson, ///< constant-rate memoryless arrivals
+    Diurnal, ///< sinusoidal rate swing around the mean
+    Bursty,  ///< 2-state MMPP (quiet/burst)
+};
+
+/** "poisson" / "diurnal" / "bursty". */
+const char *toString(ArrivalKind kind);
+
+/** Parse "poisson" / "diurnal" / "bursty" (fatal otherwise). */
+ArrivalKind arrivalKindFromString(const std::string &name);
+
+/** One traffic scenario: an arrival process and its parameters. */
+struct ScenarioConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+
+    /** Time-averaged arrival rate (requests/second), all kinds. */
+    double rateIps = 0;
+
+    /** RNG seed; the whole arrival sequence is a function of it. */
+    std::uint64_t seed = 42;
+
+    /** Diurnal: period of one simulated "day" (seconds). */
+    double periodSeconds = 4.0;
+    /** Diurnal: relative swing in [0, 1); rate = mean * (1 +/- A). */
+    double amplitude = 0.6;
+
+    /** Bursty: burst-state rate as a multiple of the quiet rate. */
+    double burstMultiplier = 4.0;
+    /** Bursty: long-run fraction of time spent in the burst state. */
+    double burstFraction = 0.1;
+    /** Bursty: mean dwell per burst episode (seconds). */
+    double burstDwellSeconds = 0.05;
+
+    /** Constant-rate Poisson at @p rate. */
+    static ScenarioConfig poisson(double rate,
+                                  std::uint64_t seed = 42);
+    /** Sinusoidal ramp: mean @p rate, swing @p amplitude over @p period. */
+    static ScenarioConfig diurnal(double rate, double period,
+                                  double amplitude,
+                                  std::uint64_t seed = 42);
+    /** MMPP bursts: mean @p rate, burst rate @p multiplier x quiet. */
+    static ScenarioConfig bursty(double rate, double multiplier,
+                                 double fraction, double dwell,
+                                 std::uint64_t seed = 42);
+};
+
+/**
+ * Deterministic generator of one scenario's arrival times.  next()
+ * returns strictly non-decreasing absolute times starting from 0;
+ * the sequence is a pure function of the ScenarioConfig (seed
+ * included), so two generators with equal configs emit identical
+ * traffic -- the property every determinism gate in bench/ rests on.
+ */
+class ArrivalProcess
+{
+  public:
+    explicit ArrivalProcess(ScenarioConfig config);
+
+    /** Absolute time of the next arrival (seconds). */
+    double next();
+
+    /** Modelled instantaneous rate at @p t (requests/second). */
+    double rate(double t) const;
+
+    /** The scenario this process was built from. */
+    const ScenarioConfig &config() const { return _config; }
+
+  private:
+    double _nextPoisson();
+    double _nextDiurnal();
+    double _nextBursty();
+
+    ScenarioConfig _config;
+    Rng _rng;
+    double _t = 0;
+    // Bursty state machine (solved from the config in the ctor).
+    double _quietRate = 0;
+    double _burstRate = 0;
+    double _quietDwell = 0;
+    bool _inBurst = false;
+    double _stateEnd = 0;
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_SCENARIO_HH

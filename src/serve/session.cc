@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
+#include <vector>
 
+#include "runtime/platform_backend.hh"
 #include "sim/logging.hh"
 
 namespace tpu {
@@ -17,8 +20,10 @@ ModelServingStats::ModelServingStats(const std::string &name,
       batches("batches", "dynamic batches formed"),
       batchSize("achieved_batch", "mean formed batch size"),
       queueSeconds("queue_seconds", "mean admission-queue wait"),
-      deviceSeconds("device_seconds", "TPU busy seconds for this "
+      deviceSeconds("device_seconds", "device busy seconds for this "
                     "model"),
+      busySeconds("busy_seconds", "device+host busy seconds for "
+                  "this model across the fleet"),
       // Histogram sized to resolve the p99 around the SLO: 8x the
       // limit at ~SLO/512 resolution.
       response("response_seconds", "request response time",
@@ -31,6 +36,23 @@ ModelServingStats::ModelServingStats(const std::string &name,
     group.regStat(&batchSize);
     group.regStat(&queueSeconds);
     group.regStat(&deviceSeconds);
+    group.regStat(&busySeconds);
+    group.regStat(&response);
+}
+
+PlatformServingStats::PlatformServingStats(runtime::PlatformKind k)
+    : kind(k),
+      group(std::string("served_") + runtime::toString(k)),
+      completed("completed", "requests this platform served"),
+      batches("batches", "batches dispatched to this platform"),
+      // Range is provisional: Session::load() widens it to cover
+      // every loaded model's SLO before traffic starts.
+      response("response_seconds",
+               "response time of requests served here",
+               0.0, 0.112, 4096)
+{
+    group.regStat(&completed);
+    group.regStat(&batches);
     group.regStat(&response);
 }
 
@@ -44,8 +66,10 @@ Session::Model::Model(std::string model_name,
 
 Session::Session(arch::TpuConfig config, SessionOptions options)
     : _config(std::move(config)),
-      _pool(_config, options.chips, [this]() { return now(); },
-            options.tier),
+      _pool(_config,
+            options.fleet.empty() ? tpuFleet(options.chips)
+                                  : options.fleet,
+            [this]() { return now(); }, options.tier),
       _stats("serve_session"),
       _submitted("submitted", "requests submitted"),
       _completed("completed", "requests served to completion"),
@@ -64,6 +88,11 @@ Session::Session(arch::TpuConfig config, SessionOptions options)
     _stats.regStat(&_batches);
     _stats.regStat(&_ips);
     _stats.regGroup(&_pool.statGroupMutable());
+    for (const FleetGroup &fg : _pool.fleet()) {
+        _platforms.push_back(
+            std::make_unique<PlatformServingStats>(fg.platform));
+        _stats.regGroup(&_platforms.back()->group);
+    }
 }
 
 ModelHandle
@@ -72,16 +101,44 @@ Session::load(const std::string &name, NetworkBuilder builder,
 {
     fatal_if(!builder, "model builder must be callable");
     fatal_if(host_fraction < 0.0, "negative host fraction");
-    // Calibrate the batcher's SLO estimate from the analytic
-    // hardware model; the network's own batch size is irrelevant to
-    // the affine decomposition, only the layer shapes matter.
+    // Calibrate a batch service estimate per fleet platform: the TPU
+    // from the analytic hardware model, CPU/GPU from the Table
+    // 6-calibrated baselines.  They feed the dispatcher's headroom
+    // routing; the batcher sheds/shrinks against the PRIMARY
+    // platform's estimate (the fleet's first group).  The network's
+    // own batch size is irrelevant to the affine decomposition, only
+    // the layer shapes matter.
+    const nn::Network probe = builder(policy.maxBatch);
+    std::map<runtime::PlatformKind, latency::ServiceModel> estimates;
+    for (const FleetGroup &fg : _pool.fleet()) {
+        if (fg.platform == runtime::PlatformKind::Tpu) {
+            estimates[fg.platform] = latency::ServiceModel::fromModel(
+                _config, probe, host_fraction);
+        } else {
+            auto &backend = static_cast<runtime::PlatformBackend &>(
+                _pool.backendFor(fg.platform));
+            estimates[fg.platform] =
+                runtime::platformServiceModel(backend.model(), probe);
+        }
+    }
     const latency::ServiceModel estimate =
-        latency::ServiceModel::fromModel(
-            _config, builder(policy.maxBatch), host_fraction);
+        estimates.at(_pool.fleet().front().platform);
     const ModelHandle handle = _nextModel++;
     auto model = std::make_unique<Model>(name, std::move(builder),
                                          policy, estimate,
                                          host_fraction);
+    model->platformEstimates = std::move(estimates);
+    // Platform histograms must resolve the slowest model's tail: a
+    // CPU fleet's relaxed CNN limits reach hundreds of ms, far past
+    // any fixed construction-time range.  Models all load before
+    // traffic, so the histograms are still empty here.
+    const double ceiling = 8.0 * policy.sloSeconds;
+    for (auto &p : _platforms) {
+        if (ceiling > p->responseCeiling) {
+            p->responseCeiling = ceiling;
+            p->response.widen(0.0, ceiling);
+        }
+    }
     _stats.regGroup(&model->stats.group);
     _models.emplace(handle, std::move(model));
     return handle;
@@ -109,6 +166,23 @@ const ModelServingStats &
 Session::modelStats(ModelHandle handle) const
 {
     return _model(handle).stats;
+}
+
+const PlatformServingStats &
+Session::platformStats(runtime::PlatformKind kind) const
+{
+    for (const auto &p : _platforms)
+        if (p->kind == kind)
+            return *p;
+    fatal("platform '%s' is not part of this session's fleet",
+          runtime::toString(kind));
+}
+
+PlatformServingStats &
+Session::_platformServing(runtime::PlatformKind kind)
+{
+    return const_cast<PlatformServingStats &>(
+        std::as_const(*this).platformStats(kind));
 }
 
 Future
@@ -248,6 +322,13 @@ Session::_armTimer(ModelHandle handle)
 void
 Session::_drain()
 {
+    // Models whose batch is held back this round (no free chip on an
+    // SLO-viable platform); they re-enter at the next drain.  A flat
+    // vector: sessions hold a handful of models, drains are hot.
+    std::vector<ModelHandle> held;
+    const auto is_held = [&held](ModelHandle h) {
+        return std::find(held.begin(), held.end(), h) != held.end();
+    };
     while (_pool.anyFree()) {
         // Global FIFO fairness: among models with a dispatchable
         // batch, serve the one whose head request has waited longest.
@@ -255,7 +336,8 @@ Session::_drain()
         double oldest = std::numeric_limits<double>::infinity();
         for (const auto &entry : _models) {
             const Model &m = *entry.second;
-            if (!m.batcher.batchReady(now()))
+            if (is_held(entry.first) ||
+                !m.batcher.batchReady(now()))
                 continue;
             if (m.batcher.oldestArrival() < oldest) {
                 oldest = m.batcher.oldestArrival();
@@ -264,10 +346,62 @@ Session::_drain()
         }
         if (pick == 0)
             break;
-        const int chip = _pool.acquireFree();
-        panic_if(chip < 0, "anyFree() promised a free chip");
+        const int chip = _chooseChip(_model(pick));
+        if (chip < 0) {
+            held.push_back(pick);
+            continue;
+        }
         _dispatch(pick, chip);
     }
+}
+
+int
+Session::_chooseChip(Model &m)
+{
+    const double slo = m.batcher.policy().sloSeconds;
+    const double waited = now() - m.batcher.oldestArrival();
+    // Routing estimate for the batch about to form: what is queued,
+    // capped at maxBatch, padded to its compiled bucket.  form() may
+    // still shrink it; the estimate only routes.
+    const std::int64_t queued = std::max<std::int64_t>(
+        1, std::min<std::int64_t>(
+               static_cast<std::int64_t>(m.batcher.depth()),
+               m.batcher.policy().maxBatch));
+    const std::int64_t bucket = m.batcher.bucketFor(queued);
+
+    constexpr double kNone = -std::numeric_limits<double>::infinity();
+    double best_free = kNone; // best headroom on a free platform
+    double best_any = kNone;  // best headroom fleet-wide
+    runtime::PlatformKind best_kind = runtime::PlatformKind::Tpu;
+    bool have_free = false;
+    for (const FleetGroup &fg : _pool.fleet()) {
+        const latency::ServiceModel &est =
+            m.platformEstimates.at(fg.platform);
+        const double headroom = slo - waited - est.seconds(bucket);
+        best_any = std::max(best_any, headroom);
+        if (!_pool.anyFree(fg.platform))
+            continue;
+        // Strict > keeps ties on the earlier (preferred) fleet group.
+        if (!have_free || headroom > best_free) {
+            have_free = true;
+            best_free = headroom;
+            best_kind = fg.platform;
+        }
+    }
+    if (!have_free)
+        return -1;
+    // Every free platform would breach the SLO, but a busy one could
+    // still make it: hold the batch.  The busy platform's completion
+    // re-drains well before the deadline forces a shed, and holding
+    // is bounded -- once even the best platform cannot make it,
+    // best_any drops below zero and the batch dispatches (and sheds
+    // at formation, where the accounting lives).
+    if (best_free < 0 && best_any >= 0)
+        return -1;
+    auto cursor = m.rrCursors.try_emplace(best_kind, -1).first;
+    const int chip = _pool.acquireFree(best_kind, &cursor->second);
+    panic_if(chip < 0, "anyFree(platform) promised a free chip");
+    return chip;
 }
 
 void
@@ -307,13 +441,21 @@ Session::_dispatch(ModelHandle handle, int chip)
         static_cast<std::int64_t>(batch.requests.size());
     runtime::ModelHandle backend =
         _backendHandle(m, batch.paddedBatch, chip);
+    // Platform backends fold host overhead into their Table 6
+    // calibration; only real TPU dies add the Table 5 share on top.
+    const double host_fraction =
+        _pool.platform(chip) == runtime::PlatformKind::Tpu
+            ? m.hostFraction
+            : 0.0;
     runtime::InvokeStats inv =
-        _pool.invoke(chip, backend, m.hostFraction);
+        _pool.invoke(chip, backend, host_fraction);
 
     _batches += 1;
     m.stats.batches += 1;
     m.stats.batchSize.sample(static_cast<double>(formed));
     m.stats.deviceSeconds += inv.deviceSeconds;
+    m.stats.busySeconds += inv.totalSeconds;
+    _platformServing(_pool.platform(chip)).batches += 1;
 
     const double done = start + inv.totalSeconds;
     // Completions run before same-tick arrivals/timers (priority -1)
@@ -339,12 +481,16 @@ Session::_complete(ModelHandle handle, int chip, FormedBatch batch,
     // batch skips the division entirely.
     arch::PerfCounters share;
     bool share_ready = false;
+    PlatformServingStats &served =
+        _platformServing(_pool.platform(chip));
     for (PendingRequest &req : batch.requests) {
         _completed += 1;
         m.stats.completed += 1;
+        served.completed += 1;
         const double response = done - req.arrivalSeconds;
         const double queued = dispatch_time - req.arrivalSeconds;
         m.stats.response.sample(response);
+        served.response.sample(response);
         m.stats.queueSeconds.sample(queued);
         if (!req.state)
             continue; // detached: aggregate stats only

@@ -16,9 +16,14 @@
  *     maxDelay, whichever first) and sheds/shrinks against the SLO
  *     using a ServiceModel calibrated from the analytic hardware
  *     model;
- *   - a ChipPool of runtime::UserSpaceDriver-backed chips runs each
- *     formed batch on the cycle simulator, scheduled over the shared
- *     sim::EventQueue (1 tick = 1 ns);
+ *   - a ChipPool of runtime::UserSpaceDriver-backed dies runs each
+ *     formed batch, scheduled over the shared sim::EventQueue
+ *     (1 tick = 1 ns).  The pool may be a pure TPU fleet (cycle
+ *     simulator behind an execution tier) or mix in modelled
+ *     CPU/GPU dies; a platform-aware dispatcher routes each formed
+ *     batch to the free platform with the most modelled latency
+ *     headroom against the SLO -- the paper's Table 6 platforms
+ *     competing for the same live traffic;
  *   - run() drives simulated time until every event has fired, after
  *     which all Futures are resolved and the StatGroup holds
  *     p50/p99 response times, achieved batch sizes, shed counts,
@@ -56,34 +61,93 @@ namespace serve {
 /** Session construction knobs. */
 struct SessionOptions
 {
+    SessionOptions() = default;
+    /** Homogeneous TPU pool of @p pool_chips dies on @p tier_policy. */
+    explicit SessionOptions(int pool_chips,
+                            runtime::TierPolicy tier_policy =
+                                runtime::TierPolicy{})
+        : chips(pool_chips), tier(tier_policy)
+    {}
+
     /** Pool size; Table 2's TPU server hosts 4 dies. */
     int chips = 4;
 
     /**
-     * Execution tier for the pool (runtime/backend.hh): CycleSim for
-     * counter-exact ground truth, Replay for bit-identical timing at
-     * serving scale, Analytic for Table 7-accuracy sweeps.
+     * Execution tier for the pool's TPU members (runtime/backend.hh):
+     * CycleSim for counter-exact ground truth, Replay for
+     * bit-identical timing at serving scale, Analytic for Table
+     * 7-accuracy sweeps.
      */
     runtime::TierPolicy tier = runtime::TierPolicy{};
+
+    /**
+     * Pool composition.  Empty (the default) means a homogeneous TPU
+     * pool of `chips` dies; a non-empty FleetSpec overrides `chips`
+     * and may mix TPU members with modelled CPU/GPU dies
+     * (runtime/platform_backend.hh) -- the paper's Table 6 platforms
+     * serving live traffic side by side.
+     */
+    FleetSpec fleet;
 };
 
 /** Measured serving statistics for one loaded model. */
 class ModelServingStats
 {
   public:
+    /** Stats tree named @p name, histogram sized for @p slo_seconds. */
     ModelServingStats(const std::string &name, double slo_seconds);
 
-    stats::StatGroup group;
-    stats::Scalar submitted;
-    stats::Scalar completed;
-    stats::Scalar shed;
-    stats::Scalar batches;
+    stats::StatGroup group;       ///< registered under the session
+    stats::Scalar submitted;      ///< requests admitted
+    stats::Scalar completed;      ///< requests served to completion
+    stats::Scalar shed;           ///< requests dropped by the SLO
+    stats::Scalar batches;        ///< dynamic batches formed
     stats::Average batchSize;     ///< achieved (formed) batch size
-    stats::Average queueSeconds;
-    stats::Scalar deviceSeconds;
+    stats::Average queueSeconds;  ///< mean admission-queue wait
+    stats::Scalar deviceSeconds;  ///< device-only busy seconds
+    /** Device+host busy seconds across the fleet for this model. */
+    stats::Scalar busySeconds;
     stats::Distribution response; ///< response-time histogram (s)
 
+    /** Median response time in seconds (measured). */
     double p50() const { return response.percentile(0.50); }
+    /** 99th-percentile response time -- the Table 4 SLO metric. */
+    double p99() const { return response.percentile(0.99); }
+
+    /**
+     * Completed requests per busy second: the live analogue of the
+     * per-die IPS the static Table 6 comparison uses (a die's
+     * saturation throughput, independent of how loaded the farm is).
+     */
+    double
+    busyIps() const
+    {
+        return busySeconds.value() > 0
+                   ? completed.value() / busySeconds.value()
+                   : 0.0;
+    }
+};
+
+/** Measured serving statistics for one platform of the fleet. */
+class PlatformServingStats
+{
+  public:
+    explicit PlatformServingStats(runtime::PlatformKind kind);
+
+    runtime::PlatformKind kind;   ///< which platform this slice is
+    stats::StatGroup group;       ///< "served_<platform>"
+    stats::Scalar completed;      ///< requests completed here
+    stats::Scalar batches;        ///< batches dispatched here
+    stats::Distribution response; ///< response times served here (s)
+    /**
+     * Histogram upper bound; Session::load() widens it to 8x the
+     * largest loaded SLO so every model's tail resolves.
+     */
+    double responseCeiling = 0.112;
+
+    /** Median response time of requests this platform served. */
+    double p50() const { return response.percentile(0.50); }
+    /** p99 response time of requests this platform served. */
     double p99() const { return response.percentile(0.99); }
 };
 
@@ -135,19 +199,31 @@ class Session
     /** Current simulated time in seconds. */
     double now() const { return _toSeconds(_events.now()); }
 
+    /** The session's full stats tree (models, platforms, pool). */
     const stats::StatGroup &statGroup() const { return _stats; }
+    /** Measured serving stats for one loaded model. */
     const ModelServingStats &modelStats(ModelHandle handle) const;
+    /**
+     * Measured serving stats for one platform of the fleet (fatal if
+     * the platform is not part of this session's pool).
+     */
+    const PlatformServingStats &
+    platformStats(runtime::PlatformKind kind) const;
+    /** The chip pool behind this session. */
     ChipPool &pool() { return _pool; }
     const ChipPool &pool() const { return _pool; }
 
+    /** Requests admitted session-wide (submit + detached). */
     std::uint64_t submitted() const
     {
         return static_cast<std::uint64_t>(_submitted.value());
     }
+    /** Requests served to completion session-wide. */
     std::uint64_t completed() const
     {
         return static_cast<std::uint64_t>(_completed.value());
     }
+    /** Requests dropped by SLO admission control session-wide. */
     std::uint64_t shedCount() const
     {
         return static_cast<std::uint64_t>(_shed.value());
@@ -181,6 +257,21 @@ class Session
         /** (bucket, chip) -> backend model handle. */
         std::map<std::pair<std::int64_t, int>,
                  runtime::ModelHandle> backendHandles;
+        /**
+         * Batch service estimate per fleet platform, the dispatch
+         * routing input: TPU from the analytic hardware model,
+         * CPU/GPU from the Table 6-calibrated baselines.
+         */
+        std::map<runtime::PlatformKind, latency::ServiceModel>
+            platformEstimates;
+        /**
+         * Per-model round-robin cursor per platform.  Dispatch order
+         * is a pure function of THIS model's history, so per-chip
+         * and per-platform stats reproduce run to run no matter how
+         * other models' traffic interleaves (the cursor was formerly
+         * pool-global).
+         */
+        std::map<runtime::PlatformKind, int> rrCursors;
     };
 
     Model &_model(ModelHandle handle);
@@ -204,6 +295,21 @@ class Session
     void _arrive(ModelHandle handle, PendingRequest req);
     void _armTimer(ModelHandle handle);
     void _drain();
+
+    /**
+     * Pick and claim the chip for @p m's next batch: among platforms
+     * with a free chip, the one whose modelled completion leaves the
+     * most latency headroom against the SLO (per-model round-robin
+     * inside the platform).  Returns -1 to hold the batch: either
+     * nothing is free, or every free platform would breach the SLO
+     * while a busy one could still make it (its completion re-drains
+     * before the deadline forces a shed).
+     */
+    int _chooseChip(Model &m);
+
+    /** Mutable per-platform serving stats (fatal if absent). */
+    PlatformServingStats &_platformServing(runtime::PlatformKind kind);
+
     void _dispatch(ModelHandle handle, int chip);
     void _complete(ModelHandle handle, int chip, FormedBatch batch,
                    runtime::InvokeStats inv, double dispatch_time);
@@ -237,6 +343,9 @@ class Session
     std::map<ModelHandle, std::unique_ptr<Model>> _models;
     ModelHandle _nextModel = 1;
     RequestId _nextRequest = 1;
+
+    /** One serving-stats slice per fleet platform. */
+    std::vector<std::unique_ptr<PlatformServingStats>> _platforms;
 
     std::deque<StreamArrival> _arrivalStream;
     bool _pumpArmed = false;

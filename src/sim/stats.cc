@@ -21,6 +21,20 @@ Distribution::Distribution(std::string name, std::string desc, double lo,
 }
 
 void
+Distribution::widen(double lo, double hi)
+{
+    panic_if(hi <= lo, "Distribution %s: hi (%f) <= lo (%f)",
+             name().c_str(), hi, lo);
+    fatal_if(_count != 0,
+             "widening distribution %s after %llu samples would "
+             "discard them", name().c_str(),
+             static_cast<unsigned long long>(_count));
+    _lo = lo;
+    _hi = hi;
+    _bucketWidth = (hi - lo) / static_cast<double>(_buckets.size());
+}
+
+void
 Distribution::sample(double v)
 {
     ++_count;

@@ -90,6 +90,14 @@ class Distribution : public Stat
 
     void sample(double v);
 
+    /**
+     * Re-range an EMPTY histogram (fatal once samples exist): callers
+     * that learn their value range after construction -- a serving
+     * session discovering its models' SLOs at load time -- widen the
+     * histogram before traffic starts instead of guessing at birth.
+     */
+    void widen(double lo, double hi);
+
     double min() const { return _min; }
     double max() const { return _max; }
     std::uint64_t count() const { return _count; }

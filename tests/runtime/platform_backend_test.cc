@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the platform execution backends
+ * (src/runtime/platform_backend.hh): the closed-form service model
+ * must agree with the calibrated baselines, execute() must return
+ * the affine batch cost in O(1), and the name-aliasing fingerprint
+ * guard must match the Replay/Analytic tiers' behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/platform.hh"
+#include "runtime/driver.hh"
+#include "runtime/platform_backend.hh"
+#include "workloads/workloads.hh"
+
+namespace tpu {
+namespace runtime {
+namespace {
+
+// ------------------------------------------------- service model
+
+TEST(PlatformServiceModel, MatchesCalibratedBaselineThroughput)
+{
+    const baselines::BaselineModel cpu = baselines::makeCpuModel();
+    for (workloads::AppId id : workloads::allApps()) {
+        const nn::Network net = workloads::build(id);
+        const latency::ServiceModel svc =
+            platformServiceModel(cpu, net);
+        EXPECT_DOUBLE_EQ(svc.perItemSeconds,
+                         1.0 / cpu.inferencesPerSec(id));
+        EXPECT_DOUBLE_EQ(svc.baseSeconds,
+                         cpu.spec().batchOverheadSeconds);
+    }
+}
+
+TEST(PlatformServiceModel, RecognizesBucketSuffixedNames)
+{
+    const baselines::BaselineModel gpu = baselines::makeGpuModel();
+    nn::Network net =
+        workloads::build(workloads::AppId::MLP0, 16);
+    net.setName("MLP0@b16"); // the serving stack's bucket naming
+    const latency::ServiceModel svc = platformServiceModel(gpu, net);
+    EXPECT_DOUBLE_EQ(
+        svc.perItemSeconds,
+        1.0 / gpu.inferencesPerSec(workloads::AppId::MLP0));
+}
+
+TEST(PlatformServiceModel, FallsBackToRooflineForUnknownNets)
+{
+    const baselines::BaselineModel cpu = baselines::makeCpuModel();
+    nn::Network net("not_a_table1_app", 8);
+    net.addFullyConnected(256, 256);
+    const latency::ServiceModel svc = platformServiceModel(cpu, net);
+    EXPECT_GT(svc.perItemSeconds, 0.0);
+    // Half the roofline cap is a floor on the per-item time.
+    const double ops = 2.0 * static_cast<double>(net.macsPerExample());
+    EXPECT_GE(svc.perItemSeconds,
+              ops / (0.5 * cpu.spec().peakOpsPerSec) * 0.999);
+}
+
+// ------------------------------------------------------ backend
+
+TEST(PlatformBackend, ExecutesTheAffineBatchCost)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    auto backend = makePlatformBackend(PlatformKind::Cpu);
+    UserSpaceDriver driver(cfg, false, backend, nullptr);
+
+    const std::int64_t batch = 16;
+    const ModelHandle h = driver.loadModel(
+        workloads::build(workloads::AppId::MLP0, batch));
+    const InvokeStats stats = driver.invoke(h);
+
+    const latency::ServiceModel svc = platformServiceModel(
+        backend->model(), workloads::build(workloads::AppId::MLP0,
+                                           batch));
+    EXPECT_DOUBLE_EQ(stats.deviceSeconds, svc.seconds(batch));
+    EXPECT_GT(stats.deviceCycles, 0u);
+    EXPECT_GT(stats.counters.usefulMacs, 0u);
+    EXPECT_GT(stats.counters.weightBytesRead, 0u);
+    // TPU-specific attribution must stay zero: merging platform
+    // counters into pool aggregates must not invent TPU activity.
+    EXPECT_EQ(stats.counters.totalInstructions, 0u);
+    EXPECT_EQ(stats.counters.arrayActiveCycles, 0u);
+    EXPECT_EQ(backend->executions(), 1u);
+    EXPECT_EQ(backend->preparedModels(), 1u);
+}
+
+TEST(PlatformBackend, RepeatedInvokesAreMemoizedAndIdentical)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    auto backend = makePlatformBackend(PlatformKind::Gpu);
+    UserSpaceDriver driver(cfg, false, backend, nullptr);
+    const ModelHandle h = driver.loadModel(
+        workloads::build(workloads::AppId::LSTM0, 64));
+    const InvokeStats a = driver.invoke(h);
+    const InvokeStats b = driver.invoke(h);
+    EXPECT_DOUBLE_EQ(a.deviceSeconds, b.deviceSeconds);
+    EXPECT_EQ(a.deviceCycles, b.deviceCycles);
+    EXPECT_EQ(a.counters.usefulMacs, b.counters.usefulMacs);
+    EXPECT_EQ(backend->executions(), 2u);
+    EXPECT_EQ(backend->preparedModels(), 1u);
+}
+
+TEST(PlatformBackend, GpuIsFasterThanCpuOnCnn0)
+{
+    // Table 6: the compute-dense CNN0 is where the K80 shines over
+    // Haswell; the adapted backends must preserve the ordering.
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    auto run = [&](PlatformKind kind) {
+        auto backend = makePlatformBackend(kind);
+        UserSpaceDriver driver(cfg, false, backend, nullptr);
+        const ModelHandle h = driver.loadModel(
+            workloads::build(workloads::AppId::CNN0, 32));
+        return driver.invoke(h).deviceSeconds;
+    };
+    EXPECT_LT(run(PlatformKind::Gpu), run(PlatformKind::Cpu));
+}
+
+TEST(PlatformBackendDeath, RejectsNameAliasing)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    auto backend = makePlatformBackend(PlatformKind::Cpu);
+    nn::Network a("model", 8);
+    a.addFullyConnected(64, 64);
+    nn::Network b("model", 8); // same name, different architecture
+    b.addFullyConnected(128, 128);
+
+    UserSpaceDriver d1(cfg, false, backend,
+                       std::make_shared<SharedProgramCache>(cfg));
+    UserSpaceDriver d2(cfg, false, backend,
+                       std::make_shared<SharedProgramCache>(cfg));
+    d1.loadModel(a);
+    EXPECT_EXIT(d2.loadModel(b), ::testing::ExitedWithCode(1),
+                "reused for a different");
+}
+
+TEST(PlatformBackendDeath, NoPlatformBackendForTheTpu)
+{
+    EXPECT_EXIT(makePlatformBackend(PlatformKind::Tpu),
+                ::testing::ExitedWithCode(1),
+                "no platform backend");
+}
+
+TEST(PlatformKindNames, RoundTrip)
+{
+    for (PlatformKind k :
+         {PlatformKind::Tpu, PlatformKind::Cpu, PlatformKind::Gpu})
+        EXPECT_EQ(platformFromString(toString(k)), k);
+    EXPECT_EXIT(platformFromString("fpga"),
+                ::testing::ExitedWithCode(1), "unknown platform");
+}
+
+} // namespace
+} // namespace runtime
+} // namespace tpu

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the scenario traffic engine (src/serve/scenario.hh):
+ * every arrival process must hit its configured TIME-AVERAGED rate
+ * within tolerance, reproduce bit-for-bit under a fixed seed, and
+ * show its distinguishing shape (sinusoidal swing for the diurnal
+ * ramp, over-dispersion for the MMPP bursts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "serve/scenario.hh"
+
+namespace tpu {
+namespace serve {
+namespace {
+
+std::vector<double>
+arrivals(const ScenarioConfig &cfg, std::size_t n)
+{
+    ArrivalProcess p(cfg);
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(p.next());
+    return out;
+}
+
+/** Empirical rate over the generated span. */
+double
+empiricalRate(const std::vector<double> &t)
+{
+    return static_cast<double>(t.size()) / t.back();
+}
+
+/**
+ * Index of dispersion of per-window arrival counts: 1 for Poisson,
+ * substantially above 1 for bursty traffic.
+ */
+double
+dispersion(const std::vector<double> &t, double window)
+{
+    std::vector<double> counts(
+        static_cast<std::size_t>(t.back() / window) + 1, 0.0);
+    for (double x : t)
+        counts[static_cast<std::size_t>(x / window)] += 1.0;
+    double mean = 0;
+    for (double c : counts)
+        mean += c;
+    mean /= static_cast<double>(counts.size());
+    double var = 0;
+    for (double c : counts)
+        var += (c - mean) * (c - mean);
+    var /= static_cast<double>(counts.size());
+    return var / mean;
+}
+
+// ------------------------------------------------------------ rates
+
+TEST(Scenario, PoissonHitsTheConfiguredRate)
+{
+    const auto t = arrivals(ScenarioConfig::poisson(50000.0), 200000);
+    EXPECT_NEAR(empiricalRate(t), 50000.0, 0.02 * 50000.0);
+}
+
+TEST(Scenario, DiurnalMeanRateMatchesOverWholePeriods)
+{
+    // Average over an integer number of periods so the swing cancels.
+    const ScenarioConfig cfg =
+        ScenarioConfig::diurnal(20000.0, 0.5, 0.6);
+    ArrivalProcess p(cfg);
+    double t = 0;
+    std::uint64_t n = 0;
+    while (t < 8 * cfg.periodSeconds) {
+        t = p.next();
+        ++n;
+    }
+    const double periods = std::floor(t / cfg.periodSeconds);
+    EXPECT_GE(periods, 7);
+    EXPECT_NEAR(static_cast<double>(n) / t, 20000.0,
+                0.05 * 20000.0);
+}
+
+TEST(Scenario, BurstyMeanRateMatches)
+{
+    const auto t = arrivals(
+        ScenarioConfig::bursty(30000.0, 4.0, 0.1, 0.05), 300000);
+    EXPECT_NEAR(empiricalRate(t), 30000.0, 0.08 * 30000.0);
+}
+
+// ------------------------------------------------------------ shape
+
+TEST(Scenario, DiurnalSwingsAboveAndBelowTheMean)
+{
+    // rate(t) = mean (1 + A sin(2 pi t / T)): the first half-period
+    // runs hot, the second cold.
+    const ScenarioConfig cfg =
+        ScenarioConfig::diurnal(20000.0, 1.0, 0.6);
+    ArrivalProcess p(cfg);
+    std::uint64_t first = 0, second = 0;
+    for (;;) {
+        const double t = p.next();
+        if (t >= cfg.periodSeconds)
+            break;
+        (t < 0.5 * cfg.periodSeconds ? first : second)++;
+    }
+    EXPECT_GT(static_cast<double>(first),
+              1.5 * static_cast<double>(second));
+    EXPECT_DOUBLE_EQ(p.rate(0.25 * cfg.periodSeconds),
+                     20000.0 * 1.6);
+    EXPECT_DOUBLE_EQ(p.rate(0.0), 20000.0);
+}
+
+TEST(Scenario, BurstyIsOverdispersedPoissonIsNot)
+{
+    const double window = 0.01;
+    const auto poisson =
+        arrivals(ScenarioConfig::poisson(30000.0), 300000);
+    const auto bursty = arrivals(
+        ScenarioConfig::bursty(30000.0, 6.0, 0.1, 0.05), 300000);
+    EXPECT_LT(dispersion(poisson, window), 1.5);
+    EXPECT_GT(dispersion(bursty, window), 3.0);
+}
+
+// ---------------------------------------------------- determinism
+
+TEST(Scenario, SameSeedReproducesEveryKind)
+{
+    const ScenarioConfig cfgs[] = {
+        ScenarioConfig::poisson(40000.0, 7),
+        ScenarioConfig::diurnal(40000.0, 0.5, 0.5, 7),
+        ScenarioConfig::bursty(40000.0, 4.0, 0.1, 0.05, 7),
+    };
+    for (const ScenarioConfig &cfg : cfgs) {
+        const auto a = arrivals(cfg, 20000);
+        const auto b = arrivals(cfg, 20000);
+        EXPECT_EQ(a, b) << "kind " << toString(cfg.kind);
+    }
+}
+
+TEST(Scenario, DifferentSeedsDiffer)
+{
+    const auto a = arrivals(ScenarioConfig::poisson(40000.0, 1), 100);
+    const auto b = arrivals(ScenarioConfig::poisson(40000.0, 2), 100);
+    EXPECT_NE(a, b);
+}
+
+TEST(Scenario, ArrivalTimesAreNonDecreasing)
+{
+    for (const ScenarioConfig &cfg :
+         {ScenarioConfig::poisson(40000.0),
+          ScenarioConfig::diurnal(40000.0, 0.5, 0.9),
+          ScenarioConfig::bursty(40000.0, 8.0, 0.05, 0.02)}) {
+        const auto t = arrivals(cfg, 50000);
+        for (std::size_t i = 1; i < t.size(); ++i)
+            ASSERT_LE(t[i - 1], t[i]);
+    }
+}
+
+TEST(Scenario, KindNamesRoundTrip)
+{
+    for (ArrivalKind k : {ArrivalKind::Poisson, ArrivalKind::Diurnal,
+                          ArrivalKind::Bursty})
+        EXPECT_EQ(arrivalKindFromString(toString(k)), k);
+}
+
+TEST(ScenarioDeath, RejectsBadConfigs)
+{
+    EXPECT_EXIT(ArrivalProcess(ScenarioConfig::poisson(0.0)),
+                ::testing::ExitedWithCode(1), "positive rate");
+    EXPECT_EXIT(ArrivalProcess(
+                    ScenarioConfig::diurnal(1000.0, 0.5, 1.5)),
+                ::testing::ExitedWithCode(1), "amplitude");
+    EXPECT_EXIT(ArrivalProcess(
+                    ScenarioConfig::bursty(1000.0, 0.5, 0.1, 0.05)),
+                ::testing::ExitedWithCode(1), "exceed the quiet");
+    EXPECT_EXIT(arrivalKindFromString("sinusoid"),
+                ::testing::ExitedWithCode(1), "unknown arrival");
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu

@@ -423,6 +423,216 @@ TEST(SessionDeath, SubmittingToUnknownModel)
                 "unknown serve model");
 }
 
+// --------------------------------------------- heterogeneous fleets
+
+SessionOptions
+fleetOptions(FleetSpec fleet)
+{
+    SessionOptions o;
+    o.fleet = std::move(fleet);
+    return o;
+}
+
+TEST(FleetSession, CpuFleetServesAtTheCalibratedRate)
+{
+    // A pure CPU fleet must reproduce the baseline model's per-die
+    // throughput as measured busy-time IPS: the platform backend's
+    // whole point is that Table 6's static numbers survive live
+    // serving.
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Session s(cfg, fleetOptions(
+                       {FleetGroup{runtime::PlatformKind::Cpu, 2}}));
+    BatcherPolicy p;
+    p.maxBatch = 16; // the CPU's latency-permitted batch (Table 4)
+    // Deadline long enough to fill batches at the offered rate, SLO
+    // loose enough not to shrink them: the measurement wants the
+    // die's saturation throughput, not admission-control artifacts.
+    p.maxDelaySeconds = 2.5e-3;
+    p.sloSeconds = 20e-3;
+    ModelHandle h = s.load(
+        "MLP0",
+        [](std::int64_t b) {
+            return workloads::build(workloads::AppId::MLP0, b);
+        },
+        p);
+
+    Rng rng(11);
+    const baselines::BaselineModel cpu = baselines::makeCpuModel();
+    const double per_die = cpu.inferencesPerSec(
+        workloads::AppId::MLP0);
+    const double rate = 0.9 * 2.0 * per_die;
+    double t = 0;
+    for (int i = 0; i < 20000; ++i) {
+        t += rng.exponential(rate);
+        s.submitDetached(t, h);
+    }
+    s.run();
+
+    EXPECT_GT(s.completed(), 0u);
+    EXPECT_NEAR(s.modelStats(h).busyIps(), per_die, 0.05 * per_die);
+    EXPECT_EQ(s.pool().platform(0), runtime::PlatformKind::Cpu);
+    EXPECT_EQ(s.pool().countOf(runtime::PlatformKind::Cpu), 2);
+    EXPECT_EQ(s.pool().countOf(runtime::PlatformKind::Tpu), 0);
+    // Both dies draw more than idle once they have served traffic.
+    EXPECT_GT(s.pool().platformWatts(runtime::PlatformKind::Cpu),
+              2.0 * baselines::PlatformSpec::haswell().dieIdleWatts);
+}
+
+TEST(FleetSession, MixedFleetRoutesByHeadroom)
+{
+    // 1 TPU + 1 CPU serving MLP0 under the 7 ms SLO: a full Table 1
+    // batch (200) costs the CPU ~33 ms, so every batch must land on
+    // the TPU even when the CPU die idles.
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Session s(cfg, fleetOptions(
+                       {FleetGroup{runtime::PlatformKind::Tpu, 1},
+                        FleetGroup{runtime::PlatformKind::Cpu, 1}}));
+    BatcherPolicy p;
+    p.maxBatch = 200;
+    p.maxDelaySeconds = 1e-3;
+    p.sloSeconds = 7e-3;
+    const double host = baselines::hostInteractionFraction(
+        workloads::AppId::MLP0);
+    ModelHandle h = s.load(
+        "MLP0",
+        [](std::int64_t b) {
+            return workloads::build(workloads::AppId::MLP0, b);
+        },
+        p, host);
+
+    std::vector<Future> futures;
+    Rng rng(3);
+    double t = 0;
+    for (int i = 0; i < 2000; ++i) {
+        t += rng.exponential(100000.0);
+        futures.push_back(s.submitAt(t, h));
+    }
+    s.run();
+
+    for (const Future &f : futures) {
+        ASSERT_TRUE(f.ready());
+        if (!f.reply().shed)
+            EXPECT_EQ(s.pool().platform(f.reply().chip),
+                      runtime::PlatformKind::Tpu);
+    }
+    EXPECT_GT(s.platformStats(runtime::PlatformKind::Tpu)
+                  .completed.value(), 0.0);
+    EXPECT_EQ(s.platformStats(runtime::PlatformKind::Cpu)
+                  .completed.value(), 0.0);
+    EXPECT_EQ(s.pool().platformBatches(runtime::PlatformKind::Cpu),
+              0u);
+}
+
+TEST(FleetSession, MixedFleetOverflowsToTheSlowerPlatform)
+{
+    // Relax the SLO and keep the lone TPU die saturated: the
+    // dispatcher must now use the idle CPU die for overflow instead
+    // of queueing forever -- every platform of a mixed fleet earns
+    // its keep once latency headroom allows.
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    Session s(cfg, fleetOptions(
+                       {FleetGroup{runtime::PlatformKind::Tpu, 1},
+                        FleetGroup{runtime::PlatformKind::Cpu, 1}}));
+    BatcherPolicy p;
+    p.maxBatch = 16;
+    p.maxDelaySeconds = 0.0; // dispatch immediately
+    p.sloSeconds = 1.0;      // effectively unconstrained
+    ModelHandle h = s.load(
+        "MLP0",
+        [](std::int64_t b) {
+            return workloads::build(workloads::AppId::MLP0, b);
+        },
+        p);
+    for (int i = 0; i < 4000; ++i)
+        s.submitDetached(0.0, h);
+    s.run();
+
+    EXPECT_EQ(s.completed(), 4000u);
+    EXPECT_GT(s.pool().platformBatches(runtime::PlatformKind::Tpu),
+              0u);
+    EXPECT_GT(s.pool().platformBatches(runtime::PlatformKind::Cpu),
+              0u);
+}
+
+TEST(FleetSession, PerModelRoundRobinIsInterleavingIndependent)
+{
+    // Two models alternating serialized batches on a 4-chip pool:
+    // with per-model cursors each model walks chips 0,1,2,3 in order
+    // no matter what the other model does (the old pool-global
+    // cursor would give A chips 0,2,0,2 and B chips 1,3,1,3).
+    Session s(testConfig(), SessionOptions{4});
+    BatcherPolicy p;
+    p.maxBatch = 1;
+    p.maxDelaySeconds = 0.0;
+    ModelHandle a = s.load("a", smallBuilder("a"), p);
+    ModelHandle b = s.load("b", smallBuilder("b"), p);
+
+    std::vector<Future> fa, fb;
+    double t = 0;
+    for (int i = 0; i < 4; ++i) {
+        // Spaced far enough apart that everything before has
+        // completed: chip choice is availability-free.
+        fa.push_back(s.submitAt(t, a));
+        t += 1e-3;
+        fb.push_back(s.submitAt(t, b));
+        t += 1e-3;
+    }
+    s.run();
+
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(fa[i].ready());
+        ASSERT_TRUE(fb[i].ready());
+        EXPECT_EQ(fa[i].reply().chip, i) << "model a, batch " << i;
+        EXPECT_EQ(fb[i].reply().chip, i) << "model b, batch " << i;
+    }
+}
+
+TEST(FleetSession, MixedFleetStatsAreReproducible)
+{
+    // Same traffic, two sessions: per-chip batch counts must be
+    // identical -- the determinism the per-model cursors buy.
+    auto run_once = [](std::vector<std::uint64_t> *chips) {
+        const arch::TpuConfig cfg = arch::TpuConfig::production();
+        serve::SessionOptions o;
+        o.fleet = mixedFleet();
+        o.tier = runtime::TierPolicy{runtime::ExecutionTier::Replay};
+        Session s(cfg, o);
+        BatcherPolicy p;
+        p.maxBatch = 32;
+        p.maxDelaySeconds = 5e-4;
+        p.sloSeconds = 50e-3;
+        ModelHandle h = s.load(
+            "LSTM0",
+            [](std::int64_t b) {
+                return workloads::build(workloads::AppId::LSTM0, b);
+            },
+            p);
+        Rng rng(21);
+        double t = 0;
+        for (int i = 0; i < 3000; ++i) {
+            t += rng.exponential(40000.0);
+            s.submitDetached(t, h);
+        }
+        s.run();
+        for (int c = 0; c < s.pool().size(); ++c)
+            chips->push_back(s.pool().batches(c));
+        return s.completed();
+    };
+    std::vector<std::uint64_t> chips_a, chips_b;
+    const std::uint64_t done_a = run_once(&chips_a);
+    const std::uint64_t done_b = run_once(&chips_b);
+    EXPECT_EQ(done_a, done_b);
+    EXPECT_EQ(chips_a, chips_b);
+}
+
+TEST(FleetSessionDeath, PlatformStatsForAnAbsentPlatform)
+{
+    Session s(testConfig(), SessionOptions{1});
+    EXPECT_EXIT(s.platformStats(runtime::PlatformKind::Gpu),
+                ::testing::ExitedWithCode(1),
+                "not part of this session");
+}
+
 } // namespace
 } // namespace serve
 } // namespace tpu

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file for inline links and validates the ones
+that point inside the repository:
+
+  - relative file links must resolve to an existing file or directory
+    (anchors are stripped; `file.md#section` checks `file.md`);
+  - absolute URLs (http/https/mailto) are out of scope -- this is an
+    offline check, CI must not depend on the network.
+
+Usage: tools/check_markdown_links.py [repo_root]
+Exit code 0 when every link resolves, 1 otherwise (each offender is
+printed as file:line: target).
+"""
+
+import os
+import re
+import sys
+
+# Inline markdown link: [text](target). Deliberately simple; code
+# fences are skipped below, and reference-style links are not used in
+# this repository.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in (".git", "build") and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    errors.append(f"{rel}:{lineno}: {match.group(1)}")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for path in md_files(root):
+        checked += 1
+        errors.extend(check_file(path, root))
+    if errors:
+        print(f"{len(errors)} broken intra-repo markdown link(s):")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    print(f"ok: {checked} markdown files, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
