@@ -12,18 +12,38 @@
  * cycle simulator's own deterministic results.
  *
  *   usage: bench_serve_throughput [base_requests] [scaled_requests]
+ *                                 [cluster_requests]
  *
  * base_requests (default 8000) is used for the CycleSim leg and the
  * matching Replay determinism leg; scaled_requests (default 400000)
  * shows Replay/Analytic at a scale the CycleSim tier cannot reach
- * in reasonable wall-clock time.
+ * in reasonable wall-clock time; cluster_requests (default 2000000)
+ * drives the 8-cell cluster leg.
+ *
+ * The cluster leg gates the cluster-scale contract: the 8-cell run
+ * is bit-identical across repeated runs AND across worker-thread
+ * counts (per-cell seeds), the 8-thread run beats the 1-thread run
+ * by >= 4x wall clock when the host has >= 8 cores (scaled down
+ * gracefully on smaller hosts, where 4x is physically impossible),
+ * and the kill-a-cell failover keeps interactive-class p99 within
+ * its SLO while the router sheds batch-class traffic to absorb the
+ * lost capacity.
+ *
+ * Headline numbers are also emitted as BENCH_serve.json and
+ * BENCH_cluster.json in the working directory, so CI can archive the
+ * perf trajectory across PRs.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
+#include <utility>
 
+#include "analysis/bench_json.hh"
 #include "analysis/serve_mix.hh"
+#include "serve/cluster.hh"
 #include "sim/logging.hh"
 
 namespace {
@@ -85,6 +105,36 @@ runMix(const arch::TpuConfig &cfg, runtime::ExecutionTier tier,
     return r;
 }
 
+/** One 8-cell cluster run of the Table 1 mix. */
+struct ClusterResult
+{
+    double wallSeconds = 0;
+    std::uint64_t fingerprint = 0;
+    serve::Cluster::RunStats stats;
+    double interactiveSlo = 0; ///< tightest interactive-app SLO
+};
+
+/**
+ * Run @p requests of the Table 1 mix through an 8-cell cluster via
+ * the SAME driver example_server_farm narrates
+ * (analysis::runClusterTable1Mix), so these gates certify exactly
+ * the example's workload.
+ */
+ClusterResult
+runCluster(const arch::TpuConfig &cfg, std::uint64_t requests,
+           int threads, double load_fraction, int kill_cell = -1)
+{
+    analysis::ClusterRun run = analysis::runClusterTable1Mix(
+        cfg, requests, /*cells=*/8, threads, load_fraction,
+        kill_cell);
+    ClusterResult r;
+    r.stats = std::move(run.stats);
+    r.wallSeconds = r.stats.wallSeconds;
+    r.fingerprint = r.stats.fingerprint();
+    r.interactiveSlo = run.mix.apps.front().sloSeconds; // MLP0 7 ms
+    return r;
+}
+
 } // namespace
 
 int
@@ -95,10 +145,13 @@ main(int argc, char **argv)
 
     std::uint64_t base_n = 8000;
     std::uint64_t scaled_n = 400000;
+    std::uint64_t cluster_n = 2000000;
     if (argc > 1)
         base_n = std::strtoull(argv[1], nullptr, 10);
     if (argc > 2)
         scaled_n = std::strtoull(argv[2], nullptr, 10);
+    if (argc > 3)
+        cluster_n = std::strtoull(argv[3], nullptr, 10);
 
     const arch::TpuConfig cfg = arch::TpuConfig::production();
 
@@ -221,8 +274,156 @@ main(int argc, char **argv)
                 mixed_identical ? "EXACT" : "MISMATCH",
                 mixed_a.p99 * 1e3, mixed_healthy ? "ok" : "FAIL");
 
+    // ---- cluster leg ----------------------------------------------
+    // 8 cells of 4 TPU dies, per-cell seeds, shared frozen program
+    // cache.  Three healthy runs: serial (1 worker thread), parallel
+    // (8), parallel again -- all three must be BIT-IDENTICAL (the
+    // determinism contract), and the parallel run must show the
+    // wall-clock scaling threads buy.
+    const unsigned cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::printf("\ncluster leg: 8 cells x 4 TPU dies, %llu requests "
+                "of the Table 1 mix at 60%% load (%u cores)\n",
+                static_cast<unsigned long long>(cluster_n), cores);
+    const ClusterResult serial =
+        runCluster(cfg, cluster_n, /*threads=*/1, 0.60);
+    const ClusterResult par =
+        runCluster(cfg, cluster_n, /*threads=*/8, 0.60);
+    const ClusterResult par2 =
+        runCluster(cfg, cluster_n, /*threads=*/8, 0.60);
+    const bool cluster_identical =
+        serial.fingerprint == par.fingerprint &&
+        par.fingerprint == par2.fingerprint;
+    const double cluster_speedup =
+        serial.wallSeconds /
+        std::max(1e-9, std::min(par.wallSeconds, par2.wallSeconds));
+    // 4x needs >= 8 real cores; smaller hosts gate proportionally
+    // (and a 1-core host only has to not fall over).
+    const double speedup_gate =
+        cores >= 8 ? 4.0
+                   : (cores > 1 ? 0.45 * static_cast<double>(cores)
+                                : 0.5);
+    std::printf("  1 thread: %6.2f s   8 threads: %6.2f s -> "
+                "%.2fx speedup (gate >= %.2fx)\n",
+                serial.wallSeconds,
+                std::min(par.wallSeconds, par2.wallSeconds),
+                cluster_speedup, speedup_gate);
+    std::printf("  determinism across thread counts and reruns: "
+                "%s (fingerprint %016llx)\n",
+                cluster_identical ? "EXACT" : "MISMATCH",
+                static_cast<unsigned long long>(par.fingerprint));
+    const auto &pc = par.stats;
+    std::printf("  cluster: %llu offered, %llu served, %llu SLO "
+                "shed, %llu router shed, %.0f IPS\n",
+                static_cast<unsigned long long>(pc.submitted),
+                static_cast<unsigned long long>(pc.completed),
+                static_cast<unsigned long long>(pc.sloShed),
+                static_cast<unsigned long long>(pc.routerShed),
+                pc.ips);
+    std::printf("  interactive p50/p99 %.2f/%.2f ms, batch p50/p99 "
+                "%.2f/%.2f ms\n",
+                pc.classes[0].p50() * 1e3, pc.classes[0].p99() * 1e3,
+                pc.classes[1].p50() * 1e3, pc.classes[1].p99() * 1e3);
+
+    // ---- kill-a-cell failover leg ---------------------------------
+    // 85% load so the survivors genuinely cannot absorb the dead
+    // cell's traffic without QoS help: the router must shed BATCH
+    // class while interactive p99 stays inside the MLP0 SLO.
+    const ClusterResult failover = runCluster(
+        cfg, cluster_n / 2, /*threads=*/8, 0.85, /*kill_cell=*/5);
+    const auto &fo = failover.stats;
+    const double fo_interactive_p99 = fo.classes[0].p99();
+    const bool fo_slo_ok =
+        fo_interactive_p99 <= failover.interactiveSlo;
+    const bool fo_batch_absorbs =
+        fo.classes[1].routerShed > 0 &&
+        fo.classes[0].routerShed == 0;
+    std::printf("\nfailover leg (kill cell 5 at T/3, 85%% load, "
+                "%llu requests):\n",
+                static_cast<unsigned long long>(cluster_n / 2));
+    std::printf("  interactive p99 %.2f ms vs %.1f ms SLO -> %s; "
+                "batch router-shed %.0f (interactive %.0f) -> %s\n",
+                fo_interactive_p99 * 1e3,
+                failover.interactiveSlo * 1e3,
+                fo_slo_ok ? "within SLO" : "SLO MISS",
+                fo.classes[1].routerShed, fo.classes[0].routerShed,
+                fo_batch_absorbs ? "batch absorbed the loss"
+                                 : "FAIL");
+    std::printf("  dead cell served %llu, busiest survivor %llu; "
+                "%d/32 dies alive at end\n",
+                static_cast<unsigned long long>(
+                    fo.cells[5].completed),
+                static_cast<unsigned long long>(
+                    std::max_element(
+                        fo.cells.begin(), fo.cells.end(),
+                        [](const auto &a, const auto &b) {
+                            return a.completed < b.completed;
+                        })->completed),
+                [&fo]() {
+                    int alive = 0;
+                    for (const auto &c : fo.cells)
+                        alive += c.aliveChips;
+                    return alive;
+                }());
+
+    // ---- machine-readable trajectory ------------------------------
+    analysis::BenchJson serve_json("serve_throughput");
+    serve_json.set("requests.base", base_n)
+        .set("requests.scaled", scaled_n)
+        .set("cyclesim.wall_seconds", cyc.wallSeconds)
+        .set("cyclesim.sim_ips", cyc.ips)
+        .set("cyclesim.p50_seconds", cyc.p50)
+        .set("cyclesim.p99_seconds", cyc.p99)
+        .set("replay.wall_seconds", rep_big.wallSeconds)
+        .set("replay.sim_ips", rep_big.ips)
+        .set("replay.p50_seconds", rep_big.p50)
+        .set("replay.p99_seconds", rep_big.p99)
+        .set("replay.sim_requests_per_wall_second", rep_big.simSpeed)
+        .set("analytic.wall_seconds", ana_big.wallSeconds)
+        .set("analytic.sim_ips", ana_big.ips)
+        .set("replay_speedup_per_request", speedup)
+        .setBool("replay_determinism_exact", identical)
+        .set("mixed.shed_pct", mixed_shed_pct)
+        .set("mixed.p99_seconds", mixed_a.p99)
+        .setBool("mixed.determinism_exact", mixed_identical)
+        .setBool("mixed.healthy", mixed_healthy);
+    serve_json.writeTo("BENCH_serve.json");
+
+    analysis::BenchJson cluster_json("cluster_scaling");
+    cluster_json.set("requests", cluster_n)
+        .set("cells", 8)
+        .set("cores", static_cast<std::uint64_t>(cores))
+        .set("wall_seconds.threads1", serial.wallSeconds)
+        .set("wall_seconds.threads8",
+             std::min(par.wallSeconds, par2.wallSeconds))
+        .set("speedup", cluster_speedup)
+        .set("speedup_gate", speedup_gate)
+        .setBool("determinism_exact", cluster_identical)
+        .set("sim_ips", pc.ips)
+        .set("interactive.p50_seconds", pc.classes[0].p50())
+        .set("interactive.p99_seconds", pc.classes[0].p99())
+        .set("batch.p50_seconds", pc.classes[1].p50())
+        .set("batch.p99_seconds", pc.classes[1].p99())
+        .set("shed_rate",
+             pc.submitted > 0
+                 ? static_cast<double>(pc.sloShed + pc.routerShed) /
+                       static_cast<double>(pc.submitted)
+                 : 0.0)
+        .set("failover.interactive_p99_seconds", fo_interactive_p99)
+        .set("failover.interactive_slo_seconds",
+             failover.interactiveSlo)
+        .setBool("failover.slo_ok", fo_slo_ok)
+        .set("failover.batch_router_shed", fo.classes[1].routerShed)
+        .set("failover.interactive_router_shed",
+             fo.classes[0].routerShed)
+        .setBool("failover.batch_absorbs", fo_batch_absorbs);
+    cluster_json.writeTo("BENCH_cluster.json");
+
+    const bool cluster_ok = cluster_identical &&
+                            cluster_speedup >= speedup_gate &&
+                            fo_slo_ok && fo_batch_absorbs;
     return identical && speedup >= 50.0 && mixed_identical &&
-                   mixed_healthy
+                   mixed_healthy && cluster_ok
                ? 0
                : 1;
 }

@@ -1,47 +1,55 @@
 /**
  * @file
- * Datacenter view, request-level: one server of Table 2 serving the
- * paper's deployment mix (61% MLP, 29% LSTM, 5% CNN, Table 1) as
- * INDIVIDUAL requests through serve::Session -- Poisson arrivals,
- * per-model dynamic batching under the 7 ms p99 SLO (Table 4), and a
- * platform-aware ChipPool.  The traffic comes from
- * analysis::loadTable1Mix/driveTable1Mix (shared with
- * bench_serve_throughput); every number printed at the end comes
- * from the session's StatGroup counters.
+ * Datacenter view, CLUSTER-level: the paper's fleet framing ("a
+ * response is often required in 7 ms ... accelerators provisioned as
+ * a fleet") served for real.  The default narrative drives TWENTY
+ * MILLION requests of the Table 1 deployment mix (61% MLP, 29% LSTM,
+ * 5% CNN) through a serve::Cluster of eight Table 2 servers -- eight
+ * CELLS of 4 TPU dies, each a full serve::Session on its own
+ * sim::EventQueue, run in parallel on worker threads with per-cell
+ * seeds -- fronted by a serve::Router doing weighted-least-load
+ * placement and QoS-aware admission (interactive vs batch classes).
  *
- * The fleet argument picks WHICH server: the paper's 4-die TPU
- * server (default), a 2-die Haswell or 8-die K80 server running the
- * same traffic on the Table 6-calibrated platform backends, or a
- * mixed 2 TPU + 1 CPU + 1 GPU fleet where a headroom-aware
- * dispatcher routes each formed batch to the platform that can still
- * make its SLO.  With no fleet argument the main TPU narrative is
- * followed by a compact four-fleet comparison on the same mix.
+ * Three things the cluster run demonstrates, all from measured
+ * counters merged across cells (stats merge(), Distribution::merge):
  *
- * TPU members default to the Replay tier: the first batch of each
- * (model, bucket) runs the cycle-accurate simulator, its
- * deterministic timing is memoized, and every later batch replays it
- * in O(1) -- which is what lets this example default to ONE MILLION
- * requests.  The shared program cache compiles each (model, bucket)
- * once for the whole pool, independent of pool size.
+ *  1. near-linear wall-clock scaling with the worker-thread count,
+ *     with BIT-IDENTICAL results at every thread count (cells share
+ *     nothing mutable but the frozen program cache);
+ *  2. compile-once-publish-immutable program sharing: each (model,
+ *     bucket) compiles once for all 32 dies;
+ *  3. kill-a-cell failover: a cell dies mid-run, its traffic fails
+ *     over to the survivors, the router sheds BATCH-class work to
+ *     absorb the lost capacity, and interactive p99 holds the 7 ms
+ *     SLO through it.
  *
- * The scenario argument swaps the arrival process (serve/scenario.hh)
- * under the same mean rate: open-loop Poisson (default), a diurnal
- * ramp swinging +/-60% over a simulated "day", or MMPP bursts -- the
- * farm's behaviour under traffic the fixed-rate pump cannot express.
+ * The single-server modes of the earlier narrative remain (tier,
+ * fleet and scenario arguments as before) for the Table 4-scale
+ * stories: per-model dynamic batching under the SLO, heterogeneous
+ * fleets, diurnal/bursty arrival shapes.
  *
- *   usage: example_server_farm [requests] [cyclesim|replay|analytic]
- *                              [tpu|cpu|gpu|mixed]
- *                              [poisson|diurnal|bursty]
+ *   usage: example_server_farm
+ *              (cluster narrative: 20M requests, 8 cells)
+ *          example_server_farm cluster [requests] [cells] [threads]
+ *              [poisson|diurnal|bursty]
+ *          example_server_farm [requests] [cyclesim|replay|analytic]
+ *              [tpu|cpu|gpu|mixed] [poisson|diurnal|bursty]
+ *              (single-server narrative)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "analysis/serve_mix.hh"
 #include "baselines/platform.hh"
 #include "power/power_model.hh"
+#include "serve/cluster.hh"
 #include "serve/scenario.hh"
 #include "sim/logging.hh"
 
@@ -120,30 +128,14 @@ runCompact(const arch::TpuConfig &cfg, const serve::FleetSpec &fleet,
     return r;
 }
 
-} // namespace
-
+/** The single-server narrative (tier / fleet / scenario stories). */
 int
-main(int argc, char **argv)
+runSingleServer(std::uint64_t requests, runtime::TierPolicy tier,
+                const std::string &fleet_arg,
+                serve::ArrivalKind arrival)
 {
-    using namespace tpu;
-    setQuiet(true);
-
     const arch::TpuConfig cfg = arch::TpuConfig::production();
     constexpr double kSlo = 7e-3;       // Table 4: the 7 ms limit
-
-    std::uint64_t requests = 1000000;
-    runtime::TierPolicy tier{runtime::ExecutionTier::Replay};
-    std::string fleet_arg;
-    serve::ArrivalKind arrival = serve::ArrivalKind::Poisson;
-    if (argc > 1)
-        requests = std::strtoull(argv[1], nullptr, 10);
-    if (argc > 2)
-        tier.tier = runtime::tierFromString(argv[2]);
-    if (argc > 3)
-        fleet_arg = argv[3];
-    if (argc > 4)
-        arrival = serve::arrivalKindFromString(argv[4]);
-    fatal_if(requests == 0, "need a positive request count");
 
     const serve::FleetSpec fleet =
         fleetFor(fleet_arg.empty() ? "tpu" : fleet_arg);
@@ -292,4 +284,201 @@ main(int argc, char **argv)
     }
 
     return mlp0.p99() <= mlp0_slo ? 0 : 1;
+}
+
+/** One cluster run (the bench-certified shared driver) + summary. */
+analysis::ClusterRun
+runClusterOnce(const arch::TpuConfig &cfg, std::uint64_t requests,
+               int cells, int threads, serve::ArrivalKind arrival,
+               double load, int kill_cell)
+{
+    analysis::ClusterRun run = analysis::runClusterTable1Mix(
+        cfg, requests, cells, threads, load, kill_cell, arrival);
+    std::printf("  shared program cache: %llu compilations for %d "
+                "dies across %d cells (%llu hits)\n",
+                static_cast<unsigned long long>(run.compilations),
+                cells * 4, cells,
+                static_cast<unsigned long long>(run.cacheHits));
+    return run;
+}
+
+/** The cluster narrative: scale, determinism, failover. */
+int
+runClusterNarrative(std::uint64_t requests, int cells, int threads,
+                    serve::ArrivalKind arrival)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    const unsigned cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    if (threads <= 0)
+        threads = static_cast<int>(
+            std::min<unsigned>(cores, static_cast<unsigned>(cells)));
+
+    std::printf("cluster serving: %llu requests of the Table 1 mix "
+                "across %d cells\n(4 TPU dies per cell, Replay tier, "
+                "%s arrivals at 60%% of cluster\ncapacity, %d worker "
+                "threads on %u cores)\n\n",
+                static_cast<unsigned long long>(requests), cells,
+                serve::toString(arrival), threads, cores);
+
+    const analysis::ClusterRun main_run = runClusterOnce(
+        cfg, requests, cells, threads, arrival, 0.60,
+        /*kill_cell=*/-1);
+    const analysis::ClusterMix &mix = main_run.mix;
+    const serve::Cluster::RunStats &stats = main_run.stats;
+
+    std::printf("\n  %-6s %10s %10s %9s %9s %10s %9s %9s %8s\n",
+                "app", "offered", "served", "slo shed", "rtr shed",
+                "mean batch", "p50 (ms)", "p99 (ms)", "SLO");
+    for (std::size_t m = 0; m < stats.models.size(); ++m) {
+        const serve::MergedModelStats &st = stats.models[m];
+        const bool slo_ok = st.p99() <= mix.apps[m].sloSeconds;
+        std::printf("  %-6s %10.0f %10.0f %9.0f %9.0f %10.1f %9.2f "
+                    "%9.2f %8s\n",
+                    st.name.c_str(),
+                    st.submitted.value() + st.routerShed.value(),
+                    st.completed.value(), st.sloShed.value(),
+                    st.routerShed.value(), st.batchSize.result(),
+                    st.p50() * 1e3, st.p99() * 1e3,
+                    slo_ok ? "ok" : "MISS");
+    }
+    std::printf("\n  class       offered    served  slo shed  rtr "
+                "shed  p50 (ms)  p99 (ms)\n");
+    const char *class_names[] = {"interactive", "batch"};
+    for (std::size_t c = 0; c < stats.classes.size(); ++c) {
+        const serve::ClassServingStats &cl = stats.classes[c];
+        std::printf("  %-11s %8.0f %9.0f %9.0f %9.0f %9.2f %9.2f\n",
+                    class_names[c], cl.submitted, cl.completed,
+                    cl.sloShed, cl.routerShed, cl.p50() * 1e3,
+                    cl.p99() * 1e3);
+    }
+    std::printf("\n  per cell: ");
+    for (const auto &cell_summary : stats.cells)
+        std::printf("%llu ", static_cast<unsigned long long>(
+                                 cell_summary.completed));
+    std::printf("completed\n");
+    std::printf("  cluster: %llu served, %.0f IPS over %.1f s "
+                "simulated, %.2f s wall (%.1f M req/s of simulation "
+                "throughput)\n",
+                static_cast<unsigned long long>(stats.completed),
+                stats.ips, stats.durationSeconds, stats.wallSeconds,
+                static_cast<double>(stats.completed) /
+                    stats.wallSeconds / 1e6);
+
+    // ---- thread scaling: same cluster, same seeds, 1..N workers.
+    // Results are bit-identical at every thread count; only the wall
+    // clock moves.  A quarter of the traffic keeps the sweep brisk.
+    const std::uint64_t sweep_n = std::max<std::uint64_t>(
+        requests / 4, 100000);
+    std::printf("\nthread scaling (%llu requests, bit-identical "
+                "merged stats at every point):\n",
+                static_cast<unsigned long long>(sweep_n));
+    std::printf("  %8s %9s %9s %12s\n", "threads", "wall s",
+                "speedup", "fingerprint");
+    double serial_wall = 0;
+    std::uint64_t fp0 = 0;
+    bool all_identical = true;
+    // 1, 2, 4, ... plus the full cell count itself when it is not a
+    // power of two, so the configured point is always measured.
+    std::vector<int> sweep_threads;
+    for (int t = 1; t < cells; t *= 2)
+        sweep_threads.push_back(t);
+    sweep_threads.push_back(cells);
+    for (int t : sweep_threads) {
+        const analysis::ClusterRun sweep =
+            analysis::runClusterTable1Mix(cfg, sweep_n, cells, t,
+                                          0.60, /*kill_cell=*/-1,
+                                          arrival);
+        const serve::Cluster::RunStats &r = sweep.stats;
+        if (t == 1) {
+            serial_wall = r.wallSeconds;
+            fp0 = r.fingerprint();
+        }
+        all_identical = all_identical && r.fingerprint() == fp0;
+        std::printf("  %8d %9.2f %8.2fx %016llx\n", t, r.wallSeconds,
+                    serial_wall / std::max(1e-9, r.wallSeconds),
+                    static_cast<unsigned long long>(
+                        r.fingerprint()));
+    }
+    std::printf("  determinism across thread counts: %s\n",
+                all_identical ? "EXACT" : "MISMATCH");
+
+    // ---- kill-a-cell failover at 85% load: batch class absorbs.
+    const std::uint64_t failover_n = sweep_n;
+    const int victim = cells > 1 ? cells - 2 : 0;
+    std::printf("\nfailover: cell %d dies at T/3 under 85%% load "
+                "(%llu requests)\n", victim,
+                static_cast<unsigned long long>(failover_n));
+    const analysis::ClusterRun fo_run = runClusterOnce(
+        cfg, failover_n, cells, threads, arrival, 0.85, victim);
+    const serve::Cluster::RunStats &fo = fo_run.stats;
+    const double islo = fo_run.mix.apps.front().sloSeconds;
+    std::printf("  interactive p99 %.2f ms vs %.1f ms SLO -> %s\n",
+                fo.classes[0].p99() * 1e3, islo * 1e3,
+                fo.classes[0].p99() <= islo ? "within SLO"
+                                            : "SLO MISS");
+    std::printf("  router shed: %.0f batch, %.0f interactive -- "
+                "the batch class absorbed the lost cell\n",
+                fo.classes[1].routerShed, fo.classes[0].routerShed);
+    std::printf("  dead cell served %llu; surviving cells ",
+                static_cast<unsigned long long>(
+                    fo.cells[static_cast<std::size_t>(victim)]
+                        .completed));
+    for (int c = 0; c < cells; ++c)
+        if (c != victim)
+            std::printf("%llu ",
+                        static_cast<unsigned long long>(
+                            fo.cells[static_cast<std::size_t>(c)]
+                                .completed));
+    std::printf("\n");
+
+    const bool ok = all_identical &&
+                    stats.classes[0].p99() <= islo &&
+                    fo.classes[0].p99() <= islo;
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    // Cluster narrative: default, or explicit "cluster" subcommand.
+    if (argc == 1 ||
+        (argc > 1 && std::strcmp(argv[1], "cluster") == 0)) {
+        std::uint64_t requests = 20000000;
+        int cells = 8;
+        int threads = 0;
+        serve::ArrivalKind arrival = serve::ArrivalKind::Poisson;
+        if (argc > 2)
+            requests = std::strtoull(argv[2], nullptr, 10);
+        if (argc > 3)
+            cells = std::atoi(argv[3]);
+        if (argc > 4)
+            threads = std::atoi(argv[4]);
+        if (argc > 5)
+            arrival = serve::arrivalKindFromString(argv[5]);
+        fatal_if(requests == 0, "need a positive request count");
+        fatal_if(cells <= 0, "need at least one cell");
+        return runClusterNarrative(requests, cells, threads,
+                                   arrival);
+    }
+
+    // Single-server narrative (the PR 1-3 stories).
+    std::uint64_t requests = 1000000;
+    runtime::TierPolicy tier{runtime::ExecutionTier::Replay};
+    std::string fleet_arg;
+    serve::ArrivalKind arrival = serve::ArrivalKind::Poisson;
+    requests = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2)
+        tier.tier = runtime::tierFromString(argv[2]);
+    if (argc > 3)
+        fleet_arg = argv[3];
+    if (argc > 4)
+        arrival = serve::arrivalKindFromString(argv[4]);
+    fatal_if(requests == 0, "need a positive request count");
+    return runSingleServer(requests, tier, fleet_arg, arrival);
 }

@@ -1,0 +1,125 @@
+#include "analysis/bench_json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace analysis {
+
+namespace {
+
+std::string
+quoted(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+numeric(double v)
+{
+    // JSON has no inf/nan; a bench metric that is one is "null".
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+BenchJson::BenchJson(const std::string &benchmark)
+{
+    set("benchmark", benchmark);
+}
+
+BenchJson &
+BenchJson::set(const std::string &key, double value)
+{
+    _fields.emplace_back(key, numeric(value));
+    return *this;
+}
+
+BenchJson &
+BenchJson::set(const std::string &key, std::uint64_t value)
+{
+    _fields.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+BenchJson &
+BenchJson::set(const std::string &key, int value)
+{
+    _fields.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+BenchJson &
+BenchJson::set(const std::string &key, const std::string &value)
+{
+    _fields.emplace_back(key, quoted(value));
+    return *this;
+}
+
+BenchJson &
+BenchJson::set(const std::string &key, const char *value)
+{
+    return set(key, std::string(value));
+}
+
+BenchJson &
+BenchJson::setBool(const std::string &key, bool value)
+{
+    _fields.emplace_back(key, value ? "true" : "false");
+    return *this;
+}
+
+std::string
+BenchJson::str() const
+{
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < _fields.size(); ++i) {
+        out += "  " + quoted(_fields[i].first) + ": " +
+               _fields[i].second;
+        if (i + 1 < _fields.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+bool
+BenchJson::writeTo(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write bench JSON to '%s'", path.c_str());
+        return false;
+    }
+    os << str();
+    return static_cast<bool>(os);
+}
+
+} // namespace analysis
+} // namespace tpu

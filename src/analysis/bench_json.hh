@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Machine-readable bench output: a tiny ordered JSON object writer.
+ *
+ * The perf trajectory of the serving stack is tracked ACROSS PRs, so
+ * the bench binaries emit their headline numbers (wall seconds, sim
+ * IPS, per-class percentiles, shed rates) as flat JSON files --
+ * BENCH_serve.json, BENCH_cluster.json -- that CI uploads as
+ * artifacts.  No external JSON dependency: the writer supports
+ * exactly what the benches need (an ordered flat object of numbers,
+ * strings and booleans; dotted key names fake the nesting).
+ */
+
+#ifndef TPUSIM_ANALYSIS_BENCH_JSON_HH
+#define TPUSIM_ANALYSIS_BENCH_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tpu {
+namespace analysis {
+
+/** Ordered flat JSON object ("key": value in insertion order). */
+class BenchJson
+{
+  public:
+    /** @p benchmark is recorded as the "benchmark" field. */
+    explicit BenchJson(const std::string &benchmark);
+
+    BenchJson &set(const std::string &key, double value);
+    BenchJson &set(const std::string &key, std::uint64_t value);
+    BenchJson &set(const std::string &key, int value);
+    BenchJson &set(const std::string &key, const std::string &value);
+    BenchJson &set(const std::string &key, const char *value);
+    BenchJson &setBool(const std::string &key, bool value);
+
+    /** Render the object ("{...}\n"). */
+    std::string str() const;
+
+    /**
+     * Write to @p path (overwriting).  Returns false (with a warn)
+     * instead of dying when the path is unwritable -- a bench run on
+     * a read-only checkout must still print its report.
+     */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> _fields;
+};
+
+} // namespace analysis
+} // namespace tpu
+
+#endif // TPUSIM_ANALYSIS_BENCH_JSON_HH

@@ -51,6 +51,62 @@ serviceFor(runtime::PlatformKind kind, workloads::AppId id,
                                          workloads::build(id, batch));
 }
 
+/** QoS class of a Table 1 app: user-facing vs throughput-oriented. */
+serve::QosClass
+qosFor(workloads::AppId id)
+{
+    // The MLPs and LSTMs front end-user requests (the 7 ms story);
+    // the CNNs are the paper's offline-scoring style load -- the
+    // class a router sheds first when a cell dies.
+    switch (id) {
+      case workloads::AppId::CNN0:
+      case workloads::AppId::CNN1:
+        return serve::QosClass::Batch;
+      default:
+        return serve::QosClass::Interactive;
+    }
+}
+
+/** The shared per-app serving policy (see loadTable1Mix's contract). */
+serve::BatcherPolicy
+mixPolicyFor(runtime::PlatformKind primary, workloads::AppId id,
+             const arch::TpuConfig &cfg, double slo_seconds,
+             bool enforce_slo)
+{
+    const std::int64_t max_batch = servingBatch(primary, id);
+    const latency::ServiceModel svc =
+        serviceFor(primary, id, max_batch, cfg);
+    serve::BatcherPolicy policy;
+    policy.maxBatch = max_batch;
+    policy.maxDelaySeconds = 1e-3;
+    policy.sloSeconds =
+        std::max(slo_seconds, 2.5 * svc.seconds(max_batch));
+    policy.enforceSlo = enforce_slo;
+    return policy;
+}
+
+/** Batch-efficient capacity of one fleet (requests/second). */
+double
+fleetCapacityIps(const serve::FleetSpec &fleet,
+                 const arch::TpuConfig &cfg)
+{
+    double capacity = 0;
+    for (const serve::FleetGroup &fg : fleet) {
+        double mean_request_seconds = 0;
+        for (workloads::AppId id : workloads::allApps()) {
+            const std::int64_t batch = servingBatch(fg.platform, id);
+            const latency::ServiceModel svc =
+                serviceFor(fg.platform, id, batch, cfg);
+            mean_request_seconds += workloads::mixWeight(id) *
+                                    svc.seconds(batch) /
+                                    static_cast<double>(batch);
+        }
+        capacity += static_cast<double>(fg.chips) /
+                    mean_request_seconds;
+    }
+    return capacity;
+}
+
 } // namespace
 
 Table1Mix
@@ -66,22 +122,16 @@ loadTable1Mix(serve::Session &session, const arch::TpuConfig &cfg,
     for (workloads::AppId id : workloads::allApps()) {
         // Policy from the fleet's primary platform: Table 1 batches
         // on a TPU fleet, the platform's latency-permitted batch on
-        // a CPU/GPU fleet.
-        const std::int64_t max_batch = servingBatch(primary, id);
+        // a CPU/GPU fleet.  The MLPs carry the paper's published
+        // limit; apps whose full-batch service exceeds it (the
+        // LSTMs/CNNs, and most things on a CPU fleet) derive a limit
+        // from their own service estimate, since Table 4 only
+        // publishes MLP0's.
+        const serve::BatcherPolicy policy =
+            mixPolicyFor(primary, id, cfg, slo_seconds, enforce_slo);
         const latency::ServiceModel svc =
-            serviceFor(primary, id, max_batch, cfg);
+            serviceFor(primary, id, policy.maxBatch, cfg);
         const double host = baselines::hostInteractionFraction(id);
-
-        // The MLPs carry the paper's published limit; apps whose
-        // full-batch service exceeds it (the LSTMs/CNNs, and most
-        // things on a CPU fleet) derive a limit from their own
-        // service estimate, since Table 4 only publishes MLP0's.
-        serve::BatcherPolicy policy;
-        policy.maxBatch = max_batch;
-        policy.maxDelaySeconds = 1e-3;
-        policy.sloSeconds =
-            std::max(slo_seconds, 2.5 * svc.seconds(max_batch));
-        policy.enforceSlo = enforce_slo;
 
         MixApp app;
         app.id = id;
@@ -90,35 +140,91 @@ loadTable1Mix(serve::Session &session, const arch::TpuConfig &cfg,
             [id](std::int64_t batch) {
                 return workloads::build(id, batch);
             },
-            policy, host);
+            policy, host, qosFor(id));
         app.share = workloads::mixWeight(id);
-        app.perItemSeconds = svc.seconds(max_batch) /
-                             static_cast<double>(max_batch);
+        app.perItemSeconds = svc.seconds(policy.maxBatch) /
+                             static_cast<double>(policy.maxBatch);
         app.sloSeconds = policy.sloSeconds;
-        app.maxBatch = max_batch;
+        app.maxBatch = policy.maxBatch;
         mix.apps.push_back(app);
     }
 
     // Fleet capacity: every die contributes at ITS platform's
     // calibrated per-item cost, so a mixed fleet's "60% load" offers
     // what the fleet -- not 4 hypothetical TPUs -- can absorb.
-    double capacity = 0;
-    for (const serve::FleetGroup &fg : fleet) {
-        double mean_request_seconds = 0;
-        for (const MixApp &a : mix.apps) {
-            const std::int64_t batch = servingBatch(fg.platform, a.id);
-            const latency::ServiceModel svc =
-                serviceFor(fg.platform, a.id, batch, cfg);
-            mean_request_seconds +=
-                a.share * svc.seconds(batch) /
-                static_cast<double>(batch);
-        }
-        capacity += static_cast<double>(fg.chips) /
-                    mean_request_seconds;
-    }
-    mix.capacityIps = capacity;
+    mix.capacityIps = fleetCapacityIps(fleet, cfg);
     mix.offeredIps = load_fraction * mix.capacityIps;
     return mix;
+}
+
+ClusterMix
+loadClusterTable1Mix(serve::Cluster &cluster,
+                     const arch::TpuConfig &cfg,
+                     double load_fraction, double slo_seconds)
+{
+    fatal_if(load_fraction <= 0, "need a positive load fraction");
+    const serve::FleetSpec &fleet = cluster.cell(0).pool().fleet();
+    const runtime::PlatformKind primary = fleet.front().platform;
+
+    ClusterMix mix;
+    for (workloads::AppId id : workloads::allApps()) {
+        const serve::BatcherPolicy policy =
+            mixPolicyFor(primary, id, cfg, slo_seconds,
+                         /*enforce_slo=*/true);
+        const latency::ServiceModel svc =
+            serviceFor(primary, id, policy.maxBatch, cfg);
+
+        MixApp app;
+        app.id = id;
+        app.handle = cluster.load(
+            workloads::toString(id),
+            [id](std::int64_t batch) {
+                return workloads::build(id, batch);
+            },
+            policy, baselines::hostInteractionFraction(id),
+            qosFor(id));
+        app.share = workloads::mixWeight(id);
+        app.perItemSeconds = svc.seconds(policy.maxBatch) /
+                             static_cast<double>(policy.maxBatch);
+        app.sloSeconds = policy.sloSeconds;
+        app.maxBatch = policy.maxBatch;
+        mix.apps.push_back(app);
+        mix.shares.push_back(app.share);
+    }
+
+    mix.cellCapacityIps = fleetCapacityIps(fleet, cfg);
+    mix.capacityIps =
+        mix.cellCapacityIps * static_cast<double>(cluster.cells());
+    mix.offeredIps = load_fraction * mix.capacityIps;
+    return mix;
+}
+
+serve::ClusterTraffic
+clusterTrafficFor(const ClusterMix &mix, std::uint64_t requests,
+                  serve::ArrivalKind kind)
+{
+    fatal_if(mix.apps.empty(), "cluster mix has no loaded apps");
+    fatal_if(requests == 0, "need a positive request count");
+    serve::ClusterTraffic traffic;
+    switch (kind) {
+      case serve::ArrivalKind::Poisson:
+        traffic.arrivals =
+            serve::ScenarioConfig::poisson(mix.offeredIps);
+        break;
+      case serve::ArrivalKind::Diurnal:
+        traffic.arrivals = serve::ScenarioConfig::diurnal(
+            mix.offeredIps, /*period=*/2.0, /*amplitude=*/0.6);
+        break;
+      case serve::ArrivalKind::Bursty:
+        traffic.arrivals = serve::ScenarioConfig::bursty(
+            mix.offeredIps, /*multiplier=*/4.0, /*fraction=*/0.1,
+            /*dwell=*/0.05);
+        break;
+    }
+    traffic.mixShare = mix.shares;
+    traffic.durationSeconds =
+        static_cast<double>(requests) / mix.offeredIps;
+    return traffic;
 }
 
 void
@@ -160,6 +266,37 @@ driveTable1Mix(serve::Session &session, const Table1Mix &mix,
             session.runUntil(t);
     }
     session.run();
+}
+
+ClusterRun
+runClusterTable1Mix(const arch::TpuConfig &cfg,
+                    std::uint64_t requests, int cells, int threads,
+                    double load_fraction, int kill_cell,
+                    serve::ArrivalKind kind)
+{
+    serve::ClusterOptions options;
+    options.cells = cells;
+    options.fleet = serve::tpuFleet(4); // Table 2 server per cell
+    options.tier =
+        runtime::TierPolicy{runtime::ExecutionTier::Replay};
+    options.threads = threads;
+    serve::Cluster cluster(cfg, options);
+
+    ClusterRun run;
+    run.mix = loadClusterTable1Mix(cluster, cfg, load_fraction);
+    serve::ClusterTraffic traffic =
+        clusterTrafficFor(run.mix, requests, kind);
+    if (kill_cell >= 0) {
+        serve::FailureEvent kill;
+        kill.atSeconds = traffic.durationSeconds / 3.0;
+        kill.kind = serve::FailureKind::CellFail;
+        kill.cell = kill_cell;
+        traffic.failures.push_back(kill);
+    }
+    run.stats = cluster.serve(traffic);
+    run.compilations = cluster.programCache().compilations();
+    run.cacheHits = cluster.programCache().hits();
+    return run;
 }
 
 LivePlatformPerf

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "serve/cluster.hh"
 #include "serve/scenario.hh"
 #include "serve/session.hh"
 #include "workloads/workloads.hh"
@@ -95,6 +96,64 @@ void driveTable1Mix(serve::Session &session, const Table1Mix &mix,
 void driveTable1Mix(serve::Session &session, const Table1Mix &mix,
                     std::uint64_t requests,
                     const serve::ScenarioConfig &scenario);
+
+/**
+ * The Table 1 mix loaded into a serve::Cluster: same six apps and
+ * policies as loadTable1Mix (each cell's primary platform decides
+ * batches/SLOs), plus cluster-level QoS classes -- the user-facing
+ * MLPs and LSTMs are Interactive, the throughput-oriented CNNs are
+ * Batch (first to shed when the router sees overload).  Offered load
+ * is sized against the whole cluster: cells x the per-cell
+ * batch-efficient capacity.
+ */
+struct ClusterMix
+{
+    std::vector<MixApp> apps;   ///< handle = cluster model handle
+    std::vector<double> shares; ///< aligned with apps (sums to 1)
+    double cellCapacityIps = 0; ///< one cell's capacity
+    double capacityIps = 0;     ///< cluster-wide capacity
+    double offeredIps = 0;      ///< arrival rate used
+};
+
+/** Load the six production models into @p cluster (see ClusterMix). */
+ClusterMix loadClusterTable1Mix(serve::Cluster &cluster,
+                                const arch::TpuConfig &cfg,
+                                double load_fraction = 0.60,
+                                double slo_seconds = 7e-3);
+
+/**
+ * ClusterTraffic for @p requests expected arrivals of @p mix under
+ * @p arrivals' shape: the rate is the mix's offered rate and the
+ * duration is requests / rate, so "N requests" means the same
+ * offered volume under every scenario shape.
+ */
+serve::ClusterTraffic clusterTrafficFor(
+    const ClusterMix &mix, std::uint64_t requests,
+    serve::ArrivalKind kind = serve::ArrivalKind::Poisson);
+
+/** One cluster run of the Table 1 mix, with its cache numbers. */
+struct ClusterRun
+{
+    ClusterMix mix;
+    serve::Cluster::RunStats stats;
+    std::uint64_t compilations = 0; ///< cluster-wide compiles
+    std::uint64_t cacheHits = 0;    ///< frozen-cache hits
+};
+
+/**
+ * Build a @p cells-cell TPU cluster (4 dies per cell, Replay tier),
+ * load the Table 1 mix at @p load_fraction of cluster capacity,
+ * drive @p requests expected arrivals of @p kind on @p threads
+ * worker threads (0 = one per cell), optionally killing cell
+ * @p kill_cell a third of the way through.  ONE definition of the
+ * cluster workload, shared by bench_serve_throughput and
+ * example_server_farm -- the bench's determinism/scaling/failover
+ * gates certify exactly what the example narrates.
+ */
+ClusterRun runClusterTable1Mix(
+    const arch::TpuConfig &cfg, std::uint64_t requests, int cells,
+    int threads, double load_fraction, int kill_cell = -1,
+    serve::ArrivalKind kind = serve::ArrivalKind::Poisson);
 
 /** Live per-app busy-time throughput of one single-platform fleet. */
 struct LivePlatformPerf

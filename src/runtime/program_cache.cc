@@ -68,16 +68,24 @@ SharedProgramCache::load(const nn::Network &net,
                  "model name '%s' reused for a different "
                  "architecture; a shared program cache would alias "
                  "two models onto one image", net.name().c_str());
-        ++_hits;
+        // Frozen-cache hits are concurrent (cluster cell threads);
+        // the maps are immutable then, and this counter is atomic.
+        _hits.fetch_add(1, std::memory_order_relaxed);
         if (compiled_now)
             *compiled_now = false;
         return it->second;
     }
 
+    fatal_if(frozen(),
+             "program cache is frozen (published immutable) but "
+             "model '%s' was never pre-compiled; publish every "
+             "(model, bucket) image before starting cell threads",
+             net.name().c_str());
+
     Entry e;
     e.compiled = _compiler.compile(net, wm, options);
     e.compileSeconds = simulatedCompileSeconds(e.compiled);
-    ++_compilations;
+    _compilations.fetch_add(1, std::memory_order_relaxed);
     if (compiled_now)
         *compiled_now = true;
     _fingerprints.emplace(net.name(), shapeFingerprint(net));
@@ -92,10 +100,14 @@ SharedProgramCache::compileFunctional(
     fatal_if(!options.functional,
              "compileFunctional() is for functional images; use "
              "load()");
+    fatal_if(frozen(),
+             "program cache is frozen (published immutable); "
+             "functional compiles mutate the compiler and cannot "
+             "run concurrently with cell threads");
     Entry e;
     e.compiled = _compiler.compile(net, wm, options);
     e.compileSeconds = simulatedCompileSeconds(e.compiled);
-    ++_compilations;
+    _compilations.fetch_add(1, std::memory_order_relaxed);
     return e;
 }
 

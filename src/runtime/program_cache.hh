@@ -17,11 +17,21 @@
  * The cache also carries the simulated compile cost that the paper's
  * first-evaluation story implies, so InvokeStats::compileSeconds is
  * a modelled number instead of a dead field.
+ *
+ * Compile-once-publish-immutable: a multi-cell cluster shares ONE
+ * cache across every cell's drivers.  The owner pre-compiles every
+ * (model, bucket) image single-threaded, then freeze()s the cache;
+ * from that point load() is a read-only lookup (plus an atomic hit
+ * counter), safe to call concurrently from every cell thread with no
+ * lock -- the compiled images are published immutable.  Compiling
+ * after freeze() is fatal: a cluster that would fault in a compile
+ * mid-run has a publication bug, not a cache miss.
  */
 
 #ifndef TPUSIM_RUNTIME_PROGRAM_CACHE_HH
 #define TPUSIM_RUNTIME_PROGRAM_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -70,10 +80,32 @@ class SharedProgramCache
                             arch::WeightMemory *wm,
                             const compiler::CompileOptions &options);
 
+    /**
+     * Publish the cache immutable: every later load() must hit (a
+     * miss is fatal), hits become lock-free concurrent reads, and
+     * compileFunctional() is rejected.  Idempotent.  Call after the
+     * single-threaded pre-compile pass, before cell threads start.
+     */
+    void freeze() { _frozen.store(true, std::memory_order_release); }
+    /** Has the cache been published immutable? */
+    bool
+    frozen() const
+    {
+        return _frozen.load(std::memory_order_acquire);
+    }
+
     /** Models actually compiled (pool-wide, not per chip). */
-    std::uint64_t compilations() const { return _compilations; }
+    std::uint64_t
+    compilations() const
+    {
+        return _compilations.load(std::memory_order_relaxed);
+    }
     /** Loads served from the cache without compiling. */
-    std::uint64_t hits() const { return _hits; }
+    std::uint64_t
+    hits() const
+    {
+        return _hits.load(std::memory_order_relaxed);
+    }
     /** Distinct shared (timing-mode) entries. */
     std::size_t size() const { return _entries.size(); }
 
@@ -100,8 +132,9 @@ class SharedProgramCache
     compiler::Compiler _compiler;
     std::map<std::string, Entry> _entries;
     std::map<std::string, std::uint64_t> _fingerprints;
-    std::uint64_t _compilations = 0;
-    std::uint64_t _hits = 0;
+    std::atomic<std::uint64_t> _compilations{0};
+    std::atomic<std::uint64_t> _hits{0};
+    std::atomic<bool> _frozen{false};
 };
 
 } // namespace runtime

@@ -65,6 +65,8 @@ ChipPool::PlatformGroup::PlatformGroup(
       batches("batches", "formed batches served by this platform"),
       busySeconds("busy_seconds",
                   "simulated busy seconds across the platform's dies"),
+      failures("failures", "dies of this platform retired by "
+               "failure events"),
       utilization("utilization",
                   "mean busy fraction of the platform's dies",
                   [this, pool]() {
@@ -90,6 +92,7 @@ ChipPool::PlatformGroup::PlatformGroup(
 {
     group.regStat(&batches);
     group.regStat(&busySeconds);
+    group.regStat(&failures);
     group.regStat(&utilization);
     group.regStat(&watts);
 }
@@ -127,8 +130,11 @@ ChipPool::ChipPool(const arch::TpuConfig &config, int chips,
 
 ChipPool::ChipPool(const arch::TpuConfig &config, FleetSpec fleet,
                    std::function<double()> now_fn,
-                   runtime::TierPolicy tier)
-    : _cache(std::make_shared<runtime::SharedProgramCache>(config)),
+                   runtime::TierPolicy tier,
+                   std::shared_ptr<runtime::SharedProgramCache> cache)
+    : _cache(cache ? std::move(cache)
+                   : std::make_shared<runtime::SharedProgramCache>(
+                         config)),
       _tier(tier), _fleet(std::move(fleet)), _now(std::move(now_fn)),
       _stats("chip_pool"),
       _compilations("compilations",
@@ -202,7 +208,7 @@ ChipPool::acquireFree()
     const int n = size();
     for (int step = 1; step <= n; ++step) {
         const int c = (_lastGrant + step) % n;
-        if (!_chips[c]->busy) {
+        if (!_chips[c]->busy && !_chips[c]->dead) {
             _chips[c]->busy = true;
             _lastGrant = c;
             return c;
@@ -222,7 +228,7 @@ ChipPool::acquireFree(runtime::PlatformKind kind, int *cursor)
     for (int step = 1; step <= n; ++step) {
         const int slot = ((*cursor) + step) % n;
         const int c = g->members[static_cast<std::size_t>(slot)];
-        if (!_chips[c]->busy) {
+        if (!_chips[c]->busy && !_chips[c]->dead) {
             _chips[c]->busy = true;
             *cursor = slot;
             return c;
@@ -237,13 +243,20 @@ ChipPool::release(int chip)
     panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
     panic_if(!_chips[chip]->busy, "releasing an idle chip %d", chip);
     _chips[chip]->busy = false;
+    if (_chips[chip]->dying) {
+        // fail() arrived while the chip was serving: the in-flight
+        // batch just completed, the retirement lands now.
+        _chips[chip]->dying = false;
+        _chips[chip]->dead = true;
+        _groupFor(_chips[chip]->platform)->failures += 1;
+    }
 }
 
 bool
 ChipPool::anyFree() const
 {
     for (const auto &c : _chips)
-        if (!c->busy)
+        if (!c->busy && !c->dead)
             return true;
     return false;
 }
@@ -255,9 +268,70 @@ ChipPool::anyFree(runtime::PlatformKind kind) const
     if (!g)
         return false;
     for (int c : g->members)
-        if (!_chips[c]->busy)
+        if (!_chips[c]->busy && !_chips[c]->dead)
             return true;
     return false;
+}
+
+void
+ChipPool::fail(int chip)
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    Chip &c = *_chips[chip];
+    if (c.dead || c.dying)
+        return;
+    if (c.busy) {
+        c.dying = true;
+        return;
+    }
+    c.dead = true;
+    _groupFor(c.platform)->failures += 1;
+}
+
+bool
+ChipPool::failed(int chip) const
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    return _chips[chip]->dead;
+}
+
+int
+ChipPool::aliveCount() const
+{
+    int n = 0;
+    for (const auto &c : _chips)
+        n += c->dead ? 0 : 1;
+    return n;
+}
+
+int
+ChipPool::aliveCount(runtime::PlatformKind kind) const
+{
+    const PlatformGroup *g = _groupFor(kind);
+    if (!g)
+        return 0;
+    int n = 0;
+    for (int c : g->members)
+        n += _chips[c]->dead ? 0 : 1;
+    return n;
+}
+
+void
+ChipPool::setSlowdown(runtime::PlatformKind kind, double factor)
+{
+    fatal_if(factor < 1.0,
+             "slowdown factor %.3f < 1 would be a speedup", factor);
+    PlatformGroup *g = _groupFor(kind);
+    panic_if(!g, "platform '%s' is not in this fleet",
+             runtime::toString(kind));
+    g->slowdownFactor = factor;
+}
+
+double
+ChipPool::slowdown(runtime::PlatformKind kind) const
+{
+    const PlatformGroup *g = _groupFor(kind);
+    return g ? g->slowdownFactor : 1.0;
 }
 
 bool
@@ -292,9 +366,17 @@ ChipPool::invoke(int chip, runtime::ModelHandle handle,
              "invoking on chip %d without holding it", chip);
     runtime::InvokeStats stats =
         _chips[chip]->driver->invoke(handle, {}, host_fraction);
+    PlatformGroup *g = _groupFor(_chips[chip]->platform);
+    if (g->slowdownFactor != 1.0) {
+        // Degradation event in force: the die serves the same batch,
+        // just slower -- stretch the modelled times; counters (work
+        // done) are unchanged.
+        stats.deviceSeconds *= g->slowdownFactor;
+        stats.hostSeconds *= g->slowdownFactor;
+        stats.totalSeconds *= g->slowdownFactor;
+    }
     _chips[chip]->batches += 1;
     _chips[chip]->busySeconds += stats.totalSeconds;
-    PlatformGroup *g = _groupFor(_chips[chip]->platform);
     g->batches += 1;
     g->busySeconds += stats.totalSeconds;
     _merged.merge(stats.counters);

@@ -91,10 +91,16 @@ class ChipPool
      * Heterogeneous pool.  @p fleet lists each platform once, in
      * dispatch-preference order; @p tier applies to the TPU members
      * (platform members always run their closed-form backend).
+     * @p cache, when non-null, is an externally owned program cache
+     * shared beyond this pool -- the cluster arrangement, where
+     * every cell's pool reads one frozen set of compiled images; by
+     * default the pool owns a private cache (the single-cell case).
      */
     ChipPool(const arch::TpuConfig &config, FleetSpec fleet,
              std::function<double()> now_fn,
-             runtime::TierPolicy tier = runtime::TierPolicy{});
+             runtime::TierPolicy tier = runtime::TierPolicy{},
+             std::shared_ptr<runtime::SharedProgramCache> cache =
+                 nullptr);
 
     /** Total dies across every platform. */
     int size() const { return static_cast<int>(_chips.size()); }
@@ -138,6 +144,35 @@ class ChipPool
     bool anyFree(runtime::PlatformKind kind) const;
     /** Is @p chip currently claimed? */
     bool busy(int chip) const;
+
+    /**
+     * Retire a chip -- the Scenario "chip dies mid-run" event.  An
+     * idle chip dies immediately; a busy one finishes its in-flight
+     * batch and dies on release() (the die does not evaporate a
+     * batch it already accepted).  Dead chips are never granted
+     * again; failing an already-dead chip is a no-op.
+     */
+    void fail(int chip);
+    /** Has @p chip been retired (dying chips count once released)? */
+    bool failed(int chip) const;
+    /** Chips not (yet) retired, pool-wide. */
+    int aliveCount() const;
+    /** Chips of @p kind not (yet) retired. */
+    int aliveCount(runtime::PlatformKind kind) const;
+
+    /**
+     * Degrade a platform: every subsequent batch served by its dies
+     * takes @p factor x the modelled service time -- the Scenario
+     * "platform slowdown" event (thermal throttling, a bad kernel
+     * rollout).  Factor >= 1; 1 restores full speed.  The dispatch
+     * layer's service estimates deliberately do NOT learn about the
+     * slowdown: routing under a degradation works from stale
+     * estimates, exactly like a real router with calibrated-once
+     * latency tables.
+     */
+    void setSlowdown(runtime::PlatformKind kind, double factor);
+    /** Current service-time multiplier of @p kind (1 = healthy). */
+    double slowdown(runtime::PlatformKind kind) const;
 
     /** The driver fronting one pool member. */
     runtime::UserSpaceDriver &driver(int chip);
@@ -211,9 +246,12 @@ class ChipPool
         std::shared_ptr<runtime::ExecutionBackend> backend;
         power::PowerCurve dieCurve;
         std::vector<int> members; ///< pool chip indices
+        /** Service-time multiplier (degradation events); 1 = healthy. */
+        double slowdownFactor = 1.0;
         stats::StatGroup group;
         stats::Scalar batches;
         stats::Scalar busySeconds;
+        stats::Scalar failures; ///< chips of this platform retired
         stats::Formula utilization;
         stats::Formula watts;
     };
@@ -229,6 +267,10 @@ class ChipPool
         std::unique_ptr<runtime::UserSpaceDriver> driver;
         runtime::PlatformKind platform;
         bool busy = false;
+        /** Retired by a failure event; never granted again. */
+        bool dead = false;
+        /** fail() hit a busy chip: dies when its batch releases. */
+        bool dying = false;
         stats::StatGroup group;
         stats::Scalar batches;
         stats::Scalar busySeconds;

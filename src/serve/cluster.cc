@@ -1,0 +1,685 @@
+#include "serve/cluster.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace serve {
+
+namespace {
+
+/** splitmix64 -- the per-cell/per-segment seed derivation. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t cell,
+           std::uint64_t segment, std::uint64_t salt)
+{
+    return mix64(mix64(mix64(seed ^ salt) ^ (cell + 1)) ^
+                 (segment + 1));
+}
+
+int
+classIndex(QosClass qos)
+{
+    return qos == QosClass::Interactive ? 0 : 1;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ Router
+
+Router::Router(double admit_utilization, double interactive_ceiling)
+    : _admitUtilization(admit_utilization),
+      _interactiveCeiling(interactive_ceiling)
+{
+    fatal_if(admit_utilization <= 0 || interactive_ceiling <= 0,
+             "router thresholds must be positive");
+    fatal_if(interactive_ceiling < admit_utilization,
+             "interactive ceiling below the batch admit threshold "
+             "would shed interactive traffic first");
+}
+
+RouterPlan
+Router::plan(const std::vector<double> &boundaries,
+             const std::vector<std::vector<double>> &cell_weight,
+             const std::vector<Model> &models) const
+{
+    fatal_if(boundaries.size() < 2, "need at least one segment");
+    fatal_if(cell_weight.size() != boundaries.size() - 1,
+             "one weight vector per segment required");
+
+    RouterPlan out;
+    const auto nmodels = models.size();
+    for (std::size_t s = 0; s + 1 < boundaries.size(); ++s) {
+        const std::vector<double> &weight = cell_weight[s];
+        const auto ncells = weight.size();
+        RouterPlan::Segment seg;
+        seg.startSeconds = boundaries[s];
+        seg.endSeconds = boundaries[s + 1];
+        fatal_if(seg.endSeconds <= seg.startSeconds,
+                 "segment boundaries must ascend");
+        seg.cellWeight = weight;
+        seg.share.assign(nmodels, std::vector<double>(ncells, 0.0));
+        seg.admit.assign(nmodels,
+                         std::vector<double>(ncells, 1.0));
+        seg.cellRate.assign(ncells, 0.0);
+        seg.utilization.assign(ncells, 0.0);
+
+        // Weighted-least-load placement: each model's offered work,
+        // cut into kPlacementQuanta slices, lands slice by slice on
+        // the least-utilized ALIVE replica cell (ties to the lowest
+        // index).  Work is priced in die-seconds per second, so a
+        // cell that lost dies (smaller weight) fills up faster and
+        // receives less -- the failover redistribution.
+        std::vector<double> work(ncells, 0.0);   // die-seconds/s
+        std::vector<double> iwork(ncells, 0.0);  // interactive slice
+        std::vector<double> bwork(ncells, 0.0);  // batch slice
+        for (std::size_t mi = 0; mi < nmodels; ++mi) {
+            const Model &m = models[mi];
+            fatal_if(m.perItemSeconds <= 0,
+                     "router model needs a positive per-item cost");
+            std::vector<int> alive;
+            for (int c : m.replicaCells) {
+                fatal_if(c < 0 ||
+                         static_cast<std::size_t>(c) >= ncells,
+                         "replica cell %d out of range", c);
+                if (weight[static_cast<std::size_t>(c)] > 0)
+                    alive.push_back(c);
+            }
+            if (alive.empty()) {
+                // Every replica dark: the traffic cannot be served,
+                // but it must not vanish from the offered volume.
+                // Route the full share to the first replica cell
+                // with admit 0 -- the cell generates the arrivals
+                // and router-sheds every one, so shed_rate and the
+                // per-class accounting stay honest.
+                if (!m.replicaCells.empty()) {
+                    const auto bi = static_cast<std::size_t>(
+                        m.replicaCells.front());
+                    seg.share[mi][bi] = 1.0;
+                    seg.admit[mi][bi] = 0.0;
+                    seg.cellRate[bi] += m.rateIps;
+                }
+                continue;
+            }
+            const double quantum_work = m.rateIps * m.perItemSeconds /
+                                        kPlacementQuanta;
+            const double quantum_share = 1.0 / kPlacementQuanta;
+            for (int q = 0; q < kPlacementQuanta; ++q) {
+                int best = alive.front();
+                double best_util =
+                    std::numeric_limits<double>::infinity();
+                for (int c : alive) {
+                    const auto ci = static_cast<std::size_t>(c);
+                    const double util = work[ci] / weight[ci];
+                    if (util < best_util) {
+                        best_util = util;
+                        best = c;
+                    }
+                }
+                const auto bi = static_cast<std::size_t>(best);
+                work[bi] += quantum_work;
+                (m.qos == QosClass::Interactive ? iwork
+                                                : bwork)[bi] +=
+                    quantum_work;
+                seg.share[mi][bi] += quantum_share;
+                seg.cellRate[bi] += m.rateIps * quantum_share;
+            }
+        }
+
+        // QoS admission: a cell projected past the admit threshold
+        // thins its BATCH class to fit; only past the interactive
+        // ceiling does interactive traffic get touched.  The class
+        // fractions then land on every model of that class routed
+        // to the cell (admit[model][cell]).
+        for (std::size_t c = 0; c < ncells; ++c) {
+            if (weight[c] <= 0)
+                continue;
+            seg.utilization[c] = work[c] / weight[c];
+            if (seg.utilization[c] <= _admitUtilization)
+                continue;
+            std::array<double, 2> class_admit = {1.0, 1.0};
+            const double budget = _admitUtilization * weight[c];
+            if (bwork[c] > 0) {
+                const double keep = (budget - iwork[c]) / bwork[c];
+                class_admit[1] = std::clamp(keep, 0.0, 1.0);
+            }
+            const double iceiling = _interactiveCeiling * weight[c];
+            if (iwork[c] > iceiling)
+                class_admit[0] = iceiling / iwork[c];
+            for (std::size_t mi = 0; mi < nmodels; ++mi) {
+                const auto cls = static_cast<std::size_t>(
+                    models[mi].qos == QosClass::Interactive ? 0 : 1);
+                seg.admit[mi][c] *= class_admit[cls];
+            }
+        }
+        out.segments.push_back(std::move(seg));
+    }
+    return out;
+}
+
+// ------------------------------------------------- merged statistics
+
+ClassServingStats::ClassServingStats(const std::string &name,
+                                     double hi)
+    : response("response_seconds",
+               "merged response times of the " + name + " class",
+               0.0, hi, 4096)
+{}
+
+MergedModelStats::MergedModelStats(const std::string &model_name,
+                                   double slo)
+    : name(model_name), sloSeconds(slo),
+      submitted("submitted", "requests offered for this model"),
+      completed("completed", "requests served to completion"),
+      sloShed("slo_shed", "requests shed by cell SLO control"),
+      routerShed("router_shed", "requests shed by router admission"),
+      batches("batches", "dynamic batches formed, all cells"),
+      batchSize("achieved_batch", "mean formed batch size"),
+      queueSeconds("queue_seconds", "mean admission-queue wait"),
+      response("response_seconds", "merged response times",
+               0.0, std::max(8.0 * slo, 1e-3), 4096)
+{}
+
+// ----------------------------------------------------------- Cluster
+
+/** One cell: a Session plus the router-shed accounting beside it. */
+struct Cluster::CellState
+{
+    std::unique_ptr<Session> session;
+    /** Router-shed per class ([0] interactive, [1] batch). */
+    std::array<std::uint64_t, 2> routerShed{};
+    /** Router-shed per model (load order). */
+    std::vector<std::uint64_t> routerShedModel;
+    /** Requests offered to this cell (admitted + router-shed). */
+    std::uint64_t offered = 0;
+};
+
+Cluster::Cluster(arch::TpuConfig config, ClusterOptions options)
+    : _config(std::move(config)), _options(options),
+      _cache(std::make_shared<runtime::SharedProgramCache>(_config)),
+      _router(options.admitUtilization, options.interactiveCeiling)
+{
+    fatal_if(_options.cells <= 0, "cluster needs at least one cell");
+    fatal_if(_options.threads < 0, "negative worker-thread count");
+    if (_options.fleet.empty())
+        _options.fleet = tpuFleet(4); // the Table 2 server per cell
+    for (int c = 0; c < _options.cells; ++c) {
+        auto cell = std::make_unique<CellState>();
+        SessionOptions so;
+        so.fleet = _options.fleet;
+        so.tier = _options.tier;
+        so.programCache = _cache;
+        cell->session = std::make_unique<Session>(_config, so);
+        _cells.push_back(std::move(cell));
+    }
+}
+
+Cluster::~Cluster() = default;
+
+int
+Cluster::threads() const
+{
+    const int want =
+        _options.threads == 0 ? cells() : _options.threads;
+    return std::max(1, std::min(want, cells()));
+}
+
+Session &
+Cluster::cell(int index)
+{
+    fatal_if(index < 0 || index >= cells(), "bad cell index %d",
+             index);
+    return *_cells[static_cast<std::size_t>(index)]->session;
+}
+
+const Session &
+Cluster::cell(int index) const
+{
+    fatal_if(index < 0 || index >= cells(), "bad cell index %d",
+             index);
+    return *_cells[static_cast<std::size_t>(index)]->session;
+}
+
+ModelHandle
+Cluster::load(const std::string &name,
+              Session::NetworkBuilder builder, BatcherPolicy policy,
+              double host_fraction, QosClass qos, int replicas)
+{
+    fatal_if(_published,
+             "loading a model after the program cache was published "
+             "(first serve() call) is not supported");
+    fatal_if(replicas < 0 || replicas > cells(),
+             "replicas %d outside [0, %d]", replicas, cells());
+    if (replicas == 0)
+        replicas = cells();
+
+    LoadedModel lm;
+    lm.name = name;
+    lm.policy = policy;
+    lm.qos = qos;
+    lm.hostFraction = host_fraction;
+    // Round-robin replica placement staggered by model index, so
+    // partial replication spreads distinct models across distinct
+    // cell subsets instead of piling onto cell 0.
+    const int base = static_cast<int>(_loaded.size());
+    for (int k = 0; k < replicas; ++k)
+        lm.replicaCells.push_back((base + k) % cells());
+    std::sort(lm.replicaCells.begin(), lm.replicaCells.end());
+
+    // Load into EVERY cell (aligned handles, shared compiled
+    // images); replication restricts routing only.
+    ModelHandle handle = 0;
+    for (auto &cs : _cells) {
+        const ModelHandle h =
+            cs->session->load(name, builder, policy, host_fraction,
+                              qos);
+        if (handle == 0)
+            handle = h;
+        fatal_if(h != handle,
+                 "cell model handles diverged; cluster cells must "
+                 "load the same models in the same order");
+        cs->routerShedModel.push_back(0);
+    }
+    _loaded.push_back(std::move(lm));
+    _handles.push_back(handle);
+    return handle;
+}
+
+std::vector<double>
+Cluster::_segmentBoundaries(const ClusterTraffic &traffic) const
+{
+    std::vector<double> edges;
+    edges.push_back(0.0);
+    for (const FailureEvent &e : traffic.failures) {
+        if (e.atSeconds > 0 && e.atSeconds < traffic.durationSeconds)
+            edges.push_back(e.atSeconds);
+    }
+    edges.push_back(traffic.durationSeconds);
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+}
+
+std::vector<std::vector<double>>
+Cluster::_cellWeights(const std::vector<double> &boundaries,
+                      const ClusterTraffic &traffic) const
+{
+    // Replay each cell's failure history: alive dies and slowdown
+    // per platform at each segment's start.  An event landing
+    // exactly on a boundary belongs to the segment starting there.
+    std::vector<std::vector<double>> weights;
+    for (std::size_t s = 0; s + 1 < boundaries.size(); ++s) {
+        const double at = boundaries[s];
+        std::vector<double> w;
+        for (int c = 0; c < cells(); ++c) {
+            const ChipPool &pool = cell(c).pool();
+            std::vector<int> alive(
+                static_cast<std::size_t>(pool.size()), 1);
+            std::map<runtime::PlatformKind, double> slow;
+            for (const FailureEvent &e : traffic.failures) {
+                if (e.cell != c || e.atSeconds > at)
+                    continue;
+                switch (e.kind) {
+                  case FailureKind::ChipFail:
+                    fatal_if(e.chip < 0 || e.chip >= pool.size(),
+                             "chip-failure event for chip %d of a "
+                             "%d-chip cell", e.chip, pool.size());
+                    alive[static_cast<std::size_t>(e.chip)] = 0;
+                    break;
+                  case FailureKind::CellFail:
+                    std::fill(alive.begin(), alive.end(), 0);
+                    break;
+                  case FailureKind::PlatformSlowdown:
+                    slow[e.platform] = e.factor;
+                    break;
+                }
+            }
+            double weight = 0;
+            for (int chip = 0; chip < pool.size(); ++chip) {
+                if (!alive[static_cast<std::size_t>(chip)])
+                    continue;
+                const auto it = slow.find(pool.platform(chip));
+                weight += it == slow.end() ? 1.0 : 1.0 / it->second;
+            }
+            w.push_back(weight);
+        }
+        weights.push_back(std::move(w));
+    }
+    return weights;
+}
+
+void
+Cluster::_applyCellFailures(int cell_index,
+                            const ClusterTraffic &traffic)
+{
+    Session &session = cell(cell_index);
+    std::vector<FailureEvent> local;
+    for (const FailureEvent &e : traffic.failures) {
+        fatal_if(e.cell < 0 || e.cell >= cells(),
+                 "cluster failure events need a valid target cell "
+                 "(got %d)", e.cell);
+        if (e.cell != cell_index)
+            continue;
+        if (e.kind == FailureKind::CellFail) {
+            // A dark cell is every one of its dies retiring at once.
+            for (int chip = 0; chip < session.pool().size(); ++chip) {
+                FailureEvent f;
+                f.atSeconds = e.atSeconds;
+                f.kind = FailureKind::ChipFail;
+                f.chip = chip;
+                local.push_back(f);
+            }
+        } else {
+            local.push_back(e);
+        }
+    }
+    ScenarioScript script;
+    script.failures = std::move(local);
+    session.applyFailures(script.normalized().failures);
+}
+
+void
+Cluster::_runCell(int cell_index, const ClusterTraffic &traffic)
+{
+    CellState &cs = *_cells[static_cast<std::size_t>(cell_index)];
+    Session &session = *cs.session;
+    const auto ci = static_cast<std::size_t>(cell_index);
+    _applyCellFailures(cell_index, traffic);
+
+    constexpr std::uint64_t kBlock = 65536;
+    std::uint64_t pending = 0;
+    for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
+        const RouterPlan::Segment &seg = _plan.segments[s];
+        const double rate = seg.cellRate[ci];
+        if (rate <= 0)
+            continue;
+        // Cumulative per-model rate split of this cell's stream.
+        std::vector<double> cum(_loaded.size(), 0.0);
+        double total = 0;
+        for (std::size_t m = 0; m < _loaded.size(); ++m) {
+            total += traffic.arrivals.rateIps * traffic.mixShare[m] *
+                     seg.share[m][ci];
+            cum[m] = total;
+        }
+        if (total <= 0)
+            continue;
+
+        // The cell's own traffic source: the global scenario SHAPE
+        // at the cell's planned rate, seeded per (cluster seed,
+        // cell, segment) -- independent cells model independent
+        // user populations, and the superposed mean rate equals the
+        // planned cluster rate.  Streams restart (new seed, phase 0)
+        // at every segment boundary, so adding a failure event
+        // changes post-boundary arrivals everywhere: cluster traffic
+        // is a deterministic function of (seed, plan), not of the
+        // seed alone -- the scope note in scenario.hh.
+        ScenarioConfig cfg = traffic.arrivals;
+        cfg.rateIps = rate;
+        cfg.seed = deriveSeed(_options.seed, ci, s, 0x5C311ull);
+        ArrivalProcess arrivals(cfg);
+        Rng pick(deriveSeed(_options.seed, ci, s, 0xF1C4ull));
+
+        for (;;) {
+            const double t = seg.startSeconds + arrivals.next();
+            if (t >= seg.endSeconds)
+                break;
+            double u = pick.uniformReal(0.0, total);
+            std::size_t m = 0;
+            while (m + 1 < cum.size() && u >= cum[m])
+                ++m;
+            const int cls = classIndex(_loaded[m].qos);
+            const double admit = seg.admit[m][ci];
+            ++cs.offered;
+            if (admit < 1.0 && pick.uniformReal() >= admit) {
+                // Router QoS admission: shed at the front door, batch
+                // class first (the plan guarantees that ordering).
+                ++cs.routerShed[static_cast<std::size_t>(cls)];
+                ++cs.routerShedModel[m];
+                continue;
+            }
+            session.submitDetached(std::max(t, session.now()),
+                                   _handles[m]);
+            if (++pending % kBlock == 0)
+                session.runUntil(t);
+        }
+    }
+    session.run();
+}
+
+const Cluster::RunStats &
+Cluster::serve(const ClusterTraffic &traffic)
+{
+    fatal_if(_served,
+             "a Cluster serves one traffic run (cell clocks and "
+             "failure state do not rewind); build a fresh Cluster "
+             "per run");
+    _served = true;
+    fatal_if(_loaded.empty(), "serve() with no loaded models");
+    fatal_if(traffic.mixShare.size() != _loaded.size(),
+             "mixShare must have one entry per loaded model");
+    fatal_if(traffic.durationSeconds <= 0,
+             "traffic needs a positive duration");
+    fatal_if(traffic.arrivals.rateIps <= 0,
+             "traffic needs a positive mean rate");
+    double mix_total = 0;
+    for (double share : traffic.mixShare) {
+        fatal_if(share < 0, "negative mix share");
+        mix_total += share;
+    }
+    fatal_if(std::abs(mix_total - 1.0) > 1e-6,
+             "mix shares must sum to 1 (got %f)", mix_total);
+
+    // Canonicalize the failure schedule ONCE, up front: planning
+    // replays it (latest event in TIME must win, not latest in
+    // vector order) and every cell schedules from it, so they must
+    // all see the same deterministic order.
+    ClusterTraffic run = traffic;
+    {
+        ScenarioScript script;
+        script.failures = std::move(run.failures);
+        run.failures = script.normalized().failures;
+    }
+
+    // ---- plan (Router): deterministic, before any thread starts.
+    const std::vector<double> boundaries = _segmentBoundaries(run);
+    const std::vector<std::vector<double>> weights =
+        _cellWeights(boundaries, run);
+    std::vector<Router::Model> router_models;
+    const runtime::PlatformKind primary =
+        _options.fleet.front().platform;
+    for (std::size_t m = 0; m < _loaded.size(); ++m) {
+        Router::Model rm;
+        rm.rateIps = traffic.arrivals.rateIps * traffic.mixShare[m];
+        const latency::ServiceModel &est =
+            cell(0).serviceEstimate(_handles[m], primary);
+        rm.perItemSeconds =
+            est.seconds(_loaded[m].policy.maxBatch) /
+            static_cast<double>(_loaded[m].policy.maxBatch);
+        rm.qos = _loaded[m].qos;
+        rm.replicaCells = _loaded[m].replicaCells;
+        router_models.push_back(std::move(rm));
+    }
+    _plan = _router.plan(boundaries, weights, router_models);
+
+    // ---- publish: compile once on cell 0, freeze, then share.
+    if (!_published) {
+        cell(0).precompileModels();
+        _cache->freeze();
+        _published = true;
+    }
+
+    // ---- run the cells on the worker pool.  Cells are claimed off
+    // an atomic counter; which OS thread runs which cell is the ONLY
+    // nondeterminism, and it is invisible (cells share nothing
+    // mutable -- the frozen cache is read-only).
+    const auto wall_start = std::chrono::steady_clock::now();
+    const int nthreads = threads();
+    std::atomic<int> next{0};
+    const auto worker = [this, &next, &run]() {
+        for (;;) {
+            const int c = next.fetch_add(1);
+            if (c >= cells())
+                return;
+            _runCell(c, run);
+        }
+    };
+    std::vector<std::thread> pool;
+    for (int i = 1; i < nthreads; ++i)
+        pool.emplace_back(worker);
+    worker(); // the calling thread is worker 0
+    for (std::thread &t : pool)
+        t.join();
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
+
+    _mergeStats(run);
+    _last.durationSeconds = run.durationSeconds;
+    _last.wallSeconds = wall;
+    return _last;
+}
+
+void
+Cluster::_mergeStats(const ClusterTraffic &traffic)
+{
+    _last = RunStats{};
+
+    // Per-class histograms sized for the largest member SLO; merge()
+    // would widen anyway, but starting at the union range keeps the
+    // common path on the cheap element-wise merge.
+    std::array<double, 2> class_hi = {1e-3, 1e-3};
+    for (const LoadedModel &lm : _loaded) {
+        auto &hi = class_hi[static_cast<std::size_t>(
+            classIndex(lm.qos))];
+        hi = std::max(hi, 8.0 * lm.policy.sloSeconds);
+    }
+    _last.classes.emplace_back("interactive", class_hi[0]);
+    _last.classes.emplace_back("batch", class_hi[1]);
+
+    for (std::size_t m = 0; m < _loaded.size(); ++m) {
+        const LoadedModel &lm = _loaded[m];
+        MergedModelStats merged(lm.name, lm.policy.sloSeconds);
+        merged.qos = lm.qos;
+        ClassServingStats &cls = _last.classes[
+            static_cast<std::size_t>(classIndex(lm.qos))];
+        for (const auto &cs : _cells) {
+            const ModelServingStats &st =
+                cs->session->modelStats(_handles[m]);
+            merged.submitted.merge(st.submitted);
+            merged.completed.merge(st.completed);
+            merged.sloShed.merge(st.shed);
+            merged.batches.merge(st.batches);
+            merged.batchSize.merge(st.batchSize);
+            merged.queueSeconds.merge(st.queueSeconds);
+            merged.response.merge(st.response);
+            merged.routerShed += static_cast<double>(
+                cs->routerShedModel[m]);
+            cls.response.merge(st.response);
+        }
+        cls.submitted += merged.submitted.value() +
+                         merged.routerShed.value();
+        cls.admitted += merged.submitted.value();
+        cls.completed += merged.completed.value();
+        cls.sloShed += merged.sloShed.value();
+        cls.routerShed += merged.routerShed.value();
+        _last.models.push_back(std::move(merged));
+    }
+
+    for (const auto &cs : _cells) {
+        RunStats::CellSummary cell_summary;
+        cell_summary.submitted = cs->session->submitted();
+        cell_summary.completed = cs->session->completed();
+        cell_summary.sloShed = cs->session->shedCount();
+        cell_summary.routerShed =
+            cs->routerShed[0] + cs->routerShed[1];
+        const ChipPool &pool = cs->session->pool();
+        for (int chip = 0; chip < pool.size(); ++chip)
+            cell_summary.busySeconds += pool.busySeconds(chip);
+        cell_summary.aliveChips = pool.aliveCount();
+        _last.cells.push_back(cell_summary);
+
+        _last.admitted += cell_summary.submitted;
+        _last.completed += cell_summary.completed;
+        _last.sloShed += cell_summary.sloShed;
+        _last.routerShed += cell_summary.routerShed;
+        _last.submitted += cs->offered;
+    }
+    _last.ips = traffic.durationSeconds > 0
+                    ? static_cast<double>(_last.completed) /
+                          traffic.durationSeconds
+                    : 0.0;
+}
+
+std::uint64_t
+Cluster::RunStats::fingerprint() const
+{
+    std::uint64_t h = 1469598103934665603ull;
+    const auto fold = [&h](std::uint64_t v) {
+        h = (h ^ v) * 1099511628211ull;
+    };
+    const auto foldDouble = [&fold](double v) {
+        fold(std::bit_cast<std::uint64_t>(v));
+    };
+    fold(submitted);
+    fold(admitted);
+    fold(completed);
+    fold(sloShed);
+    fold(routerShed);
+    foldDouble(ips);
+    for (const MergedModelStats &m : models) {
+        foldDouble(m.submitted.value());
+        foldDouble(m.completed.value());
+        foldDouble(m.sloShed.value());
+        foldDouble(m.routerShed.value());
+        foldDouble(m.batches.value());
+        foldDouble(m.batchSize.result());
+        foldDouble(m.queueSeconds.result());
+        fold(m.response.count());
+        foldDouble(m.response.mean());
+        foldDouble(m.response.min());
+        foldDouble(m.response.max());
+        foldDouble(m.p50());
+        foldDouble(m.p99());
+    }
+    for (const ClassServingStats &c : classes) {
+        foldDouble(c.submitted);
+        foldDouble(c.admitted);
+        foldDouble(c.completed);
+        foldDouble(c.sloShed);
+        foldDouble(c.routerShed);
+        fold(c.response.count());
+        foldDouble(c.response.mean());
+        foldDouble(c.p50());
+        foldDouble(c.p99());
+    }
+    for (const CellSummary &c : cells) {
+        fold(c.submitted);
+        fold(c.completed);
+        fold(c.sloShed);
+        fold(c.routerShed);
+        foldDouble(c.busySeconds);
+        fold(static_cast<std::uint64_t>(c.aliveChips));
+    }
+    return h;
+}
+
+} // namespace serve
+} // namespace tpu

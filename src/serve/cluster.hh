@@ -1,0 +1,344 @@
+/**
+ * @file
+ * serve::Cluster -- sharded multi-cell serving, the paper's fleet.
+ *
+ * Section 2 frames the TPU as DATACENTER infrastructure: "a response
+ * is often required in 7 ms", served by racks of accelerator cells,
+ * not one 4-die server.  One serve::Session over one sim::EventQueue
+ * tops out at a single simulation thread; the Cluster scales past
+ * that by running N independent CELLS -- each a full Session (its
+ * own FleetSpec pool, its own event queue, its own seeds) -- on a
+ * pool of OS worker threads, fronted by a serve::Router.
+ *
+ * The Router owns cluster-level ADMISSION and PLACEMENT, planned
+ * deterministically before any cell thread starts:
+ *
+ *  - time is cut into SEGMENTS at the failure schedule's boundaries;
+ *  - within a segment, each model's offered rate is split across the
+ *    cells holding its replicas by weighted-least-load placement
+ *    (greedy quanta onto the least-utilized replica cell, weights =
+ *    the cell's surviving die-seconds per second);
+ *  - each cell's projected utilization is then checked against the
+ *    QoS policy: above the admit threshold the router sheds the
+ *    BATCH class first (thinning its admitted fraction), and only
+ *    above a higher ceiling does it touch interactive traffic -- so
+ *    when a cell dies and its traffic fails over to the survivors,
+ *    interactive p99 holds while batch absorbs the capacity loss.
+ *
+ * Determinism contract: every cell's run is a pure function of
+ * (cluster seed, cell index, plan), each cell owns its event queue
+ * and stats for the whole run, and the only cross-thread state is
+ * the FROZEN program cache (compile-once-publish-immutable,
+ * read-only during the run).  Results are therefore bit-identical
+ * across repeated runs AND across worker-thread counts; threads buy
+ * wall-clock speed, never different numbers.  Cross-cell statistics
+ * are folded after the threads join (stats merge() members,
+ * Distribution::merge on the response histograms).
+ */
+
+#ifndef TPUSIM_SERVE_CLUSTER_HH
+#define TPUSIM_SERVE_CLUSTER_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "serve/scenario.hh"
+#include "serve/session.hh"
+
+namespace tpu {
+namespace serve {
+
+/** Cluster construction knobs. */
+struct ClusterOptions
+{
+    /** Independent serving cells (each one Session + pool). */
+    int cells = 8;
+
+    /** Per-cell pool; empty = the Table 2 4-die TPU server. */
+    FleetSpec fleet;
+
+    /** Execution tier of each cell's TPU members. */
+    runtime::TierPolicy tier{runtime::ExecutionTier::Replay};
+
+    /** Cluster seed; every cell derives its streams from it. */
+    std::uint64_t seed = 42;
+
+    /**
+     * Worker threads running the cells (0 = one per cell).  Thread
+     * count changes WALL CLOCK only; results are bit-identical at
+     * any value -- the determinism contract above.
+     */
+    int threads = 0;
+
+    /**
+     * Projected cell utilization above which the router thins the
+     * batch class (QoS admission).
+     */
+    double admitUtilization = 0.90;
+
+    /**
+     * Projected interactive-only utilization above which even the
+     * interactive class is thinned -- the last-ditch ceiling.
+     */
+    double interactiveCeiling = 1.25;
+};
+
+/** One cluster run's traffic: shape, mix, horizon, failures. */
+struct ClusterTraffic
+{
+    /** Arrival shape; rateIps is the CLUSTER-WIDE mean rate. */
+    ScenarioConfig arrivals;
+
+    /** Per loaded model (load order), summing to ~1. */
+    std::vector<double> mixShare;
+
+    /** Serving horizon: arrivals land in [0, duration). */
+    double durationSeconds = 0;
+
+    /** Failure schedule (cluster scope: FailureEvent::cell used). */
+    std::vector<FailureEvent> failures;
+};
+
+/**
+ * The router's deterministic plan: per segment, who is alive, how
+ * each model's traffic splits across its replica cells, and what
+ * fraction of each QoS class each cell admits.
+ */
+struct RouterPlan
+{
+    struct Segment
+    {
+        double startSeconds = 0;
+        double endSeconds = 0;
+        /** Effective die-seconds per second per cell (0 = dark). */
+        std::vector<double> cellWeight;
+        /** share[model][cell]: fraction of the model's rate. */
+        std::vector<std::vector<double>> share;
+        /**
+         * admit[model][cell]: admitted fraction of the model's
+         * traffic routed to that cell (1 = no router shedding),
+         * derived from the cell's per-class thinning -- batch class
+         * first, interactive only past the ceiling.  A model whose
+         * replica set is entirely dark has its full share routed to
+         * its first replica cell with admit 0: the un-serveable
+         * traffic is still generated and counted as router shed
+         * instead of silently disappearing from the offered volume.
+         */
+        std::vector<std::vector<double>> admit;
+        /** Offered (pre-admission) request rate per cell. */
+        std::vector<double> cellRate;
+        /** Projected utilization per cell, before admission. */
+        std::vector<double> utilization;
+    };
+
+    std::vector<Segment> segments;
+};
+
+/**
+ * Cluster-level placement and admission planner.  Pure and
+ * deterministic: plan() is arithmetic over its inputs, so the same
+ * spec always yields the same plan -- the property that lets cells
+ * consume the plan concurrently without coordination.
+ */
+class Router
+{
+  public:
+    /** One model as the router prices it. */
+    struct Model
+    {
+        double rateIps = 0;        ///< offered cluster-wide rate
+        double perItemSeconds = 0; ///< batch-efficient per-request cost
+        QosClass qos = QosClass::Interactive;
+        std::vector<int> replicaCells; ///< cells holding the model
+    };
+
+    Router(double admit_utilization, double interactive_ceiling);
+
+    /**
+     * Build the plan.  @p boundaries are the segment edges
+     * (ascending, first 0, last the horizon); @p cell_weight is
+     * [segment][cell] effective die-seconds per second (0 = dark).
+     * Placement quanta: each model's rate is split into
+     * kPlacementQuanta equal slices, each placed on the
+     * least-utilized alive replica cell (ties: lowest cell index).
+     */
+    RouterPlan plan(const std::vector<double> &boundaries,
+                    const std::vector<std::vector<double>> &cell_weight,
+                    const std::vector<Model> &models) const;
+
+    /** Rate slices per model per segment (placement resolution). */
+    static constexpr int kPlacementQuanta = 64;
+
+  private:
+    double _admitUtilization;
+    double _interactiveCeiling;
+};
+
+/** Per-QoS-class merged serving statistics for one cluster run. */
+struct ClassServingStats
+{
+    ClassServingStats(const std::string &name, double hi);
+
+    double submitted = 0;  ///< offered to the router
+    double admitted = 0;   ///< passed router admission
+    double completed = 0;  ///< served to completion
+    double sloShed = 0;    ///< shed by cell-level SLO control
+    double routerShed = 0; ///< shed by router QoS admission
+    stats::Distribution response; ///< merged response times (s)
+
+    double p50() const { return response.percentile(0.50); }
+    double p99() const { return response.percentile(0.99); }
+};
+
+/** Merged per-model statistics for one cluster run. */
+struct MergedModelStats
+{
+    MergedModelStats(const std::string &model_name, double slo);
+
+    std::string name;
+    QosClass qos = QosClass::Interactive;
+    double sloSeconds = 0;
+    stats::Scalar submitted;
+    stats::Scalar completed;
+    stats::Scalar sloShed;
+    stats::Scalar routerShed;
+    stats::Scalar batches;
+    stats::Average batchSize;
+    stats::Average queueSeconds;
+    stats::Distribution response;
+
+    double p50() const { return response.percentile(0.50); }
+    double p99() const { return response.percentile(0.99); }
+};
+
+/** Sharded multi-cell serving cluster behind one Router. */
+class Cluster
+{
+  public:
+    Cluster(arch::TpuConfig config, ClusterOptions options);
+    ~Cluster();
+
+    /**
+     * Register a model on every cell (aligned handles) and place
+     * @p replicas replica cells for it (0 = replicate everywhere).
+     * Replication below the cell count restricts ROUTING only; the
+     * compiled images are shared cluster-wide regardless.
+     */
+    ModelHandle load(const std::string &name,
+                     Session::NetworkBuilder builder,
+                     BatcherPolicy policy, double host_fraction = 0.0,
+                     QosClass qos = QosClass::Interactive,
+                     int replicas = 0);
+
+    /** Result of one serve() run, merged across cells. */
+    struct RunStats
+    {
+        double durationSeconds = 0;  ///< traffic horizon
+        double wallSeconds = 0;      ///< wall clock of the cell phase
+        std::uint64_t submitted = 0; ///< offered requests, all cells
+        std::uint64_t admitted = 0;  ///< past router admission
+        std::uint64_t completed = 0;
+        std::uint64_t sloShed = 0;
+        std::uint64_t routerShed = 0;
+        /** Completed requests per simulated second, cluster-wide. */
+        double ips = 0;
+
+        std::vector<MergedModelStats> models; ///< load order
+        /** [0] interactive, [1] batch. */
+        std::vector<ClassServingStats> classes;
+
+        /** Per-cell {submitted, completed, shed} for inspection. */
+        struct CellSummary
+        {
+            std::uint64_t submitted = 0;
+            std::uint64_t completed = 0;
+            std::uint64_t sloShed = 0;
+            std::uint64_t routerShed = 0;
+            double busySeconds = 0;
+            int aliveChips = 0;
+        };
+        std::vector<CellSummary> cells;
+
+        /**
+         * FNV-1a digest of every merged number above, folded in a
+         * FIXED field order (cells merge in cell-index order, so
+         * the digest is reproducible run to run; it is NOT
+         * invariant under reordering the fold).  What the
+         * bit-identical determinism gates compare.
+         */
+        std::uint64_t fingerprint() const;
+    };
+
+    /**
+     * Plan (Router), publish the program cache (compile-once on
+     * cell 0, then freeze), run every cell on the worker pool, join,
+     * and merge.  One-shot: cell clocks and failure state do not
+     * rewind, so a Cluster serves exactly one traffic run (fatal on
+     * a second call) -- build a fresh Cluster per run.
+     */
+    const RunStats &serve(const ClusterTraffic &traffic);
+
+    /** The plan of the most recent serve() call. */
+    const RouterPlan &plan() const { return _plan; }
+    /** The most recent serve() result. */
+    const RunStats &lastRun() const { return _last; }
+
+    int cells() const { return static_cast<int>(_cells.size()); }
+    /** Direct access to one cell's session (tests, inspection). */
+    Session &cell(int index);
+    const Session &cell(int index) const;
+
+    /** The cluster-shared (frozen after first serve) program cache. */
+    const runtime::SharedProgramCache &programCache() const
+    {
+        return *_cache;
+    }
+
+    /** Worker threads the next serve() will use. */
+    int threads() const;
+
+    /** Re-point the worker count (results unaffected; wall only). */
+    void setThreads(int threads) { _options.threads = threads; }
+
+  private:
+    struct CellState;
+    struct LoadedModel
+    {
+        std::string name;
+        BatcherPolicy policy;
+        QosClass qos;
+        double hostFraction = 0;
+        std::vector<int> replicaCells;
+    };
+
+    void _runCell(int cell_index, const ClusterTraffic &traffic);
+    std::vector<double> _segmentBoundaries(
+        const ClusterTraffic &traffic) const;
+    std::vector<std::vector<double>> _cellWeights(
+        const std::vector<double> &boundaries,
+        const ClusterTraffic &traffic) const;
+    void _applyCellFailures(int cell_index,
+                            const ClusterTraffic &traffic);
+    void _mergeStats(const ClusterTraffic &traffic);
+
+    arch::TpuConfig _config;
+    ClusterOptions _options;
+    std::shared_ptr<runtime::SharedProgramCache> _cache;
+    Router _router;
+    std::vector<std::unique_ptr<CellState>> _cells;
+    std::vector<LoadedModel> _loaded;
+    std::vector<ModelHandle> _handles; ///< aligned across cells
+    RouterPlan _plan;
+    RunStats _last;
+    bool _published = false;
+    bool _served = false;
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_CLUSTER_HH

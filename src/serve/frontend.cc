@@ -1,0 +1,170 @@
+#include "serve/frontend.hh"
+
+#include <limits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace serve {
+
+const char *
+toString(QosClass qos)
+{
+    switch (qos) {
+      case QosClass::Interactive: return "interactive";
+      case QosClass::Batch: return "batch";
+    }
+    return "?";
+}
+
+Frontend::Frontend(Clock now, Scheduler schedule, DrainHook drain)
+    : _now(std::move(now)), _schedule(std::move(schedule)),
+      _drain(std::move(drain))
+{
+    fatal_if(!_now || !_schedule || !_drain,
+             "frontend needs clock, scheduler and drain hooks");
+}
+
+void
+Frontend::addModel(ModelHandle handle, BatcherPolicy policy,
+                   latency::ServiceModel estimate, QosClass qos)
+{
+    const bool inserted =
+        _fronts.emplace(handle, Front(policy, estimate, qos)).second;
+    fatal_if(!inserted, "model handle %llu already registered",
+             static_cast<unsigned long long>(handle));
+}
+
+Frontend::Front &
+Frontend::_front(ModelHandle handle)
+{
+    auto it = _fronts.find(handle);
+    fatal_if(it == _fronts.end(), "unknown serve model handle %llu",
+             static_cast<unsigned long long>(handle));
+    return it->second;
+}
+
+const Frontend::Front &
+Frontend::_front(ModelHandle handle) const
+{
+    auto it = _fronts.find(handle);
+    fatal_if(it == _fronts.end(), "unknown serve model handle %llu",
+             static_cast<unsigned long long>(handle));
+    return it->second;
+}
+
+const Batcher &
+Frontend::batcher(ModelHandle handle) const
+{
+    return _front(handle).batcher;
+}
+
+QosClass
+Frontend::qosClass(ModelHandle handle) const
+{
+    return _front(handle).qos;
+}
+
+void
+Frontend::arrive(ModelHandle handle, PendingRequest req)
+{
+    Front &f = _front(handle);
+    f.batcher.admit(std::move(req));
+    if (f.batcher.batchReady(_now()))
+        _drain();
+    if (!f.batcher.empty())
+        _armTimer(handle);
+}
+
+void
+Frontend::_armTimer(ModelHandle handle)
+{
+    Front &f = _front(handle);
+    if (f.timerArmed || f.batcher.empty())
+        return;
+    const double deadline = f.batcher.nextDeadline();
+    // A head already past its deadline is dispatchable now; it waits
+    // only for a chip, and every chip completion re-drains, so no
+    // timer is needed (re-arming one at "now" would spin).
+    if (deadline <= _now()) {
+        if (f.batcher.batchReady(_now()))
+            _drain();
+        return;
+    }
+    f.timerArmed = true;
+    _schedule(deadline, [this, handle]() {
+        Front &front = _front(handle);
+        front.timerArmed = false;
+        if (front.batcher.batchReady(_now()))
+            _drain();
+        if (!front.batcher.empty())
+            _armTimer(handle);
+    });
+}
+
+ModelHandle
+Frontend::pickOldestReady(double now,
+                          const std::vector<ModelHandle> &held) const
+{
+    const auto is_held = [&held](ModelHandle h) {
+        for (ModelHandle other : held)
+            if (other == h)
+                return true;
+        return false;
+    };
+    ModelHandle pick = 0;
+    double oldest = std::numeric_limits<double>::infinity();
+    for (const auto &entry : _fronts) {
+        if (is_held(entry.first) ||
+            !entry.second.batcher.batchReady(now))
+            continue;
+        if (entry.second.batcher.oldestArrival() < oldest) {
+            oldest = entry.second.batcher.oldestArrival();
+            pick = entry.first;
+        }
+    }
+    return pick;
+}
+
+FormedBatch
+Frontend::form(ModelHandle handle, double now)
+{
+    return _front(handle).batcher.form(now);
+}
+
+void
+Frontend::rearm(ModelHandle handle)
+{
+    if (!_front(handle).batcher.empty())
+        _armTimer(handle);
+}
+
+std::vector<std::pair<ModelHandle, std::vector<PendingRequest>>>
+Frontend::flushAll()
+{
+    std::vector<std::pair<ModelHandle, std::vector<PendingRequest>>>
+        out;
+    for (auto &entry : _fronts) {
+        Front &f = entry.second;
+        if (f.batcher.empty())
+            continue;
+        std::vector<PendingRequest> drained;
+        // form() with SLO enforcement may still emit servable
+        // requests; here there is nothing left to serve them, so
+        // pull the raw queue.
+        while (!f.batcher.empty()) {
+            FormedBatch fb = f.batcher.form(
+                std::numeric_limits<double>::infinity());
+            for (PendingRequest &r : fb.requests)
+                drained.push_back(std::move(r));
+            for (PendingRequest &r : fb.shed)
+                drained.push_back(std::move(r));
+        }
+        out.emplace_back(entry.first, std::move(drained));
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace tpu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * serve::Frontend -- the admission side of a serving session.
+ *
+ * Historically serve::Session was one object owning the whole
+ * request path: admission queue, dynamic batcher, deadline timers,
+ * chip choice, dispatch and completion.  The cluster refactor splits
+ * that down the natural seam: everything that happens BEFORE a batch
+ * exists -- admitting a request to its model's queue, arming the
+ * batch-or-deadline timer, deciding that a batch is formable, QoS
+ * classing -- lives here, and everything after -- routing the formed
+ * batch to a chip, invoking it, resolving replies -- stays in the
+ * Session's dispatch half.  The seam is what lets an upstream
+ * serve::Router own ADMISSION policy (which cell, which class, shed
+ * or serve) without reaching into dispatch internals, and it gives
+ * failure handling one place to flush every queued request when a
+ * cell loses its last die.
+ *
+ * The Frontend is deliberately passive about time: it reads the
+ * clock and schedules callbacks only through the hooks its owner
+ * provides, so it works unchanged over any cell's private
+ * sim::EventQueue.
+ */
+
+#ifndef TPUSIM_SERVE_FRONTEND_HH
+#define TPUSIM_SERVE_FRONTEND_HH
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "latency/queueing.hh"
+#include "serve/batcher.hh"
+#include "serve/request.hh"
+
+namespace tpu {
+namespace serve {
+
+/** Admission/batching front-end over per-model dynamic batchers. */
+class Frontend
+{
+  public:
+    /** Simulated-clock read hook (seconds). */
+    using Clock = std::function<double()>;
+    /** Deferred-callback hook (the owner's event queue). */
+    using Scheduler =
+        std::function<void(double when, std::function<void()> cb)>;
+    /** Invoked whenever some model may have a dispatchable batch. */
+    using DrainHook = std::function<void()>;
+
+    Frontend(Clock now, Scheduler schedule, DrainHook drain);
+
+    /** Register a model's admission queue (handle from the owner). */
+    void addModel(ModelHandle handle, BatcherPolicy policy,
+                  latency::ServiceModel estimate, QosClass qos);
+
+    /**
+     * Admit one request: enqueue it on its model's batcher, trigger
+     * the drain hook if a batch became formable, and arm the
+     * deadline timer otherwise.
+     */
+    void arrive(ModelHandle handle, PendingRequest req);
+
+    /** The model's batcher (queue state, policy, bucket map). */
+    const Batcher &batcher(ModelHandle handle) const;
+    /** QoS class the model was registered with. */
+    QosClass qosClass(ModelHandle handle) const;
+
+    /**
+     * Among models with a formable batch (excluding @p held), the
+     * one whose head request has waited longest -- the global FIFO
+     * fairness rule of the dispatch loop.  0 when none qualifies.
+     */
+    ModelHandle pickOldestReady(
+        double now, const std::vector<ModelHandle> &held) const;
+
+    /** Pop the model's next batch (SLO shed/shrink applied). */
+    FormedBatch form(ModelHandle handle, double now);
+
+    /**
+     * Re-arm the model's deadline timer if requests are still
+     * queued -- the owner calls this after dispatch/completion.
+     */
+    void rearm(ModelHandle handle);
+
+    /**
+     * Pull EVERY queued request off every model's queue -- the
+     * failure path when a cell has no die left to serve them.  The
+     * owner resolves them as shed.
+     */
+    std::vector<std::pair<ModelHandle, std::vector<PendingRequest>>>
+    flushAll();
+
+  private:
+    struct Front
+    {
+        Front(BatcherPolicy policy, latency::ServiceModel estimate,
+              QosClass qos_class)
+            : batcher(policy, estimate), qos(qos_class)
+        {}
+
+        Batcher batcher;
+        QosClass qos;
+        bool timerArmed = false;
+    };
+
+    Front &_front(ModelHandle handle);
+    const Front &_front(ModelHandle handle) const;
+    void _armTimer(ModelHandle handle);
+
+    Clock _now;
+    Scheduler _schedule;
+    DrainHook _drain;
+    std::map<ModelHandle, Front> _fronts;
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_FRONTEND_HH

@@ -31,6 +31,22 @@ using RequestId = std::uint64_t;
 /** Opaque handle to a model loaded into a Session. */
 using ModelHandle = std::uint64_t;
 
+/**
+ * Quality-of-service class of a model's traffic.  The paper's 7 ms
+ * bound applies to END-USER-FACING requests; a datacenter also runs
+ * latency-tolerant work (the CNN-style offline scoring of Section 2)
+ * that an overloaded router sheds FIRST, so interactive tails
+ * survive capacity loss -- the cluster failover contract.
+ */
+enum class QosClass
+{
+    Interactive, ///< user-facing, holds its p99 SLO under overload
+    Batch,       ///< latency-tolerant, first to shed under overload
+};
+
+/** "interactive" / "batch". */
+const char *toString(QosClass qos);
+
 /** Final disposition of one request. */
 struct Reply
 {

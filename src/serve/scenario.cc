@@ -1,7 +1,9 @@
 #include "serve/scenario.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
+#include <tuple>
 
 #include "sim/logging.hh"
 
@@ -30,6 +32,42 @@ arrivalKindFromString(const std::string &name)
         return ArrivalKind::Bursty;
     fatal("unknown arrival kind '%s' (expected poisson, diurnal or "
           "bursty)", name.c_str());
+}
+
+const char *
+toString(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::ChipFail: return "chip_fail";
+      case FailureKind::PlatformSlowdown: return "platform_slowdown";
+      case FailureKind::CellFail: return "cell_fail";
+    }
+    return "?";
+}
+
+ScenarioScript
+ScenarioScript::normalized() const
+{
+    ScenarioScript out = *this;
+    const auto key = [](const FailureEvent &e) {
+        return std::make_tuple(e.atSeconds, static_cast<int>(e.kind),
+                               e.cell, e.chip,
+                               static_cast<int>(e.platform),
+                               e.factor);
+    };
+    std::stable_sort(out.failures.begin(), out.failures.end(),
+                     [&key](const FailureEvent &a,
+                            const FailureEvent &b) {
+                         return key(a) < key(b);
+                     });
+    for (const FailureEvent &e : out.failures) {
+        fatal_if(e.atSeconds < 0, "failure event in the past");
+        fatal_if(e.kind == FailureKind::PlatformSlowdown &&
+                 e.factor < 1.0,
+                 "slowdown factor %.3f < 1 would be a speedup",
+                 e.factor);
+    }
+    return out;
 }
 
 ScenarioConfig

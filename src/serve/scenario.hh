@@ -22,6 +22,21 @@
  *    exponentially-dwelling quiet/burst states whose two rates are
  *    solved from the burst multiplier and the fraction of time spent
  *    bursting.
+ *
+ * A scenario can also carry FAILURE events -- the paper's fleet
+ * framing implies hardware that dies and degrades while traffic is
+ * in flight: a die retiring mid-run (finishing its in-flight batch
+ * first), a platform slowing down (thermal throttling, a bad kernel
+ * rollout), or -- at cluster scope -- an entire cell going dark with
+ * its traffic failing over to the surviving cells.  A ScenarioScript
+ * composes one arrival process with a deterministically ordered
+ * failure schedule; composing does not perturb the ArrivalProcess
+ * itself (same config, same stream, with or without failures).
+ * Note the scope of that guarantee: it is a property of the
+ * GENERATOR.  A serve::Cluster additionally cuts generation into
+ * segments at the failure boundaries and reseeds per (cell,
+ * segment), so cluster-scope traffic is a (still deterministic)
+ * function of the failure schedule too -- see cluster.hh.
  */
 
 #ifndef TPUSIM_SERVE_SCENARIO_HH
@@ -29,7 +44,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "runtime/platform_backend.hh"
 #include "sim/rng.hh"
 
 namespace tpu {
@@ -83,6 +100,53 @@ struct ScenarioConfig
     static ScenarioConfig bursty(double rate, double multiplier,
                                  double fraction, double dwell,
                                  std::uint64_t seed = 42);
+};
+
+/** What breaks in a failure event. */
+enum class FailureKind
+{
+    ChipFail,         ///< one die retires (in-flight batch finishes)
+    PlatformSlowdown, ///< a platform's dies serve factor x slower
+    CellFail,         ///< a whole cell goes dark (cluster scope)
+};
+
+/** "chip_fail" / "platform_slowdown" / "cell_fail". */
+const char *toString(FailureKind kind);
+
+/** One scheduled failure or degradation. */
+struct FailureEvent
+{
+    double atSeconds = 0;   ///< simulated time the event lands
+    FailureKind kind = FailureKind::ChipFail;
+    /** ChipFail: pool chip index (within the target cell's pool). */
+    int chip = -1;
+    /**
+     * Which cell the event targets.  Session scope ignores this
+     * field (-1, the default, is fine there); cluster scope
+     * REQUIRES a valid cell index -- serve::Cluster is fatal on -1
+     * rather than guessing a target.
+     */
+    int cell = -1;
+    /** PlatformSlowdown: which platform degrades. */
+    runtime::PlatformKind platform = runtime::PlatformKind::Tpu;
+    /** PlatformSlowdown: service-time multiplier (>= 1). */
+    double factor = 1.0;
+};
+
+/**
+ * One traffic scenario plus its failure schedule.  normalized()
+ * orders the failures deterministically -- by (time, kind, cell,
+ * chip, platform) -- so two scripts built from the same events in
+ * any order replay identically, the property the composition tests
+ * and every cluster determinism gate rest on.
+ */
+struct ScenarioScript
+{
+    ScenarioConfig arrivals;
+    std::vector<FailureEvent> failures;
+
+    /** Copy with the failure schedule in canonical order. */
+    ScenarioScript normalized() const;
 };
 
 /**

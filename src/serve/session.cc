@@ -57,11 +57,11 @@ PlatformServingStats::PlatformServingStats(runtime::PlatformKind k)
 }
 
 Session::Model::Model(std::string model_name,
-                      NetworkBuilder net_builder, BatcherPolicy policy,
-                      latency::ServiceModel estimate, double host_frac)
+                      NetworkBuilder net_builder,
+                      BatcherPolicy batcher_policy, double host_frac)
     : name(std::move(model_name)), builder(std::move(net_builder)),
-      hostFraction(host_frac), batcher(policy, estimate),
-      stats(name, policy.sloSeconds)
+      hostFraction(host_frac),
+      stats(name, batcher_policy.sloSeconds)
 {}
 
 Session::Session(arch::TpuConfig config, SessionOptions options)
@@ -69,7 +69,13 @@ Session::Session(arch::TpuConfig config, SessionOptions options)
       _pool(_config,
             options.fleet.empty() ? tpuFleet(options.chips)
                                   : options.fleet,
-            [this]() { return now(); }, options.tier),
+            [this]() { return now(); }, options.tier,
+            options.programCache),
+      _frontend([this]() { return now(); },
+                [this](double when, std::function<void()> cb) {
+                    _scheduleAt(when, 0, std::move(cb));
+                },
+                [this]() { _drain(); }),
       _stats("serve_session"),
       _submitted("submitted", "requests submitted"),
       _completed("completed", "requests served to completion"),
@@ -97,7 +103,8 @@ Session::Session(arch::TpuConfig config, SessionOptions options)
 
 ModelHandle
 Session::load(const std::string &name, NetworkBuilder builder,
-              BatcherPolicy policy, double host_fraction)
+              BatcherPolicy policy, double host_fraction,
+              QosClass qos)
 {
     fatal_if(!builder, "model builder must be callable");
     fatal_if(host_fraction < 0.0, "negative host fraction");
@@ -125,9 +132,9 @@ Session::load(const std::string &name, NetworkBuilder builder,
         estimates.at(_pool.fleet().front().platform);
     const ModelHandle handle = _nextModel++;
     auto model = std::make_unique<Model>(name, std::move(builder),
-                                         policy, estimate,
-                                         host_fraction);
+                                         policy, host_fraction);
     model->platformEstimates = std::move(estimates);
+    _frontend.addModel(handle, policy, estimate, qos);
     // Platform histograms must resolve the slowest model's tail: a
     // CPU fleet's relaxed CNN limits reach hundreds of ms, far past
     // any fixed construction-time range.  Models all load before
@@ -166,6 +173,93 @@ const ModelServingStats &
 Session::modelStats(ModelHandle handle) const
 {
     return _model(handle).stats;
+}
+
+QosClass
+Session::qosClass(ModelHandle handle) const
+{
+    _model(handle); // validate
+    return _frontend.qosClass(handle);
+}
+
+const latency::ServiceModel &
+Session::serviceEstimate(ModelHandle handle,
+                         runtime::PlatformKind kind) const
+{
+    const Model &m = _model(handle);
+    auto it = m.platformEstimates.find(kind);
+    fatal_if(it == m.platformEstimates.end(),
+             "model '%s' has no service estimate for platform '%s' "
+             "(not in this session's fleet)", m.name.c_str(),
+             runtime::toString(kind));
+    return it->second;
+}
+
+void
+Session::precompileModels()
+{
+    for (auto &entry : _models) {
+        Model &m = *entry.second;
+        const Batcher &batcher = _frontend.batcher(entry.first);
+        // Every distinct compiled bucket the batcher could ever form.
+        std::int64_t last = 0;
+        for (std::int64_t b = 1; b <= batcher.policy().maxBatch;
+             ++b) {
+            const std::int64_t bucket = batcher.bucketFor(b);
+            if (bucket == last)
+                continue;
+            last = bucket;
+            _backendHandle(m, bucket, 0);
+        }
+    }
+}
+
+void
+Session::applyFailures(const std::vector<FailureEvent> &events)
+{
+    for (const FailureEvent &e : events) {
+        fatal_if(e.kind == FailureKind::CellFail,
+                 "CellFail is cluster scope; expand it into per-chip "
+                 "failures (serve::Cluster does this)");
+        fatal_if(e.atSeconds < now(),
+                 "scheduling a failure in the simulated past");
+        switch (e.kind) {
+          case FailureKind::ChipFail: {
+            const int chip = e.chip;
+            fatal_if(chip < 0 || chip >= _pool.size(),
+                     "chip-failure event for chip %d of a %d-chip "
+                     "pool", chip, _pool.size());
+            // Priority -2: a failure landing on the same tick as a
+            // completion or arrival retires the die first -- the
+            // deterministic order the composition tests pin down.
+            _scheduleAt(e.atSeconds, -2, [this, chip]() {
+                _pool.fail(chip);
+                if (_pool.aliveCount() == 0)
+                    _shedEverything();
+            });
+            break;
+          }
+          case FailureKind::PlatformSlowdown: {
+            const runtime::PlatformKind platform = e.platform;
+            const double factor = e.factor;
+            _scheduleAt(e.atSeconds, -2, [this, platform, factor]() {
+                _pool.setSlowdown(platform, factor);
+            });
+            break;
+          }
+          case FailureKind::CellFail:
+            break; // rejected above
+        }
+    }
+}
+
+void
+Session::_shedEverything()
+{
+    for (auto &flushed : _frontend.flushAll()) {
+        Model &m = _model(flushed.first);
+        _resolveShed(m, flushed.second);
+    }
 }
 
 const PlatformServingStats &
@@ -286,37 +380,14 @@ Session::_arrive(ModelHandle handle, PendingRequest req)
     Model &m = _model(handle);
     _submitted += 1;
     m.stats.submitted += 1;
-    m.batcher.admit(std::move(req));
-    if (m.batcher.batchReady(now()))
-        _drain();
-    if (!m.batcher.empty())
-        _armTimer(handle);
-}
-
-void
-Session::_armTimer(ModelHandle handle)
-{
-    Model &m = _model(handle);
-    if (m.timerArmed || m.batcher.empty())
-        return;
-    const double deadline = m.batcher.nextDeadline();
-    // A head already past its deadline is dispatchable now; it waits
-    // only for a chip, and every chip completion re-drains, so no
-    // timer is needed (re-arming one at "now" would spin).
-    if (deadline <= now()) {
-        if (m.batcher.batchReady(now()))
-            _drain();
+    if (_pool.aliveCount() == 0) {
+        // The cell is dark: nothing will ever serve this request.
+        std::vector<PendingRequest> dead;
+        dead.push_back(std::move(req));
+        _resolveShed(m, dead);
         return;
     }
-    m.timerArmed = true;
-    _scheduleAt(deadline, 0, [this, handle]() {
-        Model &model = _model(handle);
-        model.timerArmed = false;
-        if (model.batcher.batchReady(now()))
-            _drain();
-        if (!model.batcher.empty())
-            _armTimer(handle);
-    });
+    _frontend.arrive(handle, std::move(req));
 }
 
 void
@@ -326,27 +397,14 @@ Session::_drain()
     // SLO-viable platform); they re-enter at the next drain.  A flat
     // vector: sessions hold a handful of models, drains are hot.
     std::vector<ModelHandle> held;
-    const auto is_held = [&held](ModelHandle h) {
-        return std::find(held.begin(), held.end(), h) != held.end();
-    };
     while (_pool.anyFree()) {
         // Global FIFO fairness: among models with a dispatchable
         // batch, serve the one whose head request has waited longest.
-        ModelHandle pick = 0;
-        double oldest = std::numeric_limits<double>::infinity();
-        for (const auto &entry : _models) {
-            const Model &m = *entry.second;
-            if (is_held(entry.first) ||
-                !m.batcher.batchReady(now()))
-                continue;
-            if (m.batcher.oldestArrival() < oldest) {
-                oldest = m.batcher.oldestArrival();
-                pick = entry.first;
-            }
-        }
+        const ModelHandle pick =
+            _frontend.pickOldestReady(now(), held);
         if (pick == 0)
             break;
-        const int chip = _chooseChip(_model(pick));
+        const int chip = _chooseChip(pick, _model(pick));
         if (chip < 0) {
             held.push_back(pick);
             continue;
@@ -356,18 +414,19 @@ Session::_drain()
 }
 
 int
-Session::_chooseChip(Model &m)
+Session::_chooseChip(ModelHandle handle, Model &m)
 {
-    const double slo = m.batcher.policy().sloSeconds;
-    const double waited = now() - m.batcher.oldestArrival();
+    const Batcher &batcher = _frontend.batcher(handle);
+    const double slo = batcher.policy().sloSeconds;
+    const double waited = now() - batcher.oldestArrival();
     // Routing estimate for the batch about to form: what is queued,
     // capped at maxBatch, padded to its compiled bucket.  form() may
     // still shrink it; the estimate only routes.
     const std::int64_t queued = std::max<std::int64_t>(
         1, std::min<std::int64_t>(
-               static_cast<std::int64_t>(m.batcher.depth()),
-               m.batcher.policy().maxBatch));
-    const std::int64_t bucket = m.batcher.bucketFor(queued);
+               static_cast<std::int64_t>(batcher.depth()),
+               batcher.policy().maxBatch));
+    const std::int64_t bucket = batcher.bucketFor(queued);
 
     constexpr double kNone = -std::numeric_limits<double>::infinity();
     double best_free = kNone; // best headroom on a free platform
@@ -375,6 +434,10 @@ Session::_chooseChip(Model &m)
     runtime::PlatformKind best_kind = runtime::PlatformKind::Tpu;
     bool have_free = false;
     for (const FleetGroup &fg : _pool.fleet()) {
+        // A platform with no die left cannot serve or re-drain; it
+        // must not anchor either headroom bound.
+        if (_pool.aliveCount(fg.platform) == 0)
+            continue;
         const latency::ServiceModel &est =
             m.platformEstimates.at(fg.platform);
         const double headroom = slo - waited - est.seconds(bucket);
@@ -430,7 +493,7 @@ Session::_dispatch(ModelHandle handle, int chip)
 {
     Model &m = _model(handle);
     const double start = now();
-    FormedBatch batch = m.batcher.form(start);
+    FormedBatch batch = _frontend.form(handle, start);
     _resolveShed(m, batch.shed);
     if (batch.requests.empty()) {
         _pool.release(chip);
@@ -514,8 +577,13 @@ Session::_complete(ModelHandle handle, int chip, FormedBatch batch,
         req.state->ready = true;
     }
     _pool.release(chip);
-    if (!m.batcher.empty())
-        _armTimer(handle);
+    // A dying chip retires on release; if it was the LAST die, the
+    // queued requests have no one left to serve them -- shed now,
+    // or they would sit unresolved forever (no completion will ever
+    // re-drain).
+    if (_pool.aliveCount() == 0)
+        _shedEverything();
+    _frontend.rearm(handle);
     _drain();
 }
 

@@ -32,7 +32,17 @@
  *
  * Everything is single-threaded and deterministic: "async" means
  * asynchronous in simulated time, which is what a discrete-event
- * serving model needs to reproduce Table 4 faithfully.
+ * serving model needs to reproduce Table 4 faithfully.  A Session is
+ * one CELL of a serve::Cluster: the cluster runs many sessions on
+ * parallel OS threads, each confined to its own EventQueue, sharing
+ * only the frozen program cache.
+ *
+ * Since the cluster refactor the Session is explicitly two halves:
+ * the admission/batching FRONT-END (serve::Frontend -- per-model
+ * queues, deadline timers, QoS classes) and the DISPATCH half kept
+ * here (platform-aware chip choice, invocation, completion, failure
+ * events).  The Frontend seam is what lets a cluster Router own
+ * admission policy above any number of cells.
  */
 
 #ifndef TPUSIM_SERVE_SESSION_HH
@@ -51,7 +61,9 @@
 #include "nn/network.hh"
 #include "serve/batcher.hh"
 #include "serve/chip_pool.hh"
+#include "serve/frontend.hh"
 #include "serve/request.hh"
+#include "serve/scenario.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
@@ -88,6 +100,14 @@ struct SessionOptions
      * serving live traffic side by side.
      */
     FleetSpec fleet;
+
+    /**
+     * Externally owned program cache shared beyond this session --
+     * the cluster arrangement: every cell reads one frozen
+     * compile-once-publish-immutable set of images.  Null (the
+     * default) gives the pool a private cache.
+     */
+    std::shared_ptr<runtime::SharedProgramCache> programCache;
 };
 
 /** Measured serving statistics for one loaded model. */
@@ -166,10 +186,45 @@ class Session
      * Register a model for serving.  @p builder is invoked per
      * compiled batch bucket; the returned network's batch size is
      * overridden to the bucket.  @p host_fraction is the Table 5
-     * host-interaction share added to device time.
+     * host-interaction share added to device time.  @p qos decides
+     * what an overloaded router sheds first (batch class before
+     * interactive).
      */
     ModelHandle load(const std::string &name, NetworkBuilder builder,
-                     BatcherPolicy policy, double host_fraction = 0.0);
+                     BatcherPolicy policy, double host_fraction = 0.0,
+                     QosClass qos = QosClass::Interactive);
+
+    /**
+     * Compile every (model, bucket) program image this session could
+     * ever dispatch, through chip 0's driver, into the (possibly
+     * shared) program cache.  A cluster calls this on ONE cell and
+     * then freezes the cache, so every other cell's lazy loads are
+     * guaranteed read-only hits.
+     */
+    void precompileModels();
+
+    /**
+     * Schedule @p events onto this session's clock: chip failures
+     * retire pool dies mid-run (serve/chip_pool.hh), platform
+     * slowdowns stretch service times.  CellFail events are cluster
+     * scope and rejected here (the Cluster expands them into
+     * per-chip failures).  Call before run(); events land in
+     * deterministic order (ties broken by schedule order, so pass a
+     * ScenarioScript::normalized() schedule).
+     */
+    void applyFailures(const std::vector<FailureEvent> &events);
+
+    /** QoS class @p handle was loaded with. */
+    QosClass qosClass(ModelHandle handle) const;
+
+    /**
+     * The model's calibrated batch service estimate on @p kind --
+     * the dispatch routing input, also what a cluster Router prices
+     * placement with (fatal if the platform is not in the fleet).
+     */
+    const latency::ServiceModel &
+    serviceEstimate(ModelHandle handle,
+                    runtime::PlatformKind kind) const;
 
     /** Submit one request at the current simulated time. */
     Future submit(ModelHandle handle,
@@ -242,18 +297,26 @@ class Session
                                     std::int64_t batch);
 
   private:
+    /**
+     * Dispatch-side state of one loaded model.  Queue state (the
+     * batcher, deadline timers, QoS class) lives in the Frontend;
+     * what remains here is what dispatch needs: how to build and
+     * route the model and where its measurements go.
+     */
     struct Model
     {
         Model(std::string model_name, NetworkBuilder net_builder,
-              BatcherPolicy policy, latency::ServiceModel estimate,
-              double host_frac);
+              BatcherPolicy policy, double host_frac);
 
         std::string name;
         NetworkBuilder builder;
         double hostFraction;
-        Batcher batcher;
+        /**
+         * No BatcherPolicy here: the Frontend's batcher is the one
+         * owner (Frontend::batcher(handle).policy()), so dispatch
+         * routing can never drift from admission policy.
+         */
         ModelServingStats stats;
-        bool timerArmed = false;
         /** (bucket, chip) -> backend model handle. */
         std::map<std::pair<std::int64_t, int>,
                  runtime::ModelHandle> backendHandles;
@@ -293,19 +356,22 @@ class Session
     void _pumpArrivals();
 
     void _arrive(ModelHandle handle, PendingRequest req);
-    void _armTimer(ModelHandle handle);
     void _drain();
 
     /**
      * Pick and claim the chip for @p m's next batch: among platforms
-     * with a free chip, the one whose modelled completion leaves the
-     * most latency headroom against the SLO (per-model round-robin
-     * inside the platform).  Returns -1 to hold the batch: either
-     * nothing is free, or every free platform would breach the SLO
-     * while a busy one could still make it (its completion re-drains
-     * before the deadline forces a shed).
+     * with a free, still-alive chip, the one whose modelled
+     * completion leaves the most latency headroom against the SLO
+     * (per-model round-robin inside the platform).  Returns -1 to
+     * hold the batch: either nothing is free, or every free platform
+     * would breach the SLO while a busy one could still make it (its
+     * completion re-drains before the deadline forces a shed).
+     * Platforms with no die left are skipped entirely.
      */
-    int _chooseChip(Model &m);
+    int _chooseChip(ModelHandle handle, Model &m);
+
+    /** All queued requests shed: the pool has no die left. */
+    void _shedEverything();
 
     /** Mutable per-platform serving stats (fatal if absent). */
     PlatformServingStats &_platformServing(runtime::PlatformKind kind);
@@ -339,6 +405,8 @@ class Session
     arch::TpuConfig _config;
     EventQueue _events;
     ChipPool _pool;
+    /** Admission/batching half (constructed after _events/_pool). */
+    Frontend _frontend;
 
     std::map<ModelHandle, std::unique_ptr<Model>> _models;
     ModelHandle _nextModel = 1;

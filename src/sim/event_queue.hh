@@ -5,6 +5,14 @@
  * Used by the latency/queueing simulator and available to any model that
  * needs event-driven behaviour.  Ties are broken by (priority, insertion
  * order) so simulation results are deterministic.
+ *
+ * Thread confinement: an EventQueue is pure instance state -- there is
+ * no hidden global clock or registry -- so a multi-cell simulation
+ * (serve::Cluster) runs one queue per cell, each owned by exactly one
+ * thread for the duration of a run.  Simulated clocks of different
+ * cells advance independently; nothing here synchronizes them, which
+ * is precisely what makes per-cell runs bit-reproducible regardless
+ * of how many OS threads execute them.
  */
 
 #ifndef TPUSIM_SIM_EVENT_QUEUE_HH

@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -7,19 +8,24 @@
 namespace tpu {
 
 namespace {
-bool quietFlag = false;
+// The one piece of process-global state in the logging layer.  It is
+// explicitly atomic so parallel simulation cells (serve::Cluster cell
+// threads) may log -- and a driver may flip quiet mode -- without a
+// data race; everything else in sim/ is instance state confined to
+// one cell's thread.
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 void
 setQuiet(bool q)
 {
-    quietFlag = q;
+    quietFlag.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -71,7 +77,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 void
 warnImpl(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quiet())
         return;
     va_list args;
     va_start(args, fmt);
@@ -83,7 +89,7 @@ warnImpl(const char *fmt, ...)
 void
 informImpl(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quiet())
         return;
     va_list args;
     va_start(args, fmt);

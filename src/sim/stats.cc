@@ -21,17 +21,79 @@ Distribution::Distribution(std::string name, std::string desc, double lo,
 }
 
 void
+Distribution::_rebucket(double lo, double hi)
+{
+    const double width =
+        (hi - lo) / static_cast<double>(_buckets.size());
+    std::vector<std::uint64_t> rebucketed(_buckets.size(), 0);
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        // The bucket's mass moves wholesale to the new bucket holding
+        // its midpoint: resolution degrades to the wider geometry,
+        // but no count is clipped into under/overflow.
+        const double mid =
+            _lo + _bucketWidth * (static_cast<double>(i) + 0.5);
+        auto idx = static_cast<std::size_t>((mid - lo) / width);
+        idx = std::min(idx, rebucketed.size() - 1);
+        rebucketed[idx] += _buckets[i];
+    }
+    _buckets = std::move(rebucketed);
+    _lo = lo;
+    _hi = hi;
+    _bucketWidth = width;
+}
+
+void
 Distribution::widen(double lo, double hi)
 {
     panic_if(hi <= lo, "Distribution %s: hi (%f) <= lo (%f)",
              name().c_str(), hi, lo);
-    fatal_if(_count != 0,
-             "widening distribution %s after %llu samples would "
-             "discard them", name().c_str(),
-             static_cast<unsigned long long>(_count));
-    _lo = lo;
-    _hi = hi;
-    _bucketWidth = (hi - lo) / static_cast<double>(_buckets.size());
+    fatal_if(lo > _lo || hi < _hi,
+             "widen() on distribution %s must contain the old range "
+             "[%f, %f); narrowing to [%f, %f) would clip samples",
+             name().c_str(), _lo, _hi, lo, hi);
+    if (lo == _lo && hi == _hi)
+        return;
+    _rebucket(lo, hi);
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other._count == 0)
+        return;
+    // Unify geometry first: widen (re-bucketing our own counts if
+    // necessary) to the union of both ranges.  The common cluster
+    // case -- every cell constructed its histogram from the same SLO
+    // -- skips this entirely and merges element-wise below.
+    widen(std::min(_lo, other._lo), std::max(_hi, other._hi));
+    if (other._lo == _lo && other._hi == _hi &&
+        other._buckets.size() == _buckets.size()) {
+        for (std::size_t i = 0; i < _buckets.size(); ++i)
+            _buckets[i] += other._buckets[i];
+    } else {
+        const double o_width = other._bucketWidth;
+        for (std::size_t i = 0; i < other._buckets.size(); ++i) {
+            if (other._buckets[i] == 0)
+                continue;
+            const double mid = other._lo +
+                o_width * (static_cast<double>(i) + 0.5);
+            auto idx =
+                static_cast<std::size_t>((mid - _lo) / _bucketWidth);
+            idx = std::min(idx, _buckets.size() - 1);
+            _buckets[idx] += other._buckets[i];
+        }
+    }
+    // The other histogram's out-of-range samples have unknown values;
+    // they stay out of range (our range contains the other's, so they
+    // are out of ours too).
+    _underflow += other._underflow;
+    _overflow += other._overflow;
+    _sum += other._sum;
+    _count += other._count;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
 }
 
 void

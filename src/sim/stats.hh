@@ -6,6 +6,14 @@
  * Supported kinds: Scalar (a counter), Average (mean of samples),
  * Distribution (fixed-bucket histogram with min/max/mean), and Formula
  * (a lazily evaluated function of other stats).
+ *
+ * Cross-cell merging: a cluster of parallel simulation cells keeps one
+ * stats tree per cell (stats are NOT thread-safe and never shared
+ * across threads) and folds them together after the cell threads join
+ * via the merge() members on Scalar, Average and Distribution.
+ * Distribution::merge re-buckets when the two histograms cover
+ * different ranges -- counts are never clipped into under/overflow
+ * just because the ranges drifted apart (see widen()).
  */
 
 #ifndef TPUSIM_SIM_STATS_HH
@@ -53,6 +61,9 @@ class Scalar : public Stat
     Scalar &operator++() { _value += 1; return *this; }
     void set(double v) { _value = v; }
 
+    /** Fold another cell's counter into this one. */
+    void merge(const Scalar &other) { _value += other._value; }
+
     double value() const { return _value; }
     double result() const override { return _value; }
     void reset() override { _value = 0; }
@@ -68,6 +79,14 @@ class Average : public Stat
     using Stat::Stat;
 
     void sample(double v) { _sum += v; ++_count; }
+
+    /** Fold another cell's samples into this mean (exact). */
+    void
+    merge(const Average &other)
+    {
+        _sum += other._sum;
+        _count += other._count;
+    }
 
     std::uint64_t count() const { return _count; }
     double result() const override
@@ -91,12 +110,29 @@ class Distribution : public Stat
     void sample(double v);
 
     /**
-     * Re-range an EMPTY histogram (fatal once samples exist): callers
-     * that learn their value range after construction -- a serving
-     * session discovering its models' SLOs at load time -- widen the
-     * histogram before traffic starts instead of guessing at birth.
+     * Re-range the histogram to the WIDER [lo, hi] (fatal if the new
+     * range does not contain the old one -- narrowing would clip).
+     * Callers that learn their value range after construction -- a
+     * serving session discovering its models' SLOs at load time --
+     * widen before traffic starts; a histogram that already holds
+     * samples is re-bucketed (each bucket's count moves to the new
+     * bucket containing its midpoint), trading resolution, never
+     * dropping or clipping counts.
      */
     void widen(double lo, double hi);
+
+    /**
+     * Fold another histogram into this one -- the cross-cell merge a
+     * parallel cluster runs after its cell threads join.  Identical
+     * geometry (same range, same bucket count) merges element-wise,
+     * the O(buckets) hot path; differing ranges first widen() this
+     * histogram to the union of both ranges and then re-bucket the
+     * other's counts by bucket midpoint -- never clipping mass into
+     * under/overflow just because the ranges drifted.  Moments
+     * (count/sum/min/max) merge exactly; percentiles keep bucket
+     * resolution of the widened range.
+     */
+    void merge(const Distribution &other);
 
     double min() const { return _min; }
     double max() const { return _max; }
@@ -113,6 +149,9 @@ class Distribution : public Stat
     void reset() override;
 
   private:
+    /** Move existing counts into a [lo, hi] geometry by midpoint. */
+    void _rebucket(double lo, double hi);
+
     double _lo;
     double _hi;
     double _bucketWidth;

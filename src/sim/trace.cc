@@ -1,5 +1,6 @@
 #include "sim/trace.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <iostream>
 
@@ -17,7 +18,12 @@ registry()
     return flags;
 }
 
-std::ostream *sink = &std::cerr;
+// Like logging's quiet flag, the sink pointer is the only mutable
+// process-global here; atomic so a flag enabled on one simulation
+// cell's thread never races a sink swap on another.  (Interleaved
+// WRITES to one shared stream are the caller's business -- tracing a
+// parallel cluster run should target per-cell sinks.)
+std::atomic<std::ostream *> sink{&std::cerr};
 
 } // namespace
 
@@ -59,15 +65,13 @@ std::ostream *
 setOutput(std::ostream *os)
 {
     panic_if(!os, "null trace sink");
-    std::ostream *prev = sink;
-    sink = os;
-    return prev;
+    return sink.exchange(os);
 }
 
 std::ostream &
 output()
 {
-    return *sink;
+    return *sink.load();
 }
 
 void
@@ -77,7 +81,8 @@ emit(const DebugFlag &flag, std::uint64_t cycle, const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
     va_end(args);
-    *sink << cycle << ": " << flag.name() << ": " << msg << "\n";
+    *sink.load() << cycle << ": " << flag.name() << ": " << msg
+                 << "\n";
 }
 
 } // namespace trace

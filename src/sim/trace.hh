@@ -10,6 +10,7 @@
 #ifndef TPUSIM_SIM_TRACE_HH
 #define TPUSIM_SIM_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -27,9 +28,23 @@ class DebugFlag
     const std::string &name() const { return _name; }
     const std::string &desc() const { return _desc; }
 
-    bool enabled() const { return _enabled; }
-    void enable() { _enabled = true; }
-    void disable() { _enabled = false; }
+    /**
+     * The enabled bit is atomic (relaxed): DTRACE's hot-path test may
+     * run on any parallel simulation cell's thread while a driver
+     * flips flags -- the registry itself is built during static
+     * initialization and read-only afterwards.
+     */
+    bool
+    enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+    void enable() { _enabled.store(true, std::memory_order_relaxed); }
+    void
+    disable()
+    {
+        _enabled.store(false, std::memory_order_relaxed);
+    }
 
     /** All registered flags (for --debug-flags style listing). */
     static const std::vector<DebugFlag *> &all();
@@ -43,7 +58,7 @@ class DebugFlag
   private:
     std::string _name;
     std::string _desc;
-    bool _enabled = false;
+    std::atomic<bool> _enabled{false};
 };
 
 /** Trace sink (defaults to std::cerr); returns the previous sink. */

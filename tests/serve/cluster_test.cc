@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Tests for the cluster layer (src/serve/cluster.hh): Router
+ * placement and QoS admission arithmetic, cell-thread determinism
+ * (bit-identical across repeated runs AND worker-thread counts),
+ * kill-a-cell failover, and the compile-once-publish-immutable
+ * shared program cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/cluster.hh"
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace serve {
+namespace {
+
+arch::TpuConfig
+testConfig()
+{
+    arch::TpuConfig c;
+    c.matrixDim = 16;
+    c.accumulatorEntries = 64;
+    c.unifiedBufferBytes = 64 * 1024;
+    c.clockHz = 1e9;
+    c.weightMemoryBytesPerSec = 16e9;
+    c.pcieBytesPerSec = 16e9;
+    return c;
+}
+
+Session::NetworkBuilder
+smallBuilder(const char *name)
+{
+    return [name](std::int64_t batch) {
+        nn::Network net(name, batch);
+        net.addFullyConnected(32, 32);
+        net.addFullyConnected(32, 16);
+        return net;
+    };
+}
+
+/** A 2-model cluster: one interactive, one batch-class. */
+struct MiniCluster
+{
+    explicit MiniCluster(int cells, int chips_per_cell = 2,
+                         int threads = 0)
+        : options(), cluster(nullptr)
+    {
+        options.cells = cells;
+        options.fleet = tpuFleet(chips_per_cell);
+        options.tier =
+            runtime::TierPolicy{runtime::ExecutionTier::Replay};
+        options.threads = threads;
+        cluster = std::make_unique<Cluster>(testConfig(), options);
+
+        BatcherPolicy fast;
+        fast.maxBatch = 8;
+        fast.maxDelaySeconds = 2e-4;
+        fast.sloSeconds = 7e-3;
+        interactive = cluster->load("fast", smallBuilder("fast"),
+                                    fast, 0.0,
+                                    QosClass::Interactive);
+        BatcherPolicy bulk;
+        bulk.maxBatch = 16;
+        bulk.maxDelaySeconds = 1e-3;
+        bulk.sloSeconds = 50e-3;
+        batch = cluster->load("bulk", smallBuilder("bulk"), bulk,
+                              0.0, QosClass::Batch);
+    }
+
+    /** Offered rate at @p load x the interactive-model capacity. */
+    double
+    rateFor(double load) const
+    {
+        const latency::ServiceModel svc =
+            cluster->cell(0).serviceEstimate(
+                interactive, runtime::PlatformKind::Tpu);
+        return load * options.cells *
+               options.fleet.front().chips * svc.maxThroughput(8);
+    }
+
+    /** Traffic sized by expected request count, not wall seconds. */
+    ClusterTraffic
+    traffic(double load, std::uint64_t requests) const
+    {
+        const double rate = rateFor(load);
+        ClusterTraffic t;
+        t.arrivals = ScenarioConfig::poisson(rate);
+        t.mixShare = {0.7, 0.3};
+        t.durationSeconds = static_cast<double>(requests) / rate;
+        return t;
+    }
+
+    ClusterOptions options;
+    std::unique_ptr<Cluster> cluster;
+    ModelHandle interactive = 0;
+    ModelHandle batch = 0;
+};
+
+// ------------------------------------------------------------ Router
+
+TEST(Router, PlacementFollowsWeights)
+{
+    Router router(0.9, 1.25);
+    Router::Model m;
+    m.rateIps = 1000;
+    m.perItemSeconds = 1e-3;
+    m.replicaCells = {0, 1, 2};
+    // Cell 2 has half the capacity of cells 0/1: weighted-least-load
+    // must give it about half their share.
+    const RouterPlan plan = router.plan(
+        {0.0, 1.0}, {{2.0, 2.0, 1.0}}, {m});
+    ASSERT_EQ(plan.segments.size(), 1u);
+    const auto &seg = plan.segments[0];
+    double total = 0;
+    for (double s : seg.share[0])
+        total += s;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_NEAR(seg.share[0][0], 0.4, 1.0 / Router::kPlacementQuanta);
+    EXPECT_NEAR(seg.share[0][1], 0.4, 1.0 / Router::kPlacementQuanta);
+    EXPECT_NEAR(seg.share[0][2], 0.2, 1.0 / Router::kPlacementQuanta);
+    // Balanced placement leaves projected utilization equal (and
+    // below the admit threshold at this load): no admission shedding.
+    for (int c = 0; c < 3; ++c) {
+        EXPECT_NEAR(seg.utilization[static_cast<std::size_t>(c)],
+                    0.2, 0.05);
+        EXPECT_DOUBLE_EQ(seg.admit[0][static_cast<std::size_t>(c)],
+                         1.0);
+    }
+}
+
+TEST(Router, RespectsReplicaSets)
+{
+    Router router(0.9, 1.25);
+    Router::Model m;
+    m.rateIps = 100;
+    m.perItemSeconds = 1e-3;
+    m.replicaCells = {1}; // only cell 1 holds the model
+    const RouterPlan plan =
+        router.plan({0.0, 1.0}, {{1.0, 1.0, 1.0}}, {m});
+    const auto &seg = plan.segments[0];
+    EXPECT_DOUBLE_EQ(seg.share[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(seg.share[0][1], 1.0);
+    EXPECT_DOUBLE_EQ(seg.share[0][2], 0.0);
+}
+
+TEST(Router, ShedsBatchClassFirstUnderOverload)
+{
+    Router router(0.9, 1.25);
+    Router::Model interactive;
+    interactive.rateIps = 700;
+    interactive.perItemSeconds = 1e-3; // 0.7 die-seconds/s
+    interactive.qos = QosClass::Interactive;
+    interactive.replicaCells = {0};
+    Router::Model batch = interactive;
+    batch.rateIps = 500; // 0.5 die-seconds/s -> 1.2 total on 1 die
+    batch.qos = QosClass::Batch;
+    const RouterPlan plan = router.plan(
+        {0.0, 1.0}, {{1.0}}, {interactive, batch});
+    const auto &seg = plan.segments[0];
+    EXPECT_GT(seg.utilization[0], 0.9);
+    // Interactive untouched; batch thinned to fit the 0.9 budget:
+    // (0.9 - 0.7) / 0.5 = 0.4.  (admit is [model][cell]; model 0 is
+    // the interactive one, model 1 the batch one.)
+    EXPECT_DOUBLE_EQ(seg.admit[0][0], 1.0);
+    EXPECT_NEAR(seg.admit[1][0], 0.4, 1e-9);
+}
+
+TEST(Router, UnplaceableTrafficIsRoutedForAccounting)
+{
+    // Every replica of the model is dark: the router cannot place
+    // the traffic, but it must not vanish -- the first replica cell
+    // carries it with admit 0, so it is generated and router-shed.
+    Router router(0.9, 1.25);
+    Router::Model m;
+    m.rateIps = 100;
+    m.perItemSeconds = 1e-3;
+    m.replicaCells = {1, 2};
+    const RouterPlan plan =
+        router.plan({0.0, 1.0}, {{1.0, 0.0, 0.0}}, {m});
+    const auto &seg = plan.segments[0];
+    EXPECT_DOUBLE_EQ(seg.share[0][1], 1.0);
+    EXPECT_DOUBLE_EQ(seg.admit[0][1], 0.0);
+    EXPECT_DOUBLE_EQ(seg.cellRate[1], 100.0);
+}
+
+TEST(Router, ShedsInteractiveOnlyPastCeiling)
+{
+    Router router(0.9, 1.25);
+    Router::Model interactive;
+    interactive.rateIps = 2000;
+    interactive.perItemSeconds = 1e-3; // 2.0 die-seconds/s on 1 die
+    interactive.qos = QosClass::Interactive;
+    interactive.replicaCells = {0};
+    const RouterPlan plan =
+        router.plan({0.0, 1.0}, {{1.0}}, {interactive});
+    const auto &seg = plan.segments[0];
+    // Above even the interactive ceiling: thinned to 1.25 / 2.0.
+    EXPECT_NEAR(seg.admit[0][0], 0.625, 1e-9);
+}
+
+TEST(Router, FailoverRedistributesToSurvivors)
+{
+    Router router(0.9, 1.25);
+    Router::Model m;
+    m.rateIps = 300;
+    m.perItemSeconds = 1e-3;
+    m.replicaCells = {0, 1, 2};
+    // Segment 2: cell 1 dark (weight 0).
+    const RouterPlan plan = router.plan(
+        {0.0, 1.0, 2.0}, {{1.0, 1.0, 1.0}, {1.0, 0.0, 1.0}}, {m});
+    ASSERT_EQ(plan.segments.size(), 2u);
+    EXPECT_NEAR(plan.segments[0].share[0][1], 1.0 / 3.0,
+                1.0 / Router::kPlacementQuanta);
+    EXPECT_DOUBLE_EQ(plan.segments[1].share[0][1], 0.0);
+    EXPECT_NEAR(plan.segments[1].share[0][0], 0.5,
+                1.0 / Router::kPlacementQuanta);
+    EXPECT_NEAR(plan.segments[1].share[0][2], 0.5,
+                1.0 / Router::kPlacementQuanta);
+}
+
+// ----------------------------------------------------------- Cluster
+
+TEST(Cluster, DeterministicAcrossRunsAndThreadCounts)
+{
+    const auto run_once = [](int threads) {
+        MiniCluster mini(3, 2, threads);
+        const auto &stats =
+            mini.cluster->serve(mini.traffic(0.5, 20000));
+        return stats.fingerprint();
+    };
+    const std::uint64_t serial = run_once(1);
+    const std::uint64_t parallel = run_once(3);
+    const std::uint64_t again = run_once(3);
+    EXPECT_EQ(serial, parallel)
+        << "cell results must not depend on the worker-thread count";
+    EXPECT_EQ(parallel, again)
+        << "repeated runs must be bit-identical";
+}
+
+TEST(Cluster, ServesTheOfferedMix)
+{
+    MiniCluster mini(3, 2);
+    const auto &stats = mini.cluster->serve(mini.traffic(0.5, 30000));
+    EXPECT_GT(stats.submitted, 0u);
+    EXPECT_EQ(stats.submitted, stats.admitted); // no overload
+    EXPECT_EQ(stats.completed + stats.sloShed, stats.admitted);
+    // Every cell took traffic (full replication, healthy weights).
+    for (const auto &cell_summary : stats.cells)
+        EXPECT_GT(cell_summary.submitted, 0u);
+    // Both classes served, interactive within its SLO.
+    ASSERT_EQ(stats.classes.size(), 2u);
+    EXPECT_GT(stats.classes[0].completed, 0.0);
+    EXPECT_GT(stats.classes[1].completed, 0.0);
+    EXPECT_LE(stats.models[0].p99(), 7e-3);
+    // Merged per-model totals add up across cells.
+    double by_cell = 0;
+    for (const auto &cs : stats.cells)
+        by_cell += static_cast<double>(cs.completed);
+    double by_model = 0;
+    for (const auto &m : stats.models)
+        by_model += m.completed.value();
+    EXPECT_DOUBLE_EQ(by_model, by_cell);
+}
+
+TEST(Cluster, SharedCacheCompilesOncePublishesImmutable)
+{
+    MiniCluster mini(4, 2);
+    mini.cluster->serve(mini.traffic(0.4, 10000));
+    const auto &cache = mini.cluster->programCache();
+    EXPECT_TRUE(cache.frozen());
+    // Every (model, bucket) compiled exactly once CLUSTER-wide: the
+    // two models have <= 4 + 4 distinct buckets; 4 cells x 2 chips
+    // share them all.
+    EXPECT_LE(cache.compilations(), 8u);
+    EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(Cluster, KillACellFailsOverAndShedsBatchFirst)
+{
+    // 3 cells at 85% of interactive capacity; cell 1 dies a third of
+    // the way in.  Survivors then see ~1.27x their planned load, so
+    // the router must thin the BATCH class while interactive p99
+    // holds its 7 ms limit.
+    MiniCluster mini(3, 2);
+    ClusterTraffic t = mini.traffic(0.85, 60000);
+    FailureEvent kill;
+    kill.atSeconds = t.durationSeconds / 3.0;
+    kill.kind = FailureKind::CellFail;
+    kill.cell = 1;
+    t.failures.push_back(kill);
+    const auto &stats = mini.cluster->serve(t);
+
+    // The dead cell is dark and its dies retired.
+    EXPECT_EQ(stats.cells[1].aliveChips, 0);
+    EXPECT_EQ(mini.cluster->cell(1).pool().aliveCount(), 0);
+    // Router shed batch traffic, not interactive.
+    EXPECT_GT(stats.classes[1].routerShed, 0.0);
+    EXPECT_DOUBLE_EQ(stats.classes[0].routerShed, 0.0);
+    // Interactive requests kept their SLO through the failover.
+    EXPECT_LE(stats.models[0].p99(), 7e-3);
+    // Survivors absorbed the failover traffic.
+    EXPECT_GT(stats.cells[0].submitted, stats.cells[1].submitted);
+    // The plan shows the redistribution: post-failure segment gives
+    // the dead cell nothing.
+    const RouterPlan &plan = mini.cluster->plan();
+    ASSERT_EQ(plan.segments.size(), 2u);
+    EXPECT_DOUBLE_EQ(plan.segments[1].cellRate[1], 0.0);
+    EXPECT_GT(plan.segments[1].cellRate[0],
+              plan.segments[0].cellRate[0]);
+}
+
+TEST(Cluster, ChipFailureDegradesOneCell)
+{
+    MiniCluster mini(2, 2);
+    ClusterTraffic t = mini.traffic(0.4, 20000);
+    FailureEvent f;
+    f.atSeconds = t.durationSeconds / 4.0;
+    f.kind = FailureKind::ChipFail;
+    f.cell = 0;
+    f.chip = 0;
+    t.failures.push_back(f);
+    const auto &stats = mini.cluster->serve(t);
+    EXPECT_EQ(stats.cells[0].aliveChips, 1);
+    EXPECT_EQ(stats.cells[1].aliveChips, 2);
+    EXPECT_TRUE(mini.cluster->cell(0).pool().failed(0));
+    // The weakened cell gets a smaller post-failure share.
+    const RouterPlan &plan = mini.cluster->plan();
+    ASSERT_EQ(plan.segments.size(), 2u);
+    EXPECT_LT(plan.segments[1].cellRate[0],
+              plan.segments[1].cellRate[1]);
+}
+
+TEST(Cluster, PartialReplicationRoutesWithinReplicaSet)
+{
+    MiniCluster mini(4, 1);
+    // A third model living on 2 of the 4 cells.
+    BatcherPolicy p;
+    p.maxBatch = 8;
+    p.maxDelaySeconds = 2e-4;
+    p.sloSeconds = 7e-3;
+    const ModelHandle scoped = mini.cluster->load(
+        "scoped", smallBuilder("scoped"), p, 0.0,
+        QosClass::Interactive, /*replicas=*/2);
+    ClusterTraffic t;
+    const double rate = mini.rateFor(0.3);
+    t.arrivals = ScenarioConfig::poisson(rate);
+    t.mixShare = {0.5, 0.3, 0.2};
+    t.durationSeconds = 20000.0 / rate;
+    const auto &stats = mini.cluster->serve(t);
+    (void)scoped;
+    const RouterPlan &plan = mini.cluster->plan();
+    int carrying = 0;
+    for (int c = 0; c < 4; ++c)
+        carrying += plan.segments[0].share[2]
+                        [static_cast<std::size_t>(c)] > 0;
+    EXPECT_EQ(carrying, 2);
+    EXPECT_GT(stats.models[2].completed.value(), 0.0);
+}
+
+TEST(Cluster, DeadReplicaSetTrafficIsCountedNotDropped)
+{
+    // A model living on exactly one cell loses that cell mid-run:
+    // its post-failure traffic must show up as router shed, not
+    // silently vanish from the offered volume.
+    MiniCluster mini(3, 1);
+    BatcherPolicy p;
+    p.maxBatch = 8;
+    p.maxDelaySeconds = 2e-4;
+    p.sloSeconds = 7e-3;
+    mini.cluster->load("scoped", smallBuilder("scoped"), p, 0.0,
+                       QosClass::Interactive, /*replicas=*/1);
+    const double rate = mini.rateFor(0.3);
+    ClusterTraffic t;
+    t.arrivals = ScenarioConfig::poisson(rate);
+    t.mixShare = {0.5, 0.3, 0.2};
+    t.durationSeconds = 30000.0 / rate;
+    FailureEvent kill;
+    kill.atSeconds = t.durationSeconds / 2.0;
+    kill.kind = FailureKind::CellFail;
+    kill.cell = 2; // the scoped model's only replica
+    t.failures.push_back(kill);
+    const auto &stats = mini.cluster->serve(t);
+    EXPECT_GT(stats.models[2].completed.value(), 0.0);
+    EXPECT_GT(stats.models[2].routerShed.value(), 0.0)
+        << "unplaceable traffic must be counted as router shed";
+    // Offered = admitted + router shed holds cluster-wide.
+    EXPECT_EQ(stats.submitted, stats.admitted + stats.routerShed);
+}
+
+TEST(Cluster, MergedPercentilesMatchSingleCellAtOneCell)
+{
+    // A 1-cell cluster is just a Session with a router in front:
+    // the merged numbers must equal the cell's own stats.
+    MiniCluster mini(1, 2, 1);
+    const auto &stats = mini.cluster->serve(mini.traffic(0.5, 20000));
+    const Session &cell = mini.cluster->cell(0);
+    const ModelServingStats &direct =
+        cell.modelStats(mini.interactive);
+    EXPECT_DOUBLE_EQ(stats.models[0].completed.value(),
+                     direct.completed.value());
+    EXPECT_DOUBLE_EQ(stats.models[0].p99(), direct.p99());
+    EXPECT_DOUBLE_EQ(stats.models[0].p50(), direct.p50());
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu

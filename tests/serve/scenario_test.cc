@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -165,6 +166,88 @@ TEST(Scenario, KindNamesRoundTrip)
     for (ArrivalKind k : {ArrivalKind::Poisson, ArrivalKind::Diurnal,
                           ArrivalKind::Bursty})
         EXPECT_EQ(arrivalKindFromString(toString(k)), k);
+}
+
+// ------------------------------------------- failure composition
+
+FailureEvent
+failureAt(double t, FailureKind kind, int cell, int chip = -1)
+{
+    FailureEvent e;
+    e.atSeconds = t;
+    e.kind = kind;
+    e.cell = cell;
+    e.chip = chip;
+    return e;
+}
+
+TEST(ScenarioScript, NormalizationOrdersDeterministically)
+{
+    // The same events in any insertion order normalize to one
+    // canonical schedule: sorted by (time, kind, cell, chip, ...).
+    ScenarioScript a;
+    a.arrivals = ScenarioConfig::bursty(30000.0, 4.0, 0.1, 0.05);
+    a.failures = {
+        failureAt(0.2, FailureKind::CellFail, 1),
+        failureAt(0.1, FailureKind::PlatformSlowdown, 0),
+        failureAt(0.1, FailureKind::ChipFail, 0, 2),
+        failureAt(0.1, FailureKind::ChipFail, 0, 1),
+    };
+    ScenarioScript b = a;
+    std::reverse(b.failures.begin(), b.failures.end());
+
+    const ScenarioScript na = a.normalized();
+    const ScenarioScript nb = b.normalized();
+    ASSERT_EQ(na.failures.size(), nb.failures.size());
+    for (std::size_t i = 0; i < na.failures.size(); ++i) {
+        EXPECT_EQ(na.failures[i].atSeconds, nb.failures[i].atSeconds);
+        EXPECT_EQ(na.failures[i].kind, nb.failures[i].kind);
+        EXPECT_EQ(na.failures[i].chip, nb.failures[i].chip);
+    }
+    // Time first, then kind order, then chip index.
+    EXPECT_EQ(na.failures[0].kind, FailureKind::ChipFail);
+    EXPECT_EQ(na.failures[0].chip, 1);
+    EXPECT_EQ(na.failures[1].chip, 2);
+    EXPECT_EQ(na.failures[2].kind, FailureKind::PlatformSlowdown);
+    EXPECT_EQ(na.failures[3].kind, FailureKind::CellFail);
+}
+
+TEST(ScenarioScript, CompositionDoesNotPerturbTheArrivalStream)
+{
+    // Attaching a failure schedule must not change the traffic: the
+    // MMPP stream is a pure function of its ScenarioConfig, and its
+    // time-averaged rate stays normalized to the configured mean.
+    ScenarioScript script;
+    script.arrivals = ScenarioConfig::bursty(30000.0, 4.0, 0.1, 0.05);
+    script.failures = {failureAt(0.05, FailureKind::ChipFail, 0, 0)};
+    const ScenarioScript normalized = script.normalized();
+
+    const auto bare = arrivals(script.arrivals, 300000);
+    const auto composed = arrivals(normalized.arrivals, 300000);
+    EXPECT_EQ(bare, composed);
+    EXPECT_NEAR(empiricalRate(composed), 30000.0, 0.08 * 30000.0);
+}
+
+TEST(ScenarioScript, FailureKindNames)
+{
+    EXPECT_STREQ(toString(FailureKind::ChipFail), "chip_fail");
+    EXPECT_STREQ(toString(FailureKind::PlatformSlowdown),
+                 "platform_slowdown");
+    EXPECT_STREQ(toString(FailureKind::CellFail), "cell_fail");
+}
+
+TEST(ScenarioScriptDeath, RejectsBadFailures)
+{
+    ScenarioScript script;
+    script.failures = {failureAt(-1.0, FailureKind::ChipFail, 0, 0)};
+    EXPECT_EXIT(script.normalized(), ::testing::ExitedWithCode(1),
+                "past");
+    ScenarioScript slowdown;
+    slowdown.failures = {
+        failureAt(0.1, FailureKind::PlatformSlowdown, 0)};
+    slowdown.failures[0].factor = 0.5;
+    EXPECT_EXIT(slowdown.normalized(), ::testing::ExitedWithCode(1),
+                "speedup");
 }
 
 TEST(ScenarioDeath, RejectsBadConfigs)

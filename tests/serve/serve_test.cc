@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "baselines/platform.hh"
 #include "serve/batcher.hh"
 #include "serve/session.hh"
@@ -631,6 +633,172 @@ TEST(FleetSessionDeath, PlatformStatsForAnAbsentPlatform)
     EXPECT_EXIT(s.platformStats(runtime::PlatformKind::Gpu),
                 ::testing::ExitedWithCode(1),
                 "not part of this session");
+}
+
+// --------------------------------------------------- failure events
+
+FailureEvent
+chipFailAt(double t, int chip)
+{
+    FailureEvent e;
+    e.atSeconds = t;
+    e.kind = FailureKind::ChipFail;
+    e.chip = chip;
+    return e;
+}
+
+TEST(SessionFailure, ChipDiesMidRunAndIsNeverGrantedAgain)
+{
+    Session s(testConfig(), SessionOptions{2});
+    BatcherPolicy p;
+    p.maxBatch = 4;
+    p.maxDelaySeconds = 0.0;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+    s.applyFailures({chipFailAt(1e-3, 0)});
+
+    std::vector<Future> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(s.submitAt(i * 1e-4, h));
+    s.run();
+
+    EXPECT_TRUE(s.pool().failed(0));
+    EXPECT_FALSE(s.pool().failed(1));
+    EXPECT_EQ(s.pool().aliveCount(), 1);
+    // Everything resolved; batches after the failure ran on chip 1.
+    for (const Future &f : futures) {
+        ASSERT_TRUE(f.ready());
+        if (!f.reply().shed && f.reply().dispatchSeconds > 1.1e-3)
+            EXPECT_EQ(f.reply().chip, 1);
+    }
+    EXPECT_EQ(s.completed() + s.shedCount(), 64u);
+}
+
+TEST(SessionFailure, LastChipDeathShedsTheQueue)
+{
+    Session s(testConfig(), SessionOptions{1});
+    BatcherPolicy p;
+    p.maxBatch = 64;
+    p.maxDelaySeconds = 1.0; // hold requests in the queue
+    ModelHandle h = s.load("small", smallBuilder(), p);
+    s.applyFailures({chipFailAt(1e-3, 0)});
+
+    std::vector<Future> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(s.submitAt(0.0, h));
+    // Arrivals after the die is gone shed on arrival.
+    futures.push_back(s.submitAt(2e-3, h));
+    s.run();
+
+    EXPECT_EQ(s.pool().aliveCount(), 0);
+    EXPECT_EQ(s.shedCount() + s.completed(), 9u);
+    EXPECT_GT(s.shedCount(), 0u);
+    for (const Future &f : futures)
+        ASSERT_TRUE(f.ready());
+}
+
+TEST(SessionFailure, BusyLastChipRetiresAfterItsBatchAndShedsQueue)
+{
+    // The die is BUSY when the failure lands: it must finish its
+    // in-flight batch (those requests complete), retire on release,
+    // and the requests queued behind it must shed -- not hang
+    // unresolved with no die left to ever re-drain them.
+    const arch::TpuConfig cfg = testConfig();
+    const latency::ServiceModel svc =
+        latency::ServiceModel::fromModel(cfg, smallBuilder()(4));
+    Session s(cfg, SessionOptions{1});
+    BatcherPolicy p;
+    p.maxBatch = 4;
+    p.maxDelaySeconds = 0.0;
+    p.enforceSlo = false;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+
+    std::vector<Future> futures;
+    futures.push_back(s.submitAt(0.0, h)); // dispatches immediately
+    // Fails while the first batch is in flight.
+    s.applyFailures({chipFailAt(0.25 * svc.seconds(4), 0)});
+    // Arrives while the die is busy(+dying): queued, then shed.
+    futures.push_back(s.submitAt(0.5 * svc.seconds(4), h));
+    s.run();
+
+    ASSERT_TRUE(futures[0].ready());
+    EXPECT_FALSE(futures[0].reply().shed); // in-flight batch landed
+    ASSERT_TRUE(futures[1].ready());
+    EXPECT_TRUE(futures[1].reply().shed);  // no die left
+    EXPECT_EQ(s.pool().aliveCount(), 0);
+    EXPECT_EQ(s.completed(), 1u);
+    EXPECT_EQ(s.shedCount(), 1u);
+}
+
+TEST(SessionFailure, SlowdownStretchesServiceDeterministically)
+{
+    auto run_once = [](double factor) {
+        Session s(testConfig(), SessionOptions{1});
+        BatcherPolicy p;
+        p.maxBatch = 4;
+        p.maxDelaySeconds = 0.0;
+        p.enforceSlo = false;
+        ModelHandle h = s.load("small", smallBuilder(), p);
+        if (factor > 1.0) {
+            FailureEvent e;
+            e.kind = FailureKind::PlatformSlowdown;
+            e.platform = runtime::PlatformKind::Tpu;
+            e.factor = factor;
+            e.atSeconds = 0.0;
+            s.applyFailures({e});
+        }
+        for (int i = 0; i < 16; ++i)
+            s.submitAt(0.0, h);
+        s.run();
+        return s.pool().busySeconds(0);
+    };
+    const double base = run_once(1.0);
+    const double degraded = run_once(3.0);
+    EXPECT_NEAR(degraded, 3.0 * base, 1e-12);
+    EXPECT_DOUBLE_EQ(run_once(3.0), degraded);
+}
+
+TEST(SessionFailure, FailureRunsAreDeterministic)
+{
+    auto run_once = []() {
+        Session s(testConfig(), SessionOptions{4});
+        BatcherPolicy p;
+        p.maxBatch = 8;
+        p.maxDelaySeconds = 1e-4;
+        ModelHandle h = s.load("small", smallBuilder(), p);
+        s.applyFailures({chipFailAt(2e-3, 0), chipFailAt(4e-3, 2)});
+        Rng rng(77);
+        double t = 0;
+        for (int i = 0; i < 2000; ++i) {
+            t += rng.exponential(200000.0);
+            s.submitDetached(t, h);
+        }
+        s.run();
+        return std::make_tuple(s.completed(), s.shedCount(),
+                               s.modelStats(h).p99());
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SessionFailureDeath, RejectsCellScopeEvents)
+{
+    Session s(testConfig(), SessionOptions{1});
+    FailureEvent e;
+    e.kind = FailureKind::CellFail;
+    EXPECT_EXIT(s.applyFailures({e}), ::testing::ExitedWithCode(1),
+                "cluster scope");
+}
+
+TEST(SessionQos, ClassIsRecordedPerModel)
+{
+    Session s(testConfig(), SessionOptions{1});
+    BatcherPolicy p;
+    p.maxBatch = 4;
+    ModelHandle a = s.load("a", smallBuilder("a"), p, 0.0,
+                           QosClass::Interactive);
+    ModelHandle b = s.load("b", smallBuilder("b"), p, 0.0,
+                           QosClass::Batch);
+    EXPECT_EQ(s.qosClass(a), QosClass::Interactive);
+    EXPECT_EQ(s.qosClass(b), QosClass::Batch);
 }
 
 } // namespace

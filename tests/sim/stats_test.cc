@@ -136,6 +136,127 @@ TEST(Distribution, BadConstructionDies)
     EXPECT_DEATH(Distribution("d", "", 0.0, 1.0, 0), "buckets");
 }
 
+// ------------------------------------------------ cross-cell merging
+
+TEST(Scalar, MergeAdds)
+{
+    Scalar a("a", ""), b("b", "");
+    a += 3;
+    b += 4;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.value(), 7.0);
+}
+
+TEST(Average, MergeIsExact)
+{
+    Average a("a", ""), b("b", "");
+    a.sample(2.0);
+    a.sample(4.0);
+    b.sample(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.result(), 16.0 / 3.0);
+}
+
+TEST(Distribution, MergeSameGeometryIsElementwise)
+{
+    Distribution a("a", "", 0.0, 10.0, 10);
+    Distribution b("b", "", 0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i) {
+        a.sample(i + 0.25);
+        b.sample(i + 0.75);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 20u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.25);
+    EXPECT_DOUBLE_EQ(a.max(), 9.75);
+    for (std::uint64_t bucket : a.buckets())
+        EXPECT_EQ(bucket, 2u);
+}
+
+TEST(Distribution, MergeDifferentRangesRebucketsNotClips)
+{
+    // The satellite fix: merging a [0, 4) histogram into a [0, 1)
+    // one must re-bucket onto the union range instead of clipping
+    // the out-of-range mass into overflow.
+    Distribution narrow("n", "", 0.0, 1.0, 64);
+    Distribution wide("w", "", 0.0, 4.0, 64);
+    for (int i = 0; i < 100; ++i)
+        narrow.sample(0.005 + 0.0099 * i); // inside [0, 1)
+    for (int i = 0; i < 100; ++i)
+        wide.sample(1.0 + 0.0299 * i);     // inside [1, 4)
+    narrow.merge(wide);
+    EXPECT_EQ(narrow.count(), 200u);
+    // Nothing clipped: the p99 lives where the wide samples are.
+    EXPECT_GT(narrow.percentile(0.99), 2.5);
+    EXPECT_LT(narrow.percentile(0.99), 4.1);
+    // Moments exact.
+    EXPECT_DOUBLE_EQ(narrow.min(), 0.005);
+    EXPECT_DOUBLE_EQ(narrow.max(), 1.0 + 0.0299 * 99);
+    std::uint64_t total = 0;
+    for (std::uint64_t bucket : narrow.buckets())
+        total += bucket;
+    EXPECT_EQ(total, 200u) << "no mass may leak to under/overflow";
+}
+
+TEST(Distribution, MergeRoundTripAgreesBothWays)
+{
+    // Merging A into B and B into A must agree on every moment and
+    // on percentiles to within the coarser bucket resolution.
+    Distribution a("a", "", 0.0, 2.0, 128);
+    Distribution b("b", "", 0.0, 8.0, 128);
+    for (int i = 1; i <= 500; ++i)
+        a.sample(2.0 * i / 501.0);
+    for (int i = 1; i <= 500; ++i)
+        b.sample(8.0 * i / 501.0);
+    Distribution ab = a;
+    ab.merge(b);
+    Distribution ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab.count(), ba.count());
+    EXPECT_DOUBLE_EQ(ab.mean(), ba.mean());
+    EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+    EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+    const double resolution = 8.0 / 128.0;
+    for (double f : {0.5, 0.9, 0.99}) {
+        EXPECT_NEAR(ab.percentile(f), ba.percentile(f),
+                    2.0 * resolution)
+            << "fraction " << f;
+    }
+}
+
+TEST(Distribution, WidenRebucketsExistingSamples)
+{
+    Distribution d("d", "", 0.0, 1.0, 32);
+    for (int i = 0; i < 64; ++i)
+        d.sample((i + 0.5) / 64.0);
+    d.widen(0.0, 2.0);
+    EXPECT_EQ(d.count(), 64u);
+    std::uint64_t kept = 0;
+    for (std::uint64_t bucket : d.buckets())
+        kept += bucket;
+    EXPECT_EQ(kept, 64u);
+    EXPECT_NEAR(d.percentile(0.5), 0.5, 2.0 * 2.0 / 32.0);
+}
+
+TEST(Distribution, WidenRefusesToNarrow)
+{
+    Distribution d("d", "", 0.0, 1.0, 8);
+    EXPECT_EXIT(d.widen(0.0, 0.5), ::testing::ExitedWithCode(1),
+                "clip");
+}
+
+TEST(Distribution, MergeEmptyIsANoOp)
+{
+    Distribution a("a", "", 0.0, 1.0, 8);
+    Distribution b("b", "", 0.0, 50.0, 8);
+    a.sample(0.5);
+    a.merge(b); // b empty: geometry must not change
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_NEAR(a.percentile(1.0), 0.5, 1.0 / 8.0);
+}
+
 } // namespace
 } // namespace stats
 } // namespace tpu
