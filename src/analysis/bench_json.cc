@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
 
 #include "sim/logging.hh"
 
@@ -119,6 +121,98 @@ BenchJson::writeTo(const std::string &path) const
     }
     os << str();
     return static_cast<bool>(os);
+}
+
+BenchBaselines
+BenchBaselines::load(const std::string &path)
+{
+    BenchBaselines out;
+    std::ifstream is(path);
+    if (!is)
+        return out;
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    // Minimal parser for the flat objects BenchJson writes:
+    // "key": value pairs, one level deep, numeric values surfaced.
+    std::size_t i = 0;
+    const auto skipWs = [&]() {
+        while (i < text.size() &&
+               (text[i] == ' ' || text[i] == '\n' ||
+                text[i] == '\r' || text[i] == '\t' ||
+                text[i] == ',' || text[i] == '{' || text[i] == '}'))
+            ++i;
+    };
+    for (;;) {
+        skipWs();
+        if (i >= text.size())
+            break;
+        if (text[i] != '"')
+            return out; // not the flat shape we write
+        const std::size_t key_start = ++i;
+        while (i < text.size() && text[i] != '"')
+            ++i;
+        if (i >= text.size())
+            return out;
+        const std::string key = text.substr(key_start, i - key_start);
+        ++i; // closing quote
+        skipWs();
+        if (i >= text.size() || text[i] != ':')
+            return out;
+        ++i;
+        skipWs();
+        if (i >= text.size())
+            return out;
+        if (text[i] == '"') {
+            ++i; // string value: skip (escapes never appear in ours)
+            while (i < text.size() && text[i] != '"')
+                ++i;
+            if (i < text.size())
+                ++i;
+            continue;
+        }
+        const std::size_t val_start = i;
+        while (i < text.size() && text[i] != ',' &&
+               text[i] != '}' && text[i] != '\n')
+            ++i;
+        const std::string val =
+            text.substr(val_start, i - val_start);
+        char *end = nullptr;
+        const double num = std::strtod(val.c_str(), &end);
+        if (end != val.c_str())
+            out._values.emplace_back(key, num);
+        // "true"/"false"/"null" parse to nothing and are skipped.
+    }
+    out._ok = !out._values.empty();
+    return out;
+}
+
+BenchBaselines
+BenchBaselines::loadFirst(const std::vector<std::string> &candidates)
+{
+    for (const std::string &path : candidates) {
+        BenchBaselines b = load(path);
+        if (b.ok())
+            return b;
+    }
+    return BenchBaselines{};
+}
+
+bool
+BenchBaselines::has(const std::string &key) const
+{
+    for (const auto &kv : _values)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+double
+BenchBaselines::get(const std::string &key, double fallback) const
+{
+    for (const auto &kv : _values)
+        if (kv.first == key)
+            return kv.second;
+    return fallback;
 }
 
 } // namespace analysis

@@ -50,6 +50,39 @@ class BenchJson
     std::vector<std::pair<std::string, std::string>> _fields;
 };
 
+/**
+ * Read-side twin of BenchJson: the flat numeric view of a
+ * BenchJson-style file.  Used by bench binaries to load
+ * bench/baselines.json -- the checked-in perf trajectory anchor --
+ * and gate themselves against it (the cluster leg's >= 2x-over-seed
+ * gate, CI's regression tolerance).  Only numeric fields are
+ * surfaced; strings and booleans are ignored.  A missing or
+ * unparsable file yields ok() == false, never a fatal: benches must
+ * still run from build trees that lack the repo checkout.
+ */
+class BenchBaselines
+{
+  public:
+    /** Parse @p path (ok() tells whether anything was loaded). */
+    static BenchBaselines load(const std::string &path);
+
+    /**
+     * Parse the first path of @p candidates that loads; ok() false
+     * when none does.
+     */
+    static BenchBaselines
+    loadFirst(const std::vector<std::string> &candidates);
+
+    bool ok() const { return _ok; }
+    bool has(const std::string &key) const;
+    /** Numeric field @p key, or @p fallback when absent. */
+    double get(const std::string &key, double fallback = 0.0) const;
+
+  private:
+    bool _ok = false;
+    std::vector<std::pair<std::string, double>> _values;
+};
+
 } // namespace analysis
 } // namespace tpu
 

@@ -241,14 +241,15 @@ driveTable1Mix(serve::Session &session, const Table1Mix &mix,
                const serve::ScenarioConfig &scenario)
 {
     fatal_if(mix.apps.empty(), "mix has no loaded apps");
-    // One merged arrival stream, split by deployment share.  Blocks
-    // keep the arrival backlog bounded at farm scale.
-    constexpr std::uint64_t kBlock = 65536;
+    // One merged arrival stream, split by deployment share.
+    // serve::DetachedPump owns the chunking cadence (pre-generated
+    // arrivals, bulk appends, block-boundary simulation steps), so
+    // every driver produces bit-identical streams by construction.
     serve::ArrivalProcess arrivals(scenario);
     Rng pick_rng(7);
-    double t = 0;
+    serve::DetachedPump pump(session);
     for (std::uint64_t i = 0; i < requests; ++i) {
-        t = arrivals.next();
+        const double t = arrivals.next();
         double u = pick_rng.uniformReal();
         const MixApp *pick = &mix.apps.back();
         for (const MixApp &a : mix.apps) {
@@ -258,13 +259,9 @@ driveTable1Mix(serve::Session &session, const Table1Mix &mix,
             }
             u -= a.share;
         }
-        // runUntil() leaves now at the block boundary tick, which
-        // can land a hair past the next arrival; clamp forward.
-        session.submitDetached(std::max(t, session.now()),
-                               pick->handle);
-        if ((i + 1) % kBlock == 0)
-            session.runUntil(t);
+        pump.push(t, pick->handle);
     }
+    pump.flush();
     session.run();
 }
 
@@ -337,15 +334,10 @@ liveRelativePerf(const arch::TpuConfig &cfg,
 
         serve::ArrivalProcess arrivals(serve::ScenarioConfig::poisson(
             rate, 1000 + static_cast<std::uint64_t>(index)));
-        constexpr std::uint64_t kBlock = 65536;
-        double t = 0;
-        for (std::uint64_t i = 0; i < requests_per_app; ++i) {
-            t = arrivals.next();
-            session.submitDetached(std::max(t, session.now()),
-                                   handle);
-            if ((i + 1) % kBlock == 0)
-                session.runUntil(t);
-        }
+        serve::DetachedPump pump(session);
+        for (std::uint64_t i = 0; i < requests_per_app; ++i)
+            pump.push(arrivals.next(), handle);
+        pump.flush();
         session.run();
 
         out.busyIpsPerDie[index] =

@@ -10,13 +10,20 @@ namespace arch {
 
 UnifiedBuffer::UnifiedBuffer(std::uint64_t capacity_bytes,
                              std::int64_t row_bytes)
-    : _bytes(capacity_bytes, 0), _rowBytes(row_bytes)
+    : _capacity(capacity_bytes), _rowBytes(row_bytes)
 {
     fatal_if(row_bytes <= 0, "UB row bytes must be positive");
     fatal_if(capacity_bytes % static_cast<std::uint64_t>(row_bytes) != 0,
              "UB capacity %llu not a multiple of row size %lld",
              static_cast<unsigned long long>(capacity_bytes),
              static_cast<long long>(row_bytes));
+}
+
+void
+UnifiedBuffer::_ensureBacking()
+{
+    if (_bytes.empty() && _capacity > 0)
+        _bytes.assign(static_cast<std::size_t>(_capacity), 0);
 }
 
 void
@@ -29,6 +36,7 @@ UnifiedBuffer::writeRow(std::int64_t row, const std::int8_t *data,
     panic_if(off + static_cast<std::uint64_t>(len) > capacityBytes(),
              "UB write overflows capacity (row %lld len %lld)",
              static_cast<long long>(row), static_cast<long long>(len));
+    _ensureBacking();
     std::memcpy(_bytes.data() + off, data, static_cast<size_t>(len));
     _highWater = std::max(_highWater,
                           off + static_cast<std::uint64_t>(len));
@@ -44,6 +52,12 @@ UnifiedBuffer::readRow(std::int64_t row, std::int8_t *out,
     panic_if(off + static_cast<std::uint64_t>(len) > capacityBytes(),
              "UB read overflows capacity (row %lld len %lld)",
              static_cast<long long>(row), static_cast<long long>(len));
+    if (_bytes.empty()) {
+        // Never written: the backing store does not exist yet, and a
+        // zero-filled SRAM is exactly what it would hold.
+        std::memset(out, 0, static_cast<size_t>(len));
+        return;
+    }
     std::memcpy(out, _bytes.data() + off, static_cast<size_t>(len));
 }
 
@@ -51,7 +65,7 @@ std::int8_t
 UnifiedBuffer::byteAt(std::uint64_t offset) const
 {
     panic_if(offset >= capacityBytes(), "UB byteAt out of range");
-    return _bytes[offset];
+    return _bytes.empty() ? 0 : _bytes[offset];
 }
 
 } // namespace arch

@@ -8,6 +8,13 @@
  * are 256 bytes wide); it is plain SRAM -- no caching, no hardware
  * management.  The model stores real bytes for functional simulation
  * and tracks a high-water mark for the Table 8 experiment.
+ *
+ * The byte backing store is allocated LAZILY, on the first actual
+ * read or write: timing-mode simulation (every serving chip) gates
+ * all data movement on the functional flag and never touches a byte,
+ * so a 32-die cluster must not pay 32 x 24 MiB of zero-filled pages
+ * for buffers that only meter cycles.  Capacity checks and the
+ * high-water mark work off the configured capacity either way.
  */
 
 #ifndef TPUSIM_ARCH_UNIFIED_BUFFER_HH
@@ -25,7 +32,7 @@ class UnifiedBuffer
   public:
     UnifiedBuffer(std::uint64_t capacity_bytes, std::int64_t row_bytes);
 
-    std::uint64_t capacityBytes() const { return _bytes.size(); }
+    std::uint64_t capacityBytes() const { return _capacity; }
     std::int64_t rowBytes() const { return _rowBytes; }
     std::int64_t numRows() const
     {
@@ -47,7 +54,11 @@ class UnifiedBuffer
     void resetHighWater() { _highWater = 0; }
 
   private:
-    std::vector<std::int8_t> _bytes;
+    /** Materialize the byte array (first functional access). */
+    void _ensureBacking();
+
+    std::uint64_t _capacity;
+    std::vector<std::int8_t> _bytes; ///< empty until first access
     std::int64_t _rowBytes;
     std::uint64_t _highWater = 0;
 };

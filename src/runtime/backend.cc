@@ -66,6 +66,21 @@ ReplayBackend::prepare(const nn::Network &net,
          1099511628211ull;
     fp = (fp ^ compiled.inputBytes) * 1099511628211ull;
     fp = (fp ^ compiled.outputBytes) * 1099511628211ull;
+    if (_frozen) {
+        // Read-only validation: cluster cells lazily load models
+        // against the published memo from many threads, so no insert
+        // may happen here -- only the aliasing check.
+        const auto it = _fingerprints.find(key);
+        fatal_if(it == _fingerprints.end(),
+                 "prepare('%s') on a frozen replay backend; warm "
+                 "every (model, bucket) before freeze()",
+                 key.c_str());
+        fatal_if(it->second != fp,
+                 "replay memo key '%s' reused for a different "
+                 "architecture; replaying would return the wrong "
+                 "model's timing", key.c_str());
+        return;
+    }
     auto [it, inserted] = _fingerprints.emplace(key, fp);
     fatal_if(!inserted && it->second != fp,
              "replay memo key '%s' reused for a different "
@@ -81,15 +96,19 @@ ReplayBackend::execute(const ExecutionContext &ctx)
     // depends on the data; memoized timing would be right but the
     // memoized output would not, so run it live.
     if (!ctx.hostInput->empty()) {
-        ++_liveRuns;
+        _liveRuns.fetch_add(1, std::memory_order_relaxed);
         return ctx.chip->run(ctx.compiled->program, *ctx.hostInput);
     }
     auto it = _memo.find(*ctx.key);
     if (it != _memo.end()) {
-        ++_replays;
+        _replays.fetch_add(1, std::memory_order_relaxed);
         return it->second;
     }
-    ++_liveRuns;
+    fatal_if(_frozen,
+             "replay memo miss for '%s' on a frozen backend; warm "
+             "every (model, bucket) before freeze()",
+             ctx.key->c_str());
+    _liveRuns.fetch_add(1, std::memory_order_relaxed);
     arch::RunResult r =
         ctx.chip->run(ctx.compiled->program, *ctx.hostInput);
     return _memo.emplace(*ctx.key, std::move(r)).first->second;

@@ -32,6 +32,7 @@
 #ifndef TPUSIM_RUNTIME_BACKEND_HH
 #define TPUSIM_RUNTIME_BACKEND_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -108,6 +109,19 @@ class ExecutionBackend
 
     /** Execute one batch of @p ctx's compiled model. */
     virtual arch::RunResult execute(const ExecutionContext &ctx) = 0;
+
+    /**
+     * Publish this backend for concurrent READ-ONLY use -- the
+     * cluster arrangement, where one backend serves every cell's
+     * drivers in parallel.  After freeze(), tiers with mutable
+     * per-model state (Replay's memo, its fingerprint guard) treat
+     * an unknown key as fatal instead of inserting: warm everything
+     * first, then freeze, exactly like SharedProgramCache.  The
+     * default is a no-op for stateless tiers.
+     */
+    virtual void freeze() {}
+    /** Published read-only (see freeze())? */
+    virtual bool frozen() const { return false; }
 };
 
 /** Tier 1: the cycle-accurate interpreter, every batch. */
@@ -151,17 +165,36 @@ class ReplayBackend : public ExecutionBackend
 
     arch::RunResult execute(const ExecutionContext &ctx) override;
 
+    /**
+     * Publish the memo read-only.  Post-freeze: prepare() of an
+     * unknown key and any memo MISS are fatal (warm the memo first
+     * -- serve::Session::precompileModels does); hits and functional
+     * live runs stay legal from any number of threads, with atomic
+     * counters the only shared writes.
+     */
+    void freeze() override { _frozen = true; }
+    bool frozen() const override { return _frozen; }
+
     /** Cycle-simulated executions (memo misses + functional runs). */
-    std::uint64_t liveRuns() const { return _liveRuns; }
+    std::uint64_t
+    liveRuns() const
+    {
+        return _liveRuns.load(std::memory_order_relaxed);
+    }
     /** O(1) memoized executions. */
-    std::uint64_t replays() const { return _replays; }
+    std::uint64_t
+    replays() const
+    {
+        return _replays.load(std::memory_order_relaxed);
+    }
     std::size_t memoSize() const { return _memo.size(); }
 
   private:
     std::map<std::string, arch::RunResult> _memo;
     std::map<std::string, std::uint64_t> _fingerprints;
-    std::uint64_t _liveRuns = 0;
-    std::uint64_t _replays = 0;
+    bool _frozen = false;
+    std::atomic<std::uint64_t> _liveRuns{0};
+    std::atomic<std::uint64_t> _replays{0};
 };
 
 /**

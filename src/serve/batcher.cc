@@ -7,30 +7,57 @@
 namespace tpu {
 namespace serve {
 
-Batcher::Batcher(BatcherPolicy policy, latency::ServiceModel estimate)
-    : _policy(policy), _estimate(estimate)
+Batcher::Batcher(BatcherPolicy policy, latency::ServiceModel estimate,
+                 const RequestPool *pool)
+    : _policy(policy), _estimate(estimate), _pool(pool)
 {
     fatal_if(_policy.maxBatch <= 0, "maxBatch must be positive");
     fatal_if(_policy.maxDelaySeconds < 0, "negative maxDelay");
     fatal_if(_policy.sloSeconds <= 0, "SLO must be positive");
     fatal_if(_policy.batchBuckets <= 0,
              "need at least one batch bucket");
+    fatal_if(!_pool, "batcher needs the session's request pool");
+    // Precompute the bucket map once: bucketFor sits on the
+    // per-arrival and per-dispatch paths.
+    _bucketOf.assign(static_cast<std::size_t>(_policy.maxBatch) + 1,
+                     0);
+    for (std::int64_t b = 1; b <= _policy.maxBatch; ++b) {
+        std::int64_t bucket = _policy.maxBatch;
+        for (int k = 1; k <= _policy.batchBuckets; ++k) {
+            const std::int64_t edge =
+                (_policy.maxBatch * k + _policy.batchBuckets - 1) /
+                _policy.batchBuckets;
+            if (edge >= b) {
+                bucket = edge;
+                break;
+            }
+        }
+        _bucketOf[static_cast<std::size_t>(b)] = bucket;
+    }
 }
 
 void
-Batcher::admit(PendingRequest req)
+Batcher::admit(RequestIndex request)
 {
-    panic_if(!_queue.empty() &&
-             req.arrivalSeconds < _queue.back().arrivalSeconds,
+    admitAt(request, (*_pool)[request].arrivalSeconds);
+}
+
+void
+Batcher::admitAt(RequestIndex request, double arrival_seconds)
+{
+    panic_if(!_queue.empty() && arrival_seconds < _lastArrival,
              "request admitted out of arrival order");
-    _queue.push_back(std::move(req));
+    if (_queue.empty())
+        _frontArrival = arrival_seconds;
+    _lastArrival = arrival_seconds;
+    _queue.push_back(request);
 }
 
 double
 Batcher::oldestArrival() const
 {
     fatal_if(_queue.empty(), "no queued requests");
-    return _queue.front().arrivalSeconds;
+    return _frontArrival;
 }
 
 double
@@ -56,20 +83,13 @@ Batcher::bucketFor(std::int64_t batch) const
     fatal_if(batch <= 0 || batch > _policy.maxBatch,
              "batch %lld outside (0, maxBatch]",
              static_cast<long long>(batch));
-    for (int k = 1; k <= _policy.batchBuckets; ++k) {
-        const std::int64_t bucket =
-            (_policy.maxBatch * k + _policy.batchBuckets - 1) /
-            _policy.batchBuckets;
-        if (bucket >= batch)
-            return bucket;
-    }
-    return _policy.maxBatch;
+    return _bucketOf[static_cast<std::size_t>(batch)];
 }
 
-FormedBatch
-Batcher::form(double now)
+void
+Batcher::form(double now, FormedBatch &out)
 {
-    FormedBatch out;
+    out.clear();
     if (_policy.enforceSlo) {
         // Shed hopeless requests: even in the smallest batch that
         // can actually run (the padded minimum bucket) they would
@@ -77,35 +97,46 @@ Batcher::form(double now)
         const double min_service = _estimate.seconds(bucketFor(1));
         while (!_queue.empty()) {
             const double waited =
-                now - _queue.front().arrivalSeconds;
+                now - (*_pool)[_queue.front()].arrivalSeconds;
             if (waited + min_service <= _policy.sloSeconds)
                 break;
-            out.shed.push_back(std::move(_queue.front()));
+            out.shed.push_back(_queue.front());
             _queue.pop_front();
         }
     }
     std::int64_t b = std::min<std::int64_t>(
         _policy.maxBatch, static_cast<std::int64_t>(_queue.size()));
     if (b <= 0)
-        return out;
+        return;
     if (_policy.enforceSlo) {
         // Shrink: a big batch serves everyone more efficiently, but
         // its longer service time counts against the oldest member's
         // deadline.  The estimate uses the padded (compiled) size,
         // which is what will actually run.
-        const double waited = now - _queue.front().arrivalSeconds;
+        const double waited =
+            now - (*_pool)[_queue.front()].arrivalSeconds;
         while (b > 1 &&
                waited + _estimate.seconds(bucketFor(b)) >
                    _policy.sloSeconds)
             --b;
     }
-    out.requests.reserve(static_cast<std::size_t>(b));
     for (std::int64_t i = 0; i < b; ++i) {
-        out.requests.push_back(std::move(_queue.front()));
+        out.requests.push_back(_queue.front());
         _queue.pop_front();
     }
     out.paddedBatch = bucketFor(b);
-    return out;
+    if (!_queue.empty())
+        _frontArrival = (*_pool)[_queue.front()].arrivalSeconds;
+}
+
+void
+Batcher::drainAll(FormedBatch &out)
+{
+    out.clear();
+    while (!_queue.empty()) {
+        out.requests.push_back(_queue.front());
+        _queue.pop_front();
+    }
 }
 
 } // namespace serve

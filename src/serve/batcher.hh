@@ -15,17 +15,23 @@
  * latency::ServiceModel::fromModel, i.e. from the modelled hardware,
  * not hand constants; ground-truth timing still comes from running
  * the formed batch on a real simulated chip.
+ *
+ * Allocation discipline: the queue is a sim::Ring of RequestIndex --
+ * requests live in the session's RequestPool and only their 32-bit
+ * indices move through admission and formation.  form() fills a
+ * caller-owned (pooled, reused) FormedBatch; nothing on the admit or
+ * form path allocates once the ring has warmed to its peak depth.
  */
 
 #ifndef TPUSIM_SERVE_BATCHER_HH
 #define TPUSIM_SERVE_BATCHER_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "latency/queueing.hh"
 #include "serve/request.hh"
+#include "sim/pool.hh"
 
 namespace tpu {
 namespace serve {
@@ -54,32 +60,47 @@ struct BatcherPolicy
     int batchBuckets = 4;
 };
 
-/** One request waiting in (or leaving) the admission queue. */
-struct PendingRequest
-{
-    RequestId id = 0;
-    double arrivalSeconds = 0;
-    std::vector<std::int8_t> input;
-    std::shared_ptr<detail::FutureState> state;
-};
-
-/** Result of one batch formation. */
+/**
+ * Result of one batch formation.  Owned by the caller and REUSED
+ * across dispatches (the session pools these in its in-flight batch
+ * slab): clear() keeps the vectors' capacity.
+ */
 struct FormedBatch
 {
-    std::vector<PendingRequest> requests; ///< to run on a chip
-    std::vector<PendingRequest> shed;     ///< rejected by the SLO
-    std::int64_t paddedBatch = 0;         ///< compiled batch size
+    std::vector<RequestIndex> requests; ///< to run on a chip
+    std::vector<RequestIndex> shed;     ///< rejected by the SLO
+    std::int64_t paddedBatch = 0;       ///< compiled batch size
+
+    void
+    clear()
+    {
+        requests.clear();
+        shed.clear();
+        paddedBatch = 0;
+    }
 };
 
 /** Per-model admission queue + batch-or-deadline former. */
 class Batcher
 {
   public:
-    /** @p estimate prices batches for the SLO shed/shrink decisions. */
-    Batcher(BatcherPolicy policy, latency::ServiceModel estimate);
+    /**
+     * @p estimate prices batches for the SLO shed/shrink decisions;
+     * @p pool resolves queued indices to their arrival times (the
+     * batcher never owns request records).
+     */
+    Batcher(BatcherPolicy policy, latency::ServiceModel estimate,
+            const RequestPool *pool);
 
-    /** Enqueue one request (arrival time from the request itself). */
-    void admit(PendingRequest req);
+    /** Enqueue one request (arrival time read from the pool). */
+    void admit(RequestIndex request);
+
+    /**
+     * Enqueue one request whose arrival time the caller already
+     * holds -- the per-arrival hot path, sparing the pool read.
+     * @p arrival_seconds must equal the pooled record's.
+     */
+    void admitAt(RequestIndex request, double arrival_seconds);
 
     /** Nothing queued? */
     bool empty() const { return _queue.empty(); }
@@ -96,11 +117,18 @@ class Batcher
     bool batchReady(double now) const;
 
     /**
-     * Pop the next batch, applying SLO shedding/shrinking at @p now.
-     * May return an empty requests vector if everything queued was
-     * shed; callers must resolve the shed list either way.
+     * Pop the next batch into @p out (cleared first), applying SLO
+     * shedding/shrinking at @p now.  out.requests may come back
+     * empty if everything queued was shed; callers must resolve the
+     * shed list either way.
      */
-    FormedBatch form(double now);
+    void form(double now, FormedBatch &out);
+
+    /**
+     * Drain the RAW queue into @p out.requests (no SLO pass) -- the
+     * failure path when no die is left to serve anything.
+     */
+    void drainAll(FormedBatch &out);
 
     /** Smallest compiled bucket that can carry @p batch requests. */
     std::int64_t bucketFor(std::int64_t batch) const;
@@ -113,7 +141,14 @@ class Batcher
   private:
     BatcherPolicy _policy;
     latency::ServiceModel _estimate;
-    std::deque<PendingRequest> _queue;
+    const RequestPool *_pool;
+    sim::Ring<RequestIndex> _queue;
+    /** bucketFor(b) = _bucketOf[b]: precomputed, O(1) on hot paths. */
+    std::vector<std::int64_t> _bucketOf;
+    /** Arrival time of the newest queued request (admit ordering). */
+    double _lastArrival = 0;
+    /** Cached arrival time of the queue head (hot-path reads). */
+    double _frontArrival = 0;
 };
 
 } // namespace serve

@@ -131,7 +131,9 @@ ChipPool::ChipPool(const arch::TpuConfig &config, int chips,
 ChipPool::ChipPool(const arch::TpuConfig &config, FleetSpec fleet,
                    std::function<double()> now_fn,
                    runtime::TierPolicy tier,
-                   std::shared_ptr<runtime::SharedProgramCache> cache)
+                   std::shared_ptr<runtime::SharedProgramCache> cache,
+                   std::shared_ptr<runtime::ExecutionBackend>
+                       tpu_backend)
     : _cache(cache ? std::move(cache)
                    : std::make_shared<runtime::SharedProgramCache>(
                          config)),
@@ -154,8 +156,17 @@ ChipPool::ChipPool(const arch::TpuConfig &config, FleetSpec fleet,
         fatal_if(_groupFor(fg.platform) != nullptr,
                  "platform '%s' listed twice in the fleet",
                  runtime::toString(fg.platform));
+        const bool shared_tpu =
+            fg.platform == runtime::PlatformKind::Tpu && tpu_backend;
+        fatal_if(shared_tpu &&
+                     tpu_backend->tier() != _tier.tier,
+                 "shared TPU backend is tier '%s' but the pool wants "
+                 "'%s'", tpu_backend->name(),
+                 runtime::toString(_tier.tier));
         auto group = std::make_unique<PlatformGroup>(
-            fg.platform, makeFleetBackend(fg.platform, _tier, config),
+            fg.platform,
+            shared_tpu ? tpu_backend
+                       : makeFleetBackend(fg.platform, _tier, config),
             dieCurveFor(fg.platform), this);
         for (int i = 0; i < fg.chips; ++i) {
             const int index = size();
@@ -165,27 +176,27 @@ ChipPool::ChipPool(const arch::TpuConfig &config, FleetSpec fleet,
             group->members.push_back(index);
             _stats.regGroup(&_chips.back()->group);
         }
+        group->freeChips = fg.chips;
+        group->aliveChips = fg.chips;
         _stats.regGroup(&group->group);
+        _groupByKind[static_cast<std::size_t>(fg.platform)] =
+            group.get();
         _groups.push_back(std::move(group));
     }
+    _freeTotal = size();
+    _aliveTotal = size();
 }
 
 ChipPool::PlatformGroup *
 ChipPool::_groupFor(runtime::PlatformKind kind)
 {
-    for (auto &g : _groups)
-        if (g->kind == kind)
-            return g.get();
-    return nullptr;
+    return _groupByKind[static_cast<std::size_t>(kind)];
 }
 
 const ChipPool::PlatformGroup *
 ChipPool::_groupFor(runtime::PlatformKind kind) const
 {
-    for (const auto &g : _groups)
-        if (g->kind == kind)
-            return g.get();
-    return nullptr;
+    return _groupByKind[static_cast<std::size_t>(kind)];
 }
 
 runtime::PlatformKind
@@ -211,6 +222,8 @@ ChipPool::acquireFree()
         if (!_chips[c]->busy && !_chips[c]->dead) {
             _chips[c]->busy = true;
             _lastGrant = c;
+            --_freeTotal;
+            --_groupFor(_chips[c]->platform)->freeChips;
             return c;
         }
     }
@@ -221,7 +234,7 @@ int
 ChipPool::acquireFree(runtime::PlatformKind kind, int *cursor)
 {
     panic_if(!cursor, "per-caller acquire needs a cursor");
-    const PlatformGroup *g = _groupFor(kind);
+    PlatformGroup *g = _groupFor(kind);
     panic_if(!g, "platform '%s' is not in this fleet",
              runtime::toString(kind));
     const int n = static_cast<int>(g->members.size());
@@ -231,6 +244,8 @@ ChipPool::acquireFree(runtime::PlatformKind kind, int *cursor)
         if (!_chips[c]->busy && !_chips[c]->dead) {
             _chips[c]->busy = true;
             *cursor = slot;
+            --_freeTotal;
+            --g->freeChips;
             return c;
         }
     }
@@ -243,34 +258,33 @@ ChipPool::release(int chip)
     panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
     panic_if(!_chips[chip]->busy, "releasing an idle chip %d", chip);
     _chips[chip]->busy = false;
+    PlatformGroup *g = _groupFor(_chips[chip]->platform);
     if (_chips[chip]->dying) {
         // fail() arrived while the chip was serving: the in-flight
-        // batch just completed, the retirement lands now.
+        // batch just completed, the retirement lands now (dead, not
+        // free again).
         _chips[chip]->dying = false;
         _chips[chip]->dead = true;
-        _groupFor(_chips[chip]->platform)->failures += 1;
+        g->failures += 1;
+        --_aliveTotal;
+        --g->aliveChips;
+    } else {
+        ++_freeTotal;
+        ++g->freeChips;
     }
 }
 
 bool
 ChipPool::anyFree() const
 {
-    for (const auto &c : _chips)
-        if (!c->busy && !c->dead)
-            return true;
-    return false;
+    return _freeTotal > 0;
 }
 
 bool
 ChipPool::anyFree(runtime::PlatformKind kind) const
 {
     const PlatformGroup *g = _groupFor(kind);
-    if (!g)
-        return false;
-    for (int c : g->members)
-        if (!_chips[c]->busy && !_chips[c]->dead)
-            return true;
-    return false;
+    return g && g->freeChips > 0;
 }
 
 void
@@ -285,7 +299,13 @@ ChipPool::fail(int chip)
         return;
     }
     c.dead = true;
-    _groupFor(c.platform)->failures += 1;
+    PlatformGroup *g = _groupFor(c.platform);
+    g->failures += 1;
+    --_aliveTotal;
+    --g->aliveChips;
+    // An idle chip was also a free one.
+    --_freeTotal;
+    --g->freeChips;
 }
 
 bool
@@ -298,22 +318,14 @@ ChipPool::failed(int chip) const
 int
 ChipPool::aliveCount() const
 {
-    int n = 0;
-    for (const auto &c : _chips)
-        n += c->dead ? 0 : 1;
-    return n;
+    return _aliveTotal;
 }
 
 int
 ChipPool::aliveCount(runtime::PlatformKind kind) const
 {
     const PlatformGroup *g = _groupFor(kind);
-    if (!g)
-        return 0;
-    int n = 0;
-    for (int c : g->members)
-        n += _chips[c]->dead ? 0 : 1;
-    return n;
+    return g ? g->aliveChips : 0;
 }
 
 void

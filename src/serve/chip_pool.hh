@@ -36,6 +36,7 @@
 #ifndef TPUSIM_SERVE_CHIP_POOL_HH
 #define TPUSIM_SERVE_CHIP_POOL_HH
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -95,11 +96,17 @@ class ChipPool
      * shared beyond this pool -- the cluster arrangement, where
      * every cell's pool reads one frozen set of compiled images; by
      * default the pool owns a private cache (the single-cell case).
+     * @p tpu_backend, when non-null, likewise shares the TPU
+     * execution backend beyond this pool (a cluster's warmed-and-
+     * frozen replay memo); by default the pool builds its own from
+     * @p tier.
      */
     ChipPool(const arch::TpuConfig &config, FleetSpec fleet,
              std::function<double()> now_fn,
              runtime::TierPolicy tier = runtime::TierPolicy{},
              std::shared_ptr<runtime::SharedProgramCache> cache =
+                 nullptr,
+             std::shared_ptr<runtime::ExecutionBackend> tpu_backend =
                  nullptr);
 
     /** Total dies across every platform. */
@@ -248,6 +255,10 @@ class ChipPool
         std::vector<int> members; ///< pool chip indices
         /** Service-time multiplier (degradation events); 1 = healthy. */
         double slowdownFactor = 1.0;
+        /** Cached count of free (idle, alive) member chips. */
+        int freeChips = 0;
+        /** Cached count of not-yet-retired member chips. */
+        int aliveChips = 0;
         stats::StatGroup group;
         stats::Scalar batches;
         stats::Scalar busySeconds;
@@ -286,6 +297,15 @@ class ChipPool
     std::vector<std::unique_ptr<PlatformGroup>> _groups;
     std::vector<std::unique_ptr<Chip>> _chips;
     std::function<double()> _now;
+    /**
+     * Cached aggregates, maintained by acquire/release/fail: the
+     * serving loop asks "any free?" / "anyone alive?" once per
+     * arrival and per drain iteration, which must not walk the pool.
+     */
+    int _freeTotal = 0;
+    int _aliveTotal = 0;
+    /** _groupFor by PlatformKind value, O(1). */
+    std::array<PlatformGroup *, 3> _groupByKind{};
     int _lastGrant = -1;
     arch::PerfCounters _merged;
     stats::StatGroup _stats;

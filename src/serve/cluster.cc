@@ -222,12 +222,18 @@ Cluster::Cluster(arch::TpuConfig config, ClusterOptions options)
     fatal_if(_options.threads < 0, "negative worker-thread count");
     if (_options.fleet.empty())
         _options.fleet = tpuFleet(4); // the Table 2 server per cell
+    // Replay tier: one cluster-wide backend, warmed and frozen at
+    // publish time like the program cache.  Other tiers keep
+    // per-cell backends (their per-model state is not freezable yet).
+    if (_options.tier.tier == runtime::ExecutionTier::Replay)
+        _tpuBackend = runtime::makeBackend(_options.tier, _config);
     for (int c = 0; c < _options.cells; ++c) {
         auto cell = std::make_unique<CellState>();
         SessionOptions so;
         so.fleet = _options.fleet;
         so.tier = _options.tier;
         so.programCache = _cache;
+        so.tpuBackend = _tpuBackend;
         cell->session = std::make_unique<Session>(_config, so);
         _cells.push_back(std::move(cell));
     }
@@ -405,8 +411,14 @@ Cluster::_runCell(int cell_index, const ClusterTraffic &traffic)
     const auto ci = static_cast<std::size_t>(cell_index);
     _applyCellFailures(cell_index, traffic);
 
-    constexpr std::uint64_t kBlock = 65536;
-    std::uint64_t pending = 0;
+    // Chunked arrival pump (serve::DetachedPump): arrivals are
+    // pre-generated into a reused buffer and handed to the session a
+    // block at a time, with the simulation run forward at each block
+    // boundary so the pending-arrival ring stays shallow.  Identical
+    // arrival streams to the per-request submit loop this replaces
+    // -- same RNG draw order, same block cadence -- just without
+    // touching the allocator per request.
+    DetachedPump pump(session);
     for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
         const RouterPlan::Segment &seg = _plan.segments[s];
         const double rate = seg.cellRate[ci];
@@ -456,12 +468,10 @@ Cluster::_runCell(int cell_index, const ClusterTraffic &traffic)
                 ++cs.routerShedModel[m];
                 continue;
             }
-            session.submitDetached(std::max(t, session.now()),
-                                   _handles[m]);
-            if (++pending % kBlock == 0)
-                session.runUntil(t);
+            pump.push(t, _handles[m]);
         }
     }
+    pump.flush();
     session.run();
 }
 
@@ -520,10 +530,13 @@ Cluster::serve(const ClusterTraffic &traffic)
     }
     _plan = _router.plan(boundaries, weights, router_models);
 
-    // ---- publish: compile once on cell 0, freeze, then share.
+    // ---- publish: compile AND warm the replay memo once on cell 0,
+    // freeze both, then share read-only with every cell thread.
     if (!_published) {
         cell(0).precompileModels();
         _cache->freeze();
+        if (_tpuBackend)
+            _tpuBackend->freeze();
         _published = true;
     }
 
@@ -621,6 +634,7 @@ Cluster::_mergeStats(const ClusterTraffic &traffic)
         _last.sloShed += cell_summary.sloShed;
         _last.routerShed += cell_summary.routerShed;
         _last.submitted += cs->offered;
+        _last.events += cs->session->eventsServiced();
     }
     _last.ips = traffic.durationSeconds > 0
                     ? static_cast<double>(_last.completed) /

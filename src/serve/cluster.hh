@@ -246,6 +246,14 @@ class Cluster
         std::uint64_t routerShed = 0;
         /** Completed requests per simulated second, cluster-wide. */
         double ips = 0;
+        /**
+         * Simulation events serviced across every cell's queue --
+         * the denominator of the events/sec wall-clock metric the
+         * perf-baseline trajectory tracks.  NOT folded into
+         * fingerprint(): the digest predates this field and stays
+         * comparable across the event-core swap.
+         */
+        std::uint64_t events = 0;
 
         std::vector<MergedModelStats> models; ///< load order
         /** [0] interactive, [1] batch. */
@@ -328,6 +336,14 @@ class Cluster
     arch::TpuConfig _config;
     ClusterOptions _options;
     std::shared_ptr<runtime::SharedProgramCache> _cache;
+    /**
+     * Cluster-shared TPU backend (Replay tier only): ONE memo,
+     * warmed during publish on cell 0 and frozen, so cell threads
+     * replay read-only instead of each paying a live cycle-sim run
+     * per (model, bucket).  Null for other tiers (per-cell backends,
+     * as before).
+     */
+    std::shared_ptr<runtime::ExecutionBackend> _tpuBackend;
     Router _router;
     std::vector<std::unique_ptr<CellState>> _cells;
     std::vector<LoadedModel> _loaded;

@@ -18,40 +18,38 @@ toString(QosClass qos)
     return "?";
 }
 
-Frontend::Frontend(Clock now, Scheduler schedule, DrainHook drain)
-    : _now(std::move(now)), _schedule(std::move(schedule)),
-      _drain(std::move(drain))
-{
-    fatal_if(!_now || !_schedule || !_drain,
-             "frontend needs clock, scheduler and drain hooks");
-}
+Frontend::Frontend(Host &host, const RequestPool &pool)
+    : _host(host), _pool(pool)
+{}
 
 void
 Frontend::addModel(ModelHandle handle, BatcherPolicy policy,
                    latency::ServiceModel estimate, QosClass qos)
 {
-    const bool inserted =
-        _fronts.emplace(handle, Front(policy, estimate, qos)).second;
-    fatal_if(!inserted, "model handle %llu already registered",
-             static_cast<unsigned long long>(handle));
+    fatal_if(handle != _fronts.size() + 1,
+             "frontend model handles must be dense and in "
+             "registration order (got %llu, expected %zu)",
+             static_cast<unsigned long long>(handle),
+             _fronts.size() + 1);
+    _fronts.emplace_back(policy, estimate, qos, &_pool);
 }
 
 Frontend::Front &
 Frontend::_front(ModelHandle handle)
 {
-    auto it = _fronts.find(handle);
-    fatal_if(it == _fronts.end(), "unknown serve model handle %llu",
+    fatal_if(handle == 0 || handle > _fronts.size(),
+             "unknown serve model handle %llu",
              static_cast<unsigned long long>(handle));
-    return it->second;
+    return _fronts[static_cast<std::size_t>(handle - 1)];
 }
 
 const Frontend::Front &
 Frontend::_front(ModelHandle handle) const
 {
-    auto it = _fronts.find(handle);
-    fatal_if(it == _fronts.end(), "unknown serve model handle %llu",
+    fatal_if(handle == 0 || handle > _fronts.size(),
+             "unknown serve model handle %llu",
              static_cast<unsigned long long>(handle));
-    return it->second;
+    return _fronts[static_cast<std::size_t>(handle - 1)];
 }
 
 const Batcher &
@@ -67,18 +65,19 @@ Frontend::qosClass(ModelHandle handle) const
 }
 
 void
-Frontend::arrive(ModelHandle handle, PendingRequest req)
+Frontend::arrive(ModelHandle handle, RequestIndex request,
+                 double arrival_seconds, double now_seconds)
 {
     Front &f = _front(handle);
-    f.batcher.admit(std::move(req));
-    if (f.batcher.batchReady(_now()))
-        _drain();
+    f.batcher.admitAt(request, arrival_seconds);
+    if (f.batcher.batchReady(now_seconds))
+        _host.frontendDrain();
     if (!f.batcher.empty())
-        _armTimer(handle);
+        _armTimer(handle, now_seconds);
 }
 
 void
-Frontend::_armTimer(ModelHandle handle)
+Frontend::_armTimer(ModelHandle handle, double now_seconds)
 {
     Front &f = _front(handle);
     if (f.timerArmed || f.batcher.empty())
@@ -87,19 +86,20 @@ Frontend::_armTimer(ModelHandle handle)
     // A head already past its deadline is dispatchable now; it waits
     // only for a chip, and every chip completion re-drains, so no
     // timer is needed (re-arming one at "now" would spin).
-    if (deadline <= _now()) {
-        if (f.batcher.batchReady(_now()))
-            _drain();
+    if (deadline <= now_seconds) {
+        if (f.batcher.batchReady(now_seconds))
+            _host.frontendDrain();
         return;
     }
     f.timerArmed = true;
-    _schedule(deadline, [this, handle]() {
+    _host.frontendSchedule(deadline, [this, handle]() {
         Front &front = _front(handle);
         front.timerArmed = false;
-        if (front.batcher.batchReady(_now()))
-            _drain();
+        const double now = _host.frontendNow();
+        if (front.batcher.batchReady(now))
+            _host.frontendDrain();
         if (!front.batcher.empty())
-            _armTimer(handle);
+            _armTimer(handle, now);
     });
 }
 
@@ -115,55 +115,36 @@ Frontend::pickOldestReady(double now,
     };
     ModelHandle pick = 0;
     double oldest = std::numeric_limits<double>::infinity();
-    for (const auto &entry : _fronts) {
-        if (is_held(entry.first) ||
-            !entry.second.batcher.batchReady(now))
+    for (std::size_t i = 0; i < _fronts.size(); ++i) {
+        const ModelHandle handle = i + 1;
+        const Front &f = _fronts[i];
+        if (is_held(handle) || !f.batcher.batchReady(now))
             continue;
-        if (entry.second.batcher.oldestArrival() < oldest) {
-            oldest = entry.second.batcher.oldestArrival();
-            pick = entry.first;
+        if (f.batcher.oldestArrival() < oldest) {
+            oldest = f.batcher.oldestArrival();
+            pick = handle;
         }
     }
     return pick;
 }
 
-FormedBatch
-Frontend::form(ModelHandle handle, double now)
+void
+Frontend::form(ModelHandle handle, double now, FormedBatch &out)
 {
-    return _front(handle).batcher.form(now);
+    _front(handle).batcher.form(now, out);
 }
 
 void
 Frontend::rearm(ModelHandle handle)
 {
     if (!_front(handle).batcher.empty())
-        _armTimer(handle);
+        _armTimer(handle, _host.frontendNow());
 }
 
-std::vector<std::pair<ModelHandle, std::vector<PendingRequest>>>
-Frontend::flushAll()
+void
+Frontend::flushModel(ModelHandle handle, FormedBatch &out)
 {
-    std::vector<std::pair<ModelHandle, std::vector<PendingRequest>>>
-        out;
-    for (auto &entry : _fronts) {
-        Front &f = entry.second;
-        if (f.batcher.empty())
-            continue;
-        std::vector<PendingRequest> drained;
-        // form() with SLO enforcement may still emit servable
-        // requests; here there is nothing left to serve them, so
-        // pull the raw queue.
-        while (!f.batcher.empty()) {
-            FormedBatch fb = f.batcher.form(
-                std::numeric_limits<double>::infinity());
-            for (PendingRequest &r : fb.requests)
-                drained.push_back(std::move(r));
-            for (PendingRequest &r : fb.shed)
-                drained.push_back(std::move(r));
-        }
-        out.emplace_back(entry.first, std::move(drained));
-    }
-    return out;
+    _front(handle).batcher.drainAll(out);
 }
 
 } // namespace serve

@@ -17,22 +17,28 @@
  * cell loses its last die.
  *
  * The Frontend is deliberately passive about time: it reads the
- * clock and schedules callbacks only through the hooks its owner
- * provides, so it works unchanged over any cell's private
- * sim::EventQueue.
+ * clock and schedules callbacks only through the Host interface its
+ * owner implements, so it works unchanged over any cell's private
+ * sim::EventQueue.  (The Host used to be a trio of std::function
+ * hooks; the allocation-free refactor made it a virtual interface --
+ * admission runs once per request, and a devirtualizable call beats
+ * a type-erased one on the 20M-request path.)
+ *
+ * Allocation discipline: models are registered once at load time
+ * (handles are dense, vector-indexed); per-request work is a ring
+ * push plus at most one pooled timer event.  Nothing here allocates
+ * in steady state.
  */
 
 #ifndef TPUSIM_SERVE_FRONTEND_HH
 #define TPUSIM_SERVE_FRONTEND_HH
 
-#include <functional>
-#include <map>
-#include <utility>
 #include <vector>
 
 #include "latency/queueing.hh"
 #include "serve/batcher.hh"
 #include "serve/request.hh"
+#include "sim/inline_task.hh"
 
 namespace tpu {
 namespace serve {
@@ -41,26 +47,47 @@ namespace serve {
 class Frontend
 {
   public:
-    /** Simulated-clock read hook (seconds). */
-    using Clock = std::function<double()>;
-    /** Deferred-callback hook (the owner's event queue). */
-    using Scheduler =
-        std::function<void(double when, std::function<void()> cb)>;
-    /** Invoked whenever some model may have a dispatchable batch. */
-    using DrainHook = std::function<void()>;
+    /**
+     * What the Frontend needs from its owner: the simulated clock, a
+     * way to defer work (the owner's event queue), and a drain
+     * trigger for when some model may have a dispatchable batch.
+     */
+    class Host
+    {
+      public:
+        virtual double frontendNow() const = 0;
+        virtual void frontendSchedule(double when_seconds,
+                                      InlineTask task) = 0;
+        virtual void frontendDrain() = 0;
 
-    Frontend(Clock now, Scheduler schedule, DrainHook drain);
+      protected:
+        ~Host() = default; ///< never deleted through this interface
+    };
 
-    /** Register a model's admission queue (handle from the owner). */
+    /** @p pool is the owner's request slab (indices resolve there). */
+    Frontend(Host &host, const RequestPool &pool);
+
+    /**
+     * Register a model's admission queue.  Handles are assigned by
+     * the owner and must be DENSE starting at 1 in registration
+     * order -- the vector-indexed lookup the per-request path needs.
+     */
     void addModel(ModelHandle handle, BatcherPolicy policy,
                   latency::ServiceModel estimate, QosClass qos);
+
+    /** Models registered so far. */
+    std::size_t modelCount() const { return _fronts.size(); }
 
     /**
      * Admit one request: enqueue it on its model's batcher, trigger
      * the drain hook if a batch became formable, and arm the
-     * deadline timer otherwise.
+     * deadline timer otherwise.  @p arrival_seconds is the request's
+     * arrival time and @p now_seconds the current simulated time --
+     * the caller already holds both, so the per-request admission
+     * path re-reads neither the pool record nor the clock hook.
      */
-    void arrive(ModelHandle handle, PendingRequest req);
+    void arrive(ModelHandle handle, RequestIndex request,
+                double arrival_seconds, double now_seconds);
 
     /** The model's batcher (queue state, policy, bucket map). */
     const Batcher &batcher(ModelHandle handle) const;
@@ -75,8 +102,8 @@ class Frontend
     ModelHandle pickOldestReady(
         double now, const std::vector<ModelHandle> &held) const;
 
-    /** Pop the model's next batch (SLO shed/shrink applied). */
-    FormedBatch form(ModelHandle handle, double now);
+    /** Pop the model's next batch into @p out (SLO applied). */
+    void form(ModelHandle handle, double now, FormedBatch &out);
 
     /**
      * Re-arm the model's deadline timer if requests are still
@@ -85,19 +112,18 @@ class Frontend
     void rearm(ModelHandle handle);
 
     /**
-     * Pull EVERY queued request off every model's queue -- the
+     * Drain the model's RAW queue into @p out.requests -- the
      * failure path when a cell has no die left to serve them.  The
      * owner resolves them as shed.
      */
-    std::vector<std::pair<ModelHandle, std::vector<PendingRequest>>>
-    flushAll();
+    void flushModel(ModelHandle handle, FormedBatch &out);
 
   private:
     struct Front
     {
         Front(BatcherPolicy policy, latency::ServiceModel estimate,
-              QosClass qos_class)
-            : batcher(policy, estimate), qos(qos_class)
+              QosClass qos_class, const RequestPool *pool)
+            : batcher(policy, estimate, pool), qos(qos_class)
         {}
 
         Batcher batcher;
@@ -107,12 +133,11 @@ class Frontend
 
     Front &_front(ModelHandle handle);
     const Front &_front(ModelHandle handle) const;
-    void _armTimer(ModelHandle handle);
+    void _armTimer(ModelHandle handle, double now_seconds);
 
-    Clock _now;
-    Scheduler _schedule;
-    DrainHook _drain;
-    std::map<ModelHandle, Front> _fronts;
+    Host &_host;
+    const RequestPool &_pool;
+    std::vector<Front> _fronts; ///< handle h lives at index h-1
 };
 
 } // namespace serve

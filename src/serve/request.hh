@@ -7,6 +7,14 @@
  * materializes when the simulated batch carrying the request
  * completes (or when SLO admission control sheds it).
  *
+ * Allocation discipline: pending requests live in a per-session
+ * RequestPool (a sim::Slab) and travel through the admission queue,
+ * batch formation and completion as 32-bit INDICES, not objects.
+ * Only submit() -- the Future-returning API -- allocates a shared
+ * resolution slot per request; the submitDetached() farm path
+ * allocates nothing per request in steady state, which is what makes
+ * 20M-request cluster sweeps cheap enough to run routinely.
+ *
  * The 7 ms limit the Replies are judged against is the paper's
  * Table 4 99th-percentile response-time bound; see
  * latency/queueing.hh and serve/batcher.hh for the policy.
@@ -21,6 +29,7 @@
 
 #include "arch/perf_counters.hh"
 #include "sim/logging.hh"
+#include "sim/pool.hh"
 
 namespace tpu {
 namespace serve {
@@ -84,6 +93,77 @@ struct FutureState
 };
 
 } // namespace detail
+
+/**
+ * Pool index of one pending request (see RequestPool).  Indices are
+ * only meaningful within their owning session and only while the
+ * request is in flight; completion recycles the slot.
+ */
+using RequestIndex = std::uint32_t;
+
+/** One request waiting in (or leaving) the admission queue. */
+struct PendingRequest
+{
+    RequestId id = 0;
+    double arrivalSeconds = 0;
+    /**
+     * Payload carried by submit()/submitAt() (sizes the modelled DMA;
+     * serving chips run in timing mode).  Detached requests carry
+     * none.  Slot reuse keeps the vector's capacity.
+     */
+    std::vector<std::int8_t> input;
+    /** Future resolution slot; null on the detached path. */
+    std::shared_ptr<detail::FutureState> state;
+};
+
+/**
+ * Per-session slab of pending-request records, addressed by
+ * RequestIndex.  alloc() resets the bookkeeping fields but keeps
+ * slot capacity (sim::Slab does not destroy released objects), so
+ * the steady-state detached path touches no allocator at all.
+ */
+class RequestPool
+{
+  public:
+    RequestIndex
+    alloc(RequestId id, double arrival_seconds)
+    {
+        const RequestIndex idx = _slab.alloc();
+        PendingRequest &req = _slab[idx];
+        req.id = id;
+        req.arrivalSeconds = arrival_seconds;
+        req.input.clear();
+        req.state.reset();
+        return idx;
+    }
+
+    PendingRequest &operator[](RequestIndex idx) { return _slab[idx]; }
+    const PendingRequest &
+    operator[](RequestIndex idx) const
+    {
+        return _slab[idx];
+    }
+
+    /**
+     * Recycle a completed/shed request's slot.  The Future state (if
+     * any) is dropped here -- the Future's own shared_ptr keeps the
+     * Reply alive for the caller.
+     */
+    void
+    release(RequestIndex idx)
+    {
+        _slab[idx].state.reset();
+        _slab.release(idx);
+    }
+
+    /** Slots ever created (warm-up high-water mark). */
+    std::size_t slots() const { return _slab.slots(); }
+    /** Requests currently in flight. */
+    std::size_t live() const { return _slab.live(); }
+
+  private:
+    sim::Slab<PendingRequest> _slab;
+};
 
 /**
  * Handle to a pending Reply.  Resolution happens inside

@@ -11,6 +11,35 @@
 namespace tpu {
 namespace serve {
 
+DetachedPump::DetachedPump(Session &session) : _session(session)
+{
+    _chunk.reserve(kBlock);
+}
+
+void
+DetachedPump::push(double when, ModelHandle handle)
+{
+    // runUntil() leaves now at the block boundary tick, which can
+    // land a hair past the next arrival; clamp forward.  now() only
+    // advances at block boundaries, so deferring the submit does not
+    // change the clamp any driver would have applied inline.
+    _chunk.push_back({std::max(when, _session.now()), handle});
+    if (++_pushed % kBlock == 0) {
+        _session.submitDetachedBulk(_chunk);
+        _chunk.clear();
+        _session.runUntil(when);
+    }
+}
+
+void
+DetachedPump::flush()
+{
+    if (_chunk.empty())
+        return;
+    _session.submitDetachedBulk(_chunk);
+    _chunk.clear();
+}
+
 ModelServingStats::ModelServingStats(const std::string &name,
                                      double slo_seconds)
     : group(name),
@@ -62,7 +91,20 @@ Session::Model::Model(std::string model_name,
     : name(std::move(model_name)), builder(std::move(net_builder)),
       hostFraction(host_frac),
       stats(name, batcher_policy.sloSeconds)
-{}
+{
+    rrCursors.fill(-1);
+}
+
+const latency::ServiceModel &
+Session::Model::estimateFor(runtime::PlatformKind kind) const
+{
+    for (const auto &entry : platformEstimates)
+        if (entry.first == kind)
+            return entry.second;
+    fatal("model '%s' has no service estimate for platform '%s' "
+          "(not in this session's fleet)", name.c_str(),
+          runtime::toString(kind));
+}
 
 Session::Session(arch::TpuConfig config, SessionOptions options)
     : _config(std::move(config)),
@@ -70,17 +112,16 @@ Session::Session(arch::TpuConfig config, SessionOptions options)
             options.fleet.empty() ? tpuFleet(options.chips)
                                   : options.fleet,
             [this]() { return now(); }, options.tier,
-            options.programCache),
-      _frontend([this]() { return now(); },
-                [this](double when, std::function<void()> cb) {
-                    _scheduleAt(when, 0, std::move(cb));
-                },
-                [this]() { _drain(); }),
+            options.programCache, options.tpuBackend),
+      _frontend(*this, _requests),
       _stats("serve_session"),
       _submitted("submitted", "requests submitted"),
       _completed("completed", "requests served to completion"),
       _shed("shed", "requests dropped by SLO admission control"),
       _batches("batches", "dynamic batches dispatched"),
+      _counterShares("counter_shares",
+                     "per-request counter shares materialized "
+                     "(Future-carrying requests only)"),
       _ips("ips", "completed inferences per simulated second",
            [this]() {
                const double horizon = now();
@@ -92,6 +133,7 @@ Session::Session(arch::TpuConfig config, SessionOptions options)
     _stats.regStat(&_completed);
     _stats.regStat(&_shed);
     _stats.regStat(&_batches);
+    _stats.regStat(&_counterShares);
     _stats.regStat(&_ips);
     _stats.regGroup(&_pool.statGroupMutable());
     for (const FleetGroup &fg : _pool.fleet()) {
@@ -116,21 +158,24 @@ Session::load(const std::string &name, NetworkBuilder builder,
     // own batch size is irrelevant to the affine decomposition, only
     // the layer shapes matter.
     const nn::Network probe = builder(policy.maxBatch);
-    std::map<runtime::PlatformKind, latency::ServiceModel> estimates;
+    std::vector<std::pair<runtime::PlatformKind,
+                          latency::ServiceModel>> estimates;
     for (const FleetGroup &fg : _pool.fleet()) {
         if (fg.platform == runtime::PlatformKind::Tpu) {
-            estimates[fg.platform] = latency::ServiceModel::fromModel(
-                _config, probe, host_fraction);
+            estimates.emplace_back(
+                fg.platform, latency::ServiceModel::fromModel(
+                                 _config, probe, host_fraction));
         } else {
             auto &backend = static_cast<runtime::PlatformBackend &>(
                 _pool.backendFor(fg.platform));
-            estimates[fg.platform] =
-                runtime::platformServiceModel(backend.model(), probe);
+            estimates.emplace_back(
+                fg.platform,
+                runtime::platformServiceModel(backend.model(),
+                                              probe));
         }
     }
-    const latency::ServiceModel estimate =
-        estimates.at(_pool.fleet().front().platform);
-    const ModelHandle handle = _nextModel++;
+    const latency::ServiceModel estimate = estimates.front().second;
+    const ModelHandle handle = _models.size() + 1;
     auto model = std::make_unique<Model>(name, std::move(builder),
                                          policy, host_fraction);
     model->platformEstimates = std::move(estimates);
@@ -147,26 +192,26 @@ Session::load(const std::string &name, NetworkBuilder builder,
         }
     }
     _stats.regGroup(&model->stats.group);
-    _models.emplace(handle, std::move(model));
+    _models.push_back(std::move(model));
     return handle;
 }
 
 Session::Model &
 Session::_model(ModelHandle handle)
 {
-    auto it = _models.find(handle);
-    fatal_if(it == _models.end(), "unknown serve model handle %llu",
+    fatal_if(handle == 0 || handle > _models.size(),
+             "unknown serve model handle %llu",
              static_cast<unsigned long long>(handle));
-    return *it->second;
+    return *_models[static_cast<std::size_t>(handle - 1)];
 }
 
 const Session::Model &
 Session::_model(ModelHandle handle) const
 {
-    auto it = _models.find(handle);
-    fatal_if(it == _models.end(), "unknown serve model handle %llu",
+    fatal_if(handle == 0 || handle > _models.size(),
+             "unknown serve model handle %llu",
              static_cast<unsigned long long>(handle));
-    return *it->second;
+    return *_models[static_cast<std::size_t>(handle - 1)];
 }
 
 const ModelServingStats &
@@ -186,21 +231,31 @@ const latency::ServiceModel &
 Session::serviceEstimate(ModelHandle handle,
                          runtime::PlatformKind kind) const
 {
-    const Model &m = _model(handle);
-    auto it = m.platformEstimates.find(kind);
-    fatal_if(it == m.platformEstimates.end(),
-             "model '%s' has no service estimate for platform '%s' "
-             "(not in this session's fleet)", m.name.c_str(),
-             runtime::toString(kind));
-    return it->second;
+    return _model(handle).estimateFor(kind);
 }
 
 void
 Session::precompileModels()
 {
-    for (auto &entry : _models) {
-        Model &m = *entry.second;
-        const Batcher &batcher = _frontend.batcher(entry.first);
+    // Warm the replay memo along with the compile: the one live
+    // cycle-sim run per bucket belongs to the publish phase, not to
+    // whichever cell happens to dispatch that bucket first.  The
+    // warm-up must run on a TPU die -- the FIRST one in the fleet,
+    // which need not be chip 0 when a mixed fleet leads with another
+    // platform (a frozen-but-empty memo would be fatal at traffic
+    // time).
+    int warm_chip = -1;
+    if (_pool.tier() == runtime::ExecutionTier::Replay) {
+        for (int c = 0; c < _pool.size(); ++c) {
+            if (_pool.platform(c) == runtime::PlatformKind::Tpu) {
+                warm_chip = c;
+                break;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < _models.size(); ++i) {
+        Model &m = *_models[i];
+        const Batcher &batcher = _frontend.batcher(i + 1);
         // Every distinct compiled bucket the batcher could ever form.
         std::int64_t last = 0;
         for (std::int64_t b = 1; b <= batcher.policy().maxBatch;
@@ -210,6 +265,11 @@ Session::precompileModels()
                 continue;
             last = bucket;
             _backendHandle(m, bucket, 0);
+            if (warm_chip >= 0) {
+                const runtime::ModelHandle handle =
+                    _backendHandle(m, bucket, warm_chip);
+                _pool.driver(warm_chip).invoke(handle, {}, 0.0);
+            }
         }
     }
 }
@@ -256,9 +316,9 @@ Session::applyFailures(const std::vector<FailureEvent> &events)
 void
 Session::_shedEverything()
 {
-    for (auto &flushed : _frontend.flushAll()) {
-        Model &m = _model(flushed.first);
-        _resolveShed(m, flushed.second);
+    for (std::size_t i = 0; i < _models.size(); ++i) {
+        _frontend.flushModel(i + 1, _flushScratch);
+        _resolveShed(*_models[i], _flushScratch.requests);
     }
 }
 
@@ -292,16 +352,18 @@ Session::submitAt(double when_seconds, ModelHandle handle,
     _model(handle); // validate early, at submission time
     fatal_if(when_seconds < now(),
              "submitting a request in the simulated past");
+    // The Future API's one per-request allocation: the resolution
+    // slot shared with the caller.  The pending record itself is a
+    // recycled pool slot like any detached request.
     auto state = std::make_shared<detail::FutureState>();
-    PendingRequest req;
-    req.id = _nextRequest++;
-    req.arrivalSeconds = when_seconds;
+    const RequestIndex idx =
+        _requests.alloc(_nextRequest++, when_seconds);
+    PendingRequest &req = _requests[idx];
     req.input = std::move(input);
     req.state = state;
-    _scheduleAt(when_seconds, 0,
-                [this, handle, req = std::move(req)]() mutable {
-                    _arrive(handle, std::move(req));
-                });
+    _scheduleAt(when_seconds, 0, [this, handle, idx]() {
+        _arrive(handle, idx);
+    });
     return Future(std::move(state));
 }
 
@@ -312,9 +374,27 @@ Session::submitDetached(double when_seconds, ModelHandle handle)
     fatal_if(when_seconds < now(),
              "submitting a request in the simulated past");
     fatal_if(!_arrivalStream.empty() &&
-             when_seconds < _arrivalStream.back().when,
+             when_seconds < _lastDetachedWhen,
              "detached arrivals must be submitted in time order");
+    _lastDetachedWhen = when_seconds;
     _arrivalStream.push_back({when_seconds, handle});
+    _armPump();
+}
+
+void
+Session::submitDetachedBulk(const std::vector<DetachedArrival> &chunk)
+{
+    const double floor_seconds = now();
+    for (const DetachedArrival &a : chunk) {
+        _model(a.handle); // validate
+        fatal_if(a.when < floor_seconds,
+                 "submitting a request in the simulated past");
+        fatal_if(!_arrivalStream.empty() &&
+                 a.when < _lastDetachedWhen,
+                 "detached arrivals must be submitted in time order");
+        _lastDetachedWhen = a.when;
+        _arrivalStream.push_back({a.when, a.handle});
+    }
     _armPump();
 }
 
@@ -324,8 +404,8 @@ Session::_armPump()
     if (_pumpArmed || _arrivalStream.empty())
         return;
     _pumpArmed = true;
-    // [this] fits std::function's small-buffer storage: arming the
-    // pump never allocates, no matter how deep the stream is.
+    // [this] fits the InlineTask inline buffer: arming the pump
+    // never allocates, no matter how deep the stream is.
     _scheduleAt(_arrivalStream.front().when, 0, [this]() {
         _pumpArmed = false;
         _pumpArrivals();
@@ -337,13 +417,12 @@ Session::_pumpArrivals()
 {
     while (!_arrivalStream.empty() &&
            _arrivalStream.front().when <= now()) {
-        const StreamArrival a = _arrivalStream.front();
+        const DetachedArrival a = _arrivalStream.front();
         _arrivalStream.pop_front();
-        PendingRequest req;
-        req.id = _nextRequest++;
-        req.arrivalSeconds = a.when;
-        // req.state stays null: no Future, no Reply materialization.
-        _arrive(a.handle, std::move(req));
+        // No Future, no payload: the pooled record is all there is.
+        const RequestIndex idx =
+            _requests.alloc(_nextRequest++, a.when);
+        _arrive(a.handle, idx);
     }
     _armPump();
 }
@@ -370,24 +449,27 @@ void
 Session::_scheduleAt(double when, int priority,
                      EventQueue::Callback cb)
 {
-    _events.schedule(std::max(_events.now(), _toTick(when)),
-                     std::move(cb), priority);
+    // No clamping: callers compute correct times (>= now), and the
+    // queue dies on a past-time schedule -- masking a negative delay
+    // with std::max would hide the very bugs the check exists for.
+    _events.schedule(_toTick(when), std::move(cb), priority);
 }
 
 void
-Session::_arrive(ModelHandle handle, PendingRequest req)
+Session::_arrive(ModelHandle handle, RequestIndex request)
 {
     Model &m = _model(handle);
     _submitted += 1;
     m.stats.submitted += 1;
     if (_pool.aliveCount() == 0) {
         // The cell is dark: nothing will ever serve this request.
-        std::vector<PendingRequest> dead;
-        dead.push_back(std::move(req));
-        _resolveShed(m, dead);
+        _flushScratch.clear();
+        _flushScratch.requests.push_back(request);
+        _resolveShed(m, _flushScratch.requests);
         return;
     }
-    _frontend.arrive(handle, std::move(req));
+    _frontend.arrive(handle, request,
+                     _requests[request].arrivalSeconds, now());
 }
 
 void
@@ -395,18 +477,19 @@ Session::_drain()
 {
     // Models whose batch is held back this round (no free chip on an
     // SLO-viable platform); they re-enter at the next drain.  A flat
-    // vector: sessions hold a handful of models, drains are hot.
-    std::vector<ModelHandle> held;
+    // reused vector: sessions hold a handful of models, drains are
+    // hot.
+    _heldScratch.clear();
     while (_pool.anyFree()) {
         // Global FIFO fairness: among models with a dispatchable
         // batch, serve the one whose head request has waited longest.
         const ModelHandle pick =
-            _frontend.pickOldestReady(now(), held);
+            _frontend.pickOldestReady(now(), _heldScratch);
         if (pick == 0)
             break;
         const int chip = _chooseChip(pick, _model(pick));
         if (chip < 0) {
-            held.push_back(pick);
+            _heldScratch.push_back(pick);
             continue;
         }
         _dispatch(pick, chip);
@@ -439,7 +522,7 @@ Session::_chooseChip(ModelHandle handle, Model &m)
         if (_pool.aliveCount(fg.platform) == 0)
             continue;
         const latency::ServiceModel &est =
-            m.platformEstimates.at(fg.platform);
+            m.estimateFor(fg.platform);
         const double headroom = slo - waited - est.seconds(bucket);
         best_any = std::max(best_any, headroom);
         if (!_pool.anyFree(fg.platform))
@@ -461,29 +544,33 @@ Session::_chooseChip(ModelHandle handle, Model &m)
     // at formation, where the accounting lives).
     if (best_free < 0 && best_any >= 0)
         return -1;
-    auto cursor = m.rrCursors.try_emplace(best_kind, -1).first;
-    const int chip = _pool.acquireFree(best_kind, &cursor->second);
+    int *cursor = &m.rrCursors[static_cast<std::size_t>(best_kind)];
+    const int chip = _pool.acquireFree(best_kind, cursor);
     panic_if(chip < 0, "anyFree(platform) promised a free chip");
     return chip;
 }
 
 void
-Session::_resolveShed(Model &m, std::vector<PendingRequest> &shed)
+Session::_resolveShed(Model &m, std::vector<RequestIndex> &shed)
 {
-    for (PendingRequest &req : shed) {
+    for (const RequestIndex ri : shed) {
+        PendingRequest &req = _requests[ri];
         _shed += 1;
         m.stats.shed += 1;
-        if (!req.state)
-            continue; // detached: aggregate stats only
-        Reply &rep = req.state->reply;
-        rep.id = req.id;
-        rep.shed = true;
-        rep.submitSeconds = req.arrivalSeconds;
-        rep.dispatchSeconds = now();
-        rep.completionSeconds = now();
-        rep.responseSeconds = now() - req.arrivalSeconds;
-        rep.queueSeconds = rep.responseSeconds;
-        req.state->ready = true;
+        if (req.state) {
+            // Only Future-carrying requests materialize a Reply; the
+            // detached path is pure counter accounting.
+            Reply &rep = req.state->reply;
+            rep.id = req.id;
+            rep.shed = true;
+            rep.submitSeconds = req.arrivalSeconds;
+            rep.dispatchSeconds = now();
+            rep.completionSeconds = now();
+            rep.responseSeconds = now() - req.arrivalSeconds;
+            rep.queueSeconds = rep.responseSeconds;
+            req.state->ready = true;
+        }
+        _requests.release(ri);
     }
     shed.clear();
 }
@@ -493,60 +580,65 @@ Session::_dispatch(ModelHandle handle, int chip)
 {
     Model &m = _model(handle);
     const double start = now();
-    FormedBatch batch = _frontend.form(handle, start);
-    _resolveShed(m, batch.shed);
-    if (batch.requests.empty()) {
+    const std::uint32_t slot = _inflight.alloc();
+    InFlightBatch &rec = _inflight[slot];
+    rec.dispatchSeconds = start;
+    _frontend.form(handle, start, rec.batch);
+    _resolveShed(m, rec.batch.shed);
+    if (rec.batch.requests.empty()) {
+        _inflight.release(slot);
         _pool.release(chip);
         return;
     }
 
     const auto formed =
-        static_cast<std::int64_t>(batch.requests.size());
+        static_cast<std::int64_t>(rec.batch.requests.size());
     runtime::ModelHandle backend =
-        _backendHandle(m, batch.paddedBatch, chip);
+        _backendHandle(m, rec.batch.paddedBatch, chip);
     // Platform backends fold host overhead into their Table 6
     // calibration; only real TPU dies add the Table 5 share on top.
     const double host_fraction =
         _pool.platform(chip) == runtime::PlatformKind::Tpu
             ? m.hostFraction
             : 0.0;
-    runtime::InvokeStats inv =
-        _pool.invoke(chip, backend, host_fraction);
+    rec.inv = _pool.invoke(chip, backend, host_fraction);
 
     _batches += 1;
     m.stats.batches += 1;
     m.stats.batchSize.sample(static_cast<double>(formed));
-    m.stats.deviceSeconds += inv.deviceSeconds;
-    m.stats.busySeconds += inv.totalSeconds;
+    m.stats.deviceSeconds += rec.inv.deviceSeconds;
+    m.stats.busySeconds += rec.inv.totalSeconds;
     _platformServing(_pool.platform(chip)).batches += 1;
 
-    const double done = start + inv.totalSeconds;
+    const double done = start + rec.inv.totalSeconds;
     // Completions run before same-tick arrivals/timers (priority -1)
-    // so a freed chip is visible to them.
-    _scheduleAt(done, -1,
-                [this, handle, chip, batch = std::move(batch),
-                 inv = std::move(inv), start]() mutable {
-                    _complete(handle, chip, std::move(batch),
-                              std::move(inv), start);
-                });
+    // so a freed chip is visible to them.  The closure carries only
+    // indices -- the batch record is pooled, so this always fits the
+    // InlineTask inline buffer.
+    _scheduleAt(done, -1, [this, handle, chip, slot]() {
+        _complete(handle, chip, slot);
+    });
 }
 
 void
-Session::_complete(ModelHandle handle, int chip, FormedBatch batch,
-                   runtime::InvokeStats inv, double dispatch_time)
+Session::_complete(ModelHandle handle, int chip,
+                   std::uint32_t inflight_slot)
 {
     Model &m = _model(handle);
+    InFlightBatch &rec = _inflight[inflight_slot];
     const double done = now();
+    const double dispatch_time = rec.dispatchSeconds;
     const auto formed =
-        static_cast<std::int64_t>(batch.requests.size());
+        static_cast<std::int64_t>(rec.batch.requests.size());
     // The per-request counter share is only materialized if some
     // request in the batch still holds a Future; a fully detached
-    // batch skips the division entirely.
+    // batch skips the division entirely (counterShares() proves it).
     arch::PerfCounters share;
     bool share_ready = false;
     PlatformServingStats &served =
         _platformServing(_pool.platform(chip));
-    for (PendingRequest &req : batch.requests) {
+    for (const RequestIndex ri : rec.batch.requests) {
+        PendingRequest &req = _requests[ri];
         _completed += 1;
         m.stats.completed += 1;
         served.completed += 1;
@@ -555,27 +647,30 @@ Session::_complete(ModelHandle handle, int chip, FormedBatch batch,
         m.stats.response.sample(response);
         served.response.sample(response);
         m.stats.queueSeconds.sample(queued);
-        if (!req.state)
-            continue; // detached: aggregate stats only
-        if (!share_ready) {
-            share = inv.counters.averagedOver(
-                static_cast<std::uint64_t>(formed));
-            share_ready = true;
+        if (req.state) {
+            if (!share_ready) {
+                share = rec.inv.counters.averagedOver(
+                    static_cast<std::uint64_t>(formed));
+                share_ready = true;
+            }
+            _counterShares += 1;
+            Reply &rep = req.state->reply;
+            rep.id = req.id;
+            rep.shed = false;
+            rep.submitSeconds = req.arrivalSeconds;
+            rep.dispatchSeconds = dispatch_time;
+            rep.completionSeconds = done;
+            rep.responseSeconds = response;
+            rep.queueSeconds = queued;
+            rep.batchSize = formed;
+            rep.paddedBatch = rec.batch.paddedBatch;
+            rep.chip = chip;
+            rep.counters = share;
+            req.state->ready = true;
         }
-        Reply &rep = req.state->reply;
-        rep.id = req.id;
-        rep.shed = false;
-        rep.submitSeconds = req.arrivalSeconds;
-        rep.dispatchSeconds = dispatch_time;
-        rep.completionSeconds = done;
-        rep.responseSeconds = response;
-        rep.queueSeconds = queued;
-        rep.batchSize = formed;
-        rep.paddedBatch = batch.paddedBatch;
-        rep.chip = chip;
-        rep.counters = share;
-        req.state->ready = true;
+        _requests.release(ri);
     }
+    _inflight.release(inflight_slot);
     _pool.release(chip);
     // A dying chip retires on release; if it was the LAST die, the
     // queued requests have no one left to serve them -- shed now,

@@ -43,18 +43,30 @@
  * here (platform-aware chip choice, invocation, completion, failure
  * events).  The Frontend seam is what lets a cluster Router own
  * admission policy above any number of cells.
+ *
+ * Allocation discipline (the 20M-request contract): the steady-state
+ * request path allocates NOTHING.  Pending requests live in a pooled
+ * slab addressed by index (serve/request.hh); the admission queues
+ * are rings of indices; formed batches and their invoke results are
+ * pooled in-flight records reused across dispatches; every scheduled
+ * callback fits sim::InlineTask's inline buffer; and detached-mode
+ * completions fold straight into the StatGroup counters without
+ * materializing per-request Reply or PerfCounters copies.  Only
+ * submit() -- the Future API -- pays a per-request allocation, for
+ * the shared resolution slot the caller holds.
  */
 
 #ifndef TPUSIM_SERVE_SESSION_HH
 #define TPUSIM_SERVE_SESSION_HH
 
+#include <array>
 #include <cmath>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/config.hh"
@@ -65,6 +77,7 @@
 #include "serve/request.hh"
 #include "serve/scenario.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 
 namespace tpu {
@@ -108,6 +121,16 @@ struct SessionOptions
      * default) gives the pool a private cache.
      */
     std::shared_ptr<runtime::SharedProgramCache> programCache;
+
+    /**
+     * Externally owned TPU execution backend shared beyond this
+     * session -- the cluster arrangement for the Replay tier: one
+     * memo, warmed on cell 0 during publish and frozen, replayed by
+     * every cell instead of each paying its own live cycle-sim run
+     * per (model, bucket).  Null (the default) gives the pool a
+     * private backend built from `tier`.
+     */
+    std::shared_ptr<runtime::ExecutionBackend> tpuBackend;
 };
 
 /** Measured serving statistics for one loaded model. */
@@ -171,8 +194,47 @@ class PlatformServingStats
     double p99() const { return response.percentile(0.99); }
 };
 
+class Session;
+
+/** One pre-generated arrival for Session::submitDetachedBulk(). */
+struct DetachedArrival
+{
+    double when;
+    ModelHandle handle;
+};
+
+/**
+ * Chunked detached-arrival pump: THE farm-driver pattern, in one
+ * place so every driver keeps the exact same block cadence and
+ * now()-clamp semantics (the determinism contract between bench and
+ * example traffic).  push() buffers a pre-generated arrival into a
+ * reused chunk; every kBlock-th pushed arrival flushes the chunk
+ * into the session and runs the simulation up to that arrival's raw
+ * time, keeping the pending-arrival ring shallow; flush() hands over
+ * the remainder (call before reading session state or run()).
+ */
+class DetachedPump
+{
+  public:
+    /** Arrivals per block; drivers share one cadence on purpose. */
+    static constexpr std::uint64_t kBlock = 65536;
+
+    explicit DetachedPump(Session &session);
+
+    /** Buffer one arrival at raw time @p when (clamped to now). */
+    void push(double when, ModelHandle handle);
+
+    /** Submit any buffered remainder (no simulation step). */
+    void flush();
+
+  private:
+    Session &_session;
+    std::vector<DetachedArrival> _chunk;
+    std::uint64_t _pushed = 0;
+};
+
 /** Request-level serving session over a multi-chip pool. */
-class Session
+class Session : private Frontend::Host
 {
   public:
     /** Rebuilds the model's network at a given batch size. */
@@ -197,9 +259,13 @@ class Session
     /**
      * Compile every (model, bucket) program image this session could
      * ever dispatch, through chip 0's driver, into the (possibly
-     * shared) program cache.  A cluster calls this on ONE cell and
-     * then freezes the cache, so every other cell's lazy loads are
-     * guaranteed read-only hits.
+     * shared) program cache.  On a Replay-tier TPU pool this also
+     * WARMS the replay memo (one live cycle-sim run per bucket, paid
+     * here instead of on the first serving dispatch).  A cluster
+     * calls this on ONE cell and then freezes both the cache and the
+     * shared backend, so every other cell's lazy loads are
+     * guaranteed read-only hits and no cell ever runs the cycle
+     * simulator during the traffic phase.
      */
     void precompileModels();
 
@@ -237,13 +303,27 @@ class Session
     /**
      * Fire-and-forget submission: identical admission, batching,
      * SLO and statistics behaviour to submitAt(), but no Future is
-     * created, so nothing is allocated per reply.  This is the
-     * million-request path: when a farm driver only reads the
-     * aggregate StatGroup percentiles, per-request Reply plumbing is
-     * pure overhead.  Detached requests carry no payload (serving
-     * chips run in timing mode; request inputs only size the DMA).
+     * created and NOTHING is allocated per request in steady state.
+     * This is the million-request path: when a farm driver only
+     * reads the aggregate StatGroup percentiles, per-request Reply
+     * plumbing is pure overhead.  Detached requests carry no payload
+     * (serving chips run in timing mode; request inputs only size
+     * the DMA).  Arrivals must be submitted in time order, at or
+     * after the current simulated time.
      */
     void submitDetached(double when_seconds, ModelHandle handle);
+
+    /** Kept as a nested alias for existing call sites. */
+    using DetachedArrival = serve::DetachedArrival;
+
+    /**
+     * Append a whole chunk of detached arrivals at once -- the
+     * farm-scale driver pattern: generate a segment of arrival times
+     * into a REUSED caller buffer, hand the chunk over, run the
+     * simulation to the chunk boundary, repeat.  Semantically
+     * identical to calling submitDetached() per element.
+     */
+    void submitDetachedBulk(const std::vector<DetachedArrival> &chunk);
 
     /** Drive simulated time until every pending event has fired. */
     void run();
@@ -284,6 +364,26 @@ class Session
         return static_cast<std::uint64_t>(_shed.value());
     }
 
+    /**
+     * Per-request counter-share copies materialized
+     * (PerfCounters::averagedOver) -- only Future-carrying requests
+     * pay this; a pure submitDetached() run reads 0 here, the stat
+     * that PROVES detached replies skip counter materialization.
+     */
+    std::uint64_t counterShares() const
+    {
+        return static_cast<std::uint64_t>(_counterShares.value());
+    }
+
+    /** Events serviced by this session's queue so far. */
+    std::uint64_t eventsServiced() const
+    {
+        return _events.serviced();
+    }
+
+    /** Pending-request slots ever created (warm-up high-water). */
+    std::size_t requestSlots() const { return _requests.slots(); }
+
     /** Completed requests per simulated second across the pool. */
     double achievedIps() const;
 
@@ -321,41 +421,51 @@ class Session
         std::map<std::pair<std::int64_t, int>,
                  runtime::ModelHandle> backendHandles;
         /**
-         * Batch service estimate per fleet platform, the dispatch
-         * routing input: TPU from the analytic hardware model,
-         * CPU/GPU from the Table 6-calibrated baselines.
+         * Batch service estimate per fleet platform (fleet order),
+         * the dispatch routing input: TPU from the analytic hardware
+         * model, CPU/GPU from the Table 6-calibrated baselines.
+         * Flat and linearly scanned: fleets hold <= 3 platforms and
+         * this sits on the per-batch routing path.
          */
-        std::map<runtime::PlatformKind, latency::ServiceModel>
+        std::vector<std::pair<runtime::PlatformKind,
+                              latency::ServiceModel>>
             platformEstimates;
+        /** Linear lookup into platformEstimates (fatal if absent). */
+        const latency::ServiceModel &
+        estimateFor(runtime::PlatformKind kind) const;
         /**
-         * Per-model round-robin cursor per platform.  Dispatch order
-         * is a pure function of THIS model's history, so per-chip
-         * and per-platform stats reproduce run to run no matter how
-         * other models' traffic interleaves (the cursor was formerly
-         * pool-global).
+         * Per-model round-robin cursor per platform, indexed by
+         * PlatformKind.  Dispatch order is a pure function of THIS
+         * model's history, so per-chip and per-platform stats
+         * reproduce run to run no matter how other models' traffic
+         * interleaves (the cursor was formerly pool-global).
          */
-        std::map<runtime::PlatformKind, int> rrCursors;
+        std::array<int, 3> rrCursors;
     };
 
     Model &_model(ModelHandle handle);
     const Model &_model(ModelHandle handle) const;
 
+    // Frontend::Host -- the admission half's view of this session.
+    double frontendNow() const override { return now(); }
+    void
+    frontendSchedule(double when_seconds, InlineTask task) override
+    {
+        _scheduleAt(when_seconds, 0, std::move(task));
+    }
+    void frontendDrain() override { _drain(); }
+
     /**
      * Detached arrivals wait here instead of in the event queue: one
      * self-rescheduling pump event delivers them in order, so a
-     * million pending arrivals cost one queue slot and no per-request
-     * closure allocation -- the difference between O(log pending) and
-     * O(log in-flight) per event at farm scale.
+     * million pending arrivals cost one queue slot -- the difference
+     * between O(log pending) and O(log in-flight) per event at farm
+     * scale.  The ring reuses its storage; no per-request allocation.
      */
-    struct StreamArrival
-    {
-        double when;
-        ModelHandle handle;
-    };
     void _armPump();
     void _pumpArrivals();
 
-    void _arrive(ModelHandle handle, PendingRequest req);
+    void _arrive(ModelHandle handle, RequestIndex request);
     void _drain();
 
     /**
@@ -377,9 +487,9 @@ class Session
     PlatformServingStats &_platformServing(runtime::PlatformKind kind);
 
     void _dispatch(ModelHandle handle, int chip);
-    void _complete(ModelHandle handle, int chip, FormedBatch batch,
-                   runtime::InvokeStats inv, double dispatch_time);
-    void _resolveShed(Model &m, std::vector<PendingRequest> &shed);
+    void _complete(ModelHandle handle, int chip,
+                   std::uint32_t inflight_slot);
+    void _resolveShed(Model &m, std::vector<RequestIndex> &shed);
     runtime::ModelHandle _backendHandle(Model &m, std::int64_t bucket,
                                         int chip);
     void _scheduleAt(double when, int priority,
@@ -405,24 +515,47 @@ class Session
     arch::TpuConfig _config;
     EventQueue _events;
     ChipPool _pool;
+    /** Pending-request slab; indices flow through the whole path. */
+    RequestPool _requests;
     /** Admission/batching half (constructed after _events/_pool). */
     Frontend _frontend;
 
-    std::map<ModelHandle, std::unique_ptr<Model>> _models;
-    ModelHandle _nextModel = 1;
+    std::vector<std::unique_ptr<Model>> _models; ///< handle = idx+1
     RequestId _nextRequest = 1;
+
+    /**
+     * One record per batch in flight on a chip: the formed batch,
+     * its invoke result and dispatch time, pooled and reused across
+     * dispatches.  Completion events carry the 32-bit slot index, so
+     * they fit InlineTask's inline buffer.
+     */
+    struct InFlightBatch
+    {
+        FormedBatch batch;
+        runtime::InvokeStats inv;
+        double dispatchSeconds = 0;
+    };
+    sim::Slab<InFlightBatch> _inflight;
 
     /** One serving-stats slice per fleet platform. */
     std::vector<std::unique_ptr<PlatformServingStats>> _platforms;
 
-    std::deque<StreamArrival> _arrivalStream;
+    sim::Ring<DetachedArrival> _arrivalStream;
+    /** Newest buffered detached arrival (ordering validation). */
+    double _lastDetachedWhen = 0;
     bool _pumpArmed = false;
+
+    /** Reused scratch: models held back within one drain pass. */
+    std::vector<ModelHandle> _heldScratch;
+    /** Reused scratch: dark-cell arrivals and failure flushes. */
+    FormedBatch _flushScratch;
 
     stats::StatGroup _stats;
     stats::Scalar _submitted;
     stats::Scalar _completed;
     stats::Scalar _shed;
     stats::Scalar _batches;
+    stats::Scalar _counterShares;
     stats::Formula _ips;
 };
 

@@ -5,25 +5,43 @@
 namespace tpu {
 
 void
-EventQueue::schedule(Tick when, Callback cb, int priority)
+EventQueue::_heapPush(const Entry &e)
 {
-    panic_if(when < _now,
-             "scheduling event in the past (when=%llu, now=%llu)",
-             static_cast<unsigned long long>(when),
-             static_cast<unsigned long long>(_now));
-    _queue.push(Entry{when, priority, _nextSequence++, std::move(cb)});
+    _heap.push_back(e);
+    _siftUp(_heap.size() - 1);
 }
 
-bool
-EventQueue::serviceOne()
+void
+EventQueue::_siftUp(std::size_t i)
 {
-    if (_queue.empty())
-        return false;
-    Entry e = _queue.top();
-    _queue.pop();
-    _now = e.when;
-    e.cb();
-    return true;
+    const Entry e = _heap[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!_before(e, _heap[parent]))
+            break;
+        _heap[i] = _heap[parent];
+        i = parent;
+    }
+    _heap[i] = e;
+}
+
+void
+EventQueue::_siftDown(std::size_t i)
+{
+    const std::size_t n = _heap.size();
+    const Entry e = _heap[i];
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && _before(_heap[child + 1], _heap[child]))
+            ++child;
+        if (!_before(_heap[child], e))
+            break;
+        _heap[i] = _heap[child];
+        i = child;
+    }
+    _heap[i] = e;
 }
 
 std::uint64_t
@@ -39,7 +57,7 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;
-    while (!_queue.empty() && _queue.top().when <= until && serviceOne())
+    while (!empty() && _peekWhen() <= until && serviceOne())
         ++n;
     return n;
 }

@@ -2,27 +2,38 @@
  * @file
  * Discrete event simulation core: a time-ordered queue of callbacks.
  *
- * Used by the latency/queueing simulator and available to any model that
- * needs event-driven behaviour.  Ties are broken by (priority, insertion
+ * Used by the serving stack and available to any model that needs
+ * event-driven behaviour.  Ties are broken by (priority, insertion
  * order) so simulation results are deterministic.
  *
- * Thread confinement: an EventQueue is pure instance state -- there is
- * no hidden global clock or registry -- so a multi-cell simulation
- * (serve::Cluster) runs one queue per cell, each owned by exactly one
- * thread for the duration of a run.  Simulated clocks of different
- * cells advance independently; nothing here synchronizes them, which
- * is precisely what makes per-cell runs bit-reproducible regardless
- * of how many OS threads execute them.
+ * Allocation discipline: this queue is the innermost loop of the
+ * 20M-request cluster simulation, so schedule()/serviceOne() are
+ * allocation-free in steady state.  Callbacks are sim::InlineTask
+ * (48-byte inline storage, fatal on oversized captures -- never a
+ * hidden heap fallback), tasks live in a grow-only slab reused
+ * through a freelist, and the binary heap orders 24-byte POD entries
+ * {when, priority, sequence, slot} -- sifting moves trivially
+ * copyable keys, not type-erased callables.  Memory is acquired only
+ * while the queue warms up to its peak depth; after that the same
+ * slots and heap storage are recycled for the rest of the run.
+ *
+ * Thread confinement: an EventQueue is pure instance state -- there
+ * is no hidden global clock or registry -- so a multi-cell
+ * simulation (serve::Cluster) runs one queue per cell, each owned by
+ * exactly one thread for the duration of a run.  Simulated clocks of
+ * different cells advance independently; nothing here synchronizes
+ * them, which is precisely what makes per-cell runs bit-reproducible
+ * regardless of how many OS threads execute them.
  */
 
 #ifndef TPUSIM_SIM_EVENT_QUEUE_HH
 #define TPUSIM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_task.hh"
+#include "sim/pool.hh"
 #include "sim/units.hh"
 
 namespace tpu {
@@ -34,15 +45,18 @@ using Tick = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineTask;
 
     /** Default priority for scheduled events. */
     static constexpr int defaultPriority = 0;
 
     /**
      * Schedule @p cb to run at absolute time @p when.
-     * Scheduling in the past is a simulator bug.
-     * Lower @p priority runs first among same-tick events.
+     * Scheduling in the past is a caller bug and dies immediately
+     * (fatal) -- callers must compute correct times, not rely on
+     * clamping.  Lower @p priority runs first among same-tick events.
+     * Defined inline below: schedule/serviceOne are the innermost
+     * simulation loop and must inline into their callers.
      */
     void schedule(Tick when, Callback cb, int priority = defaultPriority);
 
@@ -63,35 +77,130 @@ class EventQueue
     std::uint64_t runUntil(Tick until);
 
     Tick now() const { return _now; }
-    bool empty() const { return _queue.empty(); }
-    std::size_t size() const { return _queue.size(); }
+    bool empty() const { return !_hasTop && _heap.empty(); }
+    std::size_t size() const
+    {
+        return _heap.size() + (_hasTop ? 1 : 0);
+    }
+
+    /** Events serviced over the queue's lifetime. */
+    std::uint64_t serviced() const { return _serviced; }
+
+    /**
+     * Task slots ever created -- the warm-up high-water mark.  Stays
+     * flat once the queue reaches its peak depth: the slab-reuse
+     * observability the allocation tests pin down.
+     */
+    std::size_t slabSlots() const { return _tasks.slots(); }
 
   private:
+    /**
+     * One heap entry: the ordering key plus the slab slot holding
+     * the task.  Trivially copyable on purpose -- heap sifts move
+     * 24-byte PODs, never callables.
+     */
     struct Entry
     {
         Tick when;
+        std::uint32_t slot;
         int priority;
         std::uint64_t sequence;
-        Callback cb;
     };
 
-    struct Later
+    /** Strict weak order: earliest (when, priority, sequence) first. */
+    static bool
+    _before(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.sequence > b.sequence;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.sequence < b.sequence;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _queue;
+    void _siftUp(std::size_t i);
+    void _siftDown(std::size_t i);
+    void _heapPush(const Entry &e);
+
+    /** Earliest pending entry (valid when _hasTop; see below). */
+    Tick _peekWhen() const
+    {
+        return _hasTop ? _top.when : _heap.front().when;
+    }
+
+    std::vector<Entry> _heap;
+    /** Task storage: the shared slab/freelist primitive. */
+    sim::Slab<InlineTask> _tasks;
+    /**
+     * Top-slot cache: the MINIMUM entry lives here, outside the
+     * heap, whenever _hasTop.  The dominant event pattern is
+     * pop-min, run, schedule-a-new-min (the detached arrival pump);
+     * with the minimum cached, that whole cycle never touches the
+     * heap -- no sift up, no sift down -- while the ordering
+     * semantics stay exactly those of one strict-weak-ordered queue.
+     * Invariant: when _hasTop, _top precedes every heap entry.
+     */
+    Entry _top{};
+    bool _hasTop = false;
     Tick _now = 0;
     std::uint64_t _nextSequence = 0;
+    std::uint64_t _serviced = 0;
 };
+
+// Inline definitions of the hot loop -------------------------------
+
+inline void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    fatal_if(when < _now,
+             "scheduling event in the past (when=%llu, now=%llu)",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(_now));
+    const std::uint32_t slot = _tasks.alloc();
+    _tasks[slot] = std::move(cb);
+    const Entry e{when, slot, priority, _nextSequence++};
+    // Keep the minimum in the top slot (see the member comment).
+    if (_hasTop) {
+        if (_before(e, _top)) {
+            _heapPush(_top);
+            _top = e;
+        } else {
+            _heapPush(e);
+        }
+    } else if (_heap.empty() || _before(e, _heap.front())) {
+        _top = e;
+        _hasTop = true;
+    } else {
+        _heapPush(e);
+    }
+}
+
+inline bool
+EventQueue::serviceOne()
+{
+    Entry top;
+    if (_hasTop) {
+        top = _top;
+        _hasTop = false;
+    } else if (!_heap.empty()) {
+        top = _heap.front();
+        _heap.front() = _heap.back();
+        _heap.pop_back();
+        if (!_heap.empty())
+            _siftDown(0);
+    } else {
+        return false;
+    }
+    // The task is moved OUT and its slot recycled before it runs, so
+    // a callback that schedules new events reuses the freed slot and
+    // the slab never grows past the true peak depth.
+    InlineTask task = std::move(_tasks[top.slot]);
+    _tasks.release(top.slot);
+    _now = top.when;
+    ++_serviced;
+    task();
+    return true;
+}
 
 } // namespace tpu
 

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * sim::InlineTask -- a move-only callable with inline (small-buffer)
+ * storage and NO heap fallback.
+ *
+ * The discrete-event hot path schedules millions of callbacks per
+ * simulated second; wrapping each one in std::function means a
+ * type-erasure manager call on every heap sift and -- for captures
+ * past the implementation's tiny SBO -- a malloc/free per event.
+ * InlineTask replaces that with a fixed 48-byte inline buffer sized
+ * for every closure the serving stack actually schedules (completion
+ * records are pooled and referenced by index, so captures are a few
+ * pointers and scalars).  A closure that does not fit is a
+ * fatal error at construction, not a silent allocation: the
+ * allocation-free guarantee of the event core is enforced, never
+ * quietly bought back.
+ *
+ * Semantics: move-only (the queue relocates tasks through its slab),
+ * nothrow relocation required of the callable, empty state after
+ * being moved from.  Invoking an empty task is a panic.
+ */
+
+#ifndef TPUSIM_SIM_INLINE_TASK_HH
+#define TPUSIM_SIM_INLINE_TASK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+
+/** Move-only callable with 48 bytes of inline storage, no heap. */
+class InlineTask
+{
+  public:
+    /** Inline capture budget; oversized closures are fatal. */
+    static constexpr std::size_t kCapacity = 48;
+    /** Strictest capture alignment supported. */
+    static constexpr std::size_t kAlign = 16;
+
+    InlineTask() = default;
+
+    /** Wrap any callable that fits the inline budget. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineTask>>>
+    InlineTask(F &&fn) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "InlineTask wraps void() callables");
+        if constexpr (sizeof(Fn) <= kCapacity &&
+                      alignof(Fn) <= kAlign &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(_storage))
+                Fn(std::forward<F>(fn));
+            _ops = _opsFor<Fn>();
+        } else if constexpr (sizeof(Fn) > kCapacity) {
+            fatal("InlineTask capture too large: %zu > %zu bytes "
+                  "(pool the state and capture an index instead)",
+                  sizeof(Fn), kCapacity);
+        } else if constexpr (alignof(Fn) > kAlign) {
+            fatal("InlineTask capture over-aligned: %zu > %zu",
+                  alignof(Fn), kAlign);
+        } else {
+            fatal("InlineTask requires a nothrow-movable callable");
+        }
+    }
+
+    InlineTask(InlineTask &&other) noexcept { _moveFrom(other); }
+
+    InlineTask &
+    operator=(InlineTask &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            _moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineTask(const InlineTask &) = delete;
+    InlineTask &operator=(const InlineTask &) = delete;
+
+    ~InlineTask() { reset(); }
+
+    /** Holds a callable (moved-from tasks are empty)? */
+    explicit operator bool() const { return _ops != nullptr; }
+
+    /** Invoke the wrapped callable (panic when empty). */
+    void
+    operator()()
+    {
+        panic_if(!_ops, "invoking an empty InlineTask");
+        _ops->invoke(_storage);
+    }
+
+    /** Destroy the wrapped callable, leaving the task empty. */
+    void
+    reset()
+    {
+        if (_ops) {
+            if (_ops->destroy)
+                _ops->destroy(_storage);
+            _ops = nullptr;
+        }
+    }
+
+  private:
+    /**
+     * Type-erased operations.  relocate/destroy are null for
+     * trivially copyable callables -- the common case on the event
+     * hot path ([this], index captures) -- so moving a task through
+     * the queue slab is a branch plus an inline fixed-size copy, not
+     * an indirect call.
+     */
+    struct Ops
+    {
+        void (*invoke)(void *self);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *self);
+    };
+
+    template <typename Fn>
+    static const Ops *
+    _opsFor()
+    {
+        if constexpr (std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>) {
+            static constexpr Ops ops = {
+                [](void *self) { (*static_cast<Fn *>(self))(); },
+                nullptr,
+                nullptr,
+            };
+            return &ops;
+        } else {
+            static constexpr Ops ops = {
+                [](void *self) { (*static_cast<Fn *>(self))(); },
+                [](void *dst, void *src) noexcept {
+                    Fn *from = static_cast<Fn *>(src);
+                    ::new (dst) Fn(std::move(*from));
+                    from->~Fn();
+                },
+                [](void *self) { static_cast<Fn *>(self)->~Fn(); },
+            };
+            return &ops;
+        }
+    }
+
+    void
+    _moveFrom(InlineTask &other) noexcept
+    {
+        _ops = other._ops;
+        if (_ops) {
+            if (_ops->relocate)
+                _ops->relocate(_storage, other._storage);
+            else
+                __builtin_memcpy(_storage, other._storage,
+                                 kCapacity);
+            other._ops = nullptr;
+        }
+    }
+
+    alignas(kAlign) unsigned char _storage[kCapacity];
+    const Ops *_ops = nullptr;
+};
+
+} // namespace tpu
+
+#endif // TPUSIM_SIM_INLINE_TASK_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Index-addressed object pooling for the simulation hot path.
+ *
+ * Two building blocks shared by the event core and the serving
+ * request path, both with the same steady-state contract: memory is
+ * acquired while the structure warms up to its peak occupancy and
+ * then REUSED forever -- no allocation, no deallocation, no pointer
+ * churn once warm.  Objects are addressed by 32-bit index instead of
+ * pointer, so the things that reference them (heap entries, admission
+ * queues, completion events) stay small and trivially relocatable.
+ *
+ *  - Slab<T>: grow-only storage plus a freelist.  alloc() reuses the
+ *    most recently released slot (warm in cache); released objects
+ *    are NOT destroyed, so vector-valued members keep their capacity
+ *    across reuse -- exactly what pooled batch records want.
+ *
+ *  - Ring<T>: a power-of-two circular FIFO.  push/pop are index
+ *    arithmetic; growth re-linearizes into a doubled buffer and then
+ *    never happens again at that depth.
+ */
+
+#ifndef TPUSIM_SIM_POOL_HH
+#define TPUSIM_SIM_POOL_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace sim {
+
+/** Grow-only slab of T with an index freelist (see file comment). */
+template <typename T>
+class Slab
+{
+  public:
+    using Index = std::uint32_t;
+
+    /** Claim a slot: reuse the freelist or grow the slab by one. */
+    Index
+    alloc()
+    {
+        if (!_free.empty()) {
+            const Index idx = _free.back();
+            _free.pop_back();
+            return idx;
+        }
+        _items.emplace_back();
+        return static_cast<Index>(_items.size() - 1);
+    }
+
+    /** Return a slot to the freelist (the object is NOT destroyed). */
+    void
+    release(Index idx)
+    {
+        _free.push_back(idx);
+    }
+
+    T &operator[](Index idx) { return _items[idx]; }
+    const T &operator[](Index idx) const { return _items[idx]; }
+
+    /** Slots ever created -- the warm-up high-water mark. */
+    std::size_t slots() const { return _items.size(); }
+    /** Slots currently claimed. */
+    std::size_t live() const { return _items.size() - _free.size(); }
+
+  private:
+    std::vector<T> _items;
+    std::vector<Index> _free;
+};
+
+/** Power-of-two circular FIFO (see file comment). */
+template <typename T>
+class Ring
+{
+  public:
+    bool empty() const { return _count == 0; }
+    std::size_t size() const { return _count; }
+
+    void
+    push_back(const T &v)
+    {
+        if (_count == _buf.size())
+            _grow();
+        _buf[(_head + _count) & (_buf.size() - 1)] = v;
+        ++_count;
+    }
+
+    T &
+    front()
+    {
+        panic_if(_count == 0, "front() of an empty Ring");
+        return _buf[_head];
+    }
+
+    const T &
+    front() const
+    {
+        panic_if(_count == 0, "front() of an empty Ring");
+        return _buf[_head];
+    }
+
+    /** Element @p i positions behind the front (0 = front). */
+    const T &
+    at(std::size_t i) const
+    {
+        panic_if(i >= _count, "Ring index %zu past size %zu", i,
+                 _count);
+        return _buf[(_head + i) & (_buf.size() - 1)];
+    }
+
+    void
+    pop_front()
+    {
+        panic_if(_count == 0, "pop_front() of an empty Ring");
+        _head = (_head + 1) & (_buf.size() - 1);
+        --_count;
+    }
+
+    void
+    clear()
+    {
+        _head = 0;
+        _count = 0;
+    }
+
+    /** Allocated capacity (the warm-up high-water mark). */
+    std::size_t capacity() const { return _buf.size(); }
+
+  private:
+    void
+    _grow()
+    {
+        const std::size_t cap =
+            _buf.empty() ? kInitialCapacity : _buf.size() * 2;
+        std::vector<T> grown(cap);
+        for (std::size_t i = 0; i < _count; ++i)
+            grown[i] =
+                std::move(_buf[(_head + i) & (_buf.size() - 1)]);
+        _buf = std::move(grown);
+        _head = 0;
+    }
+
+    static constexpr std::size_t kInitialCapacity = 16;
+
+    std::vector<T> _buf;
+    std::size_t _head = 0;
+    std::size_t _count = 0;
+};
+
+} // namespace sim
+} // namespace tpu
+
+#endif // TPUSIM_SIM_POOL_HH

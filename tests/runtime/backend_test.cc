@@ -146,6 +146,52 @@ TEST(ReplayBackend, SharedAcrossDriversRunsLiveOnce)
     expectCountersEqual(ia.counters, ib.counters);
 }
 
+TEST(ReplayBackend, FreezePublishesTheMemoReadOnly)
+{
+    // The cluster publish step: warm, freeze, then every further
+    // invoke is a read-only memo hit.
+    auto backend = std::make_shared<ReplayBackend>();
+    auto cache = std::make_shared<SharedProgramCache>(testConfig());
+    UserSpaceDriver warm(testConfig(), false, backend, cache);
+    ModelHandle h = warm.loadModel(smallNet());
+    InvokeStats live = warm.invoke(h);
+    EXPECT_FALSE(backend->frozen());
+    backend->freeze();
+    EXPECT_TRUE(backend->frozen());
+
+    // A later driver (another cell) loads the same model and
+    // replays: prepare() validates without inserting, execute() hits.
+    UserSpaceDriver cell(testConfig(), false, backend, cache);
+    ModelHandle hc = cell.loadModel(smallNet());
+    InvokeStats replayed = cell.invoke(hc);
+    EXPECT_EQ(backend->liveRuns(), 1u);
+    EXPECT_GE(backend->replays(), 1u);
+    EXPECT_EQ(live.deviceCycles, replayed.deviceCycles);
+    expectCountersEqual(live.counters, replayed.counters);
+}
+
+TEST(ReplayBackendDeath, FrozenMemoMissIsFatal)
+{
+    // A model the publish phase never warmed must not silently run
+    // the cycle simulator from a cell thread.
+    auto backend = std::make_shared<ReplayBackend>();
+    auto cache = std::make_shared<SharedProgramCache>(testConfig());
+    UserSpaceDriver drv(testConfig(), false, backend, cache);
+    ModelHandle h = drv.loadModel(smallNet());
+    backend->freeze();
+    EXPECT_EXIT(drv.invoke(h), ::testing::ExitedWithCode(1),
+                "frozen");
+}
+
+TEST(ReplayBackendDeath, FrozenPrepareOfUnknownKeyIsFatal)
+{
+    auto backend = std::make_shared<ReplayBackend>();
+    backend->freeze();
+    UserSpaceDriver drv(testConfig(), false, backend);
+    EXPECT_EXIT(drv.loadModel(smallNet()),
+                ::testing::ExitedWithCode(1), "frozen");
+}
+
 TEST(UserSpaceDriverDeath, SameDriverNameReuseAcrossArchitectures)
 {
     // The driver's own name-dedup fast path applies the aliasing

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The allocation-free-steady-state proof: a global operator new hook
+ * counts heap allocations while 10k detached requests flow through a
+ * warmed Replay-tier serving session.  The count must be ZERO --
+ * every arrival, admission, batch formation, dispatch, completion
+ * and statistics update runs on pooled slabs, rings and inline
+ * callbacks once the session has warmed to its peak depth.
+ *
+ * The hook replaces the global allocation functions for this test
+ * binary only.  Counting is gated by a flag so the warm-up phase
+ * (which legitimately allocates: slab growth, program compilation,
+ * replay memoization) and gtest's own bookkeeping stay out of the
+ * measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "baselines/platform.hh"
+#include "latency/queueing.hh"
+#include "serve/session.hh"
+#include "serve/scenario.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocCalls{0};
+std::atomic<bool> g_counting{false};
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_allocCalls.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_allocCalls.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(n ? n : 1);
+}
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    return operator new(n, std::nothrow);
+}
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void *
+operator new(std::size_t n, std::align_val_t al)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_allocCalls.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                 (n + static_cast<std::size_t>(al) -
+                                  1) &
+                                     ~(static_cast<std::size_t>(al) -
+                                       1));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+void *
+operator new[](std::size_t n, std::align_val_t al)
+{
+    return operator new(n, al);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace tpu {
+namespace serve {
+namespace {
+
+TEST(AllocFree, TenThousandDetachedRequestsAllocateNothing)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    SessionOptions options(
+        4, runtime::TierPolicy{runtime::ExecutionTier::Replay});
+    Session session(cfg, options);
+
+    // The paper's flagship serving workload: MLP0 at its Table 1
+    // deployment batch under the Table 4 limit.
+    const double host = baselines::hostInteractionFraction(
+        workloads::AppId::MLP0);
+    BatcherPolicy policy;
+    policy.maxBatch = 200;
+    policy.maxDelaySeconds = 1e-3;
+    policy.sloSeconds = 7e-3;
+    const ModelHandle h = session.load(
+        "MLP0",
+        [](std::int64_t b) {
+            return workloads::build(workloads::AppId::MLP0, b);
+        },
+        policy, host);
+
+    const latency::ServiceModel svc =
+        latency::ServiceModel::fromModel(
+            cfg, workloads::build(workloads::AppId::MLP0, 200),
+            host);
+    const double rate = 0.6 * 4.0 * svc.maxThroughput(200);
+
+    // One deterministic arrival stream; the measured window simply
+    // continues it, so every pool reaches (and stays at) the depth
+    // the measurement will need.
+    ArrivalProcess arrivals(ScenarioConfig::poisson(rate, 99));
+    constexpr std::uint64_t kBlock = 4096;
+    std::vector<Session::DetachedArrival> chunk;
+    chunk.reserve(kBlock);
+
+    const auto drive = [&](std::uint64_t requests) {
+        std::uint64_t sent = 0;
+        double t = 0;
+        while (sent < requests) {
+            chunk.clear();
+            while (sent < requests && chunk.size() < kBlock) {
+                t = arrivals.next();
+                chunk.push_back(
+                    {std::max(t, session.now()), h});
+                ++sent;
+            }
+            session.submitDetachedBulk(chunk);
+            session.runUntil(t);
+        }
+        session.run();
+    };
+
+    // Deep-burst warm-up: flood the admission path far past any
+    // depth the steady-state measurement can reach, so every slab,
+    // ring and heap hits its high-water mark NOW.  Stationary
+    // traffic alone is not enough -- its running maximum keeps
+    // creeping up (extreme-value statistics), which would smear a
+    // handful of warm-up allocations into the measured window.
+    {
+        double bt = 0;
+        std::uint64_t sent = 0;
+        while (sent < 8000) {
+            chunk.clear();
+            while (sent < 8000 && chunk.size() < kBlock) {
+                bt += 1e-7; // ~20x the offered rate: a real flood
+                chunk.push_back({std::max(bt, session.now()), h});
+                ++sent;
+            }
+            session.submitDetachedBulk(chunk);
+        }
+        session.run();
+    }
+
+    // Steady warm-up: compilation, replay memoization, and the
+    // arrival pump settling into its block cadence.
+    drive(30000);
+    const std::uint64_t warm_completed = session.completed();
+    const std::size_t warm_slots = session.requestSlots();
+    ASSERT_GT(warm_completed, 0u);
+
+    // Measurement: 10k more detached requests, zero allocations.
+    g_allocCalls.store(0);
+    g_counting.store(true);
+    drive(10000);
+    g_counting.store(false);
+
+    EXPECT_EQ(g_allocCalls.load(), 0u)
+        << "the steady-state detached request path touched the heap";
+    // The slab high-water mark did not move either: slots were
+    // recycled, not replaced.
+    EXPECT_EQ(session.requestSlots(), warm_slots);
+    EXPECT_EQ(session.completed() + session.shedCount(), 48000u);
+    EXPECT_GT(session.completed(), warm_completed);
+    // And nothing on this path materialized per-request counters.
+    EXPECT_EQ(session.counterShares(), 0u);
+}
+
+TEST(AllocFree, HookCountsWhenArmed)
+{
+    // Sanity-check the hook itself: an intentional allocation while
+    // counting must register (otherwise a broken hook would pass the
+    // zero-allocation test vacuously).
+    g_allocCalls.store(0);
+    g_counting.store(true);
+    auto *leak_check = new std::vector<int>(64);
+    g_counting.store(false);
+    EXPECT_GT(g_allocCalls.load(), 0u);
+    delete leak_check;
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu

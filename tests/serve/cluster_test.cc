@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/serve_mix.hh"
+#include "runtime/backend.hh"
 #include "serve/cluster.hh"
 #include "sim/rng.hh"
 
@@ -402,6 +404,99 @@ TEST(Cluster, MergedPercentilesMatchSingleCellAtOneCell)
                      direct.completed.value());
     EXPECT_DOUBLE_EQ(stats.models[0].p99(), direct.p99());
     EXPECT_DOUBLE_EQ(stats.models[0].p50(), direct.p50());
+}
+
+TEST(Cluster, EventCoreSwapKeepsThePinnedSeedFingerprint)
+{
+    // The golden-value guard for ISSUE 5: this exact fingerprint was
+    // recorded from the PRE-swap implementation (std::function heap
+    // queue, shared_ptr futures, per-request submits, per-cell
+    // replay warm-up) running the standard Table 1 cluster workload.
+    // The allocation-free core, the chunked arrival pump and the
+    // shared frozen replay memo must all be invisible to results --
+    // any drift here means the "perf only, bits identical" contract
+    // broke.
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    const analysis::ClusterRun run = analysis::runClusterTable1Mix(
+        cfg, /*requests=*/200000, /*cells=*/8, /*threads=*/1,
+        /*load_fraction=*/0.60);
+    EXPECT_EQ(run.stats.fingerprint(), 0xcc1a76a301b28500ull);
+}
+
+TEST(Cluster, SharedReplayMemoWarmsOncePublishesImmutable)
+{
+    // The backend twin of the shared program cache: every cell reads
+    // ONE frozen replay memo, warmed entirely during publish -- no
+    // cell pays a live cycle-sim run during the traffic phase.
+    MiniCluster mini(4, 2);
+    mini.cluster->serve(mini.traffic(0.4, 10000));
+    auto &backend = dynamic_cast<runtime::ReplayBackend &>(
+        mini.cluster->cell(0).pool().backend());
+    EXPECT_TRUE(backend.frozen());
+    // All cells share the same backend object.
+    for (int c = 1; c < mini.cluster->cells(); ++c)
+        EXPECT_EQ(&mini.cluster->cell(c).pool().backend(), &backend);
+    // Live runs == memo entries == distinct warmed buckets; all
+    // traffic-phase executions were replays.
+    EXPECT_EQ(backend.liveRuns(), backend.memoSize());
+    EXPECT_GT(backend.replays(), 0u);
+}
+
+TEST(Cluster, ReplayMemoWarmsOnMixedFleetWithNonTpuPrimary)
+{
+    // Publish must warm the shared replay memo through the first TPU
+    // die even when the fleet leads with another platform -- a
+    // frozen-but-empty memo would be fatal on the first TPU dispatch
+    // of any cell.
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    ClusterOptions options;
+    options.cells = 2;
+    options.fleet = {FleetGroup{runtime::PlatformKind::Cpu, 1},
+                     FleetGroup{runtime::PlatformKind::Tpu, 1}};
+    options.tier =
+        runtime::TierPolicy{runtime::ExecutionTier::Replay};
+    options.threads = 1;
+    Cluster cluster(cfg, options);
+
+    BatcherPolicy p;
+    p.maxBatch = 16;
+    p.maxDelaySeconds = 2e-4;
+    p.sloSeconds = 1.0; // loose: both platforms may serve
+    cluster.load(
+        "MLP0",
+        [](std::int64_t b) {
+            return workloads::build(workloads::AppId::MLP0, b);
+        },
+        p);
+
+    ClusterTraffic traffic;
+    traffic.arrivals = ScenarioConfig::poisson(200000.0);
+    traffic.mixShare = {1.0};
+    traffic.durationSeconds = 0.05;
+    const auto &stats = cluster.serve(traffic);
+
+    EXPECT_GT(stats.completed, 0u);
+    auto &backend = dynamic_cast<runtime::ReplayBackend &>(
+        cluster.cell(0).pool().backendFor(
+            runtime::PlatformKind::Tpu));
+    EXPECT_TRUE(backend.frozen());
+    EXPECT_GT(backend.memoSize(), 0u);
+    // TPU dies actually served under the frozen memo.
+    std::uint64_t tpu_batches = 0;
+    for (int c = 0; c < cluster.cells(); ++c)
+        tpu_batches += cluster.cell(c).pool().platformBatches(
+            runtime::PlatformKind::Tpu);
+    EXPECT_GT(tpu_batches, 0u);
+}
+
+TEST(Cluster, RunStatsCountServicedEvents)
+{
+    MiniCluster mini(2, 2, 1);
+    const auto &stats = mini.cluster->serve(mini.traffic(0.5, 20000));
+    // At least one simulation event per completed request (the
+    // arrival pump), plus batch completions and deadline timers.
+    EXPECT_GE(stats.events, stats.completed);
+    EXPECT_GT(stats.completed, 0u);
 }
 
 } // namespace

@@ -44,29 +44,45 @@ smallBuilder(const char *name = "small")
     };
 }
 
-PendingRequest
-pending(RequestId id, double arrival)
-{
-    PendingRequest r;
-    r.id = id;
-    r.arrivalSeconds = arrival;
-    r.state = std::make_shared<detail::FutureState>();
-    return r;
-}
-
 // ----------------------------------------------------- Batcher unit
+
+/**
+ * Batcher unit harness: requests live in a RequestPool slab and the
+ * batcher queues their indices -- the session arrangement in
+ * miniature.
+ */
+struct BatcherHarness
+{
+    explicit BatcherHarness(BatcherPolicy policy,
+                            latency::ServiceModel estimate)
+        : batcher(policy, estimate, &pool)
+    {}
+
+    RequestIndex
+    admit(RequestId id, double arrival)
+    {
+        const RequestIndex idx = pool.alloc(id, arrival);
+        batcher.admit(idx);
+        return idx;
+    }
+
+    RequestId id(RequestIndex idx) const { return pool[idx].id; }
+
+    RequestPool pool;
+    Batcher batcher;
+};
 
 TEST(Batcher, BucketsCoverTheBatchRange)
 {
     BatcherPolicy p;
     p.maxBatch = 200;
     p.batchBuckets = 4;
-    Batcher b(p, latency::ServiceModel{1e-3, 1e-6});
-    EXPECT_EQ(b.bucketFor(1), 50);
-    EXPECT_EQ(b.bucketFor(50), 50);
-    EXPECT_EQ(b.bucketFor(51), 100);
-    EXPECT_EQ(b.bucketFor(151), 200);
-    EXPECT_EQ(b.bucketFor(200), 200);
+    BatcherHarness h(p, latency::ServiceModel{1e-3, 1e-6});
+    EXPECT_EQ(h.batcher.bucketFor(1), 50);
+    EXPECT_EQ(h.batcher.bucketFor(50), 50);
+    EXPECT_EQ(h.batcher.bucketFor(51), 100);
+    EXPECT_EQ(h.batcher.bucketFor(151), 200);
+    EXPECT_EQ(h.batcher.bucketFor(200), 200);
 }
 
 TEST(Batcher, FormsFullBatchInsideTheSlo)
@@ -74,11 +90,12 @@ TEST(Batcher, FormsFullBatchInsideTheSlo)
     BatcherPolicy p;
     p.maxBatch = 64;
     p.sloSeconds = 7e-3;
-    Batcher b(p, latency::ServiceModel{2e-3, 50e-6});
+    BatcherHarness h(p, latency::ServiceModel{2e-3, 50e-6});
     for (int i = 0; i < 64; ++i)
-        b.admit(pending(i, 0.0));
+        h.admit(i, 0.0);
     // At t=0 nothing has waited: s(64) = 5.2 ms fits inside 7 ms.
-    FormedBatch fb = b.form(0.0);
+    FormedBatch fb;
+    h.batcher.form(0.0, fb);
     EXPECT_EQ(fb.requests.size(), 64u);
     EXPECT_EQ(fb.shed.size(), 0u);
     EXPECT_EQ(fb.paddedBatch, 64);
@@ -95,14 +112,15 @@ TEST(Batcher, ShrinksBatchAgainstTheDeadline)
     p.maxBatch = 64;
     p.sloSeconds = 7e-3;
     p.batchBuckets = 4;
-    Batcher b(p, latency::ServiceModel{2e-3, 50e-6});
+    BatcherHarness h(p, latency::ServiceModel{2e-3, 50e-6});
     for (int i = 0; i < 64; ++i)
-        b.admit(pending(i, 0.0));
-    FormedBatch fb = b.form(4e-3);
+        h.admit(i, 0.0);
+    FormedBatch fb;
+    h.batcher.form(4e-3, fb);
     EXPECT_EQ(fb.requests.size(), 16u);
     EXPECT_EQ(fb.paddedBatch, 16);
     EXPECT_EQ(fb.shed.size(), 0u);
-    EXPECT_EQ(b.depth(), 48u);
+    EXPECT_EQ(h.batcher.depth(), 48u);
 }
 
 TEST(Batcher, ShedsHopelessRequests)
@@ -111,14 +129,15 @@ TEST(Batcher, ShedsHopelessRequests)
     BatcherPolicy p;
     p.maxBatch = 64;
     p.sloSeconds = 7e-3;
-    Batcher b(p, latency::ServiceModel{2e-3, 50e-6});
-    b.admit(pending(0, 0.0));    // will have waited 5.5 ms: hopeless
-    b.admit(pending(1, 4e-3));   // waited 1.5 ms: fine
-    FormedBatch fb = b.form(5.5e-3);
+    BatcherHarness h(p, latency::ServiceModel{2e-3, 50e-6});
+    h.admit(0, 0.0);    // will have waited 5.5 ms: hopeless
+    h.admit(1, 4e-3);   // waited 1.5 ms: fine
+    FormedBatch fb;
+    h.batcher.form(5.5e-3, fb);
     ASSERT_EQ(fb.shed.size(), 1u);
-    EXPECT_EQ(fb.shed[0].id, 0u);
+    EXPECT_EQ(h.id(fb.shed[0]), 0u);
     ASSERT_EQ(fb.requests.size(), 1u);
-    EXPECT_EQ(fb.requests[0].id, 1u);
+    EXPECT_EQ(h.id(fb.requests[0]), 1u);
 }
 
 TEST(Batcher, BatchReadyAtMaxBatchOrDeadline)
@@ -126,14 +145,38 @@ TEST(Batcher, BatchReadyAtMaxBatchOrDeadline)
     BatcherPolicy p;
     p.maxBatch = 4;
     p.maxDelaySeconds = 1e-3;
-    Batcher b(p, latency::ServiceModel{1e-4, 1e-6});
-    EXPECT_FALSE(b.batchReady(0.0));
-    b.admit(pending(0, 0.0));
-    EXPECT_FALSE(b.batchReady(0.5e-3));  // not full, not aged
-    EXPECT_TRUE(b.batchReady(1e-3));     // deadline reached
+    BatcherHarness h(p, latency::ServiceModel{1e-4, 1e-6});
+    EXPECT_FALSE(h.batcher.batchReady(0.0));
+    h.admit(0, 0.0);
+    EXPECT_FALSE(h.batcher.batchReady(0.5e-3)); // not full, not aged
+    EXPECT_TRUE(h.batcher.batchReady(1e-3));    // deadline reached
     for (int i = 1; i < 4; ++i)
-        b.admit(pending(i, 0.1e-3));
-    EXPECT_TRUE(b.batchReady(0.2e-3));   // full before the deadline
+        h.admit(i, 0.1e-3);
+    EXPECT_TRUE(h.batcher.batchReady(0.2e-3)); // full pre-deadline
+}
+
+TEST(Batcher, FormReusesTheCallerBatchWithoutShrinkingCapacity)
+{
+    // The pooled-batch contract: form() clears and refills the same
+    // FormedBatch, so the vectors' capacity carries across
+    // dispatches instead of being reallocated per batch.
+    BatcherPolicy p;
+    p.maxBatch = 32;
+    p.enforceSlo = false;
+    BatcherHarness h(p, latency::ServiceModel{1e-4, 1e-6});
+    FormedBatch fb;
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 32; ++i)
+            h.admit(i, round * 1e-3);
+        h.batcher.form(round * 1e-3, fb);
+        ASSERT_EQ(fb.requests.size(), 32u);
+        for (RequestIndex ri : fb.requests)
+            h.pool.release(ri);
+    }
+    EXPECT_GE(fb.requests.capacity(), 32u);
+    // Slab reuse: three rounds of 32 in-flight requests never need
+    // more than 32 slots.
+    EXPECT_EQ(h.pool.slots(), 32u);
 }
 
 // ------------------------------------------------ Session end-to-end
@@ -331,6 +374,89 @@ TEST(Session, DetachedSubmissionMatchesFutureStats)
             else
                 s.submitAt(t, h);
         }
+        s.run();
+        return std::make_tuple(s.modelStats(h).p50(),
+                               s.modelStats(h).p99(),
+                               s.achievedIps(), s.completed());
+    };
+    EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(Session, DetachedPathSkipsCounterMaterialization)
+{
+    // The detached reply folds straight into the StatGroup counters:
+    // no per-request PerfCounters::averagedOver copy is ever made.
+    // counterShares() is the stat that proves it.
+    Session s(testConfig(), SessionOptions{2});
+    BatcherPolicy p;
+    p.maxBatch = 8;
+    p.maxDelaySeconds = 1e-5;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+    Rng rng(5);
+    double t = 0;
+    for (int i = 0; i < 500; ++i) {
+        t += rng.exponential(50000.0);
+        s.submitDetached(t, h);
+    }
+    s.run();
+    EXPECT_GT(s.completed(), 0u);
+    EXPECT_EQ(s.counterShares(), 0u);
+    // A Future-carrying request pays for exactly its own share.
+    Future f = s.submit(h);
+    s.run();
+    ASSERT_TRUE(f.ready());
+    EXPECT_GT(f.reply().counters.totalCycles, 0u);
+    EXPECT_EQ(s.counterShares(), 1u);
+}
+
+TEST(Session, RequestSlabReusesSlotsAcrossWaves)
+{
+    // Identical traffic waves with a full drain in between must not
+    // grow the request slab past the first wave's high-water mark --
+    // the steady-state allocation-free contract in miniature.
+    Session s(testConfig(), SessionOptions{2});
+    BatcherPolicy p;
+    p.maxBatch = 8;
+    p.maxDelaySeconds = 1e-5;
+    ModelHandle h = s.load("small", smallBuilder(), p);
+    std::size_t after_first = 0;
+    for (int wave = 0; wave < 3; ++wave) {
+        const double base = s.now() + 1e-6;
+        for (int i = 0; i < 200; ++i)
+            s.submitDetached(base + i * 2e-5, h);
+        s.run();
+        if (wave == 0)
+            after_first = s.requestSlots();
+        else
+            EXPECT_EQ(s.requestSlots(), after_first)
+                << "slab grew on wave " << wave;
+    }
+    EXPECT_GT(after_first, 0u);
+    EXPECT_EQ(s.completed(), 600u);
+}
+
+TEST(Session, BulkDetachedSubmissionMatchesPerRequest)
+{
+    // submitDetachedBulk is the chunked farm driver's entry point;
+    // it must be indistinguishable from per-request submitDetached.
+    auto run_once = [](bool bulk) {
+        Session s(testConfig(), SessionOptions{2});
+        BatcherPolicy p;
+        p.maxBatch = 8;
+        p.maxDelaySeconds = 1e-5;
+        ModelHandle h = s.load("small", smallBuilder(), p);
+        Rng rng(9);
+        std::vector<Session::DetachedArrival> chunk;
+        double t = 0;
+        for (int i = 0; i < 300; ++i) {
+            t += rng.exponential(60000.0);
+            if (bulk)
+                chunk.push_back({t, h});
+            else
+                s.submitDetached(t, h);
+        }
+        if (bulk)
+            s.submitDetachedBulk(chunk);
         s.run();
         return std::make_tuple(s.modelStats(h).p50(),
                                s.modelStats(h).p99(),

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Gate the serving perf trajectory against bench/baselines.json.
+
+bench_serve_throughput emits BENCH_serve.json / BENCH_cluster.json
+(flat JSON, wall seconds + requests/sec + events/sec).  This tool
+compares those freshly measured numbers against the checked-in
+anchors in bench/baselines.json:
+
+  - every ``current.*`` throughput anchor must be met within the
+    tolerance (default: no more than 25% slower), and
+  - the boolean health flags the bench recorded (determinism, the
+    >= 2x-over-seed gate) must all be true.
+
+Exit status is non-zero on any regression, which is what lets the CI
+perf-baseline job fail a PR that quietly slows the hot path down.
+
+Caveat recorded on purpose: wall-clock anchors are measured on one
+host class (see ``recorded_host`` in baselines.json).  The 25%
+tolerance absorbs normal runner variance; re-record the ``current.*``
+anchors when a PR intentionally moves throughput or CI hardware
+changes generations.
+
+Usage:
+  tools/check_perf_regression.py [--baselines bench/baselines.json]
+                                 [--serve BENCH_serve.json]
+                                 [--cluster BENCH_cluster.json]
+                                 [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+# (bench file key, baselines key) throughput pairs: higher is better.
+# Cluster metrics are the SINGLE-worker-thread numbers on purpose --
+# multi-thread walls scale with the runner's core count, which would
+# let parallelism mask a real per-request regression.
+CLUSTER_METRICS = [
+    ("requests_per_wall_second.threads1",
+     "current.cluster.requests_per_wall_second.threads1"),
+    ("events_per_wall_second.threads1",
+     "current.cluster.events_per_wall_second.threads1"),
+]
+SERVE_METRICS = [
+    ("replay.sim_requests_per_wall_second",
+     "current.serve.replay.sim_requests_per_wall_second"),
+]
+# Boolean health flags that must be true in the fresh measurement.
+CLUSTER_FLAGS = ["determinism_exact", "seed_baseline_gate_ok"]
+SERVE_FLAGS = ["replay_determinism_exact", "mixed.determinism_exact",
+               "mixed.healthy"]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}")
+        return None
+
+
+def check_metrics(name, measured, baselines, pairs, tolerance):
+    ok = True
+    for bench_key, base_key in pairs:
+        if base_key not in baselines:
+            print(f"  {name}: no anchor {base_key} (skipped)")
+            continue
+        if bench_key not in measured:
+            print(f"  {name}: missing metric {bench_key} -> FAIL")
+            ok = False
+            continue
+        anchor = float(baselines[base_key])
+        value = float(measured[bench_key])
+        floor = (1.0 - tolerance) * anchor
+        verdict = "ok" if value >= floor else "REGRESSION"
+        print(f"  {name}: {bench_key} = {value:,.0f} "
+              f"(anchor {anchor:,.0f}, floor {floor:,.0f}) "
+              f"-> {verdict}")
+        if value < floor:
+            ok = False
+    return ok
+
+
+def check_flags(name, measured, flags):
+    ok = True
+    for flag in flags:
+        value = measured.get(flag)
+        if value is not True:
+            print(f"  {name}: flag {flag} = {value} -> FAIL")
+            ok = False
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baselines", default="bench/baselines.json")
+    ap.add_argument("--serve", default="BENCH_serve.json")
+    ap.add_argument("--cluster", default="BENCH_cluster.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional slowdown (default 0.25)")
+    args = ap.parse_args()
+
+    baselines = load(args.baselines)
+    serve = load(args.serve)
+    cluster = load(args.cluster)
+    if baselines is None or serve is None or cluster is None:
+        return 1
+
+    print(f"perf regression check (tolerance {args.tolerance:.0%}, "
+          f"anchors from {args.baselines})")
+    ok = True
+    ok &= check_metrics("cluster", cluster, baselines,
+                        CLUSTER_METRICS, args.tolerance)
+    ok &= check_flags("cluster", cluster, CLUSTER_FLAGS)
+    ok &= check_metrics("serve", serve, baselines, SERVE_METRICS,
+                        args.tolerance)
+    ok &= check_flags("serve", serve, SERVE_FLAGS)
+    print("result:", "ok" if ok else "REGRESSION DETECTED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
