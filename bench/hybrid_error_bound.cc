@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Bench harness: hybrid fluid/discrete timeline vs the all-Replay
+ * reference -- the error-bound and determinism contract of the
+ * hybrid execution tier.
+ *
+ * Three legs:
+ *
+ *  1. OVERLAP EXACTNESS.  The same diurnal Table 1 cluster traffic
+ *     (with a scripted mid-run cell kill) is served twice over
+ *     IDENTICAL epoch boundaries: once on the hybrid timeline and
+ *     once with every epoch discrete (HybridPlan::allDiscrete).
+ *     Both run in barrier mode, so every epoch BEFORE the first
+ *     fluid epoch replays bit-identical arrivals: the startup epoch
+ *     -- sized to hold the full overlap window (default 2M
+ *     requests) -- must agree EXACTLY, per-model completed counts
+ *     included.  This is the strongest possible statement that the
+ *     hybrid machinery does not perturb the discrete simulation it
+ *     embeds.
+ *
+ *  2. ERROR BOUNDS.  Whole-run hybrid totals against the reference:
+ *     completed counts within 2%, cluster utilization within 0.05
+ *     absolute, MLP0 (interactive) p99 within 25% -- the Table
+ *     7-style modelling tolerance the fluid surrogate inherits.
+ *
+ *  3. DETERMINISM + THE WEEK.  The hybrid run is repeated (same
+ *     seeds) and re-run with a different worker-thread count; both
+ *     must reproduce the fingerprint bit for bit.  Then the "week"
+ *     leg: 7 simulated days of diurnal Table 1 traffic at cluster
+ *     rates (>= 10^9 offered requests) with a mid-week cell kill,
+ *     die failure and thermal slowdown, required to finish within
+ *     the wall budget (default 60 s) on a single worker thread --
+ *     the billion-request horizon the hybrid tier exists for.
+ *
+ * Headline numbers land in BENCH_hybrid.json (per-epoch segment
+ * records included) for the CI perf trajectory.
+ *
+ *   usage: bench_hybrid_error_bound [overlap_requests] [cells]
+ *                                   [week_wall_budget_seconds]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/bench_json.hh"
+#include "analysis/serve_mix.hh"
+#include "serve/cluster.hh"
+#include "serve/hybrid.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace tpu;
+using analysis::HybridClusterRun;
+
+/** Relative error |a - b| / b (0 when b is 0). */
+double
+relErr(double a, double b)
+{
+    return b != 0.0 ? std::abs(a - b) / std::abs(b) : 0.0;
+}
+
+/** Append one run's epoch records to @p json under "epochs". */
+void
+recordEpochs(analysis::BenchJson &json,
+             const serve::Cluster::RunStats &stats)
+{
+    for (std::size_t i = 0; i < stats.epochs.size(); ++i) {
+        const auto &e = stats.epochs[i];
+        analysis::BenchJson::Record rec;
+        rec.set("index", static_cast<int>(i))
+            .set("tier", serve::toString(e.tier))
+            .set("reason", e.reason)
+            .set("start_seconds", e.startSeconds)
+            .set("end_seconds", e.endSeconds)
+            .set("wall_seconds", e.wallSeconds)
+            .set("submitted", e.submitted)
+            .set("completed", e.completed)
+            .set("slo_shed", e.sloShed)
+            .set("router_shed", e.routerShed)
+            .set("utilization", e.utilization);
+        json.addRecord("epochs", rec);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    std::uint64_t overlap_n = 2000000;
+    int cells = 4;
+    double week_budget = 60.0;
+    if (argc > 1)
+        overlap_n = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2)
+        cells = std::atoi(argv[2]);
+    if (argc > 3)
+        week_budget = std::atof(argv[3]);
+
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    const double load = 0.35; // post-kill peak stays under pressure
+    const std::uint64_t total_n = 4 * overlap_n;
+
+    // Sizing pass: the switcher speaks seconds, the overlap contract
+    // speaks requests.  Load the mix once to learn the offered rate,
+    // then size the startup epoch to hold the whole overlap window.
+    double offered_ips = 0;
+    {
+        serve::ClusterOptions o;
+        o.cells = cells;
+        o.fleet = serve::tpuFleet(4);
+        o.tier =
+            runtime::TierPolicy{runtime::ExecutionTier::Replay};
+        o.threads = 1;
+        serve::Cluster sizing(cfg, o);
+        offered_ips =
+            analysis::loadClusterTable1Mix(sizing, cfg, load)
+                .offeredIps;
+    }
+    serve::SwitcherConfig switcher;
+    switcher.startupSeconds =
+        static_cast<double>(overlap_n) / offered_ips;
+    switcher.guardSeconds = switcher.startupSeconds / 8.0;
+
+    std::printf("hybrid fluid/discrete error bound (Table 1 mix, "
+                "%d cells, diurnal + cell kill)\n\n", cells);
+
+    // ---- leg 1+2: hybrid vs all-discrete reference ----------------
+    const auto runLeg = [&](bool reference, int threads) {
+        return analysis::runHybridTable1Mix(
+            cfg, total_n, cells, threads, load, /*kill_cell=*/1,
+            serve::ArrivalKind::Diurnal, switcher, reference);
+    };
+    const HybridClusterRun hybrid = runLeg(false, 0);
+    const HybridClusterRun ref = runLeg(true, 0);
+
+    const auto &hs = hybrid.stats;
+    const auto &rs = ref.stats;
+
+    std::printf("  %-12s %12s %12s %10s %10s %8s\n", "leg",
+                "submitted", "completed", "util", "p99 (ms)",
+                "wall s");
+    const auto row = [&](const char *name,
+                         const HybridClusterRun &r) {
+        double busy = 0;
+        for (const auto &c : r.stats.cells)
+            busy += c.busySeconds;
+        const double util =
+            busy / (static_cast<double>(cells) * 4.0 *
+                    r.stats.durationSeconds);
+        std::printf("  %-12s %12llu %12llu %10.4f %10.3f %8.2f\n",
+                    name,
+                    static_cast<unsigned long long>(
+                        r.stats.submitted),
+                    static_cast<unsigned long long>(
+                        r.stats.completed),
+                    util, r.stats.models[0].p99() * 1e3,
+                    r.wallSeconds);
+    };
+    row("hybrid", hybrid);
+    row("reference", ref);
+
+    // Overlap exactness: the startup epoch is discrete in BOTH plans
+    // and no fluid epoch precedes it, so it must match bit for bit.
+    fatal_if(hs.epochs.empty() || rs.epochs.empty(),
+             "hybrid runs must carry epoch records");
+    const auto &h0 = hs.epochs.front();
+    const auto &r0 = rs.epochs.front();
+    bool overlap_exact =
+        h0.tier == serve::Tier::Discrete &&
+        h0.submitted == r0.submitted &&
+        h0.completed == r0.completed && h0.sloShed == r0.sloShed &&
+        h0.routerShed == r0.routerShed &&
+        h0.busySeconds == r0.busySeconds &&
+        h0.modelCompleted.size() == r0.modelCompleted.size();
+    for (std::size_t m = 0;
+         overlap_exact && m < h0.modelCompleted.size(); ++m)
+        overlap_exact = h0.modelCompleted[m] == r0.modelCompleted[m];
+    const bool overlap_sized = h0.completed >=
+                               static_cast<std::uint64_t>(
+                                   0.9 * static_cast<double>(
+                                             overlap_n));
+    std::printf("\n  overlap epoch: %llu completed (window %llu), "
+                "%s\n",
+                static_cast<unsigned long long>(h0.completed),
+                static_cast<unsigned long long>(overlap_n),
+                overlap_exact ? "EXACT (per-model counts, busy "
+                                "seconds identical)"
+                              : "MISMATCH");
+
+    // Whole-run error bounds.
+    const double completed_err =
+        relErr(static_cast<double>(hs.completed),
+               static_cast<double>(rs.completed));
+    double h_busy = 0, r_busy = 0;
+    for (const auto &c : hs.cells)
+        h_busy += c.busySeconds;
+    for (const auto &c : rs.cells)
+        r_busy += c.busySeconds;
+    // Utilization over the run's available die-seconds, from each
+    // run's own accounting.
+    const double die_seconds =
+        static_cast<double>(cells) * 4.0 * hs.durationSeconds;
+    const double util_err =
+        std::abs(h_busy - r_busy) / die_seconds;
+    const double p99_err =
+        relErr(hs.models[0].p99(), rs.models[0].p99());
+
+    const double kCompletedTol = 0.02;
+    const double kUtilTol = 0.05;
+    const double kP99Tol = 0.25;
+    const bool bounds_ok = completed_err <= kCompletedTol &&
+                           util_err <= kUtilTol &&
+                           p99_err <= kP99Tol;
+    std::printf("  error vs reference: completed %.3f%% (tol %.0f%%)"
+                ", util %+.4f (tol %.2f), MLP0 p99 %.1f%% "
+                "(tol %.0f%%) -> %s\n",
+                completed_err * 100, kCompletedTol * 100, util_err,
+                kUtilTol, p99_err * 100, kP99Tol * 100,
+                bounds_ok ? "ok" : "FAIL");
+
+    // ---- leg 3a: determinism --------------------------------------
+    const HybridClusterRun again = runLeg(false, 0);
+    const HybridClusterRun single = runLeg(false, 1);
+    const bool det_rerun =
+        hs.fingerprint() == again.stats.fingerprint();
+    const bool det_threads =
+        hs.fingerprint() == single.stats.fingerprint();
+    std::printf("  determinism: rerun %s, 1-thread %s\n",
+                det_rerun ? "identical" : "MISMATCH",
+                det_threads ? "identical" : "MISMATCH");
+
+    // ---- leg 3b: the week -----------------------------------------
+    std::printf("\n7-day diurnal week at cluster rates "
+                "(single worker thread)\n");
+    const int week_cells = 6;
+    const HybridClusterRun week =
+        analysis::runWeekDiurnal(cfg, week_cells, /*threads=*/1);
+    const auto &ws = week.stats;
+    const double week_offered = static_cast<double>(ws.submitted);
+    const bool week_volume_ok = week_offered >= 1e9;
+    const bool week_wall_ok = week.wallSeconds <= week_budget;
+    std::uint64_t week_discrete_epochs = 0;
+    for (const auto &e : ws.epochs)
+        if (e.tier == serve::Tier::Discrete)
+            ++week_discrete_epochs;
+    std::printf("  %.3g offered / %.3g completed requests over "
+                "%.0f sim s (%zu epochs, %llu discrete)\n",
+                week_offered,
+                static_cast<double>(ws.completed),
+                ws.durationSeconds, ws.epochs.size(),
+                static_cast<unsigned long long>(
+                    week_discrete_epochs));
+    std::printf("  fluid %.0f s / discrete %.0f s of sim time; "
+                "%.3g discrete + %.3g fluid requests\n",
+                ws.fluidSimSeconds, ws.discreteSimSeconds,
+                static_cast<double>(ws.discreteRequests),
+                static_cast<double>(ws.fluidRequests));
+    std::printf("  wall %.2f s (budget %.0f s) -> %s; volume "
+                "gate (>= 1e9) -> %s\n",
+                week.wallSeconds, week_budget,
+                week_wall_ok ? "ok" : "FAIL",
+                week_volume_ok ? "ok" : "FAIL");
+
+    // ---- JSON -----------------------------------------------------
+    analysis::BenchJson json("hybrid_error_bound");
+    json.set("cells", cells)
+        .set("load_fraction", load)
+        .set("overlap_requests", overlap_n)
+        .set("total_requests", total_n)
+        .setBool("overlap_exact", overlap_exact)
+        .setBool("overlap_sized", overlap_sized)
+        .set("completed_rel_err", completed_err)
+        .set("completed_tolerance", kCompletedTol)
+        .set("utilization_abs_err", util_err)
+        .set("utilization_tolerance", kUtilTol)
+        .set("interactive_p99_rel_err", p99_err)
+        .set("interactive_p99_tolerance", kP99Tol)
+        .setBool("bounds_ok", bounds_ok)
+        .setBool("deterministic_rerun", det_rerun)
+        .setBool("deterministic_threads", det_threads)
+        .set("hybrid_wall_seconds", hybrid.wallSeconds)
+        .set("reference_wall_seconds", ref.wallSeconds)
+        .set("week_cells", week_cells)
+        .set("week_offered_requests", week_offered)
+        .set("week_completed_requests",
+             static_cast<double>(ws.completed))
+        .set("week_sim_seconds", ws.durationSeconds)
+        .set("week_fluid_sim_seconds", ws.fluidSimSeconds)
+        .set("week_discrete_sim_seconds", ws.discreteSimSeconds)
+        .set("week_wall_seconds", week.wallSeconds)
+        .set("week_wall_budget_seconds", week_budget)
+        .setBool("week_wall_ok", week_wall_ok)
+        .setBool("week_volume_ok", week_volume_ok)
+        .set("week_simulated_requests_per_wall_second",
+             week.wallSeconds > 0
+                 ? static_cast<double>(ws.completed) /
+                       week.wallSeconds
+                 : 0.0);
+    recordEpochs(json, ws);
+    json.writeTo("BENCH_hybrid.json");
+
+    const bool ok = overlap_exact && overlap_sized && bounds_ok &&
+                    det_rerun && det_threads && week_wall_ok &&
+                    week_volume_ok;
+    std::printf("\nhybrid error-bound gate: %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -50,6 +50,52 @@ numeric(double v)
 
 } // namespace
 
+// ------------------------------------------------- BenchJson::Record
+
+BenchJson::Record &
+BenchJson::Record::set(const std::string &key, double value)
+{
+    _fields.emplace_back(key, numeric(value));
+    return *this;
+}
+
+BenchJson::Record &
+BenchJson::Record::set(const std::string &key, std::uint64_t value)
+{
+    _fields.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+BenchJson::Record &
+BenchJson::Record::set(const std::string &key, int value)
+{
+    _fields.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+BenchJson::Record &
+BenchJson::Record::set(const std::string &key,
+                       const std::string &value)
+{
+    _fields.emplace_back(key, quoted(value));
+    return *this;
+}
+
+BenchJson::Record &
+BenchJson::Record::set(const std::string &key, const char *value)
+{
+    return set(key, std::string(value));
+}
+
+BenchJson::Record &
+BenchJson::Record::setBool(const std::string &key, bool value)
+{
+    _fields.emplace_back(key, value ? "true" : "false");
+    return *this;
+}
+
+// --------------------------------------------------------- BenchJson
+
 BenchJson::BenchJson(const std::string &benchmark)
 {
     set("benchmark", benchmark);
@@ -96,6 +142,19 @@ BenchJson::setBool(const std::string &key, bool value)
     return *this;
 }
 
+BenchJson &
+BenchJson::addRecord(const std::string &array_key,
+                     const Record &record)
+{
+    for (auto &arr : _arrays)
+        if (arr.first == array_key) {
+            arr.second.push_back(record);
+            return *this;
+        }
+    _arrays.emplace_back(array_key, std::vector<Record>{record});
+    return *this;
+}
+
 std::string
 BenchJson::str() const
 {
@@ -103,7 +162,29 @@ BenchJson::str() const
     for (std::size_t i = 0; i < _fields.size(); ++i) {
         out += "  " + quoted(_fields[i].first) + ": " +
                _fields[i].second;
-        if (i + 1 < _fields.size())
+        if (i + 1 < _fields.size() || !_arrays.empty())
+            out += ",";
+        out += "\n";
+    }
+    for (std::size_t a = 0; a < _arrays.size(); ++a) {
+        out += "  " + quoted(_arrays[a].first) + ": [\n";
+        const std::vector<Record> &records = _arrays[a].second;
+        for (std::size_t r = 0; r < records.size(); ++r) {
+            out += "    { ";
+            const auto &fields = records[r]._fields;
+            for (std::size_t f = 0; f < fields.size(); ++f) {
+                out += quoted(fields[f].first) + ": " +
+                       fields[f].second;
+                if (f + 1 < fields.size())
+                    out += ", ";
+            }
+            out += " }";
+            if (r + 1 < records.size())
+                out += ",";
+            out += "\n";
+        }
+        out += "  ]";
+        if (a + 1 < _arrays.size())
             out += ",";
         out += "\n";
     }
@@ -168,6 +249,25 @@ BenchBaselines::load(const std::string &path)
                 ++i;
             if (i < text.size())
                 ++i;
+            continue;
+        }
+        if (text[i] == '[') {
+            // Array value (nested segment records): the flat view
+            // skips the whole balanced block, strings included.
+            int depth = 0;
+            while (i < text.size()) {
+                if (text[i] == '"') {
+                    ++i;
+                    while (i < text.size() && text[i] != '"')
+                        ++i;
+                } else if (text[i] == '[') {
+                    ++depth;
+                } else if (text[i] == ']' && --depth == 0) {
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
             continue;
         }
         const std::size_t val_start = i;

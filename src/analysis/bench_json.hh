@@ -26,6 +26,28 @@ namespace analysis {
 class BenchJson
 {
   public:
+    /**
+     * One nested object destined for an array field: the hybrid
+     * bench's per-epoch segment records (tier, simulated span, wall
+     * seconds, counts).  Same ordered set() surface as the parent,
+     * rendered as one object inside addRecord()'s array.
+     */
+    class Record
+    {
+      public:
+        Record &set(const std::string &key, double value);
+        Record &set(const std::string &key, std::uint64_t value);
+        Record &set(const std::string &key, int value);
+        Record &set(const std::string &key,
+                    const std::string &value);
+        Record &set(const std::string &key, const char *value);
+        Record &setBool(const std::string &key, bool value);
+
+      private:
+        friend class BenchJson;
+        std::vector<std::pair<std::string, std::string>> _fields;
+    };
+
     /** @p benchmark is recorded as the "benchmark" field. */
     explicit BenchJson(const std::string &benchmark);
 
@@ -35,6 +57,16 @@ class BenchJson
     BenchJson &set(const std::string &key, const std::string &value);
     BenchJson &set(const std::string &key, const char *value);
     BenchJson &setBool(const std::string &key, bool value);
+
+    /**
+     * Append @p record to the array field @p array_key.  Arrays
+     * render AFTER every flat field (in first-appearance order), one
+     * record object per line, so the flat headline numbers stay
+     * grep-able at the top and BenchBaselines' flat view skips the
+     * nested blocks wholesale.
+     */
+    BenchJson &addRecord(const std::string &array_key,
+                         const Record &record);
 
     /** Render the object ("{...}\n"). */
     std::string str() const;
@@ -48,6 +80,7 @@ class BenchJson
 
   private:
     std::vector<std::pair<std::string, std::string>> _fields;
+    std::vector<std::pair<std::string, std::vector<Record>>> _arrays;
 };
 
 /**

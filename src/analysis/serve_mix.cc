@@ -1,6 +1,8 @@
 #include "analysis/serve_mix.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <functional>
 
 #include "baselines/platform.hh"
 #include "runtime/platform_backend.hh"
@@ -294,6 +296,118 @@ runClusterTable1Mix(const arch::TpuConfig &cfg,
     run.compilations = cluster.programCache().compilations();
     run.cacheHits = cluster.programCache().hits();
     return run;
+}
+
+namespace {
+
+/** Build the cluster + mix + traffic shared by the hybrid runners. */
+HybridClusterRun
+runHybridTraffic(const arch::TpuConfig &cfg, int cells, int threads,
+                 double load_fraction,
+                 const std::function<serve::ClusterTraffic(
+                     const ClusterMix &)> &make_traffic,
+                 const serve::SwitcherConfig &switcher,
+                 bool reference)
+{
+    serve::ClusterOptions options;
+    options.cells = cells;
+    options.fleet = serve::tpuFleet(4); // Table 2 server per cell
+    options.tier =
+        runtime::TierPolicy{runtime::ExecutionTier::Replay};
+    options.threads = threads;
+    serve::Cluster cluster(cfg, options);
+
+    HybridClusterRun run;
+    run.mix = loadClusterTable1Mix(cluster, cfg, load_fraction);
+    const serve::ClusterTraffic traffic = make_traffic(run.mix);
+
+    const serve::TierSwitcher planner(switcher);
+    run.plan = planner.plan(traffic, run.mix.capacityIps,
+                            cluster.cells(), /*dies_per_cell=*/4);
+    if (reference)
+        run.plan = serve::HybridPlan::allDiscrete(run.plan);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    run.stats = cluster.serveHybrid(traffic, run.plan);
+    run.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
+    return run;
+}
+
+} // namespace
+
+HybridClusterRun
+runHybridTable1Mix(const arch::TpuConfig &cfg,
+                   std::uint64_t requests, int cells, int threads,
+                   double load_fraction, int kill_cell,
+                   serve::ArrivalKind kind,
+                   const serve::SwitcherConfig &switcher,
+                   bool reference)
+{
+    return runHybridTraffic(
+        cfg, cells, threads, load_fraction,
+        [&](const ClusterMix &mix) {
+            serve::ClusterTraffic traffic =
+                clusterTrafficFor(mix, requests, kind);
+            if (kill_cell >= 0) {
+                serve::FailureEvent kill;
+                kill.atSeconds = traffic.durationSeconds / 3.0;
+                kill.kind = serve::FailureKind::CellFail;
+                kill.cell = kill_cell;
+                traffic.failures.push_back(kill);
+            }
+            return traffic;
+        },
+        switcher, reference);
+}
+
+HybridClusterRun
+runWeekDiurnal(const arch::TpuConfig &cfg, int cells, int threads,
+               double load_fraction, int days)
+{
+    fatal_if(days <= 0, "need a positive number of days");
+    constexpr double kDay = 86400.0;
+    return runHybridTraffic(
+        cfg, cells, threads, load_fraction,
+        [&](const ClusterMix &mix) {
+            serve::ClusterTraffic traffic;
+            // A REAL day this time: the bench-scale scenarios
+            // compress the diurnal period to seconds; the week runs
+            // the Table 1 mix through seven 86400 s sinusoids at
+            // cluster rates -- the 10^9-request regime the hybrid
+            // tier exists for.
+            traffic.arrivals = serve::ScenarioConfig::diurnal(
+                mix.offeredIps, kDay, /*amplitude=*/0.5);
+            traffic.mixShare = mix.shares;
+            traffic.durationSeconds = days * kDay;
+
+            // The week's operational story: a cell goes dark
+            // mid-morning on day 2, a die dies on day 4, and day 5
+            // brings a thermal slowdown -- each wrapped in discrete
+            // guard epochs by the switcher.
+            serve::FailureEvent kill;
+            kill.atSeconds = 1.4 * kDay;
+            kill.kind = serve::FailureKind::CellFail;
+            kill.cell = 2 % std::max(1, cells);
+            traffic.failures.push_back(kill);
+
+            serve::FailureEvent chip;
+            chip.atSeconds = 3.6 * kDay;
+            chip.kind = serve::FailureKind::ChipFail;
+            chip.cell = 5 % std::max(1, cells);
+            chip.chip = 1;
+            traffic.failures.push_back(chip);
+
+            serve::FailureEvent slow;
+            slow.atSeconds = 4.3 * kDay;
+            slow.kind = serve::FailureKind::PlatformSlowdown;
+            slow.cell = 6 % std::max(1, cells);
+            slow.platform = runtime::PlatformKind::Tpu;
+            slow.factor = 1.3;
+            traffic.failures.push_back(slow);
+            return traffic;
+        },
+        serve::SwitcherConfig{}, /*reference=*/false);
 }
 
 LivePlatformPerf

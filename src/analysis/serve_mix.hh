@@ -155,6 +155,49 @@ ClusterRun runClusterTable1Mix(
     int threads, double load_fraction, int kill_cell = -1,
     serve::ArrivalKind kind = serve::ArrivalKind::Poisson);
 
+/** One hybrid-timeline cluster run of the Table 1 mix. */
+struct HybridClusterRun
+{
+    ClusterMix mix;
+    serve::HybridPlan plan;          ///< the tier timeline used
+    serve::Cluster::RunStats stats;
+    /** Wall clock around the whole serveHybrid() call (fluid pass,
+     *  cell phase, folds) -- the hybrid throughput denominator. */
+    double wallSeconds = 0;
+};
+
+/**
+ * The Table 1 mix served on the hybrid fluid/discrete timeline: same
+ * cluster, mix, traffic shaping and optional cell kill as
+ * runClusterTable1Mix, but the horizon is cut by a TierSwitcher and
+ * run with Cluster::serveHybrid.  @p reference true keeps the SAME
+ * epoch boundaries with every epoch discrete
+ * (HybridPlan::allDiscrete) -- the all-Replay baseline the
+ * error-bound bench differences against.  ONE definition shared by
+ * bench/hybrid_error_bound and examples/server_farm.
+ */
+HybridClusterRun runHybridTable1Mix(
+    const arch::TpuConfig &cfg, std::uint64_t requests, int cells,
+    int threads, double load_fraction, int kill_cell = -1,
+    serve::ArrivalKind kind = serve::ArrivalKind::Diurnal,
+    const serve::SwitcherConfig &switcher = {},
+    bool reference = false);
+
+/**
+ * The "week" scenario: @p days simulated days of diurnal Table 1
+ * traffic at cluster rates (one real diurnal period of 86400 s, not
+ * the bench-scale seconds-long day), with a mid-week cell failure, a
+ * die failure and a thermal slowdown.  At cluster rates this is
+ * ~10^9+ offered requests; the hybrid timeline runs the failure
+ * guards and warmup discrete and integrates the quiet days fluid,
+ * which is what makes the horizon tractable in seconds of wall
+ * clock.
+ */
+HybridClusterRun runWeekDiurnal(const arch::TpuConfig &cfg, int cells,
+                                int threads,
+                                double load_fraction = 0.35,
+                                int days = 7);
+
 /** Live per-app busy-time throughput of one single-platform fleet. */
 struct LivePlatformPerf
 {

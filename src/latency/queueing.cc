@@ -104,9 +104,15 @@ BatchQueueSim::run(double arrival_rate, std::uint64_t requests) const
 
     std::vector<double> sorted = response;
     std::sort(sorted.begin(), sorted.end());
-    const auto idx = static_cast<std::size_t>(
-        0.99 * static_cast<double>(sorted.size() - 1));
-    stats.p99Response = sorted[idx];
+    const auto at = [&sorted](double q) {
+        const auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(sorted.size() - 1));
+        return sorted[idx];
+    };
+    for (std::size_t i = 0; i < kResponseQuantiles.size(); ++i)
+        stats.quantiles[i] = at(kResponseQuantiles[i]);
+    stats.p50Response = at(0.50);
+    stats.p99Response = at(0.99);
 
     const double horizon = server_free;
     stats.throughputIps =
@@ -115,6 +121,18 @@ BatchQueueSim::run(double arrival_rate, std::uint64_t requests) const
     stats.meanBatch =
         total_batches > 0 ? total_batched / total_batches : 0;
     return stats;
+}
+
+QueueStats
+BatchQueueSim::calibrate(double utilization,
+                         std::uint64_t requests) const
+{
+    fatal_if(utilization <= 0 || utilization >= 1.0,
+             "calibration utilization %.3f outside (0, 1); at or "
+             "past saturation the queue has no steady state",
+             utilization);
+    return run(utilization * _service.maxThroughput(_maxBatch),
+               requests);
 }
 
 QueueStats

@@ -23,6 +23,7 @@
 #ifndef TPUSIM_LATENCY_QUEUEING_HH
 #define TPUSIM_LATENCY_QUEUEING_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -70,15 +71,27 @@ struct ServiceModel
                                   double host_fraction = 0.0);
 };
 
+/**
+ * The fixed response-time quantile grid every QueueStats reports.
+ * Chosen so a surrogate can redraw the whole distribution shape (the
+ * fluid tier deposits synthetic response mass at these points), with
+ * the serving-relevant tail (p99, p99.9) resolved explicitly.
+ */
+constexpr std::array<double, 7> kResponseQuantiles = {
+    0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999};
+
 /** Result of one queueing simulation. */
 struct QueueStats
 {
     double throughputIps = 0;   ///< completed requests / sim seconds
     double meanResponse = 0;    ///< seconds
+    double p50Response = 0;     ///< seconds
     double p99Response = 0;     ///< seconds
     double meanBatch = 0;       ///< average served batch size
     double utilization = 0;     ///< server busy fraction
     std::uint64_t completed = 0;
+    /** Response seconds at each kResponseQuantiles fraction. */
+    std::array<double, kResponseQuantiles.size()> quantiles{};
 };
 
 /** Single-server batched-service queueing simulator. */
@@ -107,6 +120,20 @@ class BatchQueueSim
     QueueStats maxThroughputUnderSla(double sla_seconds,
                                      std::uint64_t requests = 200000)
         const;
+
+    /**
+     * THE reusable surrogate-fit entry point: response statistics of
+     * this service model at @p utilization x the saturation
+     * throughput (max batch).  One operating point of the
+     * latency-vs-load curve, expressed in the unit every consumer
+     * shares -- server utilization -- instead of bench-local "0.97 x
+     * maxThroughput" arithmetic.  The fluid tier calls this per
+     * ladder rung to calibrate its p50/p99 surrogates, and the Table
+     * 4 saturated rows are calibrate(0.97) -- one code path, not two
+     * drifting fits.
+     */
+    QueueStats calibrate(double utilization,
+                         std::uint64_t requests = 200000) const;
 
   private:
     ServiceModel _service;

@@ -5,6 +5,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <map>
 #include <thread>
@@ -211,6 +212,44 @@ struct Cluster::CellState
     std::vector<std::uint64_t> routerShedModel;
     /** Requests offered to this cell (admitted + router-shed). */
     std::uint64_t offered = 0;
+
+    /**
+     * Cumulative per-model state at one hybrid barrier.  Snapshots
+     * of the SAME monotone stats bracket an epoch, so their
+     * differences are exactly the epoch's contribution
+     * (Distribution::mergeDelta) -- the per-epoch accounting the
+     * hybrid tier reports and calibrates from.
+     */
+    struct ModelSnap
+    {
+        double submitted = 0;
+        double completed = 0;
+        double shed = 0;
+        double batchSum = 0;
+        std::uint64_t batchCount = 0;
+        stats::Distribution response;
+
+        explicit ModelSnap(const ModelServingStats &st)
+            : submitted(st.submitted.value()),
+              completed(st.completed.value()),
+              shed(st.shed.value()),
+              batchSum(st.batchSize.result() *
+                       static_cast<double>(st.batchSize.count())),
+              batchCount(st.batchSize.count()),
+              response(st.response)
+        {}
+    };
+    struct Snapshot
+    {
+        std::uint64_t offered = 0;
+        std::uint64_t routerShed = 0;
+        double busySeconds = 0;
+        std::vector<ModelSnap> models;
+    };
+    /** Snapshot taken after each DISCRETE segment (hybrid runs). */
+    std::map<std::size_t, Snapshot> snaps;
+    /** Wall seconds this cell spent per segment (hybrid runs). */
+    std::vector<double> segWall;
 };
 
 Cluster::Cluster(arch::TpuConfig config, ClusterOptions options)
@@ -319,6 +358,15 @@ Cluster::_segmentBoundaries(const ClusterTraffic &traffic) const
         if (e.atSeconds > 0 && e.atSeconds < traffic.durationSeconds)
             edges.push_back(e.atSeconds);
     }
+    // Hybrid runs additionally cut at every epoch boundary, so each
+    // router segment lies inside exactly one epoch (and one tier).
+    if (_hybrid) {
+        for (const Epoch &e : _hybridPlan.epochs) {
+            if (e.startSeconds > 0 &&
+                e.startSeconds < traffic.durationSeconds)
+                edges.push_back(e.startSeconds);
+        }
+    }
     edges.push_back(traffic.durationSeconds);
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
@@ -419,11 +467,11 @@ Cluster::_runCell(int cell_index, const ClusterTraffic &traffic)
     // -- same RNG draw order, same block cadence -- just without
     // touching the allocator per request.
     DetachedPump pump(session);
-    for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
+    const auto pumpSegment = [&](std::size_t s) {
         const RouterPlan::Segment &seg = _plan.segments[s];
         const double rate = seg.cellRate[ci];
         if (rate <= 0)
-            continue;
+            return;
         // Cumulative per-model rate split of this cell's stream.
         std::vector<double> cum(_loaded.size(), 0.0);
         double total = 0;
@@ -433,7 +481,7 @@ Cluster::_runCell(int cell_index, const ClusterTraffic &traffic)
             cum[m] = total;
         }
         if (total <= 0)
-            continue;
+            return;
 
         // The cell's own traffic source: the global scenario SHAPE
         // at the cell's planned rate, seeded per (cluster seed,
@@ -447,6 +495,14 @@ Cluster::_runCell(int cell_index, const ClusterTraffic &traffic)
         ScenarioConfig cfg = traffic.arrivals;
         cfg.rateIps = rate;
         cfg.seed = deriveSeed(_options.seed, ci, s, 0x5C311ull);
+        // Hybrid runs carry the segment's absolute phase, so a
+        // diurnal sinusoid stays continuous across the (many more)
+        // hybrid cuts and matches the fluid tier's integral of the
+        // same rate law.  serve() keeps the historical phase-0
+        // restarts -- its pinned fingerprints predate this field.
+        if (_hybrid)
+            cfg.phaseSeconds =
+                traffic.arrivals.phaseSeconds + seg.startSeconds;
         ArrivalProcess arrivals(cfg);
         Rng pick(deriveSeed(_options.seed, ci, s, 0xF1C4ull));
 
@@ -470,19 +526,91 @@ Cluster::_runCell(int cell_index, const ClusterTraffic &traffic)
             }
             pump.push(t, _handles[m]);
         }
+    };
+
+    if (!_hybrid) {
+        for (std::size_t s = 0; s < _plan.segments.size(); ++s)
+            pumpSegment(s);
+        pump.flush();
+        session.run();
+        return;
     }
-    pump.flush();
-    session.run();
+
+    // Hybrid barrier mode: each DISCRETE segment drains to
+    // completion before the next starts, so a snapshot taken at the
+    // barrier is exactly "cumulative state at that boundary" -- the
+    // per-epoch deltas and the measured anchors handed to the fluid
+    // tier both difference these snapshots.  Fluid segments involve
+    // no cell work at all; their state arrives as backlog injections
+    // at the next discrete segment's start.
+    cs.segWall.assign(_plan.segments.size(), 0.0);
+    for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
+        if (_segTier[s] == Tier::Fluid)
+            continue;
+        const auto seg_start = std::chrono::steady_clock::now();
+        const RouterPlan::Segment &seg = _plan.segments[s];
+        // Fluid->discrete handoff: queued fluid backlog becomes
+        // real arrivals at the segment's start (clamped forward if
+        // the previous segment's service tail ran past it).
+        if (s < _backlogInject.size() && !_backlogInject[s].empty()) {
+            for (std::size_t m = 0; m < _loaded.size(); ++m) {
+                const std::uint64_t n = _backlogInject[s][m][ci];
+                for (std::uint64_t i = 0; i < n; ++i)
+                    pump.push(seg.startSeconds, _handles[m]);
+            }
+        }
+        pumpSegment(s);
+        pump.flush();
+        session.run();
+        cs.segWall[s] = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - seg_start).count();
+
+        CellState::Snapshot snap;
+        snap.offered = cs.offered;
+        snap.routerShed = cs.routerShed[0] + cs.routerShed[1];
+        const ChipPool &pool = session.pool();
+        for (int chip = 0; chip < pool.size(); ++chip)
+            snap.busySeconds += pool.busySeconds(chip);
+        for (std::size_t m = 0; m < _loaded.size(); ++m)
+            snap.models.emplace_back(
+                session.modelStats(_handles[m]));
+        cs.snaps.emplace(s, std::move(snap));
+    }
 }
 
 const Cluster::RunStats &
 Cluster::serve(const ClusterTraffic &traffic)
+{
+    return _serve(traffic, nullptr, HybridOptions{});
+}
+
+const Cluster::RunStats &
+Cluster::serveHybrid(const ClusterTraffic &traffic,
+                     const HybridPlan &plan,
+                     const HybridOptions &options)
+{
+    plan.validate(traffic.durationSeconds);
+    fatal_if(options.macroIntervalSeconds < 0,
+             "negative fluid macro-interval");
+    fatal_if(options.minAnchorSamples == 0,
+             "minAnchorSamples must be positive");
+    return _serve(traffic, &plan, options);
+}
+
+const Cluster::RunStats &
+Cluster::_serve(const ClusterTraffic &traffic,
+                const HybridPlan *hybrid, const HybridOptions &hopts)
 {
     fatal_if(_served,
              "a Cluster serves one traffic run (cell clocks and "
              "failure state do not rewind); build a fresh Cluster "
              "per run");
     _served = true;
+    _hybrid = hybrid != nullptr;
+    if (_hybrid) {
+        _hybridPlan = *hybrid;
+        _hybridOptions = hopts;
+    }
     fatal_if(_loaded.empty(), "serve() with no loaded models");
     fatal_if(traffic.mixShare.size() != _loaded.size(),
              "mixShare must have one entry per loaded model");
@@ -530,6 +658,31 @@ Cluster::serve(const ClusterTraffic &traffic)
     }
     _plan = _router.plan(boundaries, weights, router_models);
 
+    // ---- hybrid: bind each router segment to its epoch's tier and
+    // run the fluid COUNTS pass now, before any cell thread starts,
+    // so every backlog injection a discrete segment will make is
+    // already known (the determinism contract does not change: the
+    // fluid pass is single-threaded double arithmetic).
+    if (_hybrid) {
+        _segTier.assign(_plan.segments.size(), Tier::Discrete);
+        _segEpoch.assign(_plan.segments.size(), 0);
+        for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
+            const double mid =
+                0.5 * (_plan.segments[s].startSeconds +
+                       _plan.segments[s].endSeconds);
+            for (std::size_t e = 0; e < _hybridPlan.epochs.size();
+                 ++e) {
+                const Epoch &ep = _hybridPlan.epochs[e];
+                if (mid >= ep.startSeconds && mid < ep.endSeconds) {
+                    _segTier[s] = ep.tier;
+                    _segEpoch[s] = e;
+                    break;
+                }
+            }
+        }
+        _advanceFluid(run);
+    }
+
     // ---- publish: compile AND warm the replay memo once on cell 0,
     // freeze both, then share read-only with every cell thread.
     if (!_published) {
@@ -565,9 +718,451 @@ Cluster::serve(const ClusterTraffic &traffic)
         std::chrono::steady_clock::now() - wall_start).count();
 
     _mergeStats(run);
+    if (_hybrid) {
+        _last.discreteRequests = _last.completed;
+        _last.discreteSimSeconds = _hybridPlan.discreteSeconds();
+        _calibrateFluidLatency();
+        _foldFluid();
+        _accountEpochs();
+        _last.fluidSimSeconds = _flow->fluidSeconds();
+        _last.ips = run.durationSeconds > 0
+                        ? static_cast<double>(_last.completed) /
+                              run.durationSeconds
+                        : 0.0;
+    }
     _last.durationSeconds = run.durationSeconds;
     _last.wallSeconds = wall;
     return _last;
+}
+
+void
+Cluster::_advanceFluid(const ClusterTraffic &traffic)
+{
+    const auto nsegs = _plan.segments.size();
+    const auto nmodels = _loaded.size();
+    const auto ncells = static_cast<std::size_t>(cells());
+
+    std::vector<fluid::FlowSpec> specs;
+    const runtime::PlatformKind primary =
+        _options.fleet.front().platform;
+    for (std::size_t m = 0; m < nmodels; ++m) {
+        fluid::FlowSpec fs;
+        fs.name = _loaded[m].name;
+        fs.service = cell(0).serviceEstimate(_handles[m], primary);
+        fs.maxBatch = _loaded[m].policy.maxBatch;
+        fs.qosIndex = classIndex(_loaded[m].qos);
+        fs.sloSeconds = _loaded[m].policy.sloSeconds;
+        specs.push_back(std::move(fs));
+    }
+    _flow = std::make_unique<fluid::FlowModel>(
+        std::move(specs), cells(), _hybridOptions.flow);
+
+    _backlogInject.assign(nsegs, {});
+    _segIntervals.assign(nsegs, {});
+    _segFluidWall.assign(nsegs, 0.0);
+
+    // The fluid tier integrates the ABSOLUTE rate law: the traffic
+    // config with the caller's phase, evaluated at absolute times --
+    // the same convention the hybrid discrete pumps use
+    // (phase = segment start), so both tiers see one continuous
+    // sinusoid rather than per-segment restarts.
+    const ScenarioConfig &law = traffic.arrivals;
+    bool pending_backlog = false;
+    for (std::size_t s = 0; s < nsegs; ++s) {
+        const RouterPlan::Segment &seg = _plan.segments[s];
+        if (_segTier[s] == Tier::Discrete) {
+            if (!pending_backlog)
+                continue;
+            // Fluid->discrete boundary: everything still queued in
+            // the flow crosses the tier boundary as whole requests,
+            // injected at this segment's start by every cell.
+            pending_backlog = false;
+            auto &inject = _backlogInject[s];
+            inject.assign(nmodels,
+                          std::vector<std::uint64_t>(ncells, 0));
+            for (std::size_t m = 0; m < nmodels; ++m)
+                for (std::size_t c = 0; c < ncells; ++c)
+                    inject[m][c] = _flow->takeBacklog(
+                        m, static_cast<int>(c));
+            continue;
+        }
+
+        const auto wall_start = std::chrono::steady_clock::now();
+        double step = _hybridOptions.macroIntervalSeconds;
+        if (step <= 0) {
+            // Auto: resolve the diurnal swing for latency
+            // attribution; constant-rate laws integrate exactly in
+            // one interval.
+            step = law.kind == ArrivalKind::Diurnal
+                       ? law.periodSeconds / 32.0
+                       : seg.endSeconds - seg.startSeconds;
+        }
+        const double span = seg.endSeconds - seg.startSeconds;
+        const auto nsteps = static_cast<std::size_t>(
+            std::max(1.0, std::ceil(span / step - 1e-9)));
+        for (std::size_t k = 0; k < nsteps; ++k) {
+            fluid::FlowInterval iv;
+            iv.startSeconds =
+                seg.startSeconds + static_cast<double>(k) * step;
+            iv.endSeconds =
+                k + 1 == nsteps
+                    ? seg.endSeconds
+                    : seg.startSeconds +
+                          static_cast<double>(k + 1) * step;
+            iv.cellWeight = seg.cellWeight;
+            const double rate =
+                law.meanRateOver(iv.startSeconds, iv.endSeconds);
+            iv.offeredRate.assign(nmodels,
+                                  std::vector<double>(ncells, 0.0));
+            iv.admit.assign(nmodels,
+                            std::vector<double>(ncells, 0.0));
+            for (std::size_t m = 0; m < nmodels; ++m) {
+                for (std::size_t c = 0; c < ncells; ++c) {
+                    iv.offeredRate[m][c] = rate *
+                                           traffic.mixShare[m] *
+                                           seg.share[m][c];
+                    iv.admit[m][c] = seg.admit[m][c];
+                }
+            }
+            _segIntervals[s].push_back(_flow->advance(iv));
+        }
+        pending_backlog = true;
+        _segFluidWall[s] = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start).count();
+    }
+    // Backlog with no discrete epoch left to replay it is shed --
+    // conservation across the whole horizon, nothing vanishes.
+    _flow->shedRemainingBacklog();
+}
+
+void
+Cluster::_calibrateFluidLatency()
+{
+    // Harvest a measured latency anchor per (discrete segment,
+    // model) with enough samples: the cross-cell merged DELTA of the
+    // response histograms between the segment's bracketing
+    // snapshots, keyed by the measured busy fraction.  This is the
+    // discrete->fluid half of the handoff: the ladder supplies
+    // load-dependence, these anchors pin its level to what the real
+    // batcher and fleet did in THIS run.
+    _flow->calibrate(); // idempotent; all-discrete runs price too
+    double measured_busy = 0;  // discrete busy seconds, all epochs
+    double efficient_busy = 0; // same work at ladder pricing
+    for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
+        if (_segTier[s] != Tier::Discrete)
+            continue;
+        const RouterPlan::Segment &seg = _plan.segments[s];
+        const double dt = seg.endSeconds - seg.startSeconds;
+        double available = 0;
+        for (double w : seg.cellWeight)
+            available += w * dt;
+        double busy_delta = 0;
+        for (const auto &cellptr : _cells) {
+            const auto it = cellptr->snaps.find(s);
+            fatal_if(it == cellptr->snaps.end(),
+                     "missing hybrid snapshot for segment %zu", s);
+            const CellState::Snapshot *before =
+                it == cellptr->snaps.begin()
+                    ? nullptr
+                    : &std::prev(it)->second;
+            busy_delta += it->second.busySeconds -
+                          (before ? before->busySeconds : 0.0);
+        }
+        const double utilization =
+            available > 0 ? busy_delta / available : 0.0;
+        measured_busy += busy_delta;
+
+        for (std::size_t m = 0; m < _loaded.size(); ++m) {
+            stats::Distribution delta =
+                _cells.front()->snaps.at(s).models[m].response;
+            delta.reset();
+            double batch_sum = 0;
+            std::uint64_t batch_count = 0;
+            for (const auto &cellptr : _cells) {
+                const auto it = cellptr->snaps.find(s);
+                const CellState::Snapshot &after = it->second;
+                const CellState::Snapshot *before =
+                    it == cellptr->snaps.begin()
+                        ? nullptr
+                        : &std::prev(it)->second;
+                if (before) {
+                    delta.mergeDelta(after.models[m].response,
+                                     before->models[m].response);
+                    batch_sum += after.models[m].batchSum -
+                                 before->models[m].batchSum;
+                    batch_count += after.models[m].batchCount -
+                                   before->models[m].batchCount;
+                } else {
+                    delta.merge(after.models[m].response);
+                    batch_sum += after.models[m].batchSum;
+                    batch_count += after.models[m].batchCount;
+                }
+            }
+            // Price this segment's requests exactly as the fluid
+            // tier will price its own (the ladder's mean batch at
+            // the operating point), so the scale below is the
+            // residual between real fleet busy and ladder pricing --
+            // the part the queue surrogate cannot predict.
+            efficient_busy +=
+                static_cast<double>(delta.count()) *
+                _flow->efficientPerItem(m, utilization);
+            if (delta.count() < _hybridOptions.minAnchorSamples)
+                continue;
+            fluid::LatencyAnchor anchor;
+            anchor.utilization = std::max(0.0, utilization);
+            anchor.meanResponse = delta.mean();
+            anchor.meanBatch =
+                batch_count > 0
+                    ? batch_sum / static_cast<double>(batch_count)
+                    : 1.0;
+            for (std::size_t q = 0;
+                 q < latency::kResponseQuantiles.size(); ++q)
+                anchor.quantiles[q] =
+                    delta.percentile(latency::kResponseQuantiles[q]);
+            _flow->addMeasuredAnchor(m, anchor);
+        }
+    }
+    // The utilization half of the handoff: the model re-prices its
+    // busy totals at the ladder's load-dependent mean batch, times
+    // this measured residual (fleet busy vs ladder pricing), capped
+    // at each cell-interval's physical capacity.  The clamp bounds
+    // residual transfer the same way the latency-anchor transfer
+    // bounds its ratios: discrete epochs sample startup and failure
+    // guards -- the busiest slivers of the horizon -- and an
+    // unrepresentative sample must not saturate every quiet-day
+    // fluid interval.
+    _fluidBusyScale =
+        efficient_busy > 0
+            ? std::clamp(measured_busy / efficient_busy, 0.5, 2.0)
+            : 1.0;
+    _flow->applyBusyScale(_fluidBusyScale);
+    _flow->synthesizeLatency();
+}
+
+void
+Cluster::_foldFluid()
+{
+    const auto nmodels = _loaded.size();
+    const auto ncells = static_cast<std::size_t>(cells());
+
+    // Backlog handed to discrete epochs is counted by the sessions
+    // there (submitted/completed), so the fluid fold must except it
+    // from its own offered/admitted totals or the merged counts
+    // would double-count every handed-off request.
+    std::vector<std::vector<double>> injected(
+        nmodels, std::vector<double>(ncells, 0.0));
+    for (const auto &seg_inject : _backlogInject) {
+        if (seg_inject.empty())
+            continue;
+        for (std::size_t m = 0; m < nmodels; ++m)
+            for (std::size_t c = 0; c < ncells; ++c)
+                injected[m][c] +=
+                    static_cast<double>(seg_inject[m][c]);
+    }
+
+    const auto whole = [](double v) {
+        return static_cast<std::uint64_t>(
+            std::llround(std::max(0.0, v)));
+    };
+
+    double fluid_completed = 0;
+    for (std::size_t m = 0; m < nmodels; ++m) {
+        const fluid::FlowModelTotals &mt = _flow->model(m);
+        double inj = 0;
+        for (std::size_t c = 0; c < ncells; ++c)
+            inj += injected[m][c];
+
+        MergedModelStats &merged = _last.models[m];
+        merged.submitted += mt.admitted - inj;
+        merged.completed += mt.completed;
+        merged.sloShed += mt.backlogShed;
+        merged.routerShed += mt.routerShed;
+        merged.batches += mt.batches;
+        merged.batchSize.merge(mt.batchSize);
+        merged.queueSeconds.merge(mt.queueSeconds);
+        merged.response.merge(mt.response);
+
+        ClassServingStats &cls = _last.classes[
+            static_cast<std::size_t>(classIndex(_loaded[m].qos))];
+        cls.submitted += mt.offered - inj;
+        cls.admitted += mt.admitted - inj;
+        cls.completed += mt.completed;
+        cls.sloShed += mt.backlogShed;
+        cls.routerShed += mt.routerShed;
+        cls.response.merge(mt.response);
+
+        _last.submitted += whole(mt.offered - inj);
+        _last.admitted += whole(mt.admitted - inj);
+        _last.completed += whole(mt.completed);
+        _last.sloShed += whole(mt.backlogShed);
+        _last.routerShed += whole(mt.routerShed);
+        fluid_completed += mt.completed;
+    }
+
+    for (std::size_t c = 0; c < ncells; ++c) {
+        const fluid::FlowCellTotals &ct =
+            _flow->cell(static_cast<int>(c));
+        double inj = 0;
+        for (std::size_t m = 0; m < nmodels; ++m)
+            inj += injected[m][c];
+        RunStats::CellSummary &summary = _last.cells[c];
+        summary.submitted += whole(ct.admitted - inj);
+        summary.completed += whole(ct.completed);
+        summary.routerShed += whole(ct.routerShed);
+        summary.busySeconds += ct.busySeconds;
+    }
+    _last.fluidRequests = whole(fluid_completed);
+}
+
+void
+Cluster::_accountEpochs()
+{
+    const auto nmodels = _loaded.size();
+    _last.epochs.clear();
+    for (std::size_t e = 0; e < _hybridPlan.epochs.size(); ++e) {
+        const Epoch &ep = _hybridPlan.epochs[e];
+        RunStats::EpochRecord rec;
+        rec.startSeconds = ep.startSeconds;
+        rec.endSeconds = ep.endSeconds;
+        rec.tier = ep.tier;
+        rec.reason = ep.reason;
+        rec.modelCompleted.assign(nmodels, 0.0);
+        rec.modelP99.assign(nmodels, 0.0);
+
+        std::vector<std::size_t> segs;
+        for (std::size_t s = 0; s < _plan.segments.size(); ++s)
+            if (_segEpoch[s] == e)
+                segs.push_back(s);
+        fatal_if(segs.empty(), "epoch %zu owns no segments", e);
+
+        if (ep.tier == Tier::Fluid) {
+            double offered = 0, admitted = 0, completed = 0;
+            double router_shed = 0, available = 0;
+            std::vector<double> p99_mass(nmodels, 0.0);
+            for (std::size_t s : segs) {
+                rec.wallSeconds += _segFluidWall[s];
+                const RouterPlan::Segment &seg = _plan.segments[s];
+                for (std::size_t idx : _segIntervals[s]) {
+                    const fluid::IntervalAccount &acc =
+                        _flow->intervals()[idx];
+                    offered += acc.offered;
+                    admitted += acc.admitted;
+                    completed += acc.completed;
+                    router_shed += acc.routerShed;
+                    rec.busySeconds += acc.busySeconds;
+                    const double dt =
+                        acc.endSeconds - acc.startSeconds;
+                    for (double w : seg.cellWeight)
+                        available += w * dt;
+                    for (std::size_t m = 0; m < nmodels; ++m) {
+                        rec.modelCompleted[m] +=
+                            acc.modelCompleted[m];
+                        p99_mass[m] += acc.modelCompleted[m] *
+                                       acc.modelP99[m];
+                    }
+                }
+            }
+            rec.submitted = static_cast<std::uint64_t>(
+                std::llround(offered));
+            rec.admitted = static_cast<std::uint64_t>(
+                std::llround(admitted));
+            rec.completed = static_cast<std::uint64_t>(
+                std::llround(completed));
+            rec.routerShed = static_cast<std::uint64_t>(
+                std::llround(router_shed));
+            rec.utilization =
+                available > 0 ? rec.busySeconds / available : 0.0;
+            for (std::size_t m = 0; m < nmodels; ++m)
+                rec.modelP99[m] =
+                    rec.modelCompleted[m] > 0
+                        ? p99_mass[m] / rec.modelCompleted[m]
+                        : 0.0;
+        } else {
+            const std::size_t s_first = segs.front();
+            const std::size_t s_last = segs.back();
+            double available = 0;
+            for (std::size_t s : segs) {
+                const RouterPlan::Segment &seg = _plan.segments[s];
+                const double dt =
+                    seg.endSeconds - seg.startSeconds;
+                for (double w : seg.cellWeight)
+                    available += w * dt;
+            }
+            for (const auto &cellptr : _cells) {
+                const CellState &cs = *cellptr;
+                double cell_wall = 0;
+                for (std::size_t s : segs)
+                    cell_wall += s < cs.segWall.size()
+                                     ? cs.segWall[s]
+                                     : 0.0;
+                rec.wallSeconds =
+                    std::max(rec.wallSeconds, cell_wall);
+
+                const auto it = cs.snaps.find(s_last);
+                fatal_if(it == cs.snaps.end(),
+                         "missing hybrid snapshot for segment %zu",
+                         s_last);
+                const CellState::Snapshot &after = it->second;
+                const auto fit = cs.snaps.find(s_first);
+                const CellState::Snapshot *before =
+                    fit == cs.snaps.begin()
+                        ? nullptr
+                        : &std::prev(fit)->second;
+                rec.submitted +=
+                    after.offered - (before ? before->offered : 0);
+                rec.routerShed += after.routerShed -
+                                  (before ? before->routerShed : 0);
+                rec.busySeconds +=
+                    after.busySeconds -
+                    (before ? before->busySeconds : 0.0);
+                for (std::size_t m = 0; m < nmodels; ++m) {
+                    const CellState::ModelSnap &am =
+                        after.models[m];
+                    const CellState::ModelSnap *bm =
+                        before ? &before->models[m] : nullptr;
+                    const double sub =
+                        am.submitted - (bm ? bm->submitted : 0.0);
+                    const double comp =
+                        am.completed - (bm ? bm->completed : 0.0);
+                    const double shed =
+                        am.shed - (bm ? bm->shed : 0.0);
+                    rec.admitted += static_cast<std::uint64_t>(
+                        std::llround(sub));
+                    rec.completed += static_cast<std::uint64_t>(
+                        std::llround(comp));
+                    rec.sloShed += static_cast<std::uint64_t>(
+                        std::llround(shed));
+                    rec.modelCompleted[m] += comp;
+                }
+            }
+            rec.utilization =
+                available > 0 ? rec.busySeconds / available : 0.0;
+            for (std::size_t m = 0; m < nmodels; ++m) {
+                stats::Distribution delta =
+                    _cells.front()->snaps.at(s_last)
+                        .models[m].response;
+                delta.reset();
+                for (const auto &cellptr : _cells) {
+                    const auto it = cellptr->snaps.find(s_last);
+                    const CellState::Snapshot &after = it->second;
+                    const auto fit = cellptr->snaps.find(s_first);
+                    const CellState::Snapshot *before =
+                        fit == cellptr->snaps.begin()
+                            ? nullptr
+                            : &std::prev(fit)->second;
+                    if (before)
+                        delta.mergeDelta(after.models[m].response,
+                                         before->models[m].response);
+                    else
+                        delta.merge(after.models[m].response);
+                }
+                rec.modelP99[m] = delta.count() > 0
+                                      ? delta.percentile(0.99)
+                                      : 0.0;
+            }
+        }
+        _last.epochs.push_back(std::move(rec));
+    }
 }
 
 void
@@ -691,6 +1286,32 @@ Cluster::RunStats::fingerprint() const
         fold(c.routerShed);
         foldDouble(c.busySeconds);
         fold(static_cast<std::uint64_t>(c.aliveChips));
+    }
+    // Hybrid timeline accounting, folded ONLY when present so every
+    // plain serve() digest pinned before this field existed is
+    // unchanged.  wallSeconds is measured and deliberately excluded.
+    if (!epochs.empty()) {
+        fold(epochs.size());
+        for (const EpochRecord &e : epochs) {
+            foldDouble(e.startSeconds);
+            foldDouble(e.endSeconds);
+            fold(e.tier == Tier::Fluid ? 1u : 0u);
+            fold(e.submitted);
+            fold(e.admitted);
+            fold(e.completed);
+            fold(e.sloShed);
+            fold(e.routerShed);
+            foldDouble(e.busySeconds);
+            foldDouble(e.utilization);
+            for (double v : e.modelCompleted)
+                foldDouble(v);
+            for (double v : e.modelP99)
+                foldDouble(v);
+        }
+        foldDouble(fluidSimSeconds);
+        foldDouble(discreteSimSeconds);
+        fold(fluidRequests);
+        fold(discreteRequests);
     }
     return h;
 }

@@ -46,8 +46,10 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "serve/hybrid.hh"
 #include "serve/scenario.hh"
 #include "serve/session.hh"
+#include "sim/fluid/flow_model.hh"
 
 namespace tpu {
 namespace serve {
@@ -259,6 +261,46 @@ class Cluster
         /** [0] interactive, [1] batch. */
         std::vector<ClassServingStats> classes;
 
+        /**
+         * One epoch of a hybrid timeline, with its tier and its
+         * share of the merged totals -- the segment accounting the
+         * error-bound bench and BENCH_hybrid.json report.  Empty for
+         * plain serve() runs.  wallSeconds is measured (excluded
+         * from fingerprint()); everything else is deterministic.
+         */
+        struct EpochRecord
+        {
+            double startSeconds = 0;
+            double endSeconds = 0;
+            Tier tier = Tier::Discrete;
+            std::string reason;
+            /** Wall clock attributed to this epoch (max over cells
+             *  for discrete epochs; the flow pass for fluid). */
+            double wallSeconds = 0;
+            std::uint64_t submitted = 0;
+            std::uint64_t admitted = 0;
+            std::uint64_t completed = 0;
+            std::uint64_t sloShed = 0;
+            std::uint64_t routerShed = 0;
+            double busySeconds = 0;
+            /** Busy fraction of the epoch's die-seconds. */
+            double utilization = 0;
+            /** Per-model completed counts (load order). */
+            std::vector<double> modelCompleted;
+            /** Per-model epoch p99 (s); 0 when too few samples. */
+            std::vector<double> modelP99;
+        };
+        /** Hybrid timeline accounting (empty for serve() runs). */
+        std::vector<EpochRecord> epochs;
+        /** Simulated seconds integrated by the fluid tier. */
+        double fluidSimSeconds = 0;
+        /** Simulated seconds run by discrete cells. */
+        double discreteSimSeconds = 0;
+        /** Completed requests attributed to the fluid tier. */
+        std::uint64_t fluidRequests = 0;
+        /** Completed requests attributed to discrete epochs. */
+        std::uint64_t discreteRequests = 0;
+
         /** Per-cell {submitted, completed, shed} for inspection. */
         struct CellSummary
         {
@@ -289,6 +331,34 @@ class Cluster
      * a second call) -- build a fresh Cluster per run.
      */
     const RunStats &serve(const ClusterTraffic &traffic);
+
+    /**
+     * Serve @p traffic on the hybrid timeline @p plan: discrete
+     * epochs run per-request through the cells exactly like serve()
+     * (same seed derivation, same Router admission), fluid epochs
+     * integrate a fluid::FlowModel instead.  State crosses every
+     * boundary explicitly: fluid backlog is injected as discrete
+     * arrivals at the next discrete epoch's start, and discrete
+     * epochs' measured latency anchors calibrate the fluid
+     * surrogates.  Differences from serve():
+     *
+     *  - segment boundaries are failure cuts UNION epoch cuts, and
+     *    each discrete segment runs to a BARRIER (queue drained)
+     *    before the next begins, so per-epoch statistics are exact
+     *    snapshot deltas;
+     *  - diurnal arrival streams carry the segment's absolute phase
+     *    (ScenarioConfig::phaseSeconds), so the sinusoid is
+     *    continuous across cuts instead of restarting per segment --
+     *    the convention the fluid integral assumes.
+     *
+     * Results are bit-identical across reruns and worker-thread
+     * counts, same as serve().  serve() itself is byte-for-byte
+     * unaffected (its fingerprints predate this entry point).
+     * One-shot, like serve().
+     */
+    const RunStats &serveHybrid(const ClusterTraffic &traffic,
+                                const HybridPlan &plan,
+                                const HybridOptions &options = {});
 
     /** The plan of the most recent serve() call. */
     const RouterPlan &plan() const { return _plan; }
@@ -323,6 +393,9 @@ class Cluster
         std::vector<int> replicaCells;
     };
 
+    const RunStats &_serve(const ClusterTraffic &traffic,
+                           const HybridPlan *hybrid,
+                           const HybridOptions &hopts);
     void _runCell(int cell_index, const ClusterTraffic &traffic);
     std::vector<double> _segmentBoundaries(
         const ClusterTraffic &traffic) const;
@@ -332,6 +405,16 @@ class Cluster
     void _applyCellFailures(int cell_index,
                             const ClusterTraffic &traffic);
     void _mergeStats(const ClusterTraffic &traffic);
+    /** Fluid counts pass: advance the flow over fluid segments and
+     *  record the backlog handed to each discrete segment. */
+    void _advanceFluid(const ClusterTraffic &traffic);
+    /** Harvest measured anchors from discrete-epoch snapshot deltas
+     *  and run the flow's deferred latency synthesis. */
+    void _calibrateFluidLatency();
+    /** Fold the flow's totals into the merged RunStats. */
+    void _foldFluid();
+    /** Build RunStats::epochs from snapshots + interval accounts. */
+    void _accountEpochs();
 
     arch::TpuConfig _config;
     ClusterOptions _options;
@@ -352,6 +435,34 @@ class Cluster
     RunStats _last;
     bool _published = false;
     bool _served = false;
+
+    // ---- hybrid-run state (unused by plain serve()).
+    bool _hybrid = false;
+    HybridPlan _hybridPlan;
+    HybridOptions _hybridOptions;
+    /** Tier of each router-plan segment (hybrid runs only). */
+    std::vector<Tier> _segTier;
+    /** Epoch index owning each router-plan segment. */
+    std::vector<std::size_t> _segEpoch;
+    /** [segment][model][cell]: fluid backlog injected as arrivals
+     *  at the segment's start (discrete segments only). */
+    std::vector<std::vector<std::vector<std::uint64_t>>>
+        _backlogInject;
+    /** Flow-interval account indices per segment (fluid segments). */
+    std::vector<std::vector<std::size_t>> _segIntervals;
+    /** Wall seconds of the fluid counts pass per segment. */
+    std::vector<double> _segFluidWall;
+    std::unique_ptr<fluid::FlowModel> _flow;
+    /**
+     * Measured busy-seconds over the ladder-priced busy of this
+     * run's discrete epochs -- the residual between what the real
+     * fleet burned and what the fluid tier's queue-surrogate pricing
+     * predicts for the same requests.  Passed to
+     * fluid::FlowModel::applyBusyScale (which caps at physical
+     * capacity per cell-interval) -- the utilization half of the
+     * discrete->fluid calibration handoff.
+     */
+    double _fluidBusyScale = 1.0;
 };
 
 } // namespace serve

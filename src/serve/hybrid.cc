@@ -1,0 +1,269 @@
+#include "serve/hybrid.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "serve/cluster.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace serve {
+
+const char *
+toString(Tier tier)
+{
+    return tier == Tier::Fluid ? "fluid" : "discrete";
+}
+
+// -------------------------------------------------------- HybridPlan
+
+void
+HybridPlan::validate(double horizon_seconds) const
+{
+    fatal_if(epochs.empty(), "hybrid plan with no epochs");
+    fatal_if(horizon_seconds <= 0, "hybrid horizon must be positive");
+    fatal_if(epochs.front().startSeconds != 0.0,
+             "hybrid plan must start at t = 0 (got %f)",
+             epochs.front().startSeconds);
+    for (std::size_t i = 0; i < epochs.size(); ++i) {
+        const Epoch &e = epochs[i];
+        fatal_if(e.endSeconds <= e.startSeconds,
+                 "epoch %zu runs backwards or is empty "
+                 "[%f, %f)", i, e.startSeconds, e.endSeconds);
+        if (i + 1 < epochs.size())
+            fatal_if(epochs[i + 1].startSeconds != e.endSeconds,
+                     "epoch %zu ends at %f but epoch %zu starts at "
+                     "%f; the timeline must be contiguous", i,
+                     e.endSeconds, i + 1,
+                     epochs[i + 1].startSeconds);
+    }
+    fatal_if(std::abs(epochs.back().endSeconds - horizon_seconds) >
+                 1e-9 * std::max(1.0, horizon_seconds),
+             "hybrid plan ends at %f, horizon is %f",
+             epochs.back().endSeconds, horizon_seconds);
+}
+
+double
+HybridPlan::fluidSeconds() const
+{
+    double s = 0;
+    for (const Epoch &e : epochs)
+        if (e.tier == Tier::Fluid)
+            s += e.endSeconds - e.startSeconds;
+    return s;
+}
+
+double
+HybridPlan::discreteSeconds() const
+{
+    double s = 0;
+    for (const Epoch &e : epochs)
+        if (e.tier == Tier::Discrete)
+            s += e.endSeconds - e.startSeconds;
+    return s;
+}
+
+HybridPlan
+HybridPlan::allDiscrete(const HybridPlan &like)
+{
+    HybridPlan out = like;
+    for (Epoch &e : out.epochs) {
+        e.tier = Tier::Discrete;
+        e.reason = "reference";
+    }
+    return out;
+}
+
+// ------------------------------------------------------ TierSwitcher
+
+namespace {
+
+/** One half-open discrete window plus why it exists. */
+struct Window
+{
+    double start;
+    double end;
+    std::string reason;
+};
+
+/** splitmix64, same shape as the cluster's seed derivation. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Effective surviving die fraction at time @p t: the failure replay
+ * the Router's weight computation performs, reduced to one scalar.
+ */
+double
+aliveFraction(const std::vector<FailureEvent> &failures, double t,
+              int cells, int dies_per_cell)
+{
+    const double total =
+        static_cast<double>(cells) * dies_per_cell;
+    double effective = total;
+    std::vector<int> cell_dead(static_cast<std::size_t>(cells), 0);
+    for (const FailureEvent &e : failures) {
+        if (e.atSeconds > t || e.cell < 0 || e.cell >= cells)
+            continue;
+        auto &dead = cell_dead[static_cast<std::size_t>(e.cell)];
+        switch (e.kind) {
+          case FailureKind::ChipFail:
+            if (dead < dies_per_cell) {
+                ++dead;
+                effective -= 1.0;
+            }
+            break;
+          case FailureKind::CellFail:
+            effective -= dies_per_cell - dead;
+            dead = dies_per_cell;
+            break;
+          case FailureKind::PlatformSlowdown:
+            // A factor-f slowdown serves 1/f of a die's work rate.
+            if (e.factor > 1.0)
+                effective -= (dies_per_cell - dead) *
+                             (1.0 - 1.0 / e.factor);
+            break;
+        }
+    }
+    return total > 0 ? std::max(0.0, effective / total) : 0.0;
+}
+
+} // namespace
+
+TierSwitcher::TierSwitcher(SwitcherConfig config)
+    : _config(std::move(config))
+{
+    fatal_if(_config.startupSeconds < 0 || _config.guardSeconds < 0,
+             "switcher windows cannot be negative");
+    fatal_if(_config.pressureUtilization <= 0,
+             "pressure threshold must be positive");
+    fatal_if(_config.maxBurstEpisodes <= 0,
+             "burst episode cap must be positive");
+}
+
+HybridPlan
+TierSwitcher::plan(const ClusterTraffic &traffic, double capacity_ips,
+                   int cells, int dies_per_cell) const
+{
+    const double horizon = traffic.durationSeconds;
+    fatal_if(horizon <= 0, "switcher needs a positive horizon");
+    fatal_if(capacity_ips <= 0, "switcher needs a positive capacity");
+    fatal_if(cells <= 0 || dies_per_cell <= 0,
+             "switcher needs a real fleet shape");
+
+    std::vector<Window> windows;
+    const auto clip = [&](double a, double b,
+                          const char *why) {
+        a = std::max(0.0, a);
+        b = std::min(horizon, b);
+        if (b > a)
+            windows.push_back(Window{a, b, why});
+    };
+
+    // Startup warmup: real traffic through the real batcher, the
+    // measured-anchor source (and the burst-at-0 degenerate case).
+    if (_config.startupSeconds > 0)
+        clip(0.0, _config.startupSeconds, "startup");
+
+    // Guard bands around every scripted failure: the transient where
+    // failover redistributes traffic and queues drain nonlinearly.
+    for (const FailureEvent &e : traffic.failures)
+        clip(e.atSeconds - _config.guardSeconds,
+             e.atSeconds + _config.guardSeconds, "failure");
+
+    // MMPP burst episodes.  Burst onsets are per-cell random (each
+    // cell derives its own arrival seed), so no plan can reproduce
+    // the cells' actual episode times; the switcher instead follows
+    // a REPRESENTATIVE dwell chain drawn deterministically from the
+    // traffic seed -- same dwell statistics, fixed per run -- so the
+    // expected burst-time share runs discrete.
+    if (_config.followBursts &&
+        traffic.arrivals.kind == ArrivalKind::Bursty) {
+        const ScenarioConfig &cfg = traffic.arrivals;
+        const double f = cfg.burstFraction;
+        const double burst_dwell = cfg.burstDwellSeconds;
+        const double quiet_dwell =
+            f > 0 && f < 1 ? burst_dwell * (1.0 - f) / f
+                           : 0.0;
+        if (quiet_dwell > 0 && burst_dwell > 0) {
+            Rng rng(mix64(cfg.seed ^ 0xB5257ull));
+            double t = 0;
+            for (int ep = 0; ep < _config.maxBurstEpisodes &&
+                             t < horizon; ++ep) {
+                t += rng.exponential(1.0 / quiet_dwell);
+                const double on = t;
+                t += rng.exponential(1.0 / burst_dwell);
+                clip(on - _config.guardSeconds,
+                     t + _config.guardSeconds, "burst");
+            }
+        }
+    }
+
+    // SLO-pressure scan: intervals whose projected utilization --
+    // the exact integrated rate over the surviving capacity --
+    // crosses the threshold run discrete.
+    const double step = _config.intervalSeconds > 0
+                            ? _config.intervalSeconds
+                            : horizon / 256.0;
+    for (double a = 0; a < horizon; a += step) {
+        const double b = std::min(horizon, a + step);
+        const double rate = traffic.arrivals.meanRateOver(a, b);
+        const double cap =
+            capacity_ips * aliveFraction(traffic.failures, a, cells,
+                                         dies_per_cell);
+        const double util =
+            cap > 0 ? rate / cap
+                    : std::numeric_limits<double>::infinity();
+        if (util > _config.pressureUtilization)
+            clip(a, b, "pressure");
+    }
+
+    // Merge overlapping/adjacent windows (stable under the insert
+    // order above because we sort first) and fill the gaps fluid.
+    std::sort(windows.begin(), windows.end(),
+              [](const Window &x, const Window &y) {
+                  return x.start < y.start ||
+                         (x.start == y.start && x.end < y.end);
+              });
+    std::vector<Window> merged;
+    for (const Window &w : windows) {
+        if (!merged.empty() && w.start <= merged.back().end) {
+            merged.back().end = std::max(merged.back().end, w.end);
+            if (merged.back().reason.find(w.reason) ==
+                std::string::npos)
+                merged.back().reason += "+" + w.reason;
+        } else {
+            merged.push_back(w);
+        }
+    }
+
+    HybridPlan out;
+    double at = 0;
+    for (const Window &w : merged) {
+        if (w.start > at)
+            out.epochs.push_back(
+                Epoch{at, w.start, Tier::Fluid, "fluid"});
+        out.epochs.push_back(
+            Epoch{w.start, w.end, Tier::Discrete, w.reason});
+        at = w.end;
+    }
+    if (at < horizon)
+        out.epochs.push_back(
+            Epoch{at, horizon, Tier::Fluid, "fluid"});
+    if (out.epochs.empty())
+        out.epochs.push_back(
+            Epoch{0.0, horizon, Tier::Fluid, "fluid"});
+    out.validate(horizon);
+    return out;
+}
+
+} // namespace serve
+} // namespace tpu

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The hybrid execution timeline: which parts of a serving horizon run
+ * DISCRETE (per-request events through serve::Cluster's cells) and
+ * which run FLUID (fluid::FlowModel integration).
+ *
+ * The premise follows the paper's own methodology: Section 7 drives
+ * design conclusions from an analytic performance model validated
+ * against hardware to within ~10% (Table 7), reserving detailed
+ * simulation for where behaviour is nonlinear.  A week of diurnal
+ * datacenter traffic at cluster rates is ~10^9 requests -- per-event
+ * simulation of every quiet hour buys nothing over the integrated
+ * rate law, but failure transients, MMPP burst onsets and
+ * SLO-pressure intervals are exactly where queueing is nonlinear and
+ * per-request dynamics matter.  So the TierSwitcher cuts the horizon
+ * into EPOCHS:
+ *
+ *  - DISCRETE epochs around every "interesting" boundary: a startup
+ *    window (which doubles as the fluid tier's measured-anchor
+ *    calibration source), a guard band around every scripted failure
+ *    event, burst episodes of a bursty arrival law, and any interval
+ *    whose projected utilization crosses the SLO-pressure threshold;
+ *  - FLUID epochs everywhere else.
+ *
+ * The plan is pure arithmetic over (traffic, capacity): deterministic,
+ * thread-count independent, and computed before any cell thread
+ * starts -- the same contract as the Router's plan, and the property
+ * the hybrid determinism gates rest on.  HybridPlan::allDiscrete
+ * produces the REFERENCE timeline: identical epoch boundaries, every
+ * epoch discrete, which is what the error-bound bench compares a
+ * hybrid run against (the shared boundaries make the pre-fluid prefix
+ * bit-exact, not merely close).
+ */
+
+#ifndef TPUSIM_SERVE_HYBRID_HH
+#define TPUSIM_SERVE_HYBRID_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fluid/flow_model.hh"
+
+namespace tpu {
+namespace serve {
+
+struct ClusterTraffic;
+
+/** Execution tier of one epoch of the serving horizon. */
+enum class Tier
+{
+    Fluid,    ///< analytic flow integration (fluid::FlowModel)
+    Discrete, ///< per-request event simulation (cluster cells)
+};
+
+/** "fluid" / "discrete". */
+const char *toString(Tier tier);
+
+/** One contiguous span of the horizon, bound to a tier. */
+struct Epoch
+{
+    double startSeconds = 0;
+    double endSeconds = 0;
+    Tier tier = Tier::Discrete;
+    /** Why the switcher chose this tier ("startup", "failure", ...). */
+    std::string reason;
+};
+
+/**
+ * A full-horizon tier timeline: contiguous, ascending epochs covering
+ * [0, horizon) exactly.
+ */
+struct HybridPlan
+{
+    std::vector<Epoch> epochs;
+
+    /** Fatal unless the epochs tile [0, @p horizon) in order. */
+    void validate(double horizon_seconds) const;
+
+    double fluidSeconds() const;
+    double discreteSeconds() const;
+
+    /**
+     * The reference timeline: same boundaries, every epoch discrete.
+     * Running it exercises the identical segment cuts and barriers as
+     * the hybrid run, so the error-bound comparison isolates the
+     * fluid approximation instead of mixing in boundary effects.
+     */
+    static HybridPlan allDiscrete(const HybridPlan &like);
+};
+
+/** TierSwitcher knobs. */
+struct SwitcherConfig
+{
+    /**
+     * Discrete warmup at t = 0: serves real traffic through the real
+     * batcher, which is where the fluid tier's measured latency
+     * anchors come from.  Also covers the burst-at-t=0 degenerate
+     * case: epochs starting at 0 never have fluid state to import.
+     */
+    double startupSeconds = 2.0;
+
+    /** Discrete guard band on each side of a failure event. */
+    double guardSeconds = 2.0;
+
+    /**
+     * Projected utilization (offered work / surviving capacity)
+     * above which an interval runs discrete: queueing near and past
+     * the admission threshold is exactly where the fluid model's
+     * linearity breaks down.
+     */
+    double pressureUtilization = 0.85;
+
+    /** Pressure-scan grid step; 0 = horizon / 256. */
+    double intervalSeconds = 0;
+
+    /** Mark MMPP burst episodes discrete (Bursty traffic only). */
+    bool followBursts = true;
+
+    /**
+     * Burst episodes modelled per horizon before the switcher stops
+     * following them (a safety valve for dwell times tiny relative
+     * to the horizon, where "hybrid" would degenerate to discrete).
+     */
+    int maxBurstEpisodes = 512;
+};
+
+/**
+ * Plans the hybrid timeline for one cluster traffic run.  Pure
+ * function of (config, traffic, capacity): no simulation state, no
+ * wall clock, no global RNG.
+ */
+class TierSwitcher
+{
+  public:
+    explicit TierSwitcher(SwitcherConfig config = {});
+
+    /**
+     * Build the epoch timeline for @p traffic on a cluster of
+     * @p cells cells x @p dies_per_cell dies with healthy capacity
+     * @p capacity_ips (batch-efficient requests/second).  The
+     * failure schedule contributes guard bands AND degrades the
+     * projected capacity used by the pressure scan.
+     */
+    HybridPlan plan(const ClusterTraffic &traffic, double capacity_ips,
+                    int cells, int dies_per_cell) const;
+
+    const SwitcherConfig &config() const { return _config; }
+
+  private:
+    SwitcherConfig _config;
+};
+
+/** Knobs for Cluster::serveHybrid (the fluid side of the run). */
+struct HybridOptions
+{
+    /**
+     * Fluid integration step inside a fluid epoch; 0 = automatic
+     * (diurnal traffic: period / 32, so the latency surrogate sees
+     * the intra-day utilization swing; constant-rate laws: the whole
+     * epoch in one interval -- the integral is exact either way, the
+     * step only sets latency attribution resolution).
+     */
+    double macroIntervalSeconds = 0;
+
+    /**
+     * Minimum merged response samples a discrete epoch must have
+     * contributed before it is used as a measured latency anchor.
+     */
+    std::uint64_t minAnchorSamples = 1000;
+
+    /** Surrogate calibration knobs (ladder rungs, queue-sim size). */
+    fluid::FlowOptions flow;
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_HYBRID_HH

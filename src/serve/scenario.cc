@@ -107,6 +107,48 @@ ScenarioConfig::bursty(double rate, double multiplier, double fraction,
     return c;
 }
 
+double
+ScenarioConfig::rateAt(double t) const
+{
+    switch (kind) {
+      case ArrivalKind::Poisson:
+        return rateIps;
+      case ArrivalKind::Diurnal:
+        return rateIps *
+               (1.0 + amplitude *
+                          std::sin(2.0 * M_PI * (t + phaseSeconds) /
+                                   periodSeconds));
+      case ArrivalKind::Bursty:
+        // The MMPP's instantaneous rate depends on the hidden state;
+        // the closed-form view is the long-run mean.
+        return rateIps;
+    }
+    panic("unknown arrival kind");
+}
+
+double
+ScenarioConfig::meanRateOver(double t0, double t1) const
+{
+    if (t1 <= t0)
+        return rateAt(t0);
+    switch (kind) {
+      case ArrivalKind::Poisson:
+      case ArrivalKind::Bursty:
+        return rateIps;
+      case ArrivalKind::Diurnal: {
+        // Integral of mean * (1 + A sin(2 pi (t + phi) / T)) over
+        // [t0, t1): the sinusoid integrates to -A T / (2 pi) * cos.
+        const double w = 2.0 * M_PI / periodSeconds;
+        const double scale = amplitude / w;
+        const double swing =
+            scale * (std::cos(w * (t0 + phaseSeconds)) -
+                     std::cos(w * (t1 + phaseSeconds)));
+        return rateIps * ((t1 - t0) + swing) / (t1 - t0);
+      }
+    }
+    panic("unknown arrival kind");
+}
+
 ArrivalProcess::ArrivalProcess(ScenarioConfig config)
     : _config(config), _rng(config.seed)
 {
@@ -148,20 +190,10 @@ ArrivalProcess::ArrivalProcess(ScenarioConfig config)
 double
 ArrivalProcess::rate(double t) const
 {
-    switch (_config.kind) {
-      case ArrivalKind::Poisson:
-        return _config.rateIps;
-      case ArrivalKind::Diurnal:
-        return _config.rateIps *
-               (1.0 + _config.amplitude *
-                          std::sin(2.0 * M_PI * t /
-                                   _config.periodSeconds));
-      case ArrivalKind::Bursty:
-        // Instantaneous rate depends on the hidden state; report
-        // the long-run mean, which is what capacity math wants.
-        return _config.rateIps;
-    }
-    panic("unknown arrival kind");
+    // One rate law, shared with the closed-form query API: a fluid
+    // consumer asking the config and the thinning loop below asking
+    // the process see the same numbers by construction.
+    return _config.rateAt(t);
 }
 
 double

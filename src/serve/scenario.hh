@@ -81,6 +81,16 @@ struct ScenarioConfig
     double periodSeconds = 4.0;
     /** Diurnal: relative swing in [0, 1); rate = mean * (1 +/- A). */
     double amplitude = 0.6;
+    /**
+     * Diurnal: phase offset (seconds) added to the process's local
+     * clock, so rate(t) = mean * (1 + A sin(2 pi (t + phase) / T)).
+     * A generator always starts its local clock at 0; a consumer
+     * that cuts one long day into segments (the hybrid cluster run)
+     * sets phase = the segment's absolute start so the sinusoid
+     * stays continuous across the cuts instead of restarting at
+     * phase 0 per segment.
+     */
+    double phaseSeconds = 0.0;
 
     /** Bursty: burst-state rate as a multiple of the quiet rate. */
     double burstMultiplier = 4.0;
@@ -100,6 +110,28 @@ struct ScenarioConfig
     static ScenarioConfig bursty(double rate, double multiplier,
                                  double fraction, double dwell,
                                  std::uint64_t seed = 42);
+
+    /**
+     * Closed-form modelled rate at local time @p t (requests/s).
+     * Diurnal evaluates the sinusoid (phase included); Poisson and
+     * Bursty report the long-run mean -- the MMPP's instantaneous
+     * rate depends on the hidden state, which only a generator has.
+     * This is the SAME rate law ArrivalProcess::rate() answers from,
+     * so a fluid consumer and the discrete pump can never disagree
+     * about what "the configured traffic" means.
+     */
+    double rateAt(double t) const;
+
+    /**
+     * Time-averaged modelled rate over [@p t0, @p t1) -- the exact
+     * integral of rateAt over the window divided by its length (the
+     * diurnal case integrates the sinusoid in closed form; constant
+     * laws return rateIps).  Expected arrivals in the window are
+     * meanRateOver(t0, t1) * (t1 - t0); a degenerate window
+     * (t1 <= t0) reports rateAt(t0).  This is what a fluid tier
+     * integrates per macro-interval instead of drawing arrivals.
+     */
+    double meanRateOver(double t0, double t1) const;
 };
 
 /** What breaks in a failure event. */

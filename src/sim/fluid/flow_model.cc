@@ -1,0 +1,473 @@
+#include "sim/fluid/flow_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace fluid {
+
+namespace {
+
+/** Index of the 0.99 fraction in latency::kResponseQuantiles. */
+constexpr std::size_t kP99Index = 5;
+
+static_assert(latency::kResponseQuantiles[kP99Index] == 0.99,
+              "p99 index out of sync with the quantile grid");
+
+/**
+ * Band edges around the quantile grid: deposit mass for quantile i
+ * covers [edge[i], edge[i+1]) of the CDF (midpoints between adjacent
+ * fractions), so the synthesized histogram reproduces the surrogate's
+ * quantiles -- percentile(0.99) lands in the q99 deposit by
+ * construction.
+ */
+std::array<double, latency::kResponseQuantiles.size() + 1>
+bandEdges()
+{
+    std::array<double, latency::kResponseQuantiles.size() + 1> e{};
+    e.front() = 0.0;
+    e.back() = 1.0;
+    for (std::size_t i = 1; i < latency::kResponseQuantiles.size();
+         ++i)
+        e[i] = 0.5 * (latency::kResponseQuantiles[i - 1] +
+                      latency::kResponseQuantiles[i]);
+    return e;
+}
+
+/** Linear interpolation of one anchor field. */
+double
+lerp(double a, double b, double f)
+{
+    return a + (b - a) * f;
+}
+
+} // namespace
+
+FlowModelTotals::FlowModelTotals(const std::string &name,
+                                 double slo_seconds)
+    : batchSize("achieved_batch", "modelled mean batch size"),
+      queueSeconds("queue_seconds", "modelled mean queue wait"),
+      // Same geometry as the cluster's MergedModelStats histograms,
+      // so folding fluid mass into a discrete run's stats stays on
+      // the cheap element-wise merge path.
+      response("response_seconds",
+               "synthesized response times of " + name, 0.0,
+               std::max(8.0 * slo_seconds, 1e-3), 4096)
+{}
+
+FlowModel::FlowModel(std::vector<FlowSpec> specs, int cells,
+                     FlowOptions options)
+    : _specs(std::move(specs)), _cells(cells),
+      _options(std::move(options))
+{
+    fatal_if(_specs.empty(), "fluid model needs at least one spec");
+    fatal_if(_cells <= 0, "fluid model needs at least one cell");
+    fatal_if(_options.ladder.size() < 2,
+             "surrogate ladder needs at least two rungs");
+    for (std::size_t i = 1; i < _options.ladder.size(); ++i)
+        fatal_if(_options.ladder[i] <= _options.ladder[i - 1],
+                 "surrogate ladder must ascend");
+    for (const FlowSpec &s : _specs) {
+        fatal_if(s.maxBatch <= 0, "fluid spec needs a positive batch");
+        fatal_if(s.service.seconds(1) <= 0,
+                 "fluid spec needs a positive service time");
+        _modelTotals.emplace_back(s.name, s.sloSeconds);
+    }
+    _cellTotals.assign(static_cast<std::size_t>(_cells),
+                       FlowCellTotals{});
+    _backlog.assign(_specs.size(),
+                    std::vector<double>(
+                        static_cast<std::size_t>(_cells), 0.0));
+    _ladder.resize(_specs.size());
+    _measured.resize(_specs.size());
+}
+
+void
+FlowModel::calibrate()
+{
+    if (_calibrated)
+        return;
+    _calibrated = true;
+    for (std::size_t m = 0; m < _specs.size(); ++m) {
+        const FlowSpec &spec = _specs[m];
+        latency::BatchQueueSim sim(spec.service, spec.maxBatch,
+                                   _options.seed);
+        for (double rung : _options.ladder) {
+            const latency::QueueStats qs =
+                sim.calibrate(rung, _options.ladderRequests);
+            LatencyAnchor a;
+            // Keyed by the REQUESTED utilization: monotone by
+            // construction, where the measured busy fraction of a
+            // partially-batched server need not be.
+            a.utilization = rung;
+            a.meanResponse = qs.meanResponse;
+            a.meanBatch = std::max(1.0, qs.meanBatch);
+            a.quantiles = qs.quantiles;
+            a.measured = false;
+            _ladder[m].push_back(a);
+        }
+    }
+}
+
+void
+FlowModel::addMeasuredAnchor(std::size_t model,
+                             const LatencyAnchor &anchor)
+{
+    fatal_if(model >= _specs.size(), "bad fluid model index");
+    fatal_if(anchor.utilization < 0, "negative anchor utilization");
+    LatencyAnchor a = anchor;
+    a.measured = true;
+    a.meanBatch = std::max(1.0, a.meanBatch);
+    _measured[model].push_back(a);
+}
+
+LatencyAnchor
+FlowModel::_ladderAt(std::size_t model, double utilization) const
+{
+    const std::vector<LatencyAnchor> &rungs = _ladder[model];
+    const double u =
+        std::clamp(utilization, rungs.front().utilization,
+                   rungs.back().utilization);
+    std::size_t hi = 1;
+    while (hi + 1 < rungs.size() && rungs[hi].utilization < u)
+        ++hi;
+    const LatencyAnchor &a = rungs[hi - 1];
+    const LatencyAnchor &b = rungs[hi];
+    const double f = (u - a.utilization) /
+                     (b.utilization - a.utilization);
+    LatencyAnchor out;
+    out.utilization = u;
+    out.meanResponse = lerp(a.meanResponse, b.meanResponse, f);
+    out.meanBatch = lerp(a.meanBatch, b.meanBatch, f);
+    for (std::size_t i = 0; i < out.quantiles.size(); ++i)
+        out.quantiles[i] = lerp(a.quantiles[i], b.quantiles[i], f);
+    return out;
+}
+
+LatencyAnchor
+FlowModel::lookup(std::size_t model, double utilization) const
+{
+    fatal_if(model >= _specs.size(), "bad fluid model index");
+    fatal_if(!_calibrated, "lookup before calibrate()");
+    LatencyAnchor out = _ladderAt(model, utilization);
+    const std::vector<LatencyAnchor> &measured = _measured[model];
+    if (measured.empty())
+        return out;
+    // Measured-anchor transfer: rescale each ladder quantile by the
+    // ratio observed at the NEAREST measured operating point.  The
+    // ladder supplies the load-dependence (a single-server queue's
+    // shape); the discrete epoch supplies the level (what the real
+    // batcher and fleet actually measured) -- the discrete->fluid
+    // calibration handoff.
+    const LatencyAnchor *nearest = &measured.front();
+    for (const LatencyAnchor &a : measured) {
+        if (std::abs(a.utilization - utilization) <
+            std::abs(nearest->utilization - utilization))
+            nearest = &a;
+    }
+    const LatencyAnchor base =
+        _ladderAt(model, nearest->utilization);
+    const auto factor = [](double meas, double ladder) {
+        if (meas <= 0 || ladder <= 0)
+            return 1.0;
+        return std::clamp(meas / ladder, 0.25, 4.0);
+    };
+    out.meanResponse *=
+        factor(nearest->meanResponse, base.meanResponse);
+    out.meanBatch *= factor(nearest->meanBatch, base.meanBatch);
+    for (std::size_t i = 0; i < out.quantiles.size(); ++i)
+        out.quantiles[i] *=
+            factor(nearest->quantiles[i], base.quantiles[i]);
+    return out;
+}
+
+std::size_t
+FlowModel::advance(const FlowInterval &interval)
+{
+    calibrate();
+    const auto nmodels = _specs.size();
+    const auto ncells = static_cast<std::size_t>(_cells);
+    fatal_if(interval.offeredRate.size() != nmodels ||
+                 interval.admit.size() != nmodels ||
+                 interval.cellWeight.size() != ncells,
+             "fluid interval dimensions do not match the model");
+    const double dt = interval.endSeconds - interval.startSeconds;
+    fatal_if(dt < 0, "fluid interval runs backwards");
+
+    IntervalAccount account;
+    account.startSeconds = interval.startSeconds;
+    account.endSeconds = interval.endSeconds;
+    account.modelCompleted.assign(nmodels, 0.0);
+    account.modelP99.assign(nmodels, 0.0);
+    std::vector<Slice> slices(nmodels * ncells);
+    std::vector<double> avail_row(ncells, 0.0);
+
+    double available = 0;
+    for (std::size_t c = 0; c < ncells && dt > 0; ++c) {
+        const double weight = interval.cellWeight[c];
+        avail_row[c] = std::max(0.0, weight) * dt;
+        available += avail_row[c];
+
+        // Admitted work rate on this cell (die-seconds per second),
+        // priced exactly as the router prices placement.
+        double work_rate = 0;
+        for (std::size_t m = 0; m < nmodels; ++m) {
+            fatal_if(interval.offeredRate[m].size() != ncells ||
+                         interval.admit[m].size() != ncells,
+                     "fluid interval cell dimensions mismatch");
+            work_rate += interval.offeredRate[m][c] *
+                         interval.admit[m][c] *
+                         _specs[m].service.seconds(_specs[m].maxBatch) /
+                         static_cast<double>(_specs[m].maxBatch);
+        }
+        const double rho =
+            weight > 0 ? work_rate / weight
+                       : (work_rate > 0
+                              ? std::numeric_limits<double>::infinity()
+                              : 0.0);
+        // Overload serves at capacity; the excess queues as backlog.
+        const double serve_frac =
+            rho > 1.0 ? 1.0 / rho : (weight > 0 ? 1.0 : 0.0);
+
+        double busy = 0;
+        double backlog_work = 0; // die-seconds queued on this cell
+        for (std::size_t m = 0; m < nmodels; ++m)
+            backlog_work +=
+                _backlog[m][c] * _specs[m].service.seconds(
+                                     _specs[m].maxBatch) /
+                static_cast<double>(_specs[m].maxBatch);
+        const double leftover =
+            weight > 0 && rho < 1.0 ? (1.0 - rho) * weight * dt : 0.0;
+        const double drain_work = std::min(backlog_work, leftover);
+        const double drain_frac =
+            backlog_work > 0 ? drain_work / backlog_work : 0.0;
+
+        for (std::size_t m = 0; m < nmodels; ++m) {
+            const FlowSpec &spec = _specs[m];
+            const double per_item =
+                spec.service.seconds(spec.maxBatch) /
+                static_cast<double>(spec.maxBatch);
+            const double offered = interval.offeredRate[m][c] * dt;
+            const double admitted =
+                offered * interval.admit[m][c];
+            const double served = admitted * serve_frac;
+            const double queued = admitted - served;
+            const double drained = _backlog[m][c] * drain_frac;
+            _backlog[m][c] += queued - drained;
+            const double completed = served + drained;
+
+            FlowModelTotals &mt = _modelTotals[m];
+            mt.offered += offered;
+            mt.admitted += admitted;
+            mt.completed += completed;
+            mt.routerShed += offered - admitted;
+            mt.busySeconds += completed * per_item;
+
+            FlowCellTotals &ct = _cellTotals[c];
+            ct.offered += offered;
+            ct.admitted += admitted;
+            ct.completed += completed;
+            ct.routerShed += offered - admitted;
+            ct.busySeconds += completed * per_item;
+
+            busy += completed * per_item;
+            account.offered += offered;
+            account.admitted += admitted;
+            account.completed += completed;
+            account.routerShed += offered - admitted;
+            account.modelCompleted[m] += completed;
+
+            Slice &slice = slices[m * ncells + c];
+            slice.completed = completed;
+            // Latency operating point: the cell's utilization while
+            // serving (overload pins it at 1; drained backlog was
+            // served under pressure, so it reads the same point).
+            slice.utilization = static_cast<float>(
+                std::min(1.0, std::max(rho, drain_work > 0
+                                                ? 0.95
+                                                : rho)));
+        }
+        account.busySeconds += busy;
+    }
+    account.utilization =
+        available > 0 ? account.busySeconds / available : 0.0;
+
+    _fluidSeconds += dt;
+    _intervals.push_back(std::move(account));
+    _slices.push_back(std::move(slices));
+    _cellAvail.push_back(std::move(avail_row));
+    return _intervals.size() - 1;
+}
+
+double
+FlowModel::efficientPerItem(std::size_t model,
+                            double utilization) const
+{
+    fatal_if(model >= _specs.size(), "bad fluid model index");
+    fatal_if(!_calibrated, "fluid pricing before calibrate()");
+    const double mb =
+        std::max(1.0, _ladderAt(model, utilization).meanBatch);
+    return _specs[model].service.seconds(
+               std::max<std::int64_t>(1, std::llround(mb))) /
+           mb;
+}
+
+void
+FlowModel::applyBusyScale(double scale)
+{
+    fatal_if(!(scale > 0), "busy scale must be positive");
+    fatal_if(_intervals.size() != _cellAvail.size(),
+             "busy scale pass out of sync with advance()");
+    if (_intervals.empty())
+        return; // all-discrete run: nothing fluid to re-price
+    fatal_if(!_calibrated, "busy scale pass before calibrate()");
+    const auto ncells = static_cast<std::size_t>(_cells);
+    for (FlowModelTotals &mt : _modelTotals)
+        mt.busySeconds = 0;
+    for (FlowCellTotals &ct : _cellTotals)
+        ct.busySeconds = 0;
+    for (std::size_t i = 0; i < _intervals.size(); ++i) {
+        IntervalAccount &account = _intervals[i];
+        account.busySeconds = 0;
+        double available = 0;
+        for (std::size_t c = 0; c < ncells; ++c) {
+            // Ladder pricing: each slice's requests cost what the
+            // queue surrogate says a batcher at that operating point
+            // pays per request (partial batches at low load).
+            double priced = 0;
+            for (std::size_t m = 0; m < _specs.size(); ++m) {
+                const Slice &slice = _slices[i][m * ncells + c];
+                priced += slice.completed *
+                          efficientPerItem(m, slice.utilization);
+            }
+            const double avail = _cellAvail[i][c];
+            available += avail;
+            // The real batcher cannot be busier than the wall: the
+            // diurnal peaks saturate where the quieter epochs the
+            // residual scale was measured on do not, so the cap --
+            // not the scale -- governs there.
+            const double target = std::min(scale * priced, avail);
+            const double f = priced > 0 ? target / priced : 0.0;
+            for (std::size_t m = 0; m < _specs.size(); ++m) {
+                const Slice &slice = _slices[i][m * ncells + c];
+                const double mb =
+                    slice.completed *
+                    efficientPerItem(m, slice.utilization) * f;
+                _modelTotals[m].busySeconds += mb;
+                _cellTotals[c].busySeconds += mb;
+                account.busySeconds += mb;
+            }
+        }
+        account.utilization =
+            available > 0 ? account.busySeconds / available : 0.0;
+    }
+}
+
+void
+FlowModel::synthesizeLatency()
+{
+    fatal_if(_intervals.size() != _slices.size(),
+             "latency pass out of sync with advance()");
+    static const auto edges = bandEdges();
+    const auto ncells = static_cast<std::size_t>(_cells);
+    for (std::size_t i = 0; i < _intervals.size(); ++i) {
+        IntervalAccount &account = _intervals[i];
+        for (std::size_t m = 0; m < _specs.size(); ++m) {
+            const FlowSpec &spec = _specs[m];
+            FlowModelTotals &mt = _modelTotals[m];
+            double p99_mass = 0;
+            double p99_sum = 0;
+            for (std::size_t c = 0; c < ncells; ++c) {
+                const Slice &slice = _slices[i][m * ncells + c];
+                const auto n = static_cast<std::uint64_t>(
+                    std::llround(slice.completed));
+                if (n == 0)
+                    continue;
+                const LatencyAnchor anchor =
+                    lookup(m, slice.utilization);
+                // Band-weighted deposit: cumulative rounding, so
+                // the band counts sum to n exactly.
+                std::uint64_t placed = 0;
+                for (std::size_t q = 0; q < anchor.quantiles.size();
+                     ++q) {
+                    const auto upto = static_cast<std::uint64_t>(
+                        std::llround(static_cast<double>(n) *
+                                     edges[q + 1]));
+                    const std::uint64_t band = upto - placed;
+                    placed = upto;
+                    mt.response.sampleN(anchor.quantiles[q], band);
+                }
+                mt.batchSize.sampleN(anchor.meanBatch, n);
+                mt.batches += static_cast<double>(n) /
+                              anchor.meanBatch;
+                const double service = spec.service.seconds(
+                    std::max<std::int64_t>(
+                        1, std::llround(anchor.meanBatch)));
+                mt.queueSeconds.sampleN(
+                    std::max(0.0, anchor.meanResponse - service), n);
+                p99_mass += slice.completed;
+                p99_sum += slice.completed *
+                           anchor.quantiles[kP99Index];
+            }
+            account.modelP99[m] =
+                p99_mass > 0 ? p99_sum / p99_mass : 0.0;
+        }
+    }
+}
+
+double
+FlowModel::backlog(std::size_t model, int cell) const
+{
+    fatal_if(model >= _specs.size(), "bad fluid model index");
+    fatal_if(cell < 0 || cell >= _cells, "bad fluid cell index");
+    return _backlog[model][static_cast<std::size_t>(cell)];
+}
+
+std::uint64_t
+FlowModel::takeBacklog(std::size_t model, int cell)
+{
+    fatal_if(model >= _specs.size(), "bad fluid model index");
+    fatal_if(cell < 0 || cell >= _cells, "bad fluid cell index");
+    double &b = _backlog[model][static_cast<std::size_t>(cell)];
+    const auto n =
+        static_cast<std::uint64_t>(std::max<long long>(
+            0, std::llround(b)));
+    // Sub-request rounding residue is accounted as shed rather than
+    // silently vanishing: conservation (offered = completed + shed +
+    // backlog) holds to the half-request.
+    _modelTotals[model].backlogShed +=
+        b - static_cast<double>(n);
+    b = 0;
+    return n;
+}
+
+void
+FlowModel::shedRemainingBacklog()
+{
+    for (std::size_t m = 0; m < _specs.size(); ++m) {
+        for (double &b : _backlog[m]) {
+            _modelTotals[m].backlogShed += b;
+            b = 0;
+        }
+    }
+}
+
+const FlowModelTotals &
+FlowModel::model(std::size_t m) const
+{
+    fatal_if(m >= _modelTotals.size(), "bad fluid model index");
+    return _modelTotals[m];
+}
+
+const FlowCellTotals &
+FlowModel::cell(int c) const
+{
+    fatal_if(c < 0 || c >= _cells, "bad fluid cell index");
+    return _cellTotals[static_cast<std::size_t>(c)];
+}
+
+} // namespace fluid
+} // namespace tpu

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * fluid::FlowModel -- the analytic half of the hybrid execution
+ * timeline: billion-request horizons by integrating flows instead of
+ * simulating arrivals.
+ *
+ * The paper's Section 7 analysis shows that a simple closed-form
+ * performance model tracks the simulated hardware within ~10% (Table
+ * 7); the serving layer already exploits that once, pricing router
+ * placement with AnalyticModel-calibrated ServiceModels.  The fluid
+ * tier applies the same idea to TIME: over a "quiet" macro-interval
+ * -- no failure boundary, no burst onset, projected utilization
+ * comfortably under the admission threshold -- per-request discrete
+ * events carry no information that the integrated rate does not.  So
+ * the FlowModel advances per-(model, cell) state with arithmetic:
+ *
+ *  - expected arrivals from ScenarioConfig::meanRateOver (the exact
+ *    integral of the configured rate law -- the same object the
+ *    discrete pump draws from, satellite of this PR);
+ *  - admission and placement from the Router's plan (share/admit
+ *    fractions), so fluid traffic obeys the identical QoS policy;
+ *  - utilization and busy seconds from the batch-efficient per-item
+ *    cost (model::AnalyticModel::serviceSplit via
+ *    latency::ServiceModel), the router's own pricing;
+ *  - response-time distributions from a latency SURROGATE: a ladder
+ *    of latency::BatchQueueSim::calibrate() operating points
+ *    (utilization -> response quantiles), optionally rescaled by
+ *    MEASURED anchors harvested from the discrete epochs of the same
+ *    run -- the state that crosses the discrete->fluid boundary.
+ *
+ * Statistics are streaming and constant-memory: a macro-interval's
+ * millions of modelled responses deposit as a handful of
+ * Distribution::sampleN calls at the surrogate's quantile points
+ * (band-weighted so the synthesized histogram reproduces the
+ * surrogate's p50/p99 by construction), mergeable into the serving
+ * layer's stats with the existing merge() members.  Everything here
+ * is deterministic double arithmetic on one thread: fluid results
+ * are bit-identical across reruns and worker-thread counts, which is
+ * what lets the hybrid determinism gates extend the cluster's
+ * fingerprint contract.
+ *
+ * Queue state crosses tier boundaries explicitly: overload during a
+ * fluid interval accumulates BACKLOG per (model, cell); a following
+ * discrete epoch imports it via takeBacklog() (injected as arrivals
+ * at the epoch's start), and backlog never replayed is accounted as
+ * shed, so no request silently vanishes between tiers.
+ */
+
+#ifndef TPUSIM_SIM_FLUID_FLOW_MODEL_HH
+#define TPUSIM_SIM_FLUID_FLOW_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "latency/queueing.hh"
+#include "sim/stats.hh"
+
+namespace tpu {
+namespace fluid {
+
+/** One model as the fluid tier prices it. */
+struct FlowSpec
+{
+    std::string name;
+    /** Calibrated batch service model (the router's pricing). */
+    latency::ServiceModel service;
+    /** Serving batch ceiling (surrogate calibration point). */
+    std::int64_t maxBatch = 1;
+    /** QoS class index ([0] interactive, [1] batch). */
+    int qosIndex = 0;
+    /** p99 limit; sizes the synthesized response histogram. */
+    double sloSeconds = 7e-3;
+};
+
+/** One latency operating point: response stats at one utilization. */
+struct LatencyAnchor
+{
+    double utilization = 0;
+    double meanResponse = 0;
+    double meanBatch = 1;
+    /** Seconds at each latency::kResponseQuantiles fraction. */
+    std::array<double, latency::kResponseQuantiles.size()>
+        quantiles{};
+    /** Measured in a discrete epoch (vs queue-sim ladder rung). */
+    bool measured = false;
+};
+
+/** One fluid macro-interval, cluster-wide. */
+struct FlowInterval
+{
+    double startSeconds = 0;
+    double endSeconds = 0;
+    /** offered[model][cell]: mean requests/s, pre-admission. */
+    std::vector<std::vector<double>> offeredRate;
+    /** admit[model][cell]: admitted fraction in [0, 1]. */
+    std::vector<std::vector<double>> admit;
+    /** Effective die-seconds per second per cell (0 = dark). */
+    std::vector<double> cellWeight;
+};
+
+/** Streaming per-model totals (constant memory, mergeable). */
+struct FlowModelTotals
+{
+    FlowModelTotals(const std::string &name, double slo_seconds);
+
+    double offered = 0;
+    double admitted = 0;
+    double completed = 0;
+    double routerShed = 0;
+    /** Backlog never replayed by a discrete epoch (end of run). */
+    double backlogShed = 0;
+    double busySeconds = 0;
+    double batches = 0;
+    stats::Average batchSize;
+    stats::Average queueSeconds;
+    /** Synthesized response mass (surrogate quantile deposits). */
+    stats::Distribution response;
+};
+
+/** Streaming per-cell totals. */
+struct FlowCellTotals
+{
+    double offered = 0;
+    double admitted = 0;
+    double completed = 0;
+    double routerShed = 0;
+    double busySeconds = 0;
+};
+
+/** Per-interval account, the epoch-attribution record. */
+struct IntervalAccount
+{
+    double startSeconds = 0;
+    double endSeconds = 0;
+    double offered = 0;
+    double admitted = 0;
+    double completed = 0;
+    double routerShed = 0;
+    double busySeconds = 0;
+    /** Busy fraction of the interval's available die-seconds. */
+    double utilization = 0;
+    /** Per-model completed counts (load order). */
+    std::vector<double> modelCompleted;
+    /** Per-model admitted-weighted p99 (filled by the latency pass). */
+    std::vector<double> modelP99;
+};
+
+/** FlowModel knobs. */
+struct FlowOptions
+{
+    /** Surrogate calibration rungs (server utilization). */
+    std::vector<double> ladder = {0.20, 0.35, 0.50, 0.65,
+                                  0.80, 0.90};
+    /** Queue-sim requests per rung (calibration cost knob). */
+    std::uint64_t ladderRequests = 60000;
+    /** Queue-sim seed (calibration is deterministic under it). */
+    std::uint64_t seed = 42;
+};
+
+/** The fluid tier: analytic flow integration over macro-intervals. */
+class FlowModel
+{
+  public:
+    FlowModel(std::vector<FlowSpec> specs, int cells,
+              FlowOptions options = {});
+
+    /**
+     * Fit the latency surrogates: one BatchQueueSim::calibrate()
+     * ladder per model (options.ladder rungs).  Idempotent; called
+     * lazily by the first advance() if the caller does not.
+     */
+    void calibrate();
+
+    /**
+     * Feed back a MEASURED operating point from a discrete epoch of
+     * the same run -- the discrete->fluid half of the state handoff.
+     * Subsequent synthesizeLatency() rescales the ladder's quantiles
+     * by the nearest measured anchor, transferring what the real
+     * batcher/fleet measured onto the surrogate's load-dependence.
+     */
+    void addMeasuredAnchor(std::size_t model,
+                           const LatencyAnchor &anchor);
+
+    /**
+     * Integrate one macro-interval: expected arrivals, admission,
+     * completions, utilization, busy seconds and backlog evolution,
+     * all O(models x cells) arithmetic.  Latency synthesis is
+     * deferred to synthesizeLatency() so measured anchors from
+     * discrete epochs (which run AFTER planning but before the
+     * latency pass) can inform every interval.  Returns the interval
+     * account index.
+     */
+    std::size_t advance(const FlowInterval &interval);
+
+    /**
+     * Deposit synthesized response mass for every advanced interval
+     * (surrogate quantiles, band-weighted) and fill the per-interval
+     * modelP99 fields.  Call once, after all advance() calls and
+     * measured anchors.
+     */
+    void synthesizeLatency();
+
+    /**
+     * Re-price every busy-seconds total for the real (underfilled)
+     * batcher -- the utilization half of the discrete->fluid
+     * handoff.  advance() prices work at the batch-efficient floor
+     * (full serving batches), which is what the router prices with
+     * but less than what a live batcher burns at partial batches.
+     * This pass re-prices each (interval, model, cell) slice at the
+     * LADDER's mean batch for the slice's operating point (the queue
+     * surrogate's load-dependent batch fill), multiplies by @p scale
+     * (the residual a discrete epoch of the same run measured
+     * between real fleet busy and batch-cost pricing; 1.0 when no
+     * epoch measured one), and caps each (interval, cell) at its
+     * available die-seconds so diurnal peaks saturate instead of
+     * exceeding physical capacity.  Counts, backlog and latency are
+     * untouched.  Call after the advance() calls, before reading
+     * busy/utilization.
+     */
+    void applyBusyScale(double scale);
+
+    /**
+     * Per-request busy cost of @p model at @p utilization, priced at
+     * the calibrated ladder's mean batch for that operating point --
+     * the load-dependent twin of the batch-efficient floor
+     * service.seconds(maxBatch) / maxBatch.
+     */
+    double efficientPerItem(std::size_t model,
+                            double utilization) const;
+
+    /** Backlog queued for (model, cell), fractional requests. */
+    double backlog(std::size_t model, int cell) const;
+
+    /**
+     * Export (and clear) the backlog for (model, cell) as whole
+     * requests -- the fluid->discrete handoff: the caller injects
+     * them as arrivals at the next discrete epoch's start.
+     */
+    std::uint64_t takeBacklog(std::size_t model, int cell);
+
+    /** Account all remaining backlog as shed (end of horizon). */
+    void shedRemainingBacklog();
+
+    /**
+     * Surrogate lookup at @p utilization: ladder interpolation plus
+     * measured-anchor rescaling.  Exposed for tests and the epoch
+     * switcher's pressure heuristics.
+     */
+    LatencyAnchor lookup(std::size_t model, double utilization) const;
+
+    std::size_t models() const { return _specs.size(); }
+    int cells() const { return _cells; }
+    const FlowSpec &spec(std::size_t m) const { return _specs[m]; }
+    const FlowModelTotals &model(std::size_t m) const;
+    const FlowCellTotals &cell(int c) const;
+    const std::vector<IntervalAccount> &intervals() const
+    {
+        return _intervals;
+    }
+    /** Sum of advanced interval lengths (simulated seconds). */
+    double fluidSeconds() const { return _fluidSeconds; }
+
+  private:
+    /** Ladder-only interpolation (no measured rescale). */
+    LatencyAnchor _ladderAt(std::size_t model,
+                            double utilization) const;
+
+    std::vector<FlowSpec> _specs;
+    int _cells;
+    FlowOptions _options;
+    bool _calibrated = false;
+
+    /** anchors[model]: ladder rungs, ascending utilization. */
+    std::vector<std::vector<LatencyAnchor>> _ladder;
+    /** measured[model]: discrete-epoch anchors, arrival order. */
+    std::vector<std::vector<LatencyAnchor>> _measured;
+
+    std::vector<FlowModelTotals> _modelTotals;
+    std::vector<FlowCellTotals> _cellTotals;
+    /** backlog[model][cell], fractional requests. */
+    std::vector<std::vector<double>> _backlog;
+    std::vector<IntervalAccount> _intervals;
+    /** Per-interval per-(model, cell) completed + utilization, for
+     *  the deferred latency pass. */
+    struct Slice
+    {
+        float utilization = 0;
+        double completed = 0;
+    };
+    std::vector<std::vector<Slice>> _slices; ///< [interval][m*cells+c]
+    /** Available die-seconds per (interval, cell) -- the physical
+     *  ceiling applyBusyScale() caps against. */
+    std::vector<std::vector<double>> _cellAvail;
+    double _fluidSeconds = 0;
+};
+
+} // namespace fluid
+} // namespace tpu
+
+#endif // TPUSIM_SIM_FLUID_FLOW_MODEL_HH

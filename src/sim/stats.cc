@@ -114,6 +114,53 @@ Distribution::sample(double v)
     }
 }
 
+void
+Distribution::sampleN(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    _count += n;
+    _sum += v * static_cast<double>(n);
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+    if (v < _lo) {
+        _underflow += n;
+    } else if (v >= _hi) {
+        _overflow += n;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
+        idx = std::min(idx, _buckets.size() - 1);
+        _buckets[idx] += n;
+    }
+}
+
+void
+Distribution::mergeDelta(const Distribution &after,
+                         const Distribution &before)
+{
+    fatal_if(after._lo != before._lo || after._hi != before._hi ||
+                 after._buckets.size() != before._buckets.size() ||
+                 _lo != after._lo || _hi != after._hi ||
+                 _buckets.size() != after._buckets.size(),
+             "mergeDelta needs one shared histogram geometry "
+             "(snapshots of the same stat)");
+    fatal_if(after._count < before._count,
+             "mergeDelta: 'after' snapshot older than 'before'");
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        fatal_if(after._buckets[i] < before._buckets[i],
+                 "mergeDelta: non-monotonic bucket %zu", i);
+        _buckets[i] += after._buckets[i] - before._buckets[i];
+    }
+    _underflow += after._underflow - before._underflow;
+    _overflow += after._overflow - before._overflow;
+    _sum += after._sum - before._sum;
+    _count += after._count - before._count;
+    if (after._count > before._count) {
+        _min = std::min(_min, after._min);
+        _max = std::max(_max, after._max);
+    }
+}
+
 double
 Distribution::percentile(double fraction) const
 {

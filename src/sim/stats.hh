@@ -80,6 +80,17 @@ class Average : public Stat
 
     void sample(double v) { _sum += v; ++_count; }
 
+    /**
+     * Record @p n identical samples of @p v in O(1) -- the fluid
+     * tier's bulk deposit, where one macro-interval stands for
+     * millions of requests sharing a modelled value.
+     */
+    void sampleN(double v, std::uint64_t n)
+    {
+        _sum += v * static_cast<double>(n);
+        _count += n;
+    }
+
     /** Fold another cell's samples into this mean (exact). */
     void
     merge(const Average &other)
@@ -110,6 +121,16 @@ class Distribution : public Stat
     void sample(double v);
 
     /**
+     * Record @p n identical samples of @p v in O(1) (one bucket
+     * increment) -- the fluid tier's constant-memory deposit: a
+     * macro-interval's worth of modelled responses lands as a few
+     * sampleN calls at surrogate quantile points instead of millions
+     * of per-request samples.  Moments update exactly as n sample(v)
+     * calls would.
+     */
+    void sampleN(double v, std::uint64_t n);
+
+    /**
      * Re-range the histogram to the WIDER [lo, hi] (fatal if the new
      * range does not contain the old one -- narrowing would clip).
      * Callers that learn their value range after construction -- a
@@ -133,6 +154,23 @@ class Distribution : public Stat
      * resolution of the widened range.
      */
     void merge(const Distribution &other);
+
+    /**
+     * Fold the DIFFERENCE (@p after - @p before) into this histogram:
+     * the per-epoch accounting primitive of the hybrid tier.  A cell's
+     * response histogram only ever grows, so two snapshots of the same
+     * stat bracket an epoch and their bucket-wise difference is
+     * exactly the epoch's samples; summing those differences across
+     * cells yields the merged epoch histogram whose percentile() is
+     * the epoch p99.  All three histograms must share one geometry
+     * (same range, same bucket count -- snapshots of one stat always
+     * do; fatal otherwise), and @p after must dominate @p before.
+     * Min/max of a difference are not recoverable from snapshots, so
+     * they fold as @p after's values (an over-estimate of the epoch's
+     * spread; percentiles and moments are exact).
+     */
+    void mergeDelta(const Distribution &after,
+                    const Distribution &before);
 
     double min() const { return _min; }
     double max() const { return _max; }

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the bench JSON writer/reader pair: ordered rendering,
+ * nested segment-record arrays (the hybrid bench's per-epoch
+ * accounting), and the flat baselines view skipping those arrays
+ * wholesale instead of truncating the parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "analysis/bench_json.hh"
+
+namespace tpu {
+namespace analysis {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+TEST(BenchJson, FlatFieldsRenderInInsertionOrder)
+{
+    BenchJson j("demo");
+    j.set("alpha", 1.5).set("beta", std::uint64_t{7}).setBool(
+        "gamma", true);
+    const std::string s = j.str();
+    EXPECT_NE(s.find("\"benchmark\": \"demo\""), std::string::npos);
+    EXPECT_LT(s.find("alpha"), s.find("beta"));
+    EXPECT_LT(s.find("beta"), s.find("gamma"));
+}
+
+TEST(BenchJson, RecordsRenderAsArraysAfterFlatFields)
+{
+    BenchJson j("hybrid");
+    j.set("wall_seconds", 1.25);
+    BenchJson::Record e0;
+    e0.set("tier", "discrete").set("start_seconds", 0.0);
+    BenchJson::Record e1;
+    e1.set("tier", "fluid").set("start_seconds", 2.0);
+    j.addRecord("epochs", e0).addRecord("epochs", e1);
+    j.set("after_array_flat", 3); // flat stays before the array
+
+    const std::string s = j.str();
+    EXPECT_LT(s.find("after_array_flat"), s.find("\"epochs\""));
+    EXPECT_NE(s.find("\"tier\": \"discrete\""), std::string::npos);
+    EXPECT_NE(s.find("\"tier\": \"fluid\""), std::string::npos);
+    EXPECT_LT(s.find("\"discrete\""), s.find("\"fluid\""));
+}
+
+TEST(BenchBaselines, FlatViewSkipsRecordArrays)
+{
+    // The reader must surface flat numerics BEFORE AND AFTER a
+    // nested array -- arrays are skipped as balanced blocks, not
+    // parse stoppers.
+    BenchJson j("hybrid");
+    j.set("before", 1.0);
+    BenchJson::Record rec;
+    rec.set("tier", "fluid").set("completed", std::uint64_t{42});
+    j.addRecord("epochs", rec).addRecord("epochs", rec);
+    j.set("after", 2.0);
+
+    const std::string path = tempPath("bench_json_arrays.json");
+    ASSERT_TRUE(j.writeTo(path));
+    const BenchBaselines b = BenchBaselines::load(path);
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(b.get("before"), 1.0);
+    EXPECT_DOUBLE_EQ(b.get("after"), 2.0);
+    // The array's inner keys are not flat fields.
+    EXPECT_FALSE(b.has("completed"));
+}
+
+TEST(BenchBaselines, RoundTripsFlatFile)
+{
+    BenchJson j("flat");
+    j.set("ips", 123456.5).set("count", std::uint64_t{99});
+    const std::string path = tempPath("bench_json_flat.json");
+    ASSERT_TRUE(j.writeTo(path));
+    const BenchBaselines b = BenchBaselines::load(path);
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(b.get("ips"), 123456.5);
+    EXPECT_DOUBLE_EQ(b.get("count"), 99.0);
+    EXPECT_FALSE(b.has("missing"));
+    EXPECT_DOUBLE_EQ(b.get("missing", -1.0), -1.0);
+}
+
+} // namespace
+} // namespace analysis
+} // namespace tpu

@@ -145,6 +145,55 @@ TEST(BatchQueueSimDeath, BadParameters)
                 "positive");
 }
 
+// ----------------------------------------- calibrate() operating points
+
+TEST(BatchQueueSim, CalibrateIsRunAtUtilizationTimesSaturation)
+{
+    // calibrate(u) is defined as run(u x saturation): the shared
+    // surrogate-fit entry point must be the SAME operating point the
+    // raw-rate call reaches, bit for bit.
+    ServiceModel s{1.3e-3, 55.5e-6};
+    BatchQueueSim sim(s, 16, 42);
+    const QueueStats c = sim.calibrate(0.8, 60000);
+    const QueueStats r = sim.run(0.8 * s.maxThroughput(16), 60000);
+    EXPECT_DOUBLE_EQ(c.meanResponse, r.meanResponse);
+    EXPECT_DOUBLE_EQ(c.p99Response, r.p99Response);
+    EXPECT_DOUBLE_EQ(c.utilization, r.utilization);
+    EXPECT_EQ(c.completed, r.completed);
+}
+
+TEST(BatchQueueSim, QuantileGridIsOrderedAndConsistent)
+{
+    ServiceModel s{1.3e-3, 55.5e-6};
+    BatchQueueSim sim(s, 16, 42);
+    const QueueStats st = sim.calibrate(0.7, 60000);
+    for (std::size_t i = 1; i < st.quantiles.size(); ++i)
+        EXPECT_GE(st.quantiles[i], st.quantiles[i - 1]);
+    // The named fields are views into the grid.
+    EXPECT_DOUBLE_EQ(st.quantiles[2], st.p50Response);
+    EXPECT_DOUBLE_EQ(st.quantiles[5], st.p99Response);
+}
+
+TEST(BatchQueueSim, CalibrateLatencyRisesWithUtilization)
+{
+    ServiceModel s{1.3e-3, 55.5e-6};
+    BatchQueueSim sim(s, 16, 42);
+    const QueueStats lo = sim.calibrate(0.3, 60000);
+    const QueueStats hi = sim.calibrate(0.9, 60000);
+    EXPECT_GT(hi.p99Response, lo.p99Response);
+    EXPECT_GT(hi.meanBatch, lo.meanBatch);
+}
+
+TEST(BatchQueueSimDeath, CalibrateRejectsSaturation)
+{
+    ServiceModel s{1e-3, 1e-6};
+    BatchQueueSim sim(s, 4);
+    EXPECT_EXIT(sim.calibrate(1.0, 100),
+                ::testing::ExitedWithCode(1), "saturation");
+    EXPECT_EXIT(sim.calibrate(0.0, 100),
+                ::testing::ExitedWithCode(1), "saturation");
+}
+
 } // namespace
 } // namespace latency
 } // namespace tpu

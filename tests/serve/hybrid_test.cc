@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Tests for the hybrid fluid/discrete execution timeline: the
+ * fluid::FlowModel's conservation and surrogate arithmetic, the
+ * HybridPlan/TierSwitcher contract, and the full round-trip handoff
+ * through serve::Cluster::serveHybrid -- discrete -> fluid ->
+ * discrete across a scripted failure boundary, bit-identical across
+ * reruns AND worker-thread counts, with the all-discrete reference
+ * exactly reproducing the pre-fluid prefix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/serve_mix.hh"
+#include "serve/cluster.hh"
+#include "serve/hybrid.hh"
+#include "sim/fluid/flow_model.hh"
+
+namespace tpu {
+namespace serve {
+namespace {
+
+arch::TpuConfig
+testConfig()
+{
+    arch::TpuConfig c;
+    c.matrixDim = 16;
+    c.accumulatorEntries = 64;
+    c.unifiedBufferBytes = 64 * 1024;
+    c.clockHz = 1e9;
+    c.weightMemoryBytesPerSec = 16e9;
+    c.pcieBytesPerSec = 16e9;
+    return c;
+}
+
+Session::NetworkBuilder
+smallBuilder(const char *name)
+{
+    return [name](std::int64_t batch) {
+        nn::Network net(name, batch);
+        net.addFullyConnected(32, 32);
+        net.addFullyConnected(32, 16);
+        return net;
+    };
+}
+
+/** A 2-model cluster, same shape as the cluster_test fixture. */
+struct MiniCluster
+{
+    explicit MiniCluster(int cells, int chips_per_cell = 2,
+                         int threads = 0)
+        : options(), cluster(nullptr)
+    {
+        options.cells = cells;
+        options.fleet = tpuFleet(chips_per_cell);
+        options.tier =
+            runtime::TierPolicy{runtime::ExecutionTier::Replay};
+        options.threads = threads;
+        cluster = std::make_unique<Cluster>(testConfig(), options);
+
+        BatcherPolicy fast;
+        fast.maxBatch = 8;
+        fast.maxDelaySeconds = 2e-4;
+        fast.sloSeconds = 7e-3;
+        interactive = cluster->load("fast", smallBuilder("fast"),
+                                    fast, 0.0,
+                                    QosClass::Interactive);
+        BatcherPolicy bulk;
+        bulk.maxBatch = 16;
+        bulk.maxDelaySeconds = 1e-3;
+        bulk.sloSeconds = 50e-3;
+        batch = cluster->load("bulk", smallBuilder("bulk"), bulk,
+                              0.0, QosClass::Batch);
+    }
+
+    double
+    rateFor(double load) const
+    {
+        const latency::ServiceModel svc =
+            cluster->cell(0).serviceEstimate(
+                interactive, runtime::PlatformKind::Tpu);
+        return load * options.cells *
+               options.fleet.front().chips * svc.maxThroughput(8);
+    }
+
+    /** Traffic sized by expected request count, not wall seconds:
+     *  the fixture's tiny networks serve millions of requests per
+     *  simulated second, so durations must be derived. */
+    ClusterTraffic
+    traffic(double load, std::uint64_t requests) const
+    {
+        const double rate = rateFor(load);
+        ClusterTraffic t;
+        t.arrivals = ScenarioConfig::poisson(rate);
+        t.mixShare = {0.7, 0.3};
+        t.durationSeconds = static_cast<double>(requests) / rate;
+        return t;
+    }
+
+    ClusterOptions options;
+    std::unique_ptr<Cluster> cluster;
+    ModelHandle interactive = 0;
+    ModelHandle batch = 0;
+};
+
+/** A simple affine flow spec for FlowModel unit tests. */
+fluid::FlowSpec
+flowSpec(const char *name, double base, double per_item,
+         std::int64_t max_batch)
+{
+    fluid::FlowSpec s;
+    s.name = name;
+    s.service.baseSeconds = base;
+    s.service.perItemSeconds = per_item;
+    s.maxBatch = max_batch;
+    s.sloSeconds = 7e-3;
+    return s;
+}
+
+/** One uniform interval: every cell weight 1, same rate, admit 1. */
+fluid::FlowInterval
+uniformInterval(double t0, double t1, std::size_t models, int cells,
+                double rate_per_cell, double admit = 1.0)
+{
+    fluid::FlowInterval iv;
+    iv.startSeconds = t0;
+    iv.endSeconds = t1;
+    iv.offeredRate.assign(
+        models, std::vector<double>(
+                    static_cast<std::size_t>(cells),
+                    rate_per_cell));
+    iv.admit.assign(models,
+                    std::vector<double>(
+                        static_cast<std::size_t>(cells), admit));
+    iv.cellWeight.assign(static_cast<std::size_t>(cells), 1.0);
+    return iv;
+}
+
+// --------------------------------------------------------- FlowModel
+
+TEST(FlowModel, ConservesRequestsUnderload)
+{
+    // 1 model, 2 cells, 100 req/s/cell for 10 s at rho well under
+    // 1: everything offered is admitted and completed, no backlog.
+    fluid::FlowModel flow({flowSpec("m", 1e-4, 1e-4, 8)}, 2);
+    flow.advance(uniformInterval(0, 10, 1, 2, 100.0));
+    flow.synthesizeLatency();
+
+    const auto &mt = flow.model(0);
+    EXPECT_NEAR(mt.offered, 2000.0, 1e-6);
+    EXPECT_NEAR(mt.admitted, 2000.0, 1e-6);
+    EXPECT_NEAR(mt.completed, 2000.0, 1e-6);
+    EXPECT_DOUBLE_EQ(mt.routerShed, 0.0);
+    EXPECT_DOUBLE_EQ(flow.backlog(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(flow.backlog(0, 1), 0.0);
+    // The synthesized histogram carries exactly the completed mass.
+    EXPECT_EQ(mt.response.count(),
+              static_cast<std::uint64_t>(2000));
+}
+
+TEST(FlowModel, OverloadAccruesBacklogThenDrains)
+{
+    // Per-item cost at max batch: (1e-4 + 8e-5*8)/8 = 9.25e-5 s ->
+    // capacity ~10810 ips/cell.  Offer 2x that for 1 s, then idle
+    // for 2 s: backlog accrues, then drains, and offered = completed
+    // + backlog at every boundary.
+    fluid::FlowModel flow({flowSpec("m", 1e-4, 8e-5, 8)}, 1);
+    const double cap = 8.0 / (1e-4 + 8e-5 * 8);
+    flow.advance(uniformInterval(0, 1, 1, 1, 2.0 * cap));
+    const double backlog_peak = flow.backlog(0, 0);
+    EXPECT_NEAR(backlog_peak, cap, cap * 0.01);
+
+    flow.advance(uniformInterval(1, 3, 1, 1, 0.0));
+    EXPECT_NEAR(flow.backlog(0, 0), 0.0, 1e-6);
+    flow.synthesizeLatency();
+    const auto &mt = flow.model(0);
+    EXPECT_NEAR(mt.completed, mt.admitted, 1e-6);
+}
+
+TEST(FlowModel, TakeBacklogHandsOffWholeRequests)
+{
+    fluid::FlowModel flow({flowSpec("m", 1e-4, 8e-5, 8)}, 1);
+    const double cap = 8.0 / (1e-4 + 8e-5 * 8);
+    flow.advance(uniformInterval(0, 1, 1, 1, 1.5 * cap));
+    const double before = flow.backlog(0, 0);
+    ASSERT_GT(before, 1.0);
+
+    const std::uint64_t handed = flow.takeBacklog(0, 0);
+    EXPECT_EQ(handed, static_cast<std::uint64_t>(
+                          std::llround(before)));
+    EXPECT_DOUBLE_EQ(flow.backlog(0, 0), 0.0);
+    // The sub-request residual is accounted, not lost.
+    flow.shedRemainingBacklog();
+    flow.synthesizeLatency();
+    const auto &mt = flow.model(0);
+    EXPECT_NEAR(mt.admitted,
+                mt.completed + static_cast<double>(handed) +
+                    mt.backlogShed,
+                1e-6);
+}
+
+TEST(FlowModel, SurrogateLatencyRisesWithUtilization)
+{
+    fluid::FlowModel flow({flowSpec("m", 1e-4, 1e-4, 8)}, 1);
+    flow.calibrate();
+    const fluid::LatencyAnchor lo = flow.lookup(0, 0.25);
+    const fluid::LatencyAnchor hi = flow.lookup(0, 0.88);
+    EXPECT_GT(lo.meanResponse, 0.0);
+    EXPECT_GT(hi.meanResponse, lo.meanResponse);
+    EXPECT_GE(hi.quantiles.back(), hi.quantiles.front());
+    // p99 index is where the grid says it is.
+    EXPECT_NEAR(latency::kResponseQuantiles[5], 0.99, 1e-12);
+}
+
+TEST(FlowModel, MeasuredAnchorRescalesLookup)
+{
+    fluid::FlowModel flow({flowSpec("m", 1e-4, 1e-4, 8)}, 1);
+    flow.calibrate();
+    const fluid::LatencyAnchor ladder = flow.lookup(0, 0.5);
+    // A measured point twice as slow as the ladder at the same
+    // utilization must scale lookups up (clamped well within 4x).
+    fluid::LatencyAnchor meas = ladder;
+    meas.measured = true;
+    meas.meanResponse = 2.0 * ladder.meanResponse;
+    for (auto &q : meas.quantiles)
+        q *= 2.0;
+    flow.addMeasuredAnchor(0, meas);
+    const fluid::LatencyAnchor scaled = flow.lookup(0, 0.5);
+    EXPECT_NEAR(scaled.meanResponse, 2.0 * ladder.meanResponse,
+                1e-9);
+}
+
+// ------------------------------------------- HybridPlan/TierSwitcher
+
+TEST(HybridPlan, AllDiscreteKeepsBoundaries)
+{
+    HybridPlan plan;
+    plan.epochs = {Epoch{0, 2, Tier::Discrete, "startup"},
+                   Epoch{2, 8, Tier::Fluid, "fluid"},
+                   Epoch{8, 10, Tier::Discrete, "failure"}};
+    plan.validate(10.0);
+    EXPECT_DOUBLE_EQ(plan.fluidSeconds(), 6.0);
+    EXPECT_DOUBLE_EQ(plan.discreteSeconds(), 4.0);
+
+    const HybridPlan ref = HybridPlan::allDiscrete(plan);
+    ASSERT_EQ(ref.epochs.size(), plan.epochs.size());
+    for (std::size_t i = 0; i < ref.epochs.size(); ++i) {
+        EXPECT_EQ(ref.epochs[i].tier, Tier::Discrete);
+        EXPECT_DOUBLE_EQ(ref.epochs[i].startSeconds,
+                         plan.epochs[i].startSeconds);
+        EXPECT_DOUBLE_EQ(ref.epochs[i].endSeconds,
+                         plan.epochs[i].endSeconds);
+    }
+    EXPECT_DOUBLE_EQ(ref.fluidSeconds(), 0.0);
+}
+
+TEST(TierSwitcher, GuardsFailuresAndIsDeterministic)
+{
+    ClusterTraffic t;
+    t.arrivals = ScenarioConfig::poisson(1000.0);
+    t.mixShare = {1.0};
+    t.durationSeconds = 100.0;
+    FailureEvent kill;
+    kill.atSeconds = 50.0;
+    kill.kind = FailureKind::CellFail;
+    kill.cell = 1;
+    t.failures = {kill};
+
+    SwitcherConfig cfg;
+    cfg.startupSeconds = 2.0;
+    cfg.guardSeconds = 3.0;
+    TierSwitcher sw(cfg);
+    const HybridPlan a = sw.plan(t, 10000.0, 4, 2);
+    a.validate(100.0);
+
+    // Startup and the failure guard run discrete; the failure time
+    // sits strictly inside a discrete epoch.
+    EXPECT_EQ(a.epochs.front().tier, Tier::Discrete);
+    bool guarded = false;
+    for (const Epoch &e : a.epochs)
+        if (e.tier == Tier::Discrete && e.startSeconds <= 47.0 &&
+            e.endSeconds >= 53.0)
+            guarded = true;
+    EXPECT_TRUE(guarded);
+    EXPECT_GT(a.fluidSeconds(), 80.0);
+
+    // Same inputs -> identical plan.
+    const HybridPlan b = sw.plan(t, 10000.0, 4, 2);
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.epochs[i].startSeconds,
+                         b.epochs[i].startSeconds);
+        EXPECT_DOUBLE_EQ(a.epochs[i].endSeconds,
+                         b.epochs[i].endSeconds);
+        EXPECT_EQ(a.epochs[i].tier, b.epochs[i].tier);
+    }
+}
+
+TEST(TierSwitcher, PressureForcesDiscreteUnderOverload)
+{
+    ClusterTraffic t;
+    t.arrivals = ScenarioConfig::poisson(9500.0);
+    t.mixShare = {1.0};
+    t.durationSeconds = 10.0;
+    SwitcherConfig cfg;
+    cfg.startupSeconds = 0.0;
+    TierSwitcher sw(cfg);
+    // Rate / capacity = 0.95 > 0.85: everything runs discrete.
+    const HybridPlan plan = sw.plan(t, 10000.0, 2, 2);
+    EXPECT_DOUBLE_EQ(plan.fluidSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(plan.discreteSeconds(), 10.0);
+}
+
+// ------------------------------------------------ serveHybrid round trip
+
+/** discrete -> fluid -> discrete over @p horizon; a failure (if the
+ *  caller scripts one at 0.75 * horizon) lands inside the tail
+ *  discrete epoch. */
+HybridPlan
+sandwichPlan(double horizon)
+{
+    HybridPlan plan;
+    plan.epochs = {
+        Epoch{0.0, 0.25 * horizon, Tier::Discrete, "startup"},
+        Epoch{0.25 * horizon, 0.6 * horizon, Tier::Fluid, "fluid"},
+        Epoch{0.6 * horizon, horizon, Tier::Discrete, "failure"}};
+    plan.validate(horizon);
+    return plan;
+}
+
+TEST(ServeHybrid, RoundTripAcrossFailureBoundary)
+{
+    MiniCluster mini(2);
+    ClusterTraffic t = mini.traffic(0.5, 120000);
+    const double d = t.durationSeconds;
+    FailureEvent kill;
+    kill.atSeconds = 0.75 * d;
+    kill.kind = FailureKind::CellFail;
+    kill.cell = 1;
+    t.failures = {kill};
+
+    const HybridPlan plan = sandwichPlan(d);
+    const Cluster::RunStats run =
+        mini.cluster->serveHybrid(t, plan);
+
+    // Every epoch is accounted, tiers as planned, spans contiguous.
+    ASSERT_EQ(run.epochs.size(), 3u);
+    EXPECT_EQ(run.epochs[0].tier, Tier::Discrete);
+    EXPECT_EQ(run.epochs[1].tier, Tier::Fluid);
+    EXPECT_EQ(run.epochs[2].tier, Tier::Discrete);
+    EXPECT_DOUBLE_EQ(run.epochs[1].startSeconds, 0.25 * d);
+    EXPECT_DOUBLE_EQ(run.epochs[1].endSeconds, 0.6 * d);
+
+    // Both tiers did real work and the totals add up.
+    EXPECT_GT(run.fluidRequests, 0u);
+    EXPECT_GT(run.discreteRequests, 0u);
+    EXPECT_EQ(run.completed,
+              run.fluidRequests + run.discreteRequests);
+    EXPECT_NEAR(run.fluidSimSeconds, 0.35 * d, 1e-9);
+    EXPECT_NEAR(run.discreteSimSeconds, 0.65 * d, 1e-9);
+    EXPECT_GE(run.submitted, run.admitted);
+    EXPECT_GE(run.admitted, run.completed);
+
+    // The dead cell's discrete epoch still has the survivor busy.
+    EXPECT_GT(run.epochs[2].completed, 0u);
+    EXPECT_GT(run.epochs[2].utilization, 0.0);
+}
+
+TEST(ServeHybrid, DeterministicAcrossRerunsAndThreads)
+{
+    auto digest = [](int threads) {
+        MiniCluster mini(3, 2, threads);
+        ClusterTraffic t = mini.traffic(0.5, 90000);
+        const double d = t.durationSeconds;
+        FailureEvent kill;
+        kill.atSeconds = 0.75 * d;
+        kill.kind = FailureKind::CellFail;
+        kill.cell = 2;
+        t.failures = {kill};
+        const Cluster::RunStats run =
+            mini.cluster->serveHybrid(t, sandwichPlan(d));
+        return run.fingerprint();
+    };
+    const std::uint64_t once = digest(1);
+    EXPECT_EQ(once, digest(1)); // rerun
+    EXPECT_EQ(once, digest(3)); // thread count
+}
+
+TEST(ServeHybrid, PrefixExactVsAllDiscreteReference)
+{
+    // The epoch BEFORE the first fluid epoch is bit-exact between
+    // the hybrid run and the all-discrete reference with the same
+    // boundaries: barrier mode replays identical arrivals there.
+    auto runWith = [](bool reference) {
+        MiniCluster mini(2);
+        ClusterTraffic t = mini.traffic(0.5, 100000);
+        const HybridPlan plan = sandwichPlan(t.durationSeconds);
+        return mini.cluster->serveHybrid(
+            t, reference ? HybridPlan::allDiscrete(plan) : plan);
+    };
+    const Cluster::RunStats hybrid = runWith(false);
+    const Cluster::RunStats ref = runWith(true);
+    ASSERT_EQ(hybrid.epochs.size(), ref.epochs.size());
+    const auto &h0 = hybrid.epochs[0];
+    const auto &r0 = ref.epochs[0];
+    EXPECT_EQ(h0.submitted, r0.submitted);
+    EXPECT_EQ(h0.completed, r0.completed);
+    EXPECT_EQ(h0.sloShed, r0.sloShed);
+    EXPECT_DOUBLE_EQ(h0.busySeconds, r0.busySeconds);
+    ASSERT_EQ(h0.modelCompleted.size(), r0.modelCompleted.size());
+    for (std::size_t m = 0; m < h0.modelCompleted.size(); ++m)
+        EXPECT_DOUBLE_EQ(h0.modelCompleted[m],
+                         r0.modelCompleted[m]);
+    // Whole-run totals agree within the fluid tolerance.
+    const double ref_total =
+        static_cast<double>(ref.completed);
+    EXPECT_NEAR(static_cast<double>(hybrid.completed), ref_total,
+                0.03 * ref_total);
+}
+
+TEST(ServeHybrid, NearDegenerateFluidSliver)
+{
+    // A fluid sliver 0.5% of the horizon wide between two discrete
+    // epochs: the handoff machinery must survive a window of a few
+    // batch service times without losing requests.
+    MiniCluster mini(2);
+    ClusterTraffic t = mini.traffic(0.5, 80000);
+    const double d = t.durationSeconds;
+    HybridPlan plan;
+    plan.epochs = {
+        Epoch{0.0, 0.5 * d, Tier::Discrete, "startup"},
+        Epoch{0.5 * d, 0.505 * d, Tier::Fluid, "sliver"},
+        Epoch{0.505 * d, d, Tier::Discrete, "tail"}};
+    plan.validate(d);
+    const Cluster::RunStats run = mini.cluster->serveHybrid(t, plan);
+    ASSERT_EQ(run.epochs.size(), 3u);
+    EXPECT_NEAR(run.fluidSimSeconds, 0.005 * d, 1e-9);
+    EXPECT_EQ(run.completed,
+              run.fluidRequests + run.discreteRequests);
+    EXPECT_GT(run.epochs[2].completed, 0u);
+}
+
+TEST(ServeHybrid, BurstAtTimeZeroRunsDiscrete)
+{
+    // MMPP traffic whose first burst lands at t = 0: the switcher's
+    // startup window must keep t = 0 discrete and the run must still
+    // fold cleanly.
+    MiniCluster mini(2);
+    ClusterTraffic t = mini.traffic(0.4, 80000);
+    const double d = t.durationSeconds;
+    t.arrivals = ScenarioConfig::bursty(mini.rateFor(0.4), 4.0, 0.1,
+                                        0.02 * d);
+    SwitcherConfig cfg;
+    cfg.startupSeconds = 0.1 * d;
+    cfg.guardSeconds = 0.02 * d;
+    const HybridPlan plan = TierSwitcher(cfg).plan(
+        t, mini.rateFor(1.0), mini.options.cells, 2);
+    EXPECT_EQ(plan.epochs.front().tier, Tier::Discrete);
+    EXPECT_DOUBLE_EQ(plan.epochs.front().startSeconds, 0.0);
+
+    const Cluster::RunStats run = mini.cluster->serveHybrid(t, plan);
+    EXPECT_EQ(run.completed,
+              run.fluidRequests + run.discreteRequests);
+    EXPECT_GT(run.completed, 0u);
+}
+
+TEST(ServeHybrid, PlainServeFingerprintUnchanged)
+{
+    // serve() must not grow epoch records: the hybrid fields fold
+    // into fingerprint() only when present, so pinned digests from
+    // earlier baselines stay valid.
+    MiniCluster mini(2);
+    ClusterTraffic t = mini.traffic(0.5, 20000);
+    const Cluster::RunStats run = mini.cluster->serve(t);
+    EXPECT_TRUE(run.epochs.empty());
+    EXPECT_EQ(run.fluidRequests, 0u);
+    EXPECT_DOUBLE_EQ(run.fluidSimSeconds, 0.0);
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu

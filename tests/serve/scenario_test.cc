@@ -264,6 +264,54 @@ TEST(ScenarioDeath, RejectsBadConfigs)
                 ::testing::ExitedWithCode(1), "unknown arrival");
 }
 
+// -------------------------------------------------- closed-form rate law
+
+TEST(ScenarioRateLaw, ClosedFormMatchesNumericIntegral)
+{
+    // meanRateOver claims to be the exact integral of rateAt:
+    // cross-check the diurnal case (the only nonconstant law)
+    // against trapezoid integration, phase offset included.
+    ScenarioConfig cfg = ScenarioConfig::diurnal(1000.0, 4.0, 0.6);
+    cfg.phaseSeconds = 0.7;
+    const double t0 = 0.3, t1 = 2.9;
+    const int n = 200000;
+    const double h = (t1 - t0) / n;
+    double sum = 0;
+    for (int i = 0; i <= n; ++i) {
+        const double w = (i == 0 || i == n) ? 0.5 : 1.0;
+        sum += w * cfg.rateAt(t0 + i * h);
+    }
+    const double numeric = sum * h / (t1 - t0);
+    EXPECT_NEAR(cfg.meanRateOver(t0, t1), numeric, 1e-3);
+}
+
+TEST(ScenarioRateLaw, ConstantLawsAndDegenerateWindows)
+{
+    const ScenarioConfig p = ScenarioConfig::poisson(500.0);
+    EXPECT_DOUBLE_EQ(p.rateAt(3.0), 500.0);
+    EXPECT_DOUBLE_EQ(p.meanRateOver(1.0, 9.0), 500.0);
+    // The MMPP reports its long-run mean (the hidden state is the
+    // generator's alone).
+    const ScenarioConfig b =
+        ScenarioConfig::bursty(800.0, 4.0, 0.1, 0.05);
+    EXPECT_DOUBLE_EQ(b.rateAt(0.0), 800.0);
+    EXPECT_DOUBLE_EQ(b.meanRateOver(0.0, 2.0), 800.0);
+    // A degenerate window reports the instantaneous rate.
+    const ScenarioConfig d =
+        ScenarioConfig::diurnal(1000.0, 4.0, 0.6);
+    EXPECT_DOUBLE_EQ(d.meanRateOver(1.0, 1.0), d.rateAt(1.0));
+}
+
+TEST(ScenarioRateLaw, DiurnalFullPeriodAveragesToMean)
+{
+    // One full period integrates the sinusoid away regardless of
+    // phase -- what the fluid tier leans on over whole days.
+    ScenarioConfig cfg = ScenarioConfig::diurnal(1234.0, 3.0, 0.9);
+    EXPECT_NEAR(cfg.meanRateOver(0.0, 3.0), 1234.0, 1e-9);
+    cfg.phaseSeconds = 1.234;
+    EXPECT_NEAR(cfg.meanRateOver(5.0, 8.0), 1234.0, 1e-9);
+}
+
 } // namespace
 } // namespace serve
 } // namespace tpu

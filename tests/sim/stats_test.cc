@@ -257,6 +257,63 @@ TEST(Distribution, MergeEmptyIsANoOp)
     EXPECT_NEAR(a.percentile(1.0), 0.5, 1.0 / 8.0);
 }
 
+// ------------------------------------------- bulk deposits and deltas
+
+TEST(Average, SampleNMatchesRepeatedSamples)
+{
+    Average a("a", ""), b("b", "");
+    for (int i = 0; i < 1000; ++i)
+        a.sample(0.25);
+    b.sampleN(0.25, 1000);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_DOUBLE_EQ(a.result(), b.result());
+}
+
+TEST(Distribution, SampleNMatchesRepeatedSamples)
+{
+    // 0.75 is exactly representable, so the sequential sum and the
+    // one-shot product agree bit for bit.
+    Distribution a("a", "", 0.0, 1.0, 32);
+    Distribution b("b", "", 0.0, 1.0, 32);
+    for (int i = 0; i < 500; ++i)
+        a.sample(0.75);
+    b.sampleN(0.75, 500);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+    EXPECT_DOUBLE_EQ(a.min(), b.min());
+    EXPECT_DOUBLE_EQ(a.max(), b.max());
+    EXPECT_EQ(a.buckets(), b.buckets());
+}
+
+TEST(Distribution, MergeDeltaRecoversEpochSamples)
+{
+    // Two snapshots of a grow-only histogram bracket an "epoch";
+    // their bucket-wise difference is exactly the epoch's samples --
+    // the hybrid tier's per-epoch p99 primitive.
+    Distribution live("live", "", 0.0, 1.0, 16);
+    live.sample(0.1);
+    live.sample(0.2);
+    const Distribution before = live;
+    live.sample(0.6);
+    live.sample(0.9);
+    live.sample(0.9);
+
+    Distribution epoch("e", "", 0.0, 1.0, 16);
+    epoch.mergeDelta(live, before);
+    EXPECT_EQ(epoch.count(), 3u);
+    EXPECT_NEAR(epoch.mean(), (0.6 + 0.9 + 0.9) / 3.0, 1e-12);
+    EXPECT_NEAR(epoch.percentile(0.99), 0.9, 1.0 / 16.0 + 1e-9);
+}
+
+TEST(DistributionDeath, MergeDeltaRejectsMismatchedGeometry)
+{
+    Distribution a("a", "", 0.0, 1.0, 16);
+    Distribution b("b", "", 0.0, 2.0, 16);
+    Distribution out("o", "", 0.0, 1.0, 16);
+    EXPECT_EXIT(out.mergeDelta(a, b), ::testing::ExitedWithCode(1),
+                "geometry");
+}
+
 } // namespace
 } // namespace stats
 } // namespace tpu

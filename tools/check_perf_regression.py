@@ -2,9 +2,11 @@
 """Gate the serving perf trajectory against bench/baselines.json.
 
 bench_serve_throughput emits BENCH_serve.json / BENCH_cluster.json
-(flat JSON, wall seconds + requests/sec + events/sec).  This tool
-compares those freshly measured numbers against the checked-in
-anchors in bench/baselines.json:
+(flat JSON, wall seconds + requests/sec + events/sec) and
+bench_hybrid_error_bound emits BENCH_hybrid.json (error-bound gate
+flags + week-horizon throughput, with per-epoch record arrays the
+flat parser skips).  This tool compares the freshly measured numbers
+against the checked-in anchors in bench/baselines.json:
 
   - every ``current.*`` throughput anchor must be met within the
     tolerance (default: no more than 25% slower), and
@@ -45,18 +47,31 @@ SERVE_METRICS = [
     ("replay.sim_requests_per_wall_second",
      "current.serve.replay.sim_requests_per_wall_second"),
 ]
+# Hybrid timeline (BENCH_hybrid.json, bench_hybrid_error_bound).
+# The week leg is the headline: simulated requests the hybrid tier
+# retires per wall second on ONE thread over the 7-day horizon.
+HYBRID_METRICS = [
+    ("week_simulated_requests_per_wall_second",
+     "current.hybrid.week_simulated_requests_per_wall_second"),
+]
 # Boolean health flags that must be true in the fresh measurement.
 CLUSTER_FLAGS = ["determinism_exact", "seed_baseline_gate_ok"]
 SERVE_FLAGS = ["replay_determinism_exact", "mixed.determinism_exact",
                "mixed.healthy"]
+HYBRID_FLAGS = ["overlap_exact", "overlap_sized", "bounds_ok",
+                "deterministic_rerun", "deterministic_threads",
+                "week_wall_ok", "week_volume_ok"]
 
 
-def load(path):
+def load(path, optional=False):
     try:
         with open(path, encoding="utf-8") as f:
             return json.load(f)
     except OSError as e:
-        print(f"error: cannot read {path}: {e}")
+        if optional:
+            print(f"note: {path} not present (skipped)")
+        else:
+            print(f"error: cannot read {path}: {e}")
         return None
 
 
@@ -97,25 +112,40 @@ def main():
     ap.add_argument("--baselines", default="bench/baselines.json")
     ap.add_argument("--serve", default="BENCH_serve.json")
     ap.add_argument("--cluster", default="BENCH_cluster.json")
+    ap.add_argument("--hybrid", default="BENCH_hybrid.json")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional slowdown (default 0.25)")
     args = ap.parse_args()
 
     baselines = load(args.baselines)
-    serve = load(args.serve)
-    cluster = load(args.cluster)
-    if baselines is None or serve is None or cluster is None:
+    # The serve/cluster pair and the hybrid file come from different
+    # bench binaries (bench_serve_throughput, bench_hybrid_error_bound)
+    # run by different CI jobs: whichever files exist are checked,
+    # and it is a failure only if NONE do.
+    serve = load(args.serve, optional=True)
+    cluster = load(args.cluster, optional=True)
+    hybrid = load(args.hybrid, optional=True)
+    if baselines is None:
+        return 1
+    if serve is None and cluster is None and hybrid is None:
+        print("error: no bench output files found")
         return 1
 
     print(f"perf regression check (tolerance {args.tolerance:.0%}, "
           f"anchors from {args.baselines})")
     ok = True
-    ok &= check_metrics("cluster", cluster, baselines,
-                        CLUSTER_METRICS, args.tolerance)
-    ok &= check_flags("cluster", cluster, CLUSTER_FLAGS)
-    ok &= check_metrics("serve", serve, baselines, SERVE_METRICS,
-                        args.tolerance)
-    ok &= check_flags("serve", serve, SERVE_FLAGS)
+    if cluster is not None:
+        ok &= check_metrics("cluster", cluster, baselines,
+                            CLUSTER_METRICS, args.tolerance)
+        ok &= check_flags("cluster", cluster, CLUSTER_FLAGS)
+    if serve is not None:
+        ok &= check_metrics("serve", serve, baselines, SERVE_METRICS,
+                            args.tolerance)
+        ok &= check_flags("serve", serve, SERVE_FLAGS)
+    if hybrid is not None:
+        ok &= check_metrics("hybrid", hybrid, baselines,
+                            HYBRID_METRICS, args.tolerance)
+        ok &= check_flags("hybrid", hybrid, HYBRID_FLAGS)
     print("result:", "ok" if ok else "REGRESSION DETECTED")
     return 0 if ok else 1
 
