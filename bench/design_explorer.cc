@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Bench harness: the live design-space explorer -- Section 7's TPU'
+ * question ("what would the next TPU look like?") answered by
+ * SERVING, not by rooflines.  Every Figure 11 design point (five
+ * scale kinds x five factors = 25 configs) is evaluated by building
+ * a real serve::Cluster from the scaled TpuConfig and driving the
+ * Table 1 mix through it at equal fractional load, then ranking by
+ * requests/s/W at the 7 ms SLO.
+ *
+ * Each point pays the full calibration path -- compile, Replay
+ * warm-up via CycleSim, freeze -- which is exactly the path this PR
+ * made fast: vectorized CycleSim kernels, parallel warm-up and the
+ * persistent CalibrationStore are what fit 25 live cluster bring-ups
+ * inside a CI wall budget.  Points themselves run concurrently; each
+ * point's result is deterministic, so the ranking is reproducible at
+ * any worker count.
+ *
+ * Gates (exit nonzero on failure):
+ *
+ *  1. COVERAGE.  >= 25 points evaluated, all inside the wall budget.
+ *  2. SECTION 7 SANITY.  The paper's headline ordering must emerge
+ *     from live traffic: at 2x, scaling weight-memory bandwidth
+ *     (the TPU' move) beats scaling the clock on requests/s/W --
+ *     and the memory-scaled design must hold the SLO.
+ *  3. BASELINE SANITY.  The 1x production point holds the SLO at
+ *     the swept load (it does in every other serving bench).
+ *
+ * Headline numbers land in BENCH_design.json for the CI perf
+ * trajectory (optional input of tools/check_perf_regression.py).
+ *
+ *   usage: bench_design_explorer [requests_per_point]
+ *                                [wall_budget_seconds] [store_path]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/bench_json.hh"
+#include "analysis/design_sweep.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace tpu;
+
+/** Find the point for (kind, factor); fatal if the sweep lost it. */
+const analysis::DesignPoint &
+pointFor(const analysis::DesignSweepResult &sweep,
+         model::ScaleKind kind, double factor)
+{
+    for (const auto &p : sweep.ranked)
+        if (p.kind == kind && p.factor == factor)
+            return p;
+    fatal("design sweep is missing %s@%gx", model::toString(kind),
+          factor);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    analysis::DesignSweepOptions options;
+    double wall_budget = 120.0;
+    if (argc > 1)
+        options.requestsPerPoint = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2)
+        wall_budget = std::atof(argv[2]);
+    if (argc > 3)
+        options.calibrationStorePath = argv[3];
+
+    const arch::TpuConfig base = arch::TpuConfig::production();
+    std::printf("live design-space explorer (Table 1 mix, %llu "
+                "requests/point, %.0f%% load, %.0f ms SLO)\n\n",
+                static_cast<unsigned long long>(
+                    options.requestsPerPoint),
+                options.loadFraction * 100.0,
+                options.sloSeconds * 1e3);
+
+    const analysis::DesignSweepResult sweep =
+        analysis::designSweep(base, options);
+
+    std::printf("  %-22s %10s %9s %5s %8s %9s %8s\n", "design",
+                "req/s", "p99 ms", "SLO", "watts", "req/s/W",
+                "warm s");
+    for (const auto &p : sweep.ranked)
+        std::printf("  %-22s %10.0f %9.3f %5s %8.1f %9.3f %8.3f\n",
+                    p.name.c_str(), p.ips, p.p99Interactive * 1e3,
+                    p.sloMet ? "ok" : "MISS", p.watts,
+                    p.requestsPerSecondPerWatt, p.warmupSeconds);
+    std::printf("\n  %zu points in %.2f s wall (budget %.0f s)\n",
+                sweep.ranked.size(), sweep.wallSeconds, wall_budget);
+
+    // ---- gates ----------------------------------------------------
+    const auto &mem2x =
+        pointFor(sweep, model::ScaleKind::Memory, 2.0);
+    const auto &clock2x =
+        pointFor(sweep, model::ScaleKind::Clock, 2.0);
+    const auto &base1x =
+        pointFor(sweep, model::ScaleKind::Memory, 1.0);
+
+    const bool coverage_ok = sweep.ranked.size() >= 25 &&
+                             sweep.wallSeconds <= wall_budget;
+    const bool section7_ok =
+        mem2x.sloMet && mem2x.requestsPerSecondPerWatt >
+                            clock2x.requestsPerSecondPerWatt;
+    const bool base_ok = base1x.sloMet;
+
+    std::printf("\n  gate: coverage      %zu points, %.2f s -- %s\n",
+                sweep.ranked.size(), sweep.wallSeconds,
+                coverage_ok ? "PASS" : "FAIL");
+    std::printf("  gate: section 7     memory@2x %.3f vs clock@2x "
+                "%.3f req/s/W -- %s\n",
+                mem2x.requestsPerSecondPerWatt,
+                clock2x.requestsPerSecondPerWatt,
+                section7_ok ? "PASS" : "FAIL");
+    std::printf("  gate: 1x baseline   p99 %.3f ms at SLO -- %s\n",
+                base1x.p99Interactive * 1e3,
+                base_ok ? "PASS" : "FAIL");
+
+    const auto &best = sweep.ranked.front();
+    std::printf("\n  best design: %s (%.3f req/s/W, p99 %.3f ms)\n",
+                best.name.c_str(), best.requestsPerSecondPerWatt,
+                best.p99Interactive * 1e3);
+
+    // ---- BENCH_design.json ---------------------------------------
+    analysis::BenchJson json("design_explorer");
+    json.set("requests_per_point", options.requestsPerPoint)
+        .set("load_fraction", options.loadFraction)
+        .set("slo_seconds", options.sloSeconds)
+        .set("points", static_cast<std::uint64_t>(
+                           sweep.ranked.size()))
+        .set("wall_seconds", sweep.wallSeconds)
+        .set("best_design", best.name)
+        .set("best_requests_per_second_per_watt",
+             best.requestsPerSecondPerWatt)
+        .set("memory_2x_requests_per_second_per_watt",
+             mem2x.requestsPerSecondPerWatt)
+        .set("clock_2x_requests_per_second_per_watt",
+             clock2x.requestsPerSecondPerWatt)
+        .setBool("coverage_ok", coverage_ok)
+        .setBool("section7_ok", section7_ok)
+        .setBool("base_slo_ok", base_ok);
+    for (const auto &p : sweep.ranked) {
+        analysis::BenchJson::Record rec;
+        rec.set("design", p.name)
+            .set("kind", model::toString(p.kind))
+            .set("factor", p.factor)
+            .set("ips", p.ips)
+            .set("p99_interactive_ms", p.p99Interactive * 1e3)
+            .setBool("slo_met", p.sloMet)
+            .set("utilization", p.utilization)
+            .set("watts", p.watts)
+            .set("requests_per_second_per_watt",
+                 p.requestsPerSecondPerWatt)
+            .set("warmup_seconds", p.warmupSeconds)
+            .set("warmup_live_runs", p.warmupLiveRuns)
+            .set("warmup_store_hits", p.warmupStoreHits)
+            .set("wall_seconds", p.wallSeconds);
+        json.addRecord("ranked", rec);
+    }
+    json.writeTo("BENCH_design.json");
+    std::printf("\n  wrote BENCH_design.json\n");
+
+    return coverage_ok && section7_ok && base_ok ? 0 : 1;
+}

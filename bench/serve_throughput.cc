@@ -43,6 +43,7 @@
 
 #include "analysis/bench_json.hh"
 #include "analysis/serve_mix.hh"
+#include "arch/systolic_array.hh"
 #include "serve/cluster.hh"
 #include "sim/logging.hh"
 
@@ -164,6 +165,87 @@ calibrationSeconds()
                                   t0).count());
     }
     return best;
+}
+
+/** Result of the CycleSim kernel micro-leg. */
+struct KernelBench
+{
+    bool exact = false;     ///< optimized == reference, bit for bit
+    double speedup = 0;     ///< reference / optimized per-tile wall
+    double refSecondsPerTile = 0;
+    double optSecondsPerTile = 0;
+};
+
+/**
+ * The vectorized-CycleSim gate, at the kernel: one 256x256 tile
+ * multiply (the paper's matrix unit, the hot loop of the functional
+ * datapath) through the retained scalar reference versus the
+ * optimized int8-weight kernel.  The reference leg times what the
+ * old _execMatmul actually did per matmul -- widen the int8 tile to
+ * int32, then the scalar triple loop -- and the results must agree
+ * BIT FOR BIT (wrap-mod-2^32 partial sums), which is the same
+ * contract the replay-determinism leg checks end to end.
+ */
+KernelBench
+kernelSpeedup()
+{
+    const std::int64_t dim = 256;
+    nn::Int32Tensor rows({dim, dim});
+    nn::Int8Tensor w8({dim, dim});
+    std::uint64_t x = 0x243F6A8885A308D3ull; // fixed seed
+    const auto next8 = [&x]() {
+        x += 0x9E3779B97F4A7C15ull;
+        std::uint64_t z = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return static_cast<std::int8_t>(z ^ (z >> 31));
+    };
+    for (std::int64_t i = 0; i < rows.size(); ++i)
+        rows.data()[i] = next8(); // int8-range, like real activations
+    for (std::int64_t i = 0; i < w8.size(); ++i)
+        w8.data()[i] = next8();
+
+    const auto widen = [&]() {
+        nn::Int32Tensor w32({dim, dim});
+        for (std::int64_t i = 0; i < w8.size(); ++i)
+            w32.data()[i] = w8.data()[i];
+        return w32;
+    };
+
+    KernelBench r;
+    const nn::Int32Tensor ref =
+        arch::SystolicArray::computeTileReference(rows, widen());
+    const nn::Int32Tensor opt =
+        arch::SystolicArray::computeTile(rows, w8);
+    r.exact = ref.size() == opt.size() &&
+              std::equal(ref.data(), ref.data() + ref.size(),
+                         opt.data());
+
+    static volatile std::int32_t sink;
+    const auto time_per_tile = [&](int reps, auto &&fn) {
+        double best = 1e30;
+        for (int round = 0; round < 3; ++round) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < reps; ++i)
+                sink = fn().data()[0];
+            best = std::min(
+                best, std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                              .count() /
+                          reps);
+        }
+        return best;
+    };
+    r.refSecondsPerTile = time_per_tile(2, [&]() {
+        return arch::SystolicArray::computeTileReference(rows,
+                                                         widen());
+    });
+    r.optSecondsPerTile = time_per_tile(16, [&]() {
+        return arch::SystolicArray::computeTile(rows, w8);
+    });
+    r.speedup = r.optSecondsPerTile > 0
+                    ? r.refSecondsPerTile / r.optSecondsPerTile
+                    : 0.0;
+    return r;
 }
 
 } // namespace
@@ -377,6 +459,33 @@ main(int argc, char **argv)
                 cluster_req_per_wall_t1 / 1e6,
                 cluster_events_per_wall_t1 / 1e6);
 
+    // ---- warm-up (calibration path) metrics ------------------------
+    // Publish = compile + replay warm-up + freeze, now a first-class
+    // metric.  The parallel fill must buy >= 2x wall clock over the
+    // serial publish on hosts with >= 4 cores (the live cycle-sim
+    // runs dominate and fan out; compile stays serial) -- and every
+    // run pays the same number of live runs, or the memo contract is
+    // broken.
+    const double warm_t1 =
+        std::min(serial.stats.warmupSeconds,
+                 serial2.stats.warmupSeconds);
+    const double warm_t8 = std::min(par.stats.warmupSeconds,
+                                    par2.stats.warmupSeconds);
+    const double warm_speedup =
+        warm_t8 > 0 ? warm_t1 / warm_t8 : 0.0;
+    const double warm_gate = cores >= 4 ? 2.0 : 0.0;
+    const bool warm_ok =
+        warm_speedup >= warm_gate &&
+        serial.stats.warmupLiveRuns == par.stats.warmupLiveRuns &&
+        serial.stats.warmupLiveRuns > 0;
+    std::printf("  warm-up (compile + %llu cycle-sim runs): %.3f s "
+                "serial -> %.3f s on 8 threads, %.2fx "
+                "(gate >= %.1fx) -> %s\n",
+                static_cast<unsigned long long>(
+                    serial.stats.warmupLiveRuns),
+                warm_t1, warm_t8, warm_speedup, warm_gate,
+                warm_ok ? "ok" : "FAIL");
+
     // ---- seed-baseline gate ---------------------------------------
     // bench/baselines.json records the pre-allocation-free-core seed
     // measurement; the cluster Replay leg must hold a >= 2x
@@ -471,6 +580,22 @@ main(int argc, char **argv)
                     return alive;
                 }());
 
+    // ---- vectorized-kernel gate ------------------------------------
+    // The CycleSim datapath rewrite must hold >= 4x per-tile over the
+    // retained scalar reference AND agree with it bit for bit -- the
+    // "faster but still the oracle" contract of the calibration path.
+    // Runs LAST on purpose: churning megabytes of tensor allocations
+    // before the cluster leg measurably perturbs its wall clock on
+    // the 1-core reference host.
+    const KernelBench kern = kernelSpeedup();
+    std::printf("\ncyclesim kernel (256x256 tile, int8 weights): "
+                "%.1fx vs scalar reference (%.0f us -> %.0f us), "
+                "results %s\n",
+                kern.speedup, kern.refSecondsPerTile * 1e6,
+                kern.optSecondsPerTile * 1e6,
+                kern.exact ? "EXACT" : "MISMATCH");
+    const bool kernel_ok = kern.exact && kern.speedup >= 4.0;
+
     // ---- machine-readable trajectory ------------------------------
     analysis::BenchJson serve_json("serve_throughput");
     serve_json.set("requests.base", base_n)
@@ -488,6 +613,12 @@ main(int argc, char **argv)
         .set("analytic.sim_ips", ana_big.ips)
         .set("replay_speedup_per_request", speedup)
         .setBool("replay_determinism_exact", identical)
+        .set("kernel.speedup_vs_reference", kern.speedup)
+        .set("kernel.reference_seconds_per_tile",
+             kern.refSecondsPerTile)
+        .set("kernel.optimized_seconds_per_tile",
+             kern.optSecondsPerTile)
+        .setBool("kernel.exact", kern.exact)
         .set("mixed.shed_pct", mixed_shed_pct)
         .set("mixed.p99_seconds", mixed_a.p99)
         .setBool("mixed.determinism_exact", mixed_identical)
@@ -506,6 +637,11 @@ main(int argc, char **argv)
         .set("events", serial.stats.events)
         .set("events_per_wall_second.threads1",
              cluster_events_per_wall_t1)
+        .set("warmup.seconds.threads1", warm_t1)
+        .set("warmup.seconds.threads8", warm_t8)
+        .set("warmup.speedup", warm_speedup)
+        .set("warmup.live_runs", serial.stats.warmupLiveRuns)
+        .setBool("warmup.parallel_ok", warm_ok)
         .set("speedup_vs_seed_baseline", speedup_vs_seed)
         .setBool("seed_baseline_gate_ok",
                  baseline_gate_ok && have_seed)
@@ -536,8 +672,8 @@ main(int argc, char **argv)
                             cluster_speedup >= speedup_gate &&
                             baseline_gate_ok &&
                             fo_slo_ok && fo_batch_absorbs;
-    return identical && speedup >= 50.0 && mixed_identical &&
-                   mixed_healthy && cluster_ok
+    return identical && speedup >= 50.0 && kernel_ok && warm_ok &&
+                   mixed_identical && mixed_healthy && cluster_ok
                ? 0
                : 1;
 }

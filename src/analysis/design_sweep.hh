@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Section 7 under live traffic: the TPU' design points of Figure 11
+ * (memory bandwidth, clock, matrix size, accumulators -- 0.25x to
+ * 4x), each evaluated by serving the Table 1 deployment mix through
+ * a real serve::Cluster built from the scaled TpuConfig, instead of
+ * a static roofline.
+ *
+ * Every point pays the full calibration path -- compile, Replay
+ * warm-up via CycleSim, SLO-policed serving -- which is exactly why
+ * this sweep only became affordable once that path was vectorized,
+ * parallelized and store-memoized.  Designs are ranked by
+ * requests/s/W at SLO: completed throughput over modelled
+ * accelerator watts at the measured utilization, with SLO-violating
+ * designs ranked below every compliant one (the paper's 7 ms rule is
+ * a constraint, not a tradeoff).
+ *
+ * The per-die power model extends the Section 5/6 curves to scaled
+ * designs: dynamic power (busy - idle) scales linearly with clock
+ * and with the matrix array's share of area (~30%) by dim^2; faster
+ * weight memory adds interface watts anchored at the Section 7 TPU'
+ * point (GDDR5 at ~5x bandwidth costs ~10 W/die); the
+ * energy-proportionality alpha is fitted once from the measured "88%
+ * of busy power at 10% load" base point and reused for every scaled
+ * design (same curve shape, scaled endpoints).
+ */
+
+#ifndef TPUSIM_ANALYSIS_DESIGN_SWEEP_HH
+#define TPUSIM_ANALYSIS_DESIGN_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/serve_mix.hh"
+#include "arch/config.hh"
+#include "model/design_space.hh"
+
+namespace tpu {
+namespace analysis {
+
+/** Sweep shape and per-point serving budget. */
+struct DesignSweepOptions
+{
+    /** Scale factors applied to every ScaleKind (Figure 11 grid). */
+    std::vector<double> factors = {0.25, 0.5, 1.0, 2.0, 4.0};
+
+    /** Expected arrivals served per design point. */
+    std::uint64_t requestsPerPoint = 120000;
+
+    /** Cells per point's cluster (small: the POINT count is the
+     *  parallelism axis here). */
+    int cells = 1;
+
+    /** Worker threads inside each point's cluster. */
+    int clusterThreads = 1;
+
+    /** Concurrent design points (0 = hardware concurrency). */
+    int workers = 0;
+
+    /** Offered load as a fraction of each design's own capacity --
+     *  so "60% load" stresses every design equally. */
+    double loadFraction = 0.60;
+
+    /** The interactive p99 limit a design must hold (Table 4). */
+    double sloSeconds = 7e-3;
+
+    /**
+     * Base path for per-point CalibrationStores (empty = no
+     * persistence).  Each point appends its design slug: stores are
+     * config-fingerprint-scoped, so points never share a file.
+     */
+    std::string calibrationStorePath;
+};
+
+/** One evaluated design point. */
+struct DesignPoint
+{
+    model::ScaleKind kind = model::ScaleKind::Memory;
+    double factor = 1.0;
+    std::string name; ///< "<kind>@<factor>x"
+    arch::TpuConfig config;
+
+    /** Completed requests per simulated second, cluster-wide. */
+    double ips = 0;
+    /** Interactive-class p99 response (s). */
+    double p99Interactive = 0;
+    /** Interactive p99 within the SLO and nothing was shed? */
+    bool sloMet = false;
+    /** Measured busy fraction of the fleet's die-seconds. */
+    double utilization = 0;
+    /** Modelled accelerator watts (all dies) at that utilization. */
+    double watts = 0;
+    /** The ranking metric: ips / watts (0 watts never happens --
+     *  idle power is positive). */
+    double requestsPerSecondPerWatt = 0;
+
+    /** Calibration-path cost this point paid (publish wall clock). */
+    double warmupSeconds = 0;
+    std::uint64_t warmupLiveRuns = 0;
+    std::uint64_t warmupStoreHits = 0;
+    /** Whole-point wall clock (build + warm-up + serve). */
+    double wallSeconds = 0;
+};
+
+/** The sweep, ranked best-first. */
+struct DesignSweepResult
+{
+    /** SLO-compliant points first (by requests/s/W descending),
+     *  then violators (same order); deterministic tie-breaks. */
+    std::vector<DesignPoint> ranked;
+    double wallSeconds = 0; ///< whole-sweep wall clock
+};
+
+/** Modelled per-die watts of @p cfg at utilization @p u, relative
+ *  to @p base (see the file comment for the scaling model). */
+double designDieWatts(const arch::TpuConfig &base,
+                      const arch::TpuConfig &cfg, double u);
+
+/**
+ * Evaluate every (kind, factor) design through the live cluster mix
+ * and rank by requests/s/W at SLO.  Points run concurrently on
+ * @p options.workers threads (each point's result is independent and
+ * deterministic, so the ranking is reproducible at any worker
+ * count).
+ */
+DesignSweepResult designSweep(const arch::TpuConfig &base,
+                              const DesignSweepOptions &options = {});
+
+} // namespace analysis
+} // namespace tpu
+
+#endif // TPUSIM_ANALYSIS_DESIGN_SWEEP_HH

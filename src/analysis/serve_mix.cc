@@ -271,7 +271,8 @@ ClusterRun
 runClusterTable1Mix(const arch::TpuConfig &cfg,
                     std::uint64_t requests, int cells, int threads,
                     double load_fraction, int kill_cell,
-                    serve::ArrivalKind kind)
+                    serve::ArrivalKind kind,
+                    const std::string &calibration_store)
 {
     serve::ClusterOptions options;
     options.cells = cells;
@@ -279,6 +280,7 @@ runClusterTable1Mix(const arch::TpuConfig &cfg,
     options.tier =
         runtime::TierPolicy{runtime::ExecutionTier::Replay};
     options.threads = threads;
+    options.calibrationStorePath = calibration_store;
     serve::Cluster cluster(cfg, options);
 
     ClusterRun run;

@@ -153,7 +153,8 @@ struct ClusterRun
 ClusterRun runClusterTable1Mix(
     const arch::TpuConfig &cfg, std::uint64_t requests, int cells,
     int threads, double load_fraction, int kill_cell = -1,
-    serve::ArrivalKind kind = serve::ArrivalKind::Poisson);
+    serve::ArrivalKind kind = serve::ArrivalKind::Poisson,
+    const std::string &calibration_store = std::string());
 
 /** One hybrid-timeline cluster run of the Table 1 mix. */
 struct HybridClusterRun

@@ -1,5 +1,7 @@
 #include "arch/accumulator.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace tpu {
@@ -19,23 +21,31 @@ AccumulatorFile::deposit(std::int64_t entry,
                          const std::vector<std::int32_t> &row,
                          bool accumulate)
 {
+    deposit(entry, row.data(), static_cast<std::int64_t>(row.size()),
+            accumulate);
+}
+
+void
+AccumulatorFile::deposit(std::int64_t entry, const std::int32_t *row,
+                         std::int64_t n, bool accumulate)
+{
     panic_if(entry < 0 || entry >= _entries,
              "accumulator entry %lld out of %lld",
              static_cast<long long>(entry),
              static_cast<long long>(_entries));
-    panic_if(static_cast<std::int64_t>(row.size()) != _width,
-             "accumulator row width %zu != %lld", row.size(),
+    panic_if(n != _width, "accumulator row width %lld != %lld",
+             static_cast<long long>(n),
              static_cast<long long>(_width));
     auto &dst = _rows[static_cast<std::size_t>(entry)];
     if (accumulate) {
-        for (std::int64_t i = 0; i < _width; ++i) {
-            auto sum = static_cast<std::int64_t>(dst[i]) +
-                       static_cast<std::int64_t>(row[i]);
-            dst[static_cast<std::size_t>(i)] =
-                static_cast<std::int32_t>(sum);
-        }
+        // Unsigned wrap-around addition: same bits as the previous
+        // widen-to-int64-then-truncate per element, and vectorizable.
+        auto *d = reinterpret_cast<std::uint32_t *>(dst.data());
+        auto *s = reinterpret_cast<const std::uint32_t *>(row);
+        for (std::int64_t i = 0; i < _width; ++i)
+            d[i] += s[i];
     } else {
-        dst = row;
+        std::copy_n(row, static_cast<std::size_t>(n), dst.begin());
     }
 }
 

@@ -42,6 +42,15 @@ class AccumulatorFile
     void deposit(std::int64_t entry,
                  const std::vector<std::int32_t> &row, bool accumulate);
 
+    /**
+     * Pointer flavour of deposit for hot callers that already hold a
+     * contiguous [n] row (the CycleSim functional matmul deposits
+     * straight out of the systolic tile result without a per-row
+     * vector copy).
+     */
+    void deposit(std::int64_t entry, const std::int32_t *row,
+                 std::int64_t n, bool accumulate);
+
     /** Read a row back (the Activate path). */
     const std::vector<std::int32_t> &row(std::int64_t entry) const;
 

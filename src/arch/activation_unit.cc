@@ -50,34 +50,46 @@ ActivationUnit::activate(const std::vector<std::int32_t> &acc,
                          double scale, nn::Nonlinearity f) const
 {
     std::vector<std::int8_t> out(acc.size());
-    for (std::size_t i = 0; i < acc.size(); ++i) {
-        switch (f) {
-          case nn::Nonlinearity::None: {
+    activate(acc.data(), acc.size(), scale, f, out.data());
+    return out;
+}
+
+void
+ActivationUnit::activate(const std::int32_t *acc, std::size_t n,
+                         double scale, nn::Nonlinearity f,
+                         std::int8_t *out) const
+{
+    // The nonlinearity select is per instruction, not per element:
+    // dispatch once, then run a tight per-case loop.
+    switch (f) {
+      case nn::Nonlinearity::None:
+        for (std::size_t i = 0; i < n; ++i) {
             auto q = static_cast<std::int64_t>(
                 std::llround(static_cast<double>(acc[i]) * scale));
             out[i] = nn::saturateToInt8(static_cast<std::int32_t>(
                 std::clamp<std::int64_t>(q, INT32_MIN, INT32_MAX)));
-            break;
-          }
-          case nn::Nonlinearity::Relu: {
+        }
+        break;
+      case nn::Nonlinearity::Relu:
+        for (std::size_t i = 0; i < n; ++i) {
             std::int32_t v = std::max(acc[i], 0);
             auto q = static_cast<std::int64_t>(
                 std::llround(static_cast<double>(v) * scale));
             out[i] = nn::saturateToInt8(static_cast<std::int32_t>(
                 std::clamp<std::int64_t>(q, INT32_MIN, INT32_MAX)));
-            break;
-          }
-          case nn::Nonlinearity::Sigmoid:
-            // Scale converts the accumulator to the real-valued
-            // pre-activation; the LUT output occupies [0, 127].
-            out[i] = lutSigmoid(static_cast<double>(acc[i]) * scale);
-            break;
-          case nn::Nonlinearity::Tanh:
-            out[i] = lutTanh(static_cast<double>(acc[i]) * scale);
-            break;
         }
+        break;
+      case nn::Nonlinearity::Sigmoid:
+        // Scale converts the accumulator to the real-valued
+        // pre-activation; the LUT output occupies [0, 127].
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = lutSigmoid(static_cast<double>(acc[i]) * scale);
+        break;
+      case nn::Nonlinearity::Tanh:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = lutTanh(static_cast<double>(acc[i]) * scale);
+        break;
     }
-    return out;
 }
 
 std::vector<std::int8_t>

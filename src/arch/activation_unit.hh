@@ -43,6 +43,15 @@ class ActivationUnit
         const std::vector<std::int32_t> &acc, double scale,
         nn::Nonlinearity f) const;
 
+    /**
+     * Buffer flavour of activate for hot callers: writes the @p n int8
+     * activations into @p out instead of allocating a vector per row
+     * (the CycleSim functional Activate path reuses one buffer across
+     * the whole instruction).
+     */
+    void activate(const std::int32_t *acc, std::size_t n, double scale,
+                  nn::Nonlinearity f, std::int8_t *out) const;
+
     /** Max-pool int8 rows elementwise across @p rows inputs. */
     static std::vector<std::int8_t> maxPoolRows(
         const std::vector<std::vector<std::int8_t>> &rows);

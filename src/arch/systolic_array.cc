@@ -1,9 +1,48 @@
 #include "arch/systolic_array.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace tpu {
 namespace arch {
+
+namespace {
+
+/**
+ * Shared tile-multiply kernel: out[b, c] += rows[b, k] * w[k, c] with
+ * partial sums wrapping mod 2^32 -- the same bits the scalar reference
+ * produces, since it truncates its int64 partial sum to int32 after
+ * every step and addition commutes with truncation mod 2^32.  Unsigned
+ * arithmetic makes the wrap well defined and keeps the inner loop a
+ * contiguous multiply-add over one weight row that the compiler can
+ * turn into int32 SIMD lanes; all shape checks live at the call sites,
+ * outside the loops.  The a == 0 skip preserves the reference's
+ * zero-activation sparsity shortcut.
+ */
+template <typename W>
+void
+tileKernel(const std::int32_t *rows, std::int64_t b_rows,
+           std::int64_t inner, const W *weights, std::int64_t cols,
+           std::int32_t *out)
+{
+    for (std::int64_t b = 0; b < b_rows; ++b) {
+        auto *orow = reinterpret_cast<std::uint32_t *>(out + b * cols);
+        const std::int32_t *arow = rows + b * inner;
+        for (std::int64_t k = 0; k < inner; ++k) {
+            const auto a = static_cast<std::uint32_t>(arow[k]);
+            if (a == 0)
+                continue;
+            const W *wrow = weights + k * cols;
+            for (std::int64_t c = 0; c < cols; ++c)
+                orow[c] += a * static_cast<std::uint32_t>(
+                                   static_cast<std::int32_t>(wrow[c]));
+        }
+    }
+}
+
+} // namespace
 
 int
 cycleMultiplier(OperandMode mode)
@@ -32,12 +71,13 @@ SystolicArray::shiftWeightRow(const std::vector<std::int32_t> &row)
     panic_if(static_cast<std::int64_t>(row.size()) != _dim,
              "weight row size %zu != dim %lld", row.size(),
              static_cast<long long>(_dim));
-    // Rows enter at the top and push earlier rows down.
-    for (std::int64_t r = _dim - 1; r > 0; --r)
-        for (std::int64_t c = 0; c < _dim; ++c)
-            _shadow[_idx(r, c)] = _shadow[_idx(r - 1, c)];
-    for (std::int64_t c = 0; c < _dim; ++c)
-        _shadow[_idx(0, c)] = row[static_cast<std::size_t>(c)];
+    // Rows enter at the top and push earlier rows down: one contiguous
+    // block move instead of dim^2 element copies.
+    std::memmove(_shadow.data() + _dim, _shadow.data(),
+                 static_cast<std::size_t>((_dim - 1) * _dim) *
+                     sizeof(std::int32_t));
+    std::copy_n(row.data(), static_cast<std::size_t>(_dim),
+                _shadow.begin());
     if (_shadowRowsLoaded < _dim)
         ++_shadowRowsLoaded;
 }
@@ -57,13 +97,13 @@ SystolicArray::loadTile(const nn::Int32Tensor &tile)
              nn::shapeToString(tile.shape()).c_str(),
              static_cast<long long>(_dim),
              static_cast<long long>(_dim));
-    // Push rows in reverse so W[0] finishes at the top of the plane.
-    std::vector<std::int32_t> row(static_cast<std::size_t>(_dim));
-    for (std::int64_t r = _dim - 1; r >= 0; --r) {
-        for (std::int64_t c = 0; c < _dim; ++c)
-            row[static_cast<std::size_t>(c)] = tile.at(r, c);
-        shiftWeightRow(row);
-    }
+    // Shifting the dim rows in reverse order (so W[0] finishes at the
+    // top) leaves the shadow plane holding the tile verbatim -- so copy
+    // the whole row-major block in one pass instead of dim plane
+    // shifts of dim^2 elements each.
+    std::copy_n(tile.data(), static_cast<std::size_t>(_dim * _dim),
+                _shadow.begin());
+    _shadowRowsLoaded = _dim;
     swapWeightPlanes();
 }
 
@@ -161,16 +201,49 @@ SystolicArray::drain()
 nn::Int32Tensor
 SystolicArray::computeTile(const nn::Int32Tensor &rows) const
 {
-    nn::Int32Tensor w({_dim, _dim});
-    for (std::int64_t r = 0; r < _dim; ++r)
-        for (std::int64_t c = 0; c < _dim; ++c)
-            w.at(r, c) = _weights[_idx(r, c)];
-    return computeTile(rows, w);
+    panic_if(rows.rank() != 2 || rows.dim(1) != _dim,
+             "computeTile shape %s incompatible with dim %lld",
+             nn::shapeToString(rows.shape()).c_str(),
+             static_cast<long long>(_dim));
+    nn::Int32Tensor out({rows.dim(0), _dim});
+    tileKernel(rows.data(), rows.dim(0), _dim, _weights.data(), _dim,
+               out.data());
+    return out;
 }
 
 nn::Int32Tensor
 SystolicArray::computeTile(const nn::Int32Tensor &rows,
                            const nn::Int32Tensor &weights)
+{
+    panic_if(rows.rank() != 2 || weights.rank() != 2 ||
+             rows.dim(1) != weights.dim(0),
+             "computeTile shape mismatch %s x %s",
+             nn::shapeToString(rows.shape()).c_str(),
+             nn::shapeToString(weights.shape()).c_str());
+    nn::Int32Tensor out({rows.dim(0), weights.dim(1)});
+    tileKernel(rows.data(), rows.dim(0), rows.dim(1), weights.data(),
+               weights.dim(1), out.data());
+    return out;
+}
+
+nn::Int32Tensor
+SystolicArray::computeTile(const nn::Int32Tensor &rows,
+                           const nn::Int8Tensor &weights)
+{
+    panic_if(rows.rank() != 2 || weights.rank() != 2 ||
+             rows.dim(1) != weights.dim(0),
+             "computeTile shape mismatch %s x %s",
+             nn::shapeToString(rows.shape()).c_str(),
+             nn::shapeToString(weights.shape()).c_str());
+    nn::Int32Tensor out({rows.dim(0), weights.dim(1)});
+    tileKernel(rows.data(), rows.dim(0), rows.dim(1), weights.data(),
+               weights.dim(1), out.data());
+    return out;
+}
+
+nn::Int32Tensor
+SystolicArray::computeTileReference(const nn::Int32Tensor &rows,
+                                    const nn::Int32Tensor &weights)
 {
     panic_if(rows.rank() != 2 || weights.rank() != 2 ||
              rows.dim(1) != weights.dim(0),

@@ -98,12 +98,37 @@ class SystolicArray
      * Fast path: compute activations [rows x dim] x active weights
      * [dim x dim] in one call.  Identical results to streaming the
      * same rows through the detailed path.
+     *
+     * The implementation is a blocked multiply-add over contiguous
+     * weight rows with the bounds checks hoisted out of the loops, so
+     * the inner loop autovectorizes; partial sums wrap mod 2^32 exactly
+     * like the detailed path's int32 result registers.
      */
     nn::Int32Tensor computeTile(const nn::Int32Tensor &rows) const;
 
     /** Static helper: tile multiply against an explicit weight tile. */
     static nn::Int32Tensor computeTile(const nn::Int32Tensor &rows,
                                        const nn::Int32Tensor &weights);
+
+    /**
+     * Same tile multiply against a quantized int8 weight tile, without
+     * materializing an int32 copy first (the CycleSim functional path
+     * stores weights as int8; widening per matmul dominated its
+     * profile).
+     */
+    static nn::Int32Tensor computeTile(const nn::Int32Tensor &rows,
+                                       const nn::Int8Tensor &weights);
+
+    /**
+     * Scalar reference implementation of the tile multiply, kept
+     * verbatim from before the vectorized rewrite.  Tests assert the
+     * optimized kernels match it bit for bit, and
+     * bench_serve_throughput measures the optimized/reference speedup
+     * as the CycleSim throughput gate.
+     */
+    static nn::Int32Tensor
+    computeTileReference(const nn::Int32Tensor &rows,
+                         const nn::Int32Tensor &weights);
 
   private:
     std::size_t

@@ -85,11 +85,14 @@ TpuCore::_reset()
 Cycle
 TpuCore::_maxUbReady(std::uint32_t row, std::uint32_t rows) const
 {
+    // One range check for the whole window keeps the scan loop free of
+    // per-row branches (this runs for every matmul/activate/DMA row).
+    panic_if(static_cast<std::uint64_t>(row) + rows > _ubReady.size(),
+             "UB rows [%u, %u) beyond capacity", row, row + rows);
     Cycle m = 0;
-    for (std::uint32_t r = row; r < row + rows; ++r) {
-        panic_if(r >= _ubReady.size(), "UB row %u beyond capacity", r);
-        m = std::max(m, _ubReady[r]);
-    }
+    const Cycle *p = _ubReady.data();
+    for (std::uint32_t r = row; r < row + rows; ++r)
+        m = std::max(m, p[r]);
     return m;
 }
 
@@ -97,11 +100,10 @@ void
 TpuCore::_setUbReady(std::uint32_t row, std::uint32_t rows, Cycle when,
                      std::uint8_t writer)
 {
-    for (std::uint32_t r = row; r < row + rows; ++r) {
-        panic_if(r >= _ubReady.size(), "UB row %u beyond capacity", r);
-        _ubReady[r] = when;
-        _ubWriter[r] = writer;
-    }
+    panic_if(static_cast<std::uint64_t>(row) + rows > _ubReady.size(),
+             "UB rows [%u, %u) beyond capacity", row, row + rows);
+    std::fill_n(_ubReady.begin() + row, rows, when);
+    std::fill_n(_ubWriter.begin() + row, rows, writer);
 }
 
 bool
@@ -255,21 +257,20 @@ TpuCore::_execMatmul(const Instruction &inst)
         for (std::uint32_t b = 0; b < rows; ++b) {
             _ub.readRow(static_cast<std::int64_t>(ub_row + b),
                         buf.data(), dim);
+            std::int32_t *arow =
+                acts.data() + static_cast<std::int64_t>(b) * dim;
             for (std::int64_t c = 0; c < dim; ++c)
-                acts.at(b, c) = buf[static_cast<std::size_t>(c)];
+                arow[c] = buf[static_cast<std::size_t>(c)];
         }
-        const nn::Int8Tensor &wt = _wm.tile(tile.index);
-        nn::Int32Tensor w32({dim, dim});
-        for (std::int64_t r = 0; r < dim; ++r)
-            for (std::int64_t c = 0; c < dim; ++c)
-                w32.at(r, c) = wt.at(r, c);
-        nn::Int32Tensor out = SystolicArray::computeTile(acts, w32);
-        std::vector<std::int32_t> row(static_cast<std::size_t>(dim));
-        for (std::uint32_t b = 0; b < rows; ++b) {
-            for (std::int64_t c = 0; c < dim; ++c)
-                row[static_cast<std::size_t>(c)] = out.at(b, c);
-            _acc.deposit(acc_base + b, row, accumulate);
-        }
+        // Multiply against the resident int8 tile directly -- no
+        // per-matmul int32 widening pass -- and deposit straight out
+        // of the contiguous result rows.
+        nn::Int32Tensor out =
+            SystolicArray::computeTile(acts, _wm.tile(tile.index));
+        for (std::uint32_t b = 0; b < rows; ++b)
+            _acc.deposit(acc_base + b,
+                         out.data() + static_cast<std::int64_t>(b) * dim,
+                         dim, accumulate);
     }
 
     DTRACE(traceMatrixUnit, start,
@@ -309,12 +310,17 @@ TpuCore::_execActivate(const Instruction &inst)
             const float scale = std::bit_cast<float>(
                 _configRegs[static_cast<std::size_t>(
                     ConfigReg::RequantShift)]);
+            // One output buffer reused across the instruction's rows
+            // (accumulator rows all share the file width).
+            std::vector<std::int8_t> out(
+                static_cast<std::size_t>(_acc.width()));
             for (std::uint32_t b = 0; b < rows; ++b) {
-                auto out = _act.activate(_acc.row(inst.arg0 + b),
-                                         scale, f);
+                const auto &acc = _acc.row(inst.arg0 + b);
+                _act.activate(acc.data(), acc.size(), scale, f,
+                              out.data());
                 _ub.writeRow(static_cast<std::int64_t>(ub_row + b),
                              out.data(),
-                             static_cast<std::int64_t>(out.size()));
+                             static_cast<std::int64_t>(acc.size()));
             }
         }
     }

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cache interface for BatchQueueSim::calibrate ladders.
+ *
+ * The fluid tier fits one latency surrogate per model by running a
+ * queueing simulation at each utilization rung (fluid::FlowModel::
+ * calibrate) -- deterministic but not free, and identical across runs
+ * whenever the service model, batch policy, seed, rung and request
+ * budget are identical.  LadderCache is the seam that lets a
+ * persistent store (runtime::CalibrationStore) memoize those rungs
+ * without the sim/ layer depending on runtime/: the key carries the
+ * exact bit patterns of every input, so a hit can only ever return
+ * the number the simulation would have produced.
+ */
+
+#ifndef TPUSIM_LATENCY_LADDER_CACHE_HH
+#define TPUSIM_LATENCY_LADDER_CACHE_HH
+
+#include <bit>
+#include <cstdint>
+#include <tuple>
+
+#include "latency/queueing.hh"
+
+namespace tpu {
+namespace latency {
+
+/**
+ * Identity of one calibrate() rung.  Doubles are keyed by bit
+ * pattern, not value: any change in the service model or rung -- even
+ * one ULP -- is a different key, which is a miss, never a wrong hit.
+ */
+struct LadderKey
+{
+    std::uint64_t serviceBits = 0; ///< fingerprint(service)
+    std::int64_t maxBatch = 0;     ///< queue's largest formed batch
+    std::uint64_t seed = 0;        ///< Poisson arrival seed
+    std::uint64_t rungBits = 0;    ///< utilization rung bit pattern
+    std::uint64_t requests = 0;    ///< calibration request budget
+
+    /** Fold a ServiceModel's exact bit patterns (FNV-1a). */
+    static std::uint64_t
+    fingerprint(const ServiceModel &s)
+    {
+        std::uint64_t fp = 1469598103934665603ull;
+        const auto fold = [&fp](std::uint64_t v) {
+            fp = (fp ^ v) * 1099511628211ull;
+        };
+        fold(std::bit_cast<std::uint64_t>(s.baseSeconds));
+        fold(std::bit_cast<std::uint64_t>(s.perItemSeconds));
+        return fp;
+    }
+
+    bool
+    operator<(const LadderKey &o) const
+    {
+        return std::tie(serviceBits, maxBatch, seed, rungBits,
+                        requests) <
+               std::tie(o.serviceBits, o.maxBatch, o.seed, o.rungBits,
+                        o.requests);
+    }
+};
+
+/** Memo for calibrate() rungs; see runtime::CalibrationStore. */
+class LadderCache
+{
+  public:
+    virtual ~LadderCache() = default;
+
+    /** True (and fills @p out) iff @p key was stored before. */
+    virtual bool lookup(const LadderKey &key, QueueStats &out) = 0;
+
+    /** Record @p key's calibration result for future lookups. */
+    virtual void store(const LadderKey &key,
+                       const QueueStats &stats) = 0;
+};
+
+} // namespace latency
+} // namespace tpu
+
+#endif // TPUSIM_LATENCY_LADDER_CACHE_HH

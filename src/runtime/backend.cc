@@ -88,6 +88,41 @@ ReplayBackend::prepare(const nn::Network &net,
              "model's timing", key.c_str());
 }
 
+void
+ReplayBackend::insertMemo(const std::string &key,
+                          const arch::RunResult &result,
+                          bool count_live_run)
+{
+    fatal_if(_frozen, "insertMemo('%s') on a frozen replay backend",
+             key.c_str());
+    {
+        std::lock_guard<std::mutex> lock(_memoMutex);
+        const bool inserted = _memo.emplace(key, result).second;
+        fatal_if(!inserted,
+                 "replay memo key '%s' warmed twice; warm-up tasks "
+                 "must be distinct", key.c_str());
+    }
+    if (count_live_run)
+        _liveRuns.fetch_add(1, std::memory_order_relaxed);
+}
+
+const arch::RunResult *
+ReplayBackend::findMemo(const std::string &key) const
+{
+    const auto it = _memo.find(key);
+    return it == _memo.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+ReplayBackend::fingerprintOf(const std::string &key) const
+{
+    const auto it = _fingerprints.find(key);
+    fatal_if(it == _fingerprints.end(),
+             "no replay fingerprint for '%s'; prepare() the model "
+             "first", key.c_str());
+    return it->second;
+}
+
 arch::RunResult
 ReplayBackend::execute(const ExecutionContext &ctx)
 {

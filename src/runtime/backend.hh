@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -175,6 +176,41 @@ class ReplayBackend : public ExecutionBackend
     void freeze() override { _frozen = true; }
     bool frozen() const override { return _frozen; }
 
+    /**
+     * Thread-safe pre-freeze memo fill: the parallel warm-up path
+     * runs each (model, bucket) CycleSim on its own scratch chip and
+     * deposits the result here under a lock.  The memo is a std::map,
+     * so its contents are key-ordered no matter which thread lands
+     * first -- fill order cannot change the published state.  Fatal
+     * after freeze().
+     *
+     * @param count_live_run  true when @p result came from an actual
+     *        cycle-sim execution (counted in liveRuns(), exactly like
+     *        an execute() miss); false when it was replayed from a
+     *        persistent CalibrationStore -- the counter a warm-store
+     *        run asserts stays at zero.
+     */
+    void insertMemo(const std::string &key,
+                    const arch::RunResult &result,
+                    bool count_live_run);
+
+    /** Memoized result for @p key, or null. */
+    const arch::RunResult *findMemo(const std::string &key) const;
+
+    /**
+     * The prepare() fingerprint recorded for @p key (fatal if the
+     * key was never prepared) -- what the CalibrationStore uses to
+     * scope persisted RunResults to one model architecture.
+     */
+    std::uint64_t fingerprintOf(const std::string &key) const;
+
+    /** The memo itself (determinism tests compare it bit for bit). */
+    const std::map<std::string, arch::RunResult> &
+    memo() const
+    {
+        return _memo;
+    }
+
     /** Cycle-simulated executions (memo misses + functional runs). */
     std::uint64_t
     liveRuns() const
@@ -192,6 +228,8 @@ class ReplayBackend : public ExecutionBackend
   private:
     std::map<std::string, arch::RunResult> _memo;
     std::map<std::string, std::uint64_t> _fingerprints;
+    /** Guards _memo during the (pre-freeze) parallel warm-up fill. */
+    std::mutex _memoMutex;
     bool _frozen = false;
     std::atomic<std::uint64_t> _liveRuns{0};
     std::atomic<std::uint64_t> _replays{0};

@@ -1,0 +1,293 @@
+#include "runtime/calibration_store.hh"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace runtime {
+
+namespace {
+
+constexpr const char *kMagic = "tpusim-calibration-store";
+
+std::uint64_t
+fold(std::uint64_t fp, std::uint64_t v)
+{
+    return (fp ^ v) * 1099511628211ull;
+}
+
+std::uint64_t
+foldDouble(std::uint64_t fp, double v)
+{
+    return fold(fp, std::bit_cast<std::uint64_t>(v));
+}
+
+/**
+ * Doubles round-trip as their exact bit pattern, never as decimal
+ * text: a store hit must be the identical double the simulation
+ * produced, or determinism gates downstream would see drift.
+ */
+void
+putDouble(std::ostream &os, double v)
+{
+    os << ' ' << std::bit_cast<std::uint64_t>(v);
+}
+
+bool
+getDouble(std::istream &is, double &v)
+{
+    std::uint64_t bits;
+    if (!(is >> bits))
+        return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+}
+
+/**
+ * Visit every PerfCounters field in one fixed order, shared by the
+ * writer and the reader so the two can never disagree on layout.
+ */
+template <typename C, typename F>
+void
+visitCounters(C &c, F &&f)
+{
+    f(c.totalCycles);
+    f(c.arrayActiveCycles);
+    f(c.weightStallCycles);
+    f(c.weightShiftCycles);
+    f(c.nonMatrixCycles);
+    f(c.rawStallCycles);
+    f(c.inputStallCycles);
+    f(c.usefulMacs);
+    f(c.totalMacSlots);
+    f(c.weightBytesRead);
+    f(c.pcieBytesIn);
+    f(c.pcieBytesOut);
+    f(c.ubBytesRead);
+    f(c.ubBytesWritten);
+    f(c.accBytesWritten);
+    f(c.matmulInstructions);
+    f(c.activateInstructions);
+    f(c.readWeightInstructions);
+    f(c.dmaInstructions);
+    f(c.totalInstructions);
+}
+
+} // namespace
+
+CalibrationStore::CalibrationStore(std::string path,
+                                   std::uint64_t config_fingerprint)
+    : _path(std::move(path)), _configFingerprint(config_fingerprint)
+{
+    fatal_if(_path.empty(), "calibration store needs a path");
+    _load();
+}
+
+std::uint64_t
+CalibrationStore::configFingerprint(const arch::TpuConfig &config)
+{
+    std::uint64_t fp = 1469598103934665603ull;
+    fp = fold(fp, kSchemaVersion);
+    for (char ch : config.name)
+        fp = fold(fp, static_cast<unsigned char>(ch));
+    fp = foldDouble(fp, config.clockHz);
+    fp = fold(fp, static_cast<std::uint64_t>(config.matrixDim));
+    fp = fold(fp,
+              static_cast<std::uint64_t>(config.accumulatorEntries));
+    fp = fold(fp, config.unifiedBufferBytes);
+    fp = fold(fp, config.weightMemoryBytes);
+    fp = foldDouble(fp, config.weightMemoryBytesPerSec);
+    fp = fold(fp, static_cast<std::uint64_t>(config.weightFifoTiles));
+    fp = foldDouble(fp, config.pcieBytesPerSec);
+    fp = foldDouble(fp, config.tdpWatts);
+    fp = foldDouble(fp, config.busyWatts);
+    fp = foldDouble(fp, config.idleWatts);
+    fp = fold(fp, static_cast<std::uint64_t>(config.diesPerServer));
+    return fp;
+}
+
+void
+CalibrationStore::_load()
+{
+    std::ifstream in(_path);
+    if (!in)
+        return; // no file yet: an empty store
+
+    // Strict parse; ANY deviation discards everything loaded so far.
+    // A half-written or hand-damaged file costs a re-simulation, not
+    // a wrong number.
+    const auto reject = [this]() {
+        _runs.clear();
+        _ladders.clear();
+    };
+
+    std::string magic;
+    std::uint32_t version = 0;
+    std::uint64_t config_fp = 0;
+    if (!(in >> magic >> version) || magic != kMagic ||
+        version != kSchemaVersion) {
+        return reject();
+    }
+    std::string tag;
+    if (!(in >> tag >> config_fp) || tag != "config" ||
+        config_fp != _configFingerprint) {
+        return reject();
+    }
+
+    bool complete = false;
+    while (in >> tag) {
+        if (tag == "run") {
+            RunEntry e;
+            std::uint64_t host_bytes = 0;
+            bool ok = static_cast<bool>(
+                in >> e.fingerprint >> e.result.cycles >> host_bytes);
+            ok = ok && getDouble(in, e.result.seconds) &&
+                 getDouble(in, e.result.teraOps);
+            visitCounters(e.result.counters, [&](std::uint64_t &v) {
+                ok = ok && static_cast<bool>(in >> v);
+            });
+            std::string key;
+            ok = ok && static_cast<bool>(std::getline(in, key)) &&
+                 key.size() > 1 && host_bytes == 0;
+            if (!ok)
+                return reject();
+            _runs.emplace(key.substr(1), std::move(e));
+        } else if (tag == "ladder") {
+            latency::LadderKey k;
+            latency::QueueStats s;
+            bool ok = static_cast<bool>(in >> k.serviceBits >>
+                                        k.maxBatch >> k.seed >>
+                                        k.rungBits >> k.requests);
+            ok = ok && getDouble(in, s.throughputIps) &&
+                 getDouble(in, s.meanResponse) &&
+                 getDouble(in, s.p50Response) &&
+                 getDouble(in, s.p99Response) &&
+                 getDouble(in, s.meanBatch) &&
+                 getDouble(in, s.utilization) &&
+                 static_cast<bool>(in >> s.completed);
+            for (double &q : s.quantiles)
+                ok = ok && getDouble(in, q);
+            if (!ok)
+                return reject();
+            _ladders.emplace(k, s);
+        } else if (tag == "end") {
+            std::size_t nruns = 0, nladders = 0;
+            if (!(in >> nruns >> nladders) || nruns != _runs.size() ||
+                nladders != _ladders.size()) {
+                return reject();
+            }
+            complete = true;
+            break;
+        } else {
+            return reject();
+        }
+    }
+    // A file that stops before its end-record was truncated mid-write.
+    if (!complete)
+        reject();
+}
+
+bool
+CalibrationStore::loadRun(const std::string &key,
+                          std::uint64_t fingerprint,
+                          arch::RunResult &out) const
+{
+    const auto it = _runs.find(key);
+    if (it == _runs.end() || it->second.fingerprint != fingerprint)
+        return false;
+    out = it->second.result;
+    return true;
+}
+
+void
+CalibrationStore::saveRun(const std::string &key,
+                          std::uint64_t fingerprint,
+                          const arch::RunResult &result)
+{
+    fatal_if(!result.hostOutput.empty(),
+             "calibration store holds timing runs only (got %zu "
+             "host-output bytes for '%s')", result.hostOutput.size(),
+             key.c_str());
+    fatal_if(key.empty() || key.find('\n') != std::string::npos,
+             "bad calibration store key");
+    RunEntry e;
+    e.fingerprint = fingerprint;
+    e.result = result;
+    _runs[key] = std::move(e);
+    _dirty = true;
+}
+
+bool
+CalibrationStore::lookup(const latency::LadderKey &key,
+                         latency::QueueStats &out)
+{
+    const auto it = _ladders.find(key);
+    if (it == _ladders.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+CalibrationStore::store(const latency::LadderKey &key,
+                        const latency::QueueStats &stats)
+{
+    _ladders[key] = stats;
+    _dirty = true;
+}
+
+void
+CalibrationStore::flush()
+{
+    if (!_dirty)
+        return;
+    const std::string tmp = _path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        fatal_if(!out, "cannot write calibration store '%s'",
+                 tmp.c_str());
+        out << kMagic << ' ' << kSchemaVersion << '\n';
+        out << "config " << _configFingerprint << '\n';
+        for (const auto &[key, e] : _runs) {
+            out << "run " << e.fingerprint << ' ' << e.result.cycles
+                << ' ' << e.result.hostOutput.size();
+            putDouble(out, e.result.seconds);
+            putDouble(out, e.result.teraOps);
+            visitCounters(e.result.counters,
+                          [&out](const std::uint64_t &v) {
+                              out << ' ' << v;
+                          });
+            // Key goes last so it may contain anything but newlines.
+            out << ' ' << key << '\n';
+        }
+        for (const auto &[k, s] : _ladders) {
+            out << "ladder " << k.serviceBits << ' ' << k.maxBatch
+                << ' ' << k.seed << ' ' << k.rungBits << ' '
+                << k.requests;
+            putDouble(out, s.throughputIps);
+            putDouble(out, s.meanResponse);
+            putDouble(out, s.p50Response);
+            putDouble(out, s.p99Response);
+            putDouble(out, s.meanBatch);
+            putDouble(out, s.utilization);
+            out << ' ' << s.completed;
+            for (double q : s.quantiles)
+                putDouble(out, q);
+            out << '\n';
+        }
+        out << "end " << _runs.size() << ' ' << _ladders.size()
+            << '\n';
+        fatal_if(!out.good(), "write error on calibration store '%s'",
+                 tmp.c_str());
+    }
+    fatal_if(std::rename(tmp.c_str(), _path.c_str()) != 0,
+             "cannot commit calibration store '%s'", _path.c_str());
+    _dirty = false;
+}
+
+} // namespace runtime
+} // namespace tpu

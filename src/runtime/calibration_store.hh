@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Persistent, versioned calibration memo.
+ *
+ * Everything expensive about bringing a serving cluster up is a
+ * deterministic pure function of its configuration: the Replay warm-up
+ * runs CycleSim once per (model, bucket) -- ~70x slower than serving
+ * -- and the fluid tier's latency surrogates run a queueing simulation
+ * per ladder rung.  CalibrationStore memoizes both ON DISK so a second
+ * identical run (reruns, CI jobs, design-sweep repeats) skips the
+ * cycle simulator entirely.
+ *
+ * Correctness policy: MISMATCH IS A MISS.  Every entry is keyed by a
+ * strict fingerprint (TpuConfig + schema version for the file;
+ * model-architecture + compiled-image fingerprint per run entry; the
+ * exact input bit patterns per ladder entry), and any load-time parse
+ * failure, version skew, truncation, or fingerprint mismatch discards
+ * the stale data and falls back to computing fresh.  The store can
+ * make a run faster, never different.
+ */
+
+#ifndef TPUSIM_RUNTIME_CALIBRATION_STORE_HH
+#define TPUSIM_RUNTIME_CALIBRATION_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "arch/config.hh"
+#include "arch/tpu_core.hh"
+#include "latency/ladder_cache.hh"
+
+namespace tpu {
+namespace runtime {
+
+/** On-disk memo of Replay RunResults and calibrate() ladders. */
+class CalibrationStore : public latency::LadderCache
+{
+  public:
+    /** Bump whenever the file layout or any serialized struct
+     *  changes; old files then read as empty, never as garbage. */
+    static constexpr std::uint32_t kSchemaVersion = 1;
+
+    /**
+     * Open (and load, if present and valid) the store at @p path.
+     * @p config_fingerprint scopes every entry: a store written under
+     * a different TpuConfig reads as empty.
+     */
+    CalibrationStore(std::string path,
+                     std::uint64_t config_fingerprint);
+
+    /** Fold every TpuConfig field (bit-exact for doubles). */
+    static std::uint64_t
+    configFingerprint(const arch::TpuConfig &config);
+
+    /**
+     * Look up a warm-up RunResult by memo key.  @p fingerprint is the
+     * per-model guard (ReplayBackend's prepare fingerprint): an entry
+     * stored under a different model architecture is a miss.
+     */
+    bool loadRun(const std::string &key, std::uint64_t fingerprint,
+                 arch::RunResult &out) const;
+
+    /** Record a warm-up RunResult (timing runs only: no host output). */
+    void saveRun(const std::string &key, std::uint64_t fingerprint,
+                 const arch::RunResult &result);
+
+    // latency::LadderCache
+    bool lookup(const latency::LadderKey &key,
+                latency::QueueStats &out) override;
+    void store(const latency::LadderKey &key,
+               const latency::QueueStats &stats) override;
+
+    /**
+     * Persist to disk (atomic: temp file + rename) if anything was
+     * added since load.  Callers flush at natural barriers -- after
+     * cluster publish and after fluid calibration -- so a crash can
+     * only lose entries, never corrupt committed ones mid-record.
+     */
+    void flush();
+
+    const std::string &path() const { return _path; }
+    std::size_t runEntries() const { return _runs.size(); }
+    std::size_t ladderEntries() const { return _ladders.size(); }
+
+  private:
+    struct RunEntry
+    {
+        std::uint64_t fingerprint = 0;
+        arch::RunResult result;
+    };
+
+    void _load();
+
+    std::string _path;
+    std::uint64_t _configFingerprint;
+    std::map<std::string, RunEntry> _runs;
+    std::map<latency::LadderKey, latency::QueueStats> _ladders;
+    bool _dirty = false;
+};
+
+} // namespace runtime
+} // namespace tpu
+
+#endif // TPUSIM_RUNTIME_CALIBRATION_STORE_HH

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "runtime/calibration_store.hh"
 #include "serve/hybrid.hh"
 #include "serve/scenario.hh"
 #include "serve/session.hh"
@@ -87,6 +88,19 @@ struct ClusterOptions
      * interactive class is thinned -- the last-ditch ceiling.
      */
     double interactiveCeiling = 1.25;
+
+    /**
+     * Path of a persistent runtime::CalibrationStore (empty =
+     * disabled).  When set, publish loads warm-up RunResults and
+     * fluid calibration ladders from the store instead of
+     * re-simulating them -- a warm store makes a second identical
+     * run skip CycleSim entirely -- and saves whatever it had to
+     * compute for the next run.  Entries are scoped by a strict
+     * TpuConfig + model fingerprint; a mismatch is a miss, never a
+     * wrong hit, so results are bit-identical with or without the
+     * store.
+     */
+    std::string calibrationStorePath;
 };
 
 /** One cluster run's traffic: shape, mix, horizon, failures. */
@@ -257,6 +271,18 @@ class Cluster
          */
         std::uint64_t events = 0;
 
+        /**
+         * Wall clock of the publish phase (compile + replay warm-up
+         * + freeze) -- the calibration-path cost the perf baseline
+         * gates alongside steady-state throughput.  Measured, so NOT
+         * folded into fingerprint(), like wallSeconds and events.
+         */
+        double warmupSeconds = 0;
+        /** CycleSim executions the warm-up actually paid for. */
+        std::uint64_t warmupLiveRuns = 0;
+        /** Warm-up results served from the CalibrationStore. */
+        std::uint64_t warmupStoreHits = 0;
+
         std::vector<MergedModelStats> models; ///< load order
         /** [0] interactive, [1] batch. */
         std::vector<ClassServingStats> classes;
@@ -376,6 +402,16 @@ class Cluster
         return *_cache;
     }
 
+    /**
+     * The cluster-shared TPU execution backend (null when the fleet
+     * has no TPU dies).  Tests downcast to runtime::ReplayBackend to
+     * assert warm-up counters and compare memo contents bit for bit.
+     */
+    const runtime::ExecutionBackend *tpuBackend() const
+    {
+        return _tpuBackend.get();
+    }
+
     /** Worker threads the next serve() will use. */
     int threads() const;
 
@@ -396,6 +432,17 @@ class Cluster
     const RunStats &_serve(const ClusterTraffic &traffic,
                            const HybridPlan *hybrid,
                            const HybridOptions &hopts);
+    /**
+     * Publish-time replay warm-up: collect every (model, bucket)
+     * CycleSim run still owed from cell 0, satisfy what the
+     * CalibrationStore already holds, and fan the rest out across
+     * the worker threads on scratch chips.  Deterministic: each
+     * timing run is a pure function of (config, program), and the
+     * memo is key-ordered regardless of fill order, so the published
+     * state is bit-identical to the serial warm-up at any thread
+     * count.
+     */
+    void _warmReplayMemo();
     void _runCell(int cell_index, const ClusterTraffic &traffic);
     std::vector<double> _segmentBoundaries(
         const ClusterTraffic &traffic) const;
@@ -427,6 +474,12 @@ class Cluster
      * as before).
      */
     std::shared_ptr<runtime::ExecutionBackend> _tpuBackend;
+    /** Persistent calibration memo (null unless options name one). */
+    std::unique_ptr<runtime::CalibrationStore> _calStore;
+    /** Publish-phase accounting copied into RunStats. */
+    double _warmupSeconds = 0;
+    std::uint64_t _warmupLiveRuns = 0;
+    std::uint64_t _warmupStoreHits = 0;
     Router _router;
     std::vector<std::unique_ptr<CellState>> _cells;
     std::vector<LoadedModel> _loaded;

@@ -274,6 +274,46 @@ Session::precompileModels()
     }
 }
 
+std::vector<Session::WarmupTask>
+Session::collectWarmupTasks()
+{
+    // Same compile/prepare walk as precompileModels(), but the warm
+    // cycle-sim runs are RETURNED instead of executed, so the caller
+    // can fan them out (or satisfy them from a persistent store).
+    std::vector<WarmupTask> tasks;
+    int warm_chip = -1;
+    if (_pool.tier() == runtime::ExecutionTier::Replay) {
+        for (int c = 0; c < _pool.size(); ++c) {
+            if (_pool.platform(c) == runtime::PlatformKind::Tpu) {
+                warm_chip = c;
+                break;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < _models.size(); ++i) {
+        Model &m = *_models[i];
+        const Batcher &batcher = _frontend.batcher(i + 1);
+        std::int64_t last = 0;
+        for (std::int64_t b = 1; b <= batcher.policy().maxBatch;
+             ++b) {
+            const std::int64_t bucket = batcher.bucketFor(b);
+            if (bucket == last)
+                continue;
+            last = bucket;
+            _backendHandle(m, bucket, 0);
+            if (warm_chip < 0)
+                continue;
+            const runtime::ModelHandle handle =
+                _backendHandle(m, bucket, warm_chip);
+            WarmupTask t;
+            t.key = m.name + "@b" + std::to_string(bucket);
+            t.compiled = &_pool.driver(warm_chip).model(handle);
+            tasks.push_back(std::move(t));
+        }
+    }
+    return tasks;
+}
+
 void
 Session::applyFailures(const std::vector<FailureEvent> &events)
 {

@@ -270,6 +270,32 @@ class Session : private Frontend::Host
     void precompileModels();
 
     /**
+     * One replay-memo warm-up unit: a (model, bucket) whose first
+     * CycleSim run is still owed.  The compiled image is owned by the
+     * (shared) program cache and the memo key matches what serving
+     * dispatches will look up, so a task can be executed on ANY chip
+     * built from the session's TpuConfig -- timing-mode runs are a
+     * pure function of (config, program), which is what makes the
+     * cluster's parallel scratch-chip warm-up bit-identical to the
+     * serial path.
+     */
+    struct WarmupTask
+    {
+        std::string key; ///< replay memo key ("<model>@b<bucket>")
+        const compiler::CompiledModel *compiled = nullptr;
+    };
+
+    /**
+     * The compile half of precompileModels() -- compile and prepare
+     * every (model, bucket) through chip 0 and the warm chip -- but
+     * instead of RUNNING the warm-up cycle-sims serially, return them
+     * as tasks (key-sorted, one per memo key still missing).  Empty
+     * for non-Replay pools.  serve::Cluster fans the tasks out across
+     * its worker threads at publish time.
+     */
+    std::vector<WarmupTask> collectWarmupTasks();
+
+    /**
      * Schedule @p events onto this session's clock: chip failures
      * retire pool dies mid-run (serve/chip_pool.hh), platform
      * slowdowns stretch service times.  CellFail events are cluster

@@ -1,6 +1,7 @@
 #include "sim/fluid/flow_model.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -96,8 +97,20 @@ FlowModel::calibrate()
         latency::BatchQueueSim sim(spec.service, spec.maxBatch,
                                    _options.seed);
         for (double rung : _options.ladder) {
-            const latency::QueueStats qs =
-                sim.calibrate(rung, _options.ladderRequests);
+            latency::LadderKey key;
+            key.serviceBits =
+                latency::LadderKey::fingerprint(spec.service);
+            key.maxBatch = spec.maxBatch;
+            key.seed = _options.seed;
+            key.rungBits = std::bit_cast<std::uint64_t>(rung);
+            key.requests = _options.ladderRequests;
+            latency::QueueStats qs;
+            if (!_options.ladderCache ||
+                !_options.ladderCache->lookup(key, qs)) {
+                qs = sim.calibrate(rung, _options.ladderRequests);
+                if (_options.ladderCache)
+                    _options.ladderCache->store(key, qs);
+            }
             LatencyAnchor a;
             // Keyed by the REQUESTED utilization: monotone by
             // construction, where the measured busy fraction of a

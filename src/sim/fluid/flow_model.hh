@@ -54,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "latency/ladder_cache.hh"
 #include "latency/queueing.hh"
 #include "sim/stats.hh"
 
@@ -157,6 +158,13 @@ struct FlowOptions
     std::uint64_t ladderRequests = 60000;
     /** Queue-sim seed (calibration is deterministic under it). */
     std::uint64_t seed = 42;
+    /**
+     * Optional rung memo (borrowed, may be null).  A hit replaces
+     * the queue simulation with its previously computed result --
+     * keyed by the exact bit patterns of every input, so the ladder
+     * is bit-identical with or without the cache.
+     */
+    latency::LadderCache *ladderCache = nullptr;
 };
 
 /** The fluid tier: analytic flow integration over macro-intervals. */

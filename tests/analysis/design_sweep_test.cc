@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the live design-space sweep
+ * (src/analysis/design_sweep.hh): the scaled-design power model's
+ * anchors and monotonicity, and the sweep's ranking contract --
+ * deterministic at any worker count, SLO-compliant designs first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/design_sweep.hh"
+#include "power/power_model.hh"
+
+namespace tpu {
+namespace analysis {
+namespace {
+
+TEST(DesignDieWatts, AnchorsAtTheProductionDie)
+{
+    const arch::TpuConfig base = arch::TpuConfig::production();
+    // The unscaled design at full load is the measured busy die; at
+    // zero load the idle die.
+    EXPECT_NEAR(designDieWatts(base, base, 1.0), base.busyWatts,
+                1e-9);
+    EXPECT_NEAR(designDieWatts(base, base, 0.0), base.idleWatts,
+                1e-9);
+    // Concave proportionality: 10% load costs 88% of busy.
+    EXPECT_NEAR(designDieWatts(base, base, 0.1),
+                0.88 * base.busyWatts, 1e-6);
+}
+
+TEST(DesignDieWatts, ScalesWithClockMemoryAndArray)
+{
+    const arch::TpuConfig base = arch::TpuConfig::production();
+    model::DesignSpaceExplorer dse(base);
+
+    // Faster clock burns more dynamic power; slower burns less --
+    // and even a 0.25x clock must stay a valid curve above idle.
+    const arch::TpuConfig fast =
+        dse.scaledConfig(model::ScaleKind::Clock, 2.0);
+    const arch::TpuConfig slow =
+        dse.scaledConfig(model::ScaleKind::Clock, 0.25);
+    EXPECT_GT(designDieWatts(base, fast, 1.0),
+              designDieWatts(base, base, 1.0));
+    EXPECT_LT(designDieWatts(base, slow, 1.0),
+              designDieWatts(base, base, 1.0));
+    EXPECT_GT(designDieWatts(base, slow, 1.0), base.idleWatts);
+
+    // Faster weight memory costs interface watts; slower is free
+    // (no negative adder).
+    const arch::TpuConfig mem =
+        dse.scaledConfig(model::ScaleKind::Memory, 2.0);
+    EXPECT_GT(designDieWatts(base, mem, 1.0),
+              designDieWatts(base, base, 1.0));
+    const arch::TpuConfig mem_slow =
+        dse.scaledConfig(model::ScaleKind::Memory, 0.5);
+    EXPECT_NEAR(designDieWatts(base, mem_slow, 1.0),
+                designDieWatts(base, base, 1.0), 1e-9);
+
+    // A bigger matrix array scales the array's ~30% dynamic share
+    // by dim^2.
+    const arch::TpuConfig big =
+        dse.scaledConfig(model::ScaleKind::Matrix, 2.0);
+    EXPECT_GT(designDieWatts(base, big, 1.0),
+              designDieWatts(base, base, 1.0));
+}
+
+TEST(DesignSweep, RanksDeterministicallyAtAnyWorkerCount)
+{
+    const arch::TpuConfig base = arch::TpuConfig::production();
+    DesignSweepOptions options;
+    options.factors = {1.0, 2.0};
+    options.requestsPerPoint = 4000;
+    const auto run_with = [&](int workers) {
+        DesignSweepOptions o = options;
+        o.workers = workers;
+        return designSweep(base, o);
+    };
+    const DesignSweepResult one = run_with(1);
+    const DesignSweepResult four = run_with(4);
+    ASSERT_EQ(one.ranked.size(), 10u); // 5 kinds x 2 factors
+    ASSERT_EQ(four.ranked.size(), one.ranked.size());
+    for (std::size_t i = 0; i < one.ranked.size(); ++i) {
+        EXPECT_EQ(one.ranked[i].name, four.ranked[i].name);
+        EXPECT_EQ(one.ranked[i].ips, four.ranked[i].ips);
+        EXPECT_EQ(one.ranked[i].requestsPerSecondPerWatt,
+                  four.ranked[i].requestsPerSecondPerWatt);
+    }
+    // SLO compliance partitions the ranking: no violator may sit
+    // above a compliant design.
+    bool seen_violator = false;
+    for (const auto &p : one.ranked) {
+        if (!p.sloMet)
+            seen_violator = true;
+        else
+            EXPECT_FALSE(seen_violator)
+                << p.name << " ranked below an SLO violator";
+    }
+}
+
+} // namespace
+} // namespace analysis
+} // namespace tpu

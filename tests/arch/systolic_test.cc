@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 
 #include "arch/systolic_array.hh"
@@ -240,6 +241,76 @@ TEST(WavefrontEquivalence16Bit, WideOperandsStillExact)
     arr.beginStream(x);
     arr.drain();
     EXPECT_EQ(arr.results(), SystolicArray::computeTile(x, w));
+}
+
+// The vectorized tile kernels must match the retained scalar
+// reference BIT FOR BIT, including where partial sums wrap mod 2^32
+// -- the contract that lets the fast path replace the old loop as
+// the calibration oracle.
+
+TEST(VectorizedTile, MatchesReferenceOnRandomInt32)
+{
+    Rng rng(11);
+    for (const auto [brows, inner, cols] :
+         {std::tuple<std::int64_t, std::int64_t, std::int64_t>{
+              1, 1, 1},
+          {3, 16, 16},
+          {17, 64, 64},
+          {64, 256, 256}}) {
+        // Full int32 range so the per-step truncation genuinely
+        // wraps; the reference's int64-widen-then-truncate and the
+        // kernel's uint32 accumulation must still agree exactly.
+        nn::Int32Tensor a({brows, inner});
+        for (std::int64_t i = 0; i < a.size(); ++i)
+            a[i] = static_cast<std::int32_t>(rng.uniformInt(
+                std::numeric_limits<std::int32_t>::min(),
+                std::numeric_limits<std::int32_t>::max()));
+        nn::Int32Tensor w({inner, cols});
+        for (std::int64_t i = 0; i < w.size(); ++i)
+            w[i] = static_cast<std::int32_t>(rng.uniformInt(
+                std::numeric_limits<std::int32_t>::min(),
+                std::numeric_limits<std::int32_t>::max()));
+        EXPECT_EQ(SystolicArray::computeTile(a, w),
+                  SystolicArray::computeTileReference(a, w))
+            << brows << "x" << inner << "x" << cols;
+    }
+}
+
+TEST(VectorizedTile, Int8WeightOverloadMatchesReference)
+{
+    Rng rng(13);
+    const std::int64_t brows = 9, dim = 48;
+    nn::Int32Tensor a = randomTensor(brows, dim, rng);
+    nn::Int8Tensor w8({dim, dim});
+    nn::Int32Tensor w32({dim, dim});
+    for (std::int64_t i = 0; i < w8.size(); ++i) {
+        w8[i] = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+        w32[i] = w8[i];
+    }
+    EXPECT_EQ(SystolicArray::computeTile(a, w8),
+              SystolicArray::computeTileReference(a, w32));
+}
+
+TEST(VectorizedTile, EdgeValuesExact)
+{
+    const std::int64_t dim = 8;
+    // All-zero rows short-circuit the kernel's a==0 skip; extreme
+    // weights exercise saturated products.
+    nn::Int32Tensor zero({dim, dim});
+    zero.fill(0);
+    nn::Int32Tensor wmax({dim, dim});
+    wmax.fill(std::numeric_limits<std::int32_t>::max());
+    EXPECT_EQ(SystolicArray::computeTile(zero, wmax),
+              SystolicArray::computeTileReference(zero, wmax));
+
+    nn::Int32Tensor amin({dim, dim});
+    amin.fill(std::numeric_limits<std::int32_t>::min());
+    nn::Int32Tensor wmin({dim, dim});
+    wmin.fill(std::numeric_limits<std::int32_t>::min());
+    EXPECT_EQ(SystolicArray::computeTile(amin, wmin),
+              SystolicArray::computeTileReference(amin, wmin));
+    EXPECT_EQ(SystolicArray::computeTile(amin, wmax),
+              SystolicArray::computeTileReference(amin, wmax));
 }
 
 } // namespace

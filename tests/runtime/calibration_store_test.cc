@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the persistent CalibrationStore
+ * (src/runtime/calibration_store.hh): exact round-trips of Replay
+ * RunResults and BatchQueueSim calibration ladders, and the
+ * mismatch-is-a-miss policy -- a truncated file, a wrong schema
+ * version, a wrong config fingerprint or a wrong model fingerprint
+ * must read as a clean empty store (cost: one re-simulation), never
+ * as wrong numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "arch/config.hh"
+#include "runtime/calibration_store.hh"
+
+namespace tpu {
+namespace runtime {
+namespace {
+
+std::string
+tempStorePath(const char *name)
+{
+    const std::string path =
+        ::testing::TempDir() + "calstore_" + name + ".calib";
+    std::remove(path.c_str());
+    return path;
+}
+
+/** A RunResult with bit-pattern-hostile doubles and full counters. */
+arch::RunResult
+sampleRun()
+{
+    arch::RunResult r;
+    r.cycles = 123456789;
+    r.seconds = 0.1 + 0.2; // not exactly 0.3 -- must survive as-is
+    r.teraOps = 86.1 / 7.0;
+    r.counters.totalCycles = 123456789;
+    r.counters.usefulMacs = 42;
+    r.counters.weightBytesRead = 7;
+    r.counters.totalInstructions = 99;
+    return r;
+}
+
+latency::QueueStats
+sampleStats()
+{
+    latency::QueueStats s;
+    s.throughputIps = 12345.678;
+    s.meanResponse = 1.0 / 3.0;
+    s.p50Response = 2e-3;
+    s.p99Response = 6.9e-3;
+    s.meanBatch = 5.5;
+    s.utilization = 0.625;
+    s.completed = 10000;
+    for (std::size_t i = 0; i < s.quantiles.size(); ++i)
+        s.quantiles[i] = 1e-3 * static_cast<double>(i + 1) / 3.0;
+    return s;
+}
+
+latency::LadderKey
+sampleKey()
+{
+    latency::LadderKey k;
+    k.serviceBits = 0xDEADBEEFCAFEF00Dull;
+    k.maxBatch = 8;
+    k.seed = 42;
+    k.rungBits = 0x3FE0000000000000ull;
+    k.requests = 20000;
+    return k;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+TEST(CalibrationStore, RoundTripIsBitExact)
+{
+    const std::string path = tempStorePath("roundtrip");
+    const std::uint64_t cfg_fp = 0x1234;
+    const arch::RunResult run = sampleRun();
+    {
+        CalibrationStore store(path, cfg_fp);
+        store.saveRun("mlp0@b8", 777, run);
+        store.store(sampleKey(), sampleStats());
+        store.flush();
+    }
+    CalibrationStore store(path, cfg_fp);
+    EXPECT_EQ(store.runEntries(), 1u);
+    EXPECT_EQ(store.ladderEntries(), 1u);
+
+    arch::RunResult got;
+    ASSERT_TRUE(store.loadRun("mlp0@b8", 777, got));
+    EXPECT_EQ(got.cycles, run.cycles);
+    EXPECT_EQ(got.seconds, run.seconds);   // exact bit pattern
+    EXPECT_EQ(got.teraOps, run.teraOps);
+    EXPECT_TRUE(got.hostOutput.empty());
+    EXPECT_EQ(got.counters.usefulMacs, run.counters.usefulMacs);
+    EXPECT_EQ(got.counters.totalInstructions,
+              run.counters.totalInstructions);
+
+    latency::QueueStats qs;
+    ASSERT_TRUE(store.lookup(sampleKey(), qs));
+    const latency::QueueStats want = sampleStats();
+    EXPECT_EQ(qs.throughputIps, want.throughputIps);
+    EXPECT_EQ(qs.meanResponse, want.meanResponse);
+    EXPECT_EQ(qs.completed, want.completed);
+    for (std::size_t i = 0; i < qs.quantiles.size(); ++i)
+        EXPECT_EQ(qs.quantiles[i], want.quantiles[i]);
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationStore, WrongModelFingerprintIsAMiss)
+{
+    const std::string path = tempStorePath("modelfp");
+    CalibrationStore store(path, 1);
+    store.saveRun("mlp0@b8", 777, sampleRun());
+    arch::RunResult got;
+    EXPECT_TRUE(store.loadRun("mlp0@b8", 777, got));
+    EXPECT_FALSE(store.loadRun("mlp0@b8", 778, got));
+    EXPECT_FALSE(store.loadRun("mlp0@b4", 777, got));
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationStore, WrongConfigFingerprintRejectsWholeFile)
+{
+    const std::string path = tempStorePath("configfp");
+    {
+        CalibrationStore store(path, 1);
+        store.saveRun("mlp0@b8", 777, sampleRun());
+        store.store(sampleKey(), sampleStats());
+        store.flush();
+    }
+    CalibrationStore other(path, 2);
+    EXPECT_EQ(other.runEntries(), 0u);
+    EXPECT_EQ(other.ladderEntries(), 0u);
+    arch::RunResult got;
+    EXPECT_FALSE(other.loadRun("mlp0@b8", 777, got));
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationStore, ConfigFingerprintCoversEveryField)
+{
+    arch::TpuConfig a = arch::TpuConfig::production();
+    arch::TpuConfig b = a;
+    EXPECT_EQ(CalibrationStore::configFingerprint(a),
+              CalibrationStore::configFingerprint(b));
+    b.clockHz *= 2;
+    EXPECT_NE(CalibrationStore::configFingerprint(a),
+              CalibrationStore::configFingerprint(b));
+    b = a;
+    b.weightMemoryBytesPerSec *= 2;
+    EXPECT_NE(CalibrationStore::configFingerprint(a),
+              CalibrationStore::configFingerprint(b));
+    b = a;
+    b.matrixDim /= 2;
+    EXPECT_NE(CalibrationStore::configFingerprint(a),
+              CalibrationStore::configFingerprint(b));
+}
+
+TEST(CalibrationStore, TruncatedFileIsACleanMiss)
+{
+    const std::string path = tempStorePath("truncated");
+    {
+        CalibrationStore store(path, 1);
+        store.saveRun("mlp0@b8", 777, sampleRun());
+        store.store(sampleKey(), sampleStats());
+        store.flush();
+    }
+    const std::string full = readFile(path);
+    ASSERT_GT(full.size(), 10u);
+    // Cut mid-record (60% of the bytes) -- a crash mid-write.
+    writeFile(path, full.substr(0, full.size() * 6 / 10));
+    CalibrationStore store(path, 1);
+    EXPECT_EQ(store.runEntries(), 0u);
+    EXPECT_EQ(store.ladderEntries(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationStore, MissingEndTrailerIsACleanMiss)
+{
+    const std::string path = tempStorePath("noend");
+    {
+        CalibrationStore store(path, 1);
+        store.saveRun("mlp0@b8", 777, sampleRun());
+        store.flush();
+    }
+    // Drop the end-record only: every data line is intact, but the
+    // file cannot prove it is complete.
+    const std::string full = readFile(path);
+    const std::size_t end = full.rfind("end ");
+    ASSERT_NE(end, std::string::npos);
+    writeFile(path, full.substr(0, end));
+    CalibrationStore store(path, 1);
+    EXPECT_EQ(store.runEntries(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationStore, WrongSchemaVersionIsACleanMiss)
+{
+    const std::string path = tempStorePath("version");
+    {
+        CalibrationStore store(path, 1);
+        store.saveRun("mlp0@b8", 777, sampleRun());
+        store.flush();
+    }
+    // Bump the version field on the header line.
+    std::string full = readFile(path);
+    const std::string ver =
+        " " + std::to_string(CalibrationStore::kSchemaVersion) + "\n";
+    const std::size_t pos = full.find(ver);
+    ASSERT_NE(pos, std::string::npos);
+    full.replace(pos, ver.size(), " 9999\n");
+    writeFile(path, full);
+    CalibrationStore store(path, 1);
+    EXPECT_EQ(store.runEntries(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationStore, GarbageFileIsACleanMiss)
+{
+    const std::string path = tempStorePath("garbage");
+    writeFile(path, "not a calibration store at all\n1 2 3\n");
+    CalibrationStore store(path, 1);
+    EXPECT_EQ(store.runEntries(), 0u);
+    EXPECT_EQ(store.ladderEntries(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CalibrationStoreDeath, HostOutputRunsAreRejected)
+{
+    const std::string path = tempStorePath("hostout");
+    CalibrationStore store(path, 1);
+    arch::RunResult r = sampleRun();
+    r.hostOutput = {1, 2, 3};
+    EXPECT_DEATH(store.saveRun("mlp0@b8", 777, r), "timing runs");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace runtime
+} // namespace tpu

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the parallel Replay warm-up and its determinism
+ * contract: publishing a cluster fans the per-(model, bucket)
+ * CycleSim warm-up runs across worker threads, and the resulting
+ * memo -- and therefore everything served from it -- must be BIT
+ * IDENTICAL to the serial fill at any thread count.  Also covers
+ * the warm-up metrics surfaced in RunStats and the persistent
+ * CalibrationStore fast path (a warm store means ZERO cycle-sim
+ * executions on the next bring-up).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "runtime/backend.hh"
+#include "serve/cluster.hh"
+
+namespace tpu {
+namespace serve {
+namespace {
+
+arch::TpuConfig
+testConfig()
+{
+    arch::TpuConfig c;
+    c.matrixDim = 16;
+    c.accumulatorEntries = 64;
+    c.unifiedBufferBytes = 64 * 1024;
+    c.clockHz = 1e9;
+    c.weightMemoryBytesPerSec = 16e9;
+    c.pcieBytesPerSec = 16e9;
+    return c;
+}
+
+Session::NetworkBuilder
+smallBuilder(const char *name)
+{
+    return [name](std::int64_t batch) {
+        nn::Network net(name, batch);
+        net.addFullyConnected(32, 32);
+        net.addFullyConnected(32, 16);
+        return net;
+    };
+}
+
+/** A 2-model Replay cluster, as in cluster_test.cc. */
+struct MiniCluster
+{
+    explicit MiniCluster(int cells, int chips_per_cell = 2,
+                         int threads = 0,
+                         const std::string &store_path = "")
+        : options(), cluster(nullptr)
+    {
+        options.cells = cells;
+        options.fleet = tpuFleet(chips_per_cell);
+        options.tier =
+            runtime::TierPolicy{runtime::ExecutionTier::Replay};
+        options.threads = threads;
+        options.calibrationStorePath = store_path;
+        cluster = std::make_unique<Cluster>(testConfig(), options);
+
+        BatcherPolicy fast;
+        fast.maxBatch = 8;
+        fast.maxDelaySeconds = 2e-4;
+        fast.sloSeconds = 7e-3;
+        interactive = cluster->load("fast", smallBuilder("fast"),
+                                    fast, 0.0,
+                                    QosClass::Interactive);
+        BatcherPolicy bulk;
+        bulk.maxBatch = 16;
+        bulk.maxDelaySeconds = 1e-3;
+        bulk.sloSeconds = 50e-3;
+        batch = cluster->load("bulk", smallBuilder("bulk"), bulk,
+                              0.0, QosClass::Batch);
+    }
+
+    double
+    rateFor(double load) const
+    {
+        const latency::ServiceModel svc =
+            cluster->cell(0).serviceEstimate(
+                interactive, runtime::PlatformKind::Tpu);
+        return load * options.cells *
+               options.fleet.front().chips * svc.maxThroughput(8);
+    }
+
+    ClusterTraffic
+    traffic(double load, std::uint64_t requests) const
+    {
+        const double rate = rateFor(load);
+        ClusterTraffic t;
+        t.arrivals = ScenarioConfig::poisson(rate);
+        t.mixShare = {0.7, 0.3};
+        t.durationSeconds = static_cast<double>(requests) / rate;
+        return t;
+    }
+
+    const runtime::ReplayBackend &
+    replay() const
+    {
+        const auto *backend =
+            dynamic_cast<const runtime::ReplayBackend *>(
+                cluster->tpuBackend());
+        EXPECT_NE(backend, nullptr);
+        return *backend;
+    }
+
+    ClusterOptions options;
+    std::unique_ptr<Cluster> cluster;
+    ModelHandle interactive = 0;
+    ModelHandle batch = 0;
+};
+
+bool
+sameRunResult(const arch::RunResult &a, const arch::RunResult &b)
+{
+    return a.cycles == b.cycles && a.seconds == b.seconds &&
+           a.teraOps == b.teraOps &&
+           a.hostOutput == b.hostOutput &&
+           std::memcmp(&a.counters, &b.counters,
+                       sizeof(a.counters)) == 0;
+}
+
+TEST(Warmup, MemoBitIdenticalAcrossThreadCounts)
+{
+    // Serial (1 worker) and parallel (4 workers) publishes must
+    // produce the SAME memo, entry for entry -- timing-mode runs are
+    // pure functions of (config, program) and the memo is
+    // key-sorted, so completion order cannot leak into the published
+    // state.  The serve fingerprints then agree for free.
+    MiniCluster serial(2, 2, /*threads=*/1);
+    MiniCluster parallel(2, 2, /*threads=*/4);
+    const auto &s1 =
+        serial.cluster->serve(serial.traffic(0.5, 8000));
+    const std::uint64_t fp1 = s1.fingerprint();
+    const auto &s2 =
+        parallel.cluster->serve(parallel.traffic(0.5, 8000));
+    const std::uint64_t fp2 = s2.fingerprint();
+    EXPECT_EQ(fp1, fp2);
+
+    const auto &memo_s = serial.replay().memo();
+    const auto &memo_p = parallel.replay().memo();
+    ASSERT_EQ(memo_s.size(), memo_p.size());
+    ASSERT_GT(memo_s.size(), 0u);
+    auto it_p = memo_p.begin();
+    for (const auto &[key, result] : memo_s) {
+        EXPECT_EQ(key, it_p->first);
+        EXPECT_TRUE(sameRunResult(result, it_p->second))
+            << "memo entry '" << key
+            << "' differs between serial and parallel warm-up";
+        ++it_p;
+    }
+}
+
+TEST(Warmup, StatsReportTheCalibrationCost)
+{
+    MiniCluster mini(2, 2, /*threads=*/2);
+    const auto &stats = mini.cluster->serve(mini.traffic(0.5, 6000));
+    // Every memo entry came from a live cycle-sim run (no store),
+    // and the publish wall clock was measured.
+    EXPECT_EQ(stats.warmupLiveRuns, mini.replay().memo().size());
+    EXPECT_EQ(stats.warmupLiveRuns, mini.replay().liveRuns());
+    EXPECT_EQ(stats.warmupStoreHits, 0u);
+    EXPECT_GT(stats.warmupSeconds, 0.0);
+    // Steady state replayed from the memo, never re-simulating.
+    EXPECT_GT(mini.replay().replays(), 0u);
+}
+
+TEST(WarmupDeath, LoadAfterPublishStillFatal)
+{
+    MiniCluster mini(1, 2, /*threads=*/1);
+    mini.cluster->serve(mini.traffic(0.4, 2000));
+    EXPECT_DEATH(mini.cluster->load("late", smallBuilder("late"),
+                                    BatcherPolicy{}, 0.0,
+                                    QosClass::Interactive),
+                 "published");
+}
+
+TEST(Warmup, WarmStoreMeansZeroCycleSimRuns)
+{
+    const std::string path = ::testing::TempDir() +
+                             "warmup_store_test.calib";
+    std::remove(path.c_str());
+
+    // Cold bring-up: every warm-up run is a live cycle-sim
+    // execution, then persisted.
+    MiniCluster cold(2, 2, /*threads=*/2, path);
+    const auto &cold_stats =
+        cold.cluster->serve(cold.traffic(0.5, 8000));
+    const std::uint64_t cold_fp = cold_stats.fingerprint();
+    const std::uint64_t live = cold_stats.warmupLiveRuns;
+    EXPECT_GT(live, 0u);
+    EXPECT_EQ(cold_stats.warmupStoreHits, 0u);
+
+    // Warm bring-up: identical config + models => every warm-up
+    // result comes from the store, the replay backend never runs the
+    // cycle simulator at all, and the serve is bit-identical.
+    MiniCluster warm(2, 2, /*threads=*/2, path);
+    const auto &warm_stats =
+        warm.cluster->serve(warm.traffic(0.5, 8000));
+    EXPECT_EQ(warm_stats.warmupLiveRuns, 0u);
+    EXPECT_EQ(warm.replay().liveRuns(), 0u);
+    EXPECT_EQ(warm_stats.warmupStoreHits, live);
+    EXPECT_EQ(warm_stats.fingerprint(), cold_fp);
+
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu

@@ -26,7 +26,15 @@ Usage:
   tools/check_perf_regression.py [--baselines bench/baselines.json]
                                  [--serve BENCH_serve.json]
                                  [--cluster BENCH_cluster.json]
+                                 [--hybrid BENCH_hybrid.json]
+                                 [--design BENCH_design.json]
                                  [--tolerance 0.25]
+
+BENCH_design.json (bench_design_explorer, design-gate job) is an
+optional input like the others: the best design's requests/s/W must
+hold its anchor and the coverage/Section-7/base-SLO flags must be
+true.  warmup_seconds anchors gate lower-is-better (the fresh value
+must stay under (1 + tolerance) * anchor).
 """
 
 import argparse
@@ -46,6 +54,22 @@ CLUSTER_METRICS = [
 SERVE_METRICS = [
     ("replay.sim_requests_per_wall_second",
      "current.serve.replay.sim_requests_per_wall_second"),
+    ("kernel.speedup_vs_reference",
+     "current.serve.kernel_speedup_vs_reference"),
+]
+# Lower-is-better wall-clock anchors: the fresh value must stay
+# UNDER (1 + tolerance) * anchor.  warmup_seconds is the calibration
+# path's publish cost (compile + replay warm-up + freeze) -- the
+# quantity the vectorized/parallel/store-backed path exists to keep
+# small.
+CLUSTER_METRICS_LOWER = [
+    ("warmup.seconds.threads1", "current.cluster.warmup_seconds"),
+]
+# Live design-space explorer (BENCH_design.json, optional input from
+# the design-gate job): the best design's efficiency must not erode.
+DESIGN_METRICS = [
+    ("best_requests_per_second_per_watt",
+     "current.design.best_requests_per_second_per_watt"),
 ]
 # Hybrid timeline (BENCH_hybrid.json, bench_hybrid_error_bound).
 # The week leg is the headline: simulated requests the hybrid tier
@@ -55,12 +79,14 @@ HYBRID_METRICS = [
      "current.hybrid.week_simulated_requests_per_wall_second"),
 ]
 # Boolean health flags that must be true in the fresh measurement.
-CLUSTER_FLAGS = ["determinism_exact", "seed_baseline_gate_ok"]
+CLUSTER_FLAGS = ["determinism_exact", "seed_baseline_gate_ok",
+                 "warmup.parallel_ok"]
 SERVE_FLAGS = ["replay_determinism_exact", "mixed.determinism_exact",
-               "mixed.healthy"]
+               "mixed.healthy", "kernel.exact"]
 HYBRID_FLAGS = ["overlap_exact", "overlap_sized", "bounds_ok",
                 "deterministic_rerun", "deterministic_threads",
                 "week_wall_ok", "week_volume_ok"]
+DESIGN_FLAGS = ["coverage_ok", "section7_ok", "base_slo_ok"]
 
 
 def load(path, optional=False):
@@ -97,6 +123,28 @@ def check_metrics(name, measured, baselines, pairs, tolerance):
     return ok
 
 
+def check_metrics_lower(name, measured, baselines, pairs, tolerance):
+    ok = True
+    for bench_key, base_key in pairs:
+        if base_key not in baselines:
+            print(f"  {name}: no anchor {base_key} (skipped)")
+            continue
+        if bench_key not in measured:
+            print(f"  {name}: missing metric {bench_key} -> FAIL")
+            ok = False
+            continue
+        anchor = float(baselines[base_key])
+        value = float(measured[bench_key])
+        ceiling = (1.0 + tolerance) * anchor
+        verdict = "ok" if value <= ceiling else "REGRESSION"
+        print(f"  {name}: {bench_key} = {value:g} "
+              f"(anchor {anchor:g}, ceiling {ceiling:g}, "
+              f"lower is better) -> {verdict}")
+        if value > ceiling:
+            ok = False
+    return ok
+
+
 def check_flags(name, measured, flags):
     ok = True
     for flag in flags:
@@ -113,6 +161,7 @@ def main():
     ap.add_argument("--serve", default="BENCH_serve.json")
     ap.add_argument("--cluster", default="BENCH_cluster.json")
     ap.add_argument("--hybrid", default="BENCH_hybrid.json")
+    ap.add_argument("--design", default="BENCH_design.json")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional slowdown (default 0.25)")
     args = ap.parse_args()
@@ -125,9 +174,11 @@ def main():
     serve = load(args.serve, optional=True)
     cluster = load(args.cluster, optional=True)
     hybrid = load(args.hybrid, optional=True)
+    design = load(args.design, optional=True)
     if baselines is None:
         return 1
-    if serve is None and cluster is None and hybrid is None:
+    if (serve is None and cluster is None and hybrid is None
+            and design is None):
         print("error: no bench output files found")
         return 1
 
@@ -137,6 +188,9 @@ def main():
     if cluster is not None:
         ok &= check_metrics("cluster", cluster, baselines,
                             CLUSTER_METRICS, args.tolerance)
+        ok &= check_metrics_lower("cluster", cluster, baselines,
+                                  CLUSTER_METRICS_LOWER,
+                                  args.tolerance)
         ok &= check_flags("cluster", cluster, CLUSTER_FLAGS)
     if serve is not None:
         ok &= check_metrics("serve", serve, baselines, SERVE_METRICS,
@@ -146,6 +200,10 @@ def main():
         ok &= check_metrics("hybrid", hybrid, baselines,
                             HYBRID_METRICS, args.tolerance)
         ok &= check_flags("hybrid", hybrid, HYBRID_FLAGS)
+    if design is not None:
+        ok &= check_metrics("design", design, baselines,
+                            DESIGN_METRICS, args.tolerance)
+        ok &= check_flags("design", design, DESIGN_FLAGS)
     print("result:", "ok" if ok else "REGRESSION DETECTED")
     return 0 if ok else 1
 
