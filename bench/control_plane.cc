@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Bench harness: the closed-loop control plane -- predictive
+ * autoscaling vs a static oracle, SLO-feedback admission, rolling
+ * upgrades and the chaos determinism contract.
+ *
+ * Four legs:
+ *
+ *  1. AUTOSCALER vs ORACLE.  One full diurnal day (86400 s,
+ *     amplitude 0.5) of Table 1 traffic at cluster scale under the
+ *     stock serve::ControlPlane.  The gate: interactive p99 within
+ *     the paper's 7 ms budget while spending at most 20% more
+ *     die-seconds than the STATIC ORACLE -- the smallest fixed cell
+ *     count that covers the peak control window at the autoscaler's
+ *     own target utilization, held all day (what an operator
+ *     provisioning for the peak keeps allocated).
+ *
+ *  2. ROLLING UPGRADE.  The same day with a cell-by-cell binary
+ *     roll (drain, warm-up slowdown, heal) layered on.  Every cell
+ *     must complete its roll and the drain windows must not lose
+ *     requests: offered == completed + shed, within the fluid
+ *     tier's rounding.
+ *
+ *  3. CHAOS DETERMINISM.  A scripted chaos scenario (cascading cell
+ *     failures) under the controller, run three times: rerun with
+ *     the same thread count, then 1 worker thread vs 8.  All three
+ *     must reproduce the RunStats fingerprint bit for bit -- the
+ *     contract the scenario regression corpus pins per scenario.
+ *
+ *  4. WALL BUDGET.  The controlled day must stay tractable: the
+ *     hybrid timeline integrates quiet windows fluid, so a full
+ *     day at cluster rates finishes in seconds.
+ *
+ * Headline numbers land in BENCH_control.json (per-tick records
+ * included) for the CI perf trajectory; the two anchors CI gates on
+ * are overprovisioned_die_seconds_vs_oracle (lower is better) and
+ * interactive_p99_slo_ok (must stay true).
+ *
+ *   usage: bench_control_plane [day_seconds] [cells] [tick_seconds]
+ *                              [wall_budget_seconds]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/bench_json.hh"
+#include "analysis/serve_mix.hh"
+#include "serve/cluster.hh"
+#include "serve/control_plane.hh"
+#include "serve/scenario.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace tpu;
+using analysis::ControlledRun;
+using analysis::ControlledRunOptions;
+
+/** Append one run's control-tick records to @p json under @p key. */
+void
+recordTicks(analysis::BenchJson &json, const char *key,
+            const serve::Cluster::RunStats &stats)
+{
+    for (const auto &t : stats.controlTicks) {
+        analysis::BenchJson::Record rec;
+        rec.set("start_seconds", t.startSeconds)
+            .set("end_seconds", t.endSeconds)
+            .set("active_cells", t.activeCells)
+            .set("admit_utilization", t.admitUtilization)
+            .set("interactive_ceiling", t.interactiveCeiling)
+            .set("offered", t.offered)
+            .set("completed", t.completed)
+            .set("slo_shed", t.sloShed)
+            .set("router_shed", t.routerShed)
+            .set("utilization", t.utilization)
+            .set("interactive_p99", t.interactiveP99);
+        json.addRecord(key, rec);
+    }
+}
+
+/** Count the controller's actions of one kind. */
+std::size_t
+countActions(const ControlledRun &run, const char *kind)
+{
+    std::size_t n = 0;
+    for (const auto &a : run.actions)
+        if (a.kind == kind)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    double day_seconds = 86400.0;
+    int cells = 8;
+    double tick_seconds = 900.0;
+    double wall_budget = 120.0;
+    if (argc > 1)
+        day_seconds = std::atof(argv[1]);
+    if (argc > 2)
+        cells = std::atoi(argv[2]);
+    if (argc > 3)
+        tick_seconds = std::atof(argv[3]);
+    if (argc > 4)
+        wall_budget = std::atof(argv[4]);
+
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+
+    std::printf("closed-loop control plane (Table 1 mix, %d cells, "
+                "%.0f s day, %.0f s ticks)\n\n",
+                cells, day_seconds, tick_seconds);
+
+    // ---- leg 1: autoscaler vs the static oracle -------------------
+    ControlledRunOptions base;
+    base.cells = cells;
+    base.daySeconds = day_seconds;
+    base.tickSeconds = tick_seconds;
+    const ControlledRun day = analysis::runControlledDiurnalDay(
+        cfg, base);
+
+    const double kOverprovisionTol = 1.20;
+    const bool overprovision_ok =
+        day.overprovisionRatio <= kOverprovisionTol;
+    const std::size_t rescales = countActions(day, "scale");
+    const bool scaled = rescales >= 2; // it actually moved
+    std::printf("  autoscaler day: p99 %.3f ms (SLO %.1f ms) -> %s\n",
+                day.interactiveP99 * 1e3,
+                day.stats.controlTicks.empty()
+                    ? 7.0
+                    : base.control.admitFeedback.sloSeconds * 1e3,
+                day.interactiveP99SloOk ? "ok" : "FAIL");
+    std::printf("  die-seconds: %.3g allocated vs %.3g oracle "
+                "(ratio %.3f, gate <= %.2f) -> %s\n",
+                day.stats.allocatedDieSeconds, day.oracleDieSeconds,
+                day.overprovisionRatio, kOverprovisionTol,
+                overprovision_ok ? "ok" : "FAIL");
+    std::printf("  %zu rescale decisions over %zu ticks, wall "
+                "%.2f s\n",
+                rescales, day.stats.controlTicks.size(),
+                day.wallSeconds);
+
+    // ---- leg 2: rolling upgrade -----------------------------------
+    ControlledRunOptions roll = base;
+    roll.upgrade = true;
+    const ControlledRun upgrade =
+        analysis::runControlledDiurnalDay(cfg, roll);
+    const std::size_t drains = countActions(upgrade, "drain");
+    const std::size_t heals = countActions(upgrade, "heal");
+    const bool roll_complete =
+        drains == static_cast<std::size_t>(cells) &&
+        heals == static_cast<std::size_t>(cells);
+    // Conservation within the fluid tier's rounding: every offered
+    // request is completed or honestly shed.
+    double offered = 0, completed = 0, shed = 0;
+    for (const auto &t : upgrade.stats.controlTicks) {
+        offered += static_cast<double>(t.offered);
+        completed += static_cast<double>(t.completed);
+        shed += static_cast<double>(t.sloShed + t.routerShed);
+    }
+    const double leak =
+        offered > 0
+            ? std::abs(offered - completed - shed) / offered
+            : 0.0;
+    const bool roll_conserves = leak <= 1e-3;
+    std::printf("\n  rolling upgrade: %zu drains / %zu heals "
+                "(%d cells) -> %s; leak %.5f%% -> %s; p99 %.3f ms "
+                "-> %s\n",
+                drains, heals, cells,
+                roll_complete ? "ok" : "FAIL", leak * 100,
+                roll_conserves ? "ok" : "FAIL",
+                upgrade.interactiveP99 * 1e3,
+                upgrade.interactiveP99SloOk ? "ok" : "FAIL");
+
+    // ---- leg 3: chaos determinism ---------------------------------
+    const auto chaosRun = [&](int threads) {
+        ControlledRunOptions c = base;
+        c.chaos = "cascading_cell_failures";
+        c.threads = threads;
+        return analysis::runControlledDiurnalDay(cfg, c);
+    };
+    const ControlledRun chaos = chaosRun(0);
+    const ControlledRun chaos_again = chaosRun(0);
+    const ControlledRun chaos_one = chaosRun(1);
+    const ControlledRun chaos_eight = chaosRun(8);
+    const std::uint64_t fp = chaos.stats.fingerprint();
+    const bool det_rerun = fp == chaos_again.stats.fingerprint();
+    const bool det_threads =
+        fp == chaos_one.stats.fingerprint() &&
+        fp == chaos_eight.stats.fingerprint();
+    std::printf("\n  chaos determinism (cascading_cell_failures): "
+                "rerun %s, 1 vs 8 threads %s\n",
+                det_rerun ? "identical" : "MISMATCH",
+                det_threads ? "identical" : "MISMATCH");
+
+    // ---- leg 4: wall budget ---------------------------------------
+    const double wall =
+        day.wallSeconds + upgrade.wallSeconds + chaos.wallSeconds;
+    const bool wall_ok = wall <= wall_budget;
+    std::printf("\n  wall: day %.2f s + upgrade %.2f s + chaos "
+                "%.2f s = %.2f s (budget %.0f s) -> %s\n",
+                day.wallSeconds, upgrade.wallSeconds,
+                chaos.wallSeconds, wall, wall_budget,
+                wall_ok ? "ok" : "FAIL");
+
+    // ---- JSON -----------------------------------------------------
+    analysis::BenchJson json("control_plane");
+    json.set("cells", cells)
+        .set("day_seconds", day_seconds)
+        .set("tick_seconds", tick_seconds)
+        .set("allocated_die_seconds", day.stats.allocatedDieSeconds)
+        .set("oracle_die_seconds", day.oracleDieSeconds)
+        .set("overprovisioned_die_seconds_vs_oracle",
+             day.overprovisionRatio)
+        .set("interactive_p99_ms", day.interactiveP99 * 1e3)
+        .setBool("interactive_p99_slo_ok", day.interactiveP99SloOk)
+        .setBool("overprovision_ok", overprovision_ok)
+        .set("rescale_decisions",
+             static_cast<std::uint64_t>(rescales))
+        .set("upgrade_drains", static_cast<std::uint64_t>(drains))
+        .set("upgrade_heals", static_cast<std::uint64_t>(heals))
+        .setBool("upgrade_roll_complete", roll_complete)
+        .set("upgrade_leak_fraction", leak)
+        .setBool("upgrade_conserves", roll_conserves)
+        .set("upgrade_interactive_p99_ms",
+             upgrade.interactiveP99 * 1e3)
+        .setBool("chaos_deterministic_rerun", det_rerun)
+        .setBool("chaos_deterministic_threads", det_threads)
+        .set("chaos_completed",
+             static_cast<double>(chaos.stats.completed))
+        .set("day_wall_seconds", day.wallSeconds)
+        .set("upgrade_wall_seconds", upgrade.wallSeconds)
+        .set("chaos_wall_seconds", chaos.wallSeconds)
+        .set("wall_budget_seconds", wall_budget)
+        .setBool("wall_ok", wall_ok);
+    recordTicks(json, "ticks", day.stats);
+    json.writeTo("BENCH_control.json");
+
+    const bool ok = day.interactiveP99SloOk && overprovision_ok &&
+                    scaled && roll_complete && roll_conserves &&
+                    upgrade.interactiveP99SloOk && det_rerun &&
+                    det_threads && wall_ok;
+    std::printf("\ncontrol-plane gate: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

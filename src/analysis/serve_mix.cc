@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <functional>
 
 #include "baselines/platform.hh"
@@ -410,6 +411,97 @@ runWeekDiurnal(const arch::TpuConfig &cfg, int cells, int threads,
             return traffic;
         },
         serve::SwitcherConfig{}, /*reference=*/false);
+}
+
+ControlledRun
+runControlledDiurnalDay(const arch::TpuConfig &cfg,
+                        const ControlledRunOptions &opts)
+{
+    fatal_if(opts.cells <= 0, "need a positive cell count");
+    fatal_if(opts.daySeconds <= 0 || opts.tickSeconds <= 0,
+             "need a positive horizon and control tick");
+    constexpr int kDiesPerCell = 4; // Table 2 server per cell
+
+    serve::ClusterOptions options;
+    options.cells = opts.cells;
+    options.fleet = serve::tpuFleet(kDiesPerCell);
+    options.tier =
+        runtime::TierPolicy{runtime::ExecutionTier::Replay};
+    options.threads = opts.threads;
+    serve::Cluster cluster(cfg, options);
+
+    ControlledRun run;
+    run.mix = loadClusterTable1Mix(cluster, cfg, opts.loadFraction);
+
+    serve::ClusterTraffic traffic;
+    if (opts.chaos.empty()) {
+        // The clean provisioning day: one real 86400 s sinusoid at
+        // cluster rates, the regime the predictive autoscaler exists
+        // for (quiet night, morning ramp, afternoon peak).
+        traffic.arrivals = serve::ScenarioConfig::diurnal(
+            run.mix.offeredIps, opts.daySeconds, /*amplitude=*/0.5);
+    } else {
+        const serve::ScenarioScript script = serve::chaosScenario(
+            opts.chaos, run.mix.offeredIps, opts.daySeconds,
+            opts.cells);
+        traffic.arrivals = script.arrivals;
+        traffic.failures = script.failures;
+    }
+    traffic.mixShare = run.mix.shares;
+    traffic.durationSeconds = opts.daySeconds;
+
+    serve::ControlPlane::Config pcfg = opts.control;
+    if (opts.upgrade) {
+        pcfg.upgrade.enabled = true;
+        if (pcfg.upgrade.startSeconds <= 0)
+            pcfg.upgrade.startSeconds = 0.25 * opts.daySeconds;
+    }
+    serve::ControlPlane policy(pcfg);
+
+    serve::ControlOptions copts;
+    copts.tickSeconds = opts.tickSeconds;
+    copts.allDiscrete = opts.allDiscrete;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    run.stats = cluster.serveControlled(traffic, policy, copts);
+    run.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
+    run.actions = policy.actions();
+
+    // Static oracle: the smallest FIXED cell count whose capacity
+    // covers the PEAK control window at the autoscaler's target
+    // utilization -- what provisioning for the peak with no scaling
+    // keeps allocated all day.  Deliberately headroom-free: the
+    // oracle is the stricter of the two definitions, so the <= 1.2
+    // gate bounds real waste, not a padded strawman.
+    double per_item_mix = 0;
+    for (std::size_t m = 0; m < run.mix.apps.size(); ++m)
+        per_item_mix +=
+            run.mix.shares[m] * run.mix.apps[m].perItemSeconds;
+    double peak_work = 0;
+    for (double t0 = 0; t0 < traffic.durationSeconds;
+         t0 += opts.tickSeconds) {
+        const double t1 = std::min(traffic.durationSeconds,
+                                   t0 + opts.tickSeconds);
+        peak_work = std::max(
+            peak_work,
+            traffic.arrivals.meanRateOver(t0, t1) * per_item_mix);
+    }
+    const double per_cell =
+        kDiesPerCell * pcfg.autoscaler.targetUtilization;
+    const int oracle_cells = std::clamp(
+        static_cast<int>(std::ceil(peak_work / per_cell - 1e-9)), 1,
+        opts.cells);
+    run.oracleDieSeconds = static_cast<double>(oracle_cells) *
+                           kDiesPerCell * traffic.durationSeconds;
+    run.overprovisionRatio =
+        run.oracleDieSeconds > 0
+            ? run.stats.allocatedDieSeconds / run.oracleDieSeconds
+            : 0.0;
+    run.interactiveP99 = run.stats.classes[0].p99();
+    run.interactiveP99SloOk =
+        run.interactiveP99 <= pcfg.admitFeedback.sloSeconds;
+    return run;
 }
 
 LivePlatformPerf

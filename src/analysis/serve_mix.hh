@@ -37,6 +37,7 @@
 
 #include "arch/config.hh"
 #include "serve/cluster.hh"
+#include "serve/control_plane.hh"
 #include "serve/scenario.hh"
 #include "serve/session.hh"
 #include "workloads/workloads.hh"
@@ -198,6 +199,68 @@ HybridClusterRun runWeekDiurnal(const arch::TpuConfig &cfg, int cells,
                                 int threads,
                                 double load_fraction = 0.35,
                                 int days = 7);
+
+/** Knobs for runControlledDiurnalDay (the control-plane gates). */
+struct ControlledRunOptions
+{
+    int cells = 8;
+    int threads = 0; ///< 0 = one per cell
+    /** Mean offered load as a fraction of cluster capacity. */
+    double loadFraction = 0.35;
+    /** Horizon: one real diurnal day by default. */
+    double daySeconds = 86400.0;
+    /** Control tick: 15 simulated minutes, 96 windows per day. */
+    double tickSeconds = 900.0;
+    /**
+     * Chaos scenario name (serve::chaosScenario); empty = the clean
+     * diurnal day (amplitude 0.5) the autoscaler gate provisions.
+     */
+    std::string chaos;
+    /** Reference mode: every epoch discrete (exact conservation). */
+    bool allDiscrete = false;
+    /** Roll every cell (drain + warm-up) starting mid-morning. */
+    bool upgrade = false;
+    /** The closed-loop controller's knobs. */
+    serve::ControlPlane::Config control;
+};
+
+/** One closed-loop controlled cluster run, with its gate numbers. */
+struct ControlledRun
+{
+    ClusterMix mix;
+    serve::Cluster::RunStats stats;
+    /** The controller's decision log, in tick order. */
+    std::vector<serve::ControlAction> actions;
+    /** Wall clock around the whole serveControlled() call. */
+    double wallSeconds = 0;
+    /**
+     * Die-seconds of the STATIC ORACLE: the smallest fixed
+     * active-cell count whose capacity covers the peak control
+     * window at the autoscaler's target utilization (no headroom,
+     * no scaling), held for the whole horizon -- what an operator
+     * provisioning for the peak keeps allocated all day.
+     */
+    double oracleDieSeconds = 0;
+    /** stats.allocatedDieSeconds / oracleDieSeconds -- the <= 1.2
+     *  overprovisioning gate. */
+    double overprovisionRatio = 0;
+    /** Merged interactive-class p99 of the whole run (seconds). */
+    double interactiveP99 = 0;
+    /** interactiveP99 <= the controller's SLO (7 ms default). */
+    bool interactiveP99SloOk = false;
+};
+
+/**
+ * One day of diurnal Table 1 traffic at cluster rates under the
+ * stock serve::ControlPlane (predictive autoscaler + SLO-feedback
+ * admission + optional rolling upgrade), with an optional chaos
+ * scenario layered on.  ONE definition shared by
+ * bench/control_plane.cc and the scenario regression corpus, so the
+ * bench's gates certify exactly the runs the corpus pins.
+ * Deterministic: bit-identical across reruns and thread counts.
+ */
+ControlledRun runControlledDiurnalDay(
+    const arch::TpuConfig &cfg, const ControlledRunOptions &opts = {});
 
 /** Live per-app busy-time throughput of one single-platform fleet. */
 struct LivePlatformPerf

@@ -346,6 +346,31 @@ ChipPool::slowdown(runtime::PlatformKind kind) const
     return g ? g->slowdownFactor : 1.0;
 }
 
+void
+ChipPool::setChipSlowdown(int chip, double factor)
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    fatal_if(factor < 1.0,
+             "slowdown factor %.3f < 1 would be a speedup", factor);
+    _chips[chip]->slowdownFactor = factor;
+}
+
+double
+ChipPool::chipSlowdown(int chip) const
+{
+    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
+    return _chips[chip]->slowdownFactor;
+}
+
+void
+ChipPool::setHostDegrade(double factor)
+{
+    fatal_if(factor < 1.0,
+             "host-degrade factor %.3f < 1 would be a speedup",
+             factor);
+    _hostDegrade = factor;
+}
+
 bool
 ChipPool::busy(int chip) const
 {
@@ -379,13 +404,23 @@ ChipPool::invoke(int chip, runtime::ModelHandle handle,
     runtime::InvokeStats stats =
         _chips[chip]->driver->invoke(handle, {}, host_fraction);
     PlatformGroup *g = _groupFor(_chips[chip]->platform);
-    if (g->slowdownFactor != 1.0) {
-        // Degradation event in force: the die serves the same batch,
-        // just slower -- stretch the modelled times; counters (work
-        // done) are unchanged.
-        stats.deviceSeconds *= g->slowdownFactor;
-        stats.hostSeconds *= g->slowdownFactor;
-        stats.totalSeconds *= g->slowdownFactor;
+    const double slow =
+        g->slowdownFactor * _chips[chip]->slowdownFactor;
+    if (slow != 1.0) {
+        // Degradation event in force (platform throttle, gray slow
+        // die, or both): the die serves the same batch, just slower
+        // -- stretch the modelled times; counters (work done) are
+        // unchanged.
+        stats.deviceSeconds *= slow;
+        stats.hostSeconds *= slow;
+        stats.totalSeconds *= slow;
+    }
+    if (_hostDegrade != 1.0) {
+        // PCIe trouble stretches only the host share of the batch.
+        const double extra =
+            stats.hostSeconds * (_hostDegrade - 1.0);
+        stats.hostSeconds += extra;
+        stats.totalSeconds += extra;
     }
     _chips[chip]->batches += 1;
     _chips[chip]->busySeconds += stats.totalSeconds;

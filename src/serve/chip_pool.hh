@@ -181,6 +181,28 @@ class ChipPool
     /** Current service-time multiplier of @p kind (1 = healthy). */
     double slowdown(runtime::PlatformKind kind) const;
 
+    /**
+     * Degrade ONE die: the Scenario "gray slow die" event -- a chip
+     * that still answers health checks but serves every batch
+     * @p factor x slower.  Composes multiplicatively with a platform
+     * slowdown; factor >= 1, 1 heals the die.  Like setSlowdown, the
+     * dispatch layer's service estimates stay stale on purpose.
+     */
+    void setChipSlowdown(int chip, double factor);
+    /** Current service-time multiplier of @p chip (1 = healthy). */
+    double chipSlowdown(int chip) const;
+
+    /**
+     * Degrade host interaction pool-wide: the Scenario "PCIe
+     * trouble" event.  Only the HOST share of each batch stretches
+     * (CPU-side pre/post work crossing the sick link), so apps with
+     * high host-interaction fractions feel it hardest.  Factor >= 1,
+     * 1 heals the link.
+     */
+    void setHostDegrade(double factor);
+    /** Current host-interaction multiplier (1 = healthy). */
+    double hostDegrade() const { return _hostDegrade; }
+
     /** The driver fronting one pool member. */
     runtime::UserSpaceDriver &driver(int chip);
 
@@ -282,6 +304,8 @@ class ChipPool
         bool dead = false;
         /** fail() hit a busy chip: dies when its batch releases. */
         bool dying = false;
+        /** Per-die degradation (gray failure); 1 = healthy. */
+        double slowdownFactor = 1.0;
         stats::StatGroup group;
         stats::Scalar batches;
         stats::Scalar busySeconds;
@@ -304,6 +328,8 @@ class ChipPool
      */
     int _freeTotal = 0;
     int _aliveTotal = 0;
+    /** Pool-wide host-interaction multiplier (PCIe degradation). */
+    double _hostDegrade = 1.0;
     /** _groupFor by PlatformKind value, O(1). */
     std::array<PlatformGroup *, 3> _groupByKind{};
     int _lastGrant = -1;

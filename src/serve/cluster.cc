@@ -70,113 +70,121 @@ Router::plan(const std::vector<double> &boundaries,
              "one weight vector per segment required");
 
     RouterPlan out;
-    const auto nmodels = models.size();
-    for (std::size_t s = 0; s + 1 < boundaries.size(); ++s) {
-        const std::vector<double> &weight = cell_weight[s];
-        const auto ncells = weight.size();
-        RouterPlan::Segment seg;
-        seg.startSeconds = boundaries[s];
-        seg.endSeconds = boundaries[s + 1];
-        fatal_if(seg.endSeconds <= seg.startSeconds,
-                 "segment boundaries must ascend");
-        seg.cellWeight = weight;
-        seg.share.assign(nmodels, std::vector<double>(ncells, 0.0));
-        seg.admit.assign(nmodels,
-                         std::vector<double>(ncells, 1.0));
-        seg.cellRate.assign(ncells, 0.0);
-        seg.utilization.assign(ncells, 0.0);
-
-        // Weighted-least-load placement: each model's offered work,
-        // cut into kPlacementQuanta slices, lands slice by slice on
-        // the least-utilized ALIVE replica cell (ties to the lowest
-        // index).  Work is priced in die-seconds per second, so a
-        // cell that lost dies (smaller weight) fills up faster and
-        // receives less -- the failover redistribution.
-        std::vector<double> work(ncells, 0.0);   // die-seconds/s
-        std::vector<double> iwork(ncells, 0.0);  // interactive slice
-        std::vector<double> bwork(ncells, 0.0);  // batch slice
-        for (std::size_t mi = 0; mi < nmodels; ++mi) {
-            const Model &m = models[mi];
-            fatal_if(m.perItemSeconds <= 0,
-                     "router model needs a positive per-item cost");
-            std::vector<int> alive;
-            for (int c : m.replicaCells) {
-                fatal_if(c < 0 ||
-                         static_cast<std::size_t>(c) >= ncells,
-                         "replica cell %d out of range", c);
-                if (weight[static_cast<std::size_t>(c)] > 0)
-                    alive.push_back(c);
-            }
-            if (alive.empty()) {
-                // Every replica dark: the traffic cannot be served,
-                // but it must not vanish from the offered volume.
-                // Route the full share to the first replica cell
-                // with admit 0 -- the cell generates the arrivals
-                // and router-sheds every one, so shed_rate and the
-                // per-class accounting stay honest.
-                if (!m.replicaCells.empty()) {
-                    const auto bi = static_cast<std::size_t>(
-                        m.replicaCells.front());
-                    seg.share[mi][bi] = 1.0;
-                    seg.admit[mi][bi] = 0.0;
-                    seg.cellRate[bi] += m.rateIps;
-                }
-                continue;
-            }
-            const double quantum_work = m.rateIps * m.perItemSeconds /
-                                        kPlacementQuanta;
-            const double quantum_share = 1.0 / kPlacementQuanta;
-            for (int q = 0; q < kPlacementQuanta; ++q) {
-                int best = alive.front();
-                double best_util =
-                    std::numeric_limits<double>::infinity();
-                for (int c : alive) {
-                    const auto ci = static_cast<std::size_t>(c);
-                    const double util = work[ci] / weight[ci];
-                    if (util < best_util) {
-                        best_util = util;
-                        best = c;
-                    }
-                }
-                const auto bi = static_cast<std::size_t>(best);
-                work[bi] += quantum_work;
-                (m.qos == QosClass::Interactive ? iwork
-                                                : bwork)[bi] +=
-                    quantum_work;
-                seg.share[mi][bi] += quantum_share;
-                seg.cellRate[bi] += m.rateIps * quantum_share;
-            }
-        }
-
-        // QoS admission: a cell projected past the admit threshold
-        // thins its BATCH class to fit; only past the interactive
-        // ceiling does interactive traffic get touched.  The class
-        // fractions then land on every model of that class routed
-        // to the cell (admit[model][cell]).
-        for (std::size_t c = 0; c < ncells; ++c) {
-            if (weight[c] <= 0)
-                continue;
-            seg.utilization[c] = work[c] / weight[c];
-            if (seg.utilization[c] <= _admitUtilization)
-                continue;
-            std::array<double, 2> class_admit = {1.0, 1.0};
-            const double budget = _admitUtilization * weight[c];
-            if (bwork[c] > 0) {
-                const double keep = (budget - iwork[c]) / bwork[c];
-                class_admit[1] = std::clamp(keep, 0.0, 1.0);
-            }
-            const double iceiling = _interactiveCeiling * weight[c];
-            if (iwork[c] > iceiling)
-                class_admit[0] = iceiling / iwork[c];
-            for (std::size_t mi = 0; mi < nmodels; ++mi) {
-                const auto cls = static_cast<std::size_t>(
-                    models[mi].qos == QosClass::Interactive ? 0 : 1);
-                seg.admit[mi][c] *= class_admit[cls];
-            }
-        }
-        out.segments.push_back(std::move(seg));
-    }
+    for (std::size_t s = 0; s + 1 < boundaries.size(); ++s)
+        out.segments.push_back(planSegment(
+            boundaries[s], boundaries[s + 1], cell_weight[s],
+            models));
     return out;
+}
+
+RouterPlan::Segment
+Router::planSegment(double start_seconds, double end_seconds,
+                    const std::vector<double> &weight,
+                    const std::vector<Model> &models) const
+{
+    const auto nmodels = models.size();
+    const auto ncells = weight.size();
+    RouterPlan::Segment seg;
+    seg.startSeconds = start_seconds;
+    seg.endSeconds = end_seconds;
+    fatal_if(seg.endSeconds <= seg.startSeconds,
+             "segment boundaries must ascend");
+    seg.cellWeight = weight;
+    seg.share.assign(nmodels, std::vector<double>(ncells, 0.0));
+    seg.admit.assign(nmodels,
+                     std::vector<double>(ncells, 1.0));
+    seg.cellRate.assign(ncells, 0.0);
+    seg.utilization.assign(ncells, 0.0);
+
+    // Weighted-least-load placement: each model's offered work,
+    // cut into kPlacementQuanta slices, lands slice by slice on
+    // the least-utilized ALIVE replica cell (ties to the lowest
+    // index).  Work is priced in die-seconds per second, so a
+    // cell that lost dies (smaller weight) fills up faster and
+    // receives less -- the failover redistribution.
+    std::vector<double> work(ncells, 0.0);   // die-seconds/s
+    std::vector<double> iwork(ncells, 0.0);  // interactive slice
+    std::vector<double> bwork(ncells, 0.0);  // batch slice
+    for (std::size_t mi = 0; mi < nmodels; ++mi) {
+        const Model &m = models[mi];
+        fatal_if(m.perItemSeconds <= 0,
+                 "router model needs a positive per-item cost");
+        std::vector<int> alive;
+        for (int c : m.replicaCells) {
+            fatal_if(c < 0 ||
+                     static_cast<std::size_t>(c) >= ncells,
+                     "replica cell %d out of range", c);
+            if (weight[static_cast<std::size_t>(c)] > 0)
+                alive.push_back(c);
+        }
+        if (alive.empty()) {
+            // Every replica dark: the traffic cannot be served,
+            // but it must not vanish from the offered volume.
+            // Route the full share to the first replica cell
+            // with admit 0 -- the cell generates the arrivals
+            // and router-sheds every one, so shed_rate and the
+            // per-class accounting stay honest.
+            if (!m.replicaCells.empty()) {
+                const auto bi = static_cast<std::size_t>(
+                    m.replicaCells.front());
+                seg.share[mi][bi] = 1.0;
+                seg.admit[mi][bi] = 0.0;
+                seg.cellRate[bi] += m.rateIps;
+            }
+            continue;
+        }
+        const double quantum_work = m.rateIps * m.perItemSeconds /
+                                    kPlacementQuanta;
+        const double quantum_share = 1.0 / kPlacementQuanta;
+        for (int q = 0; q < kPlacementQuanta; ++q) {
+            int best = alive.front();
+            double best_util =
+                std::numeric_limits<double>::infinity();
+            for (int c : alive) {
+                const auto ci = static_cast<std::size_t>(c);
+                const double util = work[ci] / weight[ci];
+                if (util < best_util) {
+                    best_util = util;
+                    best = c;
+                }
+            }
+            const auto bi = static_cast<std::size_t>(best);
+            work[bi] += quantum_work;
+            (m.qos == QosClass::Interactive ? iwork
+                                            : bwork)[bi] +=
+                quantum_work;
+            seg.share[mi][bi] += quantum_share;
+            seg.cellRate[bi] += m.rateIps * quantum_share;
+        }
+    }
+
+    // QoS admission: a cell projected past the admit threshold
+    // thins its BATCH class to fit; only past the interactive
+    // ceiling does interactive traffic get touched.  The class
+    // fractions then land on every model of that class routed
+    // to the cell (admit[model][cell]).
+    for (std::size_t c = 0; c < ncells; ++c) {
+        if (weight[c] <= 0)
+            continue;
+        seg.utilization[c] = work[c] / weight[c];
+        if (seg.utilization[c] <= _admitUtilization)
+            continue;
+        std::array<double, 2> class_admit = {1.0, 1.0};
+        const double budget = _admitUtilization * weight[c];
+        if (bwork[c] > 0) {
+            const double keep = (budget - iwork[c]) / bwork[c];
+            class_admit[1] = std::clamp(keep, 0.0, 1.0);
+        }
+        const double iceiling = _interactiveCeiling * weight[c];
+        if (iwork[c] > iceiling)
+            class_admit[0] = iceiling / iwork[c];
+        for (std::size_t mi = 0; mi < nmodels; ++mi) {
+            const auto cls = static_cast<std::size_t>(
+                models[mi].qos == QosClass::Interactive ? 0 : 1);
+            seg.admit[mi][c] *= class_admit[cls];
+        }
+    }
+    return seg;
 }
 
 // ------------------------------------------------- merged statistics
@@ -252,6 +260,18 @@ struct Cluster::CellState
     std::map<std::size_t, Snapshot> snaps;
     /** Wall seconds this cell spent per segment (hybrid runs). */
     std::vector<double> segWall;
+
+    /** This cell's failure events (cell-fails expanded to per-chip
+     *  retirements, normalized), filled by _prepareCell. */
+    std::vector<FailureEvent> localFailures;
+    /** First localFailures entry not yet scheduled on the session.
+     *  Barrier modes schedule lazily, segment by segment: a
+     *  barrier's run() drains the queue EMPTY, so an up-front
+     *  schedule would fire far-future failures early and drag the
+     *  cell clock past the segment. */
+    std::size_t failNext = 0;
+    /** Persistent chunked arrival pump (created by _prepareCell). */
+    std::unique_ptr<DetachedPump> pump;
 };
 
 Cluster::Cluster(arch::TpuConfig config, ClusterOptions options)
@@ -395,6 +415,7 @@ Cluster::_cellWeights(const std::vector<double> &boundaries,
             std::vector<int> alive(
                 static_cast<std::size_t>(pool.size()), 1);
             std::map<runtime::PlatformKind, double> slow;
+            std::map<int, double> chip_slow;
             for (const FailureEvent &e : traffic.failures) {
                 if (e.cell != c || e.atSeconds > at)
                     continue;
@@ -411,6 +432,18 @@ Cluster::_cellWeights(const std::vector<double> &boundaries,
                   case FailureKind::PlatformSlowdown:
                     slow[e.platform] = e.factor;
                     break;
+                  case FailureKind::ChipSlowdown:
+                    fatal_if(e.chip < 0 || e.chip >= pool.size(),
+                             "chip-slowdown event for chip %d of a "
+                             "%d-chip cell", e.chip, pool.size());
+                    chip_slow[e.chip] = e.factor;
+                    break;
+                  case FailureKind::HostDegrade:
+                    // Stretches only the host share of service,
+                    // which varies per model: the scalar weight
+                    // heuristic deliberately ignores it, exactly
+                    // like the switcher's aliveFraction().
+                    break;
                 }
             }
             double weight = 0;
@@ -418,7 +451,11 @@ Cluster::_cellWeights(const std::vector<double> &boundaries,
                 if (!alive[static_cast<std::size_t>(chip)])
                     continue;
                 const auto it = slow.find(pool.platform(chip));
-                weight += it == slow.end() ? 1.0 : 1.0 / it->second;
+                double f = it == slow.end() ? 1.0 : it->second;
+                const auto cit = chip_slow.find(chip);
+                if (cit != chip_slow.end())
+                    f *= cit->second; // composes, like invoke()
+                weight += 1.0 / f;
             }
             w.push_back(weight);
         }
@@ -427,11 +464,11 @@ Cluster::_cellWeights(const std::vector<double> &boundaries,
     return weights;
 }
 
-void
-Cluster::_applyCellFailures(int cell_index,
-                            const ClusterTraffic &traffic)
+std::vector<FailureEvent>
+Cluster::_localFailures(int cell_index,
+                        const ClusterTraffic &traffic) const
 {
-    Session &session = cell(cell_index);
+    const Session &session = cell(cell_index);
     std::vector<FailureEvent> local;
     for (const FailureEvent &e : traffic.failures) {
         fatal_if(e.cell < 0 || e.cell >= cells(),
@@ -454,7 +491,158 @@ Cluster::_applyCellFailures(int cell_index,
     }
     ScenarioScript script;
     script.failures = std::move(local);
-    session.applyFailures(script.normalized().failures);
+    return script.normalized().failures;
+}
+
+void
+Cluster::_applyCellFailures(int cell_index,
+                            const ClusterTraffic &traffic)
+{
+    cell(cell_index).applyFailures(
+        _localFailures(cell_index, traffic));
+}
+
+void
+Cluster::_prepareCell(int cell_index, const ClusterTraffic &traffic)
+{
+    CellState &cs = *_cells[static_cast<std::size_t>(cell_index)];
+    cs.localFailures = _localFailures(cell_index, traffic);
+    cs.failNext = 0;
+    // Chunked arrival pump (serve::DetachedPump): arrivals are
+    // pre-generated into a reused buffer and handed to the session a
+    // block at a time, with the simulation run forward at each block
+    // boundary so the pending-arrival ring stays shallow.
+    cs.pump = std::make_unique<DetachedPump>(*cs.session);
+    cs.segWall.assign(_plan.segments.size(), 0.0);
+}
+
+void
+Cluster::_applyFailuresThrough(int cell_index, double end_seconds)
+{
+    CellState &cs = *_cells[static_cast<std::size_t>(cell_index)];
+    Session &session = *cs.session;
+    std::vector<FailureEvent> due;
+    while (cs.failNext < cs.localFailures.size() &&
+           cs.localFailures[cs.failNext].atSeconds < end_seconds) {
+        FailureEvent e = cs.localFailures[cs.failNext++];
+        // The previous barrier's service tail may have run the cell
+        // clock past the event time; clamp forward like the pump
+        // clamps arrivals (deterministic: post-drain sim time is).
+        e.atSeconds = std::max(e.atSeconds, session.now());
+        due.push_back(e);
+    }
+    if (!due.empty())
+        session.applyFailures(due);
+}
+
+void
+Cluster::_pumpSegment(int cell_index, const ClusterTraffic &traffic,
+                      std::size_t s)
+{
+    CellState &cs = *_cells[static_cast<std::size_t>(cell_index)];
+    const auto ci = static_cast<std::size_t>(cell_index);
+    const RouterPlan::Segment &seg = _plan.segments[s];
+    const double rate = seg.cellRate[ci];
+    if (rate <= 0)
+        return;
+    // Cumulative per-model rate split of this cell's stream.
+    std::vector<double> cum(_loaded.size(), 0.0);
+    double total = 0;
+    for (std::size_t m = 0; m < _loaded.size(); ++m) {
+        total += traffic.arrivals.rateIps * traffic.mixShare[m] *
+                 seg.share[m][ci];
+        cum[m] = total;
+    }
+    if (total <= 0)
+        return;
+
+    // The cell's own traffic source: the global scenario SHAPE
+    // at the cell's planned rate, seeded per (cluster seed,
+    // cell, segment) -- independent cells model independent
+    // user populations, and the superposed mean rate equals the
+    // planned cluster rate.  Streams restart (new seed, phase 0)
+    // at every segment boundary, so adding a failure event
+    // changes post-boundary arrivals everywhere: cluster traffic
+    // is a deterministic function of (seed, plan), not of the
+    // seed alone -- the scope note in scenario.hh.
+    ScenarioConfig cfg = traffic.arrivals;
+    cfg.rateIps = rate;
+    cfg.seed = deriveSeed(_options.seed, ci, s, 0x5C311ull);
+    // Hybrid runs carry the segment's absolute phase, so a
+    // diurnal sinusoid stays continuous across the (many more)
+    // hybrid cuts and matches the fluid tier's integral of the
+    // same rate law.  serve() keeps the historical phase-0
+    // restarts -- its pinned fingerprints predate this field.
+    if (_hybrid)
+        cfg.phaseSeconds =
+            traffic.arrivals.phaseSeconds + seg.startSeconds;
+    ArrivalProcess arrivals(cfg);
+    Rng pick(deriveSeed(_options.seed, ci, s, 0xF1C4ull));
+
+    for (;;) {
+        const double t = seg.startSeconds + arrivals.next();
+        if (t >= seg.endSeconds)
+            break;
+        double u = pick.uniformReal(0.0, total);
+        std::size_t m = 0;
+        while (m + 1 < cum.size() && u >= cum[m])
+            ++m;
+        const int cls = classIndex(_loaded[m].qos);
+        const double admit = seg.admit[m][ci];
+        ++cs.offered;
+        if (admit < 1.0 && pick.uniformReal() >= admit) {
+            // Router QoS admission: shed at the front door, batch
+            // class first (the plan guarantees that ordering).
+            ++cs.routerShed[static_cast<std::size_t>(cls)];
+            ++cs.routerShedModel[m];
+            continue;
+        }
+        cs.pump->push(t, _handles[m]);
+    }
+}
+
+void
+Cluster::_runCellSegment(int cell_index,
+                         const ClusterTraffic &traffic,
+                         std::size_t s)
+{
+    CellState &cs = *_cells[static_cast<std::size_t>(cell_index)];
+    Session &session = *cs.session;
+    const auto ci = static_cast<std::size_t>(cell_index);
+    const auto seg_start = std::chrono::steady_clock::now();
+    const RouterPlan::Segment &seg = _plan.segments[s];
+    // Failures due up to this barrier (an event exactly AT the
+    // segment end belongs to the next segment, matching the
+    // weight-replay convention).  Includes events that landed inside
+    // preceding fluid spans: the pool state must be current before
+    // this segment's requests are served.
+    _applyFailuresThrough(cell_index, seg.endSeconds);
+    // Fluid->discrete handoff: queued fluid backlog becomes
+    // real arrivals at the segment's start (clamped forward if
+    // the previous segment's service tail ran past it).
+    if (s < _backlogInject.size() && !_backlogInject[s].empty()) {
+        for (std::size_t m = 0; m < _loaded.size(); ++m) {
+            const std::uint64_t n = _backlogInject[s][m][ci];
+            for (std::uint64_t i = 0; i < n; ++i)
+                cs.pump->push(seg.startSeconds, _handles[m]);
+        }
+    }
+    _pumpSegment(cell_index, traffic, s);
+    cs.pump->flush();
+    session.run();
+    cs.segWall[s] = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - seg_start).count();
+
+    CellState::Snapshot snap;
+    snap.offered = cs.offered;
+    snap.routerShed = cs.routerShed[0] + cs.routerShed[1];
+    const ChipPool &pool = session.pool();
+    for (int chip = 0; chip < pool.size(); ++chip)
+        snap.busySeconds += pool.busySeconds(chip);
+    for (std::size_t m = 0; m < _loaded.size(); ++m)
+        snap.models.emplace_back(
+            session.modelStats(_handles[m]));
+    cs.snaps.emplace(s, std::move(snap));
 }
 
 void
@@ -462,82 +650,18 @@ Cluster::_runCell(int cell_index, const ClusterTraffic &traffic)
 {
     CellState &cs = *_cells[static_cast<std::size_t>(cell_index)];
     Session &session = *cs.session;
-    const auto ci = static_cast<std::size_t>(cell_index);
-    _applyCellFailures(cell_index, traffic);
-
-    // Chunked arrival pump (serve::DetachedPump): arrivals are
-    // pre-generated into a reused buffer and handed to the session a
-    // block at a time, with the simulation run forward at each block
-    // boundary so the pending-arrival ring stays shallow.  Identical
-    // arrival streams to the per-request submit loop this replaces
-    // -- same RNG draw order, same block cadence -- just without
-    // touching the allocator per request.
-    DetachedPump pump(session);
-    const auto pumpSegment = [&](std::size_t s) {
-        const RouterPlan::Segment &seg = _plan.segments[s];
-        const double rate = seg.cellRate[ci];
-        if (rate <= 0)
-            return;
-        // Cumulative per-model rate split of this cell's stream.
-        std::vector<double> cum(_loaded.size(), 0.0);
-        double total = 0;
-        for (std::size_t m = 0; m < _loaded.size(); ++m) {
-            total += traffic.arrivals.rateIps * traffic.mixShare[m] *
-                     seg.share[m][ci];
-            cum[m] = total;
-        }
-        if (total <= 0)
-            return;
-
-        // The cell's own traffic source: the global scenario SHAPE
-        // at the cell's planned rate, seeded per (cluster seed,
-        // cell, segment) -- independent cells model independent
-        // user populations, and the superposed mean rate equals the
-        // planned cluster rate.  Streams restart (new seed, phase 0)
-        // at every segment boundary, so adding a failure event
-        // changes post-boundary arrivals everywhere: cluster traffic
-        // is a deterministic function of (seed, plan), not of the
-        // seed alone -- the scope note in scenario.hh.
-        ScenarioConfig cfg = traffic.arrivals;
-        cfg.rateIps = rate;
-        cfg.seed = deriveSeed(_options.seed, ci, s, 0x5C311ull);
-        // Hybrid runs carry the segment's absolute phase, so a
-        // diurnal sinusoid stays continuous across the (many more)
-        // hybrid cuts and matches the fluid tier's integral of the
-        // same rate law.  serve() keeps the historical phase-0
-        // restarts -- its pinned fingerprints predate this field.
-        if (_hybrid)
-            cfg.phaseSeconds =
-                traffic.arrivals.phaseSeconds + seg.startSeconds;
-        ArrivalProcess arrivals(cfg);
-        Rng pick(deriveSeed(_options.seed, ci, s, 0xF1C4ull));
-
-        for (;;) {
-            const double t = seg.startSeconds + arrivals.next();
-            if (t >= seg.endSeconds)
-                break;
-            double u = pick.uniformReal(0.0, total);
-            std::size_t m = 0;
-            while (m + 1 < cum.size() && u >= cum[m])
-                ++m;
-            const int cls = classIndex(_loaded[m].qos);
-            const double admit = seg.admit[m][ci];
-            ++cs.offered;
-            if (admit < 1.0 && pick.uniformReal() >= admit) {
-                // Router QoS admission: shed at the front door, batch
-                // class first (the plan guarantees that ordering).
-                ++cs.routerShed[static_cast<std::size_t>(cls)];
-                ++cs.routerShedModel[m];
-                continue;
-            }
-            pump.push(t, _handles[m]);
-        }
-    };
+    _prepareCell(cell_index, traffic);
 
     if (!_hybrid) {
+        // Plain serve(): one run() at the end consumes arrivals and
+        // the whole failure script in time order, so everything is
+        // scheduled up front -- byte-identical to the historical
+        // path (its pinned fingerprints predate barrier mode).
+        session.applyFailures(cs.localFailures);
+        cs.failNext = cs.localFailures.size();
         for (std::size_t s = 0; s < _plan.segments.size(); ++s)
-            pumpSegment(s);
-        pump.flush();
+            _pumpSegment(cell_index, traffic, s);
+        cs.pump->flush();
         session.run();
         return;
     }
@@ -548,39 +672,12 @@ Cluster::_runCell(int cell_index, const ClusterTraffic &traffic)
     // per-epoch deltas and the measured anchors handed to the fluid
     // tier both difference these snapshots.  Fluid segments involve
     // no cell work at all; their state arrives as backlog injections
-    // at the next discrete segment's start.
-    cs.segWall.assign(_plan.segments.size(), 0.0);
+    // at the next discrete segment's start.  Failure events are
+    // scheduled lazily per segment (see CellState::failNext).
     for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
         if (_segTier[s] == Tier::Fluid)
             continue;
-        const auto seg_start = std::chrono::steady_clock::now();
-        const RouterPlan::Segment &seg = _plan.segments[s];
-        // Fluid->discrete handoff: queued fluid backlog becomes
-        // real arrivals at the segment's start (clamped forward if
-        // the previous segment's service tail ran past it).
-        if (s < _backlogInject.size() && !_backlogInject[s].empty()) {
-            for (std::size_t m = 0; m < _loaded.size(); ++m) {
-                const std::uint64_t n = _backlogInject[s][m][ci];
-                for (std::uint64_t i = 0; i < n; ++i)
-                    pump.push(seg.startSeconds, _handles[m]);
-            }
-        }
-        pumpSegment(s);
-        pump.flush();
-        session.run();
-        cs.segWall[s] = std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - seg_start).count();
-
-        CellState::Snapshot snap;
-        snap.offered = cs.offered;
-        snap.routerShed = cs.routerShed[0] + cs.routerShed[1];
-        const ChipPool &pool = session.pool();
-        for (int chip = 0; chip < pool.size(); ++chip)
-            snap.busySeconds += pool.busySeconds(chip);
-        for (std::size_t m = 0; m < _loaded.size(); ++m)
-            snap.models.emplace_back(
-                session.modelStats(_handles[m]));
-        cs.snaps.emplace(s, std::move(snap));
+        _runCellSegment(cell_index, traffic, s);
     }
 }
 
@@ -604,6 +701,290 @@ Cluster::serveHybrid(const ClusterTraffic &traffic,
 }
 
 const Cluster::RunStats &
+Cluster::serveControlled(const ClusterTraffic &traffic,
+                         ControlPolicy &policy,
+                         const ControlOptions &options)
+{
+    fatal_if(options.tickSeconds <= 0,
+             "serveControlled needs a positive control tick");
+    fatal_if(options.hybrid.macroIntervalSeconds < 0,
+             "negative fluid macro-interval");
+    fatal_if(options.hybrid.minAnchorSamples == 0,
+             "minAnchorSamples must be positive");
+    fatal_if(_served,
+             "a Cluster serves one traffic run (cell clocks and "
+             "failure state do not rewind); build a fresh Cluster "
+             "per run");
+    _served = true;
+    _hybrid = true; // controlled runs are hybrid runs with re-plans
+    _hybridOptions = options.hybrid;
+    _validateTraffic(traffic);
+
+    ClusterTraffic run = traffic;
+    {
+        ScenarioScript script;
+        script.failures = std::move(run.failures);
+        run.failures = script.normalized().failures;
+    }
+
+    // ---- the hybrid timeline, with the control tick injected as a
+    // hard epoch boundary: no segment straddles a tick, so every
+    // window owns a contiguous segment range and every directive
+    // takes effect at an epoch start.
+    const std::vector<Router::Model> router_models =
+        _routerModels(run);
+    const int dies = cell(0).pool().size();
+    double per_item_mix = 0;
+    for (std::size_t m = 0; m < _loaded.size(); ++m)
+        per_item_mix +=
+            run.mixShare[m] * router_models[m].perItemSeconds;
+    fatal_if(per_item_mix <= 0, "mix prices to zero work");
+    const double capacity_ips =
+        static_cast<double>(cells()) * dies / per_item_mix;
+    SwitcherConfig sw = options.switcher;
+    sw.controlTickSeconds = options.tickSeconds;
+    HybridPlan hplan =
+        TierSwitcher(sw).plan(run, capacity_ips, cells(), dies);
+    if (options.allDiscrete)
+        hplan = HybridPlan::allDiscrete(hplan);
+    _hybridPlan = std::move(hplan);
+
+    const std::vector<double> boundaries = _segmentBoundaries(run);
+    const std::vector<std::vector<double>> base_weights =
+        _cellWeights(boundaries, run);
+    _bindSegments(boundaries);
+    const std::size_t nsegs = boundaries.size() - 1;
+
+    // Segment -> control window (by midpoint; exact because ticks
+    // are epoch cuts).  Windows own contiguous, ascending ranges.
+    const double tick = options.tickSeconds;
+    const int nwindows = static_cast<int>(
+        std::ceil(run.durationSeconds / tick - 1e-9));
+    std::vector<std::size_t> window_begin(
+        static_cast<std::size_t>(nwindows) + 1, nsegs);
+    for (std::size_t s = nsegs; s-- > 0;) {
+        const double mid =
+            0.5 * (boundaries[s] + boundaries[s + 1]);
+        const int w = std::clamp(
+            static_cast<int>(std::floor(mid / tick)), 0,
+            nwindows - 1);
+        window_begin[static_cast<std::size_t>(w)] = s;
+    }
+    for (std::size_t w = static_cast<std::size_t>(nwindows);
+         w-- > 0;)
+        if (window_begin[w] == nsegs)
+            window_begin[w] = window_begin[w + 1];
+
+    // The plan is filled window by window (each window's segments
+    // are planned with that window's directives), but its SHAPE is
+    // fixed now so the per-cell driver state can size its arrays.
+    _plan = RouterPlan{};
+    _plan.segments.resize(nsegs);
+    _backlogInject.assign(nsegs, {});
+    _segIntervals.assign(nsegs, {});
+    _segFluidWall.assign(nsegs, 0.0);
+    _buildFlow();
+    _flow->calibrate(); // window 0's fluid lookups need the ladder
+
+    _publishPrograms();
+    for (int c = 0; c < cells(); ++c)
+        _prepareCell(c, run);
+
+    ControlPolicy::Context ctx;
+    ctx.arrivals = run.arrivals;
+    ctx.mixShare = run.mixShare;
+    for (const Router::Model &rm : router_models) {
+        ctx.perItemSeconds.push_back(rm.perItemSeconds);
+        ctx.qos.push_back(rm.qos);
+        ctx.replicaCells.push_back(rm.replicaCells);
+    }
+    ctx.cells = cells();
+    ctx.diesPerCell = dies;
+    ctx.horizonSeconds = run.durationSeconds;
+    ctx.tickSeconds = tick;
+    ctx.admitUtilization = _options.admitUtilization;
+    ctx.interactiveCeiling = _options.interactiveCeiling;
+    policy.begin(ctx);
+
+    const runtime::PlatformKind primary =
+        _options.fleet.front().platform;
+    const auto ncells = static_cast<std::size_t>(cells());
+    std::vector<RunStats::ControlTickRecord> ticks;
+    double allocated = 0;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    for (int w = 0; w < nwindows; ++w) {
+        const double t0 = static_cast<double>(w) * tick;
+        const double t1 =
+            std::min(run.durationSeconds,
+                     static_cast<double>(w + 1) * tick);
+        const std::size_t s_begin =
+            window_begin[static_cast<std::size_t>(w)];
+        const std::size_t s_end =
+            window_begin[static_cast<std::size_t>(w) + 1];
+
+        // ---- directives, sanitized: a policy cannot produce an
+        // invalid plan, only a conservative one.
+        ControlDirectives dir = policy.directives(w, t0, t1);
+        const double admit = dir.admitUtilization > 0
+                                 ? dir.admitUtilization
+                                 : _options.admitUtilization;
+        const double ceiling =
+            std::max(dir.interactiveCeiling > 0
+                         ? dir.interactiveCeiling
+                         : _options.interactiveCeiling,
+                     admit);
+        std::vector<double> scale(ncells, 1.0);
+        if (!dir.cellScale.empty()) {
+            fatal_if(dir.cellScale.size() != ncells,
+                     "cellScale needs one entry per cell");
+            for (std::size_t c = 0; c < ncells; ++c)
+                scale[c] = std::clamp(dir.cellScale[c], 0.0, 1.0);
+        }
+        std::vector<Router::Model> wmodels = router_models;
+        if (!dir.replicaCells.empty()) {
+            fatal_if(dir.replicaCells.size() != wmodels.size(),
+                     "replicaCells needs one entry per model");
+            for (std::size_t m = 0; m < wmodels.size(); ++m)
+                if (!dir.replicaCells[m].empty())
+                    wmodels[m].replicaCells = dir.replicaCells[m];
+        }
+
+        // ---- re-plan this window's segments against the frozen
+        // service estimates: plan() is a loop over planSegment, so
+        // these segments are byte-identical to a full plan with the
+        // same inputs.
+        const Router wrouter(admit, ceiling);
+        for (std::size_t s = s_begin; s < s_end; ++s) {
+            std::vector<double> weight =
+                base_weights[s]; // scripted-failure replay
+            for (std::size_t c = 0; c < ncells; ++c)
+                weight[c] *= scale[c];
+            _plan.segments[s] = wrouter.planSegment(
+                boundaries[s], boundaries[s + 1], weight, wmodels);
+        }
+
+        // ---- warm-up slowdowns, applied on the cluster timeline at
+        // the window boundary (the barrier: no cell thread is
+        // running, and the event lands on the cell's own queue at
+        // >= its clock, so determinism is untouched).
+        if (!dir.cellSlowdown.empty()) {
+            fatal_if(dir.cellSlowdown.size() != ncells,
+                     "cellSlowdown needs one entry per cell");
+            for (std::size_t c = 0; c < ncells; ++c) {
+                const double f = dir.cellSlowdown[c];
+                if (f <= 0)
+                    continue;
+                fatal_if(f < 1.0,
+                         "slowdown factors are >= 1 (1 heals)");
+                Session &session = cell(static_cast<int>(c));
+                FailureEvent e;
+                e.atSeconds = std::max(t0, session.now());
+                e.cell = static_cast<int>(c);
+                e.kind = FailureKind::PlatformSlowdown;
+                e.platform = primary;
+                e.factor = f;
+                session.applyFailures({e});
+            }
+        }
+
+        int active = 0;
+        for (double v : scale)
+            active += v > 0 ? 1 : 0;
+        allocated += static_cast<double>(active) * dies * (t1 - t0);
+
+        // ---- fluid pass for the window (single-threaded, in time
+        // order), recording every backlog handoff into the window's
+        // discrete segments.
+        for (std::size_t s = s_begin; s < s_end; ++s) {
+            if (_segTier[s] == Tier::Fluid) {
+                _advanceFluidSegment(s, run);
+            } else if (_flow->totalBacklog() > 0) {
+                _injectBacklog(s);
+            }
+        }
+
+        // ---- discrete pass: cells claimed off an atomic counter,
+        // each running ITS window segments in time order to drained
+        // barriers -- the same determinism shape as _serve.
+        bool any_discrete = false;
+        for (std::size_t s = s_begin; s < s_end; ++s)
+            any_discrete |= _segTier[s] == Tier::Discrete;
+        if (any_discrete) {
+            std::atomic<int> next{0};
+            const auto worker = [this, &next, &run, s_begin,
+                                 s_end]() {
+                for (;;) {
+                    const int c = next.fetch_add(1);
+                    if (c >= cells())
+                        return;
+                    for (std::size_t s = s_begin; s < s_end; ++s) {
+                        if (_segTier[s] != Tier::Discrete)
+                            continue;
+                        _runCellSegment(c, run, s);
+                    }
+                }
+            };
+            std::vector<std::thread> pool;
+            for (int i = 1; i < threads(); ++i)
+                pool.emplace_back(worker);
+            worker();
+            for (std::thread &t : pool)
+                t.join();
+        }
+
+        // ---- close the loop: harvest this window's measured
+        // anchors (they sharpen every LATER window's fluid lookups),
+        // observe, record, feed back.
+        for (std::size_t s = s_begin; s < s_end; ++s)
+            if (_segTier[s] == Tier::Discrete)
+                _harvestSegment(s);
+        const ControlObservation obs =
+            _observeWindow(w, t0, t1, s_begin, s_end);
+        RunStats::ControlTickRecord rec;
+        rec.startSeconds = t0;
+        rec.endSeconds = t1;
+        rec.admitUtilization = admit;
+        rec.interactiveCeiling = ceiling;
+        rec.activeCells = active;
+        rec.offered = obs.offered;
+        rec.completed = obs.completed;
+        rec.sloShed = obs.sloShed;
+        rec.routerShed = obs.routerShed;
+        rec.utilization = obs.utilization;
+        rec.interactiveP99 = obs.interactiveP99;
+        ticks.push_back(rec);
+        policy.observe(obs);
+    }
+    // Backlog with no discrete segment left to replay it is shed.
+    _flow->shedRemainingBacklog();
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
+
+    _mergeStats(run);
+    _last.discreteRequests = _last.completed;
+    _last.discreteSimSeconds = _hybridPlan.discreteSeconds();
+    _finishFluidCalibration(); // anchors were harvested per window
+    _foldFluid();
+    _accountEpochs();
+    _last.fluidSimSeconds = _flow->fluidSeconds();
+    _last.ips = run.durationSeconds > 0
+                    ? static_cast<double>(_last.completed) /
+                          run.durationSeconds
+                    : 0.0;
+    _last.controlTicks = std::move(ticks);
+    _last.allocatedDieSeconds = allocated;
+    _last.durationSeconds = run.durationSeconds;
+    _last.wallSeconds = wall;
+    _last.warmupSeconds = _warmupSeconds;
+    _last.warmupLiveRuns = _warmupLiveRuns;
+    _last.warmupStoreHits = _warmupStoreHits;
+    if (_calStore)
+        _calStore->flush();
+    return _last;
+}
+
+const Cluster::RunStats &
 Cluster::_serve(const ClusterTraffic &traffic,
                 const HybridPlan *hybrid, const HybridOptions &hopts)
 {
@@ -617,20 +998,7 @@ Cluster::_serve(const ClusterTraffic &traffic,
         _hybridPlan = *hybrid;
         _hybridOptions = hopts;
     }
-    fatal_if(_loaded.empty(), "serve() with no loaded models");
-    fatal_if(traffic.mixShare.size() != _loaded.size(),
-             "mixShare must have one entry per loaded model");
-    fatal_if(traffic.durationSeconds <= 0,
-             "traffic needs a positive duration");
-    fatal_if(traffic.arrivals.rateIps <= 0,
-             "traffic needs a positive mean rate");
-    double mix_total = 0;
-    for (double share : traffic.mixShare) {
-        fatal_if(share < 0, "negative mix share");
-        mix_total += share;
-    }
-    fatal_if(std::abs(mix_total - 1.0) > 1e-6,
-             "mix shares must sum to 1 (got %f)", mix_total);
+    _validateTraffic(traffic);
 
     // Canonicalize the failure schedule ONCE, up front: planning
     // replays it (latest event in TIME must win, not latest in
@@ -647,21 +1015,8 @@ Cluster::_serve(const ClusterTraffic &traffic,
     const std::vector<double> boundaries = _segmentBoundaries(run);
     const std::vector<std::vector<double>> weights =
         _cellWeights(boundaries, run);
-    std::vector<Router::Model> router_models;
-    const runtime::PlatformKind primary =
-        _options.fleet.front().platform;
-    for (std::size_t m = 0; m < _loaded.size(); ++m) {
-        Router::Model rm;
-        rm.rateIps = traffic.arrivals.rateIps * traffic.mixShare[m];
-        const latency::ServiceModel &est =
-            cell(0).serviceEstimate(_handles[m], primary);
-        rm.perItemSeconds =
-            est.seconds(_loaded[m].policy.maxBatch) /
-            static_cast<double>(_loaded[m].policy.maxBatch);
-        rm.qos = _loaded[m].qos;
-        rm.replicaCells = _loaded[m].replicaCells;
-        router_models.push_back(std::move(rm));
-    }
+    const std::vector<Router::Model> router_models =
+        _routerModels(run);
     _plan = _router.plan(boundaries, weights, router_models);
 
     // ---- hybrid: bind each router segment to its epoch's tier and
@@ -670,40 +1025,14 @@ Cluster::_serve(const ClusterTraffic &traffic,
     // already known (the determinism contract does not change: the
     // fluid pass is single-threaded double arithmetic).
     if (_hybrid) {
-        _segTier.assign(_plan.segments.size(), Tier::Discrete);
-        _segEpoch.assign(_plan.segments.size(), 0);
-        for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
-            const double mid =
-                0.5 * (_plan.segments[s].startSeconds +
-                       _plan.segments[s].endSeconds);
-            for (std::size_t e = 0; e < _hybridPlan.epochs.size();
-                 ++e) {
-                const Epoch &ep = _hybridPlan.epochs[e];
-                if (mid >= ep.startSeconds && mid < ep.endSeconds) {
-                    _segTier[s] = ep.tier;
-                    _segEpoch[s] = e;
-                    break;
-                }
-            }
-        }
+        _bindSegments(boundaries);
         _advanceFluid(run);
     }
 
     // ---- publish: compile on cell 0, warm the replay memo (store
     // hits + parallel cycle-sim fill), freeze both, then share
     // read-only with every cell thread.
-    if (!_published) {
-        const auto warm_start = std::chrono::steady_clock::now();
-        _warmReplayMemo();
-        _cache->freeze();
-        if (_tpuBackend)
-            _tpuBackend->freeze();
-        _published = true;
-        _warmupSeconds = std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - warm_start).count();
-        if (_calStore)
-            _calStore->flush();
-    }
+    _publishPrograms();
 
     // ---- run the cells on the worker pool.  Cells are claimed off
     // an atomic counter; which OS thread runs which cell is the ONLY
@@ -750,6 +1079,84 @@ Cluster::_serve(const ClusterTraffic &traffic,
     if (_calStore)
         _calStore->flush();
     return _last;
+}
+
+void
+Cluster::_validateTraffic(const ClusterTraffic &traffic) const
+{
+    fatal_if(_loaded.empty(), "serve() with no loaded models");
+    fatal_if(traffic.mixShare.size() != _loaded.size(),
+             "mixShare must have one entry per loaded model");
+    fatal_if(traffic.durationSeconds <= 0,
+             "traffic needs a positive duration");
+    fatal_if(traffic.arrivals.rateIps <= 0,
+             "traffic needs a positive mean rate");
+    double mix_total = 0;
+    for (double share : traffic.mixShare) {
+        fatal_if(share < 0, "negative mix share");
+        mix_total += share;
+    }
+    fatal_if(std::abs(mix_total - 1.0) > 1e-6,
+             "mix shares must sum to 1 (got %f)", mix_total);
+}
+
+std::vector<Router::Model>
+Cluster::_routerModels(const ClusterTraffic &traffic)
+{
+    std::vector<Router::Model> router_models;
+    const runtime::PlatformKind primary =
+        _options.fleet.front().platform;
+    for (std::size_t m = 0; m < _loaded.size(); ++m) {
+        Router::Model rm;
+        rm.rateIps = traffic.arrivals.rateIps * traffic.mixShare[m];
+        const latency::ServiceModel &est =
+            cell(0).serviceEstimate(_handles[m], primary);
+        rm.perItemSeconds =
+            est.seconds(_loaded[m].policy.maxBatch) /
+            static_cast<double>(_loaded[m].policy.maxBatch);
+        rm.qos = _loaded[m].qos;
+        rm.replicaCells = _loaded[m].replicaCells;
+        router_models.push_back(std::move(rm));
+    }
+    return router_models;
+}
+
+void
+Cluster::_bindSegments(const std::vector<double> &boundaries)
+{
+    const std::size_t nsegs = boundaries.size() - 1;
+    _segTier.assign(nsegs, Tier::Discrete);
+    _segEpoch.assign(nsegs, 0);
+    for (std::size_t s = 0; s < nsegs; ++s) {
+        const double mid =
+            0.5 * (boundaries[s] + boundaries[s + 1]);
+        for (std::size_t e = 0; e < _hybridPlan.epochs.size();
+             ++e) {
+            const Epoch &ep = _hybridPlan.epochs[e];
+            if (mid >= ep.startSeconds && mid < ep.endSeconds) {
+                _segTier[s] = ep.tier;
+                _segEpoch[s] = e;
+                break;
+            }
+        }
+    }
+}
+
+void
+Cluster::_publishPrograms()
+{
+    if (_published)
+        return;
+    const auto warm_start = std::chrono::steady_clock::now();
+    _warmReplayMemo();
+    _cache->freeze();
+    if (_tpuBackend)
+        _tpuBackend->freeze();
+    _published = true;
+    _warmupSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - warm_start).count();
+    if (_calStore)
+        _calStore->flush();
 }
 
 void
@@ -825,16 +1232,12 @@ Cluster::_warmReplayMemo()
 }
 
 void
-Cluster::_advanceFluid(const ClusterTraffic &traffic)
+Cluster::_buildFlow()
 {
-    const auto nsegs = _plan.segments.size();
-    const auto nmodels = _loaded.size();
-    const auto ncells = static_cast<std::size_t>(cells());
-
     std::vector<fluid::FlowSpec> specs;
     const runtime::PlatformKind primary =
         _options.fleet.front().platform;
-    for (std::size_t m = 0; m < nmodels; ++m) {
+    for (std::size_t m = 0; m < _loaded.size(); ++m) {
         fluid::FlowSpec fs;
         fs.name = _loaded[m].name;
         fs.service = cell(0).serviceEstimate(_handles[m], primary);
@@ -848,79 +1251,103 @@ Cluster::_advanceFluid(const ClusterTraffic &traffic)
     _hybridOptions.flow.ladderCache = _calStore.get();
     _flow = std::make_unique<fluid::FlowModel>(
         std::move(specs), cells(), _hybridOptions.flow);
+    _measuredBusy = 0;
+    _efficientBusy = 0;
+}
 
-    _backlogInject.assign(nsegs, {});
-    _segIntervals.assign(nsegs, {});
-    _segFluidWall.assign(nsegs, 0.0);
-
+void
+Cluster::_advanceFluidSegment(std::size_t s,
+                              const ClusterTraffic &traffic)
+{
+    const auto nmodels = _loaded.size();
+    const auto ncells = static_cast<std::size_t>(cells());
+    const RouterPlan::Segment &seg = _plan.segments[s];
     // The fluid tier integrates the ABSOLUTE rate law: the traffic
     // config with the caller's phase, evaluated at absolute times --
     // the same convention the hybrid discrete pumps use
     // (phase = segment start), so both tiers see one continuous
     // sinusoid rather than per-segment restarts.
     const ScenarioConfig &law = traffic.arrivals;
+    const auto wall_start = std::chrono::steady_clock::now();
+    double step = _hybridOptions.macroIntervalSeconds;
+    if (step <= 0) {
+        // Auto: resolve the diurnal swing for latency
+        // attribution; constant-rate laws integrate exactly in
+        // one interval.
+        step = law.kind == ArrivalKind::Diurnal
+                   ? law.periodSeconds / 32.0
+                   : seg.endSeconds - seg.startSeconds;
+    }
+    const double span = seg.endSeconds - seg.startSeconds;
+    const auto nsteps = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(span / step - 1e-9)));
+    for (std::size_t k = 0; k < nsteps; ++k) {
+        fluid::FlowInterval iv;
+        iv.startSeconds =
+            seg.startSeconds + static_cast<double>(k) * step;
+        iv.endSeconds =
+            k + 1 == nsteps
+                ? seg.endSeconds
+                : seg.startSeconds +
+                      static_cast<double>(k + 1) * step;
+        iv.cellWeight = seg.cellWeight;
+        const double rate =
+            law.meanRateOver(iv.startSeconds, iv.endSeconds);
+        iv.offeredRate.assign(nmodels,
+                              std::vector<double>(ncells, 0.0));
+        iv.admit.assign(nmodels,
+                        std::vector<double>(ncells, 0.0));
+        for (std::size_t m = 0; m < nmodels; ++m) {
+            for (std::size_t c = 0; c < ncells; ++c) {
+                iv.offeredRate[m][c] = rate *
+                                       traffic.mixShare[m] *
+                                       seg.share[m][c];
+                iv.admit[m][c] = seg.admit[m][c];
+            }
+        }
+        _segIntervals[s].push_back(_flow->advance(iv));
+    }
+    _segFluidWall[s] = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
+}
+
+void
+Cluster::_injectBacklog(std::size_t s)
+{
+    // Fluid->discrete boundary: everything still queued in
+    // the flow crosses the tier boundary as whole requests,
+    // injected at this segment's start by every cell.
+    const auto nmodels = _loaded.size();
+    const auto ncells = static_cast<std::size_t>(cells());
+    auto &inject = _backlogInject[s];
+    inject.assign(nmodels,
+                  std::vector<std::uint64_t>(ncells, 0));
+    for (std::size_t m = 0; m < nmodels; ++m)
+        for (std::size_t c = 0; c < ncells; ++c)
+            inject[m][c] = _flow->takeBacklog(
+                m, static_cast<int>(c));
+}
+
+void
+Cluster::_advanceFluid(const ClusterTraffic &traffic)
+{
+    const auto nsegs = _plan.segments.size();
+    _buildFlow();
+    _backlogInject.assign(nsegs, {});
+    _segIntervals.assign(nsegs, {});
+    _segFluidWall.assign(nsegs, 0.0);
+
     bool pending_backlog = false;
     for (std::size_t s = 0; s < nsegs; ++s) {
-        const RouterPlan::Segment &seg = _plan.segments[s];
         if (_segTier[s] == Tier::Discrete) {
             if (!pending_backlog)
                 continue;
-            // Fluid->discrete boundary: everything still queued in
-            // the flow crosses the tier boundary as whole requests,
-            // injected at this segment's start by every cell.
             pending_backlog = false;
-            auto &inject = _backlogInject[s];
-            inject.assign(nmodels,
-                          std::vector<std::uint64_t>(ncells, 0));
-            for (std::size_t m = 0; m < nmodels; ++m)
-                for (std::size_t c = 0; c < ncells; ++c)
-                    inject[m][c] = _flow->takeBacklog(
-                        m, static_cast<int>(c));
+            _injectBacklog(s);
             continue;
         }
-
-        const auto wall_start = std::chrono::steady_clock::now();
-        double step = _hybridOptions.macroIntervalSeconds;
-        if (step <= 0) {
-            // Auto: resolve the diurnal swing for latency
-            // attribution; constant-rate laws integrate exactly in
-            // one interval.
-            step = law.kind == ArrivalKind::Diurnal
-                       ? law.periodSeconds / 32.0
-                       : seg.endSeconds - seg.startSeconds;
-        }
-        const double span = seg.endSeconds - seg.startSeconds;
-        const auto nsteps = static_cast<std::size_t>(
-            std::max(1.0, std::ceil(span / step - 1e-9)));
-        for (std::size_t k = 0; k < nsteps; ++k) {
-            fluid::FlowInterval iv;
-            iv.startSeconds =
-                seg.startSeconds + static_cast<double>(k) * step;
-            iv.endSeconds =
-                k + 1 == nsteps
-                    ? seg.endSeconds
-                    : seg.startSeconds +
-                          static_cast<double>(k + 1) * step;
-            iv.cellWeight = seg.cellWeight;
-            const double rate =
-                law.meanRateOver(iv.startSeconds, iv.endSeconds);
-            iv.offeredRate.assign(nmodels,
-                                  std::vector<double>(ncells, 0.0));
-            iv.admit.assign(nmodels,
-                            std::vector<double>(ncells, 0.0));
-            for (std::size_t m = 0; m < nmodels; ++m) {
-                for (std::size_t c = 0; c < ncells; ++c) {
-                    iv.offeredRate[m][c] = rate *
-                                           traffic.mixShare[m] *
-                                           seg.share[m][c];
-                    iv.admit[m][c] = seg.admit[m][c];
-                }
-            }
-            _segIntervals[s].push_back(_flow->advance(iv));
-        }
+        _advanceFluidSegment(s, traffic);
         pending_backlog = true;
-        _segFluidWall[s] = std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - wall_start).count();
     }
     // Backlog with no discrete epoch left to replay it is shed --
     // conservation across the whole horizon, nothing vanishes.
@@ -928,7 +1355,7 @@ Cluster::_advanceFluid(const ClusterTraffic &traffic)
 }
 
 void
-Cluster::_calibrateFluidLatency()
+Cluster::_harvestSegment(std::size_t s)
 {
     // Harvest a measured latency anchor per (discrete segment,
     // model) with enough samples: the cross-cell merged DELTA of the
@@ -937,83 +1364,81 @@ Cluster::_calibrateFluidLatency()
     // discrete->fluid half of the handoff: the ladder supplies
     // load-dependence, these anchors pin its level to what the real
     // batcher and fleet did in THIS run.
-    _flow->calibrate(); // idempotent; all-discrete runs price too
-    double measured_busy = 0;  // discrete busy seconds, all epochs
-    double efficient_busy = 0; // same work at ladder pricing
-    for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
-        if (_segTier[s] != Tier::Discrete)
-            continue;
-        const RouterPlan::Segment &seg = _plan.segments[s];
-        const double dt = seg.endSeconds - seg.startSeconds;
-        double available = 0;
-        for (double w : seg.cellWeight)
-            available += w * dt;
-        double busy_delta = 0;
+    const RouterPlan::Segment &seg = _plan.segments[s];
+    const double dt = seg.endSeconds - seg.startSeconds;
+    double available = 0;
+    for (double w : seg.cellWeight)
+        available += w * dt;
+    double busy_delta = 0;
+    for (const auto &cellptr : _cells) {
+        const auto it = cellptr->snaps.find(s);
+        fatal_if(it == cellptr->snaps.end(),
+                 "missing hybrid snapshot for segment %zu", s);
+        const CellState::Snapshot *before =
+            it == cellptr->snaps.begin()
+                ? nullptr
+                : &std::prev(it)->second;
+        busy_delta += it->second.busySeconds -
+                      (before ? before->busySeconds : 0.0);
+    }
+    const double utilization =
+        available > 0 ? busy_delta / available : 0.0;
+    _measuredBusy += busy_delta;
+
+    for (std::size_t m = 0; m < _loaded.size(); ++m) {
+        stats::Distribution delta =
+            _cells.front()->snaps.at(s).models[m].response;
+        delta.reset();
+        double batch_sum = 0;
+        std::uint64_t batch_count = 0;
         for (const auto &cellptr : _cells) {
             const auto it = cellptr->snaps.find(s);
-            fatal_if(it == cellptr->snaps.end(),
-                     "missing hybrid snapshot for segment %zu", s);
+            const CellState::Snapshot &after = it->second;
             const CellState::Snapshot *before =
                 it == cellptr->snaps.begin()
                     ? nullptr
                     : &std::prev(it)->second;
-            busy_delta += it->second.busySeconds -
-                          (before ? before->busySeconds : 0.0);
-        }
-        const double utilization =
-            available > 0 ? busy_delta / available : 0.0;
-        measured_busy += busy_delta;
-
-        for (std::size_t m = 0; m < _loaded.size(); ++m) {
-            stats::Distribution delta =
-                _cells.front()->snaps.at(s).models[m].response;
-            delta.reset();
-            double batch_sum = 0;
-            std::uint64_t batch_count = 0;
-            for (const auto &cellptr : _cells) {
-                const auto it = cellptr->snaps.find(s);
-                const CellState::Snapshot &after = it->second;
-                const CellState::Snapshot *before =
-                    it == cellptr->snaps.begin()
-                        ? nullptr
-                        : &std::prev(it)->second;
-                if (before) {
-                    delta.mergeDelta(after.models[m].response,
-                                     before->models[m].response);
-                    batch_sum += after.models[m].batchSum -
-                                 before->models[m].batchSum;
-                    batch_count += after.models[m].batchCount -
-                                   before->models[m].batchCount;
-                } else {
-                    delta.merge(after.models[m].response);
-                    batch_sum += after.models[m].batchSum;
-                    batch_count += after.models[m].batchCount;
-                }
+            if (before) {
+                delta.mergeDelta(after.models[m].response,
+                                 before->models[m].response);
+                batch_sum += after.models[m].batchSum -
+                             before->models[m].batchSum;
+                batch_count += after.models[m].batchCount -
+                               before->models[m].batchCount;
+            } else {
+                delta.merge(after.models[m].response);
+                batch_sum += after.models[m].batchSum;
+                batch_count += after.models[m].batchCount;
             }
-            // Price this segment's requests exactly as the fluid
-            // tier will price its own (the ladder's mean batch at
-            // the operating point), so the scale below is the
-            // residual between real fleet busy and ladder pricing --
-            // the part the queue surrogate cannot predict.
-            efficient_busy +=
-                static_cast<double>(delta.count()) *
-                _flow->efficientPerItem(m, utilization);
-            if (delta.count() < _hybridOptions.minAnchorSamples)
-                continue;
-            fluid::LatencyAnchor anchor;
-            anchor.utilization = std::max(0.0, utilization);
-            anchor.meanResponse = delta.mean();
-            anchor.meanBatch =
-                batch_count > 0
-                    ? batch_sum / static_cast<double>(batch_count)
-                    : 1.0;
-            for (std::size_t q = 0;
-                 q < latency::kResponseQuantiles.size(); ++q)
-                anchor.quantiles[q] =
-                    delta.percentile(latency::kResponseQuantiles[q]);
-            _flow->addMeasuredAnchor(m, anchor);
         }
+        // Price this segment's requests exactly as the fluid
+        // tier will price its own (the ladder's mean batch at
+        // the operating point), so the scale below is the
+        // residual between real fleet busy and ladder pricing --
+        // the part the queue surrogate cannot predict.
+        _efficientBusy +=
+            static_cast<double>(delta.count()) *
+            _flow->efficientPerItem(m, utilization);
+        if (delta.count() < _hybridOptions.minAnchorSamples)
+            continue;
+        fluid::LatencyAnchor anchor;
+        anchor.utilization = std::max(0.0, utilization);
+        anchor.meanResponse = delta.mean();
+        anchor.meanBatch =
+            batch_count > 0
+                ? batch_sum / static_cast<double>(batch_count)
+                : 1.0;
+        for (std::size_t q = 0;
+             q < latency::kResponseQuantiles.size(); ++q)
+            anchor.quantiles[q] =
+                delta.percentile(latency::kResponseQuantiles[q]);
+        _flow->addMeasuredAnchor(m, anchor);
     }
+}
+
+void
+Cluster::_finishFluidCalibration()
+{
     // The utilization half of the handoff: the model re-prices its
     // busy totals at the ladder's load-dependent mean batch, times
     // this measured residual (fleet busy vs ladder pricing), capped
@@ -1024,11 +1449,149 @@ Cluster::_calibrateFluidLatency()
     // unrepresentative sample must not saturate every quiet-day
     // fluid interval.
     _fluidBusyScale =
-        efficient_busy > 0
-            ? std::clamp(measured_busy / efficient_busy, 0.5, 2.0)
+        _efficientBusy > 0
+            ? std::clamp(_measuredBusy / _efficientBusy, 0.5, 2.0)
             : 1.0;
     _flow->applyBusyScale(_fluidBusyScale);
     _flow->synthesizeLatency();
+}
+
+void
+Cluster::_calibrateFluidLatency()
+{
+    _flow->calibrate(); // idempotent; all-discrete runs price too
+    for (std::size_t s = 0; s < _plan.segments.size(); ++s) {
+        if (_segTier[s] != Tier::Discrete)
+            continue;
+        _harvestSegment(s);
+    }
+    _finishFluidCalibration();
+}
+
+ControlObservation
+Cluster::_observeWindow(int window, double t0, double t1,
+                        std::size_t s_begin, std::size_t s_end)
+{
+    const auto nmodels = _loaded.size();
+    const auto whole = [](double v) {
+        return static_cast<std::uint64_t>(
+            std::llround(std::max(0.0, v)));
+    };
+    ControlObservation obs;
+    obs.window = window;
+    obs.startSeconds = t0;
+    obs.endSeconds = t1;
+    obs.modelCompleted.assign(nmodels, 0.0);
+
+    double available = 0;        // planned (scaled) die-seconds
+    double f_offered = 0, f_admitted = 0, f_completed = 0;
+    double f_router_shed = 0;
+    double f_ip99_mass = 0, f_icompleted = 0;
+    // Backlog injected into this window's discrete segments was
+    // already admitted by the fluid tier (possibly in an earlier
+    // window); except it from the discrete admitted delta so a
+    // handed-off request is admitted once, not twice.
+    double injected = 0;
+    // Merged cross-cell interactive response delta, lazily sized
+    // from the first interactive histogram encountered.
+    std::unique_ptr<stats::Distribution> idelta;
+
+    for (std::size_t s = s_begin; s < s_end; ++s) {
+        const RouterPlan::Segment &seg = _plan.segments[s];
+        const double dt = seg.endSeconds - seg.startSeconds;
+        for (double w : seg.cellWeight)
+            available += w * dt;
+
+        if (_segTier[s] == Tier::Fluid) {
+            for (std::size_t idx : _segIntervals[s]) {
+                const fluid::IntervalAccount &acc =
+                    _flow->intervals()[idx];
+                f_offered += acc.offered;
+                f_admitted += acc.admitted;
+                f_completed += acc.completed;
+                f_router_shed += acc.routerShed;
+                obs.busySeconds += acc.busySeconds;
+                for (std::size_t m = 0; m < nmodels; ++m) {
+                    obs.modelCompleted[m] += acc.modelCompleted[m];
+                    if (_loaded[m].qos != QosClass::Interactive)
+                        continue;
+                    // IntervalAccount::modelP99 is filled by the
+                    // deferred synthesizeLatency() pass, AFTER the
+                    // run; mid-run the surrogate lookup (ladder
+                    // interpolation + whatever measured anchors
+                    // earlier windows harvested) is the estimate.
+                    const double p99 =
+                        _flow->lookup(m, acc.utilization)
+                            .quantiles[5];
+                    f_ip99_mass += acc.modelCompleted[m] * p99;
+                    f_icompleted += acc.modelCompleted[m];
+                }
+            }
+            continue;
+        }
+
+        obs.sawDiscrete = true;
+        if (s < _backlogInject.size() && !_backlogInject[s].empty())
+            for (const auto &per_cell : _backlogInject[s])
+                for (std::uint64_t n : per_cell)
+                    injected += static_cast<double>(n);
+        for (const auto &cellptr : _cells) {
+            const CellState &cs = *cellptr;
+            const auto it = cs.snaps.find(s);
+            fatal_if(it == cs.snaps.end(),
+                     "missing control snapshot for segment %zu", s);
+            const CellState::Snapshot &after = it->second;
+            const CellState::Snapshot *before =
+                it == cs.snaps.begin() ? nullptr
+                                       : &std::prev(it)->second;
+            obs.offered +=
+                after.offered - (before ? before->offered : 0);
+            obs.routerShed += after.routerShed -
+                              (before ? before->routerShed : 0);
+            obs.busySeconds +=
+                after.busySeconds -
+                (before ? before->busySeconds : 0.0);
+            for (std::size_t m = 0; m < nmodels; ++m) {
+                const CellState::ModelSnap &am = after.models[m];
+                const CellState::ModelSnap *bm =
+                    before ? &before->models[m] : nullptr;
+                const double sub =
+                    am.submitted - (bm ? bm->submitted : 0.0);
+                const double comp =
+                    am.completed - (bm ? bm->completed : 0.0);
+                const double shed =
+                    am.shed - (bm ? bm->shed : 0.0);
+                obs.admitted += whole(sub);
+                obs.completed += whole(comp);
+                obs.sloShed += whole(shed);
+                obs.modelCompleted[m] += comp;
+                if (_loaded[m].qos != QosClass::Interactive)
+                    continue;
+                if (!idelta) {
+                    idelta = std::make_unique<stats::Distribution>(
+                        am.response);
+                    idelta->reset();
+                }
+                if (bm)
+                    idelta->mergeDelta(am.response, bm->response);
+                else
+                    idelta->merge(am.response);
+            }
+        }
+    }
+
+    obs.offered += whole(f_offered);
+    obs.admitted += whole(f_admitted);
+    obs.admitted -= std::min(obs.admitted, whole(injected));
+    obs.completed += whole(f_completed);
+    obs.routerShed += whole(f_router_shed);
+    obs.utilization =
+        available > 0 ? obs.busySeconds / available : 0.0;
+    if (idelta && idelta->count() > 0)
+        obs.interactiveP99 = idelta->percentile(0.99);
+    else if (f_icompleted > 0)
+        obs.interactiveP99 = f_ip99_mass / f_icompleted;
+    return obs;
 }
 
 void
@@ -1404,6 +1967,26 @@ Cluster::RunStats::fingerprint() const
         foldDouble(discreteSimSeconds);
         fold(fluidRequests);
         fold(discreteRequests);
+    }
+    // Control-plane timeline, same backward-compat convention: only
+    // serveControlled() runs have ticks, so serve()/serveHybrid()
+    // digests are untouched.
+    if (!controlTicks.empty()) {
+        fold(controlTicks.size());
+        for (const ControlTickRecord &t : controlTicks) {
+            foldDouble(t.startSeconds);
+            foldDouble(t.endSeconds);
+            foldDouble(t.admitUtilization);
+            foldDouble(t.interactiveCeiling);
+            fold(static_cast<std::uint64_t>(t.activeCells));
+            fold(t.offered);
+            fold(t.completed);
+            fold(t.sloShed);
+            fold(t.routerShed);
+            foldDouble(t.utilization);
+            foldDouble(t.interactiveP99);
+        }
+        foldDouble(allocatedDieSeconds);
     }
     return h;
 }

@@ -186,12 +186,153 @@ class Router
                     const std::vector<std::vector<double>> &cell_weight,
                     const std::vector<Model> &models) const;
 
+    /**
+     * Plan ONE segment [start, end) -- the per-segment body of
+     * plan(), exposed so a mid-run re-plan (the control plane
+     * resizing replica sets or retuning admission between ticks)
+     * prices fresh segments against the SAME frozen caches and
+     * service estimates instead of rebuilding cells.  plan() is a
+     * loop over this function: byte-identical segments either way.
+     */
+    RouterPlan::Segment planSegment(
+        double start_seconds, double end_seconds,
+        const std::vector<double> &cell_weight,
+        const std::vector<Model> &models) const;
+
     /** Rate slices per model per segment (placement resolution). */
     static constexpr int kPlacementQuanta = 64;
 
   private:
     double _admitUtilization;
     double _interactiveCeiling;
+};
+
+// ------------------------------------------------- the control plane
+
+/**
+ * What a control policy may change at one tick boundary.  Every
+ * field is optional (sentinel = keep the current value); the cluster
+ * sanitizes before use, so a policy cannot produce an invalid plan
+ * (negative weights, a ceiling below the admit threshold, replicas
+ * out of range).
+ */
+struct ControlDirectives
+{
+    /** Batch-thinning admit threshold; <= 0 keeps the cluster's. */
+    double admitUtilization = -1;
+    /** Interactive ceiling; <= 0 keeps the cluster's.  Clamped up
+     *  to the admit threshold (the Router's invariant). */
+    double interactiveCeiling = -1;
+    /**
+     * Per-cell capacity scale in [0, 1]; 0 drains the cell (the
+     * router routes around it, traffic with no live replica is shed
+     * honestly).  Empty = every cell at 1.  Scales the ROUTER's
+     * weights only: the autoscaler's "dark" cells stop receiving
+     * traffic but their pools keep their failure state.
+     */
+    std::vector<double> cellScale;
+    /**
+     * Per-model replica-cell override (empty inner vector = keep the
+     * loaded placement).  Routing only; compiled images stay shared.
+     */
+    std::vector<std::vector<int>> replicaCells;
+    /**
+     * Per-cell platform slowdown applied to the PRIMARY platform's
+     * dies at the window start (0 = leave untouched, >= 1 sets the
+     * factor, 1.0 heals).  The rolling-upgrade warm-up knob.
+     */
+    std::vector<double> cellSlowdown;
+};
+
+/** What the cluster reports back after each control window runs. */
+struct ControlObservation
+{
+    int window = 0;
+    double startSeconds = 0;
+    double endSeconds = 0;
+    /** True when any segment of the window ran discrete. */
+    bool sawDiscrete = false;
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t sloShed = 0;
+    std::uint64_t routerShed = 0;
+    double busySeconds = 0;
+    /** Busy over the window's planned (scaled) die-seconds. */
+    double utilization = 0;
+    /**
+     * Interactive-class p99 this window: the merged cross-cell
+     * response delta when discrete segments contributed samples,
+     * otherwise the fluid surrogate's estimate at the window's
+     * operating point.  0 when the window served no interactive
+     * work at all.
+     */
+    double interactiveP99 = 0;
+    /** Per-model completed counts (load order). */
+    std::vector<double> modelCompleted;
+};
+
+/**
+ * A closed-loop control policy: consulted before every control
+ * window for directives, fed the window's observation after its
+ * barrier.  Determinism contract: directives() and observe() must be
+ * pure functions of (Context, prior observations) -- the
+ * observations themselves are bit-identical across reruns and
+ * thread counts, so a deterministic policy keeps the whole
+ * controlled run inside the cluster's fingerprint contract.
+ */
+class ControlPolicy
+{
+  public:
+    virtual ~ControlPolicy() = default;
+
+    /** Everything a policy may plan from, fixed at run start. */
+    struct Context
+    {
+        /** The traffic law (cluster-wide rate; meanRateOver is the
+         *  predictive-forecast primitive). */
+        ScenarioConfig arrivals;
+        std::vector<double> mixShare;       ///< per model, load order
+        std::vector<double> perItemSeconds; ///< router pricing
+        std::vector<QosClass> qos;
+        /** Loaded replica placement per model. */
+        std::vector<std::vector<int>> replicaCells;
+        int cells = 0;
+        int diesPerCell = 0;
+        double horizonSeconds = 0;
+        double tickSeconds = 0;
+        /** The cluster's default thresholds. */
+        double admitUtilization = 0;
+        double interactiveCeiling = 0;
+    };
+
+    virtual void begin(const Context &) {}
+    /** Directives for window @p window covering [@p t0, @p t1). */
+    virtual ControlDirectives directives(int window, double t0,
+                                         double t1) = 0;
+    virtual void observe(const ControlObservation &) {}
+};
+
+/** Knobs for Cluster::serveControlled. */
+struct ControlOptions
+{
+    /** Control tick cadence (seconds); required > 0. */
+    double tickSeconds = 0;
+    /**
+     * Tier-switcher knobs for the underlying hybrid timeline; the
+     * tick is injected as SwitcherConfig::controlTickSeconds, so
+     * every control decision lands on an epoch boundary.
+     */
+    SwitcherConfig switcher;
+    /** Fluid-tier knobs (shared with serveHybrid). */
+    HybridOptions hybrid;
+    /**
+     * Force every epoch discrete: the reference mode the hybrid
+     * determinism gate compares against, and the mode under which
+     * request conservation (completed + shed == offered) is exact
+     * rather than rounded.
+     */
+    bool allDiscrete = false;
 };
 
 /** Per-QoS-class merged serving statistics for one cluster run. */
@@ -340,6 +481,39 @@ class Cluster
         std::vector<CellSummary> cells;
 
         /**
+         * One control window of a serveControlled() run: the
+         * directives in force and the observation the policy was
+         * fed -- the audit trail BENCH_control.json reports.  Empty
+         * for serve()/serveHybrid() runs; folded into fingerprint()
+         * only when present (same backward-compat convention as the
+         * epoch records).
+         */
+        struct ControlTickRecord
+        {
+            double startSeconds = 0;
+            double endSeconds = 0;
+            double admitUtilization = 0;
+            double interactiveCeiling = 0;
+            /** Cells with a positive capacity scale this window. */
+            int activeCells = 0;
+            std::uint64_t offered = 0;
+            std::uint64_t completed = 0;
+            std::uint64_t sloShed = 0;
+            std::uint64_t routerShed = 0;
+            double utilization = 0;
+            double interactiveP99 = 0;
+        };
+        /** Control timeline (empty unless serveControlled() ran). */
+        std::vector<ControlTickRecord> controlTicks;
+        /**
+         * Die-seconds the control plane kept allocated: active cells
+         * x dies x window length, summed over windows -- the spend
+         * the overprovisioning gate compares against a static oracle
+         * placement.
+         */
+        double allocatedDieSeconds = 0;
+
+        /**
          * FNV-1a digest of every merged number above, folded in a
          * FIXED field order (cells merge in cell-index order, so
          * the digest is reproducible run to run; it is NOT
@@ -385,6 +559,29 @@ class Cluster
     const RunStats &serveHybrid(const ClusterTraffic &traffic,
                                 const HybridPlan &plan,
                                 const HybridOptions &options = {});
+
+    /**
+     * Serve @p traffic under a closed-loop control plane: the
+     * horizon is cut into control WINDOWS of options.tickSeconds;
+     * before each window @p policy issues directives (replica sets,
+     * per-cell capacity scales, admission thresholds, warm-up
+     * slowdowns), the cluster re-plans the window's router segments
+     * against the frozen service estimates (Router::planSegment) and
+     * runs them -- fluid epochs by flow integration, discrete epochs
+     * per-request to a drained barrier -- then feeds the policy the
+     * window's observation (counts, utilization, interactive p99).
+     *
+     * Determinism: the tick is a hard epoch boundary (injected into
+     * the TierSwitcher), every window runs to a barrier before the
+     * policy sees it, observations are merged in cell-index order,
+     * and failure events are scheduled lazily per segment, so a
+     * deterministic policy yields bit-identical results across
+     * reruns and worker-thread counts -- the same fingerprint
+     * contract as serve().  One-shot, like serve().
+     */
+    const RunStats &serveControlled(const ClusterTraffic &traffic,
+                                    ControlPolicy &policy,
+                                    const ControlOptions &options);
 
     /** The plan of the most recent serve() call. */
     const RouterPlan &plan() const { return _plan; }
@@ -443,7 +640,29 @@ class Cluster
      * count.
      */
     void _warmReplayMemo();
+    /** Compile + warm + freeze the shared caches (idempotent). */
+    void _publishPrograms();
+    /** Shared traffic validation (mix shares, horizon, rate). */
+    void _validateTraffic(const ClusterTraffic &traffic) const;
+    /** Router pricing of every loaded model against @p traffic. */
+    std::vector<Router::Model> _routerModels(
+        const ClusterTraffic &traffic);
     void _runCell(int cell_index, const ClusterTraffic &traffic);
+    /** Reset a cell's per-run driver state (failure list, pump). */
+    void _prepareCell(int cell_index, const ClusterTraffic &traffic);
+    /** This cell's failure events, cell-fails expanded, normalized. */
+    std::vector<FailureEvent> _localFailures(
+        int cell_index, const ClusterTraffic &traffic) const;
+    /** Schedule not-yet-applied failures due before @p end_seconds
+     *  (clamped forward to the cell clock). */
+    void _applyFailuresThrough(int cell_index, double end_seconds);
+    /** Generate + route segment @p s's arrivals into the pump. */
+    void _pumpSegment(int cell_index, const ClusterTraffic &traffic,
+                      std::size_t s);
+    /** Run one discrete segment to its drained barrier + snapshot. */
+    void _runCellSegment(int cell_index,
+                         const ClusterTraffic &traffic,
+                         std::size_t s);
     std::vector<double> _segmentBoundaries(
         const ClusterTraffic &traffic) const;
     std::vector<std::vector<double>> _cellWeights(
@@ -451,13 +670,30 @@ class Cluster
         const ClusterTraffic &traffic) const;
     void _applyCellFailures(int cell_index,
                             const ClusterTraffic &traffic);
+    /** Bind each segment (by midpoint) to its epoch and tier. */
+    void _bindSegments(const std::vector<double> &boundaries);
     void _mergeStats(const ClusterTraffic &traffic);
+    /** Build the FlowModel from the loaded models' pricing. */
+    void _buildFlow();
+    /** Integrate one fluid segment's macro-intervals. */
+    void _advanceFluidSegment(std::size_t s,
+                              const ClusterTraffic &traffic);
+    /** Drain the flow's backlog into segment @p s's injection. */
+    void _injectBacklog(std::size_t s);
     /** Fluid counts pass: advance the flow over fluid segments and
      *  record the backlog handed to each discrete segment. */
     void _advanceFluid(const ClusterTraffic &traffic);
+    /** Harvest segment @p s's measured anchor + busy residual. */
+    void _harvestSegment(std::size_t s);
+    /** Apply the accumulated busy residual + synthesize latency. */
+    void _finishFluidCalibration();
     /** Harvest measured anchors from discrete-epoch snapshot deltas
      *  and run the flow's deferred latency synthesis. */
     void _calibrateFluidLatency();
+    /** Merged observation of one control window's segments. */
+    ControlObservation _observeWindow(int window, double t0,
+                                      double t1, std::size_t s_begin,
+                                      std::size_t s_end);
     /** Fold the flow's totals into the merged RunStats. */
     void _foldFluid();
     /** Build RunStats::epochs from snapshots + interval accounts. */
@@ -506,6 +742,10 @@ class Cluster
     /** Wall seconds of the fluid counts pass per segment. */
     std::vector<double> _segFluidWall;
     std::unique_ptr<fluid::FlowModel> _flow;
+    /** Busy-residual accumulators behind _fluidBusyScale (filled
+     *  per discrete segment by _harvestSegment). */
+    double _measuredBusy = 0;
+    double _efficientBusy = 0;
     /**
      * Measured busy-seconds over the ladder-priced busy of this
      * run's discrete epochs -- the residual between what the real

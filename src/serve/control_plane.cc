@@ -1,0 +1,263 @@
+#include "serve/control_plane.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tpu {
+namespace serve {
+
+ControlPlane::ControlPlane(Config config) : _config(config)
+{
+    const AutoscalerConfig &a = _config.autoscaler;
+    fatal_if(a.targetUtilization <= 0 || a.targetUtilization > 1,
+             "autoscaler target utilization must be in (0, 1]");
+    fatal_if(a.headroom < 1.0, "autoscaler headroom must be >= 1");
+    fatal_if(a.minActiveCells < 1,
+             "autoscaler must keep at least one cell");
+    fatal_if(a.boostStep < 1.0 || a.boostDecay > 1.0 ||
+                 a.boostDecay <= 0 || a.boostMax < 1.0,
+             "boost dynamics must grow >= 1 and decay in (0, 1]");
+    const AdmitFeedbackConfig &f = _config.admitFeedback;
+    fatal_if(f.sloSeconds <= 0, "admit feedback needs a positive SLO");
+    fatal_if(f.step <= 0 || f.minAdmit <= 0 || f.minCeiling <= 0,
+             "admit feedback steps and floors must be positive");
+    fatal_if(f.panicRatio < 1.0, "panic ratio must be >= 1");
+    fatal_if(f.recoverFraction <= 0 || f.recoverFraction >= 1,
+             "recover fraction must be in (0, 1)");
+    const UpgradeConfig &u = _config.upgrade;
+    fatal_if(u.enabled && (u.drainTicksPerCell < 1 ||
+                           u.warmupTicks < 0 || u.warmupFactor < 1.0),
+             "upgrade needs >= 1 drain tick and a factor >= 1");
+}
+
+void
+ControlPlane::begin(const Context &ctx)
+{
+    fatal_if(ctx.cells <= 0 || ctx.diesPerCell <= 0,
+             "control plane needs a real fleet shape");
+    fatal_if(ctx.mixShare.size() != ctx.perItemSeconds.size() ||
+                 ctx.mixShare.size() != ctx.replicaCells.size(),
+             "control context model vectors must align");
+    _ctx = ctx;
+    _admit = ctx.admitUtilization;
+    _ceiling = ctx.interactiveCeiling;
+    _boost = 1.0;
+    _upgradeCell = 0;
+    _phase = Phase::Drain;
+    _ticksLeft = _config.upgrade.drainTicksPerCell;
+    _warmPending = false;
+    _healPending = false;
+    _healCell = -1;
+    _upgradedCells = 0;
+    _drainLogged = false;
+    _lastActive = -1;
+    _actions.clear();
+}
+
+void
+ControlPlane::_log(int window, double at, const char *kind, int cell,
+                   double value)
+{
+    ControlAction a;
+    a.window = window;
+    a.atSeconds = at;
+    a.kind = kind;
+    a.cell = cell;
+    a.value = value;
+    _actions.push_back(std::move(a));
+}
+
+ControlDirectives
+ControlPlane::directives(int window, double t0, double t1)
+{
+    const auto ncells = static_cast<std::size_t>(_ctx.cells);
+    ControlDirectives dir;
+    dir.admitUtilization = _admit;
+    dir.interactiveCeiling = _ceiling;
+    dir.cellScale.assign(ncells, 1.0);
+    dir.cellSlowdown.assign(ncells, 0.0);
+
+    // ---- rolling upgrade: advance the per-cell state machine.
+    // Each window treats at most one cell specially; heal events for
+    // the PREVIOUS cell can coincide with the next cell's drain.
+    int draining = -1;
+    const UpgradeConfig &up = _config.upgrade;
+    if (_healPending) {
+        dir.cellSlowdown[static_cast<std::size_t>(_healCell)] = 1.0;
+        _log(window, t0, "heal", _healCell, 1.0);
+        _healPending = false;
+    }
+    if (up.enabled && t0 >= up.startSeconds &&
+        _upgradeCell < _ctx.cells) {
+        const auto uc = static_cast<std::size_t>(_upgradeCell);
+        if (_phase == Phase::Drain) {
+            draining = _upgradeCell;
+            dir.cellScale[uc] = 0.0;
+            if (!_drainLogged) {
+                _log(window, t0, "drain", _upgradeCell, 0.0);
+                _drainLogged = true;
+            }
+            if (--_ticksLeft == 0) {
+                _phase = Phase::Warmup;
+                _ticksLeft = up.warmupTicks;
+                _warmPending = up.warmupTicks > 0;
+                if (up.warmupTicks == 0) {
+                    // Degenerate roll: drain then straight back.
+                    ++_upgradedCells;
+                    ++_upgradeCell;
+                    _phase = Phase::Drain;
+                    _ticksLeft = up.drainTicksPerCell;
+                    _drainLogged = false;
+                }
+            }
+        } else {
+            if (_warmPending) {
+                dir.cellSlowdown[uc] = up.warmupFactor;
+                _log(window, t0, "warmup", _upgradeCell,
+                     up.warmupFactor);
+                _warmPending = false;
+            }
+            // The router weight tracks the real (slowed) capacity.
+            dir.cellScale[uc] = 1.0 / up.warmupFactor;
+            if (--_ticksLeft == 0) {
+                _healPending = true;
+                _healCell = _upgradeCell;
+                ++_upgradedCells;
+                ++_upgradeCell;
+                _phase = Phase::Drain;
+                _ticksLeft = up.drainTicksPerCell;
+                _drainLogged = false;
+            }
+        }
+    }
+
+    // ---- predictive autoscale: forecast the window's offered work
+    // from the traffic law (the same integral the fluid tier uses),
+    // convert to die-seconds/s, provision at the target utilization.
+    double per_item_mix = 0;
+    for (std::size_t m = 0; m < _ctx.mixShare.size(); ++m)
+        per_item_mix += _ctx.mixShare[m] * _ctx.perItemSeconds[m];
+    const double work = _ctx.arrivals.meanRateOver(t0, t1) *
+                        per_item_mix * _config.autoscaler.headroom *
+                        _boost;
+    const double per_cell =
+        static_cast<double>(_ctx.diesPerCell) *
+        _config.autoscaler.targetUtilization;
+    int need = static_cast<int>(std::ceil(work / per_cell - 1e-9));
+    need = std::clamp(need, _config.autoscaler.minActiveCells,
+                      _ctx.cells);
+    if (draining >= 0)
+        need = std::min(need, _ctx.cells - 1);
+
+    // Lowest-index cells first (stable, deterministic), skipping the
+    // draining cell.  The warm-up cell stays active at its reduced
+    // scale.
+    std::vector<char> on(ncells, 0);
+    int got = 0;
+    for (int c = 0; c < _ctx.cells && got < need; ++c) {
+        if (c == draining)
+            continue;
+        on[static_cast<std::size_t>(c)] = 1;
+        ++got;
+    }
+
+    // Replica guarantee: every loaded model keeps at least one
+    // ACTIVE replica cell.  The guarantee outranks both the
+    // autoscaler (a dark replica set would shed the model's whole
+    // offered volume) and the upgrade drain (the roll waits a
+    // window rather than blacking out a single-replica model).
+    for (const std::vector<int> &replicas : _ctx.replicaCells) {
+        bool alive = false;
+        for (int c : replicas)
+            if (c >= 0 && c < _ctx.cells &&
+                on[static_cast<std::size_t>(c)])
+                alive = true;
+        if (alive || replicas.empty())
+            continue;
+        const int keep = replicas.front();
+        on[static_cast<std::size_t>(keep)] = 1;
+        ++got;
+    }
+
+    for (std::size_t c = 0; c < ncells; ++c)
+        if (!on[c])
+            dir.cellScale[c] = 0.0;
+        else if (dir.cellScale[c] == 0.0)
+            dir.cellScale[c] = 1.0; // replica guarantee won
+
+    // Route each model over its ACTIVE replicas only, so placement
+    // never quantizes shares onto a cell the scaler darkened (the
+    // router would shed them honestly, but the point of predictive
+    // scaling is not to offer the traffic to a dark cell at all).
+    dir.replicaCells.assign(_ctx.replicaCells.size(), {});
+    for (std::size_t m = 0; m < _ctx.replicaCells.size(); ++m) {
+        std::vector<int> active;
+        for (int c : _ctx.replicaCells[m])
+            if (c >= 0 && c < _ctx.cells &&
+                on[static_cast<std::size_t>(c)] &&
+                dir.cellScale[static_cast<std::size_t>(c)] > 0)
+                active.push_back(c);
+        if (!active.empty())
+            dir.replicaCells[m] = std::move(active);
+    }
+
+    if (got != _lastActive) {
+        _log(window, t0, "scale", -1, static_cast<double>(got));
+        _lastActive = got;
+    }
+    return dir;
+}
+
+void
+ControlPlane::observe(const ControlObservation &obs)
+{
+    const AutoscalerConfig &a = _config.autoscaler;
+    const AdmitFeedbackConfig &f = _config.admitFeedback;
+
+    // Reactive boost: observed utilization above target inflates the
+    // next forecast multiplicatively; in-target windows decay it.
+    if (obs.utilization > a.targetUtilization)
+        _boost = std::min(a.boostMax, _boost * a.boostStep);
+    else
+        _boost = std::max(1.0, _boost * a.boostDecay);
+
+    // SLO feedback on the admission thresholds.  Shed batch first
+    // (admit threshold), touch interactive only past the panic
+    // ratio -- mirroring the router's own QoS ordering.
+    const double p99 = obs.interactiveP99;
+    if (p99 > f.sloSeconds) {
+        const double admit = std::max(f.minAdmit, _admit - f.step);
+        if (admit != _admit) {
+            _admit = admit;
+            _log(obs.window, obs.endSeconds, "admit_down", -1,
+                 _admit);
+        }
+        if (p99 > f.panicRatio * f.sloSeconds) {
+            const double floor = std::max(f.minCeiling, _admit);
+            const double ceiling =
+                std::max(floor, _ceiling - f.step);
+            if (ceiling != _ceiling) {
+                _ceiling = ceiling;
+                _log(obs.window, obs.endSeconds, "ceiling_down", -1,
+                     _ceiling);
+            }
+        }
+    } else if (p99 > 0 && p99 < f.recoverFraction * f.sloSeconds) {
+        if (_admit < _ctx.admitUtilization) {
+            _admit = std::min(_ctx.admitUtilization,
+                              _admit + f.step);
+            _log(obs.window, obs.endSeconds, "admit_up", -1, _admit);
+        }
+        if (_ceiling < _ctx.interactiveCeiling) {
+            _ceiling = std::min(_ctx.interactiveCeiling,
+                                _ceiling + f.step);
+            _log(obs.window, obs.endSeconds, "ceiling_up", -1,
+                 _ceiling);
+        }
+    }
+}
+
+} // namespace serve
+} // namespace tpu

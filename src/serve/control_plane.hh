@@ -1,0 +1,180 @@
+/**
+ * @file
+ * serve::ControlPlane -- the closed-loop cluster controller.
+ *
+ * Section 2 of the paper frames the TPU fleet as DATACENTER
+ * infrastructure run against a hard latency budget ("a response is
+ * often required in 7 ms"); Section 8 argues the K80/TPU comparison
+ * hinges on what a fleet operator actually does: provision for the
+ * diurnal peak, shed load when latency slips, and roll binaries
+ * without dropping traffic.  This policy packages those three loops
+ * behind the Cluster's ControlPolicy interface:
+ *
+ *  - PREDICTIVE AUTOSCALING: each control tick forecasts the next
+ *    window's offered work from the traffic law itself
+ *    (ScenarioConfig::meanRateOver -- the same integral the fluid
+ *    tier prices), converts it to die-seconds through the router's
+ *    per-item costs, and keeps just enough cells active to hold a
+ *    target utilization, plus a reactive BOOST that inflates the
+ *    forecast while observed utilization overshoots.
+ *
+ *  - SLO-FEEDBACK ADMISSION: observed interactive p99 above the SLO
+ *    nudges the batch-thinning admit threshold down (shed batch work
+ *    first, the router's QoS ordering); a panic-ratio breach pulls
+ *    the interactive ceiling too.  Recovery drifts both back toward
+ *    the cluster defaults.
+ *
+ *  - ROLLING UPGRADES: cell by cell, drain (capacity scale 0, the
+ *    router routes around it; in-flight requests finish because the
+ *    tick is a drained barrier), then re-admit at a warm-up slowdown
+ *    (ChipPool platform slowdown + matching router weight), then
+ *    heal and move on.
+ *
+ * Determinism: the policy is a pure function of (Context, the
+ * observation stream).  Observations are bit-identical across reruns
+ * and worker-thread counts (the Cluster's contract), so controlled
+ * runs fingerprint-match at any thread count -- the property the
+ * scenario corpus pins.
+ */
+
+#ifndef TPUSIM_SERVE_CONTROL_PLANE_HH
+#define TPUSIM_SERVE_CONTROL_PLANE_HH
+
+#include <string>
+#include <vector>
+
+#include "serve/cluster.hh"
+
+namespace tpu {
+namespace serve {
+
+/** Predictive-autoscaler knobs. */
+struct AutoscalerConfig
+{
+    /** Active-cell utilization the forecast provisions toward. */
+    double targetUtilization = 0.60;
+    /** Forecast multiplier (provisioning margin over the mean). */
+    double headroom = 1.15;
+    /** Never scale below this many active cells. */
+    int minActiveCells = 1;
+    /** Reactive boost growth per overshot window (>= 1). */
+    double boostStep = 1.25;
+    /** Boost ceiling. */
+    double boostMax = 2.0;
+    /** Boost decay per in-target window (<= 1). */
+    double boostDecay = 0.85;
+};
+
+/** SLO-feedback admission knobs. */
+struct AdmitFeedbackConfig
+{
+    /** Interactive p99 budget -- the paper's 7 ms framing. */
+    double sloSeconds = 7e-3;
+    /** Threshold step per breached / recovered window. */
+    double step = 0.05;
+    /** Floor for the batch admit threshold. */
+    double minAdmit = 0.40;
+    /** p99 / SLO ratio past which the interactive ceiling drops. */
+    double panicRatio = 1.5;
+    /** Floor for the interactive ceiling. */
+    double minCeiling = 1.0;
+    /** p99 below this fraction of the SLO drifts thresholds back. */
+    double recoverFraction = 0.8;
+};
+
+/** Rolling-upgrade knobs. */
+struct UpgradeConfig
+{
+    bool enabled = false;
+    /** First tick at or after this time starts the roll. */
+    double startSeconds = 0;
+    /** Ticks a cell stays drained (capacity scale 0). */
+    int drainTicksPerCell = 1;
+    /** Warm-up slowdown factor on the re-admitted cell (>= 1). */
+    double warmupFactor = 1.3;
+    /** Ticks the re-admitted cell serves at the warm-up factor. */
+    int warmupTicks = 1;
+};
+
+/** One logged control decision (the audit trail tests assert on). */
+struct ControlAction
+{
+    int window = 0;
+    double atSeconds = 0;
+    /** "scale", "drain", "warmup", "heal", "admit_down",
+     *  "admit_up", "ceiling_down", "ceiling_up". */
+    std::string kind;
+    int cell = -1;   ///< target cell, -1 = cluster-wide
+    double value = 0; ///< new active count / factor / threshold
+};
+
+/** The stock closed-loop controller (autoscale + admit + upgrade). */
+class ControlPlane : public ControlPolicy
+{
+  public:
+    struct Config
+    {
+        AutoscalerConfig autoscaler;
+        AdmitFeedbackConfig admitFeedback;
+        UpgradeConfig upgrade;
+    };
+
+    explicit ControlPlane(Config config = {});
+
+    void begin(const Context &ctx) override;
+    ControlDirectives directives(int window, double t0,
+                                 double t1) override;
+    void observe(const ControlObservation &obs) override;
+
+    /** Every decision taken, in tick order. */
+    const std::vector<ControlAction> &actions() const
+    {
+        return _actions;
+    }
+    /** Current batch admit threshold (feedback state). */
+    double admitUtilization() const { return _admit; }
+    /** Current interactive ceiling (feedback state). */
+    double interactiveCeiling() const { return _ceiling; }
+    /** Current reactive forecast boost. */
+    double boost() const { return _boost; }
+    /** Cells whose upgrade (drain + warm-up + heal) completed. */
+    int upgradedCells() const { return _upgradedCells; }
+    /** Active-cell count of the most recent window. */
+    int activeCells() const { return _lastActive; }
+
+  private:
+    enum class Phase
+    {
+        Drain,
+        Warmup,
+    };
+
+    Config _config;
+    Context _ctx;
+
+    // Feedback state (mutated only by observe()).
+    double _admit = 0;
+    double _ceiling = 0;
+    double _boost = 1.0;
+
+    // Upgrade state machine.
+    int _upgradeCell = 0; ///< cell currently rolling
+    Phase _phase = Phase::Drain;
+    int _ticksLeft = 0;
+    bool _warmPending = false; ///< issue the slowdown this window
+    bool _healPending = false; ///< issue the 1.0 heal this window
+    int _healCell = -1;
+    int _upgradedCells = 0;
+    bool _drainLogged = false;
+
+    int _lastActive = -1;
+    std::vector<ControlAction> _actions;
+
+    void _log(int window, double at, const char *kind, int cell,
+              double value);
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_CONTROL_PLANE_HH

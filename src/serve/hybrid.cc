@@ -131,6 +131,17 @@ aliveFraction(const std::vector<FailureEvent> &failures, double t,
                 effective -= (dies_per_cell - dead) *
                              (1.0 - 1.0 / e.factor);
             break;
+          case FailureKind::ChipSlowdown:
+            // One gray die at 1/f of its work rate.
+            if (e.factor > 1.0 && dead < dies_per_cell)
+                effective -= 1.0 - 1.0 / e.factor;
+            break;
+          case FailureKind::HostDegrade:
+            // Stretches only the host share of service, which varies
+            // per model; the capacity heuristic deliberately ignores
+            // it (the guard bands around the event still run
+            // discrete, which is where its transient lives).
+            break;
         }
     }
     return total > 0 ? std::max(0.0, effective / total) : 0.0;
@@ -147,6 +158,8 @@ TierSwitcher::TierSwitcher(SwitcherConfig config)
              "pressure threshold must be positive");
     fatal_if(_config.maxBurstEpisodes <= 0,
              "burst episode cap must be positive");
+    fatal_if(_config.controlTickSeconds < 0,
+             "control tick cannot be negative");
 }
 
 HybridPlan
@@ -261,6 +274,28 @@ TierSwitcher::plan(const ClusterTraffic &traffic, double capacity_ips,
     if (out.epochs.empty())
         out.epochs.push_back(
             Epoch{0.0, horizon, Tier::Fluid, "fluid"});
+
+    // Control ticks are HARD epoch boundaries: split every epoch
+    // that straddles a tick multiple, so each control decision lands
+    // at an epoch start and fluid integration always sees the
+    // post-action cluster state.
+    if (_config.controlTickSeconds > 0) {
+        const double tick = _config.controlTickSeconds;
+        const double eps = 1e-9 * std::max(1.0, horizon);
+        std::vector<Epoch> cut;
+        for (const Epoch &e : out.epochs) {
+            double at = e.startSeconds;
+            for (double b = (std::floor(at / tick) + 1.0) * tick;
+                 b < e.endSeconds - eps; b += tick) {
+                if (b > at + eps) {
+                    cut.push_back(Epoch{at, b, e.tier, e.reason});
+                    at = b;
+                }
+            }
+            cut.push_back(Epoch{at, e.endSeconds, e.tier, e.reason});
+        }
+        out.epochs = std::move(cut);
+    }
     out.validate(horizon);
     return out;
 }

@@ -123,6 +123,17 @@ struct SwitcherConfig
      * to the horizon, where "hybrid" would degenerate to discrete).
      */
     int maxBurstEpisodes = 512;
+
+    /**
+     * Control-plane tick cadence (seconds); 0 = no control plane.
+     * When set, every multiple of the tick becomes a hard epoch
+     * boundary: windows never merge across a tick and fluid epochs
+     * are split at it, so each control decision takes effect at an
+     * epoch start and every fluid epoch integrates POST-action state
+     * (replica sets, admission thresholds, slowdowns) rather than a
+     * stale mid-epoch snapshot.
+     */
+    double controlTickSeconds = 0;
 };
 
 /**

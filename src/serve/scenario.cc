@@ -41,6 +41,8 @@ toString(FailureKind kind)
       case FailureKind::ChipFail: return "chip_fail";
       case FailureKind::PlatformSlowdown: return "platform_slowdown";
       case FailureKind::CellFail: return "cell_fail";
+      case FailureKind::ChipSlowdown: return "chip_slowdown";
+      case FailureKind::HostDegrade: return "host_degrade";
     }
     return "?";
 }
@@ -62,10 +64,15 @@ ScenarioScript::normalized() const
                      });
     for (const FailureEvent &e : out.failures) {
         fatal_if(e.atSeconds < 0, "failure event in the past");
-        fatal_if(e.kind == FailureKind::PlatformSlowdown &&
-                 e.factor < 1.0,
+        const bool degrades =
+            e.kind == FailureKind::PlatformSlowdown ||
+            e.kind == FailureKind::ChipSlowdown ||
+            e.kind == FailureKind::HostDegrade;
+        fatal_if(degrades && e.factor < 1.0,
                  "slowdown factor %.3f < 1 would be a speedup",
                  e.factor);
+        fatal_if(e.kind == FailureKind::ChipSlowdown && e.chip < 0,
+                 "chip_slowdown needs a chip index");
     }
     return out;
 }
@@ -147,6 +154,136 @@ ScenarioConfig::meanRateOver(double t0, double t1) const
       }
     }
     panic("unknown arrival kind");
+}
+
+namespace {
+
+/** A FailureEvent with the common fields filled in. */
+FailureEvent
+eventAt(double at, FailureKind kind, int cell, int chip = -1,
+        double factor = 1.0)
+{
+    FailureEvent e;
+    e.atSeconds = at;
+    e.kind = kind;
+    e.cell = cell;
+    e.chip = chip;
+    e.factor = factor;
+    return e;
+}
+
+} // namespace
+
+std::vector<std::string>
+chaosScenarioNames()
+{
+    return {
+        "quiet_baseline",
+        "flash_crowd",
+        "cascading_cell_failures",
+        "correlated_rack_outage",
+        "gray_slow_die",
+        "pcie_degrade",
+        "mid_upgrade_failure",
+        "thermal_throttle_wave",
+        "diurnal_peak_loss",
+        "burst_with_chip_loss",
+    };
+}
+
+ScenarioScript
+chaosScenario(const std::string &name, double rate_ips,
+              double horizon_seconds, int cells, std::uint64_t seed)
+{
+    fatal_if(rate_ips <= 0, "chaos scenario needs a positive rate");
+    fatal_if(horizon_seconds <= 0,
+             "chaos scenario needs a positive horizon");
+    fatal_if(cells < 1, "chaos scenario needs at least one cell");
+
+    // Targets are SEEDED, times are fixed fractions of the horizon:
+    // the script varies with the seed but never with anything else,
+    // so the corpus can pin fingerprints per (name, seed).
+    Rng pick(seed ^ 0xC4A05ull);
+    const int c0 = static_cast<int>(pick.uniformInt(0, cells - 1));
+    const int c1 = (c0 + 1) % cells;
+    const int c2 = (c0 + 2) % cells;
+    const double h = horizon_seconds;
+
+    ScenarioScript script;
+    script.arrivals = ScenarioConfig::poisson(rate_ips, seed);
+
+    if (name == "quiet_baseline") {
+        // Nothing breaks: the corpus's control arm.
+    } else if (name == "flash_crowd") {
+        // A front-end event: traffic spikes to 6x in short storms.
+        script.arrivals = ScenarioConfig::bursty(
+            rate_ips, /*multiplier=*/6.0, /*fraction=*/0.08,
+            /*dwell=*/h / 40.0, seed);
+    } else if (name == "cascading_cell_failures") {
+        script.arrivals =
+            ScenarioConfig::diurnal(rate_ips, h, 0.5, seed);
+        script.failures = {
+            eventAt(0.30 * h, FailureKind::CellFail, c0),
+            eventAt(0.45 * h, FailureKind::CellFail, c1),
+            eventAt(0.60 * h, FailureKind::CellFail, c2),
+        };
+    } else if (name == "correlated_rack_outage") {
+        // One rack's power feed takes a die in each of two cells at
+        // the same instant.
+        script.failures = {
+            eventAt(0.40 * h, FailureKind::ChipFail, c0, 0),
+            eventAt(0.40 * h, FailureKind::ChipFail, c1, 0),
+        };
+    } else if (name == "gray_slow_die") {
+        // The classic gray failure: one die slows in steps while
+        // still answering health checks.
+        script.failures = {
+            eventAt(0.25 * h, FailureKind::ChipSlowdown, c0, 1, 1.3),
+            eventAt(0.50 * h, FailureKind::ChipSlowdown, c0, 1, 1.8),
+            eventAt(0.75 * h, FailureKind::ChipSlowdown, c0, 1, 2.5),
+        };
+    } else if (name == "pcie_degrade") {
+        // Host interaction stretches 2x, then mostly heals.
+        script.failures = {
+            eventAt(0.35 * h, FailureKind::HostDegrade, c0, -1, 2.0),
+            eventAt(0.70 * h, FailureKind::HostDegrade, c0, -1, 1.1),
+        };
+    } else if (name == "mid_upgrade_failure") {
+        script.arrivals =
+            ScenarioConfig::diurnal(rate_ips, h, 0.4, seed);
+        script.failures = {
+            eventAt(0.50 * h, FailureKind::CellFail, c0),
+        };
+    } else if (name == "thermal_throttle_wave") {
+        // A hot aisle sweeps the row: each cell throttles 1.4x for
+        // 15% of the horizon, healing (factor 1.0) behind the wave.
+        for (int c = 0; c < cells; ++c) {
+            const double start = (0.20 + 0.04 * c) * h;
+            const double end = start + 0.15 * h;
+            script.failures.push_back(eventAt(
+                start, FailureKind::PlatformSlowdown, c, -1, 1.4));
+            if (end < h)
+                script.failures.push_back(eventAt(
+                    end, FailureKind::PlatformSlowdown, c, -1, 1.0));
+        }
+    } else if (name == "diurnal_peak_loss") {
+        // sin peaks at T/4: lose a cell exactly when demand tops out.
+        script.arrivals =
+            ScenarioConfig::diurnal(rate_ips, h, 0.6, seed);
+        script.failures = {
+            eventAt(0.25 * h, FailureKind::CellFail, c0),
+        };
+    } else if (name == "burst_with_chip_loss") {
+        script.arrivals = ScenarioConfig::bursty(
+            rate_ips, /*multiplier=*/4.0, /*fraction=*/0.1,
+            /*dwell=*/h / 25.0, seed);
+        script.failures = {
+            eventAt(0.50 * h, FailureKind::ChipFail, c0, 0),
+        };
+    } else {
+        fatal("unknown chaos scenario '%s'", name.c_str());
+    }
+    return script.normalized();
 }
 
 ArrivalProcess::ArrivalProcess(ScenarioConfig config)

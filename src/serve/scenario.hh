@@ -140,9 +140,14 @@ enum class FailureKind
     ChipFail,         ///< one die retires (in-flight batch finishes)
     PlatformSlowdown, ///< a platform's dies serve factor x slower
     CellFail,         ///< a whole cell goes dark (cluster scope)
+    ChipSlowdown,     ///< ONE die degrades (gray failure, factor x)
+    HostDegrade,      ///< host interaction stretches (PCIe trouble)
 };
 
-/** "chip_fail" / "platform_slowdown" / "cell_fail". */
+/**
+ * "chip_fail" / "platform_slowdown" / "cell_fail" /
+ * "chip_slowdown" / "host_degrade".
+ */
 const char *toString(FailureKind kind);
 
 /** One scheduled failure or degradation. */
@@ -150,7 +155,7 @@ struct FailureEvent
 {
     double atSeconds = 0;   ///< simulated time the event lands
     FailureKind kind = FailureKind::ChipFail;
-    /** ChipFail: pool chip index (within the target cell's pool). */
+    /** ChipFail/ChipSlowdown: pool chip index (within the cell). */
     int chip = -1;
     /**
      * Which cell the event targets.  Session scope ignores this
@@ -161,7 +166,15 @@ struct FailureEvent
     int cell = -1;
     /** PlatformSlowdown: which platform degrades. */
     runtime::PlatformKind platform = runtime::PlatformKind::Tpu;
-    /** PlatformSlowdown: service-time multiplier (>= 1). */
+    /**
+     * Service-time multiplier (>= 1) for the degradation kinds.
+     * PlatformSlowdown stretches every die on the platform,
+     * ChipSlowdown stretches ONE die (the gray "slow die" that
+     * still answers health checks), and HostDegrade stretches only
+     * the host-interaction share of service (a sick PCIe link: the
+     * MLPs and LSTMs feel it, the CNNs barely do).  Factor 1.0
+     * clears an earlier degradation of the same kind/target.
+     */
     double factor = 1.0;
 };
 
@@ -180,6 +193,36 @@ struct ScenarioScript
     /** Copy with the failure schedule in canonical order. */
     ScenarioScript normalized() const;
 };
+
+/**
+ * The chaos scenario pack: named, seeded operational stress
+ * scripts for a cluster of @p cells cells.  Each script is a pure
+ * function of (name, rate, horizon, cells, seed) -- the targeted
+ * cells/chips are drawn from a seeded Rng, event times sit at fixed
+ * fractions of the horizon, and the returned script is already
+ * normalized() -- so a pinned-fingerprint regression corpus can
+ * replay it bit-identically forever.  Unknown names are fatal.
+ *
+ * The pack (see chaosScenarioNames() for the authoritative list):
+ *   quiet_baseline           steady Poisson, nothing breaks
+ *   flash_crowd              MMPP burst storm, no hardware trouble
+ *   cascading_cell_failures  three cells go dark in succession
+ *   correlated_rack_outage   simultaneous die loss across two cells
+ *   gray_slow_die            one die degrades in escalating steps
+ *   pcie_degrade             host interaction stretches, then heals
+ *   mid_upgrade_failure      a cell dies at mid-horizon (run it
+ *                            under a rolling upgrade to collide)
+ *   thermal_throttle_wave    a slowdown sweeps cell by cell, healing
+ *                            behind itself
+ *   diurnal_peak_loss        a cell dies exactly at the diurnal peak
+ *   burst_with_chip_loss     MMPP bursts plus a die retiring mid-run
+ */
+std::vector<std::string> chaosScenarioNames();
+
+/** Build the named chaos script (fatal on an unknown @p name). */
+ScenarioScript chaosScenario(const std::string &name, double rate_ips,
+                             double horizon_seconds, int cells,
+                             std::uint64_t seed = 42);
 
 /**
  * Deterministic generator of one scenario's arrival times.  next()

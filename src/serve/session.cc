@@ -347,6 +347,24 @@ Session::applyFailures(const std::vector<FailureEvent> &events)
             });
             break;
           }
+          case FailureKind::ChipSlowdown: {
+            const int chip = e.chip;
+            const double factor = e.factor;
+            fatal_if(chip < 0 || chip >= _pool.size(),
+                     "chip-slowdown event for chip %d of a %d-chip "
+                     "pool", chip, _pool.size());
+            _scheduleAt(e.atSeconds, -2, [this, chip, factor]() {
+                _pool.setChipSlowdown(chip, factor);
+            });
+            break;
+          }
+          case FailureKind::HostDegrade: {
+            const double factor = e.factor;
+            _scheduleAt(e.atSeconds, -2, [this, factor]() {
+                _pool.setHostDegrade(factor);
+            });
+            break;
+          }
           case FailureKind::CellFail:
             break; // rejected above
         }

@@ -241,6 +241,16 @@ class FlowModel
     /** Backlog queued for (model, cell), fractional requests. */
     double backlog(std::size_t model, int cell) const;
 
+    /** Total queued backlog across every (model, cell). */
+    double totalBacklog() const
+    {
+        double total = 0;
+        for (const auto &row : _backlog)
+            for (double b : row)
+                total += b;
+        return total;
+    }
+
     /**
      * Export (and clear) the backlog for (model, cell) as whole
      * requests -- the fluid->discrete handoff: the caller injects

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Tests for the closed-loop control plane: the ControlPlane policy
+ * in isolation (autoscaler arithmetic, replica guarantee, SLO
+ * feedback, the rolling-upgrade state machine), the Router's
+ * planSegment factoring (a mid-run re-plan is byte-identical to the
+ * whole-plan loop and recompiles nothing), and the seeded property
+ * sweep over Cluster::serveControlled in all-discrete mode:
+ * conservation is EXACT (offered == completed + shed, integers),
+ * every placed model keeps at least one active replica, and admit
+ * fractions stay in [0, 1].
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "serve/cluster.hh"
+#include "serve/control_plane.hh"
+#include "serve/scenario.hh"
+
+namespace tpu {
+namespace serve {
+namespace {
+
+arch::TpuConfig
+testConfig()
+{
+    arch::TpuConfig c;
+    c.matrixDim = 16;
+    c.accumulatorEntries = 64;
+    c.unifiedBufferBytes = 64 * 1024;
+    c.clockHz = 1e9;
+    c.weightMemoryBytesPerSec = 16e9;
+    c.pcieBytesPerSec = 16e9;
+    return c;
+}
+
+Session::NetworkBuilder
+smallBuilder(const char *name)
+{
+    return [name](std::int64_t batch) {
+        nn::Network net(name, batch);
+        net.addFullyConnected(32, 32);
+        net.addFullyConnected(32, 16);
+        return net;
+    };
+}
+
+/** A 2-model cluster, same shape as the cluster_test fixture. */
+struct MiniCluster
+{
+    explicit MiniCluster(int cells, int chips_per_cell = 2,
+                         int threads = 0)
+        : options(), cluster(nullptr)
+    {
+        options.cells = cells;
+        options.fleet = tpuFleet(chips_per_cell);
+        options.tier =
+            runtime::TierPolicy{runtime::ExecutionTier::Replay};
+        options.threads = threads;
+        cluster = std::make_unique<Cluster>(testConfig(), options);
+
+        BatcherPolicy fast;
+        fast.maxBatch = 8;
+        fast.maxDelaySeconds = 2e-4;
+        fast.sloSeconds = 7e-3;
+        interactive = cluster->load("fast", smallBuilder("fast"),
+                                    fast, 0.0,
+                                    QosClass::Interactive);
+        BatcherPolicy bulk;
+        bulk.maxBatch = 16;
+        bulk.maxDelaySeconds = 1e-3;
+        bulk.sloSeconds = 50e-3;
+        batch = cluster->load("bulk", smallBuilder("bulk"), bulk,
+                              0.0, QosClass::Batch);
+    }
+
+    double
+    rateFor(double load) const
+    {
+        const latency::ServiceModel svc =
+            cluster->cell(0).serviceEstimate(
+                interactive, runtime::PlatformKind::Tpu);
+        return load * options.cells *
+               options.fleet.front().chips * svc.maxThroughput(8);
+    }
+
+    ClusterTraffic
+    traffic(double load, std::uint64_t requests,
+            std::uint64_t seed = 42) const
+    {
+        const double rate = rateFor(load);
+        ClusterTraffic t;
+        t.arrivals = ScenarioConfig::poisson(rate, seed);
+        t.mixShare = {0.7, 0.3};
+        t.durationSeconds = static_cast<double>(requests) / rate;
+        return t;
+    }
+
+    ClusterOptions options;
+    std::unique_ptr<Cluster> cluster;
+    ModelHandle interactive = 0;
+    ModelHandle batch = 0;
+};
+
+/** A flat-rate control context over @p cells cells of 2 dies. */
+ControlPolicy::Context
+flatContext(int cells, double rate_ips, double per_item,
+            double horizon = 80.0, double tick = 10.0)
+{
+    ControlPolicy::Context ctx;
+    ctx.arrivals = ScenarioConfig::poisson(rate_ips);
+    ctx.mixShare = {1.0};
+    ctx.perItemSeconds = {per_item};
+    ctx.qos = {QosClass::Interactive};
+    ctx.replicaCells = {{}};
+    for (int c = 0; c < cells; ++c)
+        ctx.replicaCells[0].push_back(c);
+    ctx.cells = cells;
+    ctx.diesPerCell = 2;
+    ctx.horizonSeconds = horizon;
+    ctx.tickSeconds = tick;
+    ctx.admitUtilization = 0.90;
+    ctx.interactiveCeiling = 1.25;
+    return ctx;
+}
+
+// ---------------------------------------------- ControlPlane policy
+
+TEST(ControlPlane, AutoscalerProvisionsForecastAtTarget)
+{
+    // 1000 req/s at 1 ms/req = 1 die-second/s of work; headroom
+    // 1.15 over a 0.6 target on 2-die cells -> ceil(1.15 / 1.2) = 1
+    // cell; 4x the rate -> ceil(4.6 / 1.2) = 4 cells.
+    ControlPlane::Config cfg;
+    ControlPlane policy(cfg);
+    policy.begin(flatContext(8, 1000.0, 1e-3));
+    ControlDirectives dir = policy.directives(0, 0.0, 10.0);
+    int active = 0;
+    for (double s : dir.cellScale)
+        active += s > 0;
+    EXPECT_EQ(active, 1);
+
+    policy.begin(flatContext(8, 4000.0, 1e-3));
+    dir = policy.directives(0, 0.0, 10.0);
+    active = 0;
+    for (double s : dir.cellScale)
+        active += s > 0;
+    EXPECT_EQ(active, 4);
+    // Lowest-index cells first, deterministically.
+    for (int c = 0; c < 4; ++c)
+        EXPECT_GT(dir.cellScale[static_cast<std::size_t>(c)], 0.0);
+}
+
+TEST(ControlPlane, NeverScalesBelowOneReplicaPerModel)
+{
+    // A model homed ONLY on the last cell: the autoscaler wants one
+    // active cell (cell 0), but the replica guarantee must keep
+    // cell 7 on and route the model over active replicas only.
+    ControlPolicy::Context ctx = flatContext(8, 100.0, 1e-3);
+    ctx.mixShare = {0.5, 0.5};
+    ctx.perItemSeconds = {1e-3, 1e-3};
+    ctx.qos = {QosClass::Interactive, QosClass::Batch};
+    ctx.replicaCells = {{0, 1, 2, 3, 4, 5, 6, 7}, {7}};
+    ControlPlane policy;
+    policy.begin(ctx);
+    const ControlDirectives dir = policy.directives(0, 0.0, 10.0);
+    EXPECT_GT(dir.cellScale[7], 0.0);
+    ASSERT_EQ(dir.replicaCells.size(), 2u);
+    ASSERT_EQ(dir.replicaCells[1].size(), 1u);
+    EXPECT_EQ(dir.replicaCells[1][0], 7);
+    // Any model's overridden replica set points only at live cells.
+    for (const auto &replicas : dir.replicaCells)
+        for (int c : replicas)
+            EXPECT_GT(dir.cellScale[static_cast<std::size_t>(c)],
+                      0.0);
+}
+
+TEST(ControlPlane, SloFeedbackStepsDownAndRecovers)
+{
+    ControlPlane::Config cfg;
+    ControlPlane policy(cfg);
+    const ControlPolicy::Context ctx = flatContext(4, 100.0, 1e-3);
+    policy.begin(ctx);
+    EXPECT_DOUBLE_EQ(policy.admitUtilization(), 0.90);
+
+    ControlObservation obs;
+    obs.window = 0;
+    obs.endSeconds = 10.0;
+    obs.utilization = 0.5;
+    obs.interactiveP99 = 8e-3; // breach (SLO 7 ms)
+    policy.observe(obs);
+    EXPECT_NEAR(policy.admitUtilization(), 0.85, 1e-12);
+    // No panic: the ceiling holds.
+    EXPECT_DOUBLE_EQ(policy.interactiveCeiling(), 1.25);
+
+    // Panic breach drags the ceiling too.
+    obs.interactiveP99 = 12e-3; // > 1.5 * 7 ms
+    policy.observe(obs);
+    EXPECT_NEAR(policy.admitUtilization(), 0.80, 1e-12);
+    EXPECT_NEAR(policy.interactiveCeiling(), 1.20, 1e-12);
+
+    // Deep recovery drifts both back toward the defaults.
+    obs.interactiveP99 = 2e-3; // < 0.8 * 7 ms
+    policy.observe(obs);
+    EXPECT_NEAR(policy.admitUtilization(), 0.85, 1e-12);
+    EXPECT_NEAR(policy.interactiveCeiling(), 1.25, 1e-12);
+    // The admit threshold never leaves [minAdmit, default].
+    for (int i = 0; i < 50; ++i) {
+        obs.interactiveP99 = 20e-3;
+        policy.observe(obs);
+    }
+    EXPECT_GE(policy.admitUtilization(),
+              cfg.admitFeedback.minAdmit);
+    EXPECT_GE(policy.interactiveCeiling(),
+              policy.admitUtilization());
+    // And the audit trail recorded every step.
+    std::size_t downs = 0;
+    for (const auto &a : policy.actions())
+        downs += a.kind == "admit_down";
+    EXPECT_GE(downs, 2u);
+}
+
+TEST(ControlPlane, BoostInflatesForecastWhileOvershooting)
+{
+    ControlPlane policy;
+    policy.begin(flatContext(8, 1000.0, 1e-3));
+    EXPECT_DOUBLE_EQ(policy.boost(), 1.0);
+    ControlObservation hot;
+    hot.utilization = 0.9; // above the 0.6 target
+    policy.observe(hot);
+    EXPECT_NEAR(policy.boost(), 1.25, 1e-12);
+    for (int i = 0; i < 10; ++i)
+        policy.observe(hot);
+    EXPECT_DOUBLE_EQ(policy.boost(), 2.0); // capped
+    ControlObservation cool;
+    cool.utilization = 0.3;
+    for (int i = 0; i < 50; ++i)
+        policy.observe(cool);
+    EXPECT_DOUBLE_EQ(policy.boost(), 1.0); // floored
+}
+
+TEST(ControlPlane, UpgradeMachineRollsEveryCell)
+{
+    ControlPlane::Config cfg;
+    cfg.upgrade.enabled = true;
+    cfg.upgrade.startSeconds = 0.0;
+    cfg.upgrade.drainTicksPerCell = 1;
+    cfg.upgrade.warmupTicks = 1;
+    cfg.upgrade.warmupFactor = 1.5;
+    ControlPlane policy(cfg);
+    // Load that keeps every cell active, so drains are visible.
+    policy.begin(flatContext(3, 7000.0, 1e-3, 120.0, 10.0));
+
+    int drains = 0, warms = 0, heals = 0;
+    for (int w = 0; w < 12; ++w) {
+        const double t0 = 10.0 * w;
+        const ControlDirectives dir =
+            policy.directives(w, t0, t0 + 10.0);
+        for (std::size_t c = 0; c < dir.cellScale.size(); ++c) {
+            if (dir.cellScale[c] == 0.0)
+                ++drains;
+            if (dir.cellSlowdown[c] == 1.5) {
+                ++warms;
+                // Router weight tracks the warm-up slowdown.
+                EXPECT_NEAR(dir.cellScale[c], 1.0 / 1.5, 1e-12);
+            }
+            if (dir.cellSlowdown[c] == 1.0)
+                ++heals;
+        }
+        ControlObservation obs;
+        obs.window = w;
+        obs.utilization = 0.6;
+        policy.observe(obs);
+    }
+    EXPECT_EQ(drains, 3);
+    EXPECT_EQ(warms, 3);
+    EXPECT_EQ(heals, 3);
+    EXPECT_EQ(policy.upgradedCells(), 3);
+}
+
+TEST(ControlPlane, DrainWaitsForSingleReplicaModel)
+{
+    // A model homed only on cell 0 while cell 0 drains: the replica
+    // guarantee overrides the drain rather than blacking out the
+    // model.
+    ControlPlane::Config cfg;
+    cfg.upgrade.enabled = true;
+    cfg.upgrade.startSeconds = 0.0;
+    ControlPolicy::Context ctx = flatContext(2, 100.0, 1e-3);
+    ctx.replicaCells = {{0}};
+    ControlPlane policy(cfg);
+    policy.begin(ctx);
+    const ControlDirectives dir = policy.directives(0, 0.0, 10.0);
+    EXPECT_GT(dir.cellScale[0], 0.0);
+}
+
+// ------------------------------------------------ Router::planSegment
+
+TEST(RouterPlanSegment, MatchesPlanLoop)
+{
+    Router router(0.9, 1.25);
+    std::vector<Router::Model> models(2);
+    models[0].rateIps = 9000.0;
+    models[0].perItemSeconds = 2e-4;
+    models[0].qos = QosClass::Interactive;
+    models[0].replicaCells = {0, 1, 2};
+    models[1].rateIps = 5000.0;
+    models[1].perItemSeconds = 3e-4;
+    models[1].qos = QosClass::Batch;
+    models[1].replicaCells = {1, 2};
+
+    const std::vector<double> boundaries = {0.0, 4.0, 7.0, 10.0};
+    const std::vector<std::vector<double>> weights = {
+        {2.0, 2.0, 1.0}, {2.0, 0.0, 1.0}, {2.0, 2.0, 2.0}};
+    const RouterPlan whole =
+        router.plan(boundaries, weights, models);
+    ASSERT_EQ(whole.segments.size(), 3u);
+
+    for (std::size_t s = 0; s < whole.segments.size(); ++s) {
+        const RouterPlan::Segment seg = router.planSegment(
+            boundaries[s], boundaries[s + 1], weights[s], models);
+        const RouterPlan::Segment &ref = whole.segments[s];
+        EXPECT_DOUBLE_EQ(seg.startSeconds, ref.startSeconds);
+        EXPECT_DOUBLE_EQ(seg.endSeconds, ref.endSeconds);
+        ASSERT_EQ(seg.share.size(), ref.share.size());
+        for (std::size_t m = 0; m < seg.share.size(); ++m)
+            for (std::size_t c = 0; c < seg.share[m].size(); ++c) {
+                // Byte-identical, not merely close.
+                EXPECT_EQ(seg.share[m][c], ref.share[m][c]);
+                EXPECT_EQ(seg.admit[m][c], ref.admit[m][c]);
+            }
+        for (std::size_t c = 0; c < seg.cellRate.size(); ++c) {
+            EXPECT_EQ(seg.cellRate[c], ref.cellRate[c]);
+            EXPECT_EQ(seg.utilization[c], ref.utilization[c]);
+            EXPECT_EQ(seg.cellWeight[c], ref.cellWeight[c]);
+        }
+    }
+}
+
+TEST(RouterPlanSegment, ReplanWithNewReplicasIsWellFormed)
+{
+    // The control plane's mid-run move: same router, same pricing,
+    // new replica sets and a darkened cell.  The fresh segment obeys
+    // every plan invariant without touching the cells.
+    Router router(0.9, 1.25);
+    std::vector<Router::Model> models(1);
+    models[0].rateIps = 8000.0;
+    models[0].perItemSeconds = 2e-4;
+    models[0].qos = QosClass::Interactive;
+    models[0].replicaCells = {0, 1, 2, 3};
+
+    std::vector<Router::Model> shrunk = models;
+    shrunk[0].replicaCells = {0, 2};
+    const RouterPlan::Segment seg = router.planSegment(
+        10.0, 20.0, {1.0, 1.0, 0.0, 1.0}, shrunk);
+    double total = 0;
+    for (std::size_t c = 0; c < seg.share[0].size(); ++c) {
+        total += seg.share[0][c];
+        EXPECT_GE(seg.admit[0][c], 0.0);
+        EXPECT_LE(seg.admit[0][c], 1.0);
+        // Nothing lands outside the shrunk replica set.
+        if (c != 0 && c != 2)
+            EXPECT_EQ(seg.share[0][c], 0.0);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// ------------------------------------- serveControlled property sweep
+
+/** Run one controlled all-discrete mini day and return the stats. */
+Cluster::RunStats
+controlledMini(int cells, double load, std::uint64_t seed,
+               int threads = 0, bool upgrade = false)
+{
+    MiniCluster mini(cells, 2, threads);
+    ClusterTraffic t = mini.traffic(load, 60000, seed);
+
+    ControlPlane::Config cfg;
+    if (upgrade) {
+        cfg.upgrade.enabled = true;
+        cfg.upgrade.startSeconds = 0.0;
+    }
+    ControlPlane policy(cfg);
+    ControlOptions opts;
+    opts.tickSeconds = t.durationSeconds / 8.0;
+    opts.allDiscrete = true;
+    const Cluster::RunStats stats =
+        mini.cluster->serveControlled(t, policy, opts);
+    return stats;
+}
+
+TEST(ServeControlled, PropertySweepConservesExactly)
+{
+    // Seeded sweep: every (load, seed) combination conserves
+    // EXACTLY in all-discrete mode -- offered == completed + shed
+    // as integers, per tick and in total -- admit fractions stay in
+    // [0, 1], the scaler never darkens every replica of a placed
+    // model, and every tick keeps at least one active cell.
+    for (const double load : {0.3, 0.6, 0.9}) {
+        for (const std::uint64_t seed : {7ull, 1234ull}) {
+            const Cluster::RunStats stats =
+                controlledMini(3, load, seed);
+            ASSERT_FALSE(stats.controlTicks.empty());
+            std::uint64_t offered = 0, completed = 0, shed = 0;
+            for (const auto &t : stats.controlTicks) {
+                offered += t.offered;
+                completed += t.completed;
+                shed += t.sloShed + t.routerShed;
+                EXPECT_EQ(t.offered,
+                          t.completed + t.sloShed + t.routerShed)
+                    << "load " << load << " seed " << seed;
+                EXPECT_GE(t.admitUtilization, 0.0);
+                EXPECT_LE(t.admitUtilization, 1.0);
+                EXPECT_GE(t.activeCells, 1);
+            }
+            EXPECT_EQ(offered, completed + shed);
+            // Both models kept serving: no replica blackout.
+            ASSERT_EQ(stats.models.size(), 2u);
+            for (const auto &m : stats.models)
+                EXPECT_GT(m.completed.value(), 0.0)
+                    << "load " << load << " seed " << seed;
+        }
+    }
+}
+
+TEST(ServeControlled, UpgradeDrainsLoseNothing)
+{
+    // Roll every cell mid-run: in-flight requests finish at the
+    // drained tick barrier, so conservation stays exact and both
+    // models keep completing.
+    const Cluster::RunStats stats =
+        controlledMini(3, 0.5, 99, 0, /*upgrade=*/true);
+    std::uint64_t offered = 0, completed = 0, shed = 0;
+    for (const auto &t : stats.controlTicks) {
+        offered += t.offered;
+        completed += t.completed;
+        shed += t.sloShed + t.routerShed;
+    }
+    EXPECT_EQ(offered, completed + shed);
+    for (const auto &m : stats.models)
+        EXPECT_GT(m.completed.value(), 0.0);
+}
+
+TEST(ServeControlled, FingerprintStableAcrossThreads)
+{
+    const std::uint64_t fp1 =
+        controlledMini(3, 0.6, 42, 1).fingerprint();
+    const std::uint64_t fp3 =
+        controlledMini(3, 0.6, 42, 3).fingerprint();
+    const std::uint64_t again =
+        controlledMini(3, 0.6, 42, 1).fingerprint();
+    EXPECT_EQ(fp1, fp3);
+    EXPECT_EQ(fp1, again);
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu

@@ -15,7 +15,9 @@
 
 #include "analysis/serve_mix.hh"
 #include "serve/cluster.hh"
+#include "serve/control_plane.hh"
 #include "serve/hybrid.hh"
+#include "serve/scenario.hh"
 #include "sim/fluid/flow_model.hh"
 
 namespace tpu {
@@ -464,6 +466,69 @@ TEST(ServeHybrid, BurstAtTimeZeroRunsDiscrete)
     EXPECT_EQ(run.completed,
               run.fluidRequests + run.discreteRequests);
     EXPECT_GT(run.completed, 0u);
+}
+
+// --------------------------------------- serveControlled determinism
+
+/** One controlled chaos run on the mini fixture: the chaos pack's
+ *  cascading-cell-failures script scaled to the fixture's rate, a
+ *  control tick every eighth of the horizon, hybrid or all-discrete
+ *  tier. */
+Cluster::RunStats
+controlledChaos(int threads, bool all_discrete)
+{
+    MiniCluster mini(3, 2, threads);
+    ClusterTraffic t = mini.traffic(0.5, 90000);
+    const double d = t.durationSeconds;
+    const ScenarioScript script = chaosScenario(
+        "cascading_cell_failures", mini.rateFor(0.5), d, 3);
+    t.arrivals = script.arrivals;
+    t.failures = script.failures;
+
+    ControlPlane policy;
+    ControlOptions opts;
+    opts.tickSeconds = d / 8.0;
+    opts.allDiscrete = all_discrete;
+    // Real fluid epochs inside the mini horizon.
+    opts.switcher.startupSeconds = d / 10.0;
+    opts.switcher.guardSeconds = d / 50.0;
+    return mini.cluster->serveControlled(t, policy, opts);
+}
+
+TEST(ServeControlled, ChaosDeterministicAcrossThreadsAndTiers)
+{
+    // The autoscaler + chaos run reproduces its fingerprint bit for
+    // bit across reruns and worker-thread counts, on BOTH execution
+    // tiers -- the contract that lets the scenario corpus pin one
+    // fingerprint per scenario regardless of ctest parallelism.
+    const Cluster::RunStats hybrid = controlledChaos(1, false);
+    EXPECT_EQ(hybrid.fingerprint(),
+              controlledChaos(1, false).fingerprint());
+    EXPECT_EQ(hybrid.fingerprint(),
+              controlledChaos(3, false).fingerprint());
+
+    const Cluster::RunStats discrete = controlledChaos(1, true);
+    EXPECT_EQ(discrete.fingerprint(),
+              controlledChaos(1, true).fingerprint());
+    EXPECT_EQ(discrete.fingerprint(),
+              controlledChaos(3, true).fingerprint());
+
+    // Across tiers the fingerprints differ (the fluid tier is an
+    // approximation) but the runs agree on the control cadence and
+    // totals within the hybrid error bound.
+    ASSERT_EQ(hybrid.controlTicks.size(),
+              discrete.controlTicks.size());
+    const double ref =
+        static_cast<double>(discrete.completed);
+    EXPECT_NEAR(static_cast<double>(hybrid.completed), ref,
+                0.03 * ref);
+    // Tick records line up window for window.
+    for (std::size_t w = 0; w < hybrid.controlTicks.size(); ++w) {
+        EXPECT_DOUBLE_EQ(hybrid.controlTicks[w].startSeconds,
+                         discrete.controlTicks[w].startSeconds);
+        EXPECT_EQ(hybrid.controlTicks[w].activeCells,
+                  discrete.controlTicks[w].activeCells);
+    }
 }
 
 TEST(ServeHybrid, PlainServeFingerprintUnchanged)

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The scenario regression corpus: every named chaos scenario
+ * (serve::chaosScenario) served end-to-end through the closed-loop
+ * control plane at cluster scale, with PINNED RunStats fingerprints
+ * and per-scenario SLO/shed assertions.
+ *
+ * Each scenario is registered as its own ctest entry (CMakeLists
+ * fans this binary out with --gtest_filter), so a regression names
+ * the exact scenario it broke.  The corpus runs the SAME
+ * configuration as bench_control_plane's day leg -- 8 cells, one
+ * 86400 s day, 900 s control ticks -- so the bench's gates certify
+ * exactly the runs pinned here.
+ *
+ * The fingerprints fold every control-tick record, epoch record,
+ * per-model count and busy-seconds total: a pin catches ANY change
+ * to the controller's decisions or the simulation underneath it.
+ * They are bit-identical across reruns and worker-thread counts
+ * (the Cluster's determinism contract; bench_control_plane and
+ * hybrid_test re-prove it per release), so the pins hold at any
+ * ctest parallelism.  When a deliberate change shifts a pin, rerun
+ * this binary and update the table below from the failure output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/serve_mix.hh"
+#include "serve/cluster.hh"
+#include "serve/control_plane.hh"
+#include "serve/scenario.hh"
+
+namespace tpu {
+namespace serve {
+namespace {
+
+/** One corpus run plus the tick-sum accounting the assertions use. */
+struct CorpusRun
+{
+    analysis::ControlledRun run;
+    double offered = 0;
+    double completed = 0;
+    double shed = 0; ///< sloShed + routerShed
+    double leak = 0; ///< |offered - completed - shed| / offered
+};
+
+/** Corpus scale.  The default is the bench day; the two MMPP
+ *  scenarios run a shorter horizon because burst episodes execute
+ *  DISCRETE (the switcher follows bursts) and their total span
+ *  scales with the horizon -- a full bursty day is minutes of wall
+ *  clock for no additional coverage. */
+struct CorpusScale
+{
+    int cells = 8;
+    double daySeconds = 86400.0;
+    double tickSeconds = 900.0;
+};
+
+/** 24 ticks at 1/20 of a day: every burst still guarded discrete. */
+constexpr CorpusScale kBurstyScale{4, 4320.0, 180.0};
+
+CorpusRun
+corpus(const std::string &name, bool upgrade = false,
+       const CorpusScale &scale = {})
+{
+    analysis::ControlledRunOptions opts;
+    opts.cells = scale.cells;
+    opts.daySeconds = scale.daySeconds;
+    opts.tickSeconds = scale.tickSeconds;
+    opts.chaos = name;
+    opts.upgrade = upgrade;
+
+    CorpusRun c;
+    c.run = analysis::runControlledDiurnalDay(
+        arch::TpuConfig::production(), opts);
+    for (const auto &t : c.run.stats.controlTicks) {
+        c.offered += static_cast<double>(t.offered);
+        c.completed += static_cast<double>(t.completed);
+        c.shed += static_cast<double>(t.sloShed + t.routerShed);
+    }
+    c.leak = c.offered > 0 ? std::abs(c.offered - c.completed -
+                                      c.shed) /
+                                 c.offered
+                           : 0.0;
+    std::printf("[corpus] %-24s fp=%llu offered=%.0f "
+                "completed=%.0f shed=%.0f leak=%.2e p99=%.3fms "
+                "ratio=%.3f\n",
+                name.c_str(),
+                static_cast<unsigned long long>(
+                    c.run.stats.fingerprint()),
+                c.offered, c.completed, c.shed, c.leak,
+                c.run.interactiveP99 * 1e3,
+                c.run.overprovisionRatio);
+    return c;
+}
+
+/** The invariants every scenario must satisfy. */
+void
+checkCommon(const CorpusRun &c, const CorpusScale &scale = {})
+{
+    EXPECT_GT(c.completed, 0.0);
+    // No request silently vanishes between tiers or ticks.
+    EXPECT_LE(c.leak, 1e-3);
+    // Every control window of the horizon is accounted.
+    EXPECT_EQ(c.run.stats.controlTicks.size(),
+              static_cast<std::size_t>(std::llround(
+                  scale.daySeconds / scale.tickSeconds)));
+    // The controller always logs its first sizing decision.
+    ASSERT_FALSE(c.run.actions.empty());
+    EXPECT_EQ(c.run.actions.front().kind, "scale");
+    // Admission thresholds stay inside the router's domain.
+    for (const auto &t : c.run.stats.controlTicks) {
+        EXPECT_GE(t.admitUtilization, 0.0);
+        EXPECT_LE(t.admitUtilization, 1.0);
+        EXPECT_GE(t.interactiveCeiling, t.admitUtilization);
+        EXPECT_GE(t.activeCells, 1);
+        EXPECT_LE(t.activeCells, scale.cells);
+    }
+}
+
+// Pinned fingerprints: serve::Cluster::RunStats::fingerprint() of
+// each scenario's run, obtained by running this binary.  A change
+// here means the controller's decisions or the simulation changed.
+constexpr std::uint64_t kFpQuietBaseline =
+    14830110304983837304ull;
+constexpr std::uint64_t kFpFlashCrowd =
+    13097806051166173885ull;
+constexpr std::uint64_t kFpCascadingCellFailures =
+    18207279723337840434ull;
+constexpr std::uint64_t kFpCorrelatedRackOutage =
+    14075069720204108330ull;
+constexpr std::uint64_t kFpGraySlowDie = 17097703715012863758ull;
+constexpr std::uint64_t kFpPcieDegrade = 12933986722845836089ull;
+constexpr std::uint64_t kFpMidUpgradeFailure =
+    3798813746922574497ull;
+constexpr std::uint64_t kFpThermalThrottleWave =
+    3914821038939822860ull;
+constexpr std::uint64_t kFpDiurnalPeakLoss =
+    5901405666552727596ull;
+constexpr std::uint64_t kFpBurstWithChipLoss =
+    7306873988155656177ull;
+
+TEST(ScenarioCorpus, quiet_baseline)
+{
+    const CorpusRun c = corpus("quiet_baseline");
+    checkCommon(c);
+    EXPECT_EQ(c.run.stats.fingerprint(), kFpQuietBaseline);
+    // Nothing breaks: the SLO holds and shed is negligible.
+    EXPECT_TRUE(c.run.interactiveP99SloOk);
+    EXPECT_LE(c.shed, 1e-3 * c.offered);
+}
+
+TEST(ScenarioCorpus, flash_crowd)
+{
+    const CorpusRun c =
+        corpus("flash_crowd", false, kBurstyScale);
+    checkCommon(c, kBurstyScale);
+    EXPECT_EQ(c.run.stats.fingerprint(), kFpFlashCrowd);
+    // 6x storms: the interactive class still lands inside the SLO
+    // (admission sheds batch work first).
+    EXPECT_TRUE(c.run.interactiveP99SloOk);
+}
+
+TEST(ScenarioCorpus, cascading_cell_failures)
+{
+    const CorpusRun c = corpus("cascading_cell_failures");
+    checkCommon(c);
+    EXPECT_EQ(c.run.stats.fingerprint(),
+              kFpCascadingCellFailures);
+    // Three of eight cells die across the diurnal ramp: the router
+    // sheds honestly rather than losing requests...
+    EXPECT_GT(c.shed, 0.0);
+    // ...and the interactive class still holds its SLO.
+    EXPECT_TRUE(c.run.interactiveP99SloOk);
+}
+
+TEST(ScenarioCorpus, correlated_rack_outage)
+{
+    const CorpusRun c = corpus("correlated_rack_outage");
+    checkCommon(c);
+    EXPECT_EQ(c.run.stats.fingerprint(), kFpCorrelatedRackOutage);
+    EXPECT_TRUE(c.run.interactiveP99SloOk);
+}
+
+TEST(ScenarioCorpus, gray_slow_die)
+{
+    const CorpusRun c = corpus("gray_slow_die");
+    checkCommon(c);
+    EXPECT_EQ(c.run.stats.fingerprint(), kFpGraySlowDie);
+    EXPECT_TRUE(c.run.interactiveP99SloOk);
+}
+
+TEST(ScenarioCorpus, pcie_degrade)
+{
+    const CorpusRun c = corpus("pcie_degrade");
+    checkCommon(c);
+    EXPECT_EQ(c.run.stats.fingerprint(), kFpPcieDegrade);
+    EXPECT_TRUE(c.run.interactiveP99SloOk);
+}
+
+TEST(ScenarioCorpus, mid_upgrade_failure)
+{
+    // The roll is LIVE when the cell fails: drain/warm-up windows
+    // interleave with the failure guard.
+    const CorpusRun c = corpus("mid_upgrade_failure",
+                               /*upgrade=*/true);
+    checkCommon(c);
+    EXPECT_EQ(c.run.stats.fingerprint(), kFpMidUpgradeFailure);
+    // Every cell still completes its roll.
+    std::size_t drains = 0, heals = 0;
+    for (const auto &a : c.run.actions) {
+        drains += a.kind == "drain";
+        heals += a.kind == "heal";
+    }
+    EXPECT_EQ(drains, 8u);
+    EXPECT_EQ(heals, 8u);
+    // The dead cell's traffic is shed honestly, not lost.
+    EXPECT_GT(c.shed, 0.0);
+}
+
+TEST(ScenarioCorpus, thermal_throttle_wave)
+{
+    const CorpusRun c = corpus("thermal_throttle_wave");
+    checkCommon(c);
+    EXPECT_EQ(c.run.stats.fingerprint(), kFpThermalThrottleWave);
+    EXPECT_TRUE(c.run.interactiveP99SloOk);
+}
+
+TEST(ScenarioCorpus, diurnal_peak_loss)
+{
+    const CorpusRun c = corpus("diurnal_peak_loss");
+    checkCommon(c);
+    EXPECT_EQ(c.run.stats.fingerprint(), kFpDiurnalPeakLoss);
+    // Losing a cell exactly at the demand peak forces real shed.
+    EXPECT_GT(c.shed, 0.0);
+    EXPECT_TRUE(c.run.interactiveP99SloOk);
+}
+
+TEST(ScenarioCorpus, burst_with_chip_loss)
+{
+    const CorpusRun c =
+        corpus("burst_with_chip_loss", false, kBurstyScale);
+    checkCommon(c, kBurstyScale);
+    EXPECT_EQ(c.run.stats.fingerprint(), kFpBurstWithChipLoss);
+    EXPECT_TRUE(c.run.interactiveP99SloOk);
+}
+
+/** The pack list itself is part of the contract. */
+TEST(ScenarioCorpus, pack_is_complete)
+{
+    const std::vector<std::string> names = chaosScenarioNames();
+    ASSERT_EQ(names.size(), 10u);
+    // Every name parses into a normalized script.
+    for (const std::string &n : names) {
+        const ScenarioScript s =
+            chaosScenario(n, 1000.0, 100.0, 8);
+        EXPECT_GT(s.arrivals.rateIps, 0.0) << n;
+        for (std::size_t i = 1; i < s.failures.size(); ++i)
+            EXPECT_LE(s.failures[i - 1].atSeconds,
+                      s.failures[i].atSeconds)
+                << n;
+    }
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu

@@ -28,6 +28,7 @@ Usage:
                                  [--cluster BENCH_cluster.json]
                                  [--hybrid BENCH_hybrid.json]
                                  [--design BENCH_design.json]
+                                 [--control BENCH_control.json]
                                  [--tolerance 0.25]
 
 BENCH_design.json (bench_design_explorer, design-gate job) is an
@@ -35,6 +36,11 @@ optional input like the others: the best design's requests/s/W must
 hold its anchor and the coverage/Section-7/base-SLO flags must be
 true.  warmup_seconds anchors gate lower-is-better (the fresh value
 must stay under (1 + tolerance) * anchor).
+
+BENCH_control.json (bench_control_plane, control-gate job) gates the
+closed-loop control plane: the autoscaler's die-second spend relative
+to the static oracle and the interactive p99 are lower-is-better
+anchors, and the SLO/upgrade/chaos-determinism flags must be true.
 """
 
 import argparse
@@ -78,6 +84,16 @@ HYBRID_METRICS = [
     ("week_simulated_requests_per_wall_second",
      "current.hybrid.week_simulated_requests_per_wall_second"),
 ]
+# Closed-loop control plane (BENCH_control.json,
+# bench_control_plane).  Both anchors gate LOWER-is-better: the
+# autoscaler must not start spending materially more die-seconds
+# than the static peak-provisioned oracle, and the interactive p99
+# must not drift toward the 7 ms SLO it is required to hold.
+CONTROL_METRICS_LOWER = [
+    ("overprovisioned_die_seconds_vs_oracle",
+     "current.control.overprovisioned_die_seconds_vs_oracle"),
+    ("interactive_p99_ms", "current.control.interactive_p99_ms"),
+]
 # Boolean health flags that must be true in the fresh measurement.
 CLUSTER_FLAGS = ["determinism_exact", "seed_baseline_gate_ok",
                  "warmup.parallel_ok"]
@@ -87,6 +103,10 @@ HYBRID_FLAGS = ["overlap_exact", "overlap_sized", "bounds_ok",
                 "deterministic_rerun", "deterministic_threads",
                 "week_wall_ok", "week_volume_ok"]
 DESIGN_FLAGS = ["coverage_ok", "section7_ok", "base_slo_ok"]
+CONTROL_FLAGS = ["interactive_p99_slo_ok", "overprovision_ok",
+                 "upgrade_roll_complete", "upgrade_conserves",
+                 "chaos_deterministic_rerun",
+                 "chaos_deterministic_threads", "wall_ok"]
 
 
 def load(path, optional=False):
@@ -162,6 +182,7 @@ def main():
     ap.add_argument("--cluster", default="BENCH_cluster.json")
     ap.add_argument("--hybrid", default="BENCH_hybrid.json")
     ap.add_argument("--design", default="BENCH_design.json")
+    ap.add_argument("--control", default="BENCH_control.json")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional slowdown (default 0.25)")
     args = ap.parse_args()
@@ -175,10 +196,11 @@ def main():
     cluster = load(args.cluster, optional=True)
     hybrid = load(args.hybrid, optional=True)
     design = load(args.design, optional=True)
+    control = load(args.control, optional=True)
     if baselines is None:
         return 1
     if (serve is None and cluster is None and hybrid is None
-            and design is None):
+            and design is None and control is None):
         print("error: no bench output files found")
         return 1
 
@@ -204,6 +226,11 @@ def main():
         ok &= check_metrics("design", design, baselines,
                             DESIGN_METRICS, args.tolerance)
         ok &= check_flags("design", design, DESIGN_FLAGS)
+    if control is not None:
+        ok &= check_metrics_lower("control", control, baselines,
+                                  CONTROL_METRICS_LOWER,
+                                  args.tolerance)
+        ok &= check_flags("control", control, CONTROL_FLAGS)
     print("result:", "ok" if ok else "REGRESSION DETECTED")
     return 0 if ok else 1
 
