@@ -239,7 +239,11 @@ main(int argc, char **argv)
         .set("upgrade_wall_seconds", upgrade.wallSeconds)
         .set("chaos_wall_seconds", chaos.wallSeconds)
         .set("wall_budget_seconds", wall_budget)
-        .setBool("wall_ok", wall_ok);
+        .setBool("wall_ok", wall_ok)
+        .set("plan_seconds", day.stats.planSeconds)
+        .set("bringup_seconds", day.stats.bringupSeconds)
+        .set("plan_full_segments", day.stats.planFullSegments)
+        .set("plan_reused_segments", day.stats.planReusedSegments);
     recordTicks(json, "ticks", day.stats);
     json.writeTo("BENCH_control.json");
 

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Bench harness: fleet-scale serving -- 8 -> 64 -> 256 cells under
+ * the closed-loop diurnal day at near-linear weak scaling.
+ *
+ * The paper frames the TPU as a DATACENTER fleet component (Section
+ * 8's cost argument only bites at fleet scale); every other bench
+ * tops out at 8 cells.  This one certifies the fleet dimension:
+ *
+ *  1. WEAK SCALING.  One controlled diurnal day (predictive
+ *     autoscaler, SLO-feedback admission) at 8, 64 and 256 cells on
+ *     ONE worker thread.  Offered load is proportional to cluster
+ *     capacity (analysis::loadClusterTable1Mix), so per-cell work is
+ *     constant and wall clock should grow linearly with the cell
+ *     count.  The gate: efficiency(8 -> 64) =
+ *     (wall_8 x 64/8) / wall_64 >= 0.7 -- the serial O(cells)
+ *     bottlenecks (scalar fluid tier, full per-tick replans, cold
+ *     bring-up) would sink this.
+ *
+ *  2. WALL BUDGET.  The largest sweep point (256 cells by default)
+ *     must finish inside the CI wall budget.
+ *
+ *  3. THREAD-COUNT INVARIANCE.  The 64-cell day re-run with 8 and 16
+ *     worker threads must reproduce the 1-thread RunStats
+ *     fingerprint bit for bit -- the parallel fluid tier's
+ *     fold-in-cell-index-order contract on top of the cluster's
+ *     existing one.
+ *
+ *  4. ARENA REUSE.  The 64-cell day run twice against one shared
+ *     serve::CellArena: the second run adopts the first run's warmed
+ *     cell storage (event-queue slabs, request pools, in-flight
+ *     slabs) and must reproduce the cold fingerprint exactly, with
+ *     every context actually reused.
+ *
+ * Headline numbers land in BENCH_fleet.json for
+ * check_perf_regression.py --fleet: weak_scaling_efficiency_8_64
+ * (higher is better), wall/plan/bringup seconds of the largest point
+ * (lower is better), and the invariance flags.
+ *
+ *   usage: bench_fleet_scale [day_seconds] [max_cells]
+ *                            [tick_seconds] [wall_budget_seconds]
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "analysis/bench_json.hh"
+#include "analysis/serve_mix.hh"
+#include "serve/cell_arena.hh"
+#include "serve/cluster.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace tpu;
+using analysis::ControlledRun;
+using analysis::ControlledRunOptions;
+
+/** One weak-scaling sweep point. */
+struct SweepPoint
+{
+    int cells = 0;
+    ControlledRun run;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpu;
+    setQuiet(true);
+
+    double day_seconds = 86400.0;
+    int max_cells = 256;
+    double tick_seconds = 900.0;
+    double wall_budget = 600.0;
+    if (argc > 1)
+        day_seconds = std::atof(argv[1]);
+    if (argc > 2)
+        max_cells = std::atoi(argv[2]);
+    if (argc > 3)
+        tick_seconds = std::atof(argv[3]);
+    if (argc > 4)
+        wall_budget = std::atof(argv[4]);
+
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+
+    std::printf("fleet-scale serving (Table 1 mix, %.0f s day, "
+                "%.0f s ticks, up to %d cells)\n\n",
+                day_seconds, tick_seconds, max_cells);
+
+    const auto makeOptions = [&](int cells, int threads) {
+        ControlledRunOptions o;
+        o.cells = cells;
+        o.threads = threads;
+        o.daySeconds = day_seconds;
+        o.tickSeconds = tick_seconds;
+        return o;
+    };
+
+    // ---- leg 1: weak scaling, one worker thread -------------------
+    std::vector<SweepPoint> sweep;
+    for (int cells : {8, 64, 256}) {
+        if (cells > max_cells)
+            continue;
+        SweepPoint p;
+        p.cells = cells;
+        p.run = analysis::runControlledDiurnalDay(
+            cfg, makeOptions(cells, /*threads=*/1));
+        std::printf("  %3d cells: wall %7.2f s (plan %.3f s, "
+                    "bring-up %.3f s, replans %llu full / %llu "
+                    "reused), p99 %.3f ms -> %s\n",
+                    cells, p.run.wallSeconds, p.run.stats.planSeconds,
+                    p.run.stats.bringupSeconds,
+                    static_cast<unsigned long long>(
+                        p.run.stats.planFullSegments),
+                    static_cast<unsigned long long>(
+                        p.run.stats.planReusedSegments),
+                    p.run.interactiveP99 * 1e3,
+                    p.run.interactiveP99SloOk ? "ok" : "FAIL");
+        sweep.push_back(std::move(p));
+    }
+    fatal_if(sweep.empty(), "max_cells below the smallest sweep "
+             "point (8)");
+
+    // efficiency(8 -> N) = ideal linear wall over measured wall.
+    const auto efficiency = [&](const SweepPoint &base,
+                                const SweepPoint &big) {
+        const double ideal = base.run.wallSeconds *
+                             static_cast<double>(big.cells) /
+                             static_cast<double>(base.cells);
+        return big.run.wallSeconds > 0
+                   ? ideal / big.run.wallSeconds
+                   : 0.0;
+    };
+    const double kEfficiencyGate = 0.7;
+    double eff_8_64 = 0;
+    bool efficiency_ok = true;
+    if (sweep.size() >= 2) {
+        eff_8_64 = efficiency(sweep[0], sweep[1]);
+        efficiency_ok = eff_8_64 >= kEfficiencyGate;
+        std::printf("\n  weak scaling 8 -> %d: efficiency %.3f "
+                    "(gate >= %.1f) -> %s\n",
+                    sweep[1].cells, eff_8_64, kEfficiencyGate,
+                    efficiency_ok ? "ok" : "FAIL");
+        for (std::size_t i = 2; i < sweep.size(); ++i)
+            std::printf("  weak scaling 8 -> %d: efficiency %.3f\n",
+                        sweep[i].cells,
+                        efficiency(sweep[0], sweep[i]));
+    }
+
+    // ---- leg 2: wall budget on the largest point ------------------
+    const SweepPoint &largest = sweep.back();
+    const bool wall_ok = largest.run.wallSeconds <= wall_budget;
+    std::printf("\n  %d-cell day wall %.2f s (budget %.0f s) -> %s\n",
+                largest.cells, largest.run.wallSeconds, wall_budget,
+                wall_ok ? "ok" : "FAIL");
+
+    // ---- leg 3: thread-count invariance at 64 cells ---------------
+    // (or the largest point below 64 when the sweep is reduced).
+    const SweepPoint &det_base =
+        sweep.size() >= 2 ? sweep[1] : sweep[0];
+    const std::uint64_t fp = det_base.run.stats.fingerprint();
+    const ControlledRun det8 = analysis::runControlledDiurnalDay(
+        cfg, makeOptions(det_base.cells, 8));
+    const ControlledRun det16 = analysis::runControlledDiurnalDay(
+        cfg, makeOptions(det_base.cells, 16));
+    const bool det_threads =
+        fp == det8.stats.fingerprint() &&
+        fp == det16.stats.fingerprint();
+    std::printf("\n  %d-cell fingerprint across 1/8/16 threads: %s\n",
+                det_base.cells,
+                det_threads ? "identical" : "MISMATCH");
+
+    // ---- leg 4: arena reuse ---------------------------------------
+    const auto arena = std::make_shared<serve::CellArena>();
+    ControlledRunOptions aopts = makeOptions(det_base.cells, 8);
+    aopts.arena = arena;
+    const ControlledRun cold =
+        analysis::runControlledDiurnalDay(cfg, aopts);
+    const ControlledRun reused =
+        analysis::runControlledDiurnalDay(cfg, aopts);
+    const bool det_arena = fp == cold.stats.fingerprint() &&
+                           fp == reused.stats.fingerprint();
+    const bool arena_reused =
+        arena->reuseAcquires() >=
+        static_cast<std::uint64_t>(det_base.cells);
+    std::printf("  arena reuse: cold/reused fingerprints %s; "
+                "%llu cold / %llu reused acquires -> %s\n",
+                det_arena ? "identical" : "MISMATCH",
+                static_cast<unsigned long long>(
+                    arena->coldAcquires()),
+                static_cast<unsigned long long>(
+                    arena->reuseAcquires()),
+                arena_reused ? "ok" : "FAIL");
+    std::printf("  bring-up: cold %.4f s vs reused %.4f s\n",
+                cold.stats.bringupSeconds,
+                reused.stats.bringupSeconds);
+
+    // ---- JSON -----------------------------------------------------
+    analysis::BenchJson json("fleet_scale");
+    json.set("day_seconds", day_seconds)
+        .set("tick_seconds", tick_seconds)
+        .set("cells_max", largest.cells);
+    for (const SweepPoint &p : sweep) {
+        analysis::BenchJson::Record rec;
+        rec.set("cells", p.cells)
+            .set("wall_seconds", p.run.wallSeconds)
+            .set("plan_seconds", p.run.stats.planSeconds)
+            .set("bringup_seconds", p.run.stats.bringupSeconds)
+            .set("plan_full_segments", p.run.stats.planFullSegments)
+            .set("plan_reused_segments",
+                 p.run.stats.planReusedSegments)
+            .set("completed",
+                 static_cast<double>(p.run.stats.completed))
+            .set("interactive_p99_ms", p.run.interactiveP99 * 1e3);
+        json.addRecord("sweep", rec);
+    }
+    json.set("weak_scaling_efficiency_8_64", eff_8_64)
+        .set("weak_scaling_efficiency_gate", kEfficiencyGate)
+        .setBool("efficiency_ok", efficiency_ok)
+        .set("wall_seconds_max", largest.run.wallSeconds)
+        .set("wall_budget_seconds", wall_budget)
+        .setBool("wall_ok", wall_ok)
+        .set("plan_seconds_max", largest.run.stats.planSeconds)
+        .set("bringup_seconds_max",
+             largest.run.stats.bringupSeconds)
+        .set("bringup_seconds_cold", cold.stats.bringupSeconds)
+        .set("bringup_seconds_reused", reused.stats.bringupSeconds)
+        .setBool("fingerprints_thread_invariant", det_threads)
+        .setBool("fingerprints_arena_invariant", det_arena)
+        .setBool("arena_reused", arena_reused);
+    json.writeTo("BENCH_fleet.json");
+
+    const bool ok = efficiency_ok && wall_ok && det_threads &&
+                    det_arena && arena_reused;
+    std::printf("\nfleet-scale gate: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

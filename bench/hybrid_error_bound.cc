@@ -302,7 +302,9 @@ main(int argc, char **argv)
              week.wallSeconds > 0
                  ? static_cast<double>(ws.completed) /
                        week.wallSeconds
-                 : 0.0);
+                 : 0.0)
+        .set("plan_seconds", ws.planSeconds)
+        .set("bringup_seconds", ws.bringupSeconds);
     recordEpochs(json, ws);
     json.writeTo("BENCH_hybrid.json");
 

@@ -642,6 +642,8 @@ main(int argc, char **argv)
         .set("warmup.speedup", warm_speedup)
         .set("warmup.live_runs", serial.stats.warmupLiveRuns)
         .setBool("warmup.parallel_ok", warm_ok)
+        .set("plan_seconds", serial.stats.planSeconds)
+        .set("bringup_seconds", serial.stats.bringupSeconds)
         .set("speedup_vs_seed_baseline", speedup_vs_seed)
         .setBool("seed_baseline_gate_ok",
                  baseline_gate_ok && have_seed)

@@ -39,12 +39,23 @@
  * (bench/hybrid_error_bound.cc certifies the error bound of exactly
  * this handoff).
  *
+ * The "fleet" subcommand is the datacenter endgame: the controlled
+ * diurnal day (predictive autoscaler + SLO-feedback admission) swept
+ * over 8 -> 256 cells, printing the weak-scaling table the fleet
+ * gate (bench/fleet_scale.cc) certifies -- per-cell load held
+ * constant, wall clock near-linear in the cell count, fingerprints
+ * bit-identical at every worker-thread count, and a second day on
+ * recycled serve::CellArena storage reproducing the cold run
+ * exactly.
+ *
  *   usage: example_server_farm
  *              (cluster narrative: 20M requests, 8 cells)
  *          example_server_farm cluster [requests] [cells] [threads]
  *              [poisson|diurnal|bursty]
  *          example_server_farm week [cells] [threads] [days] [load]
  *              (hybrid week-horizon narrative: 6 cells, 7 days)
+ *          example_server_farm fleet [max_cells] [day_seconds]
+ *              (weak-scaling narrative: 8 -> 256 cells)
  *          example_server_farm [requests] [cyclesim|replay|analytic]
  *              [tpu|cpu|gpu|mixed] [poisson|diurnal|bursty]
  *              (single-server narrative)
@@ -55,6 +66,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,6 +74,7 @@
 #include "analysis/serve_mix.hh"
 #include "baselines/platform.hh"
 #include "power/power_model.hh"
+#include "serve/cell_arena.hh"
 #include "serve/cluster.hh"
 #include "serve/scenario.hh"
 #include "sim/logging.hh"
@@ -542,6 +555,82 @@ runWeekNarrative(int cells, int threads, int days, double load)
     return ok ? 0 : 1;
 }
 
+/** The fleet narrative: weak scaling 8 -> 256 cells, arenas. */
+int
+runFleetNarrative(int max_cells, double day_seconds)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    std::printf("fleet weak scaling: one controlled diurnal day "
+                "(%.0f s, predictive\nautoscaler + SLO-feedback "
+                "admission), offered load proportional to the\n"
+                "cell count -- per-cell work constant, wall clock "
+                "should be ~linear\n\n",
+                day_seconds);
+
+    const auto runDay = [&](int cells, int threads,
+                            std::shared_ptr<serve::CellArena> arena =
+                                nullptr) {
+        analysis::ControlledRunOptions o;
+        o.cells = cells;
+        o.threads = threads;
+        o.daySeconds = day_seconds;
+        o.arena = std::move(arena);
+        return analysis::runControlledDiurnalDay(cfg, o);
+    };
+
+    std::printf("  %6s %9s %11s %9s %12s %9s\n", "cells", "wall s",
+                "efficiency", "p99 (ms)", "completed", "plan s");
+    double wall8 = 0;
+    bool slo_ok = true;
+    analysis::ControlledRun last;
+    int last_cells = 8;
+    for (int cells : {8, 16, 32, 64, 128, 256}) {
+        if (cells > max_cells)
+            continue;
+        const analysis::ControlledRun day = runDay(cells, 1);
+        if (cells == 8)
+            wall8 = day.wallSeconds;
+        const double eff =
+            wall8 > 0 && day.wallSeconds > 0
+                ? wall8 * (static_cast<double>(cells) / 8.0) /
+                      day.wallSeconds
+                : 0.0;
+        std::printf("  %6d %9.2f %11.2f %9.2f %12.3e %9.4f\n", cells,
+                    day.wallSeconds, eff, day.interactiveP99 * 1e3,
+                    static_cast<double>(day.stats.completed),
+                    day.stats.planSeconds);
+        slo_ok = slo_ok && day.interactiveP99SloOk;
+        last = day;
+        last_cells = cells;
+    }
+
+    // Determinism at the largest point: re-run on 8 worker threads,
+    // then twice more on one shared arena (cold bring-up, then a
+    // second day adopting the recycled cell storage).
+    const std::uint64_t fp = last.stats.fingerprint();
+    const analysis::ControlledRun threaded = runDay(last_cells, 8);
+    const auto arena = std::make_shared<serve::CellArena>();
+    const analysis::ControlledRun cold = runDay(last_cells, 8, arena);
+    const analysis::ControlledRun reused =
+        runDay(last_cells, 8, arena);
+    const bool det = fp == threaded.stats.fingerprint() &&
+                     fp == cold.stats.fingerprint() &&
+                     fp == reused.stats.fingerprint();
+    std::printf("\n  %d-cell fingerprint, 1 vs 8 threads and across "
+                "arena reuse: %s\n", last_cells,
+                det ? "EXACT" : "MISMATCH");
+    std::printf("  arena: %llu cold bring-ups, %llu recycled "
+                "(bring-up %.3f s cold, %.3f s reused)\n",
+                static_cast<unsigned long long>(arena->coldAcquires()),
+                static_cast<unsigned long long>(
+                    arena->reuseAcquires()),
+                cold.stats.bringupSeconds,
+                reused.stats.bringupSeconds);
+    std::printf("  interactive p99 held the 7 ms SLO at every scale: "
+                "%s\n", slo_ok ? "ok" : "MISS");
+    return det && slo_ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -593,6 +682,19 @@ main(int argc, char **argv)
         fatal_if(load <= 0 || load >= 1,
                  "load fraction must be in (0, 1)");
         return runWeekNarrative(cells, threads, days, load);
+    }
+
+    // Fleet weak-scaling narrative.
+    if (argc > 1 && std::strcmp(argv[1], "fleet") == 0) {
+        int max_cells = 256;
+        double day_seconds = 21600.0;
+        if (argc > 2)
+            max_cells = std::atoi(argv[2]);
+        if (argc > 3)
+            day_seconds = std::atof(argv[3]);
+        fatal_if(max_cells < 8, "fleet narrative starts at 8 cells");
+        fatal_if(day_seconds <= 0, "need a positive day length");
+        return runFleetNarrative(max_cells, day_seconds);
     }
 
     // Single-server narrative (the PR 1-3 stories).

@@ -273,7 +273,8 @@ runClusterTable1Mix(const arch::TpuConfig &cfg,
                     std::uint64_t requests, int cells, int threads,
                     double load_fraction, int kill_cell,
                     serve::ArrivalKind kind,
-                    const std::string &calibration_store)
+                    const std::string &calibration_store,
+                    const std::shared_ptr<serve::CellArena> &arena)
 {
     serve::ClusterOptions options;
     options.cells = cells;
@@ -282,6 +283,7 @@ runClusterTable1Mix(const arch::TpuConfig &cfg,
         runtime::TierPolicy{runtime::ExecutionTier::Replay};
     options.threads = threads;
     options.calibrationStorePath = calibration_store;
+    options.arena = arena;
     serve::Cluster cluster(cfg, options);
 
     ClusterRun run;
@@ -428,6 +430,7 @@ runControlledDiurnalDay(const arch::TpuConfig &cfg,
     options.tier =
         runtime::TierPolicy{runtime::ExecutionTier::Replay};
     options.threads = opts.threads;
+    options.arena = opts.arena;
     serve::Cluster cluster(cfg, options);
 
     ControlledRun run;

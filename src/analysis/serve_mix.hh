@@ -155,7 +155,8 @@ ClusterRun runClusterTable1Mix(
     const arch::TpuConfig &cfg, std::uint64_t requests, int cells,
     int threads, double load_fraction, int kill_cell = -1,
     serve::ArrivalKind kind = serve::ArrivalKind::Poisson,
-    const std::string &calibration_store = std::string());
+    const std::string &calibration_store = std::string(),
+    const std::shared_ptr<serve::CellArena> &arena = nullptr);
 
 /** One hybrid-timeline cluster run of the Table 1 mix. */
 struct HybridClusterRun
@@ -222,6 +223,13 @@ struct ControlledRunOptions
     bool upgrade = false;
     /** The closed-loop controller's knobs. */
     serve::ControlPlane::Config control;
+    /**
+     * Reusable cell-storage arena shared across runs (null = each
+     * run allocates cold).  Bring-up wall clock only; results are
+     * bit-identical either way -- the cell_arena.hh contract the
+     * fleet bench gates.
+     */
+    std::shared_ptr<serve::CellArena> arena;
 };
 
 /** One closed-loop controlled cluster run, with its gate numbers. */

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Reusable per-cell storage: the fleet-scale bring-up arena.
+ *
+ * A serve::Session warms three pooled structures up to their peak
+ * occupancy over a run -- the event queue's task slab and heap, the
+ * pending-request slab, and the in-flight batch slab -- plus the
+ * detached-arrival ring.  At 8 cells that warm-up is noise; at 256
+ * cells, and across the design explorer's 25 cold bring-ups, it is a
+ * serial O(cells x runs) allocator tax.  A CellContext owns exactly
+ * that storage, decoupled from any particular Session or TpuConfig;
+ * a CellArena pools contexts so a fresh Cluster adopts warmed
+ * storage in O(1) instead of growing its own from zero.
+ *
+ * Determinism across reuse: every structure resets to COLD
+ * ALLOCATION ORDER (sim::Slab::reset re-issues index 0, 1, 2, ...
+ * exactly as an empty slab would; the event queue rezeroes its
+ * clock, sequence and serviced counters), and every consumer already
+ * tolerates recycled object state because intra-run slot reuse has
+ * the same property (RequestPool::alloc and Frontend::form overwrite
+ * the bookkeeping fields on every claim).  A run on a reused context
+ * is therefore bit-identical to the same run on a cold one -- the
+ * contract the fleet bench gates.
+ *
+ * What a context may retain across runs: slab/heap/ring CAPACITY and
+ * undestroyed object payloads (vector capacities inside recycled
+ * records).  What it must not retain: anything a fresh run could
+ * observe -- clocks, sequence numbers, live slots, pending entries.
+ */
+
+#ifndef TPUSIM_SERVE_CELL_ARENA_HH
+#define TPUSIM_SERVE_CELL_ARENA_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/driver.hh"
+#include "serve/batcher.hh"
+#include "serve/request.hh"
+#include "sim/event_queue.hh"
+#include "sim/pool.hh"
+
+namespace tpu {
+namespace serve {
+
+/** One pre-generated arrival for Session::submitDetachedBulk(). */
+struct DetachedArrival
+{
+    double when;
+    ModelHandle handle;
+};
+
+/**
+ * One record per batch in flight on a chip: the formed batch, its
+ * invoke result and dispatch time, pooled and reused across
+ * dispatches.  Completion events carry the 32-bit slot index, so
+ * they fit sim::InlineTask's inline buffer.  (Dispatch logic lives
+ * in serve::Session; the record lives here so its slab can be
+ * retained in a CellContext across sessions.)
+ */
+struct InFlightBatch
+{
+    FormedBatch batch;
+    runtime::InvokeStats inv;
+    double dispatchSeconds = 0;
+};
+
+/**
+ * The reusable storage of one serving cell (see file comment).  A
+ * Session constructed with SessionOptions::context move-adopts these
+ * members and moves them back on destruction; reset() then recycles
+ * them for the next adopter.
+ */
+struct CellContext
+{
+    EventQueue events;
+    RequestPool requests;
+    sim::Slab<InFlightBatch> inflight;
+    sim::Ring<DetachedArrival> arrivalStream;
+
+    /** O(1) recycle: cold allocation order, retained capacity. */
+    void
+    reset()
+    {
+        events.reset();
+        requests.reset();
+        inflight.reset();
+        arrivalStream.clear();
+    }
+};
+
+/**
+ * Thread-safe pool of CellContexts.  acquire() hands out a reset,
+ * possibly-warmed context (cold-constructing one only when the pool
+ * is empty); release() resets and returns it.  Share one arena
+ * across sequential Clusters to reuse bring-up storage run to run,
+ * or give each design-sweep worker its own to avoid lock traffic --
+ * either way results are bit-identical to arena-less runs.
+ */
+class CellArena
+{
+  public:
+    /** Take a context (reset; warmed iff the pool had one). */
+    std::unique_ptr<CellContext>
+    acquire()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (!_pool.empty()) {
+                std::unique_ptr<CellContext> ctx =
+                    std::move(_pool.back());
+                _pool.pop_back();
+                ++_reuseAcquires;
+                return ctx;
+            }
+            ++_coldAcquires;
+        }
+        return std::make_unique<CellContext>();
+    }
+
+    /** Reset @p ctx and return it to the pool (null is a no-op). */
+    void
+    release(std::unique_ptr<CellContext> ctx)
+    {
+        if (!ctx)
+            return;
+        ctx->reset();
+        std::lock_guard<std::mutex> lock(_mutex);
+        _pool.push_back(std::move(ctx));
+    }
+
+    /** Contexts constructed because the pool was empty. */
+    std::uint64_t
+    coldAcquires() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _coldAcquires;
+    }
+    /** Contexts handed out with warmed storage. */
+    std::uint64_t
+    reuseAcquires() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _reuseAcquires;
+    }
+    /** Contexts currently parked in the pool. */
+    std::size_t
+    pooled() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _pool.size();
+    }
+
+  private:
+    mutable std::mutex _mutex;
+    std::vector<std::unique_ptr<CellContext>> _pool;
+    std::uint64_t _coldAcquires = 0;
+    std::uint64_t _reuseAcquires = 0;
+};
+
+} // namespace serve
+} // namespace tpu
+
+#endif // TPUSIM_SERVE_CELL_ARENA_HH

@@ -187,6 +187,82 @@ Router::planSegment(double start_seconds, double end_seconds,
     return seg;
 }
 
+// --------------------------------------------------- SegmentPlanner
+
+namespace {
+
+/**
+ * Bit-pattern double equality: the memo must reproduce planSegment
+ * BYTE for byte, so +0/-0 (and NaN payloads) are deliberately not
+ * identified -- value-equal inputs with different bit patterns could
+ * propagate those patterns into the cached segment's copied fields.
+ */
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+           std::bit_cast<std::uint64_t>(b);
+}
+
+} // namespace
+
+bool
+SegmentPlanner::_reusable(double admit_utilization,
+                          double interactive_ceiling,
+                          const std::vector<double> &cell_weight,
+                          const std::vector<Router::Model> &models)
+    const
+{
+    if (!sameBits(admit_utilization, _admit) ||
+        !sameBits(interactive_ceiling, _ceiling))
+        return false;
+    if (cell_weight.size() != _weight.size() ||
+        models.size() != _models.size())
+        return false;
+    for (std::size_t c = 0; c < cell_weight.size(); ++c)
+        if (!sameBits(cell_weight[c], _weight[c]))
+            return false;
+    for (std::size_t mi = 0; mi < models.size(); ++mi) {
+        const Router::Model &a = models[mi];
+        const Router::Model &b = _models[mi];
+        if (!sameBits(a.rateIps, b.rateIps) ||
+            !sameBits(a.perItemSeconds, b.perItemSeconds) ||
+            a.qos != b.qos || a.replicaCells != b.replicaCells)
+            return false;
+    }
+    return true;
+}
+
+const RouterPlan::Segment &
+SegmentPlanner::plan(double admit_utilization,
+                     double interactive_ceiling,
+                     double start_seconds, double end_seconds,
+                     const std::vector<double> &cell_weight,
+                     const std::vector<Router::Model> &models)
+{
+    if (_valid && _reusable(admit_utilization, interactive_ceiling,
+                            cell_weight, models)) {
+        ++_stats.reusedPlans;
+        fatal_if(end_seconds <= start_seconds,
+                 "segment boundaries must ascend");
+        // Only the boundary times differ; planSegment copies them
+        // into the result verbatim and reads them nowhere else.
+        _cached.startSeconds = start_seconds;
+        _cached.endSeconds = end_seconds;
+        return _cached;
+    }
+    ++_stats.fullPlans;
+    _cached = Router(admit_utilization, interactive_ceiling)
+                  .planSegment(start_seconds, end_seconds,
+                               cell_weight, models);
+    _admit = admit_utilization;
+    _ceiling = interactive_ceiling;
+    _weight = cell_weight;
+    _models = models;
+    _valid = true;
+    return _cached;
+}
+
 // ------------------------------------------------- merged statistics
 
 ClassServingStats::ClassServingStats(const std::string &name,
@@ -215,6 +291,13 @@ MergedModelStats::MergedModelStats(const std::string &model_name,
 /** One cell: a Session plus the router-shed accounting beside it. */
 struct Cluster::CellState
 {
+    /**
+     * Arena-borrowed reusable storage (null without an arena).
+     * Declared BEFORE session: the session's destructor moves its
+     * warmed storage back into the context, so the context must
+     * outlive it.
+     */
+    std::unique_ptr<CellContext> context;
     std::unique_ptr<Session> session;
     /** Router-shed per class ([0] interactive, [1] batch). */
     std::array<std::uint64_t, 2> routerShed{};
@@ -292,19 +375,38 @@ Cluster::Cluster(arch::TpuConfig config, ClusterOptions options)
         _calStore = std::make_unique<runtime::CalibrationStore>(
             _options.calibrationStorePath,
             runtime::CalibrationStore::configFingerprint(_config));
+    const auto bringup_start = std::chrono::steady_clock::now();
     for (int c = 0; c < _options.cells; ++c) {
         auto cell = std::make_unique<CellState>();
+        if (_options.arena)
+            cell->context = _options.arena->acquire();
         SessionOptions so;
         so.fleet = _options.fleet;
         so.tier = _options.tier;
         so.programCache = _cache;
         so.tpuBackend = _tpuBackend;
+        so.context = cell->context.get();
         cell->session = std::make_unique<Session>(_config, so);
         _cells.push_back(std::move(cell));
     }
+    _bringupSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - bringup_start)
+            .count();
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster()
+{
+    // Park the warmed storage back in the arena: destroy each
+    // session FIRST (its destructor moves the storage into the
+    // context), then hand the context over.
+    if (_options.arena) {
+        for (auto &cell : _cells) {
+            cell->session.reset();
+            _options.arena->release(std::move(cell->context));
+        }
+    }
+}
 
 int
 Cluster::threads() const
@@ -811,6 +913,7 @@ Cluster::serveControlled(const ClusterTraffic &traffic,
     const auto ncells = static_cast<std::size_t>(cells());
     std::vector<RunStats::ControlTickRecord> ticks;
     double allocated = 0;
+    SegmentPlanner planner;
     const auto wall_start = std::chrono::steady_clock::now();
 
     for (int w = 0; w < nwindows; ++w) {
@@ -851,18 +954,26 @@ Cluster::serveControlled(const ClusterTraffic &traffic,
         }
 
         // ---- re-plan this window's segments against the frozen
-        // service estimates: plan() is a loop over planSegment, so
-        // these segments are byte-identical to a full plan with the
-        // same inputs.
-        const Router wrouter(admit, ceiling);
+        // service estimates, through the memoizing SegmentPlanner:
+        // segments under unchanged directives reuse the previous
+        // placement with patched boundary times, byte-identical to
+        // the full planSegment (the planner's contract), so a stable
+        // plateau pays O(1) per segment instead of the full greedy
+        // placement every tick.
+        const auto plan_start = std::chrono::steady_clock::now();
         for (std::size_t s = s_begin; s < s_end; ++s) {
             std::vector<double> weight =
                 base_weights[s]; // scripted-failure replay
             for (std::size_t c = 0; c < ncells; ++c)
                 weight[c] *= scale[c];
-            _plan.segments[s] = wrouter.planSegment(
-                boundaries[s], boundaries[s + 1], weight, wmodels);
+            _plan.segments[s] = planner.plan(
+                admit, ceiling, boundaries[s], boundaries[s + 1],
+                weight, wmodels);
         }
+        _planSeconds += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            plan_start)
+                            .count();
 
         // ---- warm-up slowdowns, applied on the cluster timeline at
         // the window boundary (the barrier: no cell thread is
@@ -979,6 +1090,10 @@ Cluster::serveControlled(const ClusterTraffic &traffic,
     _last.warmupSeconds = _warmupSeconds;
     _last.warmupLiveRuns = _warmupLiveRuns;
     _last.warmupStoreHits = _warmupStoreHits;
+    _last.planSeconds = _planSeconds;
+    _last.bringupSeconds = _bringupSeconds;
+    _last.planFullSegments = planner.stats().fullPlans;
+    _last.planReusedSegments = planner.stats().reusedPlans;
     if (_calStore)
         _calStore->flush();
     return _last;
@@ -1017,7 +1132,12 @@ Cluster::_serve(const ClusterTraffic &traffic,
         _cellWeights(boundaries, run);
     const std::vector<Router::Model> router_models =
         _routerModels(run);
+    const auto plan_start = std::chrono::steady_clock::now();
     _plan = _router.plan(boundaries, weights, router_models);
+    _planSeconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() -
+                        plan_start)
+                        .count();
 
     // ---- hybrid: bind each router segment to its epoch's tier and
     // run the fluid COUNTS pass now, before any cell thread starts,
@@ -1076,6 +1196,8 @@ Cluster::_serve(const ClusterTraffic &traffic,
     _last.warmupSeconds = _warmupSeconds;
     _last.warmupLiveRuns = _warmupLiveRuns;
     _last.warmupStoreHits = _warmupStoreHits;
+    _last.planSeconds = _planSeconds;
+    _last.bringupSeconds = _bringupSeconds;
     if (_calStore)
         _calStore->flush();
     return _last;
@@ -1249,6 +1371,10 @@ Cluster::_buildFlow()
     // The persistent store memoizes the flow's calibration ladders
     // too (borrowed pointer; the store outlives the flow model).
     _hybridOptions.flow.ladderCache = _calStore.get();
+    // Fan the flow's per-cell integration across the same worker
+    // budget the discrete windows use (bit-identical at any count --
+    // the FlowModel's fold contract).
+    _hybridOptions.flow.threads = threads();
     _flow = std::make_unique<fluid::FlowModel>(
         std::move(specs), cells(), _hybridOptions.flow);
     _measuredBusy = 0;
@@ -1281,6 +1407,12 @@ Cluster::_advanceFluidSegment(std::size_t s,
     const double span = seg.endSeconds - seg.startSeconds;
     const auto nsteps = static_cast<std::size_t>(
         std::max(1.0, std::ceil(span / step - 1e-9)));
+    // Build the whole segment's intervals first, then hand them to
+    // the flow as ONE batch: advanceBatch fans the cell loop across
+    // workers over the full (interval, cell) surface instead of
+    // paying a thread fan-out per macro-step.
+    std::vector<fluid::FlowInterval> batch;
+    batch.reserve(nsteps);
     for (std::size_t k = 0; k < nsteps; ++k) {
         fluid::FlowInterval iv;
         iv.startSeconds =
@@ -1305,8 +1437,11 @@ Cluster::_advanceFluidSegment(std::size_t s,
                 iv.admit[m][c] = seg.admit[m][c];
             }
         }
-        _segIntervals[s].push_back(_flow->advance(iv));
+        batch.push_back(std::move(iv));
     }
+    const std::size_t base = _flow->advanceBatch(batch);
+    for (std::size_t k = 0; k < batch.size(); ++k)
+        _segIntervals[s].push_back(base + k);
     _segFluidWall[s] = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - wall_start).count();
 }

@@ -101,6 +101,18 @@ struct ClusterOptions
      * store.
      */
     std::string calibrationStorePath;
+
+    /**
+     * Shared arena of reusable cell contexts (null = each cell
+     * allocates its own storage, as before).  When set, the
+     * constructor adopts one CellContext per cell -- reusing the
+     * event-queue slabs, request pools and in-flight slabs of
+     * whatever run returned them last -- and the destructor resets
+     * and returns them.  Reuse changes bring-up WALL CLOCK only;
+     * results are bit-identical with or without an arena (the
+     * determinism note in cell_arena.hh).
+     */
+    std::shared_ptr<CellArena> arena;
 };
 
 /** One cluster run's traffic: shape, mix, horizon, failures. */
@@ -205,6 +217,60 @@ class Router
   private:
     double _admitUtilization;
     double _interactiveCeiling;
+};
+
+/**
+ * Memoizing wrapper around Router::planSegment for control-tick
+ * replanning.  A full planSegment is O(models x quanta x replicas)
+ * greedy placement, paid per segment per tick; but its output
+ * depends ONLY on (cell weights, models, admission thresholds) --
+ * the boundary times are copied into the result, nothing else reads
+ * them.  So consecutive segments planned under unchanged directives
+ * (the common case: a stable autoscaler plateau) reuse the cached
+ * body with patched boundary times.  The reuse test is exact
+ * bit-pattern equality on every input double, which makes a reused
+ * segment byte-identical to a fresh planSegment by construction; any
+ * difference falls back to the full placement.  The greedy placement
+ * is globally coupled across models (one shared load array), so no
+ * sound per-model delta exists -- whole-input memoization is the
+ * incremental path.
+ */
+class SegmentPlanner
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t fullPlans = 0;   ///< full planSegment calls
+        std::uint64_t reusedPlans = 0; ///< memo hits (patched times)
+    };
+
+    /**
+     * Plan [@p start_seconds, @p end_seconds) under the directive
+     * inputs; returns the memoized segment when every input matches
+     * the previous full plan bit for bit, the full planSegment
+     * otherwise.
+     */
+    const RouterPlan::Segment &
+    plan(double admit_utilization, double interactive_ceiling,
+         double start_seconds, double end_seconds,
+         const std::vector<double> &cell_weight,
+         const std::vector<Router::Model> &models);
+
+    const Stats &stats() const { return _stats; }
+
+  private:
+    bool _reusable(double admit_utilization,
+                   double interactive_ceiling,
+                   const std::vector<double> &cell_weight,
+                   const std::vector<Router::Model> &models) const;
+
+    bool _valid = false;
+    double _admit = 0;
+    double _ceiling = 0;
+    std::vector<double> _weight;
+    std::vector<Router::Model> _models;
+    RouterPlan::Segment _cached;
+    Stats _stats;
 };
 
 // ------------------------------------------------- the control plane
@@ -423,6 +489,26 @@ class Cluster
         std::uint64_t warmupLiveRuns = 0;
         /** Warm-up results served from the CalibrationStore. */
         std::uint64_t warmupStoreHits = 0;
+
+        /**
+         * Wall clock of router planning: the upfront plan() for
+         * serve()/serveHybrid() runs, the per-window re-plans for
+         * serveControlled() runs.  Measured, so NOT folded into
+         * fingerprint(), like wallSeconds and warmupSeconds.
+         */
+        double planSeconds = 0;
+        /**
+         * Wall clock of cell bring-up (session construction or
+         * arena re-adoption) in the Cluster constructor.  Measured,
+         * NOT fingerprinted.
+         */
+        double bringupSeconds = 0;
+        /** Control re-plans that ran the full greedy placement
+         *  (0 for serve()/serveHybrid() runs).  Diagnostic, NOT
+         *  fingerprinted: the digest predates these counters. */
+        std::uint64_t planFullSegments = 0;
+        /** Control re-plans served from the memoized segment. */
+        std::uint64_t planReusedSegments = 0;
 
         std::vector<MergedModelStats> models; ///< load order
         /** [0] interactive, [1] batch. */
@@ -716,6 +802,12 @@ class Cluster
     double _warmupSeconds = 0;
     std::uint64_t _warmupLiveRuns = 0;
     std::uint64_t _warmupStoreHits = 0;
+    /** Constructor-phase cell bring-up wall (copied into RunStats). */
+    double _bringupSeconds = 0;
+    /** Router-planning wall + memo counters (copied into RunStats). */
+    double _planSeconds = 0;
+    std::uint64_t _planFullSegments = 0;
+    std::uint64_t _planReusedSegments = 0;
     Router _router;
     std::vector<std::unique_ptr<CellState>> _cells;
     std::vector<LoadedModel> _loaded;

@@ -161,6 +161,15 @@ class RequestPool
     /** Requests currently in flight. */
     std::size_t live() const { return _slab.live(); }
 
+    /**
+     * Recycle every slot in cold allocation order (sim::Slab::reset)
+     * -- the arena-reuse hook.  Retained PendingRequest records keep
+     * their input-vector capacity; alloc() already resets the
+     * bookkeeping fields on every claim, so recycled state is never
+     * observable.
+     */
+    void reset() { _slab.reset(); }
+
   private:
     sim::Slab<PendingRequest> _slab;
 };

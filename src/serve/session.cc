@@ -108,12 +108,26 @@ Session::Model::estimateFor(runtime::PlatformKind kind) const
 
 Session::Session(arch::TpuConfig config, SessionOptions options)
     : _config(std::move(config)),
+      // Adopt the borrowed CellContext's warmed storage (arena
+      // reuse); a null context default-constructs as before.
+      _events(options.context ? std::move(options.context->events)
+                              : EventQueue{}),
       _pool(_config,
             options.fleet.empty() ? tpuFleet(options.chips)
                                   : options.fleet,
             [this]() { return now(); }, options.tier,
             options.programCache, options.tpuBackend),
+      _requests(options.context
+                    ? std::move(options.context->requests)
+                    : RequestPool{}),
       _frontend(*this, _requests),
+      _inflight(options.context
+                    ? std::move(options.context->inflight)
+                    : sim::Slab<InFlightBatch>{}),
+      _arrivalStream(options.context
+                         ? std::move(options.context->arrivalStream)
+                         : sim::Ring<DetachedArrival>{}),
+      _context(options.context),
       _stats("serve_session"),
       _submitted("submitted", "requests submitted"),
       _completed("completed", "requests served to completion"),
@@ -140,6 +154,18 @@ Session::Session(arch::TpuConfig config, SessionOptions options)
         _platforms.push_back(
             std::make_unique<PlatformServingStats>(fg.platform));
         _stats.regGroup(&_platforms.back()->group);
+    }
+}
+
+Session::~Session()
+{
+    // Return the adopted storage -- warmed to this run's peak
+    // occupancy -- to the borrowed context for the next adopter.
+    if (_context) {
+        _context->events = std::move(_events);
+        _context->requests = std::move(_requests);
+        _context->inflight = std::move(_inflight);
+        _context->arrivalStream = std::move(_arrivalStream);
     }
 }
 

@@ -72,6 +72,7 @@
 #include "arch/config.hh"
 #include "nn/network.hh"
 #include "serve/batcher.hh"
+#include "serve/cell_arena.hh"
 #include "serve/chip_pool.hh"
 #include "serve/frontend.hh"
 #include "serve/request.hh"
@@ -131,6 +132,17 @@ struct SessionOptions
      * private backend built from `tier`.
      */
     std::shared_ptr<runtime::ExecutionBackend> tpuBackend;
+
+    /**
+     * Reusable cell storage to adopt (serve/cell_arena.hh); null
+     * (the default) means the session allocates its own.  BORROWED,
+     * not owned: the caller keeps the CellContext alive for the
+     * session's whole lifetime; the destructor moves the (possibly
+     * grown) storage back into it.  Adoption changes bring-up wall
+     * clock only -- a reused context is reset to cold allocation
+     * order, so results are bit-identical either way.
+     */
+    CellContext *context = nullptr;
 };
 
 /** Measured serving statistics for one loaded model. */
@@ -196,13 +208,6 @@ class PlatformServingStats
 
 class Session;
 
-/** One pre-generated arrival for Session::submitDetachedBulk(). */
-struct DetachedArrival
-{
-    double when;
-    ModelHandle handle;
-};
-
 /**
  * Chunked detached-arrival pump: THE farm-driver pattern, in one
  * place so every driver keeps the exact same block cadence and
@@ -243,6 +248,13 @@ class Session : private Frontend::Host
 
     explicit Session(arch::TpuConfig config,
                      SessionOptions options = SessionOptions{});
+
+    /**
+     * If the session adopted a CellContext, its storage (event-queue
+     * slabs, request pool, in-flight slab, arrival ring) moves back
+     * into the context here -- warmed for the next adopter.
+     */
+    ~Session();
 
     /**
      * Register a model for serving.  @p builder is invoked per
@@ -550,17 +562,11 @@ class Session : private Frontend::Host
     RequestId _nextRequest = 1;
 
     /**
-     * One record per batch in flight on a chip: the formed batch,
-     * its invoke result and dispatch time, pooled and reused across
-     * dispatches.  Completion events carry the 32-bit slot index, so
-     * they fit InlineTask's inline buffer.
+     * In-flight batch records (serve::InFlightBatch, defined with
+     * the arena so its slab can be retained across sessions).
+     * Completion events carry the 32-bit slot index, so they fit
+     * InlineTask's inline buffer.
      */
-    struct InFlightBatch
-    {
-        FormedBatch batch;
-        runtime::InvokeStats inv;
-        double dispatchSeconds = 0;
-    };
     sim::Slab<InFlightBatch> _inflight;
 
     /** One serving-stats slice per fleet platform. */
@@ -570,6 +576,9 @@ class Session : private Frontend::Host
     /** Newest buffered detached arrival (ordering validation). */
     double _lastDetachedWhen = 0;
     bool _pumpArmed = false;
+
+    /** Adopted storage to return on destruction (null = own). */
+    CellContext *_context = nullptr;
 
     /** Reused scratch: models held back within one drain pass. */
     std::vector<ModelHandle> _heldScratch;

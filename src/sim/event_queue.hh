@@ -93,6 +93,28 @@ class EventQueue
      */
     std::size_t slabSlots() const { return _tasks.slots(); }
 
+    /**
+     * Recycle the queue for a fresh run: clock back to 0, heap and
+     * top-slot cache cleared, sequence and serviced counters
+     * rezeroed, task slab reset to cold allocation order
+     * (sim::Slab::reset).  Heap and slab STORAGE is retained -- the
+     * arena-reuse contract: a reset queue behaves bit-identically to
+     * a cold one while touching no allocator.  Intended for drained
+     * queues (a serving run ends at its barrier); pending entries, if
+     * any, are dropped.
+     */
+    void
+    reset()
+    {
+        _heap.clear();
+        _tasks.reset();
+        _top = Entry{};
+        _hasTop = false;
+        _now = 0;
+        _nextSequence = 0;
+        _serviced = 0;
+    }
+
   private:
     /**
      * One heap entry: the ordering key plus the slab slot holding

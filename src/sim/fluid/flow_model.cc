@@ -1,9 +1,11 @@
 #include "sim/fluid/flow_model.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "sim/logging.hh"
 
@@ -76,12 +78,18 @@ FlowModel::FlowModel(std::vector<FlowSpec> specs, int cells,
         fatal_if(s.service.seconds(1) <= 0,
                  "fluid spec needs a positive service time");
         _modelTotals.emplace_back(s.name, s.sloSeconds);
+        // The hot-loop pricing, hoisted once: the same expressions
+        // advance() used to evaluate per (cell, model).
+        _svcSeconds.push_back(s.service.seconds(s.maxBatch));
+        _batchSize.push_back(static_cast<double>(s.maxBatch));
+        _perItem.push_back(s.service.seconds(s.maxBatch) /
+                           static_cast<double>(s.maxBatch));
     }
     _cellTotals.assign(static_cast<std::size_t>(_cells),
                        FlowCellTotals{});
-    _backlog.assign(_specs.size(),
-                    std::vector<double>(
-                        static_cast<std::size_t>(_cells), 0.0));
+    _backlog.assign(_specs.size() *
+                        static_cast<std::size_t>(_cells),
+                    0.0);
     _ladder.resize(_specs.size());
     _measured.resize(_specs.size());
 }
@@ -200,119 +208,200 @@ FlowModel::lookup(std::size_t model, double utilization) const
 std::size_t
 FlowModel::advance(const FlowInterval &interval)
 {
+    return _advanceSpan(&interval, 1);
+}
+
+std::size_t
+FlowModel::advanceBatch(const std::vector<FlowInterval> &intervals)
+{
+    return _advanceSpan(intervals.data(), intervals.size());
+}
+
+std::size_t
+FlowModel::_advanceSpan(const FlowInterval *ivs, std::size_t n)
+{
     calibrate();
     const auto nmodels = _specs.size();
     const auto ncells = static_cast<std::size_t>(_cells);
-    fatal_if(interval.offeredRate.size() != nmodels ||
-                 interval.admit.size() != nmodels ||
-                 interval.cellWeight.size() != ncells,
-             "fluid interval dimensions do not match the model");
-    const double dt = interval.endSeconds - interval.startSeconds;
-    fatal_if(dt < 0, "fluid interval runs backwards");
+    const std::size_t base = _intervals.size();
+    if (n == 0)
+        return base;
 
-    IntervalAccount account;
-    account.startSeconds = interval.startSeconds;
-    account.endSeconds = interval.endSeconds;
-    account.modelCompleted.assign(nmodels, 0.0);
-    account.modelP99.assign(nmodels, 0.0);
-    std::vector<Slice> slices(nmodels * ncells);
-    std::vector<double> avail_row(ncells, 0.0);
-
-    double available = 0;
-    for (std::size_t c = 0; c < ncells && dt > 0; ++c) {
-        const double weight = interval.cellWeight[c];
-        avail_row[c] = std::max(0.0, weight) * dt;
-        available += avail_row[c];
-
-        // Admitted work rate on this cell (die-seconds per second),
-        // priced exactly as the router prices placement.
-        double work_rate = 0;
-        for (std::size_t m = 0; m < nmodels; ++m) {
-            fatal_if(interval.offeredRate[m].size() != ncells ||
-                         interval.admit[m].size() != ncells,
-                     "fluid interval cell dimensions mismatch");
-            work_rate += interval.offeredRate[m][c] *
-                         interval.admit[m][c] *
-                         _specs[m].service.seconds(_specs[m].maxBatch) /
-                         static_cast<double>(_specs[m].maxBatch);
-        }
-        const double rho =
-            weight > 0 ? work_rate / weight
-                       : (work_rate > 0
-                              ? std::numeric_limits<double>::infinity()
-                              : 0.0);
-        // Overload serves at capacity; the excess queues as backlog.
-        const double serve_frac =
-            rho > 1.0 ? 1.0 / rho : (weight > 0 ? 1.0 : 0.0);
-
-        double busy = 0;
-        double backlog_work = 0; // die-seconds queued on this cell
+    // Shape validation hoisted out of the hot loops: once per
+    // interval, before any cell is touched.
+    for (std::size_t i = 0; i < n; ++i) {
+        const FlowInterval &iv = ivs[i];
+        fatal_if(iv.offeredRate.size() != nmodels ||
+                     iv.admit.size() != nmodels ||
+                     iv.cellWeight.size() != ncells,
+                 "fluid interval dimensions do not match the model");
         for (std::size_t m = 0; m < nmodels; ++m)
-            backlog_work +=
-                _backlog[m][c] * _specs[m].service.seconds(
-                                     _specs[m].maxBatch) /
-                static_cast<double>(_specs[m].maxBatch);
-        const double leftover =
-            weight > 0 && rho < 1.0 ? (1.0 - rho) * weight * dt : 0.0;
-        const double drain_work = std::min(backlog_work, leftover);
-        const double drain_frac =
-            backlog_work > 0 ? drain_work / backlog_work : 0.0;
-
-        for (std::size_t m = 0; m < nmodels; ++m) {
-            const FlowSpec &spec = _specs[m];
-            const double per_item =
-                spec.service.seconds(spec.maxBatch) /
-                static_cast<double>(spec.maxBatch);
-            const double offered = interval.offeredRate[m][c] * dt;
-            const double admitted =
-                offered * interval.admit[m][c];
-            const double served = admitted * serve_frac;
-            const double queued = admitted - served;
-            const double drained = _backlog[m][c] * drain_frac;
-            _backlog[m][c] += queued - drained;
-            const double completed = served + drained;
-
-            FlowModelTotals &mt = _modelTotals[m];
-            mt.offered += offered;
-            mt.admitted += admitted;
-            mt.completed += completed;
-            mt.routerShed += offered - admitted;
-            mt.busySeconds += completed * per_item;
-
-            FlowCellTotals &ct = _cellTotals[c];
-            ct.offered += offered;
-            ct.admitted += admitted;
-            ct.completed += completed;
-            ct.routerShed += offered - admitted;
-            ct.busySeconds += completed * per_item;
-
-            busy += completed * per_item;
-            account.offered += offered;
-            account.admitted += admitted;
-            account.completed += completed;
-            account.routerShed += offered - admitted;
-            account.modelCompleted[m] += completed;
-
-            Slice &slice = slices[m * ncells + c];
-            slice.completed = completed;
-            // Latency operating point: the cell's utilization while
-            // serving (overload pins it at 1; drained backlog was
-            // served under pressure, so it reads the same point).
-            slice.utilization = static_cast<float>(
-                std::min(1.0, std::max(rho, drain_work > 0
-                                                ? 0.95
-                                                : rho)));
-        }
-        account.busySeconds += busy;
+            fatal_if(iv.offeredRate[m].size() != ncells ||
+                         iv.admit[m].size() != ncells,
+                     "fluid interval cell dimensions mismatch");
+        fatal_if(iv.endSeconds < iv.startSeconds,
+                 "fluid interval runs backwards");
+        _slices.emplace_back(nmodels * ncells);
+        _cellAvail.emplace_back(ncells, 0.0);
     }
-    account.utilization =
-        available > 0 ? account.busySeconds / available : 0.0;
 
-    _fluidSeconds += dt;
-    _intervals.push_back(std::move(account));
-    _slices.push_back(std::move(slices));
-    _cellAvail.push_back(std::move(avail_row));
-    return _intervals.size() - 1;
+    // Per-cell integration.  A cell's backlog chain depends only on
+    // its OWN past, so cells fan out across workers while each cell
+    // walks the batch's intervals in time order.  Workers touch
+    // disjoint backlog ranges (cell-major SoA) and disjoint slice /
+    // avail elements; no accumulator is shared.
+    const auto runCells = [&](std::size_t c_begin,
+                              std::size_t c_end) {
+        for (std::size_t c = c_begin; c < c_end; ++c) {
+            double *cell_backlog = &_backlog[c * nmodels];
+            for (std::size_t i = 0; i < n; ++i) {
+                const FlowInterval &iv = ivs[i];
+                const double dt = iv.endSeconds - iv.startSeconds;
+                if (!(dt > 0))
+                    continue;
+                const double weight = iv.cellWeight[c];
+                _cellAvail[base + i][c] =
+                    std::max(0.0, weight) * dt;
+
+                // Admitted work rate on this cell (die-seconds per
+                // second), priced exactly as the router prices
+                // placement.
+                double work_rate = 0;
+                for (std::size_t m = 0; m < nmodels; ++m)
+                    work_rate += iv.offeredRate[m][c] *
+                                 iv.admit[m][c] * _svcSeconds[m] /
+                                 _batchSize[m];
+                const double rho =
+                    weight > 0
+                        ? work_rate / weight
+                        : (work_rate > 0
+                               ? std::numeric_limits<
+                                     double>::infinity()
+                               : 0.0);
+                // Overload serves at capacity; the excess queues as
+                // backlog.
+                const double serve_frac =
+                    rho > 1.0 ? 1.0 / rho : (weight > 0 ? 1.0 : 0.0);
+
+                double backlog_work = 0; // die-seconds queued here
+                for (std::size_t m = 0; m < nmodels; ++m)
+                    backlog_work += cell_backlog[m] *
+                                    _svcSeconds[m] / _batchSize[m];
+                const double leftover =
+                    weight > 0 && rho < 1.0
+                        ? (1.0 - rho) * weight * dt
+                        : 0.0;
+                const double drain_work =
+                    std::min(backlog_work, leftover);
+                const double drain_frac =
+                    backlog_work > 0 ? drain_work / backlog_work
+                                     : 0.0;
+
+                Slice *slices = _slices[base + i].data();
+                for (std::size_t m = 0; m < nmodels; ++m) {
+                    const double offered =
+                        iv.offeredRate[m][c] * dt;
+                    const double admitted =
+                        offered * iv.admit[m][c];
+                    const double served = admitted * serve_frac;
+                    const double queued = admitted - served;
+                    const double drained =
+                        cell_backlog[m] * drain_frac;
+                    cell_backlog[m] += queued - drained;
+                    Slice &slice = slices[m * ncells + c];
+                    slice.completed = served + drained;
+                    // Latency operating point: the cell's
+                    // utilization while serving (overload pins it at
+                    // 1; drained backlog was served under pressure,
+                    // so it reads the same point).
+                    slice.utilization = static_cast<float>(
+                        std::min(1.0,
+                                 std::max(rho, drain_work > 0
+                                                   ? 0.95
+                                                   : rho)));
+                }
+            }
+        }
+    };
+
+    const int workers = std::max(
+        1, std::min(_options.threads, static_cast<int>(ncells)));
+    if (workers > 1 && ncells * n >= 128) {
+        std::atomic<std::size_t> next{0};
+        constexpr std::size_t kChunk = 8;
+        const auto worker = [&]() {
+            for (;;) {
+                const std::size_t begin = next.fetch_add(kChunk);
+                if (begin >= ncells)
+                    return;
+                runCells(begin,
+                         std::min(ncells, begin + kChunk));
+            }
+        };
+        std::vector<std::thread> pool;
+        for (int t = 1; t < workers; ++t)
+            pool.emplace_back(worker);
+        worker();
+        for (std::thread &t : pool)
+            t.join();
+    } else {
+        runCells(0, ncells);
+    }
+
+    // Serial fold in (interval, cell, model) order: every cross-cell
+    // accumulator receives the identical values in the identical
+    // order a single-threaded advance() produces, so the result is
+    // bit-identical at any worker count.
+    for (std::size_t i = 0; i < n; ++i) {
+        const FlowInterval &iv = ivs[i];
+        const double dt = iv.endSeconds - iv.startSeconds;
+        IntervalAccount account;
+        account.startSeconds = iv.startSeconds;
+        account.endSeconds = iv.endSeconds;
+        account.modelCompleted.assign(nmodels, 0.0);
+        account.modelP99.assign(nmodels, 0.0);
+        const Slice *slices = _slices[base + i].data();
+        const std::vector<double> &avail_row = _cellAvail[base + i];
+        double available = 0;
+        for (std::size_t c = 0; c < ncells && dt > 0; ++c) {
+            available += avail_row[c];
+            double busy = 0;
+            for (std::size_t m = 0; m < nmodels; ++m) {
+                const double offered = iv.offeredRate[m][c] * dt;
+                const double admitted =
+                    offered * iv.admit[m][c];
+                const double completed =
+                    slices[m * ncells + c].completed;
+
+                FlowModelTotals &mt = _modelTotals[m];
+                mt.offered += offered;
+                mt.admitted += admitted;
+                mt.completed += completed;
+                mt.routerShed += offered - admitted;
+                mt.busySeconds += completed * _perItem[m];
+
+                FlowCellTotals &ct = _cellTotals[c];
+                ct.offered += offered;
+                ct.admitted += admitted;
+                ct.completed += completed;
+                ct.routerShed += offered - admitted;
+                ct.busySeconds += completed * _perItem[m];
+
+                busy += completed * _perItem[m];
+                account.offered += offered;
+                account.admitted += admitted;
+                account.completed += completed;
+                account.routerShed += offered - admitted;
+                account.modelCompleted[m] += completed;
+            }
+            account.busySeconds += busy;
+        }
+        account.utilization =
+            available > 0 ? account.busySeconds / available : 0.0;
+        _fluidSeconds += dt;
+        _intervals.push_back(std::move(account));
+    }
+    return base;
 }
 
 double
@@ -436,7 +525,8 @@ FlowModel::backlog(std::size_t model, int cell) const
 {
     fatal_if(model >= _specs.size(), "bad fluid model index");
     fatal_if(cell < 0 || cell >= _cells, "bad fluid cell index");
-    return _backlog[model][static_cast<std::size_t>(cell)];
+    return _backlog[static_cast<std::size_t>(cell) * _specs.size() +
+                    model];
 }
 
 std::uint64_t
@@ -444,7 +534,9 @@ FlowModel::takeBacklog(std::size_t model, int cell)
 {
     fatal_if(model >= _specs.size(), "bad fluid model index");
     fatal_if(cell < 0 || cell >= _cells, "bad fluid cell index");
-    double &b = _backlog[model][static_cast<std::size_t>(cell)];
+    double &b = _backlog[static_cast<std::size_t>(cell) *
+                             _specs.size() +
+                         model];
     const auto n =
         static_cast<std::uint64_t>(std::max<long long>(
             0, std::llround(b)));
@@ -460,8 +552,11 @@ FlowModel::takeBacklog(std::size_t model, int cell)
 void
 FlowModel::shedRemainingBacklog()
 {
-    for (std::size_t m = 0; m < _specs.size(); ++m) {
-        for (double &b : _backlog[m]) {
+    const auto nmodels = _specs.size();
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(_cells); ++c) {
+        for (std::size_t m = 0; m < nmodels; ++m) {
+            double &b = _backlog[c * nmodels + m];
             _modelTotals[m].backlogShed += b;
             b = 0;
         }

@@ -165,6 +165,15 @@ struct FlowOptions
      * is bit-identical with or without the cache.
      */
     latency::LadderCache *ladderCache = nullptr;
+    /**
+     * Worker threads for advanceBatch()'s per-cell integration
+     * (<= 1 = inline).  Results are bit-identical at ANY value:
+     * workers only compute independent per-cell slices, and every
+     * cross-cell accumulator is folded serially in (cell, model)
+     * order afterwards -- the same discipline the discrete windows
+     * use.
+     */
+    int threads = 1;
 };
 
 /** The fluid tier: analytic flow integration over macro-intervals. */
@@ -201,6 +210,21 @@ class FlowModel
      * account index.
      */
     std::size_t advance(const FlowInterval &interval);
+
+    /**
+     * Integrate a BATCH of consecutive macro-intervals.  The
+     * per-cell state (backlog chain, completed/utilization slices,
+     * available die-seconds) is computed cell-parallel across
+     * options.threads workers -- each worker owns a cell range and
+     * walks it through every interval in time order -- and the
+     * cross-cell totals are then folded serially in (cell, model)
+     * order, so the result is bit-identical to advancing each
+     * interval alone on one thread.  Returns the account index of
+     * the FIRST interval; the batch occupies
+     * [returned, returned + intervals.size()).
+     */
+    std::size_t
+    advanceBatch(const std::vector<FlowInterval> &intervals);
 
     /**
      * Deposit synthesized response mass for every advanced interval
@@ -245,9 +269,8 @@ class FlowModel
     double totalBacklog() const
     {
         double total = 0;
-        for (const auto &row : _backlog)
-            for (double b : row)
-                total += b;
+        for (double b : _backlog)
+            total += b;
         return total;
     }
 
@@ -285,6 +308,9 @@ class FlowModel
     LatencyAnchor _ladderAt(std::size_t model,
                             double utilization) const;
 
+    /** Shared advance/advanceBatch implementation over a span. */
+    std::size_t _advanceSpan(const FlowInterval *ivs, std::size_t n);
+
     std::vector<FlowSpec> _specs;
     int _cells;
     FlowOptions _options;
@@ -297,8 +323,16 @@ class FlowModel
 
     std::vector<FlowModelTotals> _modelTotals;
     std::vector<FlowCellTotals> _cellTotals;
-    /** backlog[model][cell], fractional requests. */
-    std::vector<std::vector<double>> _backlog;
+    /** Cached service.seconds(maxBatch) per model (hot-loop SoA). */
+    std::vector<double> _svcSeconds;
+    /** Serving batch as a double per model (hot-loop SoA). */
+    std::vector<double> _batchSize;
+    /** Cached svcSeconds / batch per model -- the busy pricing. */
+    std::vector<double> _perItem;
+    /** Backlog, CELL-major flat SoA: [cell * models + model].  Each
+     *  worker owns a contiguous run of cells, so the parallel
+     *  integration never false-shares a cache line across cells. */
+    std::vector<double> _backlog;
     std::vector<IntervalAccount> _intervals;
     /** Per-interval per-(model, cell) completed + utilization, for
      *  the deferred latency pass. */

@@ -49,7 +49,10 @@ class Slab
             _free.pop_back();
             return idx;
         }
+        if (_used < _items.size())
+            return static_cast<Index>(_used++);
         _items.emplace_back();
+        ++_used;
         return static_cast<Index>(_items.size() - 1);
     }
 
@@ -60,17 +63,43 @@ class Slab
         _free.push_back(idx);
     }
 
+    /**
+     * Recycle the whole slab for a fresh run: every slot becomes
+     * available again in COLD ALLOCATION ORDER -- grow-path allocs
+     * hand out index 0, 1, 2, ... exactly as an empty slab would,
+     * not whatever order the freelist last saw.  That makes the
+     * allocation-index sequence of a run on a reset slab
+     * bit-identical to the same run on a cold slab, which is the
+     * arena-reuse determinism contract.  Storage and object state
+     * are retained (objects are never destroyed, same as release());
+     * consumers must already tolerate recycled object state, since
+     * intra-run reuse has the same property.
+     */
+    void
+    reset()
+    {
+        _free.clear();
+        _used = 0;
+    }
+
     T &operator[](Index idx) { return _items[idx]; }
     const T &operator[](Index idx) const { return _items[idx]; }
 
     /** Slots ever created -- the warm-up high-water mark. */
     std::size_t slots() const { return _items.size(); }
     /** Slots currently claimed. */
-    std::size_t live() const { return _items.size() - _free.size(); }
+    std::size_t live() const { return _used - _free.size(); }
 
   private:
     std::vector<T> _items;
     std::vector<Index> _free;
+    /**
+     * Slots handed out through the grow path since the last reset()
+     * (== _items.size() on a never-reset slab).  After reset() the
+     * retained slots [0, _items.size()) are re-issued through this
+     * cursor before the slab grows again.
+     */
+    std::size_t _used = 0;
 };
 
 /** Power-of-two circular FIFO (see file comment). */

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fleet-scale determinism tests: the 64-cell controlled diurnal day
+ * (reduced horizon) must reproduce its RunStats fingerprint bit for
+ * bit across worker-thread counts (1 / 8 / 16 -- the parallel fluid
+ * tier's fold-in-cell-index-order contract) and across
+ * serve::CellArena reuse (a run on recycled cell storage must be
+ * indistinguishable from a cold run).  The arena itself is also
+ * covered directly: acquire/release pooling, the reset contract, and
+ * the reuse counters the fleet bench gates on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "analysis/serve_mix.hh"
+#include "serve/cell_arena.hh"
+
+namespace tpu {
+namespace serve {
+namespace {
+
+using analysis::ControlledRun;
+using analysis::ControlledRunOptions;
+
+/** Reduced 64-cell day: 2 simulated hours, 8 control windows. */
+ControlledRunOptions
+fleetOptions(int threads)
+{
+    ControlledRunOptions o;
+    o.cells = 64;
+    o.threads = threads;
+    o.daySeconds = 7200.0;
+    o.tickSeconds = 900.0;
+    return o;
+}
+
+TEST(FleetScaleTest, FingerprintInvariantAcrossThreadCounts)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    const ControlledRun one =
+        analysis::runControlledDiurnalDay(cfg, fleetOptions(1));
+    const ControlledRun eight =
+        analysis::runControlledDiurnalDay(cfg, fleetOptions(8));
+    const ControlledRun sixteen =
+        analysis::runControlledDiurnalDay(cfg, fleetOptions(16));
+    const std::uint64_t fp = one.stats.fingerprint();
+    EXPECT_EQ(fp, eight.stats.fingerprint());
+    EXPECT_EQ(fp, sixteen.stats.fingerprint());
+    EXPECT_GT(one.stats.completed, 0u);
+}
+
+TEST(FleetScaleTest, FingerprintInvariantAcrossArenaReuse)
+{
+    const arch::TpuConfig cfg = arch::TpuConfig::production();
+    // Reference: no arena at all.
+    const ControlledRun bare =
+        analysis::runControlledDiurnalDay(cfg, fleetOptions(8));
+
+    const auto arena = std::make_shared<CellArena>();
+    ControlledRunOptions with_arena = fleetOptions(8);
+    with_arena.arena = arena;
+    const ControlledRun cold =
+        analysis::runControlledDiurnalDay(cfg, with_arena);
+    EXPECT_EQ(arena->coldAcquires(), 64u);
+    EXPECT_EQ(arena->reuseAcquires(), 0u);
+    EXPECT_EQ(arena->pooled(), 64u);
+
+    // Second run adopts the warmed storage -- every acquire must be
+    // a reuse, and the fingerprint must not move.
+    const ControlledRun reused =
+        analysis::runControlledDiurnalDay(cfg, with_arena);
+    EXPECT_EQ(arena->coldAcquires(), 64u);
+    EXPECT_EQ(arena->reuseAcquires(), 64u);
+
+    const std::uint64_t fp = bare.stats.fingerprint();
+    EXPECT_EQ(fp, cold.stats.fingerprint());
+    EXPECT_EQ(fp, reused.stats.fingerprint());
+}
+
+TEST(CellArenaTest, AcquireReleasePoolsContexts)
+{
+    CellArena arena;
+    auto a = arena.acquire();
+    auto b = arena.acquire();
+    EXPECT_EQ(arena.coldAcquires(), 2u);
+    EXPECT_EQ(arena.reuseAcquires(), 0u);
+    CellContext *raw = a.get();
+    arena.release(std::move(a));
+    EXPECT_EQ(arena.pooled(), 1u);
+    auto c = arena.acquire();
+    EXPECT_EQ(c.get(), raw); // the pooled context comes back
+    EXPECT_EQ(arena.reuseAcquires(), 1u);
+    arena.release(nullptr); // null release is a no-op
+    EXPECT_EQ(arena.pooled(), 0u);
+    arena.release(std::move(b));
+    arena.release(std::move(c));
+    EXPECT_EQ(arena.pooled(), 2u);
+}
+
+TEST(CellArenaTest, ReleaseResetsContextState)
+{
+    CellArena arena;
+    auto ctx = arena.acquire();
+    // Dirty the context the way a run would: advance the clock and
+    // pool some storage.
+    ctx->events.scheduleIn(1, [] {});
+    ctx->events.run();
+    EXPECT_GT(ctx->events.now(), 0u);
+    arena.release(std::move(ctx));
+    auto again = arena.acquire();
+    // Recycled storage must look cold: zero clock, nothing live.
+    EXPECT_EQ(again->events.now(), 0u);
+    EXPECT_TRUE(again->events.empty());
+    EXPECT_EQ(again->inflight.live(), 0u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the memoizing SegmentPlanner the controlled serving loop
+ * replans through: every segment it hands back must be BYTE-identical
+ * to a fresh Router::planSegment over the same inputs (the greedy
+ * quantum placement is globally coupled, so the planner memoizes
+ * whole segments instead of attempting deltas), memo hits must
+ * actually happen when consecutive ticks keep the same directives,
+ * and the bit-pattern input test must refuse lookalike inputs
+ * (-0.0 vs +0.0) that compare equal under operator== but could
+ * round differently downstream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/cluster.hh"
+
+namespace tpu {
+namespace serve {
+namespace {
+
+/** The Table-1-shaped model population used across serve tests. */
+std::vector<Router::Model>
+testModels(int cells, double rate_scale = 1.0)
+{
+    std::vector<int> all(cells);
+    for (int c = 0; c < cells; ++c)
+        all[c] = c;
+    std::vector<Router::Model> models;
+    Router::Model interactive;
+    interactive.rateIps = 8000.0 * rate_scale;
+    interactive.perItemSeconds = 120e-6;
+    interactive.qos = QosClass::Interactive;
+    interactive.replicaCells = all;
+    models.push_back(interactive);
+    Router::Model batch;
+    batch.rateIps = 2500.0 * rate_scale;
+    batch.perItemSeconds = 400e-6;
+    batch.qos = QosClass::Batch;
+    batch.replicaCells = all;
+    models.push_back(batch);
+    // A partially replicated model keeps the placement loop honest.
+    Router::Model partial;
+    partial.rateIps = 900.0 * rate_scale;
+    partial.perItemSeconds = 250e-6;
+    partial.qos = QosClass::Batch;
+    partial.replicaCells = {0, 1, 2};
+    models.push_back(partial);
+    return models;
+}
+
+/** Exact equality on every field, including vector shapes. */
+void
+expectSegmentsIdentical(const RouterPlan::Segment &a,
+                        const RouterPlan::Segment &b)
+{
+    EXPECT_EQ(a.startSeconds, b.startSeconds);
+    EXPECT_EQ(a.endSeconds, b.endSeconds);
+    EXPECT_EQ(a.cellWeight, b.cellWeight);
+    EXPECT_EQ(a.share, b.share);
+    EXPECT_EQ(a.admit, b.admit);
+    EXPECT_EQ(a.cellRate, b.cellRate);
+    EXPECT_EQ(a.utilization, b.utilization);
+}
+
+/**
+ * Chaos-corpus-shaped directive sequence: per tick an admit
+ * utilization, an interactive ceiling, a weight scale per cell
+ * (failures / drains / heals) and a load scale (the diurnal curve).
+ */
+struct Directive
+{
+    double admit;
+    double ceiling;
+    std::vector<double> weightScale;
+    double loadScale;
+};
+
+std::vector<Directive>
+corpusDirectives(int cells)
+{
+    std::vector<double> healthy(cells, 1.0);
+    std::vector<double> one_dark = healthy;
+    one_dark[1] = 0.0;
+    std::vector<double> draining = healthy;
+    draining[0] = 0.25;
+    return {
+        // steady state: three identical ticks -> two memo hits
+        {0.8, 0.9, healthy, 1.0},
+        {0.8, 0.9, healthy, 1.0},
+        {0.8, 0.9, healthy, 1.0},
+        // diurnal rate ramp invalidates (models change)
+        {0.8, 0.9, healthy, 1.4},
+        {0.8, 0.9, healthy, 1.4},
+        // cell failure invalidates (weights change)
+        {0.8, 0.9, one_dark, 1.4},
+        // SLO feedback tightens admission
+        {0.7, 0.85, one_dark, 1.4},
+        {0.7, 0.85, one_dark, 1.4},
+        // heal + rolling-upgrade drain
+        {0.7, 0.85, draining, 1.0},
+        {0.8, 0.9, healthy, 1.0},
+    };
+}
+
+/**
+ * Every planner result must equal a fresh full planSegment byte for
+ * byte, whether it came from the memo or from a full plan.
+ */
+TEST(SegmentPlannerTest, ByteIdenticalToFullPlanAcrossCorpus)
+{
+    const int cells = 6;
+    SegmentPlanner planner;
+    double t = 0;
+    for (const Directive &d : corpusDirectives(cells)) {
+        std::vector<double> weight(cells, 1.0);
+        for (int c = 0; c < cells; ++c)
+            weight[c] *= d.weightScale[c];
+        const auto models = testModels(cells, d.loadScale);
+        const RouterPlan::Segment &got =
+            planner.plan(d.admit, d.ceiling, t, t + 900.0, weight,
+                         models);
+        const RouterPlan::Segment want =
+            Router(d.admit, d.ceiling)
+                .planSegment(t, t + 900.0, weight, models);
+        expectSegmentsIdentical(got, want);
+        t += 900.0;
+    }
+    // The steady-state and repeated ticks above must have hit the
+    // memo: 10 directives, 4 of them repeats of their predecessor.
+    EXPECT_EQ(planner.stats().fullPlans + planner.stats().reusedPlans,
+              10u);
+    EXPECT_EQ(planner.stats().reusedPlans, 4u);
+}
+
+/** Memo hits only patch the time fields; everything else is shared. */
+TEST(SegmentPlannerTest, MemoHitPatchesSegmentTimes)
+{
+    const int cells = 4;
+    SegmentPlanner planner;
+    const std::vector<double> weight(cells, 1.0);
+    const auto models = testModels(cells);
+    const RouterPlan::Segment first =
+        planner.plan(0.8, 0.9, 0.0, 900.0, weight, models);
+    const RouterPlan::Segment &second =
+        planner.plan(0.8, 0.9, 900.0, 1800.0, weight, models);
+    EXPECT_EQ(planner.stats().fullPlans, 1u);
+    EXPECT_EQ(planner.stats().reusedPlans, 1u);
+    EXPECT_EQ(second.startSeconds, 900.0);
+    EXPECT_EQ(second.endSeconds, 1800.0);
+    EXPECT_EQ(first.share, second.share);
+    EXPECT_EQ(first.admit, second.admit);
+    EXPECT_EQ(first.cellRate, second.cellRate);
+}
+
+/**
+ * Reuse is decided on BIT PATTERNS, not operator==: -0.0 == +0.0
+ * holds, but a weight whose sign bit flipped is a different input
+ * and must trigger a full plan, never a memo hit.
+ */
+TEST(SegmentPlannerTest, NegativeZeroWeightIsNotReusable)
+{
+    const int cells = 3;
+    SegmentPlanner planner;
+    std::vector<double> weight = {1.0, 0.0, 1.0};
+    const auto models = testModels(cells);
+    planner.plan(0.8, 0.9, 0.0, 900.0, weight, models);
+    weight[1] = -0.0;
+    planner.plan(0.8, 0.9, 900.0, 1800.0, weight, models);
+    EXPECT_EQ(planner.stats().fullPlans, 2u);
+    EXPECT_EQ(planner.stats().reusedPlans, 0u);
+}
+
+/** Changing only a replica set invalidates the memo. */
+TEST(SegmentPlannerTest, ReplicaSetChangeInvalidates)
+{
+    const int cells = 4;
+    SegmentPlanner planner;
+    const std::vector<double> weight(cells, 1.0);
+    auto models = testModels(cells);
+    planner.plan(0.8, 0.9, 0.0, 900.0, weight, models);
+    models[2].replicaCells = {0, 1};
+    const RouterPlan::Segment &got =
+        planner.plan(0.8, 0.9, 900.0, 1800.0, weight, models);
+    EXPECT_EQ(planner.stats().fullPlans, 2u);
+    const RouterPlan::Segment want =
+        Router(0.8, 0.9).planSegment(900.0, 1800.0, weight, models);
+    expectSegmentsIdentical(got, want);
+}
+
+} // namespace
+} // namespace serve
+} // namespace tpu

@@ -29,6 +29,7 @@ Usage:
                                  [--hybrid BENCH_hybrid.json]
                                  [--design BENCH_design.json]
                                  [--control BENCH_control.json]
+                                 [--fleet BENCH_fleet.json]
                                  [--tolerance 0.25]
 
 BENCH_design.json (bench_design_explorer, design-gate job) is an
@@ -41,6 +42,12 @@ BENCH_control.json (bench_control_plane, control-gate job) gates the
 closed-loop control plane: the autoscaler's die-second spend relative
 to the static oracle and the interactive p99 are lower-is-better
 anchors, and the SLO/upgrade/chaos-determinism flags must be true.
+
+BENCH_fleet.json (bench_fleet_scale, fleet-gate job) gates the
+256-cell weak-scaling story: efficiency 8 -> 64 cells is a
+higher-is-better anchor, the largest point's wall/plan/bring-up
+seconds gate lower-is-better, and the thread-count / arena-reuse
+fingerprint-invariance flags must be true.
 """
 
 import argparse
@@ -94,6 +101,20 @@ CONTROL_METRICS_LOWER = [
      "current.control.overprovisioned_die_seconds_vs_oracle"),
     ("interactive_p99_ms", "current.control.interactive_p99_ms"),
 ]
+# Fleet-scale serving (BENCH_fleet.json, bench_fleet_scale,
+# fleet-gate job).  The headline anchor is weak-scaling efficiency
+# 8 -> 64 cells on one worker thread (higher is better: serial
+# O(cells) bottlenecks sink it); the wall/plan/bring-up seconds of
+# the largest sweep point gate lower-is-better.
+FLEET_METRICS = [
+    ("weak_scaling_efficiency_8_64",
+     "current.fleet.weak_scaling_efficiency_8_64"),
+]
+FLEET_METRICS_LOWER = [
+    ("wall_seconds_max", "current.fleet.wall_seconds_max"),
+    ("plan_seconds_max", "current.fleet.plan_seconds_max"),
+    ("bringup_seconds_max", "current.fleet.bringup_seconds_max"),
+]
 # Boolean health flags that must be true in the fresh measurement.
 CLUSTER_FLAGS = ["determinism_exact", "seed_baseline_gate_ok",
                  "warmup.parallel_ok"]
@@ -107,6 +128,9 @@ CONTROL_FLAGS = ["interactive_p99_slo_ok", "overprovision_ok",
                  "upgrade_roll_complete", "upgrade_conserves",
                  "chaos_deterministic_rerun",
                  "chaos_deterministic_threads", "wall_ok"]
+FLEET_FLAGS = ["efficiency_ok", "wall_ok",
+               "fingerprints_thread_invariant",
+               "fingerprints_arena_invariant", "arena_reused"]
 
 
 def load(path, optional=False):
@@ -183,6 +207,7 @@ def main():
     ap.add_argument("--hybrid", default="BENCH_hybrid.json")
     ap.add_argument("--design", default="BENCH_design.json")
     ap.add_argument("--control", default="BENCH_control.json")
+    ap.add_argument("--fleet", default="BENCH_fleet.json")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional slowdown (default 0.25)")
     args = ap.parse_args()
@@ -197,10 +222,12 @@ def main():
     hybrid = load(args.hybrid, optional=True)
     design = load(args.design, optional=True)
     control = load(args.control, optional=True)
+    fleet = load(args.fleet, optional=True)
     if baselines is None:
         return 1
     if (serve is None and cluster is None and hybrid is None
-            and design is None and control is None):
+            and design is None and control is None
+            and fleet is None):
         print("error: no bench output files found")
         return 1
 
@@ -231,6 +258,13 @@ def main():
                                   CONTROL_METRICS_LOWER,
                                   args.tolerance)
         ok &= check_flags("control", control, CONTROL_FLAGS)
+    if fleet is not None:
+        ok &= check_metrics("fleet", fleet, baselines, FLEET_METRICS,
+                            args.tolerance)
+        ok &= check_metrics_lower("fleet", fleet, baselines,
+                                  FLEET_METRICS_LOWER,
+                                  args.tolerance)
+        ok &= check_flags("fleet", fleet, FLEET_FLAGS)
     print("result:", "ok" if ok else "REGRESSION DETECTED")
     return 0 if ok else 1
 
