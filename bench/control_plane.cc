@@ -243,7 +243,13 @@ main(int argc, char **argv)
         .set("plan_seconds", day.stats.planSeconds)
         .set("bringup_seconds", day.stats.bringupSeconds)
         .set("plan_full_segments", day.stats.planFullSegments)
-        .set("plan_reused_segments", day.stats.planReusedSegments);
+        .set("plan_reused_segments", day.stats.planReusedSegments)
+        .set("queue_depth_high_water",
+             day.stats.queueDepthHighWater)
+        .set("queue_wheel_scheduled",
+             day.stats.queueWheelScheduled)
+        .set("queue_heap_overflows",
+             day.stats.queueHeapOverflows);
     recordTicks(json, "ticks", day.stats);
     json.writeTo("BENCH_control.json");
 

@@ -162,6 +162,9 @@ main(int argc, char **argv)
             .set("warmup_seconds", p.warmupSeconds)
             .set("warmup_live_runs", p.warmupLiveRuns)
             .set("warmup_store_hits", p.warmupStoreHits)
+            .set("queue_depth_high_water", p.queueDepthHighWater)
+            .set("queue_wheel_scheduled", p.queueWheelScheduled)
+            .set("queue_heap_overflows", p.queueHeapOverflows)
             .set("wall_seconds", p.wallSeconds);
         json.addRecord("ranked", rec);
     }

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Event-core micro-benchmark: the timing-wheel EventQueue against the
+ * retained pre-wheel binary heap (sim/reference_queue.hh), on the
+ * access pattern the serving stack actually generates.
+ *
+ * The measured loop is hold-depth CHURN: prefill the queue to a fixed
+ * depth, then repeatedly service the minimum and schedule a
+ * replacement at now + delta -- one pop plus one push per operation,
+ * exactly the steady state of a loaded serving cell (a completion
+ * retires, its successor is scheduled).  Depth is the experiment
+ * variable: 1k is a busy single cell, 100k is heap-sift territory
+ * where the wheel's O(1) bucket push should pull away.  Deltas are
+ * drawn once per depth (seeded, band-mixed so ~2% overflow past the
+ * wheel window and exercise the migration path) and replayed
+ * identically through both implementations, so the two queues do the
+ * SAME work and their final clocks must agree -- checked, as is
+ * service-count conservation.
+ *
+ * Headline numbers land in BENCH_queue.json:
+ *   {wheel,heap}_events_per_wall_second.depth{1000,100000}
+ *   wheel_speedup.depth{1000,100000}   (wheel / heap, >= 1 is a win)
+ * plus the wheel's measured-not-fingerprinted observability counters
+ * (depth high-water, wheel/heap split).  tools/check_perf_regression
+ * gates the wheel rates against bench/baselines.json current.queue.*
+ * anchors (--queue).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/bench_json.hh"
+#include "sim/event_queue.hh"
+#include "sim/reference_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using tpu::EventQueue;
+using tpu::Rng;
+using tpu::sim::ReferenceEventQueue;
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Band-mixed deltas, drawn once and replayed through both queues:
+ * ~90% inside a few wheel buckets (completion-scale), ~8% mid-range,
+ * ~2% past the wheel window (forces heap overflow + migration in the
+ * wheel; just another push for the reference heap).
+ */
+std::vector<std::uint64_t>
+makeDeltas(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> deltas;
+    deltas.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto roll = rng.uniformInt(0, 99);
+        const std::int64_t hi = roll < 90   ? (1 << 18)
+                                : roll < 98 ? (1 << 22)
+                                            : (1ll << 26);
+        deltas.push_back(
+            static_cast<std::uint64_t>(rng.uniformInt(1, hi)));
+    }
+    return deltas;
+}
+
+/** One churn measurement; returns wall seconds for @p ops operations. */
+template <typename Queue>
+double
+churn(Queue &q, const std::vector<std::uint64_t> &prefill,
+      const std::vector<std::uint64_t> &deltas,
+      std::uint64_t *sink)
+{
+    for (const auto d : prefill)
+        q.schedule(q.now() + d, []() {});
+    std::size_t i = 0;
+    const double t0 = nowSeconds();
+    for (const auto d : deltas) {
+        q.serviceOne();
+        q.schedule(q.now() + d, []() {});
+        ++i;
+    }
+    const double wall = nowSeconds() - t0;
+    *sink += q.now() + i;
+    return wall;
+}
+
+struct DepthResult
+{
+    double wheelRate = 0;
+    double heapRate = 0;
+    std::size_t depthHighWater = 0;
+    std::uint64_t wheelScheduled = 0;
+    std::uint64_t heapOverflows = 0;
+};
+
+DepthResult
+runDepth(std::size_t depth, std::size_t ops, int repeats)
+{
+    const auto prefill = makeDeltas(1000 + depth, depth);
+    const auto deltas = makeDeltas(2000 + depth, ops);
+
+    DepthResult r;
+    double wheel_best = 1e30, heap_best = 1e30;
+    std::uint64_t sink = 0;
+    tpu::Tick wheel_clock = 0, heap_clock = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+        EventQueue wheel;
+        ReferenceEventQueue heap;
+        const double ww = churn(wheel, prefill, deltas, &sink);
+        const double hw = churn(heap, prefill, deltas, &sink);
+        wheel_best = std::min(wheel_best, ww);
+        heap_best = std::min(heap_best, hw);
+        wheel_clock = wheel.now();
+        heap_clock = heap.now();
+        if (wheel.serviced() != heap.serviced() ||
+            wheel.now() != heap.now()) {
+            std::fprintf(stderr,
+                         "FATAL: wheel/heap disagree at depth %zu\n",
+                         depth);
+            std::exit(1);
+        }
+        r.depthHighWater = wheel.depthHighWater();
+        r.wheelScheduled = wheel.wheelScheduled();
+        r.heapOverflows = wheel.heapOverflows();
+    }
+    (void)sink;
+    r.wheelRate = static_cast<double>(ops) / wheel_best;
+    r.heapRate = static_cast<double>(ops) / heap_best;
+    std::printf("  depth %-6zu  wheel %7.2fM ops/s   heap %7.2fM "
+                "ops/s   speedup %.2fx   (clock %llu, hw %zu, "
+                "overflow %llu)\n",
+                depth, r.wheelRate / 1e6, r.heapRate / 1e6,
+                r.wheelRate / r.heapRate,
+                static_cast<unsigned long long>(wheel_clock),
+                r.depthHighWater,
+                static_cast<unsigned long long>(r.heapOverflows));
+    (void)heap_clock;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("event-core micro: hold-depth churn, timing wheel vs "
+                "reference binary heap\n"
+                "(one op = serviceOne + schedule at now + delta; "
+                "identical delta streams)\n\n");
+
+    constexpr std::size_t kOps = 2000000;
+    constexpr int kRepeats = 3;
+
+    const DepthResult shallow = runDepth(1000, kOps, kRepeats);
+    const DepthResult deep = runDepth(100000, kOps, kRepeats);
+
+    tpu::analysis::BenchJson json("event_queue_micro");
+    json.set("ops_per_depth", static_cast<std::uint64_t>(kOps))
+        .set("repeats", kRepeats)
+        .set("wheel_events_per_wall_second.depth1000",
+             shallow.wheelRate)
+        .set("heap_events_per_wall_second.depth1000",
+             shallow.heapRate)
+        .set("wheel_speedup.depth1000",
+             shallow.wheelRate / shallow.heapRate)
+        .set("wheel_events_per_wall_second.depth100000",
+             deep.wheelRate)
+        .set("heap_events_per_wall_second.depth100000",
+             deep.heapRate)
+        .set("wheel_speedup.depth100000",
+             deep.wheelRate / deep.heapRate)
+        // Observability counters (measured, never fingerprinted).
+        .set("queue_depth_high_water.depth1000",
+             static_cast<std::uint64_t>(shallow.depthHighWater))
+        .set("queue_wheel_scheduled.depth1000",
+             shallow.wheelScheduled)
+        .set("queue_heap_overflows.depth1000",
+             shallow.heapOverflows)
+        .set("queue_depth_high_water.depth100000",
+             static_cast<std::uint64_t>(deep.depthHighWater))
+        .set("queue_wheel_scheduled.depth100000",
+             deep.wheelScheduled)
+        .set("queue_heap_overflows.depth100000",
+             deep.heapOverflows);
+    json.writeTo("BENCH_queue.json");
+
+    std::printf("\nwheel speedup: %.2fx at depth 1k, %.2fx at depth "
+                "100k (written to BENCH_queue.json)\n",
+                shallow.wheelRate / shallow.heapRate,
+                deep.wheelRate / deep.heapRate);
+    return 0;
+}

@@ -233,7 +233,13 @@ main(int argc, char **argv)
         .set("bringup_seconds_reused", reused.stats.bringupSeconds)
         .setBool("fingerprints_thread_invariant", det_threads)
         .setBool("fingerprints_arena_invariant", det_arena)
-        .setBool("arena_reused", arena_reused);
+        .setBool("arena_reused", arena_reused)
+        .set("queue_depth_high_water",
+             largest.run.stats.queueDepthHighWater)
+        .set("queue_wheel_scheduled",
+             largest.run.stats.queueWheelScheduled)
+        .set("queue_heap_overflows",
+             largest.run.stats.queueHeapOverflows);
     json.writeTo("BENCH_fleet.json");
 
     const bool ok = efficiency_ok && wall_ok && det_threads &&

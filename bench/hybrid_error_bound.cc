@@ -304,7 +304,10 @@ main(int argc, char **argv)
                        week.wallSeconds
                  : 0.0)
         .set("plan_seconds", ws.planSeconds)
-        .set("bringup_seconds", ws.bringupSeconds);
+        .set("bringup_seconds", ws.bringupSeconds)
+        .set("queue_depth_high_water", ws.queueDepthHighWater)
+        .set("queue_wheel_scheduled", ws.queueWheelScheduled)
+        .set("queue_heap_overflows", ws.queueHeapOverflows);
     recordEpochs(json, ws);
     json.writeTo("BENCH_hybrid.json");
 

@@ -637,6 +637,12 @@ main(int argc, char **argv)
         .set("events", serial.stats.events)
         .set("events_per_wall_second.threads1",
              cluster_events_per_wall_t1)
+        .set("queue_depth_high_water",
+             serial.stats.queueDepthHighWater)
+        .set("queue_wheel_scheduled",
+             serial.stats.queueWheelScheduled)
+        .set("queue_heap_overflows",
+             serial.stats.queueHeapOverflows)
         .set("warmup.seconds.threads1", warm_t1)
         .set("warmup.seconds.threads8", warm_t8)
         .set("warmup.speedup", warm_speedup)

@@ -151,6 +151,9 @@ designSweep(const arch::TpuConfig &base,
             p.warmupSeconds = st.warmupSeconds;
             p.warmupLiveRuns = st.warmupLiveRuns;
             p.warmupStoreHits = st.warmupStoreHits;
+            p.queueDepthHighWater = st.queueDepthHighWater;
+            p.queueWheelScheduled = st.queueWheelScheduled;
+            p.queueHeapOverflows = st.queueHeapOverflows;
             p.wallSeconds = std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - point_start)
                                 .count();

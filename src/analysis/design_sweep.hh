@@ -99,6 +99,10 @@ struct DesignPoint
     double warmupSeconds = 0;
     std::uint64_t warmupLiveRuns = 0;
     std::uint64_t warmupStoreHits = 0;
+    /** Event-core pressure (RunStats queue counters, measured). */
+    std::uint64_t queueDepthHighWater = 0;
+    std::uint64_t queueWheelScheduled = 0;
+    std::uint64_t queueHeapOverflows = 0;
     /** Whole-point wall clock (build + warm-up + serve). */
     double wallSeconds = 0;
 };

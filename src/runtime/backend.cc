@@ -134,9 +134,19 @@ ReplayBackend::execute(const ExecutionContext &ctx)
         _liveRuns.fetch_add(1, std::memory_order_relaxed);
         return ctx.chip->run(ctx.compiled->program, *ctx.hostInput);
     }
+    // Timing path: the caller's memo slot (if provided) caches the
+    // mapped address after the first hit, so steady-state replays
+    // skip the string-keyed find.  std::map nodes never move, so the
+    // cached pointer stays valid for the backend's lifetime.
+    if (ctx.memoCache && *ctx.memoCache) {
+        _replays.fetch_add(1, std::memory_order_relaxed);
+        return **ctx.memoCache;
+    }
     auto it = _memo.find(*ctx.key);
     if (it != _memo.end()) {
         _replays.fetch_add(1, std::memory_order_relaxed);
+        if (ctx.memoCache)
+            *ctx.memoCache = &it->second;
         return it->second;
     }
     fatal_if(_frozen,
@@ -146,7 +156,11 @@ ReplayBackend::execute(const ExecutionContext &ctx)
     _liveRuns.fetch_add(1, std::memory_order_relaxed);
     arch::RunResult r =
         ctx.chip->run(ctx.compiled->program, *ctx.hostInput);
-    return _memo.emplace(*ctx.key, std::move(r)).first->second;
+    const arch::RunResult &memoized =
+        _memo.emplace(*ctx.key, std::move(r)).first->second;
+    if (ctx.memoCache)
+        *ctx.memoCache = &memoized;
+    return memoized;
 }
 
 AnalyticBackend::AnalyticBackend(arch::TpuConfig config)

@@ -72,7 +72,7 @@ UserSpaceDriver::loadModel(const nn::Network &net,
         // The name-dedup fast path must apply the same aliasing
         // guard as the shared cache, or a same-driver name reuse
         // would silently return the wrong model's handle.
-        fatal_if(_models.at(it->second).fingerprint !=
+        fatal_if(_modelSlot(it->second).fingerprint !=
                      SharedProgramCache::shapeFingerprint(net),
                  "model name '%s' reused for a different "
                  "architecture", net.name().c_str());
@@ -113,7 +113,9 @@ UserSpaceDriver::loadModel(const nn::Network &net,
     }
 
     const ModelHandle handle = _nextHandle++;
-    _models.emplace(handle, std::move(lm));
+    lm.live = true;
+    _models.push_back(std::move(lm));
+    ++_liveModels;
     _byName[net.name()] = handle;
     return handle;
 }
@@ -121,10 +123,7 @@ UserSpaceDriver::loadModel(const nn::Network &net,
 void
 UserSpaceDriver::unloadModel(ModelHandle handle)
 {
-    auto it = _models.find(handle);
-    fatal_if(it == _models.end(), "unknown model handle %llu",
-             static_cast<unsigned long long>(handle));
-    LoadedModel &lm = it->second;
+    LoadedModel &lm = _modelSlot(handle);
     // Release the pinned kernel I/O buffers; a stale or repeated id
     // trips the KernelDriver's double-free diagnostics, which is the
     // point of routing the release through it.
@@ -133,16 +132,21 @@ UserSpaceDriver::unloadModel(ModelHandle handle)
     if (lm.outputBuffer != 0)
         _kernel.freePinned(lm.outputBuffer);
     _byName.erase(lm.name);
-    _models.erase(it);
+    // The slot stays in place (handles are table indices); drop the
+    // owned program image and mark it dead.
+    lm.ownedEntry.reset();
+    lm.compiled = nullptr;
+    lm.replayMemo = nullptr;
+    lm.inputBuffer = 0;
+    lm.outputBuffer = 0;
+    lm.live = false;
+    --_liveModels;
 }
 
 const compiler::CompiledModel &
 UserSpaceDriver::model(ModelHandle handle) const
 {
-    auto it = _models.find(handle);
-    fatal_if(it == _models.end(), "unknown model handle %llu",
-             static_cast<unsigned long long>(handle));
-    return *it->second.compiled;
+    return *_modelSlot(handle).compiled;
 }
 
 InvokeStats
@@ -150,11 +154,8 @@ UserSpaceDriver::invoke(ModelHandle handle,
                         const std::vector<std::int8_t> &host_input,
                         double host_fraction)
 {
-    auto it = _models.find(handle);
-    fatal_if(it == _models.end(), "unknown model handle %llu",
-             static_cast<unsigned long long>(handle));
     fatal_if(host_fraction < 0.0, "negative host fraction");
-    LoadedModel &lm = it->second;
+    LoadedModel &lm = _modelSlot(handle);
 
     InvokeStats out;
     // The paper's first evaluation carries the compile; the image is
@@ -169,6 +170,7 @@ UserSpaceDriver::invoke(ModelHandle handle,
     ctx.key = &lm.name;
     ctx.chip = _chip.get();
     ctx.hostInput = &host_input;
+    ctx.memoCache = &lm.replayMemo;
     arch::RunResult r = _backend->execute(ctx);
 
     out.deviceCycles = r.cycles;

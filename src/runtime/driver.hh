@@ -163,7 +163,7 @@ class UserSpaceDriver
     SharedProgramCache &programCache() { return *_cache; }
 
     /** Loaded (not yet unloaded) models. */
-    std::size_t loadedModels() const { return _models.size(); }
+    std::size_t loadedModels() const { return _liveModels; }
 
     /** Runtime-wide statistics (invocations, cycles, bytes, ...). */
     const stats::StatGroup &statGroup() const { return _stats; }
@@ -200,10 +200,45 @@ class UserSpaceDriver
         std::uint64_t invocations = 0;
         /** Shape fingerprint guarding repeated loads of the name. */
         std::uint64_t fingerprint = 0;
+        /**
+         * Replay-tier memo cache (see ExecutionContext::memoCache):
+         * after the first timing-mode replay hit this points at the
+         * backend's memoized RunResult, so steady-state invokes skip
+         * the string-keyed memo map entirely.
+         */
+        const arch::RunResult *replayMemo = nullptr;
+        /** False once unloadModel() releases this slot. */
+        bool live = false;
     };
-    std::map<ModelHandle, LoadedModel> _models;
+    /**
+     * Loaded models indexed by handle - 1.  Handles are issued
+     * densely from 1, so the invoke-path lookup is a bounds check
+     * plus an array read instead of a map walk; unloaded slots stay
+     * in place (live == false) to keep later handles stable.
+     */
+    std::vector<LoadedModel> _models;
+    std::size_t _liveModels = 0;
     std::map<std::string, ModelHandle> _byName;
     ModelHandle _nextHandle = 1;
+
+    /** _models slot for @p handle (fatal on unknown/unloaded). */
+    const LoadedModel &
+    _modelSlot(ModelHandle handle) const
+    {
+        fatal_if(handle == 0 || handle >= _nextHandle ||
+                     !_models[static_cast<std::size_t>(handle - 1)]
+                          .live,
+                 "unknown model handle %llu",
+                 static_cast<unsigned long long>(handle));
+        return _models[static_cast<std::size_t>(handle - 1)];
+    }
+    LoadedModel &
+    _modelSlot(ModelHandle handle)
+    {
+        return const_cast<LoadedModel &>(
+            static_cast<const UserSpaceDriver &>(*this)._modelSlot(
+                handle));
+    }
 
     stats::StatGroup _stats;
     stats::Scalar _invocations;

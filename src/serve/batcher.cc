@@ -42,41 +42,6 @@ Batcher::admit(RequestIndex request)
     admitAt(request, (*_pool)[request].arrivalSeconds);
 }
 
-void
-Batcher::admitAt(RequestIndex request, double arrival_seconds)
-{
-    panic_if(!_queue.empty() && arrival_seconds < _lastArrival,
-             "request admitted out of arrival order");
-    if (_queue.empty())
-        _frontArrival = arrival_seconds;
-    _lastArrival = arrival_seconds;
-    _queue.push_back(request);
-}
-
-double
-Batcher::oldestArrival() const
-{
-    fatal_if(_queue.empty(), "no queued requests");
-    return _frontArrival;
-}
-
-double
-Batcher::nextDeadline() const
-{
-    return oldestArrival() + _policy.maxDelaySeconds;
-}
-
-bool
-Batcher::batchReady(double now) const
-{
-    if (_queue.empty())
-        return false;
-    if (static_cast<std::int64_t>(_queue.size()) >= _policy.maxBatch)
-        return true;
-    // Small epsilon so a deadline timer firing exactly on time counts.
-    return now + 1e-12 >= nextDeadline();
-}
-
 std::int64_t
 Batcher::bucketFor(std::int64_t batch) const
 {
@@ -93,16 +58,23 @@ Batcher::form(double now, FormedBatch &out)
     if (_policy.enforceSlo) {
         // Shed hopeless requests: even in the smallest batch that
         // can actually run (the padded minimum bucket) they would
-        // miss their response-time limit.
+        // miss their response-time limit.  The scan walks ONLY the
+        // packed arrival-time array -- the per-element expression is
+        // kept textually identical to the pre-SoA pool-read version,
+        // so the floating-point shed decisions (and therefore every
+        // fingerprint) are unchanged.
         const double min_service = _estimate.seconds(bucketFor(1));
-        while (!_queue.empty()) {
-            const double waited =
-                now - (*_pool)[_queue.front()].arrivalSeconds;
+        const std::size_t depth = _queue.size();
+        std::size_t n = 0;
+        while (n < depth) {
+            const double waited = now - _queue.secondAt(n);
             if (waited + min_service <= _policy.sloSeconds)
                 break;
-            out.shed.push_back(_queue.front());
-            _queue.pop_front();
+            ++n;
         }
+        for (std::size_t i = 0; i < n; ++i)
+            out.shed.push_back(_queue.firstAt(i));
+        _queue.pop_front(n);
     }
     std::int64_t b = std::min<std::int64_t>(
         _policy.maxBatch, static_cast<std::int64_t>(_queue.size()));
@@ -113,30 +85,27 @@ Batcher::form(double now, FormedBatch &out)
         // its longer service time counts against the oldest member's
         // deadline.  The estimate uses the padded (compiled) size,
         // which is what will actually run.
-        const double waited =
-            now - (*_pool)[_queue.front()].arrivalSeconds;
+        const double waited = now - _queue.frontSecond();
         while (b > 1 &&
                waited + _estimate.seconds(bucketFor(b)) >
                    _policy.sloSeconds)
             --b;
     }
-    for (std::int64_t i = 0; i < b; ++i) {
-        out.requests.push_back(_queue.front());
-        _queue.pop_front();
-    }
+    for (std::int64_t i = 0; i < b; ++i)
+        out.requests.push_back(
+            _queue.firstAt(static_cast<std::size_t>(i)));
+    _queue.pop_front(static_cast<std::size_t>(b));
     out.paddedBatch = bucketFor(b);
-    if (!_queue.empty())
-        _frontArrival = (*_pool)[_queue.front()].arrivalSeconds;
 }
 
 void
 Batcher::drainAll(FormedBatch &out)
 {
     out.clear();
-    while (!_queue.empty()) {
-        out.requests.push_back(_queue.front());
-        _queue.pop_front();
-    }
+    const std::size_t depth = _queue.size();
+    for (std::size_t i = 0; i < depth; ++i)
+        out.requests.push_back(_queue.firstAt(i));
+    _queue.pop_front(depth);
 }
 
 } // namespace serve

@@ -16,11 +16,17 @@
  * not hand constants; ground-truth timing still comes from running
  * the formed batch on a real simulated chip.
  *
- * Allocation discipline: the queue is a sim::Ring of RequestIndex --
- * requests live in the session's RequestPool and only their 32-bit
- * indices move through admission and formation.  form() fills a
- * caller-owned (pooled, reused) FormedBatch; nothing on the admit or
- * form path allocates once the ring has warmed to its peak depth.
+ * Allocation discipline: the queue is a sim::DualRing of
+ * (RequestIndex, arrival time) -- requests live in the session's
+ * RequestPool and only their 32-bit indices move through admission
+ * and formation, with each index's arrival time carried alongside in
+ * a parallel array (structure-of-arrays).  The SLO shed scan in
+ * form() walks ONLY the packed arrival-time array -- branch-light,
+ * prefetchable, no request-record pointer chase -- and the queue
+ * head's arrival is a direct array read rather than a cached copy.
+ * form() fills a caller-owned (pooled, reused) FormedBatch; nothing
+ * on the admit or form path allocates once the ring has warmed to
+ * its peak depth.
  */
 
 #ifndef TPUSIM_SERVE_BATCHER_HH
@@ -100,7 +106,14 @@ class Batcher
      * holds -- the per-arrival hot path, sparing the pool read.
      * @p arrival_seconds must equal the pooled record's.
      */
-    void admitAt(RequestIndex request, double arrival_seconds);
+    void
+    admitAt(RequestIndex request, double arrival_seconds)
+    {
+        panic_if(!_queue.empty() &&
+                     arrival_seconds < _queue.backSecond(),
+                 "request admitted out of arrival order");
+        _queue.push_back(request, arrival_seconds);
+    }
 
     /** Nothing queued? */
     bool empty() const { return _queue.empty(); }
@@ -108,13 +121,33 @@ class Batcher
     std::size_t depth() const { return _queue.size(); }
 
     /** Arrival time of the oldest queued request (fatal if empty). */
-    double oldestArrival() const;
+    double
+    oldestArrival() const
+    {
+        fatal_if(_queue.empty(), "no queued requests");
+        return _queue.frontSecond();
+    }
 
     /** When the oldest queued request's patience runs out. */
-    double nextDeadline() const;
+    double
+    nextDeadline() const
+    {
+        return oldestArrival() + _policy.maxDelaySeconds;
+    }
 
     /** A batch should be dispatched now (maxBatch or deadline). */
-    bool batchReady(double now) const;
+    bool
+    batchReady(double now) const
+    {
+        if (_queue.empty())
+            return false;
+        if (static_cast<std::int64_t>(_queue.size()) >=
+            _policy.maxBatch)
+            return true;
+        // Small epsilon so a deadline timer firing exactly on time
+        // counts.
+        return now + 1e-12 >= nextDeadline();
+    }
 
     /**
      * Pop the next batch into @p out (cleared first), applying SLO
@@ -142,13 +175,10 @@ class Batcher
     BatcherPolicy _policy;
     latency::ServiceModel _estimate;
     const RequestPool *_pool;
-    sim::Ring<RequestIndex> _queue;
+    /** (request index, arrival seconds) in admission order, SoA. */
+    sim::DualRing<RequestIndex, double> _queue;
     /** bucketFor(b) = _bucketOf[b]: precomputed, O(1) on hot paths. */
     std::vector<std::int64_t> _bucketOf;
-    /** Arrival time of the newest queued request (admit ordering). */
-    double _lastArrival = 0;
-    /** Cached arrival time of the queue head (hot-path reads). */
-    double _frontArrival = 0;
 };
 
 } // namespace serve

@@ -15,7 +15,12 @@
  * Determinism across reuse: every structure resets to COLD
  * ALLOCATION ORDER (sim::Slab::reset re-issues index 0, 1, 2, ...
  * exactly as an empty slab would; the event queue rezeroes its
- * clock, sequence and serviced counters), and every consumer already
+ * clock, sequence and serviced counters -- and, since the timing-
+ * wheel rebuild, its bucket chains, occupancy bitmap, overflow heap
+ * and observability counters too, while RETAINING node-pool, scratch
+ * and heap capacity: EventQueue::reset() is the wheel's half of this
+ * arena contract, pinned by the reset()-cold-order property test),
+ * and every consumer already
  * tolerates recycled object state because intra-run slot reuse has
  * the same property (RequestPool::alloc and Frontend::form overwrite
  * the bookkeeping fields on every claim).  A run on a reused context

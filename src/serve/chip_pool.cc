@@ -187,25 +187,6 @@ ChipPool::ChipPool(const arch::TpuConfig &config, FleetSpec fleet,
     _aliveTotal = size();
 }
 
-ChipPool::PlatformGroup *
-ChipPool::_groupFor(runtime::PlatformKind kind)
-{
-    return _groupByKind[static_cast<std::size_t>(kind)];
-}
-
-const ChipPool::PlatformGroup *
-ChipPool::_groupFor(runtime::PlatformKind kind) const
-{
-    return _groupByKind[static_cast<std::size_t>(kind)];
-}
-
-runtime::PlatformKind
-ChipPool::platform(int chip) const
-{
-    panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
-    return _chips[chip]->platform;
-}
-
 int
 ChipPool::countOf(runtime::PlatformKind kind) const
 {
@@ -274,19 +255,6 @@ ChipPool::release(int chip)
     }
 }
 
-bool
-ChipPool::anyFree() const
-{
-    return _freeTotal > 0;
-}
-
-bool
-ChipPool::anyFree(runtime::PlatformKind kind) const
-{
-    const PlatformGroup *g = _groupFor(kind);
-    return g && g->freeChips > 0;
-}
-
 void
 ChipPool::fail(int chip)
 {
@@ -313,19 +281,6 @@ ChipPool::failed(int chip) const
 {
     panic_if(chip < 0 || chip >= size(), "bad chip index %d", chip);
     return _chips[chip]->dead;
-}
-
-int
-ChipPool::aliveCount() const
-{
-    return _aliveTotal;
-}
-
-int
-ChipPool::aliveCount(runtime::PlatformKind kind) const
-{
-    const PlatformGroup *g = _groupFor(kind);
-    return g ? g->aliveChips : 0;
 }
 
 void

@@ -119,7 +119,13 @@ class ChipPool
     const FleetSpec &fleet() const { return _fleet; }
 
     /** Platform of one pool member. */
-    runtime::PlatformKind platform(int chip) const;
+    runtime::PlatformKind
+    platform(int chip) const
+    {
+        panic_if(chip < 0 || chip >= size(), "bad chip index %d",
+                 chip);
+        return _chips[static_cast<std::size_t>(chip)]->platform;
+    }
 
     /** Dies of @p kind in the pool (0 if the platform is absent). */
     int countOf(runtime::PlatformKind kind) const;
@@ -146,9 +152,14 @@ class ChipPool
     /** Release a chip claimed by either acquireFree overload. */
     void release(int chip);
     /** Any chip free, pool-wide? */
-    bool anyFree() const;
+    bool anyFree() const { return _freeTotal > 0; }
     /** Any chip of @p kind free? */
-    bool anyFree(runtime::PlatformKind kind) const;
+    bool
+    anyFree(runtime::PlatformKind kind) const
+    {
+        const PlatformGroup *g = _groupFor(kind);
+        return g && g->freeChips > 0;
+    }
     /** Is @p chip currently claimed? */
     bool busy(int chip) const;
 
@@ -163,9 +174,14 @@ class ChipPool
     /** Has @p chip been retired (dying chips count once released)? */
     bool failed(int chip) const;
     /** Chips not (yet) retired, pool-wide. */
-    int aliveCount() const;
+    int aliveCount() const { return _aliveTotal; }
     /** Chips of @p kind not (yet) retired. */
-    int aliveCount(runtime::PlatformKind kind) const;
+    int
+    aliveCount(runtime::PlatformKind kind) const
+    {
+        const PlatformGroup *g = _groupFor(kind);
+        return g ? g->aliveChips : 0;
+    }
 
     /**
      * Degrade a platform: every subsequent batch served by its dies
@@ -312,8 +328,16 @@ class ChipPool
         stats::Formula utilization;
     };
 
-    PlatformGroup *_groupFor(runtime::PlatformKind kind);
-    const PlatformGroup *_groupFor(runtime::PlatformKind kind) const;
+    PlatformGroup *
+    _groupFor(runtime::PlatformKind kind)
+    {
+        return _groupByKind[static_cast<std::size_t>(kind)];
+    }
+    const PlatformGroup *
+    _groupFor(runtime::PlatformKind kind) const
+    {
+        return _groupByKind[static_cast<std::size_t>(kind)];
+    }
 
     std::shared_ptr<runtime::SharedProgramCache> _cache;
     runtime::TierPolicy _tier;

@@ -2020,6 +2020,14 @@ Cluster::_mergeStats(const ClusterTraffic &traffic)
         _last.routerShed += cell_summary.routerShed;
         _last.submitted += cs->offered;
         _last.events += cs->session->eventsServiced();
+        _last.queueDepthHighWater =
+            std::max(_last.queueDepthHighWater,
+                     static_cast<std::uint64_t>(
+                         cs->session->queueDepthHighWater()));
+        _last.queueWheelScheduled +=
+            cs->session->queueWheelScheduled();
+        _last.queueHeapOverflows +=
+            cs->session->queueHeapOverflows();
     }
     _last.ips = traffic.durationSeconds > 0
                     ? static_cast<double>(_last.completed) /

@@ -479,6 +479,19 @@ class Cluster
         std::uint64_t events = 0;
 
         /**
+         * Event-core observability, merged across cells: the deepest
+         * any one cell's queue got (max over cells), and how
+         * schedule() traffic split between near-horizon wheel
+         * buckets and far-horizon heap overflow (sums).  Measured
+         * diagnostics like events -- NOT folded into fingerprint(),
+         * so the digest stays comparable across event-core rebuilds
+         * while every BENCH_*.json can still report queue pressure.
+         */
+        std::uint64_t queueDepthHighWater = 0;
+        std::uint64_t queueWheelScheduled = 0;
+        std::uint64_t queueHeapOverflows = 0;
+
+        /**
          * Wall clock of the publish phase (compile + replay warm-up
          * + freeze) -- the calibration-path cost the perf baseline
          * gates alongside steady-state throughput.  Measured, so NOT

@@ -34,24 +34,6 @@ Frontend::addModel(ModelHandle handle, BatcherPolicy policy,
     _fronts.emplace_back(policy, estimate, qos, &_pool);
 }
 
-Frontend::Front &
-Frontend::_front(ModelHandle handle)
-{
-    fatal_if(handle == 0 || handle > _fronts.size(),
-             "unknown serve model handle %llu",
-             static_cast<unsigned long long>(handle));
-    return _fronts[static_cast<std::size_t>(handle - 1)];
-}
-
-const Frontend::Front &
-Frontend::_front(ModelHandle handle) const
-{
-    fatal_if(handle == 0 || handle > _fronts.size(),
-             "unknown serve model handle %llu",
-             static_cast<unsigned long long>(handle));
-    return _fronts[static_cast<std::size_t>(handle - 1)];
-}
-
 const Batcher &
 Frontend::batcher(ModelHandle handle) const
 {
@@ -65,23 +47,9 @@ Frontend::qosClass(ModelHandle handle) const
 }
 
 void
-Frontend::arrive(ModelHandle handle, RequestIndex request,
-                 double arrival_seconds, double now_seconds)
+Frontend::_armTimerSlow(Front &f, ModelHandle handle,
+                        double now_seconds)
 {
-    Front &f = _front(handle);
-    f.batcher.admitAt(request, arrival_seconds);
-    if (f.batcher.batchReady(now_seconds))
-        _host.frontendDrain();
-    if (!f.batcher.empty())
-        _armTimer(handle, now_seconds);
-}
-
-void
-Frontend::_armTimer(ModelHandle handle, double now_seconds)
-{
-    Front &f = _front(handle);
-    if (f.timerArmed || f.batcher.empty())
-        return;
     const double deadline = f.batcher.nextDeadline();
     // A head already past its deadline is dispatchable now; it waits
     // only for a chip, and every chip completion re-drains, so no
@@ -91,6 +59,13 @@ Frontend::_armTimer(ModelHandle handle, double now_seconds)
             _host.frontendDrain();
         return;
     }
+    _scheduleTimer(f, handle, deadline);
+}
+
+void
+Frontend::_scheduleTimer(Front &f, ModelHandle handle,
+                         double deadline)
+{
     f.timerArmed = true;
     _host.frontendSchedule(deadline, [this, handle]() {
         Front &front = _front(handle);

@@ -79,15 +79,53 @@ class Frontend
     std::size_t modelCount() const { return _fronts.size(); }
 
     /**
-     * Admit one request: enqueue it on its model's batcher, trigger
-     * the drain hook if a batch became formable, and arm the
-     * deadline timer otherwise.  @p arrival_seconds is the request's
-     * arrival time and @p now_seconds the current simulated time --
-     * the caller already holds both, so the per-request admission
-     * path re-reads neither the pool record nor the clock hook.
+     * First half of an admission: enqueue the request on its model's
+     * batcher and report whether the model now has a dispatchable
+     * batch.  @p arrival_seconds is the request's arrival time and
+     * @p now_seconds the current simulated time -- the caller
+     * already holds both, so the per-request admission path re-reads
+     * neither the pool record nor the clock hook.
+     *
+     * This used to be one arrive() that invoked the virtual drain
+     * hook itself whenever a batch was formable.  In a congested
+     * cell a formable batch lingers (no free die), so EVERY further
+     * arrival paid a virtual drain call that scanned and dispatched
+     * nothing.  Splitting admission lets the owner skip the drain
+     * when it can prove it a no-op (no die free) -- draining is
+     * idempotent at a fixed simulated instant, so eliding provably
+     * empty drains leaves the event sequence bit-identical.  The
+     * caller contract: on true, run the drain (or prove it a no-op),
+     * then call afterArrival() either way.
      */
-    void arrive(ModelHandle handle, RequestIndex request,
-                double arrival_seconds, double now_seconds);
+    bool
+    admitArrival(ModelHandle handle, RequestIndex request,
+                 double arrival_seconds, double now_seconds)
+    {
+        Front &f = _front(handle);
+        f.batcher.admitAt(request, arrival_seconds);
+        return f.batcher.batchReady(now_seconds);
+    }
+
+    /**
+     * Second half of an admission, after the caller's (possibly
+     * elided) drain: arm the deadline timer for what is still
+     * queued.  A head already past its deadline needs no timer --
+     * it is dispatchable NOW, which the admitArrival() drain and the
+     * drain after every chip completion already cover; arming a
+     * timer at "now" would spin.  The common case (timer already
+     * armed) stays inline and touches no virtual hook.
+     */
+    void
+    afterArrival(ModelHandle handle, double now_seconds)
+    {
+        Front &f = _front(handle);
+        if (f.timerArmed || f.batcher.empty())
+            return;
+        const double deadline = f.batcher.nextDeadline();
+        if (deadline <= now_seconds)
+            return;
+        _scheduleTimer(f, handle, deadline);
+    }
 
     /** The model's batcher (queue state, policy, bucket map). */
     const Batcher &batcher(ModelHandle handle) const;
@@ -131,9 +169,41 @@ class Frontend
         bool timerArmed = false;
     };
 
-    Front &_front(ModelHandle handle);
-    const Front &_front(ModelHandle handle) const;
-    void _armTimer(ModelHandle handle, double now_seconds);
+    const Front &
+    _front(ModelHandle handle) const
+    {
+        fatal_if(handle == 0 || handle > _fronts.size(),
+                 "unknown serve model handle %llu",
+                 static_cast<unsigned long long>(handle));
+        return _fronts[static_cast<std::size_t>(handle - 1)];
+    }
+    Front &
+    _front(ModelHandle handle)
+    {
+        return const_cast<Front &>(
+            static_cast<const Frontend &>(*this)._front(handle));
+    }
+
+    /**
+     * Arm the deadline timer (no-op when armed or queue empty); a
+     * past-deadline head re-triggers the drain hook instead.  The
+     * rearm()/timer-callback path -- NOT the per-arrival one, which
+     * goes through admitArrival()/afterArrival() above.
+     */
+    void
+    _armTimer(ModelHandle handle, double now_seconds)
+    {
+        Front &f = _front(handle);
+        if (f.timerArmed || f.batcher.empty())
+            return;
+        _armTimerSlow(f, handle, now_seconds);
+    }
+    /** Deadline math + drain-or-schedule decision of _armTimer. */
+    void _armTimerSlow(Front &f, ModelHandle handle,
+                       double now_seconds);
+    /** Schedule the pooled deadline callback at @p deadline. */
+    void _scheduleTimer(Front &f, ModelHandle handle,
+                        double deadline);
 
     Host &_host;
     const RequestPool &_pool;

@@ -334,21 +334,14 @@ ArrivalProcess::rate(double t) const
 }
 
 double
-ArrivalProcess::next()
+ArrivalProcess::_nextSlow()
 {
     switch (_config.kind) {
-      case ArrivalKind::Poisson: return _nextPoisson();
       case ArrivalKind::Diurnal: return _nextDiurnal();
       case ArrivalKind::Bursty: return _nextBursty();
+      case ArrivalKind::Poisson: break; // handled inline in next()
     }
     panic("unknown arrival kind");
-}
-
-double
-ArrivalProcess::_nextPoisson()
-{
-    _t += _rng.exponential(_config.rateIps);
-    return _t;
 }
 
 double

@@ -236,8 +236,18 @@ class ArrivalProcess
   public:
     explicit ArrivalProcess(ScenarioConfig config);
 
-    /** Absolute time of the next arrival (seconds). */
-    double next();
+    /**
+     * Absolute time of the next arrival (seconds).  The homogeneous
+     * Poisson case -- one exponential step -- is inline: it runs
+     * once per synthesized arrival on the cluster pump path.
+     */
+    double
+    next()
+    {
+        if (_config.kind == ArrivalKind::Poisson)
+            return _t += _rng.exponential(_config.rateIps);
+        return _nextSlow();
+    }
 
     /** Modelled instantaneous rate at @p t (requests/second). */
     double rate(double t) const;
@@ -246,7 +256,7 @@ class ArrivalProcess
     const ScenarioConfig &config() const { return _config; }
 
   private:
-    double _nextPoisson();
+    double _nextSlow(); ///< diurnal / bursty dispatch
     double _nextDiurnal();
     double _nextBursty();
 

@@ -11,33 +11,13 @@
 namespace tpu {
 namespace serve {
 
-DetachedPump::DetachedPump(Session &session) : _session(session)
-{
-    _chunk.reserve(kBlock);
-}
-
-void
-DetachedPump::push(double when, ModelHandle handle)
-{
-    // runUntil() leaves now at the block boundary tick, which can
-    // land a hair past the next arrival; clamp forward.  now() only
-    // advances at block boundaries, so deferring the submit does not
-    // change the clamp any driver would have applied inline.
-    _chunk.push_back({std::max(when, _session.now()), handle});
-    if (++_pushed % kBlock == 0) {
-        _session.submitDetachedBulk(_chunk);
-        _chunk.clear();
-        _session.runUntil(when);
-    }
-}
+DetachedPump::DetachedPump(Session &session) : _session(session) {}
 
 void
 DetachedPump::flush()
 {
-    if (_chunk.empty())
-        return;
-    _session.submitDetachedBulk(_chunk);
-    _chunk.clear();
+    // Arrivals go straight into the session's ring in push(); there
+    // is no buffered remainder to hand over.
 }
 
 ModelServingStats::ModelServingStats(const std::string &name,
@@ -220,24 +200,6 @@ Session::load(const std::string &name, NetworkBuilder builder,
     _stats.regGroup(&model->stats.group);
     _models.push_back(std::move(model));
     return handle;
-}
-
-Session::Model &
-Session::_model(ModelHandle handle)
-{
-    fatal_if(handle == 0 || handle > _models.size(),
-             "unknown serve model handle %llu",
-             static_cast<unsigned long long>(handle));
-    return *_models[static_cast<std::size_t>(handle - 1)];
-}
-
-const Session::Model &
-Session::_model(ModelHandle handle) const
-{
-    fatal_if(handle == 0 || handle > _models.size(),
-             "unknown serve model handle %llu",
-             static_cast<unsigned long long>(handle));
-    return *_models[static_cast<std::size_t>(handle - 1)];
 }
 
 const ModelServingStats &
@@ -452,20 +414,6 @@ Session::submitAt(double when_seconds, ModelHandle handle,
 }
 
 void
-Session::submitDetached(double when_seconds, ModelHandle handle)
-{
-    _model(handle); // validate early, at submission time
-    fatal_if(when_seconds < now(),
-             "submitting a request in the simulated past");
-    fatal_if(!_arrivalStream.empty() &&
-             when_seconds < _lastDetachedWhen,
-             "detached arrivals must be submitted in time order");
-    _lastDetachedWhen = when_seconds;
-    _arrivalStream.push_back({when_seconds, handle});
-    _armPump();
-}
-
-void
 Session::submitDetachedBulk(const std::vector<DetachedArrival> &chunk)
 {
     const double floor_seconds = now();
@@ -483,24 +431,14 @@ Session::submitDetachedBulk(const std::vector<DetachedArrival> &chunk)
 }
 
 void
-Session::_armPump()
-{
-    if (_pumpArmed || _arrivalStream.empty())
-        return;
-    _pumpArmed = true;
-    // [this] fits the InlineTask inline buffer: arming the pump
-    // never allocates, no matter how deep the stream is.
-    _scheduleAt(_arrivalStream.front().when, 0, [this]() {
-        _pumpArmed = false;
-        _pumpArrivals();
-    });
-}
-
-void
 Session::_pumpArrivals()
 {
+    // Arrivals only SCHEDULE work (admission, timers, dispatch
+    // completions); no event runs inside this loop, so the clock
+    // cannot advance and one now() read covers every iteration.
+    const double t_now = now();
     while (!_arrivalStream.empty() &&
-           _arrivalStream.front().when <= now()) {
+           _arrivalStream.front().when <= t_now) {
         const DetachedArrival a = _arrivalStream.front();
         _arrivalStream.pop_front();
         // No Future, no payload: the pooled record is all there is.
@@ -514,13 +452,39 @@ Session::_pumpArrivals()
 void
 Session::run()
 {
-    _events.run();
+    _runLoop(std::numeric_limits<Tick>::max());
 }
 
 void
 Session::runUntil(double seconds)
 {
-    _events.runUntil(_toTick(seconds));
+    _runLoop(_toTick(seconds));
+}
+
+void
+Session::_runLoop(Tick limit)
+{
+    // The merged event loop: each step services whichever comes
+    // first under (when, priority, sequence) -- the queue head or
+    // the armed virtual arrival pump.  advanceTo() replicates what
+    // running the old scheduled pump event did to the clock and the
+    // serviced count, so event totals and all downstream timing are
+    // bit-identical to the pre-fusion path.
+    for (;;) {
+        EventQueue::Key next;
+        const bool pending = _events.peekKey(next);
+        if (_pumpArmed && (!pending || _pumpBefore(next))) {
+            if (_pumpTick > limit)
+                return;
+            _events.advanceTo(_pumpTick);
+            _pumpArmed = false;
+            _pumpArrivals();
+            continue;
+        }
+        if (!pending || next.when > limit)
+            return;
+        _events.serviceOne();
+    }
 }
 
 double
@@ -552,8 +516,17 @@ Session::_arrive(ModelHandle handle, RequestIndex request)
         _resolveShed(m, _flushScratch.requests);
         return;
     }
-    _frontend.arrive(handle, request,
-                     _requests[request].arrivalSeconds, now());
+    const double t = now();
+    const bool ready = _frontend.admitArrival(
+        handle, request, _requests[request].arrivalSeconds, t);
+    // Drain only when something could actually dispatch: with every
+    // die busy a drain is a provable no-op, and in a congested cell
+    // that covers almost every arrival.  Elided drains leave the
+    // event sequence bit-identical (draining is idempotent at a
+    // fixed simulated instant).
+    if (ready && _pool.anyFree())
+        _drain();
+    _frontend.afterArrival(handle, t);
 }
 
 void
@@ -721,11 +694,14 @@ Session::_complete(ModelHandle handle, int chip,
     bool share_ready = false;
     PlatformServingStats &served =
         _platformServing(_pool.platform(chip));
+    // One fused add per counter instead of one per request: counts
+    // are integer-valued doubles far below 2^53, where n unit adds
+    // and one add of n are the same exact value.
+    _completed += static_cast<double>(formed);
+    m.stats.completed += static_cast<double>(formed);
+    served.completed += static_cast<double>(formed);
     for (const RequestIndex ri : rec.batch.requests) {
         PendingRequest &req = _requests[ri];
-        _completed += 1;
-        m.stats.completed += 1;
-        served.completed += 1;
         const double response = done - req.arrivalSeconds;
         const double queued = dispatch_time - req.arrivalSeconds;
         m.stats.response.sample(response);
@@ -769,19 +745,34 @@ Session::_complete(ModelHandle handle, int chip,
 runtime::ModelHandle
 Session::_backendHandle(Model &m, std::int64_t bucket, int chip)
 {
-    const auto key = std::make_pair(bucket, chip);
-    auto it = m.backendHandles.find(key);
-    if (it != m.backendHandles.end())
-        return it->second;
+    // Flat (bucket row, chip column) lookup: models compile a
+    // handful of buckets, so the row scan is a couple of compares
+    // over a contiguous array -- this sits on the per-batch dispatch
+    // path.
+    const auto chips = static_cast<std::size_t>(_pool.size());
+    std::size_t row = m.backendBuckets.size();
+    for (std::size_t i = 0; i < m.backendBuckets.size(); ++i) {
+        if (m.backendBuckets[i] == bucket) {
+            row = i;
+            break;
+        }
+    }
+    if (row == m.backendBuckets.size()) {
+        m.backendBuckets.push_back(bucket);
+        m.backendFlat.resize(m.backendFlat.size() + chips,
+                             runtime::ModelHandle{0});
+    }
+    runtime::ModelHandle &slot =
+        m.backendFlat[row * chips + static_cast<std::size_t>(chip)];
+    if (slot != 0)
+        return slot;
     nn::Network net = m.builder(bucket);
     net.setBatchSize(bucket);
     // Distinct cache name per bucket: the driver caches programs by
     // network name, and each bucket is a different compiled shape.
     net.setName(m.name + "@b" + std::to_string(bucket));
-    const runtime::ModelHandle handle =
-        _pool.driver(chip).loadModel(net);
-    m.backendHandles.emplace(key, handle);
-    return handle;
+    slot = _pool.driver(chip).loadModel(net);
+    return slot;
 }
 
 runtime::InvokeStats

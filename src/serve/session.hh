@@ -59,11 +59,12 @@
 #ifndef TPUSIM_SERVE_SESSION_HH
 #define TPUSIM_SERVE_SESSION_HH
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -212,11 +213,13 @@ class Session;
  * Chunked detached-arrival pump: THE farm-driver pattern, in one
  * place so every driver keeps the exact same block cadence and
  * now()-clamp semantics (the determinism contract between bench and
- * example traffic).  push() buffers a pre-generated arrival into a
- * reused chunk; every kBlock-th pushed arrival flushes the chunk
- * into the session and runs the simulation up to that arrival's raw
- * time, keeping the pending-arrival ring shallow; flush() hands over
- * the remainder (call before reading session state or run()).
+ * example traffic).  push() synthesizes a pre-generated arrival
+ * STRAIGHT into the session's pending-arrival ring (no intermediate
+ * chunk buffer -- the hot-path v2 change; now() only advances at
+ * block boundaries, so the clamp each arrival sees is identical to
+ * the old buffered flow); every kBlock-th pushed arrival runs the
+ * simulation up to that arrival's raw time, keeping the ring
+ * shallow.  flush() is retained as a no-op for driver symmetry.
  */
 class DetachedPump
 {
@@ -226,15 +229,14 @@ class DetachedPump
 
     explicit DetachedPump(Session &session);
 
-    /** Buffer one arrival at raw time @p when (clamped to now). */
+    /** Submit one arrival at raw time @p when (clamped to now). */
     void push(double when, ModelHandle handle);
 
-    /** Submit any buffered remainder (no simulation step). */
+    /** No-op (arrivals are never buffered); kept for drivers. */
     void flush();
 
   private:
     Session &_session;
-    std::vector<DetachedArrival> _chunk;
     std::uint64_t _pushed = 0;
 };
 
@@ -419,6 +421,22 @@ class Session : private Frontend::Host
         return _events.serviced();
     }
 
+    /** Peak event-queue depth (measured, never fingerprinted). */
+    std::size_t queueDepthHighWater() const
+    {
+        return _events.depthHighWater();
+    }
+    /** Entries the queue placed in near-horizon wheel buckets. */
+    std::uint64_t queueWheelScheduled() const
+    {
+        return _events.wheelScheduled();
+    }
+    /** Entries that overflowed the wheel window into the heap. */
+    std::uint64_t queueHeapOverflows() const
+    {
+        return _events.heapOverflows();
+    }
+
     /** Pending-request slots ever created (warm-up high-water). */
     std::size_t requestSlots() const { return _requests.slots(); }
 
@@ -455,9 +473,17 @@ class Session : private Frontend::Host
          * routing can never drift from admission policy.
          */
         ModelServingStats stats;
-        /** (bucket, chip) -> backend model handle. */
-        std::map<std::pair<std::int64_t, int>,
-                 runtime::ModelHandle> backendHandles;
+        /**
+         * (bucket, chip) -> backend model handle, flattened for the
+         * per-batch dispatch path: `backendBuckets` lists the
+         * distinct compiled buckets (a handful; linear scan beats
+         * any tree) and `backendFlat[row * chips + chip]` holds the
+         * handle, 0 meaning not-yet-loaded (driver handles start at
+         * 1).  Formerly a std::map of pairs -- a pointer chase per
+         * formed batch.
+         */
+        std::vector<std::int64_t> backendBuckets;
+        std::vector<runtime::ModelHandle> backendFlat;
         /**
          * Batch service estimate per fleet platform (fleet order),
          * the dispatch routing input: TPU from the analytic hardware
@@ -494,14 +520,29 @@ class Session : private Frontend::Host
     void frontendDrain() override { _drain(); }
 
     /**
-     * Detached arrivals wait here instead of in the event queue: one
-     * self-rescheduling pump event delivers them in order, so a
-     * million pending arrivals cost one queue slot -- the difference
-     * between O(log pending) and O(log in-flight) per event at farm
-     * scale.  The ring reuses its storage; no per-request allocation.
+     * Detached arrivals wait here instead of in the event queue, and
+     * since hot-path v2 the pump event itself is VIRTUAL: arming
+     * records (tick, sequence) -- claiming a real sequence number
+     * from the queue so ties break exactly as the old scheduled pump
+     * event broke them -- and _runLoop() interleaves that key against
+     * peekKey() without ever materializing a task.  A million pending
+     * arrivals cost no queue slot at all, and each pump firing skips
+     * the schedule/alloc/dispatch/release cycle the old
+     * self-rescheduling event paid.  The ring reuses its storage; no
+     * per-request allocation.
      */
     void _armPump();
     void _pumpArrivals();
+    /** Does the armed virtual pump precede queue head @p next? */
+    bool
+    _pumpBefore(const EventQueue::Key &next) const
+    {
+        return EventQueue::keyBefore(
+            EventQueue::Key{_pumpTick, 0, _pumpSeq}, next);
+    }
+    /** The shared run()/runUntil() loop: real events interleaved
+     *  with the virtual arrival pump, up to @p limit inclusive. */
+    void _runLoop(Tick limit);
 
     void _arrive(ModelHandle handle, RequestIndex request);
     void _drain();
@@ -575,7 +616,11 @@ class Session : private Frontend::Host
     sim::Ring<DetachedArrival> _arrivalStream;
     /** Newest buffered detached arrival (ordering validation). */
     double _lastDetachedWhen = 0;
+    /** Virtual pump state: armed flag plus the (tick, sequence) key
+     *  _runLoop() races against the queue head. */
     bool _pumpArmed = false;
+    Tick _pumpTick = 0;
+    std::uint64_t _pumpSeq = 0;
 
     /** Adopted storage to return on destruction (null = own). */
     CellContext *_context = nullptr;
@@ -593,6 +638,69 @@ class Session : private Frontend::Host
     stats::Scalar _counterShares;
     stats::Formula _ips;
 };
+
+// Per-arrival hot path, defined inline so drivers (the cluster's
+// pump segments, the bench synthesizers) admit a request with no
+// cross-module call: validate, ring-push, arm the virtual pump.
+
+inline Session::Model &
+Session::_model(ModelHandle handle)
+{
+    fatal_if(handle == 0 || handle > _models.size(),
+             "unknown serve model handle %llu",
+             static_cast<unsigned long long>(handle));
+    return *_models[static_cast<std::size_t>(handle - 1)];
+}
+
+inline const Session::Model &
+Session::_model(ModelHandle handle) const
+{
+    fatal_if(handle == 0 || handle > _models.size(),
+             "unknown serve model handle %llu",
+             static_cast<unsigned long long>(handle));
+    return *_models[static_cast<std::size_t>(handle - 1)];
+}
+
+inline void
+Session::_armPump()
+{
+    if (_pumpArmed || _arrivalStream.empty())
+        return;
+    _pumpArmed = true;
+    // The pump is a VIRTUAL event: record its firing tick and claim
+    // a real sequence number -- the same one schedule() would have
+    // consumed here -- so _runLoop() interleaves it against real
+    // events in exactly the old total order, without a task slot, a
+    // queue entry, or a dispatch.
+    _pumpTick = Session::_toTick(_arrivalStream.front().when);
+    _pumpSeq = _events.allocSequence();
+}
+
+inline void
+Session::submitDetached(double when_seconds, ModelHandle handle)
+{
+    _model(handle); // validate early, at submission time
+    fatal_if(when_seconds < now(),
+             "submitting a request in the simulated past");
+    fatal_if(!_arrivalStream.empty() &&
+                 when_seconds < _lastDetachedWhen,
+             "detached arrivals must be submitted in time order");
+    _lastDetachedWhen = when_seconds;
+    _arrivalStream.push_back({when_seconds, handle});
+    _armPump();
+}
+
+inline void
+DetachedPump::push(double when, ModelHandle handle)
+{
+    // runUntil() leaves now at the block boundary tick, which can
+    // land a hair past the next arrival; clamp forward.  now() only
+    // advances at block boundaries, so submitting straight into the
+    // ring applies the exact clamp the old buffered flow did.
+    _session.submitDetached(std::max(when, _session.now()), handle);
+    if (++_pushed % kBlock == 0)
+        _session.runUntil(when);
+}
 
 } // namespace serve
 } // namespace tpu

@@ -1,8 +1,227 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace tpu {
+
+/**
+ * Route a non-minimum entry to the wheel or the overflow heap.  The
+ * wheel window is anchored at the CURRENT clock: any entry whose
+ * absolute bucket lies within kBuckets of now's bucket goes to a
+ * bucket (slot = abs & (kBuckets - 1) is then unambiguous); anything
+ * further out overflows into the heap and migrates later.
+ */
+void
+EventQueue::_insertRest(const Entry &e)
+{
+    const std::uint64_t b = _bucketOf(e.when);
+    if (b - _bucketOf(_now) >= kBuckets) {
+        _heapPush(e);
+        ++_heapOverflows;
+        return;
+    }
+    ++_wheelScheduled;
+    _wheelInsert(e, b);
+}
+
+void
+EventQueue::_wheelInsert(const Entry &e, std::uint64_t abs_bucket)
+{
+    if (_bucketHead.empty())
+        _bucketHead.assign(kBuckets, kNil); // first time past depth 1
+    const std::size_t slot =
+        static_cast<std::size_t>(abs_bucket & (kBuckets - 1));
+    _occ[slot >> 6] |= 1ull << (slot & 63);
+    ++_wheelCount;
+    if (_frontValid) {
+        if (abs_bucket == _frontBucket) {
+            // Insert into the live (already sorted) scratch at its
+            // ordered position past the consumed prefix.
+            const auto it = std::upper_bound(
+                _front.begin() +
+                    static_cast<std::ptrdiff_t>(_frontPos),
+                _front.end(), e, _before);
+            _front.insert(it, e);
+            return;
+        }
+        if (abs_bucket < _frontBucket) {
+            // A bucket behind the consumption front: the scan swept
+            // it empty, so this single entry re-anchors the front
+            // there, trivially sorted.  The old front's pending
+            // suffix goes back to its chain for a later re-sort.
+            const std::size_t old_slot = static_cast<std::size_t>(
+                _frontBucket & (kBuckets - 1));
+            for (std::size_t i = _frontPos; i < _front.size(); ++i)
+                _chainPush(old_slot, _front[i]);
+            _front.clear();
+            panic_if(_bucketHead[slot] != kNil,
+                     "timing-wheel bucket behind the front is "
+                     "non-empty");
+            _front.push_back(e);
+            _frontBucket = abs_bucket;
+            _frontPos = 0;
+            return;
+        }
+    }
+    _chainPush(slot, e);
+}
+
+void
+EventQueue::_chainPush(std::size_t slot, const Entry &e)
+{
+    std::uint32_t n;
+    if (_freeHead != kNil) {
+        n = _freeHead;
+        _freeHead = _nodes[n].next;
+    } else {
+        n = static_cast<std::uint32_t>(_nodes.size());
+        _nodes.emplace_back();
+    }
+    _nodes[n].e = e;
+    _nodes[n].next = _bucketHead[slot];
+    _bucketHead[slot] = n;
+}
+
+/** Next occupied absolute bucket at or after @p abs_bucket. */
+std::uint64_t
+EventQueue::_scanFrom(std::uint64_t abs_bucket) const
+{
+    const std::size_t start =
+        static_cast<std::size_t>(abs_bucket & (kBuckets - 1));
+    std::size_t w = start >> 6;
+    std::uint64_t word = _occ[w] & (~0ull << (start & 63));
+    std::size_t steps = 0;
+    while (!word) {
+        panic_if(++steps > kWords,
+                 "timing-wheel occupancy scan found no bucket");
+        w = (w + 1) & (kWords - 1);
+        word = _occ[w];
+    }
+    const std::size_t found =
+        (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+    return abs_bucket + ((found - start) & (kBuckets - 1));
+}
+
+/**
+ * The wheel has drained: pull overflow-heap entries that now fall
+ * inside the window anchored at the current clock into buckets.
+ * Each entry migrates at most once (wheel entries never go back),
+ * so the amortized cost is one heap pop it would have paid anyway.
+ */
+void
+EventQueue::_migrateOverflow()
+{
+    const std::uint64_t limit = _bucketOf(_now) + kBuckets;
+    while (!_heap.empty()) {
+        const Entry e = _heap.front();
+        const std::uint64_t b = _bucketOf(e.when);
+        if (b >= limit)
+            break;
+        _heap.front() = _heap.back();
+        _heap.pop_back();
+        if (!_heap.empty())
+            _siftDown(0);
+        _wheelInsert(e, b);
+    }
+}
+
+/**
+ * Restore the top-slot invariant after a pop: move the minimum of
+ * (wheel front, heap front) into _top.  The wheel front is the next
+ * entry of the current bucket -- located by a bitmap scan and sorted
+ * by the full key on first touch -- which precedes every later
+ * bucket because bucket index is a prefix of `when`.
+ */
+bool
+EventQueue::_refillTop()
+{
+    if (_wheelCount == 0 && !_heap.empty())
+        _migrateOverflow();
+    const Entry *cand = nullptr;
+    if (_wheelCount > 0) {
+        if (!_frontValid) {
+            _frontBucket = _scanFrom(_bucketOf(_now));
+            const std::size_t slot = static_cast<std::size_t>(
+                _frontBucket & (kBuckets - 1));
+            // Drain the chain into the shared scratch (nodes back to
+            // the freelist) and sort once by the full key.
+            _front.clear();
+            for (std::uint32_t n = _bucketHead[slot]; n != kNil;) {
+                _front.push_back(_nodes[n].e);
+                const std::uint32_t next = _nodes[n].next;
+                _nodes[n].next = _freeHead;
+                _freeHead = n;
+                n = next;
+            }
+            _bucketHead[slot] = kNil;
+            std::sort(_front.begin(), _front.end(), _before);
+            _frontPos = 0;
+            _frontValid = true;
+        }
+        cand = &_front[_frontPos];
+    }
+    if (!_heap.empty() &&
+        (!cand || _before(_heap.front(), *cand))) {
+        _top = _heap.front();
+        _heap.front() = _heap.back();
+        _heap.pop_back();
+        if (!_heap.empty())
+            _siftDown(0);
+        _hasTop = true;
+        return true;
+    }
+    if (!cand)
+        return false;
+    _top = *cand;
+    _hasTop = true;
+    if (++_frontPos == _front.size()) {
+        _front.clear(); // capacity retained: the arena contract
+        const std::size_t slot =
+            static_cast<std::size_t>(_frontBucket & (kBuckets - 1));
+        _occ[slot >> 6] &= ~(1ull << (slot & 63));
+        _frontValid = false;
+    }
+    --_wheelCount;
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    _heap.clear();
+    _tasks.reset();
+    _top = Entry{};
+    _hasTop = false;
+    if (_wheelCount > 0) {
+        for (std::size_t w = 0; w < kWords; ++w) {
+            std::uint64_t word = _occ[w];
+            while (word) {
+                const auto bit = static_cast<std::size_t>(
+                    std::countr_zero(word));
+                word &= word - 1;
+                _bucketHead[(w << 6) + bit] = kNil;
+            }
+        }
+    }
+    _nodes.clear(); // capacity retained; freelist rebuilt cold
+    _freeHead = kNil;
+    _front.clear();
+    _occ.fill(0);
+    _wheelCount = 0;
+    _frontBucket = 0;
+    _frontPos = 0;
+    _frontValid = false;
+    _now = 0;
+    _size = 0;
+    _nextSequence = 0;
+    _serviced = 0;
+    _depthHighWater = 0;
+    _wheelScheduled = 0;
+    _heapOverflows = 0;
+}
 
 void
 EventQueue::_heapPush(const Entry &e)
@@ -57,7 +276,7 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;
-    while (!empty() && _peekWhen() <= until && serviceOne())
+    while (_hasTop && _top.when <= until && serviceOne())
         ++n;
     return n;
 }

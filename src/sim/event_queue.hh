@@ -6,16 +6,57 @@
  * event-driven behaviour.  Ties are broken by (priority, insertion
  * order) so simulation results are deterministic.
  *
+ * Structure (the hot-path v2 rebuild): a hierarchical timing-wheel
+ * front-end over the original binary heap.
+ *
+ *   - TOP SLOT: the global minimum entry is cached outside every
+ *     other structure.  The dominant serving pattern -- pop the only
+ *     pending event, run it, schedule its successor -- runs entirely
+ *     in this slot: no bucket, no heap, no sift.
+ *   - WHEEL: entries within the near horizon (kBuckets buckets of
+ *     2^kBucketShift ticks each) land in per-bucket intrusive chains
+ *     drawn from ONE pooled node freelist, O(1) push.  An occupancy
+ *     bitmap finds the next non-empty bucket with a couple of CTZ
+ *     scans; when consumption reaches a bucket its chain drains into
+ *     a single shared scratch vector and is sorted ONCE by the full
+ *     24-byte key, so within a bucket -- and therefore globally --
+ *     ties break exactly as the heap broke them: (when, priority,
+ *     sequence).  One pool + one scratch (rather than 4096 per-bucket
+ *     vectors) means capacity high-water marks are GLOBAL: warm-up
+ *     reaches them once and steady state never allocates.
+ *   - HEAP: entries past the wheel window overflow into the original
+ *     binary heap.  When the wheel drains, any overflow entries that
+ *     now fall inside the window anchored at the current clock
+ *     migrate into buckets (each entry migrates at most once).
+ *
+ * Determinism: the service order is the unique total order under
+ * (when, priority, sequence) -- sequences are unique, buckets hold
+ * only same-`when >> kBucketShift` entries, bucket sorting uses the
+ * full key, and the top slot and heap candidates are compared with
+ * the same predicate.  The retained pre-wheel implementation
+ * (sim/reference_queue.hh) is the oracle the property test replays
+ * randomized streams against.
+ *
  * Allocation discipline: this queue is the innermost loop of the
  * 20M-request cluster simulation, so schedule()/serviceOne() are
  * allocation-free in steady state.  Callbacks are sim::InlineTask
  * (48-byte inline storage, fatal on oversized captures -- never a
  * hidden heap fallback), tasks live in a grow-only slab reused
- * through a freelist, and the binary heap orders 24-byte POD entries
- * {when, priority, sequence, slot} -- sifting moves trivially
- * copyable keys, not type-erased callables.  Memory is acquired only
- * while the queue warms up to its peak depth; after that the same
- * slots and heap storage are recycled for the rest of the run.
+ * through a freelist, and the wheel/heap order 24-byte POD entries
+ * {when, priority, sequence, slot} -- bucket sorts and sifts move
+ * trivially copyable keys, not type-erased callables.  Wheel nodes,
+ * the front-bucket scratch, heap storage and task slots are acquired
+ * while the queue warms up to its peak depth and recycled for the
+ * rest of the run; reset() retains all of it (the arena-reuse
+ * contract).
+ *
+ * Fused callers: serve::Session retires detached arrivals through a
+ * VIRTUAL pump event -- a (when, priority, sequence) key that was
+ * never materialized as a task.  peekKey()/allocSequence()/
+ * advanceTo() exist for exactly that: the caller allocates a real
+ * sequence number (so ties break as if the event were scheduled),
+ * compares its key against the queue head, and advances the clock
+ * with a serviced credit when the virtual event wins.
  *
  * Thread confinement: an EventQueue is pure instance state -- there
  * is no hidden global clock or registry -- so a multi-cell
@@ -29,6 +70,7 @@
 #ifndef TPUSIM_SIM_EVENT_QUEUE_HH
 #define TPUSIM_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -49,6 +91,31 @@ class EventQueue
 
     /** Default priority for scheduled events. */
     static constexpr int defaultPriority = 0;
+
+    /**
+     * The ordering key of a pending event, exposed so fused callers
+     * (the Session's virtual arrival pump) can interleave events
+     * they never materialize: compare a self-built Key against
+     * peekKey() with keyBefore() and the total order is exactly what
+     * scheduling a real event would have produced.
+     */
+    struct Key
+    {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+    };
+
+    /** The queue's strict weak order: (when, priority, sequence). */
+    static bool
+    keyBefore(const Key &a, const Key &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.sequence < b.sequence;
+    }
 
     /**
      * Schedule @p cb to run at absolute time @p when.
@@ -76,12 +143,51 @@ class EventQueue
     /** Run events with timestamp <= @p until (inclusive). */
     std::uint64_t runUntil(Tick until);
 
-    Tick now() const { return _now; }
-    bool empty() const { return !_hasTop && _heap.empty(); }
-    std::size_t size() const
+    /**
+     * Key of the earliest pending event; false when empty.  O(1) and
+     * const: the top slot always holds the global minimum.
+     */
+    bool
+    peekKey(Key &out) const
     {
-        return _heap.size() + (_hasTop ? 1 : 0);
+        if (!_hasTop)
+            return false;
+        out.when = _top.when;
+        out.priority = _top.priority;
+        out.sequence = _top.sequence;
+        return true;
     }
+
+    /**
+     * Claim the next insertion sequence number WITHOUT scheduling an
+     * event -- the fused-caller half of the ordering contract: a
+     * virtual event armed here breaks ties against real events
+     * exactly as if it had been scheduled at this moment.
+     */
+    std::uint64_t allocSequence() { return _nextSequence++; }
+
+    /**
+     * Service a VIRTUAL event at @p when: advance the clock and
+     * credit one serviced event, exactly what running a scheduled
+     * no-payload event would have done.  The caller must have
+     * established -- via peekKey()/keyBefore() -- that its virtual
+     * key precedes every real pending entry.
+     */
+    void
+    advanceTo(Tick when)
+    {
+        fatal_if(when < _now,
+                 "advancing the clock into the past (when=%llu, "
+                 "now=%llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(_now));
+        _now = when;
+        ++_serviced;
+    }
+
+    Tick now() const { return _now; }
+    bool empty() const { return !_hasTop; }
+    std::size_t size() const { return _size; }
 
     /** Events serviced over the queue's lifetime. */
     std::uint64_t serviced() const { return _serviced; }
@@ -94,32 +200,33 @@ class EventQueue
     std::size_t slabSlots() const { return _tasks.slots(); }
 
     /**
-     * Recycle the queue for a fresh run: clock back to 0, heap and
-     * top-slot cache cleared, sequence and serviced counters
-     * rezeroed, task slab reset to cold allocation order
-     * (sim::Slab::reset).  Heap and slab STORAGE is retained -- the
-     * arena-reuse contract: a reset queue behaves bit-identically to
-     * a cold one while touching no allocator.  Intended for drained
-     * queues (a serving run ends at its barrier); pending entries, if
-     * any, are dropped.
+     * Peak pending-entry count since construction or reset() -- the
+     * depth the wheel/heap actually absorbed.  Measured
+     * observability, never part of any result fingerprint.
      */
-    void
-    reset()
-    {
-        _heap.clear();
-        _tasks.reset();
-        _top = Entry{};
-        _hasTop = false;
-        _now = 0;
-        _nextSequence = 0;
-        _serviced = 0;
-    }
+    std::size_t depthHighWater() const { return _depthHighWater; }
+    /** Entries that entered a near-horizon wheel bucket directly. */
+    std::uint64_t wheelScheduled() const { return _wheelScheduled; }
+    /** Entries that overflowed past the wheel window into the heap. */
+    std::uint64_t heapOverflows() const { return _heapOverflows; }
+
+    /**
+     * Recycle the queue for a fresh run: clock back to 0, wheel
+     * buckets, bitmap, heap and top-slot cache cleared, sequence,
+     * serviced and observability counters rezeroed, task slab reset
+     * to cold allocation order (sim::Slab::reset).  Bucket, heap and
+     * slab STORAGE is retained -- the arena-reuse contract: a reset
+     * queue behaves bit-identically to a cold one while touching no
+     * allocator.  Intended for drained queues (a serving run ends at
+     * its barrier); pending entries, if any, are dropped.
+     */
+    void reset();
 
   private:
     /**
-     * One heap entry: the ordering key plus the slab slot holding
-     * the task.  Trivially copyable on purpose -- heap sifts move
-     * 24-byte PODs, never callables.
+     * One pending entry: the ordering key plus the slab slot holding
+     * the task.  Trivially copyable on purpose -- bucket sorts and
+     * heap sifts move 24-byte PODs, never callables.
      */
     struct Entry
     {
@@ -140,33 +247,91 @@ class EventQueue
         return a.sequence < b.sequence;
     }
 
+    /** Wheel geometry: 4096 buckets of 8192 ticks (8.2 us at 1 ns
+     *  per tick) -- a ~33.6 ms near horizon that covers serving
+     *  completions and deadline timers; longer-range events (CPU
+     *  CNN tails, scenario failures) overflow into the heap. */
+    static constexpr unsigned kBucketShift = 13;
+    static constexpr std::size_t kBuckets = 4096;
+    static constexpr std::size_t kWords = kBuckets / 64;
+
+    /** Absolute bucket index of tick @p t. */
+    static std::uint64_t _bucketOf(Tick t) { return t >> kBucketShift; }
+
+    void _insertRest(const Entry &e);
+    void _wheelInsert(const Entry &e, std::uint64_t abs_bucket);
+    void _chainPush(std::size_t slot, const Entry &e);
+    bool _refillTop();
+    void _migrateOverflow();
+    std::uint64_t _scanFrom(std::uint64_t abs_bucket) const;
+
     void _siftUp(std::size_t i);
     void _siftDown(std::size_t i);
     void _heapPush(const Entry &e);
 
-    /** Earliest pending entry (valid when _hasTop; see below). */
-    Tick _peekWhen() const
-    {
-        return _hasTop ? _top.when : _heap.front().when;
-    }
-
+    /** Far-horizon overflow: the original binary heap. */
     std::vector<Entry> _heap;
     /** Task storage: the shared slab/freelist primitive. */
     sim::Slab<InlineTask> _tasks;
     /**
-     * Top-slot cache: the MINIMUM entry lives here, outside the
-     * heap, whenever _hasTop.  The dominant event pattern is
-     * pop-min, run, schedule-a-new-min (the detached arrival pump);
-     * with the minimum cached, that whole cycle never touches the
-     * heap -- no sift up, no sift down -- while the ordering
-     * semantics stay exactly those of one strict-weak-ordered queue.
-     * Invariant: when _hasTop, _top precedes every heap entry.
+     * Top slot: the global MINIMUM entry, held outside wheel and
+     * heap whenever the queue is non-empty (_hasTop <=> _size > 0).
+     * peekKey() is O(1) because of this invariant, and the dominant
+     * pop-run-schedule cycle never touches a bucket.
      */
     Entry _top{};
     bool _hasTop = false;
+
+    /** Freelist sentinel for bucket chains. */
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** A pooled chain node: one wheel entry plus its chain link. */
+    struct Node
+    {
+        Entry e;
+        std::uint32_t next;
+    };
+
+    /**
+     * Wheel storage.  Buckets are intrusive chains (head index per
+     * slot, slot = abs_bucket & (kBuckets - 1)) through ONE pooled
+     * node vector with a freelist -- deliberately not per-bucket
+     * vectors, whose 4096 independent capacity high-waters would
+     * creep and allocate forever.  Heads are sized lazily on first
+     * overflow past the top slot, so a queue that never holds two
+     * events never allocates them.  The window invariant -- every
+     * wheel entry's absolute bucket lies in [now_bucket, now_bucket +
+     * kBuckets) -- makes the slot-to-absolute-bucket mapping
+     * unambiguous.
+     */
+    std::vector<Node> _nodes;
+    std::uint32_t _freeHead = kNil;
+    std::vector<std::uint32_t> _bucketHead;
+    /** Two-level occupancy: bit b of word w => bucket 64w+b live. */
+    std::array<std::uint64_t, kWords> _occ{};
+    std::size_t _wheelCount = 0;
+
+    /**
+     * The bucket currently being consumed: located by a bitmap scan,
+     * its chain drained into this shared scratch, sorted ONCE by the
+     * full key, then consumed by advancing _frontPos.  Inserts behind
+     * it re-anchor (the pending suffix returns to its chain; the new
+     * bucket was necessarily empty); inserts into it splice in sorted
+     * position.
+     */
+    std::vector<Entry> _front;
+    std::uint64_t _frontBucket = 0;
+    std::size_t _frontPos = 0;
+    bool _frontValid = false;
+
     Tick _now = 0;
+    std::size_t _size = 0;
     std::uint64_t _nextSequence = 0;
     std::uint64_t _serviced = 0;
+
+    std::size_t _depthHighWater = 0;
+    std::uint64_t _wheelScheduled = 0;
+    std::uint64_t _heapOverflows = 0;
 };
 
 // Inline definitions of the hot loop -------------------------------
@@ -181,45 +346,41 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
     const std::uint32_t slot = _tasks.alloc();
     _tasks[slot] = std::move(cb);
     const Entry e{when, slot, priority, _nextSequence++};
+    ++_size;
+    if (_size > _depthHighWater)
+        _depthHighWater = _size;
     // Keep the minimum in the top slot (see the member comment).
-    if (_hasTop) {
-        if (_before(e, _top)) {
-            _heapPush(_top);
-            _top = e;
-        } else {
-            _heapPush(e);
-        }
-    } else if (_heap.empty() || _before(e, _heap.front())) {
+    if (!_hasTop) {
         _top = e;
         _hasTop = true;
+    } else if (_before(e, _top)) {
+        const Entry old = _top;
+        _top = e;
+        _insertRest(old);
     } else {
-        _heapPush(e);
+        _insertRest(e);
     }
 }
 
 inline bool
 EventQueue::serviceOne()
 {
-    Entry top;
-    if (_hasTop) {
-        top = _top;
-        _hasTop = false;
-    } else if (!_heap.empty()) {
-        top = _heap.front();
-        _heap.front() = _heap.back();
-        _heap.pop_back();
-        if (!_heap.empty())
-            _siftDown(0);
-    } else {
+    if (!_hasTop)
         return false;
-    }
+    const Entry e = _top;
+    _hasTop = false;
+    --_size;
     // The task is moved OUT and its slot recycled before it runs, so
     // a callback that schedules new events reuses the freed slot and
     // the slab never grows past the true peak depth.
-    InlineTask task = std::move(_tasks[top.slot]);
-    _tasks.release(top.slot);
-    _now = top.when;
+    InlineTask task = std::move(_tasks[e.slot]);
+    _tasks.release(e.slot);
+    _now = e.when;
     ++_serviced;
+    // Restore the top-slot invariant BEFORE the callback runs, so
+    // events it schedules compare against the true remaining minimum.
+    if (_size > 0)
+        _refillTop();
     task();
     return true;
 }

@@ -18,6 +18,12 @@
  *  - Ring<T>: a power-of-two circular FIFO.  push/pop are index
  *    arithmetic; growth re-linearizes into a doubled buffer and then
  *    never happens again at that depth.
+ *
+ *  - DualRing<A, B>: the same FIFO over TWO parallel arrays kept in
+ *    lockstep -- structure-of-arrays for queues whose consumers scan
+ *    one field densely (the batcher's SLO shed pass walks arrival
+ *    times only): the scanned field packs 8 doubles per cache line
+ *    instead of dragging the other field through the cache with it.
  */
 
 #ifndef TPUSIM_SIM_POOL_HH
@@ -177,6 +183,114 @@ class Ring
     static constexpr std::size_t kInitialCapacity = 16;
 
     std::vector<T> _buf;
+    std::size_t _head = 0;
+    std::size_t _count = 0;
+};
+
+/** Power-of-two circular FIFO over two parallel arrays (SoA). */
+template <typename A, typename B>
+class DualRing
+{
+  public:
+    bool empty() const { return _count == 0; }
+    std::size_t size() const { return _count; }
+
+    void
+    push_back(const A &a, const B &b)
+    {
+        if (_count == _a.size())
+            _grow();
+        const std::size_t pos =
+            (_head + _count) & (_a.size() - 1);
+        _a[pos] = a;
+        _b[pos] = b;
+        ++_count;
+    }
+
+    const A &
+    frontFirst() const
+    {
+        panic_if(_count == 0, "front of an empty DualRing");
+        return _a[_head];
+    }
+
+    const B &
+    frontSecond() const
+    {
+        panic_if(_count == 0, "front of an empty DualRing");
+        return _b[_head];
+    }
+
+    /** Second field of the newest element (push-order validation). */
+    const B &
+    backSecond() const
+    {
+        panic_if(_count == 0, "back of an empty DualRing");
+        return _b[(_head + _count - 1) & (_a.size() - 1)];
+    }
+
+    /** First field @p i positions behind the front (0 = front). */
+    const A &
+    firstAt(std::size_t i) const
+    {
+        panic_if(i >= _count, "DualRing index %zu past size %zu", i,
+                 _count);
+        return _a[(_head + i) & (_a.size() - 1)];
+    }
+
+    /** Second field @p i positions behind the front (0 = front). */
+    const B &
+    secondAt(std::size_t i) const
+    {
+        panic_if(i >= _count, "DualRing index %zu past size %zu", i,
+                 _count);
+        return _b[(_head + i) & (_a.size() - 1)];
+    }
+
+    /** Drop the @p n oldest elements. */
+    void
+    pop_front(std::size_t n = 1)
+    {
+        panic_if(n > _count,
+                 "pop_front(%zu) of a DualRing holding %zu", n,
+                 _count);
+        _head = (_head + n) & (_a.size() - 1);
+        _count -= n;
+    }
+
+    void
+    clear()
+    {
+        _head = 0;
+        _count = 0;
+    }
+
+    /** Allocated capacity (the warm-up high-water mark). */
+    std::size_t capacity() const { return _a.size(); }
+
+  private:
+    void
+    _grow()
+    {
+        const std::size_t cap =
+            _a.empty() ? kInitialCapacity : _a.size() * 2;
+        std::vector<A> ga(cap);
+        std::vector<B> gb(cap);
+        for (std::size_t i = 0; i < _count; ++i) {
+            const std::size_t pos =
+                (_head + i) & (_a.size() - 1);
+            ga[i] = std::move(_a[pos]);
+            gb[i] = std::move(_b[pos]);
+        }
+        _a = std::move(ga);
+        _b = std::move(gb);
+        _head = 0;
+    }
+
+    static constexpr std::size_t kInitialCapacity = 16;
+
+    std::vector<A> _a;
+    std::vector<B> _b;
     std::size_t _head = 0;
     std::size_t _count = 0;
 };

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The retained reference event queue: the pre-wheel binary-heap
+ * implementation of sim::EventQueue, kept verbatim as the ordering
+ * ORACLE for the hierarchical timing-wheel front-end.
+ *
+ * The wheel rebuild of EventQueue (event_queue.hh) promises an
+ * identical strict weak order -- (when, priority, sequence), bit for
+ * bit -- while changing every internal data structure.  That promise
+ * is only checkable against an implementation whose ordering is
+ * obviously correct; this is that implementation: a plain binary
+ * heap plus the top-slot min cache, exactly the code that shipped
+ * the pinned golden fingerprints.  The queue property test replays
+ * randomized (when, priority) streams -- including same-tick tie
+ * storms -- through both queues and requires identical service
+ * order, and bench/event_queue_micro.cc uses it as the pinned
+ * baseline the wheel's speedup is measured against.
+ *
+ * Deliberately header-only and NOT used by any production code path:
+ * it must never drift with hot-path optimization work, or it stops
+ * being an oracle.
+ */
+
+#ifndef TPUSIM_SIM_REFERENCE_QUEUE_HH
+#define TPUSIM_SIM_REFERENCE_QUEUE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/inline_task.hh"
+#include "sim/logging.hh"
+#include "sim/pool.hh"
+#include "sim/units.hh"
+
+namespace tpu {
+namespace sim {
+
+/** The pre-wheel heap EventQueue, verbatim (see file comment). */
+class ReferenceEventQueue
+{
+  public:
+    using Tick = std::uint64_t;
+    using Callback = InlineTask;
+
+    static constexpr int defaultPriority = 0;
+
+    void
+    schedule(Tick when, Callback cb, int priority = defaultPriority)
+    {
+        fatal_if(when < _now,
+                 "scheduling event in the past (when=%llu, now=%llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(_now));
+        const std::uint32_t slot = _tasks.alloc();
+        _tasks[slot] = std::move(cb);
+        const Entry e{when, slot, priority, _nextSequence++};
+        if (_hasTop) {
+            if (_before(e, _top)) {
+                _heapPush(_top);
+                _top = e;
+            } else {
+                _heapPush(e);
+            }
+        } else if (_heap.empty() || _before(e, _heap.front())) {
+            _top = e;
+            _hasTop = true;
+        } else {
+            _heapPush(e);
+        }
+    }
+
+    void
+    scheduleIn(Tick delta, Callback cb, int priority = defaultPriority)
+    {
+        schedule(_now + delta, std::move(cb), priority);
+    }
+
+    bool
+    serviceOne()
+    {
+        Entry top;
+        if (_hasTop) {
+            top = _top;
+            _hasTop = false;
+        } else if (!_heap.empty()) {
+            top = _heap.front();
+            _heap.front() = _heap.back();
+            _heap.pop_back();
+            if (!_heap.empty())
+                _siftDown(0);
+        } else {
+            return false;
+        }
+        InlineTask task = std::move(_tasks[top.slot]);
+        _tasks.release(top.slot);
+        _now = top.when;
+        ++_serviced;
+        task();
+        return true;
+    }
+
+    std::uint64_t
+    run(std::uint64_t max_events = UINT64_MAX)
+    {
+        std::uint64_t n = 0;
+        while (n < max_events && serviceOne())
+            ++n;
+        return n;
+    }
+
+    std::uint64_t
+    runUntil(Tick until)
+    {
+        std::uint64_t n = 0;
+        while (!empty() && _peekWhen() <= until && serviceOne())
+            ++n;
+        return n;
+    }
+
+    Tick now() const { return _now; }
+    bool empty() const { return !_hasTop && _heap.empty(); }
+    std::size_t size() const
+    {
+        return _heap.size() + (_hasTop ? 1 : 0);
+    }
+    std::uint64_t serviced() const { return _serviced; }
+    std::size_t slabSlots() const { return _tasks.slots(); }
+
+    void
+    reset()
+    {
+        _heap.clear();
+        _tasks.reset();
+        _top = Entry{};
+        _hasTop = false;
+        _now = 0;
+        _nextSequence = 0;
+        _serviced = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint32_t slot;
+        int priority;
+        std::uint64_t sequence;
+    };
+
+    static bool
+    _before(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.sequence < b.sequence;
+    }
+
+    void
+    _heapPush(const Entry &e)
+    {
+        _heap.push_back(e);
+        _siftUp(_heap.size() - 1);
+    }
+
+    void
+    _siftUp(std::size_t i)
+    {
+        const Entry e = _heap[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!_before(e, _heap[parent]))
+                break;
+            _heap[i] = _heap[parent];
+            i = parent;
+        }
+        _heap[i] = e;
+    }
+
+    void
+    _siftDown(std::size_t i)
+    {
+        const std::size_t n = _heap.size();
+        const Entry e = _heap[i];
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n &&
+                _before(_heap[child + 1], _heap[child]))
+                ++child;
+            if (!_before(_heap[child], e))
+                break;
+            _heap[i] = _heap[child];
+            i = child;
+        }
+        _heap[i] = e;
+    }
+
+    Tick
+    _peekWhen() const
+    {
+        return _hasTop ? _top.when : _heap.front().when;
+    }
+
+    std::vector<Entry> _heap;
+    Slab<InlineTask> _tasks;
+    Entry _top{};
+    bool _hasTop = false;
+    Tick _now = 0;
+    std::uint64_t _nextSequence = 0;
+    std::uint64_t _serviced = 0;
+};
+
+} // namespace sim
+} // namespace tpu
+
+#endif // TPUSIM_SIM_REFERENCE_QUEUE_HH

@@ -97,24 +97,6 @@ Distribution::merge(const Distribution &other)
 }
 
 void
-Distribution::sample(double v)
-{
-    ++_count;
-    _sum += v;
-    _min = std::min(_min, v);
-    _max = std::max(_max, v);
-    if (v < _lo) {
-        ++_underflow;
-    } else if (v >= _hi) {
-        ++_overflow;
-    } else {
-        auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
-        idx = std::min(idx, _buckets.size() - 1);
-        ++_buckets[idx];
-    }
-}
-
-void
 Distribution::sampleN(double v, std::uint64_t n)
 {
     if (n == 0)

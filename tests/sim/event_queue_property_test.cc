@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Property test: the timing-wheel EventQueue services events in
+ * EXACTLY the order of the retained pre-wheel binary heap
+ * (sim/reference_queue.hh), on randomized schedule/service scripts.
+ *
+ * The wheel rebuild changed every internal structure while promising
+ * an identical strict weak order -- (when, priority, sequence) -- so
+ * the only trustworthy check is an oracle replay: generate a script
+ * of operations once, replay it through both implementations, and
+ * require the two service logs to match element for element.  The
+ * scripts are built to cross every structural seam the wheel has:
+ *
+ *  - deltas inside one bucket, across buckets, and far past the
+ *    wheel window (heap overflow + migration on drain);
+ *  - same-tick tie storms with shuffled priorities (the bucket-sort
+ *    tie-break path, and the serving stack's -2/-1/0 convention);
+ *  - callbacks that schedule follow-on events mid-drain (inserts
+ *    into, behind, and ahead of the bucket being consumed);
+ *  - interleaved partial drains (the top-slot refill path).
+ *
+ * Also pinned here: scheduling in the past is fatal, and reset()
+ * restores cold behaviour bit-for-bit (the arena-reuse contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/reference_queue.hh"
+#include "sim/rng.hh"
+
+namespace tpu {
+namespace {
+
+/** One scripted operation (pre-generated so both replays agree). */
+struct Op
+{
+    enum Kind
+    {
+        Schedule, ///< schedule event `id` at now + delta
+        Chained,  ///< like Schedule, but its callback schedules a
+                  ///< follow-on event (id | kChainBit) at +delta2
+        Service,  ///< service up to `count` events
+    };
+    Kind kind;
+    std::uint64_t delta = 0;
+    int priority = 0;
+    std::uint64_t id = 0;
+    std::uint64_t delta2 = 0;
+    int priority2 = 0;
+    std::uint64_t count = 0;
+};
+
+constexpr std::uint64_t kChainBit = 1ull << 63;
+
+/**
+ * Randomized script generator.  Mixes short/medium/far deltas (the
+ * far band, up to 2x the wheel window of 4096 * 8192 ticks, forces
+ * heap overflow and later migration), injects same-tick tie storms,
+ * and interleaves partial drains.
+ */
+std::vector<Op>
+makeScript(std::uint64_t seed, int length)
+{
+    Rng rng(seed);
+    std::vector<Op> script;
+    std::uint64_t next_id = 1;
+    for (int i = 0; i < length; ++i) {
+        const auto roll = rng.uniformInt(0, 99);
+        if (roll < 10) {
+            // Tie storm: a burst at one tick, priorities shuffled.
+            const auto delta =
+                static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 16));
+            const auto burst = rng.uniformInt(4, 24);
+            for (int b = 0; b < burst; ++b) {
+                Op op;
+                op.kind = Op::Schedule;
+                op.delta = delta;
+                op.priority = static_cast<int>(rng.uniformInt(-2, 1));
+                op.id = next_id++;
+                script.push_back(op);
+            }
+        } else if (roll < 55) {
+            Op op;
+            op.kind = Op::Schedule;
+            // 1/3 in-bucket, 1/3 cross-bucket, 1/3 far horizon.
+            const auto band = rng.uniformInt(0, 2);
+            const std::uint64_t hi = band == 0   ? (1 << 13)
+                                     : band == 1 ? (1 << 22)
+                                                 : (1ull << 26);
+            op.delta = static_cast<std::uint64_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(hi)));
+            op.priority = static_cast<int>(rng.uniformInt(-2, 1));
+            op.id = next_id++;
+            script.push_back(op);
+        } else if (roll < 70) {
+            Op op;
+            op.kind = Op::Chained;
+            op.delta =
+                static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 20));
+            op.priority = static_cast<int>(rng.uniformInt(-2, 1));
+            op.id = next_id++;
+            op.delta2 =
+                static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 18));
+            op.priority2 = static_cast<int>(rng.uniformInt(-2, 1));
+            script.push_back(op);
+        } else {
+            Op op;
+            op.kind = Op::Service;
+            op.count =
+                static_cast<std::uint64_t>(rng.uniformInt(1, 12));
+            script.push_back(op);
+        }
+    }
+    return script;
+}
+
+/**
+ * Replay @p script on a queue and return the ids in service order.
+ * Works on either implementation: both expose the same schedule /
+ * run / serviceOne surface.
+ */
+template <typename Queue>
+std::vector<std::uint64_t>
+replay(Queue &q, const std::vector<Op> &script)
+{
+    std::vector<std::uint64_t> log;
+    for (const Op &op : script) {
+        switch (op.kind) {
+        case Op::Schedule:
+            q.schedule(
+                q.now() + op.delta,
+                [&log, id = op.id]() { log.push_back(id); },
+                op.priority);
+            break;
+        case Op::Chained:
+            // Capture only what the callback needs: InlineTask's
+            // 48-byte inline storage is a hard (fatal) limit.
+            q.schedule(
+                q.now() + op.delta,
+                [&log, &q, id = op.id, d2 = op.delta2,
+                 p2 = op.priority2]() {
+                    log.push_back(id);
+                    q.schedule(
+                        q.now() + d2,
+                        [&log, cid = id | kChainBit]() {
+                            log.push_back(cid);
+                        },
+                        p2);
+                },
+                op.priority);
+            break;
+        case Op::Service:
+            q.run(op.count);
+            break;
+        }
+    }
+    q.run();
+    return log;
+}
+
+TEST(EventQueueProperty, MatchesReferenceHeapOnRandomStreams)
+{
+    // Many independent seeds beat one long stream: each fresh queue
+    // re-crosses the warm-up seams (first overflow, first
+    // migration), and a failure names its seed.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const auto script = makeScript(seed, 400);
+        EventQueue wheel;
+        sim::ReferenceEventQueue heap;
+        const auto wheel_log = replay(wheel, script);
+        const auto heap_log = replay(heap, script);
+        ASSERT_EQ(wheel_log, heap_log) << "seed " << seed;
+        EXPECT_EQ(wheel.now(), heap.now()) << "seed " << seed;
+        EXPECT_EQ(wheel.serviced(), heap.serviced())
+            << "seed " << seed;
+        EXPECT_TRUE(wheel.empty());
+    }
+}
+
+TEST(EventQueueProperty, SameTickTieStormMatchesReference)
+{
+    // The worst case for bucket-sort tie-breaking: EVERY event on a
+    // handful of ticks, all priority permutations, plus same-tick
+    // chained inserts landing in the bucket being consumed.
+    Rng rng(77);
+    std::vector<Op> script;
+    std::uint64_t next_id = 1;
+    for (int round = 0; round < 50; ++round) {
+        const auto delta =
+            static_cast<std::uint64_t>(rng.uniformInt(0, 3));
+        for (int b = 0; b < 40; ++b) {
+            Op op;
+            op.kind = b % 5 == 0 ? Op::Chained : Op::Schedule;
+            op.delta = delta;
+            op.priority = static_cast<int>(rng.uniformInt(-2, 1));
+            op.id = next_id++;
+            op.delta2 = 0; // chained follow-on on the SAME tick
+            op.priority2 = static_cast<int>(rng.uniformInt(-2, 1));
+            script.push_back(op);
+        }
+        Op drain;
+        drain.kind = Op::Service;
+        drain.count = static_cast<std::uint64_t>(
+            rng.uniformInt(1, 30));
+        script.push_back(drain);
+    }
+    EventQueue wheel;
+    sim::ReferenceEventQueue heap;
+    ASSERT_EQ(replay(wheel, script), replay(heap, script));
+}
+
+TEST(EventQueueProperty, FarHorizonOverflowMigratesInOrder)
+{
+    // Everything lands past the wheel window (> 4096 * 8192 ticks),
+    // so every entry takes the heap-overflow path and later migrates
+    // into buckets as the clock advances across window boundaries.
+    Rng rng(5150);
+    std::vector<Op> script;
+    for (std::uint64_t id = 1; id <= 500; ++id) {
+        Op op;
+        op.kind = Op::Schedule;
+        op.delta = (1ull << 25) +
+                   static_cast<std::uint64_t>(
+                       rng.uniformInt(0, 1ll << 26));
+        op.priority = static_cast<int>(rng.uniformInt(-2, 1));
+        op.id = id;
+        script.push_back(op);
+        if (id % 16 == 0) {
+            Op drain;
+            drain.kind = Op::Service;
+            drain.count = 8;
+            script.push_back(drain);
+        }
+    }
+    EventQueue wheel;
+    sim::ReferenceEventQueue heap;
+    const auto wheel_log = replay(wheel, script);
+    ASSERT_EQ(wheel_log, replay(heap, script));
+    // The point of this stream: the wheel really did overflow.
+    EXPECT_GT(wheel.heapOverflows(), 0u);
+}
+
+TEST(EventQueueProperty, ResetRestoresColdServiceOrder)
+{
+    // The arena-reuse contract: a reset() queue must replay a script
+    // EXACTLY like a cold queue -- same order, same clock, same
+    // sequence numbering -- while keeping its warmed storage.
+    const auto warmup = makeScript(11, 300);
+    const auto script = makeScript(12, 300);
+
+    EventQueue used;
+    replay(used, warmup);
+    const auto warmed_slots = used.slabSlots();
+    used.reset();
+    EXPECT_EQ(used.now(), 0u);
+    EXPECT_EQ(used.serviced(), 0u);
+    EXPECT_TRUE(used.empty());
+
+    EventQueue cold;
+    const auto used_log = replay(used, script);
+    const auto cold_log = replay(cold, script);
+    ASSERT_EQ(used_log, cold_log);
+    EXPECT_EQ(used.now(), cold.now());
+    EXPECT_EQ(used.serviced(), cold.serviced());
+    // Retained storage: the second run fit inside the warmed slab.
+    EXPECT_GE(warmed_slots, 1u);
+    EXPECT_LE(used.slabSlots(),
+              std::max(warmed_slots, cold.slabSlots()));
+}
+
+TEST(EventQueuePropertyDeath, SchedulingInThePastIsFatal)
+{
+    EventQueue q;
+    q.schedule(100, []() {});
+    q.run();
+    ASSERT_EQ(q.now(), 100u);
+    EXPECT_DEATH(q.schedule(99, []() {}), "past");
+}
+
+} // namespace
+} // namespace tpu

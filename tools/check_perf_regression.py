@@ -30,6 +30,7 @@ Usage:
                                  [--design BENCH_design.json]
                                  [--control BENCH_control.json]
                                  [--fleet BENCH_fleet.json]
+                                 [--queue BENCH_queue.json]
                                  [--tolerance 0.25]
 
 BENCH_design.json (bench_design_explorer, design-gate job) is an
@@ -48,6 +49,13 @@ BENCH_fleet.json (bench_fleet_scale, fleet-gate job) gates the
 higher-is-better anchor, the largest point's wall/plan/bring-up
 seconds gate lower-is-better, and the thread-count / arena-reuse
 fingerprint-invariance flags must be true.
+
+BENCH_queue.json (bench_event_queue_micro, perf-baseline job) gates
+the event core in isolation: the timing wheel's hold-depth churn
+rate at depths 1k and 100k must hold its anchors, and the wheel must
+stay at least as fast as the retained reference heap (speedup >= the
+anchored ratio, within tolerance) so an event-core "optimization"
+that loses to the oracle heap fails loudly.
 """
 
 import argparse
@@ -100,6 +108,24 @@ CONTROL_METRICS_LOWER = [
     ("overprovisioned_die_seconds_vs_oracle",
      "current.control.overprovisioned_die_seconds_vs_oracle"),
     ("interactive_p99_ms", "current.control.interactive_p99_ms"),
+    # Wall clock of the chaos-scenario leg: the control plane's
+    # event-loop cost under failure churn, the leg the event-core
+    # rebuild is expected to keep cheap.
+    ("chaos_wall_seconds", "current.control.chaos_wall_seconds"),
+]
+# Event-core micro (BENCH_queue.json, bench_event_queue_micro).
+# Hold-depth churn rates are higher-is-better; the wheel-vs-heap
+# speedup ratios anchor too, so the wheel can never quietly fall
+# behind the reference implementation it replaced.
+QUEUE_METRICS = [
+    ("wheel_events_per_wall_second.depth1000",
+     "current.queue.wheel_events_per_wall_second.depth1000"),
+    ("wheel_events_per_wall_second.depth100000",
+     "current.queue.wheel_events_per_wall_second.depth100000"),
+    ("wheel_speedup.depth1000",
+     "current.queue.wheel_speedup.depth1000"),
+    ("wheel_speedup.depth100000",
+     "current.queue.wheel_speedup.depth100000"),
 ]
 # Fleet-scale serving (BENCH_fleet.json, bench_fleet_scale,
 # fleet-gate job).  The headline anchor is weak-scaling efficiency
@@ -208,6 +234,7 @@ def main():
     ap.add_argument("--design", default="BENCH_design.json")
     ap.add_argument("--control", default="BENCH_control.json")
     ap.add_argument("--fleet", default="BENCH_fleet.json")
+    ap.add_argument("--queue", default="BENCH_queue.json")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional slowdown (default 0.25)")
     args = ap.parse_args()
@@ -223,11 +250,12 @@ def main():
     design = load(args.design, optional=True)
     control = load(args.control, optional=True)
     fleet = load(args.fleet, optional=True)
+    queue = load(args.queue, optional=True)
     if baselines is None:
         return 1
     if (serve is None and cluster is None and hybrid is None
             and design is None and control is None
-            and fleet is None):
+            and fleet is None and queue is None):
         print("error: no bench output files found")
         return 1
 
@@ -265,6 +293,9 @@ def main():
                                   FLEET_METRICS_LOWER,
                                   args.tolerance)
         ok &= check_flags("fleet", fleet, FLEET_FLAGS)
+    if queue is not None:
+        ok &= check_metrics("queue", queue, baselines,
+                            QUEUE_METRICS, args.tolerance)
     print("result:", "ok" if ok else "REGRESSION DETECTED")
     return 0 if ok else 1
 
